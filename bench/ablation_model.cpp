@@ -1,0 +1,142 @@
+// Ablations over the design choices DESIGN.md calls out:
+//   A1a  sizing features on/off (Table II geometry rows; Fig. 2 scenario)
+//   A1b  edge-type-aware weights vs. a single shared W (|W| = 4 vs 1)*
+//   A1c  number of propagation layers K in {1, 2, 3}
+//   A1d  top-M embedding size M in {1, 2, 5, 10, 20}
+//   A1e  adaptive Eq. 4 threshold vs. fixed thresholds
+// (*) approximated by collapsing all pin functions onto the passive edge
+//     type during graph construction, which removes type awareness.
+//
+// Each ablation reports merged-dataset F1 at both levels.
+#include <cstdio>
+#include <iostream>
+
+#include "common.h"
+
+using namespace ancstr;
+using namespace ancstr::bench;
+
+namespace {
+
+struct AblationResult {
+  Metrics system;
+  Metrics device;
+  double systemAuc = 0.0;
+  double deviceAuc = 0.0;
+};
+
+AblationResult evaluate(const std::vector<circuits::CircuitBenchmark>& corpus,
+                        const PipelineConfig& config) {
+  Pipeline pipeline = trainPipeline(corpus, config);
+  ConfusionCounts system, device;
+  std::vector<double> sysScores, devScores;
+  std::vector<bool> sysLabels, devLabels;
+  for (const auto& bench : corpus) {
+    const ConstraintLevel level = bench.category == "ADC"
+                                      ? ConstraintLevel::kSystem
+                                      : ConstraintLevel::kDevice;
+    const Evaluated us = evalOurs(pipeline, bench, level);
+    if (level == ConstraintLevel::kSystem) {
+      system += us.counts;
+      sysScores.insert(sysScores.end(), us.scores.begin(), us.scores.end());
+      sysLabels.insert(sysLabels.end(), us.labels.begin(), us.labels.end());
+    } else {
+      device += us.counts;
+      devScores.insert(devScores.end(), us.scores.begin(), us.scores.end());
+      devLabels.insert(devLabels.end(), us.labels.begin(), us.labels.end());
+    }
+  }
+  AblationResult result;
+  result.system = computeMetrics(system);
+  result.device = computeMetrics(device);
+  result.systemAuc = computeRoc(sysScores, sysLabels).auc;
+  result.deviceAuc = computeRoc(devScores, devLabels).auc;
+  return result;
+}
+
+void addRow(TextTable& table, const std::string& name,
+            const AblationResult& r) {
+  table.addRow({name, metricCell(r.system.f1), metricCell(r.system.fpr),
+                metricCell(r.systemAuc), metricCell(r.device.f1),
+                metricCell(r.device.fpr), metricCell(r.deviceAuc)});
+}
+
+}  // namespace
+
+int main() {
+  const auto corpus = fullCorpus();
+  const int epochs = 40;  // ablations trade a little quality for turnaround
+
+  TextTable table;
+  table.setHeader({"Variant", "sys.F1", "sys.FPR", "sys.AUC", "dev.F1",
+                   "dev.FPR", "dev.AUC"});
+
+  addRow(table, "paper config (K=2, M=10, geom on)",
+         evaluate(corpus, paperConfig(epochs)));
+
+  {
+    PipelineConfig config = paperConfig(epochs);
+    config.features.useGeometry = false;
+    config.features.useLayers = false;
+    config.model.featureDim = config.features.dims();
+    addRow(table, "no sizing features", evaluate(corpus, config));
+  }
+  {
+    PipelineConfig config = paperConfig(epochs);
+    config.model.sharedWeights = false;
+    addRow(table, "per-layer weights", evaluate(corpus, config));
+  }
+  {
+    PipelineConfig config = paperConfig(epochs);
+    config.graph.collapseEdgeTypes = true;
+    addRow(table, "no edge types (|W|=1)", evaluate(corpus, config));
+  }
+  {
+    PipelineConfig config = paperConfig(epochs);
+    config.detector.sizingAwareSimilarity = false;
+    addRow(table, "pure Eq.5 cosine", evaluate(corpus, config));
+  }
+  {
+    PipelineConfig config = paperConfig(epochs);
+    config.model.meanAggregation = true;
+    addRow(table, "mean aggregation", evaluate(corpus, config));
+  }
+  {
+    PipelineConfig config = paperConfig(epochs);
+    config.detector.localBlockEmbeddings = false;
+    addRow(table, "context-sensitive block emb.", evaluate(corpus, config));
+  }
+  {
+    PipelineConfig config = paperConfig(epochs);
+    config.graph.maxNetDegree = 0;  // paper-literal full supply cliques
+    addRow(table, "full rail cliques", evaluate(corpus, config));
+  }
+  for (const int k : {1, 3}) {
+    PipelineConfig config = paperConfig(epochs);
+    config.model.numLayers = k;
+    addRow(table, "K = " + std::to_string(k), evaluate(corpus, config));
+  }
+  for (const std::size_t m : {1u, 2u, 5u, 20u}) {
+    PipelineConfig config = paperConfig(epochs);
+    config.detector.embedding.topM = m;
+    addRow(table, "M = " + std::to_string(m), evaluate(corpus, config));
+  }
+  {
+    PipelineConfig config = paperConfig(epochs);
+    // Fixed loose threshold instead of Eq. 4 (alpha' = th - beta/(1+n)
+    // approximated by zeroing beta).
+    config.detector.alpha = 0.90;
+    config.detector.beta = 0.0;
+    addRow(table, "fixed sys th = 0.90", evaluate(corpus, config));
+  }
+  {
+    PipelineConfig config = paperConfig(epochs);
+    config.detector.alpha = 0.999;
+    config.detector.beta = 0.0;
+    addRow(table, "fixed sys th = 0.999", evaluate(corpus, config));
+  }
+
+  std::printf("\n=== Ablation study (merged datasets) ===\n");
+  table.print(std::cout);
+  return 0;
+}

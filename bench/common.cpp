@@ -1,0 +1,112 @@
+#include "common.h"
+
+#include <cstdio>
+
+#include "baselines/ged.h"
+#include "baselines/s3det.h"
+#include "baselines/sfa.h"
+#include "util/timer.h"
+
+namespace ancstr::bench {
+
+std::vector<circuits::CircuitBenchmark> fullCorpus() {
+  std::vector<circuits::CircuitBenchmark> corpus = circuits::blockBenchmarks();
+  for (auto& adc : circuits::adcBenchmarks()) corpus.push_back(std::move(adc));
+  return corpus;
+}
+
+PipelineConfig paperConfig(int epochs, std::uint64_t seed) {
+  PipelineConfig config;
+  config.train.epochs = epochs;
+  config.seed = seed;
+  return config;
+}
+
+Pipeline trainPipeline(const std::vector<circuits::CircuitBenchmark>& corpus,
+                       const PipelineConfig& config) {
+  Pipeline pipeline(config);
+  std::vector<const Library*> libs;
+  libs.reserve(corpus.size());
+  for (const auto& bench : corpus) libs.push_back(&bench.lib);
+  const TrainStats stats = pipeline.train(libs);
+  std::printf("[train] %zu circuits, %d epochs, final loss %.4f, %.2fs\n",
+              libs.size(), config.train.epochs, stats.finalLoss(),
+              stats.seconds);
+  return pipeline;
+}
+
+namespace {
+
+Evaluated reduce(const FlatDesign& design,
+                 const std::vector<ScoredCandidate>& scored,
+                 const GroundTruth& truth, double seconds) {
+  Evaluated out;
+  out.labels = labelCandidates(design, scored, truth);
+  out.counts = confusionFromScored(scored, out.labels);
+  out.scores.reserve(scored.size());
+  for (const ScoredCandidate& c : scored) out.scores.push_back(c.similarity);
+  out.seconds = seconds;
+  return out;
+}
+
+}  // namespace
+
+Evaluated evalOurs(const Pipeline& pipeline,
+                   const circuits::CircuitBenchmark& bench,
+                   ConstraintLevel level) {
+  const ExtractionResult result = pipeline.extract(bench.lib);
+  const FlatDesign design = FlatDesign::elaborate(bench.lib);
+  std::vector<ScoredCandidate> filtered;
+  for (const ScoredCandidate& c : result.detection.scored) {
+    if (c.pair.level == level) filtered.push_back(c);
+  }
+  return reduce(design, filtered, bench.truth, result.timing.total());
+}
+
+Evaluated evalS3Det(const circuits::CircuitBenchmark& bench) {
+  const FlatDesign design = FlatDesign::elaborate(bench.lib);
+  const s3det::S3DetResult result =
+      s3det::detectSystemConstraints(design, bench.lib);
+  return reduce(design, result.scored, bench.truth, result.seconds);
+}
+
+Evaluated evalSfa(const circuits::CircuitBenchmark& bench) {
+  const FlatDesign design = FlatDesign::elaborate(bench.lib);
+  const sfa::SfaResult result = sfa::detectDeviceConstraints(design, bench.lib);
+  return reduce(design, result.scored, bench.truth, result.seconds);
+}
+
+Evaluated evalGed(const circuits::CircuitBenchmark& bench) {
+  const FlatDesign design = FlatDesign::elaborate(bench.lib);
+  const ged::GedResult result =
+      ged::detectSystemConstraints(design, bench.lib);
+  return reduce(design, result.scored, bench.truth, result.seconds);
+}
+
+void addComparisonRow(TextTable& table, const std::string& name,
+                      const Metrics& baseline, double baselineSeconds,
+                      const Metrics& ours, double oursSeconds) {
+  char baseTime[32], oursTime[32];
+  std::snprintf(baseTime, sizeof(baseTime), "%.3f", baselineSeconds);
+  std::snprintf(oursTime, sizeof(oursTime), "%.3f", oursSeconds);
+  table.addRow({name, metricCell(baseline.tpr), metricCell(baseline.fpr),
+                metricCell(baseline.ppv), metricCell(baseline.acc),
+                metricCell(baseline.f1), baseTime, metricCell(ours.tpr),
+                metricCell(ours.fpr), metricCell(ours.ppv),
+                metricCell(ours.acc), metricCell(ours.f1), oursTime});
+}
+
+void printRoc(const std::string& title, const RocCurve& curve) {
+  std::printf("%s: AUC = %.4f\n", title.c_str(), curve.auc);
+  std::printf("  fpr,tpr:");
+  // Subsample long curves to keep the console output readable.
+  const std::size_t stride =
+      curve.points.size() > 24 ? curve.points.size() / 24 : 1;
+  for (std::size_t i = 0; i < curve.points.size(); i += stride) {
+    std::printf(" (%.3f,%.3f)", curve.points[i].fpr, curve.points[i].tpr);
+  }
+  const RocPoint& last = curve.points.back();
+  std::printf(" (%.3f,%.3f)\n", last.fpr, last.tpr);
+}
+
+}  // namespace ancstr::bench

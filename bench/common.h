@@ -1,0 +1,58 @@
+// Shared harness for the paper-reproduction benches: corpus loading, one
+// unsupervised training run, per-benchmark evaluation of our framework and
+// both baselines, and table rendering.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuits/benchmark.h"
+#include "core/pipeline.h"
+#include "eval/ground_truth.h"
+#include "eval/metrics.h"
+#include "eval/roc.h"
+#include "util/table.h"
+
+namespace ancstr::bench {
+
+/// The paper's full training corpus: 15 block circuits + 5 ADCs.
+std::vector<circuits::CircuitBenchmark> fullCorpus();
+
+/// Default experiment configuration (paper Section IV: K=2, D=18, B=5).
+PipelineConfig paperConfig(int epochs = 60, std::uint64_t seed = 7);
+
+/// Trains once over the corpus; prints the training time.
+Pipeline trainPipeline(const std::vector<circuits::CircuitBenchmark>& corpus,
+                       const PipelineConfig& config);
+
+/// One detector's output on one benchmark, reduced for evaluation.
+struct Evaluated {
+  ConfusionCounts counts;
+  std::vector<double> scores;  ///< per candidate (for ROC merging)
+  std::vector<bool> labels;
+  double seconds = 0.0;
+};
+
+/// Runs our trained pipeline on `bench`, restricted to one level.
+Evaluated evalOurs(const Pipeline& pipeline,
+                   const circuits::CircuitBenchmark& bench,
+                   ConstraintLevel level);
+
+/// Runs the S3DET baseline (system-level only).
+Evaluated evalS3Det(const circuits::CircuitBenchmark& bench);
+
+/// Runs the SFA baseline (device-level only).
+Evaluated evalSfa(const circuits::CircuitBenchmark& bench);
+
+/// Runs the approximate-GED baseline (system-level only).
+Evaluated evalGed(const circuits::CircuitBenchmark& bench);
+
+/// Appends a "name | tpr fpr ppv acc f1 runtime" row pair to the table.
+void addComparisonRow(TextTable& table, const std::string& name,
+                      const Metrics& baseline, double baselineSeconds,
+                      const Metrics& ours, double oursSeconds);
+
+/// Prints an ROC curve as a compact fpr/tpr listing with its AUC.
+void printRoc(const std::string& title, const RocCurve& curve);
+
+}  // namespace ancstr::bench

@@ -1,0 +1,166 @@
+// Reproduces Fig. 1's message: automated P&R quality depends on accurate
+// symmetry constraints. The paper removes one matched-resistor-pair
+// constraint from a CTDSM and shows 3.1 dB SNDR / 3.8 dB SFDR post-layout
+// degradation on silicon. We cannot tape out, so the substitution
+// (DESIGN.md) is a constraint-driven annealing placer plus a *geometric
+// asymmetry* proxy: the mean mirror-mismatch of the designer's
+// ground-truth pairs in the produced layout. Matched pairs that are laid
+// out asymmetrically see mismatched parasitics — the mechanism behind the
+// paper's SNDR loss.
+//
+// Scenarios per circuit:
+//   full  — all constraints the trained detector extracted
+//   -1pair — same, with one matched passive pair's constraint dropped
+//   none  — no symmetry constraints at all
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+
+#include "common.h"
+#include "core/groups.h"
+#include "place/pnr.h"
+#include "place/svg.h"
+
+using namespace ancstr;
+using namespace ancstr::bench;
+
+namespace {
+
+struct Scenario {
+  double wirelength = 0.0;
+  double violation = 0.0;
+  std::size_t routedWirelength = 0;
+  std::size_t mirroredNets = 0;
+};
+
+std::string svgDir() {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "ancstr_fig1_layouts";
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+/// Places-and-routes hierarchy node `node` honouring `pairs`; reports the
+/// asymmetry of the full ground-truth pair set `assess`.
+Scenario placeWith(
+    const FlatDesign& design, HierNodeId node,
+    const std::vector<std::pair<std::string, std::string>>& pairs,
+    const std::vector<std::pair<std::string, std::string>>& assess,
+    const std::string& svgName) {
+  place::PlacementProblem problem = place::buildPlacementProblem(design, node);
+  auto indexOf = [&](const std::string& name) -> int {
+    for (std::size_t i = 0; i < problem.cells.size(); ++i) {
+      if (problem.cells[i].name == name) return static_cast<int>(i);
+    }
+    return -1;
+  };
+  for (const auto& [a, b] : pairs) {
+    const int ia = indexOf(a);
+    const int ib = indexOf(b);
+    if (ia >= 0 && ib >= 0) {
+      problem.symmetricPairs.emplace_back(static_cast<std::size_t>(ia),
+                                          static_cast<std::size_t>(ib));
+    }
+  }
+  place::PnrOptions options;
+  options.anneal.iterations = 20000;
+  options.anneal.seed = 11;
+  const place::PnrResult pnr = place::placeAndRoute(problem, options);
+  const place::AnnealResult& result = pnr.placement;
+  place::writeSvgFile(problem, result.solution, svgDir() + "/" + svgName);
+
+  // Assess against the full designer pair set regardless of what was
+  // enforced.
+  place::PlacementProblem assessor = problem;
+  assessor.symmetricPairs.clear();
+  for (const auto& [a, b] : assess) {
+    const int ia = indexOf(a);
+    const int ib = indexOf(b);
+    if (ia >= 0 && ib >= 0) {
+      assessor.symmetricPairs.emplace_back(static_cast<std::size_t>(ia),
+                                           static_cast<std::size_t>(ib));
+    }
+  }
+  Scenario out;
+  out.wirelength = result.wirelength;
+  out.violation = place::symmetryViolation(assessor, result.solution);
+  out.routedWirelength = pnr.routing.wirelength;
+  for (const place::RoutedNet& net : pnr.routing.nets) {
+    out.mirroredNets += net.mirrored ? 1u : 0u;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const auto corpus = fullCorpus();
+  Pipeline pipeline = trainPipeline(corpus, paperConfig());
+
+  std::printf("\n=== Fig. 1 proxy: layout impact of symmetry constraints "
+              "===\n");
+  TextTable table;
+  table.setHeader({"Design", "constraints", "HPWL", "asymmetry",
+                   "routed WL", "mirrored nets"});
+
+  // Fully differential blocks where the paper's experiment is meaningful
+  // (matched passive pairs present).
+  for (const std::string target : {"OTA4", "OTA5", "COMP3"}) {
+    const circuits::CircuitBenchmark* bench = nullptr;
+    for (const auto& b : corpus) {
+      if (b.name == target) bench = &b;
+    }
+    if (bench == nullptr) continue;
+    const FlatDesign design = FlatDesign::elaborate(bench->lib);
+    const ExtractionResult extraction = pipeline.extract(bench->lib);
+
+    // Extracted device-level pairs at the root hierarchy.
+    std::vector<std::pair<std::string, std::string>> extracted;
+    for (const ScoredCandidate& c : extraction.detection.constraints()) {
+      if (c.pair.hierarchy == 0 && c.pair.a.kind == ModuleKind::kDevice) {
+        extracted.emplace_back(c.pair.nameA, c.pair.nameB);
+      }
+    }
+    // Designer ground truth (assessment yardstick).
+    std::vector<std::pair<std::string, std::string>> truthPairs;
+    for (const auto& e : bench->truth.entries()) {
+      if (e.hierPath.empty()) truthPairs.emplace_back(e.nameA, e.nameB);
+    }
+
+    // Drop one matched *passive* pair, like the paper's experiment.
+    std::vector<std::pair<std::string, std::string>> oneDropped = extracted;
+    for (std::size_t i = 0; i < oneDropped.size(); ++i) {
+      if (oneDropped[i].first[0] == 'r' || oneDropped[i].first[0] == 'c') {
+        oneDropped.erase(oneDropped.begin() + static_cast<long>(i));
+        break;
+      }
+    }
+
+    const Scenario full =
+        placeWith(design, 0, extracted, truthPairs, target + "_full.svg");
+    const Scenario dropped =
+        placeWith(design, 0, oneDropped, truthPairs, target + "_drop1.svg");
+    const Scenario none =
+        placeWith(design, 0, {}, truthPairs, target + "_none.svg");
+    char buf[32];
+    auto cell = [&](double v) {
+      std::snprintf(buf, sizeof(buf), "%.2f", v);
+      return std::string(buf);
+    };
+    auto addRow = [&](const char* label, const Scenario& s) {
+      table.addRow({target, label, cell(s.wirelength), cell(s.violation),
+                    std::to_string(s.routedWirelength),
+                    std::to_string(s.mirroredNets)});
+    };
+    addRow("full", full);
+    addRow("-1 pair", dropped);
+    addRow("none", none);
+    table.addSeparator();
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nShape check (paper Fig. 1: layout quality degrades as symmetry\n"
+      "constraints are removed): asymmetry(full) < asymmetry(-1 pair) <= "
+      "asymmetry(none) per design.\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Runtime-scaling microbenchmarks (google-benchmark), backing the paper's
+// Section V-B scalability claims: graph construction, GNN inference, and
+// full extraction scale gently with design size, while the spectral
+// baseline's per-pair eigendecompositions blow up on block-rich designs
+// (the ADC4/ADC5 runtime gap in Table V).
+#include <benchmark/benchmark.h>
+
+#include "baselines/s3det.h"
+#include "circuits/synthetic.h"
+#include "core/features.h"
+#include "core/model.h"
+#include "core/pipeline.h"
+#include "graph/pagerank.h"
+
+using namespace ancstr;
+
+namespace {
+
+circuits::CircuitBenchmark& chain(int stages) {
+  static std::map<int, circuits::CircuitBenchmark> cache;
+  auto it = cache.find(stages);
+  if (it == cache.end()) {
+    it = cache.emplace(stages, circuits::makeDiffChain(stages)).first;
+  }
+  return it->second;
+}
+
+circuits::CircuitBenchmark& blockArray(int blocks) {
+  static std::map<int, circuits::CircuitBenchmark> cache;
+  auto it = cache.find(blocks);
+  if (it == cache.end()) {
+    it = cache.emplace(blocks, circuits::makeBlockArray(blocks)).first;
+  }
+  return it->second;
+}
+
+void BM_GraphConstruction(benchmark::State& state) {
+  const auto& bench = chain(static_cast<int>(state.range(0)));
+  const FlatDesign design = FlatDesign::elaborate(bench.lib);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(buildHeteroGraph(design));
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_Elaboration(benchmark::State& state) {
+  const auto& bench = chain(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FlatDesign::elaborate(bench.lib));
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_GnnInference(benchmark::State& state) {
+  const auto& bench = chain(static_cast<int>(state.range(0)));
+  const FlatDesign design = FlatDesign::elaborate(bench.lib);
+  const CircuitGraph graph = buildHeteroGraph(design);
+  const PreparedGraph prepared =
+      prepareGraph(graph, buildFeatureMatrix(design));
+  Rng rng(1);
+  const GnnModel model(GnnConfig{}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.embed(prepared));
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_PageRank(benchmark::State& state) {
+  const auto& bench = chain(static_cast<int>(state.range(0)));
+  const FlatDesign design = FlatDesign::elaborate(bench.lib);
+  const SimpleDigraph g = buildHeteroGraph(design).graph.simplified();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pageRank(g));
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_FullExtraction(benchmark::State& state) {
+  const auto& bench = blockArray(static_cast<int>(state.range(0)));
+  PipelineConfig config;
+  config.train.epochs = 2;
+  Pipeline pipeline(config);
+  pipeline.train({&bench.lib});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipeline.extract(bench.lib));
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_S3DetExtraction(benchmark::State& state) {
+  const auto& bench = blockArray(static_cast<int>(state.range(0)));
+  const FlatDesign design = FlatDesign::elaborate(bench.lib);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s3det::detectSystemConstraints(design, bench.lib));
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_Training(benchmark::State& state) {
+  const auto& bench = chain(static_cast<int>(state.range(0)));
+  PipelineConfig config;
+  config.train.epochs = 1;
+  for (auto _ : state) {
+    Pipeline pipeline(config);
+    pipeline.train({&bench.lib});
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+}  // namespace
+
+BENCHMARK(BM_Elaboration)->RangeMultiplier(4)->Range(4, 256)->Complexity();
+BENCHMARK(BM_GraphConstruction)
+    ->RangeMultiplier(4)
+    ->Range(4, 256)
+    ->Complexity();
+BENCHMARK(BM_GnnInference)->RangeMultiplier(4)->Range(4, 64)->Complexity();
+BENCHMARK(BM_PageRank)->RangeMultiplier(4)->Range(4, 256)->Complexity();
+BENCHMARK(BM_FullExtraction)->DenseRange(2, 10, 4);
+BENCHMARK(BM_S3DetExtraction)->DenseRange(2, 10, 4);
+BENCHMARK(BM_Training)->RangeMultiplier(4)->Range(4, 64);
+
+BENCHMARK_MAIN();

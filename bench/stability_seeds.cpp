@@ -1,0 +1,54 @@
+// Seed-stability study: the paper reports single numbers; this harness
+// quantifies how much our reproduction's headline metrics move across
+// training seeds (weight init + negative sampling + shuffling), which
+// bounds how much of any paper-vs-measured gap is run-to-run noise.
+#include <cstdio>
+#include <iostream>
+
+#include "common.h"
+#include "util/stats.h"
+
+using namespace ancstr;
+using namespace ancstr::bench;
+
+int main() {
+  const auto corpus = fullCorpus();
+  const std::vector<std::uint64_t> seeds{1, 7, 42, 1234, 98765};
+
+  std::vector<double> sysF1, sysFpr, devF1, devFpr;
+  for (const std::uint64_t seed : seeds) {
+    Pipeline pipeline = trainPipeline(corpus, paperConfig(60, seed));
+    ConfusionCounts system, device;
+    for (const auto& bench : corpus) {
+      if (bench.category == "ADC") {
+        system += evalOurs(pipeline, bench, ConstraintLevel::kSystem).counts;
+      } else {
+        device += evalOurs(pipeline, bench, ConstraintLevel::kDevice).counts;
+      }
+    }
+    const Metrics sys = computeMetrics(system);
+    const Metrics dev = computeMetrics(device);
+    sysF1.push_back(sys.f1);
+    sysFpr.push_back(sys.fpr);
+    devF1.push_back(dev.f1);
+    devFpr.push_back(dev.fpr);
+    std::printf("seed %-6llu  sys F1 %.3f FPR %.3f | dev F1 %.3f FPR %.3f\n",
+                static_cast<unsigned long long>(seed), sys.f1, sys.fpr,
+                dev.f1, dev.fpr);
+  }
+
+  TextTable table;
+  table.setHeader({"metric", "mean", "stddev", "min", "max"});
+  auto addRow = [&](const char* name, const std::vector<double>& xs) {
+    const auto [lo, hi] = std::minmax_element(xs.begin(), xs.end());
+    table.addRow({name, metricCell(mean(xs)), metricCell(stddev(xs)),
+                  metricCell(*lo), metricCell(*hi)});
+  };
+  addRow("system F1", sysF1);
+  addRow("system FPR", sysFpr);
+  addRow("device F1", devF1);
+  addRow("device FPR", devFpr);
+  std::printf("\n=== Seed stability over %zu seeds ===\n", seeds.size());
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Reproduces Tables III and IV: statistics of the ADC and block-level
+// benchmark corpora (device/net/valid-pair counts). Our generated corpus
+// replaces the paper's proprietary netlists, so counts are in the same
+// ballpark rather than identical; EXPERIMENTS.md records both.
+#include <cstdio>
+#include <iostream>
+
+#include "common.h"
+#include "netlist/flatten.h"
+
+using namespace ancstr;
+
+int main() {
+  std::printf("=== Table III: ADC benchmark statistics ===\n");
+  {
+    TextTable table;
+    table.setHeader({"Benchmark", "Architecture", "#Devices", "#Nets",
+                     "#Valid Pairs", "#Truth"});
+    const char* archs[] = {"2nd-order CT dsm", "3rd-order CT dsm",
+                           "3rd-order CT dsm (res DAC)", "SAR",
+                           "Hybrid CT dsm + SAR"};
+    int idx = 0;
+    for (const auto& bench : circuits::adcBenchmarks()) {
+      const circuits::BenchmarkStats stats = circuits::computeStats(bench);
+      table.addRow({"ADC" + std::to_string(idx + 1), archs[idx],
+                    std::to_string(stats.devices), std::to_string(stats.nets),
+                    std::to_string(stats.validPairs),
+                    std::to_string(stats.truthConstraints)});
+      ++idx;
+    }
+    table.print(std::cout);
+  }
+
+  std::printf("\n=== Table IV: block-level benchmark statistics ===\n");
+  {
+    TextTable table;
+    table.setHeader({"Category", "#Circuits", "#Devices", "#Nets",
+                     "#Valid Pairs", "#Truth"});
+    struct Agg {
+      std::size_t circuits = 0, devices = 0, nets = 0, pairs = 0, truth = 0;
+    };
+    std::vector<std::pair<std::string, Agg>> rows{
+        {"OTA", {}}, {"COMP", {}}, {"DAC", {}}, {"LATCH", {}}};
+    Agg total;
+    for (const auto& bench : circuits::blockBenchmarks()) {
+      const circuits::BenchmarkStats stats = circuits::computeStats(bench);
+      for (auto& [cat, agg] : rows) {
+        if (cat != bench.category) continue;
+        ++agg.circuits;
+        agg.devices += stats.devices;
+        agg.nets += stats.nets;
+        agg.pairs += stats.validPairs;
+        agg.truth += stats.truthConstraints;
+      }
+      ++total.circuits;
+      total.devices += stats.devices;
+      total.nets += stats.nets;
+      total.pairs += stats.validPairs;
+      total.truth += stats.truthConstraints;
+    }
+    for (const auto& [cat, agg] : rows) {
+      table.addRow({cat, std::to_string(agg.circuits),
+                    std::to_string(agg.devices), std::to_string(agg.nets),
+                    std::to_string(agg.pairs), std::to_string(agg.truth)});
+    }
+    table.addSeparator();
+    table.addRow({"Total", std::to_string(total.circuits),
+                  std::to_string(total.devices), std::to_string(total.nets),
+                  std::to_string(total.pairs), std::to_string(total.truth)});
+    table.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Device-level extraction with model persistence: train once, save the
+// model, reload it in a "fresh tool invocation", and annotate the matched
+// device pairs of a StrongARM comparator — then compare against the SFA
+// heuristic baseline to see where learning helps.
+#include <cstdio>
+
+#include "baselines/sfa.h"
+#include "circuits/benchmark.h"
+#include "core/pipeline.h"
+#include "eval/ground_truth.h"
+#include "eval/metrics.h"
+
+using namespace ancstr;
+
+int main() {
+  std::vector<circuits::CircuitBenchmark> corpus =
+      circuits::blockBenchmarks();
+  std::vector<const Library*> libs;
+  for (const auto& b : corpus) libs.push_back(&b.lib);
+
+  // Train and persist.
+  PipelineConfig config;
+  config.train.epochs = 60;
+  {
+    Pipeline trainer(config);
+    trainer.train(libs);
+    trainer.saveModel("ancstr_model.txt");
+    std::printf("model trained and saved to ancstr_model.txt\n");
+  }
+
+  // Fresh pipeline, restored weights: no retraining needed.
+  Pipeline pipeline(config);
+  pipeline.loadModel("ancstr_model.txt");
+
+  const circuits::CircuitBenchmark& comp = corpus[9];  // COMP4 (StrongARM)
+  const ExtractionResult result = pipeline.extract(comp.lib);
+  const FlatDesign design = FlatDesign::elaborate(comp.lib);
+
+  std::printf("\ndevice-level constraints in %s:\n", comp.name.c_str());
+  for (const ScoredCandidate& c : result.detection.constraints()) {
+    std::printf("  (%s, %s)  sim=%.4f\n", c.pair.nameA.c_str(),
+                c.pair.nameB.c_str(), c.similarity);
+  }
+
+  const auto ourLabels =
+      labelCandidates(design, result.detection.scored, comp.truth);
+  const Metrics ours = computeMetrics(
+      confusionFromScored(result.detection.scored, ourLabels));
+
+  const sfa::SfaResult sfaResult =
+      sfa::detectDeviceConstraints(design, comp.lib);
+  const auto sfaLabels = labelCandidates(design, sfaResult.scored, comp.truth);
+  const Metrics sfa = computeMetrics(
+      confusionFromScored(sfaResult.scored, sfaLabels));
+
+  std::printf("\n         TPR    FPR    PPV    F1\n");
+  std::printf("ours   %.3f  %.3f  %.3f  %.3f\n", ours.tpr, ours.fpr, ours.ppv,
+              ours.f1);
+  std::printf("SFA    %.3f  %.3f  %.3f  %.3f\n", sfa.tpr, sfa.fpr, sfa.ppv,
+              sfa.f1);
+  return 0;
+}

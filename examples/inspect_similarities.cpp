@@ -1,0 +1,64 @@
+// Diagnostic example: trains the pipeline on the full corpus, then dumps
+// every valid candidate pair of a chosen benchmark with its similarity,
+// acceptance decision, and ground-truth label. Useful for threshold
+// calibration and for understanding what the embeddings separate.
+//
+// Usage: inspect_similarities [benchmark-name] [epochs]
+//   benchmark-name: adc1..adc5 or a block name (OTA1, COMP3, ...);
+//                   default adc1.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "circuits/benchmark.h"
+#include "core/pipeline.h"
+#include "eval/ground_truth.h"
+#include "util/string_utils.h"
+
+using namespace ancstr;
+
+int main(int argc, char** argv) {
+  const std::string target = argc > 1 ? str::toLower(argv[1]) : "adc1";
+  const int epochs = argc > 2 ? std::atoi(argv[2]) : 60;
+
+  std::vector<circuits::CircuitBenchmark> corpus =
+      circuits::blockBenchmarks();
+  for (auto& adc : circuits::adcBenchmarks()) corpus.push_back(std::move(adc));
+
+  const circuits::CircuitBenchmark* bench = nullptr;
+  for (const auto& b : corpus) {
+    if (str::toLower(b.name) == target) bench = &b;
+  }
+  if (bench == nullptr) {
+    std::fprintf(stderr, "unknown benchmark '%s'\n", target.c_str());
+    return 1;
+  }
+
+  PipelineConfig config;
+  config.train.epochs = epochs;
+  Pipeline pipeline(config);
+  std::vector<const Library*> libs;
+  for (const auto& b : corpus) libs.push_back(&b.lib);
+  const TrainStats stats = pipeline.train(libs);
+  std::printf("trained %d epochs, final loss %.4f\n", epochs,
+              stats.finalLoss());
+
+  const ExtractionResult result = pipeline.extract(bench->lib);
+  const FlatDesign design = FlatDesign::elaborate(bench->lib);
+  std::printf("thresholds: system %.4f device %.4f\n",
+              result.detection.systemThreshold,
+              result.detection.deviceThreshold);
+  std::printf("%-7s %-9s %-40s %-9s %-4s %-5s\n", "level", "sim", "pair",
+              "hierarchy", "acc", "truth");
+  for (const ScoredCandidate& c : result.detection.scored) {
+    const bool truth = bench->truth.matches(design, c.pair);
+    const std::string pairName = c.pair.nameA + "/" + c.pair.nameB;
+    const std::string& hier = design.node(c.pair.hierarchy).path;
+    std::printf("%-7s %9.5f %-40s %-9s %-4s %-5s%s\n",
+                constraintLevelName(c.pair.level), c.similarity,
+                pairName.c_str(), hier.empty() ? "<top>" : hier.c_str(),
+                c.accepted ? "yes" : "no", truth ? "TRUE" : "-",
+                c.accepted != truth ? "   <-- mismatch" : "");
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Umbrella header: the library's public API in one include.
+//
+//   #include "ancstr.h"
+//
+// pulls in the netlist model + SPICE I/O, the end-to-end Pipeline, the
+// detector/embedding primitives, groups/arrays post-processing, constraint
+// file I/O, the evaluation utilities, and both baselines.
+#pragma once
+
+#include "baselines/ged.h"
+#include "baselines/s3det.h"
+#include "baselines/sfa.h"
+#include "core/arrays.h"
+#include "core/candidates.h"
+#include "core/constraint_check.h"
+#include "core/constraint_io.h"
+#include "core/detector.h"
+#include "core/embedding.h"
+#include "core/features.h"
+#include "core/graph_builder.h"
+#include "core/groups.h"
+#include "core/model.h"
+#include "core/model_io.h"
+#include "core/pipeline.h"
+#include "core/sampler.h"
+#include "core/trainer.h"
+#include "eval/ground_truth.h"
+#include "eval/metrics.h"
+#include "eval/roc.h"
+#include "netlist/builder.h"
+#include "netlist/flatten.h"
+#include "netlist/netlist.h"
+#include "netlist/spectre_parser.h"
+#include "netlist/spice_parser.h"
+#include "netlist/spice_writer.h"
+#include "place/pnr.h"
+#include "place/svg.h"

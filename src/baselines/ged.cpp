@@ -1,0 +1,120 @@
+#include "baselines/ged.h"
+
+#include <array>
+#include <cmath>
+
+#include "core/graph_builder.h"
+#include "graph/hungarian.h"
+#include "util/timer.h"
+
+namespace ancstr::ged {
+namespace {
+
+/// Per-device descriptor: type, sizing, and typed in-degrees.
+struct DeviceSignature {
+  DeviceType type = DeviceType::kUnknown;
+  double wEff = 0.0;
+  double l = 0.0;
+  double value = 0.0;
+  std::array<double, kNumEdgeTypes> degree{};
+};
+
+std::vector<DeviceSignature> signaturesOf(const FlatDesign& design,
+                                          HierNodeId node) {
+  const std::vector<FlatDeviceId> subtree = design.subtreeDevices(node);
+  const CircuitGraph graph = buildInducedHeteroGraph(design, subtree);
+  std::vector<DeviceSignature> out(subtree.size());
+  for (std::uint32_t v = 0; v < graph.numVertices(); ++v) {
+    const FlatDevice& dev = design.device(graph.vertexToDevice[v]);
+    DeviceSignature& sig = out[v];
+    sig.type = dev.type;
+    sig.wEff = dev.params.w * dev.params.nf * dev.params.m;
+    sig.l = dev.params.l;
+    sig.value = dev.params.value;
+    for (const std::uint32_t e : graph.graph.inEdges(v)) {
+      ++sig.degree[static_cast<std::size_t>(graph.graph.edges()[e].type)];
+    }
+  }
+  return out;
+}
+
+double ratioDistance(double a, double b) {
+  const double lo = std::min(a, b);
+  const double hi = std::max(a, b);
+  if (hi <= 0.0) return 0.0;
+  return lo <= 0.0 ? 1.0 : 1.0 - lo / hi;
+}
+
+double matchCost(const DeviceSignature& a, const DeviceSignature& b,
+                 const GedConfig& config) {
+  double cost = 0.0;
+  if (a.type != b.type) cost += config.typeMismatchCost;
+  cost += config.sizingWeight *
+          (ratioDistance(a.wEff, b.wEff) + ratioDistance(a.l, b.l) +
+           ratioDistance(a.value, b.value)) /
+          3.0;
+  double degreeGap = 0.0;
+  for (std::size_t t = 0; t < kNumEdgeTypes; ++t) {
+    degreeGap += std::fabs(a.degree[t] - b.degree[t]);
+  }
+  cost += config.degreeWeight * degreeGap;
+  return cost;
+}
+
+}  // namespace
+
+double subcircuitGedSimilarity(const FlatDesign& design, HierNodeId a,
+                               HierNodeId b, const GedConfig& config) {
+  const std::vector<DeviceSignature> sa = signaturesOf(design, a);
+  const std::vector<DeviceSignature> sb = signaturesOf(design, b);
+  const std::size_t n = std::max(sa.size(), sb.size());
+  if (n == 0) return 1.0;
+
+  // Square cost matrix; rows/columns beyond the real devices model
+  // insertion/deletion.
+  nn::Matrix cost(n, n, config.insertDeleteCost);
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    for (std::size_t j = 0; j < sb.size(); ++j) {
+      cost(i, j) = matchCost(sa[i], sb[j], config);
+    }
+  }
+  // Dummy-to-dummy pairings are free.
+  for (std::size_t i = sa.size(); i < n; ++i) {
+    for (std::size_t j = sb.size(); j < n; ++j) cost(i, j) = 0.0;
+  }
+  const AssignmentResult assignment = solveAssignment(cost);
+  // Worst case: every real device deleted and re-inserted.
+  const double worst =
+      config.insertDeleteCost * static_cast<double>(sa.size() + sb.size());
+  if (worst <= 0.0) return 1.0;
+  return std::max(0.0, 1.0 - assignment.cost / worst);
+}
+
+GedResult detectSystemConstraints(const FlatDesign& design, const Library& lib,
+                                  const GedConfig& config) {
+  GedResult result;
+  const Stopwatch watch;
+  const CandidateSet candidates = enumerateCandidates(design, lib);
+  for (const CandidatePair& pair : candidates.pairs) {
+    if (pair.level != ConstraintLevel::kSystem) continue;
+    ScoredCandidate scored;
+    scored.pair = pair;
+    if (pair.a.kind == ModuleKind::kBlock) {
+      scored.similarity =
+          subcircuitGedSimilarity(design, pair.a.id, pair.b.id, config);
+    } else {
+      // Passive device pair: a 1-vs-1 assignment degenerates to the
+      // match cost itself.
+      const FlatDevice& da = design.device(pair.a.id);
+      const FlatDevice& db = design.device(pair.b.id);
+      scored.similarity =
+          1.0 - std::min(1.0, ratioDistance(da.params.value, db.params.value));
+    }
+    scored.accepted = scored.similarity > config.threshold;
+    result.scored.push_back(std::move(scored));
+  }
+  result.seconds = watch.seconds();
+  return result;
+}
+
+}  // namespace ancstr::ged

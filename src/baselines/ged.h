@@ -1,0 +1,48 @@
+// GED baseline (Kunal et al., ICCAD 2020, paper reference [21] — Table I):
+// hierarchical symmetry annotation by estimating the graph edit distance
+// between candidate subcircuits.
+//
+// The original trains a supervised GNN to predict GED; since that needs
+// the labels the paper's method exists to avoid, we implement the
+// standard *bipartite GED approximation* it builds on: a Hungarian
+// assignment between the two subcircuits' devices with per-device costs
+// (type mismatch, sizing distance, typed-degree distance) plus
+// insertion/deletion costs for the size difference. Similarity is the
+// normalised complement of the assignment cost.
+#pragma once
+
+#include <vector>
+
+#include "core/detector.h"
+#include "netlist/flatten.h"
+
+namespace ancstr::ged {
+
+struct GedConfig {
+  /// Cost of inserting/deleting one device.
+  double insertDeleteCost = 1.0;
+  /// Cost of matching devices of different types.
+  double typeMismatchCost = 1.0;
+  /// Weight of the per-edge-type degree difference.
+  double degreeWeight = 0.1;
+  /// Weight of the sizing disagreement (1 - sizeSimilarity).
+  double sizingWeight = 0.5;
+  /// Accept when normalised similarity exceeds this.
+  double threshold = 0.90;
+};
+
+struct GedResult {
+  std::vector<ScoredCandidate> scored;  ///< system-level candidates
+  double seconds = 0.0;
+};
+
+/// Normalised GED similarity between two subcircuits in [0, 1]
+/// (1 = zero-cost assignment, i.e. structurally identical).
+double subcircuitGedSimilarity(const FlatDesign& design, HierNodeId a,
+                               HierNodeId b, const GedConfig& config = {});
+
+/// Runs the GED baseline over all system-level candidates.
+GedResult detectSystemConstraints(const FlatDesign& design, const Library& lib,
+                                  const GedConfig& config = {});
+
+}  // namespace ancstr::ged

@@ -1,0 +1,98 @@
+#include "baselines/s3det.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/graph_builder.h"
+#include "graph/eigen.h"
+#include "graph/laplacian.h"
+#include "util/stats.h"
+#include "util/timer.h"
+
+namespace ancstr::s3det {
+namespace {
+
+/// Similarity of two passive leaf devices: 1 when the values agree within
+/// tolerance (types already match by candidate validity), else a score
+/// that decays with the relative value gap.
+double passiveSimilarity(const FlatDevice& a, const FlatDevice& b,
+                         double tolerance) {
+  const double va = a.params.value;
+  const double vb = b.params.value;
+  const double denom = std::max(std::fabs(va), std::fabs(vb));
+  if (denom == 0.0) return 1.0;
+  const double rel = std::fabs(va - vb) / denom;
+  return rel <= tolerance ? 1.0 : std::max(0.0, 1.0 - rel);
+}
+
+}  // namespace
+
+std::vector<double> subcircuitSpectrum(const FlatDesign& design,
+                                       HierNodeId node,
+                                       const S3DetConfig& config) {
+  std::vector<FlatDeviceId> devices = design.subtreeDevices(node);
+  if (config.includeBoundaryContext) {
+    // Extend by the 1-hop device neighbourhood over non-rail nets, the
+    // flat-graph context the original algorithm sees.
+    std::vector<bool> inSet(design.devices().size(), false);
+    for (const FlatDeviceId d : devices) inSet[d] = true;
+    std::vector<FlatDeviceId> extended = devices;
+    for (const FlatDeviceId d : devices) {
+      for (const auto& [fn, net] : design.device(d).pins) {
+        const auto& terms = design.netTerminals()[net];
+        if (terms.size() > config.boundaryNetDegreeCap) continue;
+        for (const auto& [other, pin] : terms) {
+          if (!inSet[other]) {
+            inSet[other] = true;
+            extended.push_back(other);
+          }
+        }
+      }
+    }
+    std::sort(extended.begin(), extended.end());
+    devices = std::move(extended);
+  }
+  const CircuitGraph induced = buildInducedHeteroGraph(design, devices);
+  const SimpleDigraph simplified = induced.graph.simplified();
+  const nn::Matrix laplacian = config.useNormalizedLaplacian
+                                   ? normalizedLaplacian(simplified)
+                                   : combinatorialLaplacian(simplified);
+  std::vector<double> spectrum = symmetricEigenvalues(laplacian);
+  // Snap to a tolerance grid: the K-S step comparison must not distinguish
+  // eigensolver noise (e.g. -1e-16 vs +1e-15 for the zero mode).
+  for (double& v : spectrum) v = std::round(v * 1e7) / 1e7;
+  return spectrum;
+}
+
+S3DetResult detectSystemConstraints(const FlatDesign& design,
+                                    const Library& lib,
+                                    const S3DetConfig& config) {
+  S3DetResult result;
+  const Stopwatch watch;
+
+  const CandidateSet candidates = enumerateCandidates(design, lib);
+  for (const CandidatePair& pair : candidates.pairs) {
+    if (pair.level != ConstraintLevel::kSystem) continue;
+    ScoredCandidate scored;
+    scored.pair = pair;
+    if (pair.a.kind == ModuleKind::kBlock) {
+      // Deliberately unmemoised: the original tool recomputes the spectral
+      // statistics for every comparison (see header).
+      const std::vector<double> sa = subcircuitSpectrum(design, pair.a.id,
+                                                        config);
+      const std::vector<double> sb = subcircuitSpectrum(design, pair.b.id,
+                                                        config);
+      scored.similarity = 1.0 - ksStatistic(sa, sb);
+    } else {
+      scored.similarity =
+          passiveSimilarity(design.device(pair.a.id), design.device(pair.b.id),
+                            config.valueTolerance);
+    }
+    scored.accepted = scored.similarity > 1.0 - config.ksThreshold;
+    result.scored.push_back(std::move(scored));
+  }
+  result.seconds = watch.seconds();
+  return result;
+}
+
+}  // namespace ancstr::s3det

@@ -1,0 +1,56 @@
+// S3DET baseline (Liu et al., ASP-DAC 2020, paper reference [20]):
+// system-level symmetry detection through graph similarity.
+//
+// Reimplementation of the published algorithm: each candidate subcircuit
+// pair is compared by the spectra of their (normalised) graph Laplacians,
+// scored with a two-sample Kolmogorov-Smirnov statistic over the
+// eigenvalue distributions. Spectra are recomputed per comparison, which
+// mirrors the original implementation's per-pair statistical workload and
+// therefore its O(pairs * |V|^3) runtime profile (the Table V runtime gap).
+#pragma once
+
+#include <vector>
+
+#include "core/detector.h"
+#include "netlist/flatten.h"
+
+namespace ancstr::s3det {
+
+struct S3DetConfig {
+  /// Acceptance threshold on the K-S statistic: accept when ks < this.
+  /// Similarity is reported as 1 - ks, so lambda_th = 1 - ksThreshold.
+  double ksThreshold = 0.10;
+  /// Use the normalised Laplacian (degree-invariant) instead of L = D - A.
+  bool useNormalizedLaplacian = true;
+  /// Relative tolerance when comparing passive device values.
+  double valueTolerance = 0.02;
+  /// The original S3DET operates on the flat system graph, so a
+  /// subcircuit's spectrum includes its surrounding context. We model this
+  /// by extending each subtree with the devices one net away before the
+  /// eigendecomposition. This is what makes the original both sensitive to
+  /// instance context (missed SAR bit slices, Table V TPR) and expensive
+  /// (much larger matrices per comparison).
+  bool includeBoundaryContext = true;
+  /// Nets with more terminals than this are not followed when collecting
+  /// boundary context (rails would pull in the whole design).
+  std::size_t boundaryNetDegreeCap = 64;
+};
+
+struct S3DetResult {
+  /// Every system-level candidate with similarity = 1 - KS.
+  std::vector<ScoredCandidate> scored;
+  double seconds = 0.0;
+};
+
+/// Runs S3DET over all system-level candidates of the design.
+/// Device-level candidates are not scored (S3DET targets system symmetry).
+S3DetResult detectSystemConstraints(const FlatDesign& design,
+                                    const Library& lib,
+                                    const S3DetConfig& config = {});
+
+/// Spectrum of one subcircuit's simplified graph (exposed for tests).
+std::vector<double> subcircuitSpectrum(const FlatDesign& design,
+                                       HierNodeId node,
+                                       const S3DetConfig& config = {});
+
+}  // namespace ancstr::s3det

@@ -1,0 +1,193 @@
+#include "baselines/sfa.h"
+
+#include <cmath>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/timer.h"
+
+namespace ancstr::sfa {
+namespace {
+
+bool relClose(double a, double b, double tolerance) {
+  const double denom = std::max(std::fabs(a), std::fabs(b));
+  if (denom == 0.0) return true;
+  return std::fabs(a - b) / denom <= tolerance;
+}
+
+/// Net of the first pin with the given function, or kInvalidId.
+FlatNetId pinNet(const FlatDevice& dev, PinFunction fn) {
+  for (const auto& [function, net] : dev.pins) {
+    if (function == fn) return net;
+  }
+  return kInvalidId;
+}
+
+using DevicePairKey = std::pair<FlatDeviceId, FlatDeviceId>;
+
+DevicePairKey makeKey(FlatDeviceId a, FlatDeviceId b) {
+  return a < b ? DevicePairKey{a, b} : DevicePairKey{b, a};
+}
+
+class SfaEngine {
+ public:
+  SfaEngine(const FlatDesign& design, const SfaConfig& config)
+      : design_(design), config_(config) {}
+
+  /// Marks matched pairs among the leaf devices of one hierarchy node.
+  std::set<DevicePairKey> run(const std::vector<FlatDeviceId>& devices) {
+    matched_.clear();
+    seedMosPatterns(devices);
+    seedPassivePairs(devices);
+    propagateSignalFlow(devices);
+    return matched_;
+  }
+
+ private:
+  bool sameTypeAndSize(const FlatDevice& a, const FlatDevice& b) const {
+    return a.type == b.type && sizesMatch(a, b, config_.sizeTolerance);
+  }
+
+  void seedMosPatterns(const std::vector<FlatDeviceId>& devices) {
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+      const FlatDevice& a = design_.device(devices[i]);
+      if (!isMos(a.type)) continue;
+      const FlatNetId ga = pinNet(a, PinFunction::kGate);
+      const FlatNetId da = pinNet(a, PinFunction::kDrain);
+      const FlatNetId sa = pinNet(a, PinFunction::kSource);
+      for (std::size_t j = i + 1; j < devices.size(); ++j) {
+        const FlatDevice& b = design_.device(devices[j]);
+        if (!isMos(b.type) || !sameTypeAndSize(a, b)) continue;
+        const FlatNetId gb = pinNet(b, PinFunction::kGate);
+        const FlatNetId db = pinNet(b, PinFunction::kDrain);
+        const FlatNetId sb = pinNet(b, PinFunction::kSource);
+
+        const bool diffPair = sa == sb && ga != gb && da != db;
+        const bool crossCoupled = ga == db && gb == da;
+        const bool mirrorPair = ga == gb && sa == sb;
+        if (diffPair || crossCoupled || mirrorPair) {
+          matched_.insert(makeKey(devices[i], devices[j]));
+        }
+      }
+    }
+  }
+
+  void seedPassivePairs(const std::vector<FlatDeviceId>& devices) {
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+      const FlatDevice& a = design_.device(devices[i]);
+      if (!isPassive(a.type)) continue;
+      for (std::size_t j = i + 1; j < devices.size(); ++j) {
+        const FlatDevice& b = design_.device(devices[j]);
+        if (b.type != a.type) continue;
+        if (!relClose(a.params.value, b.params.value,
+                      config_.sizeTolerance)) {
+          continue;
+        }
+        if (shareNet(a, b)) matched_.insert(makeKey(devices[i], devices[j]));
+      }
+    }
+  }
+
+  static bool shareNet(const FlatDevice& a, const FlatDevice& b) {
+    for (const auto& [fa, na] : a.pins) {
+      for (const auto& [fb, nb] : b.pins) {
+        if (na == nb) return true;
+      }
+    }
+    return false;
+  }
+
+  void propagateSignalFlow(const std::vector<FlatDeviceId>& devices) {
+    // Index: net -> devices (within scope) whose gate sits on the net.
+    std::unordered_map<FlatNetId, std::vector<FlatDeviceId>> gateOnNet;
+    for (const FlatDeviceId id : devices) {
+      const FlatDevice& dev = design_.device(id);
+      if (!isMos(dev.type)) continue;
+      const FlatNetId g = pinNet(dev, PinFunction::kGate);
+      if (g != kInvalidId) gateOnNet[g].push_back(id);
+    }
+
+    for (int round = 0; round < config_.maxPropagationRounds; ++round) {
+      std::set<DevicePairKey> fresh;
+      for (const auto& [a, b] : matched_) {
+        const FlatDevice& da = design_.device(a);
+        const FlatDevice& db = design_.device(b);
+        if (!isMos(da.type) || !isMos(db.type)) continue;
+        const FlatNetId outA = pinNet(da, PinFunction::kDrain);
+        const FlatNetId outB = pinNet(db, PinFunction::kDrain);
+        if (outA == kInvalidId || outB == kInvalidId || outA == outB) {
+          continue;
+        }
+        // Devices gated from the two sides of a matched pair match too
+        // when type and sizing agree (signal-flow symmetry).
+        const auto itA = gateOnNet.find(outA);
+        const auto itB = gateOnNet.find(outB);
+        if (itA == gateOnNet.end() || itB == gateOnNet.end()) continue;
+        for (const FlatDeviceId ca : itA->second) {
+          for (const FlatDeviceId cb : itB->second) {
+            if (ca == cb) continue;
+            const DevicePairKey key = makeKey(ca, cb);
+            if (matched_.count(key) != 0) continue;
+            if (sameTypeAndSize(design_.device(ca), design_.device(cb))) {
+              fresh.insert(key);
+            }
+          }
+        }
+      }
+      if (fresh.empty()) break;
+      matched_.insert(fresh.begin(), fresh.end());
+    }
+  }
+
+  const FlatDesign& design_;
+  const SfaConfig& config_;
+  std::set<DevicePairKey> matched_;
+};
+
+}  // namespace
+
+bool sizesMatch(const FlatDevice& a, const FlatDevice& b, double tolerance) {
+  if (isMos(a.type) && isMos(b.type)) {
+    return relClose(a.params.w * a.params.nf * a.params.m,
+                    b.params.w * b.params.nf * b.params.m, tolerance) &&
+           relClose(a.params.l, b.params.l, tolerance);
+  }
+  return relClose(a.params.value, b.params.value, tolerance) &&
+         relClose(a.params.w, b.params.w, tolerance) &&
+         relClose(a.params.l, b.params.l, tolerance);
+}
+
+SfaResult detectDeviceConstraints(const FlatDesign& design, const Library& lib,
+                                  const SfaConfig& config) {
+  SfaResult result;
+  const Stopwatch watch;
+
+  // Matched sets are computed per hierarchy node over its direct devices,
+  // mirroring MAGICAL's per-building-block analysis.
+  std::unordered_map<HierNodeId, std::set<DevicePairKey>> matchedPerNode;
+  SfaEngine engine(design, config);
+  for (const HierNode& node : design.hierarchy()) {
+    if (!node.leafDevices.empty()) {
+      matchedPerNode.emplace(node.id, engine.run(node.leafDevices));
+    }
+  }
+
+  const CandidateSet candidates = enumerateCandidates(design, lib);
+  for (const CandidatePair& pair : candidates.pairs) {
+    if (pair.level != ConstraintLevel::kDevice) continue;
+    ScoredCandidate scored;
+    scored.pair = pair;
+    const auto it = matchedPerNode.find(pair.hierarchy);
+    const bool hit =
+        it != matchedPerNode.end() &&
+        it->second.count(makeKey(pair.a.id, pair.b.id)) != 0;
+    scored.similarity = hit ? 1.0 : 0.0;
+    scored.accepted = hit;
+    result.scored.push_back(std::move(scored));
+  }
+  result.seconds = watch.seconds();
+  return result;
+}
+
+}  // namespace ancstr::sfa

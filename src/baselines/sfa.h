@@ -1,0 +1,42 @@
+// SFA baseline (MAGICAL, Xu et al., ICCAD 2019, paper reference [6]):
+// device-level symmetry detection through heuristic structural pattern
+// matching plus signal-flow propagation.
+//
+// Seeds: differential pairs (shared source, split gates/drains),
+// cross-coupled pairs (gate-to-drain crossing), current-mirror / matched
+// load pairs (shared gate and source), and same-valued passives sharing a
+// net. Seed pairs then propagate along the signal flow: devices driven
+// from the two sides of a matched pair with equal type/size are matched
+// too. The heuristic is deliberately greedy - like the original it marks
+// every structurally plausible pair, trading false positives for recall
+// (the Table VI TPR/FPR profile).
+#pragma once
+
+#include <vector>
+
+#include "core/detector.h"
+#include "netlist/flatten.h"
+
+namespace ancstr::sfa {
+
+struct SfaConfig {
+  /// Relative tolerance for W/L/value matching.
+  double sizeTolerance = 0.01;
+  /// Maximum signal-flow propagation rounds.
+  int maxPropagationRounds = 8;
+};
+
+struct SfaResult {
+  /// Every device-level candidate, similarity in {0, 1}.
+  std::vector<ScoredCandidate> scored;
+  double seconds = 0.0;
+};
+
+/// True when the two devices' sizing parameters match within tolerance.
+bool sizesMatch(const FlatDevice& a, const FlatDevice& b, double tolerance);
+
+/// Runs SFA over all device-level candidates of the design.
+SfaResult detectDeviceConstraints(const FlatDesign& design, const Library& lib,
+                                  const SfaConfig& config = {});
+
+}  // namespace ancstr::sfa

@@ -1,0 +1,379 @@
+#include "circuits/adc_parts.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace ancstr::circuits {
+namespace {
+
+std::string idx(const std::string& stem, int i) {
+  return stem + std::to_string(i);
+}
+
+}  // namespace
+
+void buildInverter(PartsContext ctx, const std::string& name, double wn) {
+  NetlistBuilder& b = ctx.builder;
+  b.beginSubckt(name, {"in", "out", "vdd", "vss"});
+  b.pmos("mp", "out", "in", "vdd", "vdd", 2.0 * wn, 0.1e-6);
+  b.nmos("mn", "out", "in", "vss", "vss", wn, 0.1e-6);
+  b.endSubckt();
+}
+
+void buildClockGen(PartsContext ctx, const std::string& name) {
+  NetlistBuilder& b = ctx.builder;
+  TruthComposer& t = ctx.truth;
+  // Stage masters shared between the two branches, sized 1x/2x/4x
+  // (Fig. 2: identical topologies, different sizing — cross-stage pairs
+  // must NOT match while same-stage cross-branch pairs must).
+  const std::string inv1 = name + "_inv1x";
+  const std::string inv2 = name + "_inv2x";
+  const std::string inv4 = name + "_inv4x";
+  buildInverter(ctx, inv1, 0.5e-6);
+  buildInverter(ctx, inv2, 1.0e-6);
+  buildInverter(ctx, inv4, 2.0e-6);
+
+  b.beginSubckt(name, {"clkin", "clkoutp", "clkoutn", "vdd", "vss"});
+  // Two matched buffer branches from the common input.
+  b.inst("xa1", inv1, {"clkin", "a1", "vdd", "vss"});
+  b.inst("xa2", inv2, {"a1", "a2", "vdd", "vss"});
+  b.inst("xa3", inv4, {"a2", "clkoutp", "vdd", "vss"});
+  b.inst("xb1", inv1, {"clkin", "b1", "vdd", "vss"});
+  b.inst("xb2", inv2, {"b1", "b2", "vdd", "vss"});
+  b.inst("xb3", inv4, {"b2", "clkoutn", "vdd", "vss"});
+  // Load-balancing caps on the complementary outputs.
+  b.cap("cbal1", "clkoutp", "vss", 10e-15);
+  b.cap("cbal2", "clkoutn", "vss", 10e-15);
+  b.endSubckt();
+
+  t.child(name, "xa1", inv1);
+  t.child(name, "xa2", inv2);
+  t.child(name, "xa3", inv4);
+  t.child(name, "xb1", inv1);
+  t.child(name, "xb2", inv2);
+  t.child(name, "xb3", inv4);
+  t.systemPair(name, "xa1", "xb1");
+  t.systemPair(name, "xa2", "xb2");
+  t.systemPair(name, "xa3", "xb3");
+  t.systemPair(name, "cbal1", "cbal2");
+}
+
+void buildOtaFd(PartsContext ctx, const std::string& name, double scale) {
+  NetlistBuilder& b = ctx.builder;
+  TruthComposer& t = ctx.truth;
+  const double u = 1e-6 * scale;
+  b.beginSubckt(name,
+                {"vinp", "vinn", "voutp", "voutn", "ibias", "vdd", "vss"});
+  // Input differential pair and tail.
+  b.nmos("m1", "n1", "vinp", "ntail", "vss", 4 * u, 0.2e-6, 2,
+         DeviceType::kNchLvt);
+  b.nmos("m2", "n2", "vinn", "ntail", "vss", 4 * u, 0.2e-6, 2,
+         DeviceType::kNchLvt);
+  b.nmos("m3", "ntail", "vbn", "vss", "vss", 8 * u, 0.4e-6);
+  // Cascodes and loads.
+  b.nmos("m4", "voutn", "vbnc", "n1", "vss", 4 * u, 0.2e-6);
+  b.nmos("m5", "voutp", "vbnc", "n2", "vss", 4 * u, 0.2e-6);
+  b.pmos("m6", "voutn", "vbpc", "p1", "vdd", 8 * u, 0.2e-6);
+  b.pmos("m7", "voutp", "vbpc", "p2", "vdd", 8 * u, 0.2e-6);
+  b.pmos("m8", "p1", "vcmfb", "vdd", "vdd", 8 * u, 0.4e-6);
+  b.pmos("m9", "p2", "vcmfb", "vdd", "vdd", 8 * u, 0.4e-6);
+  // Bias generation.
+  b.nmos("m10", "vbn", "ibias", "vss", "vss", 2 * u, 0.4e-6);
+  b.nmos("m11", "ibias", "ibias", "vss", "vss", 2 * u, 0.4e-6);
+  b.pmos("m12", "vbnc", "vbnc", "vdd", "vdd", 2 * u, 0.4e-6);
+  b.nmos("m13", "vbnc", "vbn", "vss", "vss", 1 * u, 0.4e-6);
+  b.pmos("m14", "vbpc", "vbpc", "vdd", "vdd", 2 * u, 0.4e-6);
+  b.nmos("m15", "vbpc", "vbn", "vss", "vss", 1 * u, 0.4e-6);
+  // Resistive CMFB sense.
+  b.res("rc1", "voutp", "vcmsense", 20e3);
+  b.res("rc2", "voutn", "vcmsense", 20e3);
+  b.pmos("m16", "vcmfb", "vcmsense", "vdd", "vdd", 2 * u, 0.4e-6);
+  b.nmos("m17", "vcmfb", "vcmfb", "vss", "vss", 1 * u, 0.4e-6);
+  // Output loading.
+  b.cap("cl1", "voutp", "vss", 100e-15);
+  b.cap("cl2", "voutn", "vss", 100e-15);
+  b.endSubckt();
+
+  t.devicePair(name, "m1", "m2");
+  t.devicePair(name, "m4", "m5");
+  t.devicePair(name, "m6", "m7");
+  t.devicePair(name, "m8", "m9");
+  t.devicePair(name, "rc1", "rc2");
+  t.devicePair(name, "cl1", "cl2");
+}
+
+void buildDynComparator(PartsContext ctx, const std::string& name) {
+  NetlistBuilder& b = ctx.builder;
+  TruthComposer& t = ctx.truth;
+  b.beginSubckt(name, {"vinp", "vinn", "clk", "clkb", "voutp", "voutn",
+                       "vdd", "vss"});
+  b.nmos("m1", "x1", "vinp", "tail", "vss", 5e-6, 0.1e-6, 2,
+         DeviceType::kNchLvt);
+  b.nmos("m2", "x2", "vinn", "tail", "vss", 5e-6, 0.1e-6, 2,
+         DeviceType::kNchLvt);
+  b.nmos("m3", "y1", "x2", "x1", "vss", 3e-6, 0.1e-6);
+  b.nmos("m4", "y2", "x1", "x2", "vss", 3e-6, 0.1e-6);
+  b.pmos("m5", "y1", "y2", "vdd", "vdd", 4e-6, 0.1e-6);
+  b.pmos("m6", "y2", "y1", "vdd", "vdd", 4e-6, 0.1e-6);
+  b.nmos("m7", "tail", "clk", "vss", "vss", 10e-6, 0.1e-6);
+  b.pmos("m8", "x1", "clk", "vdd", "vdd", 2e-6, 0.1e-6);
+  b.pmos("m9", "x2", "clk", "vdd", "vdd", 2e-6, 0.1e-6);
+  b.pmos("m10", "y1", "clkb", "vdd", "vdd", 2e-6, 0.1e-6);
+  b.pmos("m11", "y2", "clkb", "vdd", "vdd", 2e-6, 0.1e-6);
+  // Keeper on the complementary clock balances the clk/clkb loading.
+  b.nmos("m16", "tail", "clkb", "vss", "vss", 1e-6, 0.1e-6,
+         1, DeviceType::kNchHvt);
+  // Output inverters.
+  b.pmos("m12", "voutp", "y1", "vdd", "vdd", 3e-6, 0.1e-6);
+  b.nmos("m13", "voutp", "y1", "vss", "vss", 1.5e-6, 0.1e-6);
+  b.pmos("m14", "voutn", "y2", "vdd", "vdd", 3e-6, 0.1e-6);
+  b.nmos("m15", "voutn", "y2", "vss", "vss", 1.5e-6, 0.1e-6);
+  b.cap("c1", "x1", "vss", 6e-15);
+  b.cap("c2", "x2", "vss", 6e-15);
+  b.endSubckt();
+
+  t.devicePair(name, "m1", "m2");
+  t.devicePair(name, "m3", "m4");
+  t.devicePair(name, "m5", "m6");
+  t.devicePair(name, "m8", "m9");
+  t.devicePair(name, "m10", "m11");
+  t.devicePair(name, "m12", "m14");
+  t.devicePair(name, "m13", "m15");
+  t.devicePair(name, "c1", "c2");
+}
+
+void buildCurrentDac(PartsContext ctx, const std::string& name, int bits,
+                     double unitW) {
+  ANCSTR_ASSERT(bits >= 1);
+  NetlistBuilder& b = ctx.builder;
+  TruthComposer& t = ctx.truth;
+  std::vector<std::string> ports;
+  for (int i = 0; i < bits; ++i) {
+    ports.push_back(idx("d", i));
+    ports.push_back(idx("db", i));
+  }
+  ports.insert(ports.end(), {"ioutp", "ioutn", "vbn", "vdd", "vss"});
+  b.beginSubckt(name, ports);
+  for (int i = 0; i < bits; ++i) {
+    const double w = unitW * std::pow(2.0, i);
+    const std::string src = idx("s", i);
+    b.nmos(idx("mcs", i), src, "vbn", "vss", "vss", w, 0.5e-6);
+    b.nmos(idx("mswp", i), "ioutp", idx("d", i), src, "vss", w / 2.0,
+           0.1e-6);
+    b.nmos(idx("mswn", i), "ioutn", idx("db", i), src, "vss", w / 2.0,
+           0.1e-6);
+    t.devicePair(name, idx("mswp", i), idx("mswn", i));
+  }
+  b.nmos("mbias", "vbn", "vbn", "vss", "vss", unitW, 0.5e-6);
+  b.cap("cfp", "ioutp", "vss", 20e-15);
+  b.cap("cfn", "ioutn", "vss", 20e-15);
+  t.devicePair(name, "cfp", "cfn");
+  b.endSubckt();
+}
+
+namespace {
+
+/// Shared body of the resistive-DAC variants: a 12-resistor string from
+/// vref to vss with two switch taps. The variants differ ONLY in one tap
+/// position — the paper's "nonidentical subcircuits with different
+/// interconnections" scenario: identical device multiset, overwhelmingly
+/// identical local structure, globally non-isomorphic graphs (so spectral
+/// comparison sees different circuits while device-content embedding
+/// similarity stays high).
+void buildResDacLadder(PartsContext ctx, const std::string& name,
+                       const std::string& tap1, const std::string& tap2) {
+  NetlistBuilder& b = ctx.builder;
+  TruthComposer& t = ctx.truth;
+  b.beginSubckt(name, {"d", "db", "iout", "vref", "vss"});
+  std::string prev = "vref";
+  for (int i = 1; i <= 11; ++i) {
+    b.res(idx("r", i), prev, idx("n", i), 4e3);
+    prev = idx("n", i);
+  }
+  b.res("r12", prev, "vss", 4e3);
+  b.nmos("msw1", "iout", "d", tap1, "vss", 2e-6, 0.1e-6);
+  b.nmos("msw2", "iout", "db", tap2, "vss", 2e-6, 0.1e-6);
+  b.cap("cf", "iout", "vss", 30e-15);
+  t.devicePair(name, "msw1", "msw2");
+  b.endSubckt();
+}
+
+}  // namespace
+
+void buildResDacVariantA(PartsContext ctx, const std::string& name) {
+  buildResDacLadder(ctx, name, "n4", "n8");
+}
+
+void buildResDacVariantB(PartsContext ctx, const std::string& name) {
+  buildResDacLadder(ctx, name, "n4", "n9");
+}
+
+void buildCapCell(PartsContext ctx, const std::string& name) {
+  NetlistBuilder& b = ctx.builder;
+  b.beginSubckt(name, {"top", "ctl", "ctlb", "vref", "vss"});
+  b.cap("cu", "top", "bot", 10e-15);
+  b.nmos("msr", "bot", "ctl", "vref", "vss", 1e-6, 0.1e-6);
+  b.nmos("msg", "bot", "ctlb", "vss", "vss", 1e-6, 0.1e-6);
+  b.endSubckt();
+}
+
+void buildCapDacArray(PartsContext ctx, const std::string& name,
+                      int binaryBits, int thermoCells,
+                      const std::string& cellMaster) {
+  NetlistBuilder& b = ctx.builder;
+  TruthComposer& t = ctx.truth;
+  std::vector<std::string> ports{"vtop", "vin", "vref", "rst"};
+  for (int i = 0; i < binaryBits; ++i) {
+    ports.push_back(idx("b", i));
+    ports.push_back(idx("bb", i));
+  }
+  for (int i = 0; i < thermoCells; ++i) {
+    ports.push_back(idx("t", i));
+    ports.push_back(idx("tb", i));
+  }
+  ports.push_back("vss");
+  b.beginSubckt(name, ports);
+
+  // Binary-weighted section: cap + differential switch pair per bit.
+  for (int i = 0; i < binaryBits; ++i) {
+    const double c = 10e-15 * std::pow(2.0, i);
+    const double w = 1e-6 * std::pow(2.0, i);
+    b.cap(idx("cb", i), "vtop", idx("nb", i), c);
+    b.nmos(idx("msr", i), idx("nb", i), idx("b", i), "vref", "vss", w,
+           0.1e-6);
+    b.nmos(idx("msg", i), idx("nb", i), idx("bb", i), "vss", "vss", w,
+           0.1e-6);
+    t.devicePair(name, idx("msr", i), idx("msg", i));
+  }
+  // Thermometer section: identical unit cells, all mutually matched.
+  for (int i = 0; i < thermoCells; ++i) {
+    b.inst(idx("xcell", i), cellMaster,
+           {"vtop", idx("t", i), idx("tb", i), "vref", "vss"});
+    t.child(name, idx("xcell", i), cellMaster);
+    for (int j = 0; j < i; ++j) {
+      t.systemPair(name, idx("xcell", j), idx("xcell", i));
+    }
+  }
+  // Sampling and reset.
+  b.nmos("msamp", "vtop", "rst", "vin", "vss", 4e-6, 0.1e-6);
+  b.cap("cdummy", "vtop", "vss", 10e-15);
+  b.endSubckt();
+}
+
+void buildDff(PartsContext ctx, const std::string& name) {
+  NetlistBuilder& b = ctx.builder;
+  TruthComposer& t = ctx.truth;
+  b.beginSubckt(name, {"d", "clk", "clkb", "q", "qb", "vdd", "vss"});
+  // Master: transmission gate + back-to-back inverters.
+  b.nmos("mtg1n", "d", "clk", "ma", "vss", 1e-6, 0.1e-6);
+  b.pmos("mtg1p", "d", "clkb", "ma", "vdd", 2e-6, 0.1e-6);
+  b.pmos("mi1p", "mb", "ma", "vdd", "vdd", 2e-6, 0.1e-6);
+  b.nmos("mi1n", "mb", "ma", "vss", "vss", 1e-6, 0.1e-6);
+  b.pmos("mi2p", "ma", "mb", "vdd", "vdd", 1e-6, 0.1e-6);
+  b.nmos("mi2n", "ma", "mb", "vss", "vss", 0.5e-6, 0.1e-6);
+  // Slave: transmission gate + output inverters.
+  b.nmos("mtg2n", "mb", "clkb", "sa", "vss", 1e-6, 0.1e-6);
+  b.pmos("mtg2p", "mb", "clk", "sa", "vdd", 2e-6, 0.1e-6);
+  b.pmos("mi3p", "q", "sa", "vdd", "vdd", 2e-6, 0.1e-6);
+  b.nmos("mi3n", "q", "sa", "vss", "vss", 1e-6, 0.1e-6);
+  b.pmos("mi4p", "qb", "q", "vdd", "vdd", 2e-6, 0.1e-6);
+  b.nmos("mi4n", "qb", "q", "vss", "vss", 1e-6, 0.1e-6);
+  b.pmos("mi5p", "sa", "qb", "vdd", "vdd", 1e-6, 0.1e-6);
+  b.nmos("mi5n", "sa", "qb", "vss", "vss", 0.5e-6, 0.1e-6);
+  b.endSubckt();
+  // Transmission-gate pairs of master/slave are matched.
+  t.devicePair(name, "mtg1n", "mtg2n");
+  t.devicePair(name, "mtg1p", "mtg2p");
+}
+
+void buildSarLogic(PartsContext ctx, const std::string& name, int bits,
+                   const std::string& dffMaster) {
+  NetlistBuilder& b = ctx.builder;
+  TruthComposer& t = ctx.truth;
+  std::vector<std::string> ports{"clk", "clkb", "cmp"};
+  for (int i = 0; i < bits; ++i) {
+    ports.push_back(idx("b", i));
+    ports.push_back(idx("bb", i));
+  }
+  ports.insert(ports.end(), {"vdd", "vss"});
+  b.beginSubckt(name, ports);
+  // Bit-slice flip-flops: the shift ring plus the code register. The
+  // registers are identical (and annotated as a matched row), but each
+  // slice carries its own clock-gating pull-down chain whose depth and
+  // fan-in depend on the bit position — the positional logic real SAR
+  // sequencers have. This breaks the chain's translation symmetry: slice
+  // surroundings are structurally distinct even though the registers
+  // match.
+  for (int i = 0; i < bits; ++i) {
+    const std::string din = i == 0 ? "cmp" : idx("b", i - 1);
+    b.inst(idx("xdff", i), dffMaster,
+           {din, "clk", "clkb", idx("b", i), idx("bb", i), "vdd", "vss"});
+    t.child(name, idx("xdff", i), dffMaster);
+    for (int j = 0; j < i; ++j) {
+      t.systemPair(name, idx("xdff", j), idx("xdff", i));
+    }
+    // Per-slice gating: gclk_i pulled down through a series chain of
+    // (i % 3) + 1 transistors gated by clk and earlier code bits.
+    const std::string gnode = idx("gclk", i);
+    b.pmos(idx("mgatep", i), gnode, "clkb", "vdd", "vdd", 1e-6, 0.1e-6);
+    const int depth = (i % 3) + 1;
+    std::string below = gnode;
+    for (int k = 0; k < depth; ++k) {
+      const std::string next =
+          k == depth - 1 ? "vss" : idx("gn" + std::to_string(i) + "_", k);
+      const std::string gate =
+          k == 0 ? "clk" : idx("b", (i + k) % std::max(1, i));
+      b.nmos(idx("mgaten" + std::to_string(i) + "_", k), below, gate, next,
+             "vss", 1e-6, 0.1e-6);
+      below = next;
+    }
+  }
+  // Glue: clock gating NAND and ready detector inverters.
+  b.pmos("mgp1", "gclk", "clk", "vdd", "vdd", 2e-6, 0.1e-6);
+  b.pmos("mgp2", "gclk", "cmp", "vdd", "vdd", 2e-6, 0.1e-6);
+  b.nmos("mgn1", "gclk", "clk", "gn1", "vss", 1e-6, 0.1e-6);
+  b.nmos("mgn2", "gn1", "cmp", "vss", "vss", 1e-6, 0.1e-6);
+  b.pmos("mrp", "rdy", "gclk", "vdd", "vdd", 1e-6, 0.1e-6);
+  b.nmos("mrn", "rdy", "gclk", "vss", "vss", 0.5e-6, 0.1e-6);
+  b.endSubckt();
+}
+
+void buildBootstrapSwitch(PartsContext ctx, const std::string& name) {
+  NetlistBuilder& b = ctx.builder;
+  b.beginSubckt(name, {"vin", "vout", "clk", "clkb", "vdd", "vss"});
+  b.nmos("msw", "vout", "boost", "vin", "vss", 8e-6, 0.1e-6, 4);
+  b.cap("cboot", "boost", "bootb", 200e-15);
+  b.nmos("mc1", "bootb", "clkb", "vss", "vss", 2e-6, 0.1e-6);
+  b.pmos("mc2", "bootb", "clkb", "vdd", "vdd", 4e-6, 0.1e-6);
+  b.nmos("mc3", "boost", "clk", "chg", "vss", 2e-6, 0.1e-6);
+  b.pmos("mc4", "chg", "clkb", "vdd", "vdd", 2e-6, 0.1e-6);
+  b.nmos("mg1", "boost", "clkb", "gnd1", "vss", 1e-6, 0.1e-6);
+  b.nmos("mg2", "gnd1", "clkb", "vss", "vss", 1e-6, 0.1e-6);
+  b.pmos("mp1", "boost", "bootb", "bstp", "vdd", 2e-6, 0.1e-6);
+  b.nmos("mn2", "bstp", "clk", "vin", "vss", 1e-6, 0.1e-6);
+  b.cap("cpar", "vout", "vss", 15e-15);
+  b.endSubckt();
+}
+
+void buildIntegrator(PartsContext ctx, const std::string& name,
+                     const std::string& otaMaster, double rOhms,
+                     double cFarads) {
+  NetlistBuilder& b = ctx.builder;
+  TruthComposer& t = ctx.truth;
+  b.beginSubckt(name,
+                {"vinp", "vinn", "voutp", "voutn", "ibias", "vdd", "vss"});
+  b.res("rinp", "vinp", "vxp", rOhms);
+  b.res("rinn", "vinn", "vxn", rOhms);
+  b.inst("xota", otaMaster,
+         {"vxp", "vxn", "voutn", "voutp", "ibias", "vdd", "vss"});
+  b.cap("cfbp", "vxp", "voutn", cFarads);
+  b.cap("cfbn", "vxn", "voutp", cFarads);
+  b.endSubckt();
+
+  t.child(name, "xota", otaMaster);
+  t.systemPair(name, "rinp", "rinn");
+  t.systemPair(name, "cfbp", "cfbn");
+}
+
+}  // namespace ancstr::circuits

@@ -1,0 +1,83 @@
+// Reusable subcircuit builders for the ADC benchmark generators.
+//
+// Every builder defines one master subckt through the NetlistBuilder and
+// registers that master's internal ground-truth constraints (and child
+// instances) with the TruthComposer, so assembled designs get a complete
+// designer-style constraint file by construction.
+#pragma once
+
+#include <string>
+
+#include "circuits/truth_composer.h"
+#include "netlist/builder.h"
+
+namespace ancstr::circuits {
+
+/// Shared state threaded through the part builders.
+struct PartsContext {
+  NetlistBuilder& builder;
+  TruthComposer& truth;
+};
+
+/// CMOS inverter, ports (in, out, vdd, vss). `wn` is the NMOS width in
+/// meters; the PMOS is 2x. Used by the clock tree of Fig. 2.
+void buildInverter(PartsContext ctx, const std::string& name, double wn);
+
+/// Clock generator in the style of Fig. 2: two matched branches of
+/// inverters with per-stage sizes 1x/2x/4x. Only same-stage cross-branch
+/// inverter pairs are true symmetry groups - equal topology with different
+/// sizing must NOT match. Ports (clkin, clkoutp, clkoutn, vdd, vss).
+void buildClockGen(PartsContext ctx, const std::string& name);
+
+/// Fully differential OTA (~22 devices), width-scaled by `scale`.
+/// Ports (vinp, vinn, voutp, voutn, ibias, vdd, vss).
+void buildOtaFd(PartsContext ctx, const std::string& name, double scale);
+
+/// Dynamic StrongARM-style comparator (~20 devices).
+/// Ports (vinp, vinn, clk, clkb, voutp, voutn, vdd, vss).
+void buildDynComparator(PartsContext ctx, const std::string& name);
+
+/// Binary current-steering DAC, `bits` bits, unit current source width
+/// `unitW`. Ports (d<k>, db<k> ... ioutp, ioutn, vbn, vdd, vss).
+void buildCurrentDac(PartsContext ctx, const std::string& name, int bits,
+                     double unitW);
+
+/// Resistive feedback DAC, two interconnect variants "a" and "b" with the
+/// same function but nonidentical topology (paper Section IV-D motivation:
+/// nonidentical subcircuits can still require symmetry matching).
+/// Ports (d, db, iout, vref, vss).
+void buildResDacVariantA(PartsContext ctx, const std::string& name);
+void buildResDacVariantB(PartsContext ctx, const std::string& name);
+
+/// One thermometer cap-DAC unit cell: unit cap + set/reset switches.
+/// Ports (top, ctl, ctlb, vref, vss).
+void buildCapCell(PartsContext ctx, const std::string& name);
+
+/// SAR capacitive DAC array: `binaryBits` binary-weighted caps with switch
+/// pairs plus `thermoCells` instances of `cellMaster` (all mutually
+/// matched). Ports (vtop, vin, vref, rst, b<k>/bb<k>..., t<k>/tb<k>...,
+/// vss).
+void buildCapDacArray(PartsContext ctx, const std::string& name,
+                      int binaryBits, int thermoCells,
+                      const std::string& cellMaster);
+
+/// Static CMOS D flip-flop (~18 devices). Ports (d, clk, clkb, q, qb,
+/// vdd, vss).
+void buildDff(PartsContext ctx, const std::string& name);
+
+/// SAR controller: `bits` DFF slices (mutually matched bit slices) plus
+/// glue gates. Ports (clk, clkb, cmp, b<k>/bb<k>..., vdd, vss).
+void buildSarLogic(PartsContext ctx, const std::string& name, int bits,
+                   const std::string& dffMaster);
+
+/// Bootstrapped sampling switch (~12 devices).
+/// Ports (vin, vout, clk, clkb, vdd, vss).
+void buildBootstrapSwitch(PartsContext ctx, const std::string& name);
+
+/// Active-RC integrator: OTA instance + matched input resistors + matched
+/// feedback capacitors. Ports (vinp, vinn, voutp, voutn, ibias, vdd, vss).
+void buildIntegrator(PartsContext ctx, const std::string& name,
+                     const std::string& otaMaster, double rOhms,
+                     double cFarads);
+
+}  // namespace ancstr::circuits

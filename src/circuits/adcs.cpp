@@ -1,0 +1,356 @@
+// The five ADC benchmark generators (substitute for the paper's Table III
+// taped-out designs; see DESIGN.md for the substitution rationale).
+//
+// Each architecture is assembled from the adc_parts masters with
+// per-stage sizing, so the corpus contains both true symmetry (p/n DAC
+// pairs, matched passives, unit-cell groups) and sizing traps (identical
+// topologies at different scales that must NOT match).
+#include "circuits/benchmark.h"
+
+#include "circuits/adc_parts.h"
+#include "circuits/truth_composer.h"
+#include "netlist/builder.h"
+
+namespace ancstr::circuits {
+namespace {
+
+std::string num(const std::string& stem, int i) {
+  return stem + std::to_string(i);
+}
+
+/// Shared front-end masters for the continuous-time delta-sigma designs:
+/// per-stage integrators (scaled OTAs) and per-stage current DACs.
+void buildCtdsmMasters(PartsContext ctx, int stages) {
+  for (int s = 1; s <= stages; ++s) {
+    const double scale = std::max(0.5, 2.0 / s);
+    buildOtaFd(ctx, num("ota_s", s), scale);
+    buildIntegrator(ctx, num("integ_s", s), num("ota_s", s), 50e3 * s,
+                    (400.0 / s) * 1e-15);
+    buildCurrentDac(ctx, num("idac_s", s), 3, 2e-6 / s);
+  }
+  buildDynComparator(ctx, "comp_q");
+  buildClockGen(ctx, "ckg");
+}
+
+/// Continuous-time delta-sigma modulator with `stages` integrators and a
+/// p/n current-DAC pair per feedback tap. When `resDacTap3` is set, the
+/// last tap uses the nonidentical resistive DAC variants A/B instead
+/// (the ADC3 configuration).
+CircuitBenchmark makeCtdsm(const std::string& name, int stages,
+                           bool resDacTap3) {
+  NetlistBuilder b;
+  TruthComposer t;
+  PartsContext ctx{b, t};
+  buildCtdsmMasters(ctx, stages);
+  if (resDacTap3) {
+    buildResDacVariantA(ctx, "rdac_a");
+    buildResDacVariantB(ctx, "rdac_b");
+  } else {
+    // Dedicated master for the excess-loop-delay tap: a third instance
+    // pair of a stage master would be indistinguishable from the stage
+    // DACs for any content-based method.
+    buildCurrentDac(ctx, "idac_eld", 3, 0.5e-6);
+  }
+
+  b.beginSubckt(name, {"vinp", "vinn", "clk", "doutp", "doutn", "vref",
+                       "ibias", "vdd", "vss"});
+  // Input network.
+  b.res("rinp", "vinp", "x1p", 30e3);
+  b.res("rinn", "vinn", "x1n", 30e3);
+  // Integrator chain.
+  for (int s = 1; s <= stages; ++s) {
+    const std::string inP = num("x", s) + "p";
+    const std::string inN = num("x", s) + "n";
+    const std::string outP = num("x", s + 1) + "p";
+    const std::string outN = num("x", s + 1) + "n";
+    b.inst(num("xint", s), num("integ_s", s),
+           {inP, inN, outP, outN, "ibias", "vdd", "vss"});
+    t.child(name, num("xint", s), num("integ_s", s));
+  }
+  const std::string lastP = num("x", stages + 1) + "p";
+  const std::string lastN = num("x", stages + 1) + "n";
+  // Quantizer.
+  b.inst("xquant", "comp_q",
+         {lastP, lastN, "clkq", "clkqb", "doutp", "doutn", "vdd", "vss"});
+  t.child(name, "xquant", "comp_q");
+  // Feedback DAC pairs into the first two stages. Each instance is a
+  // differential current DAC steering between the tap's p and n inputs;
+  // the p/n instances of a pair are cross-wired.
+  for (int tap = 1; tap <= std::min(stages, 2); ++tap) {
+    const std::string master = num("idac_s", tap);
+    const std::string xp = num("xdacp", tap);
+    const std::string xn = num("xdacn", tap);
+    std::vector<std::string> netsP, netsN;
+    for (int bit = 0; bit < 3; ++bit) {
+      netsP.push_back("doutp");
+      netsP.push_back("doutn");
+      netsN.push_back("doutn");
+      netsN.push_back("doutp");
+    }
+    const std::string tapP = num("x", tap) + "p";
+    const std::string tapN = num("x", tap) + "n";
+    netsP.insert(netsP.end(), {tapP, tapN, "vbdac", "vdd", "vss"});
+    netsN.insert(netsN.end(), {tapN, tapP, "vbdac", "vdd", "vss"});
+    b.inst(xp, master, netsP);
+    b.inst(xn, master, netsN);
+    t.child(name, xp, master);
+    t.child(name, xn, master);
+    t.systemPair(name, xp, xn);
+  }
+  // Excess-loop-delay / last-tap DAC pair.
+  if (resDacTap3) {
+    b.inst("xdacrp", "rdac_a", {"doutp", "doutn", lastP, "vref", "vss"});
+    b.inst("xdacrn", "rdac_b", {"doutn", "doutp", lastN, "vref", "vss"});
+    t.child(name, "xdacrp", "rdac_a");
+    t.child(name, "xdacrn", "rdac_b");
+    // Nonidentical-topology pair that still requires symmetry matching.
+    t.systemPair(name, "xdacrp", "xdacrn");
+  } else {
+    const std::string master = "idac_eld";
+    std::vector<std::string> netsP, netsN;
+    for (int bit = 0; bit < 3; ++bit) {
+      netsP.push_back("doutp");
+      netsP.push_back("doutn");
+      netsN.push_back("doutn");
+      netsN.push_back("doutp");
+    }
+    netsP.insert(netsP.end(), {lastP, lastN, "vbdac", "vdd", "vss"});
+    netsN.insert(netsN.end(), {lastN, lastP, "vbdac", "vdd", "vss"});
+    b.inst("xdacep", master, netsP);
+    b.inst("xdacen", master, netsN);
+    t.child(name, "xdacep", master);
+    t.child(name, "xdacen", master);
+    t.systemPair(name, "xdacep", "xdacen");
+  }
+  // Clocking.
+  b.inst("xclk", "ckg", {"clk", "clkq", "clkqb", "vdd", "vss"});
+  t.child(name, "xclk", "ckg");
+  // Reference decoupling (matched pair) and bias.
+  b.cap("cdecp", "vref", "vss", 500e-15, DeviceType::kCapMim);
+  b.cap("cdecn", "vref", "vss", 500e-15, DeviceType::kCapMim);
+  t.systemPair(name, "cdecp", "cdecn");
+  b.res("rbias", "ibias", "vdd", 20e3);
+  b.res("rbdac", "vbdac", "vss", 15e3);
+  t.systemPair(name, "rinp", "rinn");
+  b.endSubckt();
+
+  CircuitBenchmark bench;
+  bench.name = name;
+  bench.category = "ADC";
+  bench.lib = b.build(name);
+  bench.truth = GroundTruth(t.expand(name));
+  return bench;
+}
+
+/// SAR ADC: differential bootstrapped sampling, p/n capacitive DAC arrays
+/// with thermometer unit-cell groups, dynamic comparator, DFF-based SAR
+/// controller, clock tree.
+CircuitBenchmark makeSar(const std::string& name, int binaryBits,
+                         int thermoCells, int logicBits) {
+  NetlistBuilder b;
+  TruthComposer t;
+  PartsContext ctx{b, t};
+
+  buildCapCell(ctx, "cdac_cell");
+  buildCapDacArray(ctx, "cdac", binaryBits, thermoCells, "cdac_cell");
+  buildDynComparator(ctx, "comp_sar");
+  buildDff(ctx, "dff");
+  buildSarLogic(ctx, "sar_ctl", logicBits, "dff");
+  buildBootstrapSwitch(ctx, "bsw");
+  buildClockGen(ctx, "ckg");
+
+  b.beginSubckt(name, {"vinp", "vinn", "clk", "vref", "dout", "vdd", "vss"});
+  b.inst("xclk", "ckg", {"clk", "phi", "phib", "vdd", "vss"});
+  t.child(name, "xclk", "ckg");
+  b.inst("xswp", "bsw", {"vinp", "vsp", "phi", "phib", "vdd", "vss"});
+  b.inst("xswn", "bsw", {"vinn", "vsn", "phi", "phib", "vdd", "vss"});
+  t.child(name, "xswp", "bsw");
+  t.child(name, "xswn", "bsw");
+  t.systemPair(name, "xswp", "xswn");
+
+  auto arrayNets = [&](const std::string& vs, bool invert) {
+    std::vector<std::string> nets{invert ? "vtopn" : "vtopp", vs, "vref",
+                                  "phi"};
+    for (int i = 0; i < binaryBits; ++i) {
+      nets.push_back(num(invert ? "bb" : "b", i));
+      nets.push_back(num(invert ? "b" : "bb", i));
+    }
+    for (int i = 0; i < thermoCells; ++i) {
+      nets.push_back(num(invert ? "tbb" : "tb_", i));
+      nets.push_back(num(invert ? "tb_" : "tbb", i));
+    }
+    nets.push_back("vss");
+    return nets;
+  };
+  b.inst("xcdacp", "cdac", arrayNets("vsp", false));
+  b.inst("xcdacn", "cdac", arrayNets("vsn", true));
+  t.child(name, "xcdacp", "cdac");
+  t.child(name, "xcdacn", "cdac");
+  t.systemPair(name, "xcdacp", "xcdacn");
+
+  b.inst("xcomp", "comp_sar",
+         {"vtopp", "vtopn", "phi", "phib", "cmpp", "cmpn", "vdd", "vss"});
+  t.child(name, "xcomp", "comp_sar");
+
+  std::vector<std::string> ctlNets{"phi", "phib", "cmpp"};
+  for (int i = 0; i < logicBits; ++i) {
+    // Low bits drive the binary section, the rest drive thermometer rows.
+    if (i < binaryBits) {
+      ctlNets.push_back(num("b", i));
+      ctlNets.push_back(num("bb", i));
+    } else {
+      ctlNets.push_back(num("tb_", i - binaryBits));
+      ctlNets.push_back(num("tbb", i - binaryBits));
+    }
+  }
+  ctlNets.insert(ctlNets.end(), {"vdd", "vss"});
+  b.inst("xctl", "sar_ctl", ctlNets);
+  t.child(name, "xctl", "sar_ctl");
+
+  // Output retiming and reference decoupling.
+  b.inst("xdffo", "dff", {"cmpp", "phi", "phib", "dout", "doutb", "vdd",
+                          "vss"});
+  t.child(name, "xdffo", "dff");
+  b.cap("crefp", "vref", "vss", 1e-12, DeviceType::kCapMim);
+  b.cap("crefn", "vref", "vss", 1e-12, DeviceType::kCapMim);
+  t.systemPair(name, "crefp", "crefn");
+  b.res("rref", "vref", "vdd", 5e3);
+  b.endSubckt();
+
+  CircuitBenchmark bench;
+  bench.name = name;
+  bench.category = "ADC";
+  bench.lib = b.build(name);
+  bench.truth = GroundTruth(t.expand(name));
+  return bench;
+}
+
+/// Hybrid: 2nd-order CT delta-sigma loop whose quantizer is a small SAR.
+CircuitBenchmark makeHybrid(const std::string& name) {
+  NetlistBuilder b;
+  TruthComposer t;
+  PartsContext ctx{b, t};
+
+  // Front end masters.
+  buildCtdsmMasters(ctx, 2);
+  // SAR quantizer masters.
+  buildCapCell(ctx, "cdac_cell");
+  buildCapDacArray(ctx, "cdac", 5, 10, "cdac_cell");
+  buildDff(ctx, "dff");
+  buildSarLogic(ctx, "sar_ctl", 15, "dff");
+  buildBootstrapSwitch(ctx, "bsw");
+
+  // SAR quantizer wrapper master.
+  b.beginSubckt("sarq", {"vinp", "vinn", "clk", "vref", "dout", "vdd",
+                         "vss"});
+  b.inst("xclk", "ckg", {"clk", "phi", "phib", "vdd", "vss"});
+  b.inst("xswp", "bsw", {"vinp", "vsp", "phi", "phib", "vdd", "vss"});
+  b.inst("xswn", "bsw", {"vinn", "vsn", "phi", "phib", "vdd", "vss"});
+  auto arrayNets = [&](const std::string& vs, bool invert) {
+    std::vector<std::string> nets{invert ? "vtopn" : "vtopp", vs, "vref",
+                                  "phi"};
+    for (int i = 0; i < 5; ++i) {
+      nets.push_back(num(invert ? "bb" : "b", i));
+      nets.push_back(num(invert ? "b" : "bb", i));
+    }
+    for (int i = 0; i < 10; ++i) {
+      nets.push_back(num(invert ? "tbb" : "tb_", i));
+      nets.push_back(num(invert ? "tb_" : "tbb", i));
+    }
+    nets.push_back("vss");
+    return nets;
+  };
+  b.inst("xcdacp", "cdac", arrayNets("vsp", false));
+  b.inst("xcdacn", "cdac", arrayNets("vsn", true));
+  b.inst("xcomp", "comp_q",
+         {"vtopp", "vtopn", "phi", "phib", "cmpp", "cmpn", "vdd", "vss"});
+  std::vector<std::string> ctlNets{"phi", "phib", "cmpp"};
+  for (int i = 0; i < 15; ++i) {
+    if (i < 5) {
+      ctlNets.push_back(num("b", i));
+      ctlNets.push_back(num("bb", i));
+    } else {
+      ctlNets.push_back(num("tb_", i - 5));
+      ctlNets.push_back(num("tbb", i - 5));
+    }
+  }
+  ctlNets.insert(ctlNets.end(), {"vdd", "vss"});
+  b.inst("xctl", "sar_ctl", ctlNets);
+  b.inst("xdffo", "dff",
+         {"cmpp", "phi", "phib", "dout", "doutb", "vdd", "vss"});
+  b.endSubckt();
+  t.child("sarq", "xclk", "ckg");
+  t.child("sarq", "xswp", "bsw");
+  t.child("sarq", "xswn", "bsw");
+  t.child("sarq", "xcdacp", "cdac");
+  t.child("sarq", "xcdacn", "cdac");
+  t.child("sarq", "xcomp", "comp_q");
+  t.child("sarq", "xctl", "sar_ctl");
+  t.child("sarq", "xdffo", "dff");
+  t.systemPair("sarq", "xswp", "xswn");
+  t.systemPair("sarq", "xcdacp", "xcdacn");
+
+  // Top: delta-sigma loop around the SAR quantizer.
+  b.beginSubckt(name, {"vinp", "vinn", "clk", "dout", "vref", "ibias",
+                       "vdd", "vss"});
+  b.res("rinp", "vinp", "x1p", 30e3);
+  b.res("rinn", "vinn", "x1n", 30e3);
+  for (int s = 1; s <= 2; ++s) {
+    b.inst(num("xint", s), num("integ_s", s),
+           {num("x", s) + "p", num("x", s) + "n", num("x", s + 1) + "p",
+            num("x", s + 1) + "n", "ibias", "vdd", "vss"});
+    t.child(name, num("xint", s), num("integ_s", s));
+  }
+  b.inst("xsar", "sarq", {"x3p", "x3n", "clk", "vref", "dout", "vdd",
+                          "vss"});
+  t.child(name, "xsar", "sarq");
+  // Feedback DAC pairs.
+  for (int tap = 1; tap <= 2; ++tap) {
+    const std::string master = num("idac_s", tap);
+    std::vector<std::string> netsP, netsN;
+    for (int bit = 0; bit < 3; ++bit) {
+      netsP.push_back("dout");
+      netsP.push_back("doutb");
+      netsN.push_back("doutb");
+      netsN.push_back("dout");
+    }
+    netsP.insert(netsP.end(), {num("x", tap) + "p", num("x", tap) + "n",
+                               "vbdac", "vdd", "vss"});
+    netsN.insert(netsN.end(), {num("x", tap) + "n", num("x", tap) + "p",
+                               "vbdac", "vdd", "vss"});
+    b.inst(num("xdacp", tap), master, netsP);
+    b.inst(num("xdacn", tap), master, netsN);
+    t.child(name, num("xdacp", tap), master);
+    t.child(name, num("xdacn", tap), master);
+    t.systemPair(name, num("xdacp", tap), num("xdacn", tap));
+  }
+  b.res("rfbb", "dout", "doutb", 10e3);
+  b.cap("cdecp", "vref", "vss", 500e-15, DeviceType::kCapMim);
+  b.cap("cdecn", "vref", "vss", 500e-15, DeviceType::kCapMim);
+  t.systemPair(name, "cdecp", "cdecn");
+  b.res("rbias", "ibias", "vdd", 20e3);
+  b.res("rbdac", "vbdac", "vss", 15e3);
+  t.systemPair(name, "rinp", "rinn");
+  b.endSubckt();
+
+  CircuitBenchmark bench;
+  bench.name = name;
+  bench.category = "ADC";
+  bench.lib = b.build(name);
+  bench.truth = GroundTruth(t.expand(name));
+  return bench;
+}
+
+}  // namespace
+
+std::vector<CircuitBenchmark> adcBenchmarks() {
+  std::vector<CircuitBenchmark> out;
+  out.push_back(makeCtdsm("adc1", 2, /*resDacTap3=*/false));
+  out.push_back(makeCtdsm("adc2", 3, /*resDacTap3=*/false));
+  out.push_back(makeCtdsm("adc3", 3, /*resDacTap3=*/true));
+  out.push_back(makeSar("adc4", 6, 12, 18));
+  out.push_back(makeHybrid("adc5"));
+  return out;
+}
+
+}  // namespace ancstr::circuits

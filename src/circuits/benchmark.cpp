@@ -1,0 +1,30 @@
+#include "circuits/benchmark.h"
+
+#include "core/candidates.h"
+#include "netlist/flatten.h"
+#include "util/error.h"
+
+namespace ancstr::circuits {
+
+CircuitBenchmark adcBenchmark(int index) {
+  auto all = adcBenchmarks();
+  if (index < 1 || static_cast<std::size_t>(index) > all.size()) {
+    throw Error("adcBenchmark: index out of range");
+  }
+  return std::move(all[static_cast<std::size_t>(index - 1)]);
+}
+
+BenchmarkStats computeStats(const CircuitBenchmark& bench) {
+  BenchmarkStats stats;
+  const FlatDesign design = FlatDesign::elaborate(bench.lib);
+  stats.devices = design.devices().size();
+  stats.nets = design.nets().size();
+  const CandidateSet candidates = enumerateCandidates(design, bench.lib);
+  stats.validPairs = candidates.pairs.size();
+  stats.systemPairs = candidates.count(ConstraintLevel::kSystem);
+  stats.devicePairs = candidates.count(ConstraintLevel::kDevice);
+  stats.truthConstraints = bench.truth.size();
+  return stats;
+}
+
+}  // namespace ancstr::circuits

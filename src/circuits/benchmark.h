@@ -1,0 +1,51 @@
+// Benchmark corpus: the substitute for the paper's proprietary taped-out
+// ADCs (Table III) and the ALIGN/MAGICAL block-level circuits (Table IV).
+//
+// Every benchmark carries its netlist plus designer-style ground-truth
+// symmetry constraints emitted by construction, so evaluation never needs
+// external label files.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "eval/ground_truth.h"
+#include "netlist/netlist.h"
+
+namespace ancstr::circuits {
+
+/// A netlist with its ground-truth constraints.
+struct CircuitBenchmark {
+  std::string name;
+  std::string category;  ///< "OTA", "COMP", "DAC", "LATCH", "ADC"
+  Library lib;
+  GroundTruth truth;
+};
+
+/// The 15 block-level circuits of Table IV (6 OTA, 6 COMP, 2 DAC, 1 LATCH).
+std::vector<CircuitBenchmark> blockBenchmarks();
+
+/// The five ADC architectures of Table III:
+///   ADC1  2nd-order CT delta-sigma
+///   ADC2  3rd-order CT delta-sigma
+///   ADC3  3rd-order CT delta-sigma (alternate DAC style)
+///   ADC4  SAR
+///   ADC5  hybrid CT delta-sigma + SAR
+std::vector<CircuitBenchmark> adcBenchmarks();
+
+/// One ADC by 1-based index (1..5).
+CircuitBenchmark adcBenchmark(int index);
+
+/// Per-benchmark statistics used by the dataset tables.
+struct BenchmarkStats {
+  std::size_t devices = 0;
+  std::size_t nets = 0;
+  std::size_t validPairs = 0;
+  std::size_t systemPairs = 0;
+  std::size_t devicePairs = 0;
+  std::size_t truthConstraints = 0;
+};
+
+BenchmarkStats computeStats(const CircuitBenchmark& bench);
+
+}  // namespace ancstr::circuits

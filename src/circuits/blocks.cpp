@@ -1,0 +1,621 @@
+// The block-level benchmark corpus (paper Table IV): 6 OTAs, 6
+// comparators, 2 DACs, and 1 latch. These are standard public topologies
+// of the kind shipped with ALIGN / MAGICAL, written as SPICE text (so the
+// corpus also continuously exercises the parser) with designer-style
+// ground-truth symmetry annotations.
+//
+// Each circuit deliberately contains both true matched pairs (differential
+// pairs, mirrored loads, cross-coupled regeneration, matched passives) and
+// near-miss bait (same device type and size but asymmetric roles) so that
+// detectors face realistic true-negative candidates.
+#include "circuits/benchmark.h"
+
+#include "netlist/spice_parser.h"
+
+namespace ancstr::circuits {
+namespace {
+
+CircuitBenchmark makeBlock(
+    const std::string& name, const std::string& category, const char* spice,
+    std::initializer_list<std::pair<const char*, const char*>> devicePairs) {
+  CircuitBenchmark bench;
+  bench.name = name;
+  bench.category = category;
+  bench.lib = parseSpice(spice, name + ".sp");
+  std::vector<GroundTruthEntry> entries;
+  for (const auto& [a, b] : devicePairs) {
+    entries.push_back({"", a, b, ConstraintLevel::kDevice});
+  }
+  bench.truth = GroundTruth(std::move(entries));
+  return bench;
+}
+
+// ---------------------------------------------------------------- OTA1
+// Telescopic cascode OTA, differential in/out. 12 devices.
+constexpr const char* kOta1 = R"(
+* OTA1: telescopic cascode
+.subckt ota1 vinp vinn voutp voutn vbn vbnc vbpc ibias vdd vss
+m1 n1 vinp ntail vss nch_lvt w=4u l=0.2u nf=2
+m2 n2 vinn ntail vss nch_lvt w=4u l=0.2u nf=2
+m3 voutn vbnc n1 vss nch w=4u l=0.2u
+m4 voutp vbnc n2 vss nch w=4u l=0.2u
+m5 voutn vbpc p1 vdd pch w=8u l=0.2u
+m6 voutp vbpc p2 vdd pch w=8u l=0.2u
+m7 p1 vbpc vdd vdd pch w=8u l=0.4u
+m8 p2 vbpc vdd vdd pch w=8u l=0.4u
+m9 ntail vbn vss vss nch w=8u l=0.4u
+m10 ibias ibias vss vss nch w=2u l=0.4u
+r1 ibias vbn 5k rppoly
+c1 voutp voutn 50f cfmom layers=4
+.ends ota1
+)";
+
+// ---------------------------------------------------------------- OTA2
+// Two-stage Miller OTA, single-ended. 20 devices. Bait: m11/m12 output
+// buffer shares type+size with the mirror load but is not symmetric.
+constexpr const char* kOta2 = R"(
+* OTA2: two-stage Miller
+.subckt ota2 vinp vinn vout ibias vdd vss
+m1 n1 vinp ntail vss nch w=2u l=0.3u nf=2
+m2 n2 vinn ntail vss nch w=2u l=0.3u nf=2
+m3 n1 n1 vdd vdd pch w=4u l=0.3u
+m4 n2 n1 vdd vdd pch w=4u l=0.3u
+m5 ntail vbn vss vss nch w=4u l=0.5u
+m6 vout n2 vdd vdd pch w=16u l=0.3u
+m7 vout vbn vss vss nch w=8u l=0.5u
+m8 vbn vbn vss vss nch w=1u l=0.5u
+m9 ibn ibn vdd vdd pch w=2u l=0.5u
+m10 vbn ibn vdd vdd pch w=2u l=0.5u
+m11 vbuf vout vdd vdd pch w=4u l=0.3u
+m12 vbuf vbn vss vss nch w=2u l=0.5u
+m13 ibn ibias vss vss nch w=1u l=0.5u
+m14 ibias ibias vss vss nch w=1u l=0.5u
+r1 vout nz 2k rppoly
+c1 nz n2 200f cfmom layers=4
+r2 vbuf nload 1k rppoly
+c2 nload vss 100f cfmom layers=4
+c3 vout vss 150f mimcap
+r3 ibias vdd 10k rppoly
+.ends ota2
+)";
+
+// ---------------------------------------------------------------- OTA3
+// Current-mirror OTA. 12 devices.
+constexpr const char* kOta3 = R"(
+* OTA3: current-mirror OTA
+.subckt ota3 vinp vinn vout ibias vdd vss
+m1 n1 vinp ntail vss nch_lvt w=3u l=0.2u
+m2 n2 vinn ntail vss nch_lvt w=3u l=0.2u
+m3 n1 n1 vdd vdd pch w=3u l=0.3u
+m4 n2 n2 vdd vdd pch w=3u l=0.3u
+m5 nmir n1 vdd vdd pch w=9u l=0.3u
+m6 vout n2 vdd vdd pch w=9u l=0.3u
+m7 nmir nmir vss vss nch w=3u l=0.3u
+m8 vout nmir vss vss nch w=3u l=0.3u
+m9 ntail vbn vss vss nch w=6u l=0.4u
+m10 vbn ibias vss vss nch w=1.5u l=0.4u
+r1 ibias vbn 8k rppoly
+c1 vout vss 100f cfmom layers=4
+.ends ota3
+)";
+
+// ---------------------------------------------------------------- OTA4
+// Fully differential folded-cascode OTA with switched-capacitor CMFB.
+// 36 devices.
+constexpr const char* kOta4 = R"(
+* OTA4: folded cascode + SC-CMFB
+.subckt ota4 vinp vinn voutp voutn vcm phi1 phi2 ibias vdd vss
+m1 nf1 vinp ntail vdd pch_lvt w=8u l=0.2u nf=4
+m2 nf2 vinn ntail vdd pch_lvt w=8u l=0.2u nf=4
+m3 ntail vbp vdd vdd pch w=16u l=0.4u
+m4 nf1 vbn2 vss vss nch w=6u l=0.4u
+m5 nf2 vbn2 vss vss nch w=6u l=0.4u
+m6 voutn vbnc nf1 vss nch w=6u l=0.2u
+m7 voutp vbnc nf2 vss nch w=6u l=0.2u
+m8 voutn vbpc pc1 vdd pch w=12u l=0.2u
+m9 voutp vbpc pc2 vdd pch w=12u l=0.2u
+m10 pc1 vcmfb vdd vdd pch w=12u l=0.4u
+m11 pc2 vcmfb vdd vdd pch w=12u l=0.4u
+m12 vbp ibias vdd vdd pch w=4u l=0.4u
+m13 ibias ibias vss vss nch w=2u l=0.4u
+m14 vbn2 vbp vdd vdd pch w=4u l=0.4u
+m15 vbn2 vbn2 vss vss nch w=2u l=0.4u
+m16 vbnc vbp vdd vdd pch w=4u l=0.4u
+m17 vbnc vbnc vss vss nch w=2u l=0.4u
+m18 vbpc vbpc vdd vdd pch w=4u l=0.4u
+m19 vbpc vbn2 vss vss nch w=2u l=0.4u
+m20 scp1 phi1 voutp vss nch w=1u l=0.1u
+m21 scn1 phi1 voutn vss nch w=1u l=0.1u
+m22 scp1 phi2 vcm vss nch w=1u l=0.1u
+m23 scn1 phi2 vcm vss nch w=1u l=0.1u
+m24 vcmfb phi1 scmid vss nch w=1u l=0.1u
+m25 scmid phi2 vcm vss nch w=1u l=0.1u
+c1 scp1 vcmfb 100f cfmom layers=4
+c2 scn1 vcmfb 100f cfmom layers=4
+c3 voutp vss 200f cfmom layers=5
+c4 voutn vss 200f cfmom layers=5
+c5 scmid vcmfb 50f cfmom layers=4
+r1 vcm rmid 4k rppoly
+r2 rmid vss 4k rppoly
+m26 nf1 phi2 nf2 vss nch_hvt w=0.5u l=0.1u
+c6 vcm vss 80f mimcap
+r3 ibias vdd 12k rppoly
+.ends ota4
+)";
+
+// ---------------------------------------------------------------- OTA5
+// Two-stage fully differential OTA with Miller compensation and resistive
+// CMFB. 38 devices.
+constexpr const char* kOta5 = R"(
+* OTA5: two-stage fully differential
+.subckt ota5 vinp vinn voutp voutn vcmref ibias vdd vss
+m1 n1 vinp ntail vss nch_lvt w=5u l=0.25u nf=2
+m2 n2 vinn ntail vss nch_lvt w=5u l=0.25u nf=2
+m3 n1 vbp vdd vdd pch w=10u l=0.4u
+m4 n2 vbp vdd vdd pch w=10u l=0.4u
+m5 ntail vbn vss vss nch w=10u l=0.5u
+m6 voutp n1 vdd vdd pch w=20u l=0.25u nf=4
+m7 voutn n2 vdd vdd pch w=20u l=0.25u nf=4
+m8 voutp vbn2 vss vss nch w=10u l=0.5u
+m9 voutn vbn2 vss vss nch w=10u l=0.5u
+m10 vbn ibias vss vss nch w=2u l=0.5u
+m11 ibias ibias vss vss nch w=2u l=0.5u
+m12 vbp vbp vdd vdd pch w=5u l=0.4u
+m13 vbp vbn vss vss nch w=2.5u l=0.5u
+m14 vbn2 vbn2 vss vss nch w=2u l=0.5u
+m15 vbn2 vbp vdd vdd pch w=2.5u l=0.4u
+rz1 voutp nz1 1.5k rppoly
+cc1 nz1 n1 300f cfmom layers=4
+rz2 voutn nz2 1.5k rppoly
+cc2 nz2 n2 300f cfmom layers=4
+rcm1 voutp vcmsense 20k rppoly
+rcm2 voutn vcmsense 20k rppoly
+m16 e1 vcmsense etail vss nch w=2u l=0.25u
+m17 e2 vcmref etail vss nch w=2u l=0.25u
+m18 e1 e1 vdd vdd pch w=3u l=0.4u
+m19 e2 e1 vdd vdd pch w=3u l=0.4u
+m20 etail vbn vss vss nch w=4u l=0.5u
+m21 vbn2cm e2 vdd vdd pch w=3u l=0.4u
+m22 vbn2cm vbn2cm vss vss nch w=1.5u l=0.5u
+c1 voutp vss 250f cfmom layers=5
+c2 voutn vss 250f cfmom layers=5
+c3 vcmsense vss 40f mimcap
+c4 e2 vss 30f mimcap
+m23 voutp startb vdd vdd pch_hvt w=1u l=0.2u
+m24 startb ibias vss vss nch_hvt w=1u l=0.3u
+r1 ibias vdd 15k rppoly
+r2 startb vdd 30k rppoly
+.ends ota5
+)";
+
+// ---------------------------------------------------------------- OTA6
+// Simple 5T OTA with class-A output stage. 15 devices.
+constexpr const char* kOta6 = R"(
+* OTA6: 5T + output stage
+.subckt ota6 vinp vinn vout ibias vdd vss
+m1 n1 vinp ntail vss nch w=2.5u l=0.25u
+m2 n2 vinn ntail vss nch w=2.5u l=0.25u
+m3 n1 n1 vdd vdd pch w=5u l=0.35u
+m4 n2 n1 vdd vdd pch w=5u l=0.35u
+m5 ntail vbn vss vss nch w=5u l=0.5u
+m6 vout n2 vdd vdd pch w=12u l=0.35u
+m7 vout vbn vss vss nch w=6u l=0.5u
+m8 vbn ibias vss vss nch w=1.2u l=0.5u
+m9 ibias ibias vss vss nch w=1.2u l=0.5u
+m10 ncasc vbn2 n1cas vss nch w=1u l=0.3u
+m11 vbn2 vbn2 vss vss nch w=1u l=0.5u
+m12 n1cas vbn vss vss nch w=1u l=0.5u
+r1 nz vout 1k rppoly
+c1 n2 nz 150f cfmom layers=4
+c2 vout vss 120f cfmom layers=4
+.ends ota6
+)";
+
+// ---------------------------------------------------------------- COMP1
+// Preamp + latch + SR output comparator. 47 devices.
+constexpr const char* kComp1 = R"(
+* COMP1: preamp + regenerative latch + SR latch
+.subckt comp1 vinp vinn clk clkb voutp voutn vbn ibias vdd vss
+* preamp
+m1 a1 vinp ptail vss nch_lvt w=4u l=0.15u nf=2
+m2 a2 vinn ptail vss nch_lvt w=4u l=0.15u nf=2
+m3 a1 vbld vdd vdd pch w=4u l=0.2u
+m4 a2 vbld vdd vdd pch w=4u l=0.2u
+m5 ptail vbn vss vss nch w=8u l=0.3u
+m6 vbld vbld vdd vdd pch w=2u l=0.3u
+m7 vbld vbn vss vss nch w=1u l=0.3u
+* latch stage
+m8 l1 a1 ltail vss nch w=3u l=0.1u
+m9 l2 a2 ltail vss nch w=3u l=0.1u
+m10 l1 l2 vss vss nch w=2u l=0.1u
+m11 l2 l1 vss vss nch w=2u l=0.1u
+m12 l1 l2 vdd vdd pch w=4u l=0.1u
+m13 l2 l1 vdd vdd pch w=4u l=0.1u
+m14 ltail clk vss vss nch w=6u l=0.1u
+m15 l1 clkb vdd vdd pch w=2u l=0.1u
+m16 l2 clkb vdd vdd pch w=2u l=0.1u
+* SR latch (cross-coupled NANDs)
+m17 sq l1 vdd vdd pch w=2u l=0.1u
+m18 sq sqb vdd vdd pch w=2u l=0.1u
+m19 sq l1 si1 vss nch w=2u l=0.1u
+m20 si1 sqb vss vss nch w=2u l=0.1u
+m21 sqb l2 vdd vdd pch w=2u l=0.1u
+m22 sqb sq vdd vdd pch w=2u l=0.1u
+m23 sqb l2 si2 vss nch w=2u l=0.1u
+m24 si2 sq vss vss nch w=2u l=0.1u
+* output inverters x2 per side
+m25 ob1 sq vdd vdd pch w=3u l=0.1u
+m26 ob1 sq vss vss nch w=1.5u l=0.1u
+m27 voutp ob1 vdd vdd pch w=6u l=0.1u
+m28 voutp ob1 vss vss nch w=3u l=0.1u
+m29 ob2 sqb vdd vdd pch w=3u l=0.1u
+m30 ob2 sqb vss vss nch w=1.5u l=0.1u
+m31 voutn ob2 vdd vdd pch w=6u l=0.1u
+m32 voutn ob2 vss vss nch w=3u l=0.1u
+* clock buffers
+m33 clki clk vdd vdd pch w=2u l=0.1u
+m34 clki clk vss vss nch w=1u l=0.1u
+m35 clkib clki vdd vdd pch w=4u l=0.1u
+m36 clkib clki vss vss nch w=2u l=0.1u
+* bias
+m37 vbn ibias vss vss nch w=1u l=0.3u
+m38 ibias ibias vss vss nch w=1u l=0.3u
+m39 a1 clkb vdd vdd pch_hvt w=1u l=0.1u
+m40 a2 clkb vdd vdd pch_hvt w=1u l=0.1u
+r1 ibias vdd 10k rppoly
+c1 a1 vss 20f cfmom layers=3
+c2 a2 vss 20f cfmom layers=3
+c3 voutp vss 10f cfmom layers=3
+c4 voutn vss 10f cfmom layers=3
+r2 vinp cmp 30k rppoly
+r3 vinn cmn 30k rppoly
+.ends comp1
+)";
+
+// ---------------------------------------------------------------- COMP2
+// Minimal dynamic comparator core. 8 devices.
+constexpr const char* kComp2 = R"(
+* COMP2: dynamic comparator core
+.subckt comp2 vinp vinn clk voutp voutn vdd vss
+m1 voutn vinp ctail vss nch w=3u l=0.1u
+m2 voutp vinn ctail vss nch w=3u l=0.1u
+m3 voutn voutp vss vss nch w=2u l=0.1u
+m4 voutp voutn vss vss nch w=2u l=0.1u
+m5 voutn voutp vdd vdd pch w=4u l=0.1u
+m6 voutp voutn vdd vdd pch w=4u l=0.1u
+m7 ctail clk vss vss nch w=6u l=0.1u
+m8 ctail clk vdd vdd pch w=1u l=0.1u
+.ends comp2
+)";
+
+// ---------------------------------------------------------------- COMP3
+// Double-tail comparator. 34 devices.
+constexpr const char* kComp3 = R"(
+* COMP3: double-tail dynamic comparator
+.subckt comp3 vinp vinn clk clkb voutp voutn vdd vss
+* first stage
+m1 d1 vinp t1 vss nch_lvt w=4u l=0.1u nf=2
+m2 d2 vinn t1 vss nch_lvt w=4u l=0.1u nf=2
+m3 t1 clk vss vss nch w=8u l=0.1u
+m4 d1 clk vdd vdd pch w=3u l=0.1u
+m5 d2 clk vdd vdd pch w=3u l=0.1u
+* intermediate
+m6 g1 d1 vdd vdd pch w=2u l=0.1u
+m7 g2 d2 vdd vdd pch w=2u l=0.1u
+* second stage latch
+m8 voutn g1 t2 vss nch w=3u l=0.1u
+m9 voutp g2 t2 vss nch w=3u l=0.1u
+m10 t2 clkb vss vss nch w=6u l=0.1u
+m11 voutn voutp vss vss nch w=2u l=0.1u
+m12 voutp voutn vss vss nch w=2u l=0.1u
+m13 voutn voutp vdd vdd pch w=4u l=0.1u
+m14 voutp voutn vdd vdd pch w=4u l=0.1u
+m15 voutn clkb vdd vdd pch w=1.5u l=0.1u
+m16 voutp clkb vdd vdd pch w=1.5u l=0.1u
+* output buffers
+m17 ob1 voutp vdd vdd pch w=3u l=0.1u
+m18 ob1 voutp vss vss nch w=1.5u l=0.1u
+m19 ob2 voutn vdd vdd pch w=3u l=0.1u
+m20 ob2 voutn vss vss nch w=1.5u l=0.1u
+* clock generation inverters
+m21 clkint clk vdd vdd pch w=2u l=0.1u
+m22 clkint clk vss vss nch w=1u l=0.1u
+m23 clkb2 clkint vdd vdd pch w=4u l=0.1u
+m24 clkb2 clkint vss vss nch w=2u l=0.1u
+* input sampling network
+m25 vinp phis sinp vss nch w=1u l=0.1u
+m26 vinn phis sinn vss nch w=1u l=0.1u
+c1 sinp vss 40f cfmom layers=4
+c2 sinn vss 40f cfmom layers=4
+c3 g1 vss 8f cfmom layers=3
+c4 g2 vss 8f cfmom layers=3
+r1 vinp esd1 200 rppoly
+r2 vinn esd2 200 rppoly
+m27 d1 clkb d2 vss nch_hvt w=0.5u l=0.1u
+m28 phis clk vss vss nch w=1u l=0.1u
+.ends comp3
+)";
+
+// ---------------------------------------------------------------- COMP4
+// StrongARM latch comparator. 22 devices.
+constexpr const char* kComp4 = R"(
+* COMP4: StrongARM latch
+.subckt comp4 vinp vinn clk voutp voutn vdd vss
+m1 x1 vinp tail vss nch_lvt w=5u l=0.1u nf=2
+m2 x2 vinn tail vss nch_lvt w=5u l=0.1u nf=2
+m3 y1 x2 x1 vss nch w=3u l=0.1u
+m4 y2 x1 x2 vss nch w=3u l=0.1u
+m5 y1 y2 vdd vdd pch w=4u l=0.1u
+m6 y2 y1 vdd vdd pch w=4u l=0.1u
+m7 tail clk vss vss nch w=10u l=0.1u
+m8 x1 clk vdd vdd pch w=2u l=0.1u
+m9 x2 clk vdd vdd pch w=2u l=0.1u
+m10 y1 clk vdd vdd pch w=2u l=0.1u
+m11 y2 clk vdd vdd pch w=2u l=0.1u
+m12 voutp y1 vdd vdd pch w=3u l=0.1u
+m13 voutp y1 vss vss nch w=1.5u l=0.1u
+m14 voutn y2 vdd vdd pch w=3u l=0.1u
+m15 voutn y2 vss vss nch w=1.5u l=0.1u
+m16 clkd clk vdd vdd pch w=1u l=0.1u
+m17 clkd clk vss vss nch w=0.5u l=0.1u
+c1 x1 vss 6f cfmom layers=3
+c2 x2 vss 6f cfmom layers=3
+c3 voutp vss 8f mimcap
+r1 clkd clkload 500 rppoly
+m18 tail clkd vss vss nch_hvt w=1u l=0.1u
+.ends comp4
+)";
+
+// ---------------------------------------------------------------- COMP5
+// Dynamic comparator with neutralisation caps. 17 devices.
+constexpr const char* kComp5 = R"(
+* COMP5: dynamic comparator, neutralised
+.subckt comp5 vinp vinn clk voutp voutn vdd vss
+m1 q1 vinp tail vss nch w=4u l=0.12u
+m2 q2 vinn tail vss nch w=4u l=0.12u
+m3 q1 q2 vss vss nch w=2u l=0.12u
+m4 q2 q1 vss vss nch w=2u l=0.12u
+m5 q1 q2 vdd vdd pch w=4u l=0.12u
+m6 q2 q1 vdd vdd pch w=4u l=0.12u
+m7 tail clk vss vss nch w=8u l=0.12u
+m8 q1 clk vdd vdd pch w=2u l=0.12u
+m9 q2 clk vdd vdd pch w=2u l=0.12u
+c1 q1 vinn 4f cfmom layers=3
+c2 q2 vinp 4f cfmom layers=3
+m10 voutp q1 vdd vdd pch w=3u l=0.12u
+m11 voutp q1 vss vss nch w=1.5u l=0.12u
+m12 voutn q2 vdd vdd pch w=3u l=0.12u
+m13 voutn q2 vss vss nch w=1.5u l=0.12u
+c3 voutp voutn 6f cfmom layers=3
+m14 tail en vss vss nch_hvt w=1u l=0.2u
+.ends comp5
+)";
+
+// ---------------------------------------------------------------- COMP6
+// Clocked comparator with input offset-cancel switches. 17 devices.
+constexpr const char* kComp6 = R"(
+* COMP6: comparator with offset-cancel switches
+.subckt comp6 vinp vinn clk phi voutp voutn vdd vss
+m1 r1 vinp tail vss nch_lvt w=3.5u l=0.15u
+m2 r2 vinn tail vss nch_lvt w=3.5u l=0.15u
+m3 r1 r2 vss vss nch w=1.8u l=0.15u
+m4 r2 r1 vss vss nch w=1.8u l=0.15u
+m5 r1 r2 vdd vdd pch w=3.6u l=0.15u
+m6 r2 r1 vdd vdd pch w=3.6u l=0.15u
+m7 tail clk vss vss nch w=7u l=0.15u
+m8 r1 clk vdd vdd pch w=1.8u l=0.15u
+m9 r2 clk vdd vdd pch w=1.8u l=0.15u
+m10 vinp phi ofc1 vss nch w=1u l=0.15u
+m11 vinn phi ofc2 vss nch w=1u l=0.15u
+c1 ofc1 vss 25f cfmom layers=4
+c2 ofc2 vss 25f cfmom layers=4
+m12 voutp r1 vdd vdd pch w=2.5u l=0.15u
+m13 voutp r1 vss vss nch w=1.2u l=0.15u
+m14 voutn r2 vdd vdd pch w=2.5u l=0.15u
+m15 voutn r2 vss vss nch w=1.2u l=0.15u
+.ends comp6
+)";
+
+// ---------------------------------------------------------------- DAC1
+// 3-bit binary current-steering DAC. 10 devices. Switch pairs within a
+// bit are matched; widths scale 1x/2x/4x across bits so cross-bit pairs
+// are honest true negatives.
+constexpr const char* kDac1 = R"(
+* DAC1: 3-bit current steering
+.subckt dac1 b0 b0b b1 b1b b2 b2b ioutp ioutn vbn vdd vss
+mcs0 s0 vbn vss vss nch w=2u l=0.5u
+msw0p ioutp b0 s0 vss nch w=1u l=0.1u
+msw0n ioutn b0b s0 vss nch w=1u l=0.1u
+mcs1 s1 vbn vss vss nch w=4u l=0.5u
+msw1p ioutp b1 s1 vss nch w=2u l=0.1u
+msw1n ioutn b1b s1 vss nch w=2u l=0.1u
+mcs2 s2 vbn vss vss nch w=8u l=0.5u
+msw2p ioutp b2 s2 vss nch w=4u l=0.1u
+msw2n ioutn b2b s2 vss nch w=4u l=0.1u
+mbias vbn vbn vss vss nch w=2u l=0.5u
+.ends dac1
+)";
+
+// ---------------------------------------------------------------- DAC2
+// 3-bit capacitive DAC slice with reset switches. 12 devices.
+constexpr const char* kDac2 = R"(
+* DAC2: capacitive DAC slice
+.subckt dac2 d0 d1 d2 vtop vref vss rst
+c0 vtop n0 20f cfmom layers=4
+c1 vtop n1 40f cfmom layers=4
+c2 vtop n2 80f cfmom layers=4
+cd vtop vss 20f cfmom layers=4
+m0r n0 d0 vref vss nch w=1u l=0.1u
+m0g n0 rst vss vss nch w=1u l=0.1u
+m1r n1 d1 vref vss nch w=2u l=0.1u
+m1g n1 rst vss vss nch w=2u l=0.1u
+m2r n2 d2 vref vss nch w=4u l=0.1u
+m2g n2 rst vss vss nch w=4u l=0.1u
+mtop vtop rst vss vss nch w=2u l=0.1u
+cp vtop vss 5f mimcap
+.ends dac2
+)";
+
+// ---------------------------------------------------------------- LATCH1
+// CML master-slave latch. 24 devices.
+constexpr const char* kLatch1 = R"(
+* LATCH1: CML master-slave latch
+.subckt latch1 dinp dinn clk clkb qoutp qoutn vbn vdd vss
+* master: track pair
+m1 mq1 dinp mt1 vss nch w=3u l=0.12u
+m2 mq2 dinn mt1 vss nch w=3u l=0.12u
+* master: regeneration pair
+m3 mq1 mq2 mt2 vss nch w=2u l=0.12u
+m4 mq2 mq1 mt2 vss nch w=2u l=0.12u
+* master: clock steering
+m5 mt1 clk mtail vss nch w=4u l=0.12u
+m6 mt2 clkb mtail vss nch w=4u l=0.12u
+m7 mtail vbn vss vss nch w=8u l=0.3u
+r1 mq1 vdd 3k rppoly
+r2 mq2 vdd 3k rppoly
+* slave: track pair
+m8 qoutp mq2 st1 vss nch w=3u l=0.12u
+m9 qoutn mq1 st1 vss nch w=3u l=0.12u
+* slave: regeneration pair
+m10 qoutp qoutn st2 vss nch w=2u l=0.12u
+m11 qoutn qoutp st2 vss nch w=2u l=0.12u
+* slave: clock steering
+m12 st1 clkb stail vss nch w=4u l=0.12u
+m13 st2 clk stail vss nch w=4u l=0.12u
+m14 stail vbn vss vss nch w=8u l=0.3u
+r3 qoutp vdd 3k rppoly
+r4 qoutn vdd 3k rppoly
+* bias
+m15 vbn vbn vss vss nch w=2u l=0.3u
+c1 qoutp vss 12f cfmom layers=3
+c2 qoutn vss 12f cfmom layers=3
+c3 vbn vss 30f mimcap
+.ends latch1
+)";
+
+}  // namespace
+
+std::vector<CircuitBenchmark> blockBenchmarks() {
+  std::vector<CircuitBenchmark> out;
+
+  out.push_back(makeBlock("OTA1", "OTA", kOta1,
+                          {{"m1", "m2"},
+                           {"m3", "m4"},
+                           {"m5", "m6"},
+                           {"m7", "m8"}}));
+  out.push_back(makeBlock("OTA2", "OTA", kOta2,
+                          {{"m1", "m2"}, {"m3", "m4"}}));
+  out.push_back(makeBlock("OTA3", "OTA", kOta3,
+                          {{"m1", "m2"},
+                           {"m3", "m4"},
+                           {"m5", "m6"},
+                           {"m7", "m8"}}));
+  out.push_back(makeBlock("OTA4", "OTA", kOta4,
+                          {{"m1", "m2"},
+                           {"m4", "m5"},
+                           {"m6", "m7"},
+                           {"m8", "m9"},
+                           {"m10", "m11"},
+                           {"m20", "m21"},
+                           {"m22", "m23"},
+                           {"c1", "c2"},
+                           {"c3", "c4"},
+                           {"r1", "r2"}}));
+  out.push_back(makeBlock("OTA5", "OTA", kOta5,
+                          {{"m1", "m2"},
+                           {"m3", "m4"},
+                           {"m6", "m7"},
+                           {"m8", "m9"},
+                           {"m16", "m17"},
+                           {"m18", "m19"},
+                           {"rz1", "rz2"},
+                           {"cc1", "cc2"},
+                           {"rcm1", "rcm2"},
+                           {"c1", "c2"}}));
+  out.push_back(makeBlock("OTA6", "OTA", kOta6,
+                          {{"m1", "m2"}, {"m3", "m4"}}));
+
+  out.push_back(makeBlock("COMP1", "COMP", kComp1,
+                          {{"m1", "m2"},
+                           {"m3", "m4"},
+                           {"m8", "m9"},
+                           {"m10", "m11"},
+                           {"m12", "m13"},
+                           {"m15", "m16"},
+                           {"m17", "m21"},
+                           {"m18", "m22"},
+                           {"m19", "m23"},
+                           {"m20", "m24"},
+                           {"m25", "m29"},
+                           {"m26", "m30"},
+                           {"m27", "m31"},
+                           {"m28", "m32"},
+                           {"m39", "m40"},
+                           {"c1", "c2"},
+                           {"c3", "c4"},
+                           {"r2", "r3"}}));
+  out.push_back(makeBlock("COMP2", "COMP", kComp2,
+                          {{"m1", "m2"}, {"m3", "m4"}, {"m5", "m6"}}));
+  out.push_back(makeBlock("COMP3", "COMP", kComp3,
+                          {{"m1", "m2"},
+                           {"m4", "m5"},
+                           {"m6", "m7"},
+                           {"m8", "m9"},
+                           {"m11", "m12"},
+                           {"m13", "m14"},
+                           {"m15", "m16"},
+                           {"m17", "m19"},
+                           {"m18", "m20"},
+                           {"m25", "m26"},
+                           {"c1", "c2"},
+                           {"c3", "c4"},
+                           {"r1", "r2"}}));
+  out.push_back(makeBlock("COMP4", "COMP", kComp4,
+                          {{"m1", "m2"},
+                           {"m3", "m4"},
+                           {"m5", "m6"},
+                           {"m8", "m9"},
+                           {"m10", "m11"},
+                           {"m12", "m14"},
+                           {"m13", "m15"},
+                           {"c1", "c2"}}));
+  out.push_back(makeBlock("COMP5", "COMP", kComp5,
+                          {{"m1", "m2"},
+                           {"m3", "m4"},
+                           {"m5", "m6"},
+                           {"m8", "m9"},
+                           {"m10", "m12"},
+                           {"m11", "m13"},
+                           {"c1", "c2"}}));
+  out.push_back(makeBlock("COMP6", "COMP", kComp6,
+                          {{"m1", "m2"},
+                           {"m3", "m4"},
+                           {"m5", "m6"},
+                           {"m8", "m9"},
+                           {"m10", "m11"},
+                           {"m12", "m14"},
+                           {"m13", "m15"},
+                           {"c1", "c2"}}));
+
+  out.push_back(makeBlock("DAC1", "DAC", kDac1,
+                          {{"msw0p", "msw0n"},
+                           {"msw1p", "msw1n"},
+                           {"msw2p", "msw2n"}}));
+  out.push_back(makeBlock("DAC2", "DAC", kDac2,
+                          {{"m0r", "m0g"}, {"m1r", "m1g"}, {"m2r", "m2g"}}));
+
+  out.push_back(makeBlock("LATCH1", "LATCH", kLatch1,
+                          {{"m1", "m2"},
+                           {"m3", "m4"},
+                           {"m5", "m6"},
+                           {"m8", "m9"},
+                           {"m10", "m11"},
+                           {"m12", "m13"},
+                           {"r1", "r2"},
+                           {"r3", "r4"},
+                           {"c1", "c2"},
+                           {"m7", "m14"}}));
+  return out;
+}
+
+}  // namespace ancstr::circuits

@@ -1,0 +1,83 @@
+#include "circuits/synthetic.h"
+
+#include "circuits/adc_parts.h"
+#include "circuits/truth_composer.h"
+#include "netlist/builder.h"
+
+namespace ancstr::circuits {
+namespace {
+
+std::string num(const std::string& stem, int i) {
+  return stem + std::to_string(i);
+}
+
+}  // namespace
+
+CircuitBenchmark makeDiffChain(int stages) {
+  NetlistBuilder b;
+  std::vector<GroundTruthEntry> truth;
+  const std::string name = "diffchain" + std::to_string(stages);
+  b.beginSubckt(name, {"vinp", "vinn", "voutp", "voutn", "vbn", "vdd",
+                       "vss"});
+  for (int s = 0; s < stages; ++s) {
+    const std::string inP = s == 0 ? "vinp" : num("n", s - 1) + "p";
+    const std::string inN = s == 0 ? "vinn" : num("n", s - 1) + "n";
+    const std::string outP =
+        s == stages - 1 ? "voutp" : num("n", s) + "p";
+    const std::string outN =
+        s == stages - 1 ? "voutn" : num("n", s) + "n";
+    const std::string tail = num("t", s);
+    b.nmos(num("m1_", s), outN, inP, tail, "vss", 2e-6, 0.2e-6);
+    b.nmos(num("m2_", s), outP, inN, tail, "vss", 2e-6, 0.2e-6);
+    b.pmos(num("m3_", s), outN, "vbn", "vdd", "vdd", 4e-6, 0.3e-6);
+    b.pmos(num("m4_", s), outP, "vbn", "vdd", "vdd", 4e-6, 0.3e-6);
+    b.nmos(num("m5_", s), tail, "vbn", "vss", "vss", 4e-6, 0.4e-6);
+    b.cap(num("c1_", s), outP, "vss", 20e-15);
+    b.cap(num("c2_", s), outN, "vss", 20e-15);
+    b.res(num("r1_", s), outP, "vdd", 10e3);
+    b.res(num("r2_", s), outN, "vdd", 10e3);
+    truth.push_back({"", num("m1_", s), num("m2_", s),
+                     ConstraintLevel::kDevice});
+    truth.push_back({"", num("m3_", s), num("m4_", s),
+                     ConstraintLevel::kDevice});
+    truth.push_back({"", num("c1_", s), num("c2_", s),
+                     ConstraintLevel::kDevice});
+    truth.push_back({"", num("r1_", s), num("r2_", s),
+                     ConstraintLevel::kDevice});
+  }
+  b.endSubckt();
+
+  CircuitBenchmark bench;
+  bench.name = name;
+  bench.category = "SYNTH";
+  bench.lib = b.build(name);
+  bench.truth = GroundTruth(std::move(truth));
+  return bench;
+}
+
+CircuitBenchmark makeBlockArray(int blocks) {
+  NetlistBuilder b;
+  TruthComposer t;
+  PartsContext ctx{b, t};
+  const std::string name = "blockarray" + std::to_string(blocks);
+  buildOtaFd(ctx, "ota_cell", 1.0);
+
+  b.beginSubckt(name, {"vin", "ibias", "vdd", "vss"});
+  for (int i = 0; i < blocks; ++i) {
+    b.inst(num("xota", i), "ota_cell",
+           {"vin", num("mid", i) + "a", num("mid", i) + "b",
+            num("out", i), "ibias", "vdd", "vss"});
+    t.child(name, num("xota", i), "ota_cell");
+    if (i % 2 == 1) t.systemPair(name, num("xota", i - 1), num("xota", i));
+  }
+  b.endSubckt();
+
+  CircuitBenchmark bench;
+  bench.name = name;
+  bench.category = "SYNTH";
+  bench.lib = b.build(name);
+  bench.truth = GroundTruth(t.expand(name));
+  return bench;
+}
+
+}  // namespace ancstr::circuits

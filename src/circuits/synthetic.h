@@ -1,0 +1,20 @@
+// Synthetic scalable circuits for runtime-scaling benchmarks (the
+// perf_scaling harness) and stress tests.
+#pragma once
+
+#include "circuits/benchmark.h"
+
+namespace ancstr::circuits {
+
+/// A chain of `stages` fully differential gain stages (diff pair + loads +
+/// tail + output caps), ~9 devices per stage, all in one flat subckt.
+/// Every stage contributes matched pairs to the ground truth, so detection
+/// quality can also be measured at scale.
+CircuitBenchmark makeDiffChain(int stages);
+
+/// A hierarchical tree: `blocks` instances of a small OTA under one top,
+/// where consecutive even/odd instance pairs are matched. Exercises
+/// system-level detection cost as block count grows.
+CircuitBenchmark makeBlockArray(int blocks);
+
+}  // namespace ancstr::circuits

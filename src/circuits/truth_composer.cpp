@@ -1,0 +1,51 @@
+#include "circuits/truth_composer.h"
+
+#include "util/string_utils.h"
+
+namespace ancstr::circuits {
+
+void TruthComposer::devicePair(const std::string& master, std::string a,
+                               std::string b) {
+  pairs_[str::toLower(master)].push_back(
+      {std::move(a), std::move(b), ConstraintLevel::kDevice});
+}
+
+void TruthComposer::systemPair(const std::string& master, std::string a,
+                               std::string b) {
+  pairs_[str::toLower(master)].push_back(
+      {std::move(a), std::move(b), ConstraintLevel::kSystem});
+}
+
+void TruthComposer::child(const std::string& parent, std::string instName,
+                          std::string childMaster) {
+  children_[str::toLower(parent)].push_back(
+      {str::toLower(instName), str::toLower(childMaster)});
+}
+
+void TruthComposer::expandInto(const std::string& master,
+                               const std::string& prefix,
+                               std::vector<GroundTruthEntry>& out) const {
+  if (const auto it = pairs_.find(master); it != pairs_.end()) {
+    // The hierarchy path of constraints *inside* this master is the prefix
+    // without its trailing '/'.
+    const std::string hierPath =
+        prefix.empty() ? "" : prefix.substr(0, prefix.size() - 1);
+    for (const LocalPair& p : it->second) {
+      out.push_back({hierPath, p.a, p.b, p.level});
+    }
+  }
+  if (const auto it = children_.find(master); it != children_.end()) {
+    for (const ChildInst& c : it->second) {
+      expandInto(c.master, prefix + c.instName + "/", out);
+    }
+  }
+}
+
+std::vector<GroundTruthEntry> TruthComposer::expand(
+    const std::string& top) const {
+  std::vector<GroundTruthEntry> out;
+  expandInto(str::toLower(top), "", out);
+  return out;
+}
+
+}  // namespace ancstr::circuits

@@ -1,0 +1,51 @@
+// Hierarchical ground-truth composition.
+//
+// Reusable subcircuit builders annotate constraints relative to their own
+// master ("m1"/"m2" inside "ota_fc"); when masters are instantiated, the
+// composer expands those annotations into absolute hierarchy paths,
+// mirroring how a designer's constraint file follows the instance tree.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "eval/ground_truth.h"
+
+namespace ancstr::circuits {
+
+class TruthComposer {
+ public:
+  /// Annotates a device-level matched pair inside `master`.
+  void devicePair(const std::string& master, std::string a, std::string b);
+
+  /// Annotates a system-level matched pair inside `master` (instance
+  /// names of blocks, or names of passive devices beside blocks).
+  void systemPair(const std::string& master, std::string a, std::string b);
+
+  /// Records that `parent` instantiates `childMaster` as `instName`.
+  /// Must mirror the netlist's instances for paths to resolve.
+  void child(const std::string& parent, std::string instName,
+             std::string childMaster);
+
+  /// Expands all annotations for a design whose top cell is `top`.
+  std::vector<GroundTruthEntry> expand(const std::string& top) const;
+
+ private:
+  struct LocalPair {
+    std::string a, b;
+    ConstraintLevel level;
+  };
+  struct ChildInst {
+    std::string instName;
+    std::string master;
+  };
+
+  void expandInto(const std::string& master, const std::string& prefix,
+                  std::vector<GroundTruthEntry>& out) const;
+
+  std::unordered_map<std::string, std::vector<LocalPair>> pairs_;
+  std::unordered_map<std::string, std::vector<ChildInst>> children_;
+};
+
+}  // namespace ancstr::circuits

@@ -1,0 +1,106 @@
+#include "core/arrays.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/error.h"
+
+namespace ancstr {
+namespace {
+
+/// The quantity an array is weighted in: value for passives, effective
+/// width for MOS. 0 disqualifies the device.
+double weightOf(const FlatDevice& dev) {
+  if (isPassive(dev.type)) return dev.params.value;
+  if (isMos(dev.type)) {
+    return dev.params.w * dev.params.nf * dev.params.m;
+  }
+  return 0.0;
+}
+
+std::string localName(const FlatDevice& dev) {
+  const std::size_t slash = dev.path.rfind('/');
+  return slash == std::string::npos ? dev.path : dev.path.substr(slash + 1);
+}
+
+/// Snaps `value` to an integer multiple of `unit`; 0 when out of
+/// tolerance or beyond maxMultiple.
+int multipleOf(double value, double unit, const ArrayDetectOptions& options) {
+  const double ratio = value / unit;
+  const int rounded = static_cast<int>(std::lround(ratio));
+  if (rounded < 1 || rounded > options.maxMultiple) return 0;
+  if (std::fabs(ratio - rounded) > options.ratioTolerance * rounded) return 0;
+  return rounded;
+}
+
+}  // namespace
+
+std::vector<ArrayGroup> detectArrayGroups(const FlatDesign& design,
+                                          const nn::Matrix& designEmbeddings,
+                                          const ArrayDetectOptions& options) {
+  if (designEmbeddings.rows() != design.devices().size()) {
+    throw ShapeError("detectArrayGroups: embeddings rows != device count");
+  }
+  std::vector<ArrayGroup> out;
+
+  for (const HierNode& node : design.hierarchy()) {
+    // Bucket this hierarchy's leaves by device type.
+    std::map<DeviceType, std::vector<FlatDeviceId>> byType;
+    for (const FlatDeviceId d : node.leafDevices) {
+      if (weightOf(design.device(d)) > 0.0) {
+        byType[design.device(d).type].push_back(d);
+      }
+    }
+    for (const auto& [type, devices] : byType) {
+      if (devices.size() < options.minMembers) continue;
+      // Unit = smallest weight in the bucket.
+      double unit = weightOf(design.device(devices.front()));
+      for (const FlatDeviceId d : devices) {
+        unit = std::min(unit, weightOf(design.device(d)));
+      }
+      // Keep devices that snap to integer multiples AND embed like the
+      // unit-most devices (same structural role).
+      std::vector<std::pair<FlatDeviceId, int>> members;
+      for (const FlatDeviceId d : devices) {
+        const int multiple =
+            multipleOf(weightOf(design.device(d)), unit, options);
+        if (multiple > 0) members.emplace_back(d, multiple);
+      }
+      if (members.size() < options.minMembers) continue;
+
+      // Embedding agreement: every member vs. the group's first unit
+      // device (cheap transitive proxy for pairwise similarity).
+      FlatDeviceId anchor = members.front().first;
+      for (const auto& [d, multiple] : members) {
+        if (multiple == 1) {
+          anchor = d;
+          break;
+        }
+      }
+      const nn::Matrix za = designEmbeddings.rowCopy(anchor);
+      std::vector<std::pair<FlatDeviceId, int>> agreeing;
+      for (const auto& [d, multiple] : members) {
+        const nn::Matrix zd = designEmbeddings.rowCopy(d);
+        if (nn::Matrix::cosineSimilarity(za, zd) >= options.arrayThreshold) {
+          agreeing.emplace_back(d, multiple);
+        }
+      }
+      if (agreeing.size() < options.minMembers) continue;
+      // A real weighted array has more than one distinct weight or at
+      // least three equal units (a matched bank).
+      ArrayGroup group;
+      group.hierarchy = node.id;
+      group.type = type;
+      group.unit = unit;
+      for (const auto& [d, multiple] : agreeing) {
+        group.members.emplace_back(localName(design.device(d)), multiple);
+      }
+      std::sort(group.members.begin(), group.members.end());
+      out.push_back(std::move(group));
+    }
+  }
+  return out;
+}
+
+}  // namespace ancstr

@@ -1,0 +1,51 @@
+// Common-centroid array-group detection.
+//
+// Beyond pairwise symmetry, analog layout needs *array* constraints: a
+// binary-weighted capacitor DAC or a segmented current mirror must be laid
+// out as one common-centroid array. The paper's introduction names these
+// (regularity / common-centroid) as sibling constraint classes; this
+// module derives them from the same trained embeddings:
+//
+//   * candidates are same-type passive or MOS leaf devices under one
+//     hierarchy whose values/widths are small integer multiples of a
+//     common unit (1x/2x/4x/... within tolerance);
+//   * the group is accepted when the members' embeddings agree above the
+//     arrayThreshold (they must implement the same structural role).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/flatten.h"
+#include "nn/matrix.h"
+
+namespace ancstr {
+
+struct ArrayDetectOptions {
+  /// Minimum number of devices to call it an array.
+  std::size_t minMembers = 3;
+  /// Relative tolerance when snapping values to integer unit multiples.
+  double ratioTolerance = 0.05;
+  /// Largest accepted multiple of the unit (guards against unrelated
+  /// devices that happen to share a divisor).
+  int maxMultiple = 64;
+  /// Minimum pairwise embedding cosine between members.
+  double arrayThreshold = 0.90;
+};
+
+/// One detected array group.
+struct ArrayGroup {
+  HierNodeId hierarchy = 0;
+  DeviceType type = DeviceType::kUnknown;
+  double unit = 0.0;  ///< inferred unit value (farads/ohms) or width (m)
+  /// (local device name, integer multiple of the unit), sorted by name.
+  std::vector<std::pair<std::string, int>> members;
+};
+
+/// Detects common-centroid array groups. `designEmbeddings` rows are
+/// indexed by FlatDeviceId (as in detectConstraints).
+std::vector<ArrayGroup> detectArrayGroups(
+    const FlatDesign& design, const nn::Matrix& designEmbeddings,
+    const ArrayDetectOptions& options = {});
+
+}  // namespace ancstr

@@ -1,0 +1,103 @@
+#include "core/candidates.h"
+
+#include <cctype>
+
+#include "util/string_utils.h"
+
+namespace ancstr {
+
+std::size_t CandidateSet::count(ConstraintLevel level) const {
+  std::size_t n = 0;
+  for (const CandidatePair& p : pairs) {
+    if (p.level == level) ++n;
+  }
+  return n;
+}
+
+std::string blockCategory(std::string_view masterName) {
+  std::string name = str::toLower(masterName);
+  // Strip trailing digits: "dac1" -> "dac".
+  while (!name.empty() &&
+         std::isdigit(static_cast<unsigned char>(name.back()))) {
+    name.pop_back();
+  }
+  // Strip a short trailing "_x"/"_ab" variant suffix: "comp_a" -> "comp".
+  const std::size_t us = name.rfind('_');
+  if (us != std::string::npos && us > 0 && name.size() - us - 1 <= 2) {
+    name.resize(us);
+  }
+  // Re-strip digits exposed by the suffix removal ("dac_p1" -> "dac_p").
+  while (!name.empty() &&
+         std::isdigit(static_cast<unsigned char>(name.back()))) {
+    name.pop_back();
+  }
+  return name;
+}
+
+namespace {
+
+std::string localDeviceName(const FlatDevice& dev) {
+  const std::size_t slash = dev.path.rfind('/');
+  return slash == std::string::npos ? dev.path : dev.path.substr(slash + 1);
+}
+
+}  // namespace
+
+CandidateSet enumerateCandidates(const FlatDesign& design,
+                                 const Library& lib) {
+  CandidateSet out;
+  for (const HierNode& node : design.hierarchy()) {
+    const bool hasBlocks = !node.children.empty();
+
+    // --- block pairs (system-level) ---------------------------------
+    for (std::size_t i = 0; i < node.children.size(); ++i) {
+      for (std::size_t j = i + 1; j < node.children.size(); ++j) {
+        const HierNode& ca = design.node(node.children[i]);
+        const HierNode& cb = design.node(node.children[j]);
+        const SubcktDef& ma = lib.subckt(ca.master);
+        const SubcktDef& mb = lib.subckt(cb.master);
+        const bool sameMaster = ca.master == cb.master;
+        const bool sameCategory =
+            blockCategory(ma.name()) == blockCategory(mb.name()) &&
+            ma.ports().size() == mb.ports().size();
+        if (!sameMaster && !sameCategory) continue;
+        CandidatePair p;
+        p.hierarchy = node.id;
+        p.level = ConstraintLevel::kSystem;
+        p.a = {ModuleKind::kBlock, ca.id};
+        p.b = {ModuleKind::kBlock, cb.id};
+        p.nameA = ca.instanceName;
+        p.nameB = cb.instanceName;
+        out.pairs.push_back(std::move(p));
+      }
+    }
+
+    // --- leaf device pairs -------------------------------------------
+    for (std::size_t i = 0; i < node.leafDevices.size(); ++i) {
+      for (std::size_t j = i + 1; j < node.leafDevices.size(); ++j) {
+        const FlatDevice& da = design.device(node.leafDevices[i]);
+        const FlatDevice& db = design.device(node.leafDevices[j]);
+        if (da.type != db.type) continue;
+        CandidatePair p;
+        p.hierarchy = node.id;
+        // Passives sitting beside building blocks participate in
+        // system-level matching (Section III-A).
+        p.level = (hasBlocks && isPassive(da.type))
+                      ? ConstraintLevel::kSystem
+                      : ConstraintLevel::kDevice;
+        p.a = {ModuleKind::kDevice, node.leafDevices[i]};
+        p.b = {ModuleKind::kDevice, node.leafDevices[j]};
+        p.nameA = localDeviceName(da);
+        p.nameB = localDeviceName(db);
+        out.pairs.push_back(std::move(p));
+      }
+    }
+  }
+  return out;
+}
+
+const char* constraintLevelName(ConstraintLevel level) noexcept {
+  return level == ConstraintLevel::kSystem ? "system" : "device";
+}
+
+}  // namespace ancstr

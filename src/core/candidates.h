@@ -1,0 +1,69 @@
+// Valid symmetry-candidate enumeration (paper Section III-A).
+//
+// A candidate pair (t_i, t_j) lives under one hierarchy node T_c and its
+// two modules have identical "types":
+//   * device-level:  two leaf devices directly under T_c with the same
+//                    DeviceType;
+//   * system-level:  two building-block children of T_c of the same
+//                    category, or two passive leaf devices under a T_c
+//                    that also contains at least one building block.
+// Pairs across hierarchies or with nonidentical types are invalid and are
+// never enumerated (they count as true negatives for nobody).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/flatten.h"
+#include "netlist/netlist.h"
+
+namespace ancstr {
+
+/// Whether a constraint/candidate is system- or device-level.
+enum class ConstraintLevel { kSystem, kDevice };
+
+/// What a module reference points at.
+enum class ModuleKind { kBlock, kDevice };
+
+/// One module of a pair: a hierarchy node (block) or a flat device.
+struct ModuleRef {
+  ModuleKind kind = ModuleKind::kDevice;
+  std::uint32_t id = 0;  ///< HierNodeId or FlatDeviceId
+
+  bool operator==(const ModuleRef&) const = default;
+};
+
+/// A valid candidate pair under `hierarchy`.
+struct CandidatePair {
+  HierNodeId hierarchy = 0;
+  ConstraintLevel level = ConstraintLevel::kDevice;
+  ModuleRef a;
+  ModuleRef b;
+  /// Local (per-hierarchy) module names, e.g. instance or device name.
+  std::string nameA;
+  std::string nameB;
+};
+
+/// All valid candidate pairs of the design.
+struct CandidateSet {
+  std::vector<CandidatePair> pairs;
+
+  std::size_t count(ConstraintLevel level) const;
+};
+
+/// Block category used for "identical type" between building blocks: the
+/// master name with a short trailing variant suffix removed, so nonidentical
+/// but matchable masters (e.g. "dacp_a" / "dacp_b" cap arrays with
+/// different interconnect) stay comparable. Examples:
+///   "ota" -> "ota", "dac1" -> "dac", "comp_a" -> "comp",
+///   "ota_tele" -> "ota_tele" (long suffixes are semantic, kept).
+std::string blockCategory(std::string_view masterName);
+
+/// Enumerates every valid candidate pair. `lib` provides master names for
+/// block categorisation.
+CandidateSet enumerateCandidates(const FlatDesign& design, const Library& lib);
+
+/// Level name ("system" / "device") for reports.
+const char* constraintLevelName(ConstraintLevel level) noexcept;
+
+}  // namespace ancstr

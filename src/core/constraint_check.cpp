@@ -1,0 +1,97 @@
+#include "core/constraint_check.h"
+
+#include <optional>
+#include <unordered_map>
+
+#include "util/string_utils.h"
+
+namespace ancstr {
+namespace {
+
+/// What a local name resolves to under one hierarchy node.
+struct Resolved {
+  bool isBlock = false;
+  FlatDeviceId device = 0;
+  HierNodeId block = 0;
+};
+
+std::optional<Resolved> resolve(const FlatDesign& design,
+                                const HierNode& node,
+                                const std::string& name) {
+  const std::string lower = str::toLower(name);
+  for (const HierNodeId child : node.children) {
+    if (design.node(child).instanceName == lower) {
+      Resolved r;
+      r.isBlock = true;
+      r.block = child;
+      return r;
+    }
+  }
+  for (const FlatDeviceId dev : node.leafDevices) {
+    const std::string& path = design.device(dev).path;
+    const std::size_t slash = path.rfind('/');
+    const std::string local =
+        slash == std::string::npos ? path : path.substr(slash + 1);
+    if (local == lower) {
+      Resolved r;
+      r.device = dev;
+      return r;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::vector<ConstraintIssue> checkConstraints(
+    const FlatDesign& design, const Library& lib,
+    const std::vector<ParsedConstraint>& constraints) {
+  (void)lib;
+  std::unordered_map<std::string, HierNodeId> byPath;
+  for (const HierNode& node : design.hierarchy()) {
+    byPath.emplace(node.path, node.id);
+  }
+
+  std::vector<ConstraintIssue> issues;
+  for (std::size_t i = 0; i < constraints.size(); ++i) {
+    const ParsedConstraint& c = constraints[i];
+    const auto nodeIt = byPath.find(str::toLower(c.hierPath));
+    if (nodeIt == byPath.end()) {
+      issues.push_back({i, "unknown hierarchy '" + c.hierPath + "'"});
+      continue;
+    }
+    const HierNode& node = design.node(nodeIt->second);
+    const auto a = resolve(design, node, c.nameA);
+    if (!a) {
+      issues.push_back({i, "module '" + c.nameA + "' not found under '" +
+                               (c.hierPath.empty() ? "." : c.hierPath) + "'"});
+      continue;
+    }
+    if (c.nameB.empty()) continue;  // self-symmetric entry: done
+    const auto b = resolve(design, node, c.nameB);
+    if (!b) {
+      issues.push_back({i, "module '" + c.nameB + "' not found under '" +
+                               (c.hierPath.empty() ? "." : c.hierPath) + "'"});
+      continue;
+    }
+    if (a->isBlock != b->isBlock) {
+      issues.push_back(
+          {i, "pair (" + c.nameA + ", " + c.nameB +
+                  ") mixes a building block with a primitive device"});
+      continue;
+    }
+    if (!a->isBlock &&
+        design.device(a->device).type != design.device(b->device).type) {
+      issues.push_back({i, "pair (" + c.nameA + ", " + c.nameB +
+                               ") has nonidentical device types"});
+    }
+    if (a->isBlock == b->isBlock && a->isBlock == false &&
+        a->device == b->device) {
+      issues.push_back({i, "pair (" + c.nameA + ", " + c.nameB +
+                               ") names the same device twice"});
+    }
+  }
+  return issues;
+}
+
+}  // namespace ancstr

@@ -1,0 +1,30 @@
+// Constraint-file validation: checks a parsed constraint deck against a
+// netlist (the lint step a P&R flow runs before consuming constraints).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/constraint_io.h"
+#include "netlist/flatten.h"
+
+namespace ancstr {
+
+/// One problem found in a constraint deck.
+struct ConstraintIssue {
+  std::size_t index = 0;  ///< index into the parsed constraint list
+  std::string message;
+};
+
+/// Validates every constraint:
+///   * the hierarchy path must name an existing hierarchy node;
+///   * both modules must exist directly under that node (leaf device or
+///     child block instance);
+///   * pair members must have identical kinds and — for devices —
+///     identical device types (Section III-A validity).
+/// Returns all violations (empty = deck is clean).
+std::vector<ConstraintIssue> checkConstraints(
+    const FlatDesign& design, const Library& lib,
+    const std::vector<ParsedConstraint>& constraints);
+
+}  // namespace ancstr

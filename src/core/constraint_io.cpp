@@ -1,0 +1,179 @@
+#include "core/constraint_io.h"
+
+#include <set>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/json.h"
+#include "util/string_utils.h"
+
+namespace ancstr {
+namespace {
+
+const char* levelName(ConstraintLevel level) {
+  return level == ConstraintLevel::kSystem ? "system" : "device";
+}
+
+ConstraintLevel levelFromName(const std::string& name) {
+  if (name == "system") return ConstraintLevel::kSystem;
+  if (name == "device") return ConstraintLevel::kDevice;
+  throw Error("unknown constraint level '" + name + "'");
+}
+
+std::string symPath(const std::string& hierPath) {
+  return hierPath.empty() ? "." : hierPath;
+}
+
+}  // namespace
+
+std::string constraintsToJson(const FlatDesign& design,
+                              const DetectionResult& detection,
+                              const std::vector<SymmetryGroup>& groups,
+                              const std::vector<ArrayGroup>& arrays) {
+  Json root = Json::object();
+  root.set("format", "ancstr-constraints");
+  root.set("version", 1);
+  Json thresholds = Json::object();
+  thresholds.set("system", detection.systemThreshold);
+  thresholds.set("device", detection.deviceThreshold);
+  root.set("thresholds", std::move(thresholds));
+
+  Json constraints = Json::array();
+  for (const ScoredCandidate& c : detection.scored) {
+    if (!c.accepted) continue;
+    Json entry = Json::object();
+    entry.set("hierarchy", design.node(c.pair.hierarchy).path);
+    entry.set("level", levelName(c.pair.level));
+    entry.set("a", c.pair.nameA);
+    entry.set("b", c.pair.nameB);
+    entry.set("similarity", c.similarity);
+    constraints.push(std::move(entry));
+  }
+  root.set("constraints", std::move(constraints));
+
+  Json groupArray = Json::array();
+  for (const SymmetryGroup& group : groups) {
+    Json entry = Json::object();
+    entry.set("hierarchy", design.node(group.hierarchy).path);
+    entry.set("level", levelName(group.level));
+    Json pairs = Json::array();
+    for (const auto& [a, b] : group.pairs) {
+      Json pair = Json::array();
+      pair.push(a);
+      pair.push(b);
+      pairs.push(std::move(pair));
+    }
+    entry.set("pairs", std::move(pairs));
+    Json self = Json::array();
+    for (const std::string& name : group.selfSymmetric) self.push(name);
+    entry.set("self_symmetric", std::move(self));
+    groupArray.push(std::move(entry));
+  }
+  root.set("groups", std::move(groupArray));
+
+  if (!arrays.empty()) {
+    Json arrayJson = Json::array();
+    for (const ArrayGroup& array : arrays) {
+      Json entry = Json::object();
+      entry.set("hierarchy", design.node(array.hierarchy).path);
+      entry.set("device_type", std::string(deviceTypeName(array.type)));
+      entry.set("unit", array.unit);
+      Json members = Json::array();
+      for (const auto& [name, multiple] : array.members) {
+        Json member = Json::object();
+        member.set("name", name);
+        member.set("multiple", multiple);
+        members.push(std::move(member));
+      }
+      entry.set("members", std::move(members));
+      arrayJson.push(std::move(entry));
+    }
+    root.set("arrays", std::move(arrayJson));
+  }
+  return root.dump(2) + "\n";
+}
+
+std::string constraintsToSym(const FlatDesign& design,
+                             const DetectionResult& detection,
+                             const std::vector<SymmetryGroup>& groups) {
+  std::ostringstream os;
+  os << "# ancstr symmetry constraints\n";
+  for (const ScoredCandidate& c : detection.scored) {
+    if (!c.accepted) continue;
+    os << symPath(design.node(c.pair.hierarchy).path) << ' ' << c.pair.nameA
+       << ' ' << c.pair.nameB << '\n';
+  }
+  // A device may bridge several groups; emit each (hierarchy, name) once.
+  std::set<std::pair<HierNodeId, std::string>> seen;
+  for (const SymmetryGroup& group : groups) {
+    for (const std::string& name : group.selfSymmetric) {
+      if (!seen.emplace(group.hierarchy, name).second) continue;
+      os << symPath(design.node(group.hierarchy).path) << ' ' << name << '\n';
+    }
+  }
+  return os.str();
+}
+
+std::vector<ParsedConstraint> parseConstraintsJson(const std::string& text) {
+  std::string error;
+  const auto root = Json::parse(text, &error);
+  if (!root) throw Error("constraint JSON: " + error);
+  if (const Json* format = root->find("format");
+      format == nullptr || format->asString() != "ancstr-constraints") {
+    throw Error("constraint JSON: missing/unknown format tag");
+  }
+  std::vector<ParsedConstraint> out;
+  const Json& constraints = root->get("constraints");
+  for (std::size_t i = 0; i < constraints.size(); ++i) {
+    const Json& entry = constraints.at(i);
+    ParsedConstraint p;
+    p.hierPath = entry.get("hierarchy").asString();
+    p.nameA = entry.get("a").asString();
+    p.nameB = entry.get("b").asString();
+    p.level = levelFromName(entry.get("level").asString());
+    if (const Json* sim = entry.find("similarity")) {
+      p.similarity = sim->asNumber();
+    }
+    out.push_back(std::move(p));
+  }
+  if (const Json* groups = root->find("groups")) {
+    for (std::size_t g = 0; g < groups->size(); ++g) {
+      const Json& entry = groups->at(g);
+      const Json* self = entry.find("self_symmetric");
+      if (self == nullptr) continue;
+      for (std::size_t i = 0; i < self->size(); ++i) {
+        ParsedConstraint p;
+        p.hierPath = entry.get("hierarchy").asString();
+        p.nameA = self->at(i).asString();
+        p.level = levelFromName(entry.get("level").asString());
+        out.push_back(std::move(p));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<ParsedConstraint> parseConstraintsSym(const std::string& text) {
+  std::vector<ParsedConstraint> out;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    const std::string_view trimmed = str::trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    const auto tokens = str::splitTokens(trimmed);
+    if (tokens.size() != 2 && tokens.size() != 3) {
+      throw ParseError("<sym>", lineNo,
+                       "expected '<hier> <a> [b]', got '" + line + "'");
+    }
+    ParsedConstraint p;
+    p.hierPath = tokens[0] == "." ? "" : tokens[0];
+    p.nameA = tokens[1];
+    if (tokens.size() == 3) p.nameB = tokens[2];
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace ancstr

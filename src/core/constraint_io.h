@@ -1,0 +1,52 @@
+// Constraint file I/O.
+//
+// Two formats:
+//   * JSON — full-fidelity: thresholds, per-pair similarities, levels,
+//     and symmetry groups; the interchange format of this project.
+//   * SYM  — MAGICAL-style plain text consumed by analog P&R engines:
+//     one constraint per line,
+//        <hierarchy-path> <nameA> <nameB>     (matched pair)
+//        <hierarchy-path> <name>              (self-symmetric device)
+//     with "." denoting the top hierarchy and "#" starting comments.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/arrays.h"
+#include "core/detector.h"
+#include "core/groups.h"
+#include "netlist/flatten.h"
+
+namespace ancstr {
+
+/// Serialises a detection run (accepted constraints + groups + optional
+/// common-centroid array groups) to JSON.
+std::string constraintsToJson(const FlatDesign& design,
+                              const DetectionResult& detection,
+                              const std::vector<SymmetryGroup>& groups = {},
+                              const std::vector<ArrayGroup>& arrays = {});
+
+/// Serialises the accepted constraints (and group self-symmetric members)
+/// as a MAGICAL-style .sym deck.
+std::string constraintsToSym(const FlatDesign& design,
+                             const DetectionResult& detection,
+                             const std::vector<SymmetryGroup>& groups = {});
+
+/// A constraint record read back from either format.
+struct ParsedConstraint {
+  std::string hierPath;
+  std::string nameA;
+  std::string nameB;  ///< empty for self-symmetric entries
+  ConstraintLevel level = ConstraintLevel::kDevice;
+  double similarity = 0.0;  ///< 0 when absent (SYM format)
+};
+
+/// Parses a JSON constraint file. Throws Error on malformed input.
+std::vector<ParsedConstraint> parseConstraintsJson(const std::string& text);
+
+/// Parses a .sym deck. Throws ParseError on malformed lines.
+/// (To diff against a golden file, convert with eval's toGroundTruth.)
+std::vector<ParsedConstraint> parseConstraintsSym(const std::string& text);
+
+}  // namespace ancstr

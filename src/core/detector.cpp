@@ -1,0 +1,176 @@
+#include "core/detector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/error.h"
+
+namespace ancstr {
+
+std::vector<ScoredCandidate> DetectionResult::constraints() const {
+  std::vector<ScoredCandidate> out;
+  for (const ScoredCandidate& c : scored) {
+    if (c.accepted) out.push_back(c);
+  }
+  return out;
+}
+
+double systemThreshold(double alpha, double beta,
+                       std::size_t maxSubcircuitSize) {
+  return std::min(0.999,
+                  alpha + beta / (1.0 + static_cast<double>(maxSubcircuitSize)));
+}
+
+namespace {
+
+double ratio(double a, double b) {
+  const double lo = std::min(a, b);
+  const double hi = std::max(a, b);
+  if (hi <= 0.0) return 1.0;  // neither side carries this parameter
+  return lo <= 0.0 ? 0.0 : lo / hi;
+}
+
+/// Cached per-block data: the same representative-device list feeds both
+/// the structural concatenation and the sizing factor, so aligned vertices
+/// are compared.
+struct BlockEmbedding {
+  std::vector<FlatDeviceId> devices;  ///< top-M, PageRank order
+  std::vector<double> structural;
+};
+
+}  // namespace
+
+double deviceSizeSimilarity(const FlatDevice& a, const FlatDevice& b) {
+  const double wa = a.params.w * a.params.nf * a.params.m;
+  const double wb = b.params.w * b.params.nf * b.params.m;
+  return ratio(wa, wb) * ratio(a.params.l, b.params.l) *
+         ratio(a.params.value, b.params.value);
+}
+
+namespace {
+
+/// Geometric mean of the per-position sizing agreements of two blocks'
+/// representative devices, times a length-mismatch penalty.
+double blockSizeSimilarity(const FlatDesign& design,
+                           const std::vector<FlatDeviceId>& a,
+                           const std::vector<FlatDeviceId>& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  if (n == 0) return a.size() == b.size() ? 1.0 : 0.0;
+  double logSum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double s =
+        deviceSizeSimilarity(design.device(a[i]), design.device(b[i]));
+    if (s <= 0.0) return 0.0;
+    logSum += std::log(s);
+  }
+  const double geomMean = std::exp(logSum / static_cast<double>(n));
+  const double lengthPenalty =
+      static_cast<double>(n) /
+      static_cast<double>(std::max(a.size(), b.size()));
+  return geomMean * lengthPenalty;
+}
+
+double clamp01(double v) { return std::min(1.0, std::max(0.0, v)); }
+
+}  // namespace
+
+namespace {
+
+DetectionResult detectImpl(const FlatDesign& design, const Library& lib,
+                           const nn::Matrix& designEmbeddings,
+                           const DetectorConfig& config,
+                           const BlockEmbeddingContext* blockContext) {
+  if (designEmbeddings.rows() != design.devices().size()) {
+    throw ShapeError(
+        "detectConstraints: embeddings rows must equal device count");
+  }
+  const bool localBlocks =
+      config.localBlockEmbeddings && blockContext != nullptr;
+
+  DetectionResult result;
+  result.systemThreshold =
+      systemThreshold(config.alpha, config.beta, design.maxSubcircuitSize());
+  result.deviceThreshold = config.deviceThreshold;
+
+  const CandidateSet candidates = enumerateCandidates(design, lib);
+
+  std::unordered_map<HierNodeId, BlockEmbedding> blockEmbedding;
+  auto embeddingOf = [&](HierNodeId node) -> const BlockEmbedding& {
+    auto it = blockEmbedding.find(node);
+    if (it == blockEmbedding.end()) {
+      const std::vector<FlatDeviceId> subtree = design.subtreeDevices(node);
+      const CircuitGraph induced =
+          buildInducedHeteroGraph(design, subtree, config.graphOptions);
+      BlockEmbedding be;
+      be.devices = representativeDevices(induced, config.embedding);
+      if (localBlocks) {
+        // Algorithm 2 on G_t: propagate the trained model over the
+        // subcircuit's own multigraph, so the embedding depends only on
+        // the subcircuit's content.
+        const PreparedGraph prepared = prepareGraph(
+            induced,
+            buildFeatureMatrix(design, subtree, blockContext->features));
+        const nn::Matrix localZ = blockContext->model.embed(prepared);
+        // Map top-M flat ids back to induced-graph rows.
+        be.structural.reserve(be.devices.size() * localZ.cols());
+        for (const FlatDeviceId dev : be.devices) {
+          const std::uint32_t row = induced.deviceToVertex.at(dev);
+          const double* data = localZ.row(row);
+          be.structural.insert(be.structural.end(), data,
+                               data + localZ.cols());
+        }
+      } else {
+        be.structural = gatherEmbedding(be.devices, designEmbeddings);
+      }
+      it = blockEmbedding.emplace(node, std::move(be)).first;
+    }
+    return it->second;
+  };
+
+  result.scored.reserve(candidates.pairs.size());
+  for (const CandidatePair& pair : candidates.pairs) {
+    ScoredCandidate scored;
+    scored.pair = pair;
+    if (pair.a.kind == ModuleKind::kBlock) {
+      const BlockEmbedding& ea = embeddingOf(pair.a.id);
+      const BlockEmbedding& eb = embeddingOf(pair.b.id);
+      scored.similarity = embeddingCosine(ea.structural, eb.structural);
+      if (config.sizingAwareSimilarity) {
+        scored.similarity *= clamp01(
+            blockSizeSimilarity(design, ea.devices, eb.devices));
+      }
+    } else {
+      const nn::Matrix za = designEmbeddings.rowCopy(pair.a.id);
+      const nn::Matrix zb = designEmbeddings.rowCopy(pair.b.id);
+      scored.similarity = nn::Matrix::cosineSimilarity(za, zb);
+      if (config.sizingAwareSimilarity) {
+        scored.similarity *= clamp01(deviceSizeSimilarity(
+            design.device(pair.a.id), design.device(pair.b.id)));
+      }
+    }
+    const double threshold = pair.level == ConstraintLevel::kSystem
+                                 ? result.systemThreshold
+                                 : result.deviceThreshold;
+    scored.accepted = scored.similarity > threshold;
+    result.scored.push_back(std::move(scored));
+  }
+  return result;
+}
+
+}  // namespace
+
+DetectionResult detectConstraints(const FlatDesign& design, const Library& lib,
+                                  const nn::Matrix& designEmbeddings,
+                                  const DetectorConfig& config) {
+  return detectImpl(design, lib, designEmbeddings, config, nullptr);
+}
+
+DetectionResult detectConstraints(const FlatDesign& design, const Library& lib,
+                                  const nn::Matrix& designEmbeddings,
+                                  const DetectorConfig& config,
+                                  const BlockEmbeddingContext& blockContext) {
+  return detectImpl(design, lib, designEmbeddings, config, &blockContext);
+}
+
+}  // namespace ancstr

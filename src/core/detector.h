@@ -1,0 +1,94 @@
+// Symmetry constraint detection (paper Section IV-E, Algorithm 3).
+//
+// Every valid candidate pair is scored with cosine similarity between its
+// two modules' feature representations: trained vertex embeddings for
+// device pairs, Algorithm-2 circuit embeddings for block pairs. Pairs
+// scoring above the adaptive threshold (Eq. 4 for system-level, a fixed
+// 0.99 for device-level) become constraints.
+#pragma once
+
+#include <vector>
+
+#include "core/candidates.h"
+#include "core/embedding.h"
+#include "core/features.h"
+#include "core/graph_builder.h"
+#include "core/model.h"
+#include "nn/matrix.h"
+
+namespace ancstr {
+
+struct DetectorConfig {
+  double alpha = 0.95;            ///< Eq. 4 alpha
+  double beta = 0.95;             ///< Eq. 4 beta
+  double deviceThreshold = 0.99;  ///< device-level lambda_th
+  EmbeddingConfig embedding;
+  GraphBuildOptions graphOptions;  ///< induced subgraph construction
+  /// Multiply the embedding cosine by an explicit sizing-ratio factor
+  /// (min/max over effective width, length, and passive value; geometric
+  /// mean over a block's representative devices). Rationale: the
+  /// unsupervised objective pulls rail-clique neighbours together, which
+  /// can wash the Table-II sizing features out of z_v; the explicit factor
+  /// restores the paper's sizing discrimination (Fig. 2). Disable for the
+  /// paper-literal Eq. 5 (ablation `pure Eq.5 cosine`).
+  bool sizingAwareSimilarity = true;
+  /// Embed each subcircuit by running GNN inference on its own multigraph
+  /// G_t (Algorithm 2's "EmbedCircuitFeature(t, G_t, Z)"): identical
+  /// blocks then embed identically regardless of the instance's
+  /// surroundings, which is what lets the inductive model recognise
+  /// matched regular structures (bit slices, unit cells) that flat-graph
+  /// spectral methods blur with context. When disabled — or when no model
+  /// is supplied — block embeddings are gathered from the whole-design
+  /// vertex embeddings instead (context-sensitive; ablated).
+  bool localBlockEmbeddings = true;
+};
+
+/// A candidate together with its similarity score.
+struct ScoredCandidate {
+  CandidatePair pair;
+  double similarity = 0.0;
+  bool accepted = false;
+};
+
+/// Output of a detection run.
+struct DetectionResult {
+  /// Every valid candidate with its score (input to ROC sweeps).
+  std::vector<ScoredCandidate> scored;
+  double systemThreshold = 0.0;  ///< Eq. 4 lambda_th used
+  double deviceThreshold = 0.0;
+
+  /// Accepted constraints only.
+  std::vector<ScoredCandidate> constraints() const;
+};
+
+/// Eq. 4: lambda_th = min(0.999, alpha + beta / (1 + |N_sub|)).
+double systemThreshold(double alpha, double beta,
+                       std::size_t maxSubcircuitSize);
+
+/// Sizing agreement of two primitive devices in [0, 1]: the product of
+/// min/max ratios over effective width (W * nf * m), length, and passive
+/// value. Equal sizing gives 1; a 2x mismatch gives 0.5.
+double deviceSizeSimilarity(const FlatDevice& a, const FlatDevice& b);
+
+/// Model + feature configuration used to compute per-subcircuit (local)
+/// block embeddings inside the detector.
+struct BlockEmbeddingContext {
+  const GnnModel& model;
+  FeatureConfig features;
+};
+
+/// Scores all candidates and applies thresholds. `designEmbeddings` rows
+/// must be indexed by FlatDeviceId (i.e. the full-design graph must cover
+/// all devices in id order).
+DetectionResult detectConstraints(const FlatDesign& design, const Library& lib,
+                                  const nn::Matrix& designEmbeddings,
+                                  const DetectorConfig& config = {});
+
+/// As above, additionally enabling local block embeddings (see
+/// DetectorConfig::localBlockEmbeddings) through `blockContext`.
+DetectionResult detectConstraints(const FlatDesign& design, const Library& lib,
+                                  const nn::Matrix& designEmbeddings,
+                                  const DetectorConfig& config,
+                                  const BlockEmbeddingContext& blockContext);
+
+}  // namespace ancstr

@@ -1,0 +1,58 @@
+#include "core/embedding.h"
+
+#include <cmath>
+
+#include "graph/digraph.h"
+#include "graph/pagerank.h"
+#include "util/error.h"
+
+namespace ancstr {
+
+std::vector<FlatDeviceId> representativeDevices(
+    const CircuitGraph& inducedGraph, const EmbeddingConfig& config) {
+  if (inducedGraph.numVertices() == 0) return {};
+  const SimpleDigraph simplified = inducedGraph.graph.simplified();
+  PageRankOptions prOptions;
+  prOptions.damping = config.damping;
+  const std::vector<double> scores = pageRank(simplified, prOptions);
+  const std::vector<std::uint32_t> top = topKByScore(scores, config.topM);
+  std::vector<FlatDeviceId> devices;
+  devices.reserve(top.size());
+  for (const std::uint32_t v : top) {
+    devices.push_back(inducedGraph.vertexToDevice.at(v));
+  }
+  return devices;
+}
+
+std::vector<double> gatherEmbedding(const std::vector<FlatDeviceId>& devices,
+                                    const nn::Matrix& rows) {
+  const std::size_t d = rows.cols();
+  std::vector<double> embedding;
+  embedding.reserve(devices.size() * d);
+  for (const FlatDeviceId dev : devices) {
+    ANCSTR_ASSERT(dev < rows.rows());
+    const double* row = rows.row(dev);
+    embedding.insert(embedding.end(), row, row + d);
+  }
+  return embedding;
+}
+
+std::vector<double> embedCircuit(const CircuitGraph& inducedGraph,
+                                 const nn::Matrix& designEmbeddings,
+                                 const EmbeddingConfig& config) {
+  return gatherEmbedding(representativeDevices(inducedGraph, config),
+                         designEmbeddings);
+}
+
+double embeddingCosine(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (std::size_t i = 0; i < n; ++i) dot += a[i] * b[i];
+  for (const double x : a) na += x * x;
+  for (const double x : b) nb += x * x;
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+}  // namespace ancstr

@@ -1,0 +1,49 @@
+// Circuit feature embedding (paper Section IV-D, Algorithm 2).
+//
+// A subcircuit is represented by the concatenated trained embeddings of its
+// top-M PageRank vertices, computed on the subcircuit's simplified
+// (type-less, parallel-free) directed graph. Nonidentical subcircuits of
+// different sizes therefore stay comparable: similarity is dominated by
+// their most structurally central devices.
+#pragma once
+
+#include <vector>
+
+#include "core/graph_builder.h"
+#include "nn/matrix.h"
+
+namespace ancstr {
+
+struct EmbeddingConfig {
+  std::size_t topM = 10;   ///< paper: M = 10, clamped to |V_t|
+  double damping = 0.85;   ///< PageRank gamma
+};
+
+/// The top-min(M, |V_t|) most representative devices of a subcircuit in
+/// descending PageRank order (Algorithm 2 lines 1-8).
+std::vector<FlatDeviceId> representativeDevices(
+    const CircuitGraph& inducedGraph, const EmbeddingConfig& config = {});
+
+/// Concatenates `rows` (row index == FlatDeviceId) over an ordered device
+/// list (Algorithm 2 lines 9-10). Used for both the trained embeddings and
+/// the raw feature vectors.
+std::vector<double> gatherEmbedding(const std::vector<FlatDeviceId>& devices,
+                                    const nn::Matrix& rows);
+
+/// Embeds one subcircuit. `inducedGraph` is the multigraph over the
+/// subcircuit's devices; `designEmbeddings` holds the trained vertex
+/// features with row index == FlatDeviceId. Returns the concatenation of
+/// the top-M vertices' embedding rows in descending PageRank order
+/// (min(M, |V_t|) * D values; empty for an empty subcircuit).
+std::vector<double> embedCircuit(const CircuitGraph& inducedGraph,
+                                 const nn::Matrix& designEmbeddings,
+                                 const EmbeddingConfig& config = {});
+
+/// Cosine similarity between two embeddings of possibly different length;
+/// the shorter one is zero-padded (a size mismatch lowers similarity, which
+/// matches the intuition that very differently-sized subcircuits rarely
+/// form symmetry pairs). Returns 0 when either vector is all-zero.
+double embeddingCosine(const std::vector<double>& a,
+                       const std::vector<double>& b);
+
+}  // namespace ancstr

@@ -1,0 +1,81 @@
+#include "core/features.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace ancstr {
+namespace {
+
+/// Log-compressed passive value: equal values map to equal features and a
+/// 2x value difference is clearly separated, without femto/kilo blowups.
+double valueFeature(const FlatDevice& device) {
+  // Scale to a type-appropriate unit so typical magnitudes are O(1..10).
+  double unit = 1.0;
+  if (isResistor(device.type)) {
+    unit = 1e3;  // kOhm
+  } else if (isCapacitor(device.type)) {
+    unit = 1e-15;  // fF
+  } else if (device.type == DeviceType::kInd) {
+    unit = 1e-12;  // pH
+  }
+  return std::log10(1.0 + device.params.value / unit);
+}
+
+}  // namespace
+
+std::vector<double> deviceFeature(const FlatDevice& device,
+                                  const FeatureConfig& config) {
+  std::vector<double> feature(config.dims(), 0.0);
+  if (const auto idx = oneHotIndex(device.type)) {
+    feature[*idx] = 1.0;
+  }
+  std::size_t at = kNumDeviceTypes;
+  if (config.useGeometry) {
+    double wFeat = 0.0;
+    double lFeat = 0.0;
+    if (device.params.w > 0.0) {
+      // Total drawn width in microns (folding fingers and multipliers),
+      // log-compressed: raw micron counts reach ~25 and would saturate the
+      // GRU's tanh, erasing exactly the sizing signal Fig. 2 needs.
+      wFeat = std::log1p(device.params.w * 1e6 * device.params.nf *
+                         device.params.m);
+    } else if (isPassive(device.type)) {
+      wFeat = valueFeature(device);
+    }
+    if (device.params.l > 0.0) {
+      // Channel lengths cluster around 0.1-0.5 um; scale into the same
+      // O(1) range before compressing.
+      lFeat = std::log1p(device.params.l * 1e7);
+    }
+    feature[at++] = wFeat;
+    feature[at++] = lFeat;
+  }
+  if (config.useLayers) {
+    feature[at++] = static_cast<double>(
+        device.params.effectiveLayers(device.type));
+  }
+  ANCSTR_ASSERT(at == config.dims());
+  return feature;
+}
+
+nn::Matrix buildFeatureMatrix(const FlatDesign& design,
+                              const std::vector<FlatDeviceId>& subset,
+                              const FeatureConfig& config) {
+  nn::Matrix out(subset.size(), config.dims());
+  for (std::size_t i = 0; i < subset.size(); ++i) {
+    const std::vector<double> f =
+        deviceFeature(design.device(subset[i]), config);
+    for (std::size_t c = 0; c < f.size(); ++c) out(i, c) = f[c];
+  }
+  return out;
+}
+
+nn::Matrix buildFeatureMatrix(const FlatDesign& design,
+                              const FeatureConfig& config) {
+  std::vector<FlatDeviceId> all(design.devices().size());
+  for (FlatDeviceId i = 0; i < all.size(); ++i) all[i] = i;
+  return buildFeatureMatrix(design, all, config);
+}
+
+}  // namespace ancstr

@@ -1,0 +1,47 @@
+// Node feature initialisation (paper Section IV-B, Table II).
+//
+// Each vertex starts as an 18-dim vector:
+//   [0..14]  one-hot device type (15 types; kUnknown encodes all-zero)
+//   [15]     width feature
+//   [16]     length feature
+//   [17]     metal-layer count
+//
+// Geometry is deliberately coarse (paper: full PDK parameter sets hurt
+// generalisation). MOS devices report W/L in microns (total width = w * nf
+// * m so folded and multiplied devices with equal total drive match).
+// Passives without drawn W/L report a log-compressed value in the width
+// slot so matched R/C pairs share features without unit explosions.
+#pragma once
+
+#include <vector>
+
+#include "netlist/flatten.h"
+#include "nn/matrix.h"
+
+namespace ancstr {
+
+/// Feature layout / ablation switches.
+struct FeatureConfig {
+  bool useGeometry = true;  ///< include W/L features (Table II row 2)
+  bool useLayers = true;    ///< include metal-layer count (row 3)
+
+  /// Total feature dimension under this configuration.
+  std::size_t dims() const {
+    return kNumDeviceTypes + (useGeometry ? 2u : 0u) + (useLayers ? 1u : 0u);
+  }
+};
+
+/// Initial feature vector of one device.
+std::vector<double> deviceFeature(const FlatDevice& device,
+                                  const FeatureConfig& config = {});
+
+/// Stacks deviceFeature() rows for `subset` (row i = subset[i]).
+nn::Matrix buildFeatureMatrix(const FlatDesign& design,
+                              const std::vector<FlatDeviceId>& subset,
+                              const FeatureConfig& config = {});
+
+/// Features for every device in the design, row = FlatDeviceId.
+nn::Matrix buildFeatureMatrix(const FlatDesign& design,
+                              const FeatureConfig& config = {});
+
+}  // namespace ancstr

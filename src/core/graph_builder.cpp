@@ -1,0 +1,87 @@
+#include "core/graph_builder.h"
+
+#include "util/error.h"
+
+namespace ancstr {
+
+EdgeType edgeTypeForPin(PinFunction f) noexcept {
+  switch (f) {
+    case PinFunction::kGate: return EdgeType::kGate;
+    case PinFunction::kDrain: return EdgeType::kDrain;
+    case PinFunction::kSource: return EdgeType::kSource;
+    default: return EdgeType::kPassive;
+  }
+}
+
+namespace {
+
+CircuitGraph buildOverSubset(const FlatDesign& design,
+                             std::vector<FlatDeviceId> subset,
+                             const GraphBuildOptions& options) {
+  CircuitGraph out;
+  out.vertexToDevice = std::move(subset);
+  out.graph = HeteroMultigraph(out.vertexToDevice.size());
+  out.deviceToVertex.reserve(out.vertexToDevice.size());
+  for (std::uint32_t v = 0; v < out.vertexToDevice.size(); ++v) {
+    out.deviceToVertex.emplace(out.vertexToDevice[v], v);
+  }
+
+  // Collect the (vertex, pinFunction) terminals per net, restricted to the
+  // subset, then expand each net into a clique (Algorithm 1 lines 5-11).
+  struct Terminal {
+    std::uint32_t vertex;
+    PinFunction function;
+  };
+  std::vector<Terminal> terminals;
+  for (FlatNetId netId = 0; netId < design.nets().size(); ++netId) {
+    const auto& netTerms = design.netTerminals()[netId];
+    if (options.maxNetDegree > 0 && netTerms.size() > options.maxNetDegree) {
+      continue;
+    }
+    terminals.clear();
+    for (const auto& [deviceId, pinIdx] : netTerms) {
+      const FlatDevice& dev = design.device(deviceId);
+      const PinFunction fn = dev.pins[pinIdx].first;
+      if (!options.includeBulkPins && fn == PinFunction::kBulk) continue;
+      const auto it = out.deviceToVertex.find(deviceId);
+      if (it == out.deviceToVertex.end()) continue;
+      terminals.push_back({it->second, fn});
+    }
+    for (std::size_t i = 0; i < terminals.size(); ++i) {
+      for (std::size_t j = i + 1; j < terminals.size(); ++j) {
+        const Terminal& a = terminals[i];
+        const Terminal& b = terminals[j];
+        if (a.vertex == b.vertex) continue;  // no self loops
+        EdgeType typeToB = edgeTypeForPin(b.function);
+        EdgeType typeToA = edgeTypeForPin(a.function);
+        if (options.collapseEdgeTypes) {
+          typeToA = EdgeType::kPassive;
+          typeToB = EdgeType::kPassive;
+        }
+        out.graph.addEdge(a.vertex, b.vertex, typeToB);
+        out.graph.addEdge(b.vertex, a.vertex, typeToA);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+CircuitGraph buildHeteroGraph(const FlatDesign& design,
+                              const GraphBuildOptions& options) {
+  std::vector<FlatDeviceId> all(design.devices().size());
+  for (FlatDeviceId i = 0; i < all.size(); ++i) all[i] = i;
+  return buildOverSubset(design, std::move(all), options);
+}
+
+CircuitGraph buildInducedHeteroGraph(const FlatDesign& design,
+                                     const std::vector<FlatDeviceId>& subset,
+                                     const GraphBuildOptions& options) {
+  for (const FlatDeviceId id : subset) {
+    ANCSTR_ASSERT(id < design.devices().size());
+  }
+  return buildOverSubset(design, subset, options);
+}
+
+}  // namespace ancstr

@@ -1,0 +1,56 @@
+// Heterogeneous multigraph construction (paper Algorithm 1).
+//
+// Devices become vertices; every net is expanded into a clique of directed
+// typed edges: for each unordered pin pair (p_i, p_j) on a net, edges
+// (u, v, tau_v) and (v, u, tau_u) are added, where tau is the port type of
+// the edge's *target* pin projected onto {gate, drain, source, passive}.
+// Self-loops (two pins of the same device on one net) are skipped.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/multigraph.h"
+#include "netlist/flatten.h"
+
+namespace ancstr {
+
+struct GraphBuildOptions {
+  /// Bulk pins are excluded by default: bulks tie to the rails in nearly
+  /// every analog circuit and would add |net|^2 uninformative clique edges
+  /// on the supplies. Enable to follow Algorithm 1 with all pins.
+  bool includeBulkPins = false;
+  /// When > 0, nets with more terminals are skipped entirely (supply-net
+  /// clique cap). 0 disables the cap (paper-faithful).
+  std::size_t maxNetDegree = 0;
+  /// Ablation: erase edge-type information by mapping every pin onto the
+  /// passive edge type (|W| collapses from 4 to 1 in Eq. 1).
+  bool collapseEdgeTypes = false;
+};
+
+/// A multigraph over a chosen device subset, with the vertex<->device maps.
+struct CircuitGraph {
+  HeteroMultigraph graph{0};
+  /// vertex index -> flat device id (row order of feature matrices).
+  std::vector<FlatDeviceId> vertexToDevice;
+  /// flat device id -> vertex index (absent when not in the subset).
+  std::unordered_map<FlatDeviceId, std::uint32_t> deviceToVertex;
+
+  std::size_t numVertices() const { return vertexToDevice.size(); }
+};
+
+/// Projects a pin function onto the 4-member edge-type set P.
+EdgeType edgeTypeForPin(PinFunction f) noexcept;
+
+/// Builds the multigraph over all devices of the design.
+CircuitGraph buildHeteroGraph(const FlatDesign& design,
+                              const GraphBuildOptions& options = {});
+
+/// Builds the induced multigraph over `subset` only: edges whose two
+/// endpoints both lie in the subset (used for per-subcircuit embeddings).
+CircuitGraph buildInducedHeteroGraph(const FlatDesign& design,
+                                     const std::vector<FlatDeviceId>& subset,
+                                     const GraphBuildOptions& options = {});
+
+}  // namespace ancstr

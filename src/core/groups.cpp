@@ -1,0 +1,154 @@
+#include "core/groups.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+namespace ancstr {
+namespace {
+
+/// Union-find over dense indices.
+class DisjointSets {
+ public:
+  explicit DisjointSets(std::size_t n) : parent_(n) {
+    for (std::size_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+/// Key identifying one module within one hierarchy.
+struct ModuleKey {
+  HierNodeId hierarchy;
+  ModuleKind kind;
+  std::uint32_t id;
+
+  bool operator<(const ModuleKey& o) const {
+    return std::tie(hierarchy, kind, id) < std::tie(o.hierarchy, o.kind, o.id);
+  }
+};
+
+/// True when device `d` bridges devices `a` and `b`: some non-rail net of
+/// `d` reaches both, with `a` and `b` attached through the same pin
+/// function (the differential-pair tail / shared bias pattern).
+bool bridges(const FlatDesign& design, FlatDeviceId d, FlatDeviceId a,
+             FlatDeviceId b, std::size_t maxNetDegree) {
+  for (const auto& [fn, net] : design.device(d).pins) {
+    const auto& terms = design.netTerminals()[net];
+    if (terms.size() > maxNetDegree) continue;
+    PinFunction fnA{};
+    PinFunction fnB{};
+    bool hasA = false, hasB = false;
+    for (const auto& [dev, pin] : terms) {
+      const PinFunction devFn = design.device(dev).pins[pin].first;
+      // Bulk ties (usually rails) are not symmetric coupling.
+      if (devFn == PinFunction::kBulk) continue;
+      if (dev == a) {
+        hasA = true;
+        fnA = devFn;
+      }
+      if (dev == b) {
+        hasB = true;
+        fnB = devFn;
+      }
+    }
+    if (hasA && hasB && fnA == fnB) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<SymmetryGroup> buildSymmetryGroups(const FlatDesign& design,
+                                               const DetectionResult& detection,
+                                               const GroupOptions& options) {
+  // Collect accepted pairs, assign dense indices to their modules.
+  std::map<ModuleKey, std::size_t> indexOf;
+  std::vector<ModuleKey> moduleAt;
+  std::vector<const ScoredCandidate*> accepted;
+  auto indexFor = [&](const ModuleKey& key) {
+    const auto [it, inserted] = indexOf.emplace(key, moduleAt.size());
+    if (inserted) moduleAt.push_back(key);
+    return it->second;
+  };
+  for (const ScoredCandidate& c : detection.scored) {
+    if (!c.accepted) continue;
+    accepted.push_back(&c);
+    indexFor({c.pair.hierarchy, c.pair.a.kind, c.pair.a.id});
+    indexFor({c.pair.hierarchy, c.pair.b.kind, c.pair.b.id});
+  }
+
+  DisjointSets sets(moduleAt.size());
+  for (const ScoredCandidate* c : accepted) {
+    sets.unite(indexOf.at({c->pair.hierarchy, c->pair.a.kind, c->pair.a.id}),
+               indexOf.at({c->pair.hierarchy, c->pair.b.kind, c->pair.b.id}));
+  }
+
+  // Group pairs by component root.
+  std::map<std::size_t, SymmetryGroup> groups;
+  for (const ScoredCandidate* c : accepted) {
+    const std::size_t root =
+        sets.find(indexOf.at({c->pair.hierarchy, c->pair.a.kind, c->pair.a.id}));
+    SymmetryGroup& group = groups[root];
+    group.hierarchy = c->pair.hierarchy;
+    group.level = c->pair.level;
+    group.pairs.emplace_back(c->pair.nameA, c->pair.nameB);
+  }
+
+  // Self-symmetric detection: unmatched leaf devices bridging a pair.
+  if (options.detectSelfSymmetric) {
+    std::set<FlatDeviceId> matchedDevices;
+    for (const ScoredCandidate* c : accepted) {
+      if (c->pair.a.kind == ModuleKind::kDevice) {
+        matchedDevices.insert(c->pair.a.id);
+        matchedDevices.insert(c->pair.b.id);
+      }
+    }
+    for (auto& [root, group] : groups) {
+      std::set<std::string> self;
+      for (const ScoredCandidate* c : accepted) {
+        if (c->pair.a.kind != ModuleKind::kDevice) continue;
+        const std::size_t croot = sets.find(
+            indexOf.at({c->pair.hierarchy, c->pair.a.kind, c->pair.a.id}));
+        if (croot != root) continue;
+        for (const FlatDeviceId d :
+             design.node(c->pair.hierarchy).leafDevices) {
+          if (matchedDevices.count(d) != 0) continue;
+          if (bridges(design, d, c->pair.a.id, c->pair.b.id,
+                      options.maxNetDegree)) {
+            const std::string& path = design.device(d).path;
+            const std::size_t slash = path.rfind('/');
+            self.insert(slash == std::string::npos ? path
+                                                   : path.substr(slash + 1));
+          }
+        }
+      }
+      group.selfSymmetric.assign(self.begin(), self.end());
+    }
+  }
+
+  std::vector<SymmetryGroup> out;
+  out.reserve(groups.size());
+  for (auto& [root, group] : groups) {
+    std::sort(group.pairs.begin(), group.pairs.end());
+    out.push_back(std::move(group));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SymmetryGroup& a, const SymmetryGroup& b) {
+              if (a.hierarchy != b.hierarchy) return a.hierarchy < b.hierarchy;
+              return a.pairs < b.pairs;
+            });
+  return out;
+}
+
+}  // namespace ancstr

@@ -1,0 +1,47 @@
+// Symmetry groups: the form in which P&R engines consume constraints.
+//
+// Accepted pairwise constraints under one hierarchy are merged into
+// groups (connected components over shared modules), and devices that sit
+// electrically *between* the two sides of a matched pair — e.g. the tail
+// transistor of a differential pair — are annotated as self-symmetric
+// members that must straddle the group's symmetry axis.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/detector.h"
+#include "netlist/flatten.h"
+
+namespace ancstr {
+
+struct GroupOptions {
+  /// Nets with more terminals than this are ignored when looking for
+  /// self-symmetric devices (rails connect everything to everything).
+  std::size_t maxNetDegree = 16;
+  /// Detect self-symmetric devices at all.
+  bool detectSelfSymmetric = true;
+};
+
+/// One symmetry group under `hierarchy`.
+struct SymmetryGroup {
+  HierNodeId hierarchy = 0;
+  ConstraintLevel level = ConstraintLevel::kDevice;
+  /// Matched pairs (local module names) merged into this group.
+  std::vector<std::pair<std::string, std::string>> pairs;
+  /// Self-symmetric members (local device names) that bridge the pairs.
+  std::vector<std::string> selfSymmetric;
+
+  std::size_t moduleCount() const {
+    return pairs.size() * 2 + selfSymmetric.size();
+  }
+};
+
+/// Merges the accepted constraints of `detection` into symmetry groups.
+/// Groups are reported in a deterministic order (by hierarchy id, then
+/// first pair name).
+std::vector<SymmetryGroup> buildSymmetryGroups(
+    const FlatDesign& design, const DetectionResult& detection,
+    const GroupOptions& options = {});
+
+}  // namespace ancstr

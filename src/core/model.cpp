@@ -1,0 +1,97 @@
+#include "core/model.h"
+
+#include "nn/init.h"
+#include "util/error.h"
+
+namespace ancstr {
+
+PreparedGraph prepareGraph(const CircuitGraph& graph, nn::Matrix features) {
+  if (features.rows() != graph.numVertices()) {
+    throw ShapeError("prepareGraph: feature rows != vertices");
+  }
+  PreparedGraph out;
+  for (std::size_t t = 0; t < kNumEdgeTypes; ++t) {
+    out.inAdjacency[t] = graph.graph.inAdjacency(static_cast<EdgeType>(t));
+  }
+  out.features = std::move(features);
+  out.inNeighbors.resize(graph.numVertices());
+  for (std::uint32_t v = 0; v < graph.numVertices(); ++v) {
+    out.inNeighbors[v] = graph.graph.inNeighbors(v);
+  }
+  out.inverseInDegree.resize(graph.numVertices(), 0.0);
+  for (std::uint32_t v = 0; v < graph.numVertices(); ++v) {
+    const std::size_t degree = graph.graph.inEdges(v).size();
+    if (degree > 0) {
+      out.inverseInDegree[v] = 1.0 / static_cast<double>(degree);
+    }
+  }
+  out.vertexToDevice = graph.vertexToDevice;
+  return out;
+}
+
+GnnModel::GnnModel(GnnConfig config, Rng& rng) : config_(config) {
+  ANCSTR_ASSERT(config_.numLayers >= 1);
+  const std::size_t sets =
+      config_.sharedWeights ? 1u : static_cast<std::size_t>(config_.numLayers);
+  for (std::size_t s = 0; s < sets; ++s) {
+    std::array<nn::Tensor, kNumEdgeTypes> ws;
+    for (std::size_t t = 0; t < kNumEdgeTypes; ++t) {
+      ws[t] = nn::Tensor::param(
+          nn::xavierUniform(config_.hiddenDim, config_.hiddenDim, rng));
+    }
+    edgeWeights_.push_back(std::move(ws));
+    grus_.emplace_back(config_.hiddenDim, config_.hiddenDim, rng);
+  }
+  if (config_.featureDim != config_.hiddenDim) {
+    inputProj_ = nn::Tensor::param(
+        nn::xavierUniform(config_.featureDim, config_.hiddenDim, rng));
+  }
+}
+
+nn::Tensor GnnModel::forward(const PreparedGraph& g) const {
+  if (g.features.cols() != config_.featureDim) {
+    throw ShapeError("GnnModel::forward: feature dim mismatch");
+  }
+  nn::Tensor h = nn::Tensor::constant(g.features);
+  if (inputProj_.valid()) h = nn::matmul(h, inputProj_);
+  for (int layer = 0; layer < config_.numLayers; ++layer) {
+    const auto& ws = edgeWeights_[weightSetFor(layer)];
+    nn::Tensor msg;
+    for (std::size_t t = 0; t < kNumEdgeTypes; ++t) {
+      if (g.inAdjacency[t].nonZeros() == 0) continue;
+      nn::Tensor m = nn::spmm(g.inAdjacency[t], nn::matmul(h, ws[t]));
+      msg = msg.valid() ? nn::add(msg, m) : m;
+    }
+    if (!msg.valid()) {
+      msg = nn::Tensor::constant(
+          nn::Matrix(g.numVertices(), config_.hiddenDim));
+    } else if (config_.meanAggregation) {
+      msg = nn::rowScale(msg, g.inverseInDegree);
+    }
+    h = grus_[weightSetFor(layer)].forward(msg, h);
+  }
+  return h;
+}
+
+nn::Matrix GnnModel::embed(const PreparedGraph& g) const {
+  // Tape-free evaluation mirrors forward(); the tape variant is the
+  // reference, this one just skips gradient bookkeeping by reusing it and
+  // extracting the value (graphs here are small enough that the tape cost
+  // is negligible, so prefer the single code path over a hand-rolled copy).
+  return forward(g).value();
+}
+
+std::vector<nn::Tensor> GnnModel::parameters() const {
+  std::vector<nn::Tensor> params;
+  for (const auto& set : edgeWeights_) {
+    for (const nn::Tensor& w : set) params.push_back(w);
+  }
+  for (const nn::GruCell& gru : grus_) {
+    const auto gp = gru.parameters();
+    params.insert(params.end(), gp.begin(), gp.end());
+  }
+  if (inputProj_.valid()) params.push_back(inputProj_);
+  return params;
+}
+
+}  // namespace ancstr

@@ -1,0 +1,82 @@
+// The gated-graph-network model (paper Section IV-C, Eq. 1):
+//
+//   h_v^(k) = GRU(h_v^(k-1), sum_{u in N_in(v)} W_{e_uv} h_u^(k-1))
+//
+// In batched form, layer k computes M = sum_tau A_tau (H W_tau) followed by
+// H = GRU(M, H), where A_tau is the in-adjacency of edge type tau (|W| = 4).
+// Weights are shared across the K propagation steps (GGNN-style); set
+// GnnConfig::sharedWeights = false for the per-layer ablation.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "core/graph_builder.h"
+#include "nn/gru.h"
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace ancstr {
+
+struct GnnConfig {
+  std::size_t featureDim = 18;  ///< input feature width (Table II: 18)
+  std::size_t hiddenDim = 18;   ///< D, the paper's output dimension
+  int numLayers = 2;            ///< K, hops aggregated
+  bool sharedWeights = true;    ///< share W_tau and the GRU across layers
+  /// Eq. 1 sums neighbour messages (paper / GGNN). Enabling this divides
+  /// the summed message by the in-degree (GraphSAGE-style mean), which
+  /// trades degree awareness for robustness to hub nets — an extension
+  /// ablated in bench/ablation_model.
+  bool meanAggregation = false;
+
+  bool operator==(const GnnConfig&) const = default;
+};
+
+/// A graph preprocessed for training/inference: per-type adjacency
+/// operators, feature matrix, and deduped in-neighbour lists (for the
+/// contrastive loss positives).
+struct PreparedGraph {
+  std::array<nn::SparseMatrix, kNumEdgeTypes> inAdjacency;
+  nn::Matrix features;  ///< row i = features of graph vertex i
+  std::vector<std::vector<std::uint32_t>> inNeighbors;
+  /// 1 / (total typed in-degree), 0 for isolated vertices (mean agg.).
+  std::vector<double> inverseInDegree;
+  /// vertex -> flat device id, copied from the source CircuitGraph.
+  std::vector<FlatDeviceId> vertexToDevice;
+
+  std::size_t numVertices() const { return vertexToDevice.size(); }
+};
+
+/// Builds a PreparedGraph from a constructed circuit graph and features.
+PreparedGraph prepareGraph(const CircuitGraph& graph, nn::Matrix features);
+
+/// The trainable GNN.
+class GnnModel {
+ public:
+  GnnModel(GnnConfig config, Rng& rng);
+
+  /// Autograd forward pass; returns Z (numVertices x hiddenDim) on tape.
+  nn::Tensor forward(const PreparedGraph& g) const;
+
+  /// Tape-free inference; returns the final embedding matrix.
+  nn::Matrix embed(const PreparedGraph& g) const;
+
+  /// All trainable parameters.
+  std::vector<nn::Tensor> parameters() const;
+
+  const GnnConfig& config() const { return config_; }
+
+ private:
+  std::size_t weightSetFor(int layer) const {
+    return config_.sharedWeights ? 0u : static_cast<std::size_t>(layer);
+  }
+
+  GnnConfig config_;
+  /// [weightSet][edgeType] message transforms, hiddenDim x hiddenDim.
+  std::vector<std::array<nn::Tensor, kNumEdgeTypes>> edgeWeights_;
+  std::vector<nn::GruCell> grus_;
+  /// Optional input projection when featureDim != hiddenDim.
+  nn::Tensor inputProj_;
+};
+
+}  // namespace ancstr

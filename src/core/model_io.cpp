@@ -1,0 +1,98 @@
+#include "core/model_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace ancstr {
+namespace {
+
+constexpr const char* kMagic = "ancstr-gnn-model";
+// v1: featureDim hiddenDim numLayers sharedWeights
+// v2: + meanAggregation
+constexpr int kVersion = 2;
+
+}  // namespace
+
+void saveModel(const GnnModel& model, std::ostream& os) {
+  const GnnConfig& c = model.config();
+  os << kMagic << ' ' << kVersion << '\n';
+  os << c.featureDim << ' ' << c.hiddenDim << ' ' << c.numLayers << ' '
+     << (c.sharedWeights ? 1 : 0) << ' ' << (c.meanAggregation ? 1 : 0)
+     << '\n';
+  os << std::setprecision(17);
+  const auto params = model.parameters();
+  os << params.size() << '\n';
+  for (const nn::Tensor& p : params) {
+    const nn::Matrix& m = p.value();
+    os << m.rows() << ' ' << m.cols();
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+      for (std::size_t col = 0; col < m.cols(); ++col) os << ' ' << m(r, col);
+    }
+    os << '\n';
+  }
+}
+
+void saveModelFile(const GnnModel& model, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw Error("saveModel: cannot open '" + path + "'");
+  saveModel(model, out);
+  if (!out) throw Error("saveModel: write failure on '" + path + "'");
+}
+
+GnnModel loadModel(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  if (!(is >> magic >> version) || magic != kMagic) {
+    throw Error("loadModel: not an ancstr model file");
+  }
+  if (version != 1 && version != kVersion) {
+    throw Error("loadModel: unsupported version " + std::to_string(version));
+  }
+  GnnConfig config;
+  int shared = 0;
+  if (!(is >> config.featureDim >> config.hiddenDim >> config.numLayers >>
+        shared)) {
+    throw Error("loadModel: truncated config");
+  }
+  config.sharedWeights = shared != 0;
+  if (version >= 2) {
+    int mean = 0;
+    if (!(is >> mean)) throw Error("loadModel: truncated config (v2)");
+    config.meanAggregation = mean != 0;
+  }
+
+  // The RNG only seeds initial weights, which we immediately overwrite.
+  Rng rng(0);
+  GnnModel model(config, rng);
+  auto params = model.parameters();
+
+  std::size_t count = 0;
+  if (!(is >> count) || count != params.size()) {
+    throw Error("loadModel: parameter count mismatch");
+  }
+  for (nn::Tensor& p : params) {
+    std::size_t rows = 0, cols = 0;
+    if (!(is >> rows >> cols) || rows != p.rows() || cols != p.cols()) {
+      throw Error("loadModel: parameter shape mismatch");
+    }
+    nn::Matrix m(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        if (!(is >> m(r, c))) throw Error("loadModel: truncated matrix data");
+      }
+    }
+    p.setValue(std::move(m));
+  }
+  return model;
+}
+
+GnnModel loadModelFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("loadModel: cannot open '" + path + "'");
+  return loadModel(in);
+}
+
+}  // namespace ancstr

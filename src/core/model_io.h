@@ -1,0 +1,21 @@
+// Model parameter persistence: a small, versioned, human-readable text
+// format so trained models can be shipped next to netlists.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/model.h"
+
+namespace ancstr {
+
+/// Serialises config + all parameter matrices.
+void saveModel(const GnnModel& model, std::ostream& os);
+void saveModelFile(const GnnModel& model, const std::string& path);
+
+/// Reads a model saved by saveModel. Throws Error on format/version
+/// mismatch or if the parameter count/shape disagrees with the config.
+GnnModel loadModel(std::istream& is);
+GnnModel loadModelFile(const std::string& path);
+
+}  // namespace ancstr

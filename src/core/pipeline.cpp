@@ -1,0 +1,75 @@
+#include "core/pipeline.h"
+
+#include "core/model_io.h"
+#include "util/error.h"
+#include "util/timer.h"
+
+namespace ancstr {
+
+Pipeline::Pipeline(PipelineConfig config) : config_(std::move(config)) {
+  if (config_.model.featureDim != config_.features.dims()) {
+    throw Error("PipelineConfig: model.featureDim must equal features.dims()");
+  }
+}
+
+PreparedGraph Pipeline::prepare(const Library& lib,
+                                const FlatDesign& design) const {
+  (void)lib;
+  const CircuitGraph graph = buildHeteroGraph(design, config_.graph);
+  nn::Matrix features = buildFeatureMatrix(design, config_.features);
+  return prepareGraph(graph, std::move(features));
+}
+
+TrainStats Pipeline::train(const std::vector<const Library*>& corpus) {
+  Rng rng(config_.seed);
+  model_ = std::make_unique<GnnModel>(config_.model, rng);
+
+  std::vector<PreparedGraph> prepared;
+  prepared.reserve(corpus.size());
+  for (const Library* lib : corpus) {
+    ANCSTR_ASSERT(lib != nullptr);
+    const FlatDesign design = FlatDesign::elaborate(*lib);
+    prepared.push_back(prepare(*lib, design));
+  }
+  return trainUnsupervised(*model_, prepared, config_.train, rng);
+}
+
+ExtractionResult Pipeline::extract(const Library& lib) const {
+  if (!model_) throw Error("Pipeline::extract before train()/loadModel()");
+  ExtractionResult result;
+
+  Stopwatch watch;
+  const FlatDesign design = FlatDesign::elaborate(lib);
+  const PreparedGraph g = prepare(lib, design);
+  result.timing.graphBuildSeconds = watch.seconds();
+
+  watch.reset();
+  const nn::Matrix z = model_->embed(g);
+  result.timing.inferenceSeconds = watch.seconds();
+
+  watch.reset();
+  // Embeddings are indexed by graph vertex; the full-design graph covers
+  // devices in id order so row i == device i.
+  DetectorConfig detector = config_.detector;
+  detector.graphOptions = config_.graph;
+  const BlockEmbeddingContext blockContext{*model_, config_.features};
+  result.detection = detectConstraints(design, lib, z, detector, blockContext);
+  result.timing.detectionSeconds = watch.seconds();
+  result.embeddings = z;
+  return result;
+}
+
+const GnnModel& Pipeline::model() const {
+  if (!model_) throw Error("Pipeline::model before train()/loadModel()");
+  return *model_;
+}
+
+void Pipeline::saveModel(const std::string& path) const {
+  saveModelFile(model(), path);
+}
+
+void Pipeline::loadModel(const std::string& path) {
+  model_ = std::make_unique<GnnModel>(loadModelFile(path));
+}
+
+}  // namespace ancstr

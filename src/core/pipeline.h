@@ -1,0 +1,83 @@
+// End-to-end facade over the full flow of Fig. 4: multigraph construction,
+// feature init, unsupervised GNN training, circuit embedding, and
+// constraint detection. Train once on a corpus, then extract constraints
+// from any circuit (the model is inductive).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/detector.h"
+#include "core/features.h"
+#include "core/trainer.h"
+
+namespace ancstr {
+
+struct PipelineConfig {
+  FeatureConfig features;
+  GraphBuildOptions graph;
+  GnnConfig model;
+  TrainConfig train;
+  DetectorConfig detector;
+  std::uint64_t seed = 42;
+
+  PipelineConfig() {
+    model.featureDim = features.dims();
+    // Supply/clock hub nets expand into huge cliques under Algorithm 1,
+    // which (a) costs |net|^2 edges and (b) makes every rail-connected
+    // device 1-hop adjacent to every other, collapsing their embeddings.
+    // Production default: skip nets beyond this degree (0 = paper-literal
+    // full cliques; see GraphBuildOptions).
+    graph.maxNetDegree = 64;
+  }
+};
+
+/// Wall-clock breakdown of one extraction (Tables V/VI runtime columns
+/// exclude training, matching the paper's footnote).
+struct ExtractTiming {
+  double graphBuildSeconds = 0.0;
+  double inferenceSeconds = 0.0;
+  double detectionSeconds = 0.0;
+
+  double total() const {
+    return graphBuildSeconds + inferenceSeconds + detectionSeconds;
+  }
+};
+
+/// Extraction output: scored candidates + accepted constraints + timing.
+struct ExtractionResult {
+  DetectionResult detection;
+  ExtractTiming timing;
+  /// Trained per-device embeddings (row = FlatDeviceId) — input for
+  /// downstream analyses such as array-group detection (core/arrays.h).
+  nn::Matrix embeddings;
+};
+
+class Pipeline {
+ public:
+  explicit Pipeline(PipelineConfig config = {});
+
+  /// Trains the GNN on the given circuits (unsupervised; no labels).
+  TrainStats train(const std::vector<const Library*>& corpus);
+
+  /// True once train() or loadModel() has run.
+  bool isTrained() const { return model_ != nullptr; }
+
+  /// Extracts symmetry constraints from one circuit.
+  ExtractionResult extract(const Library& lib) const;
+
+  const GnnModel& model() const;
+  const PipelineConfig& config() const { return config_; }
+
+  void saveModel(const std::string& path) const;
+  void loadModel(const std::string& path);
+
+ private:
+  PreparedGraph prepare(const Library& lib, const FlatDesign& design) const;
+
+  PipelineConfig config_;
+  std::unique_ptr<GnnModel> model_;
+};
+
+}  // namespace ancstr

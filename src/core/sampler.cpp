@@ -1,0 +1,67 @@
+#include "core/sampler.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace ancstr {
+
+ContrastiveBatch sampleContrastiveBatch(const PreparedGraph& g,
+                                        int numNegatives, Rng& rng) {
+  ContrastiveBatch batch;
+  const std::size_t n = g.numVertices();
+  if (n < 2) return batch;
+
+  for (std::uint32_t v = 0; v < n; ++v) {
+    for (const std::uint32_t u : g.inNeighbors[v]) {
+      batch.posV.push_back(v);
+      batch.posU.push_back(u);
+    }
+  }
+
+  for (std::uint32_t v = 0; v < n; ++v) {
+    const auto& neigh = g.inNeighbors[v];  // sorted
+    // Uniform over vertices that are neither v nor in-neighbours of v.
+    // Rejection sampling; if the graph is almost complete fall back to
+    // any-other-vertex to avoid spinning.
+    const bool dense = neigh.size() + 1 >= n;
+    for (int s = 0; s < numNegatives; ++s) {
+      std::uint32_t cand = 0;
+      int attempts = 0;
+      do {
+        cand = static_cast<std::uint32_t>(rng.index(n));
+        ++attempts;
+      } while (!dense && attempts < 64 &&
+               (cand == v ||
+                std::binary_search(neigh.begin(), neigh.end(), cand)));
+      if (cand == v) cand = static_cast<std::uint32_t>((v + 1) % n);
+      batch.negV.push_back(v);
+      batch.negU.push_back(cand);
+    }
+  }
+  return batch;
+}
+
+nn::Tensor contrastiveLoss(const nn::Tensor& z, const ContrastiveBatch& batch,
+                           bool meanReduction) {
+  ANCSTR_ASSERT(!batch.posV.empty() || !batch.negV.empty());
+  nn::Tensor total;
+  if (!batch.posV.empty()) {
+    const nn::Tensor scores = nn::rowSum(nn::hadamard(
+        nn::gatherRows(z, batch.posV), nn::gatherRows(z, batch.posU)));
+    total = nn::scale(nn::sumAll(nn::logSigmoid(scores)), -1.0);
+  }
+  if (!batch.negV.empty()) {
+    const nn::Tensor scores = nn::rowSum(nn::hadamard(
+        nn::gatherRows(z, batch.negV), nn::gatherRows(z, batch.negU)));
+    const nn::Tensor term =
+        nn::scale(nn::sumAll(nn::logSigmoid(nn::scale(scores, -1.0))), -1.0);
+    total = total.valid() ? nn::add(total, term) : term;
+  }
+  if (meanReduction) {
+    total = nn::scale(total, 1.0 / static_cast<double>(batch.size()));
+  }
+  return total;
+}
+
+}  // namespace ancstr

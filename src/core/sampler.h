@@ -1,0 +1,34 @@
+// Positive / negative pair sampling for the unsupervised loss (Eq. 2).
+// Positives are all (v, u) with u a 1-hop in-neighbour of v; negatives are
+// B uniform draws per vertex from the non-neighbours.
+#pragma once
+
+#include <vector>
+
+#include "core/model.h"
+#include "util/rng.h"
+
+namespace ancstr {
+
+/// Index pairs feeding the contrastive loss. posV[i] pairs with posU[i];
+/// negV[i] pairs with negU[i].
+struct ContrastiveBatch {
+  std::vector<std::size_t> posV, posU;
+  std::vector<std::size_t> negV, negU;
+
+  std::size_t size() const { return posV.size() + negV.size(); }
+};
+
+/// Draws a fresh batch: every in-neighbour edge as a positive, plus
+/// `numNegatives` (the paper's B = 5) negatives per vertex.
+ContrastiveBatch sampleContrastiveBatch(const PreparedGraph& g,
+                                        int numNegatives, Rng& rng);
+
+/// Eq. 2 over a whole embedding matrix:
+///   L = -sum log sigmoid(z_u . z_v) - sum log sigmoid(-z_n . z_v)
+/// With meanReduction, divides by the number of terms (stabilises Adam
+/// across graphs of very different sizes; the paper's L_tot is the sum).
+nn::Tensor contrastiveLoss(const nn::Tensor& z, const ContrastiveBatch& batch,
+                           bool meanReduction);
+
+}  // namespace ancstr

@@ -1,0 +1,57 @@
+#include "core/trainer.h"
+
+#include <numeric>
+
+#include "nn/optim.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace ancstr {
+
+TrainStats trainUnsupervised(GnnModel& model,
+                             const std::vector<PreparedGraph>& corpus,
+                             const TrainConfig& config, Rng& rng) {
+  TrainStats stats;
+  const Stopwatch watch;
+
+  const std::vector<nn::Tensor> params = model.parameters();
+  nn::Adam::Config adamConfig;
+  adamConfig.lr = config.learningRate;
+  nn::Adam optimizer(params, adamConfig);
+
+  std::vector<std::size_t> order(corpus.size());
+  std::iota(order.begin(), order.end(), 0u);
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.shuffle(order);
+    double lossSum = 0.0;
+    std::size_t lossCount = 0;
+    for (const std::size_t gi : order) {
+      const PreparedGraph& g = corpus[gi];
+      if (g.numVertices() < 2) continue;
+      const ContrastiveBatch batch =
+          sampleContrastiveBatch(g, config.negativeSamples, rng);
+      if (batch.size() == 0) continue;
+
+      nn::Tensor z = model.forward(g);
+      nn::Tensor loss = contrastiveLoss(z, batch, config.meanReduction);
+      nn::zeroGrads(params);
+      loss.backward();
+      if (config.clipNorm > 0.0) nn::clipGradNorm(params, config.clipNorm);
+      optimizer.step();
+
+      lossSum += loss.value()(0, 0);
+      ++lossCount;
+    }
+    const double epochLoss =
+        lossCount > 0 ? lossSum / static_cast<double>(lossCount) : 0.0;
+    stats.epochLoss.push_back(epochLoss);
+    if (config.verbose) {
+      log::info() << "epoch " << epoch << " loss " << epochLoss;
+    }
+  }
+  stats.seconds = watch.seconds();
+  return stats;
+}
+
+}  // namespace ancstr

@@ -1,0 +1,39 @@
+// Unsupervised inductive training loop (paper Section IV-C): minimise the
+// graph-context loss (Eq. 2) with Adam over all circuits of the corpus.
+// Training is inductive — the resulting weights apply to unseen circuits.
+#pragma once
+
+#include <vector>
+
+#include "core/model.h"
+#include "core/sampler.h"
+#include "util/rng.h"
+
+namespace ancstr {
+
+struct TrainConfig {
+  int epochs = 80;
+  double learningRate = 5e-3;
+  int negativeSamples = 5;     ///< B in Eq. 2
+  double clipNorm = 5.0;       ///< global gradient-norm clip; <=0 disables
+  bool meanReduction = true;   ///< see contrastiveLoss
+  bool verbose = false;        ///< log per-epoch loss
+};
+
+struct TrainStats {
+  std::vector<double> epochLoss;  ///< mean loss per epoch
+  double seconds = 0.0;
+
+  double finalLoss() const {
+    return epochLoss.empty() ? 0.0 : epochLoss.back();
+  }
+};
+
+/// Trains `model` in place over the prepared corpus. Deterministic for a
+/// given rng state. Throws ShapeError when graph features disagree with
+/// the model's configured featureDim.
+TrainStats trainUnsupervised(GnnModel& model,
+                             const std::vector<PreparedGraph>& corpus,
+                             const TrainConfig& config, Rng& rng);
+
+}  // namespace ancstr

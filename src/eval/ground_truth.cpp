@@ -1,0 +1,97 @@
+#include "eval/ground_truth.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/string_utils.h"
+
+namespace ancstr {
+namespace {
+
+std::string pairKey(std::string_view hierPath, std::string_view a,
+                    std::string_view b) {
+  std::string la = str::toLower(a);
+  std::string lb = str::toLower(b);
+  if (lb < la) std::swap(la, lb);
+  return str::toLower(hierPath) + "|" + la + "|" + lb;
+}
+
+}  // namespace
+
+GroundTruth::GroundTruth(std::vector<GroundTruthEntry> entries)
+    : entries_(std::move(entries)) {
+  for (const GroundTruthEntry& e : entries_) {
+    keys_.insert(pairKey(e.hierPath, e.nameA, e.nameB));
+  }
+}
+
+bool GroundTruth::contains(std::string_view hierPath, std::string_view a,
+                           std::string_view b) const {
+  return keys_.count(pairKey(hierPath, a, b)) != 0;
+}
+
+bool GroundTruth::matches(const FlatDesign& design,
+                          const CandidatePair& pair) const {
+  const std::string& hierPath = design.node(pair.hierarchy).path;
+  return contains(hierPath, pair.nameA, pair.nameB);
+}
+
+std::vector<bool> labelCandidates(const FlatDesign& design,
+                                  const std::vector<ScoredCandidate>& scored,
+                                  const GroundTruth& truth) {
+  std::vector<bool> labels(scored.size(), false);
+  for (std::size_t i = 0; i < scored.size(); ++i) {
+    labels[i] = truth.matches(design, scored[i].pair);
+  }
+  return labels;
+}
+
+namespace {
+
+ConfusionCounts confusionImpl(const std::vector<ScoredCandidate>& scored,
+                              const std::vector<bool>& labels,
+                              const ConstraintLevel* levelFilter) {
+  ANCSTR_ASSERT(scored.size() == labels.size());
+  ConfusionCounts counts;
+  for (std::size_t i = 0; i < scored.size(); ++i) {
+    if (levelFilter != nullptr && scored[i].pair.level != *levelFilter) {
+      continue;
+    }
+    const bool predicted = scored[i].accepted;
+    const bool actual = labels[i];
+    if (predicted && actual) {
+      ++counts.tp;
+    } else if (predicted && !actual) {
+      ++counts.fp;
+    } else if (!predicted && actual) {
+      ++counts.fn;
+    } else {
+      ++counts.tn;
+    }
+  }
+  return counts;
+}
+
+}  // namespace
+
+ConfusionCounts confusionFromScored(const std::vector<ScoredCandidate>& scored,
+                                    const std::vector<bool>& labels) {
+  return confusionImpl(scored, labels, nullptr);
+}
+
+ConfusionCounts confusionFromScored(const std::vector<ScoredCandidate>& scored,
+                                    const std::vector<bool>& labels,
+                                    ConstraintLevel level) {
+  return confusionImpl(scored, labels, &level);
+}
+
+GroundTruth toGroundTruth(const std::vector<ParsedConstraint>& parsed) {
+  std::vector<GroundTruthEntry> entries;
+  for (const ParsedConstraint& p : parsed) {
+    if (p.nameB.empty()) continue;
+    entries.push_back({p.hierPath, p.nameA, p.nameB, p.level});
+  }
+  return GroundTruth(std::move(entries));
+}
+
+}  // namespace ancstr

@@ -1,0 +1,70 @@
+// Designer ground-truth constraints and matching against detector output.
+//
+// Ground truth is a set of (hierarchy path, module name, module name)
+// triples; pair order and name case are normalised. Benchmark generators
+// emit these alongside the netlist; the evaluation harness labels every
+// scored candidate and reduces decisions to a confusion matrix.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "core/candidates.h"
+#include "core/constraint_io.h"
+#include "core/detector.h"
+#include "eval/metrics.h"
+#include "netlist/flatten.h"
+
+namespace ancstr {
+
+/// One designer-annotated symmetry constraint.
+struct GroundTruthEntry {
+  std::string hierPath;  ///< "" for the top cell, else "xfilter/xota"
+  std::string nameA;     ///< local instance or device name
+  std::string nameB;
+  ConstraintLevel level = ConstraintLevel::kDevice;
+};
+
+/// Indexed ground truth for O(1) pair lookups.
+class GroundTruth {
+ public:
+  GroundTruth() = default;
+  explicit GroundTruth(std::vector<GroundTruthEntry> entries);
+
+  std::size_t size() const { return entries_.size(); }
+  const std::vector<GroundTruthEntry>& entries() const { return entries_; }
+
+  /// True when (hierPath, a, b) is annotated (order-insensitive).
+  bool contains(std::string_view hierPath, std::string_view a,
+                std::string_view b) const;
+
+  /// True when the candidate matches an annotated constraint.
+  bool matches(const FlatDesign& design, const CandidatePair& pair) const;
+
+ private:
+  std::vector<GroundTruthEntry> entries_;
+  std::unordered_set<std::string> keys_;
+};
+
+/// Labels candidates against ground truth: out[i] == true iff scored[i]
+/// is an annotated constraint.
+std::vector<bool> labelCandidates(const FlatDesign& design,
+                                  const std::vector<ScoredCandidate>& scored,
+                                  const GroundTruth& truth);
+
+/// Reduces accept decisions + labels to confusion counts, optionally
+/// restricted to one constraint level.
+ConfusionCounts confusionFromScored(
+    const std::vector<ScoredCandidate>& scored, const std::vector<bool>& labels);
+ConfusionCounts confusionFromScored(
+    const std::vector<ScoredCandidate>& scored, const std::vector<bool>& labels,
+    ConstraintLevel level);
+
+/// Converts parsed constraint-file pair records (core/constraint_io) to
+/// GroundTruth; self-symmetric single-name entries are skipped. Use to
+/// diff a detector run against a golden constraint file.
+GroundTruth toGroundTruth(const std::vector<ParsedConstraint>& parsed);
+
+}  // namespace ancstr

@@ -1,0 +1,28 @@
+#include "eval/metrics.h"
+
+namespace ancstr {
+
+ConfusionCounts& ConfusionCounts::operator+=(const ConfusionCounts& rhs) {
+  tp += rhs.tp;
+  fp += rhs.fp;
+  tn += rhs.tn;
+  fn += rhs.fn;
+  return *this;
+}
+
+Metrics computeMetrics(const ConfusionCounts& c) {
+  Metrics m;
+  const double tp = static_cast<double>(c.tp);
+  const double fp = static_cast<double>(c.fp);
+  const double tn = static_cast<double>(c.tn);
+  const double fn = static_cast<double>(c.fn);
+  m.tpr = (tp + fn) > 0.0 ? tp / (tp + fn) : 1.0;
+  m.fpr = (fp + tn) > 0.0 ? fp / (fp + tn) : 0.0;
+  m.ppv = (tp + fp) > 0.0 ? tp / (tp + fp) : (fn == 0.0 ? 1.0 : 0.0);
+  m.acc = c.total() > 0 ? (tp + tn) / static_cast<double>(c.total()) : 1.0;
+  m.f1 = (2.0 * tp + fp + fn) > 0.0 ? 2.0 * tp / (2.0 * tp + fp + fn)
+                                    : (fn == 0.0 && fp == 0.0 ? 1.0 : 0.0);
+  return m;
+}
+
+}  // namespace ancstr

@@ -1,0 +1,33 @@
+// Solution-quality metrics over valid candidate pairs (paper Eq. 6).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace ancstr {
+
+/// Confusion counts of predicted constraints vs. designer ground truth.
+struct ConfusionCounts {
+  std::size_t tp = 0;
+  std::size_t fp = 0;
+  std::size_t tn = 0;
+  std::size_t fn = 0;
+
+  std::size_t total() const { return tp + fp + tn + fn; }
+  ConfusionCounts& operator+=(const ConfusionCounts& rhs);
+};
+
+/// TPR / FPR / PPV / ACC / F1 as defined in Eq. 6. Degenerate denominators
+/// yield the conventional limits (e.g. PPV = 1 when no positives were
+/// predicted and none exist; 0 when positives exist but none were found).
+struct Metrics {
+  double tpr = 0.0;
+  double fpr = 0.0;
+  double ppv = 0.0;
+  double acc = 0.0;
+  double f1 = 0.0;
+};
+
+Metrics computeMetrics(const ConfusionCounts& counts);
+
+}  // namespace ancstr

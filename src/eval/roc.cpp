@@ -1,0 +1,73 @@
+#include "eval/roc.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace ancstr {
+
+RocCurve computeRoc(const std::vector<double>& scores,
+                    const std::vector<bool>& labels) {
+  ANCSTR_ASSERT(scores.size() == labels.size());
+  RocCurve curve;
+  std::size_t positives = 0;
+  for (const bool l : labels) positives += l ? 1u : 0u;
+  const std::size_t negatives = labels.size() - positives;
+
+  if (positives == 0 || negatives == 0) {
+    curve.points = {{1.0, 0.0, 0.0}, {0.0, 1.0, 1.0}};
+    curve.auc = 0.5;
+    return curve;
+  }
+
+  // Sort by descending score; walk thresholds from +inf downwards.
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] > scores[b];
+  });
+
+  curve.points.push_back({scores[order.front()] + 1.0, 0.0, 0.0});
+  std::size_t tp = 0, fp = 0;
+  for (std::size_t i = 0; i < order.size();) {
+    const double s = scores[order[i]];
+    // All candidates tied at this score flip together.
+    while (i < order.size() && scores[order[i]] == s) {
+      if (labels[order[i]]) {
+        ++tp;
+      } else {
+        ++fp;
+      }
+      ++i;
+    }
+    curve.points.push_back(
+        {s, static_cast<double>(fp) / static_cast<double>(negatives),
+         static_cast<double>(tp) / static_cast<double>(positives)});
+  }
+  if (curve.points.back().fpr != 1.0 || curve.points.back().tpr != 1.0) {
+    curve.points.push_back({-1.0, 1.0, 1.0});
+  }
+
+  // Trapezoidal AUC over the staircase.
+  double auc = 0.0;
+  for (std::size_t i = 1; i < curve.points.size(); ++i) {
+    const RocPoint& p0 = curve.points[i - 1];
+    const RocPoint& p1 = curve.points[i];
+    auc += (p1.fpr - p0.fpr) * 0.5 * (p0.tpr + p1.tpr);
+  }
+  curve.auc = auc;
+  return curve;
+}
+
+std::string rocToCsv(const RocCurve& curve) {
+  std::ostringstream os;
+  os << "threshold,fpr,tpr\n";
+  for (const RocPoint& p : curve.points) {
+    os << p.threshold << ',' << p.fpr << ',' << p.tpr << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace ancstr

@@ -1,0 +1,32 @@
+// Receiver-operating-characteristic sweeps and AUC (Figs. 6 and 7).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ancstr {
+
+/// One ROC operating point.
+struct RocPoint {
+  double threshold = 0.0;
+  double fpr = 0.0;
+  double tpr = 0.0;
+};
+
+/// ROC curve with its area under the curve.
+struct RocCurve {
+  std::vector<RocPoint> points;  ///< ascending fpr, from (0,0) to (1,1)
+  double auc = 0.0;
+};
+
+/// Computes the ROC curve from per-candidate (score, label) pairs by
+/// sweeping the acceptance threshold over every distinct score. Scores tied
+/// at a threshold flip together (standard staircase). Returns a degenerate
+/// diagonal curve when labels are single-class.
+RocCurve computeRoc(const std::vector<double>& scores,
+                    const std::vector<bool>& labels);
+
+/// Renders the curve as "fpr,tpr" CSV rows (with header) for plotting.
+std::string rocToCsv(const RocCurve& curve);
+
+}  // namespace ancstr

@@ -1,0 +1,75 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/error.h"
+
+namespace ancstr {
+
+SimpleDigraph::SimpleDigraph(std::size_t numVertices)
+    : out_(numVertices), in_(numVertices) {}
+
+void SimpleDigraph::addEdge(std::uint32_t u, std::uint32_t v) {
+  ANCSTR_ASSERT(u < numVertices() && v < numVertices());
+  auto& adj = out_[u];
+  if (std::find(adj.begin(), adj.end(), v) != adj.end()) return;
+  adj.push_back(v);
+  in_[v].push_back(u);
+  ++numEdges_;
+}
+
+bool SimpleDigraph::hasEdge(std::uint32_t u, std::uint32_t v) const {
+  const auto& adj = out_.at(u);
+  return std::find(adj.begin(), adj.end(), v) != adj.end();
+}
+
+std::vector<std::uint32_t> SimpleDigraph::weakComponents() const {
+  const std::uint32_t unassigned = 0xFFFFFFFFu;
+  std::vector<std::uint32_t> comp(numVertices(), unassigned);
+  std::uint32_t next = 0;
+  std::vector<std::uint32_t> stack;
+  for (std::uint32_t seed = 0; seed < numVertices(); ++seed) {
+    if (comp[seed] != unassigned) continue;
+    comp[seed] = next;
+    stack.push_back(seed);
+    while (!stack.empty()) {
+      const std::uint32_t v = stack.back();
+      stack.pop_back();
+      for (const std::uint32_t w : out_[v]) {
+        if (comp[w] == unassigned) {
+          comp[w] = next;
+          stack.push_back(w);
+        }
+      }
+      for (const std::uint32_t w : in_[v]) {
+        if (comp[w] == unassigned) {
+          comp[w] = next;
+          stack.push_back(w);
+        }
+      }
+    }
+    ++next;
+  }
+  return comp;
+}
+
+std::vector<int> SimpleDigraph::bfsDistances(std::uint32_t source) const {
+  std::vector<int> dist(numVertices(), -1);
+  std::queue<std::uint32_t> frontier;
+  dist.at(source) = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const std::uint32_t v = frontier.front();
+    frontier.pop();
+    for (const std::uint32_t w : out_[v]) {
+      if (dist[w] < 0) {
+        dist[w] = dist[v] + 1;
+        frontier.push(w);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace ancstr

@@ -1,0 +1,45 @@
+// Plain directed graph without parallel edges: the domain of PageRank
+// (Algorithm 2) and the substrate for connectivity queries.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ancstr {
+
+/// Directed graph with at-most-one edge per ordered vertex pair.
+class SimpleDigraph {
+ public:
+  explicit SimpleDigraph(std::size_t numVertices);
+
+  std::size_t numVertices() const { return out_.size(); }
+  std::size_t numEdges() const { return numEdges_; }
+
+  /// Adds u->v once; duplicate insertions are ignored. Self loops allowed.
+  void addEdge(std::uint32_t u, std::uint32_t v);
+
+  bool hasEdge(std::uint32_t u, std::uint32_t v) const;
+
+  const std::vector<std::uint32_t>& outNeighbors(std::uint32_t v) const {
+    return out_.at(v);
+  }
+  const std::vector<std::uint32_t>& inNeighbors(std::uint32_t v) const {
+    return in_.at(v);
+  }
+  std::size_t outDegree(std::uint32_t v) const { return out_.at(v).size(); }
+  std::size_t inDegree(std::uint32_t v) const { return in_.at(v).size(); }
+
+  /// Weakly connected component id per vertex (0-based, dense).
+  std::vector<std::uint32_t> weakComponents() const;
+
+  /// BFS hop distance from `source` (-1 for unreachable), following out
+  /// edges only.
+  std::vector<int> bfsDistances(std::uint32_t source) const;
+
+ private:
+  std::vector<std::vector<std::uint32_t>> out_;
+  std::vector<std::vector<std::uint32_t>> in_;
+  std::size_t numEdges_ = 0;
+};
+
+}  // namespace ancstr

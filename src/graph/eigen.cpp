@@ -1,0 +1,98 @@
+#include "graph/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace ancstr {
+namespace {
+
+double offDiagonalNorm(const nn::Matrix& a) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = i + 1; j < a.cols(); ++j) sum += a(i, j) * a(i, j);
+  }
+  return std::sqrt(2.0 * sum);
+}
+
+}  // namespace
+
+EigenResult jacobiEigen(const nn::Matrix& sym, const JacobiOptions& options) {
+  if (sym.rows() != sym.cols()) {
+    throw ShapeError("jacobiEigen: matrix not square: " + sym.shapeString());
+  }
+  const std::size_t n = sym.rows();
+  nn::Matrix a = sym;
+  nn::Matrix v = options.computeVectors ? nn::Matrix::identity(n)
+                                        : nn::Matrix();
+
+  for (int sweep = 0; sweep < options.maxSweeps; ++sweep) {
+    if (offDiagonalNorm(a) < options.tolerance) break;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::fabs(apq) < 1e-300) continue;
+        const double app = a(p, p);
+        const double aqq = a(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k);
+          const double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        if (options.computeVectors) {
+          for (std::size_t k = 0; k < n; ++k) {
+            const double vkp = v(k, p);
+            const double vkq = v(k, q);
+            v(k, p) = c * vkp - s * vkq;
+            v(k, q) = s * vkp + c * vkq;
+          }
+        }
+      }
+    }
+  }
+
+  EigenResult result;
+  result.values.resize(n);
+  for (std::size_t i = 0; i < n; ++i) result.values[i] = a(i, i);
+
+  // Sort ascending, permuting vectors alongside.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return result.values[x] < result.values[y];
+  });
+  std::vector<double> sorted(n);
+  for (std::size_t i = 0; i < n; ++i) sorted[i] = result.values[order[i]];
+  result.values = std::move(sorted);
+  if (options.computeVectors) {
+    nn::Matrix vs(n, n);
+    for (std::size_t col = 0; col < n; ++col) {
+      for (std::size_t rowIdx = 0; rowIdx < n; ++rowIdx) {
+        vs(rowIdx, col) = v(rowIdx, order[col]);
+      }
+    }
+    result.vectors = std::move(vs);
+  }
+  return result;
+}
+
+std::vector<double> symmetricEigenvalues(const nn::Matrix& sym) {
+  return jacobiEigen(sym).values;
+}
+
+}  // namespace ancstr

@@ -1,0 +1,31 @@
+// Dense symmetric eigensolver (cyclic Jacobi). Powers the S3DET baseline's
+// graph-spectra computation.
+#pragma once
+
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace ancstr {
+
+struct EigenResult {
+  std::vector<double> values;  ///< ascending
+  nn::Matrix vectors;          ///< column i pairs with values[i]; may be empty
+};
+
+struct JacobiOptions {
+  int maxSweeps = 64;
+  double tolerance = 1e-12;  ///< off-diagonal Frobenius norm target
+  bool computeVectors = false;
+};
+
+/// Eigen-decomposition of a symmetric matrix via cyclic Jacobi rotations.
+/// Throws ShapeError when `sym` is not square; symmetry is assumed (the
+/// upper triangle is trusted).
+EigenResult jacobiEigen(const nn::Matrix& sym,
+                        const JacobiOptions& options = {});
+
+/// Convenience: ascending eigenvalues only.
+std::vector<double> symmetricEigenvalues(const nn::Matrix& sym);
+
+}  // namespace ancstr

@@ -1,0 +1,73 @@
+#include "graph/hungarian.h"
+
+#include <limits>
+
+#include "util/error.h"
+
+namespace ancstr {
+
+AssignmentResult solveAssignment(const nn::Matrix& cost) {
+  if (cost.rows() != cost.cols()) {
+    throw ShapeError("solveAssignment: cost matrix must be square, got " +
+                     cost.shapeString());
+  }
+  const std::size_t n = cost.rows();
+  AssignmentResult result;
+  if (n == 0) return result;
+
+  // Kuhn-Munkres with row/column potentials; 1-based internal arrays
+  // (the classic e-maxx formulation).
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> u(n + 1, 0.0), v(n + 1, 0.0);
+  std::vector<std::size_t> p(n + 1, 0), way(n + 1, 0);
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    p[0] = i;
+    std::size_t j0 = 0;
+    std::vector<double> minv(n + 1, kInf);
+    std::vector<bool> used(n + 1, false);
+    do {
+      used[j0] = true;
+      const std::size_t i0 = p[j0];
+      double delta = kInf;
+      std::size_t j1 = 0;
+      for (std::size_t j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        const double cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (std::size_t j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    do {
+      const std::size_t j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  result.assignment.resize(n);
+  for (std::size_t j = 1; j <= n; ++j) {
+    result.assignment[p[j] - 1] = j - 1;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    result.cost += cost(i, result.assignment[i]);
+  }
+  return result;
+}
+
+}  // namespace ancstr

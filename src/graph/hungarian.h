@@ -1,0 +1,22 @@
+// Hungarian algorithm (Kuhn-Munkres with potentials): minimum-cost
+// perfect assignment on a square cost matrix in O(n^3). Substrate for the
+// bipartite graph-edit-distance approximation baseline.
+#pragma once
+
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace ancstr {
+
+struct AssignmentResult {
+  /// assignment[row] = column matched to that row.
+  std::vector<std::size_t> assignment;
+  double cost = 0.0;
+};
+
+/// Solves min-cost perfect matching for a square cost matrix.
+/// Throws ShapeError for non-square input.
+AssignmentResult solveAssignment(const nn::Matrix& cost);
+
+}  // namespace ancstr

@@ -1,0 +1,54 @@
+#include "graph/laplacian.h"
+
+#include <cmath>
+
+namespace ancstr {
+
+nn::Matrix undirectedAdjacency(const SimpleDigraph& g) {
+  const std::size_t n = g.numVertices();
+  nn::Matrix a(n, n);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (const std::uint32_t v : g.outNeighbors(u)) {
+      if (u == v) continue;  // self loops carry no Laplacian weight
+      a(u, v) = 1.0;
+      a(v, u) = 1.0;
+    }
+  }
+  return a;
+}
+
+nn::Matrix combinatorialLaplacian(const SimpleDigraph& g) {
+  nn::Matrix a = undirectedAdjacency(g);
+  const std::size_t n = a.rows();
+  nn::Matrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double degree = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      degree += a(i, j);
+      l(i, j) = -a(i, j);
+    }
+    l(i, i) = degree;
+  }
+  return l;
+}
+
+nn::Matrix normalizedLaplacian(const SimpleDigraph& g) {
+  nn::Matrix a = undirectedAdjacency(g);
+  const std::size_t n = a.rows();
+  std::vector<double> invSqrtDeg(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double degree = 0.0;
+    for (std::size_t j = 0; j < n; ++j) degree += a(i, j);
+    invSqrtDeg[i] = degree > 0.0 ? 1.0 / std::sqrt(degree) : 0.0;
+  }
+  nn::Matrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      l(i, j) = -invSqrtDeg[i] * a(i, j) * invSqrtDeg[j];
+    }
+    if (invSqrtDeg[i] > 0.0) l(i, i) += 1.0;
+  }
+  return l;
+}
+
+}  // namespace ancstr

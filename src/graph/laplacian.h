@@ -1,0 +1,21 @@
+// Graph Laplacian builders over the undirected view of a SimpleDigraph.
+// The S3DET baseline compares subcircuits through the spectra of these
+// operators.
+#pragma once
+
+#include "graph/digraph.h"
+#include "nn/matrix.h"
+
+namespace ancstr {
+
+/// Undirected 0/1 adjacency: A[u][v] = A[v][u] = 1 iff u->v or v->u.
+nn::Matrix undirectedAdjacency(const SimpleDigraph& g);
+
+/// Combinatorial Laplacian L = D - A over the undirected view.
+nn::Matrix combinatorialLaplacian(const SimpleDigraph& g);
+
+/// Symmetric normalised Laplacian I - D^(-1/2) A D^(-1/2); isolated
+/// vertices contribute zero rows/cols.
+nn::Matrix normalizedLaplacian(const SimpleDigraph& g);
+
+}  // namespace ancstr

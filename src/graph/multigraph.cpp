@@ -1,0 +1,62 @@
+#include "graph/multigraph.h"
+
+#include <algorithm>
+
+#include "graph/digraph.h"
+#include "util/error.h"
+
+namespace ancstr {
+
+HeteroMultigraph::HeteroMultigraph(std::size_t numVertices)
+    : inEdges_(numVertices), outEdges_(numVertices) {}
+
+void HeteroMultigraph::addEdge(std::uint32_t src, std::uint32_t dst,
+                               EdgeType type) {
+  ANCSTR_ASSERT(src < numVertices() && dst < numVertices());
+  const std::uint32_t idx = static_cast<std::uint32_t>(edges_.size());
+  edges_.push_back(HeteroEdge{src, dst, type});
+  outEdges_[src].push_back(idx);
+  inEdges_[dst].push_back(idx);
+}
+
+std::vector<std::uint32_t> HeteroMultigraph::inNeighbors(
+    std::uint32_t v) const {
+  std::vector<std::uint32_t> out;
+  out.reserve(inEdges_.at(v).size());
+  for (const std::uint32_t e : inEdges_[v]) out.push_back(edges_[e].src);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+nn::SparseMatrix HeteroMultigraph::inAdjacency(EdgeType type) const {
+  std::vector<nn::Triplet> triplets;
+  for (const HeteroEdge& e : edges_) {
+    if (e.type == type) triplets.push_back({e.dst, e.src, 1.0});
+  }
+  return nn::SparseMatrix(numVertices(), numVertices(), std::move(triplets));
+}
+
+SimpleDigraph HeteroMultigraph::simplified() const {
+  SimpleDigraph g(numVertices());
+  for (const HeteroEdge& e : edges_) g.addEdge(e.src, e.dst);
+  return g;
+}
+
+std::vector<std::size_t> HeteroMultigraph::edgeTypeHistogram() const {
+  std::vector<std::size_t> hist(kNumEdgeTypes, 0);
+  for (const HeteroEdge& e : edges_) ++hist[static_cast<std::size_t>(e.type)];
+  return hist;
+}
+
+const char* edgeTypeName(EdgeType t) noexcept {
+  switch (t) {
+    case EdgeType::kGate: return "gate";
+    case EdgeType::kDrain: return "drain";
+    case EdgeType::kSource: return "source";
+    case EdgeType::kPassive: return "passive";
+  }
+  return "?";
+}
+
+}  // namespace ancstr

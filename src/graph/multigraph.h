@@ -1,0 +1,78 @@
+// Heterogeneous directed multigraph (paper Section IV-A).
+//
+// Vertices are primitive devices; a directed edge (u, v, tau) records that
+// some net connects u to port type tau of v. Parallel edges are permitted
+// (multigraph). The edge type set P = {gate, drain, source, passive} has
+// exactly four members, matching |W| = 4 in Eq. 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/sparse.h"
+
+namespace ancstr {
+
+/// Port type of the *target* pin of a directed edge (the paper's tau_v).
+enum class EdgeType : std::uint8_t {
+  kGate = 0,
+  kDrain,
+  kSource,
+  kPassive,
+};
+
+inline constexpr std::size_t kNumEdgeTypes = 4;
+
+/// One directed typed edge.
+struct HeteroEdge {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  EdgeType type = EdgeType::kPassive;
+};
+
+class SimpleDigraph;
+
+/// Immutable-size heterogeneous multigraph over `numVertices` vertices.
+class HeteroMultigraph {
+ public:
+  explicit HeteroMultigraph(std::size_t numVertices);
+
+  std::size_t numVertices() const { return inEdges_.size(); }
+  std::size_t numEdges() const { return edges_.size(); }
+  const std::vector<HeteroEdge>& edges() const { return edges_; }
+
+  /// Adds edge (src, dst, type); parallel duplicates are allowed.
+  void addEdge(std::uint32_t src, std::uint32_t dst, EdgeType type);
+
+  /// Edge indices entering / leaving `v`.
+  const std::vector<std::uint32_t>& inEdges(std::uint32_t v) const {
+    return inEdges_.at(v);
+  }
+  const std::vector<std::uint32_t>& outEdges(std::uint32_t v) const {
+    return outEdges_.at(v);
+  }
+
+  /// Distinct in-neighbours of `v` (parallel edges collapsed), sorted.
+  std::vector<std::uint32_t> inNeighbors(std::uint32_t v) const;
+
+  /// In-adjacency operator for one edge type: rows = dst, cols = src,
+  /// entry = multiplicity. Message passing computes M = A_tau * H.
+  nn::SparseMatrix inAdjacency(EdgeType type) const;
+
+  /// Paper Algorithm 2 lines 1-4: drops edge types and parallel edges,
+  /// keeping direction (at most one u->v edge).
+  SimpleDigraph simplified() const;
+
+  /// Count of edges of each type (diagnostics / tests).
+  std::vector<std::size_t> edgeTypeHistogram() const;
+
+ private:
+  std::vector<HeteroEdge> edges_;
+  std::vector<std::vector<std::uint32_t>> inEdges_;
+  std::vector<std::vector<std::uint32_t>> outEdges_;
+};
+
+/// Lower-case edge-type name ("gate", "drain", "source", "passive").
+const char* edgeTypeName(EdgeType t) noexcept;
+
+}  // namespace ancstr

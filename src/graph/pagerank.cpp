@@ -1,0 +1,53 @@
+#include "graph/pagerank.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace ancstr {
+
+std::vector<double> pageRank(const SimpleDigraph& g,
+                             const PageRankOptions& options) {
+  const std::size_t n = g.numVertices();
+  if (n == 0) return {};
+  const double uniform = 1.0 / static_cast<double>(n);
+  std::vector<double> rank(n, uniform);
+  std::vector<double> next(n, 0.0);
+
+  for (int iter = 0; iter < options.maxIterations; ++iter) {
+    double danglingMass = 0.0;
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (g.outDegree(v) == 0) danglingMass += rank[v];
+    }
+    const double base =
+        (1.0 - options.damping) * uniform +
+        options.damping * danglingMass * uniform;
+    std::fill(next.begin(), next.end(), base);
+    for (std::uint32_t v = 0; v < n; ++v) {
+      for (const std::uint32_t u : g.inNeighbors(v)) {
+        next[v] += options.damping * rank[u] /
+                   static_cast<double>(g.outDegree(u));
+      }
+    }
+    double delta = 0.0;
+    for (std::size_t i = 0; i < n; ++i) delta += std::fabs(next[i] - rank[i]);
+    rank.swap(next);
+    if (delta < options.tolerance) break;
+  }
+  return rank;
+}
+
+std::vector<std::uint32_t> topKByScore(const std::vector<double>& scores,
+                                       std::size_t k) {
+  std::vector<std::uint32_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     if (scores[a] != scores[b]) return scores[a] > scores[b];
+                     return a < b;
+                   });
+  order.resize(std::min(k, order.size()));
+  return order;
+}
+
+}  // namespace ancstr

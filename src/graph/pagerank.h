@@ -1,0 +1,30 @@
+// PageRank (paper Eq. 3) over a SimpleDigraph. Used by circuit feature
+// embedding (Algorithm 2) to select the top-M representative devices of a
+// subcircuit.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace ancstr {
+
+struct PageRankOptions {
+  double damping = 0.85;   ///< the paper's gamma
+  double tolerance = 1e-10;
+  int maxIterations = 200;
+};
+
+/// Computes PageRank scores (sums to 1). Eq. 3 prints the denominator as
+/// |N_out(v)|; the standard (and clearly intended) form divides each
+/// incoming contribution by the *source's* out-degree, which is what we
+/// implement. Dangling vertices redistribute uniformly.
+std::vector<double> pageRank(const SimpleDigraph& g,
+                             const PageRankOptions& options = {});
+
+/// Indices of the top-k vertices by descending score; ties broken by
+/// ascending vertex id for determinism. k is clamped to |V|.
+std::vector<std::uint32_t> topKByScore(const std::vector<double>& scores,
+                                       std::size_t k);
+
+}  // namespace ancstr

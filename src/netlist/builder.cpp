@@ -1,0 +1,147 @@
+#include "netlist/builder.h"
+
+#include "util/error.h"
+
+namespace ancstr {
+
+NetlistBuilder::NetlistBuilder() = default;
+
+SubcktDef& NetlistBuilder::current() {
+  if (!open_) throw NetlistError("no open subckt; call beginSubckt first");
+  return lib_.mutableSubckt(cur_);
+}
+
+NetId NetlistBuilder::netOf(std::string_view name) {
+  return current().addNet(name);
+}
+
+NetlistBuilder& NetlistBuilder::beginSubckt(std::string_view name,
+                                            std::vector<std::string> ports) {
+  if (open_) throw NetlistError("beginSubckt while another subckt is open");
+  cur_ = lib_.addSubckt(std::string(name));
+  open_ = true;
+  for (const std::string& p : ports) current().addNet(p, /*isPort=*/true);
+  return *this;
+}
+
+NetlistBuilder& NetlistBuilder::endSubckt() {
+  if (!open_) throw NetlistError("endSubckt without open subckt");
+  open_ = false;
+  return *this;
+}
+
+NetlistBuilder& NetlistBuilder::addMos(std::string_view name, DeviceType type,
+                                       std::string_view d, std::string_view g,
+                                       std::string_view s, std::string_view b,
+                                       double w, double l, int nf) {
+  Device dev;
+  dev.name = std::string(name);
+  dev.type = type;
+  dev.params.w = w;
+  dev.params.l = l;
+  dev.params.nf = nf;
+  dev.pins = {{PinFunction::kDrain, netOf(d)},
+              {PinFunction::kGate, netOf(g)},
+              {PinFunction::kSource, netOf(s)},
+              {PinFunction::kBulk, netOf(b)}};
+  current().addDevice(std::move(dev));
+  return *this;
+}
+
+NetlistBuilder& NetlistBuilder::nmos(std::string_view name, std::string_view d,
+                                     std::string_view g, std::string_view s,
+                                     std::string_view b, double w, double l,
+                                     int nf, DeviceType type) {
+  ANCSTR_ASSERT(isNmos(type));
+  return addMos(name, type, d, g, s, b, w, l, nf);
+}
+
+NetlistBuilder& NetlistBuilder::pmos(std::string_view name, std::string_view d,
+                                     std::string_view g, std::string_view s,
+                                     std::string_view b, double w, double l,
+                                     int nf, DeviceType type) {
+  ANCSTR_ASSERT(isPmos(type));
+  return addMos(name, type, d, g, s, b, w, l, nf);
+}
+
+NetlistBuilder& NetlistBuilder::addTwoTerminal(std::string_view name,
+                                               DeviceType type,
+                                               std::string_view a,
+                                               std::string_view b,
+                                               DeviceParams params) {
+  Device dev;
+  dev.name = std::string(name);
+  dev.type = type;
+  dev.params = params;
+  const auto funcs = pinFunctions(type);
+  dev.pins = {{funcs[0], netOf(a)}, {funcs[1], netOf(b)}};
+  current().addDevice(std::move(dev));
+  return *this;
+}
+
+NetlistBuilder& NetlistBuilder::res(std::string_view name, std::string_view a,
+                                    std::string_view b, double ohms,
+                                    DeviceType type, double w, double l) {
+  ANCSTR_ASSERT(isResistor(type));
+  DeviceParams p;
+  p.value = ohms;
+  p.w = w;
+  p.l = l;
+  return addTwoTerminal(name, type, a, b, p);
+}
+
+NetlistBuilder& NetlistBuilder::cap(std::string_view name, std::string_view a,
+                                    std::string_view b, double farads,
+                                    DeviceType type, int layers) {
+  ANCSTR_ASSERT(isCapacitor(type));
+  DeviceParams p;
+  p.value = farads;
+  p.layers = layers;
+  return addTwoTerminal(name, type, a, b, p);
+}
+
+NetlistBuilder& NetlistBuilder::ind(std::string_view name, std::string_view a,
+                                    std::string_view b, double henries) {
+  DeviceParams p;
+  p.value = henries;
+  return addTwoTerminal(name, DeviceType::kInd, a, b, p);
+}
+
+NetlistBuilder& NetlistBuilder::dio(std::string_view name,
+                                    std::string_view anode,
+                                    std::string_view cathode) {
+  return addTwoTerminal(name, DeviceType::kDio, anode, cathode, {});
+}
+
+NetlistBuilder& NetlistBuilder::inst(std::string_view name,
+                                     std::string_view master,
+                                     std::vector<std::string> nets) {
+  const auto masterId = lib_.findSubckt(master);
+  if (!masterId) {
+    throw NetlistError("instance '" + std::string(name) +
+                       "' references unknown master '" + std::string(master) +
+                       "' (define masters before use)");
+  }
+  Instance instance;
+  instance.name = std::string(name);
+  instance.master = *masterId;
+  instance.connections.reserve(nets.size());
+  for (const std::string& n : nets) instance.connections.push_back(netOf(n));
+  current().addInstance(std::move(instance));
+  return *this;
+}
+
+Library NetlistBuilder::build(std::string_view topName) {
+  if (open_) throw NetlistError("build() with an unterminated subckt");
+  if (!topName.empty()) {
+    const auto id = lib_.findSubckt(topName);
+    if (!id) {
+      throw NetlistError("build: unknown top '" + std::string(topName) + "'");
+    }
+    lib_.setTop(*id);
+  }
+  lib_.validate();
+  return std::move(lib_);
+}
+
+}  // namespace ancstr

@@ -1,0 +1,80 @@
+// Fluent programmatic netlist construction, used by the benchmark circuit
+// generators and by tests. Net names are created on first use.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace ancstr {
+
+/// Builds a Library subckt-by-subckt. Usage:
+///
+///   NetlistBuilder b;
+///   b.beginSubckt("ota", {"vin", "vip", "out", "vdd", "vss"});
+///   b.nmos("m1", "tail", "vin", "vss", "vss", 2e-6, 0.5e-6);
+///   ...
+///   b.endSubckt();
+///   Library lib = b.build("ota");
+class NetlistBuilder {
+ public:
+  NetlistBuilder();
+
+  /// Opens a new subcircuit definition with the given ordered port list.
+  NetlistBuilder& beginSubckt(std::string_view name,
+                              std::vector<std::string> ports);
+  /// Closes the current subcircuit.
+  NetlistBuilder& endSubckt();
+
+  /// Adds an NMOS (d, g, s, b). Dimensions in meters.
+  NetlistBuilder& nmos(std::string_view name, std::string_view d,
+                       std::string_view g, std::string_view s,
+                       std::string_view b, double w, double l, int nf = 1,
+                       DeviceType type = DeviceType::kNch);
+  /// Adds a PMOS (d, g, s, b).
+  NetlistBuilder& pmos(std::string_view name, std::string_view d,
+                       std::string_view g, std::string_view s,
+                       std::string_view b, double w, double l, int nf = 1,
+                       DeviceType type = DeviceType::kPch);
+  /// Adds a resistor.
+  NetlistBuilder& res(std::string_view name, std::string_view a,
+                      std::string_view b, double ohms,
+                      DeviceType type = DeviceType::kResPoly, double w = 0,
+                      double l = 0);
+  /// Adds a capacitor.
+  NetlistBuilder& cap(std::string_view name, std::string_view a,
+                      std::string_view b, double farads,
+                      DeviceType type = DeviceType::kCapMom, int layers = 0);
+  /// Adds an inductor.
+  NetlistBuilder& ind(std::string_view name, std::string_view a,
+                      std::string_view b, double henries);
+  /// Adds a diode (anode, cathode).
+  NetlistBuilder& dio(std::string_view name, std::string_view anode,
+                      std::string_view cathode);
+  /// Instantiates a previously defined subcircuit; `nets` are positional.
+  NetlistBuilder& inst(std::string_view name, std::string_view master,
+                       std::vector<std::string> nets);
+
+  /// Finishes; validates and sets the top cell (by name when given).
+  Library build(std::string_view topName = {});
+
+ private:
+  SubcktDef& current();
+  NetId netOf(std::string_view name);
+  NetlistBuilder& addMos(std::string_view name, DeviceType type,
+                         std::string_view d, std::string_view g,
+                         std::string_view s, std::string_view b, double w,
+                         double l, int nf);
+  NetlistBuilder& addTwoTerminal(std::string_view name, DeviceType type,
+                                 std::string_view a, std::string_view b,
+                                 DeviceParams params);
+
+  Library lib_;
+  SubcktId cur_ = kInvalidId;
+  bool open_ = false;
+};
+
+}  // namespace ancstr

@@ -1,0 +1,147 @@
+#include "netlist/device_types.h"
+
+#include "util/string_utils.h"
+
+namespace ancstr {
+
+bool isMos(DeviceType t) noexcept { return isNmos(t) || isPmos(t); }
+
+bool isNmos(DeviceType t) noexcept {
+  return t == DeviceType::kNch || t == DeviceType::kNchLvt ||
+         t == DeviceType::kNchHvt;
+}
+
+bool isPmos(DeviceType t) noexcept {
+  return t == DeviceType::kPch || t == DeviceType::kPchLvt ||
+         t == DeviceType::kPchHvt;
+}
+
+bool isPassive(DeviceType t) noexcept {
+  return isResistor(t) || isCapacitor(t) || t == DeviceType::kInd;
+}
+
+bool isResistor(DeviceType t) noexcept {
+  return t == DeviceType::kResPoly || t == DeviceType::kResMetal;
+}
+
+bool isCapacitor(DeviceType t) noexcept {
+  return t == DeviceType::kCapMim || t == DeviceType::kCapMom ||
+         t == DeviceType::kCapMos;
+}
+
+bool isBipolar(DeviceType t) noexcept {
+  return t == DeviceType::kNpn || t == DeviceType::kPnp;
+}
+
+std::optional<std::size_t> oneHotIndex(DeviceType t) noexcept {
+  if (t == DeviceType::kUnknown) return std::nullopt;
+  return static_cast<std::size_t>(t);
+}
+
+std::string_view deviceTypeName(DeviceType t) noexcept {
+  switch (t) {
+    case DeviceType::kNch: return "nch";
+    case DeviceType::kNchLvt: return "nch_lvt";
+    case DeviceType::kNchHvt: return "nch_hvt";
+    case DeviceType::kPch: return "pch";
+    case DeviceType::kPchLvt: return "pch_lvt";
+    case DeviceType::kPchHvt: return "pch_hvt";
+    case DeviceType::kResPoly: return "res_poly";
+    case DeviceType::kResMetal: return "res_metal";
+    case DeviceType::kCapMim: return "cap_mim";
+    case DeviceType::kCapMom: return "cap_mom";
+    case DeviceType::kCapMos: return "cap_mos";
+    case DeviceType::kInd: return "ind";
+    case DeviceType::kDio: return "dio";
+    case DeviceType::kNpn: return "npn";
+    case DeviceType::kPnp: return "pnp";
+    case DeviceType::kUnknown: return "unknown";
+  }
+  return "unknown";
+}
+
+std::size_t pinCount(DeviceType t) noexcept {
+  if (isMos(t)) return 4;
+  if (isBipolar(t)) return 3;
+  return 2;
+}
+
+std::array<PinFunction, 4> pinFunctions(DeviceType t) noexcept {
+  if (isMos(t)) {
+    return {PinFunction::kDrain, PinFunction::kGate, PinFunction::kSource,
+            PinFunction::kBulk};
+  }
+  if (isBipolar(t)) {
+    return {PinFunction::kCollector, PinFunction::kBase, PinFunction::kEmitter,
+            PinFunction::kBulk};
+  }
+  if (t == DeviceType::kDio) {
+    return {PinFunction::kAnode, PinFunction::kCathode, PinFunction::kBulk,
+            PinFunction::kBulk};
+  }
+  return {PinFunction::kPassivePos, PinFunction::kPassiveNeg,
+          PinFunction::kBulk, PinFunction::kBulk};
+}
+
+int defaultMetalLayers(DeviceType t) noexcept {
+  switch (t) {
+    case DeviceType::kCapMom: return 4;
+    case DeviceType::kCapMim: return 2;
+    case DeviceType::kResMetal: return 2;
+    case DeviceType::kInd: return 2;
+    default: return 1;
+  }
+}
+
+DeviceType deviceTypeFromModelName(std::string_view model) noexcept {
+  const std::string m = str::toLower(model);
+  auto has = [&](std::string_view needle) {
+    return m.find(needle) != std::string::npos;
+  };
+  // MOS flavours: check Vt qualifier before base name.
+  if (has("nch") || has("nmos") || has("nfet")) {
+    if (has("lvt") || has("ulvt")) return DeviceType::kNchLvt;
+    if (has("hvt")) return DeviceType::kNchHvt;
+    return DeviceType::kNch;
+  }
+  if (has("pch") || has("pmos") || has("pfet")) {
+    if (has("lvt") || has("ulvt")) return DeviceType::kPchLvt;
+    if (has("hvt")) return DeviceType::kPchHvt;
+    return DeviceType::kPch;
+  }
+  if (has("cfmom") || has("mom")) return DeviceType::kCapMom;
+  if (has("mim")) return DeviceType::kCapMim;
+  if (has("moscap") || has("cap_mos") || has("varactor")) {
+    return DeviceType::kCapMos;
+  }
+  if (has("rppoly") || has("poly")) return DeviceType::kResPoly;
+  if (has("rm") || has("metal") || has("rnod") || has("rpod")) {
+    return DeviceType::kResMetal;
+  }
+  if (has("npn")) return DeviceType::kNpn;
+  if (has("pnp")) return DeviceType::kPnp;
+  if (has("dio") || has("diode")) return DeviceType::kDio;
+  if (has("ind") || has("spiral")) return DeviceType::kInd;
+  if (has("res")) return DeviceType::kResPoly;
+  if (has("cap")) return DeviceType::kCapMim;
+  return DeviceType::kUnknown;
+}
+
+std::string_view pinFunctionName(PinFunction f) noexcept {
+  switch (f) {
+    case PinFunction::kGate: return "gate";
+    case PinFunction::kDrain: return "drain";
+    case PinFunction::kSource: return "source";
+    case PinFunction::kBulk: return "bulk";
+    case PinFunction::kPassivePos: return "pos";
+    case PinFunction::kPassiveNeg: return "neg";
+    case PinFunction::kAnode: return "anode";
+    case PinFunction::kCathode: return "cathode";
+    case PinFunction::kCollector: return "collector";
+    case PinFunction::kBase: return "base";
+    case PinFunction::kEmitter: return "emitter";
+  }
+  return "?";
+}
+
+}  // namespace ancstr

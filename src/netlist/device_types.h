@@ -1,0 +1,98 @@
+// Device taxonomy for AMS netlists.
+//
+// The paper (Table II) encodes the device type as a 15-dimensional one-hot
+// vector; we define exactly 15 concrete primitive types plus kUnknown
+// (which encodes as the all-zero vector so unmodelled devices never alias a
+// real type).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ancstr {
+
+/// Primitive device types recognised by the framework.
+enum class DeviceType : std::uint8_t {
+  kNch = 0,      ///< NMOS, standard Vt
+  kNchLvt,       ///< NMOS, low Vt
+  kNchHvt,       ///< NMOS, high Vt
+  kPch,          ///< PMOS, standard Vt
+  kPchLvt,       ///< PMOS, low Vt
+  kPchHvt,       ///< PMOS, high Vt
+  kResPoly,      ///< polysilicon resistor
+  kResMetal,     ///< metal / diffusion resistor
+  kCapMim,       ///< metal-insulator-metal capacitor
+  kCapMom,       ///< metal-oxide-metal finger capacitor (cfmom)
+  kCapMos,       ///< MOS capacitor
+  kInd,          ///< inductor
+  kDio,          ///< junction diode
+  kNpn,          ///< NPN bipolar
+  kPnp,          ///< PNP bipolar
+  kUnknown,      ///< unmodelled; one-hot encodes as all zeros
+};
+
+/// Number of concrete device types == one-hot encoding width (paper: 15).
+inline constexpr std::size_t kNumDeviceTypes = 15;
+
+/// Pin functions as they appear on primitive device cards. These are richer
+/// than the 4 graph port types; graph construction projects them down.
+enum class PinFunction : std::uint8_t {
+  kGate = 0,
+  kDrain,
+  kSource,
+  kBulk,
+  kPassivePos,  ///< first terminal of a two-terminal passive
+  kPassiveNeg,  ///< second terminal of a two-terminal passive
+  kAnode,
+  kCathode,
+  kCollector,
+  kBase,
+  kEmitter,
+};
+
+/// True for all six MOS flavours.
+bool isMos(DeviceType t) noexcept;
+/// True for the three NMOS flavours.
+bool isNmos(DeviceType t) noexcept;
+/// True for the three PMOS flavours.
+bool isPmos(DeviceType t) noexcept;
+/// True for R/C/L types.
+bool isPassive(DeviceType t) noexcept;
+/// True for resistor types.
+bool isResistor(DeviceType t) noexcept;
+/// True for capacitor types.
+bool isCapacitor(DeviceType t) noexcept;
+/// True for NPN/PNP.
+bool isBipolar(DeviceType t) noexcept;
+
+/// Index into the 15-wide one-hot vector; nullopt for kUnknown.
+std::optional<std::size_t> oneHotIndex(DeviceType t) noexcept;
+
+/// Canonical lower-case name ("nch_lvt", "cap_mom", ...).
+std::string_view deviceTypeName(DeviceType t) noexcept;
+
+/// Number of pins a primitive of this type carries (MOS: 4, BJT: 3,
+/// passives/diode: 2).
+std::size_t pinCount(DeviceType t) noexcept;
+
+/// Pin functions, in card order, for a device of type `t`.
+/// MOS card order is d g s b; BJT is c b e; passives are (pos, neg).
+std::array<PinFunction, 4> pinFunctions(DeviceType t) noexcept;
+
+/// Default metal-layer count used when a card does not specify `layers=`
+/// (Table II feature 3): finger caps span several metal layers, MIM two,
+/// everything else one.
+int defaultMetalLayers(DeviceType t) noexcept;
+
+/// Maps a PDK model name ("nch_lvt_mac", "pch25", "cfmom_2t", "rppoly", ...)
+/// to a DeviceType. Falls back to kUnknown. Matching is case-insensitive
+/// and substring-based so foundry-suffixed names resolve.
+DeviceType deviceTypeFromModelName(std::string_view model) noexcept;
+
+/// Canonical lower-case pin-function name ("gate", "drain", ...).
+std::string_view pinFunctionName(PinFunction f) noexcept;
+
+}  // namespace ancstr

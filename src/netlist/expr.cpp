@@ -1,0 +1,158 @@
+#include "netlist/expr.h"
+
+#include <cctype>
+#include <cmath>
+
+#include "util/string_utils.h"
+
+namespace ancstr {
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, const ParamEnv& env)
+      : text_(text), env_(env) {}
+
+  std::optional<double> run() {
+    auto v = parseExpr();
+    skipSpace();
+    if (!v || pos_ != text_.size()) return std::nullopt;
+    return v;
+  }
+
+ private:
+  void skipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<double> parseExpr() {
+    auto lhs = parseTerm();
+    if (!lhs) return std::nullopt;
+    while (true) {
+      if (consume('+')) {
+        auto rhs = parseTerm();
+        if (!rhs) return std::nullopt;
+        *lhs += *rhs;
+      } else if (consume('-')) {
+        auto rhs = parseTerm();
+        if (!rhs) return std::nullopt;
+        *lhs -= *rhs;
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  std::optional<double> parseTerm() {
+    auto lhs = parseFactor();
+    if (!lhs) return std::nullopt;
+    while (true) {
+      if (consume('*')) {
+        auto rhs = parseFactor();
+        if (!rhs) return std::nullopt;
+        *lhs *= *rhs;
+      } else if (consume('/')) {
+        auto rhs = parseFactor();
+        if (!rhs || *rhs == 0.0) return std::nullopt;
+        *lhs /= *rhs;
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  std::optional<double> parseFactor() {
+    skipSpace();
+    if (consume('+')) return parseFactor();
+    if (consume('-')) {
+      auto v = parseFactor();
+      if (!v) return std::nullopt;
+      return -*v;
+    }
+    if (consume('(')) {
+      auto v = parseExpr();
+      if (!v || !consume(')')) return std::nullopt;
+      return v;
+    }
+    if (pos_ >= text_.size()) return std::nullopt;
+    const char c = text_[pos_];
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+      return parseNumber();
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      return parseIdent();
+    }
+    return std::nullopt;
+  }
+
+  std::optional<double> parseNumber() {
+    // Greedily take digits, '.', exponent, and suffix letters, then hand
+    // the token to the SPICE number parser.
+    const std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '.') {
+        ++pos_;
+      } else if ((c == '+' || c == '-') && pos_ > start &&
+                 (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E')) {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    return str::parseSpiceNumber(text_.substr(start, pos_ - start));
+  }
+
+  std::optional<double> parseIdent() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    const std::string name =
+        str::toLower(text_.substr(start, pos_ - start));
+    auto it = env_.find(name);
+    if (it == env_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  std::string_view text_;
+  const ParamEnv& env_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<double> evalExpression(std::string_view text,
+                                     const ParamEnv& env) {
+  return Parser(text, env).run();
+}
+
+std::optional<double> evalParamValue(std::string_view text,
+                                     const ParamEnv& env) {
+  std::string_view body = str::trim(text);
+  if (body.size() >= 2) {
+    const char open = body.front();
+    const char close = body.back();
+    if ((open == '\'' && close == '\'') || (open == '{' && close == '}') ||
+        (open == '"' && close == '"')) {
+      body = str::trim(body.substr(1, body.size() - 2));
+    }
+  }
+  return evalExpression(body, env);
+}
+
+}  // namespace ancstr

@@ -1,0 +1,31 @@
+// Tiny arithmetic expression evaluator for SPICE parameter expressions:
+//   .param wdiff=2u  ->  M1 ... w={wdiff*2} l='0.5*lmin'
+// Grammar: expr := term (('+'|'-') term)*
+//          term := factor (('*'|'/') factor)*
+//          factor := ('+'|'-') factor | number | ident | '(' expr ')'
+// Numbers accept SPICE engineering suffixes; identifiers resolve through a
+// caller-provided parameter environment.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace ancstr {
+
+/// Parameter environment: name (lower-case) -> value.
+using ParamEnv = std::unordered_map<std::string, double>;
+
+/// Evaluates `text` against `env`. Returns nullopt on any syntax error or
+/// unresolved identifier (callers report position-aware errors themselves).
+std::optional<double> evalExpression(std::string_view text,
+                                     const ParamEnv& env);
+
+/// Evaluates a parameter value that may be a bare SPICE number, a quoted
+/// expression ('...' or {...}), or a bare identifier/expression.
+std::optional<double> evalParamValue(std::string_view text,
+                                     const ParamEnv& env);
+
+}  // namespace ancstr

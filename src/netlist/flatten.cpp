@@ -1,0 +1,147 @@
+#include "netlist/flatten.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace ancstr {
+namespace detail {
+
+class Elaborator {
+ public:
+  explicit Elaborator(const Library& lib) : lib_(lib) {}
+
+  FlatDesign run() {
+    const SubcktId topId = lib_.top();
+    const SubcktDef& top = lib_.subckt(topId);
+
+    HierNode rootNode;
+    rootNode.id = 0;
+    rootNode.parent = 0;
+    rootNode.master = topId;
+    hier_.push_back(rootNode);
+
+    // Top-level ports become ordinary flat nets.
+    std::vector<FlatNetId> netMap(top.nets().size(), kInvalidId);
+    expand(topId, 0, "", netMap);
+
+    FlatDesign out;
+    out.devices_ = std::move(devices_);
+    out.nets_ = std::move(nets_);
+    out.hier_ = std::move(hier_);
+    out.terminals_.resize(out.nets_.size());
+    for (FlatDeviceId d = 0; d < out.devices_.size(); ++d) {
+      const auto& pins = out.devices_[d].pins;
+      for (std::uint32_t p = 0; p < pins.size(); ++p) {
+        out.terminals_[pins[p].second].emplace_back(d, p);
+      }
+    }
+    return out;
+  }
+
+ private:
+  FlatNetId newNet(std::string path) {
+    const FlatNetId id = static_cast<FlatNetId>(nets_.size());
+    nets_.push_back(FlatNet{std::move(path)});
+    return id;
+  }
+
+  /// Expands subckt `id` as hierarchy node `node`. `netMap` maps the
+  /// subckt's local net ids to flat nets; port entries are pre-filled by
+  /// the caller (all kInvalidId at the top level).
+  void expand(SubcktId id, HierNodeId node, const std::string& prefix,
+              std::vector<FlatNetId>& netMap) {
+    const SubcktDef& def = lib_.subckt(id);
+
+    for (NetId n = 0; n < def.nets().size(); ++n) {
+      if (netMap[n] != kInvalidId) continue;  // bound to parent net
+      netMap[n] = newNet(prefix + def.net(n).name);
+    }
+
+    for (DeviceId d = 0; d < def.devices().size(); ++d) {
+      const Device& dev = def.device(d);
+      FlatDevice flat;
+      flat.path = prefix + dev.name;
+      flat.type = dev.type;
+      flat.params = dev.params;
+      flat.owner = node;
+      flat.pins.reserve(dev.pins.size());
+      for (const Pin& pin : dev.pins) {
+        flat.pins.emplace_back(pin.function, netMap[pin.net]);
+      }
+      const FlatDeviceId fid = static_cast<FlatDeviceId>(devices_.size());
+      devices_.push_back(std::move(flat));
+      hier_[node].leafDevices.push_back(fid);
+    }
+
+    for (InstanceId i = 0; i < def.instances().size(); ++i) {
+      const Instance& inst = def.instance(i);
+      const SubcktDef& master = lib_.subckt(inst.master);
+
+      const HierNodeId childId = static_cast<HierNodeId>(hier_.size());
+      HierNode child;
+      child.id = childId;
+      child.parent = node;
+      child.instanceName = inst.name;
+      child.path = prefix + inst.name;
+      child.master = inst.master;
+      hier_.push_back(std::move(child));
+      hier_[node].children.push_back(childId);
+
+      std::vector<FlatNetId> childMap(master.nets().size(), kInvalidId);
+      const auto& ports = master.ports();
+      ANCSTR_ASSERT(ports.size() == inst.connections.size());
+      for (std::size_t p = 0; p < ports.size(); ++p) {
+        childMap[ports[p]] = netMap[inst.connections[p]];
+      }
+      expand(inst.master, childId, prefix + inst.name + "/", childMap);
+    }
+  }
+
+  const Library& lib_;
+  std::vector<FlatDevice> devices_;
+  std::vector<FlatNet> nets_;
+  std::vector<HierNode> hier_;
+};
+
+}  // namespace detail
+
+FlatDesign FlatDesign::elaborate(const Library& lib) {
+  lib.validate();
+  return detail::Elaborator(lib).run();
+}
+
+std::vector<FlatDeviceId> FlatDesign::subtreeDevices(HierNodeId nodeId) const {
+  std::vector<FlatDeviceId> out;
+  std::vector<HierNodeId> stack{nodeId};
+  while (!stack.empty()) {
+    const HierNode& n = hier_.at(stack.back());
+    stack.pop_back();
+    out.insert(out.end(), n.leafDevices.begin(), n.leafDevices.end());
+    for (const HierNodeId c : n.children) stack.push_back(c);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t FlatDesign::subtreeDeviceCount(HierNodeId nodeId) const {
+  std::size_t count = 0;
+  std::vector<HierNodeId> stack{nodeId};
+  while (!stack.empty()) {
+    const HierNode& n = hier_.at(stack.back());
+    stack.pop_back();
+    count += n.leafDevices.size();
+    for (const HierNodeId c : n.children) stack.push_back(c);
+  }
+  return count;
+}
+
+std::size_t FlatDesign::maxSubcircuitSize() const {
+  std::size_t best = 0;
+  for (HierNodeId id = 1; id < hier_.size(); ++id) {
+    best = std::max(best, subtreeDeviceCount(id));
+  }
+  return best;
+}
+
+}  // namespace ancstr

@@ -1,0 +1,91 @@
+// Hierarchical elaboration: expands a Library from its top cell into a
+// flat device/net list while retaining the hierarchy tree T of the paper's
+// Problem 1. Every HierNode is a subcircuit instantiation (the root being
+// the top cell); leaf devices hang off the node that directly contains
+// them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace ancstr {
+
+namespace detail {
+class Elaborator;
+}
+
+using FlatNetId = std::uint32_t;
+using FlatDeviceId = std::uint32_t;
+using HierNodeId = std::uint32_t;
+
+/// A primitive device after elaboration.
+struct FlatDevice {
+  std::string path;      ///< "xfilter/xota/m1"
+  DeviceType type = DeviceType::kUnknown;
+  DeviceParams params;
+  HierNodeId owner = 0;  ///< hierarchy node that directly contains it
+  /// (function, flat net) per pin, in card order.
+  std::vector<std::pair<PinFunction, FlatNetId>> pins;
+};
+
+/// An electrical net after elaboration.
+struct FlatNet {
+  std::string path;  ///< name in the highest hierarchy level it reaches
+};
+
+/// One node of the hierarchy tree: the top cell or a subckt instance.
+struct HierNode {
+  HierNodeId id = 0;
+  HierNodeId parent = 0;       ///< == id for the root
+  std::string path;            ///< "" for root, else "xfilter/xota"
+  std::string instanceName;    ///< local instance name ("xota"); "" for root
+  SubcktId master = kInvalidId;
+  std::vector<HierNodeId> children;      ///< child block instances
+  std::vector<FlatDeviceId> leafDevices; ///< devices directly inside
+};
+
+/// The elaborated design. Immutable after construction.
+class FlatDesign {
+ public:
+  /// Elaborates `lib` from its top cell. Throws NetlistError on invalid
+  /// structure (validate() is implied).
+  static FlatDesign elaborate(const Library& lib);
+
+  const std::vector<FlatDevice>& devices() const { return devices_; }
+  const std::vector<FlatNet>& nets() const { return nets_; }
+  const std::vector<HierNode>& hierarchy() const { return hier_; }
+  const HierNode& root() const { return hier_.front(); }
+  const HierNode& node(HierNodeId id) const { return hier_.at(id); }
+  const FlatDevice& device(FlatDeviceId id) const { return devices_.at(id); }
+  const FlatNet& net(FlatNetId id) const { return nets_.at(id); }
+
+  /// (device, pinIndex) terminals per flat net.
+  const std::vector<std::vector<std::pair<FlatDeviceId, std::uint32_t>>>&
+  netTerminals() const {
+    return terminals_;
+  }
+
+  /// All devices in the subtree rooted at `node` (preorder).
+  std::vector<FlatDeviceId> subtreeDevices(HierNodeId node) const;
+
+  /// Number of devices in the subtree rooted at `node`.
+  std::size_t subtreeDeviceCount(HierNodeId node) const;
+
+  /// Size of the largest proper subcircuit (|N̂_sub| in Eq. 4): the max
+  /// device count over all non-root hierarchy nodes; 0 if none exist.
+  std::size_t maxSubcircuitSize() const;
+
+ private:
+  friend class detail::Elaborator;
+  FlatDesign() = default;
+
+  std::vector<FlatDevice> devices_;
+  std::vector<FlatNet> nets_;
+  std::vector<HierNode> hier_;
+  std::vector<std::vector<std::pair<FlatDeviceId, std::uint32_t>>> terminals_;
+};
+
+}  // namespace ancstr

@@ -1,0 +1,225 @@
+#include "netlist/netlist.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/string_utils.h"
+
+namespace ancstr {
+
+NetId SubcktDef::addNet(std::string_view name, bool isPort) {
+  const std::string key = str::toLower(name);
+  if (auto it = netByName_.find(key); it != netByName_.end()) {
+    Net& existing = nets_[it->second];
+    if (isPort && !existing.isPort) {
+      existing.isPort = true;
+      existing.portIndex = static_cast<int>(ports_.size());
+      ports_.push_back(it->second);
+    }
+    return it->second;
+  }
+  const NetId id = static_cast<NetId>(nets_.size());
+  Net net;
+  net.name = key;
+  net.isPort = isPort;
+  if (isPort) {
+    net.portIndex = static_cast<int>(ports_.size());
+    ports_.push_back(id);
+  }
+  nets_.push_back(std::move(net));
+  netByName_.emplace(key, id);
+  return id;
+}
+
+DeviceId SubcktDef::addDevice(Device device) {
+  const std::string key = str::toLower(device.name);
+  if (deviceByName_.count(key) != 0) {
+    throw NetlistError("duplicate device '" + device.name + "' in subckt '" +
+                       name_ + "'");
+  }
+  device.name = key;
+  const DeviceId id = static_cast<DeviceId>(devices_.size());
+  for (std::uint32_t pinIdx = 0; pinIdx < device.pins.size(); ++pinIdx) {
+    const NetId netId = device.pins[pinIdx].net;
+    if (netId >= nets_.size()) {
+      throw NetlistError("device '" + device.name +
+                         "' references undefined net id");
+    }
+    nets_[netId].deviceTerminals.emplace_back(id, pinIdx);
+  }
+  devices_.push_back(std::move(device));
+  deviceByName_.emplace(key, id);
+  return id;
+}
+
+InstanceId SubcktDef::addInstance(Instance instance) {
+  const std::string key = str::toLower(instance.name);
+  if (instanceByName_.count(key) != 0) {
+    throw NetlistError("duplicate instance '" + instance.name +
+                       "' in subckt '" + name_ + "'");
+  }
+  instance.name = key;
+  const InstanceId id = static_cast<InstanceId>(instances_.size());
+  for (std::uint32_t portIdx = 0; portIdx < instance.connections.size();
+       ++portIdx) {
+    const NetId netId = instance.connections[portIdx];
+    if (netId >= nets_.size()) {
+      throw NetlistError("instance '" + instance.name +
+                         "' references undefined net id");
+    }
+    nets_[netId].instanceTerminals.emplace_back(id, portIdx);
+  }
+  instances_.push_back(std::move(instance));
+  instanceByName_.emplace(key, id);
+  return id;
+}
+
+std::optional<NetId> SubcktDef::findNet(std::string_view name) const {
+  auto it = netByName_.find(str::toLower(name));
+  if (it == netByName_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<DeviceId> SubcktDef::findDevice(std::string_view name) const {
+  auto it = deviceByName_.find(str::toLower(name));
+  if (it == deviceByName_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<InstanceId> SubcktDef::findInstance(std::string_view name) const {
+  auto it = instanceByName_.find(str::toLower(name));
+  if (it == instanceByName_.end()) return std::nullopt;
+  return it->second;
+}
+
+SubcktId Library::addSubckt(std::string name) {
+  const std::string key = str::toLower(name);
+  if (byName_.count(key) != 0) {
+    throw NetlistError("duplicate subckt '" + key + "'");
+  }
+  const SubcktId id = static_cast<SubcktId>(subckts_.size());
+  subckts_.emplace_back(key);
+  byName_.emplace(key, id);
+  return id;
+}
+
+std::optional<SubcktId> Library::findSubckt(std::string_view name) const {
+  auto it = byName_.find(str::toLower(name));
+  if (it == byName_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Library::setTop(SubcktId id) {
+  if (id >= subckts_.size()) throw NetlistError("setTop: bad subckt id");
+  top_ = id;
+}
+
+SubcktId Library::top() const {
+  if (top_) return *top_;
+  if (subckts_.empty()) throw NetlistError("empty library has no top cell");
+  // A subckt never instantiated by any other is a top candidate.
+  std::vector<bool> instantiated(subckts_.size(), false);
+  for (const SubcktDef& def : subckts_) {
+    for (const Instance& inst : def.instances()) {
+      if (inst.master < subckts_.size()) instantiated[inst.master] = true;
+    }
+  }
+  for (std::size_t i = subckts_.size(); i-- > 0;) {
+    if (!instantiated[i]) return static_cast<SubcktId>(i);
+  }
+  throw NetlistError("no top cell: all subckts are instantiated (cycle?)");
+}
+
+void Library::validate() const {
+  for (const SubcktDef& def : subckts_) {
+    for (const Device& dev : def.devices()) {
+      if (dev.type != DeviceType::kUnknown &&
+          dev.pins.size() != pinCount(dev.type)) {
+        throw NetlistError("device '" + dev.name + "' in '" + def.name() +
+                           "' has " + std::to_string(dev.pins.size()) +
+                           " pins, expected " +
+                           std::to_string(pinCount(dev.type)) + " for type " +
+                           std::string(deviceTypeName(dev.type)));
+      }
+      for (const Pin& pin : dev.pins) {
+        if (pin.net >= def.nets().size()) {
+          throw NetlistError("device '" + dev.name + "' in '" + def.name() +
+                             "' has a dangling pin");
+        }
+      }
+    }
+    for (const Instance& inst : def.instances()) {
+      if (inst.master >= subckts_.size()) {
+        throw NetlistError("instance '" + inst.name + "' in '" + def.name() +
+                           "' references undefined master");
+      }
+      const SubcktDef& master = subckts_[inst.master];
+      if (inst.connections.size() != master.ports().size()) {
+        throw NetlistError(
+            "instance '" + inst.name + "' in '" + def.name() + "' connects " +
+            std::to_string(inst.connections.size()) + " nets but master '" +
+            master.name() + "' has " + std::to_string(master.ports().size()) +
+            " ports");
+      }
+      for (const NetId net : inst.connections) {
+        if (net >= def.nets().size()) {
+          throw NetlistError("instance '" + inst.name + "' in '" +
+                             def.name() + "' has a dangling connection");
+        }
+      }
+    }
+  }
+  // Reject recursive hierarchies: DFS colouring over the master graph.
+  std::vector<int> colour(subckts_.size(), 0);  // 0 white, 1 grey, 2 black
+  std::vector<std::pair<SubcktId, std::size_t>> stack;
+  for (SubcktId root = 0; root < subckts_.size(); ++root) {
+    if (colour[root] != 0) continue;
+    stack.emplace_back(root, 0);
+    colour[root] = 1;
+    while (!stack.empty()) {
+      auto& [cur, next] = stack.back();
+      const auto& insts = subckts_[cur].instances();
+      if (next < insts.size()) {
+        const SubcktId child = insts[next++].master;
+        if (colour[child] == 1) {
+          throw NetlistError("recursive hierarchy through subckt '" +
+                             subckts_[child].name() + "'");
+        }
+        if (colour[child] == 0) {
+          colour[child] = 1;
+          stack.emplace_back(child, 0);
+        }
+      } else {
+        colour[cur] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+}
+
+std::size_t Library::flatCount(SubcktId id, bool nets,
+                               std::vector<int>& memo) const {
+  if (memo[id] >= 0) return static_cast<std::size_t>(memo[id]);
+  const SubcktDef& def = subckts_[id];
+  // Ports alias parent nets, so only internal nets count per expansion.
+  std::size_t count = nets ? def.nets().size() - def.ports().size()
+                           : def.devices().size();
+  for (const Instance& inst : def.instances()) {
+    count += flatCount(inst.master, nets, memo);
+  }
+  memo[id] = static_cast<int>(count);
+  return count;
+}
+
+std::size_t Library::flatDeviceCount() const {
+  std::vector<int> memo(subckts_.size(), -1);
+  return flatCount(top(), false, memo);
+}
+
+std::size_t Library::flatNetCount() const {
+  std::vector<int> memo(subckts_.size(), -1);
+  // Top-level ports are real nets of the design, add them back.
+  return flatCount(top(), true, memo) + subckts_[top()].ports().size();
+}
+
+}  // namespace ancstr

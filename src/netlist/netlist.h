@@ -1,0 +1,175 @@
+// Hierarchical netlist data model.
+//
+// A Library owns a set of SubcktDefs. Each SubcktDef owns its nets,
+// primitive devices, and instances of other subcircuits. All references are
+// small integer ids scoped to the owning SubcktDef, which keeps the model
+// compact and trivially copyable.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/device_types.h"
+
+namespace ancstr {
+
+using NetId = std::uint32_t;
+using DeviceId = std::uint32_t;
+using InstanceId = std::uint32_t;
+using SubcktId = std::uint32_t;
+
+inline constexpr std::uint32_t kInvalidId = 0xFFFFFFFFu;
+
+/// Sizing / shape parameters of a primitive device. Lengths and widths are
+/// in meters; `value` is ohms / farads / henries for passives.
+struct DeviceParams {
+  double w = 0.0;      ///< channel or body width [m]
+  double l = 0.0;      ///< channel or body length [m]
+  double value = 0.0;  ///< passive value (R/C/L); 0 for actives
+  int nf = 1;          ///< number of fingers
+  int m = 1;           ///< multiplier (parallel copies)
+  int layers = 0;      ///< metal layers (0 = use type default)
+
+  /// Metal layer count with the per-type default applied.
+  int effectiveLayers(DeviceType t) const {
+    return layers > 0 ? layers : defaultMetalLayers(t);
+  }
+
+  bool operator==(const DeviceParams&) const = default;
+};
+
+/// One terminal of a primitive device.
+struct Pin {
+  PinFunction function = PinFunction::kBulk;
+  NetId net = kInvalidId;
+};
+
+/// A primitive (leaf) element: MOS, R, C, L, diode, or BJT.
+struct Device {
+  std::string name;
+  DeviceType type = DeviceType::kUnknown;
+  std::string model;  ///< raw PDK model name from the card, if any
+  DeviceParams params;
+  std::vector<Pin> pins;
+
+  /// Net connected to the first pin with function `f`, if present.
+  std::optional<NetId> pinNet(PinFunction f) const {
+    for (const Pin& p : pins) {
+      if (p.function == f) return p.net;
+    }
+    return std::nullopt;
+  }
+};
+
+/// An instantiation of another subcircuit (a building block).
+struct Instance {
+  std::string name;
+  SubcktId master = kInvalidId;
+  std::vector<NetId> connections;  ///< parallel to master's port list
+};
+
+/// An electrical net within one subcircuit.
+struct Net {
+  std::string name;
+  bool isPort = false;   ///< appears on the owning subckt's port list
+  int portIndex = -1;    ///< position in the port list when isPort
+  /// (device, pinIndex) terminals on this net.
+  std::vector<std::pair<DeviceId, std::uint32_t>> deviceTerminals;
+  /// (instance, portIndex) terminals on this net.
+  std::vector<std::pair<InstanceId, std::uint32_t>> instanceTerminals;
+
+  /// Total number of terminals touching this net.
+  std::size_t degree() const {
+    return deviceTerminals.size() + instanceTerminals.size();
+  }
+};
+
+/// Definition of one subcircuit.
+class SubcktDef {
+ public:
+  explicit SubcktDef(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  // --- construction --------------------------------------------------
+  /// Adds (or finds) a net by name; marking it a port appends it to the
+  /// port list in call order.
+  NetId addNet(std::string_view name, bool isPort = false);
+  /// Adds a primitive device; wires its pins into the net terminal lists.
+  DeviceId addDevice(Device device);
+  /// Adds a subcircuit instance; wires its ports into the net lists.
+  InstanceId addInstance(Instance instance);
+
+  // --- lookup --------------------------------------------------------
+  std::optional<NetId> findNet(std::string_view name) const;
+  std::optional<DeviceId> findDevice(std::string_view name) const;
+  std::optional<InstanceId> findInstance(std::string_view name) const;
+
+  // --- access --------------------------------------------------------
+  const std::vector<Net>& nets() const { return nets_; }
+  const std::vector<Device>& devices() const { return devices_; }
+  const std::vector<Instance>& instances() const { return instances_; }
+  const std::vector<NetId>& ports() const { return ports_; }
+
+  const Net& net(NetId id) const { return nets_.at(id); }
+  const Device& device(DeviceId id) const { return devices_.at(id); }
+  const Instance& instance(InstanceId id) const { return instances_.at(id); }
+
+  Device& mutableDevice(DeviceId id) { return devices_.at(id); }
+
+  /// True when this subckt instantiates no other subcircuits.
+  bool isLeafBlock() const { return instances_.empty(); }
+
+ private:
+  std::string name_;
+  std::vector<Net> nets_;
+  std::vector<Device> devices_;
+  std::vector<Instance> instances_;
+  std::vector<NetId> ports_;
+  std::unordered_map<std::string, NetId> netByName_;
+  std::unordered_map<std::string, DeviceId> deviceByName_;
+  std::unordered_map<std::string, InstanceId> instanceByName_;
+};
+
+/// A collection of subcircuit definitions plus a designated top cell.
+class Library {
+ public:
+  /// Creates an empty subckt definition. Throws NetlistError on duplicates.
+  SubcktId addSubckt(std::string name);
+
+  std::optional<SubcktId> findSubckt(std::string_view name) const;
+
+  const SubcktDef& subckt(SubcktId id) const { return subckts_.at(id); }
+  SubcktDef& mutableSubckt(SubcktId id) { return subckts_.at(id); }
+  std::size_t subcktCount() const { return subckts_.size(); }
+
+  /// Designates the top cell; by default the last defined subckt that is
+  /// not instantiated by any other is used.
+  void setTop(SubcktId id);
+  /// Resolves the top cell. Throws NetlistError when the library is empty
+  /// or no un-instantiated subckt exists.
+  SubcktId top() const;
+
+  /// Structural validation: instance masters exist, port arities match,
+  /// device pin counts match their type, no dangling pin net ids.
+  /// Throws NetlistError describing the first violation.
+  void validate() const;
+
+  /// Total primitive devices / nets in the fully flattened design.
+  std::size_t flatDeviceCount() const;
+  std::size_t flatNetCount() const;
+
+ private:
+  std::size_t flatCount(SubcktId id, bool nets,
+                        std::vector<int>& memo) const;
+
+  std::vector<SubcktDef> subckts_;
+  std::unordered_map<std::string, SubcktId> byName_;
+  std::optional<SubcktId> top_;
+};
+
+}  // namespace ancstr

@@ -1,0 +1,321 @@
+#include "netlist/spectre_parser.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "netlist/expr.h"
+#include "netlist/spice_parser.h"
+#include "util/error.h"
+#include "util/logging.h"
+#include "util/string_utils.h"
+
+namespace ancstr {
+namespace {
+
+struct LogicalLine {
+  std::string text;
+  std::size_t line = 0;
+};
+
+/// Strips //-comments, *-comment lines, and joins '\' continuations.
+std::vector<LogicalLine> toLogicalLines(std::string_view text) {
+  std::vector<LogicalLine> out;
+  std::istringstream in{std::string(text)};
+  std::string raw;
+  std::size_t lineNo = 0;
+  bool continuing = false;
+  while (std::getline(in, raw)) {
+    ++lineNo;
+    std::string_view sv = raw;
+    if (const auto slashes = sv.find("//"); slashes != std::string_view::npos) {
+      sv = sv.substr(0, slashes);
+    }
+    sv = str::trim(sv);
+    if (!continuing && !sv.empty() && sv.front() == '*') continue;
+    bool continues = false;
+    if (!sv.empty() && sv.back() == '\\') {
+      continues = true;
+      sv = str::trim(sv.substr(0, sv.size() - 1));
+    }
+    if (continuing && !out.empty()) {
+      if (!sv.empty()) {
+        out.back().text += ' ';
+        out.back().text += sv;
+      }
+    } else if (!sv.empty()) {
+      out.push_back({std::string(sv), lineNo});
+    }
+    continuing = continues && (!out.empty());
+  }
+  return out;
+}
+
+/// Splits "name (n1 n2) master k=v" into name, nodes, master, params.
+/// Parentheses around the node list are optional: without them, every
+/// token before the first k=v except the last is a node, the last is the
+/// master.
+struct Card {
+  std::string name;
+  std::vector<std::string> nodes;
+  std::string master;
+  std::vector<std::pair<std::string, std::string>> params;
+};
+
+Card parseCard(const std::string& text, const std::string& file,
+               std::size_t line) {
+  Card card;
+  const auto open = text.find('(');
+  const auto close = text.find(')');
+  std::vector<std::string> tail;
+  if (open != std::string::npos) {
+    if (close == std::string::npos || close < open) {
+      throw ParseError(file, line, "unbalanced parentheses");
+    }
+    const auto head = str::splitTokens(text.substr(0, open));
+    if (head.size() != 1) {
+      throw ParseError(file, line, "expected 'name (nodes...) master ...'");
+    }
+    card.name = head[0];
+    card.nodes = str::splitTokens(text.substr(open + 1, close - open - 1));
+    tail = str::splitTokens(text.substr(close + 1));
+  } else {
+    tail = str::splitTokens(text);
+    if (tail.size() < 2) throw ParseError(file, line, "malformed card");
+    card.name = tail.front();
+    tail.erase(tail.begin());
+  }
+
+  // tail: [nodes...] master [k=v...] — k=v tokens terminate the
+  // positional part.
+  std::vector<std::string> positional;
+  for (const std::string& token : tail) {
+    const auto [key, value] = str::splitFirst(token, '=');
+    if (!value.empty()) {
+      card.params.emplace_back(str::toLower(key), std::string(value));
+    } else {
+      positional.push_back(token);
+    }
+  }
+  if (card.nodes.empty()) {
+    if (positional.empty()) {
+      throw ParseError(file, line, "card without a master");
+    }
+    card.master = positional.back();
+    positional.pop_back();
+    card.nodes = std::move(positional);
+  } else {
+    if (positional.size() != 1) {
+      throw ParseError(file, line, "expected exactly one master after ()");
+    }
+    card.master = positional[0];
+  }
+  return card;
+}
+
+DeviceType spectrePrimitiveType(const std::string& master) {
+  const std::string m = str::toLower(master);
+  if (m == "resistor") return DeviceType::kResPoly;
+  if (m == "capacitor") return DeviceType::kCapMom;
+  if (m == "inductor") return DeviceType::kInd;
+  if (m == "diode") return DeviceType::kDio;
+  return deviceTypeFromModelName(m);
+}
+
+class SpectreParser {
+ public:
+  explicit SpectreParser(std::string_view fileName) : file_(fileName) {}
+
+  Library run(std::string_view text) {
+    for (const LogicalLine& ll : toLogicalLines(text)) parseLine(ll);
+    if (inSubckt_) {
+      throw ParseError(file_, subcktLine_, "missing 'ends'");
+    }
+    lib_.validate();
+    return std::move(lib_);
+  }
+
+ private:
+  void parseLine(const LogicalLine& ll) {
+    const auto tokens = str::splitTokens(ll.text);
+    ANCSTR_ASSERT(!tokens.empty());
+    const std::string head = str::toLower(tokens[0]);
+
+    if (head == "simulator" || head == "global" || head == "include" ||
+        head == "save" || head == "option" || head == "options") {
+      return;  // environment directives carry no structure we need
+    }
+    if (head == "subckt") {
+      if (inSubckt_) {
+        throw ParseError(file_, ll.line, "nested subckt not supported");
+      }
+      if (tokens.size() < 2) {
+        throw ParseError(file_, ll.line, "subckt requires a name");
+      }
+      cur_ = lib_.addSubckt(tokens[1]);
+      inSubckt_ = true;
+      subcktLine_ = ll.line;
+      params_.clear();
+      // Ports: remaining tokens with parentheses stripped (but balanced).
+      std::string rest;
+      for (std::size_t i = 2; i < tokens.size(); ++i) rest += tokens[i] + " ";
+      const auto opens = std::count(rest.begin(), rest.end(), '(');
+      const auto closes = std::count(rest.begin(), rest.end(), ')');
+      if (opens != closes) {
+        throw ParseError(file_, ll.line, "unbalanced parentheses in subckt");
+      }
+      for (char& c : rest) {
+        if (c == '(' || c == ')') c = ' ';
+      }
+      for (const std::string& port : str::splitTokens(rest)) {
+        lib_.mutableSubckt(cur_).addNet(port, /*isPort=*/true);
+      }
+      return;
+    }
+    if (head == "ends") {
+      if (!inSubckt_) throw ParseError(file_, ll.line, "ends without subckt");
+      inSubckt_ = false;
+      return;
+    }
+    if (head == "parameters") {
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        const auto [key, value] = str::splitFirst(tokens[i], '=');
+        if (value.empty()) {
+          throw ParseError(file_, ll.line,
+                           "parameter '" + tokens[i] + "' lacks a value");
+        }
+        const auto v = evalParamValue(value, params_);
+        if (!v) {
+          throw ParseError(file_, ll.line,
+                           "cannot evaluate parameter '" + tokens[i] + "'");
+        }
+        params_[str::toLower(key)] = *v;
+      }
+      return;
+    }
+    parseDeviceOrInstance(ll);
+  }
+
+  SubcktDef& scope(const LogicalLine& ll) {
+    if (inSubckt_) return lib_.mutableSubckt(cur_);
+    if (topId_ == kInvalidId) {
+      topId_ = lib_.addSubckt("top");
+      lib_.setTop(topId_);
+    }
+    (void)ll;
+    return lib_.mutableSubckt(topId_);
+  }
+
+  double evalOrThrow(const std::string& text, const LogicalLine& ll) {
+    const auto v = evalParamValue(text, params_);
+    if (!v) {
+      throw ParseError(file_, ll.line, "cannot evaluate '" + text + "'");
+    }
+    return *v;
+  }
+
+  void parseDeviceOrInstance(const LogicalLine& ll) {
+    const Card card = parseCard(ll.text, file_, ll.line);
+    SubcktDef& def = scope(ll);
+
+    if (const auto master = lib_.findSubckt(card.master)) {
+      Instance instance;
+      instance.name = card.name;
+      instance.master = *master;
+      for (const std::string& node : card.nodes) {
+        instance.connections.push_back(def.addNet(node));
+      }
+      if (!card.params.empty()) {
+        log::debug() << file_ << ":" << ll.line
+                     << ": ignoring instance parameters on '" << card.name
+                     << "'";
+      }
+      def.addInstance(std::move(instance));
+      return;
+    }
+
+    Device dev;
+    dev.name = card.name;
+    dev.model = card.master;
+    dev.type = spectrePrimitiveType(card.master);
+    if (dev.type == DeviceType::kUnknown) {
+      throw ParseError(file_, ll.line,
+                       "unknown master '" + card.master +
+                           "' (subckts must be defined before use)");
+    }
+    const std::size_t needed = pinCount(dev.type);
+    if (card.nodes.size() < (isMos(dev.type) ? 4u : 2u)) {
+      throw ParseError(file_, ll.line, "too few nodes for '" + card.name +
+                                           "' (" + card.master + ")");
+    }
+    const auto funcs = pinFunctions(dev.type);
+    for (std::size_t i = 0; i < needed && i < card.nodes.size(); ++i) {
+      dev.pins.push_back({funcs[i], def.addNet(card.nodes[i])});
+    }
+    for (const auto& [key, value] : card.params) {
+      if (key == "w") {
+        dev.params.w = evalOrThrow(value, ll);
+      } else if (key == "l" && !isCapacitor(dev.type) &&
+                 dev.type != DeviceType::kInd) {
+        dev.params.l = evalOrThrow(value, ll);
+      } else if (key == "l" && dev.type == DeviceType::kInd) {
+        dev.params.value = evalOrThrow(value, ll);
+      } else if (key == "nf" || key == "fingers") {
+        dev.params.nf = static_cast<int>(evalOrThrow(value, ll));
+      } else if (key == "m" || key == "mult") {
+        dev.params.m = static_cast<int>(evalOrThrow(value, ll));
+      } else if (key == "r" || key == "c" || key == "val") {
+        dev.params.value = evalOrThrow(value, ll);
+      } else if (key == "layers" || key == "lay") {
+        dev.params.layers = static_cast<int>(evalOrThrow(value, ll));
+      } else {
+        log::debug() << file_ << ":" << ll.line << ": ignoring parameter '"
+                     << key << "'";
+      }
+    }
+    def.addDevice(std::move(dev));
+  }
+
+  std::string file_;
+  Library lib_;
+  ParamEnv params_;
+  bool inSubckt_ = false;
+  std::size_t subcktLine_ = 0;
+  SubcktId cur_ = kInvalidId;
+  SubcktId topId_ = kInvalidId;
+};
+
+}  // namespace
+
+Library parseSpectre(std::string_view text, std::string_view fileName) {
+  return SpectreParser(fileName).run(text);
+}
+
+Library parseSpectreFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ParseError(path, 0, "cannot open file");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parseSpectre(buf.str(), path);
+}
+
+Library parseNetlistFile(const std::string& path) {
+  const std::string ext =
+      str::toLower(std::filesystem::path(path).extension().string());
+  if (ext == ".scs") return parseSpectreFile(path);
+  // Sniff the header for a spectre language tag.
+  std::ifstream in(path);
+  if (!in) throw ParseError(path, 0, "cannot open file");
+  std::string firstLines;
+  std::string line;
+  for (int i = 0; i < 10 && std::getline(in, line); ++i) {
+    firstLines += str::toLower(line) + "\n";
+  }
+  if (firstLines.find("simulator lang=spectre") != std::string::npos) {
+    return parseSpectreFile(path);
+  }
+  return parseSpiceFile(path);
+}
+
+}  // namespace ancstr

@@ -1,0 +1,39 @@
+// Spectre netlist reader (the dialect ALIGN's open-source benchmarks
+// ship). Supported subset:
+//
+//   // and * comments; '\' line continuations
+//   simulator lang=spectre            (ignored)
+//   subckt NAME (p1 p2 ...)           parentheses optional
+//   parameters a=1u b=2k             (subckt-scoped)
+//   M1 (d g s b) nch_lvt w=2u l=0.1u  primitive by master name
+//   R1 (a b) resistor r=5k
+//   C1 (a b) capacitor c=10f
+//   L1 (a b) inductor l=1n
+//   D1 (a k) diode
+//   x1 (n1 n2 ...) some_subckt        instance of a defined subckt
+//   ends [NAME]
+//
+// Any master that is not a defined subckt is treated as a primitive and
+// mapped through deviceTypeFromModelName plus the Spectre builtin names
+// (resistor/capacitor/inductor/diode).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "netlist/netlist.h"
+
+namespace ancstr {
+
+/// Parses Spectre-format text. Throws ParseError / NetlistError.
+Library parseSpectre(std::string_view text,
+                     std::string_view fileName = "<mem>");
+
+/// Reads and parses a Spectre file from disk.
+Library parseSpectreFile(const std::string& path);
+
+/// Dispatches on file extension / content: ".scs"/"simulator lang=spectre"
+/// goes to parseSpectre, everything else to parseSpice.
+Library parseNetlistFile(const std::string& path);
+
+}  // namespace ancstr

@@ -1,0 +1,435 @@
+#include "netlist/spice_parser.h"
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "netlist/expr.h"
+#include "util/error.h"
+#include "util/logging.h"
+#include "util/string_utils.h"
+
+namespace ancstr {
+namespace {
+
+struct LogicalLine {
+  std::string text;
+  std::size_t line = 0;  // 1-based line of the first physical line
+};
+
+/// Strips comments and joins '+' continuation lines.
+std::vector<LogicalLine> toLogicalLines(std::string_view text) {
+  std::vector<LogicalLine> out;
+  std::size_t lineNo = 0;
+  std::istringstream in{std::string(text)};
+  std::string raw;
+  while (std::getline(in, raw)) {
+    ++lineNo;
+    std::string_view sv = raw;
+    // Trailing comment forms: "; ..." anywhere, "$ " with surrounding space.
+    if (const auto semi = sv.find(';'); semi != std::string_view::npos) {
+      sv = sv.substr(0, semi);
+    }
+    if (const auto dollar = sv.find(" $"); dollar != std::string_view::npos) {
+      sv = sv.substr(0, dollar);
+    }
+    sv = str::trim(sv);
+    if (sv.empty()) continue;
+    if (sv.front() == '*') continue;  // full-line comment
+    if (sv.front() == '+') {
+      if (out.empty()) continue;  // stray continuation; ignore
+      out.back().text += ' ';
+      out.back().text += str::trim(sv.substr(1));
+    } else {
+      out.push_back({std::string(sv), lineNo});
+    }
+  }
+  return out;
+}
+
+/// Normalises "k = v", "k =v", "k= v" into "k=v" so tokenisation is easy.
+std::string normalizeAssignments(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '=') {
+      while (!out.empty() && out.back() == ' ') out.pop_back();
+      out.push_back('=');
+      std::size_t j = i + 1;
+      while (j < s.size() && s[j] == ' ') ++j;
+      i = j - 1;
+    } else {
+      out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+class SpiceParser {
+ public:
+  SpiceParser(std::string_view fileName, const SpiceParseOptions& options)
+      : file_(fileName), options_(options) {}
+
+  Library finish() {
+    if (inSubckt_) {
+      throw ParseError(file_, subcktLine_, "missing .ends for subckt");
+    }
+    lib_.validate();
+    return std::move(lib_);
+  }
+
+  void parseText(std::string_view text, const std::string& dir) {
+    for (const LogicalLine& ll : toLogicalLines(text)) {
+      parseLine(ll, dir);
+    }
+  }
+
+ private:
+  void parseLine(const LogicalLine& ll, const std::string& dir) {
+    const std::string norm = normalizeAssignments(ll.text);
+    std::vector<std::string> tokens = str::splitTokens(norm);
+    if (tokens.empty()) return;
+    const std::string head = str::toLower(tokens[0]);
+
+    if (head[0] == '.') {
+      parseDirective(head, tokens, ll, dir);
+      return;
+    }
+    switch (head[0]) {
+      case 'm': parseMos(tokens, ll); break;
+      case 'r': parsePassive(tokens, ll, 'r'); break;
+      case 'c': parsePassive(tokens, ll, 'c'); break;
+      case 'l': parsePassive(tokens, ll, 'l'); break;
+      case 'd': parseDiode(tokens, ll); break;
+      case 'q': parseBjt(tokens, ll); break;
+      case 'x': parseInstance(tokens, ll); break;
+      case 'v':
+      case 'i':
+      case 'e':
+      case 'g':
+      case 'f':
+      case 'h':
+        // Sources and controlled sources carry no layout geometry; skip.
+        log::debug() << file_ << ":" << ll.line << ": skipping source card '"
+                     << tokens[0] << "'";
+        break;
+      default:
+        throw ParseError(file_, ll.line,
+                         "unrecognised card '" + tokens[0] + "'");
+    }
+  }
+
+  void parseDirective(const std::string& head,
+                      const std::vector<std::string>& tokens,
+                      const LogicalLine& ll, const std::string& dir) {
+    if (head == ".subckt") {
+      if (inSubckt_) {
+        throw ParseError(file_, ll.line, "nested .subckt is not supported");
+      }
+      if (tokens.size() < 2) {
+        throw ParseError(file_, ll.line, ".subckt requires a name");
+      }
+      std::vector<std::string> ports;
+      ParamEnv localParams;
+      for (std::size_t i = 2; i < tokens.size(); ++i) {
+        const auto [key, value] = str::splitFirst(tokens[i], '=');
+        if (value.empty()) {
+          ports.emplace_back(tokens[i]);
+        } else if (auto v = evalParamValue(value, params_)) {
+          localParams[str::toLower(key)] = *v;
+        } else {
+          throw ParseError(file_, ll.line,
+                           "bad default parameter '" + tokens[i] + "'");
+        }
+      }
+      cur_ = lib_.addSubckt(tokens[1]);
+      inSubckt_ = true;
+      subcktLine_ = ll.line;
+      subcktParams_ = std::move(localParams);
+      for (const std::string& p : ports) {
+        lib_.mutableSubckt(cur_).addNet(p, /*isPort=*/true);
+      }
+    } else if (head == ".ends") {
+      if (!inSubckt_) throw ParseError(file_, ll.line, ".ends without .subckt");
+      inSubckt_ = false;
+      subcktParams_.clear();
+    } else if (head == ".param") {
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        const auto [key, value] = str::splitFirst(tokens[i], '=');
+        if (value.empty()) {
+          throw ParseError(file_, ll.line,
+                           ".param entry '" + tokens[i] + "' lacks a value");
+        }
+        const auto v = evalParamValue(value, env());
+        if (!v) {
+          throw ParseError(file_, ll.line,
+                           "cannot evaluate parameter '" + tokens[i] + "'");
+        }
+        if (inSubckt_) {
+          subcktParams_[str::toLower(key)] = *v;
+        } else {
+          params_[str::toLower(key)] = *v;
+        }
+      }
+    } else if (head == ".global") {
+      // Global nets need no special handling: names unify within subckts.
+    } else if (head == ".model") {
+      // Model cards are accepted; types are inferred from the model name.
+    } else if (head == ".include" || head == ".inc" || head == ".lib") {
+      if (tokens.size() < 2) {
+        throw ParseError(file_, ll.line, ".include requires a path");
+      }
+      std::string path = tokens[1];
+      if (path.size() >= 2 && (path.front() == '"' || path.front() == '\'')) {
+        path = path.substr(1, path.size() - 2);
+      }
+      std::filesystem::path full = std::filesystem::path(dir) / path;
+      std::ifstream in(full);
+      if (!in) {
+        throw ParseError(file_, ll.line,
+                         "cannot open include file '" + full.string() + "'");
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      parseText(buf.str(), full.parent_path().string());
+    } else if (head == ".end") {
+      // End of deck.
+    } else if (options_.strictDirectives) {
+      throw ParseError(file_, ll.line, "unknown directive '" + head + "'");
+    } else {
+      log::debug() << file_ << ":" << ll.line << ": ignoring directive '"
+                   << head << "'";
+    }
+  }
+
+  ParamEnv env() const {
+    if (!inSubckt_) return params_;
+    ParamEnv merged = params_;
+    for (const auto& [k, v] : subcktParams_) merged[k] = v;
+    return merged;
+  }
+
+  SubcktDef& scope(const LogicalLine& ll) {
+    if (inSubckt_) return lib_.mutableSubckt(cur_);
+    if (topId_ == kInvalidId) {
+      topId_ = lib_.addSubckt(options_.topName);
+      lib_.setTop(topId_);
+    }
+    (void)ll;
+    return lib_.mutableSubckt(topId_);
+  }
+
+  /// Splits tokens[from..] into positional tokens and key=value params.
+  static void splitArgs(const std::vector<std::string>& tokens,
+                        std::size_t from, std::vector<std::string>& positional,
+                        std::vector<std::pair<std::string, std::string>>& kv) {
+    for (std::size_t i = from; i < tokens.size(); ++i) {
+      const auto [key, value] = str::splitFirst(tokens[i], '=');
+      if (value.empty()) {
+        positional.emplace_back(tokens[i]);
+      } else {
+        kv.emplace_back(str::toLower(key), std::string(value));
+      }
+    }
+  }
+
+  double evalOrThrow(const std::string& text, const LogicalLine& ll) {
+    const auto v = evalParamValue(text, env());
+    if (!v) {
+      throw ParseError(file_, ll.line, "cannot evaluate value '" + text + "'");
+    }
+    return *v;
+  }
+
+  void applyDeviceParams(
+      Device& dev, const std::vector<std::pair<std::string, std::string>>& kv,
+      const LogicalLine& ll) {
+    for (const auto& [key, value] : kv) {
+      if (key == "w") {
+        dev.params.w = evalOrThrow(value, ll);
+      } else if (key == "l") {
+        dev.params.l = evalOrThrow(value, ll);
+      } else if (key == "nf" || key == "fingers") {
+        dev.params.nf = static_cast<int>(evalOrThrow(value, ll));
+      } else if (key == "m" || key == "mult") {
+        dev.params.m = static_cast<int>(evalOrThrow(value, ll));
+      } else if (key == "layers" || key == "lay" || key == "stm" ||
+                 key == "spm") {
+        dev.params.layers = static_cast<int>(evalOrThrow(value, ll));
+      } else if (key == "r" || key == "c" || key == "val") {
+        dev.params.value = evalOrThrow(value, ll);
+      } else {
+        log::debug() << file_ << ":" << ll.line << ": ignoring parameter '"
+                     << key << "' on device '" << dev.name << "'";
+      }
+    }
+  }
+
+  void parseMos(const std::vector<std::string>& tokens,
+                const LogicalLine& ll) {
+    std::vector<std::string> pos;
+    std::vector<std::pair<std::string, std::string>> kv;
+    splitArgs(tokens, 1, pos, kv);
+    if (pos.size() < 5) {
+      throw ParseError(file_, ll.line,
+                       "MOS card needs 4 terminals and a model");
+    }
+    SubcktDef& def = scope(ll);
+    Device dev;
+    dev.name = tokens[0];
+    dev.model = pos[4];
+    dev.type = deviceTypeFromModelName(pos[4]);
+    if (!isMos(dev.type)) {
+      throw ParseError(file_, ll.line,
+                       "model '" + pos[4] + "' is not a MOS model");
+    }
+    dev.pins = {{PinFunction::kDrain, def.addNet(pos[0])},
+                {PinFunction::kGate, def.addNet(pos[1])},
+                {PinFunction::kSource, def.addNet(pos[2])},
+                {PinFunction::kBulk, def.addNet(pos[3])}};
+    applyDeviceParams(dev, kv, ll);
+    def.addDevice(std::move(dev));
+  }
+
+  void parsePassive(const std::vector<std::string>& tokens,
+                    const LogicalLine& ll, char kind) {
+    std::vector<std::string> pos;
+    std::vector<std::pair<std::string, std::string>> kv;
+    splitArgs(tokens, 1, pos, kv);
+    if (pos.size() < 2) {
+      throw ParseError(file_, ll.line, "passive card needs two terminals");
+    }
+    SubcktDef& def = scope(ll);
+    Device dev;
+    dev.name = tokens[0];
+    // Remaining positional tokens: value and/or model name, in either order.
+    for (std::size_t i = 2; i < pos.size(); ++i) {
+      if (auto v = evalParamValue(pos[i], env())) {
+        dev.params.value = *v;
+      } else {
+        dev.model = pos[i];
+      }
+    }
+    if (!dev.model.empty()) {
+      dev.type = deviceTypeFromModelName(dev.model);
+    }
+    const bool typeMatchesKind =
+        (kind == 'r' && isResistor(dev.type)) ||
+        (kind == 'c' && isCapacitor(dev.type)) ||
+        (kind == 'l' && dev.type == DeviceType::kInd);
+    if (!typeMatchesKind) {
+      dev.type = kind == 'r'   ? DeviceType::kResPoly
+                 : kind == 'c' ? DeviceType::kCapMom
+                               : DeviceType::kInd;
+    }
+    const auto funcs = pinFunctions(dev.type);
+    dev.pins = {{funcs[0], def.addNet(pos[0])},
+                {funcs[1], def.addNet(pos[1])}};
+    applyDeviceParams(dev, kv, ll);
+    def.addDevice(std::move(dev));
+  }
+
+  void parseDiode(const std::vector<std::string>& tokens,
+                  const LogicalLine& ll) {
+    std::vector<std::string> pos;
+    std::vector<std::pair<std::string, std::string>> kv;
+    splitArgs(tokens, 1, pos, kv);
+    if (pos.size() < 3) {
+      throw ParseError(file_, ll.line, "diode card needs 2 nets and a model");
+    }
+    SubcktDef& def = scope(ll);
+    Device dev;
+    dev.name = tokens[0];
+    dev.model = pos[2];
+    dev.type = DeviceType::kDio;
+    dev.pins = {{PinFunction::kAnode, def.addNet(pos[0])},
+                {PinFunction::kCathode, def.addNet(pos[1])}};
+    applyDeviceParams(dev, kv, ll);
+    def.addDevice(std::move(dev));
+  }
+
+  void parseBjt(const std::vector<std::string>& tokens,
+                const LogicalLine& ll) {
+    std::vector<std::string> pos;
+    std::vector<std::pair<std::string, std::string>> kv;
+    splitArgs(tokens, 1, pos, kv);
+    if (pos.size() < 4) {
+      throw ParseError(file_, ll.line, "BJT card needs c b e and a model");
+    }
+    SubcktDef& def = scope(ll);
+    Device dev;
+    dev.name = tokens[0];
+    dev.model = pos.back();
+    dev.type = deviceTypeFromModelName(dev.model);
+    if (!isBipolar(dev.type)) dev.type = DeviceType::kNpn;
+    dev.pins = {{PinFunction::kCollector, def.addNet(pos[0])},
+                {PinFunction::kBase, def.addNet(pos[1])},
+                {PinFunction::kEmitter, def.addNet(pos[2])}};
+    applyDeviceParams(dev, kv, ll);
+    def.addDevice(std::move(dev));
+  }
+
+  void parseInstance(const std::vector<std::string>& tokens,
+                     const LogicalLine& ll) {
+    std::vector<std::string> pos;
+    std::vector<std::pair<std::string, std::string>> kv;
+    splitArgs(tokens, 1, pos, kv);
+    if (pos.size() < 2) {
+      throw ParseError(file_, ll.line, "X card needs nets and a master name");
+    }
+    if (!kv.empty()) {
+      log::debug() << file_ << ":" << ll.line
+                   << ": ignoring instance parameter overrides on '"
+                   << tokens[0] << "'";
+    }
+    SubcktDef& def = scope(ll);
+    const std::string masterName = pos.back();
+    const auto master = lib_.findSubckt(masterName);
+    if (!master) {
+      throw ParseError(file_, ll.line,
+                       "unknown subckt '" + masterName +
+                           "' (forward references are not supported)");
+    }
+    Instance instance;
+    instance.name = tokens[0];
+    instance.master = *master;
+    for (std::size_t i = 0; i + 1 < pos.size(); ++i) {
+      instance.connections.push_back(def.addNet(pos[i]));
+    }
+    def.addInstance(std::move(instance));
+  }
+
+  std::string file_;
+  SpiceParseOptions options_;
+  Library lib_;
+  ParamEnv params_;
+  ParamEnv subcktParams_;
+  bool inSubckt_ = false;
+  std::size_t subcktLine_ = 0;
+  SubcktId cur_ = kInvalidId;
+  SubcktId topId_ = kInvalidId;
+};
+
+}  // namespace
+
+Library parseSpice(std::string_view text, std::string_view fileName,
+                   const SpiceParseOptions& options) {
+  SpiceParser parser(fileName, options);
+  parser.parseText(text, ".");
+  return parser.finish();
+}
+
+Library parseSpiceFile(const std::string& path,
+                       const SpiceParseOptions& options) {
+  std::ifstream in(path);
+  if (!in) throw ParseError(path, 0, "cannot open file");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  SpiceParser parser(path, options);
+  parser.parseText(buf.str(),
+                   std::filesystem::path(path).parent_path().string());
+  return parser.finish();
+}
+
+}  // namespace ancstr

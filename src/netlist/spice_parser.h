@@ -1,0 +1,41 @@
+// SPICE netlist reader.
+//
+// Supported subset (enough for analog block and system netlists as shipped
+// by ALIGN / MAGICAL and produced by our generators):
+//   * comments:      full-line '*', trailing ';' or '$ '
+//   * continuations: leading '+'
+//   * directives:    .subckt/.ends, .param, .global, .model, .include, .end
+//   * cards:         M (mos), R, C, L (passives), D (diode), Q (bjt),
+//                    X (subckt instance)
+//   * parameters:    key=value with SPICE numbers or '{expr}' / "'expr'"
+//                    expressions over .param symbols
+// Device types are inferred from model names via deviceTypeFromModelName.
+// Instance parameter overrides on X cards are parsed and ignored (logged).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "netlist/netlist.h"
+
+namespace ancstr {
+
+/// Options controlling parsing behaviour.
+struct SpiceParseOptions {
+  /// Name used for devices declared outside any .subckt.
+  std::string topName = "top";
+  /// When true, unknown directive lines throw instead of warn.
+  bool strictDirectives = false;
+};
+
+/// Parses SPICE text. `fileName` is used in diagnostics only.
+/// Throws ParseError (syntax) or NetlistError (structural).
+Library parseSpice(std::string_view text, std::string_view fileName = "<mem>",
+                   const SpiceParseOptions& options = {});
+
+/// Reads and parses a SPICE file from disk. `.include` paths resolve
+/// relative to the including file's directory.
+Library parseSpiceFile(const std::string& path,
+                       const SpiceParseOptions& options = {});
+
+}  // namespace ancstr

@@ -1,0 +1,94 @@
+#include "netlist/spice_writer.h"
+
+#include <cctype>
+#include <fstream>
+#include <functional>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/string_utils.h"
+
+namespace ancstr {
+namespace {
+
+void emitDevice(std::ostream& os, const SubcktDef& def, const Device& dev) {
+  char card = 'x';
+  if (isMos(dev.type)) {
+    card = 'm';
+  } else if (isResistor(dev.type)) {
+    card = 'r';
+  } else if (isCapacitor(dev.type)) {
+    card = 'c';
+  } else if (dev.type == DeviceType::kInd) {
+    card = 'l';
+  } else if (dev.type == DeviceType::kDio) {
+    card = 'd';
+  } else if (isBipolar(dev.type)) {
+    card = 'q';
+  }
+  std::string name = dev.name;
+  if (name.empty() || std::tolower(static_cast<unsigned char>(name[0])) != card) {
+    name = std::string(1, card) + name;
+  }
+  os << name;
+  for (const Pin& pin : dev.pins) os << ' ' << def.net(pin.net).name;
+  const std::string model =
+      dev.model.empty() ? std::string(deviceTypeName(dev.type)) : dev.model;
+  if (isMos(dev.type) || isBipolar(dev.type) || dev.type == DeviceType::kDio) {
+    os << ' ' << model;
+  }
+  if (isMos(dev.type)) {
+    os << " w=" << str::formatCompact(dev.params.w)
+       << " l=" << str::formatCompact(dev.params.l);
+    if (dev.params.nf != 1) os << " nf=" << dev.params.nf;
+  } else if (isPassive(dev.type)) {
+    os << ' ' << str::formatCompact(dev.params.value);
+    // Always emit a model so the exact passive flavour round-trips.
+    os << ' ' << model;
+    if (dev.params.layers > 0) os << " layers=" << dev.params.layers;
+    if (dev.params.w > 0) os << " w=" << str::formatCompact(dev.params.w);
+    if (dev.params.l > 0) os << " l=" << str::formatCompact(dev.params.l);
+  }
+  if (dev.params.m != 1) os << " m=" << dev.params.m;
+  os << '\n';
+}
+
+}  // namespace
+
+std::string writeSpice(const Library& lib) {
+  std::ostringstream os;
+  os << "* ancstr-gnn generated netlist\n";
+
+  // Emit masters before users (post-order over the hierarchy DAG).
+  std::vector<bool> done(lib.subcktCount(), false);
+  std::function<void(SubcktId)> emit = [&](SubcktId id) {
+    if (done[id]) return;
+    done[id] = true;
+    const SubcktDef& def = lib.subckt(id);
+    for (const Instance& inst : def.instances()) emit(inst.master);
+    os << ".subckt " << def.name();
+    for (const NetId port : def.ports()) os << ' ' << def.net(port).name;
+    os << '\n';
+    for (const Device& dev : def.devices()) emitDevice(os, def, dev);
+    for (const Instance& inst : def.instances()) {
+      std::string name = inst.name;
+      if (name.empty() || name[0] != 'x') name = "x" + name;
+      os << name;
+      for (const NetId net : inst.connections) os << ' ' << def.net(net).name;
+      os << ' ' << lib.subckt(inst.master).name() << '\n';
+    }
+    os << ".ends " << def.name() << "\n\n";
+  };
+  for (SubcktId id = 0; id < lib.subcktCount(); ++id) emit(id);
+  os << ".end\n";
+  return os.str();
+}
+
+void writeSpiceFile(const Library& lib, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open '" + path + "' for writing");
+  out << writeSpice(lib);
+  if (!out) throw Error("failed writing '" + path + "'");
+}
+
+}  // namespace ancstr

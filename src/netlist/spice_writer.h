@@ -1,0 +1,19 @@
+// SPICE netlist emission: serialises a Library back to .subckt decks so
+// generated benchmarks can be round-tripped through the parser and shipped
+// as plain-text artefacts.
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace ancstr {
+
+/// Renders the whole library, masters before users, ending with `.end`.
+/// Device types are emitted as canonical model names (deviceTypeName).
+std::string writeSpice(const Library& lib);
+
+/// Writes writeSpice(lib) to `path`. Throws Error on I/O failure.
+void writeSpiceFile(const Library& lib, const std::string& path);
+
+}  // namespace ancstr

@@ -1,0 +1,31 @@
+#include "nn/gru.h"
+
+#include "nn/init.h"
+
+namespace ancstr::nn {
+
+GruCell::GruCell(std::size_t inputDim, std::size_t hiddenDim, Rng& rng)
+    : inputDim_(inputDim), hiddenDim_(hiddenDim) {
+  auto weightIn = [&] { return Tensor::param(xavierUniform(inputDim, hiddenDim, rng)); };
+  auto weightHid = [&] { return Tensor::param(xavierUniform(hiddenDim, hiddenDim, rng)); };
+  auto biasRow = [&] { return Tensor::param(Matrix(1, hiddenDim)); };
+  wz_ = weightIn(); uz_ = weightHid(); bz_ = biasRow();
+  wr_ = weightIn(); ur_ = weightHid(); br_ = biasRow();
+  wc_ = weightIn(); uc_ = weightHid(); bc_ = biasRow();
+}
+
+Tensor GruCell::forward(const Tensor& x, const Tensor& h) const {
+  const Tensor z =
+      sigmoid(addRow(add(matmul(x, wz_), matmul(h, uz_)), bz_));
+  const Tensor r =
+      sigmoid(addRow(add(matmul(x, wr_), matmul(h, ur_)), br_));
+  const Tensor c =
+      tanh(addRow(add(matmul(x, wc_), matmul(hadamard(r, h), uc_)), bc_));
+  return add(hadamard(oneMinus(z), h), hadamard(z, c));
+}
+
+std::vector<Tensor> GruCell::parameters() const {
+  return {wz_, uz_, bz_, wr_, ur_, br_, wc_, uc_, bc_};
+}
+
+}  // namespace ancstr::nn

@@ -1,0 +1,39 @@
+// Gated recurrent unit in batched matrix form: the state-update function of
+// the gated-graph-network layer (Eq. 1 of the paper),
+//   h_v^(k) = GRU(h_v^(k-1), m_v)  with m_v the aggregated typed messages.
+#pragma once
+
+#include <vector>
+
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace ancstr::nn {
+
+/// GRU cell over row-batched states. Input dim and hidden dim may differ.
+///   z = sigmoid(x Wz + h Uz + bz)
+///   r = sigmoid(x Wr + h Ur + br)
+///   c = tanh  (x Wc + (r . h) Uc + bc)
+///   h' = (1 - z) . h + z . c
+class GruCell {
+ public:
+  GruCell(std::size_t inputDim, std::size_t hiddenDim, Rng& rng);
+
+  /// x: (N x inputDim), h: (N x hiddenDim) -> (N x hiddenDim).
+  Tensor forward(const Tensor& x, const Tensor& h) const;
+
+  /// All 9 trainable parameter tensors.
+  std::vector<Tensor> parameters() const;
+
+  std::size_t inputDim() const { return inputDim_; }
+  std::size_t hiddenDim() const { return hiddenDim_; }
+
+ private:
+  std::size_t inputDim_;
+  std::size_t hiddenDim_;
+  Tensor wz_, uz_, bz_;
+  Tensor wr_, ur_, br_;
+  Tensor wc_, uc_, bc_;
+};
+
+}  // namespace ancstr::nn

@@ -1,0 +1,32 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace ancstr::nn {
+
+Matrix xavierUniform(std::size_t fanIn, std::size_t fanOut, Rng& rng) {
+  const double a = std::sqrt(6.0 / static_cast<double>(fanIn + fanOut));
+  return uniform(fanIn, fanOut, -a, a, rng);
+}
+
+Matrix heNormal(std::size_t fanIn, std::size_t fanOut, Rng& rng) {
+  const double stddev = std::sqrt(2.0 / static_cast<double>(fanIn));
+  Matrix m(fanIn, fanOut);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      m(r, c) = rng.normal(0.0, stddev);
+    }
+  }
+  return m;
+}
+
+Matrix uniform(std::size_t rows, std::size_t cols, double lo, double hi,
+               Rng& rng) {
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = rng.uniform(lo, hi);
+  }
+  return m;
+}
+
+}  // namespace ancstr::nn

@@ -1,0 +1,19 @@
+// Weight initialisation schemes.
+#pragma once
+
+#include "nn/matrix.h"
+#include "util/rng.h"
+
+namespace ancstr::nn {
+
+/// Glorot/Xavier uniform: U(-a, a) with a = sqrt(6 / (fanIn + fanOut)).
+Matrix xavierUniform(std::size_t fanIn, std::size_t fanOut, Rng& rng);
+
+/// He/Kaiming normal: N(0, sqrt(2 / fanIn)).
+Matrix heNormal(std::size_t fanIn, std::size_t fanOut, Rng& rng);
+
+/// Uniform in [lo, hi).
+Matrix uniform(std::size_t rows, std::size_t cols, double lo, double hi,
+               Rng& rng);
+
+}  // namespace ancstr::nn

@@ -1,0 +1,25 @@
+#include "nn/linear.h"
+
+#include "nn/init.h"
+
+namespace ancstr::nn {
+
+Linear::Linear(std::size_t inDim, std::size_t outDim, bool withBias,
+               Rng& rng) {
+  weight_ = Tensor::param(xavierUniform(inDim, outDim, rng));
+  if (withBias) bias_ = Tensor::param(Matrix(1, outDim));
+}
+
+Tensor Linear::forward(const Tensor& x) const {
+  Tensor y = matmul(x, weight_);
+  if (bias_.valid()) y = addRow(y, bias_);
+  return y;
+}
+
+std::vector<Tensor> Linear::parameters() const {
+  std::vector<Tensor> params{weight_};
+  if (bias_.valid()) params.push_back(bias_);
+  return params;
+}
+
+}  // namespace ancstr::nn

@@ -1,0 +1,33 @@
+// Linear (affine) layer: y = x W + b. The GNN's per-edge-type message
+// transforms are Linear layers without bias (Eq. 1 uses a bare W_tau).
+#pragma once
+
+#include <vector>
+
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace ancstr::nn {
+
+/// Dense layer mapping (R x in) -> (R x out).
+class Linear {
+ public:
+  /// Xavier-uniform initialised weights; bias zero-initialised when used.
+  Linear(std::size_t inDim, std::size_t outDim, bool withBias, Rng& rng);
+
+  /// Applies the layer to a batch of row vectors.
+  Tensor forward(const Tensor& x) const;
+
+  /// Trainable parameters (weight, then bias when present).
+  std::vector<Tensor> parameters() const;
+
+  const Tensor& weight() const { return weight_; }
+  bool hasBias() const { return bias_.valid(); }
+  const Tensor& bias() const { return bias_; }
+
+ private:
+  Tensor weight_;  // in x out
+  Tensor bias_;    // 1 x out, invalid when bias-less
+};
+
+}  // namespace ancstr::nn

@@ -1,0 +1,163 @@
+#include "nn/matrix.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace ancstr::nn {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fillValue)
+    : rows_(rows), cols_(cols), data_(rows * cols, fillValue) {}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, std::vector<double> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  if (data_.size() != rows_ * cols_) {
+    throw ShapeError("Matrix ctor: data size " + std::to_string(data_.size()) +
+                     " != " + std::to_string(rows_ * cols_));
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::scalar(double v) {
+  Matrix m(1, 1);
+  m(0, 0) = v;
+  return m;
+}
+
+void Matrix::fill(double v) {
+  for (double& x : data_) x = v;
+}
+
+void Matrix::requireSameShape(const Matrix& rhs, const char* op) const {
+  if (!sameShape(rhs)) {
+    throw ShapeError(std::string(op) + ": shape mismatch " + shapeString() +
+                     " vs " + rhs.shapeString());
+  }
+}
+
+Matrix& Matrix::operator+=(const Matrix& rhs) {
+  requireSameShape(rhs, "operator+=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& rhs) {
+  requireSameShape(rhs, "operator-=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& x : data_) x *= s;
+  return *this;
+}
+
+void Matrix::addScaled(const Matrix& rhs, double s) {
+  requireSameShape(rhs, "addScaled");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += s * rhs.data_[i];
+}
+
+Matrix Matrix::operator+(const Matrix& rhs) const {
+  Matrix out = *this;
+  out += rhs;
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& rhs) const {
+  Matrix out = *this;
+  out -= rhs;
+  return out;
+}
+
+Matrix Matrix::operator*(double s) const {
+  Matrix out = *this;
+  out *= s;
+  return out;
+}
+
+Matrix Matrix::hadamard(const Matrix& rhs) const {
+  requireSameShape(rhs, "hadamard");
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] *= rhs.data_[i];
+  return out;
+}
+
+Matrix Matrix::matmul(const Matrix& rhs) const {
+  if (cols_ != rhs.rows_) {
+    throw ShapeError("matmul: " + shapeString() + " x " + rhs.shapeString());
+  }
+  Matrix out(rows_, rhs.cols_);
+  // ikj order: stream through rhs rows for cache friendliness.
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* lhsRow = row(i);
+    double* outRow = out.row(i);
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = lhsRow[k];
+      if (a == 0.0) continue;
+      const double* rhsRow = rhs.row(k);
+      for (std::size_t j = 0; j < rhs.cols_; ++j) outRow[j] += a * rhsRow[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  }
+  return out;
+}
+
+double Matrix::sum() const {
+  double total = 0.0;
+  for (double x : data_) total += x;
+  return total;
+}
+
+double Matrix::frobeniusNorm() const {
+  double total = 0.0;
+  for (double x : data_) total += x * x;
+  return std::sqrt(total);
+}
+
+double Matrix::maxAbs() const {
+  double best = 0.0;
+  for (double x : data_) best = std::max(best, std::fabs(x));
+  return best;
+}
+
+double Matrix::cosineSimilarity(const Matrix& a, const Matrix& b) {
+  if (!a.sameShape(b)) {
+    throw ShapeError("cosineSimilarity: shape mismatch " + a.shapeString() +
+                     " vs " + b.shapeString());
+  }
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (std::size_t i = 0; i < a.data_.size(); ++i) {
+    dot += a.data_[i] * b.data_[i];
+    na += a.data_[i] * a.data_[i];
+    nb += b.data_[i] * b.data_[i];
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+Matrix Matrix::rowCopy(std::size_t r) const {
+  Matrix out(1, cols_);
+  for (std::size_t c = 0; c < cols_; ++c) out(0, c) = (*this)(r, c);
+  return out;
+}
+
+std::string Matrix::shapeString() const {
+  return std::to_string(rows_) + "x" + std::to_string(cols_);
+}
+
+}  // namespace ancstr::nn

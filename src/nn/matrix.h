@@ -1,0 +1,96 @@
+// Dense row-major matrix of doubles: the numeric workhorse under the
+// autograd tape, the GNN, PageRank, and the spectral baseline.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ancstr::nn {
+
+/// Dense rows x cols matrix. Cheap to move, explicit about shape; all
+/// binary operations check shapes and throw ShapeError on mismatch.
+class Matrix {
+ public:
+  Matrix() = default;
+  /// Zero-initialised rows x cols matrix.
+  Matrix(std::size_t rows, std::size_t cols);
+  /// Matrix filled with `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill);
+  /// From row-major data; data.size() must equal rows*cols.
+  Matrix(std::size_t rows, std::size_t cols, std::vector<double> data);
+
+  static Matrix identity(std::size_t n);
+  /// 1x1 matrix holding `v` (scalar results of reductions).
+  static Matrix scalar(double v);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+  bool sameShape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  double* row(std::size_t r) { return data_.data() + r * cols_; }
+  const double* row(std::size_t r) const { return data_.data() + r * cols_; }
+
+  // --- in-place -------------------------------------------------------
+  void fill(double v);
+  void setZero() { fill(0.0); }
+  Matrix& operator+=(const Matrix& rhs);
+  Matrix& operator-=(const Matrix& rhs);
+  Matrix& operator*=(double s);
+  /// this += s * rhs (axpy).
+  void addScaled(const Matrix& rhs, double s);
+
+  // --- producers ------------------------------------------------------
+  Matrix operator+(const Matrix& rhs) const;
+  Matrix operator-(const Matrix& rhs) const;
+  Matrix operator*(double s) const;
+  /// Elementwise product.
+  Matrix hadamard(const Matrix& rhs) const;
+  /// Dense matmul (this: m x k, rhs: k x n).
+  Matrix matmul(const Matrix& rhs) const;
+  Matrix transposed() const;
+  /// Applies `f` elementwise.
+  template <typename F>
+  Matrix map(F f) const {
+    Matrix out(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] = f(data_[i]);
+    return out;
+  }
+
+  // --- reductions / metrics --------------------------------------------
+  double sum() const;
+  double frobeniusNorm() const;
+  double maxAbs() const;
+  /// Cosine similarity between two equally-shaped matrices viewed as flat
+  /// vectors; 0 when either norm is 0.
+  static double cosineSimilarity(const Matrix& a, const Matrix& b);
+
+  /// Copy of row r as a 1 x cols matrix.
+  Matrix rowCopy(std::size_t r) const;
+
+  /// Human-readable shape like "3x4" for diagnostics.
+  std::string shapeString() const;
+
+  bool operator==(const Matrix&) const = default;
+
+ private:
+  void requireSameShape(const Matrix& rhs, const char* op) const;
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace ancstr::nn

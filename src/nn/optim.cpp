@@ -1,0 +1,92 @@
+#include "nn/optim.h"
+
+#include <cmath>
+
+namespace ancstr::nn {
+
+double clipGradNorm(const std::vector<Tensor>& params, double maxNorm) {
+  double sq = 0.0;
+  for (const Tensor& p : params) {
+    if (p.grad().empty()) continue;
+    const double n = p.grad().frobeniusNorm();
+    sq += n * n;
+  }
+  const double norm = std::sqrt(sq);
+  if (norm > maxNorm && norm > 0.0) {
+    const double scaleBy = maxNorm / norm;
+    for (const Tensor& p : params) {
+      if (!p.grad().empty()) {
+        // const_cast-free: re-set the grad through the node handle.
+        auto node = p.node();
+        node->grad *= scaleBy;
+      }
+    }
+  }
+  return norm;
+}
+
+void zeroGrads(const std::vector<Tensor>& params) {
+  for (const Tensor& p : params) const_cast<Tensor&>(p).zeroGrad();
+}
+
+void Optimizer::zeroGrad() { zeroGrads(params_); }
+
+Sgd::Sgd(std::vector<Tensor> params, double lr, double momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {}
+
+void Sgd::step() {
+  for (Tensor& p : params_) {
+    if (p.grad().empty()) continue;
+    Matrix update = p.grad();
+    if (momentum_ > 0.0) {
+      auto [it, inserted] = velocity_.try_emplace(
+          p.id(), Matrix(update.rows(), update.cols()));
+      Matrix& vel = it->second;
+      vel *= momentum_;
+      vel += update;
+      update = vel;
+    }
+    Matrix value = p.value();
+    value.addScaled(update, -lr_);
+    p.setValue(std::move(value));
+  }
+}
+
+Adam::Adam(std::vector<Tensor> params) : Adam(std::move(params), Config()) {}
+
+Adam::Adam(std::vector<Tensor> params, Config config)
+    : Optimizer(std::move(params)), config_(config) {}
+
+void Adam::step() {
+  ++stepCount_;
+  const double bc1 =
+      1.0 - std::pow(config_.beta1, static_cast<double>(stepCount_));
+  const double bc2 =
+      1.0 - std::pow(config_.beta2, static_cast<double>(stepCount_));
+  for (Tensor& p : params_) {
+    if (p.grad().empty()) continue;
+    Matrix g = p.grad();
+    if (config_.weightDecay > 0.0) {
+      g.addScaled(p.value(), config_.weightDecay);
+    }
+    auto [it, inserted] = state_.try_emplace(
+        p.id(), State{Matrix(g.rows(), g.cols()), Matrix(g.rows(), g.cols())});
+    State& s = it->second;
+    Matrix value = p.value();
+    for (std::size_t r = 0; r < g.rows(); ++r) {
+      for (std::size_t c = 0; c < g.cols(); ++c) {
+        const double grad = g(r, c);
+        double& m = s.m(r, c);
+        double& v = s.v(r, c);
+        m = config_.beta1 * m + (1.0 - config_.beta1) * grad;
+        v = config_.beta2 * v + (1.0 - config_.beta2) * grad * grad;
+        const double mHat = m / bc1;
+        const double vHat = v / bc2;
+        value(r, c) -= config_.lr * mHat / (std::sqrt(vHat) + config_.eps);
+      }
+    }
+    p.setValue(std::move(value));
+  }
+}
+
+}  // namespace ancstr::nn

@@ -1,0 +1,70 @@
+// First-order optimizers over Tensor parameter lists.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace ancstr::nn {
+
+/// Clips the global L2 norm of all parameter gradients to `maxNorm`.
+/// Returns the pre-clip norm.
+double clipGradNorm(const std::vector<Tensor>& params, double maxNorm);
+
+/// Zeroes every parameter gradient.
+void zeroGrads(const std::vector<Tensor>& params);
+
+/// Interface shared by optimizers.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  /// Applies one update step from the currently accumulated gradients.
+  virtual void step() = 0;
+  /// Clears gradients of all managed parameters.
+  void zeroGrad();
+
+ protected:
+  explicit Optimizer(std::vector<Tensor> params)
+      : params_(std::move(params)) {}
+  std::vector<Tensor> params_;
+};
+
+/// Plain SGD with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> params, double lr, double momentum = 0.0);
+  void step() override;
+
+ private:
+  double lr_;
+  double momentum_;
+  std::unordered_map<const void*, Matrix> velocity_;
+};
+
+/// Adam (Kingma & Ba, 2015) with bias correction.
+class Adam : public Optimizer {
+ public:
+  struct Config {
+    double lr = 1e-2;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double eps = 1e-8;
+    double weightDecay = 0.0;
+  };
+
+  explicit Adam(std::vector<Tensor> params);
+  Adam(std::vector<Tensor> params, Config config);
+  void step() override;
+
+ private:
+  struct State {
+    Matrix m;
+    Matrix v;
+  };
+  Config config_;
+  std::unordered_map<const void*, State> state_;
+  long stepCount_ = 0;
+};
+
+}  // namespace ancstr::nn

@@ -1,0 +1,78 @@
+#include "nn/sparse.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace ancstr::nn {
+
+SparseMatrix::SparseMatrix(std::size_t rows, std::size_t cols,
+                           std::vector<Triplet> triplets)
+    : rows_(rows), cols_(cols) {
+  for (const Triplet& t : triplets) {
+    if (t.row >= rows || t.col >= cols) {
+      throw ShapeError("SparseMatrix: triplet out of range");
+    }
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  rowPtr_.assign(rows + 1, 0);
+  for (std::size_t i = 0; i < triplets.size();) {
+    std::size_t j = i + 1;
+    double v = triplets[i].value;
+    while (j < triplets.size() && triplets[j].row == triplets[i].row &&
+           triplets[j].col == triplets[i].col) {
+      v += triplets[j].value;
+      ++j;
+    }
+    colIdx_.push_back(triplets[i].col);
+    values_.push_back(v);
+    ++rowPtr_[triplets[i].row + 1];
+    i = j;
+  }
+  for (std::size_t r = 0; r < rows; ++r) rowPtr_[r + 1] += rowPtr_[r];
+}
+
+Matrix SparseMatrix::multiply(const Matrix& dense) const {
+  if (dense.rows() != cols_) {
+    throw ShapeError("spmm: sparse cols " + std::to_string(cols_) +
+                     " != dense rows " + std::to_string(dense.rows()));
+  }
+  Matrix out(rows_, dense.cols());
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double* outRow = out.row(r);
+    for (std::size_t k = rowPtr_[r]; k < rowPtr_[r + 1]; ++k) {
+      const double v = values_[k];
+      const double* denseRow = dense.row(colIdx_[k]);
+      for (std::size_t c = 0; c < dense.cols(); ++c) {
+        outRow[c] += v * denseRow[c];
+      }
+    }
+  }
+  return out;
+}
+
+SparseMatrix SparseMatrix::transposed() const {
+  std::vector<Triplet> triplets;
+  triplets.reserve(values_.size());
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = rowPtr_[r]; k < rowPtr_[r + 1]; ++k) {
+      triplets.push_back({colIdx_[k], r, values_[k]});
+    }
+  }
+  return SparseMatrix(cols_, rows_, std::move(triplets));
+}
+
+Matrix SparseMatrix::toDense() const {
+  Matrix out(rows_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = rowPtr_[r]; k < rowPtr_[r + 1]; ++k) {
+      out(r, colIdx_[k]) += values_[k];
+    }
+  }
+  return out;
+}
+
+}  // namespace ancstr::nn

@@ -1,0 +1,49 @@
+// Compressed-sparse-row matrix used for adjacency operators in GNN message
+// passing: the per-edge-type adjacency A_tau is sparse and constant, so
+// messages are computed as spmm(A, H) with H dense.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace ancstr::nn {
+
+/// One (row, col, value) entry used to assemble a SparseMatrix.
+struct Triplet {
+  std::size_t row = 0;
+  std::size_t col = 0;
+  double value = 1.0;
+};
+
+/// Immutable CSR matrix. Duplicate triplets are summed during assembly.
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+  /// Assembles from triplets (duplicates coalesced by summation).
+  SparseMatrix(std::size_t rows, std::size_t cols,
+               std::vector<Triplet> triplets);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nonZeros() const { return values_.size(); }
+
+  /// Dense product: this (m x k, sparse) * dense (k x n) -> m x n.
+  Matrix multiply(const Matrix& dense) const;
+
+  /// Transposed copy (CSR of the transpose).
+  SparseMatrix transposed() const;
+
+  /// Dense materialisation (tests / small problems).
+  Matrix toDense() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> rowPtr_;
+  std::vector<std::size_t> colIdx_;
+  std::vector<double> values_;
+};
+
+}  // namespace ancstr::nn

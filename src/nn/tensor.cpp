@@ -1,0 +1,288 @@
+#include "nn/tensor.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "util/error.h"
+
+namespace ancstr::nn {
+
+using detail::Node;
+
+Tensor Tensor::param(Matrix value) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->requiresGrad = true;
+  return Tensor(std::move(node));
+}
+
+Tensor Tensor::constant(Matrix value) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->requiresGrad = false;
+  return Tensor(std::move(node));
+}
+
+void Tensor::setValue(Matrix m) {
+  if (!m.sameShape(node_->value)) {
+    throw ShapeError("Tensor::setValue: shape mismatch " +
+                     m.shapeString() + " vs " + node_->value.shapeString());
+  }
+  node_->value = std::move(m);
+}
+
+void Tensor::zeroGrad() {
+  if (!node_->grad.empty()) node_->grad.setZero();
+}
+
+void Tensor::backward() {
+  if (rows() != 1 || cols() != 1) {
+    throw ShapeError("backward() requires a scalar; got " +
+                     node_->value.shapeString());
+  }
+  // Topological order via iterative post-order DFS.
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  std::vector<std::pair<Node*, std::size_t>> stack{{node_.get(), 0}};
+  visited.insert(node_.get());
+  while (!stack.empty()) {
+    auto& [cur, next] = stack.back();
+    if (next < cur->inputs.size()) {
+      Node* child = cur->inputs[next++].get();
+      if (visited.insert(child).second) stack.emplace_back(child, 0);
+    } else {
+      order.push_back(cur);
+      stack.pop_back();
+    }
+  }
+  node_->ensureGrad()(0, 0) = 1.0;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* n = *it;
+    if (n->backward && !n->grad.empty()) n->backward(*n);
+  }
+}
+
+namespace {
+
+Tensor makeNode(Matrix value, std::vector<Tensor> inputs,
+                std::function<void(Node&)> backward) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  bool grad = false;
+  for (const Tensor& t : inputs) {
+    ANCSTR_ASSERT(t.valid());
+    grad = grad || t.node()->requiresGrad;
+    node->inputs.push_back(t.node());
+  }
+  node->requiresGrad = grad;
+  if (grad) node->backward = std::move(backward);
+  return Tensor(std::move(node));
+}
+
+void accumulate(const std::shared_ptr<Node>& input, const Matrix& delta) {
+  if (!input->requiresGrad && input->inputs.empty()) return;
+  input->ensureGrad() += delta;
+}
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  Matrix value = a.value().matmul(b.value());
+  return makeNode(std::move(value), {a, b}, [](Node& n) {
+    const Matrix& g = n.grad;
+    const auto& ain = n.inputs[0];
+    const auto& bin = n.inputs[1];
+    // dA = G B^T ; dB = A^T G
+    accumulate(ain, g.matmul(bin->value.transposed()));
+    accumulate(bin, ain->value.transposed().matmul(g));
+  });
+}
+
+Tensor spmm(const SparseMatrix& a, const Tensor& h) {
+  Matrix value = a.multiply(h.value());
+  // The sparse operator is constant; capture its transpose for backward.
+  auto at = std::make_shared<SparseMatrix>(a.transposed());
+  return makeNode(std::move(value), {h}, [at](Node& n) {
+    accumulate(n.inputs[0], at->multiply(n.grad));
+  });
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return makeNode(a.value() + b.value(), {a, b}, [](Node& n) {
+    accumulate(n.inputs[0], n.grad);
+    accumulate(n.inputs[1], n.grad);
+  });
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return makeNode(a.value() - b.value(), {a, b}, [](Node& n) {
+    accumulate(n.inputs[0], n.grad);
+    accumulate(n.inputs[1], n.grad * -1.0);
+  });
+}
+
+Tensor hadamard(const Tensor& a, const Tensor& b) {
+  return makeNode(a.value().hadamard(b.value()), {a, b}, [](Node& n) {
+    accumulate(n.inputs[0], n.grad.hadamard(n.inputs[1]->value));
+    accumulate(n.inputs[1], n.grad.hadamard(n.inputs[0]->value));
+  });
+}
+
+Tensor scale(const Tensor& a, double s) {
+  return makeNode(a.value() * s, {a}, [s](Node& n) {
+    accumulate(n.inputs[0], n.grad * s);
+  });
+}
+
+Tensor addRow(const Tensor& a, const Tensor& biasRow) {
+  if (biasRow.rows() != 1 || biasRow.cols() != a.cols()) {
+    throw ShapeError("addRow: bias must be 1x" + std::to_string(a.cols()));
+  }
+  Matrix value = a.value();
+  for (std::size_t r = 0; r < value.rows(); ++r) {
+    for (std::size_t c = 0; c < value.cols(); ++c) {
+      value(r, c) += biasRow.value()(0, c);
+    }
+  }
+  return makeNode(std::move(value), {a, biasRow}, [](Node& n) {
+    accumulate(n.inputs[0], n.grad);
+    Matrix colSums(1, n.grad.cols());
+    for (std::size_t r = 0; r < n.grad.rows(); ++r) {
+      for (std::size_t c = 0; c < n.grad.cols(); ++c) {
+        colSums(0, c) += n.grad(r, c);
+      }
+    }
+    accumulate(n.inputs[1], colSums);
+  });
+}
+
+Tensor sigmoid(const Tensor& a) {
+  Matrix value = a.value().map([](double x) {
+    // Stable in both tails.
+    return x >= 0.0 ? 1.0 / (1.0 + std::exp(-x))
+                    : std::exp(x) / (1.0 + std::exp(x));
+  });
+  return makeNode(std::move(value), {a}, [](Node& n) {
+    Matrix delta(n.grad.rows(), n.grad.cols());
+    for (std::size_t i = 0; i < n.grad.rows(); ++i) {
+      for (std::size_t j = 0; j < n.grad.cols(); ++j) {
+        const double y = n.value(i, j);
+        delta(i, j) = n.grad(i, j) * y * (1.0 - y);
+      }
+    }
+    accumulate(n.inputs[0], delta);
+  });
+}
+
+Tensor tanh(const Tensor& a) {
+  Matrix value = a.value().map([](double x) { return std::tanh(x); });
+  return makeNode(std::move(value), {a}, [](Node& n) {
+    Matrix delta(n.grad.rows(), n.grad.cols());
+    for (std::size_t i = 0; i < n.grad.rows(); ++i) {
+      for (std::size_t j = 0; j < n.grad.cols(); ++j) {
+        const double y = n.value(i, j);
+        delta(i, j) = n.grad(i, j) * (1.0 - y * y);
+      }
+    }
+    accumulate(n.inputs[0], delta);
+  });
+}
+
+Tensor logSigmoid(const Tensor& a) {
+  // log sigmoid(x) = -softplus(-x) = min(x,0) - log1p(exp(-|x|))
+  Matrix value = a.value().map([](double x) {
+    return std::min(x, 0.0) - std::log1p(std::exp(-std::fabs(x)));
+  });
+  return makeNode(std::move(value), {a}, [](Node& n) {
+    Matrix delta(n.grad.rows(), n.grad.cols());
+    const Matrix& x = n.inputs[0]->value;
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+      for (std::size_t j = 0; j < x.cols(); ++j) {
+        const double v = x(i, j);
+        const double sig = v >= 0.0 ? 1.0 / (1.0 + std::exp(-v))
+                                    : std::exp(v) / (1.0 + std::exp(v));
+        delta(i, j) = n.grad(i, j) * (1.0 - sig);
+      }
+    }
+    accumulate(n.inputs[0], delta);
+  });
+}
+
+Tensor oneMinus(const Tensor& a) {
+  Matrix value = a.value().map([](double x) { return 1.0 - x; });
+  return makeNode(std::move(value), {a}, [](Node& n) {
+    accumulate(n.inputs[0], n.grad * -1.0);
+  });
+}
+
+Tensor gatherRows(const Tensor& a, std::vector<std::size_t> indices) {
+  Matrix value(indices.size(), a.cols());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    if (indices[i] >= a.rows()) {
+      throw ShapeError("gatherRows: index out of range");
+    }
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      value(i, c) = a.value()(indices[i], c);
+    }
+  }
+  auto idx = std::make_shared<std::vector<std::size_t>>(std::move(indices));
+  return makeNode(std::move(value), {a}, [idx](Node& n) {
+    Matrix delta(n.inputs[0]->value.rows(), n.inputs[0]->value.cols());
+    for (std::size_t i = 0; i < idx->size(); ++i) {
+      for (std::size_t c = 0; c < n.grad.cols(); ++c) {
+        delta((*idx)[i], c) += n.grad(i, c);
+      }
+    }
+    accumulate(n.inputs[0], delta);
+  });
+}
+
+Tensor rowScale(const Tensor& a, std::vector<double> factors) {
+  if (factors.size() != a.rows()) {
+    throw ShapeError("rowScale: factor count != rows");
+  }
+  Matrix value = a.value();
+  for (std::size_t r = 0; r < value.rows(); ++r) {
+    for (std::size_t c = 0; c < value.cols(); ++c) {
+      value(r, c) *= factors[r];
+    }
+  }
+  auto f = std::make_shared<std::vector<double>>(std::move(factors));
+  return makeNode(std::move(value), {a}, [f](Node& n) {
+    Matrix delta = n.grad;
+    for (std::size_t r = 0; r < delta.rows(); ++r) {
+      for (std::size_t c = 0; c < delta.cols(); ++c) {
+        delta(r, c) *= (*f)[r];
+      }
+    }
+    accumulate(n.inputs[0], delta);
+  });
+}
+
+Tensor rowSum(const Tensor& a) {
+  Matrix value(a.rows(), 1);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    double total = 0.0;
+    for (std::size_t c = 0; c < a.cols(); ++c) total += a.value()(r, c);
+    value(r, 0) = total;
+  }
+  return makeNode(std::move(value), {a}, [](Node& n) {
+    Matrix delta(n.inputs[0]->value.rows(), n.inputs[0]->value.cols());
+    for (std::size_t r = 0; r < delta.rows(); ++r) {
+      for (std::size_t c = 0; c < delta.cols(); ++c) {
+        delta(r, c) = n.grad(r, 0);
+      }
+    }
+    accumulate(n.inputs[0], delta);
+  });
+}
+
+Tensor sumAll(const Tensor& a) {
+  return makeNode(Matrix::scalar(a.value().sum()), {a}, [](Node& n) {
+    Matrix delta(n.inputs[0]->value.rows(), n.inputs[0]->value.cols(),
+                 n.grad(0, 0));
+    accumulate(n.inputs[0], delta);
+  });
+}
+
+}  // namespace ancstr::nn

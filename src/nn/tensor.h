@@ -1,0 +1,108 @@
+// Reverse-mode automatic differentiation over dense matrices.
+//
+// A Tensor is a shared handle to a tape node holding a Matrix value, an
+// accumulated gradient, and a backward closure. Building expressions with
+// the free functions below records the computation graph; calling
+// backward() on a scalar (1x1) result propagates gradients to every
+// reachable parameter. The tape is per-expression: dropping all handles
+// frees it.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nn/matrix.h"
+#include "nn/sparse.h"
+
+namespace ancstr::nn {
+
+namespace detail {
+struct Node {
+  Matrix value;
+  Matrix grad;                 ///< same shape as value; lazily allocated
+  bool requiresGrad = false;
+  std::vector<std::shared_ptr<Node>> inputs;
+  std::function<void(Node&)> backward;  ///< adds to inputs' grads
+
+  Matrix& ensureGrad() {
+    if (grad.empty()) grad = Matrix(value.rows(), value.cols());
+    return grad;
+  }
+};
+}  // namespace detail
+
+/// Shared handle to an autograd tape node.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Trainable parameter (participates in gradients).
+  static Tensor param(Matrix value);
+  /// Constant input (no gradient tracked).
+  static Tensor constant(Matrix value);
+
+  bool valid() const { return node_ != nullptr; }
+  const Matrix& value() const { return node_->value; }
+  /// Gradient accumulated by the last backward(); empty if untouched.
+  const Matrix& grad() const { return node_->grad; }
+  bool requiresGrad() const { return node_->requiresGrad; }
+  std::size_t rows() const { return node_->value.rows(); }
+  std::size_t cols() const { return node_->value.cols(); }
+
+  /// Overwrites the value in place (optimizer updates). Shape-checked.
+  void setValue(Matrix m);
+  /// Clears the accumulated gradient.
+  void zeroGrad();
+
+  /// Runs reverse-mode differentiation from this scalar (1x1) tensor.
+  /// Throws ShapeError when called on a non-scalar.
+  void backward();
+
+  /// Identity key for optimizer state.
+  const void* id() const { return node_.get(); }
+
+  // Internal: used by the op free functions.
+  explicit Tensor(std::shared_ptr<detail::Node> node)
+      : node_(std::move(node)) {}
+  const std::shared_ptr<detail::Node>& node() const { return node_; }
+
+ private:
+  std::shared_ptr<detail::Node> node_;
+};
+
+// --- operations ------------------------------------------------------
+
+/// Matrix product a * b.
+Tensor matmul(const Tensor& a, const Tensor& b);
+/// Sparse-constant times dense: spmm(A, h). A is not differentiated.
+Tensor spmm(const SparseMatrix& a, const Tensor& h);
+/// Elementwise sum (same shape).
+Tensor add(const Tensor& a, const Tensor& b);
+/// Elementwise difference.
+Tensor sub(const Tensor& a, const Tensor& b);
+/// Elementwise product.
+Tensor hadamard(const Tensor& a, const Tensor& b);
+/// Scalar scale.
+Tensor scale(const Tensor& a, double s);
+/// Adds a 1 x C bias row to every row of a (R x C).
+Tensor addRow(const Tensor& a, const Tensor& biasRow);
+/// Logistic sigmoid, elementwise.
+Tensor sigmoid(const Tensor& a);
+/// tanh, elementwise.
+Tensor tanh(const Tensor& a);
+/// Numerically stable log(sigmoid(x)), elementwise.
+Tensor logSigmoid(const Tensor& a);
+/// 1 - a, elementwise.
+Tensor oneMinus(const Tensor& a);
+/// Gathers rows: out.row(i) = a.row(indices[i]). Rows may repeat.
+Tensor gatherRows(const Tensor& a, std::vector<std::size_t> indices);
+/// Scales each row i by the constant factors[i] (not differentiated
+/// through the factors).
+Tensor rowScale(const Tensor& a, std::vector<double> factors);
+/// Row-wise sum: (R x C) -> (R x 1).
+Tensor rowSum(const Tensor& a);
+/// Sum of all entries -> 1x1 scalar.
+Tensor sumAll(const Tensor& a);
+
+}  // namespace ancstr::nn

@@ -1,0 +1,171 @@
+#include "place/annealer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace ancstr::place {
+namespace {
+
+/// Constraint roles derived once per problem.
+enum class Role { kFree, kPairLeft, kPairRight, kSelf };
+
+struct CellState {
+  Role role = Role::kFree;
+  std::size_t partner = 0;  ///< the other pair member (pair roles only)
+};
+
+class Annealer {
+ public:
+  Annealer(const PlacementProblem& problem, const AnnealOptions& options)
+      : problem_(problem), options_(options), rng_(options.seed) {
+    states_.resize(problem.cells.size());
+    for (const auto& [a, b] : problem.symmetricPairs) {
+      ANCSTR_ASSERT(a < states_.size() && b < states_.size());
+      states_[a] = {Role::kPairLeft, b};
+      states_[b] = {Role::kPairRight, a};
+    }
+    for (const std::size_t c : problem.selfSymmetric) {
+      ANCSTR_ASSERT(c < states_.size());
+      if (states_[c].role == Role::kFree) states_[c] = {Role::kSelf, 0};
+    }
+    solution_.symmetryAxis = 0.0;
+    solution_.rects.resize(problem.cells.size());
+    initialPlacement();
+  }
+
+  AnnealResult run() {
+    double cost = totalCost();
+    const int iterations = std::max(1, options_.iterations);
+    AnnealResult result;
+    for (int iter = 0; iter < iterations; ++iter) {
+      const double progress =
+          static_cast<double>(iter) / static_cast<double>(iterations);
+      const double temperature =
+          options_.tStart *
+          std::pow(options_.tEnd / options_.tStart, progress);
+
+      const std::vector<Rect> backup = solution_.rects;
+      proposeMove(temperature);
+      const double next = totalCost();
+      const double delta = next - cost;
+      if (delta <= 0.0 ||
+          rng_.uniform() < std::exp(-delta / std::max(1e-9, temperature))) {
+        cost = next;
+        ++result.acceptedMoves;
+      } else {
+        solution_.rects = backup;
+      }
+    }
+    result.solution = solution_;
+    result.wirelength = wirelength(problem_, solution_);
+    result.overlap = totalOverlap(solution_);
+    result.cost = cost;
+    return result;
+  }
+
+ private:
+  /// Row-major grid start, mirrored members placed immediately.
+  void initialPlacement() {
+    double maxDim = 1.0;
+    for (const Cell& cell : problem_.cells) {
+      maxDim = std::max({maxDim, cell.w, cell.h});
+    }
+    const double pitch = maxDim * 1.2;
+    const std::size_t columns = static_cast<std::size_t>(std::ceil(
+        std::sqrt(static_cast<double>(problem_.cells.size()))));
+    std::size_t slot = 0;
+    for (std::size_t c = 0; c < problem_.cells.size(); ++c) {
+      if (states_[c].role == Role::kPairRight) continue;
+      const double x =
+          static_cast<double>(slot % columns) * pitch - pitch * 2.0;
+      const double y = static_cast<double>(slot / columns) * pitch;
+      ++slot;
+      place(c, x, y);
+    }
+  }
+
+  /// Sets cell c's lower-left position, propagating constraint coupling.
+  void place(std::size_t c, double x, double y) {
+    const Cell& cell = problem_.cells[c];
+    Rect& rect = solution_.rects[c];
+    rect.w = cell.w;
+    rect.h = cell.h;
+    switch (states_[c].role) {
+      case Role::kSelf:
+        rect.x = -cell.w / 2.0;  // centred on the axis; x ignored
+        rect.y = y;
+        break;
+      case Role::kPairRight:
+        // Right members are never placed directly.
+        place(states_[c].partner, x, y);
+        return;
+      case Role::kPairLeft: {
+        rect.x = x;
+        rect.y = y;
+        const std::size_t other = states_[c].partner;
+        Rect& mirror = solution_.rects[other];
+        mirror.w = problem_.cells[other].w;
+        mirror.h = problem_.cells[other].h;
+        // Mirror about x = 0: centre_x(other) = -centre_x(c).
+        mirror.x = -(rect.x + rect.w / 2.0) - mirror.w / 2.0;
+        mirror.y = y;
+        break;
+      }
+      case Role::kFree:
+        rect.x = x;
+        rect.y = y;
+        break;
+    }
+  }
+
+  void proposeMove(double temperature) {
+    // Pick a movable (non-derived) cell.
+    std::size_t c = 0;
+    do {
+      c = rng_.index(problem_.cells.size());
+    } while (states_[c].role == Role::kPairRight);
+
+    const Rect& cur = solution_.rects[c];
+    if (rng_.chance(0.2)) {
+      // Swap positions with another movable cell.
+      std::size_t other = c;
+      for (int tries = 0; tries < 8 && other == c; ++tries) {
+        const std::size_t cand = rng_.index(problem_.cells.size());
+        if (states_[cand].role != Role::kPairRight) other = cand;
+      }
+      if (other != c) {
+        const Rect a = solution_.rects[c];
+        const Rect b = solution_.rects[other];
+        place(c, b.x, b.y);
+        place(other, a.x, a.y);
+        return;
+      }
+    }
+    // Gaussian translate, scale tied to temperature.
+    const double scale = 0.5 + temperature * 0.3;
+    place(c, cur.x + rng_.normal(0.0, scale), cur.y + rng_.normal(0.0, scale));
+  }
+
+  double totalCost() const {
+    return options_.wirelengthWeight * wirelength(problem_, solution_) +
+           options_.overlapWeight * totalOverlap(solution_);
+  }
+
+  const PlacementProblem& problem_;
+  AnnealOptions options_;
+  Rng rng_;
+  std::vector<CellState> states_;
+  PlacementSolution solution_;
+};
+
+}  // namespace
+
+AnnealResult anneal(const PlacementProblem& problem,
+                    const AnnealOptions& options) {
+  ANCSTR_ASSERT(!problem.cells.empty());
+  return Annealer(problem, options).run();
+}
+
+}  // namespace ancstr::place

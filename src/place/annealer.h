@@ -1,0 +1,40 @@
+// Constraint-driven analog placement by simulated annealing.
+//
+// Symmetry constraints are enforced *by construction*: each symmetric
+// pair's right member mirrors its left member about the axis, and
+// self-symmetric cells stay centred, so every visited state is perfectly
+// symmetric for the constrained modules. Cost = wirelength + overlap
+// penalty. This mirrors how analog P&R engines (the paper's downstream,
+// Fig. 1) consume the extracted constraints.
+#pragma once
+
+#include "place/placement.h"
+#include "util/rng.h"
+
+namespace ancstr::place {
+
+struct AnnealOptions {
+  int iterations = 30000;
+  double tStart = 30.0;
+  double tEnd = 0.05;
+  double wirelengthWeight = 1.0;
+  double overlapWeight = 30.0;
+  std::uint64_t seed = 1;
+};
+
+/// Result of one annealing run.
+struct AnnealResult {
+  PlacementSolution solution;
+  double wirelength = 0.0;
+  double overlap = 0.0;
+  double cost = 0.0;
+  int acceptedMoves = 0;
+};
+
+/// Places `problem`'s cells about a vertical axis at x = 0, honouring its
+/// symmetricPairs / selfSymmetric constraints exactly. Deterministic for
+/// a given options.seed.
+AnnealResult anneal(const PlacementProblem& problem,
+                    const AnnealOptions& options = {});
+
+}  // namespace ancstr::place

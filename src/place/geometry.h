@@ -1,0 +1,65 @@
+// Plain 2D geometry for the placement substrate.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace ancstr::place {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+  bool operator==(const Point&) const = default;
+};
+
+/// Axis-aligned rectangle, lower-left anchored.
+struct Rect {
+  double x = 0.0;  ///< lower-left x
+  double y = 0.0;  ///< lower-left y
+  double w = 0.0;
+  double h = 0.0;
+
+  double right() const { return x + w; }
+  double top() const { return y + h; }
+  Point center() const { return {x + w / 2.0, y + h / 2.0}; }
+  double area() const { return w * h; }
+
+  bool operator==(const Rect&) const = default;
+};
+
+/// Overlapping area of two rectangles (0 when disjoint or touching).
+inline double overlapArea(const Rect& a, const Rect& b) {
+  const double ox =
+      std::min(a.right(), b.right()) - std::max(a.x, b.x);
+  const double oy = std::min(a.top(), b.top()) - std::max(a.y, b.y);
+  if (ox <= 0.0 || oy <= 0.0) return 0.0;
+  return ox * oy;
+}
+
+/// Half-perimeter of the bounding box of a set of points, accumulated
+/// incrementally.
+class BoundingBox {
+ public:
+  void add(const Point& p) {
+    if (empty_) {
+      minX_ = maxX_ = p.x;
+      minY_ = maxY_ = p.y;
+      empty_ = false;
+    } else {
+      minX_ = std::min(minX_, p.x);
+      maxX_ = std::max(maxX_, p.x);
+      minY_ = std::min(minY_, p.y);
+      maxY_ = std::max(maxY_, p.y);
+    }
+  }
+  bool empty() const { return empty_; }
+  double halfPerimeter() const {
+    return empty_ ? 0.0 : (maxX_ - minX_) + (maxY_ - minY_);
+  }
+
+ private:
+  bool empty_ = true;
+  double minX_ = 0.0, maxX_ = 0.0, minY_ = 0.0, maxY_ = 0.0;
+};
+
+}  // namespace ancstr::place

@@ -1,0 +1,126 @@
+#include "place/placement.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace ancstr::place {
+namespace {
+
+/// Footprint of one device in microns; crude but monotone in drive/value
+/// so bigger devices occupy more area, as in a real PDK.
+void footprintOf(const FlatDevice& dev, double* w, double* h) {
+  if (isMos(dev.type)) {
+    const double wTotal = dev.params.w * 1e6 * dev.params.nf * dev.params.m;
+    const double l = std::max(dev.params.l * 1e6, 0.1);
+    *w = std::max(0.4, wTotal / std::max(1, dev.params.nf));
+    *h = std::max(0.4, l * std::max(1, dev.params.nf) * 2.0);
+    return;
+  }
+  if (isResistor(dev.type)) {
+    const double squares = std::max(1.0, dev.params.value / 250.0);
+    *w = 0.8;
+    *h = std::max(0.8, std::min(squares * 0.4, 30.0));
+    return;
+  }
+  if (isCapacitor(dev.type)) {
+    // ~2 fF/um^2 MOM density.
+    const double area = std::max(0.25, dev.params.value * 1e15 / 2.0);
+    const double side = std::sqrt(area);
+    *w = side;
+    *h = side;
+    return;
+  }
+  *w = 1.0;
+  *h = 1.0;
+}
+
+}  // namespace
+
+PlacementProblem buildPlacementProblem(const FlatDesign& design,
+                                       HierNodeId node,
+                                       std::size_t maxNetDegree) {
+  const HierNode& hier = design.node(node);
+  PlacementProblem problem;
+  std::vector<int> cellOf(design.devices().size(), -1);
+  for (const FlatDeviceId d : hier.leafDevices) {
+    Cell cell;
+    const FlatDevice& dev = design.device(d);
+    const std::size_t slash = dev.path.rfind('/');
+    cell.name = slash == std::string::npos ? dev.path
+                                           : dev.path.substr(slash + 1);
+    cell.device = d;
+    footprintOf(dev, &cell.w, &cell.h);
+    cellOf[d] = static_cast<int>(problem.cells.size());
+    problem.cells.push_back(std::move(cell));
+  }
+
+  // Nets: group the node's cells per flat net, skipping rails and bulk.
+  std::vector<std::vector<std::size_t>> perNet(design.nets().size());
+  for (const FlatDeviceId d : hier.leafDevices) {
+    for (const auto& [fn, net] : design.device(d).pins) {
+      if (fn == PinFunction::kBulk) continue;
+      if (design.netTerminals()[net].size() > maxNetDegree) continue;
+      perNet[net].push_back(static_cast<std::size_t>(cellOf[d]));
+    }
+  }
+  for (auto& group : perNet) {
+    std::sort(group.begin(), group.end());
+    group.erase(std::unique(group.begin(), group.end()), group.end());
+    if (group.size() >= 2) problem.nets.push_back(std::move(group));
+  }
+  return problem;
+}
+
+double wirelength(const PlacementProblem& problem,
+                  const PlacementSolution& solution) {
+  ANCSTR_ASSERT(solution.rects.size() == problem.cells.size());
+  double total = 0.0;
+  for (const auto& net : problem.nets) {
+    BoundingBox box;
+    for (const std::size_t cell : net) box.add(solution.rects[cell].center());
+    total += box.halfPerimeter();
+  }
+  return total;
+}
+
+double totalOverlap(const PlacementSolution& solution) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < solution.rects.size(); ++i) {
+    for (std::size_t j = i + 1; j < solution.rects.size(); ++j) {
+      total += overlapArea(solution.rects[i], solution.rects[j]);
+    }
+  }
+  return total;
+}
+
+double symmetryViolation(const PlacementProblem& problem,
+                         const PlacementSolution& solution) {
+  ANCSTR_ASSERT(solution.rects.size() == problem.cells.size());
+  if (problem.symmetricPairs.empty() && problem.selfSymmetric.empty()) {
+    return 0.0;
+  }
+  double meanDim = 0.0;
+  for (const Rect& r : solution.rects) meanDim += (r.w + r.h) / 2.0;
+  meanDim /= static_cast<double>(solution.rects.size());
+  if (meanDim <= 0.0) meanDim = 1.0;
+
+  double total = 0.0;
+  std::size_t terms = 0;
+  const double axis = solution.symmetryAxis;
+  for (const auto& [a, b] : problem.symmetricPairs) {
+    const Point ca = solution.rects[a].center();
+    const Point cb = solution.rects[b].center();
+    // Mirror of a about the axis should coincide with b.
+    const double mx = 2.0 * axis - ca.x;
+    total += std::hypot(mx - cb.x, ca.y - cb.y);
+    ++terms;
+  }
+  for (const std::size_t c : problem.selfSymmetric) {
+    total += std::fabs(solution.rects[c].center().x - axis);
+    ++terms;
+  }
+  return total / (static_cast<double>(terms) * meanDim);
+}
+
+}  // namespace ancstr::place

@@ -1,0 +1,60 @@
+// Placement model: devices of one (sub)circuit as rectangles, nets as
+// pin groups, symmetry constraints as mirror pairs / self-symmetric cells
+// about a shared vertical axis — the exact contract the paper's automated
+// P&R flow (Fig. 1) consumes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/flatten.h"
+#include "place/geometry.h"
+
+namespace ancstr::place {
+
+/// One placeable cell.
+struct Cell {
+  std::string name;
+  FlatDeviceId device = 0;
+  double w = 0.0;  ///< footprint width  [um]
+  double h = 0.0;  ///< footprint height [um]
+};
+
+/// A placement problem: cells + nets (as cell-index groups) + symmetry.
+struct PlacementProblem {
+  std::vector<Cell> cells;
+  /// Each net is the list of cell indices it connects (2+ pins).
+  std::vector<std::vector<std::size_t>> nets;
+  /// Mirror pairs (cell indices) about the common vertical axis.
+  std::vector<std::pair<std::size_t, std::size_t>> symmetricPairs;
+  /// Cells whose centre must sit on the axis.
+  std::vector<std::size_t> selfSymmetric;
+};
+
+/// A placement solution: one rectangle per cell (same order as cells).
+struct PlacementSolution {
+  std::vector<Rect> rects;
+  double symmetryAxis = 0.0;  ///< x of the vertical symmetry axis
+};
+
+/// Builds a placement problem for the leaf devices of one hierarchy node.
+/// Footprints derive from device geometry (W/L, value for passives);
+/// nets with more terminals than `maxNetDegree` are dropped (rails).
+PlacementProblem buildPlacementProblem(const FlatDesign& design,
+                                       HierNodeId node,
+                                       std::size_t maxNetDegree = 16);
+
+/// Total half-perimeter wirelength over all nets (cell centres as pins).
+double wirelength(const PlacementProblem& problem,
+                  const PlacementSolution& solution);
+
+/// Total pairwise overlap area (0 for a legal placement).
+double totalOverlap(const PlacementSolution& solution);
+
+/// Symmetry violation: mean distance between each pair's actual mirror
+/// positions (and each self-symmetric cell's centre offset), normalised by
+/// the mean cell dimension. 0 = perfectly symmetric layout.
+double symmetryViolation(const PlacementProblem& problem,
+                         const PlacementSolution& solution);
+
+}  // namespace ancstr::place

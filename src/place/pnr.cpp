@@ -1,0 +1,100 @@
+#include "place/pnr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "util/error.h"
+
+namespace ancstr::place {
+
+std::vector<std::pair<std::size_t, std::size_t>> findSymmetricNetPairs(
+    const PlacementProblem& problem) {
+  // partner[i] = mirror cell of i (itself for self-symmetric / free).
+  std::vector<std::size_t> partner(problem.cells.size());
+  for (std::size_t i = 0; i < partner.size(); ++i) partner[i] = i;
+  for (const auto& [a, b] : problem.symmetricPairs) {
+    partner[a] = b;
+    partner[b] = a;
+  }
+
+  std::map<std::set<std::size_t>, std::size_t> byCellSet;
+  for (std::size_t n = 0; n < problem.nets.size(); ++n) {
+    byCellSet.emplace(
+        std::set<std::size_t>(problem.nets[n].begin(), problem.nets[n].end()),
+        n);
+  }
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  for (std::size_t n = 0; n < problem.nets.size(); ++n) {
+    std::set<std::size_t> image;
+    for (const std::size_t cell : problem.nets[n]) {
+      image.insert(partner[cell]);
+    }
+    const auto it = byCellSet.find(image);
+    if (it == byCellSet.end() || it->second <= n) continue;
+    out.emplace_back(n, it->second);
+  }
+  return out;
+}
+
+PnrResult placeAndRoute(const PlacementProblem& problem,
+                        const PnrOptions& options) {
+  PnrResult result;
+  result.placement = anneal(problem, options.anneal);
+  const PlacementSolution& solution = result.placement.solution;
+
+  // Grid sized from the placement bounding box, symmetric about the axis.
+  double maxReach = 1.0;
+  double minY = 0.0, maxY = 1.0;
+  bool first = true;
+  for (const Rect& r : solution.rects) {
+    maxReach = std::max({maxReach,
+                         std::fabs(r.x - solution.symmetryAxis),
+                         std::fabs(r.right() - solution.symmetryAxis)});
+    if (first) {
+      minY = r.y;
+      maxY = r.top();
+      first = false;
+    } else {
+      minY = std::min(minY, r.y);
+      maxY = std::max(maxY, r.top());
+    }
+  }
+  const double res = std::max(0.1, options.gridResolution);
+  const int halfWidth =
+      static_cast<int>(std::ceil(maxReach * res)) + 2;
+  result.gridWidth = 2 * halfWidth + 1;
+  result.gridHeight =
+      static_cast<int>(std::ceil((maxY - minY) * res)) + 4;
+
+  RouterOptions route = options.route;
+  route.axisX = halfWidth;  // axis at the exact grid centre
+
+  auto snap = [&](const Point& p) {
+    return GridPoint{
+        static_cast<int>(std::lround((p.x - solution.symmetryAxis) * res)) +
+            halfWidth,
+        static_cast<int>(std::lround((p.y - minY) * res)) + 2};
+  };
+
+  std::vector<RouteNet> nets;
+  nets.reserve(problem.nets.size());
+  for (std::size_t n = 0; n < problem.nets.size(); ++n) {
+    RouteNet net;
+    net.name = "net" + std::to_string(n);
+    std::set<std::pair<int, int>> seen;
+    for (const std::size_t cell : problem.nets[n]) {
+      const GridPoint g = snap(solution.rects[cell].center());
+      if (seen.insert({g.x, g.y}).second) net.terminals.push_back(g);
+    }
+    nets.push_back(std::move(net));
+  }
+
+  result.symmetricNets = findSymmetricNetPairs(problem);
+  result.routing = routeNets(result.gridWidth, result.gridHeight, nets,
+                             result.symmetricNets, route);
+  return result;
+}
+
+}  // namespace ancstr::place

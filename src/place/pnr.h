@@ -1,0 +1,38 @@
+// Place-and-route convenience: anneal a placement, derive a routing grid
+// from it, route all nets (mirroring the nets of symmetric cell pairs),
+// and report combined quality. This is the miniature of the automated
+// netlist-to-GDSII flow the paper's constraints serve.
+#pragma once
+
+#include "place/annealer.h"
+#include "place/router.h"
+
+namespace ancstr::place {
+
+struct PnrOptions {
+  AnnealOptions anneal;
+  RouterOptions route;
+  /// Grid cells per micron of placement extent.
+  double gridResolution = 1.0;
+};
+
+struct PnrResult {
+  AnnealResult placement;
+  RoutingResult routing;
+  int gridWidth = 0;
+  int gridHeight = 0;
+  /// Index pairs of nets that were routed as mirrored twins.
+  std::vector<std::pair<std::size_t, std::size_t>> symmetricNets;
+};
+
+/// Detects nets that are images of each other under the problem's
+/// symmetric-pair mapping (cell i <-> partner(i), free cells fixed).
+/// Returns index pairs (first < second) into problem.nets.
+std::vector<std::pair<std::size_t, std::size_t>> findSymmetricNetPairs(
+    const PlacementProblem& problem);
+
+/// Full flow: anneal, then route on a grid sized from the placement.
+PnrResult placeAndRoute(const PlacementProblem& problem,
+                        const PnrOptions& options = {});
+
+}  // namespace ancstr::place

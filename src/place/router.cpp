@@ -1,0 +1,203 @@
+#include "place/router.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <set>
+
+namespace ancstr::place {
+
+GridPoint mirrorPoint(const GridPoint& p, int axisX) {
+  return {2 * axisX - p.x, p.y};
+}
+
+namespace {
+
+class Router {
+ public:
+  Router(int width, int height, const RouterOptions& options)
+      : width_(width), height_(height), options_(options),
+        usage_(static_cast<std::size_t>(width) *
+               static_cast<std::size_t>(height)) {
+    ANCSTR_ASSERT(width > 0 && height > 0);
+  }
+
+  bool inBounds(const GridPoint& p) const {
+    return p.x >= 0 && p.x < width_ && p.y >= 0 && p.y < height_;
+  }
+
+  std::size_t indexOf(const GridPoint& p) const {
+    return static_cast<std::size_t>(p.y) * static_cast<std::size_t>(width_) +
+           static_cast<std::size_t>(p.x);
+  }
+
+  /// Dijkstra (uniform step + congestion) from the tree set to `target`.
+  std::optional<std::vector<GridPoint>> findPath(
+      const std::set<std::size_t>& tree, const GridPoint& target) {
+    const double kInf = 1e30;
+    std::vector<double> dist(usage_.size(), kInf);
+    std::vector<std::int32_t> parent(usage_.size(), -1);
+    using Entry = std::pair<double, std::size_t>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> open;
+    for (const std::size_t cell : tree) {
+      dist[cell] = 0.0;
+      open.push({0.0, cell});
+    }
+    const std::size_t targetIdx = indexOf(target);
+    while (!open.empty()) {
+      const auto [d, cur] = open.top();
+      open.pop();
+      if (d > dist[cur]) continue;
+      if (cur == targetIdx) break;
+      const int cx = static_cast<int>(cur % static_cast<std::size_t>(width_));
+      const int cy = static_cast<int>(cur / static_cast<std::size_t>(width_));
+      const GridPoint neighbors[4] = {
+          {cx + 1, cy}, {cx - 1, cy}, {cx, cy + 1}, {cx, cy - 1}};
+      for (const GridPoint& n : neighbors) {
+        if (!inBounds(n)) continue;
+        const std::size_t ni = indexOf(n);
+        const double stepCost =
+            1.0 + options_.congestionCost * static_cast<double>(usage_[ni]);
+        if (dist[cur] + stepCost < dist[ni]) {
+          dist[ni] = dist[cur] + stepCost;
+          parent[ni] = static_cast<std::int32_t>(cur);
+          open.push({dist[ni], ni});
+        }
+      }
+    }
+    if (dist[targetIdx] >= kInf) return std::nullopt;
+    std::vector<GridPoint> path;
+    std::size_t cur = targetIdx;
+    while (true) {
+      path.push_back(
+          {static_cast<int>(cur % static_cast<std::size_t>(width_)),
+           static_cast<int>(cur / static_cast<std::size_t>(width_))});
+      if (tree.count(cur) != 0 || parent[cur] < 0) break;
+      cur = static_cast<std::size_t>(parent[cur]);
+    }
+    return path;
+  }
+
+  /// Routes one multi-terminal net; returns occupied cells or nullopt.
+  std::optional<std::vector<GridPoint>> routeNet(const RouteNet& net) {
+    if (net.terminals.size() < 2) return std::vector<GridPoint>{};
+    for (const GridPoint& t : net.terminals) {
+      if (!inBounds(t)) return std::nullopt;
+    }
+    std::set<std::size_t> tree{indexOf(net.terminals[0])};
+    for (std::size_t t = 1; t < net.terminals.size(); ++t) {
+      const auto path = findPath(tree, net.terminals[t]);
+      if (!path) return std::nullopt;
+      for (const GridPoint& p : *path) tree.insert(indexOf(p));
+    }
+    std::vector<GridPoint> cells;
+    cells.reserve(tree.size());
+    for (const std::size_t cell : tree) {
+      cells.push_back(
+          {static_cast<int>(cell % static_cast<std::size_t>(width_)),
+           static_cast<int>(cell / static_cast<std::size_t>(width_))});
+    }
+    return cells;
+  }
+
+  void occupy(const std::vector<GridPoint>& cells) {
+    for (const GridPoint& p : cells) ++usage_[indexOf(p)];
+  }
+
+  std::size_t overflowCount() const {
+    std::size_t count = 0;
+    for (const std::uint32_t u : usage_) {
+      if (u > static_cast<std::uint32_t>(options_.capacity)) ++count;
+    }
+    return count;
+  }
+
+ private:
+  int width_;
+  int height_;
+  RouterOptions options_;
+  std::vector<std::uint32_t> usage_;
+};
+
+/// True when b's terminal multiset mirrors a's about the axis.
+bool terminalsMirror(const RouteNet& a, const RouteNet& b, int axisX) {
+  if (a.terminals.size() != b.terminals.size()) return false;
+  auto key = [](const GridPoint& p) { return std::pair{p.x, p.y}; };
+  std::multiset<std::pair<int, int>> want;
+  for (const GridPoint& t : a.terminals) {
+    want.insert(key(mirrorPoint(t, axisX)));
+  }
+  for (const GridPoint& t : b.terminals) {
+    const auto it = want.find(key(t));
+    if (it == want.end()) return false;
+    want.erase(it);
+  }
+  return true;
+}
+
+}  // namespace
+
+RoutingResult routeNets(
+    int width, int height, const std::vector<RouteNet>& nets,
+    const std::vector<std::pair<std::size_t, std::size_t>>& symmetricNetPairs,
+    const RouterOptions& options) {
+  Router router(width, height, options);
+  RoutingResult result;
+  result.nets.resize(nets.size());
+
+  std::map<std::size_t, std::size_t> mirrorOf;  // right index -> left index
+  for (const auto& [left, right] : symmetricNetPairs) {
+    ANCSTR_ASSERT(left < nets.size() && right < nets.size());
+    if (terminalsMirror(nets[left], nets[right], options.axisX)) {
+      mirrorOf[right] = left;
+    }
+  }
+
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    result.nets[i].name = nets[i].name;
+    if (mirrorOf.count(i) != 0) continue;  // produced by its partner
+    const auto cells = router.routeNet(nets[i]);
+    if (!cells) {
+      ++result.failedNets;
+      continue;
+    }
+    result.nets[i].cells = *cells;
+    router.occupy(*cells);
+  }
+  // Mirror the partners after the drivers are fixed. A mirror that lands
+  // outside the grid (off-centre axis) falls back to independent routing.
+  for (const auto& [right, left] : mirrorOf) {
+    std::vector<GridPoint> mirrored;
+    mirrored.reserve(result.nets[left].cells.size());
+    bool valid = !result.nets[left].cells.empty();
+    for (const GridPoint& p : result.nets[left].cells) {
+      const GridPoint m = mirrorPoint(p, options.axisX);
+      if (!router.inBounds(m)) {
+        valid = false;
+        break;
+      }
+      mirrored.push_back(m);
+    }
+    if (!valid) {
+      const auto cells = router.routeNet(nets[right]);
+      if (!cells) {
+        ++result.failedNets;
+        continue;
+      }
+      result.nets[right].cells = *cells;
+      router.occupy(*cells);
+      continue;
+    }
+    result.nets[right].mirrored = true;
+    result.nets[right].cells = std::move(mirrored);
+    router.occupy(result.nets[right].cells);
+  }
+
+  for (const RoutedNet& net : result.nets) {
+    result.wirelength += net.cells.size();
+  }
+  result.overflows = router.overflowCount();
+  return result;
+}
+
+}  // namespace ancstr::place

@@ -1,0 +1,72 @@
+// Symmetry-aware grid routing — the "R" of the automated P&R flow the
+// paper's constraints feed (Fig. 1: matched modules must be placed *and
+// routed* symmetrically).
+//
+// A Lee-style BFS maze router over a uniform capacity grid. Multi-terminal
+// nets are routed by growing a tree (BFS from the current tree to the next
+// terminal). Nets marked as a symmetric pair are routed once on the left
+// and mirrored about the axis, so matched wiring is identical by
+// construction — exactly how analog routers honour symmetry constraints.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "place/geometry.h"
+#include "util/error.h"
+
+namespace ancstr::place {
+
+/// Integer grid coordinate.
+struct GridPoint {
+  int x = 0;
+  int y = 0;
+  bool operator==(const GridPoint&) const = default;
+};
+
+/// A net to route: two or more distinct grid terminals.
+struct RouteNet {
+  std::string name;
+  std::vector<GridPoint> terminals;
+};
+
+/// One routed net: the set of grid cells its tree occupies.
+struct RoutedNet {
+  std::string name;
+  std::vector<GridPoint> cells;
+  bool mirrored = false;  ///< produced by mirroring its partner
+};
+
+struct RouterOptions {
+  int capacity = 2;          ///< simultaneous nets per grid cell
+  double congestionCost = 4.0;  ///< extra cost per existing occupant
+  /// x of the vertical symmetry axis in grid units (mirroring maps
+  /// x -> 2*axis - x, so half-integer axes are representable by doubling).
+  int axisX = 0;
+};
+
+/// Routing result: per-net paths + quality metrics.
+struct RoutingResult {
+  std::vector<RoutedNet> nets;
+  std::size_t wirelength = 0;   ///< total occupied cells
+  std::size_t overflows = 0;    ///< cells above capacity
+  std::size_t failedNets = 0;   ///< nets that could not be connected
+
+  bool success() const { return failedNets == 0; }
+};
+
+/// Routes `nets` over a `width` x `height` grid. `symmetricNetPairs` are
+/// index pairs into `nets`: the first is routed, the second is produced by
+/// mirroring (its terminals must mirror the first's, else it falls back to
+/// independent routing).
+RoutingResult routeNets(
+    int width, int height, const std::vector<RouteNet>& nets,
+    const std::vector<std::pair<std::size_t, std::size_t>>& symmetricNetPairs,
+    const RouterOptions& options = {});
+
+/// Mirror of `p` about the vertical axis at options.axisX.
+GridPoint mirrorPoint(const GridPoint& p, int axisX);
+
+}  // namespace ancstr::place

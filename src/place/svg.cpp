@@ -1,0 +1,104 @@
+#include "place/svg.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace ancstr::place {
+namespace {
+
+/// Categorical palette; pairs cycle through it, free cells are grey.
+constexpr const char* kPalette[] = {
+    "#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#b07aa1",
+    "#76b7b2", "#edc948", "#ff9da7", "#9c755f", "#bab0ac",
+};
+constexpr std::size_t kPaletteSize = sizeof(kPalette) / sizeof(kPalette[0]);
+
+}  // namespace
+
+std::string renderSvg(const PlacementProblem& problem,
+                      const PlacementSolution& solution,
+                      const SvgOptions& options) {
+  ANCSTR_ASSERT(solution.rects.size() == problem.cells.size());
+  // Bounding box of the layout in layout units.
+  double minX = solution.symmetryAxis, maxX = solution.symmetryAxis;
+  double minY = 0.0, maxY = 0.0;
+  bool first = true;
+  for (const Rect& r : solution.rects) {
+    if (first) {
+      minY = r.y;
+      maxY = r.top();
+      first = false;
+    }
+    minX = std::min(minX, r.x);
+    maxX = std::max(maxX, r.right());
+    minY = std::min(minY, r.y);
+    maxY = std::max(maxY, r.top());
+  }
+  const double s = options.scale;
+  const double m = options.margin;
+  const double width = (maxX - minX) * s + 2 * m;
+  const double height = (maxY - minY) * s + 2 * m;
+  // SVG y grows downward; flip so the layout reads bottom-up.
+  auto px = [&](double x) { return (x - minX) * s + m; };
+  auto py = [&](double y) { return height - ((y - minY) * s + m); };
+
+  // Colour per cell from pair membership.
+  std::vector<int> colour(problem.cells.size(), -1);
+  for (std::size_t p = 0; p < problem.symmetricPairs.size(); ++p) {
+    colour[problem.symmetricPairs[p].first] = static_cast<int>(p);
+    colour[problem.symmetricPairs[p].second] = static_cast<int>(p);
+  }
+
+  std::ostringstream os;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width
+     << "\" height=\"" << height << "\" viewBox=\"0 0 " << width << ' '
+     << height << "\">\n";
+  os << "<rect width=\"100%\" height=\"100%\" fill=\"#fdfdfc\"/>\n";
+
+  // Symmetry axis.
+  os << "<line x1=\"" << px(solution.symmetryAxis) << "\" y1=\"0\" x2=\""
+     << px(solution.symmetryAxis) << "\" y2=\"" << height
+     << "\" stroke=\"#888\" stroke-dasharray=\"6,4\"/>\n";
+
+  for (std::size_t i = 0; i < problem.cells.size(); ++i) {
+    const Rect& r = solution.rects[i];
+    const char* fill =
+        colour[i] >= 0
+            ? kPalette[static_cast<std::size_t>(colour[i]) % kPaletteSize]
+            : "#d7d7d2";
+    const bool selfSym =
+        std::find(problem.selfSymmetric.begin(), problem.selfSymmetric.end(),
+                  i) != problem.selfSymmetric.end();
+    os << "<rect x=\"" << px(r.x) << "\" y=\"" << py(r.top()) << "\" width=\""
+       << r.w * s << "\" height=\"" << r.h * s << "\" fill=\"" << fill
+       << "\" fill-opacity=\"0.8\" stroke=\""
+       << (selfSym ? "#222" : "#555") << "\""
+       << (selfSym ? " stroke-width=\"2\" stroke-dasharray=\"3,2\"" : "")
+       << "/>\n";
+    if (options.labels) {
+      const Point c = r.center();
+      os << "<text x=\"" << px(c.x) << "\" y=\"" << py(c.y)
+         << "\" font-size=\"" << std::max(8.0, s * 0.6)
+         << "\" font-family=\"sans-serif\" text-anchor=\"middle\" "
+            "dominant-baseline=\"middle\" fill=\"#1a1a1a\">"
+         << problem.cells[i].name << "</text>\n";
+    }
+  }
+  os << "</svg>\n";
+  return os.str();
+}
+
+void writeSvgFile(const PlacementProblem& problem,
+                  const PlacementSolution& solution, const std::string& path,
+                  const SvgOptions& options) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open '" + path + "' for writing");
+  out << renderSvg(problem, solution, options);
+  if (!out) throw Error("failed writing '" + path + "'");
+}
+
+}  // namespace ancstr::place

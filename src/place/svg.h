@@ -1,0 +1,28 @@
+// SVG rendering of placement solutions — the visual counterpart of the
+// paper's Fig. 1 layout comparison. Matched pairs share a colour; the
+// symmetry axis is drawn as a dashed line.
+#pragma once
+
+#include <string>
+
+#include "place/placement.h"
+
+namespace ancstr::place {
+
+struct SvgOptions {
+  double scale = 12.0;   ///< pixels per micron
+  double margin = 20.0;  ///< canvas margin in pixels
+  bool labels = true;    ///< draw cell names
+};
+
+/// Renders the placement as a standalone SVG document.
+std::string renderSvg(const PlacementProblem& problem,
+                      const PlacementSolution& solution,
+                      const SvgOptions& options = {});
+
+/// Renders to a file. Throws Error on I/O failure.
+void writeSvgFile(const PlacementProblem& problem,
+                  const PlacementSolution& solution, const std::string& path,
+                  const SvgOptions& options = {});
+
+}  // namespace ancstr::place

@@ -1,0 +1,63 @@
+// Error types and lightweight contract checks shared across the library.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ancstr {
+
+/// Base class for all library errors. Catch this to handle anything the
+/// library can throw; subclasses narrow the failure domain.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed input netlist (syntax error, undefined subcircuit, bad card).
+class ParseError : public Error {
+ public:
+  ParseError(std::string file, std::size_t line, const std::string& msg)
+      : Error(file + ":" + std::to_string(line) + ": " + msg),
+        file_(std::move(file)),
+        line_(line) {}
+
+  const std::string& file() const noexcept { return file_; }
+  std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::string file_;
+  std::size_t line_;
+};
+
+/// Structurally invalid netlist (dangling pins, port arity mismatch, ...).
+class NetlistError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Shape mismatch or numerically invalid operation in the nn substrate.
+class ShapeError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Invariant violation inside the library — indicates a bug, not bad input.
+class InternalError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+[[noreturn]] inline void assertFail(const char* expr, const char* file,
+                                    int line) {
+  throw InternalError(std::string("assertion failed: ") + expr + " at " +
+                      file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace ancstr
+
+/// Cheap invariant check, active in all build types. Throws InternalError so
+/// tests can observe contract violations instead of aborting the process.
+#define ANCSTR_ASSERT(expr) \
+  ((expr) ? (void)0 : ::ancstr::detail::assertFail(#expr, __FILE__, __LINE__))

@@ -1,0 +1,341 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.h"
+
+namespace ancstr {
+
+Json Json::array() {
+  Json j;
+  j.type_ = Type::kArray;
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.type_ = Type::kObject;
+  return j;
+}
+
+bool Json::asBool() const {
+  if (type_ != Type::kBool) throw Error("Json: not a bool");
+  return bool_;
+}
+
+double Json::asNumber() const {
+  if (type_ != Type::kNumber) throw Error("Json: not a number");
+  return number_;
+}
+
+const std::string& Json::asString() const {
+  if (type_ != Type::kString) throw Error("Json: not a string");
+  return string_;
+}
+
+Json& Json::push(Json value) {
+  if (type_ != Type::kArray) throw Error("Json: push on non-array");
+  array_.push_back(std::move(value));
+  return *this;
+}
+
+std::size_t Json::size() const {
+  if (type_ == Type::kArray) return array_.size();
+  if (type_ == Type::kObject) return keys_.size();
+  throw Error("Json: size() on scalar");
+}
+
+const Json& Json::at(std::size_t index) const {
+  if (type_ != Type::kArray) throw Error("Json: at() on non-array");
+  if (index >= array_.size()) throw Error("Json: index out of range");
+  return array_[index];
+}
+
+Json& Json::set(std::string key, Json value) {
+  if (type_ != Type::kObject) throw Error("Json: set on non-object");
+  if (members_.find(key) == members_.end()) keys_.push_back(key);
+  members_[std::move(key)] = std::move(value);
+  return *this;
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  const auto it = members_.find(std::string(key));
+  return it == members_.end() ? nullptr : &it->second;
+}
+
+const Json& Json::get(std::string_view key) const {
+  const Json* found = find(key);
+  if (found == nullptr) {
+    throw Error("Json: missing key '" + std::string(key) + "'");
+  }
+  return *found;
+}
+
+namespace {
+
+void escapeString(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void appendNumber(std::string& out, double v) {
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    out += buf;
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out += buf;
+  }
+}
+
+}  // namespace
+
+void Json::dumpTo(std::string& out, int indent, int depth) const {
+  const std::string pad =
+      indent > 0 ? "\n" + std::string(static_cast<std::size_t>(indent) *
+                                          (static_cast<std::size_t>(depth) + 1),
+                                      ' ')
+                 : "";
+  const std::string padEnd =
+      indent > 0 ? "\n" + std::string(static_cast<std::size_t>(indent) *
+                                          static_cast<std::size_t>(depth),
+                                      ' ')
+                 : "";
+  switch (type_) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += bool_ ? "true" : "false"; break;
+    case Type::kNumber: appendNumber(out, number_); break;
+    case Type::kString: escapeString(out, string_); break;
+    case Type::kArray: {
+      if (array_.empty()) {
+        out += "[]";
+        break;
+      }
+      out.push_back('[');
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i) out.push_back(',');
+        out += pad;
+        array_[i].dumpTo(out, indent, depth + 1);
+      }
+      out += padEnd;
+      out.push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      if (keys_.empty()) {
+        out += "{}";
+        break;
+      }
+      out.push_back('{');
+      for (std::size_t i = 0; i < keys_.size(); ++i) {
+        if (i) out.push_back(',');
+        out += pad;
+        escapeString(out, keys_[i]);
+        out += indent > 0 ? ": " : ":";
+        members_.at(keys_[i]).dumpTo(out, indent, depth + 1);
+      }
+      out += padEnd;
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dumpTo(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  std::optional<Json> run(std::string* error) {
+    auto v = parseValue();
+    skipSpace();
+    if (!v || pos_ != text_.size()) {
+      if (error != nullptr) {
+        *error = "JSON parse error at offset " + std::to_string(pos_);
+      }
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  void skipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<Json> parseValue() {
+    skipSpace();
+    if (pos_ >= text_.size()) return std::nullopt;
+    const char c = text_[pos_];
+    if (c == '{') return parseObject();
+    if (c == '[') return parseArray();
+    if (c == '"') {
+      auto s = parseString();
+      if (!s) return std::nullopt;
+      return Json(std::move(*s));
+    }
+    if (literal("true")) return Json(true);
+    if (literal("false")) return Json(false);
+    if (literal("null")) return Json(nullptr);
+    return parseNumber();
+  }
+
+  std::optional<Json> parseNumber() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    double value = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(text_.data() + start, text_.data() + pos_, value);
+    if (ec != std::errc{} || ptr != text_.data() + pos_ || pos_ == start) {
+      return std::nullopt;
+    }
+    return Json(value);
+  }
+
+  std::optional<std::string> parseString() {
+    if (!consume('"')) return std::nullopt;
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return std::nullopt;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return std::nullopt;
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return std::nullopt;
+              }
+            }
+            // ASCII only; wider code points are passed through as '?'.
+            out.push_back(code < 0x80 ? static_cast<char>(code) : '?');
+            break;
+          }
+          default: return std::nullopt;
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<Json> parseArray() {
+    if (!consume('[')) return std::nullopt;
+    Json arr = Json::array();
+    skipSpace();
+    if (consume(']')) return arr;
+    while (true) {
+      auto v = parseValue();
+      if (!v) return std::nullopt;
+      arr.push(std::move(*v));
+      if (consume(']')) return arr;
+      if (!consume(',')) return std::nullopt;
+    }
+  }
+
+  std::optional<Json> parseObject() {
+    if (!consume('{')) return std::nullopt;
+    Json obj = Json::object();
+    skipSpace();
+    if (consume('}')) return obj;
+    while (true) {
+      skipSpace();
+      auto key = parseString();
+      if (!key || !consume(':')) return std::nullopt;
+      auto v = parseValue();
+      if (!v) return std::nullopt;
+      obj.set(std::move(*key), std::move(*v));
+      if (consume('}')) return obj;
+      if (!consume(',')) return std::nullopt;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<Json> Json::parse(std::string_view text, std::string* error) {
+  return JsonParser(text).run(error);
+}
+
+}  // namespace ancstr

@@ -1,0 +1,83 @@
+// Minimal JSON value model with serializer and parser — enough to ship
+// constraint files and model metadata without external dependencies.
+// Supports the full JSON grammar except \u escapes beyond ASCII (emitted
+// verbatim, parsed as raw bytes).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ancstr {
+
+/// A JSON value. Objects preserve insertion order for stable output.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(std::nullptr_t) : type_(Type::kNull) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(double n) : type_(Type::kNumber), number_(n) {}
+  Json(int n) : type_(Type::kNumber), number_(n) {}
+  Json(std::size_t n)
+      : type_(Type::kNumber), number_(static_cast<double>(n)) {}
+  Json(const char* s) : type_(Type::kString), string_(s) {}
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+
+  static Json array();
+  static Json object();
+
+  Type type() const { return type_; }
+  bool isNull() const { return type_ == Type::kNull; }
+  bool isBool() const { return type_ == Type::kBool; }
+  bool isNumber() const { return type_ == Type::kNumber; }
+  bool isString() const { return type_ == Type::kString; }
+  bool isArray() const { return type_ == Type::kArray; }
+  bool isObject() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw Error on type mismatch.
+  bool asBool() const;
+  double asNumber() const;
+  const std::string& asString() const;
+
+  // --- array ----------------------------------------------------------
+  /// Appends to an array (must be kArray).
+  Json& push(Json value);
+  std::size_t size() const;
+  const Json& at(std::size_t index) const;
+
+  // --- object ---------------------------------------------------------
+  /// Sets a key on an object (must be kObject); replaces existing.
+  Json& set(std::string key, Json value);
+  /// Member lookup; nullptr when absent or not an object.
+  const Json* find(std::string_view key) const;
+  /// Member lookup; throws Error when absent.
+  const Json& get(std::string_view key) const;
+  /// Ordered key list of an object.
+  const std::vector<std::string>& keys() const { return keys_; }
+
+  /// Serialises; indent > 0 pretty-prints with that many spaces.
+  std::string dump(int indent = 0) const;
+
+  /// Parses text; returns nullopt with `error` set on malformed input.
+  static std::optional<Json> parse(std::string_view text,
+                                   std::string* error = nullptr);
+
+ private:
+  void dumpTo(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::string> keys_;
+  std::map<std::string, Json> members_;
+};
+
+}  // namespace ancstr

@@ -1,0 +1,38 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace ancstr::log {
+namespace {
+
+std::atomic<Level> g_level{Level::kWarn};
+
+const char* levelTag(Level lvl) {
+  switch (lvl) {
+    case Level::kDebug:
+      return "DEBUG";
+    case Level::kInfo:
+      return "INFO ";
+    case Level::kWarn:
+      return "WARN ";
+    case Level::kError:
+      return "ERROR";
+    case Level::kOff:
+      return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+void setLevel(Level lvl) noexcept { g_level.store(lvl, std::memory_order_relaxed); }
+
+Level level() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+void emit(Level lvl, const std::string& message) {
+  if (static_cast<int>(lvl) < static_cast<int>(level())) return;
+  std::fprintf(stderr, "[ancstr %s] %s\n", levelTag(lvl), message.c_str());
+}
+
+}  // namespace ancstr::log

@@ -1,0 +1,44 @@
+// Minimal leveled logger. Intentionally tiny: one global sink (stderr),
+// a process-wide level, printf-free stream formatting.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ancstr::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the process-wide minimum level that will be emitted.
+void setLevel(Level level) noexcept;
+Level level() noexcept;
+
+/// Emits one formatted line to stderr if `lvl` passes the filter.
+void emit(Level lvl, const std::string& message);
+
+namespace detail {
+class LineBuilder {
+ public:
+  explicit LineBuilder(Level lvl) : lvl_(lvl) {}
+  ~LineBuilder() { emit(lvl_, stream_.str()); }
+  LineBuilder(const LineBuilder&) = delete;
+  LineBuilder& operator=(const LineBuilder&) = delete;
+
+  template <typename T>
+  LineBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  Level lvl_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+inline detail::LineBuilder debug() { return detail::LineBuilder(Level::kDebug); }
+inline detail::LineBuilder info() { return detail::LineBuilder(Level::kInfo); }
+inline detail::LineBuilder warn() { return detail::LineBuilder(Level::kWarn); }
+inline detail::LineBuilder error() { return detail::LineBuilder(Level::kError); }
+
+}  // namespace ancstr::log

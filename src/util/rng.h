@@ -1,0 +1,52 @@
+// Deterministic random number generation. All stochastic stages of the
+// library (weight init, negative sampling, shuffles) draw from an explicit
+// Rng instance so runs are reproducible from a single seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ancstr {
+
+/// xoshiro256** generator seeded via splitmix64. Small, fast, and good
+/// enough statistically for ML-style sampling; never use for crypto.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n);
+
+  /// Standard normal via Box-Muller (cached spare).
+  double normal();
+
+  /// Normal with given mean / stddev.
+  double normal(double mean, double stddev);
+
+  /// Bernoulli draw with probability p of true.
+  bool chance(double p);
+
+  /// Fisher-Yates shuffle of `items`.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::swap(items[i - 1], items[index(i)]);
+    }
+  }
+
+ private:
+  std::uint64_t state_[4];
+  double spareNormal_ = 0.0;
+  bool hasSpare_ = false;
+};
+
+}  // namespace ancstr

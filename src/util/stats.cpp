@@ -1,0 +1,44 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ancstr {
+
+double ksStatistic(std::vector<double> a, std::vector<double> b) {
+  if (a.empty() && b.empty()) return 0.0;
+  if (a.empty() || b.empty()) return 1.0;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  std::size_t ia = 0, ib = 0;
+  double best = 0.0;
+  while (ia < a.size() && ib < b.size()) {
+    // Advance past ties on the smaller current value.
+    const double x = std::min(a[ia], b[ib]);
+    while (ia < a.size() && a[ia] <= x) ++ia;
+    while (ib < b.size() && b[ib] <= x) ++ib;
+    const double fa = static_cast<double>(ia) / na;
+    const double fb = static_cast<double>(ib) / nb;
+    best = std::max(best, std::fabs(fa - fb));
+  }
+  return best;
+}
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double total = 0.0;
+  for (const double x : xs) total += x;
+  return total / static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double total = 0.0;
+  for (const double x : xs) total += (x - m) * (x - m);
+  return std::sqrt(total / static_cast<double>(xs.size()));
+}
+
+}  // namespace ancstr

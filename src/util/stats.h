@@ -1,0 +1,19 @@
+// Small statistics helpers shared by the baselines and evaluation code.
+#pragma once
+
+#include <vector>
+
+namespace ancstr {
+
+/// Two-sample Kolmogorov-Smirnov statistic: sup_x |F_a(x) - F_b(x)| over
+/// the empirical CDFs. Inputs need not be sorted. Returns 1.0 when either
+/// sample is empty and the other is not; 0.0 when both are empty.
+double ksStatistic(std::vector<double> a, std::vector<double> b);
+
+/// Arithmetic mean (0 for empty input).
+double mean(const std::vector<double>& xs);
+
+/// Population standard deviation (0 for fewer than 2 samples).
+double stddev(const std::vector<double>& xs);
+
+}  // namespace ancstr

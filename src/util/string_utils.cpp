@@ -1,0 +1,93 @@
+#include "util/string_utils.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace ancstr::str {
+
+std::string_view trim(std::string_view s) {
+  std::size_t begin = 0;
+  while (begin < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  std::size_t end = s.size();
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+std::string toLower(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+bool startsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::vector<std::string> splitTokens(std::string_view s,
+                                     std::string_view delims) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && delims.find(s[i]) != std::string_view::npos) ++i;
+    std::size_t start = i;
+    while (i < s.size() && delims.find(s[i]) == std::string_view::npos) ++i;
+    if (i > start) out.emplace_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+std::pair<std::string_view, std::string_view> splitFirst(std::string_view s,
+                                                         char sep) {
+  const std::size_t pos = s.find(sep);
+  if (pos == std::string_view::npos) return {s, std::string_view{}};
+  return {s.substr(0, pos), s.substr(pos + 1)};
+}
+
+std::optional<double> parseSpiceNumber(std::string_view s) {
+  s = trim(s);
+  if (s.empty()) return std::nullopt;
+  double value = 0.0;
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr == begin) return std::nullopt;
+
+  std::string suffix = toLower(std::string_view(ptr, static_cast<std::size_t>(end - ptr)));
+  double scale = 1.0;
+  // "meg"/"x" must be checked before the single-letter "m" (milli).
+  if (startsWith(suffix, "meg") || startsWith(suffix, "x")) {
+    scale = 1e6;
+  } else if (!suffix.empty()) {
+    switch (suffix[0]) {
+      case 't': scale = 1e12; break;
+      case 'g': scale = 1e9; break;
+      case 'k': scale = 1e3; break;
+      case 'm': scale = 1e-3; break;
+      case 'u': scale = 1e-6; break;
+      case 'n': scale = 1e-9; break;
+      case 'p': scale = 1e-12; break;
+      case 'f': scale = 1e-15; break;
+      case 'a': scale = 1e-18; break;
+      default: scale = 1.0; break;  // unit tail like "v", "ohm"
+    }
+  }
+  return value * scale;
+}
+
+std::string formatCompact(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", digits, value);
+  return std::string(buf);
+}
+
+}  // namespace ancstr::str

@@ -1,0 +1,37 @@
+// String helpers shared by the SPICE parser and report writers.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ancstr::str {
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Lower-cases ASCII characters (SPICE is case-insensitive).
+std::string toLower(std::string_view s);
+
+/// True if `s` starts with `prefix` (case-sensitive).
+bool startsWith(std::string_view s, std::string_view prefix);
+
+/// Splits on any of the characters in `delims`, dropping empty tokens.
+std::vector<std::string> splitTokens(std::string_view s,
+                                     std::string_view delims = " \t\r\n");
+
+/// Splits `s` on the first occurrence of `sep`; returns {s, ""} if absent.
+std::pair<std::string_view, std::string_view> splitFirst(std::string_view s,
+                                                         char sep);
+
+/// Parses a SPICE-style number with optional engineering suffix:
+///   1.5k -> 1500, 10u -> 1e-5, 3n, 2p, 5f, 4meg, 7x (=meg), 2m (milli), 1g, 1t.
+/// Trailing unit garbage after the suffix (e.g. "10uF") is tolerated.
+/// Returns nullopt when no leading numeric value can be parsed.
+std::optional<double> parseSpiceNumber(std::string_view s);
+
+/// Formats a double with `digits` significant digits, trimming zeros.
+std::string formatCompact(double value, int digits = 6);
+
+}  // namespace ancstr::str

@@ -1,0 +1,85 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace ancstr {
+
+void TextTable::setHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::addRow(std::vector<std::string> row) {
+  ANCSTR_ASSERT(header_.empty() || row.size() == header_.size());
+  rows_.push_back(Row{std::move(row), false});
+}
+
+void TextTable::addSeparator() { rows_.push_back(Row{{}, true}); }
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t i = 0; i < row.cells.size(); ++i) {
+      widths[i] = std::max(widths[i], row.cells[i].size());
+    }
+  }
+
+  auto renderLine = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string{};
+      line += " " + cell + std::string(widths[i] - cell.size(), ' ') + " |";
+    }
+    return line;
+  };
+  auto renderSep = [&]() {
+    std::string line = "+";
+    for (std::size_t w : widths) line += std::string(w + 2, '-') + "+";
+    return line;
+  };
+
+  std::ostringstream out;
+  out << renderSep() << "\n";
+  if (!header_.empty()) {
+    out << renderLine(header_) << "\n" << renderSep() << "\n";
+  }
+  for (const Row& row : rows_) {
+    out << (row.separator ? renderSep() : renderLine(row.cells)) << "\n";
+  }
+  out << renderSep() << "\n";
+  return out.str();
+}
+
+void TextTable::print(std::ostream& os) const { os << render(); }
+
+void CsvWriter::writeRow(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) os_ << ',';
+    const std::string& c = cells[i];
+    if (c.find_first_of(",\"\n") != std::string::npos) {
+      os_ << '"';
+      for (char ch : c) {
+        if (ch == '"') os_ << '"';
+        os_ << ch;
+      }
+      os_ << '"';
+    } else {
+      os_ << c;
+    }
+  }
+  os_ << '\n';
+}
+
+std::string metricCell(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return std::string(buf);
+}
+
+}  // namespace ancstr

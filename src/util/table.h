@@ -1,0 +1,51 @@
+// Fixed-width console table and CSV writers used by the bench harnesses to
+// print paper-style result tables (Tables V/VI) and ROC point series.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ancstr {
+
+/// Accumulates rows of strings and renders an aligned ASCII table.
+class TextTable {
+ public:
+  /// Sets the header row; column count is fixed from here on.
+  void setHeader(std::vector<std::string> header);
+
+  /// Appends a data row. Must match the header arity.
+  void addRow(std::vector<std::string> row);
+
+  /// Appends a horizontal separator line.
+  void addSeparator();
+
+  /// Renders with column alignment and `|` delimiters.
+  std::string render() const;
+
+  /// Convenience: render() to the stream.
+  void print(std::ostream& os) const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+/// Writes rows as RFC-4180-ish CSV (quotes fields containing commas/quotes).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+  void writeRow(const std::vector<std::string>& cells);
+
+ private:
+  std::ostream& os_;
+};
+
+/// Formats a double as a fixed 3-decimal metric cell ("0.952").
+std::string metricCell(double v);
+
+}  // namespace ancstr

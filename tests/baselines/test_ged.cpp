@@ -1,0 +1,87 @@
+#include "baselines/ged.h"
+
+#include <gtest/gtest.h>
+
+#include "netlist/builder.h"
+
+namespace ancstr::ged {
+namespace {
+
+Library blockDesign() {
+  NetlistBuilder b;
+  b.beginSubckt("rc_a", {"in", "out", "vss"});
+  b.res("r1", "in", "out", 1e3);
+  b.cap("c1", "out", "vss", 1e-15);
+  b.endSubckt();
+  b.beginSubckt("rc_big", {"in", "out", "vss"});
+  b.res("r1", "in", "out", 8e3);  // same topology, 8x values
+  b.cap("c1", "out", "vss", 8e-15);
+  b.endSubckt();
+  b.beginSubckt("rc_long", {"in", "out", "vss"});
+  b.res("r1", "in", "m1", 1e3);
+  b.res("r2", "m1", "m2", 1e3);
+  b.res("r3", "m2", "out", 1e3);
+  b.cap("c1", "out", "vss", 1e-15);
+  b.endSubckt();
+  b.beginSubckt("top", {"a", "bnet", "c", "d", "vss"});
+  b.inst("x1", "rc_a", {"a", "o1", "vss"});
+  b.inst("x2", "rc_a", {"bnet", "o2", "vss"});
+  b.inst("x3", "rc_big", {"c", "o3", "vss"});
+  b.inst("x4", "rc_long", {"d", "o4", "vss"});
+  b.endSubckt();
+  return b.build("top");
+}
+
+TEST(Ged, IdenticalSubcircuitsScoreOne) {
+  const Library lib = blockDesign();
+  const FlatDesign design = FlatDesign::elaborate(lib);
+  // Nodes 1 and 2 are the rc_a twins.
+  EXPECT_NEAR(subcircuitGedSimilarity(design, 1, 2), 1.0, 1e-9);
+}
+
+TEST(Ged, SizeDifferenceLowersSimilarity) {
+  const Library lib = blockDesign();
+  const FlatDesign design = FlatDesign::elaborate(lib);
+  const double same = subcircuitGedSimilarity(design, 1, 2);
+  const double sized = subcircuitGedSimilarity(design, 1, 3);  // 8x values
+  EXPECT_LT(sized, same);
+  EXPECT_GT(sized, 0.5) << "topology still matches";
+}
+
+TEST(Ged, DeviceCountDifferencePenalised) {
+  const Library lib = blockDesign();
+  const FlatDesign design = FlatDesign::elaborate(lib);
+  const double longer = subcircuitGedSimilarity(design, 1, 4);
+  const double sized = subcircuitGedSimilarity(design, 1, 3);
+  EXPECT_LT(longer, sized) << "2 vs 4 devices is worse than a value gap";
+}
+
+TEST(Ged, SimilarityIsSymmetric) {
+  const Library lib = blockDesign();
+  const FlatDesign design = FlatDesign::elaborate(lib);
+  EXPECT_NEAR(subcircuitGedSimilarity(design, 1, 4),
+              subcircuitGedSimilarity(design, 4, 1), 1e-9);
+}
+
+TEST(Ged, DetectorAcceptsOnlyTheTwinPair) {
+  const Library lib = blockDesign();
+  const FlatDesign design = FlatDesign::elaborate(lib);
+  const GedResult result = detectSystemConstraints(design, lib);
+  for (const ScoredCandidate& c : result.scored) {
+    const bool twins = (c.pair.nameA == "x1" && c.pair.nameB == "x2");
+    EXPECT_EQ(c.accepted, twins) << c.pair.nameA << "/" << c.pair.nameB;
+  }
+}
+
+TEST(Ged, SimilarityRangeIsValid) {
+  const Library lib = blockDesign();
+  const FlatDesign design = FlatDesign::elaborate(lib);
+  const GedResult result = detectSystemConstraints(design, lib);
+  for (const ScoredCandidate& c : result.scored) {
+    EXPECT_GE(c.similarity, 0.0);
+    EXPECT_LE(c.similarity, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace ancstr::ged

@@ -1,0 +1,122 @@
+#include "baselines/s3det.h"
+
+#include <gtest/gtest.h>
+
+#include "netlist/builder.h"
+
+namespace ancstr::s3det {
+namespace {
+
+Library blockDesign() {
+  NetlistBuilder b;
+  // Identical RC blocks.
+  b.beginSubckt("rc_a", {"in", "out", "vss"});
+  b.res("r1", "in", "out", 1e3);
+  b.cap("c1", "out", "vss", 1e-15);
+  b.endSubckt();
+  // Same category, different topology (extra series element).
+  b.beginSubckt("rc_b", {"in", "out", "vss"});
+  b.res("r1", "in", "mid", 1e3);
+  b.res("r2", "mid", "out", 1e3);
+  b.cap("c1", "out", "vss", 1e-15);
+  b.endSubckt();
+  b.beginSubckt("top", {"a", "bnet", "c", "vss"});
+  b.inst("x1", "rc_a", {"a", "o1", "vss"});
+  b.inst("x2", "rc_a", {"bnet", "o2", "vss"});
+  b.inst("x3", "rc_b", {"c", "o3", "vss"});
+  b.res("rp", "o1", "vss", 2e3);
+  b.res("rn", "o2", "vss", 2e3);
+  b.res("rx", "o3", "vss", 7e3);
+  b.endSubckt();
+  return b.build("top");
+}
+
+TEST(S3Det, IdenticalBlocksAccepted) {
+  const Library lib = blockDesign();
+  const FlatDesign design = FlatDesign::elaborate(lib);
+  const S3DetResult result = detectSystemConstraints(design, lib);
+  bool found = false;
+  for (const ScoredCandidate& c : result.scored) {
+    if (c.pair.nameA == "x1" && c.pair.nameB == "x2") {
+      found = true;
+      EXPECT_NEAR(c.similarity, 1.0, 1e-9);
+      EXPECT_TRUE(c.accepted);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(S3Det, NonIsomorphicBlocksGetLowerSimilarity) {
+  const Library lib = blockDesign();
+  const FlatDesign design = FlatDesign::elaborate(lib);
+  const S3DetResult result = detectSystemConstraints(design, lib);
+  for (const ScoredCandidate& c : result.scored) {
+    if (c.pair.nameB == "x3" || c.pair.nameA == "x3") {
+      EXPECT_LT(c.similarity, 1.0);
+    }
+  }
+}
+
+TEST(S3Det, OnlySystemLevelCandidatesScored) {
+  const Library lib = blockDesign();
+  const FlatDesign design = FlatDesign::elaborate(lib);
+  const S3DetResult result = detectSystemConstraints(design, lib);
+  for (const ScoredCandidate& c : result.scored) {
+    EXPECT_EQ(c.pair.level, ConstraintLevel::kSystem);
+  }
+  EXPECT_GT(result.scored.size(), 0u);
+}
+
+TEST(S3Det, MatchedPassivesByValue) {
+  const Library lib = blockDesign();
+  const FlatDesign design = FlatDesign::elaborate(lib);
+  const S3DetResult result = detectSystemConstraints(design, lib);
+  for (const ScoredCandidate& c : result.scored) {
+    if (c.pair.a.kind != ModuleKind::kDevice) continue;
+    if (c.pair.nameA == "rp" && c.pair.nameB == "rn") {
+      EXPECT_DOUBLE_EQ(c.similarity, 1.0);
+    }
+    if (c.pair.nameB == "rx" || c.pair.nameA == "rx") {
+      EXPECT_LT(c.similarity, 1.0);  // 7k vs 2k
+    }
+  }
+}
+
+TEST(S3Det, SpectrumMatchesSubcircuitSize) {
+  const Library lib = blockDesign();
+  const FlatDesign design = FlatDesign::elaborate(lib);
+  // Node 1 is x1 (2 devices): the isolated spectrum has 2 eigenvalues.
+  S3DetConfig isolated;
+  isolated.includeBoundaryContext = false;
+  const auto spectrum = subcircuitSpectrum(design, 1, isolated);
+  EXPECT_EQ(spectrum.size(), 2u);
+  // With boundary context the matrix strictly grows (rp hangs off o1).
+  const auto contextual = subcircuitSpectrum(design, 1, S3DetConfig{});
+  EXPECT_GT(contextual.size(), spectrum.size());
+}
+
+TEST(S3Det, KsThresholdControlsAcceptance) {
+  const Library lib = blockDesign();
+  const FlatDesign design = FlatDesign::elaborate(lib);
+  S3DetConfig loose;
+  loose.ksThreshold = 1.0;  // accept everything with sim > 0
+  const S3DetResult all = detectSystemConstraints(design, lib, loose);
+  std::size_t acceptedLoose = 0;
+  for (const auto& c : all.scored) acceptedLoose += c.accepted;
+  S3DetConfig strict;
+  strict.ksThreshold = 1e-6;
+  const S3DetResult few = detectSystemConstraints(design, lib, strict);
+  std::size_t acceptedStrict = 0;
+  for (const auto& c : few.scored) acceptedStrict += c.accepted;
+  EXPECT_GE(acceptedLoose, acceptedStrict);
+}
+
+TEST(S3Det, RuntimeReported) {
+  const Library lib = blockDesign();
+  const FlatDesign design = FlatDesign::elaborate(lib);
+  const S3DetResult result = detectSystemConstraints(design, lib);
+  EXPECT_GE(result.seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace ancstr::s3det

@@ -1,0 +1,152 @@
+#include "baselines/sfa.h"
+
+#include <gtest/gtest.h>
+
+#include "netlist/builder.h"
+
+namespace ancstr::sfa {
+namespace {
+
+/// 5T OTA with a second stage: diff pair + mirror + follower chain.
+Library otaDesign() {
+  NetlistBuilder b;
+  b.beginSubckt("ota", {"vinp", "vinn", "vout", "vb", "vdd", "vss"});
+  b.nmos("m1", "n1", "vinp", "tail", "vss", 2e-6, 0.2e-6);
+  b.nmos("m2", "n2", "vinn", "tail", "vss", 2e-6, 0.2e-6);
+  b.pmos("m3", "n1", "n1", "vdd", "vdd", 4e-6, 0.3e-6);
+  b.pmos("m4", "n2", "n1", "vdd", "vdd", 4e-6, 0.3e-6);
+  b.nmos("m5", "tail", "vb", "vss", "vss", 4e-6, 0.4e-6);
+  // Cross-coupled keeper.
+  b.nmos("m6", "n1", "n2", "vss", "vss", 1e-6, 0.1e-6);
+  b.nmos("m7", "n2", "n1", "vss", "vss", 1e-6, 0.1e-6);
+  // Signal-flow continuation: gates on n1/n2.
+  b.pmos("m8", "o1", "n1", "vdd", "vdd", 6e-6, 0.2e-6);
+  b.pmos("m9", "o2", "n2", "vdd", "vdd", 6e-6, 0.2e-6);
+  // Passives sharing the output net.
+  b.cap("c1", "o1", "vss", 1e-14);
+  b.cap("c2", "o2", "vss", 1e-14);
+  // Different-size bait with same type as the pair.
+  b.nmos("m10", "vout", "vinp", "vss", "vss", 9e-6, 0.2e-6);
+  b.endSubckt();
+  return b.build("ota");
+}
+
+const ScoredCandidate* findPair(const SfaResult& result, const char* a,
+                                const char* b) {
+  for (const ScoredCandidate& c : result.scored) {
+    if ((c.pair.nameA == a && c.pair.nameB == b) ||
+        (c.pair.nameA == b && c.pair.nameB == a)) {
+      return &c;
+    }
+  }
+  return nullptr;
+}
+
+class SfaOtaTest : public ::testing::Test {
+ protected:
+  SfaOtaTest()
+      : lib_(otaDesign()), design_(FlatDesign::elaborate(lib_)),
+        result_(detectDeviceConstraints(design_, lib_)) {}
+
+  Library lib_;
+  FlatDesign design_;
+  SfaResult result_;
+};
+
+TEST_F(SfaOtaTest, DiffPairDetected) {
+  const auto* c = findPair(result_, "m1", "m2");
+  ASSERT_NE(c, nullptr);
+  EXPECT_TRUE(c->accepted);
+}
+
+TEST_F(SfaOtaTest, MirrorPairDetected) {
+  const auto* c = findPair(result_, "m3", "m4");
+  ASSERT_NE(c, nullptr);
+  EXPECT_TRUE(c->accepted) << "shared gate+source current-mirror pattern";
+}
+
+TEST_F(SfaOtaTest, CrossCoupledPairDetected) {
+  const auto* c = findPair(result_, "m6", "m7");
+  ASSERT_NE(c, nullptr);
+  EXPECT_TRUE(c->accepted);
+}
+
+TEST_F(SfaOtaTest, SignalFlowPropagation) {
+  // m8/m9 are driven from the two sides of matched pairs (n1/n2)
+  // with equal type and size -> propagated match.
+  const auto* c = findPair(result_, "m8", "m9");
+  ASSERT_NE(c, nullptr);
+  EXPECT_TRUE(c->accepted);
+}
+
+TEST_F(SfaOtaTest, PassivePairSharedNetDetected) {
+  // c1/c2 share no net with each other... they share vss.
+  const auto* c = findPair(result_, "c1", "c2");
+  ASSERT_NE(c, nullptr);
+  EXPECT_TRUE(c->accepted);
+}
+
+TEST_F(SfaOtaTest, SizeMismatchRejected) {
+  // m10 has the same type as m1/m2 but 9u width.
+  const auto* c = findPair(result_, "m1", "m10");
+  ASSERT_NE(c, nullptr);
+  EXPECT_FALSE(c->accepted);
+}
+
+TEST_F(SfaOtaTest, SimilarityIsBinary) {
+  for (const ScoredCandidate& c : result_.scored) {
+    EXPECT_TRUE(c.similarity == 0.0 || c.similarity == 1.0);
+    EXPECT_EQ(c.accepted, c.similarity == 1.0);
+  }
+}
+
+TEST_F(SfaOtaTest, OnlyDeviceLevelScored) {
+  for (const ScoredCandidate& c : result_.scored) {
+    EXPECT_EQ(c.pair.level, ConstraintLevel::kDevice);
+  }
+}
+
+TEST(SizesMatch, MosFoldsFingersAndMultipliers) {
+  FlatDevice a, b;
+  a.type = b.type = DeviceType::kNch;
+  a.params.w = 4e-6;
+  a.params.nf = 1;
+  b.params.w = 2e-6;
+  b.params.nf = 2;
+  a.params.l = b.params.l = 0.1e-6;
+  EXPECT_TRUE(sizesMatch(a, b, 0.01));
+  b.params.l = 0.2e-6;
+  EXPECT_FALSE(sizesMatch(a, b, 0.01));
+}
+
+TEST(SizesMatch, PassivesCompareValues) {
+  FlatDevice a, b;
+  a.type = b.type = DeviceType::kCapMom;
+  a.params.value = 100e-15;
+  b.params.value = 101e-15;
+  EXPECT_TRUE(sizesMatch(a, b, 0.02));
+  EXPECT_FALSE(sizesMatch(a, b, 0.001));
+}
+
+TEST(Sfa, DifferentHierarchiesAnalyzedSeparately) {
+  NetlistBuilder b;
+  b.beginSubckt("cellx", {"p", "n", "t", "vss"});
+  b.nmos("ma", "p", "n", "t", "vss", 1e-6, 0.1e-6);
+  b.nmos("mb", "n", "p", "t", "vss", 1e-6, 0.1e-6);
+  b.endSubckt();
+  b.beginSubckt("top", {"a", "bnet", "c", "vss"});
+  b.inst("x1", "cellx", {"a", "bnet", "c", "vss"});
+  b.inst("x2", "cellx", {"bnet", "a", "c", "vss"});
+  b.endSubckt();
+  const Library lib = b.build("top");
+  const FlatDesign design = FlatDesign::elaborate(lib);
+  const SfaResult result = detectDeviceConstraints(design, lib);
+  // Each cell's internal pair is a candidate; pairs across cells are not
+  // valid candidates at all.
+  std::size_t accepted = 0;
+  for (const auto& c : result.scored) accepted += c.accepted;
+  EXPECT_EQ(accepted, 2u);
+}
+
+}  // namespace
+}  // namespace ancstr::sfa

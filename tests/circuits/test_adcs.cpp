@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/s3det.h"
+#include "circuits/benchmark.h"
+#include "core/candidates.h"
+#include "netlist/flatten.h"
+#include "util/error.h"
+#include "util/stats.h"
+
+namespace ancstr::circuits {
+namespace {
+
+class AdcCorpusTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { corpus_ = new auto(adcBenchmarks()); }
+  static void TearDownTestSuite() {
+    delete corpus_;
+    corpus_ = nullptr;
+  }
+  static std::vector<CircuitBenchmark>* corpus_;
+};
+
+std::vector<CircuitBenchmark>* AdcCorpusTest::corpus_ = nullptr;
+
+TEST_F(AdcCorpusTest, FiveArchitectures) {
+  ASSERT_EQ(corpus_->size(), 5u);
+  for (const auto& bench : *corpus_) EXPECT_EQ(bench.category, "ADC");
+}
+
+TEST_F(AdcCorpusTest, SizesGrowLikeTableIII) {
+  std::vector<std::size_t> devices;
+  for (const auto& bench : *corpus_) {
+    devices.push_back(FlatDesign::elaborate(bench.lib).devices().size());
+  }
+  // ADC1..ADC3 are a few hundred devices; ADC4/ADC5 are the big ones.
+  EXPECT_GT(devices[0], 100u);
+  EXPECT_GT(devices[3], devices[0]);
+  EXPECT_GT(devices[4], devices[3]);
+}
+
+TEST_F(AdcCorpusTest, GroundTruthPairsAreValidCandidates) {
+  for (const auto& bench : *corpus_) {
+    SCOPED_TRACE(bench.name);
+    const FlatDesign design = FlatDesign::elaborate(bench.lib);
+    const CandidateSet candidates = enumerateCandidates(design, bench.lib);
+    std::set<std::string> candidateKeys;
+    std::size_t matched = 0;
+    for (const CandidatePair& p : candidates.pairs) {
+      if (bench.truth.matches(design, p)) ++matched;
+    }
+    EXPECT_EQ(matched, bench.truth.size());
+  }
+}
+
+TEST_F(AdcCorpusTest, SystemLevelTruthExists) {
+  for (const auto& bench : *corpus_) {
+    SCOPED_TRACE(bench.name);
+    std::size_t system = 0;
+    for (const auto& entry : bench.truth.entries()) {
+      if (entry.level == ConstraintLevel::kSystem) ++system;
+    }
+    EXPECT_GT(system, 0u);
+  }
+}
+
+TEST_F(AdcCorpusTest, SizingTrapsExist) {
+  // ADC1 must contain candidate block pairs of same category with
+  // different sizing that are NOT in the truth (the Fig. 2 scenario).
+  const auto& adc1 = (*corpus_)[0];
+  const FlatDesign design = FlatDesign::elaborate(adc1.lib);
+  const CandidateSet candidates = enumerateCandidates(design, adc1.lib);
+  std::size_t unmatchedBlockPairs = 0;
+  for (const CandidatePair& p : candidates.pairs) {
+    if (p.a.kind == ModuleKind::kBlock && !adc1.truth.matches(design, p)) {
+      ++unmatchedBlockPairs;
+    }
+  }
+  EXPECT_GT(unmatchedBlockPairs, 0u);
+}
+
+TEST_F(AdcCorpusTest, Adc3HasNonidenticalMatchedPair) {
+  const auto& adc3 = (*corpus_)[2];
+  const FlatDesign design = FlatDesign::elaborate(adc3.lib);
+  bool found = false;
+  for (const auto& entry : adc3.truth.entries()) {
+    if ((entry.nameA == "xdacrp" && entry.nameB == "xdacrn")) found = true;
+  }
+  EXPECT_TRUE(found);
+  // The two masters carry the same device multiset but non-isomorphic
+  // wiring: their graph spectra must differ.
+  HierNodeId nodeP = 0, nodeN = 0;
+  for (const HierNode& node : design.hierarchy()) {
+    if (node.instanceName == "xdacrp") nodeP = node.id;
+    if (node.instanceName == "xdacrn") nodeN = node.id;
+  }
+  ASSERT_NE(nodeP, 0u);
+  ASSERT_NE(nodeN, 0u);
+  s3det::S3DetConfig isolated;
+  isolated.includeBoundaryContext = false;
+  const auto spectrumP = s3det::subcircuitSpectrum(design, nodeP, isolated);
+  const auto spectrumN = s3det::subcircuitSpectrum(design, nodeN, isolated);
+  EXPECT_EQ(spectrumP.size(), spectrumN.size());
+  EXPECT_GT(ksStatistic(spectrumP, spectrumN), 1e-6);
+}
+
+TEST_F(AdcCorpusTest, AdcBenchmarkIndexAccessor) {
+  EXPECT_EQ(adcBenchmark(1).name, "adc1");
+  EXPECT_EQ(adcBenchmark(5).name, "adc5");
+  EXPECT_THROW(adcBenchmark(0), Error);
+  EXPECT_THROW(adcBenchmark(6), Error);
+}
+
+TEST_F(AdcCorpusTest, ValidPairCountsSubstantial) {
+  // The SAR and hybrid designs carry the largest candidate sets
+  // (Table III shape: ADC4/ADC5 dominate valid pairs).
+  const BenchmarkStats s1 = computeStats((*corpus_)[0]);
+  const BenchmarkStats s4 = computeStats((*corpus_)[3]);
+  const BenchmarkStats s5 = computeStats((*corpus_)[4]);
+  EXPECT_GT(s4.validPairs, s1.validPairs);
+  EXPECT_GT(s5.validPairs, s1.validPairs);
+  EXPECT_GT(s4.validPairs, 200u);
+}
+
+TEST_F(AdcCorpusTest, HierarchyIsDeep) {
+  // The hybrid must nest at least 3 levels (top -> sarq -> cdac -> cell).
+  const FlatDesign design = FlatDesign::elaborate((*corpus_)[4].lib);
+  std::size_t maxDepth = 0;
+  for (const HierNode& node : design.hierarchy()) {
+    std::size_t depth = 0;
+    HierNodeId cur = node.id;
+    while (cur != 0) {
+      cur = design.node(cur).parent;
+      ++depth;
+    }
+    maxDepth = std::max(maxDepth, depth);
+  }
+  EXPECT_GE(maxDepth, 3u);
+}
+
+}  // namespace
+}  // namespace ancstr::circuits

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "circuits/benchmark.h"
+#include "core/candidates.h"
+#include "netlist/flatten.h"
+
+namespace ancstr::circuits {
+namespace {
+
+class BlockCorpusTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { corpus_ = new auto(blockBenchmarks()); }
+  static void TearDownTestSuite() {
+    delete corpus_;
+    corpus_ = nullptr;
+  }
+  static std::vector<CircuitBenchmark>* corpus_;
+};
+
+std::vector<CircuitBenchmark>* BlockCorpusTest::corpus_ = nullptr;
+
+TEST_F(BlockCorpusTest, FifteenCircuitsInFourCategories) {
+  ASSERT_EQ(corpus_->size(), 15u);
+  std::size_t ota = 0, comp = 0, dac = 0, latch = 0;
+  for (const auto& bench : *corpus_) {
+    if (bench.category == "OTA") ++ota;
+    if (bench.category == "COMP") ++comp;
+    if (bench.category == "DAC") ++dac;
+    if (bench.category == "LATCH") ++latch;
+  }
+  EXPECT_EQ(ota, 6u);
+  EXPECT_EQ(comp, 6u);
+  EXPECT_EQ(dac, 2u);
+  EXPECT_EQ(latch, 1u);
+}
+
+TEST_F(BlockCorpusTest, AllElaborateAndValidate) {
+  for (const auto& bench : *corpus_) {
+    SCOPED_TRACE(bench.name);
+    EXPECT_NO_THROW({
+      const FlatDesign design = FlatDesign::elaborate(bench.lib);
+      EXPECT_GT(design.devices().size(), 5u);
+    });
+  }
+}
+
+TEST_F(BlockCorpusTest, GroundTruthPairsAreValidCandidates) {
+  // Every annotated constraint must be enumerable as a valid candidate:
+  // same hierarchy, same type.
+  for (const auto& bench : *corpus_) {
+    SCOPED_TRACE(bench.name);
+    const FlatDesign design = FlatDesign::elaborate(bench.lib);
+    const CandidateSet candidates = enumerateCandidates(design, bench.lib);
+    std::size_t matched = 0;
+    for (const CandidatePair& p : candidates.pairs) {
+      if (bench.truth.matches(design, p)) ++matched;
+    }
+    EXPECT_EQ(matched, bench.truth.size())
+        << "some ground-truth entries are not valid candidates";
+  }
+}
+
+TEST_F(BlockCorpusTest, EveryCircuitHasTrueNegatives) {
+  // Realistic corpora contain same-type pairs that are NOT matched.
+  for (const auto& bench : *corpus_) {
+    SCOPED_TRACE(bench.name);
+    const FlatDesign design = FlatDesign::elaborate(bench.lib);
+    const CandidateSet candidates = enumerateCandidates(design, bench.lib);
+    EXPECT_GT(candidates.pairs.size(), bench.truth.size());
+  }
+}
+
+TEST_F(BlockCorpusTest, MatchedPairsShareTypeAndSizing) {
+  for (const auto& bench : *corpus_) {
+    SCOPED_TRACE(bench.name);
+    const FlatDesign design = FlatDesign::elaborate(bench.lib);
+    const CandidateSet candidates = enumerateCandidates(design, bench.lib);
+    for (const CandidatePair& p : candidates.pairs) {
+      if (!bench.truth.matches(design, p)) continue;
+      const FlatDevice& a = design.device(p.a.id);
+      const FlatDevice& b = design.device(p.b.id);
+      EXPECT_EQ(a.type, b.type) << p.nameA << "/" << p.nameB;
+      EXPECT_DOUBLE_EQ(a.params.w, b.params.w) << p.nameA << "/" << p.nameB;
+      EXPECT_DOUBLE_EQ(a.params.value, b.params.value)
+          << p.nameA << "/" << p.nameB;
+    }
+  }
+}
+
+TEST_F(BlockCorpusTest, StatsAreReasonable) {
+  std::size_t totalDevices = 0, totalPairs = 0;
+  for (const auto& bench : *corpus_) {
+    const BenchmarkStats stats = computeStats(bench);
+    totalDevices += stats.devices;
+    totalPairs += stats.validPairs;
+    EXPECT_GT(stats.nets, 0u);
+  }
+  // Table IV ballpark: ~324 devices, ~2005 valid pairs across the corpus.
+  EXPECT_GT(totalDevices, 200u);
+  EXPECT_LT(totalDevices, 600u);
+  EXPECT_GT(totalPairs, 100u);
+}
+
+TEST_F(BlockCorpusTest, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const auto& bench : *corpus_) {
+    EXPECT_TRUE(names.insert(bench.name).second) << bench.name;
+  }
+}
+
+}  // namespace
+}  // namespace ancstr::circuits

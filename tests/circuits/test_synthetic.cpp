@@ -1,0 +1,61 @@
+#include "circuits/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include "core/candidates.h"
+#include "netlist/flatten.h"
+
+namespace ancstr::circuits {
+namespace {
+
+TEST(DiffChain, DeviceCountScalesLinearly) {
+  const auto small = makeDiffChain(2);
+  const auto large = makeDiffChain(8);
+  const std::size_t smallCount =
+      FlatDesign::elaborate(small.lib).devices().size();
+  const std::size_t largeCount =
+      FlatDesign::elaborate(large.lib).devices().size();
+  EXPECT_EQ(smallCount, 18u);  // 9 per stage
+  EXPECT_EQ(largeCount, 72u);
+}
+
+TEST(DiffChain, TruthScalesWithStages) {
+  const auto bench = makeDiffChain(4);
+  EXPECT_EQ(bench.truth.size(), 16u);  // 4 pairs per stage
+}
+
+TEST(DiffChain, TruthEntriesAreValidCandidates) {
+  const auto bench = makeDiffChain(3);
+  const FlatDesign design = FlatDesign::elaborate(bench.lib);
+  const CandidateSet candidates = enumerateCandidates(design, bench.lib);
+  std::size_t matched = 0;
+  for (const CandidatePair& p : candidates.pairs) {
+    if (bench.truth.matches(design, p)) ++matched;
+  }
+  EXPECT_EQ(matched, bench.truth.size());
+}
+
+TEST(BlockArray, PairsEvenOddInstances) {
+  const auto bench = makeBlockArray(6);
+  std::size_t systemPairs = 0;
+  for (const auto& entry : bench.truth.entries()) {
+    if (entry.level == ConstraintLevel::kSystem) ++systemPairs;
+  }
+  EXPECT_EQ(systemPairs, 3u);  // (0,1) (2,3) (4,5)
+  const FlatDesign design = FlatDesign::elaborate(bench.lib);
+  EXPECT_EQ(design.root().children.size(), 6u);
+}
+
+TEST(BlockArray, AllInstancePairsAreCandidates) {
+  const auto bench = makeBlockArray(4);
+  const FlatDesign design = FlatDesign::elaborate(bench.lib);
+  const CandidateSet candidates = enumerateCandidates(design, bench.lib);
+  std::size_t blockPairs = 0;
+  for (const CandidatePair& p : candidates.pairs) {
+    if (p.a.kind == ModuleKind::kBlock) ++blockPairs;
+  }
+  EXPECT_EQ(blockPairs, 6u);  // C(4,2)
+}
+
+}  // namespace
+}  // namespace ancstr::circuits

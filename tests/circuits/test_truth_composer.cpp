@@ -1,0 +1,77 @@
+#include "circuits/truth_composer.h"
+
+#include <gtest/gtest.h>
+
+namespace ancstr::circuits {
+namespace {
+
+TEST(TruthComposer, FlatMasterExpandsAtRoot) {
+  TruthComposer t;
+  t.devicePair("cell", "m1", "m2");
+  const auto entries = t.expand("cell");
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].hierPath, "");
+  EXPECT_EQ(entries[0].nameA, "m1");
+  EXPECT_EQ(entries[0].level, ConstraintLevel::kDevice);
+}
+
+TEST(TruthComposer, ChildPrefixesPaths) {
+  TruthComposer t;
+  t.devicePair("leaf", "a", "b");
+  t.child("top", "x1", "leaf");
+  t.child("top", "x2", "leaf");
+  const auto entries = t.expand("top");
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].hierPath, "x1");
+  EXPECT_EQ(entries[1].hierPath, "x2");
+}
+
+TEST(TruthComposer, DeepNestingComposesPaths) {
+  TruthComposer t;
+  t.devicePair("inner", "p", "q");
+  t.child("mid", "xi", "inner");
+  t.systemPair("mid", "r1", "r2");
+  t.child("top", "xm", "mid");
+  const auto entries = t.expand("top");
+  ASSERT_EQ(entries.size(), 2u);
+  bool sawDeep = false, sawMid = false;
+  for (const auto& e : entries) {
+    if (e.hierPath == "xm/xi" && e.nameA == "p") sawDeep = true;
+    if (e.hierPath == "xm" && e.nameA == "r1") {
+      sawMid = true;
+      EXPECT_EQ(e.level, ConstraintLevel::kSystem);
+    }
+  }
+  EXPECT_TRUE(sawDeep);
+  EXPECT_TRUE(sawMid);
+}
+
+TEST(TruthComposer, NamesAreCaseNormalised) {
+  TruthComposer t;
+  t.devicePair("Leaf", "A", "B");
+  t.child("Top", "X1", "LEAF");
+  const auto entries = t.expand("TOP");
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].hierPath, "x1");
+}
+
+TEST(TruthComposer, UnusedMastersDoNotLeak) {
+  TruthComposer t;
+  t.devicePair("orphan", "a", "b");
+  t.devicePair("top", "m1", "m2");
+  const auto entries = t.expand("top");
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].nameA, "m1");
+}
+
+TEST(TruthComposer, SharedMasterExpandsPerInstance) {
+  TruthComposer t;
+  t.devicePair("dff", "tg1", "tg2");
+  for (int i = 0; i < 4; ++i) {
+    t.child("ctl", "xdff" + std::to_string(i), "dff");
+  }
+  EXPECT_EQ(t.expand("ctl").size(), 4u);
+}
+
+}  // namespace
+}  // namespace ancstr::circuits

@@ -1,0 +1,160 @@
+#include "core/arrays.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/features.h"
+#include "core/graph_builder.h"
+#include "netlist/builder.h"
+#include "util/error.h"
+
+namespace ancstr {
+namespace {
+
+struct ArraySetup {
+  Library lib;
+  FlatDesign design;
+  nn::Matrix z;
+};
+
+/// Binary cap DAC bank (10/20/40/80 fF) + an unrelated 33 fF cap + a
+/// resistor trio (1k/1k/1k matched bank).
+ArraySetup makeSetup() {
+  NetlistBuilder b;
+  b.beginSubckt("cell", {"top", "vref", "vss"});
+  b.cap("c0", "top", "n0", 10e-15);
+  b.cap("c1", "top", "n1", 20e-15);
+  b.cap("c2", "top", "n2", 40e-15);
+  b.cap("c3", "top", "n3", 80e-15);
+  b.cap("codd", "top", "vref", 33e-15);
+  b.res("ra", "vref", "m1", 1e3);
+  b.res("rb", "vref", "m2", 1e3);
+  b.res("rc", "vref", "m3", 1e3);
+  b.endSubckt();
+  Library lib = b.build("cell");
+  FlatDesign design = FlatDesign::elaborate(lib);
+  // Uniform embeddings: all devices "agree" structurally by default.
+  nn::Matrix z(design.devices().size(), 4, 1.0);
+  return {std::move(lib), std::move(design), std::move(z)};
+}
+
+TEST(Arrays, DetectsBinaryWeightedBank) {
+  const ArraySetup s = makeSetup();
+  const auto groups = detectArrayGroups(s.design, s.z);
+  const ArrayGroup* caps = nullptr;
+  for (const ArrayGroup& g : groups) {
+    if (g.type == DeviceType::kCapMom) caps = &g;
+  }
+  ASSERT_NE(caps, nullptr);
+  EXPECT_NEAR(caps->unit, 10e-15, 1e-20);
+  // c0..c3 snap to 1/2/4/8; codd (3.3x) does not.
+  ASSERT_EQ(caps->members.size(), 4u);
+  EXPECT_EQ(caps->members[0], (std::pair<std::string, int>{"c0", 1}));
+  EXPECT_EQ(caps->members[3], (std::pair<std::string, int>{"c3", 8}));
+}
+
+TEST(Arrays, DetectsMatchedEqualBank) {
+  const ArraySetup s = makeSetup();
+  const auto groups = detectArrayGroups(s.design, s.z);
+  const ArrayGroup* res = nullptr;
+  for (const ArrayGroup& g : groups) {
+    if (g.type == DeviceType::kResPoly) res = &g;
+  }
+  ASSERT_NE(res, nullptr);
+  EXPECT_EQ(res->members.size(), 3u);
+  for (const auto& [name, multiple] : res->members) EXPECT_EQ(multiple, 1);
+}
+
+TEST(Arrays, EmbeddingDisagreementExcludesMembers) {
+  ArraySetup s = makeSetup();
+  // Make c2 structurally alien: orthogonal embedding.
+  for (std::size_t c = 0; c < s.z.cols(); ++c) s.z(2, c) = 0.0;
+  s.z(2, 0) = -5.0;
+  const auto groups = detectArrayGroups(s.design, s.z);
+  for (const ArrayGroup& g : groups) {
+    if (g.type != DeviceType::kCapMom) continue;
+    for (const auto& [name, multiple] : g.members) EXPECT_NE(name, "c2");
+  }
+}
+
+TEST(Arrays, MinMembersRespected) {
+  const ArraySetup s = makeSetup();
+  ArrayDetectOptions options;
+  options.minMembers = 5;
+  const auto groups = detectArrayGroups(s.design, s.z, options);
+  EXPECT_TRUE(groups.empty());
+}
+
+TEST(Arrays, MaxMultipleGuards) {
+  NetlistBuilder b;
+  b.beginSubckt("cell", {"a", "vss"});
+  b.cap("c0", "a", "n0", 1e-15);
+  b.cap("c1", "a", "n1", 2e-15);
+  b.cap("chuge", "a", "n2", 1000e-15);  // 1000x the unit
+  b.endSubckt();
+  Library lib = b.build("cell");
+  FlatDesign design = FlatDesign::elaborate(lib);
+  nn::Matrix z(design.devices().size(), 2, 1.0);
+  const auto groups = detectArrayGroups(design, z);
+  // Only 2 in-range members -> below the default minimum of 3.
+  EXPECT_TRUE(groups.empty());
+}
+
+TEST(Arrays, MosWidthArrays) {
+  NetlistBuilder b;
+  b.beginSubckt("mirror", {"vbn", "o1", "o2", "o3", "vss"});
+  b.nmos("mu", "vbn", "vbn", "vss", "vss", 1e-6, 0.5e-6);
+  b.nmos("m2x", "o1", "vbn", "vss", "vss", 2e-6, 0.5e-6);
+  b.nmos("m4x", "o2", "vbn", "vss", "vss", 4e-6, 0.5e-6);
+  b.nmos("m4b", "o3", "vbn", "vss", "vss", 2e-6, 0.5e-6, 2);  // nf folds
+  b.endSubckt();
+  Library lib = b.build("mirror");
+  FlatDesign design = FlatDesign::elaborate(lib);
+  nn::Matrix z(design.devices().size(), 2, 1.0);
+  const auto groups = detectArrayGroups(design, z);
+  ASSERT_EQ(groups.size(), 1u);
+  ASSERT_EQ(groups[0].members.size(), 4u);
+  // m4b: 2u x 2 fingers == 4x the 1u unit.
+  for (const auto& [name, multiple] : groups[0].members) {
+    if (name == "m4b") EXPECT_EQ(multiple, 4);
+    if (name == "mu") EXPECT_EQ(multiple, 1);
+  }
+}
+
+TEST(Arrays, RealPipelineFindsCapDacArray) {
+  // End-to-end: the generated SAR's binary cap section is an array.
+  NetlistBuilder b;
+  b.beginSubckt("cdac", {"vtop", "vref", "b0", "b1", "b2", "b3", "vss"});
+  for (int i = 0; i < 4; ++i) {
+    const std::string n = "n" + std::to_string(i);
+    const std::string bi = "b" + std::to_string(i);
+    b.cap("cb" + std::to_string(i), "vtop", n,
+          10e-15 * std::pow(2.0, i));
+    b.nmos("ms" + std::to_string(i), n, bi, "vref", "vss", 1e-6, 0.1e-6);
+  }
+  b.endSubckt();
+  Library lib = b.build("cdac");
+  FlatDesign design = FlatDesign::elaborate(lib);
+  const CircuitGraph g = buildHeteroGraph(design);
+  // Raw features stand in for trained embeddings (structure is uniform).
+  const nn::Matrix z = buildFeatureMatrix(design);
+  ArrayDetectOptions options;
+  options.arrayThreshold = 0.5;
+  const auto groups = detectArrayGroups(design, z, options);
+  bool capArray = false;
+  for (const ArrayGroup& g2 : groups) {
+    if (g2.type == DeviceType::kCapMom && g2.members.size() == 4) {
+      capArray = true;
+    }
+  }
+  EXPECT_TRUE(capArray);
+}
+
+TEST(Arrays, ShapeMismatchThrows) {
+  const ArraySetup s = makeSetup();
+  EXPECT_THROW(detectArrayGroups(s.design, nn::Matrix(1, 2)), ShapeError);
+}
+
+}  // namespace
+}  // namespace ancstr

@@ -1,0 +1,150 @@
+#include "core/candidates.h"
+
+#include <gtest/gtest.h>
+
+#include "netlist/builder.h"
+
+namespace ancstr {
+namespace {
+
+/// Top with two identical DAC blocks, one differently-named block, two
+/// passives, and two mismatched-type devices.
+Library hierarchicalDesign() {
+  NetlistBuilder b;
+  b.beginSubckt("dac_a", {"in", "out", "vss"});
+  b.res("r1", "in", "out", 1e3);
+  b.res("r2", "out", "vss", 1e3);
+  b.endSubckt();
+  b.beginSubckt("dac_b", {"in", "out", "vss"});
+  b.res("r1", "in", "mid", 2e3);
+  b.res("r2", "mid", "out", 2e3);
+  b.cap("c1", "out", "vss", 1e-15);
+  b.endSubckt();
+  b.beginSubckt("filt", {"in", "out", "vss"});
+  b.res("rf", "in", "out", 5e3);
+  b.endSubckt();
+  b.beginSubckt("top", {"inp", "inn", "out", "vss"});
+  b.inst("xdacp", "dac_a", {"inp", "op", "vss"});
+  b.inst("xdacn", "dac_b", {"inn", "on", "vss"});
+  b.inst("xfilt", "filt", {"op", "out", "vss"});
+  b.res("rp", "op", "out", 3e3);
+  b.res("rn", "on", "out", 3e3);
+  b.cap("cx", "out", "vss", 2e-15);
+  b.nmos("msw", "out", "inp", "vss", "vss", 1e-6, 0.1e-6);
+  b.endSubckt();
+  return b.build("top");
+}
+
+TEST(BlockCategory, StripsVariantSuffixes) {
+  EXPECT_EQ(blockCategory("ota"), "ota");
+  EXPECT_EQ(blockCategory("dac1"), "dac");
+  EXPECT_EQ(blockCategory("dac_a"), "dac");
+  EXPECT_EQ(blockCategory("DAC_B"), "dac");
+  EXPECT_EQ(blockCategory("idac_s1"), "idac");
+  EXPECT_EQ(blockCategory("inv_1x"), "inv");
+  EXPECT_EQ(blockCategory("ota_tele"), "ota_tele");
+  EXPECT_EQ(blockCategory("rdac_a"), "rdac");
+}
+
+TEST(Candidates, BlockPairsRequireSameCategoryAndArity) {
+  const Library lib = hierarchicalDesign();
+  const FlatDesign design = FlatDesign::elaborate(lib);
+  const CandidateSet set = enumerateCandidates(design, lib);
+
+  // dac_a/dac_b share category "dac" and arity -> valid pair.
+  bool dacPair = false, filtPair = false;
+  for (const CandidatePair& p : set.pairs) {
+    if (p.a.kind != ModuleKind::kBlock) continue;
+    const bool names = (p.nameA == "xdacp" && p.nameB == "xdacn") ||
+                       (p.nameA == "xdacn" && p.nameB == "xdacp");
+    if (names) dacPair = true;
+    if (p.nameA == "xfilt" || p.nameB == "xfilt") filtPair = true;
+  }
+  EXPECT_TRUE(dacPair);
+  EXPECT_FALSE(filtPair) << "filt has a different category";
+}
+
+TEST(Candidates, PassivesBesideBlocksAreSystemLevel) {
+  const Library lib = hierarchicalDesign();
+  const FlatDesign design = FlatDesign::elaborate(lib);
+  const CandidateSet set = enumerateCandidates(design, lib);
+  for (const CandidatePair& p : set.pairs) {
+    if (p.nameA == "rp" && p.nameB == "rn") {
+      EXPECT_EQ(p.level, ConstraintLevel::kSystem);
+      return;
+    }
+  }
+  FAIL() << "rp/rn pair not enumerated";
+}
+
+TEST(Candidates, DifferentTypesNeverPair) {
+  const Library lib = hierarchicalDesign();
+  const FlatDesign design = FlatDesign::elaborate(lib);
+  const CandidateSet set = enumerateCandidates(design, lib);
+  for (const CandidatePair& p : set.pairs) {
+    if (p.a.kind == ModuleKind::kDevice) {
+      EXPECT_EQ(design.device(p.a.id).type, design.device(p.b.id).type);
+    }
+  }
+  // cx (cap) and msw (mos) must not appear with any resistor.
+  for (const CandidatePair& p : set.pairs) {
+    EXPECT_FALSE(p.nameA == "cx" || p.nameB == "cx");
+    EXPECT_FALSE(p.nameA == "msw" || p.nameB == "msw");
+  }
+}
+
+TEST(Candidates, DevicePairsInsideLeafBlocksAreDeviceLevel) {
+  const Library lib = hierarchicalDesign();
+  const FlatDesign design = FlatDesign::elaborate(lib);
+  const CandidateSet set = enumerateCandidates(design, lib);
+  bool found = false;
+  for (const CandidatePair& p : set.pairs) {
+    if (p.nameA == "r1" && p.nameB == "r2") {
+      EXPECT_EQ(p.level, ConstraintLevel::kDevice);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Candidates, NoCrossHierarchyPairs) {
+  const Library lib = hierarchicalDesign();
+  const FlatDesign design = FlatDesign::elaborate(lib);
+  const CandidateSet set = enumerateCandidates(design, lib);
+  for (const CandidatePair& p : set.pairs) {
+    if (p.a.kind == ModuleKind::kDevice) {
+      EXPECT_EQ(design.device(p.a.id).owner, p.hierarchy);
+      EXPECT_EQ(design.device(p.b.id).owner, p.hierarchy);
+    } else {
+      EXPECT_EQ(design.node(p.a.id).parent, p.hierarchy);
+      EXPECT_EQ(design.node(p.b.id).parent, p.hierarchy);
+    }
+  }
+}
+
+TEST(Candidates, CountByLevel) {
+  const Library lib = hierarchicalDesign();
+  const FlatDesign design = FlatDesign::elaborate(lib);
+  const CandidateSet set = enumerateCandidates(design, lib);
+  EXPECT_EQ(set.count(ConstraintLevel::kSystem) +
+                set.count(ConstraintLevel::kDevice),
+            set.pairs.size());
+  EXPECT_GT(set.count(ConstraintLevel::kSystem), 0u);
+  EXPECT_GT(set.count(ConstraintLevel::kDevice), 0u);
+}
+
+TEST(Candidates, FlatDesignHasOnlyDeviceLevel) {
+  NetlistBuilder b;
+  b.beginSubckt("flat", {"a", "b", "vss"});
+  b.res("r1", "a", "b", 1e3);
+  b.res("r2", "a", "b", 1e3);
+  b.endSubckt();
+  const Library lib = b.build("flat");
+  const FlatDesign design = FlatDesign::elaborate(lib);
+  const CandidateSet set = enumerateCandidates(design, lib);
+  ASSERT_EQ(set.pairs.size(), 1u);
+  EXPECT_EQ(set.pairs[0].level, ConstraintLevel::kDevice);
+}
+
+}  // namespace
+}  // namespace ancstr

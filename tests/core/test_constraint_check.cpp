@@ -1,0 +1,114 @@
+#include "core/constraint_check.h"
+
+#include <gtest/gtest.h>
+
+#include "netlist/builder.h"
+
+namespace ancstr {
+namespace {
+
+struct CheckSetup {
+  Library lib;
+  FlatDesign design;
+};
+
+CheckSetup makeSetup() {
+  NetlistBuilder b;
+  b.beginSubckt("leaf", {"a", "vss"});
+  b.res("r1", "a", "m", 1e3);
+  b.res("r2", "m", "vss", 1e3);
+  b.endSubckt();
+  b.beginSubckt("top", {"x", "y", "vss"});
+  b.inst("u1", "leaf", {"x", "vss"});
+  b.inst("u2", "leaf", {"y", "vss"});
+  b.nmos("m1", "x", "y", "t", "vss", 1e-6, 0.1e-6);
+  b.nmos("m2", "y", "x", "t", "vss", 1e-6, 0.1e-6);
+  b.cap("c1", "x", "vss", 1e-15);
+  b.endSubckt();
+  Library lib = b.build("top");
+  FlatDesign design = FlatDesign::elaborate(lib);
+  return {std::move(lib), std::move(design)};
+}
+
+ParsedConstraint pc(const std::string& hier, const std::string& a,
+                    const std::string& b) {
+  ParsedConstraint c;
+  c.hierPath = hier;
+  c.nameA = a;
+  c.nameB = b;
+  return c;
+}
+
+TEST(ConstraintCheck, CleanDeckPasses) {
+  const CheckSetup s = makeSetup();
+  const std::vector<ParsedConstraint> deck{
+      pc("", "m1", "m2"), pc("", "u1", "u2"), pc("u1", "r1", "r2"),
+      pc("", "m1", ""),  // self-symmetric
+  };
+  EXPECT_TRUE(checkConstraints(s.design, s.lib, deck).empty());
+}
+
+TEST(ConstraintCheck, UnknownHierarchy) {
+  const CheckSetup s = makeSetup();
+  const auto issues =
+      checkConstraints(s.design, s.lib, {pc("nosuch", "a", "b")});
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_NE(issues[0].message.find("unknown hierarchy"), std::string::npos);
+}
+
+TEST(ConstraintCheck, MissingModules) {
+  const CheckSetup s = makeSetup();
+  const auto issues = checkConstraints(
+      s.design, s.lib, {pc("", "m1", "m9"), pc("", "zz", "m2")});
+  EXPECT_EQ(issues.size(), 2u);
+}
+
+TEST(ConstraintCheck, DeviceNotVisibleFromWrongHierarchy) {
+  const CheckSetup s = makeSetup();
+  // r1 lives inside u1, not at the top.
+  const auto issues =
+      checkConstraints(s.design, s.lib, {pc("", "r1", "r2")});
+  EXPECT_EQ(issues.size(), 1u);
+}
+
+TEST(ConstraintCheck, KindMismatch) {
+  const CheckSetup s = makeSetup();
+  const auto issues =
+      checkConstraints(s.design, s.lib, {pc("", "u1", "m1")});
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_NE(issues[0].message.find("mixes"), std::string::npos);
+}
+
+TEST(ConstraintCheck, TypeMismatch) {
+  const CheckSetup s = makeSetup();
+  const auto issues =
+      checkConstraints(s.design, s.lib, {pc("", "m1", "c1")});
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_NE(issues[0].message.find("nonidentical device types"),
+            std::string::npos);
+}
+
+TEST(ConstraintCheck, SelfPairRejected) {
+  const CheckSetup s = makeSetup();
+  const auto issues =
+      checkConstraints(s.design, s.lib, {pc("", "m1", "m1")});
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_NE(issues[0].message.find("same device twice"), std::string::npos);
+}
+
+TEST(ConstraintCheck, IssueIndicesPointAtOffendingEntries) {
+  const CheckSetup s = makeSetup();
+  const std::vector<ParsedConstraint> deck{
+      pc("", "m1", "m2"),      // ok
+      pc("", "m1", "m9"),      // bad
+      pc("u2", "r1", "r2"),    // ok
+      pc("x9", "r1", "r2"),    // bad
+  };
+  const auto issues = checkConstraints(s.design, s.lib, deck);
+  ASSERT_EQ(issues.size(), 2u);
+  EXPECT_EQ(issues[0].index, 1u);
+  EXPECT_EQ(issues[1].index, 3u);
+}
+
+}  // namespace
+}  // namespace ancstr

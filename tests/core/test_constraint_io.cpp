@@ -1,0 +1,141 @@
+#include "core/constraint_io.h"
+
+#include <gtest/gtest.h>
+
+#include "core/groups.h"
+#include "eval/ground_truth.h"
+#include "netlist/builder.h"
+#include "util/error.h"
+
+namespace ancstr {
+namespace {
+
+struct IoSetup {
+  Library lib;
+  FlatDesign design;
+  DetectionResult detection;
+};
+
+IoSetup makeSetup() {
+  NetlistBuilder b;
+  b.beginSubckt("leaf", {"a", "vss"});
+  b.res("r1", "a", "m", 1e3);
+  b.res("r2", "m", "vss", 1e3);
+  b.endSubckt();
+  b.beginSubckt("top", {"x", "y", "vss"});
+  b.inst("u1", "leaf", {"x", "vss"});
+  b.inst("u2", "leaf", {"y", "vss"});
+  b.nmos("m1", "x", "y", "t", "vss", 1e-6, 0.1e-6);
+  b.nmos("m2", "y", "x", "t", "vss", 1e-6, 0.1e-6);
+  b.endSubckt();
+  Library lib = b.build("top");
+  FlatDesign design = FlatDesign::elaborate(lib);
+
+  DetectionResult detection;
+  detection.systemThreshold = 0.98;
+  detection.deviceThreshold = 0.99;
+  const CandidateSet candidates = enumerateCandidates(design, lib);
+  for (const CandidatePair& pair : candidates.pairs) {
+    ScoredCandidate c;
+    c.pair = pair;
+    c.similarity = 0.995;
+    c.accepted = true;
+    detection.scored.push_back(c);
+  }
+  return {std::move(lib), std::move(design), std::move(detection)};
+}
+
+TEST(ConstraintIo, JsonRoundTrip) {
+  const IoSetup s = makeSetup();
+  const auto groups = buildSymmetryGroups(s.design, s.detection);
+  const std::string text = constraintsToJson(s.design, s.detection, groups);
+  const auto parsed = parseConstraintsJson(text);
+
+  // Every accepted constraint must come back with the same key fields.
+  std::size_t pairRecords = 0;
+  for (const ParsedConstraint& p : parsed) {
+    if (p.nameB.empty()) continue;
+    ++pairRecords;
+    EXPECT_NEAR(p.similarity, 0.995, 1e-12);
+  }
+  EXPECT_EQ(pairRecords, s.detection.scored.size());
+}
+
+TEST(ConstraintIo, JsonPreservesHierarchyAndLevel) {
+  const IoSetup s = makeSetup();
+  const std::string text = constraintsToJson(s.design, s.detection);
+  const auto parsed = parseConstraintsJson(text);
+  bool sawSystem = false, sawDeviceInLeaf = false;
+  for (const ParsedConstraint& p : parsed) {
+    if (p.level == ConstraintLevel::kSystem && p.nameA == "u1") {
+      sawSystem = true;
+      EXPECT_EQ(p.hierPath, "");
+    }
+    if (p.hierPath == "u1" && p.nameA == "r1") sawDeviceInLeaf = true;
+  }
+  EXPECT_TRUE(sawSystem);
+  EXPECT_TRUE(sawDeviceInLeaf);
+}
+
+TEST(ConstraintIo, SymRoundTrip) {
+  const IoSetup s = makeSetup();
+  const auto groups = buildSymmetryGroups(s.design, s.detection);
+  const std::string text = constraintsToSym(s.design, s.detection, groups);
+  const auto parsed = parseConstraintsSym(text);
+  std::size_t pairs = 0;
+  for (const ParsedConstraint& p : parsed) {
+    if (!p.nameB.empty()) ++pairs;
+  }
+  EXPECT_EQ(pairs, s.detection.scored.size());
+}
+
+TEST(ConstraintIo, SymTopHierarchyIsDot) {
+  const IoSetup s = makeSetup();
+  const std::string text = constraintsToSym(s.design, s.detection);
+  EXPECT_NE(text.find(". m1 m2"), std::string::npos);
+  EXPECT_NE(text.find("u1 r1 r2"), std::string::npos);
+}
+
+TEST(ConstraintIo, SymCommentsAndBlanksSkipped) {
+  const auto parsed = parseConstraintsSym(
+      "# comment\n\n. a b\n  # indented comment\nx1 c\n");
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].hierPath, "");
+  EXPECT_EQ(parsed[0].nameA, "a");
+  EXPECT_EQ(parsed[0].nameB, "b");
+  EXPECT_EQ(parsed[1].hierPath, "x1");
+  EXPECT_TRUE(parsed[1].nameB.empty());
+}
+
+TEST(ConstraintIo, SymRejectsMalformedLine) {
+  EXPECT_THROW(parseConstraintsSym(". a b c d\n"), ParseError);
+  EXPECT_THROW(parseConstraintsSym("loneword\n"), ParseError);
+}
+
+TEST(ConstraintIo, JsonRejectsWrongFormatTag) {
+  EXPECT_THROW(parseConstraintsJson("{\"format\":\"other\"}"), Error);
+  EXPECT_THROW(parseConstraintsJson("not json at all"), Error);
+}
+
+TEST(ConstraintIo, ToGroundTruthSkipsSelfEntries) {
+  std::vector<ParsedConstraint> parsed{
+      {"", "a", "b", ConstraintLevel::kDevice, 1.0},
+      {"x", "solo", "", ConstraintLevel::kDevice, 0.0},
+  };
+  const GroundTruth truth = toGroundTruth(parsed);
+  EXPECT_EQ(truth.size(), 1u);
+  EXPECT_TRUE(truth.contains("", "a", "b"));
+}
+
+TEST(ConstraintIo, GoldenFileDiffWorkflow) {
+  // Extract -> write sym -> read back as ground truth -> every accepted
+  // constraint labels as true.
+  const IoSetup s = makeSetup();
+  const std::string text = constraintsToSym(s.design, s.detection);
+  const GroundTruth golden = toGroundTruth(parseConstraintsSym(text));
+  const auto labels = labelCandidates(s.design, s.detection.scored, golden);
+  for (const bool l : labels) EXPECT_TRUE(l);
+}
+
+}  // namespace
+}  // namespace ancstr

@@ -1,0 +1,231 @@
+#include "core/detector.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.h"
+
+#include "core/features.h"
+#include "core/trainer.h"
+#include "netlist/builder.h"
+
+namespace ancstr {
+namespace {
+
+TEST(SystemThreshold, Eq4Behaviour) {
+  // Small designs: threshold saturates at 0.999.
+  EXPECT_DOUBLE_EQ(systemThreshold(0.95, 0.95, 0), 0.999);
+  // Large designs: approaches alpha.
+  EXPECT_NEAR(systemThreshold(0.95, 0.95, 1000), 0.95 + 0.95 / 1001.0, 1e-12);
+  // Monotone non-increasing in subcircuit size.
+  double prev = 1.0;
+  for (std::size_t n : {0u, 1u, 5u, 20u, 100u, 1000u}) {
+    const double th = systemThreshold(0.95, 0.95, n);
+    EXPECT_LE(th, prev);
+    prev = th;
+  }
+}
+
+struct DetectorSetup {
+  Library lib;
+  FlatDesign design;
+  nn::Matrix z;
+};
+
+/// Two identical blocks + one different block + matched device pair.
+DetectorSetup makeSetup() {
+  NetlistBuilder b;
+  b.beginSubckt("dac_a", {"in", "out", "vss"});
+  b.res("r1", "in", "out", 1e3);
+  b.cap("c1", "out", "vss", 1e-15);
+  b.endSubckt();
+  b.beginSubckt("dac_b", {"in", "out", "vss"});
+  b.res("r1", "in", "out", 9e3);
+  b.cap("c1", "out", "vss", 9e-15);
+  b.endSubckt();
+  b.beginSubckt("top", {"i1", "i2", "o", "vss"});
+  b.inst("xp", "dac_a", {"i1", "o", "vss"});
+  b.inst("xn", "dac_a", {"i2", "o", "vss"});
+  b.inst("xq", "dac_b", {"o", "o2", "vss"});
+  b.nmos("m1", "o", "i1", "vss", "vss", 1e-6, 0.1e-6);
+  b.nmos("m2", "o", "i2", "vss", "vss", 1e-6, 0.1e-6);
+  b.nmos("m3", "o2", "o", "vss", "vss", 8e-6, 0.3e-6);
+  b.endSubckt();
+  Library lib = b.build("top");
+  FlatDesign design = FlatDesign::elaborate(lib);
+  DetectorSetup s{std::move(lib), std::move(design), {}};
+  // Hand-crafted embeddings: matched devices identical; differently sized
+  // devices point in measurably different directions (log-compressed value
+  // so cosine actually separates them).
+  s.z = nn::Matrix(s.design.devices().size(), 4);
+  for (std::size_t r = 0; r < s.z.rows(); ++r) {
+    const FlatDevice& dev = s.design.device(r);
+    double typeCode = 1.0;
+    double sizing = dev.params.w * 1e6;
+    if (dev.type == DeviceType::kResPoly) {
+      typeCode = 2.0;
+      sizing = std::log10(1.0 + dev.params.value);
+    } else if (dev.type == DeviceType::kCapMom) {
+      typeCode = 3.0;
+      sizing = std::log10(1.0 + dev.params.value * 1e15);
+    }
+    s.z(r, 0) = typeCode;
+    s.z(r, 1) = sizing;
+    s.z(r, 2) = 0.1;
+    // Perturb m3 so it cannot match m1/m2 (it differs in sizing anyway).
+    if (dev.path == "m3") s.z(r, 3) = 10.0;
+  }
+  return s;
+}
+
+TEST(Detector, AcceptsIdenticalBlockPairOnly) {
+  DetectorSetup s = makeSetup();
+  const DetectionResult result =
+      detectConstraints(s.design, s.lib, s.z, DetectorConfig{});
+  bool xpxn = false;
+  for (const ScoredCandidate& c : result.scored) {
+    if (c.pair.a.kind != ModuleKind::kBlock) continue;
+    const bool isPair = (c.pair.nameA == "xp" && c.pair.nameB == "xn");
+    if (isPair) {
+      xpxn = true;
+      EXPECT_TRUE(c.accepted);
+      EXPECT_NEAR(c.similarity, 1.0, 1e-9);
+    } else {
+      // xp/xq and xn/xq differ in sizing -> must be rejected.
+      EXPECT_FALSE(c.accepted) << c.pair.nameA << "/" << c.pair.nameB;
+    }
+  }
+  EXPECT_TRUE(xpxn);
+}
+
+TEST(Detector, DeviceThresholdSeparatesPairs) {
+  DetectorSetup s = makeSetup();
+  const DetectionResult result =
+      detectConstraints(s.design, s.lib, s.z, DetectorConfig{});
+  for (const ScoredCandidate& c : result.scored) {
+    if (c.pair.a.kind != ModuleKind::kDevice) continue;
+    if (c.pair.nameA == "m1" && c.pair.nameB == "m2") {
+      EXPECT_TRUE(c.accepted);
+    }
+    if (c.pair.nameB == "m3" || c.pair.nameA == "m3") {
+      EXPECT_FALSE(c.accepted);
+    }
+  }
+}
+
+TEST(Detector, ScoredCoversAllCandidates) {
+  DetectorSetup s = makeSetup();
+  const DetectionResult result =
+      detectConstraints(s.design, s.lib, s.z, DetectorConfig{});
+  const CandidateSet candidates = enumerateCandidates(s.design, s.lib);
+  EXPECT_EQ(result.scored.size(), candidates.pairs.size());
+}
+
+TEST(Detector, ThresholdsReported) {
+  DetectorSetup s = makeSetup();
+  DetectorConfig config;
+  config.deviceThreshold = 0.5;
+  const DetectionResult result =
+      detectConstraints(s.design, s.lib, s.z, config);
+  EXPECT_DOUBLE_EQ(result.deviceThreshold, 0.5);
+  EXPECT_DOUBLE_EQ(
+      result.systemThreshold,
+      systemThreshold(config.alpha, config.beta, s.design.maxSubcircuitSize()));
+}
+
+TEST(Detector, ConstraintsSubsetOfScored) {
+  DetectorSetup s = makeSetup();
+  const DetectionResult result =
+      detectConstraints(s.design, s.lib, s.z, DetectorConfig{});
+  const auto constraints = result.constraints();
+  for (const ScoredCandidate& c : constraints) EXPECT_TRUE(c.accepted);
+  std::size_t accepted = 0;
+  for (const ScoredCandidate& c : result.scored) accepted += c.accepted;
+  EXPECT_EQ(constraints.size(), accepted);
+}
+
+TEST(Detector, LocalBlockEmbeddingsIgnoreInstanceContext) {
+  // Two identical blocks in very different surroundings: the local
+  // (Algorithm-2-on-G_t) block embedding must still call them identical,
+  // while whole-design embeddings see the context difference.
+  NetlistBuilder b;
+  b.beginSubckt("rc", {"in", "out", "vss"});
+  b.res("r1", "in", "out", 1e3);
+  b.cap("c1", "out", "vss", 1e-15);
+  b.endSubckt();
+  b.beginSubckt("top", {"a", "bnet", "vss"});
+  b.inst("x1", "rc", {"a", "o1", "vss"});
+  b.inst("x2", "rc", {"bnet", "o2", "vss"});
+  // Heavy asymmetric context on x1's output only.
+  b.res("rl1", "o1", "l1", 2e3);
+  b.res("rl2", "l1", "l2", 2e3);
+  b.cap("cl1", "l2", "vss", 5e-15);
+  b.cap("cl2", "o1", "l1", 5e-15);
+  b.endSubckt();
+  const Library lib = b.build("top");
+  const FlatDesign design = FlatDesign::elaborate(lib);
+
+  Rng rng(3);
+  const GnnModel model(GnnConfig{}, rng);
+  const CircuitGraph g = buildHeteroGraph(design);
+  const PreparedGraph prepared =
+      prepareGraph(g, buildFeatureMatrix(design));
+  const nn::Matrix z = model.embed(prepared);
+
+  auto pairSimilarity = [&](bool local) {
+    DetectorConfig config;
+    config.localBlockEmbeddings = local;
+    const BlockEmbeddingContext context{model, FeatureConfig{}};
+    const DetectionResult result =
+        detectConstraints(design, lib, z, config, context);
+    for (const ScoredCandidate& c : result.scored) {
+      if (c.pair.a.kind == ModuleKind::kBlock) return c.similarity;
+    }
+    return -1.0;
+  };
+  EXPECT_NEAR(pairSimilarity(true), 1.0, 1e-9);
+  EXPECT_LT(pairSimilarity(false), 1.0 - 1e-6);
+}
+
+TEST(Detector, LocalEmbeddingsStillRejectSizingTraps) {
+  NetlistBuilder b;
+  b.beginSubckt("rc_a", {"in", "out", "vss"});
+  b.res("r1", "in", "out", 1e3);
+  b.cap("c1", "out", "vss", 1e-15);
+  b.endSubckt();
+  b.beginSubckt("rc_b", {"in", "out", "vss"});
+  b.res("r1", "in", "out", 8e3);  // same topology, 8x sizing
+  b.cap("c1", "out", "vss", 8e-15);
+  b.endSubckt();
+  b.beginSubckt("top", {"a", "bnet", "vss"});
+  b.inst("x1", "rc_a", {"a", "o1", "vss"});
+  b.inst("x2", "rc_b", {"bnet", "o2", "vss"});
+  b.endSubckt();
+  const Library lib = b.build("top");
+  const FlatDesign design = FlatDesign::elaborate(lib);
+  Rng rng(4);
+  const GnnModel model(GnnConfig{}, rng);
+  const PreparedGraph prepared = prepareGraph(
+      buildHeteroGraph(design), buildFeatureMatrix(design));
+  const nn::Matrix z = model.embed(prepared);
+  const BlockEmbeddingContext context{model, FeatureConfig{}};
+  const DetectionResult result =
+      detectConstraints(design, lib, z, DetectorConfig{}, context);
+  for (const ScoredCandidate& c : result.scored) {
+    if (c.pair.a.kind == ModuleKind::kBlock) {
+      EXPECT_FALSE(c.accepted) << "8x sizing mismatch must not match";
+      EXPECT_LT(c.similarity, 0.5);
+    }
+  }
+}
+
+TEST(Detector, EmbeddingRowMismatchThrows) {
+  DetectorSetup s = makeSetup();
+  EXPECT_THROW(
+      detectConstraints(s.design, s.lib, nn::Matrix(2, 4), DetectorConfig{}),
+      ShapeError);
+}
+
+}  // namespace
+}  // namespace ancstr

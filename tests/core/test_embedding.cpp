@@ -1,0 +1,149 @@
+#include "core/embedding.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/features.h"
+#include "netlist/builder.h"
+
+namespace ancstr {
+namespace {
+
+struct EmbSetup {
+  FlatDesign design;
+  nn::Matrix z;  // fake per-device embeddings, row = device id
+};
+
+EmbSetup makeSetup() {
+  NetlistBuilder b;
+  b.beginSubckt("cell", {"a", "b", "vss"});
+  b.res("r1", "a", "m1", 1e3);
+  b.res("r2", "m1", "m2", 1e3);
+  b.res("r3", "m2", "b", 1e3);
+  b.cap("c1", "m1", "vss", 1e-15);
+  b.cap("c2", "m2", "vss", 1e-15);
+  b.endSubckt();
+  EmbSetup s{FlatDesign::elaborate(b.build("cell")), nn::Matrix()};
+  s.z = nn::Matrix(s.design.devices().size(), 4);
+  for (std::size_t r = 0; r < s.z.rows(); ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      s.z(r, c) = static_cast<double>(r + 1) * (c == 0 ? 1.0 : 0.1);
+    }
+  }
+  return s;
+}
+
+TEST(Embedding, LengthIsMinOfTopMTimesDim) {
+  const EmbSetup s = makeSetup();
+  const CircuitGraph g =
+      buildInducedHeteroGraph(s.design, {0, 1, 2, 3, 4});
+  EmbeddingConfig config;
+  config.topM = 3;
+  EXPECT_EQ(embedCircuit(g, s.z, config).size(), 12u);  // 3 * 4
+  config.topM = 100;
+  EXPECT_EQ(embedCircuit(g, s.z, config).size(), 20u);  // clamped to 5
+}
+
+TEST(Embedding, EmptySubcircuitGivesEmptyEmbedding) {
+  const EmbSetup s = makeSetup();
+  const CircuitGraph g = buildInducedHeteroGraph(s.design, {});
+  EXPECT_TRUE(embedCircuit(g, s.z).empty());
+}
+
+TEST(Embedding, IdenticalSubcircuitsIdenticalEmbeddings) {
+  NetlistBuilder b;
+  b.beginSubckt("leaf", {"a", "b"});
+  b.res("r1", "a", "mid", 1e3);
+  b.cap("c1", "mid", "b", 1e-15);
+  b.endSubckt();
+  b.beginSubckt("top", {"x", "y", "z"});
+  b.inst("u1", "leaf", {"x", "y"});
+  b.inst("u2", "leaf", {"y", "z"});
+  b.endSubckt();
+  const FlatDesign design = FlatDesign::elaborate(b.build("top"));
+  // Equal fake embeddings for corresponding devices.
+  nn::Matrix z(design.devices().size(), 3);
+  for (std::size_t r = 0; r < z.rows(); ++r) {
+    z(r, 0) = design.device(r).type == DeviceType::kResPoly ? 1.0 : 2.0;
+    z(r, 1) = 0.5;
+  }
+  const auto& hier = design.hierarchy();
+  const CircuitGraph g1 =
+      buildInducedHeteroGraph(design, design.subtreeDevices(hier[0].children[0]));
+  const CircuitGraph g2 =
+      buildInducedHeteroGraph(design, design.subtreeDevices(hier[0].children[1]));
+  const auto e1 = embedCircuit(g1, z);
+  const auto e2 = embedCircuit(g2, z);
+  EXPECT_EQ(e1, e2);
+  EXPECT_DOUBLE_EQ(embeddingCosine(e1, e2), 1.0);
+}
+
+TEST(Embedding, OrderFollowsPageRankDescending) {
+  // Star: hub receives from all leaves -> hub ranked first.
+  NetlistBuilder b;
+  b.beginSubckt("star", {"h", "vss"});
+  b.cap("chub", "h", "vss", 1e-15);
+  b.res("r1", "h", "l1", 1e3);
+  b.res("r2", "h", "l2", 1e3);
+  b.res("r3", "h", "l3", 1e3);
+  b.endSubckt();
+  const FlatDesign design = FlatDesign::elaborate(b.build("star"));
+  const CircuitGraph g = buildHeteroGraph(design);
+  nn::Matrix z(design.devices().size(), 1);
+  for (std::size_t r = 0; r < z.rows(); ++r) z(r, 0) = static_cast<double>(r);
+  EmbeddingConfig config;
+  config.topM = 1;
+  const auto e = embedCircuit(g, z, config);
+  ASSERT_EQ(e.size(), 1u);
+  EXPECT_DOUBLE_EQ(e[0], 0.0);  // chub is device 0 and the hub
+}
+
+TEST(Embedding, RepresentativeDevicesMatchEmbedOrder) {
+  const EmbSetup s = makeSetup();
+  const CircuitGraph g = buildInducedHeteroGraph(s.design, {0, 1, 2, 3, 4});
+  EmbeddingConfig config;
+  config.topM = 3;
+  const std::vector<FlatDeviceId> top = representativeDevices(g, config);
+  ASSERT_EQ(top.size(), 3u);
+  // gatherEmbedding over the same list reproduces embedCircuit exactly.
+  EXPECT_EQ(gatherEmbedding(top, s.z), embedCircuit(g, s.z, config));
+}
+
+TEST(Embedding, GatherEmbeddingConcatenatesRows) {
+  nn::Matrix rows(3, 2, std::vector<double>{1, 2, 3, 4, 5, 6});
+  const std::vector<double> e = gatherEmbedding({2, 0}, rows);
+  const std::vector<double> expected{5, 6, 1, 2};
+  EXPECT_EQ(e, expected);
+}
+
+TEST(Embedding, RepresentativeDevicesEmptyGraph) {
+  const EmbSetup s = makeSetup();
+  const CircuitGraph g = buildInducedHeteroGraph(s.design, {});
+  EXPECT_TRUE(representativeDevices(g).empty());
+}
+
+TEST(EmbeddingCosine, PaddingPenalizesLengthMismatch) {
+  const std::vector<double> a{1.0, 1.0, 1.0, 1.0};
+  const std::vector<double> b{1.0, 1.0};
+  const double sim = embeddingCosine(a, b);
+  EXPECT_GT(sim, 0.0);
+  EXPECT_LT(sim, 1.0);
+  EXPECT_NEAR(sim, 2.0 / (2.0 * std::sqrt(2.0)), 1e-12);
+}
+
+TEST(EmbeddingCosine, ZeroVectorGivesZero) {
+  EXPECT_DOUBLE_EQ(embeddingCosine({0, 0}, {1, 2}), 0.0);
+  EXPECT_DOUBLE_EQ(embeddingCosine({}, {1, 2}), 0.0);
+}
+
+TEST(EmbeddingCosine, BoundedByOne) {
+  const std::vector<double> a{0.3, -0.7, 2.0};
+  const std::vector<double> b{1.3, 0.7, -0.2};
+  const double sim = embeddingCosine(a, b);
+  EXPECT_GE(sim, -1.0 - 1e-12);
+  EXPECT_LE(sim, 1.0 + 1e-12);
+}
+
+}  // namespace
+}  // namespace ancstr

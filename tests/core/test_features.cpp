@@ -1,0 +1,121 @@
+#include "core/features.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "netlist/builder.h"
+
+namespace ancstr {
+namespace {
+
+FlatDesign tinyDesign() {
+  NetlistBuilder b;
+  b.beginSubckt("cell", {"a", "b", "vdd", "vss"});
+  b.nmos("m1", "a", "b", "vss", "vss", 2e-6, 0.2e-6, 4);
+  b.pmos("m2", "a", "b", "vdd", "vdd", 4e-6, 0.2e-6);
+  b.res("r1", "a", "b", 5e3);
+  b.cap("c1", "a", "vss", 100e-15, DeviceType::kCapMom, 6);
+  b.endSubckt();
+  return FlatDesign::elaborate(b.build("cell"));
+}
+
+TEST(Features, DimensionIs18ByDefault) {
+  EXPECT_EQ(FeatureConfig{}.dims(), 18u);
+}
+
+TEST(Features, OneHotSetsExactlyOneTypeBit) {
+  const FlatDesign design = tinyDesign();
+  for (const FlatDevice& dev : design.devices()) {
+    const auto f = deviceFeature(dev);
+    double typeSum = 0.0;
+    for (std::size_t i = 0; i < kNumDeviceTypes; ++i) typeSum += f[i];
+    EXPECT_DOUBLE_EQ(typeSum, 1.0) << dev.path;
+  }
+}
+
+TEST(Features, UnknownTypeEncodesAllZeroTypeBits) {
+  FlatDevice dev;
+  dev.type = DeviceType::kUnknown;
+  const auto f = deviceFeature(dev);
+  for (std::size_t i = 0; i < kNumDeviceTypes; ++i) {
+    EXPECT_DOUBLE_EQ(f[i], 0.0);
+  }
+}
+
+TEST(Features, MosGeometryLogCompressedFoldsFingers) {
+  const FlatDesign design = tinyDesign();
+  const auto f = deviceFeature(design.device(0));  // m1: w=2u nf=4, l=0.2u
+  EXPECT_DOUBLE_EQ(f[kNumDeviceTypes], std::log1p(8.0));  // 2um * 4 fingers
+  EXPECT_DOUBLE_EQ(f[kNumDeviceTypes + 1], std::log1p(2.0));
+}
+
+TEST(Features, GeometryStillSeparatesSizes) {
+  // 2x sizing must map to clearly distinct feature values (Fig. 2).
+  const FlatDesign design = tinyDesign();
+  FlatDevice big = design.device(0);
+  FlatDevice small = design.device(0);
+  small.params.w = big.params.w / 2.0;
+  const auto fb = deviceFeature(big);
+  const auto fs = deviceFeature(small);
+  EXPECT_GT(fb[kNumDeviceTypes] - fs[kNumDeviceTypes], 0.3);
+}
+
+TEST(Features, PassiveValueLogCompressed) {
+  const FlatDesign design = tinyDesign();
+  const auto r = deviceFeature(design.device(2));  // r1 = 5k
+  EXPECT_NEAR(r[kNumDeviceTypes], std::log10(1.0 + 5.0), 1e-12);
+  const auto c = deviceFeature(design.device(3));  // c1 = 100f
+  EXPECT_NEAR(c[kNumDeviceTypes], std::log10(1.0 + 100.0), 1e-12);
+}
+
+TEST(Features, LayerFeatureUsesOverrideThenDefault) {
+  const FlatDesign design = tinyDesign();
+  const auto c = deviceFeature(design.device(3));  // layers=6 explicit
+  EXPECT_DOUBLE_EQ(c.back(), 6.0);
+  const auto m = deviceFeature(design.device(0));  // MOS default 1
+  EXPECT_DOUBLE_EQ(m.back(), 1.0);
+}
+
+TEST(Features, AblationFlagsShrinkDims) {
+  FeatureConfig noGeom;
+  noGeom.useGeometry = false;
+  EXPECT_EQ(noGeom.dims(), 16u);
+  FeatureConfig bare;
+  bare.useGeometry = false;
+  bare.useLayers = false;
+  EXPECT_EQ(bare.dims(), 15u);
+  const FlatDesign design = tinyDesign();
+  EXPECT_EQ(deviceFeature(design.device(0), bare).size(), 15u);
+}
+
+TEST(Features, MatrixRowsFollowSubsetOrder) {
+  const FlatDesign design = tinyDesign();
+  const nn::Matrix m =
+      buildFeatureMatrix(design, std::vector<FlatDeviceId>{2, 0});
+  EXPECT_EQ(m.rows(), 2u);
+  const auto r1 = deviceFeature(design.device(2));
+  for (std::size_t c = 0; c < m.cols(); ++c) {
+    EXPECT_DOUBLE_EQ(m(0, c), r1[c]);
+  }
+}
+
+TEST(Features, FullMatrixCoversAllDevices) {
+  const FlatDesign design = tinyDesign();
+  const nn::Matrix m = buildFeatureMatrix(design);
+  EXPECT_EQ(m.rows(), design.devices().size());
+  EXPECT_EQ(m.cols(), 18u);
+}
+
+TEST(Features, MatchedDevicesShareFeatures) {
+  NetlistBuilder b;
+  b.beginSubckt("pair", {"ap", "an", "t", "vss"});
+  b.nmos("m1", "ap", "an", "t", "vss", 3e-6, 0.1e-6, 2);
+  b.nmos("m2", "an", "ap", "t", "vss", 3e-6, 0.1e-6, 2);
+  b.endSubckt();
+  const FlatDesign design = FlatDesign::elaborate(b.build("pair"));
+  EXPECT_EQ(deviceFeature(design.device(0)), deviceFeature(design.device(1)));
+}
+
+}  // namespace
+}  // namespace ancstr

@@ -1,0 +1,158 @@
+#include "core/graph_builder.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "netlist/builder.h"
+
+namespace ancstr {
+namespace {
+
+/// The paper's Fig. 5 circuit: m0 (tail), m1/m2 (pair), CL on m2's drain.
+Library fig5() {
+  NetlistBuilder b;
+  b.beginSubckt("fig5", {"vin1", "vin2", "vout", "vb", "vdd", "vss"});
+  b.nmos("m0", "tail", "vb", "vss", "vss", 4e-6, 0.4e-6);
+  b.nmos("m1", "n1", "vin1", "tail", "vss", 2e-6, 0.2e-6);
+  b.nmos("m2", "vout", "vin2", "tail", "vss", 2e-6, 0.2e-6);
+  b.pmos("m3", "vout", "n1", "vdd", "vdd", 4e-6, 0.2e-6);
+  b.cap("cl", "vout", "vss", 50e-15);
+  b.endSubckt();
+  return b.build("fig5");
+}
+
+TEST(GraphBuilder, VerticesAreDevicesInIdOrder) {
+  const FlatDesign design = FlatDesign::elaborate(fig5());
+  const CircuitGraph g = buildHeteroGraph(design);
+  ASSERT_EQ(g.numVertices(), 5u);
+  for (std::uint32_t v = 0; v < 5; ++v) {
+    EXPECT_EQ(g.vertexToDevice[v], v);
+    EXPECT_EQ(g.deviceToVertex.at(v), v);
+  }
+}
+
+TEST(GraphBuilder, EdgeTypeFollowsTargetPort) {
+  const FlatDesign design = FlatDesign::elaborate(fig5());
+  const CircuitGraph g = buildHeteroGraph(design);
+  // m1 drain and m3 gate share net n1: expect edge (m1 -> m3, gate) and
+  // (m3 -> m1, drain).
+  const std::uint32_t m1 = g.deviceToVertex.at(1);
+  const std::uint32_t m3 = g.deviceToVertex.at(3);
+  bool m1ToM3Gate = false, m3ToM1Drain = false;
+  for (const HeteroEdge& e : g.graph.edges()) {
+    if (e.src == m1 && e.dst == m3 && e.type == EdgeType::kGate) {
+      m1ToM3Gate = true;
+    }
+    if (e.src == m3 && e.dst == m1 && e.type == EdgeType::kDrain) {
+      m3ToM1Drain = true;
+    }
+  }
+  EXPECT_TRUE(m1ToM3Gate);
+  EXPECT_TRUE(m3ToM1Drain);
+}
+
+TEST(GraphBuilder, PassiveEdgesForCap) {
+  const FlatDesign design = FlatDesign::elaborate(fig5());
+  const CircuitGraph g = buildHeteroGraph(design);
+  const std::uint32_t cl = g.deviceToVertex.at(4);
+  bool passiveIn = false;
+  for (const std::uint32_t e : g.graph.inEdges(cl)) {
+    if (g.graph.edges()[e].type == EdgeType::kPassive) passiveIn = true;
+  }
+  EXPECT_TRUE(passiveIn);
+}
+
+TEST(GraphBuilder, NoSelfLoops) {
+  const FlatDesign design = FlatDesign::elaborate(fig5());
+  const CircuitGraph g = buildHeteroGraph(design);
+  for (const HeteroEdge& e : g.graph.edges()) {
+    EXPECT_NE(e.src, e.dst);
+  }
+}
+
+TEST(GraphBuilder, EdgesComeInOrientedPairs) {
+  // Algorithm 1 line 11 adds (u,v,tau_v) and (v,u,tau_u) together, so the
+  // total edge count is even and in/out degrees match per vertex.
+  const FlatDesign design = FlatDesign::elaborate(fig5());
+  const CircuitGraph g = buildHeteroGraph(design);
+  EXPECT_EQ(g.graph.numEdges() % 2, 0u);
+  for (std::uint32_t v = 0; v < g.numVertices(); ++v) {
+    EXPECT_EQ(g.graph.inEdges(v).size(), g.graph.outEdges(v).size());
+  }
+}
+
+TEST(GraphBuilder, BulkPinsExcludedByDefault) {
+  const FlatDesign design = FlatDesign::elaborate(fig5());
+  const CircuitGraph noBulk = buildHeteroGraph(design);
+  GraphBuildOptions withBulk;
+  withBulk.includeBulkPins = true;
+  const CircuitGraph bulk = buildHeteroGraph(design, withBulk);
+  EXPECT_GT(bulk.graph.numEdges(), noBulk.graph.numEdges());
+}
+
+TEST(GraphBuilder, NetDegreeCapSkipsHubNets) {
+  const FlatDesign design = FlatDesign::elaborate(fig5());
+  GraphBuildOptions capped;
+  capped.maxNetDegree = 2;
+  const CircuitGraph g = buildHeteroGraph(design, capped);
+  const CircuitGraph full = buildHeteroGraph(design);
+  EXPECT_LT(g.graph.numEdges(), full.graph.numEdges());
+}
+
+TEST(GraphBuilder, InducedSubgraphRestrictsEdges) {
+  const FlatDesign design = FlatDesign::elaborate(fig5());
+  // Induce on {m1, m2} only: they share the tail net.
+  const CircuitGraph g = buildInducedHeteroGraph(design, {1, 2});
+  EXPECT_EQ(g.numVertices(), 2u);
+  EXPECT_GT(g.graph.numEdges(), 0u);
+  for (const HeteroEdge& e : g.graph.edges()) {
+    EXPECT_LT(e.src, 2u);
+    EXPECT_LT(e.dst, 2u);
+  }
+  // Sources of m1/m2 meet at the tail net: both directions typed source.
+  bool sourceEdge = false;
+  for (const HeteroEdge& e : g.graph.edges()) {
+    if (e.type == EdgeType::kSource) sourceEdge = true;
+  }
+  EXPECT_TRUE(sourceEdge);
+}
+
+TEST(GraphBuilder, SymmetricDevicesGetIsomorphicNeighborhoods) {
+  // A genuinely symmetric differential stage (fig5 is single-ended, so
+  // its pair is NOT symmetric — the loads differ).
+  NetlistBuilder b;
+  b.beginSubckt("sym", {"inp", "inn", "op", "on", "vb", "vdd", "vss"});
+  b.nmos("m1", "op", "inp", "tail", "vss", 2e-6, 0.2e-6);
+  b.nmos("m2", "on", "inn", "tail", "vss", 2e-6, 0.2e-6);
+  b.nmos("mt", "tail", "vb", "vss", "vss", 4e-6, 0.4e-6);
+  b.res("r1", "op", "vdd", 1e3);
+  b.res("r2", "on", "vdd", 1e3);
+  b.endSubckt();
+  const FlatDesign design = FlatDesign::elaborate(b.build("sym"));
+  const CircuitGraph g = buildHeteroGraph(design);
+  auto typedInDegree = [&](std::uint32_t v) {
+    std::array<std::size_t, kNumEdgeTypes> deg{};
+    for (const std::uint32_t e : g.graph.inEdges(v)) {
+      ++deg[static_cast<std::size_t>(g.graph.edges()[e].type)];
+    }
+    return deg;
+  };
+  EXPECT_EQ(typedInDegree(g.deviceToVertex.at(0)),
+            typedInDegree(g.deviceToVertex.at(1)));  // m1 vs m2
+  EXPECT_EQ(typedInDegree(g.deviceToVertex.at(3)),
+            typedInDegree(g.deviceToVertex.at(4)));  // r1 vs r2
+}
+
+TEST(GraphBuilder, EdgeTypeForPinProjection) {
+  EXPECT_EQ(edgeTypeForPin(PinFunction::kGate), EdgeType::kGate);
+  EXPECT_EQ(edgeTypeForPin(PinFunction::kDrain), EdgeType::kDrain);
+  EXPECT_EQ(edgeTypeForPin(PinFunction::kSource), EdgeType::kSource);
+  EXPECT_EQ(edgeTypeForPin(PinFunction::kBulk), EdgeType::kPassive);
+  EXPECT_EQ(edgeTypeForPin(PinFunction::kPassivePos), EdgeType::kPassive);
+  EXPECT_EQ(edgeTypeForPin(PinFunction::kAnode), EdgeType::kPassive);
+  EXPECT_EQ(edgeTypeForPin(PinFunction::kCollector), EdgeType::kPassive);
+}
+
+}  // namespace
+}  // namespace ancstr

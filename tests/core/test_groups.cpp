@@ -1,0 +1,139 @@
+#include "core/groups.h"
+
+#include <gtest/gtest.h>
+
+#include "netlist/builder.h"
+
+namespace ancstr {
+namespace {
+
+struct GroupSetup {
+  Library lib;
+  FlatDesign design;
+  DetectionResult detection;
+};
+
+/// Diff pair + tail + loads: (m1,m2) and (r1,r2) accepted; mt bridges.
+GroupSetup makeSetup() {
+  NetlistBuilder b;
+  b.beginSubckt("cell", {"inp", "inn", "op", "on", "vb", "vdd", "vss"});
+  b.nmos("m1", "op", "inp", "tail", "vss", 2e-6, 0.2e-6);
+  b.nmos("m2", "on", "inn", "tail", "vss", 2e-6, 0.2e-6);
+  b.nmos("mt", "tail", "vb", "vss", "vss", 4e-6, 0.4e-6);
+  b.res("r1", "op", "vdd", 1e3);
+  b.res("r2", "on", "vdd", 1e3);
+  b.cap("cx", "op", "vss", 1e-15);
+  b.endSubckt();
+  Library lib = b.build("cell");
+  FlatDesign design = FlatDesign::elaborate(lib);
+
+  DetectionResult detection;
+  const CandidateSet candidates = enumerateCandidates(design, lib);
+  for (const CandidatePair& pair : candidates.pairs) {
+    ScoredCandidate c;
+    c.pair = pair;
+    const bool matched = (pair.nameA == "m1" && pair.nameB == "m2") ||
+                         (pair.nameA == "r1" && pair.nameB == "r2");
+    c.similarity = matched ? 1.0 : 0.1;
+    c.accepted = matched;
+    detection.scored.push_back(c);
+  }
+  return {std::move(lib), std::move(design), std::move(detection)};
+}
+
+TEST(Groups, DisjointPairsFormSeparateGroups) {
+  const GroupSetup s = makeSetup();
+  const auto groups = buildSymmetryGroups(s.design, s.detection);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].pairs.size(), 1u);
+  EXPECT_EQ(groups[1].pairs.size(), 1u);
+}
+
+TEST(Groups, TailDetectedAsSelfSymmetric) {
+  const GroupSetup s = makeSetup();
+  const auto groups = buildSymmetryGroups(s.design, s.detection);
+  bool found = false;
+  for (const SymmetryGroup& g : groups) {
+    for (const auto& [a, b] : g.pairs) {
+      if (a == "m1" && b == "m2") {
+        found = true;
+        ASSERT_EQ(g.selfSymmetric.size(), 1u);
+        EXPECT_EQ(g.selfSymmetric[0], "mt");
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Groups, MatchedDevicesNeverSelfSymmetric) {
+  const GroupSetup s = makeSetup();
+  const auto groups = buildSymmetryGroups(s.design, s.detection);
+  for (const SymmetryGroup& g : groups) {
+    for (const std::string& name : g.selfSymmetric) {
+      EXPECT_NE(name, "m1");
+      EXPECT_NE(name, "m2");
+      EXPECT_NE(name, "r1");
+      EXPECT_NE(name, "r2");
+    }
+  }
+}
+
+TEST(Groups, SelfSymmetricDetectionCanBeDisabled) {
+  const GroupSetup s = makeSetup();
+  GroupOptions options;
+  options.detectSelfSymmetric = false;
+  const auto groups = buildSymmetryGroups(s.design, s.detection, options);
+  for (const SymmetryGroup& g : groups) {
+    EXPECT_TRUE(g.selfSymmetric.empty());
+  }
+}
+
+TEST(Groups, SharedModuleMergesGroups) {
+  // Accept (m1,m2) and (m2,mt): one group of two pairs.
+  GroupSetup s = makeSetup();
+  for (ScoredCandidate& c : s.detection.scored) {
+    if (c.pair.nameA == "m2" && c.pair.nameB == "mt") c.accepted = true;
+    if (c.pair.nameA == "m1" && c.pair.nameB == "mt") c.accepted = false;
+  }
+  // m1/m2 and m2/mt are candidates (same type) — find and accept.
+  bool chained = false;
+  for (ScoredCandidate& c : s.detection.scored) {
+    if ((c.pair.nameA == "m1" && c.pair.nameB == "mt") ||
+        (c.pair.nameA == "m2" && c.pair.nameB == "mt")) {
+      c.accepted = true;
+      chained = true;
+    }
+  }
+  ASSERT_TRUE(chained);
+  const auto groups = buildSymmetryGroups(s.design, s.detection);
+  std::size_t mosGroupPairs = 0;
+  for (const SymmetryGroup& g : groups) {
+    for (const auto& [a, b] : g.pairs) {
+      if (a[0] == 'm') ++mosGroupPairs;
+    }
+    if (!g.pairs.empty() && g.pairs[0].first[0] == 'm') {
+      EXPECT_GE(g.pairs.size(), 2u);
+    }
+  }
+  EXPECT_GE(mosGroupPairs, 2u);
+}
+
+TEST(Groups, EmptyDetectionGivesNoGroups) {
+  GroupSetup s = makeSetup();
+  for (ScoredCandidate& c : s.detection.scored) c.accepted = false;
+  EXPECT_TRUE(buildSymmetryGroups(s.design, s.detection).empty());
+}
+
+TEST(Groups, DeterministicOrder) {
+  const GroupSetup s = makeSetup();
+  const auto a = buildSymmetryGroups(s.design, s.detection);
+  const auto b = buildSymmetryGroups(s.design, s.detection);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].pairs, b[i].pairs);
+    EXPECT_EQ(a[i].selfSymmetric, b[i].selfSymmetric);
+  }
+}
+
+}  // namespace
+}  // namespace ancstr

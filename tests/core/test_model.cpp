@@ -1,0 +1,169 @@
+#include "core/model.h"
+
+#include <gtest/gtest.h>
+
+#include "core/features.h"
+#include "nn/init.h"
+#include "util/error.h"
+#include "netlist/builder.h"
+
+namespace ancstr {
+namespace {
+
+PreparedGraph preparedDiffPair() {
+  NetlistBuilder b;
+  b.beginSubckt("cell", {"inp", "inn", "op", "on", "vb", "vdd", "vss"});
+  b.nmos("m1", "op", "inp", "tail", "vss", 2e-6, 0.2e-6);
+  b.nmos("m2", "on", "inn", "tail", "vss", 2e-6, 0.2e-6);
+  b.nmos("mt", "tail", "vb", "vss", "vss", 4e-6, 0.4e-6);
+  b.res("r1", "op", "vdd", 1e3);
+  b.res("r2", "on", "vdd", 1e3);
+  b.endSubckt();
+  const FlatDesign design = FlatDesign::elaborate(b.build("cell"));
+  const CircuitGraph g = buildHeteroGraph(design);
+  return prepareGraph(g, buildFeatureMatrix(design));
+}
+
+TEST(GnnModel, ForwardShape) {
+  Rng rng(1);
+  GnnModel model(GnnConfig{}, rng);
+  const PreparedGraph g = preparedDiffPair();
+  const nn::Tensor z = model.forward(g);
+  EXPECT_EQ(z.rows(), g.numVertices());
+  EXPECT_EQ(z.cols(), 18u);
+}
+
+TEST(GnnModel, EmbedMatchesForwardValue) {
+  Rng rng(2);
+  GnnModel model(GnnConfig{}, rng);
+  const PreparedGraph g = preparedDiffPair();
+  EXPECT_EQ(model.embed(g), model.forward(g).value());
+}
+
+TEST(GnnModel, SymmetricVerticesGetIdenticalEmbeddings) {
+  // m1/m2 and r1/r2 have isomorphic rooted neighbourhoods with identical
+  // features, so a deterministic GNN must embed them identically.
+  Rng rng(3);
+  GnnModel model(GnnConfig{}, rng);
+  const PreparedGraph g = preparedDiffPair();
+  const nn::Matrix z = model.embed(g);
+  for (std::size_t c = 0; c < z.cols(); ++c) {
+    EXPECT_NEAR(z(0, c), z(1, c), 1e-12);  // m1 vs m2
+    EXPECT_NEAR(z(3, c), z(4, c), 1e-12);  // r1 vs r2
+  }
+}
+
+TEST(GnnModel, AsymmetricVerticesDiffer) {
+  Rng rng(4);
+  GnnModel model(GnnConfig{}, rng);
+  const PreparedGraph g = preparedDiffPair();
+  const nn::Matrix z = model.embed(g);
+  double diff = 0.0;
+  for (std::size_t c = 0; c < z.cols(); ++c) {
+    diff += std::abs(z(0, c) - z(2, c));  // m1 vs tail
+  }
+  EXPECT_GT(diff, 1e-6);
+}
+
+TEST(GnnModel, SharedWeightsParameterCount) {
+  Rng rng(5);
+  GnnModel shared(GnnConfig{}, rng);
+  // 4 edge weights + 9 GRU params, one set.
+  EXPECT_EQ(shared.parameters().size(), 13u);
+  GnnConfig perLayer;
+  perLayer.sharedWeights = false;
+  GnnModel unshared(perLayer, rng);
+  EXPECT_EQ(unshared.parameters().size(), 26u);
+}
+
+TEST(GnnModel, InputProjectionWhenDimsDiffer) {
+  Rng rng(6);
+  GnnConfig config;
+  config.featureDim = 18;
+  config.hiddenDim = 8;
+  GnnModel model(config, rng);
+  EXPECT_EQ(model.parameters().size(), 14u);  // 13 + projection
+  const PreparedGraph g = preparedDiffPair();
+  EXPECT_EQ(model.embed(g).cols(), 8u);
+}
+
+TEST(GnnModel, MoreLayersChangeEmbedding) {
+  Rng rngA(7), rngB(7);
+  GnnConfig k1;
+  k1.numLayers = 1;
+  GnnConfig k3;
+  k3.numLayers = 3;
+  GnnModel a(k1, rngA), b(k3, rngB);
+  const PreparedGraph g = preparedDiffPair();
+  EXPECT_NE(a.embed(g), b.embed(g));
+}
+
+TEST(GnnModel, FeatureDimMismatchThrows) {
+  Rng rng(8);
+  GnnConfig config;
+  config.featureDim = 10;
+  config.hiddenDim = 10;
+  GnnModel model(config, rng);
+  const PreparedGraph g = preparedDiffPair();  // 18-dim features
+  EXPECT_THROW(model.forward(g), ShapeError);
+}
+
+TEST(GnnModel, MeanAggregationChangesOutputKeepsSymmetry) {
+  Rng rngA(9), rngB(9);
+  GnnConfig sum;
+  GnnConfig mean;
+  mean.meanAggregation = true;
+  GnnModel a(sum, rngA), b(mean, rngB);
+  const PreparedGraph g = preparedDiffPair();
+  const nn::Matrix za = a.embed(g);
+  const nn::Matrix zb = b.embed(g);
+  EXPECT_NE(za, zb);
+  // Symmetric vertices stay identical under either aggregator.
+  for (std::size_t c = 0; c < zb.cols(); ++c) {
+    EXPECT_NEAR(zb(0, c), zb(1, c), 1e-12);
+  }
+}
+
+TEST(PrepareGraph, InverseInDegreeConsistent) {
+  const PreparedGraph g = preparedDiffPair();
+  for (std::uint32_t v = 0; v < g.numVertices(); ++v) {
+    std::size_t degree = 0;
+    for (const auto& adj : g.inAdjacency) {
+      const nn::Matrix dense = adj.toDense();
+      for (std::size_t u = 0; u < dense.cols(); ++u) {
+        degree += static_cast<std::size_t>(dense(v, u));
+      }
+    }
+    if (degree == 0) {
+      EXPECT_DOUBLE_EQ(g.inverseInDegree[v], 0.0);
+    } else {
+      EXPECT_NEAR(g.inverseInDegree[v], 1.0 / static_cast<double>(degree),
+                  1e-12);
+    }
+  }
+}
+
+TEST(PrepareGraph, FillsAdjacencyAndNeighbors) {
+  const PreparedGraph g = preparedDiffPair();
+  std::size_t nnz = 0;
+  for (const auto& adj : g.inAdjacency) nnz += adj.nonZeros();
+  EXPECT_GT(nnz, 0u);
+  EXPECT_EQ(g.inNeighbors.size(), g.numVertices());
+  // m1's in-neighbours include m2 (via tail) and r1 (via op).
+  const auto& n0 = g.inNeighbors[0];
+  EXPECT_TRUE(std::find(n0.begin(), n0.end(), 1u) != n0.end());
+  EXPECT_TRUE(std::find(n0.begin(), n0.end(), 3u) != n0.end());
+}
+
+TEST(PrepareGraph, RowCountMismatchThrows) {
+  NetlistBuilder b;
+  b.beginSubckt("c", {"a"});
+  b.res("r1", "a", "b", 1.0);
+  b.endSubckt();
+  const FlatDesign design = FlatDesign::elaborate(b.build("c"));
+  const CircuitGraph g = buildHeteroGraph(design);
+  EXPECT_THROW(prepareGraph(g, nn::Matrix(5, 18)), ShapeError);
+}
+
+}  // namespace
+}  // namespace ancstr

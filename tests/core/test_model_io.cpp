@@ -1,0 +1,122 @@
+#include "core/model_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/features.h"
+#include "netlist/builder.h"
+#include "util/error.h"
+
+namespace ancstr {
+namespace {
+
+PreparedGraph probeGraph() {
+  NetlistBuilder b;
+  b.beginSubckt("cell", {"a", "b", "vss"});
+  b.nmos("m1", "a", "b", "vss", "vss", 1e-6, 0.1e-6);
+  b.res("r1", "a", "b", 1e3);
+  b.cap("c1", "b", "vss", 1e-15);
+  b.endSubckt();
+  const FlatDesign design = FlatDesign::elaborate(b.build("cell"));
+  return prepareGraph(buildHeteroGraph(design), buildFeatureMatrix(design));
+}
+
+TEST(ModelIo, RoundTripPreservesEmbeddings) {
+  Rng rng(11);
+  GnnModel model(GnnConfig{}, rng);
+  std::stringstream stream;
+  saveModel(model, stream);
+  GnnModel loaded = loadModel(stream);
+  EXPECT_EQ(loaded.config(), model.config());
+  const PreparedGraph g = probeGraph();
+  EXPECT_EQ(loaded.embed(g), model.embed(g));
+}
+
+TEST(ModelIo, RoundTripNonDefaultConfig) {
+  Rng rng(12);
+  GnnConfig config;
+  config.featureDim = 18;
+  config.hiddenDim = 12;
+  config.numLayers = 3;
+  config.sharedWeights = false;
+  GnnModel model(config, rng);
+  std::stringstream stream;
+  saveModel(model, stream);
+  GnnModel loaded = loadModel(stream);
+  EXPECT_EQ(loaded.config(), config);
+  EXPECT_EQ(loaded.parameters().size(), model.parameters().size());
+}
+
+TEST(ModelIo, RoundTripMeanAggregation) {
+  Rng rng(15);
+  GnnConfig config;
+  config.meanAggregation = true;
+  GnnModel model(config, rng);
+  std::stringstream stream;
+  saveModel(model, stream);
+  GnnModel loaded = loadModel(stream);
+  EXPECT_TRUE(loaded.config().meanAggregation);
+  const PreparedGraph g = probeGraph();
+  EXPECT_EQ(loaded.embed(g), model.embed(g));
+}
+
+TEST(ModelIo, ReadsVersion1Files) {
+  // A v1 header lacks the meanAggregation field; it must default to off.
+  Rng rng(16);
+  GnnModel model(GnnConfig{}, rng);
+  std::stringstream stream;
+  saveModel(model, stream);
+  std::string text = stream.str();
+  const std::size_t headerEnd = text.find('\n');
+  const std::size_t configEnd = text.find('\n', headerEnd + 1);
+  // Rewrite "ancstr-gnn-model 2\nF H K S M\n" into v1 without M.
+  std::string configLine =
+      text.substr(headerEnd + 1, configEnd - headerEnd - 1);
+  configLine = configLine.substr(0, configLine.rfind(' '));
+  const std::string v1 = "ancstr-gnn-model 1\n" + configLine +
+                         text.substr(configEnd);
+  std::stringstream v1Stream(v1);
+  GnnModel loaded = loadModel(v1Stream);
+  EXPECT_FALSE(loaded.config().meanAggregation);
+  const PreparedGraph g = probeGraph();
+  EXPECT_EQ(loaded.embed(g), model.embed(g));
+}
+
+TEST(ModelIo, RejectsWrongMagic) {
+  std::stringstream stream("not-a-model 1\n");
+  EXPECT_THROW(loadModel(stream), Error);
+}
+
+TEST(ModelIo, RejectsWrongVersion) {
+  std::stringstream stream("ancstr-gnn-model 99\n18 18 2 1\n");
+  EXPECT_THROW(loadModel(stream), Error);
+}
+
+TEST(ModelIo, RejectsTruncatedData) {
+  Rng rng(13);
+  GnnModel model(GnnConfig{}, rng);
+  std::stringstream stream;
+  saveModel(model, stream);
+  std::string text = stream.str();
+  text.resize(text.size() / 2);
+  std::stringstream truncated(text);
+  EXPECT_THROW(loadModel(truncated), Error);
+}
+
+TEST(ModelIo, FileRoundTrip) {
+  Rng rng(14);
+  GnnModel model(GnnConfig{}, rng);
+  const std::string path = testing::TempDir() + "/ancstr_model.txt";
+  saveModelFile(model, path);
+  GnnModel loaded = loadModelFile(path);
+  const PreparedGraph g = probeGraph();
+  EXPECT_EQ(loaded.embed(g), model.embed(g));
+}
+
+TEST(ModelIo, MissingFileThrows) {
+  EXPECT_THROW(loadModelFile("/nonexistent/dir/model.txt"), Error);
+}
+
+}  // namespace
+}  // namespace ancstr

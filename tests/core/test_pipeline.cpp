@@ -1,0 +1,99 @@
+#include "core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "circuits/synthetic.h"
+#include "util/error.h"
+
+namespace ancstr {
+namespace {
+
+PipelineConfig fastConfig() {
+  PipelineConfig config;
+  config.train.epochs = 8;
+  return config;
+}
+
+TEST(Pipeline, ExtractBeforeTrainThrows) {
+  Pipeline pipeline(fastConfig());
+  const auto bench = circuits::makeDiffChain(2);
+  EXPECT_FALSE(pipeline.isTrained());
+  EXPECT_THROW(pipeline.extract(bench.lib), Error);
+}
+
+TEST(Pipeline, TrainThenExtractProducesScoredCandidates) {
+  Pipeline pipeline(fastConfig());
+  const auto bench = circuits::makeDiffChain(3);
+  pipeline.train({&bench.lib});
+  EXPECT_TRUE(pipeline.isTrained());
+  const ExtractionResult result = pipeline.extract(bench.lib);
+  EXPECT_GT(result.detection.scored.size(), 0u);
+  EXPECT_GT(result.timing.total(), 0.0);
+}
+
+TEST(Pipeline, InductiveExtractionOnUnseenCircuit) {
+  Pipeline pipeline(fastConfig());
+  const auto trainBench = circuits::makeDiffChain(2);
+  pipeline.train({&trainBench.lib});
+  // Extract from a circuit never seen during training.
+  const auto unseen = circuits::makeDiffChain(5);
+  const ExtractionResult result = pipeline.extract(unseen.lib);
+  EXPECT_GT(result.detection.scored.size(), 0u);
+}
+
+TEST(Pipeline, MatchedPairsScoreHigherThanUnmatched) {
+  Pipeline pipeline(fastConfig());
+  const auto bench = circuits::makeDiffChain(3);
+  pipeline.train({&bench.lib});
+  const ExtractionResult result = pipeline.extract(bench.lib);
+  const FlatDesign design = FlatDesign::elaborate(bench.lib);
+  double matchedMin = 1.0;
+  for (const ScoredCandidate& c : result.detection.scored) {
+    if (bench.truth.matches(design, c.pair)) {
+      matchedMin = std::min(matchedMin, c.similarity);
+    }
+  }
+  // Ground-truth pairs are exactly symmetric here: similarity ~ 1.
+  EXPECT_GT(matchedMin, 0.999);
+}
+
+TEST(Pipeline, ModelSaveLoadKeepsBehaviour) {
+  Pipeline pipeline(fastConfig());
+  const auto bench = circuits::makeDiffChain(2);
+  pipeline.train({&bench.lib});
+  const std::string path = testing::TempDir() + "/pipeline_model.txt";
+  pipeline.saveModel(path);
+
+  Pipeline restored(fastConfig());
+  restored.loadModel(path);
+  const auto a = pipeline.extract(bench.lib);
+  const auto b = restored.extract(bench.lib);
+  ASSERT_EQ(a.detection.scored.size(), b.detection.scored.size());
+  for (std::size_t i = 0; i < a.detection.scored.size(); ++i) {
+    EXPECT_NEAR(a.detection.scored[i].similarity,
+                b.detection.scored[i].similarity, 1e-12);
+  }
+}
+
+TEST(Pipeline, ConfigValidation) {
+  PipelineConfig bad;
+  bad.model.featureDim = 7;  // disagrees with features.dims()
+  EXPECT_THROW(Pipeline{bad}, Error);
+}
+
+TEST(Pipeline, DeterministicAcrossRuns) {
+  const auto bench = circuits::makeDiffChain(2);
+  auto run = [&] {
+    Pipeline pipeline(fastConfig());
+    pipeline.train({&bench.lib});
+    std::vector<double> sims;
+    for (const auto& c : pipeline.extract(bench.lib).detection.scored) {
+      sims.push_back(c.similarity);
+    }
+    return sims;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace ancstr

@@ -1,0 +1,122 @@
+#include "core/sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/features.h"
+#include "nn/init.h"
+#include "util/error.h"
+#include "netlist/builder.h"
+
+namespace ancstr {
+namespace {
+
+PreparedGraph smallGraph() {
+  NetlistBuilder b;
+  b.beginSubckt("cell", {"a", "b", "c", "vss"});
+  b.nmos("m1", "a", "b", "c", "vss", 1e-6, 0.1e-6);
+  b.nmos("m2", "b", "c", "a", "vss", 1e-6, 0.1e-6);
+  b.res("r1", "a", "b", 1e3);
+  b.res("r2", "b", "c", 1e3);
+  b.cap("c1", "c", "a", 1e-15);
+  b.endSubckt();
+  const FlatDesign design = FlatDesign::elaborate(b.build("cell"));
+  return prepareGraph(buildHeteroGraph(design), buildFeatureMatrix(design));
+}
+
+TEST(Sampler, PositivesAreExactlyInNeighborEdges) {
+  const PreparedGraph g = smallGraph();
+  Rng rng(1);
+  const ContrastiveBatch batch = sampleContrastiveBatch(g, 5, rng);
+  std::size_t expected = 0;
+  for (const auto& n : g.inNeighbors) expected += n.size();
+  EXPECT_EQ(batch.posV.size(), expected);
+  EXPECT_EQ(batch.posU.size(), expected);
+  for (std::size_t i = 0; i < batch.posV.size(); ++i) {
+    const auto& neigh = g.inNeighbors[batch.posV[i]];
+    EXPECT_TRUE(std::binary_search(neigh.begin(), neigh.end(),
+                                   static_cast<std::uint32_t>(batch.posU[i])));
+  }
+}
+
+TEST(Sampler, NegativeCountPerVertex) {
+  const PreparedGraph g = smallGraph();
+  Rng rng(2);
+  const ContrastiveBatch batch = sampleContrastiveBatch(g, 5, rng);
+  EXPECT_EQ(batch.negV.size(), g.numVertices() * 5);
+}
+
+TEST(Sampler, NegativesAvoidSelf) {
+  const PreparedGraph g = smallGraph();
+  Rng rng(3);
+  const ContrastiveBatch batch = sampleContrastiveBatch(g, 20, rng);
+  for (std::size_t i = 0; i < batch.negV.size(); ++i) {
+    EXPECT_NE(batch.negV[i], batch.negU[i]);
+  }
+}
+
+TEST(Sampler, TinyGraphsYieldEmptyBatch) {
+  NetlistBuilder b;
+  b.beginSubckt("solo", {"a", "b"});
+  b.res("r1", "a", "b", 1e3);
+  b.endSubckt();
+  const FlatDesign design = FlatDesign::elaborate(b.build("solo"));
+  const PreparedGraph g =
+      prepareGraph(buildHeteroGraph(design), buildFeatureMatrix(design));
+  Rng rng(4);
+  EXPECT_EQ(sampleContrastiveBatch(g, 5, rng).size(), 0u);
+}
+
+TEST(ContrastiveLoss, PositiveWhenEmbeddingsRandom) {
+  const PreparedGraph g = smallGraph();
+  Rng rng(5);
+  const ContrastiveBatch batch = sampleContrastiveBatch(g, 5, rng);
+  nn::Tensor z = nn::Tensor::param(nn::uniform(g.numVertices(), 8, -1, 1, rng));
+  const nn::Tensor loss = contrastiveLoss(z, batch, true);
+  EXPECT_GT(loss.value()(0, 0), 0.0);
+}
+
+TEST(ContrastiveLoss, LowerWhenNeighborsAligned) {
+  const PreparedGraph g = smallGraph();
+  Rng rng(6);
+  const ContrastiveBatch batch = sampleContrastiveBatch(g, 0, rng);
+  // All-equal embeddings make every positive dot product large.
+  nn::Tensor aligned = nn::Tensor::param(nn::Matrix(g.numVertices(), 4, 2.0));
+  nn::Tensor scattered =
+      nn::Tensor::param(nn::uniform(g.numVertices(), 4, -0.1, 0.1, rng));
+  EXPECT_LT(contrastiveLoss(aligned, batch, true).value()(0, 0),
+            contrastiveLoss(scattered, batch, true).value()(0, 0));
+}
+
+TEST(ContrastiveLoss, MeanVsSumReduction) {
+  const PreparedGraph g = smallGraph();
+  Rng rng(7);
+  const ContrastiveBatch batch = sampleContrastiveBatch(g, 5, rng);
+  nn::Tensor z = nn::Tensor::param(nn::uniform(g.numVertices(), 4, -1, 1, rng));
+  const double sum = contrastiveLoss(z, batch, false).value()(0, 0);
+  const double mean = contrastiveLoss(z, batch, true).value()(0, 0);
+  EXPECT_NEAR(mean, sum / static_cast<double>(batch.size()), 1e-9);
+}
+
+TEST(ContrastiveLoss, GradientsReachEmbeddings) {
+  const PreparedGraph g = smallGraph();
+  Rng rng(8);
+  const ContrastiveBatch batch = sampleContrastiveBatch(g, 5, rng);
+  nn::Tensor z = nn::Tensor::param(nn::uniform(g.numVertices(), 4, -1, 1, rng));
+  nn::Tensor loss = contrastiveLoss(z, batch, true);
+  loss.backward();
+  EXPECT_GT(z.grad().maxAbs(), 0.0);
+}
+
+TEST(Sampler, DeterministicForSeed) {
+  const PreparedGraph g = smallGraph();
+  Rng rngA(9), rngB(9);
+  const ContrastiveBatch a = sampleContrastiveBatch(g, 5, rngA);
+  const ContrastiveBatch b = sampleContrastiveBatch(g, 5, rngB);
+  EXPECT_EQ(a.negU, b.negU);
+  EXPECT_EQ(a.posV, b.posV);
+}
+
+}  // namespace
+}  // namespace ancstr

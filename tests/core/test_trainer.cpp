@@ -1,0 +1,121 @@
+#include "core/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/features.h"
+#include "netlist/builder.h"
+
+namespace ancstr {
+namespace {
+
+PreparedGraph diffPairGraph() {
+  NetlistBuilder b;
+  b.beginSubckt("cell", {"inp", "inn", "op", "on", "vb", "vdd", "vss"});
+  b.nmos("m1", "op", "inp", "tail", "vss", 2e-6, 0.2e-6);
+  b.nmos("m2", "on", "inn", "tail", "vss", 2e-6, 0.2e-6);
+  b.nmos("mt", "tail", "vb", "vss", "vss", 4e-6, 0.4e-6);
+  // Symmetric current-source loads (gates on a shared bias net) so that
+  // m1/m2 and c1/c2 have exactly isomorphic neighbourhoods.
+  b.pmos("m3", "op", "vbp", "vdd", "vdd", 4e-6, 0.2e-6);
+  b.pmos("m4", "on", "vbp", "vdd", "vdd", 4e-6, 0.2e-6);
+  b.cap("c1", "op", "vss", 1e-14);
+  b.cap("c2", "on", "vss", 1e-14);
+  b.endSubckt();
+  const FlatDesign design = FlatDesign::elaborate(b.build("cell"));
+  return prepareGraph(buildHeteroGraph(design), buildFeatureMatrix(design));
+}
+
+TEST(Trainer, LossDecreasesOverTraining) {
+  Rng rng(1);
+  GnnModel model(GnnConfig{}, rng);
+  std::vector<PreparedGraph> corpus;
+  corpus.push_back(diffPairGraph());
+  TrainConfig config;
+  config.epochs = 40;
+  config.learningRate = 5e-3;
+  const TrainStats stats = trainUnsupervised(model, corpus, config, rng);
+  ASSERT_EQ(stats.epochLoss.size(), 40u);
+  // Average of last 5 epochs well below average of first 5.
+  double early = 0.0, late = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    early += stats.epochLoss[static_cast<std::size_t>(i)];
+    late += stats.epochLoss[stats.epochLoss.size() - 1 -
+                            static_cast<std::size_t>(i)];
+  }
+  EXPECT_LT(late, early);
+}
+
+TEST(Trainer, DeterministicForSeed) {
+  auto run = [](std::uint64_t seed) {
+    Rng rng(seed);
+    GnnModel model(GnnConfig{}, rng);
+    std::vector<PreparedGraph> corpus;
+    corpus.push_back(diffPairGraph());
+    TrainConfig config;
+    config.epochs = 5;
+    trainUnsupervised(model, corpus, config, rng);
+    return model.embed(corpus[0]);
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+TEST(Trainer, SymmetryPreservedAfterTraining) {
+  // Training must not break the guarantee that isomorphic vertices embed
+  // identically (weights are shared, inputs identical).
+  Rng rng(2);
+  GnnModel model(GnnConfig{}, rng);
+  std::vector<PreparedGraph> corpus;
+  corpus.push_back(diffPairGraph());
+  TrainConfig config;
+  config.epochs = 15;
+  trainUnsupervised(model, corpus, config, rng);
+  const nn::Matrix z = model.embed(corpus[0]);
+  for (std::size_t c = 0; c < z.cols(); ++c) {
+    EXPECT_NEAR(z(0, c), z(1, c), 1e-9);  // m1 vs m2
+    EXPECT_NEAR(z(5, c), z(6, c), 1e-9);  // c1 vs c2
+  }
+}
+
+TEST(Trainer, EmptyCorpusIsANoOp) {
+  Rng rng(3);
+  GnnModel model(GnnConfig{}, rng);
+  TrainConfig config;
+  config.epochs = 3;
+  const TrainStats stats = trainUnsupervised(model, {}, config, rng);
+  EXPECT_EQ(stats.epochLoss.size(), 3u);
+  for (const double l : stats.epochLoss) EXPECT_DOUBLE_EQ(l, 0.0);
+}
+
+TEST(Trainer, MultiGraphCorpus) {
+  Rng rng(4);
+  GnnModel model(GnnConfig{}, rng);
+  std::vector<PreparedGraph> corpus;
+  corpus.push_back(diffPairGraph());
+  corpus.push_back(diffPairGraph());
+  corpus.push_back(diffPairGraph());
+  TrainConfig config;
+  config.epochs = 3;
+  const TrainStats stats = trainUnsupervised(model, corpus, config, rng);
+  EXPECT_EQ(stats.epochLoss.size(), 3u);
+  EXPECT_GT(stats.seconds, 0.0);
+}
+
+TEST(Trainer, ClippingKeepsTrainingFinite) {
+  Rng rng(5);
+  GnnModel model(GnnConfig{}, rng);
+  std::vector<PreparedGraph> corpus;
+  corpus.push_back(diffPairGraph());
+  TrainConfig config;
+  config.epochs = 10;
+  config.learningRate = 0.5;  // aggressive
+  config.clipNorm = 1.0;
+  const TrainStats stats = trainUnsupervised(model, corpus, config, rng);
+  for (const double l : stats.epochLoss) EXPECT_TRUE(std::isfinite(l));
+  EXPECT_TRUE(std::isfinite(model.embed(corpus[0]).maxAbs()));
+}
+
+}  // namespace
+}  // namespace ancstr

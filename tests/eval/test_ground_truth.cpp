@@ -1,0 +1,109 @@
+#include "eval/ground_truth.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+#include "netlist/builder.h"
+
+namespace ancstr {
+namespace {
+
+TEST(GroundTruth, PairOrderInsensitive) {
+  GroundTruth truth({{"", "m1", "m2", ConstraintLevel::kDevice}});
+  EXPECT_TRUE(truth.contains("", "m1", "m2"));
+  EXPECT_TRUE(truth.contains("", "m2", "m1"));
+  EXPECT_FALSE(truth.contains("", "m1", "m3"));
+}
+
+TEST(GroundTruth, CaseInsensitive) {
+  GroundTruth truth({{"XTop/Xsub", "M1", "M2", ConstraintLevel::kDevice}});
+  EXPECT_TRUE(truth.contains("xtop/xsub", "m1", "m2"));
+}
+
+TEST(GroundTruth, HierarchyPathDiscriminates) {
+  GroundTruth truth({{"x1", "m1", "m2", ConstraintLevel::kDevice}});
+  EXPECT_TRUE(truth.contains("x1", "m1", "m2"));
+  EXPECT_FALSE(truth.contains("x2", "m1", "m2"));
+  EXPECT_FALSE(truth.contains("", "m1", "m2"));
+}
+
+TEST(GroundTruth, SizeAndEntries) {
+  GroundTruth truth({{"", "a", "b", ConstraintLevel::kDevice},
+                     {"x", "c", "d", ConstraintLevel::kSystem}});
+  EXPECT_EQ(truth.size(), 2u);
+  EXPECT_EQ(truth.entries()[1].level, ConstraintLevel::kSystem);
+}
+
+struct LabeledSetup {
+  Library lib;
+  FlatDesign design;
+  std::vector<ScoredCandidate> scored;
+  std::vector<bool> labels;
+};
+
+LabeledSetup makeLabeled() {
+  NetlistBuilder b;
+  b.beginSubckt("cell", {"a", "b", "t", "vss"});
+  b.nmos("m1", "a", "b", "t", "vss", 1e-6, 0.1e-6);
+  b.nmos("m2", "b", "a", "t", "vss", 1e-6, 0.1e-6);
+  b.nmos("m3", "t", "a", "vss", "vss", 2e-6, 0.1e-6);
+  b.endSubckt();
+  Library lib = b.build("cell");
+  FlatDesign design = FlatDesign::elaborate(lib);
+  const CandidateSet candidates = enumerateCandidates(design, lib);
+  std::vector<ScoredCandidate> scored;
+  for (const CandidatePair& p : candidates.pairs) {
+    ScoredCandidate c;
+    c.pair = p;
+    c.similarity = (p.nameA == "m1" && p.nameB == "m2") ? 1.0 : 0.2;
+    c.accepted = c.similarity > 0.5;
+    scored.push_back(c);
+  }
+  GroundTruth truth({{"", "m1", "m2", ConstraintLevel::kDevice}});
+  std::vector<bool> labels = labelCandidates(design, scored, truth);
+  return {std::move(lib), std::move(design), std::move(scored),
+          std::move(labels)};
+}
+
+TEST(LabelCandidates, MarksOnlyTruthPairs) {
+  const LabeledSetup s = makeLabeled();
+  ASSERT_EQ(s.scored.size(), 3u);  // (m1,m2), (m1,m3), (m2,m3)
+  std::size_t positives = 0;
+  for (std::size_t i = 0; i < s.scored.size(); ++i) {
+    if (s.labels[i]) {
+      ++positives;
+      EXPECT_EQ(s.scored[i].pair.nameA, "m1");
+      EXPECT_EQ(s.scored[i].pair.nameB, "m2");
+    }
+  }
+  EXPECT_EQ(positives, 1u);
+}
+
+TEST(ConfusionFromScored, CountsAllQuadrants) {
+  const LabeledSetup s = makeLabeled();
+  const ConfusionCounts counts = confusionFromScored(s.scored, s.labels);
+  EXPECT_EQ(counts.tp, 1u);
+  EXPECT_EQ(counts.fp, 0u);
+  EXPECT_EQ(counts.tn, 2u);
+  EXPECT_EQ(counts.fn, 0u);
+}
+
+TEST(ConfusionFromScored, LevelFilter) {
+  const LabeledSetup s = makeLabeled();
+  const ConfusionCounts device =
+      confusionFromScored(s.scored, s.labels, ConstraintLevel::kDevice);
+  EXPECT_EQ(device.total(), 3u);
+  const ConfusionCounts system =
+      confusionFromScored(s.scored, s.labels, ConstraintLevel::kSystem);
+  EXPECT_EQ(system.total(), 0u);
+}
+
+TEST(ConfusionFromScored, MismatchedSizesAssert) {
+  const LabeledSetup s = makeLabeled();
+  std::vector<bool> badLabels(1, true);
+  EXPECT_THROW(confusionFromScored(s.scored, badLabels), InternalError);
+}
+
+}  // namespace
+}  // namespace ancstr

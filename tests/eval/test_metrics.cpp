@@ -1,0 +1,67 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace ancstr {
+namespace {
+
+TEST(Metrics, PerfectClassifier) {
+  const Metrics m = computeMetrics({10, 0, 90, 0});
+  EXPECT_DOUBLE_EQ(m.tpr, 1.0);
+  EXPECT_DOUBLE_EQ(m.fpr, 0.0);
+  EXPECT_DOUBLE_EQ(m.ppv, 1.0);
+  EXPECT_DOUBLE_EQ(m.acc, 1.0);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+}
+
+TEST(Metrics, KnownMixedCase) {
+  // tp=8 fp=2 tn=88 fn=2
+  const Metrics m = computeMetrics({8, 2, 88, 2});
+  EXPECT_DOUBLE_EQ(m.tpr, 0.8);
+  EXPECT_NEAR(m.fpr, 2.0 / 90.0, 1e-12);
+  EXPECT_DOUBLE_EQ(m.ppv, 0.8);
+  EXPECT_DOUBLE_EQ(m.acc, 0.96);
+  EXPECT_DOUBLE_EQ(m.f1, 0.8);
+}
+
+TEST(Metrics, F1HarmonicMeanProperty) {
+  const Metrics m = computeMetrics({6, 4, 80, 10});
+  const double precision = m.ppv;
+  const double recall = m.tpr;
+  EXPECT_NEAR(m.f1, 2 * precision * recall / (precision + recall), 1e-12);
+}
+
+TEST(Metrics, DegenerateNoPositivesAnywhere) {
+  const Metrics m = computeMetrics({0, 0, 50, 0});
+  EXPECT_DOUBLE_EQ(m.tpr, 1.0);  // conventional limit
+  EXPECT_DOUBLE_EQ(m.ppv, 1.0);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+  EXPECT_DOUBLE_EQ(m.acc, 1.0);
+}
+
+TEST(Metrics, DegenerateAllMissed) {
+  const Metrics m = computeMetrics({0, 0, 50, 5});
+  EXPECT_DOUBLE_EQ(m.tpr, 0.0);
+  EXPECT_DOUBLE_EQ(m.ppv, 0.0);
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+}
+
+TEST(Metrics, EmptyCounts) {
+  const Metrics m = computeMetrics({});
+  EXPECT_DOUBLE_EQ(m.acc, 1.0);
+  EXPECT_DOUBLE_EQ(m.fpr, 0.0);
+}
+
+TEST(ConfusionCounts, Accumulation) {
+  ConfusionCounts a{1, 2, 3, 4};
+  const ConfusionCounts b{10, 20, 30, 40};
+  a += b;
+  EXPECT_EQ(a.tp, 11u);
+  EXPECT_EQ(a.fp, 22u);
+  EXPECT_EQ(a.tn, 33u);
+  EXPECT_EQ(a.fn, 44u);
+  EXPECT_EQ(a.total(), 110u);
+}
+
+}  // namespace
+}  // namespace ancstr

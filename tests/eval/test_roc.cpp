@@ -1,0 +1,89 @@
+#include "eval/roc.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace ancstr {
+namespace {
+
+TEST(Roc, PerfectSeparationGivesAucOne) {
+  const std::vector<double> scores{0.9, 0.8, 0.2, 0.1};
+  const std::vector<bool> labels{true, true, false, false};
+  const RocCurve curve = computeRoc(scores, labels);
+  EXPECT_NEAR(curve.auc, 1.0, 1e-12);
+}
+
+TEST(Roc, InvertedScoresGiveAucZero) {
+  const std::vector<double> scores{0.1, 0.2, 0.8, 0.9};
+  const std::vector<bool> labels{true, true, false, false};
+  const RocCurve curve = computeRoc(scores, labels);
+  EXPECT_NEAR(curve.auc, 0.0, 1e-12);
+}
+
+TEST(Roc, RandomOrderGivesHalfForAlternating) {
+  // Scores identical: single step from (0,0) to (1,1) -> AUC 0.5.
+  const std::vector<double> scores{0.5, 0.5, 0.5, 0.5};
+  const std::vector<bool> labels{true, false, true, false};
+  const RocCurve curve = computeRoc(scores, labels);
+  EXPECT_NEAR(curve.auc, 0.5, 1e-12);
+}
+
+TEST(Roc, SingleClassDegeneratesGracefully) {
+  const RocCurve allPos = computeRoc({0.5, 0.9}, {true, true});
+  EXPECT_DOUBLE_EQ(allPos.auc, 0.5);
+  const RocCurve allNeg = computeRoc({0.5, 0.9}, {false, false});
+  EXPECT_DOUBLE_EQ(allNeg.auc, 0.5);
+}
+
+TEST(Roc, EndpointsPresent) {
+  const RocCurve curve =
+      computeRoc({0.9, 0.3, 0.7, 0.2}, {true, false, false, true});
+  ASSERT_GE(curve.points.size(), 2u);
+  EXPECT_DOUBLE_EQ(curve.points.front().fpr, 0.0);
+  EXPECT_DOUBLE_EQ(curve.points.front().tpr, 0.0);
+  EXPECT_DOUBLE_EQ(curve.points.back().fpr, 1.0);
+  EXPECT_DOUBLE_EQ(curve.points.back().tpr, 1.0);
+}
+
+TEST(Roc, MonotoneNonDecreasing) {
+  const RocCurve curve = computeRoc(
+      {0.9, 0.8, 0.75, 0.7, 0.6, 0.5, 0.4, 0.3},
+      {true, false, true, true, false, true, false, false});
+  for (std::size_t i = 1; i < curve.points.size(); ++i) {
+    EXPECT_GE(curve.points[i].fpr, curve.points[i - 1].fpr);
+    EXPECT_GE(curve.points[i].tpr, curve.points[i - 1].tpr);
+  }
+}
+
+TEST(Roc, TiedScoresFlipTogether) {
+  // Two candidates share a score: the curve must step diagonally, not
+  // visit an intermediate point.
+  const RocCurve curve = computeRoc({0.5, 0.5}, {true, false});
+  // points: start, one combined step, (end already at 1,1)
+  ASSERT_EQ(curve.points.size(), 2u);
+  EXPECT_DOUBLE_EQ(curve.points[1].fpr, 1.0);
+  EXPECT_DOUBLE_EQ(curve.points[1].tpr, 1.0);
+}
+
+TEST(Roc, AucMatchesHandComputedStaircase) {
+  // scores desc: 0.9(P) 0.7(N) 0.6(P) 0.4(N)
+  // steps: (0,0.5) (0.5,0.5) (0.5,1) (1,1) -> AUC = 0.5*0.5 + 0.5*1 = 0.75
+  const RocCurve curve =
+      computeRoc({0.9, 0.7, 0.6, 0.4}, {true, false, true, false});
+  EXPECT_NEAR(curve.auc, 0.75, 1e-12);
+}
+
+TEST(Roc, CsvRendering) {
+  const RocCurve curve = computeRoc({0.9, 0.1}, {true, false});
+  const std::string csv = rocToCsv(curve);
+  EXPECT_NE(csv.find("threshold,fpr,tpr"), std::string::npos);
+  EXPECT_NE(csv.find("\n"), std::string::npos);
+}
+
+TEST(Roc, SizeMismatchAsserts) {
+  EXPECT_THROW(computeRoc({0.5}, {true, false}), InternalError);
+}
+
+}  // namespace
+}  // namespace ancstr

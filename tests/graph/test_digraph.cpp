@@ -1,0 +1,60 @@
+#include "graph/digraph.h"
+
+#include <gtest/gtest.h>
+
+namespace ancstr {
+namespace {
+
+TEST(SimpleDigraph, DuplicateEdgesIgnored) {
+  SimpleDigraph g(3);
+  g.addEdge(0, 1);
+  g.addEdge(0, 1);
+  EXPECT_EQ(g.numEdges(), 1u);
+  EXPECT_EQ(g.outDegree(0), 1u);
+  EXPECT_EQ(g.inDegree(1), 1u);
+}
+
+TEST(SimpleDigraph, DirectionalityPreserved) {
+  SimpleDigraph g(2);
+  g.addEdge(0, 1);
+  EXPECT_TRUE(g.hasEdge(0, 1));
+  EXPECT_FALSE(g.hasEdge(1, 0));
+}
+
+TEST(SimpleDigraph, SelfLoopAllowed) {
+  SimpleDigraph g(1);
+  g.addEdge(0, 0);
+  EXPECT_TRUE(g.hasEdge(0, 0));
+  EXPECT_EQ(g.outDegree(0), 1u);
+}
+
+TEST(SimpleDigraph, WeakComponents) {
+  SimpleDigraph g(6);
+  g.addEdge(0, 1);
+  g.addEdge(2, 1);  // weakly connects via 1
+  g.addEdge(3, 4);
+  const auto comp = g.weakComponents();
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_NE(comp[5], comp[0]);
+  EXPECT_NE(comp[5], comp[3]);
+}
+
+TEST(SimpleDigraph, BfsDistances) {
+  SimpleDigraph g(5);
+  g.addEdge(0, 1);
+  g.addEdge(1, 2);
+  g.addEdge(2, 3);
+  g.addEdge(1, 3);
+  const auto dist = g.bfsDistances(0);
+  EXPECT_EQ(dist[0], 0);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[2], 2);
+  EXPECT_EQ(dist[3], 2);  // via 1->3
+  EXPECT_EQ(dist[4], -1);
+}
+
+}  // namespace
+}  // namespace ancstr

@@ -1,0 +1,99 @@
+#include "graph/eigen.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace ancstr {
+namespace {
+
+TEST(JacobiEigen, DiagonalMatrix) {
+  nn::Matrix m(3, 3);
+  m(0, 0) = 3.0;
+  m(1, 1) = 1.0;
+  m(2, 2) = 2.0;
+  const auto values = symmetricEigenvalues(m);
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_NEAR(values[0], 1.0, 1e-12);
+  EXPECT_NEAR(values[1], 2.0, 1e-12);
+  EXPECT_NEAR(values[2], 3.0, 1e-12);
+}
+
+TEST(JacobiEigen, KnownTwoByTwo) {
+  // [[2,1],[1,2]] -> eigenvalues 1 and 3.
+  nn::Matrix m(2, 2, std::vector<double>{2, 1, 1, 2});
+  const auto values = symmetricEigenvalues(m);
+  EXPECT_NEAR(values[0], 1.0, 1e-12);
+  EXPECT_NEAR(values[1], 3.0, 1e-12);
+}
+
+TEST(JacobiEigen, NonSquareThrows) {
+  EXPECT_THROW(symmetricEigenvalues(nn::Matrix(2, 3)), ShapeError);
+}
+
+TEST(JacobiEigen, TraceAndFrobeniusPreserved) {
+  Rng rng(3);
+  const std::size_t n = 8;
+  nn::Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      m(i, j) = m(j, i) = rng.uniform(-1.0, 1.0);
+    }
+  }
+  const auto values = symmetricEigenvalues(m);
+  double trace = 0.0, sumSq = 0.0;
+  for (std::size_t i = 0; i < n; ++i) trace += m(i, i);
+  for (const double v : values) sumSq += v * v;
+  double evSum = 0.0;
+  for (const double v : values) evSum += v;
+  EXPECT_NEAR(evSum, trace, 1e-9);
+  const double frob = m.frobeniusNorm();
+  EXPECT_NEAR(std::sqrt(sumSq), frob, 1e-9);
+}
+
+TEST(JacobiEigen, EigenvectorsSatisfyDefinition) {
+  Rng rng(4);
+  const std::size_t n = 5;
+  nn::Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      m(i, j) = m(j, i) = rng.uniform(-1.0, 1.0);
+    }
+  }
+  JacobiOptions options;
+  options.computeVectors = true;
+  const EigenResult result = jacobiEigen(m, options);
+  ASSERT_EQ(result.vectors.rows(), n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // || A v - lambda v || small
+    for (std::size_t i = 0; i < n; ++i) {
+      double av = 0.0;
+      for (std::size_t j = 0; j < n; ++j) av += m(i, j) * result.vectors(j, k);
+      EXPECT_NEAR(av, result.values[k] * result.vectors(i, k), 1e-8);
+    }
+  }
+}
+
+TEST(JacobiEigen, AscendingOrder) {
+  Rng rng(5);
+  nn::Matrix m(6, 6);
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = i; j < 6; ++j) {
+      m(i, j) = m(j, i) = rng.uniform(-2.0, 2.0);
+    }
+  }
+  const auto values = symmetricEigenvalues(m);
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    EXPECT_LE(values[i - 1], values[i]);
+  }
+}
+
+TEST(JacobiEigen, EmptyMatrix) {
+  EXPECT_TRUE(symmetricEigenvalues(nn::Matrix(0, 0)).empty());
+}
+
+}  // namespace
+}  // namespace ancstr

@@ -1,0 +1,82 @@
+#include "graph/hungarian.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace ancstr {
+namespace {
+
+TEST(Hungarian, TrivialSizes) {
+  EXPECT_DOUBLE_EQ(solveAssignment(nn::Matrix(0, 0)).cost, 0.0);
+  nn::Matrix one(1, 1, std::vector<double>{3.5});
+  const AssignmentResult r = solveAssignment(one);
+  EXPECT_DOUBLE_EQ(r.cost, 3.5);
+  EXPECT_EQ(r.assignment[0], 0u);
+}
+
+TEST(Hungarian, KnownOptimum) {
+  // Classic 3x3: optimal = 5 (0->1, 1->0, 2->2).
+  nn::Matrix cost(3, 3, std::vector<double>{
+                            4, 1, 3,
+                            2, 0, 5,
+                            3, 2, 2});
+  const AssignmentResult r = solveAssignment(cost);
+  EXPECT_DOUBLE_EQ(r.cost, 5.0);
+}
+
+TEST(Hungarian, IdentityIsOptimalOnDiagonalZeros) {
+  nn::Matrix cost(4, 4, 7.0);
+  for (std::size_t i = 0; i < 4; ++i) cost(i, i) = 0.0;
+  const AssignmentResult r = solveAssignment(cost);
+  EXPECT_DOUBLE_EQ(r.cost, 0.0);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(r.assignment[i], i);
+}
+
+TEST(Hungarian, AssignmentIsAPermutation) {
+  Rng rng(5);
+  const std::size_t n = 12;
+  nn::Matrix cost(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) cost(i, j) = rng.uniform(0, 10);
+  }
+  const AssignmentResult r = solveAssignment(cost);
+  std::vector<std::size_t> sorted = r.assignment;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Hungarian, MatchesBruteForceOnSmallRandomInstances) {
+  Rng rng(6);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 2 + rng.index(4);  // 2..5
+    nn::Matrix cost(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) cost(i, j) = rng.uniform(0, 5);
+    }
+    std::vector<std::size_t> perm(n);
+    for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+    double best = 1e18;
+    do {
+      double total = 0.0;
+      for (std::size_t i = 0; i < n; ++i) total += cost(i, perm[i]);
+      best = std::min(best, total);
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    EXPECT_NEAR(solveAssignment(cost).cost, best, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(Hungarian, NonSquareThrows) {
+  EXPECT_THROW(solveAssignment(nn::Matrix(2, 3)), ShapeError);
+}
+
+TEST(Hungarian, HandlesNegativeCosts) {
+  nn::Matrix cost(2, 2, std::vector<double>{-5, 0, 0, -5});
+  EXPECT_DOUBLE_EQ(solveAssignment(cost).cost, -10.0);
+}
+
+}  // namespace
+}  // namespace ancstr

@@ -1,0 +1,91 @@
+#include "graph/laplacian.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/eigen.h"
+
+namespace ancstr {
+namespace {
+
+SimpleDigraph path3() {
+  SimpleDigraph g(3);
+  g.addEdge(0, 1);
+  g.addEdge(1, 2);
+  return g;
+}
+
+TEST(Laplacian, UndirectedAdjacencySymmetric) {
+  const nn::Matrix a = undirectedAdjacency(path3());
+  EXPECT_DOUBLE_EQ(a(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(a(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(a(0, 2), 0.0);
+}
+
+TEST(Laplacian, RowSumsZero) {
+  const nn::Matrix l = combinatorialLaplacian(path3());
+  for (std::size_t i = 0; i < l.rows(); ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < l.cols(); ++j) row += l(i, j);
+    EXPECT_NEAR(row, 0.0, 1e-12);
+  }
+}
+
+TEST(Laplacian, SmallestEigenvalueZero) {
+  const auto values = symmetricEigenvalues(combinatorialLaplacian(path3()));
+  EXPECT_NEAR(values.front(), 0.0, 1e-10);
+}
+
+TEST(Laplacian, ZeroEigenvalueMultiplicityEqualsComponents) {
+  SimpleDigraph g(4);
+  g.addEdge(0, 1);
+  g.addEdge(2, 3);
+  const auto values = symmetricEigenvalues(combinatorialLaplacian(g));
+  int zeros = 0;
+  for (const double v : values) {
+    if (std::abs(v) < 1e-9) ++zeros;
+  }
+  EXPECT_EQ(zeros, 2);
+}
+
+TEST(Laplacian, NormalizedEigenvaluesBounded) {
+  SimpleDigraph g(5);
+  g.addEdge(0, 1);
+  g.addEdge(1, 2);
+  g.addEdge(2, 3);
+  g.addEdge(3, 4);
+  g.addEdge(4, 0);
+  const auto values = symmetricEigenvalues(normalizedLaplacian(g));
+  for (const double v : values) {
+    EXPECT_GE(v, -1e-10);
+    EXPECT_LE(v, 2.0 + 1e-10);
+  }
+}
+
+TEST(Laplacian, SelfLoopsIgnored) {
+  SimpleDigraph g(2);
+  g.addEdge(0, 0);
+  g.addEdge(0, 1);
+  const nn::Matrix l = combinatorialLaplacian(g);
+  EXPECT_DOUBLE_EQ(l(0, 0), 1.0);  // only the 0-1 edge counts
+}
+
+TEST(Laplacian, IsomorphicGraphsShareSpectrum) {
+  // Same path graph with permuted vertex labels.
+  SimpleDigraph a(4);
+  a.addEdge(0, 1);
+  a.addEdge(1, 2);
+  a.addEdge(2, 3);
+  SimpleDigraph b(4);
+  b.addEdge(3, 0);
+  b.addEdge(0, 2);
+  b.addEdge(2, 1);
+  const auto va = symmetricEigenvalues(combinatorialLaplacian(a));
+  const auto vb = symmetricEigenvalues(combinatorialLaplacian(b));
+  ASSERT_EQ(va.size(), vb.size());
+  for (std::size_t i = 0; i < va.size(); ++i) {
+    EXPECT_NEAR(va[i], vb[i], 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace ancstr

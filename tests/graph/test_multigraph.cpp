@@ -1,0 +1,76 @@
+#include "graph/multigraph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/digraph.h"
+#include "util/error.h"
+
+namespace ancstr {
+namespace {
+
+TEST(HeteroMultigraph, ParallelEdgesAllowed) {
+  HeteroMultigraph g(3);
+  g.addEdge(0, 1, EdgeType::kGate);
+  g.addEdge(0, 1, EdgeType::kGate);
+  g.addEdge(0, 1, EdgeType::kDrain);
+  EXPECT_EQ(g.numEdges(), 3u);
+  EXPECT_EQ(g.inEdges(1).size(), 3u);
+  EXPECT_EQ(g.outEdges(0).size(), 3u);
+  EXPECT_EQ(g.inNeighbors(1), std::vector<std::uint32_t>{0});
+}
+
+TEST(HeteroMultigraph, EdgeTypeHistogram) {
+  HeteroMultigraph g(4);
+  g.addEdge(0, 1, EdgeType::kGate);
+  g.addEdge(1, 2, EdgeType::kDrain);
+  g.addEdge(2, 3, EdgeType::kDrain);
+  g.addEdge(3, 0, EdgeType::kPassive);
+  const auto hist = g.edgeTypeHistogram();
+  EXPECT_EQ(hist[static_cast<std::size_t>(EdgeType::kGate)], 1u);
+  EXPECT_EQ(hist[static_cast<std::size_t>(EdgeType::kDrain)], 2u);
+  EXPECT_EQ(hist[static_cast<std::size_t>(EdgeType::kSource)], 0u);
+  EXPECT_EQ(hist[static_cast<std::size_t>(EdgeType::kPassive)], 1u);
+}
+
+TEST(HeteroMultigraph, InAdjacencySumsMultiplicity) {
+  HeteroMultigraph g(3);
+  g.addEdge(0, 2, EdgeType::kGate);
+  g.addEdge(0, 2, EdgeType::kGate);
+  g.addEdge(1, 2, EdgeType::kGate);
+  g.addEdge(1, 2, EdgeType::kDrain);
+  const nn::Matrix a = g.inAdjacency(EdgeType::kGate).toDense();
+  EXPECT_DOUBLE_EQ(a(2, 0), 2.0);
+  EXPECT_DOUBLE_EQ(a(2, 1), 1.0);
+  EXPECT_DOUBLE_EQ(a(0, 0), 0.0);
+  const nn::Matrix d = g.inAdjacency(EdgeType::kDrain).toDense();
+  EXPECT_DOUBLE_EQ(d(2, 1), 1.0);
+}
+
+TEST(HeteroMultigraph, SimplifiedDropsParallelAndTypes) {
+  HeteroMultigraph g(3);
+  g.addEdge(0, 1, EdgeType::kGate);
+  g.addEdge(0, 1, EdgeType::kDrain);
+  g.addEdge(1, 0, EdgeType::kSource);
+  g.addEdge(1, 2, EdgeType::kPassive);
+  const SimpleDigraph s = g.simplified();
+  EXPECT_EQ(s.numEdges(), 3u);  // 0->1 deduped, 1->0, 1->2
+  EXPECT_TRUE(s.hasEdge(0, 1));
+  EXPECT_TRUE(s.hasEdge(1, 0));
+  EXPECT_TRUE(s.hasEdge(1, 2));
+  EXPECT_FALSE(s.hasEdge(2, 1));
+}
+
+TEST(HeteroMultigraph, OutOfRangeAsserts) {
+  HeteroMultigraph g(2);
+  EXPECT_THROW(g.addEdge(0, 5, EdgeType::kGate), InternalError);
+}
+
+TEST(EdgeTypeName, AllNamed) {
+  EXPECT_STREQ(edgeTypeName(EdgeType::kGate), "gate");
+  EXPECT_STREQ(edgeTypeName(EdgeType::kDrain), "drain");
+  EXPECT_STREQ(edgeTypeName(EdgeType::kSource), "source");
+  EXPECT_STREQ(edgeTypeName(EdgeType::kPassive), "passive");
+}
+
+}  // namespace
+}  // namespace ancstr

@@ -1,0 +1,77 @@
+#include "graph/pagerank.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace ancstr {
+namespace {
+
+double total(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(PageRank, SumsToOne) {
+  SimpleDigraph g(5);
+  g.addEdge(0, 1);
+  g.addEdge(1, 2);
+  g.addEdge(2, 0);
+  g.addEdge(3, 0);  // 4 is isolated/dangling
+  const auto pr = pageRank(g);
+  EXPECT_NEAR(total(pr), 1.0, 1e-9);
+}
+
+TEST(PageRank, UniformOnSymmetricCycle) {
+  SimpleDigraph g(4);
+  for (std::uint32_t i = 0; i < 4; ++i) g.addEdge(i, (i + 1) % 4);
+  const auto pr = pageRank(g);
+  for (const double p : pr) EXPECT_NEAR(p, 0.25, 1e-9);
+}
+
+TEST(PageRank, HubGetsHighestScore) {
+  // Everyone points at vertex 0.
+  SimpleDigraph g(5);
+  for (std::uint32_t i = 1; i < 5; ++i) g.addEdge(i, 0);
+  const auto pr = pageRank(g);
+  for (std::uint32_t i = 1; i < 5; ++i) EXPECT_GT(pr[0], pr[i]);
+}
+
+TEST(PageRank, EmptyGraph) {
+  SimpleDigraph g(0);
+  EXPECT_TRUE(pageRank(g).empty());
+}
+
+TEST(PageRank, DanglingMassRedistributed) {
+  SimpleDigraph g(3);
+  g.addEdge(0, 1);  // 1 and 2 dangle
+  const auto pr = pageRank(g);
+  EXPECT_NEAR(total(pr), 1.0, 1e-9);
+  EXPECT_GT(pr[1], pr[2]);  // 1 receives from 0, 2 receives nothing extra
+}
+
+TEST(PageRank, DampingZeroGivesUniform) {
+  SimpleDigraph g(4);
+  g.addEdge(0, 1);
+  g.addEdge(1, 2);
+  PageRankOptions options;
+  options.damping = 0.0;
+  const auto pr = pageRank(g, options);
+  for (const double p : pr) EXPECT_NEAR(p, 0.25, 1e-12);
+}
+
+TEST(TopKByScore, SortsDescendingTiesById) {
+  const std::vector<double> scores{0.1, 0.5, 0.5, 0.3};
+  const auto top = topKByScore(scores, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], 1u);  // tie broken by lower id first
+  EXPECT_EQ(top[1], 2u);
+  EXPECT_EQ(top[2], 3u);
+}
+
+TEST(TopKByScore, KClampedToSize) {
+  const auto top = topKByScore({1.0, 2.0}, 10);
+  EXPECT_EQ(top.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ancstr

@@ -1,0 +1,127 @@
+// Randomised robustness sweeps: generate random (but structurally valid)
+// netlists and check cross-cutting invariants — the parser round-trips
+// them, Algorithm 1 produces paired typed edges, candidate enumeration
+// stays within hierarchy/type rules, and the whole pipeline runs without
+// faults. Seeds are fixed: failures reproduce.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/pipeline.h"
+#include "netlist/builder.h"
+#include "netlist/spice_parser.h"
+#include "netlist/spice_writer.h"
+#include "util/rng.h"
+
+namespace ancstr {
+namespace {
+
+/// Random flat circuit: `numDevices` devices of random types wired to a
+/// random pool of nets (every device terminal picks a random net).
+Library randomCircuit(Rng& rng, std::size_t numDevices, std::size_t numNets) {
+  NetlistBuilder b;
+  std::vector<std::string> nets;
+  for (std::size_t i = 0; i < numNets; ++i) {
+    nets.push_back("n" + std::to_string(i));
+  }
+  auto net = [&] { return nets[rng.index(nets.size())]; };
+
+  b.beginSubckt("fuzz", {nets[0], nets[1 % numNets]});
+  for (std::size_t i = 0; i < numDevices; ++i) {
+    const std::string name = "d" + std::to_string(i);
+    switch (rng.index(5)) {
+      case 0:
+        b.nmos(name, net(), net(), net(), net(),
+               rng.uniform(0.2e-6, 20e-6), rng.uniform(0.05e-6, 1e-6),
+               1 + static_cast<int>(rng.index(4)));
+        break;
+      case 1:
+        b.pmos(name, net(), net(), net(), net(),
+               rng.uniform(0.2e-6, 20e-6), rng.uniform(0.05e-6, 1e-6));
+        break;
+      case 2:
+        b.res(name, net(), net(), rng.uniform(10.0, 1e6));
+        break;
+      case 3:
+        b.cap(name, net(), net(), rng.uniform(1e-15, 1e-11));
+        break;
+      default:
+        b.dio(name, net(), net());
+        break;
+    }
+  }
+  b.endSubckt();
+  return b.build("fuzz");
+}
+
+class FuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzTest, ParserRoundTripsRandomCircuits) {
+  Rng rng(GetParam());
+  const Library lib = randomCircuit(rng, 20 + rng.index(60), 8 + rng.index(20));
+  const Library reparsed = parseSpice(writeSpice(lib), "fuzz.sp");
+  EXPECT_EQ(lib.flatDeviceCount(), reparsed.flatDeviceCount());
+  EXPECT_EQ(lib.flatNetCount(), reparsed.flatNetCount());
+}
+
+TEST_P(FuzzTest, GraphConstructionInvariants) {
+  Rng rng(GetParam() + 1000);
+  const Library lib = randomCircuit(rng, 30 + rng.index(40), 6 + rng.index(15));
+  const FlatDesign design = FlatDesign::elaborate(lib);
+  const CircuitGraph g = buildHeteroGraph(design);
+  // No self loops; edges come in oriented pairs; in == out degree.
+  EXPECT_EQ(g.graph.numEdges() % 2, 0u);
+  for (const HeteroEdge& e : g.graph.edges()) {
+    EXPECT_NE(e.src, e.dst);
+    EXPECT_LT(e.src, g.numVertices());
+    EXPECT_LT(e.dst, g.numVertices());
+  }
+  for (std::uint32_t v = 0; v < g.numVertices(); ++v) {
+    EXPECT_EQ(g.graph.inEdges(v).size(), g.graph.outEdges(v).size());
+  }
+  // Gate-typed edges only ever target MOS vertices.
+  for (const HeteroEdge& e : g.graph.edges()) {
+    if (e.type == EdgeType::kGate) {
+      EXPECT_TRUE(isMos(design.device(g.vertexToDevice[e.dst]).type));
+    }
+  }
+}
+
+TEST_P(FuzzTest, CandidateRulesHold) {
+  Rng rng(GetParam() + 2000);
+  const Library lib = randomCircuit(rng, 25 + rng.index(50), 5 + rng.index(20));
+  const FlatDesign design = FlatDesign::elaborate(lib);
+  const CandidateSet candidates = enumerateCandidates(design, lib);
+  std::set<std::pair<std::uint32_t, std::uint32_t>> seen;
+  for (const CandidatePair& p : candidates.pairs) {
+    EXPECT_EQ(design.device(p.a.id).type, design.device(p.b.id).type);
+    EXPECT_EQ(design.device(p.a.id).owner, design.device(p.b.id).owner);
+    EXPECT_NE(p.a.id, p.b.id);
+    // No duplicates in either order.
+    const auto key = std::minmax(p.a.id, p.b.id);
+    EXPECT_TRUE(seen.insert({key.first, key.second}).second);
+  }
+}
+
+TEST_P(FuzzTest, PipelineRunsWithoutFaults) {
+  Rng rng(GetParam() + 3000);
+  const Library lib = randomCircuit(rng, 20 + rng.index(30), 6 + rng.index(10));
+  PipelineConfig config;
+  config.train.epochs = 2;
+  Pipeline pipeline(config);
+  pipeline.train({&lib});
+  const ExtractionResult result = pipeline.extract(lib);
+  for (const ScoredCandidate& c : result.detection.scored) {
+    EXPECT_TRUE(std::isfinite(c.similarity));
+    EXPECT_GE(c.similarity, -1.0 - 1e-9);
+    EXPECT_LE(c.similarity, 1.0 + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u, 77u,
+                                           88u));
+
+}  // namespace
+}  // namespace ancstr

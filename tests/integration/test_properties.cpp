@@ -1,0 +1,154 @@
+// Property-style invariants of the whole flow:
+//   * message passing is permutation-equivariant: device declaration order
+//     must not change any similarity;
+//   * SPICE serialisation round-trips must preserve extraction results;
+//   * detection must be invariant under net renaming.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "core/pipeline.h"
+#include "netlist/builder.h"
+#include "netlist/spice_parser.h"
+#include "netlist/spice_writer.h"
+
+namespace ancstr {
+namespace {
+
+/// Differential stage built with a configurable device declaration order
+/// and configurable net names.
+Library diffStage(const std::vector<int>& order, const std::string& prefix) {
+  struct Decl {
+    const char* kind;
+    const char* name;
+    const char* n1;
+    const char* n2;
+    const char* n3;
+  };
+  const std::vector<Decl> devices{
+      {"nmos", "m1", "op", "inp", "tail"},
+      {"nmos", "m2", "on", "inn", "tail"},
+      {"nmos", "mt", "tail", "vb", "vss"},
+      {"res", "r1", "op", "vdd", nullptr},
+      {"res", "r2", "on", "vdd", nullptr},
+      {"cap", "c1", "op", "vss", nullptr},
+      {"cap", "c2", "on", "vss", nullptr},
+  };
+  NetlistBuilder b;
+  b.beginSubckt("stage", {prefix + "inp", prefix + "inn", prefix + "op",
+                          prefix + "on", prefix + "vb", prefix + "vdd",
+                          prefix + "vss"});
+  auto net = [&](const char* n) { return prefix + n; };
+  for (const int i : order) {
+    const Decl& d = devices[static_cast<std::size_t>(i)];
+    if (std::string(d.kind) == "nmos") {
+      b.nmos(d.name, net(d.n1), net(d.n2), net(d.n3), net("vss"), 2e-6,
+             0.2e-6);
+    } else if (std::string(d.kind) == "res") {
+      b.res(d.name, net(d.n1), net(d.n2), 1e3);
+    } else {
+      b.cap(d.name, net(d.n1), net(d.n2), 1e-14);
+    }
+  }
+  b.endSubckt();
+  return b.build("stage");
+}
+
+/// Similarities keyed by sorted pair names, for order-independent compare.
+std::map<std::pair<std::string, std::string>, double> similarityMap(
+    const Pipeline& pipeline, const Library& lib) {
+  std::map<std::pair<std::string, std::string>, double> out;
+  for (const ScoredCandidate& c : pipeline.extract(lib).detection.scored) {
+    auto key = std::minmax(c.pair.nameA, c.pair.nameB);
+    out[{key.first, key.second}] = c.similarity;
+  }
+  return out;
+}
+
+TEST(Properties, PermutationEquivariantDetection) {
+  const Library original = diffStage({0, 1, 2, 3, 4, 5, 6}, "");
+  const Library shuffled = diffStage({6, 2, 4, 0, 5, 1, 3}, "");
+
+  // Same weights for both (training uses only the original).
+  PipelineConfig config;
+  config.train.epochs = 10;
+  Pipeline pipeline(config);
+  pipeline.train({&original});
+
+  const auto a = similarityMap(pipeline, original);
+  const auto b = similarityMap(pipeline, shuffled);
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& [key, sim] : a) {
+    const auto it = b.find(key);
+    ASSERT_NE(it, b.end()) << key.first << "/" << key.second;
+    EXPECT_NEAR(sim, it->second, 1e-9) << key.first << "/" << key.second;
+  }
+}
+
+TEST(Properties, NetRenamingInvariance) {
+  const Library original = diffStage({0, 1, 2, 3, 4, 5, 6}, "");
+  const Library renamed = diffStage({0, 1, 2, 3, 4, 5, 6}, "zz_");
+  PipelineConfig config;
+  config.train.epochs = 10;
+  Pipeline pipeline(config);
+  pipeline.train({&original});
+  EXPECT_EQ(similarityMap(pipeline, original),
+            similarityMap(pipeline, renamed));
+}
+
+TEST(Properties, SpiceRoundTripPreservesDetection) {
+  const Library original = diffStage({0, 1, 2, 3, 4, 5, 6}, "");
+  const Library reparsed = parseSpice(writeSpice(original));
+  PipelineConfig config;
+  config.train.epochs = 10;
+  Pipeline pipeline(config);
+  pipeline.train({&original});
+  const auto a = similarityMap(pipeline, original);
+  const auto b = similarityMap(pipeline, reparsed);
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& [key, sim] : a) {
+    EXPECT_NEAR(sim, b.at(key), 1e-9);
+  }
+}
+
+class EpochSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EpochSweepTest, SymmetricPairAlwaysTopScored) {
+  // Whatever the training length, the exactly-symmetric pair (m1, m2)
+  // must score at least as high as every other MOS pair.
+  const Library lib = diffStage({0, 1, 2, 3, 4, 5, 6}, "");
+  PipelineConfig config;
+  config.train.epochs = GetParam();
+  Pipeline pipeline(config);
+  pipeline.train({&lib});
+  const auto sims = similarityMap(pipeline, lib);
+  const double matched = sims.at({"m1", "m2"});
+  EXPECT_GE(matched, sims.at({"m1", "mt"}) - 1e-12);
+  EXPECT_GE(matched, sims.at({"m2", "mt"}) - 1e-12);
+  EXPECT_GT(matched, 0.999);
+}
+
+INSTANTIATE_TEST_SUITE_P(TrainingLengths, EpochSweepTest,
+                         ::testing::Values(0, 1, 5, 20, 60));
+
+class SeedSweepTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweepTest, SymmetryHoldsForAnySeed) {
+  const Library lib = diffStage({0, 1, 2, 3, 4, 5, 6}, "");
+  PipelineConfig config;
+  config.train.epochs = 8;
+  config.seed = GetParam();
+  Pipeline pipeline(config);
+  pipeline.train({&lib});
+  const auto sims = similarityMap(pipeline, lib);
+  EXPECT_GT(sims.at({"m1", "m2"}), 0.999);
+  EXPECT_GT(sims.at({"r1", "r2"}), 0.999);
+  EXPECT_GT(sims.at({"c1", "c2"}), 0.999);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweepTest,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 99999u));
+
+}  // namespace
+}  // namespace ancstr

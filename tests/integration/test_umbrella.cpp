@@ -1,0 +1,47 @@
+// The umbrella header must expose the whole public API in one include.
+#include "ancstr.h"
+
+#include <gtest/gtest.h>
+
+namespace ancstr {
+namespace {
+
+TEST(Umbrella, EndToEndThroughSingleInclude) {
+  // Touch one symbol from every major subsystem.
+  const Library lib = parseSpice(R"(
+.subckt cell inp inn op on vb vdd vss
+m1 op inp t vss nch w=2u l=0.2u
+m2 on inn t vss nch w=2u l=0.2u
+mt t vb vss vss nch w=4u l=0.4u
+r1 op vdd 1k
+r2 on vdd 1k
+.ends
+)");
+  Pipeline pipeline;
+  pipeline.train({&lib});
+  const ExtractionResult result = pipeline.extract(lib);
+  const FlatDesign design = FlatDesign::elaborate(lib);
+
+  const auto groups = buildSymmetryGroups(design, result.detection);
+  const auto arrays = detectArrayGroups(design, result.embeddings);
+  const std::string json =
+      constraintsToJson(design, result.detection, groups, arrays);
+  EXPECT_FALSE(parseConstraintsJson(json).empty());
+  EXPECT_TRUE(checkConstraints(design, lib, parseConstraintsJson(json))
+                  .empty());
+
+  const auto sfaResult = sfa::detectDeviceConstraints(design, lib);
+  EXPECT_FALSE(sfaResult.scored.empty());
+
+  place::PlacementProblem problem = place::buildPlacementProblem(design, 0);
+  place::PnrOptions pnrOptions;
+  pnrOptions.anneal.iterations = 500;
+  const place::PnrResult pnr = place::placeAndRoute(problem, pnrOptions);
+  EXPECT_FALSE(renderSvg(problem, pnr.placement.solution).empty());
+
+  const Metrics metrics = computeMetrics({1, 0, 1, 0});
+  EXPECT_DOUBLE_EQ(metrics.acc, 1.0);
+}
+
+}  // namespace
+}  // namespace ancstr

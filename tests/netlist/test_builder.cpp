@@ -1,0 +1,89 @@
+#include "netlist/builder.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace ancstr {
+namespace {
+
+TEST(Builder, BuildsSimpleOta) {
+  NetlistBuilder b;
+  b.beginSubckt("ota", {"vinp", "vinn", "vout", "vdd", "vss"});
+  b.nmos("m1", "n1", "vinp", "tail", "vss", 2e-6, 0.2e-6);
+  b.nmos("m2", "vout", "vinn", "tail", "vss", 2e-6, 0.2e-6);
+  b.pmos("m3", "n1", "n1", "vdd", "vdd", 4e-6, 0.3e-6);
+  b.pmos("m4", "vout", "n1", "vdd", "vdd", 4e-6, 0.3e-6);
+  b.nmos("m5", "tail", "vbn", "vss", "vss", 4e-6, 0.4e-6);
+  b.endSubckt();
+  Library lib = b.build("ota");
+
+  const SubcktDef& ota = lib.subckt(*lib.findSubckt("ota"));
+  EXPECT_EQ(ota.devices().size(), 5u);
+  EXPECT_EQ(ota.ports().size(), 5u);
+  const Device& m1 = ota.device(*ota.findDevice("m1"));
+  EXPECT_EQ(m1.type, DeviceType::kNch);
+  EXPECT_DOUBLE_EQ(m1.params.w, 2e-6);
+}
+
+TEST(Builder, PassivesAndDiode) {
+  NetlistBuilder b;
+  b.beginSubckt("cell", {"a", "b"});
+  b.res("r1", "a", "mid", 1e3);
+  b.cap("c1", "mid", "b", 5e-15, DeviceType::kCapMim, 3);
+  b.ind("l1", "a", "b", 2e-9);
+  b.dio("d1", "a", "b");
+  b.endSubckt();
+  Library lib = b.build("cell");
+  const SubcktDef& cell = lib.subckt(0);
+  EXPECT_EQ(cell.device(*cell.findDevice("c1")).params.layers, 3);
+  EXPECT_EQ(cell.device(*cell.findDevice("l1")).type, DeviceType::kInd);
+  EXPECT_EQ(cell.device(*cell.findDevice("d1")).pins.size(), 2u);
+}
+
+TEST(Builder, InstanceRequiresExistingMaster) {
+  NetlistBuilder b;
+  b.beginSubckt("top", {"p"});
+  EXPECT_THROW(b.inst("x1", "missing", {"p"}), NetlistError);
+}
+
+TEST(Builder, HierarchyComposition) {
+  NetlistBuilder b;
+  b.beginSubckt("leaf", {"in", "out"});
+  b.res("r1", "in", "out", 100.0);
+  b.endSubckt();
+  b.beginSubckt("top", {"a", "b"});
+  b.inst("x1", "leaf", {"a", "mid"});
+  b.inst("x2", "leaf", {"mid", "b"});
+  b.endSubckt();
+  Library lib = b.build("top");
+  EXPECT_EQ(lib.flatDeviceCount(), 2u);
+  EXPECT_EQ(lib.top(), *lib.findSubckt("top"));
+}
+
+TEST(Builder, MisuseThrows) {
+  NetlistBuilder b;
+  EXPECT_THROW(b.endSubckt(), NetlistError);
+  EXPECT_THROW(b.nmos("m", "a", "b", "c", "d", 1e-6, 1e-6), NetlistError);
+  b.beginSubckt("s", {});
+  EXPECT_THROW(b.beginSubckt("t", {}), NetlistError);
+  EXPECT_THROW(b.build(), NetlistError);  // unterminated subckt
+}
+
+TEST(Builder, BuildWithUnknownTopThrows) {
+  NetlistBuilder b;
+  b.beginSubckt("s", {});
+  b.endSubckt();
+  EXPECT_THROW(b.build("nope"), NetlistError);
+}
+
+TEST(Builder, WrongMosPolarityAsserts) {
+  NetlistBuilder b;
+  b.beginSubckt("s", {});
+  EXPECT_THROW(b.nmos("m1", "a", "b", "c", "d", 1e-6, 1e-6, 1,
+                      DeviceType::kPch),
+               InternalError);
+}
+
+}  // namespace
+}  // namespace ancstr

@@ -1,0 +1,106 @@
+#include "netlist/device_types.h"
+
+#include <gtest/gtest.h>
+
+namespace ancstr {
+namespace {
+
+TEST(DeviceTypes, PredicatesPartitionTheTaxonomy) {
+  for (int i = 0; i <= static_cast<int>(DeviceType::kUnknown); ++i) {
+    const auto t = static_cast<DeviceType>(i);
+    int classes = 0;
+    if (isMos(t)) ++classes;
+    if (isPassive(t)) ++classes;
+    if (isBipolar(t)) ++classes;
+    if (t == DeviceType::kDio) ++classes;
+    if (t == DeviceType::kUnknown) ++classes;
+    EXPECT_EQ(classes, 1) << deviceTypeName(t);
+  }
+}
+
+TEST(DeviceTypes, OneHotIndexIsDenseAndUnique) {
+  std::vector<bool> seen(kNumDeviceTypes, false);
+  for (int i = 0; i <= static_cast<int>(DeviceType::kUnknown); ++i) {
+    const auto t = static_cast<DeviceType>(i);
+    const auto idx = oneHotIndex(t);
+    if (t == DeviceType::kUnknown) {
+      EXPECT_FALSE(idx.has_value());
+      continue;
+    }
+    ASSERT_TRUE(idx.has_value());
+    ASSERT_LT(*idx, kNumDeviceTypes);
+    EXPECT_FALSE(seen[*idx]) << "duplicate one-hot index";
+    seen[*idx] = true;
+  }
+  for (const bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(DeviceTypes, PinCounts) {
+  EXPECT_EQ(pinCount(DeviceType::kNch), 4u);
+  EXPECT_EQ(pinCount(DeviceType::kPchLvt), 4u);
+  EXPECT_EQ(pinCount(DeviceType::kNpn), 3u);
+  EXPECT_EQ(pinCount(DeviceType::kResPoly), 2u);
+  EXPECT_EQ(pinCount(DeviceType::kCapMom), 2u);
+  EXPECT_EQ(pinCount(DeviceType::kDio), 2u);
+}
+
+TEST(DeviceTypes, MosPinFunctionsInCardOrder) {
+  const auto fns = pinFunctions(DeviceType::kNch);
+  EXPECT_EQ(fns[0], PinFunction::kDrain);
+  EXPECT_EQ(fns[1], PinFunction::kGate);
+  EXPECT_EQ(fns[2], PinFunction::kSource);
+  EXPECT_EQ(fns[3], PinFunction::kBulk);
+}
+
+struct ModelNameCase {
+  const char* model;
+  DeviceType expected;
+};
+
+class ModelNameTest : public ::testing::TestWithParam<ModelNameCase> {};
+
+TEST_P(ModelNameTest, MapsFoundryNames) {
+  EXPECT_EQ(deviceTypeFromModelName(GetParam().model), GetParam().expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FoundryNames, ModelNameTest,
+    ::testing::Values(
+        ModelNameCase{"nch", DeviceType::kNch},
+        ModelNameCase{"nch_lvt_mac", DeviceType::kNchLvt},
+        ModelNameCase{"NCH_HVT", DeviceType::kNchHvt},
+        ModelNameCase{"pch25", DeviceType::kPch},
+        ModelNameCase{"pch_ulvt", DeviceType::kPchLvt},
+        ModelNameCase{"nmos_rf", DeviceType::kNch},
+        ModelNameCase{"pfet_01v8", DeviceType::kPch},
+        ModelNameCase{"cfmom_2t", DeviceType::kCapMom},
+        ModelNameCase{"mimcap", DeviceType::kCapMim},
+        ModelNameCase{"moscap_25", DeviceType::kCapMos},
+        ModelNameCase{"rppolywo", DeviceType::kResPoly},
+        ModelNameCase{"npn_hv", DeviceType::kNpn},
+        ModelNameCase{"pnp5", DeviceType::kPnp},
+        ModelNameCase{"diode_nw", DeviceType::kDio},
+        ModelNameCase{"spiral_ind", DeviceType::kInd},
+        ModelNameCase{"whatisthis", DeviceType::kUnknown}));
+
+TEST(DeviceTypes, DefaultMetalLayers) {
+  EXPECT_EQ(defaultMetalLayers(DeviceType::kCapMom), 4);
+  EXPECT_EQ(defaultMetalLayers(DeviceType::kCapMim), 2);
+  EXPECT_EQ(defaultMetalLayers(DeviceType::kNch), 1);
+}
+
+TEST(DeviceTypes, NamesRoundTripThroughModelLookup) {
+  // Canonical names should resolve back to their own type.
+  for (std::size_t i = 0; i < kNumDeviceTypes; ++i) {
+    const auto t = static_cast<DeviceType>(i);
+    if (t == DeviceType::kResMetal || t == DeviceType::kCapMos ||
+        t == DeviceType::kInd) {
+      continue;  // canonical names are ambiguous substrings for these
+    }
+    EXPECT_EQ(deviceTypeFromModelName(deviceTypeName(t)), t)
+        << deviceTypeName(t);
+  }
+}
+
+}  // namespace
+}  // namespace ancstr

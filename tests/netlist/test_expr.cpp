@@ -1,0 +1,64 @@
+#include "netlist/expr.h"
+
+#include <gtest/gtest.h>
+
+namespace ancstr {
+namespace {
+
+TEST(Expr, PlainNumbers) {
+  ParamEnv env;
+  EXPECT_DOUBLE_EQ(*evalExpression("42", env), 42.0);
+  EXPECT_DOUBLE_EQ(*evalExpression("2u", env), 2e-6);
+  EXPECT_DOUBLE_EQ(*evalExpression("1e-9", env), 1e-9);
+}
+
+TEST(Expr, Arithmetic) {
+  ParamEnv env;
+  EXPECT_DOUBLE_EQ(*evalExpression("1+2*3", env), 7.0);
+  EXPECT_DOUBLE_EQ(*evalExpression("(1+2)*3", env), 9.0);
+  EXPECT_DOUBLE_EQ(*evalExpression("10/4", env), 2.5);
+  EXPECT_DOUBLE_EQ(*evalExpression("-3+1", env), -2.0);
+  EXPECT_DOUBLE_EQ(*evalExpression("2*-3", env), -6.0);
+}
+
+TEST(Expr, IdentifiersResolveThroughEnv) {
+  ParamEnv env{{"wdiff", 2e-6}, {"mult", 3.0}};
+  EXPECT_DOUBLE_EQ(*evalExpression("wdiff*mult", env), 6e-6);
+  EXPECT_DOUBLE_EQ(*evalExpression("WDIFF", env), 2e-6)
+      << "identifiers are case-insensitive";
+}
+
+TEST(Expr, UnknownIdentifierFails) {
+  ParamEnv env;
+  EXPECT_FALSE(evalExpression("nosuch*2", env).has_value());
+}
+
+TEST(Expr, SyntaxErrorsFail) {
+  ParamEnv env;
+  EXPECT_FALSE(evalExpression("1+", env).has_value());
+  EXPECT_FALSE(evalExpression("(1", env).has_value());
+  EXPECT_FALSE(evalExpression("", env).has_value());
+  EXPECT_FALSE(evalExpression("1 2", env).has_value());
+}
+
+TEST(Expr, DivisionByZeroFails) {
+  ParamEnv env;
+  EXPECT_FALSE(evalExpression("1/0", env).has_value());
+}
+
+TEST(Expr, SuffixedNumbersInsideExpressions) {
+  ParamEnv env;
+  EXPECT_DOUBLE_EQ(*evalExpression("2u * 3", env), 6e-6);
+  EXPECT_DOUBLE_EQ(*evalExpression("1k + 500", env), 1500.0);
+}
+
+TEST(ParamValue, QuotedFormsUnwrap) {
+  ParamEnv env{{"l0", 0.1e-6}};
+  EXPECT_DOUBLE_EQ(*evalParamValue("'2*l0'", env), 0.2e-6);
+  EXPECT_DOUBLE_EQ(*evalParamValue("{l0 + l0}", env), 0.2e-6);
+  EXPECT_DOUBLE_EQ(*evalParamValue("\"3\"", env), 3.0);
+  EXPECT_DOUBLE_EQ(*evalParamValue("  5k ", env), 5000.0);
+}
+
+}  // namespace
+}  // namespace ancstr

@@ -1,0 +1,112 @@
+#include "netlist/flatten.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "netlist/builder.h"
+
+namespace ancstr {
+namespace {
+
+Library twoLevelDesign() {
+  NetlistBuilder b;
+  b.beginSubckt("inv", {"in", "out", "vdd", "vss"});
+  b.pmos("mp", "out", "in", "vdd", "vdd", 2e-6, 0.1e-6);
+  b.nmos("mn", "out", "in", "vss", "vss", 1e-6, 0.1e-6);
+  b.endSubckt();
+  b.beginSubckt("buf", {"in", "out", "vdd", "vss"});
+  b.inst("xi1", "inv", {"in", "mid", "vdd", "vss"});
+  b.inst("xi2", "inv", {"mid", "out", "vdd", "vss"});
+  b.endSubckt();
+  b.beginSubckt("top", {"a", "b", "vdd", "vss"});
+  b.inst("xb1", "buf", {"a", "m1", "vdd", "vss"});
+  b.inst("xb2", "buf", {"m1", "b", "vdd", "vss"});
+  b.res("rload", "b", "vss", 1e3);
+  b.endSubckt();
+  return b.build("top");
+}
+
+TEST(Flatten, DeviceAndNetCounts) {
+  const FlatDesign design = FlatDesign::elaborate(twoLevelDesign());
+  EXPECT_EQ(design.devices().size(), 9u);  // 4 invs x 2 + rload
+  // nets: a b vdd vss m1 + 2x buf-internal "mid" = 7
+  EXPECT_EQ(design.nets().size(), 7u);
+}
+
+TEST(Flatten, HierarchyShape) {
+  const FlatDesign design = FlatDesign::elaborate(twoLevelDesign());
+  const HierNode& root = design.root();
+  EXPECT_EQ(root.children.size(), 2u);
+  EXPECT_EQ(root.leafDevices.size(), 1u);  // rload
+  const HierNode& buf1 = design.node(root.children[0]);
+  EXPECT_EQ(buf1.path, "xb1");
+  EXPECT_EQ(buf1.children.size(), 2u);
+  const HierNode& inv = design.node(buf1.children[0]);
+  EXPECT_EQ(inv.path, "xb1/xi1");
+  EXPECT_EQ(inv.leafDevices.size(), 2u);
+}
+
+TEST(Flatten, PathsAreUnique) {
+  const FlatDesign design = FlatDesign::elaborate(twoLevelDesign());
+  std::set<std::string> paths;
+  for (const FlatDevice& dev : design.devices()) {
+    EXPECT_TRUE(paths.insert(dev.path).second) << dev.path;
+  }
+}
+
+TEST(Flatten, PortNetsAliasParentNets) {
+  const FlatDesign design = FlatDesign::elaborate(twoLevelDesign());
+  // xb1's output and xb2's input must be the same flat net ("m1").
+  const FlatDevice* xb2Pmos = nullptr;
+  const FlatDevice* xb1Pmos = nullptr;
+  for (const FlatDevice& dev : design.devices()) {
+    if (dev.path == "xb2/xi1/mp") xb2Pmos = &dev;
+    if (dev.path == "xb1/xi2/mp") xb1Pmos = &dev;
+  }
+  ASSERT_NE(xb2Pmos, nullptr);
+  ASSERT_NE(xb1Pmos, nullptr);
+  // xb1/xi2 drives net m1 at its drain; xb2/xi1 receives m1 at its gate.
+  const FlatNetId driven = xb1Pmos->pins[0].second;   // drain
+  const FlatNetId received = xb2Pmos->pins[1].second; // gate
+  EXPECT_EQ(driven, received);
+  EXPECT_EQ(design.net(driven).path, "m1");
+}
+
+TEST(Flatten, NetTerminalsConsistent) {
+  const FlatDesign design = FlatDesign::elaborate(twoLevelDesign());
+  std::size_t totalTerminals = 0;
+  for (const auto& terms : design.netTerminals()) totalTerminals += terms.size();
+  std::size_t totalPins = 0;
+  for (const FlatDevice& dev : design.devices()) totalPins += dev.pins.size();
+  EXPECT_EQ(totalTerminals, totalPins);
+  // Every terminal back-references the right device pin.
+  for (FlatNetId n = 0; n < design.nets().size(); ++n) {
+    for (const auto& [dev, pin] : design.netTerminals()[n]) {
+      EXPECT_EQ(design.device(dev).pins[pin].second, n);
+    }
+  }
+}
+
+TEST(Flatten, SubtreeDevices) {
+  const FlatDesign design = FlatDesign::elaborate(twoLevelDesign());
+  EXPECT_EQ(design.subtreeDevices(0).size(), 9u);
+  const HierNodeId buf1 = design.root().children[0];
+  EXPECT_EQ(design.subtreeDevices(buf1).size(), 4u);
+  EXPECT_EQ(design.subtreeDeviceCount(buf1), 4u);
+}
+
+TEST(Flatten, MaxSubcircuitSize) {
+  const FlatDesign design = FlatDesign::elaborate(twoLevelDesign());
+  EXPECT_EQ(design.maxSubcircuitSize(), 4u);  // each buf holds 4 devices
+}
+
+TEST(Flatten, CountsMatchLibraryPredictions) {
+  const Library lib = twoLevelDesign();
+  const FlatDesign design = FlatDesign::elaborate(lib);
+  EXPECT_EQ(design.devices().size(), lib.flatDeviceCount());
+  EXPECT_EQ(design.nets().size(), lib.flatNetCount());
+}
+
+}  // namespace
+}  // namespace ancstr

@@ -1,0 +1,185 @@
+#include "netlist/netlist.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace ancstr {
+namespace {
+
+Device makeNmos(const std::string& name, NetId d, NetId g, NetId s, NetId b) {
+  Device dev;
+  dev.name = name;
+  dev.type = DeviceType::kNch;
+  dev.pins = {{PinFunction::kDrain, d},
+              {PinFunction::kGate, g},
+              {PinFunction::kSource, s},
+              {PinFunction::kBulk, b}};
+  return dev;
+}
+
+TEST(SubcktDef, AddNetIsIdempotentByName) {
+  SubcktDef def("cell");
+  const NetId a = def.addNet("n1");
+  const NetId b = def.addNet("N1");  // case-insensitive
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(def.nets().size(), 1u);
+}
+
+TEST(SubcktDef, PortOrderFollowsDeclaration) {
+  SubcktDef def("cell");
+  def.addNet("p2", true);
+  def.addNet("p1", true);
+  ASSERT_EQ(def.ports().size(), 2u);
+  EXPECT_EQ(def.net(def.ports()[0]).name, "p2");
+  EXPECT_EQ(def.net(def.ports()[1]).name, "p1");
+}
+
+TEST(SubcktDef, PromotingExistingNetToPort) {
+  SubcktDef def("cell");
+  const NetId n = def.addNet("x");
+  EXPECT_FALSE(def.net(n).isPort);
+  def.addNet("x", true);
+  EXPECT_TRUE(def.net(n).isPort);
+  EXPECT_EQ(def.ports().size(), 1u);
+}
+
+TEST(SubcktDef, DeviceTerminalsRecordedOnNets) {
+  SubcktDef def("cell");
+  const NetId d = def.addNet("d");
+  const NetId g = def.addNet("g");
+  const NetId s = def.addNet("s");
+  const DeviceId id = def.addDevice(makeNmos("m1", d, g, s, s));
+  EXPECT_EQ(def.net(d).deviceTerminals.size(), 1u);
+  EXPECT_EQ(def.net(s).deviceTerminals.size(), 2u);  // source + bulk
+  EXPECT_EQ(def.net(d).deviceTerminals[0].first, id);
+}
+
+TEST(SubcktDef, DuplicateDeviceNameThrows) {
+  SubcktDef def("cell");
+  const NetId n = def.addNet("n");
+  def.addDevice(makeNmos("m1", n, n, n, n));
+  EXPECT_THROW(def.addDevice(makeNmos("M1", n, n, n, n)), NetlistError);
+}
+
+TEST(SubcktDef, FindByNameIsCaseInsensitive) {
+  SubcktDef def("cell");
+  const NetId n = def.addNet("Net_A");
+  def.addDevice(makeNmos("M5", n, n, n, n));
+  EXPECT_EQ(def.findNet("net_a"), n);
+  EXPECT_TRUE(def.findDevice("m5").has_value());
+  EXPECT_FALSE(def.findDevice("m6").has_value());
+}
+
+TEST(Library, DuplicateSubcktThrows) {
+  Library lib;
+  lib.addSubckt("a");
+  EXPECT_THROW(lib.addSubckt("A"), NetlistError);
+}
+
+TEST(Library, TopDefaultsToUninstantiated) {
+  Library lib;
+  const SubcktId leaf = lib.addSubckt("leaf");
+  lib.mutableSubckt(leaf).addNet("p", true);
+  const SubcktId top = lib.addSubckt("top");
+  Instance inst;
+  inst.name = "x1";
+  inst.master = leaf;
+  inst.connections = {lib.mutableSubckt(top).addNet("n")};
+  lib.mutableSubckt(top).addInstance(std::move(inst));
+  EXPECT_EQ(lib.top(), top);
+}
+
+TEST(Library, EmptyLibraryHasNoTop) {
+  Library lib;
+  EXPECT_THROW(lib.top(), NetlistError);
+}
+
+TEST(Library, ValidateCatchesPortArityMismatch) {
+  Library lib;
+  const SubcktId leaf = lib.addSubckt("leaf");
+  lib.mutableSubckt(leaf).addNet("p1", true);
+  lib.mutableSubckt(leaf).addNet("p2", true);
+  const SubcktId top = lib.addSubckt("top");
+  Instance inst;
+  inst.name = "x1";
+  inst.master = leaf;
+  inst.connections = {lib.mutableSubckt(top).addNet("n")};  // 1 of 2
+  lib.mutableSubckt(top).addInstance(std::move(inst));
+  EXPECT_THROW(lib.validate(), NetlistError);
+}
+
+TEST(Library, ValidateCatchesWrongPinCount) {
+  Library lib;
+  const SubcktId cell = lib.addSubckt("cell");
+  SubcktDef& def = lib.mutableSubckt(cell);
+  Device dev;
+  dev.name = "m1";
+  dev.type = DeviceType::kNch;  // needs 4 pins
+  dev.pins = {{PinFunction::kDrain, def.addNet("a")}};
+  def.addDevice(std::move(dev));
+  EXPECT_THROW(lib.validate(), NetlistError);
+}
+
+TEST(Library, ValidateCatchesRecursion) {
+  Library lib;
+  const SubcktId a = lib.addSubckt("a");
+  const SubcktId bId = lib.addSubckt("b");
+  {
+    Instance inst;
+    inst.name = "xb";
+    inst.master = bId;
+    lib.mutableSubckt(a).addInstance(std::move(inst));
+  }
+  {
+    Instance inst;
+    inst.name = "xa";
+    inst.master = a;
+    lib.mutableSubckt(bId).addInstance(std::move(inst));
+  }
+  EXPECT_THROW(lib.validate(), NetlistError);
+}
+
+TEST(Library, FlatCountsMultiplyThroughHierarchy) {
+  Library lib;
+  const SubcktId leaf = lib.addSubckt("leaf");
+  {
+    SubcktDef& def = lib.mutableSubckt(leaf);
+    const NetId p = def.addNet("p", true);
+    def.addNet("internal");
+    def.addDevice(makeNmos("m1", p, p, p, p));
+    def.addDevice(makeNmos("m2", p, p, p, p));
+  }
+  const SubcktId top = lib.addSubckt("top");
+  {
+    SubcktDef& def = lib.mutableSubckt(top);
+    const NetId n = def.addNet("n");
+    for (int i = 0; i < 3; ++i) {
+      Instance inst;
+      inst.name = "x" + std::to_string(i);
+      inst.master = leaf;
+      inst.connections = {n};
+      def.addInstance(std::move(inst));
+    }
+  }
+  EXPECT_EQ(lib.flatDeviceCount(), 6u);
+  // 3 internal nets (one per instance) + top net "n".
+  EXPECT_EQ(lib.flatNetCount(), 4u);
+}
+
+TEST(DeviceParams, EffectiveLayersUsesTypeDefault) {
+  DeviceParams p;
+  EXPECT_EQ(p.effectiveLayers(DeviceType::kCapMom), 4);
+  p.layers = 6;
+  EXPECT_EQ(p.effectiveLayers(DeviceType::kCapMom), 6);
+}
+
+TEST(Device, PinNetLookup) {
+  Device dev = makeNmos("m1", 3, 5, 7, 9);
+  EXPECT_EQ(dev.pinNet(PinFunction::kGate), 5u);
+  EXPECT_EQ(dev.pinNet(PinFunction::kDrain), 3u);
+  EXPECT_FALSE(dev.pinNet(PinFunction::kAnode).has_value());
+}
+
+}  // namespace
+}  // namespace ancstr

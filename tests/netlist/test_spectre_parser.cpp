@@ -1,0 +1,159 @@
+#include "netlist/spectre_parser.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "netlist/spice_parser.h"
+#include "netlist/spice_writer.h"
+#include "util/error.h"
+
+namespace ancstr {
+namespace {
+
+TEST(SpectreParser, ParsesSubcktWithPrimitives) {
+  const char* text = R"(
+// Spectre netlist
+simulator lang=spectre
+subckt ota (vinp vinn vout vdd vss)
+M1 (n1 vinp tail vss) nch_lvt w=4u l=0.2u nf=2
+M2 (vout vinn tail vss) nch_lvt w=4u l=0.2u nf=2
+MT (tail vbn vss vss) nch w=8u l=0.4u
+R1 (n1 vdd) resistor r=5k
+C1 (vout vss) capacitor c=60f
+ends ota
+)";
+  const Library lib = parseSpectre(text);
+  const auto id = lib.findSubckt("ota");
+  ASSERT_TRUE(id.has_value());
+  const SubcktDef& ota = lib.subckt(*id);
+  EXPECT_EQ(ota.ports().size(), 5u);
+  EXPECT_EQ(ota.devices().size(), 5u);
+  const Device& m1 = ota.device(*ota.findDevice("m1"));
+  EXPECT_EQ(m1.type, DeviceType::kNchLvt);
+  EXPECT_DOUBLE_EQ(m1.params.w, 4e-6);
+  EXPECT_EQ(m1.params.nf, 2);
+  const Device& r1 = ota.device(*ota.findDevice("r1"));
+  EXPECT_DOUBLE_EQ(r1.params.value, 5000.0);
+  const Device& c1 = ota.device(*ota.findDevice("c1"));
+  EXPECT_DOUBLE_EQ(c1.params.value, 60e-15);
+}
+
+TEST(SpectreParser, HierarchyAndInstances) {
+  const char* text = R"(
+subckt inv (in out vdd vss)
+MP (out in vdd vdd) pch w=2u l=0.1u
+MN (out in vss vss) nch w=1u l=0.1u
+ends inv
+subckt buf (in out vdd vss)
+x1 (in mid vdd vss) inv
+x2 (mid out vdd vss) inv
+ends buf
+)";
+  const Library lib = parseSpectre(text);
+  EXPECT_EQ(lib.flatDeviceCount(), 4u);
+  EXPECT_EQ(lib.top(), *lib.findSubckt("buf"));
+}
+
+TEST(SpectreParser, ParametersAndContinuations) {
+  const char* text =
+      "subckt cell (d g s)\n"
+      "parameters wu=1u lmin=0.1u\n"
+      "M1 (d g s s) nch \\\n"
+      "   w=wu*3 l=lmin\n"
+      "ends cell\n";
+  const Library lib = parseSpectre(text);
+  const Device& m1 = lib.subckt(0).device(0);
+  EXPECT_DOUBLE_EQ(m1.params.w, 3e-6);
+  EXPECT_DOUBLE_EQ(m1.params.l, 1e-7);
+}
+
+TEST(SpectreParser, NodeListWithoutParentheses) {
+  const char* text =
+      "subckt cell a b\n"
+      "R1 a b resistor r=2k\n"
+      "ends\n";
+  const Library lib = parseSpectre(text);
+  EXPECT_DOUBLE_EQ(lib.subckt(0).device(0).params.value, 2000.0);
+}
+
+TEST(SpectreParser, CommentsIgnored) {
+  const char* text =
+      "* spice-style comment line\n"
+      "subckt c (a b)\n"
+      "R1 (a b) resistor r=1k // trailing comment\n"
+      "ends\n";
+  const Library lib = parseSpectre(text);
+  EXPECT_EQ(lib.subckt(0).devices().size(), 1u);
+}
+
+TEST(SpectreParser, InductorLengthIsValue) {
+  const char* text =
+      "subckt c (a b)\nL1 (a b) inductor l=2n\nends\n";
+  const Library lib = parseSpectre(text);
+  const Device& l1 = lib.subckt(0).device(0);
+  EXPECT_EQ(l1.type, DeviceType::kInd);
+  EXPECT_DOUBLE_EQ(l1.params.value, 2e-9);
+}
+
+TEST(SpectreParser, Errors) {
+  EXPECT_THROW(parseSpectre("subckt c (a\nends\n"), ParseError);  // unbalanced
+  EXPECT_THROW(parseSpectre("subckt c (a b)\nR1 (a b) nosuchmaster\nends\n"),
+               ParseError);
+  EXPECT_THROW(parseSpectre("subckt c (a b)\nR1 (a b) resistor r=1k\n"),
+               ParseError);  // missing ends
+  EXPECT_THROW(parseSpectre("ends\n"), ParseError);
+  EXPECT_THROW(
+      parseSpectre("subckt c (a b)\nM1 (a b) nch w=1u l=1u\nends\n"),
+      ParseError);  // too few MOS nodes
+}
+
+TEST(SpectreParser, EquivalentToSpiceVersion) {
+  // The same circuit through both dialects elaborates identically.
+  const char* spectre = R"(
+subckt cell (a b vss)
+M1 (a b vss vss) nch w=2u l=0.1u
+R1 (a b) resistor r=1k
+ends cell
+)";
+  const char* spice = R"(
+.subckt cell a b vss
+m1 a b vss vss nch w=2u l=0.1u
+r1 a b 1k rppoly
+.ends
+)";
+  const Library a = parseSpectre(spectre);
+  const Library b = parseSpice(spice);
+  EXPECT_EQ(a.flatDeviceCount(), b.flatDeviceCount());
+  EXPECT_EQ(a.flatNetCount(), b.flatNetCount());
+}
+
+TEST(SpectreParser, FileDispatchBySniffing) {
+  const std::string dir = testing::TempDir();
+  const std::string spectrePath = dir + "/t1.sp";
+  {
+    std::ofstream out(spectrePath);
+    out << "simulator lang=spectre\nsubckt c (a b)\nR1 (a b) resistor "
+           "r=1k\nends\n";
+  }
+  const Library viaSniff = parseNetlistFile(spectrePath);
+  EXPECT_TRUE(viaSniff.findSubckt("c").has_value());
+
+  const std::string spicePath = dir + "/t2.sp";
+  {
+    std::ofstream out(spicePath);
+    out << ".subckt c a b\nr1 a b 1k\n.ends\n";
+  }
+  const Library viaSpice = parseNetlistFile(spicePath);
+  EXPECT_TRUE(viaSpice.findSubckt("c").has_value());
+
+  const std::string scsPath = dir + "/t3.scs";
+  {
+    std::ofstream out(scsPath);
+    out << "subckt c (a b)\nR1 (a b) resistor r=1k\nends\n";
+  }
+  EXPECT_TRUE(parseNetlistFile(scsPath).findSubckt("c").has_value());
+}
+
+}  // namespace
+}  // namespace ancstr

@@ -1,0 +1,204 @@
+#include "netlist/spice_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace ancstr {
+namespace {
+
+TEST(SpiceParser, ParsesSubcktWithMos) {
+  const char* text = R"(
+* comment
+.subckt inv in out vdd vss
+mp out in vdd vdd pch w=2u l=0.1u
+mn out in vss vss nch w=1u l=0.1u
+.ends inv
+.end
+)";
+  Library lib = parseSpice(text);
+  const auto id = lib.findSubckt("inv");
+  ASSERT_TRUE(id.has_value());
+  const SubcktDef& inv = lib.subckt(*id);
+  EXPECT_EQ(inv.devices().size(), 2u);
+  EXPECT_EQ(inv.ports().size(), 4u);
+  const Device& mp = inv.device(*inv.findDevice("mp"));
+  EXPECT_EQ(mp.type, DeviceType::kPch);
+  EXPECT_DOUBLE_EQ(mp.params.w, 2e-6);
+  EXPECT_DOUBLE_EQ(mp.params.l, 1e-7);
+}
+
+TEST(SpiceParser, ContinuationLinesJoin) {
+  const char* text =
+      ".subckt cell a b vss\n"
+      "m1 a b\n"
+      "+ vss vss nch\n"
+      "+ w=1u l=0.1u\n"
+      ".ends\n";
+  Library lib = parseSpice(text);
+  const SubcktDef& cell = lib.subckt(0);
+  ASSERT_EQ(cell.devices().size(), 1u);
+  EXPECT_DOUBLE_EQ(cell.device(0).params.w, 1e-6);
+}
+
+TEST(SpiceParser, CommentsStripped) {
+  const char* text =
+      "* full line\n"
+      ".subckt cell a vss ; trailing\n"
+      "r1 a vss 1k $ dollar comment\n"
+      ".ends\n";
+  Library lib = parseSpice(text);
+  EXPECT_DOUBLE_EQ(lib.subckt(0).device(0).params.value, 1000.0);
+}
+
+TEST(SpiceParser, ParamsAndExpressions) {
+  const char* text = R"(
+.param wunit=1u lmin=0.1u
+.subckt cell d g vss
+m1 d g vss vss nch w={wunit*4} l='lmin*2'
+.ends
+)";
+  Library lib = parseSpice(text);
+  const Device& m1 = lib.subckt(0).device(0);
+  EXPECT_DOUBLE_EQ(m1.params.w, 4e-6);
+  EXPECT_DOUBLE_EQ(m1.params.l, 2e-7);
+}
+
+TEST(SpiceParser, SubcktLocalParamsShadowGlobals) {
+  const char* text = R"(
+.param w0=1u
+.subckt cell d vss
+.param w0=3u
+m1 d d vss vss nch w=w0 l=0.1u
+.ends
+.subckt other d vss
+m1 d d vss vss nch w=w0 l=0.1u
+.ends
+)";
+  Library lib = parseSpice(text);
+  EXPECT_DOUBLE_EQ(lib.subckt(*lib.findSubckt("cell")).device(0).params.w,
+                   3e-6);
+  EXPECT_DOUBLE_EQ(lib.subckt(*lib.findSubckt("other")).device(0).params.w,
+                   1e-6);
+}
+
+TEST(SpiceParser, PassiveValueAndModelInEitherOrder) {
+  const char* text =
+      ".subckt cell a b\n"
+      "r1 a b 5k rppoly\n"
+      "r2 a b rppoly 5k\n"
+      "c1 a b 10f cfmom layers=5\n"
+      ".ends\n";
+  Library lib = parseSpice(text);
+  const SubcktDef& cell = lib.subckt(0);
+  EXPECT_DOUBLE_EQ(cell.device(*cell.findDevice("r1")).params.value, 5000.0);
+  EXPECT_DOUBLE_EQ(cell.device(*cell.findDevice("r2")).params.value, 5000.0);
+  const Device& c1 = cell.device(*cell.findDevice("c1"));
+  EXPECT_EQ(c1.type, DeviceType::kCapMom);
+  EXPECT_EQ(c1.params.layers, 5);
+}
+
+TEST(SpiceParser, InstancesResolve) {
+  const char* text = R"(
+.subckt inv in out vdd vss
+mp out in vdd vdd pch w=2u l=0.1u
+mn out in vss vss nch w=1u l=0.1u
+.ends
+.subckt buf in out vdd vss
+x1 in mid inv vdd ... bad
+.ends
+)";
+  // The x-card above is malformed on purpose: master must be last token.
+  EXPECT_THROW(parseSpice(text), ParseError);
+
+  const char* good = R"(
+.subckt inv in out vdd vss
+mp out in vdd vdd pch w=2u l=0.1u
+mn out in vss vss nch w=1u l=0.1u
+.ends
+.subckt buf in out vdd vss
+x1 in mid vdd vss inv
+x2 mid out vdd vss inv
+.ends
+)";
+  Library lib = parseSpice(good);
+  const SubcktDef& buf = lib.subckt(*lib.findSubckt("buf"));
+  EXPECT_EQ(buf.instances().size(), 2u);
+  EXPECT_EQ(lib.flatDeviceCount(), 4u);
+}
+
+TEST(SpiceParser, ForwardReferenceRejected) {
+  const char* text = R"(
+.subckt top a
+x1 a later
+.ends
+.subckt later a
+r1 a a2 1k
+.ends
+)";
+  EXPECT_THROW(parseSpice(text), ParseError);
+}
+
+TEST(SpiceParser, MissingEndsRejected) {
+  EXPECT_THROW(parseSpice(".subckt cell a\nr1 a b 1k\n"), ParseError);
+}
+
+TEST(SpiceParser, NonMosModelOnMosCardRejected) {
+  EXPECT_THROW(
+      parseSpice(".subckt c a\nm1 a a a a rppoly w=1u l=1u\n.ends\n"),
+      ParseError);
+}
+
+TEST(SpiceParser, TopLevelDevicesGoToImplicitTop) {
+  SpiceParseOptions options;
+  options.topName = "main";
+  Library lib = parseSpice("r1 a b 2k\nc1 b 0 1p\n", "<mem>", options);
+  const auto id = lib.findSubckt("main");
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(lib.subckt(*id).devices().size(), 2u);
+  EXPECT_EQ(lib.top(), *id);
+}
+
+TEST(SpiceParser, SourceCardsAreSkipped) {
+  Library lib = parseSpice("v1 vdd 0 1.8\nr1 vdd out 1k\n");
+  EXPECT_EQ(lib.subckt(lib.top()).devices().size(), 1u);
+}
+
+TEST(SpiceParser, BjtAndDiodeCards) {
+  const char* text =
+      ".subckt cell c b e a k\n"
+      "q1 c b e npn\n"
+      "d1 a k diode_nw\n"
+      ".ends\n";
+  Library lib = parseSpice(text);
+  const SubcktDef& cell = lib.subckt(0);
+  EXPECT_EQ(cell.device(*cell.findDevice("q1")).type, DeviceType::kNpn);
+  EXPECT_EQ(cell.device(*cell.findDevice("d1")).type, DeviceType::kDio);
+}
+
+TEST(SpiceParser, SpacesAroundEqualsNormalized) {
+  Library lib = parseSpice(
+      ".subckt c d vss\nm1 d d vss vss nch w = 2u l= 0.1u\n.ends\n");
+  EXPECT_DOUBLE_EQ(lib.subckt(0).device(0).params.w, 2e-6);
+}
+
+TEST(SpiceParser, ErrorCarriesLineNumber) {
+  try {
+    parseSpice("r1 a b 1k\nbogus card here\n", "deck.sp");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_EQ(e.file(), "deck.sp");
+  }
+}
+
+TEST(SpiceParser, StrictDirectivesMode) {
+  SpiceParseOptions strict;
+  strict.strictDirectives = true;
+  EXPECT_THROW(parseSpice(".unknowndirective\n", "<mem>", strict),
+               ParseError);
+  EXPECT_NO_THROW(parseSpice(".unknowndirective\n"));
+}
+
+}  // namespace
+}  // namespace ancstr

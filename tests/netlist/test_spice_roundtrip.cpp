@@ -1,0 +1,72 @@
+// Writer/parser round-trip: serialising a library and re-parsing it must
+// preserve structure (device/net/instance counts, types, sizing).
+#include <gtest/gtest.h>
+
+#include "circuits/benchmark.h"
+#include "netlist/builder.h"
+#include "netlist/flatten.h"
+#include "netlist/spice_parser.h"
+#include "netlist/spice_writer.h"
+
+namespace ancstr {
+namespace {
+
+void expectStructurallyEqual(const Library& a, const Library& b) {
+  ASSERT_EQ(a.subcktCount(), b.subcktCount());
+  EXPECT_EQ(a.flatDeviceCount(), b.flatDeviceCount());
+  EXPECT_EQ(a.flatNetCount(), b.flatNetCount());
+  for (SubcktId i = 0; i < a.subcktCount(); ++i) {
+    const SubcktDef& sa = a.subckt(i);
+    const auto idB = b.findSubckt(sa.name());
+    ASSERT_TRUE(idB.has_value()) << sa.name();
+    const SubcktDef& sb = b.subckt(*idB);
+    EXPECT_EQ(sa.devices().size(), sb.devices().size()) << sa.name();
+    EXPECT_EQ(sa.instances().size(), sb.instances().size()) << sa.name();
+    EXPECT_EQ(sa.ports().size(), sb.ports().size()) << sa.name();
+    for (const Device& dev : sa.devices()) {
+      const auto devB = sb.findDevice(dev.name);
+      ASSERT_TRUE(devB.has_value()) << dev.name;
+      const Device& other = sb.device(*devB);
+      EXPECT_EQ(dev.type, other.type) << dev.name;
+      EXPECT_NEAR(dev.params.w, other.params.w, 1e-12);
+      EXPECT_NEAR(dev.params.l, other.params.l, 1e-12);
+      EXPECT_NEAR(dev.params.value, other.params.value,
+                  std::abs(dev.params.value) * 1e-9);
+      EXPECT_EQ(dev.params.nf, other.params.nf);
+    }
+  }
+}
+
+TEST(SpiceRoundTrip, SimpleHierarchy) {
+  NetlistBuilder b;
+  b.beginSubckt("inv", {"in", "out", "vdd", "vss"});
+  b.pmos("mp", "out", "in", "vdd", "vdd", 2e-6, 0.1e-6);
+  b.nmos("mn", "out", "in", "vss", "vss", 1e-6, 0.1e-6, 2);
+  b.endSubckt();
+  b.beginSubckt("buf", {"in", "out", "vdd", "vss"});
+  b.inst("x1", "inv", {"in", "mid", "vdd", "vss"});
+  b.inst("x2", "inv", {"mid", "out", "vdd", "vss"});
+  b.cap("cl", "out", "vss", 10e-15);
+  b.endSubckt();
+  Library lib = b.build("buf");
+
+  Library reparsed = parseSpice(writeSpice(lib));
+  expectStructurallyEqual(lib, reparsed);
+}
+
+TEST(SpiceRoundTrip, AllBlockBenchmarks) {
+  for (const auto& bench : circuits::blockBenchmarks()) {
+    SCOPED_TRACE(bench.name);
+    Library reparsed = parseSpice(writeSpice(bench.lib), bench.name);
+    expectStructurallyEqual(bench.lib, reparsed);
+  }
+}
+
+TEST(SpiceRoundTrip, AdcBenchmark) {
+  const auto bench = circuits::adcBenchmark(1);
+  Library reparsed = parseSpice(writeSpice(bench.lib), bench.name);
+  expectStructurallyEqual(bench.lib, reparsed);
+}
+
+}  // namespace
+}  // namespace ancstr

@@ -1,0 +1,82 @@
+#include "netlist/spice_writer.h"
+
+#include <gtest/gtest.h>
+
+#include "netlist/builder.h"
+#include "util/error.h"
+
+namespace ancstr {
+namespace {
+
+Library smallLib() {
+  NetlistBuilder b;
+  b.beginSubckt("cell", {"a", "k", "c", "bnet", "e", "vss"});
+  b.dio("d1", "a", "k");
+  b.nmos("m1", "a", "k", "vss", "vss", 2e-6, 0.1e-6, 3);
+  b.res("r1", "a", "k", 1234.0);
+  b.cap("cx", "a", "vss", 5e-15, DeviceType::kCapMim, 2);
+  b.endSubckt();
+  return b.build("cell");
+}
+
+TEST(SpiceWriter, EmitsCanonicalCards) {
+  const std::string text = writeSpice(smallLib());
+  EXPECT_NE(text.find(".subckt cell a k c bnet e vss"), std::string::npos);
+  EXPECT_NE(text.find("d1 a k dio"), std::string::npos);
+  EXPECT_NE(text.find("m1 a k vss vss nch w=2e-06 l=1e-07 nf=3"),
+            std::string::npos);
+  EXPECT_NE(text.find("r1 a k 1234 res_poly"), std::string::npos);
+  EXPECT_NE(text.find("cx a vss 5e-15 cap_mim layers=2"), std::string::npos);
+  EXPECT_NE(text.find(".ends cell"), std::string::npos);
+  EXPECT_NE(text.find(".end"), std::string::npos);
+}
+
+TEST(SpiceWriter, PrefixesMismatchedCardLetters) {
+  NetlistBuilder b;
+  b.beginSubckt("cell", {"a", "b"});
+  // Device named without the canonical leading letter.
+  b.res("load", "a", "b", 1e3);
+  b.endSubckt();
+  const std::string text = writeSpice(b.build("cell"));
+  EXPECT_NE(text.find("rload a b"), std::string::npos);
+}
+
+TEST(SpiceWriter, MastersEmittedBeforeUsers) {
+  NetlistBuilder b;
+  b.beginSubckt("leaf", {"p"});
+  b.res("r1", "p", "q", 1.0);
+  b.endSubckt();
+  b.beginSubckt("top", {"x"});
+  b.inst("u1", "leaf", {"x"});
+  b.endSubckt();
+  const std::string text = writeSpice(b.build("top"));
+  EXPECT_LT(text.find(".subckt leaf"), text.find(".subckt top"));
+  EXPECT_NE(text.find("xu1 x leaf"), std::string::npos);
+}
+
+TEST(SpiceWriter, MultiplierEmitted) {
+  Library lib;
+  const SubcktId id = lib.addSubckt("cell");
+  SubcktDef& def = lib.mutableSubckt(id);
+  const NetId a = def.addNet("a", true);
+  Device dev;
+  dev.name = "m1";
+  dev.type = DeviceType::kNch;
+  dev.params.w = 1e-6;
+  dev.params.l = 1e-7;
+  dev.params.m = 4;
+  dev.pins = {{PinFunction::kDrain, a},
+              {PinFunction::kGate, a},
+              {PinFunction::kSource, a},
+              {PinFunction::kBulk, a}};
+  def.addDevice(std::move(dev));
+  const std::string text = writeSpice(lib);
+  EXPECT_NE(text.find(" m=4"), std::string::npos);
+}
+
+TEST(SpiceWriter, FileWriteFailureThrows) {
+  EXPECT_THROW(writeSpiceFile(smallLib(), "/no/such/dir/out.sp"), Error);
+}
+
+}  // namespace
+}  // namespace ancstr

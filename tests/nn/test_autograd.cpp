@@ -1,0 +1,200 @@
+// Gradient checks for every autograd op: analytic gradients from the tape
+// are compared against central finite differences.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/init.h"
+#include "nn/tensor.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace ancstr::nn {
+namespace {
+
+/// Central-difference gradient of f(params) wrt params[which](r, c).
+double numericalGrad(const std::vector<Tensor>& params, std::size_t which,
+                     std::size_t r, std::size_t c,
+                     const std::function<Tensor()>& f, double eps = 1e-6) {
+  Matrix base = params[which].value();
+  Matrix plus = base;
+  plus(r, c) += eps;
+  const_cast<Tensor&>(params[which]).setValue(plus);
+  const double up = f().value()(0, 0);
+  Matrix minus = base;
+  minus(r, c) -= eps;
+  const_cast<Tensor&>(params[which]).setValue(minus);
+  const double down = f().value()(0, 0);
+  const_cast<Tensor&>(params[which]).setValue(base);
+  return (up - down) / (2.0 * eps);
+}
+
+/// Checks every entry of every parameter against finite differences.
+void checkGradients(const std::vector<Tensor>& params,
+                    const std::function<Tensor()>& f, double tol = 1e-5) {
+  for (const Tensor& p : params) const_cast<Tensor&>(p).zeroGrad();
+  Tensor loss = f();
+  loss.backward();
+  for (std::size_t k = 0; k < params.size(); ++k) {
+    const Matrix& grad = params[k].grad();
+    ASSERT_FALSE(grad.empty()) << "param " << k << " got no gradient";
+    for (std::size_t r = 0; r < grad.rows(); ++r) {
+      for (std::size_t c = 0; c < grad.cols(); ++c) {
+        const double expected = numericalGrad(params, k, r, c, f);
+        EXPECT_NEAR(grad(r, c), expected, tol)
+            << "param " << k << " entry (" << r << "," << c << ")";
+      }
+    }
+  }
+}
+
+Tensor randomParam(std::size_t rows, std::size_t cols, Rng& rng) {
+  return Tensor::param(uniform(rows, cols, -1.0, 1.0, rng));
+}
+
+TEST(Autograd, MatmulGradient) {
+  Rng rng(1);
+  Tensor a = randomParam(3, 4, rng);
+  Tensor b = randomParam(4, 2, rng);
+  checkGradients({a, b}, [&] { return sumAll(matmul(a, b)); });
+}
+
+TEST(Autograd, AddSubGradient) {
+  Rng rng(2);
+  Tensor a = randomParam(3, 3, rng);
+  Tensor b = randomParam(3, 3, rng);
+  checkGradients({a, b}, [&] {
+    return sumAll(sub(add(a, b), hadamard(a, b)));
+  });
+}
+
+TEST(Autograd, HadamardGradient) {
+  Rng rng(3);
+  Tensor a = randomParam(2, 5, rng);
+  Tensor b = randomParam(2, 5, rng);
+  checkGradients({a, b}, [&] { return sumAll(hadamard(a, b)); });
+}
+
+TEST(Autograd, ScaleGradient) {
+  Rng rng(4);
+  Tensor a = randomParam(2, 3, rng);
+  checkGradients({a}, [&] { return sumAll(scale(a, -2.5)); });
+}
+
+TEST(Autograd, SigmoidGradient) {
+  Rng rng(5);
+  Tensor a = randomParam(3, 3, rng);
+  checkGradients({a}, [&] { return sumAll(sigmoid(a)); });
+}
+
+TEST(Autograd, TanhGradient) {
+  Rng rng(6);
+  Tensor a = randomParam(3, 3, rng);
+  checkGradients({a}, [&] { return sumAll(tanh(a)); });
+}
+
+TEST(Autograd, LogSigmoidGradient) {
+  Rng rng(7);
+  Tensor a = randomParam(3, 3, rng);
+  checkGradients({a}, [&] { return sumAll(logSigmoid(a)); });
+}
+
+TEST(Autograd, LogSigmoidStableForLargeNegatives) {
+  Tensor a = Tensor::param(Matrix(1, 2, std::vector<double>{-500.0, 500.0}));
+  Tensor out = logSigmoid(a);
+  EXPECT_NEAR(out.value()(0, 0), -500.0, 1e-9);
+  EXPECT_NEAR(out.value()(0, 1), 0.0, 1e-9);
+  Tensor loss = sumAll(out);
+  loss.backward();
+  EXPECT_TRUE(std::isfinite(a.grad()(0, 0)));
+  EXPECT_NEAR(a.grad()(0, 0), 1.0, 1e-9);   // d/dx ~ 1 - sigmoid(-500)
+  EXPECT_NEAR(a.grad()(0, 1), 0.0, 1e-9);
+}
+
+TEST(Autograd, OneMinusGradient) {
+  Rng rng(8);
+  Tensor a = randomParam(2, 2, rng);
+  checkGradients({a}, [&] { return sumAll(hadamard(oneMinus(a), a)); });
+}
+
+TEST(Autograd, AddRowGradient) {
+  Rng rng(9);
+  Tensor a = randomParam(4, 3, rng);
+  Tensor bias = randomParam(1, 3, rng);
+  checkGradients({a, bias}, [&] { return sumAll(sigmoid(addRow(a, bias))); });
+}
+
+TEST(Autograd, GatherRowsGradient) {
+  Rng rng(10);
+  Tensor a = randomParam(4, 3, rng);
+  // Repeated rows must accumulate.
+  checkGradients({a}, [&] {
+    return sumAll(hadamard(gatherRows(a, {0, 2, 0, 3}),
+                           gatherRows(a, {1, 1, 2, 0})));
+  });
+}
+
+TEST(Autograd, RowScaleGradient) {
+  Rng rng(21);
+  Tensor a = randomParam(3, 4, rng);
+  checkGradients({a}, [&] {
+    return sumAll(sigmoid(rowScale(a, {0.5, -2.0, 3.0})));
+  });
+}
+
+TEST(Autograd, RowScaleShapeChecked) {
+  Tensor a = Tensor::param(Matrix(3, 2));
+  EXPECT_THROW(rowScale(a, {1.0, 2.0}), ShapeError);
+}
+
+TEST(Autograd, RowSumGradient) {
+  Rng rng(11);
+  Tensor a = randomParam(3, 4, rng);
+  checkGradients({a}, [&] { return sumAll(sigmoid(rowSum(a))); });
+}
+
+TEST(Autograd, SpmmGradient) {
+  Rng rng(12);
+  SparseMatrix adj(3, 3,
+                   {{0, 1, 1.0}, {1, 2, 2.0}, {2, 0, 1.0}, {0, 2, 1.0}});
+  Tensor h = randomParam(3, 4, rng);
+  checkGradients({h}, [&] { return sumAll(tanh(spmm(adj, h))); });
+}
+
+TEST(Autograd, CompositeExpressionGradient) {
+  Rng rng(13);
+  Tensor w1 = randomParam(3, 3, rng);
+  Tensor w2 = randomParam(3, 3, rng);
+  Tensor x = randomParam(2, 3, rng);
+  checkGradients({w1, w2, x}, [&] {
+    Tensor h = tanh(matmul(x, w1));
+    Tensor g = sigmoid(matmul(h, w2));
+    return sumAll(hadamard(g, h));
+  });
+}
+
+TEST(Autograd, ReusedNodeAccumulatesOnce) {
+  // f(a) = sum(a*a + a) -> grad = 2a + 1
+  Tensor a = Tensor::param(Matrix(1, 1, std::vector<double>{3.0}));
+  Tensor loss = sumAll(add(hadamard(a, a), a));
+  loss.backward();
+  EXPECT_NEAR(a.grad()(0, 0), 7.0, 1e-12);
+}
+
+TEST(Autograd, BackwardRequiresScalar) {
+  Tensor a = Tensor::param(Matrix(2, 2));
+  EXPECT_THROW(a.backward(), ShapeError);
+}
+
+TEST(Autograd, ConstantsGetNoGradient) {
+  Tensor c = Tensor::constant(Matrix(2, 2, 1.0));
+  Tensor p = Tensor::param(Matrix(2, 2, 2.0));
+  Tensor loss = sumAll(hadamard(c, p));
+  loss.backward();
+  EXPECT_TRUE(c.grad().empty());
+  EXPECT_FALSE(p.grad().empty());
+}
+
+}  // namespace
+}  // namespace ancstr::nn

@@ -1,0 +1,104 @@
+#include "nn/gru.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/init.h"
+#include "util/rng.h"
+
+namespace ancstr::nn {
+namespace {
+
+TEST(GruCell, OutputShapeAndRange) {
+  Rng rng(1);
+  GruCell cell(4, 6, rng);
+  Tensor x = Tensor::constant(uniform(3, 4, -2, 2, rng));
+  Tensor h = Tensor::constant(uniform(3, 6, -1, 1, rng));
+  const Tensor out = cell.forward(x, h);
+  EXPECT_EQ(out.rows(), 3u);
+  EXPECT_EQ(out.cols(), 6u);
+}
+
+TEST(GruCell, HasNineParameters) {
+  Rng rng(2);
+  GruCell cell(3, 3, rng);
+  EXPECT_EQ(cell.parameters().size(), 9u);
+}
+
+TEST(GruCell, InterpolatesBetweenStateAndCandidate) {
+  // h' = (1-z) h + z c with z, c in (0,1)/(-1,1): the update keeps h'
+  // bounded by max(|h|, 1).
+  Rng rng(3);
+  GruCell cell(3, 3, rng);
+  Tensor x = Tensor::constant(uniform(5, 3, -3, 3, rng));
+  Tensor h = Tensor::constant(uniform(5, 3, -0.5, 0.5, rng));
+  const Matrix& out = cell.forward(x, h).value();
+  for (std::size_t i = 0; i < out.rows(); ++i) {
+    for (std::size_t j = 0; j < out.cols(); ++j) {
+      EXPECT_LE(std::abs(out(i, j)), 1.0 + 1e-9);
+    }
+  }
+}
+
+TEST(GruCell, GradientsFlowToAllParameters) {
+  Rng rng(4);
+  GruCell cell(3, 3, rng);
+  Tensor x = Tensor::constant(uniform(2, 3, -1, 1, rng));
+  Tensor h = Tensor::constant(uniform(2, 3, -1, 1, rng));
+  Tensor loss = sumAll(cell.forward(x, h));
+  loss.backward();
+  for (const Tensor& p : cell.parameters()) {
+    ASSERT_FALSE(p.grad().empty());
+    EXPECT_GT(p.grad().maxAbs(), 0.0);
+  }
+}
+
+TEST(GruCell, GradientCheckAgainstFiniteDifferences) {
+  Rng rng(5);
+  GruCell cell(2, 2, rng);
+  Tensor x = Tensor::constant(uniform(2, 2, -1, 1, rng));
+  Tensor h = Tensor::constant(uniform(2, 2, -1, 1, rng));
+  auto f = [&] { return sumAll(cell.forward(x, h)); };
+
+  const auto params = cell.parameters();
+  for (const Tensor& p : params) const_cast<Tensor&>(p).zeroGrad();
+  Tensor loss = f();
+  loss.backward();
+
+  const double eps = 1e-6;
+  for (std::size_t k = 0; k < params.size(); ++k) {
+    Tensor& p = const_cast<Tensor&>(params[k]);
+    const Matrix base = p.value();
+    for (std::size_t r = 0; r < base.rows(); ++r) {
+      for (std::size_t c = 0; c < base.cols(); ++c) {
+        Matrix up = base;
+        up(r, c) += eps;
+        p.setValue(up);
+        const double lossUp = f().value()(0, 0);
+        Matrix down = base;
+        down(r, c) -= eps;
+        p.setValue(down);
+        const double lossDown = f().value()(0, 0);
+        p.setValue(base);
+        const double expected = (lossUp - lossDown) / (2 * eps);
+        EXPECT_NEAR(params[k].grad()(r, c), expected, 1e-5)
+            << "param " << k << " (" << r << "," << c << ")";
+      }
+    }
+  }
+}
+
+TEST(GruCell, DeterministicForSeed) {
+  Rng rngA(7), rngB(7);
+  GruCell a(3, 3, rngA), b(3, 3, rngB);
+  Rng inputRng(8);
+  const Matrix x = uniform(2, 3, -1, 1, inputRng);
+  const Matrix h(2, 3);
+  const Matrix outA =
+      a.forward(Tensor::constant(x), Tensor::constant(h)).value();
+  const Matrix outB =
+      b.forward(Tensor::constant(x), Tensor::constant(h)).value();
+  EXPECT_EQ(outA, outB);
+}
+
+}  // namespace
+}  // namespace ancstr::nn

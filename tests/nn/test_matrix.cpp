@@ -1,0 +1,118 @@
+#include "nn/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace ancstr::nn {
+namespace {
+
+TEST(Matrix, ConstructionAndIndexing) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 0.0);
+  m(1, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 5.0);
+}
+
+TEST(Matrix, DataCtorValidatesSize) {
+  EXPECT_THROW(Matrix(2, 2, std::vector<double>{1, 2, 3}), ShapeError);
+}
+
+TEST(Matrix, Identity) {
+  const Matrix eye = Matrix::identity(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(eye(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, ArithmeticOps) {
+  Matrix a(2, 2, std::vector<double>{1, 2, 3, 4});
+  Matrix b(2, 2, std::vector<double>{5, 6, 7, 8});
+  const Matrix sum = a + b;
+  EXPECT_DOUBLE_EQ(sum(0, 0), 6.0);
+  const Matrix diff = b - a;
+  EXPECT_DOUBLE_EQ(diff(1, 1), 4.0);
+  const Matrix scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(scaled(1, 0), 6.0);
+  const Matrix had = a.hadamard(b);
+  EXPECT_DOUBLE_EQ(had(0, 1), 12.0);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a(2, 2), b(2, 3);
+  EXPECT_THROW(a + b, ShapeError);
+  EXPECT_THROW(a.hadamard(b), ShapeError);
+  EXPECT_THROW(b.matmul(b), ShapeError);
+}
+
+TEST(Matrix, MatmulKnownResult) {
+  Matrix a(2, 3, std::vector<double>{1, 2, 3, 4, 5, 6});
+  Matrix b(3, 2, std::vector<double>{7, 8, 9, 10, 11, 12});
+  const Matrix c = a.matmul(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+TEST(Matrix, MatmulWithIdentity) {
+  Matrix a(3, 3, std::vector<double>{1, 2, 3, 4, 5, 6, 7, 8, 9});
+  EXPECT_EQ(a.matmul(Matrix::identity(3)), a);
+  EXPECT_EQ(Matrix::identity(3).matmul(a), a);
+}
+
+TEST(Matrix, Transpose) {
+  Matrix a(2, 3, std::vector<double>{1, 2, 3, 4, 5, 6});
+  const Matrix t = a.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  EXPECT_EQ(t.transposed(), a);
+}
+
+TEST(Matrix, Reductions) {
+  Matrix a(2, 2, std::vector<double>{3, -4, 0, 1});
+  EXPECT_DOUBLE_EQ(a.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(a.maxAbs(), 4.0);
+  EXPECT_NEAR(a.frobeniusNorm(), std::sqrt(26.0), 1e-12);
+}
+
+TEST(Matrix, AddScaled) {
+  Matrix a(1, 2, std::vector<double>{1, 2});
+  Matrix b(1, 2, std::vector<double>{10, 20});
+  a.addScaled(b, 0.5);
+  EXPECT_DOUBLE_EQ(a(0, 0), 6.0);
+  EXPECT_DOUBLE_EQ(a(0, 1), 12.0);
+}
+
+TEST(Matrix, CosineSimilarity) {
+  Matrix a(1, 3, std::vector<double>{1, 0, 0});
+  Matrix b(1, 3, std::vector<double>{0, 1, 0});
+  Matrix c(1, 3, std::vector<double>{2, 0, 0});
+  EXPECT_DOUBLE_EQ(Matrix::cosineSimilarity(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(Matrix::cosineSimilarity(a, c), 1.0);
+  EXPECT_DOUBLE_EQ(Matrix::cosineSimilarity(a, a * -1.0), -1.0);
+  EXPECT_DOUBLE_EQ(Matrix::cosineSimilarity(a, Matrix(1, 3)), 0.0);
+}
+
+TEST(Matrix, MapAppliesElementwise) {
+  Matrix a(1, 3, std::vector<double>{1, 2, 3});
+  const Matrix sq = a.map([](double x) { return x * x; });
+  EXPECT_DOUBLE_EQ(sq(0, 2), 9.0);
+}
+
+TEST(Matrix, RowCopy) {
+  Matrix a(2, 2, std::vector<double>{1, 2, 3, 4});
+  const Matrix r = a.rowCopy(1);
+  EXPECT_EQ(r.rows(), 1u);
+  EXPECT_DOUBLE_EQ(r(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(r(0, 1), 4.0);
+}
+
+}  // namespace
+}  // namespace ancstr::nn

@@ -1,0 +1,115 @@
+#include "nn/optim.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/tensor.h"
+
+namespace ancstr::nn {
+namespace {
+
+/// Quadratic bowl: f(p) = sum((p - target)^2). Minimum at target.
+Tensor bowlLoss(const Tensor& p, const Matrix& target) {
+  Tensor diff = sub(p, Tensor::constant(target));
+  return sumAll(hadamard(diff, diff));
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  Tensor p = Tensor::param(Matrix(2, 2, 5.0));
+  const Matrix target(2, 2, 1.0);
+  Sgd optimizer({p}, 0.1);
+  for (int i = 0; i < 200; ++i) {
+    optimizer.zeroGrad();
+    bowlLoss(p, target).backward();
+    optimizer.step();
+  }
+  EXPECT_NEAR((p.value() - target).maxAbs(), 0.0, 1e-6);
+}
+
+TEST(Sgd, MomentumAcceleratesDescent) {
+  Tensor slow = Tensor::param(Matrix(1, 1, 10.0));
+  Tensor fast = Tensor::param(Matrix(1, 1, 10.0));
+  const Matrix target(1, 1, 0.0);
+  Sgd plain({slow}, 0.01);
+  Sgd momentum({fast}, 0.01, 0.9);
+  for (int i = 0; i < 50; ++i) {
+    plain.zeroGrad();
+    bowlLoss(slow, target).backward();
+    plain.step();
+    momentum.zeroGrad();
+    bowlLoss(fast, target).backward();
+    momentum.step();
+  }
+  EXPECT_LT(std::abs(fast.value()(0, 0)), std::abs(slow.value()(0, 0)));
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  Tensor p = Tensor::param(Matrix(3, 1, -4.0));
+  const Matrix target(3, 1, 2.0);
+  Adam::Config config;
+  config.lr = 0.1;
+  Adam optimizer({p}, config);
+  for (int i = 0; i < 500; ++i) {
+    optimizer.zeroGrad();
+    bowlLoss(p, target).backward();
+    optimizer.step();
+  }
+  EXPECT_NEAR((p.value() - target).maxAbs(), 0.0, 1e-4);
+}
+
+TEST(Adam, FirstStepIsLearningRateSized) {
+  // With bias correction, |first update| ~= lr regardless of grad scale.
+  Tensor p = Tensor::param(Matrix(1, 1, 0.0));
+  Adam::Config config;
+  config.lr = 0.05;
+  Adam optimizer({p}, config);
+  Tensor loss = sumAll(scale(p, 1000.0));  // huge constant gradient
+  loss.backward();
+  optimizer.step();
+  EXPECT_NEAR(std::abs(p.value()(0, 0)), 0.05, 1e-6);
+}
+
+TEST(Adam, WeightDecayPullsTowardZero) {
+  Tensor p = Tensor::param(Matrix(1, 1, 1.0));
+  Adam::Config config;
+  config.lr = 0.01;
+  config.weightDecay = 1.0;
+  Adam optimizer({p}, config);
+  for (int i = 0; i < 300; ++i) {
+    optimizer.zeroGrad();
+    // Loss gradient zero: only decay acts.
+    sumAll(scale(p, 0.0)).backward();
+    optimizer.step();
+  }
+  EXPECT_LT(std::abs(p.value()(0, 0)), 0.1);
+}
+
+TEST(ClipGradNorm, ScalesDownLargeGradients) {
+  Tensor p = Tensor::param(Matrix(1, 2, std::vector<double>{3.0, 4.0}));
+  sumAll(hadamard(p, p)).backward();  // grad = 2p = (6, 8), norm 10
+  const double norm = clipGradNorm({p}, 5.0);
+  EXPECT_NEAR(norm, 10.0, 1e-9);
+  EXPECT_NEAR(p.grad()(0, 0), 3.0, 1e-9);
+  EXPECT_NEAR(p.grad()(0, 1), 4.0, 1e-9);
+}
+
+TEST(ClipGradNorm, LeavesSmallGradientsAlone) {
+  Tensor p = Tensor::param(Matrix(1, 1, 1.0));
+  sumAll(p).backward();  // grad = 1
+  clipGradNorm({p}, 5.0);
+  EXPECT_NEAR(p.grad()(0, 0), 1.0, 1e-12);
+}
+
+TEST(Optimizer, SkipsParamsWithoutGradients) {
+  Tensor used = Tensor::param(Matrix(1, 1, 1.0));
+  Tensor unused = Tensor::param(Matrix(1, 1, 7.0));
+  Adam optimizer({used, unused});
+  sumAll(used).backward();
+  optimizer.step();
+  EXPECT_DOUBLE_EQ(unused.value()(0, 0), 7.0);
+  EXPECT_NE(used.value()(0, 0), 1.0);
+}
+
+}  // namespace
+}  // namespace ancstr::nn

@@ -1,0 +1,66 @@
+#include "nn/sparse.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace ancstr::nn {
+namespace {
+
+TEST(SparseMatrix, DuplicateTripletsCoalesce) {
+  SparseMatrix m(2, 2, {{0, 1, 1.0}, {0, 1, 2.0}});
+  EXPECT_EQ(m.nonZeros(), 1u);
+  EXPECT_DOUBLE_EQ(m.toDense()(0, 1), 3.0);
+}
+
+TEST(SparseMatrix, OutOfRangeTripletThrows) {
+  EXPECT_THROW(SparseMatrix(2, 2, {{0, 5, 1.0}}), ShapeError);
+}
+
+TEST(SparseMatrix, MultiplyMatchesDense) {
+  Rng rng(6);
+  std::vector<Triplet> triplets;
+  for (int k = 0; k < 30; ++k) {
+    triplets.push_back({rng.index(7), rng.index(5), rng.uniform(-1, 1)});
+  }
+  SparseMatrix sparse(7, 5, triplets);
+  Matrix dense(5, 4);
+  for (std::size_t i = 0; i < dense.rows(); ++i) {
+    for (std::size_t j = 0; j < dense.cols(); ++j) {
+      dense(i, j) = rng.uniform(-1, 1);
+    }
+  }
+  const Matrix viaSparse = sparse.multiply(dense);
+  const Matrix viaDense = sparse.toDense().matmul(dense);
+  ASSERT_TRUE(viaSparse.sameShape(viaDense));
+  for (std::size_t i = 0; i < viaSparse.rows(); ++i) {
+    for (std::size_t j = 0; j < viaSparse.cols(); ++j) {
+      EXPECT_NEAR(viaSparse(i, j), viaDense(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(SparseMatrix, MultiplyShapeChecked) {
+  SparseMatrix m(2, 3, {});
+  EXPECT_THROW(m.multiply(Matrix(2, 2)), ShapeError);
+}
+
+TEST(SparseMatrix, TransposeRoundTrip) {
+  SparseMatrix m(3, 2, {{0, 1, 2.0}, {2, 0, -1.0}});
+  const Matrix t = m.transposed().toDense();
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_DOUBLE_EQ(t(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(t(0, 2), -1.0);
+  EXPECT_EQ(m.transposed().transposed().toDense(), m.toDense());
+}
+
+TEST(SparseMatrix, EmptyMatrixWorks) {
+  SparseMatrix m(3, 3, {});
+  EXPECT_EQ(m.nonZeros(), 0u);
+  const Matrix out = m.multiply(Matrix(3, 2, 1.0));
+  EXPECT_DOUBLE_EQ(out.maxAbs(), 0.0);
+}
+
+}  // namespace
+}  // namespace ancstr::nn

@@ -1,0 +1,104 @@
+#include "place/annealer.h"
+
+#include <gtest/gtest.h>
+
+#include "netlist/builder.h"
+#include "place/placement.h"
+
+namespace ancstr::place {
+namespace {
+
+PlacementProblem diffStageProblem(bool withConstraints) {
+  NetlistBuilder b;
+  b.beginSubckt("cell", {"inp", "inn", "op", "on", "vb", "vdd", "vss"});
+  b.nmos("m1", "op", "inp", "tail", "vss", 2e-6, 0.2e-6);
+  b.nmos("m2", "on", "inn", "tail", "vss", 2e-6, 0.2e-6);
+  b.nmos("mt", "tail", "vb", "vss", "vss", 4e-6, 0.4e-6);
+  b.res("r1", "op", "vdd", 1e3);
+  b.res("r2", "on", "vdd", 1e3);
+  b.cap("c1", "op", "vss", 2e-14);
+  b.cap("c2", "on", "vss", 2e-14);
+  b.endSubckt();
+  const FlatDesign design = FlatDesign::elaborate(b.build("cell"));
+  PlacementProblem problem = buildPlacementProblem(design, 0);
+  if (withConstraints) {
+    auto indexOf = [&](const std::string& name) {
+      for (std::size_t i = 0; i < problem.cells.size(); ++i) {
+        if (problem.cells[i].name == name) return i;
+      }
+      return std::size_t{0};
+    };
+    problem.symmetricPairs = {{indexOf("m1"), indexOf("m2")},
+                              {indexOf("r1"), indexOf("r2")},
+                              {indexOf("c1"), indexOf("c2")}};
+    problem.selfSymmetric = {indexOf("mt")};
+  }
+  return problem;
+}
+
+AnnealOptions fastOptions(std::uint64_t seed = 3) {
+  AnnealOptions options;
+  options.iterations = 8000;
+  options.seed = seed;
+  return options;
+}
+
+TEST(Annealer, ResolvesOverlaps) {
+  const PlacementProblem problem = diffStageProblem(true);
+  const AnnealResult result = anneal(problem, fastOptions());
+  EXPECT_LT(result.overlap, 0.05);
+}
+
+TEST(Annealer, ConstraintsHoldExactlyInEveryResult) {
+  const PlacementProblem problem = diffStageProblem(true);
+  const AnnealResult result = anneal(problem, fastOptions());
+  EXPECT_NEAR(symmetryViolation(problem, result.solution), 0.0, 1e-9);
+}
+
+TEST(Annealer, ImprovesWirelengthOverInitial) {
+  const PlacementProblem problem = diffStageProblem(true);
+  AnnealOptions minimal = fastOptions();
+  minimal.iterations = 1;
+  const AnnealResult initial = anneal(problem, minimal);
+  const AnnealResult tuned = anneal(problem, fastOptions());
+  EXPECT_LE(tuned.cost, initial.cost);
+}
+
+TEST(Annealer, DeterministicPerSeed) {
+  const PlacementProblem problem = diffStageProblem(true);
+  const AnnealResult a = anneal(problem, fastOptions(9));
+  const AnnealResult b = anneal(problem, fastOptions(9));
+  EXPECT_EQ(a.solution.rects, b.solution.rects);
+  const AnnealResult c = anneal(problem, fastOptions(10));
+  EXPECT_NE(a.solution.rects, c.solution.rects);
+}
+
+TEST(Annealer, UnconstrainedLayoutBreaksSymmetry) {
+  // Without constraints the optimizer has no reason to mirror the pairs:
+  // measure the violation of the would-be constraints.
+  const PlacementProblem constrained = diffStageProblem(true);
+  PlacementProblem free = diffStageProblem(false);
+  const AnnealResult result = anneal(free, fastOptions());
+  PlacementSolution assessed = result.solution;
+  assessed.symmetryAxis = 0.0;
+  EXPECT_GT(symmetryViolation(constrained, assessed), 0.1);
+}
+
+TEST(Annealer, SelfSymmetricStaysCentered) {
+  const PlacementProblem problem = diffStageProblem(true);
+  const AnnealResult result = anneal(problem, fastOptions());
+  for (const std::size_t c : problem.selfSymmetric) {
+    EXPECT_NEAR(result.solution.rects[c].center().x, 0.0, 1e-9);
+  }
+}
+
+TEST(Annealer, PairsShareYCoordinate) {
+  const PlacementProblem problem = diffStageProblem(true);
+  const AnnealResult result = anneal(problem, fastOptions());
+  for (const auto& [a, b] : problem.symmetricPairs) {
+    EXPECT_DOUBLE_EQ(result.solution.rects[a].y, result.solution.rects[b].y);
+  }
+}
+
+}  // namespace
+}  // namespace ancstr::place

@@ -1,0 +1,48 @@
+#include "place/geometry.h"
+
+#include <gtest/gtest.h>
+
+namespace ancstr::place {
+namespace {
+
+TEST(Rect, Accessors) {
+  const Rect r{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(r.right(), 4.0);
+  EXPECT_DOUBLE_EQ(r.top(), 6.0);
+  EXPECT_DOUBLE_EQ(r.area(), 12.0);
+  EXPECT_EQ(r.center(), (Point{2.5, 4.0}));
+}
+
+TEST(OverlapArea, DisjointAndTouching) {
+  const Rect a{0, 0, 2, 2};
+  EXPECT_DOUBLE_EQ(overlapArea(a, {5, 5, 1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(overlapArea(a, {2, 0, 1, 1}), 0.0);  // touching edge
+}
+
+TEST(OverlapArea, PartialAndContained) {
+  const Rect a{0, 0, 4, 4};
+  EXPECT_DOUBLE_EQ(overlapArea(a, {2, 2, 4, 4}), 4.0);
+  EXPECT_DOUBLE_EQ(overlapArea(a, {1, 1, 1, 1}), 1.0);  // contained
+  EXPECT_DOUBLE_EQ(overlapArea(a, a), 16.0);
+}
+
+TEST(OverlapArea, Commutative) {
+  const Rect a{0, 0, 3, 2};
+  const Rect b{1, 1, 5, 5};
+  EXPECT_DOUBLE_EQ(overlapArea(a, b), overlapArea(b, a));
+}
+
+TEST(BoundingBox, HalfPerimeter) {
+  BoundingBox box;
+  EXPECT_TRUE(box.empty());
+  EXPECT_DOUBLE_EQ(box.halfPerimeter(), 0.0);
+  box.add({0, 0});
+  EXPECT_DOUBLE_EQ(box.halfPerimeter(), 0.0);
+  box.add({3, 4});
+  EXPECT_DOUBLE_EQ(box.halfPerimeter(), 7.0);
+  box.add({1, 10});
+  EXPECT_DOUBLE_EQ(box.halfPerimeter(), 13.0);
+}
+
+}  // namespace
+}  // namespace ancstr::place

@@ -1,0 +1,122 @@
+#include "place/placement.h"
+
+#include <gtest/gtest.h>
+
+#include "netlist/builder.h"
+
+namespace ancstr::place {
+namespace {
+
+FlatDesign diffPairDesign() {
+  NetlistBuilder b;
+  b.beginSubckt("cell", {"inp", "inn", "op", "on", "vb", "vdd", "vss"});
+  b.nmos("m1", "op", "inp", "tail", "vss", 2e-6, 0.2e-6);
+  b.nmos("m2", "on", "inn", "tail", "vss", 2e-6, 0.2e-6);
+  b.nmos("mt", "tail", "vb", "vss", "vss", 4e-6, 0.4e-6);
+  b.res("r1", "op", "vdd", 1e3);
+  b.res("r2", "on", "vdd", 1e3);
+  b.cap("c1", "op", "vss", 2e-14);
+  b.cap("c2", "on", "vss", 2e-14);
+  b.endSubckt();
+  return FlatDesign::elaborate(b.build("cell"));
+}
+
+TEST(PlacementProblem, CellsHavePositiveFootprints) {
+  const FlatDesign design = diffPairDesign();
+  const PlacementProblem problem = buildPlacementProblem(design, 0);
+  ASSERT_EQ(problem.cells.size(), 7u);
+  for (const Cell& cell : problem.cells) {
+    EXPECT_GT(cell.w, 0.0) << cell.name;
+    EXPECT_GT(cell.h, 0.0) << cell.name;
+  }
+}
+
+TEST(PlacementProblem, MatchedDevicesGetEqualFootprints) {
+  const FlatDesign design = diffPairDesign();
+  const PlacementProblem problem = buildPlacementProblem(design, 0);
+  auto footprint = [&](const std::string& name) {
+    for (const Cell& cell : problem.cells) {
+      if (cell.name == name) return std::pair{cell.w, cell.h};
+    }
+    return std::pair{-1.0, -1.0};
+  };
+  EXPECT_EQ(footprint("m1"), footprint("m2"));
+  EXPECT_EQ(footprint("r1"), footprint("r2"));
+  EXPECT_EQ(footprint("c1"), footprint("c2"));
+}
+
+TEST(PlacementProblem, NetsDedupedAndMultiPin) {
+  const FlatDesign design = diffPairDesign();
+  const PlacementProblem problem = buildPlacementProblem(design, 0);
+  EXPECT_GT(problem.nets.size(), 0u);
+  for (const auto& net : problem.nets) {
+    EXPECT_GE(net.size(), 2u);
+    for (std::size_t i = 1; i < net.size(); ++i) {
+      EXPECT_LT(net[i - 1], net[i]);  // sorted unique
+    }
+  }
+}
+
+TEST(PlacementProblem, RailNetsSkipped) {
+  const FlatDesign design = diffPairDesign();
+  const PlacementProblem loose = buildPlacementProblem(design, 0, 16);
+  const PlacementProblem tight = buildPlacementProblem(design, 0, 2);
+  EXPECT_GE(loose.nets.size(), tight.nets.size());
+}
+
+TEST(Metrics, WirelengthOfKnownLayout) {
+  PlacementProblem problem;
+  problem.cells = {{"a", 0, 1, 1}, {"b", 1, 1, 1}};
+  problem.nets = {{0, 1}};
+  PlacementSolution solution;
+  solution.rects = {{0, 0, 1, 1}, {3, 4, 1, 1}};
+  EXPECT_DOUBLE_EQ(wirelength(problem, solution), 7.0);
+  EXPECT_DOUBLE_EQ(totalOverlap(solution), 0.0);
+}
+
+TEST(Metrics, SymmetryViolationZeroForMirroredPair) {
+  PlacementProblem problem;
+  problem.cells = {{"l", 0, 2, 2}, {"r", 1, 2, 2}};
+  problem.symmetricPairs = {{0, 1}};
+  PlacementSolution solution;
+  solution.symmetryAxis = 0.0;
+  solution.rects = {{-5, 1, 2, 2}, {3, 1, 2, 2}};  // centres -4 and 4
+  EXPECT_DOUBLE_EQ(symmetryViolation(problem, solution), 0.0);
+}
+
+TEST(Metrics, SymmetryViolationGrowsWithOffset) {
+  PlacementProblem problem;
+  problem.cells = {{"l", 0, 2, 2}, {"r", 1, 2, 2}};
+  problem.symmetricPairs = {{0, 1}};
+  PlacementSolution solution;
+  solution.symmetryAxis = 0.0;
+  solution.rects = {{-5, 1, 2, 2}, {3, 3, 2, 2}};  // y offset by 2
+  const double small = symmetryViolation(problem, solution);
+  solution.rects[1].y = 9.0;
+  const double large = symmetryViolation(problem, solution);
+  EXPECT_GT(small, 0.0);
+  EXPECT_GT(large, small);
+}
+
+TEST(Metrics, SelfSymmetricCentering) {
+  PlacementProblem problem;
+  problem.cells = {{"t", 0, 2, 2}};
+  problem.selfSymmetric = {0};
+  PlacementSolution solution;
+  solution.symmetryAxis = 0.0;
+  solution.rects = {{-1, 0, 2, 2}};  // centred
+  EXPECT_DOUBLE_EQ(symmetryViolation(problem, solution), 0.0);
+  solution.rects[0].x = 4.0;
+  EXPECT_GT(symmetryViolation(problem, solution), 0.0);
+}
+
+TEST(Metrics, NoConstraintsGiveZeroViolation) {
+  PlacementProblem problem;
+  problem.cells = {{"a", 0, 1, 1}};
+  PlacementSolution solution;
+  solution.rects = {{0, 0, 1, 1}};
+  EXPECT_DOUBLE_EQ(symmetryViolation(problem, solution), 0.0);
+}
+
+}  // namespace
+}  // namespace ancstr::place

@@ -1,0 +1,96 @@
+#include "place/pnr.h"
+
+#include <gtest/gtest.h>
+
+#include "netlist/builder.h"
+#include "place/placement.h"
+
+namespace ancstr::place {
+namespace {
+
+PlacementProblem constrainedDiffStage() {
+  NetlistBuilder b;
+  b.beginSubckt("cell", {"inp", "inn", "op", "on", "vb", "vdd", "vss"});
+  b.nmos("m1", "op", "inp", "tail", "vss", 2e-6, 0.2e-6);
+  b.nmos("m2", "on", "inn", "tail", "vss", 2e-6, 0.2e-6);
+  b.nmos("mt", "tail", "vb", "vss", "vss", 4e-6, 0.4e-6);
+  b.res("r1", "op", "vdd", 1e3);
+  b.res("r2", "on", "vdd", 1e3);
+  b.endSubckt();
+  const FlatDesign design = FlatDesign::elaborate(b.build("cell"));
+  PlacementProblem problem = buildPlacementProblem(design, 0);
+  auto indexOf = [&](const std::string& name) {
+    for (std::size_t i = 0; i < problem.cells.size(); ++i) {
+      if (problem.cells[i].name == name) return i;
+    }
+    return std::size_t{0};
+  };
+  problem.symmetricPairs = {{indexOf("m1"), indexOf("m2")},
+                            {indexOf("r1"), indexOf("r2")}};
+  problem.selfSymmetric = {indexOf("mt")};
+  return problem;
+}
+
+TEST(FindSymmetricNetPairs, DetectsMirrorImageNets) {
+  // Cells: 0<->1 paired; nets {0,2} and {1,2} are images of each other.
+  PlacementProblem problem;
+  problem.cells = {{"a", 0, 1, 1}, {"b", 1, 1, 1}, {"t", 2, 1, 1}};
+  problem.symmetricPairs = {{0, 1}};
+  problem.nets = {{0, 2}, {1, 2}, {0, 1}};
+  const auto pairs = findSymmetricNetPairs(problem);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0], (std::pair<std::size_t, std::size_t>{0, 1}));
+  // net {0,1} maps to itself -> not a pair.
+}
+
+TEST(FindSymmetricNetPairs, NoPairsWithoutConstraints) {
+  PlacementProblem problem;
+  problem.cells = {{"a", 0, 1, 1}, {"b", 1, 1, 1}};
+  problem.nets = {{0, 1}};
+  EXPECT_TRUE(findSymmetricNetPairs(problem).empty());
+}
+
+TEST(PlaceAndRoute, EndToEndOnDiffStage) {
+  const PlacementProblem problem = constrainedDiffStage();
+  PnrOptions options;
+  options.anneal.iterations = 6000;
+  options.anneal.seed = 5;
+  const PnrResult result = placeAndRoute(problem, options);
+
+  EXPECT_LT(result.placement.overlap, 0.1);
+  EXPECT_NEAR(symmetryViolation(problem, result.placement.solution), 0.0,
+              1e-9);
+  EXPECT_GT(result.gridWidth, 0);
+  EXPECT_GT(result.gridHeight, 0);
+  EXPECT_TRUE(result.routing.success());
+  EXPECT_GT(result.routing.wirelength, 0u);
+}
+
+TEST(PlaceAndRoute, SymmetricNetsRoutedAsMirrors) {
+  const PlacementProblem problem = constrainedDiffStage();
+  PnrOptions options;
+  options.anneal.iterations = 6000;
+  options.anneal.seed = 5;
+  const PnrResult result = placeAndRoute(problem, options);
+  // The inp/op-side nets mirror the inn/on-side nets.
+  EXPECT_FALSE(result.symmetricNets.empty());
+  std::size_t mirrored = 0;
+  for (const RoutedNet& net : result.routing.nets) {
+    mirrored += net.mirrored ? 1u : 0u;
+  }
+  EXPECT_GE(mirrored, result.symmetricNets.size() > 0 ? 1u : 0u);
+}
+
+TEST(PlaceAndRoute, DeterministicPerSeed) {
+  const PlacementProblem problem = constrainedDiffStage();
+  PnrOptions options;
+  options.anneal.iterations = 3000;
+  options.anneal.seed = 8;
+  const PnrResult a = placeAndRoute(problem, options);
+  const PnrResult b = placeAndRoute(problem, options);
+  EXPECT_EQ(a.routing.wirelength, b.routing.wirelength);
+  EXPECT_EQ(a.placement.solution.rects, b.placement.solution.rects);
+}
+
+}  // namespace
+}  // namespace ancstr::place

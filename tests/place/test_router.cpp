@@ -1,0 +1,157 @@
+#include "place/router.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace ancstr::place {
+namespace {
+
+bool contains(const std::vector<GridPoint>& cells, const GridPoint& p) {
+  return std::find(cells.begin(), cells.end(), p) != cells.end();
+}
+
+/// Cells of a routed net form a connected set covering the terminals.
+void expectConnectedCovering(const RoutedNet& net,
+                             const std::vector<GridPoint>& terminals) {
+  for (const GridPoint& t : terminals) {
+    EXPECT_TRUE(contains(net.cells, t)) << net.name;
+  }
+  // Flood fill over the net's own cells.
+  ASSERT_FALSE(net.cells.empty());
+  std::set<std::pair<int, int>> remaining;
+  for (const GridPoint& p : net.cells) remaining.insert({p.x, p.y});
+  std::vector<GridPoint> stack{net.cells.front()};
+  remaining.erase({net.cells.front().x, net.cells.front().y});
+  while (!stack.empty()) {
+    const GridPoint cur = stack.back();
+    stack.pop_back();
+    const GridPoint neighbors[4] = {{cur.x + 1, cur.y},
+                                    {cur.x - 1, cur.y},
+                                    {cur.x, cur.y + 1},
+                                    {cur.x, cur.y - 1}};
+    for (const GridPoint& n : neighbors) {
+      const auto it = remaining.find({n.x, n.y});
+      if (it != remaining.end()) {
+        remaining.erase(it);
+        stack.push_back(n);
+      }
+    }
+  }
+  EXPECT_TRUE(remaining.empty()) << net.name << " path is disconnected";
+}
+
+TEST(Router, TwoTerminalManhattanPath) {
+  std::vector<RouteNet> nets{{"n1", {{1, 1}, {6, 4}}}};
+  const RoutingResult result = routeNets(10, 10, nets, {});
+  ASSERT_TRUE(result.success());
+  expectConnectedCovering(result.nets[0], nets[0].terminals);
+  // Shortest Manhattan tree: |dx| + |dy| + 1 cells.
+  EXPECT_EQ(result.nets[0].cells.size(), 9u);
+  EXPECT_EQ(result.wirelength, 9u);
+}
+
+TEST(Router, MultiTerminalTree) {
+  std::vector<RouteNet> nets{{"n1", {{0, 0}, {8, 0}, {4, 6}}}};
+  const RoutingResult result = routeNets(12, 12, nets, {});
+  ASSERT_TRUE(result.success());
+  expectConnectedCovering(result.nets[0], nets[0].terminals);
+  // A tree reuses trunk cells: strictly fewer than 3 separate 2-pin paths.
+  EXPECT_LT(result.nets[0].cells.size(), 9u + 7u);
+}
+
+TEST(Router, CongestionForcesDetours) {
+  // Two nets with identical terminals: the shared terminal cells are
+  // unavoidable, but a heavy congestion cost makes the second net detour
+  // around the first everywhere else.
+  std::vector<RouteNet> nets{{"n0", {{0, 4}, {9, 4}}},
+                             {"n1", {{0, 4}, {9, 4}}}};
+  RouterOptions options;
+  options.capacity = 1;
+  options.congestionCost = 100.0;
+  const RoutingResult result = routeNets(10, 10, nets, {}, options);
+  ASSERT_TRUE(result.success());
+  std::set<std::pair<int, int>> first;
+  for (const GridPoint& p : result.nets[0].cells) first.insert({p.x, p.y});
+  std::size_t shared = 0;
+  for (const GridPoint& p : result.nets[1].cells) {
+    shared += first.count({p.x, p.y});
+  }
+  EXPECT_EQ(shared, 2u) << "only the common terminals may be shared";
+  EXPECT_EQ(result.overflows, 2u);
+}
+
+TEST(Router, CapacityTwoAbsorbsSharedCells) {
+  std::vector<RouteNet> nets{{"n0", {{0, 4}, {9, 4}}},
+                             {"n1", {{0, 4}, {9, 4}}}};
+  RouterOptions options;
+  options.capacity = 2;
+  const RoutingResult result = routeNets(10, 10, nets, {}, options);
+  ASSERT_TRUE(result.success());
+  EXPECT_EQ(result.overflows, 0u);
+}
+
+TEST(Router, SymmetricPairIsMirrored) {
+  RouterOptions options;
+  options.axisX = 5;
+  std::vector<RouteNet> nets{
+      {"left", {{1, 1}, {3, 6}}},
+      {"right", {{9, 1}, {7, 6}}},  // exact mirrors about x = 5
+  };
+  const RoutingResult result = routeNets(11, 8, nets, {{0, 1}}, options);
+  ASSERT_TRUE(result.success());
+  EXPECT_FALSE(result.nets[0].mirrored);
+  EXPECT_TRUE(result.nets[1].mirrored);
+  ASSERT_EQ(result.nets[0].cells.size(), result.nets[1].cells.size());
+  for (const GridPoint& p : result.nets[0].cells) {
+    EXPECT_TRUE(contains(result.nets[1].cells, mirrorPoint(p, 5)));
+  }
+}
+
+TEST(Router, NonMirrorTerminalsFallBackToIndependentRouting) {
+  RouterOptions options;
+  options.axisX = 5;
+  std::vector<RouteNet> nets{
+      {"left", {{1, 1}, {3, 6}}},
+      {"right", {{9, 2}, {7, 6}}},  // y mismatch: not a mirror
+  };
+  const RoutingResult result = routeNets(11, 8, nets, {{0, 1}}, options);
+  ASSERT_TRUE(result.success());
+  EXPECT_FALSE(result.nets[1].mirrored);
+  expectConnectedCovering(result.nets[1], nets[1].terminals);
+}
+
+TEST(Router, OutOfBoundsTerminalFails) {
+  std::vector<RouteNet> nets{{"n1", {{0, 0}, {50, 50}}}};
+  const RoutingResult result = routeNets(10, 10, nets, {});
+  EXPECT_EQ(result.failedNets, 1u);
+  EXPECT_FALSE(result.success());
+}
+
+TEST(Router, SingleTerminalNetIsTrivial) {
+  std::vector<RouteNet> nets{{"n1", {{2, 2}}}};
+  const RoutingResult result = routeNets(5, 5, nets, {});
+  EXPECT_TRUE(result.success());
+  EXPECT_TRUE(result.nets[0].cells.empty());
+}
+
+TEST(Router, MirrorPointMath) {
+  EXPECT_EQ(mirrorPoint({3, 7}, 5), (GridPoint{7, 7}));
+  EXPECT_EQ(mirrorPoint({5, 0}, 5), (GridPoint{5, 0}));
+  EXPECT_EQ(mirrorPoint({0, 2}, 2), (GridPoint{4, 2}));
+}
+
+TEST(Router, DeterministicResults) {
+  std::vector<RouteNet> nets{{"a", {{0, 0}, {7, 7}}},
+                             {"b", {{7, 0}, {0, 7}}}};
+  const RoutingResult r1 = routeNets(8, 8, nets, {});
+  const RoutingResult r2 = routeNets(8, 8, nets, {});
+  ASSERT_EQ(r1.nets.size(), r2.nets.size());
+  for (std::size_t i = 0; i < r1.nets.size(); ++i) {
+    EXPECT_EQ(r1.nets[i].cells, r2.nets[i].cells);
+  }
+}
+
+}  // namespace
+}  // namespace ancstr::place

@@ -1,0 +1,76 @@
+#include "place/svg.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace ancstr::place {
+namespace {
+
+struct SvgSetup {
+  PlacementProblem problem;
+  PlacementSolution solution;
+};
+
+SvgSetup makeSetup() {
+  SvgSetup s;
+  s.problem.cells = {{"m1", 0, 2, 1}, {"m2", 1, 2, 1}, {"mt", 2, 3, 1}};
+  s.problem.symmetricPairs = {{0, 1}};
+  s.problem.selfSymmetric = {2};
+  s.solution.symmetryAxis = 0.0;
+  s.solution.rects = {{-4, 0, 2, 1}, {2, 0, 2, 1}, {-1.5, 2, 3, 1}};
+  return s;
+}
+
+TEST(Svg, ProducesWellFormedDocument) {
+  const SvgSetup s = makeSetup();
+  const std::string svg = renderSvg(s.problem, s.solution);
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // 3 cells + background rect.
+  std::size_t rects = 0, pos = 0;
+  while ((pos = svg.find("<rect", pos)) != std::string::npos) {
+    ++rects;
+    ++pos;
+  }
+  EXPECT_EQ(rects, 4u);
+}
+
+TEST(Svg, DrawsAxisAndLabels) {
+  const SvgSetup s = makeSetup();
+  const std::string svg = renderSvg(s.problem, s.solution);
+  EXPECT_NE(svg.find("stroke-dasharray=\"6,4\""), std::string::npos);
+  EXPECT_NE(svg.find(">m1<"), std::string::npos);
+  EXPECT_NE(svg.find(">mt<"), std::string::npos);
+}
+
+TEST(Svg, PairMembersShareColour) {
+  const SvgSetup s = makeSetup();
+  const std::string svg = renderSvg(s.problem, s.solution);
+  // First palette colour appears exactly twice (both pair members).
+  std::size_t count = 0, pos = 0;
+  while ((pos = svg.find("#4e79a7", pos)) != std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(Svg, LabelsCanBeDisabled) {
+  const SvgSetup s = makeSetup();
+  SvgOptions options;
+  options.labels = false;
+  const std::string svg = renderSvg(s.problem, s.solution, options);
+  EXPECT_EQ(svg.find("<text"), std::string::npos);
+}
+
+TEST(Svg, FileWriting) {
+  const SvgSetup s = makeSetup();
+  const std::string path = testing::TempDir() + "/ancstr_layout.svg";
+  writeSvgFile(s.problem, s.solution, path);
+  EXPECT_THROW(writeSvgFile(s.problem, s.solution, "/no/such/dir/x.svg"),
+               Error);
+}
+
+}  // namespace
+}  // namespace ancstr::place

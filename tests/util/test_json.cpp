@@ -1,0 +1,118 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace ancstr {
+namespace {
+
+TEST(Json, ScalarConstructionAndAccess) {
+  EXPECT_TRUE(Json().isNull());
+  EXPECT_TRUE(Json(nullptr).isNull());
+  EXPECT_TRUE(Json(true).asBool());
+  EXPECT_DOUBLE_EQ(Json(2.5).asNumber(), 2.5);
+  EXPECT_DOUBLE_EQ(Json(7).asNumber(), 7.0);
+  EXPECT_EQ(Json("hi").asString(), "hi");
+}
+
+TEST(Json, TypeMismatchThrows) {
+  EXPECT_THROW(Json(1.0).asString(), Error);
+  EXPECT_THROW(Json("x").asNumber(), Error);
+  EXPECT_THROW(Json().asBool(), Error);
+  EXPECT_THROW(Json(1.0).push(Json()), Error);
+  EXPECT_THROW(Json(1.0).set("k", Json()), Error);
+}
+
+TEST(Json, ArrayOperations) {
+  Json arr = Json::array();
+  arr.push(1).push("two").push(Json::array());
+  EXPECT_EQ(arr.size(), 3u);
+  EXPECT_DOUBLE_EQ(arr.at(0).asNumber(), 1.0);
+  EXPECT_EQ(arr.at(1).asString(), "two");
+  EXPECT_THROW(arr.at(5), Error);
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  Json obj = Json::object();
+  obj.set("zeta", 1).set("alpha", 2).set("mid", 3);
+  const std::vector<std::string> expected{"zeta", "alpha", "mid"};
+  EXPECT_EQ(obj.keys(), expected);
+  EXPECT_DOUBLE_EQ(obj.get("alpha").asNumber(), 2.0);
+  EXPECT_EQ(obj.find("nope"), nullptr);
+  EXPECT_THROW(obj.get("nope"), Error);
+}
+
+TEST(Json, ObjectSetReplaces) {
+  Json obj = Json::object();
+  obj.set("k", 1).set("k", 2);
+  EXPECT_EQ(obj.size(), 1u);
+  EXPECT_DOUBLE_EQ(obj.get("k").asNumber(), 2.0);
+}
+
+TEST(Json, CompactDump) {
+  Json obj = Json::object();
+  obj.set("a", 1);
+  Json arr = Json::array();
+  arr.push(true).push(nullptr);
+  obj.set("b", std::move(arr));
+  EXPECT_EQ(obj.dump(), "{\"a\":1,\"b\":[true,null]}");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(Json("a\"b\\c\nd").dump(), "\"a\\\"b\\\\c\\nd\"");
+}
+
+TEST(Json, IntegersDumpWithoutExponent) {
+  EXPECT_EQ(Json(1000000.0).dump(), "1000000");
+  EXPECT_EQ(Json(-3).dump(), "-3");
+}
+
+TEST(Json, ParseScalars) {
+  EXPECT_TRUE(Json::parse("null")->isNull());
+  EXPECT_TRUE(Json::parse("true")->asBool());
+  EXPECT_FALSE(Json::parse("false")->asBool());
+  EXPECT_DOUBLE_EQ(Json::parse("-2.5e3")->asNumber(), -2500.0);
+  EXPECT_EQ(Json::parse("\"hey\"")->asString(), "hey");
+}
+
+TEST(Json, ParseNested) {
+  const auto v = Json::parse(R"({"a": [1, {"b": "x"}], "c": null})");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_DOUBLE_EQ(v->get("a").at(0).asNumber(), 1.0);
+  EXPECT_EQ(v->get("a").at(1).get("b").asString(), "x");
+  EXPECT_TRUE(v->get("c").isNull());
+}
+
+TEST(Json, ParseEscapes) {
+  const auto v = Json::parse(R"("line\nbreak\t\"q\" A")");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->asString(), "line\nbreak\t\"q\" A");
+}
+
+TEST(Json, ParseRejectsMalformed) {
+  std::string error;
+  EXPECT_FALSE(Json::parse("{", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(Json::parse("[1,]").has_value());
+  EXPECT_FALSE(Json::parse("{\"a\" 1}").has_value());
+  EXPECT_FALSE(Json::parse("\"unterminated").has_value());
+  EXPECT_FALSE(Json::parse("12 34").has_value());
+  EXPECT_FALSE(Json::parse("").has_value());
+}
+
+TEST(Json, RoundTripCompactAndPretty) {
+  const char* text =
+      R"({"name":"test","values":[1,2.5,true,null],"nested":{"k":"v"}})";
+  const auto v = Json::parse(text);
+  ASSERT_TRUE(v.has_value());
+  // compact round trip is byte-identical
+  EXPECT_EQ(v->dump(), text);
+  // pretty print re-parses to the same compact form
+  const auto pretty = Json::parse(v->dump(2));
+  ASSERT_TRUE(pretty.has_value());
+  EXPECT_EQ(pretty->dump(), text);
+}
+
+}  // namespace
+}  // namespace ancstr

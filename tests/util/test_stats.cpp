@@ -1,0 +1,50 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace ancstr {
+namespace {
+
+TEST(KsStatistic, IdenticalSamplesGiveZero) {
+  EXPECT_DOUBLE_EQ(ksStatistic({1, 2, 3}, {1, 2, 3}), 0.0);
+}
+
+TEST(KsStatistic, DisjointSamplesGiveOne) {
+  EXPECT_DOUBLE_EQ(ksStatistic({1, 2, 3}, {10, 11, 12}), 1.0);
+}
+
+TEST(KsStatistic, EmptyCases) {
+  EXPECT_DOUBLE_EQ(ksStatistic({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(ksStatistic({1.0}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(ksStatistic({}, {1.0}), 1.0);
+}
+
+TEST(KsStatistic, SymmetricInArguments) {
+  const std::vector<double> a{0.1, 0.5, 0.9, 1.3};
+  const std::vector<double> b{0.2, 0.6, 1.5};
+  EXPECT_DOUBLE_EQ(ksStatistic(a, b), ksStatistic(b, a));
+}
+
+TEST(KsStatistic, KnownValue) {
+  // F_a jumps at 1,2; F_b jumps at 1.5,2.5. At x=1: |0.5 - 0| = 0.5.
+  EXPECT_NEAR(ksStatistic({1, 2}, {1.5, 2.5}), 0.5, 1e-12);
+}
+
+TEST(KsStatistic, UnsortedInputHandled) {
+  EXPECT_DOUBLE_EQ(ksStatistic({3, 1, 2}, {2, 3, 1}), 0.0);
+}
+
+TEST(KsStatistic, TiesHandled) {
+  // Both CDFs jump together at shared values.
+  EXPECT_DOUBLE_EQ(ksStatistic({1, 1, 2}, {1, 1, 2}), 0.0);
+}
+
+TEST(MeanStddev, Basics) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean({2, 4, 6}), 4.0);
+  EXPECT_DOUBLE_EQ(stddev({5.0}), 0.0);
+  EXPECT_NEAR(stddev({2, 4, 6}), 1.632993161855452, 1e-12);
+}
+
+}  // namespace
+}  // namespace ancstr

@@ -1,0 +1,87 @@
+#include "util/string_utils.h"
+
+#include <gtest/gtest.h>
+
+namespace ancstr::str {
+namespace {
+
+TEST(Trim, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("a"), "a");
+}
+
+TEST(ToLower, AsciiOnly) {
+  EXPECT_EQ(toLower("AbC_12"), "abc_12");
+  EXPECT_EQ(toLower(""), "");
+}
+
+TEST(StartsWith, Basics) {
+  EXPECT_TRUE(startsWith("subckt foo", "subckt"));
+  EXPECT_FALSE(startsWith("sub", "subckt"));
+  EXPECT_TRUE(startsWith("x", ""));
+}
+
+TEST(SplitTokens, DropsEmpty) {
+  const auto tokens = splitTokens("  a\tb   c\n");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "a");
+  EXPECT_EQ(tokens[1], "b");
+  EXPECT_EQ(tokens[2], "c");
+  EXPECT_TRUE(splitTokens("   ").empty());
+}
+
+TEST(SplitFirst, SplitsOnce) {
+  auto [k, v] = splitFirst("w=2u", '=');
+  EXPECT_EQ(k, "w");
+  EXPECT_EQ(v, "2u");
+  auto [k2, v2] = splitFirst("noequals", '=');
+  EXPECT_EQ(k2, "noequals");
+  EXPECT_TRUE(v2.empty());
+  auto [k3, v3] = splitFirst("a=b=c", '=');
+  EXPECT_EQ(v3, "b=c");
+}
+
+struct SpiceNumberCase {
+  const char* text;
+  double expected;
+};
+
+class SpiceNumberTest : public ::testing::TestWithParam<SpiceNumberCase> {};
+
+TEST_P(SpiceNumberTest, ParsesEngineeringSuffix) {
+  const auto& param = GetParam();
+  const auto v = parseSpiceNumber(param.text);
+  ASSERT_TRUE(v.has_value()) << param.text;
+  EXPECT_NEAR(*v, param.expected, std::abs(param.expected) * 1e-12 + 1e-30)
+      << param.text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suffixes, SpiceNumberTest,
+    ::testing::Values(
+        SpiceNumberCase{"1", 1.0}, SpiceNumberCase{"-2.5", -2.5},
+        SpiceNumberCase{"1.5k", 1500.0}, SpiceNumberCase{"10u", 1e-5},
+        SpiceNumberCase{"3n", 3e-9}, SpiceNumberCase{"2p", 2e-12},
+        SpiceNumberCase{"5f", 5e-15}, SpiceNumberCase{"4meg", 4e6},
+        SpiceNumberCase{"7x", 7e6}, SpiceNumberCase{"2m", 2e-3},
+        SpiceNumberCase{"1g", 1e9}, SpiceNumberCase{"1t", 1e12},
+        SpiceNumberCase{"2a", 2e-18}, SpiceNumberCase{"1e-9", 1e-9},
+        SpiceNumberCase{"1.5E3", 1500.0}, SpiceNumberCase{"10uF", 1e-5},
+        SpiceNumberCase{"100 ", 100.0}, SpiceNumberCase{"3.3v", 3.3}));
+
+TEST(ParseSpiceNumber, RejectsNonNumeric) {
+  EXPECT_FALSE(parseSpiceNumber("abc").has_value());
+  EXPECT_FALSE(parseSpiceNumber("").has_value());
+  EXPECT_FALSE(parseSpiceNumber("  ").has_value());
+}
+
+TEST(FormatCompact, TrimsZeros) {
+  EXPECT_EQ(formatCompact(1500.0), "1500");
+  EXPECT_EQ(formatCompact(1e-05), "1e-05");
+  EXPECT_EQ(formatCompact(2.5), "2.5");
+}
+
+}  // namespace
+}  // namespace ancstr::str

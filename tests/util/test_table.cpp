@@ -1,0 +1,58 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.h"
+
+namespace ancstr {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t;
+  t.setHeader({"name", "value"});
+  t.addRow({"a", "1"});
+  t.addRow({"longer", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 22    |"), std::string::npos);
+}
+
+TEST(TextTable, SeparatorRows) {
+  TextTable t;
+  t.setHeader({"x"});
+  t.addRow({"1"});
+  t.addSeparator();
+  t.addRow({"2"});
+  const std::string out = t.render();
+  // header sep + top + bottom + explicit = at least 4 separator lines
+  std::size_t count = 0, pos = 0;
+  while ((pos = out.find("+---", pos)) != std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_GE(count, 4u);
+}
+
+TEST(TextTable, ArityMismatchThrows) {
+  TextTable t;
+  t.setHeader({"a", "b"});
+  EXPECT_THROW(t.addRow({"only-one"}), InternalError);
+}
+
+TEST(CsvWriter, QuotesSpecialFields) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.writeRow({"plain", "with,comma", "with\"quote"});
+  EXPECT_EQ(os.str(), "plain,\"with,comma\",\"with\"\"quote\"\n");
+}
+
+TEST(MetricCell, ThreeDecimals) {
+  EXPECT_EQ(metricCell(0.9523), "0.952");
+  EXPECT_EQ(metricCell(1.0), "1.000");
+  EXPECT_EQ(metricCell(0.0), "0.000");
+}
+
+}  // namespace
+}  // namespace ancstr

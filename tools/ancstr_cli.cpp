@@ -1,0 +1,233 @@
+// ancstr_cli — command-line front end for the symmetry-extraction flow.
+//
+//   ancstr_cli train   --out model.txt [--epochs N] [--seed S] netlist.sp...
+//   ancstr_cli extract --model model.txt [--format json|sym]
+//                      [--out file] [--groups] netlist.sp
+//   ancstr_cli stats   netlist.sp...
+//   ancstr_cli corpus  --dir DIR     # emit the benchmark corpus + golden
+//                                    # constraint files
+//
+// Exit codes: 0 success, 1 usage error, 2 runtime failure.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "circuits/benchmark.h"
+#include "core/constraint_check.h"
+#include "core/constraint_io.h"
+#include "core/groups.h"
+#include "core/pipeline.h"
+#include "netlist/spectre_parser.h"
+#include "netlist/spice_parser.h"
+#include "netlist/spice_writer.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace ancstr;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  ancstr_cli train   --out MODEL [--epochs N] [--seed S] "
+               "NETLIST...\n"
+               "  ancstr_cli extract --model MODEL [--format json|sym] "
+               "[--out FILE] [--groups] NETLIST\n"
+               "  ancstr_cli stats   NETLIST...\n"
+               "  ancstr_cli check   --constraints FILE NETLIST\n"
+               "  ancstr_cli corpus  --dir DIR\n"
+               "netlists may be SPICE or Spectre (auto-detected)\n");
+  return 1;
+}
+
+/// Tiny flag scanner: removes recognised "--key value" / "--flag" pairs
+/// from `args` and returns positional arguments.
+class Flags {
+ public:
+  explicit Flags(std::vector<std::string> args) : args_(std::move(args)) {}
+
+  std::string value(const std::string& key, const std::string& fallback) {
+    for (std::size_t i = 0; i + 1 < args_.size(); ++i) {
+      if (args_[i] == key) {
+        const std::string v = args_[i + 1];
+        args_.erase(args_.begin() + static_cast<long>(i),
+                    args_.begin() + static_cast<long>(i) + 2);
+        return v;
+      }
+    }
+    return fallback;
+  }
+
+  bool flag(const std::string& key) {
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+      if (args_[i] == key) {
+        args_.erase(args_.begin() + static_cast<long>(i));
+        return true;
+      }
+    }
+    return false;
+  }
+
+  const std::vector<std::string>& positional() const { return args_; }
+
+ private:
+  std::vector<std::string> args_;
+};
+
+void writeFileOrThrow(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open '" + path + "' for writing");
+  out << content;
+  if (!out) throw Error("write failure on '" + path + "'");
+}
+
+int cmdTrain(Flags flags) {
+  const std::string out = flags.value("--out", "");
+  const int epochs = std::stoi(flags.value("--epochs", "60"));
+  const std::uint64_t seed = std::stoull(flags.value("--seed", "42"));
+  if (out.empty() || flags.positional().empty()) return usage();
+
+  std::vector<Library> libs;
+  for (const std::string& path : flags.positional()) {
+    libs.push_back(parseNetlistFile(path));
+    std::printf("loaded %s (%zu devices)\n", path.c_str(),
+                libs.back().flatDeviceCount());
+  }
+  PipelineConfig config;
+  config.train.epochs = epochs;
+  config.seed = seed;
+  Pipeline pipeline(config);
+  std::vector<const Library*> ptrs;
+  for (const Library& lib : libs) ptrs.push_back(&lib);
+  const TrainStats stats = pipeline.train(ptrs);
+  pipeline.saveModel(out);
+  std::printf("trained %d epochs in %.2fs (final loss %.4f); model -> %s\n",
+              epochs, stats.seconds, stats.finalLoss(), out.c_str());
+  return 0;
+}
+
+int cmdExtract(Flags flags) {
+  const std::string modelPath = flags.value("--model", "");
+  const std::string format = flags.value("--format", "json");
+  const std::string outPath = flags.value("--out", "");
+  const bool withGroups = flags.flag("--groups");
+  const bool withArrays = flags.flag("--arrays");
+  if (modelPath.empty() || flags.positional().size() != 1) return usage();
+  if (format != "json" && format != "sym") return usage();
+
+  const Library lib = parseNetlistFile(flags.positional()[0]);
+  Pipeline pipeline;
+  pipeline.loadModel(modelPath);
+  const ExtractionResult result = pipeline.extract(lib);
+  const FlatDesign design = FlatDesign::elaborate(lib);
+
+  std::vector<SymmetryGroup> groups;
+  if (withGroups) groups = buildSymmetryGroups(design, result.detection);
+  std::vector<ArrayGroup> arrays;
+  if (withArrays) arrays = detectArrayGroups(design, result.embeddings);
+
+  const std::string text =
+      format == "json"
+          ? constraintsToJson(design, result.detection, groups, arrays)
+          : constraintsToSym(design, result.detection, groups);
+  if (outPath.empty()) {
+    std::fputs(text.c_str(), stdout);
+  } else {
+    writeFileOrThrow(outPath, text);
+  }
+  std::fprintf(stderr,
+               "extracted %zu constraints (%zu candidates) in %.3fs\n",
+               result.detection.constraints().size(),
+               result.detection.scored.size(), result.timing.total());
+  return 0;
+}
+
+int cmdStats(Flags flags) {
+  if (flags.positional().empty()) return usage();
+  for (const std::string& path : flags.positional()) {
+    const Library lib = parseNetlistFile(path);
+    const FlatDesign design = FlatDesign::elaborate(lib);
+    const CandidateSet candidates = enumerateCandidates(design, lib);
+    std::printf(
+        "%s: %zu subckts, %zu devices, %zu nets, %zu hierarchy nodes, "
+        "%zu valid pairs (%zu system / %zu device)\n",
+        path.c_str(), lib.subcktCount(), design.devices().size(),
+        design.nets().size(), design.hierarchy().size(),
+        candidates.pairs.size(), candidates.count(ConstraintLevel::kSystem),
+        candidates.count(ConstraintLevel::kDevice));
+  }
+  return 0;
+}
+
+int cmdCheck(Flags flags) {
+  const std::string constraintPath = flags.value("--constraints", "");
+  if (constraintPath.empty() || flags.positional().size() != 1) {
+    return usage();
+  }
+  const Library lib = parseNetlistFile(flags.positional()[0]);
+  const FlatDesign design = FlatDesign::elaborate(lib);
+
+  std::ifstream in(constraintPath);
+  if (!in) throw Error("cannot open '" + constraintPath + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  const std::vector<ParsedConstraint> parsed =
+      text.find("ancstr-constraints") != std::string::npos
+          ? parseConstraintsJson(text)
+          : parseConstraintsSym(text);
+
+  const auto issues = checkConstraints(design, lib, parsed);
+  for (const ConstraintIssue& issue : issues) {
+    std::fprintf(stderr, "constraint %zu: %s\n", issue.index,
+                 issue.message.c_str());
+  }
+  std::printf("%zu constraints, %zu issues\n", parsed.size(), issues.size());
+  return issues.empty() ? 0 : 2;
+}
+
+int cmdCorpus(Flags flags) {
+  const std::string dir = flags.value("--dir", "");
+  if (dir.empty()) return usage();
+  std::filesystem::create_directories(dir);
+
+  auto emit = [&](const circuits::CircuitBenchmark& bench) {
+    const std::string stem = dir + "/" + bench.name;
+    writeSpiceFile(bench.lib, stem + ".sp");
+    std::string golden = "# golden symmetry constraints for " + bench.name +
+                         "\n";
+    for (const auto& entry : bench.truth.entries()) {
+      golden += (entry.hierPath.empty() ? "." : entry.hierPath) + " " +
+                entry.nameA + " " + entry.nameB + "\n";
+    }
+    writeFileOrThrow(stem + ".sym", golden);
+    std::printf("wrote %s.sp / %s.sym\n", stem.c_str(), stem.c_str());
+  };
+  for (const auto& bench : circuits::blockBenchmarks()) emit(bench);
+  for (const auto& bench : circuits::adcBenchmarks()) emit(bench);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  Flags flags(std::vector<std::string>(argv + 2, argv + argc));
+  try {
+    if (command == "train") return cmdTrain(std::move(flags));
+    if (command == "extract") return cmdExtract(std::move(flags));
+    if (command == "stats") return cmdStats(std::move(flags));
+    if (command == "check") return cmdCheck(std::move(flags));
+    if (command == "corpus") return cmdCorpus(std::move(flags));
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
