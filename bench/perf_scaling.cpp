@@ -11,6 +11,7 @@
 #include "core/model.h"
 #include "core/pipeline.h"
 #include "graph/pagerank.h"
+#include "util/parallel.h"
 
 using namespace ancstr;
 
@@ -107,6 +108,76 @@ void BM_Training(benchmark::State& state) {
   state.SetComplexityN(state.range(0));
 }
 
+/// Trained state over the largest synthetic block benchmark, built once
+/// and shared by every thread-sweep iteration so the sweep measures the
+/// detection stage alone.
+struct DetectionScalingFixture {
+  static PipelineConfig makeConfig() {
+    PipelineConfig config;
+    config.train.epochs = 2;
+    return config;
+  }
+
+  circuits::CircuitBenchmark bench = blockArray(12);
+  FlatDesign design = FlatDesign::elaborate(bench.lib);
+  PipelineConfig config = makeConfig();
+  Pipeline pipeline{config};
+  nn::Matrix z;
+
+  DetectionScalingFixture() {
+    pipeline.train({&bench.lib});
+    const CircuitGraph graph = buildHeteroGraph(design, config.graph);
+    z = pipeline.model().embed(
+        prepareGraph(graph, buildFeatureMatrix(design, config.features)));
+  }
+};
+
+DetectionScalingFixture& detectionFixture() {
+  static DetectionScalingFixture fixture;
+  return fixture;
+}
+
+/// Thread-count sweep of the detection stage (block embeddings + pair
+/// scoring). The BENCH json records one entry per thread count; speedup at
+/// T threads = time(/1) / time(/T). Results are bitwise identical across
+/// the sweep, so this measures pure wall-clock scaling.
+void BM_DetectionThreads(benchmark::State& state) {
+  DetectionScalingFixture& f = detectionFixture();
+  DetectorConfig config = f.config.detector;
+  config.graphOptions = f.config.graph;
+  config.threads = static_cast<std::size_t>(state.range(0));
+  const BlockEmbeddingContext context{f.pipeline.model(), f.config.features};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        detectConstraints(f.design, f.bench.lib, f.z, config, context));
+  }
+  state.counters["threads"] =
+      static_cast<double>(util::resolveThreadCount(config.threads));
+}
+
+/// Thread-count sweep of training with whole-epoch batches: the per-graph
+/// forward/loss/backward fan-out is the parallel section; weights stay
+/// bitwise identical across the sweep.
+void BM_TrainingThreads(benchmark::State& state) {
+  static const std::vector<circuits::CircuitBenchmark> corpus = [] {
+    std::vector<circuits::CircuitBenchmark> out;
+    for (int i = 0; i < 8; ++i) out.push_back(circuits::makeDiffChain(6));
+    return out;
+  }();
+  PipelineConfig config;
+  config.train.epochs = 2;
+  config.train.batchSize = 0;  // whole epoch per step -> widest fan-out
+  config.threads = static_cast<std::size_t>(state.range(0));
+  std::vector<const Library*> libs;
+  for (const auto& bench : corpus) libs.push_back(&bench.lib);
+  for (auto _ : state) {
+    Pipeline pipeline(config);
+    pipeline.train(libs);
+  }
+  state.counters["threads"] =
+      static_cast<double>(util::resolveThreadCount(config.threads));
+}
+
 }  // namespace
 
 BENCHMARK(BM_Elaboration)->RangeMultiplier(4)->Range(4, 256)->Complexity();
@@ -119,5 +190,9 @@ BENCHMARK(BM_PageRank)->RangeMultiplier(4)->Range(4, 256)->Complexity();
 BENCHMARK(BM_FullExtraction)->DenseRange(2, 10, 4);
 BENCHMARK(BM_S3DetExtraction)->DenseRange(2, 10, 4);
 BENCHMARK(BM_Training)->RangeMultiplier(4)->Range(4, 64);
+// Thread sweeps are wall-clock measurements: with workers, CPU time sums
+// across threads and would hide the speedup.
+BENCHMARK(BM_DetectionThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+BENCHMARK(BM_TrainingThreads)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 BENCHMARK_MAIN();

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "util/error.h"
+#include "util/parallel.h"
 
 namespace ancstr {
 
@@ -30,14 +31,6 @@ double ratio(double a, double b) {
   if (hi <= 0.0) return 1.0;  // neither side carries this parameter
   return lo <= 0.0 ? 0.0 : lo / hi;
 }
-
-/// Cached per-block data: the same representative-device list feeds both
-/// the structural concatenation and the sizing factor, so aligned vertices
-/// are compared.
-struct BlockEmbedding {
-  std::vector<FlatDeviceId> devices;  ///< top-M, PageRank order
-  std::vector<double> structural;
-};
 
 }  // namespace
 
@@ -95,46 +88,38 @@ DetectionResult detectImpl(const FlatDesign& design, const Library& lib,
 
   const CandidateSet candidates = enumerateCandidates(design, lib);
 
-  std::unordered_map<HierNodeId, BlockEmbedding> blockEmbedding;
-  auto embeddingOf = [&](HierNodeId node) -> const BlockEmbedding& {
-    auto it = blockEmbedding.find(node);
-    if (it == blockEmbedding.end()) {
-      const std::vector<FlatDeviceId> subtree = design.subtreeDevices(node);
-      const CircuitGraph induced =
-          buildInducedHeteroGraph(design, subtree, config.graphOptions);
-      BlockEmbedding be;
-      be.devices = representativeDevices(induced, config.embedding);
-      if (localBlocks) {
-        // Algorithm 2 on G_t: propagate the trained model over the
-        // subcircuit's own multigraph, so the embedding depends only on
-        // the subcircuit's content.
-        const PreparedGraph prepared = prepareGraph(
-            induced,
-            buildFeatureMatrix(design, subtree, blockContext->features));
-        const nn::Matrix localZ = blockContext->model.embed(prepared);
-        // Map top-M flat ids back to induced-graph rows.
-        be.structural.reserve(be.devices.size() * localZ.cols());
-        for (const FlatDeviceId dev : be.devices) {
-          const std::uint32_t row = induced.deviceToVertex.at(dev);
-          const double* data = localZ.row(row);
-          be.structural.insert(be.structural.end(), data,
-                               data + localZ.cols());
-        }
-      } else {
-        be.structural = gatherEmbedding(be.devices, designEmbeddings);
-      }
-      it = blockEmbedding.emplace(node, std::move(be)).first;
-    }
-    return it->second;
-  };
+  util::ThreadPool pool(util::resolveThreadCount(config.threads));
 
-  result.scored.reserve(candidates.pairs.size());
+  // Phase 1: Algorithm-2 embeddings for every distinct block endpoint, in
+  // first-appearance order. Each block is independent, so they fan out
+  // over the pool; the same representative-device list feeds both the
+  // structural concatenation and the sizing factor, so aligned vertices
+  // are compared.
+  std::unordered_map<HierNodeId, std::size_t> blockIndex;
+  std::vector<HierNodeId> blockNodes;
   for (const CandidatePair& pair : candidates.pairs) {
-    ScoredCandidate scored;
+    if (pair.a.kind != ModuleKind::kBlock) continue;
+    for (const HierNodeId node : {pair.a.id, pair.b.id}) {
+      if (blockIndex.emplace(node, blockNodes.size()).second) {
+        blockNodes.push_back(node);
+      }
+    }
+  }
+  const std::vector<SubcircuitEmbedding> blocks = embedSubcircuits(
+      design, blockNodes, designEmbeddings, config.embedding,
+      config.graphOptions, localBlocks ? blockContext : nullptr, pool);
+
+  // Phase 2: score every candidate pair. Each similarity is independent
+  // and lands in its own slot, so results are bitwise identical to the
+  // serial loop for any pool size.
+  result.scored.resize(candidates.pairs.size());
+  pool.forEach(candidates.pairs.size(), [&](std::size_t i) {
+    const CandidatePair& pair = candidates.pairs[i];
+    ScoredCandidate& scored = result.scored[i];
     scored.pair = pair;
     if (pair.a.kind == ModuleKind::kBlock) {
-      const BlockEmbedding& ea = embeddingOf(pair.a.id);
-      const BlockEmbedding& eb = embeddingOf(pair.b.id);
+      const SubcircuitEmbedding& ea = blocks[blockIndex.at(pair.a.id)];
+      const SubcircuitEmbedding& eb = blocks[blockIndex.at(pair.b.id)];
       scored.similarity = embeddingCosine(ea.structural, eb.structural);
       if (config.sizingAwareSimilarity) {
         scored.similarity *= clamp01(
@@ -153,8 +138,7 @@ DetectionResult detectImpl(const FlatDesign& design, const Library& lib,
                                  ? result.systemThreshold
                                  : result.deviceThreshold;
     scored.accepted = scored.similarity > threshold;
-    result.scored.push_back(std::move(scored));
-  }
+  });
   return result;
 }
 

@@ -41,6 +41,12 @@ struct DetectorConfig {
   /// is supplied — block embeddings are gathered from the whole-design
   /// vertex embeddings instead (context-sensitive; ablated).
   bool localBlockEmbeddings = true;
+  /// Worker count for block embedding and pair scoring (both are
+  /// embarrassingly parallel). 0 = hardware_concurrency, 1 = serial;
+  /// the ANCSTR_THREADS environment variable overrides (see
+  /// util::resolveThreadCount). Results are bitwise identical for every
+  /// value.
+  std::size_t threads = 1;
 };
 
 /// A candidate together with its similarity score.
@@ -69,13 +75,6 @@ double systemThreshold(double alpha, double beta,
 /// min/max ratios over effective width (W * nf * m), length, and passive
 /// value. Equal sizing gives 1; a 2x mismatch gives 0.5.
 double deviceSizeSimilarity(const FlatDevice& a, const FlatDevice& b);
-
-/// Model + feature configuration used to compute per-subcircuit (local)
-/// block embeddings inside the detector.
-struct BlockEmbeddingContext {
-  const GnnModel& model;
-  FeatureConfig features;
-};
 
 /// Scores all candidates and applies thresholds. `designEmbeddings` rows
 /// must be indexed by FlatDeviceId (i.e. the full-design graph must cover

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/features.h"
 #include "graph/digraph.h"
 #include "graph/pagerank.h"
 #include "util/error.h"
@@ -42,6 +43,41 @@ std::vector<double> embedCircuit(const CircuitGraph& inducedGraph,
                                  const EmbeddingConfig& config) {
   return gatherEmbedding(representativeDevices(inducedGraph, config),
                          designEmbeddings);
+}
+
+std::vector<SubcircuitEmbedding> embedSubcircuits(
+    const FlatDesign& design, const std::vector<HierNodeId>& nodes,
+    const nn::Matrix& designEmbeddings, const EmbeddingConfig& config,
+    const GraphBuildOptions& graphOptions,
+    const BlockEmbeddingContext* localContext, util::ThreadPool& pool) {
+  std::vector<SubcircuitEmbedding> out(nodes.size());
+  pool.forEach(nodes.size(), [&](std::size_t i) {
+    const std::vector<FlatDeviceId> subtree = design.subtreeDevices(nodes[i]);
+    const CircuitGraph induced =
+        buildInducedHeteroGraph(design, subtree, graphOptions);
+    SubcircuitEmbedding& embedding = out[i];
+    embedding.devices = representativeDevices(induced, config);
+    if (localContext != nullptr) {
+      // Algorithm 2 on G_t: propagate the trained model over the
+      // subcircuit's own multigraph, so the embedding depends only on the
+      // subcircuit's content.
+      const PreparedGraph prepared = prepareGraph(
+          induced, buildFeatureMatrix(design, subtree, localContext->features));
+      const nn::Matrix localZ = localContext->model.embed(prepared);
+      // Map top-M flat ids back to induced-graph rows.
+      embedding.structural.reserve(embedding.devices.size() * localZ.cols());
+      for (const FlatDeviceId dev : embedding.devices) {
+        const std::uint32_t row = induced.deviceToVertex.at(dev);
+        const double* data = localZ.row(row);
+        embedding.structural.insert(embedding.structural.end(), data,
+                                    data + localZ.cols());
+      }
+    } else {
+      embedding.structural = gatherEmbedding(embedding.devices,
+                                             designEmbeddings);
+    }
+  });
+  return out;
 }
 
 double embeddingCosine(const std::vector<double>& a,

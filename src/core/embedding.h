@@ -9,8 +9,11 @@
 
 #include <vector>
 
+#include "core/features.h"
 #include "core/graph_builder.h"
+#include "core/model.h"
 #include "nn/matrix.h"
+#include "util/parallel.h"
 
 namespace ancstr {
 
@@ -45,5 +48,32 @@ std::vector<double> embedCircuit(const CircuitGraph& inducedGraph,
 /// form symmetry pairs). Returns 0 when either vector is all-zero.
 double embeddingCosine(const std::vector<double>& a,
                        const std::vector<double>& b);
+
+/// Model + feature configuration used to compute per-subcircuit (local)
+/// block embeddings: Algorithm 2's "EmbedCircuitFeature(t, G_t, Z)" run
+/// with GNN inference on the subcircuit's own multigraph.
+struct BlockEmbeddingContext {
+  const GnnModel& model;
+  FeatureConfig features;
+};
+
+/// Algorithm-2 output for one subcircuit: its representative devices in
+/// descending PageRank order and their concatenated structural embedding.
+struct SubcircuitEmbedding {
+  std::vector<FlatDeviceId> devices;
+  std::vector<double> structural;
+};
+
+/// Embeds many subcircuits at once, one per hierarchy node in `nodes`:
+/// induced multigraph, PageRank top-M, and either local GNN inference
+/// (when `localContext` is non-null) or a gather from `designEmbeddings`.
+/// Each subcircuit is independent, so the nodes are spread across `pool`;
+/// results are written to per-node slots and are bitwise identical for
+/// every pool size. out[i] corresponds to nodes[i].
+std::vector<SubcircuitEmbedding> embedSubcircuits(
+    const FlatDesign& design, const std::vector<HierNodeId>& nodes,
+    const nn::Matrix& designEmbeddings, const EmbeddingConfig& config,
+    const GraphBuildOptions& graphOptions,
+    const BlockEmbeddingContext* localContext, util::ThreadPool& pool);
 
 }  // namespace ancstr

@@ -81,6 +81,18 @@ nn::Matrix GnnModel::embed(const PreparedGraph& g) const {
   return forward(g).value();
 }
 
+GnnModel GnnModel::clone() const {
+  // The RNG only seeds initial weights, which are overwritten below.
+  Rng rng(0);
+  GnnModel copy(config_, rng);
+  const std::vector<nn::Tensor> src = parameters();
+  std::vector<nn::Tensor> dst = copy.parameters();
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    dst[i].setValue(src[i].value());
+  }
+  return copy;
+}
+
 std::vector<nn::Tensor> GnnModel::parameters() const {
   std::vector<nn::Tensor> params;
   for (const auto& set : edgeWeights_) {

@@ -64,6 +64,12 @@ class GnnModel {
   /// All trainable parameters.
   std::vector<nn::Tensor> parameters() const;
 
+  /// Deep copy: same config, bitwise-equal parameter values, fully
+  /// independent tensors (no shared autograd nodes). The parallel trainer
+  /// clones the model per worker chunk so backward passes never touch the
+  /// shared parameters concurrently.
+  GnnModel clone() const;
+
   const GnnConfig& config() const { return config_; }
 
  private:

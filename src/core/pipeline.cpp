@@ -31,7 +31,9 @@ TrainStats Pipeline::train(const std::vector<const Library*>& corpus) {
     const FlatDesign design = FlatDesign::elaborate(*lib);
     prepared.push_back(prepare(*lib, design));
   }
-  return trainUnsupervised(*model_, prepared, config_.train, rng);
+  TrainConfig train = config_.train;
+  train.threads = config_.threads;
+  return trainUnsupervised(*model_, prepared, train, rng);
 }
 
 ExtractionResult Pipeline::extract(const Library& lib) const {
@@ -52,6 +54,7 @@ ExtractionResult Pipeline::extract(const Library& lib) const {
   // devices in id order so row i == device i.
   DetectorConfig detector = config_.detector;
   detector.graphOptions = config_.graph;
+  detector.threads = config_.threads;
   const BlockEmbeddingContext blockContext{*model_, config_.features};
   result.detection = detectConstraints(design, lib, z, detector, blockContext);
   result.timing.detectionSeconds = watch.seconds();

@@ -21,6 +21,13 @@ struct PipelineConfig {
   TrainConfig train;
   DetectorConfig detector;
   std::uint64_t seed = 42;
+  /// Worker count applied to both training (per-batch graph fan-out) and
+  /// detection (block embedding + pair scoring); overrides the sub-config
+  /// fields train.threads / detector.threads during pipeline runs.
+  /// 0 = hardware_concurrency, 1 = serial; ANCSTR_THREADS overrides.
+  /// ExtractionResult and trained weights are bitwise identical for every
+  /// value — parallelism here only changes wall-clock time.
+  std::size_t threads = 1;
 
   PipelineConfig() {
     model.featureDim = features.dims();

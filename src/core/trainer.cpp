@@ -1,12 +1,50 @@
 #include "core/trainer.h"
 
+#include <algorithm>
 #include <numeric>
 
 #include "nn/optim.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 #include "util/timer.h"
 
 namespace ancstr {
+namespace {
+
+/// One graph's contribution to a batch: per-parameter gradients of the
+/// contrastive loss evaluated against the batch-start weights.
+struct GraphContribution {
+  std::vector<nn::Matrix> grads;  ///< aligned with model.parameters()
+  double loss = 0.0;
+  bool contributed = false;  ///< false for degenerate/empty graphs
+};
+
+GraphContribution evaluateGraph(const GnnModel& model,
+                                const std::vector<nn::Tensor>& params,
+                                const PreparedGraph& g,
+                                const TrainConfig& config, Rng& rng) {
+  GraphContribution out;
+  if (g.numVertices() < 2) return out;
+  const ContrastiveBatch batch =
+      sampleContrastiveBatch(g, config.negativeSamples, rng);
+  if (batch.size() == 0) return out;
+
+  nn::Tensor z = model.forward(g);
+  nn::Tensor loss = contrastiveLoss(z, batch, config.meanReduction);
+  nn::zeroGrads(params);
+  loss.backward();
+
+  out.grads.reserve(params.size());
+  for (const nn::Tensor& p : params) {
+    out.grads.push_back(p.grad().empty() ? nn::Matrix(p.rows(), p.cols())
+                                         : p.grad());
+  }
+  out.loss = loss.value()(0, 0);
+  out.contributed = true;
+  return out;
+}
+
+}  // namespace
 
 TrainStats trainUnsupervised(GnnModel& model,
                              const std::vector<PreparedGraph>& corpus,
@@ -19,29 +57,60 @@ TrainStats trainUnsupervised(GnnModel& model,
   adamConfig.lr = config.learningRate;
   nn::Adam optimizer(params, adamConfig);
 
+  util::ThreadPool pool(util::resolveThreadCount(config.threads));
+  // Workers backward() on a cloned model so the shared parameter tensors
+  // are never written concurrently; the serial pool skips the clone — the
+  // gradients are bitwise the same either way (identical values, identical
+  // op sequence), so the thread count cannot change the trained weights.
+  const bool cloneModel = pool.size() > 1;
+
   std::vector<std::size_t> order(corpus.size());
   std::iota(order.begin(), order.end(), 0u);
+  const std::size_t batchSize =
+      config.batchSize == 0 ? std::max<std::size_t>(corpus.size(), 1)
+                            : config.batchSize;
 
+  std::vector<GraphContribution> contributions;
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
     rng.shuffle(order);
+    const std::uint64_t epochSeed = rng.next();
     double lossSum = 0.0;
     std::size_t lossCount = 0;
-    for (const std::size_t gi : order) {
-      const PreparedGraph& g = corpus[gi];
-      if (g.numVertices() < 2) continue;
-      const ContrastiveBatch batch =
-          sampleContrastiveBatch(g, config.negativeSamples, rng);
-      if (batch.size() == 0) continue;
+    for (std::size_t start = 0; start < order.size(); start += batchSize) {
+      const std::size_t count = std::min(batchSize, order.size() - start);
 
-      nn::Tensor z = model.forward(g);
-      nn::Tensor loss = contrastiveLoss(z, batch, config.meanReduction);
+      // Fan out: every graph of the batch gets its own RNG stream and is
+      // evaluated against the batch-start weights.
+      contributions.assign(count, {});
+      pool.parallelFor(count, [&](std::size_t begin, std::size_t end) {
+        const GnnModel local = cloneModel ? model.clone() : GnnModel(model);
+        const std::vector<nn::Tensor> localParams =
+            cloneModel ? local.parameters() : params;
+        for (std::size_t i = begin; i < end; ++i) {
+          const std::size_t gi = order[start + i];
+          Rng graphRng(epochSeed ^ static_cast<std::uint64_t>(gi));
+          contributions[i] = evaluateGraph(cloneModel ? local : model,
+                                           localParams, corpus[gi], config,
+                                           graphRng);
+        }
+      });
+
+      // Ordered reduction: sum gradients in batch order, then step once.
       nn::zeroGrads(params);
-      loss.backward();
+      bool any = false;
+      for (const GraphContribution& c : contributions) {
+        if (!c.contributed) continue;
+        any = true;
+        lossSum += c.loss;
+        ++lossCount;
+        for (std::size_t p = 0; p < params.size(); ++p) {
+          nn::Tensor param = params[p];  // shared handle
+          param.accumulateGrad(c.grads[p]);
+        }
+      }
+      if (!any) continue;
       if (config.clipNorm > 0.0) nn::clipGradNorm(params, config.clipNorm);
       optimizer.step();
-
-      lossSum += loss.value()(0, 0);
-      ++lossCount;
     }
     const double epochLoss =
         lossCount > 0 ? lossSum / static_cast<double>(lossCount) : 0.0;

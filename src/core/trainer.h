@@ -18,6 +18,19 @@ struct TrainConfig {
   double clipNorm = 5.0;       ///< global gradient-norm clip; <=0 disables
   bool meanReduction = true;   ///< see contrastiveLoss
   bool verbose = false;        ///< log per-epoch loss
+  /// Graphs per optimizer step. Every graph in a batch is evaluated
+  /// against the batch-start weights (sampling from its own RNG stream
+  /// seeded with epochSeed ^ graphIndex) and the gradients are summed in
+  /// batch order, so the result is independent of the thread count.
+  /// 1 (default) reproduces classic per-graph SGD steps; 0 means the whole
+  /// epoch forms one batch. Values > 1 are what the parallel fan-out
+  /// actually accelerates.
+  std::size_t batchSize = 1;
+  /// Worker count for the per-graph forward/loss/backward fan-out within a
+  /// batch. 0 = hardware_concurrency, 1 = serial; the ANCSTR_THREADS
+  /// environment variable overrides (see util::resolveThreadCount).
+  /// Trained weights are bitwise identical for every value.
+  std::size_t threads = 1;
 };
 
 struct TrainStats {

@@ -35,6 +35,14 @@ void Tensor::zeroGrad() {
   if (!node_->grad.empty()) node_->grad.setZero();
 }
 
+void Tensor::accumulateGrad(const Matrix& g) {
+  if (!g.sameShape(node_->value)) {
+    throw ShapeError("Tensor::accumulateGrad: shape mismatch " +
+                     g.shapeString() + " vs " + node_->value.shapeString());
+  }
+  node_->ensureGrad() += g;
+}
+
 void Tensor::backward() {
   if (rows() != 1 || cols() != 1) {
     throw ShapeError("backward() requires a scalar; got " +

@@ -54,6 +54,11 @@ class Tensor {
   void setValue(Matrix m);
   /// Clears the accumulated gradient.
   void zeroGrad();
+  /// Adds `g` into the accumulated gradient (allocating it if empty).
+  /// Used to fold externally computed per-sample gradients — e.g. from a
+  /// cloned model evaluated on another thread — into a shared parameter in
+  /// a caller-chosen (deterministic) order. Shape-checked.
+  void accumulateGrad(const Matrix& g);
 
   /// Runs reverse-mode differentiation from this scalar (1x1) tensor.
   /// Throws ShapeError when called on a non-scalar.

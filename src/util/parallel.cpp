@@ -1,0 +1,134 @@
+#include "util/parallel.h"
+
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace ancstr::util {
+
+std::size_t resolveThreadCount(std::size_t configured) {
+  if (const char* env = std::getenv("ANCSTR_THREADS")) {
+    char* end = nullptr;
+    const unsigned long value = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0') {
+      configured = static_cast<std::size_t>(value);
+    }
+  }
+  if (configured == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    configured = hw == 0 ? 1 : hw;
+  }
+  return configured < 1 ? 1 : configured;
+}
+
+struct ThreadPool::Impl {
+  std::mutex mutex;
+  std::condition_variable wake;  ///< workers wait here for a new job
+  std::condition_variable done;  ///< the caller waits here for completion
+
+  // Current job, valid while generation is unchanged. Workers with index w
+  // run chunk w + 1 (the caller runs chunk 0); workers whose chunk index
+  // falls outside numChunks just acknowledge the generation.
+  std::uint64_t generation = 0;
+  bool shutdown = false;
+  const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+  std::size_t n = 0;
+  std::size_t numChunks = 0;
+  std::size_t pendingWorkers = 0;
+  std::vector<std::exception_ptr> errors;
+
+  std::vector<std::thread> workers;
+
+  void runChunk(std::size_t chunk) {
+    const auto [begin, end] = chunkBounds(chunk, numChunks, n);
+    try {
+      (*body)(begin, end);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mutex);
+      errors[chunk] = std::current_exception();
+    }
+  }
+
+  void workerLoop(std::size_t workerIndex) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        wake.wait(lock, [&] { return shutdown || generation != seen; });
+        if (shutdown) return;
+        seen = generation;
+      }
+      const std::size_t chunk = workerIndex + 1;
+      if (chunk < numChunks) runChunk(chunk);
+      {
+        const std::lock_guard<std::mutex> lock(mutex);
+        if (--pendingWorkers == 0) done.notify_all();
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t threads) : impl_(std::make_unique<Impl>()) {
+  if (threads < 1) threads = 1;
+  impl_->workers.reserve(threads - 1);
+  for (std::size_t w = 0; w + 1 < threads; ++w) {
+    impl_->workers.emplace_back([this, w] { impl_->workerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->shutdown = true;
+  }
+  impl_->wake.notify_all();
+  for (std::thread& worker : impl_->workers) worker.join();
+}
+
+std::size_t ThreadPool::size() const { return impl_->workers.size() + 1; }
+
+std::pair<std::size_t, std::size_t> ThreadPool::chunkBounds(
+    std::size_t chunk, std::size_t numChunks, std::size_t n) {
+  const std::size_t base = n / numChunks;
+  const std::size_t remainder = n % numChunks;
+  const std::size_t begin =
+      chunk * base + (chunk < remainder ? chunk : remainder);
+  const std::size_t end = begin + base + (chunk < remainder ? 1 : 0);
+  return {begin, end};
+}
+
+void ThreadPool::parallelFor(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  const std::size_t chunks = std::min(size(), n);
+  if (chunks == 1) {
+    // Exact serial path: run inline, exceptions propagate naturally.
+    body(0, n);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->body = &body;
+    impl_->n = n;
+    impl_->numChunks = chunks;
+    impl_->errors.assign(chunks, nullptr);
+    impl_->pendingWorkers = impl_->workers.size();
+    ++impl_->generation;
+  }
+  impl_->wake.notify_all();
+  impl_->runChunk(0);
+  std::vector<std::exception_ptr> errors;
+  {
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    impl_->done.wait(lock, [&] { return impl_->pendingWorkers == 0; });
+    impl_->body = nullptr;
+    errors = std::move(impl_->errors);
+  }
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+}  // namespace ancstr::util

@@ -1,0 +1,88 @@
+// Deterministic data parallelism for the extraction hot paths.
+//
+// Design constraints (see docs/architecture.md, "Concurrency model"):
+//   * no work stealing, no dynamic scheduling: parallelFor statically
+//     partitions [0, n) into min(size(), n) contiguous chunks, so which
+//     indices run together is a pure function of (n, size());
+//   * results must be written to per-index slots (or per-chunk state
+//     folded serially afterwards) — the pool never reorders visible
+//     side effects, so callers that follow this rule get bitwise
+//     identical results for every thread count, 1 included;
+//   * exceptions thrown by chunk bodies are captured and rethrown on the
+//     calling thread (lowest chunk index wins when several throw).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+namespace ancstr::util {
+
+/// Effective worker count for a configured value: the ANCSTR_THREADS
+/// environment variable (when set to a valid integer) overrides
+/// `configured`; a value of 0 means std::thread::hardware_concurrency().
+/// Always returns >= 1; 1 means "exact serial path" (no worker threads).
+std::size_t resolveThreadCount(std::size_t configured);
+
+/// Fixed-size thread pool with a static-partition parallel for.
+///
+/// A pool of size T owns T-1 worker threads; the calling thread executes
+/// chunk 0 itself. Construction and destruction are cheap enough to keep
+/// one pool per top-level operation (detect / train call), which keeps the
+/// pool free of global state. parallelFor is not reentrant: chunk bodies
+/// must not call back into the same pool.
+class ThreadPool {
+ public:
+  /// `threads` <= 1 creates a serial pool (no worker threads spawned).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism including the calling thread (always >= 1).
+  std::size_t size() const;
+
+  /// Static bounds of chunk `chunk` when [0, n) is split into `numChunks`
+  /// contiguous chunks whose sizes differ by at most one. Exposed so tests
+  /// and callers can reason about the exact partition.
+  static std::pair<std::size_t, std::size_t> chunkBounds(std::size_t chunk,
+                                                         std::size_t numChunks,
+                                                         std::size_t n);
+
+  /// Runs body(begin, end) over a static partition of [0, n) into
+  /// min(size(), n) chunks. Blocks until every chunk finished; rethrows
+  /// the lowest-chunk-index exception if any body threw.
+  void parallelFor(std::size_t n,
+                   const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// Convenience element-wise form of parallelFor.
+  template <typename Fn>
+  void forEach(std::size_t n, Fn&& fn) {
+    parallelFor(n, [&fn](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    });
+  }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Deterministic map-reduce: evaluates map(i) for every i in [0, n) in
+/// parallel, then folds the stored values serially in index order with
+/// std::accumulate. The fold order is therefore independent of the thread
+/// count, and the result is bitwise identical to the serial
+///   std::accumulate over {map(0), ..., map(n-1)}
+/// even for non-associative types such as double.
+template <typename T, typename MapFn>
+T parallelMapReduce(ThreadPool& pool, std::size_t n, T init, MapFn&& map) {
+  std::vector<T> values(n);
+  pool.forEach(n, [&](std::size_t i) { values[i] = map(i); });
+  return std::accumulate(values.begin(), values.end(), std::move(init));
+}
+
+}  // namespace ancstr::util

@@ -26,6 +26,8 @@ Rng::Rng(std::uint64_t seed) {
   for (auto& s : state_) s = splitmix64(sm);
 }
 
+Rng Rng::fork() { return Rng(next()); }
+
 std::uint64_t Rng::next() {
   const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
   const std::uint64_t t = state_[1] << 17;

@@ -10,9 +10,28 @@ namespace ancstr {
 
 /// xoshiro256** generator seeded via splitmix64. Small, fast, and good
 /// enough statistically for ML-style sampling; never use for crypto.
+///
+/// An Rng is thread-affine: its state mutates on every draw and carries no
+/// synchronisation, so exactly one thread may draw from an instance.
+/// Copying is deleted to make accidental stream duplication (two "random"
+/// streams silently emitting identical values) and cross-thread sharing
+/// via by-value capture impossible. Parallel code must give each worker
+/// its own stream, either with fork() or by constructing a fresh Rng from
+/// a per-task seed (the trainer derives one per graph from
+/// epochSeed ^ graphIndex).
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  Rng(const Rng&) = delete;
+  Rng& operator=(const Rng&) = delete;
+  Rng(Rng&&) = default;
+  Rng& operator=(Rng&&) = default;
+
+  /// Deterministically derives an independent child stream, advancing this
+  /// generator by one draw. The explicit replacement for copying: hand one
+  /// fork per worker instead of sharing (or duplicating) a stream.
+  Rng fork();
 
   /// Next raw 64-bit value.
   std::uint64_t next();

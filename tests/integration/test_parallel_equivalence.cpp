@@ -1,0 +1,139 @@
+// The determinism contract of the parallel execution layer: for any thread
+// count, Pipeline train + extract must produce bitwise identical results —
+// same trained weights, same similarities, same accepted constraints.
+// Parallelism that changes a single bit is a bug, not a speedup.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "circuits/synthetic.h"
+#include "core/model_io.h"
+#include "core/pipeline.h"
+
+namespace ancstr {
+namespace {
+
+/// The pipeline reads ANCSTR_THREADS as an override, which would defeat
+/// the explicit thread counts this test sweeps — clear it for the
+/// duration of the suite and restore afterwards.
+class ParallelEquivalenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* value = std::getenv("ANCSTR_THREADS");
+    had_ = value != nullptr;
+    if (had_) saved_ = value;
+    unsetenv("ANCSTR_THREADS");
+  }
+  void TearDown() override {
+    if (had_) setenv("ANCSTR_THREADS", saved_.c_str(), 1);
+  }
+
+ private:
+  std::string saved_;
+  bool had_ = false;
+};
+
+struct RunResult {
+  std::vector<ExtractionResult> extractions;  ///< one per circuit
+  std::string modelText;                      ///< serialized trained weights
+};
+
+RunResult runPipeline(std::size_t threads) {
+  // Two benchmark circuits: a flat differential chain (device-level pairs)
+  // and a hierarchical block array (system-level pairs + Algorithm-2
+  // block embeddings), so every parallelised stage does real work.
+  const circuits::CircuitBenchmark chain = circuits::makeDiffChain(3);
+  const circuits::CircuitBenchmark array = circuits::makeBlockArray(4);
+
+  PipelineConfig config;
+  config.threads = threads;
+  config.train.epochs = 6;
+  config.train.batchSize = 4;  // exercises the per-batch gradient fan-out
+  Pipeline pipeline(config);
+  pipeline.train({&chain.lib, &array.lib});
+
+  RunResult result;
+  result.extractions.push_back(pipeline.extract(chain.lib));
+  result.extractions.push_back(pipeline.extract(array.lib));
+  std::ostringstream model;
+  saveModel(pipeline.model(), model);
+  result.modelText = model.str();
+  return result;
+}
+
+void expectBitwiseIdentical(const RunResult& serial,
+                            const RunResult& parallel) {
+  // Trained weights: saveModel writes with 17 significant digits, which
+  // round-trips doubles exactly, so string equality is bitwise equality.
+  EXPECT_EQ(serial.modelText, parallel.modelText);
+
+  ASSERT_EQ(serial.extractions.size(), parallel.extractions.size());
+  for (std::size_t c = 0; c < serial.extractions.size(); ++c) {
+    const ExtractionResult& a = serial.extractions[c];
+    const ExtractionResult& b = parallel.extractions[c];
+    EXPECT_EQ(a.embeddings, b.embeddings) << "circuit " << c;
+    EXPECT_EQ(a.detection.systemThreshold, b.detection.systemThreshold);
+    EXPECT_EQ(a.detection.deviceThreshold, b.detection.deviceThreshold);
+    ASSERT_EQ(a.detection.scored.size(), b.detection.scored.size())
+        << "circuit " << c;
+    for (std::size_t i = 0; i < a.detection.scored.size(); ++i) {
+      const ScoredCandidate& sa = a.detection.scored[i];
+      const ScoredCandidate& sb = b.detection.scored[i];
+      EXPECT_EQ(sa.pair.a, sb.pair.a) << "circuit " << c << " pair " << i;
+      EXPECT_EQ(sa.pair.b, sb.pair.b) << "circuit " << c << " pair " << i;
+      EXPECT_EQ(sa.pair.nameA, sb.pair.nameA);
+      EXPECT_EQ(sa.pair.nameB, sb.pair.nameB);
+      // EXPECT_EQ on double is exact comparison — bitwise, not near.
+      EXPECT_EQ(sa.similarity, sb.similarity)
+          << "circuit " << c << " pair " << sa.pair.nameA << "/"
+          << sa.pair.nameB;
+      EXPECT_EQ(sa.accepted, sb.accepted);
+    }
+    ASSERT_EQ(a.detection.constraints().size(),
+              b.detection.constraints().size());
+  }
+}
+
+TEST_F(ParallelEquivalenceTest, FourThreadsMatchSerialBitwise) {
+  expectBitwiseIdentical(runPipeline(1), runPipeline(4));
+}
+
+TEST_F(ParallelEquivalenceTest, OddThreadCountsMatchSerialBitwise) {
+  // Chunk boundaries move with the thread count; results must not.
+  expectBitwiseIdentical(runPipeline(1), runPipeline(3));
+}
+
+TEST_F(ParallelEquivalenceTest, WholeEpochBatchesMatchAcrossThreadCounts) {
+  // batchSize = 0 (whole epoch per optimizer step) maximises the width of
+  // the gradient fan-out; still bitwise deterministic.
+  auto run = [](std::size_t threads) {
+    const circuits::CircuitBenchmark array = circuits::makeBlockArray(4);
+    PipelineConfig config;
+    config.threads = threads;
+    config.train.epochs = 4;
+    config.train.batchSize = 0;
+    Pipeline pipeline(config);
+    pipeline.train({&array.lib});
+    std::ostringstream model;
+    saveModel(pipeline.model(), model);
+    return model.str();
+  };
+  const std::string serial = run(1);
+  EXPECT_EQ(serial, run(2));
+  EXPECT_EQ(serial, run(4));
+}
+
+TEST_F(ParallelEquivalenceTest, EnvOverrideKeepsResultsIdentical) {
+  // ANCSTR_THREADS reroutes execution, never results.
+  const RunResult serial = runPipeline(1);
+  setenv("ANCSTR_THREADS", "4", 1);
+  const RunResult forced = runPipeline(1);
+  unsetenv("ANCSTR_THREADS");
+  expectBitwiseIdentical(serial, forced);
+}
+
+}  // namespace
+}  // namespace ancstr

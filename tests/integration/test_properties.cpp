@@ -7,11 +7,14 @@
 
 #include <algorithm>
 #include <map>
+#include <set>
 
+#include "circuits/synthetic.h"
 #include "core/pipeline.h"
 #include "netlist/builder.h"
 #include "netlist/spice_parser.h"
 #include "netlist/spice_writer.h"
+#include "util/parallel.h"
 
 namespace ancstr {
 namespace {
@@ -109,6 +112,97 @@ TEST(Properties, SpiceRoundTripPreservesDetection) {
   ASSERT_EQ(a.size(), b.size());
   for (const auto& [key, sim] : a) {
     EXPECT_NEAR(sim, b.at(key), 1e-9);
+  }
+}
+
+TEST(Properties, DetectorSimilarityIsSymmetric) {
+  // score(a, b) == score(b, a): recompute every scored pair's similarity
+  // with the modules swapped, through the same primitives the detector
+  // uses (cosine over embeddings, sizing factor), and demand bitwise
+  // equality. Covers both device pairs (vertex embeddings) and block
+  // pairs (Algorithm-2 subcircuit embeddings).
+  const circuits::CircuitBenchmark array = circuits::makeBlockArray(4);
+  PipelineConfig config;
+  config.train.epochs = 6;
+  Pipeline pipeline(config);
+  pipeline.train({&array.lib});
+  const ExtractionResult extraction = pipeline.extract(array.lib);
+  const FlatDesign design = FlatDesign::elaborate(array.lib);
+
+  // Block endpoints, embedded once through the public batch API.
+  std::vector<HierNodeId> blockNodes;
+  std::map<HierNodeId, std::size_t> blockIndex;
+  for (const ScoredCandidate& c : extraction.detection.scored) {
+    if (c.pair.a.kind != ModuleKind::kBlock) continue;
+    for (const HierNodeId node : {c.pair.a.id, c.pair.b.id}) {
+      if (blockIndex.emplace(node, blockNodes.size()).second) {
+        blockNodes.push_back(node);
+      }
+    }
+  }
+  util::ThreadPool pool(1);
+  const BlockEmbeddingContext context{pipeline.model(),
+                                      pipeline.config().features};
+  GraphBuildOptions graphOptions = pipeline.config().graph;
+  const std::vector<SubcircuitEmbedding> blocks =
+      embedSubcircuits(design, blockNodes, extraction.embeddings,
+                       pipeline.config().detector.embedding, graphOptions,
+                       &context, pool);
+
+  ASSERT_FALSE(extraction.detection.scored.empty());
+  bool sawBlockPair = false, sawDevicePair = false;
+  for (const ScoredCandidate& c : extraction.detection.scored) {
+    if (c.pair.a.kind == ModuleKind::kBlock) {
+      sawBlockPair = true;
+      const SubcircuitEmbedding& ea = blocks[blockIndex.at(c.pair.a.id)];
+      const SubcircuitEmbedding& eb = blocks[blockIndex.at(c.pair.b.id)];
+      EXPECT_EQ(embeddingCosine(ea.structural, eb.structural),
+                embeddingCosine(eb.structural, ea.structural))
+          << c.pair.nameA << "/" << c.pair.nameB;
+    } else {
+      sawDevicePair = true;
+      const nn::Matrix za = extraction.embeddings.rowCopy(c.pair.a.id);
+      const nn::Matrix zb = extraction.embeddings.rowCopy(c.pair.b.id);
+      EXPECT_EQ(nn::Matrix::cosineSimilarity(za, zb),
+                nn::Matrix::cosineSimilarity(zb, za))
+          << c.pair.nameA << "/" << c.pair.nameB;
+      EXPECT_EQ(deviceSizeSimilarity(design.device(c.pair.a.id),
+                                     design.device(c.pair.b.id)),
+                deviceSizeSimilarity(design.device(c.pair.b.id),
+                                     design.device(c.pair.a.id)));
+    }
+  }
+  EXPECT_TRUE(sawBlockPair);
+  EXPECT_TRUE(sawDevicePair);
+}
+
+TEST(Properties, CandidateOrderDoesNotChangeAcceptedSet) {
+  // Per-pair scoring is independent, so permuting the candidate
+  // enumeration order (via the device declaration order, which drives it)
+  // must leave the accepted constraint set untouched.
+  const Library original = diffStage({0, 1, 2, 3, 4, 5, 6}, "");
+  PipelineConfig config;
+  config.train.epochs = 10;
+  Pipeline pipeline(config);
+  pipeline.train({&original});
+
+  auto acceptedSet = [&](const Library& lib) {
+    std::set<std::pair<std::string, std::string>> out;
+    for (const ScoredCandidate& c :
+         pipeline.extract(lib).detection.constraints()) {
+      auto key = std::minmax(c.pair.nameA, c.pair.nameB);
+      out.insert({key.first, key.second});
+    }
+    return out;
+  };
+
+  const auto baseline = acceptedSet(original);
+  EXPECT_FALSE(baseline.empty());
+  for (const std::vector<int>& order :
+       {std::vector<int>{6, 2, 4, 0, 5, 1, 3},
+        std::vector<int>{3, 5, 1, 6, 0, 2, 4},
+        std::vector<int>{1, 0, 2, 4, 3, 6, 5}}) {
+    EXPECT_EQ(baseline, acceptedSet(diffStage(order, "")));
   }
 }
 

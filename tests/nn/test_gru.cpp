@@ -31,7 +31,10 @@ TEST(GruCell, InterpolatesBetweenStateAndCandidate) {
   GruCell cell(3, 3, rng);
   Tensor x = Tensor::constant(uniform(5, 3, -3, 3, rng));
   Tensor h = Tensor::constant(uniform(5, 3, -0.5, 0.5, rng));
-  const Matrix& out = cell.forward(x, h).value();
+  // Keep the output Tensor alive: value() returns a reference into the
+  // node it owns.
+  const Tensor outT = cell.forward(x, h);
+  const Matrix& out = outT.value();
   for (std::size_t i = 0; i < out.rows(); ++i) {
     for (std::size_t j = 0; j < out.cols(); ++j) {
       EXPECT_LE(std::abs(out(i, j)), 1.0 + 1e-9);

@@ -1,0 +1,216 @@
+#include "util/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ancstr::util {
+namespace {
+
+/// Saves/restores ANCSTR_THREADS so env-sensitive tests are hermetic.
+class EnvGuard {
+ public:
+  EnvGuard() {
+    const char* value = std::getenv("ANCSTR_THREADS");
+    if (value != nullptr) saved_ = value;
+    had_ = value != nullptr;
+    unsetenv("ANCSTR_THREADS");
+  }
+  ~EnvGuard() {
+    if (had_) {
+      setenv("ANCSTR_THREADS", saved_.c_str(), 1);
+    } else {
+      unsetenv("ANCSTR_THREADS");
+    }
+  }
+
+ private:
+  std::string saved_;
+  bool had_ = false;
+};
+
+TEST(ResolveThreadCount, PassesConfiguredValueThrough) {
+  const EnvGuard guard;
+  EXPECT_EQ(resolveThreadCount(1), 1u);
+  EXPECT_EQ(resolveThreadCount(5), 5u);
+}
+
+TEST(ResolveThreadCount, ZeroMeansHardwareConcurrency) {
+  const EnvGuard guard;
+  EXPECT_GE(resolveThreadCount(0), 1u);
+}
+
+TEST(ResolveThreadCount, EnvOverridesConfigured) {
+  const EnvGuard guard;
+  setenv("ANCSTR_THREADS", "3", 1);
+  EXPECT_EQ(resolveThreadCount(1), 3u);
+  EXPECT_EQ(resolveThreadCount(8), 3u);
+  setenv("ANCSTR_THREADS", "0", 1);
+  EXPECT_GE(resolveThreadCount(1), 1u);  // 0 -> hardware_concurrency
+  setenv("ANCSTR_THREADS", "not-a-number", 1);
+  EXPECT_EQ(resolveThreadCount(2), 2u);  // junk values are ignored
+}
+
+TEST(ThreadPool, LifecycleAndSize) {
+  for (std::size_t threads : {0u, 1u, 2u, 5u, 8u}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.size(), threads < 1 ? 1u : threads);
+    std::atomic<int> runs{0};
+    pool.forEach(4, [&](std::size_t) { runs.fetch_add(1); });
+    EXPECT_EQ(runs.load(), 4);
+  }
+  // Repeated construction/destruction must not leak or deadlock.
+  for (int i = 0; i < 20; ++i) {
+    ThreadPool pool(4);
+    pool.forEach(1, [](std::size_t) {});
+  }
+}
+
+TEST(ThreadPool, EmptyRangeNeverInvokesBody) {
+  ThreadPool pool(4);
+  bool invoked = false;
+  pool.parallelFor(0, [&](std::size_t, std::size_t) { invoked = true; });
+  EXPECT_FALSE(invoked);
+}
+
+TEST(ThreadPool, ChunkBoundsPartitionExactly) {
+  // Contiguous, complete, sizes differing by at most one — for every
+  // (n, chunks) shape including n < chunks leftovers.
+  for (std::size_t n : {1u, 3u, 7u, 10u, 16u, 1000u}) {
+    for (std::size_t chunks : {1u, 2u, 3u, 4u, 7u, 16u}) {
+      if (chunks > n) continue;
+      std::size_t expectedBegin = 0;
+      std::size_t minSize = n, maxSize = 0;
+      for (std::size_t c = 0; c < chunks; ++c) {
+        const auto [begin, end] = ThreadPool::chunkBounds(c, chunks, n);
+        EXPECT_EQ(begin, expectedBegin) << "n=" << n << " chunks=" << chunks;
+        EXPECT_GE(end, begin);
+        minSize = std::min(minSize, end - begin);
+        maxSize = std::max(maxSize, end - begin);
+        expectedBegin = end;
+      }
+      EXPECT_EQ(expectedBegin, n);
+      EXPECT_LE(maxSize - minSize, 1u);
+    }
+  }
+}
+
+void expectEveryIndexVisitedOnce(std::size_t threads, std::size_t n) {
+  ThreadPool pool(threads);
+  // Each slot is written by exactly one chunk, so plain ints suffice.
+  std::vector<int> visits(n, 0);
+  pool.forEach(n, [&](std::size_t i) { ++visits[i]; });
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(visits[i], 1) << "threads=" << threads << " n=" << n
+                            << " index=" << i;
+  }
+}
+
+TEST(ThreadPool, CoversRangeSmallerThanPool) {
+  expectEveryIndexVisitedOnce(8, 3);
+}
+
+TEST(ThreadPool, CoversRangeNotDivisibleByPool) {
+  expectEveryIndexVisitedOnce(4, 10);
+  expectEveryIndexVisitedOnce(3, 1000);
+}
+
+TEST(ThreadPool, CoversRangeEqualToPool) {
+  expectEveryIndexVisitedOnce(4, 4);
+}
+
+TEST(ThreadPool, ChunksAreStaticContiguousRanges) {
+  ThreadPool pool(4);
+  std::mutex mutex;
+  std::vector<std::pair<std::size_t, std::size_t>> seen;
+  const std::size_t n = 11;
+  pool.parallelFor(n, [&](std::size_t begin, std::size_t end) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    seen.emplace_back(begin, end);
+  });
+  std::sort(seen.begin(), seen.end());
+  ASSERT_EQ(seen.size(), std::min<std::size_t>(pool.size(), n));
+  std::size_t expected = 0;
+  for (std::size_t c = 0; c < seen.size(); ++c) {
+    EXPECT_EQ(seen[c].first, expected);
+    EXPECT_EQ(seen[c], ThreadPool::chunkBounds(c, seen.size(), n));
+    expected = seen[c].second;
+  }
+  EXPECT_EQ(expected, n);
+}
+
+TEST(ThreadPool, ExceptionPropagatesFromCallerChunk) {
+  ThreadPool pool(4);
+  // Index 0 lives in chunk 0, which the calling thread runs itself.
+  EXPECT_THROW(pool.forEach(8,
+                            [](std::size_t i) {
+                              if (i == 0) throw std::runtime_error("boom");
+                            }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ExceptionPropagatesFromWorkerChunk) {
+  ThreadPool pool(4);
+  // The last index lives in the last chunk, which a worker thread runs.
+  EXPECT_THROW(pool.forEach(8,
+                            [](std::size_t i) {
+                              if (i == 7) throw std::runtime_error("boom");
+                            }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, LowestChunkExceptionWinsAndPoolSurvives) {
+  ThreadPool pool(4);
+  try {
+    pool.parallelFor(8, [](std::size_t begin, std::size_t) {
+      throw std::runtime_error("chunk " + std::to_string(begin));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "chunk 0");
+  }
+  // The pool must stay fully usable after a throwing job.
+  std::atomic<int> runs{0};
+  pool.forEach(16, [&](std::size_t) { runs.fetch_add(1); });
+  EXPECT_EQ(runs.load(), 16);
+}
+
+TEST(ParallelMapReduce, MatchesSerialAccumulateBitwise) {
+  // The fold is serial and ordered, so even double summation must be
+  // bitwise identical to std::accumulate for every thread count.
+  const std::size_t n = 10000;
+  std::vector<double> values(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    values[i] = 1.0 / static_cast<double>(i + 1);
+  }
+  const double serial = std::accumulate(values.begin(), values.end(), 0.0);
+  for (std::size_t threads : {1u, 2u, 3u, 5u, 8u}) {
+    ThreadPool pool(threads);
+    const double parallel = parallelMapReduce(
+        pool, n, 0.0,
+        [](std::size_t i) { return 1.0 / static_cast<double>(i + 1); });
+    EXPECT_EQ(parallel, serial) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelMapReduce, IntegerReductionMatchesAccumulate) {
+  const std::size_t n = 1234;
+  std::vector<long> values(n);
+  std::iota(values.begin(), values.end(), 0L);
+  const long serial = std::accumulate(values.begin(), values.end(), 0L);
+  ThreadPool pool(4);
+  const long parallel = parallelMapReduce(
+      pool, n, 0L, [](std::size_t i) { return static_cast<long>(i); });
+  EXPECT_EQ(parallel, serial);
+}
+
+}  // namespace
+}  // namespace ancstr::util
