@@ -1,6 +1,7 @@
 #include "common.h"
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "baselines/ged.h"
 #include "baselines/s3det.h"
@@ -28,10 +29,14 @@ Pipeline trainPipeline(const std::vector<circuits::CircuitBenchmark>& corpus,
   std::vector<const Library*> libs;
   libs.reserve(corpus.size());
   for (const auto& bench : corpus) libs.push_back(&bench.lib);
-  const TrainStats stats = pipeline.train(libs);
+  const TrainReport report = pipeline.train(libs);
   std::printf("[train] %zu circuits, %d epochs, final loss %.4f, %.2fs\n",
-              libs.size(), config.train.epochs, stats.finalLoss(),
-              stats.seconds);
+              libs.size(), config.train.epochs, report.finalLoss(),
+              report.report.phaseSeconds("train.loop"));
+  const char* env = std::getenv("ANCSTR_BENCH_REPORT");
+  if (env != nullptr && *env != '\0' && std::string(env) != "0") {
+    printRunReport("[train] run report", report.report);
+  }
   return pipeline;
 }
 
@@ -60,7 +65,7 @@ Evaluated evalOurs(const Pipeline& pipeline,
   for (const ScoredCandidate& c : result.detection.scored) {
     if (c.pair.level == level) filtered.push_back(c);
   }
-  return reduce(design, filtered, bench.truth, result.timing.total());
+  return reduce(design, filtered, bench.truth, result.timing().total());
 }
 
 Evaluated evalS3Det(const circuits::CircuitBenchmark& bench) {
@@ -107,6 +112,10 @@ void printRoc(const std::string& title, const RocCurve& curve) {
   }
   const RocPoint& last = curve.points.back();
   std::printf(" (%.3f,%.3f)\n", last.fpr, last.tpr);
+}
+
+void printRunReport(const std::string& title, const RunReport& report) {
+  std::printf("%s\n%s", title.c_str(), report.toTable().c_str());
 }
 
 }  // namespace ancstr::bench

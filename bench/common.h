@@ -55,4 +55,9 @@ void addComparisonRow(TextTable& table, const std::string& name,
 /// Prints an ROC curve as a compact fpr/tpr listing with its AUC.
 void printRoc(const std::string& title, const RocCurve& curve);
 
+/// Prints a RunReport (per-phase timings + non-zero metrics) under a
+/// title. trainPipeline emits one for the training run when the
+/// ANCSTR_BENCH_REPORT environment variable is set and non-zero.
+void printRunReport(const std::string& title, const RunReport& report);
+
 }  // namespace ancstr::bench

@@ -12,6 +12,7 @@
 #include "core/pipeline.h"
 #include "graph/pagerank.h"
 #include "util/parallel.h"
+#include "util/trace.h"
 
 using namespace ancstr;
 
@@ -88,6 +89,28 @@ void BM_FullExtraction(benchmark::State& state) {
   state.SetComplexityN(state.range(0));
 }
 
+/// BM_FullExtraction with live span collection: the delta against
+/// BM_FullExtraction is the cost of *enabled* tracing (every bench in this
+/// binary already pays the compiled-but-disabled cost, a relaxed atomic
+/// load per span site).
+void BM_FullExtractionTraced(benchmark::State& state) {
+  const auto& bench = blockArray(static_cast<int>(state.range(0)));
+  PipelineConfig config;
+  config.train.epochs = 2;
+  Pipeline pipeline(config);
+  pipeline.train({&bench.lib});
+  trace::TraceCollector::instance().setEnabled(true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipeline.extract(bench.lib));
+    state.PauseTiming();
+    trace::TraceCollector::instance().clear();
+    state.ResumeTiming();
+  }
+  trace::TraceCollector::instance().setEnabled(false);
+  trace::TraceCollector::instance().clear();
+  state.SetComplexityN(state.range(0));
+}
+
 void BM_S3DetExtraction(benchmark::State& state) {
   const auto& bench = blockArray(static_cast<int>(state.range(0)));
   const FlatDesign design = FlatDesign::elaborate(bench.lib);
@@ -145,14 +168,14 @@ void BM_DetectionThreads(benchmark::State& state) {
   DetectionScalingFixture& f = detectionFixture();
   DetectorConfig config = f.config.detector;
   config.graphOptions = f.config.graph;
-  config.threads = static_cast<std::size_t>(state.range(0));
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
   const BlockEmbeddingContext context{f.pipeline.model(), f.config.features};
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        detectConstraints(f.design, f.bench.lib, f.z, config, context));
+    benchmark::DoNotOptimize(detectConstraints(f.design, f.bench.lib, f.z,
+                                               config, context, threads));
   }
   state.counters["threads"] =
-      static_cast<double>(util::resolveThreadCount(config.threads));
+      static_cast<double>(util::resolveThreadCount(threads));
 }
 
 /// Thread-count sweep of training with whole-epoch batches: the per-graph
@@ -188,6 +211,7 @@ BENCHMARK(BM_GraphConstruction)
 BENCHMARK(BM_GnnInference)->RangeMultiplier(4)->Range(4, 64)->Complexity();
 BENCHMARK(BM_PageRank)->RangeMultiplier(4)->Range(4, 256)->Complexity();
 BENCHMARK(BM_FullExtraction)->DenseRange(2, 10, 4);
+BENCHMARK(BM_FullExtractionTraced)->DenseRange(2, 10, 4);
 BENCHMARK(BM_S3DetExtraction)->DenseRange(2, 10, 4);
 BENCHMARK(BM_Training)->RangeMultiplier(4)->Range(4, 64);
 // Thread sweeps are wall-clock measurements: with workers, CPU time sums

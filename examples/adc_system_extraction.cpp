@@ -22,9 +22,9 @@ int main() {
   PipelineConfig config;
   config.train.epochs = 60;
   Pipeline pipeline(config);
-  const TrainStats stats = pipeline.train(libs);
+  const TrainReport report = pipeline.train(libs);
   std::printf("trained on %zu circuits in %.1fs\n", libs.size(),
-              stats.seconds);
+              report.report.phaseSeconds("train.loop"));
 
   // Extract from the SAR ADC.
   const circuits::CircuitBenchmark& sar = corpus[15 + 3];  // adc4

@@ -39,9 +39,9 @@ int main(int argc, char** argv) {
   Pipeline pipeline(config);
   std::vector<const Library*> libs;
   for (const auto& b : corpus) libs.push_back(&b.lib);
-  const TrainStats stats = pipeline.train(libs);
+  const TrainReport report = pipeline.train(libs);
   std::printf("trained %d epochs, final loss %.4f\n", epochs,
-              stats.finalLoss());
+              report.finalLoss());
 
   const ExtractionResult result = pipeline.extract(bench->lib);
   const FlatDesign design = FlatDesign::elaborate(bench->lib);

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Validates an ancstr_cli --trace-out file.
+
+Fails (exit 1) when the file is not valid Chrome trace_event JSON, when a
+required span name is missing, or when any event violates the schema
+(docs/observability.md). Usage:
+
+    check_trace.py TRACE_JSON [REQUIRED_SPAN ...]
+
+With no explicit span list, the default extraction span set is required.
+"""
+import json
+import sys
+
+DEFAULT_REQUIRED = [
+    "parse.spice",
+    "pipeline.extract",
+    "extract.graph_build",
+    "extract.inference",
+    "extract.detection",
+    "detect.run",
+    "detect.score",
+    "graph.build",
+    "model.embed",
+]
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 1
+    path = argv[1]
+    required = argv[2:] or DEFAULT_REQUIRED
+
+    try:
+        with open(path, encoding="utf-8") as fh:
+            trace = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"FAIL: cannot load {path}: {err}", file=sys.stderr)
+        return 1
+
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        print("FAIL: traceEvents missing or empty", file=sys.stderr)
+        return 1
+
+    for i, event in enumerate(events):
+        for key, kind in (("name", str), ("cat", str), ("ph", str),
+                          ("ts", (int, float)), ("dur", (int, float)),
+                          ("pid", int), ("tid", int)):
+            if not isinstance(event.get(key), kind):
+                print(f"FAIL: event {i} field {key!r} malformed: {event}",
+                      file=sys.stderr)
+                return 1
+        if event["ph"] != "X":
+            print(f"FAIL: event {i} has phase {event['ph']!r}, expected 'X'",
+                  file=sys.stderr)
+            return 1
+
+    names = {event["name"] for event in events}
+    missing = [span for span in required if span not in names]
+    if missing:
+        print(f"FAIL: required spans missing: {missing}", file=sys.stderr)
+        print(f"      spans present: {sorted(names)}", file=sys.stderr)
+        return 1
+
+    print(f"OK: {len(events)} events, {len(names)} distinct spans, "
+          f"all {len(required)} required spans present")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -35,3 +35,6 @@
 #include "netlist/spice_writer.h"
 #include "place/pnr.h"
 #include "place/svg.h"
+#include "util/metrics.h"
+#include "util/report.h"
+#include "util/trace.h"

@@ -1,5 +1,6 @@
 #include "core/constraint_io.h"
 
+#include <fstream>
 #include <set>
 #include <sstream>
 
@@ -174,6 +175,24 @@ std::vector<ParsedConstraint> parseConstraintsSym(const std::string& text) {
     out.push_back(std::move(p));
   }
   return out;
+}
+
+std::vector<ParsedConstraint> parseConstraintsFile(
+    const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw Error("parseConstraintsFile: cannot open '" + path.string() + "'");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  // Extension first; fall back to sniffing the format tag so JSON files
+  // with unconventional names still round-trip.
+  if (str::toLower(path.extension().string()) == ".json" ||
+      text.find("ancstr-constraints") != std::string::npos) {
+    return parseConstraintsJson(text);
+  }
+  return parseConstraintsSym(text);
 }
 
 }  // namespace ancstr

@@ -10,6 +10,7 @@
 //     with "." denoting the top hierarchy and "#" starting comments.
 #pragma once
 
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -48,5 +49,12 @@ std::vector<ParsedConstraint> parseConstraintsJson(const std::string& text);
 /// Parses a .sym deck. Throws ParseError on malformed lines.
 /// (To diff against a golden file, convert with eval's toGroundTruth.)
 std::vector<ParsedConstraint> parseConstraintsSym(const std::string& text);
+
+/// Reads a constraint file from disk, dispatching on extension (".json"
+/// goes to parseConstraintsJson) with a content-sniff fallback for the
+/// "ancstr-constraints" format tag; everything else goes to
+/// parseConstraintsSym. Throws Error when the file cannot be read.
+std::vector<ParsedConstraint> parseConstraintsFile(
+    const std::filesystem::path& path);
 
 }  // namespace ancstr

@@ -5,7 +5,9 @@
 #include <unordered_map>
 
 #include "util/error.h"
+#include "util/metrics.h"
 #include "util/parallel.h"
+#include "util/trace.h"
 
 namespace ancstr {
 
@@ -73,7 +75,14 @@ namespace {
 DetectionResult detectImpl(const FlatDesign& design, const Library& lib,
                            const nn::Matrix& designEmbeddings,
                            const DetectorConfig& config,
-                           const BlockEmbeddingContext* blockContext) {
+                           const BlockEmbeddingContext* blockContext,
+                           std::size_t threads) {
+  const trace::TraceSpan detectSpan("detect.run");
+  static metrics::Counter& scoredCounter =
+      metrics::Registry::instance().counter("detector.pairs_scored");
+  static metrics::Counter& acceptedCounter =
+      metrics::Registry::instance().counter("detector.pairs_accepted");
+
   if (designEmbeddings.rows() != design.devices().size()) {
     throw ShapeError(
         "detectConstraints: embeddings rows must equal device count");
@@ -88,7 +97,7 @@ DetectionResult detectImpl(const FlatDesign& design, const Library& lib,
 
   const CandidateSet candidates = enumerateCandidates(design, lib);
 
-  util::ThreadPool pool(util::resolveThreadCount(config.threads));
+  util::ThreadPool pool(util::resolveThreadCount(threads));
 
   // Phase 1: Algorithm-2 embeddings for every distinct block endpoint, in
   // first-appearance order. Each block is independent, so they fan out
@@ -105,13 +114,18 @@ DetectionResult detectImpl(const FlatDesign& design, const Library& lib,
       }
     }
   }
-  const std::vector<SubcircuitEmbedding> blocks = embedSubcircuits(
-      design, blockNodes, designEmbeddings, config.embedding,
-      config.graphOptions, localBlocks ? blockContext : nullptr, pool);
+  std::vector<SubcircuitEmbedding> blocks;
+  {
+    const trace::TraceSpan span("detect.embed_blocks");
+    blocks = embedSubcircuits(design, blockNodes, designEmbeddings,
+                              config.embedding, config.graphOptions,
+                              localBlocks ? blockContext : nullptr, pool);
+  }
 
   // Phase 2: score every candidate pair. Each similarity is independent
   // and lands in its own slot, so results are bitwise identical to the
   // serial loop for any pool size.
+  const trace::TraceSpan scoreSpan("detect.score");
   result.scored.resize(candidates.pairs.size());
   pool.forEach(candidates.pairs.size(), [&](std::size_t i) {
     const CandidatePair& pair = candidates.pairs[i];
@@ -139,6 +153,15 @@ DetectionResult detectImpl(const FlatDesign& design, const Library& lib,
                                  : result.deviceThreshold;
     scored.accepted = scored.similarity > threshold;
   });
+
+  // Publish metrics once, serially, after the fan-out (never per pair
+  // inside worker loops — see util/metrics.h).
+  std::uint64_t accepted = 0;
+  for (const ScoredCandidate& c : result.scored) {
+    if (c.accepted) ++accepted;
+  }
+  scoredCounter.add(result.scored.size());
+  acceptedCounter.add(accepted);
   return result;
 }
 
@@ -146,15 +169,18 @@ DetectionResult detectImpl(const FlatDesign& design, const Library& lib,
 
 DetectionResult detectConstraints(const FlatDesign& design, const Library& lib,
                                   const nn::Matrix& designEmbeddings,
-                                  const DetectorConfig& config) {
-  return detectImpl(design, lib, designEmbeddings, config, nullptr);
+                                  const DetectorConfig& config,
+                                  std::size_t threads) {
+  return detectImpl(design, lib, designEmbeddings, config, nullptr, threads);
 }
 
 DetectionResult detectConstraints(const FlatDesign& design, const Library& lib,
                                   const nn::Matrix& designEmbeddings,
                                   const DetectorConfig& config,
-                                  const BlockEmbeddingContext& blockContext) {
-  return detectImpl(design, lib, designEmbeddings, config, &blockContext);
+                                  const BlockEmbeddingContext& blockContext,
+                                  std::size_t threads) {
+  return detectImpl(design, lib, designEmbeddings, config, &blockContext,
+                    threads);
 }
 
 }  // namespace ancstr

@@ -41,12 +41,6 @@ struct DetectorConfig {
   /// is supplied — block embeddings are gathered from the whole-design
   /// vertex embeddings instead (context-sensitive; ablated).
   bool localBlockEmbeddings = true;
-  /// Worker count for block embedding and pair scoring (both are
-  /// embarrassingly parallel). 0 = hardware_concurrency, 1 = serial;
-  /// the ANCSTR_THREADS environment variable overrides (see
-  /// util::resolveThreadCount). Results are bitwise identical for every
-  /// value.
-  std::size_t threads = 1;
 };
 
 /// A candidate together with its similarity score.
@@ -79,15 +73,24 @@ double deviceSizeSimilarity(const FlatDevice& a, const FlatDevice& b);
 /// Scores all candidates and applies thresholds. `designEmbeddings` rows
 /// must be indexed by FlatDeviceId (i.e. the full-design graph must cover
 /// all devices in id order).
+///
+/// `threads` is the worker count for block embedding and pair scoring
+/// (both embarrassingly parallel): 0 = hardware_concurrency, 1 = serial;
+/// the ANCSTR_THREADS environment variable overrides (see
+/// util::resolveThreadCount). Results are bitwise identical for every
+/// value. PipelineConfig::threads is the single user-facing knob; this
+/// parameter exists for standalone callers only.
 DetectionResult detectConstraints(const FlatDesign& design, const Library& lib,
                                   const nn::Matrix& designEmbeddings,
-                                  const DetectorConfig& config = {});
+                                  const DetectorConfig& config = {},
+                                  std::size_t threads = 1);
 
 /// As above, additionally enabling local block embeddings (see
 /// DetectorConfig::localBlockEmbeddings) through `blockContext`.
 DetectionResult detectConstraints(const FlatDesign& design, const Library& lib,
                                   const nn::Matrix& designEmbeddings,
                                   const DetectorConfig& config,
-                                  const BlockEmbeddingContext& blockContext);
+                                  const BlockEmbeddingContext& blockContext,
+                                  std::size_t threads = 1);
 
 }  // namespace ancstr

@@ -6,6 +6,7 @@
 #include "graph/digraph.h"
 #include "graph/pagerank.h"
 #include "util/error.h"
+#include "util/trace.h"
 
 namespace ancstr {
 
@@ -52,6 +53,9 @@ std::vector<SubcircuitEmbedding> embedSubcircuits(
     const BlockEmbeddingContext* localContext, util::ThreadPool& pool) {
   std::vector<SubcircuitEmbedding> out(nodes.size());
   pool.forEach(nodes.size(), [&](std::size_t i) {
+    // Per-subcircuit span: runs on whichever worker owns the chunk, so
+    // traces show the block-embedding fan-out per thread id.
+    const trace::TraceSpan span("embed.subcircuit");
     const std::vector<FlatDeviceId> subtree = design.subtreeDevices(nodes[i]);
     const CircuitGraph induced =
         buildInducedHeteroGraph(design, subtree, graphOptions);

@@ -1,6 +1,8 @@
 #include "core/graph_builder.h"
 
 #include "util/error.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace ancstr {
 
@@ -32,10 +34,18 @@ CircuitGraph buildOverSubset(const FlatDesign& design,
     std::uint32_t vertex;
     PinFunction function;
   };
+  // Metric totals are aggregated locally and published once per build:
+  // one atomic add instead of one per edge keeps instrumentation off the
+  // clique-expansion hot path (buildOverSubset runs concurrently on
+  // ThreadPool workers during block embedding).
+  std::uint64_t skippedNets = 0;
+  std::uint64_t cliqueEdges = 0;
+
   std::vector<Terminal> terminals;
   for (FlatNetId netId = 0; netId < design.nets().size(); ++netId) {
     const auto& netTerms = design.netTerminals()[netId];
     if (options.maxNetDegree > 0 && netTerms.size() > options.maxNetDegree) {
+      ++skippedNets;
       continue;
     }
     terminals.clear();
@@ -60,9 +70,17 @@ CircuitGraph buildOverSubset(const FlatDesign& design,
         }
         out.graph.addEdge(a.vertex, b.vertex, typeToB);
         out.graph.addEdge(b.vertex, a.vertex, typeToA);
+        cliqueEdges += 2;
       }
     }
   }
+
+  static metrics::Counter& skippedCounter = metrics::Registry::instance()
+      .counter("graph.nets_skipped_max_degree");
+  static metrics::Counter& edgeCounter =
+      metrics::Registry::instance().counter("graph.clique_edges");
+  skippedCounter.add(skippedNets);
+  edgeCounter.add(cliqueEdges);
   return out;
 }
 
@@ -70,6 +88,7 @@ CircuitGraph buildOverSubset(const FlatDesign& design,
 
 CircuitGraph buildHeteroGraph(const FlatDesign& design,
                               const GraphBuildOptions& options) {
+  const trace::TraceSpan span("graph.build");
   std::vector<FlatDeviceId> all(design.devices().size());
   for (FlatDeviceId i = 0; i < all.size(); ++i) all[i] = i;
   return buildOverSubset(design, std::move(all), options);
@@ -78,6 +97,7 @@ CircuitGraph buildHeteroGraph(const FlatDesign& design,
 CircuitGraph buildInducedHeteroGraph(const FlatDesign& design,
                                      const std::vector<FlatDeviceId>& subset,
                                      const GraphBuildOptions& options) {
+  const trace::TraceSpan span("graph.build_induced");
   for (const FlatDeviceId id : subset) {
     ANCSTR_ASSERT(id < design.devices().size());
   }

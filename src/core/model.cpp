@@ -2,6 +2,7 @@
 
 #include "nn/init.h"
 #include "util/error.h"
+#include "util/trace.h"
 
 namespace ancstr {
 
@@ -74,6 +75,7 @@ nn::Tensor GnnModel::forward(const PreparedGraph& g) const {
 }
 
 nn::Matrix GnnModel::embed(const PreparedGraph& g) const {
+  const trace::TraceSpan span("model.embed");
   // Tape-free evaluation mirrors forward(); the tape variant is the
   // reference, this one just skips gradient bookkeeping by reusing it and
   // extracting the value (graphs here are small enough that the tape cost

@@ -35,11 +35,14 @@ void saveModel(const GnnModel& model, std::ostream& os) {
   }
 }
 
-void saveModelFile(const GnnModel& model, const std::string& path) {
+void saveModelFile(const GnnModel& model,
+                   const std::filesystem::path& path) {
   std::ofstream out(path);
-  if (!out) throw Error("saveModel: cannot open '" + path + "'");
+  if (!out) throw Error("saveModel: cannot open '" + path.string() + "'");
   saveModel(model, out);
-  if (!out) throw Error("saveModel: write failure on '" + path + "'");
+  if (!out) {
+    throw Error("saveModel: write failure on '" + path.string() + "'");
+  }
 }
 
 GnnModel loadModel(std::istream& is) {
@@ -89,9 +92,9 @@ GnnModel loadModel(std::istream& is) {
   return model;
 }
 
-GnnModel loadModelFile(const std::string& path) {
+GnnModel loadModelFile(const std::filesystem::path& path) {
   std::ifstream in(path);
-  if (!in) throw Error("loadModel: cannot open '" + path + "'");
+  if (!in) throw Error("loadModel: cannot open '" + path.string() + "'");
   return loadModel(in);
 }
 

@@ -2,8 +2,8 @@
 // format so trained models can be shipped next to netlists.
 #pragma once
 
+#include <filesystem>
 #include <iosfwd>
-#include <string>
 
 #include "core/model.h"
 
@@ -11,11 +11,11 @@ namespace ancstr {
 
 /// Serialises config + all parameter matrices.
 void saveModel(const GnnModel& model, std::ostream& os);
-void saveModelFile(const GnnModel& model, const std::string& path);
+void saveModelFile(const GnnModel& model, const std::filesystem::path& path);
 
 /// Reads a model saved by saveModel. Throws Error on format/version
 /// mismatch or if the parameter count/shape disagrees with the config.
 GnnModel loadModel(std::istream& is);
-GnnModel loadModelFile(const std::string& path);
+GnnModel loadModelFile(const std::filesystem::path& path);
 
 }  // namespace ancstr

@@ -2,7 +2,7 @@
 
 #include "core/model_io.h"
 #include "util/error.h"
-#include "util/timer.h"
+#include "util/trace.h"
 
 namespace ancstr {
 
@@ -20,45 +20,72 @@ PreparedGraph Pipeline::prepare(const Library& lib,
   return prepareGraph(graph, std::move(features));
 }
 
-TrainStats Pipeline::train(const std::vector<const Library*>& corpus) {
+TrainReport Pipeline::train(const std::vector<const Library*>& corpus) {
+  const trace::TraceSpan pipelineSpan("pipeline.train");
+  const metrics::Snapshot before = metrics::Registry::instance().snapshot();
+  TrainReport report;
+
   Rng rng(config_.seed);
   model_ = std::make_unique<GnnModel>(config_.model, rng);
 
   std::vector<PreparedGraph> prepared;
-  prepared.reserve(corpus.size());
-  for (const Library* lib : corpus) {
-    ANCSTR_ASSERT(lib != nullptr);
-    const FlatDesign design = FlatDesign::elaborate(*lib);
-    prepared.push_back(prepare(*lib, design));
+  {
+    const trace::TraceSpan prepareSpan("train.prepare");
+    prepared.reserve(corpus.size());
+    for (const Library* lib : corpus) {
+      ANCSTR_ASSERT(lib != nullptr);
+      const FlatDesign design = FlatDesign::elaborate(*lib);
+      prepared.push_back(prepare(*lib, design));
+    }
+    report.report.addPhase("train.prepare", prepareSpan.seconds());
   }
-  TrainConfig train = config_.train;
-  train.threads = config_.threads;
-  return trainUnsupervised(*model_, prepared, train, rng);
+
+  const TrainStats stats = trainUnsupervised(*model_, prepared, config_.train,
+                                             rng, config_.threads);
+  report.report.addPhase("train.loop", stats.seconds);
+  report.epochLoss = stats.epochLoss;
+
+  report.report.metrics =
+      metrics::Registry::instance().snapshot().since(before);
+  return report;
 }
 
 ExtractionResult Pipeline::extract(const Library& lib) const {
   if (!model_) throw Error("Pipeline::extract before train()/loadModel()");
+  const trace::TraceSpan pipelineSpan("pipeline.extract");
+  const metrics::Snapshot before = metrics::Registry::instance().snapshot();
   ExtractionResult result;
 
-  Stopwatch watch;
-  const FlatDesign design = FlatDesign::elaborate(lib);
-  const PreparedGraph g = prepare(lib, design);
-  result.timing.graphBuildSeconds = watch.seconds();
+  FlatDesign design = FlatDesign::elaborate(lib);
+  PreparedGraph g;
+  {
+    const trace::TraceSpan span("extract.graph_build");
+    g = prepare(lib, design);
+    result.report.addPhase("extract.graph_build", span.seconds());
+  }
 
-  watch.reset();
-  const nn::Matrix z = model_->embed(g);
-  result.timing.inferenceSeconds = watch.seconds();
+  nn::Matrix z;
+  {
+    const trace::TraceSpan span("extract.inference");
+    z = model_->embed(g);
+    result.report.addPhase("extract.inference", span.seconds());
+  }
 
-  watch.reset();
-  // Embeddings are indexed by graph vertex; the full-design graph covers
-  // devices in id order so row i == device i.
-  DetectorConfig detector = config_.detector;
-  detector.graphOptions = config_.graph;
-  detector.threads = config_.threads;
-  const BlockEmbeddingContext blockContext{*model_, config_.features};
-  result.detection = detectConstraints(design, lib, z, detector, blockContext);
-  result.timing.detectionSeconds = watch.seconds();
-  result.embeddings = z;
+  {
+    const trace::TraceSpan span("extract.detection");
+    // Embeddings are indexed by graph vertex; the full-design graph covers
+    // devices in id order so row i == device i.
+    DetectorConfig detector = config_.detector;
+    detector.graphOptions = config_.graph;
+    const BlockEmbeddingContext blockContext{*model_, config_.features};
+    result.detection = detectConstraints(design, lib, z, detector,
+                                         blockContext, config_.threads);
+    result.report.addPhase("extract.detection", span.seconds());
+  }
+
+  result.embeddings = std::move(z);
+  result.report.metrics =
+      metrics::Registry::instance().snapshot().since(before);
   return result;
 }
 
@@ -67,11 +94,11 @@ const GnnModel& Pipeline::model() const {
   return *model_;
 }
 
-void Pipeline::saveModel(const std::string& path) const {
+void Pipeline::saveModel(const std::filesystem::path& path) const {
   saveModelFile(model(), path);
 }
 
-void Pipeline::loadModel(const std::string& path) {
+void Pipeline::loadModel(const std::filesystem::path& path) {
   model_ = std::make_unique<GnnModel>(loadModelFile(path));
 }
 

@@ -4,13 +4,14 @@
 // from any circuit (the model is inductive).
 #pragma once
 
+#include <filesystem>
 #include <memory>
-#include <string>
 #include <vector>
 
 #include "core/detector.h"
 #include "core/features.h"
 #include "core/trainer.h"
+#include "util/report.h"
 
 namespace ancstr {
 
@@ -22,11 +23,11 @@ struct PipelineConfig {
   DetectorConfig detector;
   std::uint64_t seed = 42;
   /// Worker count applied to both training (per-batch graph fan-out) and
-  /// detection (block embedding + pair scoring); overrides the sub-config
-  /// fields train.threads / detector.threads during pipeline runs.
-  /// 0 = hardware_concurrency, 1 = serial; ANCSTR_THREADS overrides.
-  /// ExtractionResult and trained weights are bitwise identical for every
-  /// value — parallelism here only changes wall-clock time.
+  /// detection (block embedding + pair scoring) — the single threading knob
+  /// for pipeline runs. 0 = hardware_concurrency, 1 = serial; the
+  /// ANCSTR_THREADS environment variable overrides. ExtractionResult and
+  /// trained weights are bitwise identical for every value — parallelism
+  /// here only changes wall-clock time.
   std::size_t threads = 1;
 
   PipelineConfig() {
@@ -41,7 +42,9 @@ struct PipelineConfig {
 };
 
 /// Wall-clock breakdown of one extraction (Tables V/VI runtime columns
-/// exclude training, matching the paper's footnote).
+/// exclude training, matching the paper's footnote). Thin view derived
+/// from ExtractionResult::report — kept for callers that only want the
+/// three classic numbers.
 struct ExtractTiming {
   double graphBuildSeconds = 0.0;
   double inferenceSeconds = 0.0;
@@ -52,13 +55,36 @@ struct ExtractTiming {
   }
 };
 
-/// Extraction output: scored candidates + accepted constraints + timing.
+/// Extraction output: scored candidates + accepted constraints + the run
+/// report (per-phase wall-clock and the metrics delta for this call).
 struct ExtractionResult {
   DetectionResult detection;
-  ExtractTiming timing;
+  RunReport report;
   /// Trained per-device embeddings (row = FlatDeviceId) — input for
   /// downstream analyses such as array-group detection (core/arrays.h).
   nn::Matrix embeddings;
+
+  /// Classic three-phase breakdown, derived from `report`.
+  ExtractTiming timing() const {
+    return ExtractTiming{report.phaseSeconds("extract.graph_build"),
+                         report.phaseSeconds("extract.inference"),
+                         report.phaseSeconds("extract.detection")};
+  }
+};
+
+/// Training output: per-epoch losses plus the run report. TrainStats is
+/// the legacy view, derivable via stats().
+struct TrainReport {
+  RunReport report;
+  std::vector<double> epochLoss;  ///< mean loss per epoch, in order
+
+  double finalLoss() const {
+    return epochLoss.empty() ? 0.0 : epochLoss.back();
+  }
+
+  TrainStats stats() const {
+    return TrainStats{epochLoss, report.phaseSeconds("train.loop")};
+  }
 };
 
 class Pipeline {
@@ -66,7 +92,7 @@ class Pipeline {
   explicit Pipeline(PipelineConfig config = {});
 
   /// Trains the GNN on the given circuits (unsupervised; no labels).
-  TrainStats train(const std::vector<const Library*>& corpus);
+  TrainReport train(const std::vector<const Library*>& corpus);
 
   /// True once train() or loadModel() has run.
   bool isTrained() const { return model_ != nullptr; }
@@ -77,8 +103,8 @@ class Pipeline {
   const GnnModel& model() const;
   const PipelineConfig& config() const { return config_; }
 
-  void saveModel(const std::string& path) const;
-  void loadModel(const std::string& path);
+  void saveModel(const std::filesystem::path& path) const;
+  void loadModel(const std::filesystem::path& path);
 
  private:
   PreparedGraph prepare(const Library& lib, const FlatDesign& design) const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/error.h"
+#include "util/metrics.h"
 
 namespace ancstr {
 
@@ -39,6 +40,12 @@ ContrastiveBatch sampleContrastiveBatch(const PreparedGraph& g,
       batch.negU.push_back(cand);
     }
   }
+
+  // One add per sampled graph, never per draw (workers call this
+  // concurrently during the batched gradient fan-out).
+  static metrics::Counter& negativeCounter =
+      metrics::Registry::instance().counter("sampler.negative_samples");
+  negativeCounter.add(batch.negV.size());
   return batch;
 }
 

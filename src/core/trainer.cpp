@@ -5,8 +5,10 @@
 
 #include "nn/optim.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/parallel.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace ancstr {
 namespace {
@@ -48,7 +50,17 @@ GraphContribution evaluateGraph(const GnnModel& model,
 
 TrainStats trainUnsupervised(GnnModel& model,
                              const std::vector<PreparedGraph>& corpus,
-                             const TrainConfig& config, Rng& rng) {
+                             const TrainConfig& config, Rng& rng,
+                             std::size_t threads) {
+  const trace::TraceSpan trainSpan("train.loop");
+  static metrics::Histogram& lossHistogram =
+      metrics::Registry::instance().histogram(
+          "train.epoch_loss", {0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0});
+  static metrics::Counter& epochCounter =
+      metrics::Registry::instance().counter("train.epochs");
+  static metrics::Gauge& finalLossGauge =
+      metrics::Registry::instance().gauge("train.final_loss");
+
   TrainStats stats;
   const Stopwatch watch;
 
@@ -57,7 +69,7 @@ TrainStats trainUnsupervised(GnnModel& model,
   adamConfig.lr = config.learningRate;
   nn::Adam optimizer(params, adamConfig);
 
-  util::ThreadPool pool(util::resolveThreadCount(config.threads));
+  util::ThreadPool pool(util::resolveThreadCount(threads));
   // Workers backward() on a cloned model so the shared parameter tensors
   // are never written concurrently; the serial pool skips the clone — the
   // gradients are bitwise the same either way (identical values, identical
@@ -72,21 +84,26 @@ TrainStats trainUnsupervised(GnnModel& model,
 
   std::vector<GraphContribution> contributions;
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    const trace::TraceSpan epochSpan("train.epoch");
     rng.shuffle(order);
     const std::uint64_t epochSeed = rng.next();
     double lossSum = 0.0;
     std::size_t lossCount = 0;
     for (std::size_t start = 0; start < order.size(); start += batchSize) {
+      const trace::TraceSpan batchSpan("train.batch");
       const std::size_t count = std::min(batchSize, order.size() - start);
 
       // Fan out: every graph of the batch gets its own RNG stream and is
-      // evaluated against the batch-start weights.
+      // evaluated against the batch-start weights. The per-graph span runs
+      // on the worker that owns the chunk, so traces attribute the
+      // fan-out to worker thread ids.
       contributions.assign(count, {});
       pool.parallelFor(count, [&](std::size_t begin, std::size_t end) {
         const GnnModel local = cloneModel ? model.clone() : GnnModel(model);
         const std::vector<nn::Tensor> localParams =
             cloneModel ? local.parameters() : params;
         for (std::size_t i = begin; i < end; ++i) {
+          const trace::TraceSpan graphSpan("train.graph");
           const std::size_t gi = order[start + i];
           Rng graphRng(epochSeed ^ static_cast<std::uint64_t>(gi));
           contributions[i] = evaluateGraph(cloneModel ? local : model,
@@ -115,10 +132,13 @@ TrainStats trainUnsupervised(GnnModel& model,
     const double epochLoss =
         lossCount > 0 ? lossSum / static_cast<double>(lossCount) : 0.0;
     stats.epochLoss.push_back(epochLoss);
+    lossHistogram.observe(epochLoss);
+    epochCounter.add();
     if (config.verbose) {
       log::info() << "epoch " << epoch << " loss " << epochLoss;
     }
   }
+  finalLossGauge.set(stats.finalLoss());
   stats.seconds = watch.seconds();
   return stats;
 }

@@ -24,13 +24,10 @@ struct TrainConfig {
   /// batch order, so the result is independent of the thread count.
   /// 1 (default) reproduces classic per-graph SGD steps; 0 means the whole
   /// epoch forms one batch. Values > 1 are what the parallel fan-out
-  /// actually accelerates.
+  /// actually accelerates. (The worker count itself is not part of this
+  /// config: PipelineConfig::threads is the single knob, and the free
+  /// function below takes it as an explicit argument.)
   std::size_t batchSize = 1;
-  /// Worker count for the per-graph forward/loss/backward fan-out within a
-  /// batch. 0 = hardware_concurrency, 1 = serial; the ANCSTR_THREADS
-  /// environment variable overrides (see util::resolveThreadCount).
-  /// Trained weights are bitwise identical for every value.
-  std::size_t threads = 1;
 };
 
 struct TrainStats {
@@ -45,8 +42,15 @@ struct TrainStats {
 /// Trains `model` in place over the prepared corpus. Deterministic for a
 /// given rng state. Throws ShapeError when graph features disagree with
 /// the model's configured featureDim.
+///
+/// `threads` is the worker count for the per-graph forward/loss/backward
+/// fan-out within a batch: 0 = hardware_concurrency, 1 = serial; the
+/// ANCSTR_THREADS environment variable overrides (see
+/// util::resolveThreadCount). Trained weights are bitwise identical for
+/// every value.
 TrainStats trainUnsupervised(GnnModel& model,
                              const std::vector<PreparedGraph>& corpus,
-                             const TrainConfig& config, Rng& rng);
+                             const TrainConfig& config, Rng& rng,
+                             std::size_t threads = 1);
 
 }  // namespace ancstr

@@ -4,17 +4,25 @@
 #include <cmath>
 #include <numeric>
 
+#include "util/metrics.h"
+#include "util/trace.h"
+
 namespace ancstr {
 
 std::vector<double> pageRank(const SimpleDigraph& g,
                              const PageRankOptions& options) {
+  const trace::TraceSpan span("graph.pagerank");
   const std::size_t n = g.numVertices();
   if (n == 0) return {};
   const double uniform = 1.0 / static_cast<double>(n);
   std::vector<double> rank(n, uniform);
   std::vector<double> next(n, 0.0);
 
+  // Aggregated locally; one atomic add per call (pageRank runs on
+  // ThreadPool workers during block embedding).
+  std::uint64_t iterations = 0;
   for (int iter = 0; iter < options.maxIterations; ++iter) {
+    ++iterations;
     double danglingMass = 0.0;
     for (std::uint32_t v = 0; v < n; ++v) {
       if (g.outDegree(v) == 0) danglingMass += rank[v];
@@ -34,6 +42,9 @@ std::vector<double> pageRank(const SimpleDigraph& g,
     rank.swap(next);
     if (delta < options.tolerance) break;
   }
+  static metrics::Counter& iterationCounter =
+      metrics::Registry::instance().counter("pagerank.iterations");
+  iterationCounter.add(iterations);
   return rank;
 }
 

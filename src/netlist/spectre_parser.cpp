@@ -10,6 +10,7 @@
 #include "util/error.h"
 #include "util/logging.h"
 #include "util/string_utils.h"
+#include "util/trace.h"
 
 namespace ancstr {
 namespace {
@@ -289,24 +290,24 @@ class SpectreParser {
 }  // namespace
 
 Library parseSpectre(std::string_view text, std::string_view fileName) {
+  const trace::TraceSpan span("parse.spectre");
   return SpectreParser(fileName).run(text);
 }
 
-Library parseSpectreFile(const std::string& path) {
+Library parseSpectreFile(const std::filesystem::path& path) {
   std::ifstream in(path);
-  if (!in) throw ParseError(path, 0, "cannot open file");
+  if (!in) throw ParseError(path.string(), 0, "cannot open file");
   std::ostringstream buf;
   buf << in.rdbuf();
-  return parseSpectre(buf.str(), path);
+  return parseSpectre(buf.str(), path.string());
 }
 
-Library parseNetlistFile(const std::string& path) {
-  const std::string ext =
-      str::toLower(std::filesystem::path(path).extension().string());
+Library parseNetlistFile(const std::filesystem::path& path) {
+  const std::string ext = str::toLower(path.extension().string());
   if (ext == ".scs") return parseSpectreFile(path);
   // Sniff the header for a spectre language tag.
   std::ifstream in(path);
-  if (!in) throw ParseError(path, 0, "cannot open file");
+  if (!in) throw ParseError(path.string(), 0, "cannot open file");
   std::string firstLines;
   std::string line;
   for (int i = 0; i < 10 && std::getline(in, line); ++i) {

@@ -18,7 +18,7 @@
 // (resistor/capacitor/inductor/diode).
 #pragma once
 
-#include <string>
+#include <filesystem>
 #include <string_view>
 
 #include "netlist/netlist.h"
@@ -30,10 +30,10 @@ Library parseSpectre(std::string_view text,
                      std::string_view fileName = "<mem>");
 
 /// Reads and parses a Spectre file from disk.
-Library parseSpectreFile(const std::string& path);
+Library parseSpectreFile(const std::filesystem::path& path);
 
 /// Dispatches on file extension / content: ".scs"/"simulator lang=spectre"
 /// goes to parseSpectre, everything else to parseSpice.
-Library parseNetlistFile(const std::string& path);
+Library parseNetlistFile(const std::filesystem::path& path);
 
 }  // namespace ancstr

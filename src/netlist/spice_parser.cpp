@@ -9,6 +9,7 @@
 #include "util/error.h"
 #include "util/logging.h"
 #include "util/string_utils.h"
+#include "util/trace.h"
 
 namespace ancstr {
 namespace {
@@ -415,20 +416,21 @@ class SpiceParser {
 
 Library parseSpice(std::string_view text, std::string_view fileName,
                    const SpiceParseOptions& options) {
+  const trace::TraceSpan span("parse.spice");
   SpiceParser parser(fileName, options);
   parser.parseText(text, ".");
   return parser.finish();
 }
 
-Library parseSpiceFile(const std::string& path,
+Library parseSpiceFile(const std::filesystem::path& path,
                        const SpiceParseOptions& options) {
+  const trace::TraceSpan span("parse.spice");
   std::ifstream in(path);
-  if (!in) throw ParseError(path, 0, "cannot open file");
+  if (!in) throw ParseError(path.string(), 0, "cannot open file");
   std::ostringstream buf;
   buf << in.rdbuf();
-  SpiceParser parser(path, options);
-  parser.parseText(buf.str(),
-                   std::filesystem::path(path).parent_path().string());
+  SpiceParser parser(path.string(), options);
+  parser.parseText(buf.str(), path.parent_path().string());
   return parser.finish();
 }
 

@@ -13,6 +13,7 @@
 // Instance parameter overrides on X cards are parsed and ignored (logged).
 #pragma once
 
+#include <filesystem>
 #include <string>
 #include <string_view>
 
@@ -35,7 +36,7 @@ Library parseSpice(std::string_view text, std::string_view fileName = "<mem>",
 
 /// Reads and parses a SPICE file from disk. `.include` paths resolve
 /// relative to the including file's directory.
-Library parseSpiceFile(const std::string& path,
+Library parseSpiceFile(const std::filesystem::path& path,
                        const SpiceParseOptions& options = {});
 
 }  // namespace ancstr

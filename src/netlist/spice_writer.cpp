@@ -84,11 +84,11 @@ std::string writeSpice(const Library& lib) {
   return os.str();
 }
 
-void writeSpiceFile(const Library& lib, const std::string& path) {
+void writeSpiceFile(const Library& lib, const std::filesystem::path& path) {
   std::ofstream out(path);
-  if (!out) throw Error("cannot open '" + path + "' for writing");
+  if (!out) throw Error("cannot open '" + path.string() + "' for writing");
   out << writeSpice(lib);
-  if (!out) throw Error("failed writing '" + path + "'");
+  if (!out) throw Error("failed writing '" + path.string() + "'");
 }
 
 }  // namespace ancstr

@@ -3,6 +3,7 @@
 // as plain-text artefacts.
 #pragma once
 
+#include <filesystem>
 #include <string>
 
 #include "netlist/netlist.h"
@@ -14,6 +15,6 @@ namespace ancstr {
 std::string writeSpice(const Library& lib);
 
 /// Writes writeSpice(lib) to `path`. Throws Error on I/O failure.
-void writeSpiceFile(const Library& lib, const std::string& path);
+void writeSpiceFile(const Library& lib, const std::filesystem::path& path);
 
 }  // namespace ancstr

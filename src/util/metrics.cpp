@@ -1,0 +1,173 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/json.h"
+
+namespace ancstr::metrics {
+
+Histogram::Histogram(std::vector<double> upperBounds)
+    : bounds_(std::move(upperBounds)) {
+  if (bounds_.empty()) {
+    throw Error("Histogram: at least one upper bound required");
+  }
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (!(bounds_[i - 1] < bounds_[i])) {
+      throw Error("Histogram: upper bounds must be strictly ascending");
+    }
+  }
+  // make_unique value-initializes the array, so every bucket starts at 0.
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(numBuckets());
+}
+
+void Histogram::observe(double v) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t bucket =
+      static_cast<std::size_t>(it - bounds_.begin());  // == size() -> overflow
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double current = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(current, current + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::bucketCount(std::size_t bucket) const {
+  return bucket < numBuckets()
+             ? buckets_[bucket].load(std::memory_order_relaxed)
+             : 0;
+}
+
+void Histogram::reset() noexcept {
+  for (std::size_t i = 0; i < numBuckets(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+Snapshot Snapshot::since(const Snapshot& before) const {
+  Snapshot delta = *this;
+  for (auto& [name, value] : delta.counters) {
+    const auto it = before.counters.find(name);
+    if (it != before.counters.end()) {
+      value = value >= it->second ? value - it->second : 0;
+    }
+  }
+  for (auto& [name, histogram] : delta.histograms) {
+    const auto it = before.histograms.find(name);
+    if (it == before.histograms.end()) continue;
+    const HistogramSnapshot& prior = it->second;
+    if (prior.buckets.size() != histogram.buckets.size()) continue;
+    for (std::size_t i = 0; i < histogram.buckets.size(); ++i) {
+      histogram.buckets[i] = histogram.buckets[i] >= prior.buckets[i]
+                                 ? histogram.buckets[i] - prior.buckets[i]
+                                 : 0;
+    }
+    histogram.count =
+        histogram.count >= prior.count ? histogram.count - prior.count : 0;
+    histogram.sum -= prior.sum;
+  }
+  return delta;
+}
+
+Json Snapshot::toJson() const {
+  Json root = Json::object();
+  Json counterObj = Json::object();
+  for (const auto& [name, value] : counters) {
+    counterObj.set(name, static_cast<std::size_t>(value));
+  }
+  root.set("counters", std::move(counterObj));
+  Json gaugeObj = Json::object();
+  for (const auto& [name, value] : gauges) gaugeObj.set(name, value);
+  root.set("gauges", std::move(gaugeObj));
+  Json histObj = Json::object();
+  for (const auto& [name, histogram] : histograms) {
+    Json entry = Json::object();
+    Json le = Json::array();
+    for (const double bound : histogram.upperBounds) le.push(bound);
+    entry.set("le", std::move(le));
+    Json buckets = Json::array();
+    for (const std::uint64_t b : histogram.buckets) {
+      buckets.push(static_cast<std::size_t>(b));
+    }
+    entry.set("buckets", std::move(buckets));
+    entry.set("count", static_cast<std::size_t>(histogram.count));
+    entry.set("sum", histogram.sum);
+    histObj.set(name, std::move(entry));
+  }
+  root.set("histograms", std::move(histObj));
+  return root;
+}
+
+Registry& Registry::instance() {
+  // Leaked for the same reason as the trace collector: metric references
+  // cached in function-local statics may be touched very late.
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::vector<double> upperBounds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(upperBounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+Snapshot Registry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot out;
+  for (const auto& [name, counter] : counters_) {
+    out.counters.emplace(name, counter->value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out.gauges.emplace(name, gauge->value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot snap;
+    snap.upperBounds = histogram->upperBounds();
+    snap.buckets.reserve(histogram->numBuckets());
+    for (std::size_t i = 0; i < histogram->numBuckets(); ++i) {
+      snap.buckets.push_back(histogram->bucketCount(i));
+    }
+    snap.count = histogram->totalCount();
+    snap.sum = histogram->sum();
+    out.histograms.emplace(name, std::move(snap));
+  }
+  return out;
+}
+
+void Registry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, gauge] : gauges_) gauge->reset();
+  for (auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+}  // namespace ancstr::metrics

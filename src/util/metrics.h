@@ -1,0 +1,133 @@
+// Process-wide metrics registry: counters, gauges, and fixed-bucket
+// histograms, all lock-free on the hot path (relaxed atomics).
+//
+// Like tracing (util/trace.h), metrics observe and never steer: every
+// counted event is deterministic, so totals are identical for every
+// thread count. Hot loops aggregate locally and publish once per
+// operation — a metric update is never per-edge or per-element.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ancstr {
+class Json;
+}
+
+namespace ancstr::metrics {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins scalar (e.g. final training loss).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram with Prometheus "le" semantics: observe(v)
+/// increments the first bucket whose upper bound is >= v; values above the
+/// last bound land in the implicit overflow bucket.
+class Histogram {
+ public:
+  /// `upperBounds` must be non-empty and strictly ascending; throws Error
+  /// otherwise.
+  explicit Histogram(std::vector<double> upperBounds);
+
+  void observe(double v) noexcept;
+
+  const std::vector<double>& upperBounds() const { return bounds_; }
+  /// upperBounds().size() + 1; the last bucket is the overflow bucket.
+  std::size_t numBuckets() const { return bounds_.size() + 1; }
+  std::uint64_t bucketCount(std::size_t bucket) const;
+  std::uint64_t totalCount() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  void reset() noexcept;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Point-in-time copy of one histogram.
+struct HistogramSnapshot {
+  std::vector<double> upperBounds;
+  std::vector<std::uint64_t> buckets;  ///< upperBounds.size() + 1 entries
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+/// Point-in-time copy of the whole registry. Map ordering makes the JSON
+/// rendering deterministic.
+struct Snapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// This snapshot minus `before`: counters and histogram buckets
+  /// subtract (clamped at zero), gauges keep this snapshot's value.
+  /// Metrics absent from `before` pass through unchanged.
+  Snapshot since(const Snapshot& before) const;
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name:
+  ///  {"le": [...], "buckets": [...], "count": n, "sum": s}}}
+  Json toJson() const;
+};
+
+/// Process-wide registry. Metric objects are created on first lookup and
+/// never destroyed, so references stay valid across reset().
+class Registry {
+ public:
+  static Registry& instance();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// First call registers the histogram with `upperBounds`; later calls
+  /// return the existing histogram and ignore the bounds argument.
+  Histogram& histogram(std::string_view name,
+                       std::vector<double> upperBounds);
+
+  Snapshot snapshot() const;
+
+  /// Zeroes every metric; registrations (and references) survive.
+  void reset();
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace ancstr::metrics

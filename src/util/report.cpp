@@ -1,0 +1,89 @@
+#include "util/report.h"
+
+#include <cstdio>
+
+#include "util/json.h"
+#include "util/table.h"
+
+namespace ancstr {
+
+namespace {
+
+std::string secondsCell(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", seconds);
+  return buf;
+}
+
+}  // namespace
+
+double RunReport::phaseSeconds(std::string_view name) const {
+  for (const PhaseTiming& phase : phases) {
+    if (phase.name == name) return phase.seconds;
+  }
+  return 0.0;
+}
+
+double RunReport::totalSeconds() const {
+  double total = 0.0;
+  for (const PhaseTiming& phase : phases) total += phase.seconds;
+  return total;
+}
+
+Json RunReport::toJson() const {
+  Json root = Json::object();
+  Json phaseArray = Json::array();
+  for (const PhaseTiming& phase : phases) {
+    Json entry = Json::object();
+    entry.set("name", phase.name);
+    entry.set("seconds", phase.seconds);
+    phaseArray.push(std::move(entry));
+  }
+  root.set("phases", std::move(phaseArray));
+  root.set("totalSeconds", totalSeconds());
+  root.set("metrics", metrics.toJson());
+  return root;
+}
+
+std::string RunReport::toTable() const {
+  std::string out;
+
+  TextTable phaseTable;
+  phaseTable.setHeader({"phase", "seconds"});
+  for (const PhaseTiming& phase : phases) {
+    phaseTable.addRow({phase.name, secondsCell(phase.seconds)});
+  }
+  phaseTable.addSeparator();
+  phaseTable.addRow({"total", secondsCell(totalSeconds())});
+  out += phaseTable.render();
+
+  TextTable metricTable;
+  metricTable.setHeader({"metric", "value"});
+  bool anyMetric = false;
+  for (const auto& [name, value] : metrics.counters) {
+    if (value == 0) continue;
+    metricTable.addRow({name, std::to_string(value)});
+    anyMetric = true;
+  }
+  for (const auto& [name, value] : metrics.gauges) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    metricTable.addRow({name, buf});
+    anyMetric = true;
+  }
+  for (const auto& [name, histogram] : metrics.histograms) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "count=%llu sum=%.6g",
+                  static_cast<unsigned long long>(histogram.count),
+                  histogram.sum);
+    metricTable.addRow({name, buf});
+    anyMetric = true;
+  }
+  if (anyMetric) {
+    out += "\n";
+    out += metricTable.render();
+  }
+  return out;
+}
+
+}  // namespace ancstr

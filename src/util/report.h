@@ -1,0 +1,47 @@
+// RunReport: the unified result surface for one top-level operation
+// (Pipeline::extract / Pipeline::train / a bench run) — ordered per-phase
+// wall-clock plus a metrics delta, renderable as JSON or an ASCII table.
+//
+// Legacy ExtractTiming / TrainStats are thin accessors over this (see
+// core/pipeline.h); new code should consume the report directly.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/metrics.h"
+
+namespace ancstr {
+
+class Json;
+
+/// One phase of a run, in execution order.
+struct PhaseTiming {
+  std::string name;
+  double seconds = 0.0;
+};
+
+struct RunReport {
+  std::vector<PhaseTiming> phases;   ///< execution order
+  metrics::Snapshot metrics;         ///< delta over the run
+
+  void addPhase(std::string name, double seconds) {
+    phases.push_back(PhaseTiming{std::move(name), seconds});
+  }
+
+  /// Seconds of the named phase; 0 when absent.
+  double phaseSeconds(std::string_view name) const;
+
+  /// Sum over all phases.
+  double totalSeconds() const;
+
+  /// {"phases": [{"name", "seconds"}...], "totalSeconds", "metrics"}.
+  Json toJson() const;
+
+  /// Aligned ASCII rendering: a phase table followed by non-zero
+  /// counters/gauges and histogram summaries.
+  std::string toTable() const;
+};
+
+}  // namespace ancstr

@@ -1,5 +1,7 @@
-// Wall-clock stopwatch used by the benchmark harnesses to report the
-// runtime columns of Tables V and VI.
+// Monotonic wall-clock stopwatch: the single clock source for all timing
+// in the library — trace spans (util/trace.h) embed one, RunReport phase
+// timings reuse the span's stopwatch, and the bench harnesses use it
+// directly for the runtime columns of Tables V and VI.
 #pragma once
 
 #include <chrono>

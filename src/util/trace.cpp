@@ -1,0 +1,154 @@
+#include "util/trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <memory>
+#include <mutex>
+
+#include "util/error.h"
+#include "util/json.h"
+
+namespace ancstr::trace {
+
+std::uint32_t currentThreadId() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+// Per-thread event buffer, owned by the collector so it survives thread
+// exit (ThreadPool workers die at the end of each top-level operation,
+// typically before the trace is exported).
+struct TraceCollector::Impl {
+  struct Buffer {
+    std::mutex mutex;  ///< record vs snapshot; uncontended on the hot path
+    std::vector<TraceEvent> events;
+    bool orphaned = false;  ///< owning thread exited; reaped by clear()
+  };
+
+  mutable std::mutex mutex;  ///< guards the buffer list
+  std::vector<std::unique_ptr<Buffer>> buffers;
+  Stopwatch epoch;
+
+  Buffer* registerBuffer() {
+    const std::lock_guard<std::mutex> lock(mutex);
+    buffers.push_back(std::make_unique<Buffer>());
+    return buffers.back().get();
+  }
+
+  void release(Buffer* buffer) {
+    // The list mutex serialises the orphaned flag against clear(); the
+    // buffer's own mutex guards only `events`.
+    const std::lock_guard<std::mutex> lock(mutex);
+    buffer->orphaned = true;
+  }
+};
+
+namespace {
+
+/// Thread-local handle into the collector; the destructor marks the buffer
+/// orphaned so clear() can reap it after the thread is gone.
+struct TlsSlot {
+  TraceCollector::Impl::Buffer* buffer = nullptr;
+  TraceCollector::Impl* owner = nullptr;
+
+  ~TlsSlot() {
+    if (owner != nullptr && buffer != nullptr) owner->release(buffer);
+  }
+};
+
+thread_local TlsSlot tlsSlot;
+
+}  // namespace
+
+TraceCollector::TraceCollector() : impl_(new Impl) {}
+
+TraceCollector& TraceCollector::instance() {
+  // Leaked on purpose: worker-thread TLS destructors may run after static
+  // destruction would have torn a normal singleton down.
+  static TraceCollector* collector = new TraceCollector();
+  return *collector;
+}
+
+double TraceCollector::nowUs() const { return impl_->epoch.seconds() * 1e6; }
+
+void TraceCollector::record(const char* name, double startUs,
+                            double durationUs) {
+  // No enabled() gate here: spans arm themselves at construction, and an
+  // armed span must complete even if tracing was switched off mid-flight
+  // (otherwise a snapshot taken right after disabling loses the tail).
+  if (tlsSlot.buffer == nullptr) {
+    tlsSlot.buffer = impl_->registerBuffer();
+    tlsSlot.owner = impl_;
+  }
+  Impl::Buffer& buffer = *tlsSlot.buffer;
+  const std::lock_guard<std::mutex> lock(buffer.mutex);
+  buffer.events.push_back(
+      TraceEvent{name, startUs, durationUs, currentThreadId()});
+}
+
+std::vector<TraceEvent> TraceCollector::events() const {
+  std::vector<TraceEvent> out;
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    for (const auto& buffer : impl_->buffers) {
+      const std::lock_guard<std::mutex> bufferLock(buffer->mutex);
+      out.insert(out.end(), buffer->events.begin(), buffer->events.end());
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.startUs != b.startUs) return a.startUs < b.startUs;
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     return a.name < b.name;
+                   });
+  return out;
+}
+
+void TraceCollector::clear() {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto& buffers = impl_->buffers;
+  for (auto it = buffers.begin(); it != buffers.end();) {
+    if ((*it)->orphaned) {
+      // The owning thread is gone (release() synchronises through the
+      // list mutex held here), so the buffer can be destroyed without —
+      // and must be destroyed without — holding its own mutex.
+      it = buffers.erase(it);
+    } else {
+      const std::lock_guard<std::mutex> bufferLock((*it)->mutex);
+      (*it)->events.clear();
+      ++it;
+    }
+  }
+}
+
+std::string TraceCollector::toChromeJson() const {
+  Json root = Json::object();
+  Json traceEvents = Json::array();
+  for (const TraceEvent& event : events()) {
+    Json entry = Json::object();
+    entry.set("name", event.name);
+    entry.set("cat", "ancstr");
+    entry.set("ph", "X");
+    entry.set("ts", event.startUs);
+    entry.set("dur", event.durationUs);
+    entry.set("pid", 1);
+    entry.set("tid", static_cast<std::size_t>(event.tid));
+    traceEvents.push(std::move(entry));
+  }
+  root.set("traceEvents", std::move(traceEvents));
+  root.set("displayTimeUnit", "ms");
+  return root.dump(2);
+}
+
+void TraceCollector::writeFile(const std::filesystem::path& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw Error("trace: cannot open '" + path.string() + "' for writing");
+  }
+  out << toChromeJson() << '\n';
+  if (!out) throw Error("trace: write failure on '" + path.string() + "'");
+}
+
+}  // namespace ancstr::trace

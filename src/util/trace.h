@@ -1,0 +1,119 @@
+// Always-compiled, opt-in tracing: RAII spans feeding a process-wide
+// collector that exports Chrome/Perfetto trace_event JSON.
+//
+// Contract (mirrors the concurrency model, docs/architecture.md):
+//   * tracing observes, never steers — enabling it must not change a
+//     single bit of any pipeline result (no RNG draws, no reordering);
+//   * near-zero cost when disabled: a span costs one relaxed atomic load
+//     plus one steady_clock read (the embedded Stopwatch also backs the
+//     RunReport phase timings, so it runs either way);
+//   * thread-safe by construction: every thread appends to its own
+//     buffer (per-buffer mutex, uncontended on the hot path); buffers are
+//     merged only when a snapshot is taken.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "util/timer.h"
+
+namespace ancstr::trace {
+
+/// One completed span. Timestamps are microseconds since the collector's
+/// epoch (its construction), matching Chrome trace_event "ts"/"dur".
+struct TraceEvent {
+  std::string name;        ///< span-taxonomy name (docs/observability.md)
+  double startUs = 0.0;    ///< microseconds since the collector epoch
+  double durationUs = 0.0; ///< span duration in microseconds
+  std::uint32_t tid = 0;   ///< sequential thread id (currentThreadId)
+};
+
+/// Small sequential id for the calling thread, assigned on first use.
+/// Worker threads spawned by util::ThreadPool get their own ids, which is
+/// what attributes train.graph / embed.subcircuit spans to workers.
+std::uint32_t currentThreadId();
+
+/// Process-wide span sink. Disabled by default; `setEnabled(true)` arms
+/// span recording. The instance is intentionally leaked so worker-thread
+/// TLS destructors can always reach it during shutdown.
+class TraceCollector {
+ public:
+  static TraceCollector& instance();
+
+  void setEnabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Microseconds since the collector epoch (the trace time base).
+  double nowUs() const;
+
+  /// Appends one completed span for the calling thread, unconditionally —
+  /// gating on enabled() is the caller's job (TraceSpan arms itself at
+  /// construction so in-flight spans complete even if tracing is switched
+  /// off). Safe to call from any thread; recording order across threads is
+  /// irrelevant because snapshots sort by start time.
+  void record(const char* name, double startUs, double durationUs);
+
+  /// All recorded events, merged across threads and ordered by
+  /// (startUs, tid, name) for stable output.
+  std::vector<TraceEvent> events() const;
+
+  /// Drops all recorded events (and reaps buffers of exited threads).
+  void clear();
+
+  /// Chrome/Perfetto trace_event JSON ("X" complete events, one pid).
+  /// Open via https://ui.perfetto.dev or chrome://tracing.
+  std::string toChromeJson() const;
+
+  /// Writes toChromeJson() to `path`; throws Error on I/O failure.
+  void writeFile(const std::filesystem::path& path) const;
+
+  /// Internal per-thread buffer storage; public only so the TLS
+  /// registration hook in trace.cpp can name it.
+  struct Impl;
+
+ private:
+  TraceCollector();
+  ~TraceCollector() = delete;  // leaked singleton
+
+  Impl* impl_;
+  std::atomic<bool> enabled_{false};
+};
+
+/// RAII span: stamps the start on construction, records on destruction if
+/// tracing was enabled at construction. The embedded Stopwatch runs even
+/// when tracing is off, so callers can reuse `seconds()` for RunReport
+/// phase timings without a second clock.
+class TraceSpan {
+ public:
+  /// `name` must outlive the span (use string literals from the taxonomy).
+  explicit TraceSpan(const char* name)
+      : name_(name), armed_(TraceCollector::instance().enabled()) {
+    if (armed_) startUs_ = TraceCollector::instance().nowUs();
+  }
+
+  ~TraceSpan() {
+    if (armed_) {
+      TraceCollector::instance().record(name_, startUs_,
+                                        watch_.seconds() * 1e6);
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Seconds since construction; valid whether or not tracing is enabled.
+  double seconds() const { return watch_.seconds(); }
+
+ private:
+  Stopwatch watch_;
+  const char* name_;
+  double startUs_ = 0.0;
+  bool armed_;
+};
+
+}  // namespace ancstr::trace

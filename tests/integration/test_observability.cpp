@@ -1,0 +1,169 @@
+// Observability across the full pipeline: spans from every layer show up
+// in one trace (with worker-thread attribution), the RunReport phases
+// agree with the span taxonomy, and the metrics delta matches the
+// detection result it describes. Also guards the core contract: enabling
+// tracing never changes a result bit (see test_parallel_equivalence.cpp
+// for the thread-count sweep with tracing on).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "circuits/synthetic.h"
+#include "core/pipeline.h"
+#include "util/json.h"
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace ancstr {
+namespace {
+
+class ObservabilityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* value = std::getenv("ANCSTR_THREADS");
+    had_ = value != nullptr;
+    if (had_) saved_ = value;
+    unsetenv("ANCSTR_THREADS");
+    trace::TraceCollector::instance().setEnabled(false);
+    trace::TraceCollector::instance().clear();
+  }
+  void TearDown() override {
+    if (had_) setenv("ANCSTR_THREADS", saved_.c_str(), 1);
+    trace::TraceCollector::instance().setEnabled(false);
+    trace::TraceCollector::instance().clear();
+  }
+
+ private:
+  std::string saved_;
+  bool had_ = false;
+};
+
+std::set<std::string> spanNames(const std::vector<trace::TraceEvent>& events) {
+  std::set<std::string> names;
+  for (const trace::TraceEvent& e : events) names.insert(e.name);
+  return names;
+}
+
+TEST_F(ObservabilityTest, FullRunEmitsEveryLayersSpans) {
+  // ANCSTR_THREADS is the env route into util::resolveThreadCount — the
+  // tsan CI job runs the whole suite under it, and this test forces it
+  // regardless so worker attribution is always exercised.
+  setenv("ANCSTR_THREADS", "4", 1);
+  trace::TraceCollector::instance().setEnabled(true);
+
+  const circuits::CircuitBenchmark array = circuits::makeBlockArray(4);
+  PipelineConfig config;
+  config.train.epochs = 2;
+  config.train.batchSize = 0;  // widest per-batch fan-out
+  Pipeline pipeline(config);
+  pipeline.train({&array.lib});
+  const ExtractionResult result = pipeline.extract(array.lib);
+  unsetenv("ANCSTR_THREADS");
+
+  const std::vector<trace::TraceEvent> events =
+      trace::TraceCollector::instance().events();
+  const std::set<std::string> names = spanNames(events);
+  for (const char* required :
+       {"pipeline.train", "train.prepare", "train.loop", "train.epoch",
+        "train.batch", "train.graph", "graph.build", "pipeline.extract",
+        "extract.graph_build", "extract.inference", "extract.detection",
+        "model.embed", "detect.run", "detect.embed_blocks", "detect.score",
+        "embed.subcircuit", "graph.build_induced", "graph.pagerank"}) {
+    EXPECT_TRUE(names.count(required)) << "missing span: " << required;
+  }
+
+  // Worker attribution: the per-graph / per-subcircuit spans must not all
+  // sit on the caller thread.
+  std::set<std::uint32_t> workerTids;
+  for (const trace::TraceEvent& e : events) {
+    if (e.name == "train.graph" || e.name == "embed.subcircuit") {
+      workerTids.insert(e.tid);
+    }
+  }
+  EXPECT_GT(workerTids.size(), 1u);
+
+  // The report's phase list is the extract taxonomy, in execution order.
+  ASSERT_EQ(result.report.phases.size(), 3u);
+  EXPECT_EQ(result.report.phases[0].name, "extract.graph_build");
+  EXPECT_EQ(result.report.phases[1].name, "extract.inference");
+  EXPECT_EQ(result.report.phases[2].name, "extract.detection");
+  EXPECT_GT(result.report.totalSeconds(), 0.0);
+}
+
+TEST_F(ObservabilityTest, ExtractionMetricsDeltaMatchesResult) {
+  const circuits::CircuitBenchmark array = circuits::makeBlockArray(3);
+  PipelineConfig config;
+  config.train.epochs = 2;
+  Pipeline pipeline(config);
+  pipeline.train({&array.lib});
+  const ExtractionResult result = pipeline.extract(array.lib);
+
+  std::size_t accepted = 0;
+  for (const ScoredCandidate& c : result.detection.scored) {
+    if (c.accepted) ++accepted;
+  }
+  EXPECT_EQ(result.report.metrics.counters.at("detector.pairs_scored"),
+            result.detection.scored.size());
+  EXPECT_EQ(result.report.metrics.counters.at("detector.pairs_accepted"),
+            accepted);
+}
+
+TEST_F(ObservabilityTest, TrainReportCarriesEpochLossesAndMetrics) {
+  const circuits::CircuitBenchmark chain = circuits::makeDiffChain(3);
+  PipelineConfig config;
+  config.train.epochs = 3;
+  Pipeline pipeline(config);
+  const TrainReport report = pipeline.train({&chain.lib});
+
+  ASSERT_EQ(report.epochLoss.size(), 3u);
+  EXPECT_EQ(report.finalLoss(), report.epochLoss.back());
+  EXPECT_EQ(report.report.metrics.counters.at("train.epochs"), 3u);
+  const metrics::HistogramSnapshot& loss =
+      report.report.metrics.histograms.at("train.epoch_loss");
+  EXPECT_EQ(loss.count, 3u);
+  EXPECT_EQ(report.report.phases.front().name, "train.prepare");
+  EXPECT_EQ(report.report.phases.back().name, "train.loop");
+
+  // Legacy view stays coherent.
+  const TrainStats stats = report.stats();
+  EXPECT_EQ(stats.epochLoss, report.epochLoss);
+  EXPECT_EQ(stats.seconds, report.report.phaseSeconds("train.loop"));
+
+  // Report renders both ways.
+  EXPECT_FALSE(report.report.toTable().empty());
+  std::string error;
+  EXPECT_TRUE(Json::parse(report.report.toJson().dump(), &error).has_value())
+      << error;
+}
+
+TEST_F(ObservabilityTest, TracingNeverChangesResults) {
+  auto run = [](bool traced) {
+    trace::TraceCollector::instance().setEnabled(traced);
+    const circuits::CircuitBenchmark array = circuits::makeBlockArray(3);
+    PipelineConfig config;
+    config.train.epochs = 2;
+    config.threads = 2;
+    Pipeline pipeline(config);
+    pipeline.train({&array.lib});
+    const ExtractionResult result = pipeline.extract(array.lib);
+    trace::TraceCollector::instance().setEnabled(false);
+    trace::TraceCollector::instance().clear();
+    return result;
+  };
+  const ExtractionResult plain = run(false);
+  const ExtractionResult traced = run(true);
+  EXPECT_EQ(plain.embeddings, traced.embeddings);
+  ASSERT_EQ(plain.detection.scored.size(), traced.detection.scored.size());
+  for (std::size_t i = 0; i < plain.detection.scored.size(); ++i) {
+    EXPECT_EQ(plain.detection.scored[i].similarity,
+              traced.detection.scored[i].similarity);
+    EXPECT_EQ(plain.detection.scored[i].accepted,
+              traced.detection.scored[i].accepted);
+  }
+}
+
+}  // namespace
+}  // namespace ancstr

@@ -12,6 +12,7 @@
 #include "circuits/synthetic.h"
 #include "core/model_io.h"
 #include "core/pipeline.h"
+#include "util/trace.h"
 
 namespace ancstr {
 namespace {
@@ -124,6 +125,17 @@ TEST_F(ParallelEquivalenceTest, WholeEpochBatchesMatchAcrossThreadCounts) {
   const std::string serial = run(1);
   EXPECT_EQ(serial, run(2));
   EXPECT_EQ(serial, run(4));
+}
+
+TEST_F(ParallelEquivalenceTest, TracingEnabledStaysBitwiseIdentical) {
+  // Instrumentation observes, never steers: with the span collector live,
+  // the serial and 4-thread runs must still match bit for bit.
+  trace::TraceCollector::instance().setEnabled(true);
+  const RunResult serial = runPipeline(1);
+  const RunResult parallel = runPipeline(4);
+  trace::TraceCollector::instance().setEnabled(false);
+  trace::TraceCollector::instance().clear();
+  expectBitwiseIdentical(serial, parallel);
 }
 
 TEST_F(ParallelEquivalenceTest, EnvOverrideKeepsResultsIdentical) {

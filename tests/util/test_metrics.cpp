@@ -1,0 +1,168 @@
+#include "util/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "util/error.h"
+#include "util/json.h"
+
+namespace ancstr::metrics {
+namespace {
+
+TEST(Counter, AddsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, LastWriteWins) {
+  Gauge g;
+  g.set(1.5);
+  g.set(-2.25);
+  EXPECT_EQ(g.value(), -2.25);
+  g.reset();
+  EXPECT_EQ(g.value(), 0.0);
+}
+
+TEST(Histogram, RejectsBadBounds) {
+  EXPECT_THROW(Histogram({}), Error);
+  EXPECT_THROW(Histogram({1.0, 1.0}), Error);
+  EXPECT_THROW(Histogram({2.0, 1.0}), Error);
+}
+
+TEST(Histogram, BucketBoundariesUseLeSemantics) {
+  // Prometheus "le": a value equal to a bound lands in that bound's
+  // bucket, strictly-greater values go one bucket up.
+  Histogram h({1.0, 2.0, 4.0});
+  ASSERT_EQ(h.numBuckets(), 4u);
+
+  h.observe(0.5);   // <= 1.0
+  h.observe(1.0);   // <= 1.0 (boundary is inclusive)
+  h.observe(1.001); // <= 2.0
+  h.observe(2.0);   // <= 2.0
+  h.observe(4.0);   // <= 4.0
+  h.observe(4.5);   // overflow
+  h.observe(1e300); // overflow
+
+  EXPECT_EQ(h.bucketCount(0), 2u);
+  EXPECT_EQ(h.bucketCount(1), 2u);
+  EXPECT_EQ(h.bucketCount(2), 1u);
+  EXPECT_EQ(h.bucketCount(3), 2u);
+  EXPECT_EQ(h.totalCount(), 7u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.001 + 2.0 + 4.0 + 4.5 + 1e300);
+}
+
+TEST(Histogram, NegativeAndZeroValuesLandInFirstBucket) {
+  Histogram h({0.0, 10.0});
+  h.observe(-5.0);
+  h.observe(0.0);
+  h.observe(5.0);
+  EXPECT_EQ(h.bucketCount(0), 2u);
+  EXPECT_EQ(h.bucketCount(1), 1u);
+  EXPECT_EQ(h.bucketCount(2), 0u);
+}
+
+TEST(Histogram, ResetZeroesBucketsCountAndSum) {
+  Histogram h({1.0});
+  h.observe(0.5);
+  h.observe(3.0);
+  h.reset();
+  EXPECT_EQ(h.bucketCount(0), 0u);
+  EXPECT_EQ(h.bucketCount(1), 0u);
+  EXPECT_EQ(h.totalCount(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+}
+
+TEST(Histogram, ConcurrentObserveLosesNothing) {
+  Histogram h({10.0});
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.observe(1.0);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(h.totalCount(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(h.sum(), static_cast<double>(kThreads) * kPerThread);
+}
+
+TEST(Registry, LookupsAreStableAcrossReset) {
+  Registry& reg = Registry::instance();
+  Counter& c = reg.counter("test.registry.stable");
+  c.add(7);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(&c, &reg.counter("test.registry.stable"));
+}
+
+TEST(Registry, HistogramBoundsFixedOnFirstRegistration) {
+  Registry& reg = Registry::instance();
+  Histogram& h = reg.histogram("test.registry.hist", {1.0, 2.0});
+  Histogram& again = reg.histogram("test.registry.hist", {99.0});
+  EXPECT_EQ(&h, &again);
+  EXPECT_EQ(again.upperBounds(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(Snapshot, SinceSubtractsCountersAndHistograms) {
+  Registry& reg = Registry::instance();
+  Counter& c = reg.counter("test.snapshot.counter");
+  Histogram& h = reg.histogram("test.snapshot.hist", {1.0});
+  Gauge& g = reg.gauge("test.snapshot.gauge");
+  c.reset();
+  h.reset();
+
+  c.add(3);
+  h.observe(0.5);
+  g.set(1.0);
+  const Snapshot before = reg.snapshot();
+
+  c.add(4);
+  h.observe(0.5);
+  h.observe(2.0);
+  g.set(9.0);
+  const Snapshot delta = reg.snapshot().since(before);
+
+  EXPECT_EQ(delta.counters.at("test.snapshot.counter"), 4u);
+  const HistogramSnapshot& hs = delta.histograms.at("test.snapshot.hist");
+  EXPECT_EQ(hs.count, 2u);
+  EXPECT_EQ(hs.buckets.at(0), 1u);
+  EXPECT_EQ(hs.buckets.at(1), 1u);
+  EXPECT_DOUBLE_EQ(hs.sum, 2.5);
+  // Gauges are last-write-wins, not differences.
+  EXPECT_EQ(delta.gauges.at("test.snapshot.gauge"), 9.0);
+}
+
+TEST(Snapshot, ToJsonHasStableSchema) {
+  Registry& reg = Registry::instance();
+  reg.counter("test.json.counter").reset();
+  reg.counter("test.json.counter").add(2);
+  reg.histogram("test.json.hist", {1.0}).observe(0.5);
+
+  const Json json = reg.snapshot().toJson();
+  ASSERT_TRUE(json.isObject());
+  ASSERT_NE(json.find("counters"), nullptr);
+  ASSERT_NE(json.find("gauges"), nullptr);
+  ASSERT_NE(json.find("histograms"), nullptr);
+  EXPECT_EQ(json.get("counters").get("test.json.counter").asNumber(), 2.0);
+  const Json& hist = json.get("histograms").get("test.json.hist");
+  ASSERT_NE(hist.find("le"), nullptr);
+  ASSERT_NE(hist.find("buckets"), nullptr);
+  EXPECT_EQ(hist.get("buckets").size(), hist.get("le").size() + 1);
+  EXPECT_EQ(hist.get("count").asNumber(), 1.0);
+
+  // Round-trips through the parser.
+  std::string error;
+  EXPECT_TRUE(Json::parse(json.dump(2), &error).has_value()) << error;
+}
+
+}  // namespace
+}  // namespace ancstr::metrics

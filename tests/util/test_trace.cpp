@@ -1,0 +1,153 @@
+#include "util/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "util/json.h"
+#include "util/parallel.h"
+
+namespace ancstr::trace {
+namespace {
+
+/// The collector is process-wide; each test starts from a clean, disabled
+/// state and leaves it that way.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceCollector::instance().setEnabled(false);
+    TraceCollector::instance().clear();
+  }
+  void TearDown() override {
+    TraceCollector::instance().setEnabled(false);
+    TraceCollector::instance().clear();
+  }
+};
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  { const TraceSpan span("test.disabled"); }
+  EXPECT_TRUE(TraceCollector::instance().events().empty());
+}
+
+TEST_F(TraceTest, SpanSecondsWorksWhileDisabled) {
+  const TraceSpan span("test.stopwatch");
+  EXPECT_GE(span.seconds(), 0.0);
+}
+
+TEST_F(TraceTest, EnabledSpansAreCollected) {
+  TraceCollector::instance().setEnabled(true);
+  {
+    const TraceSpan outer("test.outer");
+    const TraceSpan inner("test.inner");
+  }
+  const std::vector<TraceEvent> events = TraceCollector::instance().events();
+  ASSERT_EQ(events.size(), 2u);
+  // Sorted by start time: outer starts first.
+  EXPECT_EQ(events[0].name, "test.outer");
+  EXPECT_EQ(events[1].name, "test.inner");
+  EXPECT_LE(events[0].startUs, events[1].startUs);
+  EXPECT_GE(events[0].durationUs, 0.0);
+}
+
+TEST_F(TraceTest, ArmedAtConstructionNotDestruction) {
+  // A span decides to record when it is constructed; flipping the switch
+  // mid-flight must not tear half-initialised state.
+  TraceSpan* span = nullptr;
+  {
+    TraceCollector::instance().setEnabled(true);
+    span = new TraceSpan("test.armed");
+    TraceCollector::instance().setEnabled(false);
+    delete span;
+  }
+  EXPECT_EQ(TraceCollector::instance().events().size(), 1u);
+}
+
+TEST_F(TraceTest, ClearDropsEvents) {
+  TraceCollector::instance().setEnabled(true);
+  { const TraceSpan span("test.cleared"); }
+  TraceCollector::instance().clear();
+  EXPECT_TRUE(TraceCollector::instance().events().empty());
+}
+
+TEST_F(TraceTest, WorkerThreadsGetDistinctThreadIds) {
+  TraceCollector::instance().setEnabled(true);
+  util::ThreadPool pool(4);
+  pool.forEach(64, [](std::size_t) {
+    const TraceSpan span("test.worker");
+  });
+  const std::vector<TraceEvent> events = TraceCollector::instance().events();
+  ASSERT_EQ(events.size(), 64u);
+  std::set<std::uint32_t> tids;
+  for (const TraceEvent& e : events) tids.insert(e.tid);
+  // Static partition: chunk 0 on the caller, chunks 1..3 on workers.
+  EXPECT_GT(tids.size(), 1u);
+}
+
+TEST_F(TraceTest, EventsSurviveThreadExit) {
+  TraceCollector::instance().setEnabled(true);
+  std::thread worker([] { const TraceSpan span("test.exited"); });
+  worker.join();
+  const std::vector<TraceEvent> events = TraceCollector::instance().events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "test.exited");
+}
+
+// Golden-schema test: the export must stay loadable by Perfetto /
+// chrome://tracing, which means exactly these fields with these types.
+TEST_F(TraceTest, ChromeJsonMatchesTraceEventSchema) {
+  TraceCollector::instance().setEnabled(true);
+  { const TraceSpan span("test.schema"); }
+
+  std::string error;
+  const auto parsed =
+      Json::parse(TraceCollector::instance().toChromeJson(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  const Json& root = *parsed;
+
+  ASSERT_TRUE(root.isObject());
+  EXPECT_EQ(root.get("displayTimeUnit").asString(), "ms");
+  const Json& events = root.get("traceEvents");
+  ASSERT_TRUE(events.isArray());
+  ASSERT_EQ(events.size(), 1u);
+
+  const Json& e = events.at(0);
+  EXPECT_EQ(e.get("name").asString(), "test.schema");
+  EXPECT_EQ(e.get("cat").asString(), "ancstr");
+  EXPECT_EQ(e.get("ph").asString(), "X");  // complete event
+  EXPECT_TRUE(e.get("ts").isNumber());
+  EXPECT_TRUE(e.get("dur").isNumber());
+  EXPECT_GE(e.get("dur").asNumber(), 0.0);
+  EXPECT_EQ(e.get("pid").asNumber(), 1.0);
+  EXPECT_TRUE(e.get("tid").isNumber());
+}
+
+TEST_F(TraceTest, EmptyCollectorStillExportsValidJson) {
+  std::string error;
+  const auto parsed =
+      Json::parse(TraceCollector::instance().toChromeJson(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->get("traceEvents").size(), 0u);
+}
+
+TEST_F(TraceTest, WriteFileRoundTrips) {
+  TraceCollector::instance().setEnabled(true);
+  { const TraceSpan span("test.file"); }
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "ancstr_test_trace.json";
+  TraceCollector::instance().writeFile(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string error;
+  EXPECT_TRUE(Json::parse(buf.str(), &error).has_value()) << error;
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace ancstr::trace

@@ -7,6 +7,13 @@
 //   ancstr_cli corpus  --dir DIR     # emit the benchmark corpus + golden
 //                                    # constraint files
 //
+// train and extract additionally take the observability flags
+// (docs/observability.md):
+//   --threads N        worker count (0 = hardware_concurrency)
+//   --trace-out FILE   Chrome/Perfetto trace of the run
+//   --metrics-out FILE metrics delta of the run as JSON
+//   --report json|table  run report (phases + metrics) on stderr
+//
 // Exit codes: 0 success, 1 usage error, 2 runtime failure.
 #include <cstdio>
 #include <cstring>
@@ -26,6 +33,8 @@
 #include "netlist/spice_parser.h"
 #include "netlist/spice_writer.h"
 #include "util/error.h"
+#include "util/json.h"
+#include "util/trace.h"
 
 namespace {
 
@@ -41,6 +50,8 @@ int usage() {
                "  ancstr_cli stats   NETLIST...\n"
                "  ancstr_cli check   --constraints FILE NETLIST\n"
                "  ancstr_cli corpus  --dir DIR\n"
+               "train/extract also take: [--threads N] [--trace-out FILE]\n"
+               "  [--metrics-out FILE] [--report json|table]\n"
                "netlists may be SPICE or Spectre (auto-detected)\n");
   return 1;
 }
@@ -79,18 +90,65 @@ class Flags {
   std::vector<std::string> args_;
 };
 
-void writeFileOrThrow(const std::string& path, const std::string& content) {
+void writeFileOrThrow(const std::filesystem::path& path,
+                      const std::string& content) {
   std::ofstream out(path);
-  if (!out) throw Error("cannot open '" + path + "' for writing");
+  if (!out) throw Error("cannot open '" + path.string() + "' for writing");
   out << content;
-  if (!out) throw Error("write failure on '" + path + "'");
+  if (!out) throw Error("write failure on '" + path.string() + "'");
 }
 
+/// Shared observability flags for train/extract. Parsing them enables the
+/// trace collector before any netlist is read, so parse spans are captured.
+struct ObserveOptions {
+  std::filesystem::path traceOut;
+  std::filesystem::path metricsOut;
+  std::string report;  ///< "", "json", or "table"
+  std::size_t threads = 1;
+
+  static ObserveOptions parse(Flags& flags) {
+    ObserveOptions opts;
+    opts.traceOut = flags.value("--trace-out", "");
+    opts.metricsOut = flags.value("--metrics-out", "");
+    opts.report = flags.value("--report", "");
+    opts.threads =
+        static_cast<std::size_t>(std::stoul(flags.value("--threads", "1")));
+    if (!opts.traceOut.empty()) {
+      trace::TraceCollector::instance().setEnabled(true);
+    }
+    return opts;
+  }
+
+  bool validReport() const {
+    return report.empty() || report == "json" || report == "table";
+  }
+
+  /// Emits the report/metrics/trace artefacts after the run. The run
+  /// report goes to stderr so stdout stays reserved for constraint
+  /// payloads.
+  void emit(const RunReport& report_) const {
+    if (report == "json") {
+      std::fputs((report_.toJson().dump(2) + "\n").c_str(), stderr);
+    } else if (report == "table") {
+      std::fputs(report_.toTable().c_str(), stderr);
+    }
+    if (!metricsOut.empty()) {
+      writeFileOrThrow(metricsOut, report_.metrics.toJson().dump(2) + "\n");
+    }
+    if (!traceOut.empty()) {
+      trace::TraceCollector::instance().writeFile(traceOut);
+    }
+  }
+};
+
 int cmdTrain(Flags flags) {
-  const std::string out = flags.value("--out", "");
+  ObserveOptions observe = ObserveOptions::parse(flags);
+  const std::filesystem::path out = flags.value("--out", "");
   const int epochs = std::stoi(flags.value("--epochs", "60"));
   const std::uint64_t seed = std::stoull(flags.value("--seed", "42"));
-  if (out.empty() || flags.positional().empty()) return usage();
+  if (out.empty() || flags.positional().empty() || !observe.validReport()) {
+    return usage();
+  }
 
   std::vector<Library> libs;
   for (const std::string& path : flags.positional()) {
@@ -101,27 +159,36 @@ int cmdTrain(Flags flags) {
   PipelineConfig config;
   config.train.epochs = epochs;
   config.seed = seed;
+  config.threads = observe.threads;
   Pipeline pipeline(config);
   std::vector<const Library*> ptrs;
   for (const Library& lib : libs) ptrs.push_back(&lib);
-  const TrainStats stats = pipeline.train(ptrs);
+  const TrainReport report = pipeline.train(ptrs);
   pipeline.saveModel(out);
   std::printf("trained %d epochs in %.2fs (final loss %.4f); model -> %s\n",
-              epochs, stats.seconds, stats.finalLoss(), out.c_str());
+              epochs, report.report.phaseSeconds("train.loop"),
+              report.finalLoss(), out.string().c_str());
+  observe.emit(report.report);
   return 0;
 }
 
 int cmdExtract(Flags flags) {
-  const std::string modelPath = flags.value("--model", "");
+  ObserveOptions observe = ObserveOptions::parse(flags);
+  const std::filesystem::path modelPath = flags.value("--model", "");
   const std::string format = flags.value("--format", "json");
-  const std::string outPath = flags.value("--out", "");
+  const std::filesystem::path outPath = flags.value("--out", "");
   const bool withGroups = flags.flag("--groups");
   const bool withArrays = flags.flag("--arrays");
-  if (modelPath.empty() || flags.positional().size() != 1) return usage();
+  if (modelPath.empty() || flags.positional().size() != 1 ||
+      !observe.validReport()) {
+    return usage();
+  }
   if (format != "json" && format != "sym") return usage();
 
   const Library lib = parseNetlistFile(flags.positional()[0]);
-  Pipeline pipeline;
+  PipelineConfig config;
+  config.threads = observe.threads;
+  Pipeline pipeline(config);
   pipeline.loadModel(modelPath);
   const ExtractionResult result = pipeline.extract(lib);
   const FlatDesign design = FlatDesign::elaborate(lib);
@@ -143,7 +210,8 @@ int cmdExtract(Flags flags) {
   std::fprintf(stderr,
                "extracted %zu constraints (%zu candidates) in %.3fs\n",
                result.detection.constraints().size(),
-               result.detection.scored.size(), result.timing.total());
+               result.detection.scored.size(), result.timing().total());
+  observe.emit(result.report);
   return 0;
 }
 
@@ -165,22 +233,16 @@ int cmdStats(Flags flags) {
 }
 
 int cmdCheck(Flags flags) {
-  const std::string constraintPath = flags.value("--constraints", "");
+  const std::filesystem::path constraintPath =
+      flags.value("--constraints", "");
   if (constraintPath.empty() || flags.positional().size() != 1) {
     return usage();
   }
   const Library lib = parseNetlistFile(flags.positional()[0]);
   const FlatDesign design = FlatDesign::elaborate(lib);
 
-  std::ifstream in(constraintPath);
-  if (!in) throw Error("cannot open '" + constraintPath + "'");
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  const std::string text = buf.str();
   const std::vector<ParsedConstraint> parsed =
-      text.find("ancstr-constraints") != std::string::npos
-          ? parseConstraintsJson(text)
-          : parseConstraintsSym(text);
+      parseConstraintsFile(constraintPath);
 
   const auto issues = checkConstraints(design, lib, parsed);
   for (const ConstraintIssue& issue : issues) {
@@ -192,12 +254,12 @@ int cmdCheck(Flags flags) {
 }
 
 int cmdCorpus(Flags flags) {
-  const std::string dir = flags.value("--dir", "");
+  const std::filesystem::path dir = flags.value("--dir", "");
   if (dir.empty()) return usage();
   std::filesystem::create_directories(dir);
 
   auto emit = [&](const circuits::CircuitBenchmark& bench) {
-    const std::string stem = dir + "/" + bench.name;
+    const std::string stem = (dir / bench.name).string();
     writeSpiceFile(bench.lib, stem + ".sp");
     std::string golden = "# golden symmetry constraints for " + bench.name +
                          "\n";
