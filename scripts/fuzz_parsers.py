@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Deterministic fuzz smoke test for the fail-soft netlist parsers.
+
+Takes the seed decks under tests/netlist/corpus_malformed/ (plus two
+clean built-in decks), applies seeded random mutations (truncation, line
+shuffling, byte flips, garbage splices), and pushes every mutant through
+`ancstr_cli stats --fail-soft`. The CLI must either succeed (exit 0) or
+fail cleanly with a one-line error (exit 2) — any other exit status, and
+in particular death by signal, fails the run. The mutation stream is
+fully determined by --seed, so a failure reproduces exactly.
+
+Usage:
+  scripts/fuzz_parsers.py [--cli build/tools/ancstr_cli]
+                          [--iterations 200] [--seed 1]
+"""
+
+import argparse
+import pathlib
+import random
+import string
+import subprocess
+import sys
+import tempfile
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+CORPUS = REPO / "tests" / "netlist" / "corpus_malformed"
+
+CLEAN_SPICE = """* clean seed deck
+.subckt ota inp inn out vdd vss
+m1 d1 inp tail vss nch w=2u l=0.1u
+m2 d2 inn tail vss nch w=2u l=0.1u
+mt tail vb vss vss nch w=4u l=0.4u
+r1 d1 out 1k
+r2 d2 out 1k
+.ends
+x1 a b c vdd vss ota
+"""
+
+CLEAN_SPECTRE = """// clean seed deck
+simulator lang=spectre
+subckt pair (a b vdd)
+M1 (d a s vdd) nch_lvt w=1u l=0.1u
+M2 (d b s vdd) nch_lvt w=1u l=0.1u
+ends
+x1 (n1 n2 vdd) pair
+R1 (n1 n2) resistor r=1k
+"""
+
+GARBAGE = ["@@@@ ####", ")(&^ junk", ".include", "((((", "m1", "x y z w"]
+
+
+def load_seeds():
+    seeds = [("clean.sp", CLEAN_SPICE), ("clean.scs", CLEAN_SPECTRE)]
+    for path in sorted(CORPUS.glob("*")):
+        if path.suffix in (".sp", ".scs"):
+            seeds.append((path.name, path.read_text()))
+    return seeds
+
+
+def mutate(rng, seeds):
+    """Returns (file name, mutated text) drawn deterministically from rng."""
+    name, text = seeds[rng.randrange(len(seeds))]
+    op = rng.randrange(6)
+    if op == 0 and len(text) > 1:  # truncate at a random offset
+        text = text[: rng.randrange(1, len(text))]
+    elif op == 1:  # drop a random line
+        lines = text.splitlines()
+        if lines:
+            del lines[rng.randrange(len(lines))]
+        text = "\n".join(lines) + "\n"
+    elif op == 2:  # duplicate a random line
+        lines = text.splitlines()
+        if lines:
+            i = rng.randrange(len(lines))
+            lines.insert(i, lines[i])
+        text = "\n".join(lines) + "\n"
+    elif op == 3 and text:  # flip a random byte to a printable char
+        i = rng.randrange(len(text))
+        text = text[:i] + rng.choice(string.printable) + text[i + 1:]
+    elif op == 4:  # insert a garbage line
+        lines = text.splitlines()
+        lines.insert(rng.randrange(len(lines) + 1), rng.choice(GARBAGE))
+        text = "\n".join(lines) + "\n"
+    else:  # splice the halves of two seeds
+        _, other = seeds[rng.randrange(len(seeds))]
+        text = text[: len(text) // 2] + other[len(other) // 2:]
+    return name, text
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cli", default=str(REPO / "build/tools/ancstr_cli"))
+    parser.add_argument("--iterations", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+
+    if not pathlib.Path(args.cli).exists():
+        sys.exit(f"fuzz_parsers: CLI not found at {args.cli}")
+
+    rng = random.Random(args.seed)
+    seeds = load_seeds()
+    exits = {0: 0, 2: 0}
+    with tempfile.TemporaryDirectory(prefix="ancstr_fuzz_") as tmp:
+        for i in range(args.iterations):
+            name, text = mutate(rng, seeds)
+            target = pathlib.Path(tmp) / f"mutant_{i}_{name}"
+            target.write_text(text)
+            proc = subprocess.run(
+                [args.cli, "stats", "--fail-soft", str(target)],
+                capture_output=True, text=True, timeout=60)
+            if proc.returncode not in (0, 2):
+                print(f"FAIL: iteration {i} (seed {args.seed}) exited "
+                      f"{proc.returncode} on {name}", file=sys.stderr)
+                print("--- mutant ---", file=sys.stderr)
+                print(text, file=sys.stderr)
+                print("--- stderr ---", file=sys.stderr)
+                print(proc.stderr, file=sys.stderr)
+                sys.exit(1)
+            exits[proc.returncode] += 1
+    print(f"fuzz_parsers: {args.iterations} mutants, "
+          f"{exits[0]} parsed fail-soft, {exits[2]} rejected cleanly")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,15 +1,28 @@
 #include "core/constraint_io.h"
 
+#include <cmath>
 #include <fstream>
 #include <set>
 #include <sstream>
 
+#include "util/diagnostics.h"
 #include "util/error.h"
+#include "util/fault.h"
 #include "util/json.h"
+#include "util/metrics.h"
 #include "util/string_utils.h"
 
 namespace ancstr {
 namespace {
+
+// Constraint-IO failures carry a bracketed diagnostic code
+// (docs/robustness.md) and bump the io.constraint_failures counter.
+[[noreturn]] void fail(const std::string& message, std::string_view code) {
+  static metrics::Counter& failures =
+      metrics::Registry::instance().counter("io.constraint_failures");
+  failures.add();
+  throw Error(message + " [" + std::string(code) + "]");
+}
 
 const char* levelName(ConstraintLevel level) {
   return level == ConstraintLevel::kSystem ? "system" : "device";
@@ -18,7 +31,7 @@ const char* levelName(ConstraintLevel level) {
 ConstraintLevel levelFromName(const std::string& name) {
   if (name == "system") return ConstraintLevel::kSystem;
   if (name == "device") return ConstraintLevel::kDevice;
-  throw Error("unknown constraint level '" + name + "'");
+  fail("unknown constraint level '" + name + "'", diag::codes::kIoFormat);
 }
 
 std::string symPath(const std::string& hierPath) {
@@ -118,10 +131,13 @@ std::string constraintsToSym(const FlatDesign& design,
 std::vector<ParsedConstraint> parseConstraintsJson(const std::string& text) {
   std::string error;
   const auto root = Json::parse(text, &error);
-  if (!root) throw Error("constraint JSON: " + error);
+  if (!root) {
+    fail("constraint JSON: " + error, diag::codes::kIoTruncated);
+  }
   if (const Json* format = root->find("format");
       format == nullptr || format->asString() != "ancstr-constraints") {
-    throw Error("constraint JSON: missing/unknown format tag");
+    fail("constraint JSON: missing/unknown format tag",
+         diag::codes::kIoFormat);
   }
   std::vector<ParsedConstraint> out;
   const Json& constraints = root->get("constraints");
@@ -134,6 +150,11 @@ std::vector<ParsedConstraint> parseConstraintsJson(const std::string& text) {
     p.level = levelFromName(entry.get("level").asString());
     if (const Json* sim = entry.find("similarity")) {
       p.similarity = sim->asNumber();
+      if (!std::isfinite(p.similarity)) {
+        fail("constraint JSON: non-finite similarity for pair ('" + p.nameA +
+                 "', '" + p.nameB + "')",
+             diag::codes::kIoNonFinite);
+      }
     }
     out.push_back(std::move(p));
   }
@@ -180,12 +201,13 @@ std::vector<ParsedConstraint> parseConstraintsSym(const std::string& text) {
 std::vector<ParsedConstraint> parseConstraintsFile(
     const std::filesystem::path& path) {
   std::ifstream in(path);
-  if (!in) {
-    throw Error("parseConstraintsFile: cannot open '" + path.string() + "'");
+  if (!in || fault::shouldFail("constraint_io.open")) {
+    fail("parseConstraintsFile: cannot open '" + path.string() + "'",
+         diag::codes::kIoFailure);
   }
   std::ostringstream buf;
   buf << in.rdbuf();
-  const std::string text = buf.str();
+  const std::string text = fault::corruptText("constraint_io.read", buf.str());
   // Extension first; fall back to sniffing the format tag so JSON files
   // with unconventional names still round-trip.
   if (str::toLower(path.extension().string()) == ".json" ||

@@ -1,10 +1,14 @@
 #include "core/model_io.h"
 
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
 
+#include "util/diagnostics.h"
 #include "util/error.h"
+#include "util/fault.h"
+#include "util/metrics.h"
 
 namespace ancstr {
 namespace {
@@ -13,6 +17,15 @@ constexpr const char* kMagic = "ancstr-gnn-model";
 // v1: featureDim hiddenDim numLayers sharedWeights
 // v2: + meanAggregation
 constexpr int kVersion = 2;
+
+// All model-IO failures carry a bracketed diagnostic code
+// (docs/robustness.md) and bump the io.model_failures counter.
+[[noreturn]] void fail(const std::string& message, std::string_view code) {
+  static metrics::Counter& failures =
+      metrics::Registry::instance().counter("io.model_failures");
+  failures.add();
+  throw Error(message + " [" + std::string(code) + "]");
+}
 
 }  // namespace
 
@@ -29,7 +42,15 @@ void saveModel(const GnnModel& model, std::ostream& os) {
     const nn::Matrix& m = p.value();
     os << m.rows() << ' ' << m.cols();
     for (std::size_t r = 0; r < m.rows(); ++r) {
-      for (std::size_t col = 0; col < m.cols(); ++col) os << ' ' << m(r, col);
+      for (std::size_t col = 0; col < m.cols(); ++col) {
+        // Refuse to serialise garbage: a "nan" token would not even read
+        // back (stream extraction rejects it), so fail loudly at save time.
+        if (!std::isfinite(m(r, col))) {
+          fail("saveModel: non-finite parameter value",
+               diag::codes::kIoNonFinite);
+        }
+        os << ' ' << m(r, col);
+      }
     }
     os << '\n';
   }
@@ -38,10 +59,14 @@ void saveModel(const GnnModel& model, std::ostream& os) {
 void saveModelFile(const GnnModel& model,
                    const std::filesystem::path& path) {
   std::ofstream out(path);
-  if (!out) throw Error("saveModel: cannot open '" + path.string() + "'");
+  if (!out) {
+    fail("saveModel: cannot open '" + path.string() + "'",
+         diag::codes::kIoFailure);
+  }
   saveModel(model, out);
   if (!out) {
-    throw Error("saveModel: write failure on '" + path.string() + "'");
+    fail("saveModel: write failure on '" + path.string() + "'",
+         diag::codes::kIoFailure);
   }
 }
 
@@ -49,21 +74,24 @@ GnnModel loadModel(std::istream& is) {
   std::string magic;
   int version = 0;
   if (!(is >> magic >> version) || magic != kMagic) {
-    throw Error("loadModel: not an ancstr model file");
+    fail("loadModel: not an ancstr model file", diag::codes::kIoFormat);
   }
   if (version != 1 && version != kVersion) {
-    throw Error("loadModel: unsupported version " + std::to_string(version));
+    fail("loadModel: unsupported version " + std::to_string(version),
+         diag::codes::kIoFormat);
   }
   GnnConfig config;
   int shared = 0;
   if (!(is >> config.featureDim >> config.hiddenDim >> config.numLayers >>
         shared)) {
-    throw Error("loadModel: truncated config");
+    fail("loadModel: truncated config", diag::codes::kIoTruncated);
   }
   config.sharedWeights = shared != 0;
   if (version >= 2) {
     int mean = 0;
-    if (!(is >> mean)) throw Error("loadModel: truncated config (v2)");
+    if (!(is >> mean)) {
+      fail("loadModel: truncated config (v2)", diag::codes::kIoTruncated);
+    }
     config.meanAggregation = mean != 0;
   }
 
@@ -74,27 +102,55 @@ GnnModel loadModel(std::istream& is) {
 
   std::size_t count = 0;
   if (!(is >> count) || count != params.size()) {
-    throw Error("loadModel: parameter count mismatch");
+    fail("loadModel: parameter count mismatch", diag::codes::kIoFormat);
   }
+  std::size_t index = 0;
   for (nn::Tensor& p : params) {
     std::size_t rows = 0, cols = 0;
     if (!(is >> rows >> cols) || rows != p.rows() || cols != p.cols()) {
-      throw Error("loadModel: parameter shape mismatch");
+      fail("loadModel: parameter shape mismatch", diag::codes::kIoFormat);
     }
     nn::Matrix m(rows, cols);
     for (std::size_t r = 0; r < rows; ++r) {
       for (std::size_t c = 0; c < cols; ++c) {
-        if (!(is >> m(r, c))) throw Error("loadModel: truncated matrix data");
+        if (!(is >> m(r, c))) {
+          fail("loadModel: truncated matrix data", diag::codes::kIoTruncated);
+        }
+      }
+    }
+    if (rows > 0 && cols > 0) {
+      m(0, 0) = fault::corruptDouble("model_io.value", m(0, 0));
+    }
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        if (!std::isfinite(m(r, c))) {
+          fail("loadModel: non-finite value in parameter " +
+                   std::to_string(index),
+               diag::codes::kIoNonFinite);
+        }
       }
     }
     p.setValue(std::move(m));
+    ++index;
   }
   return model;
 }
 
 GnnModel loadModelFile(const std::filesystem::path& path) {
   std::ifstream in(path);
-  if (!in) throw Error("loadModel: cannot open '" + path.string() + "'");
+  if (!in || fault::shouldFail("model_io.open")) {
+    fail("loadModel: cannot open '" + path.string() + "'",
+         diag::codes::kIoFailure);
+  }
+  if (fault::enabled()) {
+    // Route the bytes through the fault harness so tests can truncate the
+    // stream mid-file without touching the disk copy.
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::istringstream faulted(
+        fault::corruptText("model_io.read", buf.str()));
+    return loadModel(faulted);
+  }
   return loadModel(in);
 }
 

@@ -50,13 +50,8 @@ TrainReport Pipeline::train(const std::vector<const Library*>& corpus) {
   return report;
 }
 
-ExtractionResult Pipeline::extract(const Library& lib) const {
-  if (!model_) throw Error("Pipeline::extract before train()/loadModel()");
-  const trace::TraceSpan pipelineSpan("pipeline.extract");
-  const metrics::Snapshot before = metrics::Registry::instance().snapshot();
-  ExtractionResult result;
-
-  FlatDesign design = FlatDesign::elaborate(lib);
+void Pipeline::runExtractPhases(const Library& lib, const FlatDesign& design,
+                                ExtractionResult& result) const {
   PreparedGraph g;
   {
     const trace::TraceSpan span("extract.graph_build");
@@ -84,8 +79,48 @@ ExtractionResult Pipeline::extract(const Library& lib) const {
   }
 
   result.embeddings = std::move(z);
+}
+
+ExtractionResult Pipeline::extract(const Library& lib) const {
+  if (!model_) throw Error("Pipeline::extract before train()/loadModel()");
+  const trace::TraceSpan pipelineSpan("pipeline.extract");
+  const metrics::Snapshot before = metrics::Registry::instance().snapshot();
+  ExtractionResult result;
+
+  const FlatDesign design = FlatDesign::elaborate(lib);
+  runExtractPhases(lib, design, result);
+
   result.report.metrics =
       metrics::Registry::instance().snapshot().since(before);
+  return result;
+}
+
+ExtractionResult Pipeline::extract(const Library& lib,
+                                   diag::DiagnosticSink& sink) const {
+  if (sink.strict()) return extract(lib);
+  if (!model_) throw Error("Pipeline::extract before train()/loadModel()");
+  static metrics::Counter& degradedCounter =
+      metrics::Registry::instance().counter("pipeline.extract_degraded");
+
+  const metrics::Snapshot before = metrics::Registry::instance().snapshot();
+  const std::size_t diagStart = sink.size();
+  ExtractionResult result;
+  try {
+    const trace::TraceSpan pipelineSpan("pipeline.extract");
+    const FlatDesign design = FlatDesign::elaborate(lib, sink);
+    runExtractPhases(lib, design, result);
+  } catch (const Error& e) {
+    // Degrade to an empty result: completed phase timings are kept, the
+    // detection/embeddings stay default-constructed (detectConstraints
+    // assigns only on success).
+    degradedCounter.add();
+    sink.error(diag::codes::kExtractDegraded, "", 0,
+               std::string("extraction degraded to empty result: ") +
+                   e.what());
+  }
+  result.report.metrics =
+      metrics::Registry::instance().snapshot().since(before);
+  result.report.addDiagnostics(sink.snapshotFrom(diagStart));
   return result;
 }
 

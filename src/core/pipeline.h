@@ -100,6 +100,18 @@ class Pipeline {
   /// Extracts symmetry constraints from one circuit.
   ExtractionResult extract(const Library& lib) const;
 
+  /// Fail-soft extraction (docs/robustness.md). With a collect-mode sink,
+  /// invalid constructs degrade instead of aborting the run: unresolvable
+  /// subcircuit instances are skipped during elaboration
+  /// ([pipeline.subckt_skipped]) and a failure of any later phase
+  /// degrades to an empty result ([pipeline.extract_degraded]) rather
+  /// than throwing. All diagnostics produced during the call are copied
+  /// into result.report.diagnostics. With a strict sink this is exactly
+  /// extract(lib). Calling before train()/loadModel() still throws — that
+  /// is a caller bug, not corrupt input.
+  ExtractionResult extract(const Library& lib,
+                           diag::DiagnosticSink& sink) const;
+
   const GnnModel& model() const;
   const PipelineConfig& config() const { return config_; }
 
@@ -108,6 +120,8 @@ class Pipeline {
 
  private:
   PreparedGraph prepare(const Library& lib, const FlatDesign& design) const;
+  void runExtractPhases(const Library& lib, const FlatDesign& design,
+                        ExtractionResult& result) const;
 
   PipelineConfig config_;
   std::unique_ptr<GnnModel> model_;

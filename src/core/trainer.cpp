@@ -1,9 +1,15 @@
 #include "core/trainer.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
+#include <optional>
+#include <string>
 
 #include "nn/optim.h"
+#include "util/diagnostics.h"
+#include "util/error.h"
+#include "util/fault.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/parallel.h"
@@ -46,6 +52,22 @@ GraphContribution evaluateGraph(const GnnModel& model,
   return out;
 }
 
+bool allFinite(const nn::Matrix& m) {
+  const double* p = m.data();
+  const std::size_t n = m.rows() * m.cols();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(p[i])) return false;
+  }
+  return true;
+}
+
+bool gradsFinite(const std::vector<nn::Tensor>& params) {
+  for (const nn::Tensor& p : params) {
+    if (!p.grad().empty() && !allFinite(p.grad())) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 TrainStats trainUnsupervised(GnnModel& model,
@@ -60,14 +82,23 @@ TrainStats trainUnsupervised(GnnModel& model,
       metrics::Registry::instance().counter("train.epochs");
   static metrics::Gauge& finalLossGauge =
       metrics::Registry::instance().gauge("train.final_loss");
+  static metrics::Counter& nonFiniteCounter =
+      metrics::Registry::instance().counter("train.nonfinite_batches");
+  static metrics::Counter& retryCounter =
+      metrics::Registry::instance().counter("train.epoch_retries");
 
   TrainStats stats;
   const Stopwatch watch;
 
   const std::vector<nn::Tensor> params = model.parameters();
-  nn::Adam::Config adamConfig;
-  adamConfig.lr = config.learningRate;
-  nn::Adam optimizer(params, adamConfig);
+  double currentLr = config.learningRate;
+  std::optional<nn::Adam> optimizer;
+  const auto resetOptimizer = [&] {
+    nn::Adam::Config adamConfig;
+    adamConfig.lr = currentLr;
+    optimizer.emplace(params, adamConfig);
+  };
+  resetOptimizer();
 
   util::ThreadPool pool(util::resolveThreadCount(threads));
   // Workers backward() on a cloned model so the shared parameter tensors
@@ -84,53 +115,102 @@ TrainStats trainUnsupervised(GnnModel& model,
 
   std::vector<GraphContribution> contributions;
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
-    const trace::TraceSpan epochSpan("train.epoch");
+    // Shuffle order and epoch seed are drawn ONCE per epoch, before any
+    // retry: a recovered epoch replays the exact same graph order and
+    // per-graph RNG streams, so recovery is deterministic and cannot
+    // perturb later epochs' randomness.
     rng.shuffle(order);
     const std::uint64_t epochSeed = rng.next();
-    double lossSum = 0.0;
-    std::size_t lossCount = 0;
-    for (std::size_t start = 0; start < order.size(); start += batchSize) {
-      const trace::TraceSpan batchSpan("train.batch");
-      const std::size_t count = std::min(batchSize, order.size() - start);
 
-      // Fan out: every graph of the batch gets its own RNG stream and is
-      // evaluated against the batch-start weights. The per-graph span runs
-      // on the worker that owns the chunk, so traces attribute the
-      // fan-out to worker thread ids.
-      contributions.assign(count, {});
-      pool.parallelFor(count, [&](std::size_t begin, std::size_t end) {
-        const GnnModel local = cloneModel ? model.clone() : GnnModel(model);
-        const std::vector<nn::Tensor> localParams =
-            cloneModel ? local.parameters() : params;
-        for (std::size_t i = begin; i < end; ++i) {
-          const trace::TraceSpan graphSpan("train.graph");
-          const std::size_t gi = order[start + i];
-          Rng graphRng(epochSeed ^ static_cast<std::uint64_t>(gi));
-          contributions[i] = evaluateGraph(cloneModel ? local : model,
-                                           localParams, corpus[gi], config,
-                                           graphRng);
-        }
-      });
+    // Last-good weights: restored when a non-finite batch aborts the
+    // epoch (docs/robustness.md).
+    std::vector<nn::Matrix> snapshot;
+    snapshot.reserve(params.size());
+    for (const nn::Tensor& p : params) snapshot.push_back(p.value());
 
-      // Ordered reduction: sum gradients in batch order, then step once.
-      nn::zeroGrads(params);
-      bool any = false;
-      for (const GraphContribution& c : contributions) {
-        if (!c.contributed) continue;
-        any = true;
-        lossSum += c.loss;
-        ++lossCount;
-        for (std::size_t p = 0; p < params.size(); ++p) {
-          nn::Tensor param = params[p];  // shared handle
-          param.accumulateGrad(c.grads[p]);
+    int retries = 0;
+    double epochLoss = 0.0;
+    for (;;) {
+      const trace::TraceSpan epochSpan("train.epoch");
+      double lossSum = 0.0;
+      std::size_t lossCount = 0;
+      bool finite = true;
+      for (std::size_t start = 0; start < order.size(); start += batchSize) {
+        const trace::TraceSpan batchSpan("train.batch");
+        const std::size_t count = std::min(batchSize, order.size() - start);
+
+        // Fan out: every graph of the batch gets its own RNG stream and is
+        // evaluated against the batch-start weights. The per-graph span
+        // runs on the worker that owns the chunk, so traces attribute the
+        // fan-out to worker thread ids.
+        contributions.assign(count, {});
+        pool.parallelFor(count, [&](std::size_t begin, std::size_t end) {
+          const GnnModel local = cloneModel ? model.clone() : GnnModel(model);
+          const std::vector<nn::Tensor> localParams =
+              cloneModel ? local.parameters() : params;
+          for (std::size_t i = begin; i < end; ++i) {
+            const trace::TraceSpan graphSpan("train.graph");
+            const std::size_t gi = order[start + i];
+            Rng graphRng(epochSeed ^ static_cast<std::uint64_t>(gi));
+            contributions[i] = evaluateGraph(cloneModel ? local : model,
+                                             localParams, corpus[gi], config,
+                                             graphRng);
+          }
+        });
+
+        // Ordered reduction: sum gradients in batch order, then step once.
+        nn::zeroGrads(params);
+        bool any = false;
+        double batchLoss = 0.0;
+        for (const GraphContribution& c : contributions) {
+          if (!c.contributed) continue;
+          any = true;
+          lossSum += c.loss;
+          batchLoss += c.loss;
+          ++lossCount;
+          for (std::size_t p = 0; p < params.size(); ++p) {
+            nn::Tensor param = params[p];  // shared handle
+            param.accumulateGrad(c.grads[p]);
+          }
         }
+        if (!any) continue;
+        // Guardrail: the check (and the fault-injection site) live in this
+        // serial section, so detection is independent of the thread count.
+        batchLoss = fault::corruptDouble("train.batch_loss", batchLoss);
+        if (!std::isfinite(batchLoss) || !gradsFinite(params)) {
+          nonFiniteCounter.add();
+          log::warn() << "[" << diag::codes::kNonFiniteLoss << "] epoch "
+                      << epoch << ": non-finite loss/gradient in batch at "
+                      << start << "; abandoning epoch before step";
+          finite = false;
+          break;
+        }
+        if (config.clipNorm > 0.0) nn::clipGradNorm(params, config.clipNorm);
+        optimizer->step();
       }
-      if (!any) continue;
-      if (config.clipNorm > 0.0) nn::clipGradNorm(params, config.clipNorm);
-      optimizer.step();
+      if (finite) {
+        epochLoss =
+            lossCount > 0 ? lossSum / static_cast<double>(lossCount) : 0.0;
+        break;
+      }
+      if (retries >= config.maxEpochRetries) {
+        throw Error("train: non-finite loss/gradients persisted after " +
+                    std::to_string(retries) + " retries [" +
+                    std::string(diag::codes::kRetriesExhausted) + "]");
+      }
+      ++retries;
+      ++stats.epochRetries;
+      retryCounter.add();
+      for (std::size_t p = 0; p < params.size(); ++p) {
+        nn::Tensor param = params[p];  // shared handle
+        param.setValue(snapshot[p]);
+      }
+      currentLr *= config.retryLrBackoff;
+      resetOptimizer();
+      log::warn() << "[" << diag::codes::kEpochRetry << "] epoch " << epoch
+                  << ": restored last-good weights, retry " << retries << "/"
+                  << config.maxEpochRetries << " with lr " << currentLr;
     }
-    const double epochLoss =
-        lossCount > 0 ? lossSum / static_cast<double>(lossCount) : 0.0;
     stats.epochLoss.push_back(epochLoss);
     lossHistogram.observe(epochLoss);
     epochCounter.add();

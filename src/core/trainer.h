@@ -28,11 +28,21 @@ struct TrainConfig {
   /// config: PipelineConfig::threads is the single knob, and the free
   /// function below takes it as an explicit argument.)
   std::size_t batchSize = 1;
+  /// Numerical guardrail (docs/robustness.md): when a batch produces a
+  /// non-finite loss or gradient, the epoch is abandoned before stepping,
+  /// the last-good weights (epoch entry) are restored, the learning rate
+  /// is multiplied by `retryLrBackoff`, and the epoch is re-run with the
+  /// SAME shuffle order and RNG streams — so recovery is deterministic and
+  /// thread-count independent. After `maxEpochRetries` failed retries the
+  /// trainer throws Error ([train.retries_exhausted]). 0 disables retry.
+  int maxEpochRetries = 2;
+  double retryLrBackoff = 0.5;  ///< lr multiplier applied per retry
 };
 
 struct TrainStats {
   std::vector<double> epochLoss;  ///< mean loss per epoch
   double seconds = 0.0;
+  int epochRetries = 0;  ///< total non-finite-recovery retries executed
 
   double finalLoss() const {
     return epochLoss.empty() ? 0.0 : epochLoss.back();

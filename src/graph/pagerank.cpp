@@ -4,16 +4,19 @@
 #include <cmath>
 #include <numeric>
 
+#include "util/diagnostics.h"
+#include "util/logging.h"
 #include "util/metrics.h"
 #include "util/trace.h"
 
 namespace ancstr {
 
-std::vector<double> pageRank(const SimpleDigraph& g,
-                             const PageRankOptions& options) {
+PageRankResult pageRankDetailed(const SimpleDigraph& g,
+                                const PageRankOptions& options) {
   const trace::TraceSpan span("graph.pagerank");
+  PageRankResult result;
   const std::size_t n = g.numVertices();
-  if (n == 0) return {};
+  if (n == 0) return result;
   const double uniform = 1.0 / static_cast<double>(n);
   std::vector<double> rank(n, uniform);
   std::vector<double> next(n, 0.0);
@@ -21,6 +24,7 @@ std::vector<double> pageRank(const SimpleDigraph& g,
   // Aggregated locally; one atomic add per call (pageRank runs on
   // ThreadPool workers during block embedding).
   std::uint64_t iterations = 0;
+  result.converged = false;
   for (int iter = 0; iter < options.maxIterations; ++iter) {
     ++iterations;
     double danglingMass = 0.0;
@@ -40,12 +44,30 @@ std::vector<double> pageRank(const SimpleDigraph& g,
     double delta = 0.0;
     for (std::size_t i = 0; i < n; ++i) delta += std::fabs(next[i] - rank[i]);
     rank.swap(next);
-    if (delta < options.tolerance) break;
+    if (delta < options.tolerance) {
+      result.converged = true;
+      break;
+    }
   }
   static metrics::Counter& iterationCounter =
       metrics::Registry::instance().counter("pagerank.iterations");
   iterationCounter.add(iterations);
-  return rank;
+  if (!result.converged) {
+    static metrics::Counter& nonConvergedCounter =
+        metrics::Registry::instance().counter("pagerank.nonconverged");
+    nonConvergedCounter.add();
+    log::warn() << "[" << diag::codes::kPageRankNonConverged << "] PageRank "
+                << "did not converge within " << options.maxIterations
+                << " iterations (|V| = " << n << ")";
+  }
+  result.iterations = static_cast<int>(iterations);
+  result.scores = std::move(rank);
+  return result;
+}
+
+std::vector<double> pageRank(const SimpleDigraph& g,
+                             const PageRankOptions& options) {
+  return pageRankDetailed(g, options).scores;
 }
 
 std::vector<std::uint32_t> topKByScore(const std::vector<double>& scores,

@@ -15,10 +15,25 @@ struct PageRankOptions {
   int maxIterations = 200;
 };
 
+/// Scores plus the convergence signal of one power iteration run.
+struct PageRankResult {
+  std::vector<double> scores;  ///< sums to 1; one entry per vertex
+  int iterations = 0;          ///< power-iteration steps actually taken
+  /// True when the L1 delta fell below tolerance within maxIterations.
+  /// A false value means the scores are the maxIterations-th iterate —
+  /// usable, but reported via a warning and the `pagerank.nonconverged`
+  /// metrics counter (diag::codes::kPageRankNonConverged).
+  bool converged = true;
+};
+
 /// Computes PageRank scores (sums to 1). Eq. 3 prints the denominator as
 /// |N_out(v)|; the standard (and clearly intended) form divides each
 /// incoming contribution by the *source's* out-degree, which is what we
 /// implement. Dangling vertices redistribute uniformly.
+PageRankResult pageRankDetailed(const SimpleDigraph& g,
+                                const PageRankOptions& options = {});
+
+/// Score-only convenience wrapper over pageRankDetailed.
 std::vector<double> pageRank(const SimpleDigraph& g,
                              const PageRankOptions& options = {});
 

@@ -9,7 +9,11 @@ namespace detail {
 
 class Elaborator {
  public:
-  explicit Elaborator(const Library& lib) : lib_(lib) {}
+  /// `sink` null = strict legacy mode (validate() already ran, nothing can
+  /// go wrong here); non-null = fail-soft mode with per-construct checks.
+  explicit Elaborator(const Library& lib,
+                      diag::DiagnosticSink* sink = nullptr)
+      : lib_(lib), sink_(sink) {}
 
   FlatDesign run() {
     const SubcktId topId = lib_.top();
@@ -20,6 +24,8 @@ class Elaborator {
     rootNode.parent = 0;
     rootNode.master = topId;
     hier_.push_back(rootNode);
+    if (sink_ != nullptr) expanding_.assign(lib_.subcktCount(), false);
+    if (!expanding_.empty()) expanding_[topId] = true;
 
     // Top-level ports become ordinary flat nets.
     std::vector<FlatNetId> netMap(top.nets().size(), kInvalidId);
@@ -60,6 +66,7 @@ class Elaborator {
 
     for (DeviceId d = 0; d < def.devices().size(); ++d) {
       const Device& dev = def.device(d);
+      if (sink_ != nullptr && !deviceUsable(def, dev, prefix)) continue;
       FlatDevice flat;
       flat.path = prefix + dev.name;
       flat.type = dev.type;
@@ -76,6 +83,7 @@ class Elaborator {
 
     for (InstanceId i = 0; i < def.instances().size(); ++i) {
       const Instance& inst = def.instance(i);
+      if (sink_ != nullptr && !instanceUsable(def, inst, prefix)) continue;
       const SubcktDef& master = lib_.subckt(inst.master);
 
       const HierNodeId childId = static_cast<HierNodeId>(hier_.size());
@@ -94,11 +102,66 @@ class Elaborator {
       for (std::size_t p = 0; p < ports.size(); ++p) {
         childMap[ports[p]] = netMap[inst.connections[p]];
       }
+      if (!expanding_.empty()) expanding_[inst.master] = true;
       expand(inst.master, childId, prefix + inst.name + "/", childMap);
+      if (!expanding_.empty()) expanding_[inst.master] = false;
     }
   }
 
+  /// Fail-soft device check: mirrors Library::validate's per-device rules.
+  bool deviceUsable(const SubcktDef& def, const Device& dev,
+                    const std::string& prefix) {
+    const auto drop = [&](const std::string& why) {
+      sink_->error(diag::codes::kInvalidNetlist, "", 0,
+                   "dropping device '" + prefix + dev.name + "': " + why);
+      return false;
+    };
+    if (dev.type != DeviceType::kUnknown &&
+        dev.pins.size() != pinCount(dev.type)) {
+      return drop(std::to_string(dev.pins.size()) + " pins, expected " +
+                  std::to_string(pinCount(dev.type)) + " for type " +
+                  std::string(deviceTypeName(dev.type)));
+    }
+    for (const Pin& pin : dev.pins) {
+      if (pin.net >= def.nets().size()) return drop("dangling pin");
+    }
+    return true;
+  }
+
+  /// Fail-soft instance check: an unresolvable or recursive subcircuit
+  /// instantiation is skipped whole.
+  bool instanceUsable(const SubcktDef& def, const Instance& inst,
+                      const std::string& prefix) {
+    const auto skip = [&](const std::string& why) {
+      sink_->error(diag::codes::kSubcktSkipped, "", 0,
+                   "skipping subcircuit instance '" + prefix + inst.name +
+                       "': " + why);
+      return false;
+    };
+    if (inst.master >= lib_.subcktCount()) {
+      return skip("references undefined master");
+    }
+    const SubcktDef& master = lib_.subckt(inst.master);
+    if (inst.connections.size() != master.ports().size()) {
+      return skip("connects " + std::to_string(inst.connections.size()) +
+                  " nets but master '" + master.name() + "' has " +
+                  std::to_string(master.ports().size()) + " ports");
+    }
+    for (const NetId net : inst.connections) {
+      if (net >= def.nets().size()) return skip("dangling connection");
+    }
+    if (expanding_[inst.master]) {
+      return skip("recursive hierarchy through subckt '" + master.name() +
+                  "'");
+    }
+    return true;
+  }
+
   const Library& lib_;
+  diag::DiagnosticSink* sink_;
+  /// Fail-soft only: masters on the current expansion stack (recursion
+  /// guard replacing validate()'s global DFS).
+  std::vector<bool> expanding_;
   std::vector<FlatDevice> devices_;
   std::vector<FlatNet> nets_;
   std::vector<HierNode> hier_;
@@ -109,6 +172,12 @@ class Elaborator {
 FlatDesign FlatDesign::elaborate(const Library& lib) {
   lib.validate();
   return detail::Elaborator(lib).run();
+}
+
+FlatDesign FlatDesign::elaborate(const Library& lib,
+                                 diag::DiagnosticSink& sink) {
+  if (sink.strict()) return elaborate(lib);
+  return detail::Elaborator(lib, &sink).run();
 }
 
 std::vector<FlatDeviceId> FlatDesign::subtreeDevices(HierNodeId nodeId) const {

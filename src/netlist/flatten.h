@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "netlist/netlist.h"
+#include "util/diagnostics.h"
 
 namespace ancstr {
 
@@ -53,6 +54,15 @@ class FlatDesign {
   /// Elaborates `lib` from its top cell. Throws NetlistError on invalid
   /// structure (validate() is implied).
   static FlatDesign elaborate(const Library& lib);
+
+  /// Fail-soft elaboration (docs/robustness.md). With a collect-mode sink,
+  /// invalid constructs degrade instead of throwing: devices with bad pin
+  /// counts or dangling pins are dropped ([netlist.invalid]) and instances
+  /// whose master is undefined, port-arity-mismatched, dangling, or
+  /// recursive are skipped whole ([pipeline.subckt_skipped]) — the valid
+  /// remainder still elaborates. A strict sink reproduces elaborate(lib).
+  /// An empty library (no top cell) still throws in either mode.
+  static FlatDesign elaborate(const Library& lib, diag::DiagnosticSink& sink);
 
   const std::vector<FlatDevice>& devices() const { return devices_; }
   const std::vector<FlatNet>& nets() const { return nets_; }

@@ -4,10 +4,12 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <utility>
 
 #include "netlist/expr.h"
 #include "netlist/spice_parser.h"
 #include "util/error.h"
+#include "util/fault.h"
 #include "util/logging.h"
 #include "util/string_utils.h"
 #include "util/trace.h"
@@ -19,6 +21,10 @@ struct LogicalLine {
   std::string text;
   std::size_t line = 0;
 };
+
+/// Thrown to abandon the current card in fail-soft mode; the line loop
+/// resynchronizes to the next card. Never escapes the parser.
+struct CardSkip {};
 
 /// Strips //-comments, *-comment lines, and joins '\' continuations.
 std::vector<LogicalLine> toLogicalLines(std::string_view text) {
@@ -64,57 +70,6 @@ struct Card {
   std::vector<std::pair<std::string, std::string>> params;
 };
 
-Card parseCard(const std::string& text, const std::string& file,
-               std::size_t line) {
-  Card card;
-  const auto open = text.find('(');
-  const auto close = text.find(')');
-  std::vector<std::string> tail;
-  if (open != std::string::npos) {
-    if (close == std::string::npos || close < open) {
-      throw ParseError(file, line, "unbalanced parentheses");
-    }
-    const auto head = str::splitTokens(text.substr(0, open));
-    if (head.size() != 1) {
-      throw ParseError(file, line, "expected 'name (nodes...) master ...'");
-    }
-    card.name = head[0];
-    card.nodes = str::splitTokens(text.substr(open + 1, close - open - 1));
-    tail = str::splitTokens(text.substr(close + 1));
-  } else {
-    tail = str::splitTokens(text);
-    if (tail.size() < 2) throw ParseError(file, line, "malformed card");
-    card.name = tail.front();
-    tail.erase(tail.begin());
-  }
-
-  // tail: [nodes...] master [k=v...] — k=v tokens terminate the
-  // positional part.
-  std::vector<std::string> positional;
-  for (const std::string& token : tail) {
-    const auto [key, value] = str::splitFirst(token, '=');
-    if (!value.empty()) {
-      card.params.emplace_back(str::toLower(key), std::string(value));
-    } else {
-      positional.push_back(token);
-    }
-  }
-  if (card.nodes.empty()) {
-    if (positional.empty()) {
-      throw ParseError(file, line, "card without a master");
-    }
-    card.master = positional.back();
-    positional.pop_back();
-    card.nodes = std::move(positional);
-  } else {
-    if (positional.size() != 1) {
-      throw ParseError(file, line, "expected exactly one master after ()");
-    }
-    card.master = positional[0];
-  }
-  return card;
-}
-
 DeviceType spectrePrimitiveType(const std::string& master) {
   const std::string m = str::toLower(master);
   if (m == "resistor") return DeviceType::kResPoly;
@@ -124,48 +79,106 @@ DeviceType spectrePrimitiveType(const std::string& master) {
   return deviceTypeFromModelName(m);
 }
 
+/// Stable key identifying a file for include-cycle detection.
+std::string includeKey(const std::filesystem::path& path) {
+  std::error_code ec;
+  const std::filesystem::path canon = std::filesystem::weakly_canonical(
+      path, ec);
+  return ec ? path.lexically_normal().string() : canon.string();
+}
+
 class SpectreParser {
  public:
-  explicit SpectreParser(std::string_view fileName) : file_(fileName) {}
+  SpectreParser(std::string_view fileName, diag::DiagnosticSink& sink)
+      : file_(fileName), sink_(sink) {}
 
-  Library run(std::string_view text) {
-    for (const LogicalLine& ll : toLogicalLines(text)) parseLine(ll);
+  void pushRootFile(std::string key) { includeStack_.push_back(std::move(key)); }
+
+  Library run(std::string_view text, const std::string& dir) {
+    parseText(text, dir);
     if (inSubckt_) {
-      throw ParseError(file_, subcktLine_, "missing 'ends'");
+      sink_.error(diag::codes::kUnterminatedSubckt, file_, subcktLine_,
+                  "missing 'ends'");
+      inSubckt_ = false;
     }
-    lib_.validate();
+    try {
+      lib_.validate();
+    } catch (const NetlistError& e) {
+      if (sink_.strict()) throw;
+      sink_.error(diag::codes::kInvalidNetlist, file_, 0, e.what());
+    }
     return std::move(lib_);
   }
 
  private:
-  void parseLine(const LogicalLine& ll) {
+  void parseText(std::string_view text, const std::string& dir) {
+    for (const LogicalLine& ll : toLogicalLines(text)) {
+      try {
+        parseLine(ll, dir);
+      } catch (const CardSkip&) {
+        // Resynchronize: drop this card, continue with the next one.
+      } catch (const NetlistError& e) {
+        if (sink_.strict()) throw;
+        sink_.error(diag::codes::kBadCard, file_, ll.line, e.what());
+      }
+    }
+  }
+
+  [[noreturn]] void fail(std::string_view code, std::size_t line,
+                         std::string message) {
+    sink_.error(code, file_, line, std::move(message));
+    throw CardSkip{};
+  }
+
+  void parseLine(const LogicalLine& ll, const std::string& dir) {
     const auto tokens = str::splitTokens(ll.text);
     ANCSTR_ASSERT(!tokens.empty());
     const std::string head = str::toLower(tokens[0]);
 
-    if (head == "simulator" || head == "global" || head == "include" ||
-        head == "save" || head == "option" || head == "options") {
+    if (skipUntilEnds_ && head != "ends") return;
+
+    if (head == "simulator" || head == "global" || head == "save" ||
+        head == "option" || head == "options") {
       return;  // environment directives carry no structure we need
+    }
+    if (head == "include") {
+      parseInclude(tokens, ll, dir);
+      return;
     }
     if (head == "subckt") {
       if (inSubckt_) {
-        throw ParseError(file_, ll.line, "nested subckt not supported");
+        sink_.error(diag::codes::kNestedSubckt, file_, ll.line,
+                    "nested subckt not supported");
+        skipUntilEnds_ = true;
+        throw CardSkip{};
       }
       if (tokens.size() < 2) {
-        throw ParseError(file_, ll.line, "subckt requires a name");
+        sink_.error(diag::codes::kBadDirective, file_, ll.line,
+                    "subckt requires a name");
+        skipUntilEnds_ = true;
+        throw CardSkip{};
       }
-      cur_ = lib_.addSubckt(tokens[1]);
-      inSubckt_ = true;
-      subcktLine_ = ll.line;
-      params_.clear();
+      if (!sink_.strict() && lib_.findSubckt(tokens[1])) {
+        sink_.error(diag::codes::kBadDirective, file_, ll.line,
+                    "duplicate subckt '" + tokens[1] + "'");
+        skipUntilEnds_ = true;
+        throw CardSkip{};
+      }
       // Ports: remaining tokens with parentheses stripped (but balanced).
       std::string rest;
       for (std::size_t i = 2; i < tokens.size(); ++i) rest += tokens[i] + " ";
       const auto opens = std::count(rest.begin(), rest.end(), '(');
       const auto closes = std::count(rest.begin(), rest.end(), ')');
       if (opens != closes) {
-        throw ParseError(file_, ll.line, "unbalanced parentheses in subckt");
+        sink_.error(diag::codes::kBadDirective, file_, ll.line,
+                    "unbalanced parentheses in subckt");
+        skipUntilEnds_ = true;
+        throw CardSkip{};
       }
+      cur_ = lib_.addSubckt(tokens[1]);
+      inSubckt_ = true;
+      subcktLine_ = ll.line;
+      params_.clear();
       for (char& c : rest) {
         if (c == '(' || c == ')') c = ' ';
       }
@@ -175,7 +188,13 @@ class SpectreParser {
       return;
     }
     if (head == "ends") {
-      if (!inSubckt_) throw ParseError(file_, ll.line, "ends without subckt");
+      if (skipUntilEnds_) {
+        skipUntilEnds_ = false;
+        return;
+      }
+      if (!inSubckt_) {
+        fail(diag::codes::kStrayEnds, ll.line, "ends without subckt");
+      }
       inSubckt_ = false;
       return;
     }
@@ -183,19 +202,111 @@ class SpectreParser {
       for (std::size_t i = 1; i < tokens.size(); ++i) {
         const auto [key, value] = str::splitFirst(tokens[i], '=');
         if (value.empty()) {
-          throw ParseError(file_, ll.line,
-                           "parameter '" + tokens[i] + "' lacks a value");
+          fail(diag::codes::kBadParameter, ll.line,
+               "parameter '" + tokens[i] + "' lacks a value");
         }
         const auto v = evalParamValue(value, params_);
         if (!v) {
-          throw ParseError(file_, ll.line,
-                           "cannot evaluate parameter '" + tokens[i] + "'");
+          fail(diag::codes::kBadParameter, ll.line,
+               "cannot evaluate parameter '" + tokens[i] + "'");
         }
         params_[str::toLower(key)] = *v;
       }
       return;
     }
     parseDeviceOrInstance(ll);
+  }
+
+  void parseInclude(const std::vector<std::string>& tokens,
+                    const LogicalLine& ll, const std::string& dir) {
+    if (tokens.size() < 2) {
+      fail(diag::codes::kBadDirective, ll.line, "include requires a path");
+    }
+    std::string path = tokens[1];
+    if (path.size() >= 2 && (path.front() == '"' || path.front() == '\'')) {
+      path = path.substr(1, path.size() - 2);
+    }
+    const std::filesystem::path full = std::filesystem::path(dir) / path;
+    const std::string key = includeKey(full);
+    if (std::find(includeStack_.begin(), includeStack_.end(), key) !=
+        includeStack_.end()) {
+      fail(diag::codes::kIncludeCycle, ll.line,
+           "cyclic include of '" + full.string() + "'");
+    }
+    if (includeStack_.size() >= kMaxIncludeDepth) {
+      fail(diag::codes::kIncludeDepth, ll.line,
+           "include depth exceeds " + std::to_string(kMaxIncludeDepth));
+    }
+    std::ifstream in(full);
+    if (fault::shouldFail("spectre.open") || !in) {
+      fail(diag::codes::kIncludeMissing, ll.line,
+           "cannot open include file '" + full.string() + "'");
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    includeStack_.push_back(key);
+    const std::string outerFile = std::exchange(file_, full.string());
+    try {
+      parseText(buf.str(), full.parent_path().string());
+    } catch (...) {
+      file_ = outerFile;
+      includeStack_.pop_back();
+      throw;
+    }
+    file_ = outerFile;
+    includeStack_.pop_back();
+  }
+
+  Card parseCard(const std::string& text, std::size_t line) {
+    Card card;
+    const auto open = text.find('(');
+    const auto close = text.find(')');
+    std::vector<std::string> tail;
+    if (open != std::string::npos) {
+      if (close == std::string::npos || close < open) {
+        fail(diag::codes::kBadCard, line, "unbalanced parentheses");
+      }
+      const auto head = str::splitTokens(text.substr(0, open));
+      if (head.size() != 1) {
+        fail(diag::codes::kBadCard, line,
+             "expected 'name (nodes...) master ...'");
+      }
+      card.name = head[0];
+      card.nodes = str::splitTokens(text.substr(open + 1, close - open - 1));
+      tail = str::splitTokens(text.substr(close + 1));
+    } else {
+      tail = str::splitTokens(text);
+      if (tail.size() < 2) fail(diag::codes::kBadCard, line, "malformed card");
+      card.name = tail.front();
+      tail.erase(tail.begin());
+    }
+
+    // tail: [nodes...] master [k=v...] — k=v tokens terminate the
+    // positional part.
+    std::vector<std::string> positional;
+    for (const std::string& token : tail) {
+      const auto [key, value] = str::splitFirst(token, '=');
+      if (!value.empty()) {
+        card.params.emplace_back(str::toLower(key), std::string(value));
+      } else {
+        positional.push_back(token);
+      }
+    }
+    if (card.nodes.empty()) {
+      if (positional.empty()) {
+        fail(diag::codes::kBadCard, line, "card without a master");
+      }
+      card.master = positional.back();
+      positional.pop_back();
+      card.nodes = std::move(positional);
+    } else {
+      if (positional.size() != 1) {
+        fail(diag::codes::kBadCard, line,
+             "expected exactly one master after ()");
+      }
+      card.master = positional[0];
+    }
+    return card;
   }
 
   SubcktDef& scope(const LogicalLine& ll) {
@@ -208,19 +319,29 @@ class SpectreParser {
     return lib_.mutableSubckt(topId_);
   }
 
-  double evalOrThrow(const std::string& text, const LogicalLine& ll) {
+  double evalOrFail(const std::string& text, const LogicalLine& ll) {
     const auto v = evalParamValue(text, params_);
     if (!v) {
-      throw ParseError(file_, ll.line, "cannot evaluate '" + text + "'");
+      fail(diag::codes::kBadParameter, ll.line,
+           "cannot evaluate '" + text + "'");
     }
     return *v;
   }
 
   void parseDeviceOrInstance(const LogicalLine& ll) {
-    const Card card = parseCard(ll.text, file_, ll.line);
-    SubcktDef& def = scope(ll);
+    const Card card = parseCard(ll.text, ll.line);
 
     if (const auto master = lib_.findSubckt(card.master)) {
+      if (!sink_.strict() &&
+          card.nodes.size() != lib_.subckt(*master).ports().size()) {
+        fail(diag::codes::kPortArity, ll.line,
+             "instance '" + card.name + "' connects " +
+                 std::to_string(card.nodes.size()) + " nets but '" +
+                 card.master + "' has " +
+                 std::to_string(lib_.subckt(*master).ports().size()) +
+                 " ports");
+      }
+      SubcktDef& def = scope(ll);
       Instance instance;
       instance.name = card.name;
       instance.master = *master;
@@ -241,82 +362,145 @@ class SpectreParser {
     dev.model = card.master;
     dev.type = spectrePrimitiveType(card.master);
     if (dev.type == DeviceType::kUnknown) {
-      throw ParseError(file_, ll.line,
-                       "unknown master '" + card.master +
-                           "' (subckts must be defined before use)");
+      fail(diag::codes::kUnknownMaster, ll.line,
+           "unknown master '" + card.master +
+               "' (subckts must be defined before use)");
     }
     const std::size_t needed = pinCount(dev.type);
     if (card.nodes.size() < (isMos(dev.type) ? 4u : 2u)) {
-      throw ParseError(file_, ll.line, "too few nodes for '" + card.name +
-                                           "' (" + card.master + ")");
-    }
-    const auto funcs = pinFunctions(dev.type);
-    for (std::size_t i = 0; i < needed && i < card.nodes.size(); ++i) {
-      dev.pins.push_back({funcs[i], def.addNet(card.nodes[i])});
+      fail(diag::codes::kBadCard, ll.line, "too few nodes for '" + card.name +
+                                               "' (" + card.master + ")");
     }
     for (const auto& [key, value] : card.params) {
       if (key == "w") {
-        dev.params.w = evalOrThrow(value, ll);
+        dev.params.w = evalOrFail(value, ll);
       } else if (key == "l" && !isCapacitor(dev.type) &&
                  dev.type != DeviceType::kInd) {
-        dev.params.l = evalOrThrow(value, ll);
+        dev.params.l = evalOrFail(value, ll);
       } else if (key == "l" && dev.type == DeviceType::kInd) {
-        dev.params.value = evalOrThrow(value, ll);
+        dev.params.value = evalOrFail(value, ll);
       } else if (key == "nf" || key == "fingers") {
-        dev.params.nf = static_cast<int>(evalOrThrow(value, ll));
+        dev.params.nf = static_cast<int>(evalOrFail(value, ll));
       } else if (key == "m" || key == "mult") {
-        dev.params.m = static_cast<int>(evalOrThrow(value, ll));
+        dev.params.m = static_cast<int>(evalOrFail(value, ll));
       } else if (key == "r" || key == "c" || key == "val") {
-        dev.params.value = evalOrThrow(value, ll);
+        dev.params.value = evalOrFail(value, ll);
       } else if (key == "layers" || key == "lay") {
-        dev.params.layers = static_cast<int>(evalOrThrow(value, ll));
+        dev.params.layers = static_cast<int>(evalOrFail(value, ll));
       } else {
         log::debug() << file_ << ":" << ll.line << ": ignoring parameter '"
                      << key << "'";
       }
     }
+    SubcktDef& def = scope(ll);
+    const auto funcs = pinFunctions(dev.type);
+    for (std::size_t i = 0; i < needed && i < card.nodes.size(); ++i) {
+      dev.pins.push_back({funcs[i], def.addNet(card.nodes[i])});
+    }
     def.addDevice(std::move(dev));
   }
 
   std::string file_;
+  diag::DiagnosticSink& sink_;
   Library lib_;
   ParamEnv params_;
   bool inSubckt_ = false;
+  bool skipUntilEnds_ = false;
   std::size_t subcktLine_ = 0;
   SubcktId cur_ = kInvalidId;
   SubcktId topId_ = kInvalidId;
+  std::vector<std::string> includeStack_;
 };
 
-}  // namespace
-
-Library parseSpectre(std::string_view text, std::string_view fileName) {
+Library parseSpectreText(std::string_view text, std::string_view fileName,
+                         diag::DiagnosticSink& sink) {
   const trace::TraceSpan span("parse.spectre");
-  return SpectreParser(fileName).run(text);
+  return SpectreParser(fileName, sink).run(text, ".");
 }
 
-Library parseSpectreFile(const std::filesystem::path& path) {
+Library parseSpectreFromFile(const std::filesystem::path& path,
+                             diag::DiagnosticSink& sink) {
+  const trace::TraceSpan span("parse.spectre");
   std::ifstream in(path);
-  if (!in) throw ParseError(path.string(), 0, "cannot open file");
+  if (fault::shouldFail("spectre.open") || !in) {
+    sink.error(diag::codes::kIoFailure, path.string(), 0, "cannot open file");
+    return Library{};
+  }
   std::ostringstream buf;
   buf << in.rdbuf();
-  return parseSpectre(buf.str(), path.string());
+  SpectreParser parser(path.string(), sink);
+  parser.pushRootFile(includeKey(path));
+  return parser.run(buf.str(), path.parent_path().string());
 }
 
-Library parseNetlistFile(const std::filesystem::path& path) {
-  const std::string ext = str::toLower(path.extension().string());
-  if (ext == ".scs") return parseSpectreFile(path);
-  // Sniff the header for a spectre language tag.
+/// True when `path` should be parsed as Spectre (extension or header
+/// sniff). Reports an open failure into `sink` via the return flag.
+bool sniffSpectre(const std::filesystem::path& path, bool& openFailed) {
+  openFailed = false;
+  if (str::toLower(path.extension().string()) == ".scs") return true;
   std::ifstream in(path);
-  if (!in) throw ParseError(path.string(), 0, "cannot open file");
+  if (!in) {
+    openFailed = true;
+    return false;
+  }
   std::string firstLines;
   std::string line;
   for (int i = 0; i < 10 && std::getline(in, line); ++i) {
     firstLines += str::toLower(line) + "\n";
   }
-  if (firstLines.find("simulator lang=spectre") != std::string::npos) {
-    return parseSpectreFile(path);
-  }
+  return firstLines.find("simulator lang=spectre") != std::string::npos;
+}
+
+}  // namespace
+
+Library parseSpectre(std::string_view text, std::string_view fileName) {
+  diag::DiagnosticSink sink(diag::DiagnosticSink::Mode::kStrict);
+  return parseSpectreText(text, fileName, sink);
+}
+
+Library parseSpectreFile(const std::filesystem::path& path) {
+  diag::DiagnosticSink sink(diag::DiagnosticSink::Mode::kStrict);
+  return parseSpectreFromFile(path, sink);
+}
+
+diag::Parsed<Library> parseSpectreRecovering(std::string_view text,
+                                             std::string_view fileName) {
+  diag::DiagnosticSink sink(diag::DiagnosticSink::Mode::kCollect);
+  diag::Parsed<Library> out;
+  out.value = parseSpectreText(text, fileName, sink);
+  out.diagnostics = sink.take();
+  return out;
+}
+
+diag::Parsed<Library> parseSpectreFileRecovering(
+    const std::filesystem::path& path) {
+  diag::DiagnosticSink sink(diag::DiagnosticSink::Mode::kCollect);
+  diag::Parsed<Library> out;
+  out.value = parseSpectreFromFile(path, sink);
+  out.diagnostics = sink.take();
+  return out;
+}
+
+Library parseNetlistFile(const std::filesystem::path& path) {
+  bool openFailed = false;
+  if (sniffSpectre(path, openFailed)) return parseSpectreFile(path);
+  if (openFailed) throw ParseError(path.string(), 0, "cannot open file");
   return parseSpiceFile(path);
+}
+
+diag::Parsed<Library> parseNetlistFileRecovering(
+    const std::filesystem::path& path) {
+  bool openFailed = false;
+  if (sniffSpectre(path, openFailed)) return parseSpectreFileRecovering(path);
+  if (openFailed) {
+    diag::Parsed<Library> out;
+    out.diagnostics.push_back(
+        diag::Diagnostic{diag::Severity::kError,
+                         std::string(diag::codes::kIoFailure), path.string(),
+                         0, "cannot open file"});
+    return out;
+  }
+  return parseSpiceFileRecovering(path);
 }
 
 }  // namespace ancstr

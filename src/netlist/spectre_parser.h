@@ -3,6 +3,9 @@
 //
 //   // and * comments; '\' line continuations
 //   simulator lang=spectre            (ignored)
+//   include "file.scs"                (resolved relative to the includer,
+//                                      cycle- and depth-guarded like the
+//                                      SPICE parser's .include)
 //   subckt NAME (p1 p2 ...)           parentheses optional
 //   parameters a=1u b=2k             (subckt-scoped)
 //   M1 (d g s b) nch_lvt w=2u l=0.1u  primitive by master name
@@ -16,12 +19,17 @@
 // Any master that is not a defined subckt is treated as a primitive and
 // mapped through deviceTypeFromModelName plus the Spectre builtin names
 // (resistor/capacitor/inductor/diode).
+//
+// Error policies mirror the SPICE parser (docs/robustness.md): the classic
+// entry points throw at the first problem; the *Recovering variants emit
+// coded diagnostics, skip the bad card, and return the valid remainder.
 #pragma once
 
 #include <filesystem>
 #include <string_view>
 
 #include "netlist/netlist.h"
+#include "util/diagnostics.h"
 
 namespace ancstr {
 
@@ -32,8 +40,20 @@ Library parseSpectre(std::string_view text,
 /// Reads and parses a Spectre file from disk.
 Library parseSpectreFile(const std::filesystem::path& path);
 
+/// Fail-soft variant of parseSpectre (never throws on malformed input).
+diag::Parsed<Library> parseSpectreRecovering(
+    std::string_view text, std::string_view fileName = "<mem>");
+
+/// Fail-soft variant of parseSpectreFile.
+diag::Parsed<Library> parseSpectreFileRecovering(
+    const std::filesystem::path& path);
+
 /// Dispatches on file extension / content: ".scs"/"simulator lang=spectre"
 /// goes to parseSpectre, everything else to parseSpice.
 Library parseNetlistFile(const std::filesystem::path& path);
+
+/// Fail-soft variant of parseNetlistFile.
+diag::Parsed<Library> parseNetlistFileRecovering(
+    const std::filesystem::path& path);
 
 }  // namespace ancstr

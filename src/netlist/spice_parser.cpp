@@ -1,12 +1,15 @@
 #include "netlist/spice_parser.h"
 
+#include <algorithm>
 #include <cctype>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <utility>
 
 #include "netlist/expr.h"
 #include "util/error.h"
+#include "util/fault.h"
 #include "util/logging.h"
 #include "util/string_utils.h"
 #include "util/trace.h"
@@ -18,6 +21,10 @@ struct LogicalLine {
   std::string text;
   std::size_t line = 0;  // 1-based line of the first physical line
 };
+
+/// Thrown to abandon the current card in fail-soft mode; parseText
+/// resynchronizes to the next logical line. Never escapes the parser.
+struct CardSkip {};
 
 /// Strips comments and joins '+' continuation lines.
 std::vector<LogicalLine> toLogicalLines(std::string_view text) {
@@ -67,31 +74,74 @@ std::string normalizeAssignments(std::string_view s) {
   return out;
 }
 
+/// Stable key identifying a file for include-cycle detection.
+std::string includeKey(const std::filesystem::path& path) {
+  std::error_code ec;
+  const std::filesystem::path canon = std::filesystem::weakly_canonical(
+      path, ec);
+  return ec ? path.lexically_normal().string() : canon.string();
+}
+
 class SpiceParser {
  public:
-  SpiceParser(std::string_view fileName, const SpiceParseOptions& options)
-      : file_(fileName), options_(options) {}
+  SpiceParser(std::string_view fileName, const SpiceParseOptions& options,
+              diag::DiagnosticSink& sink)
+      : file_(fileName), options_(options), sink_(sink) {}
+
+  /// Marks `key` as being parsed; parseSpiceFile seeds the root file so a
+  /// self-include is caught as a cycle.
+  void pushRootFile(std::string key) { includeStack_.push_back(std::move(key)); }
 
   Library finish() {
     if (inSubckt_) {
-      throw ParseError(file_, subcktLine_, "missing .ends for subckt");
+      sink_.error(diag::codes::kUnterminatedSubckt, file_, subcktLine_,
+                  "missing .ends for subckt");
+      // Fail-soft: implicitly close so the devices parsed so far survive.
+      inSubckt_ = false;
+      subcktParams_.clear();
     }
-    lib_.validate();
+    try {
+      lib_.validate();
+    } catch (const NetlistError& e) {
+      if (sink_.strict()) throw;
+      sink_.error(diag::codes::kInvalidNetlist, file_, 0, e.what());
+    }
     return std::move(lib_);
   }
 
   void parseText(std::string_view text, const std::string& dir) {
     for (const LogicalLine& ll : toLogicalLines(text)) {
-      parseLine(ll, dir);
+      try {
+        parseLine(ll, dir);
+      } catch (const CardSkip&) {
+        // Resynchronize: drop this card, continue with the next one.
+      } catch (const NetlistError& e) {
+        // Structural rejection from the data model (duplicate names, ...):
+        // strict mode propagates as before, fail-soft downgrades to a
+        // diagnostic and drops the card.
+        if (sink_.strict()) throw;
+        sink_.error(diag::codes::kBadCard, file_, ll.line, e.what());
+      }
     }
   }
 
  private:
+  /// Reports an error and abandons the current card. In strict mode the
+  /// sink throws ParseError, so control never reaches CardSkip.
+  [[noreturn]] void fail(std::string_view code, std::size_t line,
+                         std::string message) {
+    sink_.error(code, file_, line, std::move(message));
+    throw CardSkip{};
+  }
+
   void parseLine(const LogicalLine& ll, const std::string& dir) {
     const std::string norm = normalizeAssignments(ll.text);
     std::vector<std::string> tokens = str::splitTokens(norm);
     if (tokens.empty()) return;
     const std::string head = str::toLower(tokens[0]);
+
+    // While skipping a broken subckt body, only the closing .ends matters.
+    if (skipUntilEnds_ && head != ".ends") return;
 
     if (head[0] == '.') {
       parseDirective(head, tokens, ll, dir);
@@ -116,8 +166,8 @@ class SpiceParser {
                      << tokens[0] << "'";
         break;
       default:
-        throw ParseError(file_, ll.line,
-                         "unrecognised card '" + tokens[0] + "'");
+        fail(diag::codes::kUnknownCard, ll.line,
+             "unrecognised card '" + tokens[0] + "'");
     }
   }
 
@@ -126,10 +176,17 @@ class SpiceParser {
                       const LogicalLine& ll, const std::string& dir) {
     if (head == ".subckt") {
       if (inSubckt_) {
-        throw ParseError(file_, ll.line, "nested .subckt is not supported");
+        sink_.error(diag::codes::kNestedSubckt, file_, ll.line,
+                    "nested .subckt is not supported");
+        // Fail-soft: drop the nested body up to its .ends, keep the outer.
+        skipUntilEnds_ = true;
+        throw CardSkip{};
       }
       if (tokens.size() < 2) {
-        throw ParseError(file_, ll.line, ".subckt requires a name");
+        sink_.error(diag::codes::kBadDirective, file_, ll.line,
+                    ".subckt requires a name");
+        skipUntilEnds_ = true;
+        throw CardSkip{};
       }
       std::vector<std::string> ports;
       ParamEnv localParams;
@@ -140,9 +197,19 @@ class SpiceParser {
         } else if (auto v = evalParamValue(value, params_)) {
           localParams[str::toLower(key)] = *v;
         } else {
-          throw ParseError(file_, ll.line,
-                           "bad default parameter '" + tokens[i] + "'");
+          sink_.error(diag::codes::kBadParameter, file_, ll.line,
+                      "bad default parameter '" + tokens[i] + "'");
+          skipUntilEnds_ = true;
+          throw CardSkip{};
         }
+      }
+      // Fail-soft duplicate check (strict mode keeps the classic
+      // NetlistError from Library::addSubckt).
+      if (!sink_.strict() && lib_.findSubckt(tokens[1])) {
+        sink_.error(diag::codes::kBadDirective, file_, ll.line,
+                    "duplicate .subckt '" + tokens[1] + "'");
+        skipUntilEnds_ = true;
+        throw CardSkip{};
       }
       cur_ = lib_.addSubckt(tokens[1]);
       inSubckt_ = true;
@@ -152,20 +219,26 @@ class SpiceParser {
         lib_.mutableSubckt(cur_).addNet(p, /*isPort=*/true);
       }
     } else if (head == ".ends") {
-      if (!inSubckt_) throw ParseError(file_, ll.line, ".ends without .subckt");
+      if (skipUntilEnds_) {
+        skipUntilEnds_ = false;
+        return;
+      }
+      if (!inSubckt_) {
+        fail(diag::codes::kStrayEnds, ll.line, ".ends without .subckt");
+      }
       inSubckt_ = false;
       subcktParams_.clear();
     } else if (head == ".param") {
       for (std::size_t i = 1; i < tokens.size(); ++i) {
         const auto [key, value] = str::splitFirst(tokens[i], '=');
         if (value.empty()) {
-          throw ParseError(file_, ll.line,
-                           ".param entry '" + tokens[i] + "' lacks a value");
+          fail(diag::codes::kBadParameter, ll.line,
+               ".param entry '" + tokens[i] + "' lacks a value");
         }
         const auto v = evalParamValue(value, env());
         if (!v) {
-          throw ParseError(file_, ll.line,
-                           "cannot evaluate parameter '" + tokens[i] + "'");
+          fail(diag::codes::kBadParameter, ll.line,
+               "cannot evaluate parameter '" + tokens[i] + "'");
         }
         if (inSubckt_) {
           subcktParams_[str::toLower(key)] = *v;
@@ -178,30 +251,56 @@ class SpiceParser {
     } else if (head == ".model") {
       // Model cards are accepted; types are inferred from the model name.
     } else if (head == ".include" || head == ".inc" || head == ".lib") {
-      if (tokens.size() < 2) {
-        throw ParseError(file_, ll.line, ".include requires a path");
-      }
-      std::string path = tokens[1];
-      if (path.size() >= 2 && (path.front() == '"' || path.front() == '\'')) {
-        path = path.substr(1, path.size() - 2);
-      }
-      std::filesystem::path full = std::filesystem::path(dir) / path;
-      std::ifstream in(full);
-      if (!in) {
-        throw ParseError(file_, ll.line,
-                         "cannot open include file '" + full.string() + "'");
-      }
-      std::ostringstream buf;
-      buf << in.rdbuf();
-      parseText(buf.str(), full.parent_path().string());
+      parseInclude(tokens, ll, dir);
     } else if (head == ".end") {
       // End of deck.
     } else if (options_.strictDirectives) {
-      throw ParseError(file_, ll.line, "unknown directive '" + head + "'");
+      fail(diag::codes::kBadDirective, ll.line,
+           "unknown directive '" + head + "'");
     } else {
       log::debug() << file_ << ":" << ll.line << ": ignoring directive '"
                    << head << "'";
     }
+  }
+
+  void parseInclude(const std::vector<std::string>& tokens,
+                    const LogicalLine& ll, const std::string& dir) {
+    if (tokens.size() < 2) {
+      fail(diag::codes::kBadDirective, ll.line, ".include requires a path");
+    }
+    std::string path = tokens[1];
+    if (path.size() >= 2 && (path.front() == '"' || path.front() == '\'')) {
+      path = path.substr(1, path.size() - 2);
+    }
+    const std::filesystem::path full = std::filesystem::path(dir) / path;
+    const std::string key = includeKey(full);
+    if (std::find(includeStack_.begin(), includeStack_.end(), key) !=
+        includeStack_.end()) {
+      fail(diag::codes::kIncludeCycle, ll.line,
+           "cyclic include of '" + full.string() + "'");
+    }
+    if (includeStack_.size() >= kMaxIncludeDepth) {
+      fail(diag::codes::kIncludeDepth, ll.line,
+           "include depth exceeds " + std::to_string(kMaxIncludeDepth));
+    }
+    std::ifstream in(full);
+    if (fault::shouldFail("spice.open") || !in) {
+      fail(diag::codes::kIncludeMissing, ll.line,
+           "cannot open include file '" + full.string() + "'");
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    includeStack_.push_back(key);
+    const std::string outerFile = std::exchange(file_, full.string());
+    try {
+      parseText(buf.str(), full.parent_path().string());
+    } catch (...) {
+      file_ = outerFile;
+      includeStack_.pop_back();
+      throw;
+    }
+    file_ = outerFile;
+    includeStack_.pop_back();
   }
 
   ParamEnv env() const {
@@ -235,10 +334,11 @@ class SpiceParser {
     }
   }
 
-  double evalOrThrow(const std::string& text, const LogicalLine& ll) {
+  double evalOrFail(const std::string& text, const LogicalLine& ll) {
     const auto v = evalParamValue(text, env());
     if (!v) {
-      throw ParseError(file_, ll.line, "cannot evaluate value '" + text + "'");
+      fail(diag::codes::kBadParameter, ll.line,
+           "cannot evaluate value '" + text + "'");
     }
     return *v;
   }
@@ -248,18 +348,18 @@ class SpiceParser {
       const LogicalLine& ll) {
     for (const auto& [key, value] : kv) {
       if (key == "w") {
-        dev.params.w = evalOrThrow(value, ll);
+        dev.params.w = evalOrFail(value, ll);
       } else if (key == "l") {
-        dev.params.l = evalOrThrow(value, ll);
+        dev.params.l = evalOrFail(value, ll);
       } else if (key == "nf" || key == "fingers") {
-        dev.params.nf = static_cast<int>(evalOrThrow(value, ll));
+        dev.params.nf = static_cast<int>(evalOrFail(value, ll));
       } else if (key == "m" || key == "mult") {
-        dev.params.m = static_cast<int>(evalOrThrow(value, ll));
+        dev.params.m = static_cast<int>(evalOrFail(value, ll));
       } else if (key == "layers" || key == "lay" || key == "stm" ||
                  key == "spm") {
-        dev.params.layers = static_cast<int>(evalOrThrow(value, ll));
+        dev.params.layers = static_cast<int>(evalOrFail(value, ll));
       } else if (key == "r" || key == "c" || key == "val") {
-        dev.params.value = evalOrThrow(value, ll);
+        dev.params.value = evalOrFail(value, ll);
       } else {
         log::debug() << file_ << ":" << ll.line << ": ignoring parameter '"
                      << key << "' on device '" << dev.name << "'";
@@ -273,23 +373,23 @@ class SpiceParser {
     std::vector<std::pair<std::string, std::string>> kv;
     splitArgs(tokens, 1, pos, kv);
     if (pos.size() < 5) {
-      throw ParseError(file_, ll.line,
-                       "MOS card needs 4 terminals and a model");
+      fail(diag::codes::kBadCard, ll.line,
+           "MOS card needs 4 terminals and a model");
     }
-    SubcktDef& def = scope(ll);
     Device dev;
     dev.name = tokens[0];
     dev.model = pos[4];
     dev.type = deviceTypeFromModelName(pos[4]);
     if (!isMos(dev.type)) {
-      throw ParseError(file_, ll.line,
-                       "model '" + pos[4] + "' is not a MOS model");
+      fail(diag::codes::kBadCard, ll.line,
+           "model '" + pos[4] + "' is not a MOS model");
     }
+    applyDeviceParams(dev, kv, ll);
+    SubcktDef& def = scope(ll);
     dev.pins = {{PinFunction::kDrain, def.addNet(pos[0])},
                 {PinFunction::kGate, def.addNet(pos[1])},
                 {PinFunction::kSource, def.addNet(pos[2])},
                 {PinFunction::kBulk, def.addNet(pos[3])}};
-    applyDeviceParams(dev, kv, ll);
     def.addDevice(std::move(dev));
   }
 
@@ -299,9 +399,8 @@ class SpiceParser {
     std::vector<std::pair<std::string, std::string>> kv;
     splitArgs(tokens, 1, pos, kv);
     if (pos.size() < 2) {
-      throw ParseError(file_, ll.line, "passive card needs two terminals");
+      fail(diag::codes::kBadCard, ll.line, "passive card needs two terminals");
     }
-    SubcktDef& def = scope(ll);
     Device dev;
     dev.name = tokens[0];
     // Remaining positional tokens: value and/or model name, in either order.
@@ -324,10 +423,11 @@ class SpiceParser {
                  : kind == 'c' ? DeviceType::kCapMom
                                : DeviceType::kInd;
     }
+    applyDeviceParams(dev, kv, ll);
+    SubcktDef& def = scope(ll);
     const auto funcs = pinFunctions(dev.type);
     dev.pins = {{funcs[0], def.addNet(pos[0])},
                 {funcs[1], def.addNet(pos[1])}};
-    applyDeviceParams(dev, kv, ll);
     def.addDevice(std::move(dev));
   }
 
@@ -337,16 +437,16 @@ class SpiceParser {
     std::vector<std::pair<std::string, std::string>> kv;
     splitArgs(tokens, 1, pos, kv);
     if (pos.size() < 3) {
-      throw ParseError(file_, ll.line, "diode card needs 2 nets and a model");
+      fail(diag::codes::kBadCard, ll.line, "diode card needs 2 nets and a model");
     }
-    SubcktDef& def = scope(ll);
     Device dev;
     dev.name = tokens[0];
     dev.model = pos[2];
     dev.type = DeviceType::kDio;
+    applyDeviceParams(dev, kv, ll);
+    SubcktDef& def = scope(ll);
     dev.pins = {{PinFunction::kAnode, def.addNet(pos[0])},
                 {PinFunction::kCathode, def.addNet(pos[1])}};
-    applyDeviceParams(dev, kv, ll);
     def.addDevice(std::move(dev));
   }
 
@@ -356,18 +456,18 @@ class SpiceParser {
     std::vector<std::pair<std::string, std::string>> kv;
     splitArgs(tokens, 1, pos, kv);
     if (pos.size() < 4) {
-      throw ParseError(file_, ll.line, "BJT card needs c b e and a model");
+      fail(diag::codes::kBadCard, ll.line, "BJT card needs c b e and a model");
     }
-    SubcktDef& def = scope(ll);
     Device dev;
     dev.name = tokens[0];
     dev.model = pos.back();
     dev.type = deviceTypeFromModelName(dev.model);
     if (!isBipolar(dev.type)) dev.type = DeviceType::kNpn;
+    applyDeviceParams(dev, kv, ll);
+    SubcktDef& def = scope(ll);
     dev.pins = {{PinFunction::kCollector, def.addNet(pos[0])},
                 {PinFunction::kBase, def.addNet(pos[1])},
                 {PinFunction::kEmitter, def.addNet(pos[2])}};
-    applyDeviceParams(dev, kv, ll);
     def.addDevice(std::move(dev));
   }
 
@@ -377,21 +477,32 @@ class SpiceParser {
     std::vector<std::pair<std::string, std::string>> kv;
     splitArgs(tokens, 1, pos, kv);
     if (pos.size() < 2) {
-      throw ParseError(file_, ll.line, "X card needs nets and a master name");
+      fail(diag::codes::kBadCard, ll.line, "X card needs nets and a master name");
     }
     if (!kv.empty()) {
       log::debug() << file_ << ":" << ll.line
                    << ": ignoring instance parameter overrides on '"
                    << tokens[0] << "'";
     }
-    SubcktDef& def = scope(ll);
     const std::string masterName = pos.back();
     const auto master = lib_.findSubckt(masterName);
     if (!master) {
-      throw ParseError(file_, ll.line,
-                       "unknown subckt '" + masterName +
-                           "' (forward references are not supported)");
+      fail(diag::codes::kUnknownMaster, ll.line,
+           "unknown subckt '" + masterName +
+               "' (forward references are not supported)");
     }
+    // Fail-soft catches arity mismatches here (strict mode keeps the
+    // classic behaviour: validate() throws NetlistError at finish()).
+    if (!sink_.strict() &&
+        pos.size() - 1 != lib_.subckt(*master).ports().size()) {
+      fail(diag::codes::kPortArity, ll.line,
+           "instance '" + tokens[0] + "' connects " +
+               std::to_string(pos.size() - 1) + " nets but '" + masterName +
+               "' has " +
+               std::to_string(lib_.subckt(*master).ports().size()) +
+               " ports");
+    }
+    SubcktDef& def = scope(ll);
     Instance instance;
     instance.name = tokens[0];
     instance.master = *master;
@@ -403,35 +514,75 @@ class SpiceParser {
 
   std::string file_;
   SpiceParseOptions options_;
+  diag::DiagnosticSink& sink_;
   Library lib_;
   ParamEnv params_;
   ParamEnv subcktParams_;
   bool inSubckt_ = false;
+  bool skipUntilEnds_ = false;
   std::size_t subcktLine_ = 0;
   SubcktId cur_ = kInvalidId;
   SubcktId topId_ = kInvalidId;
+  std::vector<std::string> includeStack_;
 };
+
+Library parseSpiceText(std::string_view text, std::string_view fileName,
+                       const SpiceParseOptions& options,
+                       diag::DiagnosticSink& sink) {
+  const trace::TraceSpan span("parse.spice");
+  SpiceParser parser(fileName, options, sink);
+  parser.parseText(text, ".");
+  return parser.finish();
+}
+
+Library parseSpiceFromFile(const std::filesystem::path& path,
+                           const SpiceParseOptions& options,
+                           diag::DiagnosticSink& sink) {
+  const trace::TraceSpan span("parse.spice");
+  std::ifstream in(path);
+  if (fault::shouldFail("spice.open") || !in) {
+    sink.error(diag::codes::kIoFailure, path.string(), 0, "cannot open file");
+    return Library{};
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  SpiceParser parser(path.string(), options, sink);
+  parser.pushRootFile(includeKey(path));
+  parser.parseText(buf.str(), path.parent_path().string());
+  return parser.finish();
+}
 
 }  // namespace
 
 Library parseSpice(std::string_view text, std::string_view fileName,
                    const SpiceParseOptions& options) {
-  const trace::TraceSpan span("parse.spice");
-  SpiceParser parser(fileName, options);
-  parser.parseText(text, ".");
-  return parser.finish();
+  diag::DiagnosticSink sink(diag::DiagnosticSink::Mode::kStrict);
+  return parseSpiceText(text, fileName, options, sink);
 }
 
 Library parseSpiceFile(const std::filesystem::path& path,
                        const SpiceParseOptions& options) {
-  const trace::TraceSpan span("parse.spice");
-  std::ifstream in(path);
-  if (!in) throw ParseError(path.string(), 0, "cannot open file");
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  SpiceParser parser(path.string(), options);
-  parser.parseText(buf.str(), path.parent_path().string());
-  return parser.finish();
+  diag::DiagnosticSink sink(diag::DiagnosticSink::Mode::kStrict);
+  return parseSpiceFromFile(path, options, sink);
+}
+
+diag::Parsed<Library> parseSpiceRecovering(std::string_view text,
+                                           std::string_view fileName,
+                                           const SpiceParseOptions& options) {
+  diag::DiagnosticSink sink(diag::DiagnosticSink::Mode::kCollect);
+  diag::Parsed<Library> out;
+  out.value = parseSpiceText(text, fileName, options, sink);
+  out.diagnostics = sink.take();
+  return out;
+}
+
+diag::Parsed<Library> parseSpiceFileRecovering(
+    const std::filesystem::path& path, const SpiceParseOptions& options) {
+  diag::DiagnosticSink sink(diag::DiagnosticSink::Mode::kCollect);
+  diag::Parsed<Library> out;
+  out.value = parseSpiceFromFile(path, options, sink);
+  out.diagnostics = sink.take();
+  return out;
 }
 
 }  // namespace ancstr

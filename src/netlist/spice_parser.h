@@ -11,6 +11,16 @@
 //                    expressions over .param symbols
 // Device types are inferred from model names via deviceTypeFromModelName.
 // Instance parameter overrides on X cards are parsed and ignored (logged).
+//
+// Two error policies (docs/robustness.md):
+//   * strict   — parseSpice / parseSpiceFile throw ParseError at the first
+//                problem (classic behaviour).
+//   * fail-soft — parseSpiceRecovering / parseSpiceFileRecovering emit a
+//                diagnostic per problem, resynchronize to the next card,
+//                and return the valid remainder plus its diagnostics.
+// `.include` chains are bounded in both policies: a visited-file cycle or
+// a nesting depth beyond kMaxIncludeDepth is a parse.include_cycle /
+// parse.include_depth error instead of unbounded recursion.
 #pragma once
 
 #include <filesystem>
@@ -18,8 +28,12 @@
 #include <string_view>
 
 #include "netlist/netlist.h"
+#include "util/diagnostics.h"
 
 namespace ancstr {
+
+/// Maximum `.include`/`.inc`/`.lib` nesting depth (root file included).
+inline constexpr std::size_t kMaxIncludeDepth = 16;
 
 /// Options controlling parsing behaviour.
 struct SpiceParseOptions {
@@ -38,5 +52,16 @@ Library parseSpice(std::string_view text, std::string_view fileName = "<mem>",
 /// relative to the including file's directory.
 Library parseSpiceFile(const std::filesystem::path& path,
                        const SpiceParseOptions& options = {});
+
+/// Fail-soft variant of parseSpice: never throws on malformed input;
+/// returns the parseable remainder plus one diagnostic per skipped
+/// construct (file/line-stamped, coded — see diag::codes).
+diag::Parsed<Library> parseSpiceRecovering(
+    std::string_view text, std::string_view fileName = "<mem>",
+    const SpiceParseOptions& options = {});
+
+/// Fail-soft variant of parseSpiceFile.
+diag::Parsed<Library> parseSpiceFileRecovering(
+    const std::filesystem::path& path, const SpiceParseOptions& options = {});
 
 }  // namespace ancstr

@@ -1,0 +1,102 @@
+#include "util/diagnostics.h"
+
+#include "util/error.h"
+
+namespace ancstr::diag {
+
+std::string_view severityName(Severity severity) {
+  switch (severity) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::str() const {
+  std::string out;
+  if (!file.empty()) {
+    out += file;
+    out += ':';
+    out += std::to_string(line);
+    out += ": ";
+  }
+  out += severityName(severity);
+  out += '[';
+  out += code;
+  out += "]: ";
+  out += message;
+  return out;
+}
+
+void DiagnosticSink::report(Diagnostic d) {
+  bool throwNow = false;
+  std::string file;
+  std::size_t line = 0;
+  std::string message;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++counts_[static_cast<std::size_t>(d.severity)];
+    if (mode_ == Mode::kStrict && d.severity == Severity::kError) {
+      throwNow = true;
+      file = d.file;
+      line = d.line;
+      message = d.message + " [" + d.code + "]";
+    }
+    diagnostics_.push_back(std::move(d));
+  }
+  if (throwNow) {
+    throw ParseError(std::move(file), line, message);
+  }
+}
+
+void DiagnosticSink::error(std::string_view code, std::string file,
+                           std::size_t line, std::string message) {
+  report(Diagnostic{Severity::kError, std::string(code), std::move(file),
+                    line, std::move(message)});
+}
+
+void DiagnosticSink::warning(std::string_view code, std::string file,
+                             std::size_t line, std::string message) {
+  report(Diagnostic{Severity::kWarning, std::string(code), std::move(file),
+                    line, std::move(message)});
+}
+
+void DiagnosticSink::note(std::string_view code, std::string file,
+                          std::size_t line, std::string message) {
+  report(Diagnostic{Severity::kNote, std::string(code), std::move(file),
+                    line, std::move(message)});
+}
+
+std::size_t DiagnosticSink::count(Severity severity) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return counts_[static_cast<std::size_t>(severity)];
+}
+
+std::size_t DiagnosticSink::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return diagnostics_.size();
+}
+
+std::vector<Diagnostic> DiagnosticSink::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return diagnostics_;
+}
+
+std::vector<Diagnostic> DiagnosticSink::snapshotFrom(std::size_t from) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (from >= diagnostics_.size()) return {};
+  return std::vector<Diagnostic>(
+      diagnostics_.begin() + static_cast<std::ptrdiff_t>(from),
+      diagnostics_.end());
+}
+
+std::vector<Diagnostic> DiagnosticSink::take() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Diagnostic> out = std::move(diagnostics_);
+  diagnostics_.clear();
+  counts_ = {};
+  return out;
+}
+
+}  // namespace ancstr::diag

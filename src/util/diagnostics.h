@@ -1,0 +1,157 @@
+// Diagnostics engine for fail-soft ingestion (docs/robustness.md).
+//
+// A Diagnostic is one position-stamped problem report with a stable dotted
+// code (see diag::codes). Producers (parsers, IO loaders, the pipeline)
+// report into a DiagnosticSink instead of throwing directly; the sink's
+// mode decides the policy:
+//
+//   * kStrict  — the first kError report throws ParseError, reproducing
+//                the classic throw-first behaviour. Every legacy entry
+//                point (parseSpice, loadModelFile, Pipeline::extract
+//                without a sink) runs on a strict sink, so existing call
+//                sites and tests keep their exact semantics.
+//   * kCollect — reports accumulate (thread-safely) and the producer
+//                recovers: skip the bad card, resynchronize, degrade.
+//
+// Parsed<T> bundles a fail-soft result with the diagnostics that were
+// produced while building it.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ancstr::diag {
+
+enum class Severity { kNote = 0, kWarning = 1, kError = 2 };
+
+std::string_view severityName(Severity severity);
+
+/// Stable diagnostic codes, dotted `layer.problem` literals. Renderers and
+/// tests match on these, never on message text.
+namespace codes {
+// --- parsers ---------------------------------------------------------
+inline constexpr std::string_view kUnknownCard = "parse.unknown_card";
+inline constexpr std::string_view kBadCard = "parse.bad_card";
+inline constexpr std::string_view kBadDirective = "parse.bad_directive";
+inline constexpr std::string_view kBadParameter = "parse.bad_parameter";
+inline constexpr std::string_view kUnknownMaster = "parse.unknown_master";
+inline constexpr std::string_view kPortArity = "parse.port_arity";
+inline constexpr std::string_view kNestedSubckt = "parse.nested_subckt";
+inline constexpr std::string_view kUnterminatedSubckt =
+    "parse.unterminated_subckt";
+inline constexpr std::string_view kStrayEnds = "parse.stray_ends";
+inline constexpr std::string_view kIncludeMissing = "parse.include_missing";
+inline constexpr std::string_view kIncludeCycle = "parse.include_cycle";
+inline constexpr std::string_view kIncludeDepth = "parse.include_depth";
+inline constexpr std::string_view kInvalidNetlist = "netlist.invalid";
+// --- IO --------------------------------------------------------------
+inline constexpr std::string_view kIoFailure = "io.failure";
+inline constexpr std::string_view kIoTruncated = "io.truncated";
+inline constexpr std::string_view kIoNonFinite = "io.nonfinite";
+inline constexpr std::string_view kIoFormat = "io.format";
+// --- numerics --------------------------------------------------------
+inline constexpr std::string_view kPageRankNonConverged =
+    "pagerank.nonconverged";
+inline constexpr std::string_view kNonFiniteLoss = "train.nonfinite_loss";
+inline constexpr std::string_view kEpochRetry = "train.epoch_retry";
+inline constexpr std::string_view kRetriesExhausted =
+    "train.retries_exhausted";
+// --- pipeline --------------------------------------------------------
+inline constexpr std::string_view kSubcktSkipped = "pipeline.subckt_skipped";
+inline constexpr std::string_view kExtractDegraded =
+    "pipeline.extract_degraded";
+}  // namespace codes
+
+/// One problem report. `file`/`line` are 0/"" when no position applies.
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string code;
+  std::string file;
+  std::size_t line = 0;
+  std::string message;
+
+  /// "file:line: error[parse.bad_card]: message" (position parts elided
+  /// when absent).
+  std::string str() const;
+
+  bool operator==(const Diagnostic&) const = default;
+};
+
+/// Thread-safe collector of diagnostics with the strict/fail-soft policy
+/// switch. Producers hold a reference; one sink spans one ingestion
+/// operation (a parse call, an extract call).
+class DiagnosticSink {
+ public:
+  enum class Mode { kStrict, kCollect };
+
+  explicit DiagnosticSink(Mode mode = Mode::kCollect) : mode_(mode) {}
+
+  DiagnosticSink(const DiagnosticSink&) = delete;
+  DiagnosticSink& operator=(const DiagnosticSink&) = delete;
+
+  bool strict() const { return mode_ == Mode::kStrict; }
+
+  /// Records `d`. In strict mode a kError diagnostic throws ParseError
+  /// (after recording), so strict producers unwind exactly where the
+  /// legacy code threw.
+  void report(Diagnostic d);
+
+  // Convenience producers.
+  void error(std::string_view code, std::string file, std::size_t line,
+             std::string message);
+  void warning(std::string_view code, std::string file, std::size_t line,
+               std::string message);
+  void note(std::string_view code, std::string file, std::size_t line,
+            std::string message);
+
+  std::size_t count(Severity severity) const;
+  std::size_t errorCount() const { return count(Severity::kError); }
+  bool hasErrors() const { return errorCount() > 0; }
+  /// Total diagnostics recorded so far (any severity).
+  std::size_t size() const;
+
+  /// Copy of everything recorded so far, in report order.
+  std::vector<Diagnostic> snapshot() const;
+  /// Copy of diagnostics recorded at index >= `from` (for delta capture
+  /// around a sub-operation).
+  std::vector<Diagnostic> snapshotFrom(std::size_t from) const;
+  /// Moves all recorded diagnostics out, leaving the sink empty.
+  std::vector<Diagnostic> take();
+
+ private:
+  mutable std::mutex mutex_;
+  Mode mode_;
+  std::vector<Diagnostic> diagnostics_;
+  std::array<std::size_t, 3> counts_{};
+};
+
+/// A fail-soft result: the (possibly partial) value plus every diagnostic
+/// produced while building it.
+template <typename T>
+struct Parsed {
+  T value{};
+  std::vector<Diagnostic> diagnostics;
+
+  /// True when nothing of kError severity was reported — the value is
+  /// complete, not merely partial.
+  bool ok() const {
+    for (const Diagnostic& d : diagnostics) {
+      if (d.severity == Severity::kError) return false;
+    }
+    return true;
+  }
+
+  std::size_t errorCount() const {
+    std::size_t n = 0;
+    for (const Diagnostic& d : diagnostics) {
+      if (d.severity == Severity::kError) ++n;
+    }
+    return n;
+  }
+};
+
+}  // namespace ancstr::diag

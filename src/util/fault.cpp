@@ -1,0 +1,114 @@
+#include "util/fault.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <mutex>
+
+#include "util/error.h"
+#include "util/string_utils.h"
+
+namespace ancstr::fault {
+namespace {
+
+struct SiteSpec {
+  std::uint64_t at = 0;  ///< 1-based hit index to fire on; 0 = every hit
+  bool fired = false;    ///< @N specs fire at most once
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, SiteSpec, std::less<>> specs;
+  std::map<std::string, std::uint64_t, std::less<>> hits;
+};
+
+// Leaked singletons so fault checks are safe during static teardown,
+// matching the trace/metrics registries.
+Registry& registry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+std::atomic<bool>& armedFlag() {
+  static std::atomic<bool> armed{false};
+  return armed;
+}
+
+void armLocked(Registry& r, std::string_view spec) {
+  for (const std::string& entry : str::splitTokens(spec, ", \t")) {
+    const std::string_view trimmed = str::trim(entry);
+    if (trimmed.empty()) continue;
+    const auto [site, hit] = str::splitFirst(trimmed, '@');
+    SiteSpec s;
+    if (!hit.empty()) {
+      s.at = std::strtoull(std::string(hit).c_str(), nullptr, 10);
+      if (s.at == 0) {
+        throw Error("fault: bad hit index in spec '" + std::string(trimmed) +
+                    "'");
+      }
+    }
+    r.specs[std::string(site)] = s;
+    r.hits[std::string(site)] = 0;
+  }
+  armedFlag().store(!r.specs.empty(), std::memory_order_relaxed);
+}
+
+void loadEnvOnce() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* env = std::getenv("ANCSTR_FAULT");
+    if (env == nullptr || *env == '\0') return;
+    Registry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    armLocked(r, env);
+  });
+}
+
+}  // namespace
+
+bool enabled() {
+  loadEnvOnce();
+  return armedFlag().load(std::memory_order_relaxed);
+}
+
+bool shouldFail(std::string_view site) {
+  if (!enabled()) return false;
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  const auto it = r.specs.find(site);
+  if (it == r.specs.end()) return false;
+  const std::uint64_t hit = ++r.hits[std::string(site)];
+  SiteSpec& spec = it->second;
+  if (spec.at == 0) return true;
+  if (spec.fired || hit != spec.at) return false;
+  spec.fired = true;
+  return true;
+}
+
+double corruptDouble(std::string_view site, double value) {
+  return shouldFail(site) ? std::numeric_limits<double>::quiet_NaN() : value;
+}
+
+std::string corruptText(std::string_view site, std::string text) {
+  if (shouldFail(site)) text.resize(text.size() / 2);
+  return text;
+}
+
+void arm(std::string_view spec) {
+  loadEnvOnce();
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  armLocked(r, spec);
+}
+
+void disarmAll() {
+  loadEnvOnce();
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  r.specs.clear();
+  r.hits.clear();
+  armedFlag().store(false, std::memory_order_relaxed);
+}
+
+}  // namespace ancstr::fault

@@ -1,0 +1,59 @@
+// Deterministic fault injection for robustness testing
+// (docs/robustness.md, "Fault injection").
+//
+// Production code marks *named sites* where a failure can be forced:
+//
+//   if (fault::shouldFail("spice.open") || !in) { ... }        // IO errors
+//   lossSum = fault::corruptDouble("train.batch_loss", lossSum);  // NaN
+//   text = fault::corruptText("model_io.read", std::move(text));  // truncate
+//
+// Sites are disarmed by default; a disarmed site costs one relaxed atomic
+// load. Arming happens via the ANCSTR_FAULT environment variable
+// ("site[@hit][,site2[@hit2]]", read once on first use) or the
+// programmatic ScopedFault RAII used by tests. A spec "site@N" fires
+// exactly once, on the N-th hit (1-based) of that site within the armed
+// window; "site" alone fires on every hit. Hit counting is per-site and
+// process-wide, so a given (spec, call sequence) always fires at the same
+// place — injection is as deterministic as the code it perturbs. Sites on
+// parallel paths must sit in serial sections (see the trainer) so the hit
+// order is thread-count independent.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace ancstr::fault {
+
+/// True when at least one fault spec is armed (env or programmatic).
+bool enabled();
+
+/// Counts one hit of `site`; true when an armed spec fires on this hit.
+/// Disarmed fast path: a single relaxed atomic load.
+bool shouldFail(std::string_view site);
+
+/// Returns NaN when the site fires, `value` otherwise.
+double corruptDouble(std::string_view site, double value);
+
+/// Truncates `text` to its first half when the site fires.
+std::string corruptText(std::string_view site, std::string text);
+
+/// Arms `spec` ("site", "site@N", or a comma-separated list) on top of
+/// whatever is already armed. Hit counters for the named sites restart at
+/// zero. Prefer ScopedFault in tests.
+void arm(std::string_view spec);
+
+/// Disarms everything (including ANCSTR_FAULT specs) and clears all hit
+/// counters. The environment is not re-read afterwards.
+void disarmAll();
+
+/// RAII arming for tests: arms on construction, disarms everything and
+/// clears counters on destruction.
+class ScopedFault {
+ public:
+  explicit ScopedFault(std::string_view spec) { arm(spec); }
+  ~ScopedFault() { disarmAll(); }
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+};
+
+}  // namespace ancstr::fault

@@ -42,6 +42,19 @@ Json RunReport::toJson() const {
   root.set("phases", std::move(phaseArray));
   root.set("totalSeconds", totalSeconds());
   root.set("metrics", metrics.toJson());
+  if (!diagnostics.empty()) {
+    Json diagArray = Json::array();
+    for (const diag::Diagnostic& d : diagnostics) {
+      Json entry = Json::object();
+      entry.set("severity", std::string(diag::severityName(d.severity)));
+      entry.set("code", d.code);
+      if (!d.file.empty()) entry.set("file", d.file);
+      if (d.line != 0) entry.set("line", static_cast<double>(d.line));
+      entry.set("message", d.message);
+      diagArray.push(std::move(entry));
+    }
+    root.set("diagnostics", std::move(diagArray));
+  }
   return root;
 }
 
@@ -82,6 +95,17 @@ std::string RunReport::toTable() const {
   if (anyMetric) {
     out += "\n";
     out += metricTable.render();
+  }
+
+  if (!diagnostics.empty()) {
+    out += "\ndiagnostics (";
+    out += std::to_string(diagnostics.size());
+    out += "):\n";
+    for (const diag::Diagnostic& d : diagnostics) {
+      out += "  ";
+      out += d.str();
+      out += "\n";
+    }
   }
   return out;
 }

@@ -6,10 +6,12 @@
 // core/pipeline.h); new code should consume the report directly.
 #pragma once
 
+#include <iterator>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "util/diagnostics.h"
 #include "util/metrics.h"
 
 namespace ancstr {
@@ -25,9 +27,26 @@ struct PhaseTiming {
 struct RunReport {
   std::vector<PhaseTiming> phases;   ///< execution order
   metrics::Snapshot metrics;         ///< delta over the run
+  /// Problems collected during a fail-soft run (empty in strict mode,
+  /// which throws instead — see docs/robustness.md).
+  std::vector<diag::Diagnostic> diagnostics;
 
   void addPhase(std::string name, double seconds) {
     phases.push_back(PhaseTiming{std::move(name), seconds});
+  }
+
+  void addDiagnostics(std::vector<diag::Diagnostic> more) {
+    diagnostics.insert(diagnostics.end(),
+                       std::make_move_iterator(more.begin()),
+                       std::make_move_iterator(more.end()));
+  }
+
+  std::size_t errorCount() const {
+    std::size_t n = 0;
+    for (const diag::Diagnostic& d : diagnostics) {
+      if (d.severity == diag::Severity::kError) ++n;
+    }
+    return n;
   }
 
   /// Seconds of the named phase; 0 when absent.

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "core/groups.h"
 #include "eval/ground_truth.h"
 #include "netlist/builder.h"
@@ -125,6 +127,69 @@ TEST(ConstraintIo, ToGroundTruthSkipsSelfEntries) {
   const GroundTruth truth = toGroundTruth(parsed);
   EXPECT_EQ(truth.size(), 1u);
   EXPECT_TRUE(truth.contains("", "a", "b"));
+}
+
+// --- corrupted inputs carry the documented diagnostic codes ------------
+
+std::string jsonErrorWhat(const std::string& text) {
+  try {
+    parseConstraintsJson(text);
+  } catch (const Error& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected parseConstraintsJson to throw";
+  return {};
+}
+
+TEST(ConstraintIo, TruncatedJsonCarriesTruncatedCode) {
+  const IoSetup s = makeSetup();
+  std::string text = constraintsToJson(s.design, s.detection);
+  text.resize(text.size() / 2);  // cut mid-document
+  EXPECT_NE(jsonErrorWhat(text).find("io.truncated"), std::string::npos);
+}
+
+TEST(ConstraintIo, WrongFormatTagCarriesFormatCode) {
+  EXPECT_NE(jsonErrorWhat("{\"format\":\"other\"}").find("io.format"),
+            std::string::npos);
+}
+
+TEST(ConstraintIo, UnknownLevelCarriesFormatCode) {
+  const std::string text =
+      "{\"format\":\"ancstr-constraints\",\"version\":1,\"constraints\":"
+      "[{\"hierarchy\":\"\",\"level\":\"galaxy\",\"a\":\"m1\",\"b\":\"m2\","
+      "\"similarity\":0.5}]}";
+  EXPECT_NE(jsonErrorWhat(text).find("io.format"), std::string::npos);
+}
+
+TEST(ConstraintIo, OverflowingSimilarityIsRejected) {
+  // 1e999 overflows double; the number never becomes a silent inf — the
+  // parse is rejected with a coded error instead.
+  const std::string text =
+      "{\"format\":\"ancstr-constraints\",\"version\":1,\"constraints\":"
+      "[{\"hierarchy\":\"\",\"level\":\"device\",\"a\":\"m1\",\"b\":\"m2\","
+      "\"similarity\":1e999}]}";
+  EXPECT_NE(jsonErrorWhat(text).find("io.truncated"), std::string::npos);
+}
+
+TEST(ConstraintIo, NaNSimilarityDoesNotRoundTrip) {
+  // A NaN similarity in a detection result must not survive a JSON
+  // round-trip unnoticed: the dump renders a token JSON cannot parse, so
+  // reading it back fails loudly with a coded error.
+  IoSetup s = makeSetup();
+  ASSERT_FALSE(s.detection.scored.empty());
+  s.detection.scored[0].similarity =
+      std::numeric_limits<double>::quiet_NaN();
+  const std::string text = constraintsToJson(s.design, s.detection);
+  EXPECT_NE(jsonErrorWhat(text).find("io.truncated"), std::string::npos);
+}
+
+TEST(ConstraintIo, MissingFileCarriesFailureCode) {
+  try {
+    parseConstraintsFile("/nonexistent/dir/constraints.json");
+    FAIL() << "expected parseConstraintsFile to throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("io.failure"), std::string::npos);
+  }
 }
 
 TEST(ConstraintIo, GoldenFileDiffWorkflow) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 
 #include "core/features.h"
@@ -116,6 +117,64 @@ TEST(ModelIo, FileRoundTrip) {
 
 TEST(ModelIo, MissingFileThrows) {
   EXPECT_THROW(loadModelFile("/nonexistent/dir/model.txt"), Error);
+}
+
+// --- corrupted inputs carry the documented diagnostic codes ------------
+
+std::string errorWhat(const std::string& text) {
+  std::stringstream stream(text);
+  try {
+    loadModel(stream);
+  } catch (const Error& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected loadModel to throw";
+  return {};
+}
+
+TEST(ModelIo, WrongMagicCarriesFormatCode) {
+  EXPECT_NE(errorWhat("not-a-model 1\n").find("io.format"),
+            std::string::npos);
+}
+
+TEST(ModelIo, TruncatedDataCarriesTruncatedCode) {
+  Rng rng(17);
+  GnnModel model(GnnConfig{}, rng);
+  std::stringstream stream;
+  saveModel(model, stream);
+  std::string text = stream.str();
+  text.resize(text.size() / 2);  // cut mid-matrix
+  EXPECT_NE(errorWhat(text).find("io.truncated"), std::string::npos);
+}
+
+TEST(ModelIo, MissingFileCarriesFailureCode) {
+  try {
+    loadModelFile("/nonexistent/dir/model.txt");
+    FAIL() << "expected loadModelFile to throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("io.failure"), std::string::npos);
+  }
+}
+
+TEST(ModelIo, SaveRefusesNonFiniteParameters) {
+  // A poisoned weight must be refused at save time ([io.nonfinite])
+  // instead of producing a file that cannot be read back.
+  Rng rng(18);
+  GnnModel model(GnnConfig{}, rng);
+  auto params = model.parameters();
+  ASSERT_FALSE(params.empty());
+  nn::Matrix poisoned = params[0].value();
+  ASSERT_GT(poisoned.rows() * poisoned.cols(), 0u);
+  poisoned(0, 0) = std::numeric_limits<double>::quiet_NaN();
+  params[0].setValue(poisoned);
+  std::stringstream stream;
+  try {
+    saveModel(model, stream);
+    FAIL() << "expected saveModel to throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("io.nonfinite"),
+              std::string::npos);
+  }
 }
 
 }  // namespace

@@ -4,6 +4,8 @@
 
 #include <numeric>
 
+#include "util/metrics.h"
+
 namespace ancstr {
 namespace {
 
@@ -57,6 +59,37 @@ TEST(PageRank, DampingZeroGivesUniform) {
   options.damping = 0.0;
   const auto pr = pageRank(g, options);
   for (const double p : pr) EXPECT_NEAR(p, 0.25, 1e-12);
+}
+
+TEST(PageRank, DetailedReportsConvergence) {
+  SimpleDigraph g(4);
+  for (std::uint32_t i = 0; i < 4; ++i) g.addEdge(i, (i + 1) % 4);
+  const PageRankResult result = pageRankDetailed(g);
+  EXPECT_TRUE(result.converged);
+  EXPECT_GT(result.iterations, 0);
+  EXPECT_LT(result.iterations, 200);
+  EXPECT_NEAR(total(result.scores), 1.0, 1e-9);
+}
+
+TEST(PageRank, NonConvergenceIsSurfaced) {
+  // A strongly asymmetric chain cannot reach a 1e-10 L1 delta in a single
+  // power iteration from the uniform start.
+  SimpleDigraph g(5);
+  for (std::uint32_t i = 1; i < 5; ++i) g.addEdge(i, 0);
+  PageRankOptions options;
+  options.maxIterations = 1;
+  const std::uint64_t before = metrics::Registry::instance()
+                                   .counter("pagerank.nonconverged")
+                                   .value();
+  const PageRankResult result = pageRankDetailed(g, options);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.iterations, 1);
+  // The scores are still the usable 1st iterate (normalised).
+  EXPECT_NEAR(total(result.scores), 1.0, 1e-9);
+  EXPECT_EQ(metrics::Registry::instance()
+                .counter("pagerank.nonconverged")
+                .value(),
+            before + 1);
 }
 
 TEST(TopKByScore, SortsDescendingTiesById) {

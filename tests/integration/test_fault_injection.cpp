@@ -1,0 +1,177 @@
+// Deterministic fault-injection drills (docs/robustness.md): arm named
+// fault sites via util/fault.h and verify that every guarded layer fails
+// the way it promises to — the trainer recovers from injected NaNs with
+// bitwise-deterministic results, and the IO layers surface the documented
+// diagnostic codes instead of crashing or silently corrupting state.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/constraint_io.h"
+#include "core/features.h"
+#include "core/model_io.h"
+#include "core/trainer.h"
+#include "netlist/builder.h"
+#include "util/error.h"
+#include "util/fault.h"
+
+namespace ancstr {
+namespace {
+
+PreparedGraph diffPairGraph() {
+  NetlistBuilder b;
+  b.beginSubckt("cell", {"inp", "inn", "op", "on", "vb", "vdd", "vss"});
+  b.nmos("m1", "op", "inp", "tail", "vss", 2e-6, 0.2e-6);
+  b.nmos("m2", "on", "inn", "tail", "vss", 2e-6, 0.2e-6);
+  b.nmos("mt", "tail", "vb", "vss", "vss", 4e-6, 0.4e-6);
+  b.pmos("m3", "op", "vbp", "vdd", "vdd", 4e-6, 0.2e-6);
+  b.pmos("m4", "on", "vbp", "vdd", "vdd", 4e-6, 0.2e-6);
+  b.cap("c1", "op", "vss", 1e-14);
+  b.cap("c2", "on", "vss", 1e-14);
+  b.endSubckt();
+  const FlatDesign design = FlatDesign::elaborate(b.build("cell"));
+  return prepareGraph(buildHeteroGraph(design), buildFeatureMatrix(design));
+}
+
+/// Runs `fn`, which must throw Error, and returns its what() text.
+template <typename Fn>
+std::string expectError(Fn&& fn) {
+  try {
+    fn();
+  } catch (const Error& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected an Error to be thrown";
+  return {};
+}
+
+// --- trainer guardrails ------------------------------------------------
+
+TEST(FaultInjection, TrainerRecoversFromInjectedNaN) {
+  // The 2nd batch-loss reduction is corrupted to NaN; the trainer must
+  // restore the epoch-entry weights, back off the LR, and retry once.
+  const fault::ScopedFault armed("train.batch_loss@2");
+  Rng rng(1);
+  GnnModel model(GnnConfig{}, rng);
+  std::vector<PreparedGraph> corpus;
+  corpus.push_back(diffPairGraph());
+  TrainConfig config;
+  config.epochs = 4;
+  const TrainStats stats = trainUnsupervised(model, corpus, config, rng);
+  EXPECT_EQ(stats.epochRetries, 1);
+  ASSERT_EQ(stats.epochLoss.size(), 4u);
+  for (const double l : stats.epochLoss) EXPECT_TRUE(std::isfinite(l));
+  EXPECT_TRUE(std::isfinite(model.embed(corpus[0]).maxAbs()));
+}
+
+TEST(FaultInjection, RecoveryIsBitwiseThreadCountIndependent) {
+  // The same injected failure must produce bitwise-identical weights no
+  // matter how many workers evaluate the batch fan-out (PR-1 contract).
+  auto run = [](std::size_t threads) {
+    const fault::ScopedFault armed("train.batch_loss@2");
+    Rng rng(7);
+    GnnModel model(GnnConfig{}, rng);
+    std::vector<PreparedGraph> corpus;
+    corpus.push_back(diffPairGraph());
+    corpus.push_back(diffPairGraph());
+    corpus.push_back(diffPairGraph());
+    TrainConfig config;
+    config.epochs = 3;
+    config.batchSize = 0;  // whole epoch = one batch -> real fan-out
+    const TrainStats stats =
+        trainUnsupervised(model, corpus, config, rng, threads);
+    EXPECT_EQ(stats.epochRetries, 1);
+    return model.embed(corpus[0]);
+  };
+  EXPECT_EQ(run(1), run(4));
+}
+
+TEST(FaultInjection, TrainerGivesUpAfterMaxRetries) {
+  // An always-firing corruption exhausts the retry budget.
+  const fault::ScopedFault armed("train.batch_loss");
+  Rng rng(2);
+  GnnModel model(GnnConfig{}, rng);
+  std::vector<PreparedGraph> corpus;
+  corpus.push_back(diffPairGraph());
+  TrainConfig config;
+  config.epochs = 3;
+  config.maxEpochRetries = 2;
+  const std::string what = expectError(
+      [&] { trainUnsupervised(model, corpus, config, rng); });
+  EXPECT_NE(what.find("train.retries_exhausted"), std::string::npos);
+}
+
+// --- model IO ----------------------------------------------------------
+
+class ModelIoFaults : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::path(testing::TempDir()) / "fault_model.txt";
+    Rng rng(11);
+    const GnnModel model(GnnConfig{}, rng);
+    saveModelFile(model, path_);
+  }
+
+  std::filesystem::path path_;
+};
+
+TEST_F(ModelIoFaults, OpenFailureIsIoFailure) {
+  const fault::ScopedFault armed("model_io.open@1");
+  const std::string what = expectError([&] { loadModelFile(path_); });
+  EXPECT_NE(what.find("io.failure"), std::string::npos);
+  // The site fired once; the next load succeeds untouched.
+  EXPECT_NO_THROW(loadModelFile(path_));
+}
+
+TEST_F(ModelIoFaults, TruncatedReadIsIoTruncated) {
+  const fault::ScopedFault armed("model_io.read@1");
+  const std::string what = expectError([&] { loadModelFile(path_); });
+  EXPECT_NE(what.find("io.truncated"), std::string::npos);
+}
+
+TEST_F(ModelIoFaults, NonFiniteParameterIsIoNonfinite) {
+  const fault::ScopedFault armed("model_io.value@1");
+  const std::string what = expectError([&] { loadModelFile(path_); });
+  EXPECT_NE(what.find("io.nonfinite"), std::string::npos);
+}
+
+// --- constraint IO -----------------------------------------------------
+
+class ConstraintIoFaults : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    NetlistBuilder b;
+    b.beginSubckt("cell", {"a", "vss"});
+    b.res("r1", "a", "m", 1e3);
+    b.res("r2", "m", "vss", 1e3);
+    b.endSubckt();
+    const Library lib = b.build("cell");
+    const FlatDesign design = FlatDesign::elaborate(lib);
+    path_ = std::filesystem::path(testing::TempDir()) /
+            "fault_constraints.json";
+    std::ofstream out(path_);
+    out << constraintsToJson(design, DetectionResult{});
+  }
+
+  std::filesystem::path path_;
+};
+
+TEST_F(ConstraintIoFaults, OpenFailureIsIoFailure) {
+  const fault::ScopedFault armed("constraint_io.open@1");
+  const std::string what = expectError([&] { parseConstraintsFile(path_); });
+  EXPECT_NE(what.find("io.failure"), std::string::npos);
+  EXPECT_NO_THROW(parseConstraintsFile(path_));
+}
+
+TEST_F(ConstraintIoFaults, TruncatedReadIsIoTruncated) {
+  const fault::ScopedFault armed("constraint_io.read@1");
+  const std::string what = expectError([&] { parseConstraintsFile(path_); });
+  EXPECT_NE(what.find("io.truncated"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ancstr

@@ -1,0 +1,10 @@
+* malformed corpus: bad cards interleaved with a valid OTA
+.subckt ota inp inn out vdd vss
+m1 d1 inp s vss nch w=2u l=0.1u
+m2 d2 inn s vss nch w=2u l=0.1u
+zz1 a b c
+m3 d3 g3 nch
+r1 d1 out 1k
+r2 d2 out 1k
+.ends
+x1 a b c vdd vss ota

@@ -1,0 +1,3 @@
+* malformed corpus: include cycle a -> b -> a
+.include "cyclic_b.sp"
+r1 a b 1k

@@ -1,0 +1,3 @@
+* malformed corpus: second half of the a <-> b include cycle
+.include "cyclic_a.sp"
+c1 a b 1p

@@ -1,0 +1,5 @@
+* malformed corpus: binary-looking garbage in the middle of the deck
+r1 a b 1k
+@@@@ #### garbage
+)(&^ more garbage
+c1 a b 1p

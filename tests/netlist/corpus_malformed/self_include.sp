@@ -1,0 +1,3 @@
+* malformed corpus: a file that includes itself
+.include "self_include.sp"
+r1 x y 2k

@@ -1,0 +1,4 @@
+* malformed corpus: instance of an undefined subckt
+x1 a b nosuchcell
+r1 a b 1k
+r2 b c 1k

@@ -1,0 +1,4 @@
+* malformed corpus: .subckt without .ends
+.subckt amp in out vss
+m1 d in s vss nch w=1u l=0.1u
+m2 d2 in s vss nch w=1u l=0.1u

@@ -1,0 +1,7 @@
+* malformed corpus: instance with the wrong port count
+.subckt paircell a b vdd
+m1 d a s vdd nch w=1u l=0.1u
+m2 d b s vdd nch w=1u l=0.1u
+.ends
+x1 n1 n2 paircell
+x2 n1 n2 vdd paircell

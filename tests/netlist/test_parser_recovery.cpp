@@ -1,0 +1,266 @@
+// Golden-diagnostic tests for the fail-soft (recovering) parsers over the
+// malformed-netlist corpus in tests/netlist/corpus_malformed/. Each corpus
+// file has a known set of diagnostics; the tests pin the exact code
+// sequence and verify the valid remainder of the deck still parses. The
+// strict entry points must keep throwing on the same inputs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "circuits/synthetic.h"
+#include "core/pipeline.h"
+#include "netlist/flatten.h"
+#include "netlist/spectre_parser.h"
+#include "netlist/spice_parser.h"
+#include "util/error.h"
+
+namespace ancstr {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path corpusDir() {
+  return fs::path(ANCSTR_TEST_DIR) / "netlist" / "corpus_malformed";
+}
+
+fs::path corpus(const std::string& name) { return corpusDir() / name; }
+
+std::vector<std::string> codesOf(const diag::Parsed<Library>& parsed) {
+  std::vector<std::string> codes;
+  for (const diag::Diagnostic& d : parsed.diagnostics) codes.push_back(d.code);
+  return codes;
+}
+
+std::string code(std::string_view sv) { return std::string(sv); }
+
+// --- SPICE corpus ----------------------------------------------------
+
+TEST(ParserRecovery, SpiceBadCardsKeepValidRemainder) {
+  const auto parsed = parseSpiceFileRecovering(corpus("bad_cards.sp"));
+  EXPECT_EQ(codesOf(parsed),
+            (std::vector<std::string>{code(diag::codes::kUnknownCard),
+                                      code(diag::codes::kBadCard)}));
+  EXPECT_EQ(parsed.diagnostics[0].line, 5u);
+  EXPECT_EQ(parsed.diagnostics[1].line, 6u);
+  for (const auto& d : parsed.diagnostics) {
+    EXPECT_NE(d.file.find("bad_cards.sp"), std::string::npos) << d.str();
+  }
+
+  const Library& lib = parsed.value;
+  const auto ota = lib.findSubckt("ota");
+  ASSERT_TRUE(ota.has_value());
+  // zz1 and m3 are dropped; m1, m2, r1, r2 survive.
+  EXPECT_EQ(lib.subckt(*ota).devices().size(), 4u);
+  // The top-level x1 instance has the right arity and is kept.
+  EXPECT_EQ(lib.subckt(lib.top()).instances().size(), 1u);
+}
+
+TEST(ParserRecovery, SpiceWrongArityInstanceIsSkipped) {
+  const auto parsed = parseSpiceFileRecovering(corpus("wrong_arity.sp"));
+  EXPECT_EQ(codesOf(parsed),
+            (std::vector<std::string>{code(diag::codes::kPortArity)}));
+  EXPECT_EQ(parsed.diagnostics[0].line, 6u);
+  // Only the well-formed x2 survives at the top level.
+  const Library& lib = parsed.value;
+  EXPECT_EQ(lib.subckt(lib.top()).instances().size(), 1u);
+  EXPECT_TRUE(
+      lib.subckt(lib.top()).findInstance("x2").has_value());
+}
+
+TEST(ParserRecovery, SpiceUnknownMasterIsSkipped) {
+  const auto parsed = parseSpiceFileRecovering(corpus("unknown_master.sp"));
+  EXPECT_EQ(codesOf(parsed),
+            (std::vector<std::string>{code(diag::codes::kUnknownMaster)}));
+  EXPECT_EQ(parsed.diagnostics[0].line, 2u);
+  const Library& lib = parsed.value;
+  EXPECT_EQ(lib.subckt(lib.top()).devices().size(), 2u);
+  EXPECT_EQ(lib.subckt(lib.top()).instances().size(), 0u);
+}
+
+TEST(ParserRecovery, SpiceIncludeCycleIsBroken) {
+  const auto parsed = parseSpiceFileRecovering(corpus("cyclic_a.sp"));
+  EXPECT_EQ(codesOf(parsed),
+            (std::vector<std::string>{code(diag::codes::kIncludeCycle)}));
+  // The cycle is detected while parsing cyclic_b.sp.
+  EXPECT_NE(parsed.diagnostics[0].file.find("cyclic_b.sp"),
+            std::string::npos);
+  EXPECT_EQ(parsed.diagnostics[0].line, 2u);
+  // Both files' devices survive: c1 (from b) and r1 (from a).
+  EXPECT_EQ(parsed.value.subckt(parsed.value.top()).devices().size(), 2u);
+}
+
+TEST(ParserRecovery, SpiceSelfIncludeIsACycle) {
+  const auto parsed = parseSpiceFileRecovering(corpus("self_include.sp"));
+  EXPECT_EQ(codesOf(parsed),
+            (std::vector<std::string>{code(diag::codes::kIncludeCycle)}));
+  EXPECT_NE(parsed.diagnostics[0].file.find("self_include.sp"),
+            std::string::npos);
+  EXPECT_EQ(parsed.value.subckt(parsed.value.top()).devices().size(), 1u);
+}
+
+TEST(ParserRecovery, SpiceMidfileGarbageIsSkipped) {
+  const auto parsed = parseSpiceFileRecovering(corpus("midfile_garbage.sp"));
+  EXPECT_EQ(codesOf(parsed),
+            (std::vector<std::string>{code(diag::codes::kUnknownCard),
+                                      code(diag::codes::kUnknownCard)}));
+  EXPECT_EQ(parsed.diagnostics[0].line, 3u);
+  EXPECT_EQ(parsed.diagnostics[1].line, 4u);
+  EXPECT_EQ(parsed.value.subckt(parsed.value.top()).devices().size(), 2u);
+}
+
+TEST(ParserRecovery, SpiceUnterminatedSubcktIsClosed) {
+  const auto parsed = parseSpiceFileRecovering(corpus("unterminated.sp"));
+  EXPECT_EQ(codesOf(parsed),
+            (std::vector<std::string>{
+                code(diag::codes::kUnterminatedSubckt)}));
+  EXPECT_EQ(parsed.diagnostics[0].line, 2u);  // points at the .subckt card
+  const Library& lib = parsed.value;
+  const auto amp = lib.findSubckt("amp");
+  ASSERT_TRUE(amp.has_value());
+  EXPECT_EQ(lib.subckt(*amp).devices().size(), 2u);
+}
+
+TEST(ParserRecovery, SpiceIncludeDepthIsBounded) {
+  // Build a 20-deep include chain; depth 16 must be refused without
+  // recursing further, while the shallow files' devices survive.
+  const fs::path dir =
+      fs::path(testing::TempDir()) / "recovery_include_chain";
+  fs::create_directories(dir);
+  constexpr int kChain = 20;
+  for (int i = 0; i < kChain; ++i) {
+    std::ofstream out(dir / ("inc" + std::to_string(i) + ".sp"));
+    out << "* chain link " << i << "\n";
+    if (i + 1 < kChain) {
+      out << ".include \"inc" << i + 1 << ".sp\"\n";
+    }
+    out << "r" << i << " a b 1k\n";
+  }
+  const auto parsed = parseSpiceFileRecovering(dir / "inc0.sp");
+  EXPECT_EQ(codesOf(parsed),
+            (std::vector<std::string>{code(diag::codes::kIncludeDepth)}));
+  const std::size_t kept =
+      parsed.value.subckt(parsed.value.top()).devices().size();
+  EXPECT_EQ(kept, kMaxIncludeDepth);
+  // Strict mode refuses the same deck with a ParseError.
+  EXPECT_THROW(parseSpiceFile(dir / "inc0.sp"), ParseError);
+}
+
+// --- Spectre corpus --------------------------------------------------
+
+TEST(ParserRecovery, SpectreBadCardsKeepValidRemainder) {
+  const auto parsed = parseSpectreFileRecovering(corpus("bad_cards.scs"));
+  EXPECT_EQ(codesOf(parsed),
+            (std::vector<std::string>{code(diag::codes::kBadCard),
+                                      code(diag::codes::kUnknownMaster),
+                                      code(diag::codes::kPortArity)}));
+  EXPECT_EQ(parsed.diagnostics[0].line, 6u);   // BADCARD
+  EXPECT_EQ(parsed.diagnostics[1].line, 7u);   // Z1 nosuchmaster
+  EXPECT_EQ(parsed.diagnostics[2].line, 11u);  // x1 with 2-of-5 ports
+
+  const Library& lib = parsed.value;
+  const auto ota = lib.findSubckt("ota");
+  ASSERT_TRUE(ota.has_value());
+  EXPECT_EQ(lib.subckt(*ota).devices().size(), 4u);
+  EXPECT_EQ(lib.subckt(lib.top()).instances().size(), 1u);
+  EXPECT_TRUE(lib.subckt(lib.top()).findInstance("x2").has_value());
+}
+
+TEST(ParserRecovery, SpectreIncludeCycleIsBroken) {
+  const auto parsed = parseSpectreFileRecovering(corpus("cyclic_a.scs"));
+  EXPECT_EQ(codesOf(parsed),
+            (std::vector<std::string>{code(diag::codes::kIncludeCycle)}));
+  EXPECT_NE(parsed.diagnostics[0].file.find("cyclic_b.scs"),
+            std::string::npos);
+  EXPECT_EQ(parsed.value.subckt(parsed.value.top()).devices().size(), 2u);
+}
+
+TEST(ParserRecovery, SpectreMidfileGarbageIsSkipped) {
+  const auto parsed =
+      parseSpectreFileRecovering(corpus("midfile_garbage.scs"));
+  EXPECT_EQ(codesOf(parsed),
+            (std::vector<std::string>{code(diag::codes::kBadCard)}));
+  EXPECT_EQ(parsed.diagnostics[0].line, 4u);
+  EXPECT_EQ(parsed.value.subckt(parsed.value.top()).devices().size(), 2u);
+}
+
+TEST(ParserRecovery, SpectreIncludeResolvesRelativeToIncluder) {
+  const fs::path dir = fs::path(testing::TempDir()) / "recovery_scs_inc";
+  fs::create_directories(dir);
+  {
+    std::ofstream out(dir / "lib.scs");
+    out << "simulator lang=spectre\n"
+        << "R9 (p q) resistor r=9k\n";
+  }
+  {
+    std::ofstream out(dir / "main.scs");
+    out << "simulator lang=spectre\n"
+        << "include \"lib.scs\"\n"
+        << "C9 (p q) capacitor c=9p\n";
+  }
+  const Library lib = parseSpectreFile(dir / "main.scs");  // strict: no throw
+  EXPECT_EQ(lib.subckt(lib.top()).devices().size(), 2u);
+}
+
+// --- strict mode keeps the classic throw-first contract ---------------
+
+TEST(ParserRecovery, StrictEntryPointsStillThrow) {
+  EXPECT_THROW(parseSpiceFile(corpus("bad_cards.sp")), ParseError);
+  EXPECT_THROW(parseSpiceFile(corpus("unknown_master.sp")), ParseError);
+  EXPECT_THROW(parseSpiceFile(corpus("cyclic_a.sp")), ParseError);
+  EXPECT_THROW(parseSpiceFile(corpus("self_include.sp")), ParseError);
+  EXPECT_THROW(parseSpiceFile(corpus("midfile_garbage.sp")), ParseError);
+  EXPECT_THROW(parseSpiceFile(corpus("unterminated.sp")), ParseError);
+  // Arity mismatches keep surfacing as structural NetlistErrors.
+  EXPECT_THROW(parseSpiceFile(corpus("wrong_arity.sp")), NetlistError);
+
+  EXPECT_THROW(parseSpectreFile(corpus("bad_cards.scs")), ParseError);
+  EXPECT_THROW(parseSpectreFile(corpus("cyclic_a.scs")), ParseError);
+  EXPECT_THROW(parseSpectreFile(corpus("midfile_garbage.scs")), ParseError);
+}
+
+TEST(ParserRecovery, MissingFileYieldsIoFailureDiagnostic) {
+  const auto parsed =
+      parseNetlistFileRecovering(corpusDir() / "does_not_exist.sp");
+  ASSERT_EQ(parsed.diagnostics.size(), 1u);
+  EXPECT_EQ(parsed.diagnostics[0].code, code(diag::codes::kIoFailure));
+  EXPECT_FALSE(parsed.ok());
+}
+
+// --- end-to-end: every corpus file flows through extraction -----------
+
+TEST(ParserRecovery, WholeCorpusSurvivesFailSoftExtraction) {
+  // One small trained pipeline shared by the sweep.
+  PipelineConfig config;
+  config.train.epochs = 2;
+  Pipeline pipeline(config);
+  const auto bench = circuits::makeDiffChain(2);
+  pipeline.train({&bench.lib});
+
+  std::size_t filesSeen = 0;
+  for (const auto& entry : fs::directory_iterator(corpusDir())) {
+    if (!entry.is_regular_file()) continue;
+    ++filesSeen;
+    SCOPED_TRACE(entry.path().filename().string());
+    const auto parsed = parseNetlistFileRecovering(entry.path());
+    // Every corpus deck is stamped with at least one coded diagnostic.
+    ASSERT_FALSE(parsed.diagnostics.empty());
+    for (const auto& d : parsed.diagnostics) {
+      EXPECT_FALSE(d.code.empty()) << d.str();
+      EXPECT_FALSE(d.message.empty()) << d.str();
+    }
+    // The surviving remainder must flow through extraction fail-soft.
+    diag::DiagnosticSink sink;
+    ExtractionResult result;
+    EXPECT_NO_THROW(result = pipeline.extract(parsed.value, sink));
+    // Diagnostics collected during extraction land in the run report.
+    EXPECT_EQ(result.report.diagnostics.size(), sink.size());
+  }
+  EXPECT_EQ(filesSeen, 12u);
+}
+
+}  // namespace
+}  // namespace ancstr

@@ -1,0 +1,123 @@
+#include "util/diagnostics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "util/error.h"
+
+namespace ancstr {
+namespace {
+
+using diag::Diagnostic;
+using diag::DiagnosticSink;
+using diag::Severity;
+
+TEST(Diagnostics, CollectModeAccumulates) {
+  DiagnosticSink sink;
+  EXPECT_FALSE(sink.strict());
+  sink.warning(diag::codes::kUnknownCard, "a.sp", 3, "odd card");
+  sink.error(diag::codes::kBadCard, "a.sp", 4, "broken card");
+  sink.note(diag::codes::kBadParameter, "a.sp", 5, "ignored param");
+  EXPECT_EQ(sink.size(), 3u);
+  EXPECT_EQ(sink.count(Severity::kWarning), 1u);
+  EXPECT_EQ(sink.errorCount(), 1u);
+  EXPECT_TRUE(sink.hasErrors());
+
+  const auto all = sink.snapshot();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[1].severity, Severity::kError);
+  EXPECT_EQ(all[1].code, diag::codes::kBadCard);
+  EXPECT_EQ(all[1].file, "a.sp");
+  EXPECT_EQ(all[1].line, 4u);
+}
+
+TEST(Diagnostics, StrictModeThrowsOnFirstError) {
+  DiagnosticSink sink(DiagnosticSink::Mode::kStrict);
+  EXPECT_TRUE(sink.strict());
+  // Warnings and notes never throw.
+  sink.warning(diag::codes::kUnknownCard, "a.sp", 1, "odd");
+  EXPECT_THROW(
+      sink.error(diag::codes::kBadCard, "a.sp", 2, "broken"), ParseError);
+  // The error is recorded before the throw.
+  EXPECT_EQ(sink.errorCount(), 1u);
+}
+
+TEST(Diagnostics, StrictThrowCarriesPositionAndCode) {
+  DiagnosticSink sink(DiagnosticSink::Mode::kStrict);
+  try {
+    sink.error(diag::codes::kBadCard, "x.sp", 7, "bad");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("x.sp"), std::string::npos);
+    EXPECT_NE(what.find("7"), std::string::npos);
+    EXPECT_NE(what.find("parse.bad_card"), std::string::npos);
+  }
+}
+
+TEST(Diagnostics, SnapshotFromAndTake) {
+  DiagnosticSink sink;
+  sink.error(diag::codes::kBadCard, "a.sp", 1, "one");
+  const std::size_t mark = sink.size();
+  sink.error(diag::codes::kBadCard, "a.sp", 2, "two");
+  const auto delta = sink.snapshotFrom(mark);
+  ASSERT_EQ(delta.size(), 1u);
+  EXPECT_EQ(delta[0].line, 2u);
+
+  const auto taken = sink.take();
+  EXPECT_EQ(taken.size(), 2u);
+  EXPECT_EQ(sink.size(), 0u);
+  EXPECT_FALSE(sink.hasErrors());
+}
+
+TEST(Diagnostics, StrRendersPositionSeverityAndCode) {
+  Diagnostic d{Severity::kError, std::string(diag::codes::kBadCard), "a.sp",
+               12, "broken card"};
+  const std::string s = d.str();
+  EXPECT_NE(s.find("a.sp:12"), std::string::npos);
+  EXPECT_NE(s.find("error"), std::string::npos);
+  EXPECT_NE(s.find("parse.bad_card"), std::string::npos);
+  EXPECT_NE(s.find("broken card"), std::string::npos);
+
+  // Position-free diagnostics elide the file:line prefix.
+  Diagnostic bare{Severity::kWarning, "io.failure", "", 0, "oops"};
+  EXPECT_EQ(bare.str().find(":0"), std::string::npos);
+}
+
+TEST(Diagnostics, ParsedOkReflectsErrorSeverityOnly) {
+  diag::Parsed<int> p;
+  p.value = 42;
+  EXPECT_TRUE(p.ok());
+  p.diagnostics.push_back(
+      Diagnostic{Severity::kWarning, "parse.unknown_card", "", 0, "w"});
+  EXPECT_TRUE(p.ok());
+  EXPECT_EQ(p.errorCount(), 0u);
+  p.diagnostics.push_back(
+      Diagnostic{Severity::kError, "parse.bad_card", "", 0, "e"});
+  EXPECT_FALSE(p.ok());
+  EXPECT_EQ(p.errorCount(), 1u);
+}
+
+TEST(Diagnostics, ConcurrentReportsAreAllRecorded) {
+  DiagnosticSink sink;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 250;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&sink, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        sink.warning(diag::codes::kUnknownCard, "t" + std::to_string(t),
+                     static_cast<std::size_t>(i), "concurrent");
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(sink.size(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+  EXPECT_EQ(sink.count(Severity::kWarning), sink.size());
+}
+
+}  // namespace
+}  // namespace ancstr

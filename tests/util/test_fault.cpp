@@ -1,0 +1,84 @@
+#include "util/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace ancstr {
+namespace {
+
+TEST(Fault, DisarmedSitesNeverFire) {
+  EXPECT_FALSE(fault::shouldFail("fault_test.never_armed"));
+  EXPECT_EQ(fault::corruptDouble("fault_test.never_armed", 1.5), 1.5);
+  EXPECT_EQ(fault::corruptText("fault_test.never_armed", "abcd"), "abcd");
+}
+
+TEST(Fault, EveryHitSpecFiresRepeatedly) {
+  const fault::ScopedFault armed("fault_test.always");
+  EXPECT_TRUE(fault::enabled());
+  EXPECT_TRUE(fault::shouldFail("fault_test.always"));
+  EXPECT_TRUE(fault::shouldFail("fault_test.always"));
+  EXPECT_FALSE(fault::shouldFail("fault_test.other"));
+}
+
+TEST(Fault, AtHitSpecFiresExactlyOnceOnNthHit) {
+  const fault::ScopedFault armed("fault_test.third@3");
+  EXPECT_FALSE(fault::shouldFail("fault_test.third"));  // hit 1
+  EXPECT_FALSE(fault::shouldFail("fault_test.third"));  // hit 2
+  EXPECT_TRUE(fault::shouldFail("fault_test.third"));   // hit 3: fires
+  EXPECT_FALSE(fault::shouldFail("fault_test.third"));  // never again
+  EXPECT_FALSE(fault::shouldFail("fault_test.third"));
+}
+
+TEST(Fault, CommaListArmsMultipleSites) {
+  const fault::ScopedFault armed("fault_test.a@1, fault_test.b");
+  EXPECT_TRUE(fault::shouldFail("fault_test.a"));
+  EXPECT_FALSE(fault::shouldFail("fault_test.a"));
+  EXPECT_TRUE(fault::shouldFail("fault_test.b"));
+  EXPECT_TRUE(fault::shouldFail("fault_test.b"));
+}
+
+TEST(Fault, CorruptDoubleInjectsNaN) {
+  const fault::ScopedFault armed("fault_test.nan@1");
+  const double corrupted = fault::corruptDouble("fault_test.nan", 2.0);
+  EXPECT_TRUE(std::isnan(corrupted));
+  // Subsequent hits pass the value through untouched.
+  EXPECT_EQ(fault::corruptDouble("fault_test.nan", 2.0), 2.0);
+}
+
+TEST(Fault, CorruptTextTruncatesToHalf) {
+  const fault::ScopedFault armed("fault_test.trunc@1");
+  EXPECT_EQ(fault::corruptText("fault_test.trunc", "abcdef"), "abc");
+  EXPECT_EQ(fault::corruptText("fault_test.trunc", "abcdef"), "abcdef");
+}
+
+TEST(Fault, DisarmAllClearsEverything) {
+  fault::arm("fault_test.x");
+  EXPECT_TRUE(fault::shouldFail("fault_test.x"));
+  fault::disarmAll();
+  EXPECT_FALSE(fault::shouldFail("fault_test.x"));
+}
+
+TEST(Fault, RearmResetsHitCounter) {
+  {
+    const fault::ScopedFault armed("fault_test.reset@2");
+    EXPECT_FALSE(fault::shouldFail("fault_test.reset"));
+    EXPECT_TRUE(fault::shouldFail("fault_test.reset"));
+  }
+  {
+    const fault::ScopedFault armed("fault_test.reset@2");
+    EXPECT_FALSE(fault::shouldFail("fault_test.reset"));
+    EXPECT_TRUE(fault::shouldFail("fault_test.reset"));
+  }
+}
+
+TEST(Fault, BadHitIndexThrows) {
+  EXPECT_THROW(fault::arm("fault_test.bad@0"), Error);
+  EXPECT_THROW(fault::arm("fault_test.bad@notanumber"), Error);
+  fault::disarmAll();
+}
+
+}  // namespace
+}  // namespace ancstr

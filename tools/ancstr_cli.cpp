@@ -32,6 +32,7 @@
 #include "netlist/spectre_parser.h"
 #include "netlist/spice_parser.h"
 #include "netlist/spice_writer.h"
+#include "util/diagnostics.h"
 #include "util/error.h"
 #include "util/json.h"
 #include "util/trace.h"
@@ -46,12 +47,14 @@ int usage() {
                "  ancstr_cli train   --out MODEL [--epochs N] [--seed S] "
                "NETLIST...\n"
                "  ancstr_cli extract --model MODEL [--format json|sym] "
-               "[--out FILE] [--groups] NETLIST\n"
-               "  ancstr_cli stats   NETLIST...\n"
+               "[--out FILE] [--groups] [--fail-soft] NETLIST\n"
+               "  ancstr_cli stats   [--fail-soft] NETLIST...\n"
                "  ancstr_cli check   --constraints FILE NETLIST\n"
                "  ancstr_cli corpus  --dir DIR\n"
                "train/extract also take: [--threads N] [--trace-out FILE]\n"
                "  [--metrics-out FILE] [--report json|table]\n"
+               "extract/stats also take: [--fail-soft] (recover from\n"
+               "  malformed input with diagnostics instead of aborting)\n"
                "netlists may be SPICE or Spectre (auto-detected)\n");
   return 1;
 }
@@ -179,19 +182,34 @@ int cmdExtract(Flags flags) {
   const std::filesystem::path outPath = flags.value("--out", "");
   const bool withGroups = flags.flag("--groups");
   const bool withArrays = flags.flag("--arrays");
+  const bool failSoft = flags.flag("--fail-soft");
   if (modelPath.empty() || flags.positional().size() != 1 ||
       !observe.validReport()) {
     return usage();
   }
   if (format != "json" && format != "sym") return usage();
 
-  const Library lib = parseNetlistFile(flags.positional()[0]);
+  diag::DiagnosticSink sink;  // collect mode; used only with --fail-soft
+  Library lib;
+  if (failSoft) {
+    diag::Parsed<Library> parsed =
+        parseNetlistFileRecovering(flags.positional()[0]);
+    for (const diag::Diagnostic& d : parsed.diagnostics) sink.report(d);
+    lib = std::move(parsed.value);
+  } else {
+    lib = parseNetlistFile(flags.positional()[0]);
+  }
   PipelineConfig config;
   config.threads = observe.threads;
   Pipeline pipeline(config);
   pipeline.loadModel(modelPath);
-  const ExtractionResult result = pipeline.extract(lib);
-  const FlatDesign design = FlatDesign::elaborate(lib);
+  ExtractionResult result =
+      failSoft ? pipeline.extract(lib, sink) : pipeline.extract(lib);
+  // extract() already reported elaboration problems into `sink`; use a
+  // throwaway sink here so they are not duplicated.
+  diag::DiagnosticSink designSink;
+  const FlatDesign design = failSoft ? FlatDesign::elaborate(lib, designSink)
+                                     : FlatDesign::elaborate(lib);
 
   std::vector<SymmetryGroup> groups;
   if (withGroups) groups = buildSymmetryGroups(design, result.detection);
@@ -211,15 +229,32 @@ int cmdExtract(Flags flags) {
                "extracted %zu constraints (%zu candidates) in %.3fs\n",
                result.detection.constraints().size(),
                result.detection.scored.size(), result.timing().total());
+  if (failSoft) {
+    // The emitted report carries everything (parse + elaborate + extract).
+    result.report.diagnostics = sink.snapshot();
+    for (const diag::Diagnostic& d : result.report.diagnostics) {
+      std::fprintf(stderr, "%s\n", d.str().c_str());
+    }
+  }
   observe.emit(result.report);
   return 0;
 }
 
 int cmdStats(Flags flags) {
+  const bool failSoft = flags.flag("--fail-soft");
   if (flags.positional().empty()) return usage();
   for (const std::string& path : flags.positional()) {
-    const Library lib = parseNetlistFile(path);
-    const FlatDesign design = FlatDesign::elaborate(lib);
+    diag::DiagnosticSink sink;  // collect mode; used only with --fail-soft
+    Library lib;
+    if (failSoft) {
+      diag::Parsed<Library> parsed = parseNetlistFileRecovering(path);
+      for (const diag::Diagnostic& d : parsed.diagnostics) sink.report(d);
+      lib = std::move(parsed.value);
+    } else {
+      lib = parseNetlistFile(path);
+    }
+    const FlatDesign design = failSoft ? FlatDesign::elaborate(lib, sink)
+                                       : FlatDesign::elaborate(lib);
     const CandidateSet candidates = enumerateCandidates(design, lib);
     std::printf(
         "%s: %zu subckts, %zu devices, %zu nets, %zu hierarchy nodes, "
@@ -228,6 +263,9 @@ int cmdStats(Flags flags) {
         design.nets().size(), design.hierarchy().size(),
         candidates.pairs.size(), candidates.count(ConstraintLevel::kSystem),
         candidates.count(ConstraintLevel::kDevice));
+    for (const diag::Diagnostic& d : sink.snapshot()) {
+      std::fprintf(stderr, "%s\n", d.str().c_str());
+    }
   }
   return 0;
 }
