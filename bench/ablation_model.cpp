@@ -12,6 +12,7 @@
 #include <iostream>
 
 #include "common.h"
+#include "harness.h"
 
 using namespace ancstr;
 using namespace ancstr::bench;
@@ -25,9 +26,12 @@ struct AblationResult {
   double deviceAuc = 0.0;
 };
 
-AblationResult evaluate(const std::vector<circuits::CircuitBenchmark>& corpus,
+AblationResult evaluate(BenchContext& ctx,
+                        const std::vector<circuits::CircuitBenchmark>& corpus,
                         const PipelineConfig& config) {
-  Pipeline pipeline = trainPipeline(corpus, config);
+  RunReport trainReport;
+  Pipeline pipeline = trainPipeline(corpus, config, &trainReport);
+  ctx.accumulateReport(trainReport);
   ConfusionCounts system, device;
   std::vector<double> sysScores, devScores;
   std::vector<bool> sysLabels, devLabels;
@@ -61,9 +65,7 @@ void addRow(TextTable& table, const std::string& name,
                 metricCell(r.device.fpr), metricCell(r.deviceAuc)});
 }
 
-}  // namespace
-
-int main() {
+void run(BenchContext& ctx) {
   const auto corpus = fullCorpus();
   const int epochs = 40;  // ablations trade a little quality for turnaround
 
@@ -71,55 +73,55 @@ int main() {
   table.setHeader({"Variant", "sys.F1", "sys.FPR", "sys.AUC", "dev.F1",
                    "dev.FPR", "dev.AUC"});
 
-  addRow(table, "paper config (K=2, M=10, geom on)",
-         evaluate(corpus, paperConfig(epochs)));
+  const AblationResult paper = evaluate(ctx, corpus, paperConfig(epochs));
+  addRow(table, "paper config (K=2, M=10, geom on)", paper);
 
   {
     PipelineConfig config = paperConfig(epochs);
     config.features.useGeometry = false;
     config.features.useLayers = false;
     config.model.featureDim = config.features.dims();
-    addRow(table, "no sizing features", evaluate(corpus, config));
+    addRow(table, "no sizing features", evaluate(ctx, corpus, config));
   }
   {
     PipelineConfig config = paperConfig(epochs);
     config.model.sharedWeights = false;
-    addRow(table, "per-layer weights", evaluate(corpus, config));
+    addRow(table, "per-layer weights", evaluate(ctx, corpus, config));
   }
   {
     PipelineConfig config = paperConfig(epochs);
     config.graph.collapseEdgeTypes = true;
-    addRow(table, "no edge types (|W|=1)", evaluate(corpus, config));
+    addRow(table, "no edge types (|W|=1)", evaluate(ctx, corpus, config));
   }
   {
     PipelineConfig config = paperConfig(epochs);
     config.detector.sizingAwareSimilarity = false;
-    addRow(table, "pure Eq.5 cosine", evaluate(corpus, config));
+    addRow(table, "pure Eq.5 cosine", evaluate(ctx, corpus, config));
   }
   {
     PipelineConfig config = paperConfig(epochs);
     config.model.meanAggregation = true;
-    addRow(table, "mean aggregation", evaluate(corpus, config));
+    addRow(table, "mean aggregation", evaluate(ctx, corpus, config));
   }
   {
     PipelineConfig config = paperConfig(epochs);
     config.detector.localBlockEmbeddings = false;
-    addRow(table, "context-sensitive block emb.", evaluate(corpus, config));
+    addRow(table, "context-sensitive block emb.", evaluate(ctx, corpus, config));
   }
   {
     PipelineConfig config = paperConfig(epochs);
     config.graph.maxNetDegree = 0;  // paper-literal full supply cliques
-    addRow(table, "full rail cliques", evaluate(corpus, config));
+    addRow(table, "full rail cliques", evaluate(ctx, corpus, config));
   }
   for (const int k : {1, 3}) {
     PipelineConfig config = paperConfig(epochs);
     config.model.numLayers = k;
-    addRow(table, "K = " + std::to_string(k), evaluate(corpus, config));
+    addRow(table, "K = " + std::to_string(k), evaluate(ctx, corpus, config));
   }
   for (const std::size_t m : {1u, 2u, 5u, 20u}) {
     PipelineConfig config = paperConfig(epochs);
     config.detector.embedding.topM = m;
-    addRow(table, "M = " + std::to_string(m), evaluate(corpus, config));
+    addRow(table, "M = " + std::to_string(m), evaluate(ctx, corpus, config));
   }
   {
     PipelineConfig config = paperConfig(epochs);
@@ -127,16 +129,24 @@ int main() {
     // approximated by zeroing beta).
     config.detector.alpha = 0.90;
     config.detector.beta = 0.0;
-    addRow(table, "fixed sys th = 0.90", evaluate(corpus, config));
+    addRow(table, "fixed sys th = 0.90", evaluate(ctx, corpus, config));
   }
   {
     PipelineConfig config = paperConfig(epochs);
     config.detector.alpha = 0.999;
     config.detector.beta = 0.0;
-    addRow(table, "fixed sys th = 0.999", evaluate(corpus, config));
+    addRow(table, "fixed sys th = 0.999", evaluate(ctx, corpus, config));
   }
 
   std::printf("\n=== Ablation study (merged datasets) ===\n");
   table.print(std::cout);
-  return 0;
+  ctx.setCounter("paper.sys_f1", paper.system.f1);
+  ctx.setCounter("paper.dev_f1", paper.device.f1);
 }
+
+[[maybe_unused]] const bool kRegistered =
+    registerBench("ablation.model", run);
+
+}  // namespace
+
+ANCSTR_BENCH_MAIN("ablation_model")

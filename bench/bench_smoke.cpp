@@ -1,0 +1,72 @@
+// CI smoke benchmark: small synthetic circuits, seconds per case, meant
+// to be run with --reps 3 --warmup 1 at threads 1 and 4 (the bench-smoke
+// CI job). Produces the full BENCH.json surface — wall stats, pipeline
+// phase breakdown, metrics delta, resource usage — cheaply enough to gate
+// every push via scripts/compare_bench.py.
+#include "circuits/synthetic.h"
+#include "core/pipeline.h"
+#include "harness.h"
+
+using namespace ancstr;
+using namespace ancstr::bench;
+
+namespace {
+
+PipelineConfig smokeConfig(BenchContext& ctx) {
+  PipelineConfig config;
+  config.train.epochs = 3;
+  config.seed = ctx.caseSeed();
+  config.threads = ctx.threads();
+  return config;
+}
+
+/// Pipeline trained once per (thread count) run and reused by the
+/// extraction cases, so they measure extraction rather than training.
+Pipeline& trainedPipeline(BenchContext& ctx) {
+  static circuits::CircuitBenchmark bench = circuits::makeDiffChain(8);
+  static Pipeline pipeline = [&] {
+    PipelineConfig config;
+    config.train.epochs = 3;
+    config.threads = ctx.threads();
+    Pipeline p(config);
+    p.train({&bench.lib});
+    return p;
+  }();
+  return pipeline;
+}
+
+void trainCase(BenchContext& ctx) {
+  const circuits::CircuitBenchmark bench = circuits::makeDiffChain(8);
+  Pipeline pipeline(smokeConfig(ctx));
+  const TrainReport report = pipeline.train({&bench.lib});
+  ctx.setReport(report.report);
+  ctx.setCounter("epochs", 3);
+  ctx.setCounter("final_loss", report.finalLoss());
+}
+
+void extractChainCase(BenchContext& ctx) {
+  static const circuits::CircuitBenchmark bench = circuits::makeDiffChain(8);
+  const ExtractionResult result = trainedPipeline(ctx).extract(bench.lib);
+  ctx.setReport(result.report);
+  ctx.setCounter("candidates",
+                 static_cast<double>(result.detection.scored.size()));
+}
+
+void extractArrayCase(BenchContext& ctx) {
+  static const circuits::CircuitBenchmark bench = circuits::makeBlockArray(4);
+  const ExtractionResult result = trainedPipeline(ctx).extract(bench.lib);
+  ctx.setReport(result.report);
+  ctx.setCounter("candidates",
+                 static_cast<double>(result.detection.scored.size()));
+}
+
+[[maybe_unused]] const bool kRegistered = [] {
+  registerBench("smoke.train.diff_chain8", trainCase);
+  registerBench("smoke.extract.diff_chain8", extractChainCase);
+  registerBench("smoke.extract.block_array4", extractArrayCase);
+  return true;
+}();
+
+}  // namespace
+
+ANCSTR_BENCH_MAIN("bench_smoke")

@@ -24,7 +24,7 @@ PipelineConfig paperConfig(int epochs, std::uint64_t seed) {
 }
 
 Pipeline trainPipeline(const std::vector<circuits::CircuitBenchmark>& corpus,
-                       const PipelineConfig& config) {
+                       const PipelineConfig& config, RunReport* reportOut) {
   Pipeline pipeline(config);
   std::vector<const Library*> libs;
   libs.reserve(corpus.size());
@@ -37,6 +37,7 @@ Pipeline trainPipeline(const std::vector<circuits::CircuitBenchmark>& corpus,
   if (env != nullptr && *env != '\0' && std::string(env) != "0") {
     printRunReport("[train] run report", report.report);
   }
+  if (reportOut != nullptr) *reportOut = report.report;
   return pipeline;
 }
 
@@ -65,27 +66,36 @@ Evaluated evalOurs(const Pipeline& pipeline,
   for (const ScoredCandidate& c : result.detection.scored) {
     if (c.pair.level == level) filtered.push_back(c);
   }
-  return reduce(design, filtered, bench.truth, result.timing().total());
+  Evaluated out =
+      reduce(design, filtered, bench.truth, result.timing().total());
+  out.report = result.report;
+  return out;
 }
 
 Evaluated evalS3Det(const circuits::CircuitBenchmark& bench) {
   const FlatDesign design = FlatDesign::elaborate(bench.lib);
   const s3det::S3DetResult result =
       s3det::detectSystemConstraints(design, bench.lib);
-  return reduce(design, result.scored, bench.truth, result.seconds);
+  Evaluated out = reduce(design, result.scored, bench.truth, result.seconds);
+  out.report.addPhase("baseline.s3det", result.seconds);
+  return out;
 }
 
 Evaluated evalSfa(const circuits::CircuitBenchmark& bench) {
   const FlatDesign design = FlatDesign::elaborate(bench.lib);
   const sfa::SfaResult result = sfa::detectDeviceConstraints(design, bench.lib);
-  return reduce(design, result.scored, bench.truth, result.seconds);
+  Evaluated out = reduce(design, result.scored, bench.truth, result.seconds);
+  out.report.addPhase("baseline.sfa", result.seconds);
+  return out;
 }
 
 Evaluated evalGed(const circuits::CircuitBenchmark& bench) {
   const FlatDesign design = FlatDesign::elaborate(bench.lib);
   const ged::GedResult result =
       ged::detectSystemConstraints(design, bench.lib);
-  return reduce(design, result.scored, bench.truth, result.seconds);
+  Evaluated out = reduce(design, result.scored, bench.truth, result.seconds);
+  out.report.addPhase("baseline.ged", result.seconds);
+  return out;
 }
 
 void addComparisonRow(TextTable& table, const std::string& name,

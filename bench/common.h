@@ -21,9 +21,12 @@ std::vector<circuits::CircuitBenchmark> fullCorpus();
 /// Default experiment configuration (paper Section IV: K=2, D=18, B=5).
 PipelineConfig paperConfig(int epochs = 60, std::uint64_t seed = 7);
 
-/// Trains once over the corpus; prints the training time.
+/// Trains once over the corpus; prints the training time. When
+/// `reportOut` is non-null the training RunReport is copied there so the
+/// bench harness can fold it into its per-case phase breakdown.
 Pipeline trainPipeline(const std::vector<circuits::CircuitBenchmark>& corpus,
-                       const PipelineConfig& config);
+                       const PipelineConfig& config,
+                       RunReport* reportOut = nullptr);
 
 /// One detector's output on one benchmark, reduced for evaluation.
 struct Evaluated {
@@ -31,6 +34,9 @@ struct Evaluated {
   std::vector<double> scores;  ///< per candidate (for ROC merging)
   std::vector<bool> labels;
   double seconds = 0.0;
+  /// Phase breakdown of the run (populated by evalOurs; the baselines
+  /// time themselves as a single phase).
+  RunReport report;
 };
 
 /// Runs our trained pipeline on `bench`, restricted to one level.

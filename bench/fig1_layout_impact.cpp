@@ -18,6 +18,7 @@
 
 #include "common.h"
 #include "core/groups.h"
+#include "harness.h"
 #include "place/pnr.h"
 #include "place/svg.h"
 
@@ -91,11 +92,11 @@ Scenario placeWith(
   return out;
 }
 
-}  // namespace
-
-int main() {
+void run(BenchContext& ctx) {
   const auto corpus = fullCorpus();
-  Pipeline pipeline = trainPipeline(corpus, paperConfig());
+  RunReport trainReport;
+  Pipeline pipeline = trainPipeline(corpus, paperConfig(), &trainReport);
+  ctx.accumulateReport(trainReport);
 
   std::printf("\n=== Fig. 1 proxy: layout impact of symmetry constraints "
               "===\n");
@@ -113,6 +114,7 @@ int main() {
     if (bench == nullptr) continue;
     const FlatDesign design = FlatDesign::elaborate(bench->lib);
     const ExtractionResult extraction = pipeline.extract(bench->lib);
+    ctx.accumulateReport(extraction.report);
 
     // Extracted device-level pairs at the root hierarchy.
     std::vector<std::pair<std::string, std::string>> extracted;
@@ -162,5 +164,11 @@ int main() {
       "\nShape check (paper Fig. 1: layout quality degrades as symmetry\n"
       "constraints are removed): asymmetry(full) < asymmetry(-1 pair) <= "
       "asymmetry(none) per design.\n");
-  return 0;
 }
+
+[[maybe_unused]] const bool kRegistered =
+    registerBench("fig1.layout_impact", run);
+
+}  // namespace
+
+ANCSTR_BENCH_MAIN("fig1_layout_impact")

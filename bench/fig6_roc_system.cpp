@@ -4,13 +4,18 @@
 #include <cstdio>
 
 #include "common.h"
+#include "harness.h"
 
 using namespace ancstr;
 using namespace ancstr::bench;
 
-int main() {
+namespace {
+
+void run(BenchContext& ctx) {
   const auto corpus = fullCorpus();
-  Pipeline pipeline = trainPipeline(corpus, paperConfig());
+  RunReport trainReport;
+  Pipeline pipeline = trainPipeline(corpus, paperConfig(), &trainReport);
+  ctx.accumulateReport(trainReport);
 
   std::vector<double> ourScores, s3Scores, gedScores;
   std::vector<bool> ourLabels, s3Labels, gedLabels;
@@ -40,5 +45,14 @@ int main() {
               ours.auc > s3det.auc && ours.auc > gedApprox.auc
                   ? "ours wins"
                   : "MISMATCH");
-  return 0;
+  ctx.setCounter("ours.auc", ours.auc);
+  ctx.setCounter("s3det.auc", s3det.auc);
+  ctx.setCounter("ged.auc", gedApprox.auc);
 }
+
+[[maybe_unused]] const bool kRegistered =
+    registerBench("fig6.roc_system", run);
+
+}  // namespace
+
+ANCSTR_BENCH_MAIN("fig6_roc_system")

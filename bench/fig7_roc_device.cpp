@@ -5,13 +5,18 @@
 #include <cstdio>
 
 #include "common.h"
+#include "harness.h"
 
 using namespace ancstr;
 using namespace ancstr::bench;
 
-int main() {
+namespace {
+
+void run(BenchContext& ctx) {
   const auto corpus = fullCorpus();
-  Pipeline pipeline = trainPipeline(corpus, paperConfig());
+  RunReport trainReport;
+  Pipeline pipeline = trainPipeline(corpus, paperConfig(), &trainReport);
+  ctx.accumulateReport(trainReport);
 
   std::vector<double> ourScores;
   std::vector<bool> ourLabels;
@@ -40,5 +45,14 @@ int main() {
               "  our TPR at SFA's FPR = %.3f vs SFA TPR %.3f -> %s\n",
               ours.auc, tprAtSfaFpr, sfa.tpr,
               tprAtSfaFpr >= sfa.tpr ? "enclosed" : "NOT enclosed");
-  return 0;
+  ctx.setCounter("ours.auc", ours.auc);
+  ctx.setCounter("sfa.tpr", sfa.tpr);
+  ctx.setCounter("sfa.fpr", sfa.fpr);
 }
+
+[[maybe_unused]] const bool kRegistered =
+    registerBench("fig7.roc_device", run);
+
+}  // namespace
+
+ANCSTR_BENCH_MAIN("fig7_roc_device")

@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "common.h"
+#include "harness.h"
 
 using namespace ancstr;
 using namespace ancstr::bench;
@@ -23,14 +24,14 @@ Metrics evalOne(const Pipeline& pipeline,
   return computeMetrics(evalOurs(pipeline, bench, level).counts);
 }
 
-}  // namespace
-
-int main() {
+void run(BenchContext& ctx) {
   const auto corpus = fullCorpus();
   const int epochs = 40;
 
   // Reference: trained on everything.
-  Pipeline reference = trainPipeline(corpus, paperConfig(epochs));
+  RunReport trainReport;
+  Pipeline reference = trainPipeline(corpus, paperConfig(epochs), &trainReport);
+  ctx.accumulateReport(trainReport);
 
   TextTable table;
   table.setHeader({"Held out", "level", "F1 (all)", "F1 (LOO)", "delta"});
@@ -66,5 +67,13 @@ int main() {
       "\nShape check (paper: the unsupervised strategy is inductive): "
       "held-out F1 within a few points of trained-on-all -> %s\n",
       std::abs(sumLoo - sumAll) / n < 0.05 ? "holds" : "DEGRADES");
-  return 0;
+  ctx.setCounter("f1.all.mean", sumAll / n);
+  ctx.setCounter("f1.loo.mean", sumLoo / n);
 }
+
+[[maybe_unused]] const bool kRegistered =
+    registerBench("generalization.loo", run);
+
+}  // namespace
+
+ANCSTR_BENCH_MAIN("generalization_loo")

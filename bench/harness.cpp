@@ -1,0 +1,257 @@
+#include "harness.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+#include "util/error.h"
+#include "util/metrics.h"
+#include "util/parallel.h"
+#include "util/resource.h"
+#include "util/stats.h"
+#include "util/timer.h"
+#include "util/trace.h"
+
+namespace ancstr::bench {
+
+namespace {
+
+std::uint64_t fnv1a64(std::string_view text) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+bool parseInt(std::string_view text, long long* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const std::string copy(text);
+  const long long value = std::strtoll(copy.c_str(), &end, 10);
+  if (end != copy.c_str() + copy.size()) return false;
+  *out = value;
+  return true;
+}
+
+void printUsage(const std::string& binaryName) {
+  std::fprintf(stderr,
+               "usage: %s [options]\n"
+               "  --list             print case names and exit\n"
+               "  --filter SUBSTR    run only cases whose name contains "
+               "SUBSTR\n"
+               "  --reps N           measured repetitions per case "
+               "(default 1)\n"
+               "  --warmup N         unmeasured warmup runs per case "
+               "(default 0)\n"
+               "  --threads N        worker threads for parallel cases "
+               "(default: ANCSTR_THREADS or hardware)\n"
+               "  --seed N           base seed; each case derives its own\n"
+               "  --json-out PATH    write the BENCH.json report\n"
+               "  --trace-out PATH   write a Chrome trace of the run\n"
+               "  --spans-out PATH   write the span-tree JSON of the run\n",
+               binaryName.c_str());
+}
+
+}  // namespace
+
+BenchContext::BenchContext(std::uint64_t caseSeed, std::size_t threads)
+    : rng_(caseSeed), caseSeed_(caseSeed), threads_(threads) {}
+
+BenchRegistry& BenchRegistry::instance() {
+  static BenchRegistry registry;
+  return registry;
+}
+
+void BenchRegistry::add(std::string name, BenchFn fn) {
+  for (const auto& [existing, unused] : cases_) {
+    if (existing == name) {
+      throw Error("bench: duplicate case name '" + name + "'");
+    }
+  }
+  cases_.emplace_back(std::move(name), std::move(fn));
+}
+
+std::vector<std::string> BenchRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(cases_.size());
+  for (const auto& [name, unused] : cases_) out.push_back(name);
+  return out;
+}
+
+std::vector<benchio::BenchCaseResult> BenchRegistry::run(
+    const BenchOptions& options) const {
+  const std::size_t threads = util::resolveThreadCount(options.threads);
+  std::vector<benchio::BenchCaseResult> results;
+  for (const auto& [name, fn] : cases_) {
+    if (!options.filter.empty() &&
+        name.find(options.filter) == std::string::npos) {
+      continue;
+    }
+    BenchContext ctx(options.seed ^ fnv1a64(name), threads);
+
+    for (int i = 0; i < options.warmup; ++i) {
+      ctx.rep_ = -1;
+      ctx.rng_ = Rng(ctx.caseSeed());
+      fn(ctx);
+    }
+
+    benchio::BenchCaseResult result;
+    result.name = name;
+    result.reps = options.reps;
+    result.warmup = options.warmup;
+
+    // Reports are kept per rep; only the one from the rep whose wall time
+    // lands closest to the median survives into BENCH.json, so the phase
+    // breakdown describes a representative run rather than an average of
+    // mismatched ones. Metrics and resource deltas span all measured reps.
+    std::vector<RunReport> repReports;
+    const metrics::Snapshot metricsBefore =
+        metrics::Registry::instance().snapshot();
+    const util::ResourceSample resourceBefore = util::ResourceSample::now();
+    for (int rep = 0; rep < options.reps; ++rep) {
+      ctx.rep_ = rep;
+      ctx.rng_ = Rng(ctx.caseSeed());
+      ctx.report_ = RunReport{};
+      const Stopwatch watch;
+      fn(ctx);
+      result.wallSeconds.push_back(watch.seconds());
+      repReports.push_back(std::move(ctx.report_));
+    }
+    result.resource =
+        util::ResourceSample::now().since(resourceBefore);
+    result.counters = ctx.counters_;
+
+    if (!repReports.empty()) {
+      const double med = median(result.wallSeconds);
+      std::size_t pick = 0;
+      for (std::size_t i = 1; i < repReports.size(); ++i) {
+        if (std::abs(result.wallSeconds[i] - med) <
+            std::abs(result.wallSeconds[pick] - med)) {
+          pick = i;
+        }
+      }
+      result.report = std::move(repReports[pick]);
+    }
+    result.report.metrics =
+        metrics::Registry::instance().snapshot().since(metricsBefore);
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+bool BenchRegistry::parseArgs(int argc, char** argv, BenchOptions* options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    long long n = 0;
+    if (arg == "--list") {
+      options->list = true;
+    } else if (arg == "--filter") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      options->filter = v;
+    } else if (arg == "--reps") {
+      const char* v = value();
+      if (v == nullptr || !parseInt(v, &n) || n < 1) return false;
+      options->reps = static_cast<int>(n);
+    } else if (arg == "--warmup") {
+      const char* v = value();
+      if (v == nullptr || !parseInt(v, &n) || n < 0) return false;
+      options->warmup = static_cast<int>(n);
+    } else if (arg == "--threads") {
+      const char* v = value();
+      if (v == nullptr || !parseInt(v, &n) || n < 0) return false;
+      options->threads = static_cast<std::size_t>(n);
+    } else if (arg == "--seed") {
+      const char* v = value();
+      if (v == nullptr || !parseInt(v, &n) || n < 0) return false;
+      options->seed = static_cast<std::uint64_t>(n);
+    } else if (arg == "--json-out") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      options->jsonOut = v;
+    } else if (arg == "--trace-out") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      options->traceOut = v;
+    } else if (arg == "--spans-out") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      options->spansOut = v;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n",
+                   std::string(arg).c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+int BenchRegistry::runMain(int argc, char** argv,
+                           const std::string& binaryName) const {
+  BenchOptions options;
+  if (!parseArgs(argc, argv, &options)) {
+    printUsage(binaryName);
+    return 2;
+  }
+  if (options.list) {
+    for (const std::string& name : names()) std::printf("%s\n", name.c_str());
+    return 0;
+  }
+
+  const bool wantTrace =
+      !options.traceOut.empty() || !options.spansOut.empty();
+  if (wantTrace) {
+    trace::TraceCollector::instance().clear();
+    trace::TraceCollector::instance().setEnabled(true);
+  }
+
+  const std::vector<benchio::BenchCaseResult> results = run(options);
+  if (wantTrace) trace::TraceCollector::instance().setEnabled(false);
+  if (results.empty()) {
+    std::fprintf(stderr, "%s: no case matches filter '%s'\n",
+                 binaryName.c_str(), options.filter.c_str());
+    return 1;
+  }
+
+  for (const benchio::BenchCaseResult& result : results) {
+    std::printf(
+        "[bench] %-40s median %.6fs  mad %.6fs  (%d reps, %d warmup)\n",
+        result.name.c_str(), result.medianWallSeconds(),
+        result.madWallSeconds(), result.reps, result.warmup);
+  }
+  std::printf("[bench] peak RSS %.1f MiB, %llu allocations\n",
+              static_cast<double>(util::peakRssBytes()) / (1024.0 * 1024.0),
+              static_cast<unsigned long long>(
+                  util::memoryCounters().allocCount));
+
+  benchio::BenchRunInfo info;
+  info.binary = binaryName;
+  info.threads = util::resolveThreadCount(options.threads);
+  info.seed = options.seed;
+  if (!options.jsonOut.empty()) {
+    benchio::writeBenchJson(options.jsonOut, info, results);
+    std::printf("[bench] wrote %s\n", options.jsonOut.c_str());
+  }
+  if (!options.traceOut.empty()) {
+    trace::TraceCollector::instance().writeFile(options.traceOut);
+    std::printf("[bench] wrote %s\n", options.traceOut.c_str());
+  }
+  if (!options.spansOut.empty()) {
+    trace::TraceCollector::instance().writeSpanTreeFile(options.spansOut);
+    std::printf("[bench] wrote %s\n", options.spansOut.c_str());
+  }
+  return 0;
+}
+
+bool registerBench(std::string name, BenchFn fn) {
+  BenchRegistry::instance().add(std::move(name), std::move(fn));
+  return true;
+}
+
+}  // namespace ancstr::bench

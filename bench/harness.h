@@ -1,0 +1,135 @@
+// Self-reporting bench harness: every bench binary registers named cases
+// and gets a uniform CLI (--json-out/--reps/--warmup/--filter/--list/
+// --threads/--seed/--trace-out/--spans-out), warmup + repetition with
+// median/MAD, deterministic per-case seeding, and a BENCH.json report
+// (util/bench_report.h) carrying wall time, phase breakdown, metrics
+// delta, and resource usage. scripts/compare_bench.py diffs two such
+// reports; docs/observability.md documents the schema and thresholds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/bench_report.h"
+#include "util/report.h"
+#include "util/rng.h"
+
+namespace ancstr::bench {
+
+/// Parsed harness CLI options (see usage text in harness.cpp). The
+/// defaults (one rep, no warmup) keep `for b in build/bench/*; do $b;
+/// done` at its historical cost; measurement-grade runs pass --reps /
+/// --warmup explicitly (CI's bench-smoke uses --reps 3 --warmup 1).
+struct BenchOptions {
+  int reps = 1;              ///< measured repetitions per case
+  int warmup = 0;            ///< unmeasured warmup runs per case
+  std::string filter;        ///< substring filter over case names
+  bool list = false;         ///< print case names and exit
+  std::size_t threads = 0;   ///< 0 = resolveThreadCount default
+  std::uint64_t seed = 42;   ///< base seed; each case derives its own
+  std::string jsonOut;       ///< BENCH.json path ("" = skip)
+  std::string traceOut;      ///< Chrome trace path ("" = tracing off)
+  std::string spansOut;      ///< span-tree path ("" = tracing off)
+};
+
+/// Per-run state handed to each case body. The same context instance is
+/// reused across warmup and measured reps of one case; rng() is reseeded
+/// before every rep so all reps execute identical work.
+class BenchContext {
+ public:
+  BenchContext(std::uint64_t caseSeed, std::size_t threads);
+
+  /// Deterministic per-case stream, reseeded to caseSeed() each rep.
+  Rng& rng() { return rng_; }
+
+  /// baseSeed ^ fnv1a(case name): stable across binaries and filters.
+  std::uint64_t caseSeed() const { return caseSeed_; }
+
+  /// Resolved worker count for this run; cases doing parallel work must
+  /// pass this into their PipelineConfig so --threads actually applies.
+  std::size_t threads() const { return threads_; }
+
+  /// 0-based measured rep index; -1 during warmup.
+  int rep() const { return rep_; }
+  bool measured() const { return rep_ >= 0; }
+
+  /// Replaces this rep's phase breakdown (kept only for the rep whose
+  /// wall time lands closest to the median).
+  void setReport(RunReport report) { report_ = std::move(report); }
+
+  /// Folds another report into this rep's (same-name phases add) — for
+  /// cases that run several extractions per rep.
+  void accumulateReport(const RunReport& other) { report_.accumulate(other); }
+
+  /// Free-form numeric output (problem size, AUC, items/s, ...); last
+  /// write per key wins and lands in BENCH.json under "counters".
+  void setCounter(const std::string& name, double value) {
+    counters_[name] = value;
+  }
+
+ private:
+  friend class BenchRegistry;
+
+  Rng rng_;
+  std::uint64_t caseSeed_;
+  std::size_t threads_;
+  int rep_ = -1;
+  RunReport report_;
+  std::map<std::string, double> counters_;
+};
+
+using BenchFn = std::function<void(BenchContext&)>;
+
+/// Orderd collection of named cases plus the measurement loop. Normally
+/// used through the process-wide instance() + registerBench + the
+/// ANCSTR_BENCH_MAIN macro; instantiable directly for tests.
+class BenchRegistry {
+ public:
+  static BenchRegistry& instance();
+
+  /// Registers a case; names must be unique within a binary.
+  void add(std::string name, BenchFn fn);
+
+  /// Registered case names, in registration order.
+  std::vector<std::string> names() const;
+
+  /// Runs every case whose name contains options.filter (all when empty):
+  /// warmup reps unmeasured, then options.reps measured reps with wall
+  /// time per rep, a metrics delta and resource delta over the measured
+  /// block, and the phase report of the median-closest rep.
+  std::vector<benchio::BenchCaseResult> run(const BenchOptions& options) const;
+
+  /// Full binary entry point: parses flags, runs, prints one summary line
+  /// per case, writes BENCH.json / trace / span-tree outputs. Returns the
+  /// process exit code (0 ok, 1 no case matched, 2 bad usage).
+  int runMain(int argc, char** argv, const std::string& binaryName) const;
+
+  /// Parses harness flags; returns false (with a message on stderr) on
+  /// unknown or malformed arguments. Exposed for tests.
+  static bool parseArgs(int argc, char** argv, BenchOptions* options);
+
+ private:
+  std::vector<std::pair<std::string, BenchFn>> cases_;
+};
+
+/// Static-initializer registration hook:
+///   namespace { const bool kReg = ancstr::bench::registerBench("x", run); }
+bool registerBench(std::string name, BenchFn fn);
+
+/// Keeps `value` alive past the optimizer without touching it.
+template <typename T>
+inline void doNotOptimize(const T& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+
+}  // namespace ancstr::bench
+
+/// Defines main() for a bench binary whose cases self-register.
+#define ANCSTR_BENCH_MAIN(binaryName)                                        \
+  int main(int argc, char** argv) {                                          \
+    return ancstr::bench::BenchRegistry::instance().runMain(argc, argv,      \
+                                                            binaryName);     \
+  }

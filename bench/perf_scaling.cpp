@@ -1,9 +1,15 @@
-// Runtime-scaling microbenchmarks (google-benchmark), backing the paper's
-// Section V-B scalability claims: graph construction, GNN inference, and
-// full extraction scale gently with design size, while the spectral
-// baseline's per-pair eigendecompositions blow up on block-rich designs
-// (the ADC4/ADC5 runtime gap in Table V).
-#include <benchmark/benchmark.h>
+// Runtime-scaling microbenchmarks, backing the paper's Section V-B
+// scalability claims: graph construction, GNN inference, and full
+// extraction scale gently with design size, while the spectral baseline's
+// per-pair eigendecompositions blow up on block-rich designs (the
+// ADC4/ADC5 runtime gap in Table V).
+//
+// Each case runs a fixed inner iteration count over a size-parameterised
+// synthetic circuit, so per-rep wall times are directly comparable across
+// runs (scripts/compare_bench.py). Fixtures are cached per size; a warmup
+// rep (--warmup 1) absorbs the one-time setup so measured reps see only
+// the operation under test.
+#include <map>
 
 #include "baselines/s3det.h"
 #include "circuits/synthetic.h"
@@ -11,10 +17,12 @@
 #include "core/model.h"
 #include "core/pipeline.h"
 #include "graph/pagerank.h"
+#include "harness.h"
 #include "util/parallel.h"
 #include "util/trace.h"
 
 using namespace ancstr;
+using namespace ancstr::bench;
 
 namespace {
 
@@ -36,99 +44,27 @@ circuits::CircuitBenchmark& blockArray(int blocks) {
   return it->second;
 }
 
-void BM_GraphConstruction(benchmark::State& state) {
-  const auto& bench = chain(static_cast<int>(state.range(0)));
-  const FlatDesign design = FlatDesign::elaborate(bench.lib);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(buildHeteroGraph(design));
+const FlatDesign& chainDesign(int stages) {
+  static std::map<int, FlatDesign> cache;
+  auto it = cache.find(stages);
+  if (it == cache.end()) {
+    it = cache.emplace(stages, FlatDesign::elaborate(chain(stages).lib)).first;
   }
-  state.SetComplexityN(state.range(0));
+  return it->second;
 }
 
-void BM_Elaboration(benchmark::State& state) {
-  const auto& bench = chain(static_cast<int>(state.range(0)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(FlatDesign::elaborate(bench.lib));
+/// Trained pipeline over a block array, shared across reps so extraction
+/// cases measure the extraction stage alone.
+Pipeline& trainedOnBlocks(int blocks) {
+  static std::map<int, Pipeline> cache;
+  auto it = cache.find(blocks);
+  if (it == cache.end()) {
+    PipelineConfig config;
+    config.train.epochs = 2;
+    it = cache.emplace(blocks, Pipeline(config)).first;
+    it->second.train({&blockArray(blocks).lib});
   }
-  state.SetComplexityN(state.range(0));
-}
-
-void BM_GnnInference(benchmark::State& state) {
-  const auto& bench = chain(static_cast<int>(state.range(0)));
-  const FlatDesign design = FlatDesign::elaborate(bench.lib);
-  const CircuitGraph graph = buildHeteroGraph(design);
-  const PreparedGraph prepared =
-      prepareGraph(graph, buildFeatureMatrix(design));
-  Rng rng(1);
-  const GnnModel model(GnnConfig{}, rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(model.embed(prepared));
-  }
-  state.SetComplexityN(state.range(0));
-}
-
-void BM_PageRank(benchmark::State& state) {
-  const auto& bench = chain(static_cast<int>(state.range(0)));
-  const FlatDesign design = FlatDesign::elaborate(bench.lib);
-  const SimpleDigraph g = buildHeteroGraph(design).graph.simplified();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(pageRank(g));
-  }
-  state.SetComplexityN(state.range(0));
-}
-
-void BM_FullExtraction(benchmark::State& state) {
-  const auto& bench = blockArray(static_cast<int>(state.range(0)));
-  PipelineConfig config;
-  config.train.epochs = 2;
-  Pipeline pipeline(config);
-  pipeline.train({&bench.lib});
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(pipeline.extract(bench.lib));
-  }
-  state.SetComplexityN(state.range(0));
-}
-
-/// BM_FullExtraction with live span collection: the delta against
-/// BM_FullExtraction is the cost of *enabled* tracing (every bench in this
-/// binary already pays the compiled-but-disabled cost, a relaxed atomic
-/// load per span site).
-void BM_FullExtractionTraced(benchmark::State& state) {
-  const auto& bench = blockArray(static_cast<int>(state.range(0)));
-  PipelineConfig config;
-  config.train.epochs = 2;
-  Pipeline pipeline(config);
-  pipeline.train({&bench.lib});
-  trace::TraceCollector::instance().setEnabled(true);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(pipeline.extract(bench.lib));
-    state.PauseTiming();
-    trace::TraceCollector::instance().clear();
-    state.ResumeTiming();
-  }
-  trace::TraceCollector::instance().setEnabled(false);
-  trace::TraceCollector::instance().clear();
-  state.SetComplexityN(state.range(0));
-}
-
-void BM_S3DetExtraction(benchmark::State& state) {
-  const auto& bench = blockArray(static_cast<int>(state.range(0)));
-  const FlatDesign design = FlatDesign::elaborate(bench.lib);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(s3det::detectSystemConstraints(design, bench.lib));
-  }
-  state.SetComplexityN(state.range(0));
-}
-
-void BM_Training(benchmark::State& state) {
-  const auto& bench = chain(static_cast<int>(state.range(0)));
-  PipelineConfig config;
-  config.train.epochs = 1;
-  for (auto _ : state) {
-    Pipeline pipeline(config);
-    pipeline.train({&bench.lib});
-  }
-  state.SetComplexityN(state.range(0));
+  return it->second;
 }
 
 /// Trained state over the largest synthetic block benchmark, built once
@@ -160,63 +96,172 @@ DetectionScalingFixture& detectionFixture() {
   return fixture;
 }
 
-/// Thread-count sweep of the detection stage (block embeddings + pair
-/// scoring). The BENCH json records one entry per thread count; speedup at
-/// T threads = time(/1) / time(/T). Results are bitwise identical across
-/// the sweep, so this measures pure wall-clock scaling.
-void BM_DetectionThreads(benchmark::State& state) {
-  DetectionScalingFixture& f = detectionFixture();
-  DetectorConfig config = f.config.detector;
-  config.graphOptions = f.config.graph;
-  const std::size_t threads = static_cast<std::size_t>(state.range(0));
-  const BlockEmbeddingContext context{f.pipeline.model(), f.config.features};
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(detectConstraints(f.design, f.bench.lib, f.z,
-                                               config, context, threads));
-  }
-  state.counters["threads"] =
-      static_cast<double>(util::resolveThreadCount(threads));
+std::string sized(const char* base, int n) {
+  return std::string(base) + "/" + std::to_string(n);
 }
 
-/// Thread-count sweep of training with whole-epoch batches: the per-graph
-/// forward/loss/backward fan-out is the parallel section; weights stay
-/// bitwise identical across the sweep.
-void BM_TrainingThreads(benchmark::State& state) {
-  static const std::vector<circuits::CircuitBenchmark> corpus = [] {
-    std::vector<circuits::CircuitBenchmark> out;
-    for (int i = 0; i < 8; ++i) out.push_back(circuits::makeDiffChain(6));
-    return out;
-  }();
-  PipelineConfig config;
-  config.train.epochs = 2;
-  config.train.batchSize = 0;  // whole epoch per step -> widest fan-out
-  config.threads = static_cast<std::size_t>(state.range(0));
-  std::vector<const Library*> libs;
-  for (const auto& bench : corpus) libs.push_back(&bench.lib);
-  for (auto _ : state) {
-    Pipeline pipeline(config);
-    pipeline.train(libs);
-  }
-  state.counters["threads"] =
-      static_cast<double>(util::resolveThreadCount(config.threads));
+void setSizeCounters(BenchContext& ctx, int n, int inner) {
+  ctx.setCounter("n", static_cast<double>(n));
+  ctx.setCounter("inner_iterations", static_cast<double>(inner));
 }
+
+[[maybe_unused]] const bool kRegistered = [] {
+  for (const int n : {4, 16, 64, 256}) {
+    registerBench(sized("perf.elaboration", n), [n](BenchContext& ctx) {
+      constexpr int kInner = 8;
+      for (int i = 0; i < kInner; ++i) {
+        doNotOptimize(FlatDesign::elaborate(chain(n).lib));
+      }
+      setSizeCounters(ctx, n, kInner);
+    });
+  }
+  for (const int n : {4, 16, 64, 256}) {
+    registerBench(sized("perf.graph_build", n), [n](BenchContext& ctx) {
+      constexpr int kInner = 8;
+      for (int i = 0; i < kInner; ++i) {
+        doNotOptimize(buildHeteroGraph(chainDesign(n)));
+      }
+      setSizeCounters(ctx, n, kInner);
+    });
+  }
+  for (const int n : {4, 16, 64}) {
+    registerBench(sized("perf.gnn_inference", n), [n](BenchContext& ctx) {
+      static std::map<int, std::pair<PreparedGraph, GnnModel>> cache;
+      auto it = cache.find(n);
+      if (it == cache.end()) {
+        const FlatDesign& design = chainDesign(n);
+        Rng rng(1);
+        it = cache
+                 .emplace(n, std::make_pair(
+                                 prepareGraph(buildHeteroGraph(design),
+                                              buildFeatureMatrix(design)),
+                                 GnnModel(GnnConfig{}, rng)))
+                 .first;
+      }
+      constexpr int kInner = 4;
+      for (int i = 0; i < kInner; ++i) {
+        doNotOptimize(it->second.second.embed(it->second.first));
+      }
+      setSizeCounters(ctx, n, kInner);
+    });
+  }
+  for (const int n : {4, 16, 64, 256}) {
+    registerBench(sized("perf.pagerank", n), [n](BenchContext& ctx) {
+      static std::map<int, SimpleDigraph> cache;
+      auto it = cache.find(n);
+      if (it == cache.end()) {
+        it = cache
+                 .emplace(n,
+                          buildHeteroGraph(chainDesign(n)).graph.simplified())
+                 .first;
+      }
+      constexpr int kInner = 8;
+      for (int i = 0; i < kInner; ++i) doNotOptimize(pageRank(it->second));
+      setSizeCounters(ctx, n, kInner);
+    });
+  }
+  for (const int n : {2, 6, 10}) {
+    registerBench(sized("perf.full_extraction", n), [n](BenchContext& ctx) {
+      Pipeline& pipeline = trainedOnBlocks(n);
+      constexpr int kInner = 2;
+      for (int i = 0; i < kInner; ++i) {
+        const ExtractionResult result = pipeline.extract(blockArray(n).lib);
+        if (ctx.measured() && i == 0) ctx.setReport(result.report);
+        doNotOptimize(result);
+      }
+      setSizeCounters(ctx, n, kInner);
+    });
+  }
+  // The delta against perf.full_extraction is the cost of *enabled*
+  // tracing (every case already pays the compiled-but-disabled cost, a
+  // relaxed atomic load per span site).
+  for (const int n : {2, 6, 10}) {
+    registerBench(
+        sized("perf.full_extraction_traced", n), [n](BenchContext& ctx) {
+          Pipeline& pipeline = trainedOnBlocks(n);
+          trace::TraceCollector& collector = trace::TraceCollector::instance();
+          const bool wasEnabled = collector.enabled();
+          if (!wasEnabled) collector.setEnabled(true);
+          constexpr int kInner = 2;
+          for (int i = 0; i < kInner; ++i) {
+            doNotOptimize(pipeline.extract(blockArray(n).lib));
+          }
+          if (!wasEnabled) {
+            collector.setEnabled(false);
+            collector.clear();
+          }
+          setSizeCounters(ctx, n, kInner);
+        });
+  }
+  for (const int n : {2, 6, 10}) {
+    registerBench(sized("perf.s3det_extraction", n), [n](BenchContext& ctx) {
+      static std::map<int, FlatDesign> cache;
+      auto it = cache.find(n);
+      if (it == cache.end()) {
+        it = cache.emplace(n, FlatDesign::elaborate(blockArray(n).lib)).first;
+      }
+      constexpr int kInner = 2;
+      for (int i = 0; i < kInner; ++i) {
+        doNotOptimize(
+            s3det::detectSystemConstraints(it->second, blockArray(n).lib));
+      }
+      setSizeCounters(ctx, n, kInner);
+    });
+  }
+  for (const int n : {4, 16, 64}) {
+    registerBench(sized("perf.training", n), [n](BenchContext& ctx) {
+      PipelineConfig config;
+      config.train.epochs = 1;
+      Pipeline pipeline(config);
+      pipeline.train({&chain(n).lib});
+      setSizeCounters(ctx, n, 1);
+    });
+  }
+  // Thread sweeps: one case per worker count; speedup at T threads =
+  // median(/1) / median(/T). Results are bitwise identical across the
+  // sweep, so this measures pure wall-clock scaling.
+  for (const int t : {1, 2, 4, 8}) {
+    registerBench(sized("perf.detection_threads", t), [t](BenchContext& ctx) {
+      DetectionScalingFixture& f = detectionFixture();
+      DetectorConfig config = f.config.detector;
+      config.graphOptions = f.config.graph;
+      const std::size_t threads = static_cast<std::size_t>(t);
+      const BlockEmbeddingContext context{f.pipeline.model(),
+                                          f.config.features};
+      constexpr int kInner = 2;
+      for (int i = 0; i < kInner; ++i) {
+        doNotOptimize(detectConstraints(f.design, f.bench.lib, f.z, config,
+                                        context, threads));
+      }
+      ctx.setCounter("threads",
+                     static_cast<double>(util::resolveThreadCount(threads)));
+      ctx.setCounter("inner_iterations", kInner);
+    });
+  }
+  // Whole-epoch batches: the per-graph forward/loss/backward fan-out is
+  // the parallel section; weights stay bitwise identical across the sweep.
+  for (const int t : {1, 2, 4}) {
+    registerBench(sized("perf.training_threads", t), [t](BenchContext& ctx) {
+      static const std::vector<circuits::CircuitBenchmark> corpus = [] {
+        std::vector<circuits::CircuitBenchmark> out;
+        for (int i = 0; i < 8; ++i) out.push_back(circuits::makeDiffChain(6));
+        return out;
+      }();
+      PipelineConfig config;
+      config.train.epochs = 2;
+      config.train.batchSize = 0;  // whole epoch per step -> widest fan-out
+      config.threads = static_cast<std::size_t>(t);
+      std::vector<const Library*> libs;
+      for (const auto& bench : corpus) libs.push_back(&bench.lib);
+      Pipeline pipeline(config);
+      pipeline.train(libs);
+      ctx.setCounter("threads", static_cast<double>(util::resolveThreadCount(
+                                    config.threads)));
+    });
+  }
+  return true;
+}();
 
 }  // namespace
 
-BENCHMARK(BM_Elaboration)->RangeMultiplier(4)->Range(4, 256)->Complexity();
-BENCHMARK(BM_GraphConstruction)
-    ->RangeMultiplier(4)
-    ->Range(4, 256)
-    ->Complexity();
-BENCHMARK(BM_GnnInference)->RangeMultiplier(4)->Range(4, 64)->Complexity();
-BENCHMARK(BM_PageRank)->RangeMultiplier(4)->Range(4, 256)->Complexity();
-BENCHMARK(BM_FullExtraction)->DenseRange(2, 10, 4);
-BENCHMARK(BM_FullExtractionTraced)->DenseRange(2, 10, 4);
-BENCHMARK(BM_S3DetExtraction)->DenseRange(2, 10, 4);
-BENCHMARK(BM_Training)->RangeMultiplier(4)->Range(4, 64);
-// Thread sweeps are wall-clock measurements: with workers, CPU time sums
-// across threads and would hide the speedup.
-BENCHMARK(BM_DetectionThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
-BENCHMARK(BM_TrainingThreads)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
-
-BENCHMARK_MAIN();
+ANCSTR_BENCH_MAIN("perf_scaling")

@@ -6,18 +6,24 @@
 #include <iostream>
 
 #include "common.h"
+#include "harness.h"
 #include "util/stats.h"
 
 using namespace ancstr;
 using namespace ancstr::bench;
 
-int main() {
+namespace {
+
+void run(BenchContext& ctx) {
   const auto corpus = fullCorpus();
   const std::vector<std::uint64_t> seeds{1, 7, 42, 1234, 98765};
 
   std::vector<double> sysF1, sysFpr, devF1, devFpr;
   for (const std::uint64_t seed : seeds) {
-    Pipeline pipeline = trainPipeline(corpus, paperConfig(60, seed));
+    RunReport trainReport;
+    Pipeline pipeline =
+        trainPipeline(corpus, paperConfig(60, seed), &trainReport);
+    ctx.accumulateReport(trainReport);
     ConfusionCounts system, device;
     for (const auto& bench : corpus) {
       if (bench.category == "ADC") {
@@ -50,5 +56,15 @@ int main() {
   addRow("device FPR", devFpr);
   std::printf("\n=== Seed stability over %zu seeds ===\n", seeds.size());
   table.print(std::cout);
-  return 0;
+  ctx.setCounter("sys_f1.mean", mean(sysF1));
+  ctx.setCounter("sys_f1.stddev", stddev(sysF1));
+  ctx.setCounter("dev_f1.mean", mean(devF1));
+  ctx.setCounter("dev_f1.stddev", stddev(devF1));
 }
+
+[[maybe_unused]] const bool kRegistered =
+    registerBench("stability.seeds", run);
+
+}  // namespace
+
+ANCSTR_BENCH_MAIN("stability_seeds")

@@ -6,11 +6,14 @@
 #include <iostream>
 
 #include "common.h"
+#include "harness.h"
 #include "netlist/flatten.h"
 
 using namespace ancstr;
 
-int main() {
+namespace {
+
+void run(bench::BenchContext& ctx) {
   std::printf("=== Table III: ADC benchmark statistics ===\n");
   {
     TextTable table;
@@ -68,6 +71,15 @@ int main() {
                   std::to_string(total.devices), std::to_string(total.nets),
                   std::to_string(total.pairs), std::to_string(total.truth)});
     table.print(std::cout);
+    ctx.setCounter("block.circuits", static_cast<double>(total.circuits));
+    ctx.setCounter("block.devices", static_cast<double>(total.devices));
+    ctx.setCounter("block.valid_pairs", static_cast<double>(total.pairs));
   }
-  return 0;
 }
+
+[[maybe_unused]] const bool kRegistered =
+    bench::registerBench("table34.datasets", run);
+
+}  // namespace
+
+ANCSTR_BENCH_MAIN("table34_datasets")

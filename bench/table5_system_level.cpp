@@ -7,13 +7,18 @@
 #include <iostream>
 
 #include "common.h"
+#include "harness.h"
 
 using namespace ancstr;
 using namespace ancstr::bench;
 
-int main() {
+namespace {
+
+void run(BenchContext& ctx) {
   const auto corpus = fullCorpus();
-  Pipeline pipeline = trainPipeline(corpus, paperConfig());
+  RunReport trainReport;
+  Pipeline pipeline = trainPipeline(corpus, paperConfig(), &trainReport);
+  ctx.accumulateReport(trainReport);
 
   std::printf("\n=== Table V: system-level constraint extraction ===\n");
   TextTable table;
@@ -28,6 +33,8 @@ int main() {
     if (bench.category != "ADC") continue;
     const Evaluated s3 = evalS3Det(bench);
     const Evaluated us = evalOurs(pipeline, bench, ConstraintLevel::kSystem);
+    ctx.accumulateReport(s3.report);
+    ctx.accumulateReport(us.report);
     addComparisonRow(table, "ADC" + std::to_string(idx++),
                      computeMetrics(s3.counts), s3.seconds,
                      computeMetrics(us.counts), us.seconds);
@@ -54,5 +61,15 @@ int main() {
       s3m.fpr, ourm.fpr, ourm.fpr <= s3m.fpr ? "ours wins" : "MISMATCH",
       s3detSeconds, oursSeconds,
       oursSeconds > 0 ? s3detSeconds / oursSeconds : 0.0);
-  return 0;
+  ctx.setCounter("ours.f1", ourm.f1);
+  ctx.setCounter("s3det.f1", s3m.f1);
+  ctx.setCounter("ours.seconds", oursSeconds);
+  ctx.setCounter("s3det.seconds", s3detSeconds);
 }
+
+[[maybe_unused]] const bool kRegistered =
+    registerBench("table5.system_level", run);
+
+}  // namespace
+
+ANCSTR_BENCH_MAIN("table5_system_level")

@@ -6,13 +6,18 @@
 #include <iostream>
 
 #include "common.h"
+#include "harness.h"
 
 using namespace ancstr;
 using namespace ancstr::bench;
 
-int main() {
+namespace {
+
+void run(BenchContext& ctx) {
   const auto corpus = fullCorpus();
-  Pipeline pipeline = trainPipeline(corpus, paperConfig());
+  RunReport trainReport;
+  Pipeline pipeline = trainPipeline(corpus, paperConfig(), &trainReport);
+  ctx.accumulateReport(trainReport);
 
   std::printf("\n=== Table VI: device-level constraint extraction ===\n");
   TextTable table;
@@ -27,6 +32,8 @@ int main() {
     if (bench.category == "ADC") continue;
     const Evaluated sfa = evalSfa(bench);
     const Evaluated us = evalOurs(pipeline, bench, ConstraintLevel::kDevice);
+    ctx.accumulateReport(sfa.report);
+    ctx.accumulateReport(us.report);
     addComparisonRow(table, bench.name, computeMetrics(sfa.counts),
                      sfa.seconds, computeMetrics(us.counts), us.seconds);
     sfaTotal += sfa.counts;
@@ -54,5 +61,15 @@ int main() {
       ourm.fpr <= sfam.fpr ? "ours wins" : "MISMATCH", sfam.ppv, ourm.ppv,
       ourm.ppv >= sfam.ppv ? "ours wins" : "MISMATCH", sfam.f1, ourm.f1,
       ourm.f1 >= sfam.f1 ? "ours wins" : "MISMATCH");
-  return 0;
+  ctx.setCounter("ours.f1", ourm.f1);
+  ctx.setCounter("sfa.f1", sfam.f1);
+  ctx.setCounter("ours.seconds", oursSeconds);
+  ctx.setCounter("sfa.seconds", sfaSeconds);
 }
+
+[[maybe_unused]] const bool kRegistered =
+    registerBench("table6.device_level", run);
+
+}  // namespace
+
+ANCSTR_BENCH_MAIN("table6_device_level")

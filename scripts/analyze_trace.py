@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""Critical-path and self-time analysis over an ancstr trace.
+
+    analyze_trace.py TRACE.json [--top N]
+
+Accepts either export format (docs/observability.md):
+  * Chrome trace_event JSON  (--trace-out): {"traceEvents": [...]}
+  * ancstr span-tree JSON    (--spans-out): {"kind": "ancstr-span-tree", ...}
+
+Reports three things:
+  1. Self-time per span name (time inside the span but outside its
+     children) — where the program actually spends its cycles.
+  2. The critical path: starting from the longest top-level span, the
+     chain of longest children, with per-hop duration and self-time.
+  3. Parallel efficiency per `parallel.for` region: the ratio of summed
+     `parallel.chunk` busy time to (region wall time x worker count).
+     1.0 means perfectly balanced chunks; low values mean stragglers or
+     serial sections inside the region.
+
+Exits 0 on success, 1 when the trace is unreadable or contains no spans.
+"""
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+class Span:
+    __slots__ = ("name", "start_us", "dur_us", "self_us", "tid", "children")
+
+    def __init__(self, name, start_us, dur_us, tid):
+        self.name = name
+        self.start_us = float(start_us)
+        self.dur_us = float(dur_us)
+        self.self_us = float(dur_us)
+        self.tid = tid
+        self.children = []
+
+    @property
+    def end_us(self):
+        return self.start_us + self.dur_us
+
+
+def spans_from_chrome(trace):
+    """Rebuilds per-thread span trees from flat complete ('X') events."""
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("traceEvents missing")
+    by_tid = defaultdict(list)
+    for e in events:
+        if e.get("ph") != "X":
+            continue
+        by_tid[e["tid"]].append(Span(e["name"], e["ts"], e["dur"], e["tid"]))
+    roots = []
+    for tid, spans in by_tid.items():
+        # Earlier start first; ties broken by longer duration (the parent).
+        spans.sort(key=lambda s: (s.start_us, -s.dur_us))
+        stack = []
+        for span in spans:
+            while stack and span.start_us >= stack[-1].end_us:
+                stack.pop()
+            if stack:
+                stack[-1].children.append(span)
+                stack[-1].self_us -= span.dur_us
+            else:
+                roots.append(span)
+            stack.append(span)
+    return roots
+
+
+def spans_from_tree(tree):
+    """Loads the span-tree export, which carries nesting and selfUs."""
+    roots = []
+
+    def walk(node, tid):
+        span = Span(node["name"], node["startUs"], node["durUs"], tid)
+        span.self_us = float(node.get("selfUs", span.dur_us))
+        for child in node.get("children", []):
+            span.children.append(walk(child, tid))
+        return span
+
+    for thread in tree.get("threads", []):
+        tid = thread.get("tid")
+        for node in thread.get("spans", []):
+            roots.append(walk(node, tid))
+    return roots
+
+
+def iter_spans(roots):
+    stack = list(roots)
+    while stack:
+        span = stack.pop()
+        yield span
+        stack.extend(span.children)
+
+
+def report_self_time(roots, top):
+    agg = defaultdict(lambda: [0, 0.0, 0.0])  # name -> [count, dur, self]
+    for span in iter_spans(roots):
+        entry = agg[span.name]
+        entry[0] += 1
+        entry[1] += span.dur_us
+        entry[2] += span.self_us
+    total_self = sum(entry[2] for entry in agg.values()) or 1.0
+    print(f"Self-time by span ({len(agg)} names, top {top}):")
+    print(f"  {'span':40s} {'count':>7s} {'total ms':>10s} "
+          f"{'self ms':>10s} {'self %':>7s}")
+    ranked = sorted(agg.items(), key=lambda kv: -kv[1][2])
+    for name, (count, dur, self_us) in ranked[:top]:
+        print(f"  {name:40s} {count:7d} {dur / 1e3:10.3f} "
+              f"{self_us / 1e3:10.3f} {100.0 * self_us / total_self:6.1f}%")
+
+
+def report_critical_path(roots):
+    if not roots:
+        return
+    span = max(roots, key=lambda s: s.dur_us)
+    print("Critical path (longest child at each level):")
+    depth = 0
+    while span is not None:
+        print(f"  {'  ' * depth}{span.name}: {span.dur_us / 1e3:.3f} ms "
+              f"(self {span.self_us / 1e3:.3f} ms)")
+        span = max(span.children, key=lambda s: s.dur_us, default=None)
+        depth += 1
+
+
+def report_parallel_efficiency(roots):
+    regions = [s for s in iter_spans(roots) if s.name == "parallel.for"]
+    if not regions:
+        print("Parallel efficiency: no parallel.for regions in trace")
+        return
+    chunks = [s for s in iter_spans(roots) if s.name == "parallel.chunk"]
+    print(f"Parallel efficiency ({len(regions)} parallel.for regions, "
+          f"widest first):")
+    regions.sort(key=lambda r: -r.dur_us)
+    efficiencies = []
+    shown = 10
+    for i, region in enumerate(regions):
+        # Chunks run on worker threads, so associate by time overlap
+        # rather than tree parentage.
+        mine = [c for c in chunks
+                if c.start_us < region.end_us and c.end_us > region.start_us]
+        workers = len({c.tid for c in mine}) or 1
+        busy = sum(c.dur_us for c in mine)
+        wall = region.dur_us or 1.0
+        eff = busy / (wall * workers)
+        efficiencies.append(eff)
+        if i < shown:
+            print(f"  region {i}: wall {wall / 1e3:.3f} ms, "
+                  f"{len(mine)} chunks on {workers} thread(s), "
+                  f"busy {busy / 1e3:.3f} ms, efficiency {eff:.2f}")
+    if len(regions) > shown:
+        print(f"  ... {len(regions) - shown} smaller region(s) not shown")
+    mean = sum(efficiencies) / len(efficiencies)
+    print(f"  mean efficiency: {mean:.2f}")
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("trace", help="chrome-trace or span-tree JSON file")
+    parser.add_argument("--top", type=int, default=15,
+                        help="rows in the self-time table (default 15)")
+    args = parser.parse_args(argv[1:])
+
+    try:
+        with open(args.trace, encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"FAIL: cannot load {args.trace}: {err}", file=sys.stderr)
+        return 1
+
+    try:
+        if isinstance(data, dict) and data.get("kind") == "ancstr-span-tree":
+            roots = spans_from_tree(data)
+        else:
+            roots = spans_from_chrome(data)
+    except (ValueError, KeyError, TypeError) as err:
+        print(f"FAIL: malformed trace: {err}", file=sys.stderr)
+        return 1
+
+    if not roots:
+        print("FAIL: trace contains no spans", file=sys.stderr)
+        return 1
+
+    report_self_time(roots, args.top)
+    print()
+    report_critical_path(roots)
+    print()
+    report_parallel_efficiency(roots)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,8 +1,10 @@
 #!/usr/bin/env python3
-"""Validates an ancstr_cli --trace-out file.
+"""Validates an ancstr trace export (--trace-out or --spans-out).
 
-Fails (exit 1) when the file is not valid Chrome trace_event JSON, when a
-required span name is missing, or when any event violates the schema
+Auto-detects the format: a {"kind": "ancstr-span-tree"} document is checked
+against the span-tree schema (nesting, selfUs accounting); anything else is
+checked as Chrome trace_event JSON. Fails (exit 1) when the file is invalid,
+when a required span name is missing, or when any event violates the schema
 (docs/observability.md). Usage:
 
     check_trace.py TRACE_JSON [REQUIRED_SPAN ...]
@@ -24,21 +26,10 @@ DEFAULT_REQUIRED = [
     "model.embed",
 ]
 
+SPAN_TREE_SCHEMA_VERSION = 1
 
-def main(argv):
-    if len(argv) < 2:
-        print(__doc__, file=sys.stderr)
-        return 1
-    path = argv[1]
-    required = argv[2:] or DEFAULT_REQUIRED
 
-    try:
-        with open(path, encoding="utf-8") as fh:
-            trace = json.load(fh)
-    except (OSError, json.JSONDecodeError) as err:
-        print(f"FAIL: cannot load {path}: {err}", file=sys.stderr)
-        return 1
-
+def check_chrome(trace, required):
     events = trace.get("traceEvents")
     if not isinstance(events, list) or not events:
         print("FAIL: traceEvents missing or empty", file=sys.stderr)
@@ -67,6 +58,94 @@ def main(argv):
     print(f"OK: {len(events)} events, {len(names)} distinct spans, "
           f"all {len(required)} required spans present")
     return 0
+
+
+def check_span_node(node, path, names, counts):
+    """Validates one span-tree node recursively. Returns an error or None."""
+    for key, kind in (("name", str), ("startUs", (int, float)),
+                      ("durUs", (int, float)), ("selfUs", (int, float)),
+                      ("children", list)):
+        if not isinstance(node.get(key), kind):
+            return f"span {path} field {key!r} malformed: {node}"
+    names.add(node["name"])
+    counts[0] += 1
+    end_us = node["startUs"] + node["durUs"]
+    child_total = 0.0
+    for i, child in enumerate(node["children"]):
+        err = check_span_node(child, f"{path}.{i}", names, counts)
+        if err:
+            return err
+        # Children must nest inside the parent's window (1us tolerance for
+        # the separate clock reads at span entry/exit).
+        if child["startUs"] < node["startUs"] - 1.0 or \
+                child["startUs"] + child["durUs"] > end_us + 1.0:
+            return (f"span {path} child {i} ({child['name']!r}) escapes "
+                    f"parent window")
+        child_total += child["durUs"]
+    # selfUs must equal durUs minus time in children (small tolerance for
+    # float accumulation across many children).
+    expected_self = node["durUs"] - child_total
+    if abs(node["selfUs"] - expected_self) > max(1.0, 1e-6 * node["durUs"]):
+        return (f"span {path} selfUs {node['selfUs']} != durUs - "
+                f"sum(children durUs) = {expected_self}")
+    return None
+
+
+def check_span_tree(tree, required):
+    if tree.get("schemaVersion") != SPAN_TREE_SCHEMA_VERSION:
+        print(f"FAIL: schemaVersion {tree.get('schemaVersion')!r}, expected "
+              f"{SPAN_TREE_SCHEMA_VERSION}", file=sys.stderr)
+        return 1
+    threads = tree.get("threads")
+    if not isinstance(threads, list) or not threads:
+        print("FAIL: threads missing or empty", file=sys.stderr)
+        return 1
+
+    names = set()
+    counts = [0]
+    for t, thread in enumerate(threads):
+        if not isinstance(thread.get("tid"), int) or \
+                not isinstance(thread.get("spans"), list):
+            print(f"FAIL: thread {t} malformed", file=sys.stderr)
+            return 1
+        for i, node in enumerate(thread["spans"]):
+            err = check_span_node(node, f"t{t}.{i}", names, counts)
+            if err:
+                print(f"FAIL: {err}", file=sys.stderr)
+                return 1
+
+    missing = [span for span in required if span not in names]
+    if missing:
+        print(f"FAIL: required spans missing: {missing}", file=sys.stderr)
+        print(f"      spans present: {sorted(names)}", file=sys.stderr)
+        return 1
+
+    print(f"OK: span tree with {len(threads)} thread(s), {counts[0]} spans, "
+          f"{len(names)} distinct names, all {len(required)} required "
+          f"spans present")
+    return 0
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 1
+    path = argv[1]
+    required = argv[2:] or DEFAULT_REQUIRED
+
+    try:
+        with open(path, encoding="utf-8") as fh:
+            trace = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"FAIL: cannot load {path}: {err}", file=sys.stderr)
+        return 1
+
+    if not isinstance(trace, dict):
+        print("FAIL: top level is not an object", file=sys.stderr)
+        return 1
+    if trace.get("kind") == "ancstr-span-tree":
+        return check_span_tree(trace, required)
+    return check_chrome(trace, required)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Compares two BENCH.json reports and gates on regressions.
+
+    compare_bench.py BASELINE.json CANDIDATE.json [options]
+
+Exits 0 when every case shared by both reports stays within the thresholds,
+1 when any case regressed, and 2 when either file is missing, unreadable, or
+does not match the BENCH.json schema (docs/observability.md).
+
+A case regresses when its candidate median wall time exceeds the baseline by
+more than --threshold (fractional, default 0.2 = +20%), or its peak RSS by
+more than --rss-threshold (default: RSS not gated). Cases whose baseline
+median is below --min-seconds are skipped: micro-cases are dominated by
+scheduler noise and gating them produces flaky CI. Cases present in only one
+report fail the run unless --allow-missing is given (new benchmarks land with
+no baseline; deleted ones linger in old baselines).
+"""
+import argparse
+import json
+import sys
+
+SCHEMA_VERSION = 1
+
+
+class SchemaError(Exception):
+    pass
+
+
+def load_report(path):
+    """Returns {case name: case dict} or raises SchemaError."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            report = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        raise SchemaError(f"cannot load {path}: {err}")
+    if not isinstance(report, dict):
+        raise SchemaError(f"{path}: top level is not an object")
+    if report.get("schemaVersion") != SCHEMA_VERSION:
+        raise SchemaError(
+            f"{path}: schemaVersion {report.get('schemaVersion')!r}, "
+            f"expected {SCHEMA_VERSION}")
+    cases = report.get("cases")
+    if not isinstance(cases, list) or not cases:
+        raise SchemaError(f"{path}: cases missing or empty")
+    by_name = {}
+    for i, case in enumerate(cases):
+        if not isinstance(case, dict) or not isinstance(case.get("name"), str):
+            raise SchemaError(f"{path}: case {i} malformed")
+        wall = case.get("wall")
+        if not isinstance(wall, dict) or not isinstance(
+                wall.get("median"), (int, float)):
+            raise SchemaError(f"{path}: case {case['name']!r} wall malformed")
+        resource = case.get("resource")
+        if not isinstance(resource, dict) or not isinstance(
+                resource.get("peakRssBytes"), (int, float)):
+            raise SchemaError(
+                f"{path}: case {case['name']!r} resource malformed")
+        by_name[case["name"]] = case
+    return by_name
+
+
+def compare(baseline, candidate, args):
+    """Returns a list of human-readable failure lines."""
+    failures = []
+    shared = sorted(set(baseline) & set(candidate))
+    only_old = sorted(set(baseline) - set(candidate))
+    only_new = sorted(set(candidate) - set(baseline))
+    if not args.allow_missing:
+        for name in only_old:
+            failures.append(f"{name}: present in baseline only")
+        for name in only_new:
+            failures.append(f"{name}: present in candidate only")
+
+    compared = 0
+    for name in shared:
+        old_median = float(baseline[name]["wall"]["median"])
+        new_median = float(candidate[name]["wall"]["median"])
+        if old_median < args.min_seconds:
+            print(f"skip  {name}: baseline median {old_median:.6f}s "
+                  f"< --min-seconds {args.min_seconds}")
+            continue
+        compared += 1
+        ratio = new_median / old_median if old_median > 0 else float("inf")
+        verdict = "ok   "
+        if new_median > old_median * (1.0 + args.threshold):
+            verdict = "FAIL "
+            failures.append(
+                f"{name}: median wall {old_median:.6f}s -> {new_median:.6f}s "
+                f"({ratio:.2f}x, threshold {1.0 + args.threshold:.2f}x)")
+        print(f"{verdict} {name}: wall {old_median:.6f}s -> "
+              f"{new_median:.6f}s ({ratio:.2f}x)")
+
+        if args.rss_threshold is not None:
+            old_rss = float(baseline[name]["resource"]["peakRssBytes"])
+            new_rss = float(candidate[name]["resource"]["peakRssBytes"])
+            if old_rss > 0 and new_rss > old_rss * (1.0 + args.rss_threshold):
+                failures.append(
+                    f"{name}: peak RSS {old_rss / 2**20:.1f} MiB -> "
+                    f"{new_rss / 2**20:.1f} MiB "
+                    f"({new_rss / old_rss:.2f}x, threshold "
+                    f"{1.0 + args.rss_threshold:.2f}x)")
+
+    if compared == 0 and not shared:
+        failures.append("no cases shared between baseline and candidate")
+    return failures
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline", help="BENCH.json to compare against")
+    parser.add_argument("candidate", help="BENCH.json under test")
+    parser.add_argument("--threshold", type=float, default=0.2,
+                        help="allowed fractional median wall-time increase "
+                             "(default 0.2 = +20%%)")
+    parser.add_argument("--rss-threshold", type=float, default=None,
+                        help="allowed fractional peak-RSS increase "
+                             "(default: RSS not gated)")
+    parser.add_argument("--min-seconds", type=float, default=0.0,
+                        help="skip cases whose baseline median is below this "
+                             "(default 0: gate everything)")
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="ignore cases present in only one report")
+    args = parser.parse_args(argv[1:])
+
+    try:
+        baseline = load_report(args.baseline)
+        candidate = load_report(args.candidate)
+    except SchemaError as err:
+        print(f"SCHEMA ERROR: {err}", file=sys.stderr)
+        return 2
+
+    failures = compare(baseline, candidate, args)
+    if failures:
+        print(f"\nFAIL: {len(failures)} regression(s):", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"\nOK: {len(set(baseline) & set(candidate))} case(s) within "
+          f"threshold {1.0 + args.threshold:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Self-test for compare_bench.py (registered as ctest `compare_bench_gate`).
+
+Builds synthetic BENCH.json pairs in a temp directory and checks the three
+exit-code contracts the CI gate relies on: 0 for an identical pair, 1 for an
+injected 2x median slowdown, and 2 for a schema violation. Also covers
+--min-seconds skipping and --allow-missing.
+"""
+import copy
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "compare_bench.py")
+
+
+def make_report(median=1.0, rss=1 << 20, name="case.a"):
+    return {
+        "schemaVersion": 1,
+        "binary": "synthetic",
+        "gitSha": "deadbeef",
+        "buildType": "Release",
+        "buildFlags": "",
+        "threads": 1,
+        "seed": 42,
+        "cases": [{
+            "name": name,
+            "reps": 3,
+            "warmup": 1,
+            "wall": {"median": median, "mad": 0.01, "min": median,
+                     "max": median, "samples": [median] * 3},
+            "phases": [],
+            "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
+            "resource": {"peakRssBytes": rss, "allocCount": 10,
+                         "freeCount": 10, "allocBytes": 1000,
+                         "userCpuSeconds": median, "systemCpuSeconds": 0.0},
+            "counters": {},
+        }],
+    }
+
+
+def run(old, new, *extra):
+    with tempfile.TemporaryDirectory() as tmp:
+        old_path = os.path.join(tmp, "old.json")
+        new_path = os.path.join(tmp, "new.json")
+        with open(old_path, "w", encoding="utf-8") as fh:
+            json.dump(old, fh)
+        with open(new_path, "w", encoding="utf-8") as fh:
+            json.dump(new, fh)
+        proc = subprocess.run(
+            [sys.executable, SCRIPT, old_path, new_path, *extra],
+            capture_output=True, text=True)
+        return proc.returncode
+
+
+def check(label, got, want):
+    status = "ok" if got == want else "FAIL"
+    print(f"{status}: {label}: exit {got}, want {want}")
+    return got == want
+
+
+def main():
+    base = make_report()
+    ok = True
+
+    ok &= check("identical pair", run(base, copy.deepcopy(base)), 0)
+    ok &= check("2x slowdown", run(base, make_report(median=2.0)), 1)
+    ok &= check("within threshold", run(base, make_report(median=1.1)), 0)
+    ok &= check("RSS doubles, ungated by default",
+                run(base, make_report(rss=2 << 20)), 0)
+    ok &= check("RSS doubles with --rss-threshold",
+                run(base, make_report(rss=2 << 20), "--rss-threshold", "0.5"),
+                1)
+    ok &= check("slowdown under --min-seconds skipped",
+                run(make_report(median=0.001),
+                    make_report(median=0.002), "--min-seconds", "0.01"), 0)
+    ok &= check("case only in baseline",
+                run(base, make_report(name="case.b")), 1)
+    ok &= check("case mismatch with --allow-missing",
+                run(base, make_report(name="case.b"), "--allow-missing"), 1)
+    ok &= check("schema error", run(base, {"schemaVersion": 99}), 2)
+
+    missing_wall = make_report()
+    del missing_wall["cases"][0]["wall"]
+    ok &= check("missing wall stats", run(base, missing_wall), 2)
+
+    if not ok:
+        print("FAIL: compare_bench.py contract violated", file=sys.stderr)
+        return 1
+    print("OK: all compare_bench.py contracts hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

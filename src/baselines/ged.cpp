@@ -5,7 +5,9 @@
 
 #include "core/graph_builder.h"
 #include "graph/hungarian.h"
+#include "util/metrics.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace ancstr::ged {
 namespace {
@@ -65,6 +67,7 @@ double matchCost(const DeviceSignature& a, const DeviceSignature& b,
 
 double subcircuitGedSimilarity(const FlatDesign& design, HierNodeId a,
                                HierNodeId b, const GedConfig& config) {
+  const trace::TraceSpan span("ged.similarity");
   const std::vector<DeviceSignature> sa = signaturesOf(design, a);
   const std::vector<DeviceSignature> sb = signaturesOf(design, b);
   const std::size_t n = std::max(sa.size(), sb.size());
@@ -82,6 +85,9 @@ double subcircuitGedSimilarity(const FlatDesign& design, HierNodeId a,
   for (std::size_t i = sa.size(); i < n; ++i) {
     for (std::size_t j = sb.size(); j < n; ++j) cost(i, j) = 0.0;
   }
+  static metrics::Counter& assignmentCounter =
+      metrics::Registry::instance().counter("ged.assignments");
+  assignmentCounter.add();
   const AssignmentResult assignment = solveAssignment(cost);
   // Worst case: every real device deleted and re-inserted.
   const double worst =
@@ -93,6 +99,9 @@ double subcircuitGedSimilarity(const FlatDesign& design, HierNodeId a,
 GedResult detectSystemConstraints(const FlatDesign& design, const Library& lib,
                                   const GedConfig& config) {
   GedResult result;
+  static metrics::Counter& pairsCounter =
+      metrics::Registry::instance().counter("ged.pairs_scored");
+  const trace::TraceSpan span("baseline.ged");
   const Stopwatch watch;
   const CandidateSet candidates = enumerateCandidates(design, lib);
   for (const CandidatePair& pair : candidates.pairs) {
@@ -113,6 +122,7 @@ GedResult detectSystemConstraints(const FlatDesign& design, const Library& lib,
     scored.accepted = scored.similarity > config.threshold;
     result.scored.push_back(std::move(scored));
   }
+  pairsCounter.add(result.scored.size());
   result.seconds = watch.seconds();
   return result;
 }

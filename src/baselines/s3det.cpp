@@ -6,8 +6,10 @@
 #include "core/graph_builder.h"
 #include "graph/eigen.h"
 #include "graph/laplacian.h"
+#include "util/metrics.h"
 #include "util/stats.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace ancstr::s3det {
 namespace {
@@ -52,6 +54,10 @@ std::vector<double> subcircuitSpectrum(const FlatDesign& design,
     std::sort(extended.begin(), extended.end());
     devices = std::move(extended);
   }
+  static metrics::Counter& spectraCounter =
+      metrics::Registry::instance().counter("s3det.spectra");
+  const trace::TraceSpan span("s3det.spectrum");
+  spectraCounter.add();
   const CircuitGraph induced = buildInducedHeteroGraph(design, devices);
   const SimpleDigraph simplified = induced.graph.simplified();
   const nn::Matrix laplacian = config.useNormalizedLaplacian
@@ -68,6 +74,9 @@ S3DetResult detectSystemConstraints(const FlatDesign& design,
                                     const Library& lib,
                                     const S3DetConfig& config) {
   S3DetResult result;
+  static metrics::Counter& pairsCounter =
+      metrics::Registry::instance().counter("s3det.pairs_scored");
+  const trace::TraceSpan span("baseline.s3det");
   const Stopwatch watch;
 
   const CandidateSet candidates = enumerateCandidates(design, lib);
@@ -91,6 +100,7 @@ S3DetResult detectSystemConstraints(const FlatDesign& design,
     scored.accepted = scored.similarity > 1.0 - config.ksThreshold;
     result.scored.push_back(std::move(scored));
   }
+  pairsCounter.add(result.scored.size());
   result.seconds = watch.seconds();
   return result;
 }

@@ -5,7 +5,9 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "util/metrics.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace ancstr::sfa {
 namespace {
@@ -161,17 +163,27 @@ bool sizesMatch(const FlatDevice& a, const FlatDevice& b, double tolerance) {
 SfaResult detectDeviceConstraints(const FlatDesign& design, const Library& lib,
                                   const SfaConfig& config) {
   SfaResult result;
+  static metrics::Counter& pairsCounter =
+      metrics::Registry::instance().counter("sfa.pairs_scored");
+  static metrics::Counter& matchedCounter =
+      metrics::Registry::instance().counter("sfa.pairs_matched");
+  const trace::TraceSpan span("baseline.sfa");
   const Stopwatch watch;
 
   // Matched sets are computed per hierarchy node over its direct devices,
   // mirroring MAGICAL's per-building-block analysis.
   std::unordered_map<HierNodeId, std::set<DevicePairKey>> matchedPerNode;
   SfaEngine engine(design, config);
+  std::size_t matchedTotal = 0;
   for (const HierNode& node : design.hierarchy()) {
     if (!node.leafDevices.empty()) {
-      matchedPerNode.emplace(node.id, engine.run(node.leafDevices));
+      const trace::TraceSpan nodeSpan("sfa.match_node");
+      const auto it =
+          matchedPerNode.emplace(node.id, engine.run(node.leafDevices)).first;
+      matchedTotal += it->second.size();
     }
   }
+  matchedCounter.add(matchedTotal);
 
   const CandidateSet candidates = enumerateCandidates(design, lib);
   for (const CandidatePair& pair : candidates.pairs) {
@@ -186,6 +198,7 @@ SfaResult detectDeviceConstraints(const FlatDesign& design, const Library& lib,
     scored.accepted = hit;
     result.scored.push_back(std::move(scored));
   }
+  pairsCounter.add(result.scored.size());
   result.seconds = watch.seconds();
   return result;
 }

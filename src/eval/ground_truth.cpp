@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "util/error.h"
+#include "util/metrics.h"
 #include "util/string_utils.h"
+#include "util/trace.h"
 
 namespace ancstr {
 namespace {
@@ -39,6 +41,10 @@ bool GroundTruth::matches(const FlatDesign& design,
 std::vector<bool> labelCandidates(const FlatDesign& design,
                                   const std::vector<ScoredCandidate>& scored,
                                   const GroundTruth& truth) {
+  static metrics::Counter& labeledCounter =
+      metrics::Registry::instance().counter("eval.candidates_labeled");
+  const trace::TraceSpan span("eval.label_candidates");
+  labeledCounter.add(scored.size());
   std::vector<bool> labels(scored.size(), false);
   for (std::size_t i = 0; i < scored.size(); ++i) {
     labels[i] = truth.matches(design, scored[i].pair);

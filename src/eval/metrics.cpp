@@ -1,5 +1,7 @@
 #include "eval/metrics.h"
 
+#include "util/metrics.h"
+
 namespace ancstr {
 
 ConfusionCounts& ConfusionCounts::operator+=(const ConfusionCounts& rhs) {
@@ -11,6 +13,9 @@ ConfusionCounts& ConfusionCounts::operator+=(const ConfusionCounts& rhs) {
 }
 
 Metrics computeMetrics(const ConfusionCounts& c) {
+  static metrics::Counter& computedCounter =
+      metrics::Registry::instance().counter("eval.metrics_computed");
+  computedCounter.add();
   Metrics m;
   const double tp = static_cast<double>(c.tp);
   const double fp = static_cast<double>(c.fp);

@@ -5,12 +5,18 @@
 #include <sstream>
 
 #include "util/error.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace ancstr {
 
 RocCurve computeRoc(const std::vector<double>& scores,
                     const std::vector<bool>& labels) {
   ANCSTR_ASSERT(scores.size() == labels.size());
+  static metrics::Counter& scoredCounter =
+      metrics::Registry::instance().counter("eval.roc_candidates");
+  const trace::TraceSpan span("eval.roc");
+  scoredCounter.add(scores.size());
   RocCurve curve;
   std::size_t positives = 0;
   for (const bool l : labels) positives += l ? 1u : 0u;

@@ -1,0 +1,119 @@
+#include "util/bench_report.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "util/error.h"
+#include "util/json.h"
+#include "util/stats.h"
+
+#ifndef ANCSTR_GIT_SHA
+#define ANCSTR_GIT_SHA "unknown"
+#endif
+#ifndef ANCSTR_BUILD_TYPE
+#define ANCSTR_BUILD_TYPE "unknown"
+#endif
+#ifndef ANCSTR_CXX_FLAGS
+#define ANCSTR_CXX_FLAGS ""
+#endif
+
+namespace ancstr::benchio {
+
+double BenchCaseResult::medianWallSeconds() const {
+  return median(wallSeconds);
+}
+
+double BenchCaseResult::madWallSeconds() const {
+  return medianAbsDeviation(wallSeconds);
+}
+
+double BenchCaseResult::minWallSeconds() const {
+  return wallSeconds.empty()
+             ? 0.0
+             : *std::min_element(wallSeconds.begin(), wallSeconds.end());
+}
+
+double BenchCaseResult::maxWallSeconds() const {
+  return wallSeconds.empty()
+             ? 0.0
+             : *std::max_element(wallSeconds.begin(), wallSeconds.end());
+}
+
+std::string buildGitSha() { return ANCSTR_GIT_SHA; }
+std::string buildType() { return ANCSTR_BUILD_TYPE; }
+std::string buildFlags() { return ANCSTR_CXX_FLAGS; }
+
+Json benchRunToJson(const BenchRunInfo& info,
+                    const std::vector<BenchCaseResult>& cases) {
+  Json root = Json::object();
+  root.set("schemaVersion", 1);
+  root.set("binary", info.binary);
+  root.set("gitSha", buildGitSha());
+  root.set("buildType", buildType());
+  root.set("buildFlags", buildFlags());
+  root.set("threads", info.threads);
+  root.set("seed", static_cast<double>(info.seed));
+
+  Json caseArray = Json::array();
+  for (const BenchCaseResult& result : cases) {
+    Json entry = Json::object();
+    entry.set("name", result.name);
+    entry.set("reps", result.reps);
+    entry.set("warmup", result.warmup);
+
+    Json wall = Json::object();
+    wall.set("median", result.medianWallSeconds());
+    wall.set("mad", result.madWallSeconds());
+    wall.set("min", result.minWallSeconds());
+    wall.set("max", result.maxWallSeconds());
+    Json samples = Json::array();
+    for (const double s : result.wallSeconds) samples.push(s);
+    wall.set("samples", std::move(samples));
+    entry.set("wall", std::move(wall));
+
+    Json phases = Json::array();
+    for (const PhaseTiming& phase : result.report.phases) {
+      Json p = Json::object();
+      p.set("name", phase.name);
+      p.set("seconds", phase.seconds);
+      phases.push(std::move(p));
+    }
+    entry.set("phases", std::move(phases));
+    entry.set("metrics", result.report.metrics.toJson());
+
+    Json resource = Json::object();
+    resource.set("peakRssBytes",
+                 static_cast<std::size_t>(result.resource.peakRssBytes));
+    resource.set("allocCount",
+                 static_cast<std::size_t>(result.resource.memory.allocCount));
+    resource.set("freeCount",
+                 static_cast<std::size_t>(result.resource.memory.freeCount));
+    resource.set("allocBytes",
+                 static_cast<std::size_t>(result.resource.memory.allocBytes));
+    resource.set("userCpuSeconds", result.resource.userCpuSeconds);
+    resource.set("systemCpuSeconds", result.resource.systemCpuSeconds);
+    entry.set("resource", std::move(resource));
+
+    Json counters = Json::object();
+    for (const auto& [name, value] : result.counters) {
+      counters.set(name, value);
+    }
+    entry.set("counters", std::move(counters));
+    caseArray.push(std::move(entry));
+  }
+  root.set("cases", std::move(caseArray));
+  return root;
+}
+
+void writeBenchJson(const std::filesystem::path& path,
+                    const BenchRunInfo& info,
+                    const std::vector<BenchCaseResult>& cases) {
+  std::ofstream out(path);
+  if (!out) {
+    throw Error("bench: cannot open '" + path.string() + "' for writing");
+  }
+  out << benchRunToJson(info, cases).dump(2) << '\n';
+  if (!out) throw Error("bench: write failure on '" + path.string() + "'");
+}
+
+}  // namespace ancstr::benchio

@@ -1,0 +1,70 @@
+// The BENCH.json schema: one machine-readable performance report per
+// bench-binary (or CLI --bench-out) run. Shared between bench/harness and
+// tools/ancstr_cli so every producer emits the identical, stable-key-order
+// schema that scripts/compare_bench.py consumes (docs/observability.md
+// documents the schema; tests/bench/test_harness.cpp pins it).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/report.h"
+#include "util/resource.h"
+
+namespace ancstr::benchio {
+
+/// Measured result of one bench case.
+struct BenchCaseResult {
+  std::string name;
+  int reps = 0;    ///< measured repetitions (= wallSeconds.size())
+  int warmup = 0;  ///< unmeasured warmup runs before the samples
+  std::vector<double> wallSeconds;  ///< per-rep wall time, in run order
+  /// Phase breakdown + metrics delta for the case (phases empty when the
+  /// case never produced a RunReport; metrics delta covers all reps).
+  RunReport report;
+  /// Resource delta over the measured reps; peakRssBytes is the absolute
+  /// process high-water mark at case end (monotonic, not diffable).
+  util::ResourceSample resource;
+  /// Free-form numeric counters (problem size, thread count, inner
+  /// iterations, ...), keyed for stable output.
+  std::map<std::string, double> counters;
+
+  double medianWallSeconds() const;
+  double madWallSeconds() const;
+  double minWallSeconds() const;
+  double maxWallSeconds() const;
+};
+
+/// Run-level provenance recorded at the top of BENCH.json.
+struct BenchRunInfo {
+  std::string binary;     ///< producing binary ("table5_system_level", ...)
+  std::size_t threads = 1;
+  std::uint64_t seed = 42;
+};
+
+/// Configure-time build provenance (git SHA, build type, compile flags)
+/// baked in via ANCSTR_GIT_SHA / ANCSTR_BUILD_TYPE / ANCSTR_CXX_FLAGS;
+/// "unknown" where unavailable. The SHA is stamped at CMake configure
+/// time, so it can trail HEAD until the next reconfigure.
+std::string buildGitSha();
+std::string buildType();
+std::string buildFlags();
+
+/// Serialises the whole run. Key order is part of the schema contract:
+/// schemaVersion, binary, gitSha, buildType, buildFlags, threads, seed,
+/// cases; per case: name, reps, warmup, wall{median,mad,min,max,samples},
+/// phases, metrics, resource{peakRssBytes,allocCount,freeCount,allocBytes,
+/// userCpuSeconds,systemCpuSeconds}, counters.
+Json benchRunToJson(const BenchRunInfo& info,
+                    const std::vector<BenchCaseResult>& cases);
+
+/// Writes benchRunToJson (pretty-printed) to `path`; throws Error on I/O
+/// failure.
+void writeBenchJson(const std::filesystem::path& path,
+                    const BenchRunInfo& info,
+                    const std::vector<BenchCaseResult>& cases);
+
+}  // namespace ancstr::benchio

@@ -1,6 +1,7 @@
 #include "util/metrics.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "util/error.h"
 #include "util/json.h"
@@ -99,6 +100,60 @@ Json Snapshot::toJson() const {
   }
   root.set("histograms", std::move(histObj));
   return root;
+}
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; everything else (the
+/// dots of the library taxonomy, mostly) becomes '_'.
+std::string prometheusName(std::string_view prefix, std::string_view name) {
+  std::string out(prefix);
+  if (!out.empty()) out += '_';
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string prometheusNumber(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+}  // namespace
+
+std::string Snapshot::toPrometheus(std::string_view prefix) const {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    const std::string p = prometheusName(prefix, name);
+    out += "# TYPE " + p + " counter\n";
+    out += p + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    const std::string p = prometheusName(prefix, name);
+    out += "# TYPE " + p + " gauge\n";
+    out += p + " " + prometheusNumber(value) + "\n";
+  }
+  for (const auto& [name, histogram] : histograms) {
+    const std::string p = prometheusName(prefix, name);
+    out += "# TYPE " + p + " histogram\n";
+    // Buckets are stored per-bin; the exposition format wants cumulative
+    // counts up to and including each `le` bound.
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < histogram.upperBounds.size(); ++i) {
+      cumulative += i < histogram.buckets.size() ? histogram.buckets[i] : 0;
+      out += p + "_bucket{le=\"" + prometheusNumber(histogram.upperBounds[i]) +
+             "\"} " + std::to_string(cumulative) + "\n";
+    }
+    out += p + "_bucket{le=\"+Inf\"} " + std::to_string(histogram.count) +
+           "\n";
+    out += p + "_sum " + prometheusNumber(histogram.sum) + "\n";
+    out += p + "_count " + std::to_string(histogram.count) + "\n";
+  }
+  return out;
 }
 
 Registry& Registry::instance() {

@@ -101,6 +101,14 @@ struct Snapshot {
   /// {"counters": {...}, "gauges": {...}, "histograms": {name:
   ///  {"le": [...], "buckets": [...], "count": n, "sum": s}}}
   Json toJson() const;
+
+  /// Prometheus text exposition format (version 0.0.4): one `# TYPE` line
+  /// plus samples per metric. Dotted names are sanitised to underscores
+  /// and prefixed (`detector.pairs_scored` ->
+  /// `ancstr_detector_pairs_scored`); histogram buckets are emitted
+  /// cumulatively with the trailing `+Inf` bucket, `_sum`, and `_count`
+  /// samples, matching scraper expectations.
+  std::string toPrometheus(std::string_view prefix = "ancstr") const;
 };
 
 /// Process-wide registry. Metric objects are created on first lookup and

@@ -6,6 +6,8 @@
 #include <mutex>
 #include <thread>
 
+#include "util/trace.h"
+
 namespace ancstr::util {
 
 std::size_t resolveThreadCount(std::size_t configured) {
@@ -43,6 +45,10 @@ struct ThreadPool::Impl {
 
   void runChunk(std::size_t chunk) {
     const auto [begin, end] = chunkBounds(chunk, numChunks, n);
+    // Worker-attributed span: one per chunk, so a trace shows the static
+    // partition and analyze_trace.py can compute parallel efficiency
+    // (sum of chunk time / region wall-clock x thread count).
+    const trace::TraceSpan span("parallel.chunk");
     try {
       (*body)(begin, end);
     } catch (...) {
@@ -102,9 +108,13 @@ std::pair<std::size_t, std::size_t> ThreadPool::chunkBounds(
 void ThreadPool::parallelFor(
     std::size_t n, const std::function<void(std::size_t, std::size_t)>& body) {
   if (n == 0) return;
+  const trace::TraceSpan regionSpan("parallel.for");
   const std::size_t chunks = std::min(size(), n);
   if (chunks == 1) {
-    // Exact serial path: run inline, exceptions propagate naturally.
+    // Exact serial path: run inline, exceptions propagate naturally. The
+    // chunk span still fires so serial and parallel traces stay
+    // structurally comparable.
+    const trace::TraceSpan chunkSpan("parallel.chunk");
     body(0, n);
     return;
   }

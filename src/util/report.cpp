@@ -17,6 +17,23 @@ std::string secondsCell(double seconds) {
 
 }  // namespace
 
+void RunReport::accumulate(const RunReport& other) {
+  for (const PhaseTiming& phase : other.phases) {
+    bool found = false;
+    for (PhaseTiming& mine : phases) {
+      if (mine.name == phase.name) {
+        mine.seconds += phase.seconds;
+        found = true;
+        break;
+      }
+    }
+    if (!found) phases.push_back(phase);
+  }
+  metrics = other.metrics;
+  std::vector<diag::Diagnostic> more = other.diagnostics;
+  addDiagnostics(std::move(more));
+}
+
 double RunReport::phaseSeconds(std::string_view name) const {
   for (const PhaseTiming& phase : phases) {
     if (phase.name == name) return phase.seconds;

@@ -41,6 +41,14 @@ struct RunReport {
                        std::make_move_iterator(more.end()));
   }
 
+  /// Folds another run into this one: same-name phase seconds add (new
+  /// phase names append in `other`'s order), diagnostics append, and the
+  /// metrics snapshot is replaced by `other`'s (callers that need a
+  /// combined delta snapshot the registry around the whole sequence).
+  /// Lets the bench harness aggregate per-extraction reports into one
+  /// per-case phase breakdown.
+  void accumulate(const RunReport& other);
+
   std::size_t errorCount() const {
     std::size_t n = 0;
     for (const diag::Diagnostic& d : diagnostics) {

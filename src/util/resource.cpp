@@ -1,0 +1,163 @@
+#include "util/resource.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace {
+
+// Constant-initialised so counting is valid even for allocations made
+// during static initialisation, before main().
+std::atomic<std::uint64_t> gAllocCount{0};
+std::atomic<std::uint64_t> gFreeCount{0};
+std::atomic<std::uint64_t> gAllocBytes{0};
+
+void* allocateCounted(std::size_t size) {
+  gAllocCount.fetch_add(1, std::memory_order_relaxed);
+  gAllocBytes.fetch_add(size, std::memory_order_relaxed);
+  // Standard operator new contract: retry through the new_handler until it
+  // either frees memory or gives up.
+  for (;;) {
+    if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+    const std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) throw std::bad_alloc();
+    handler();
+  }
+}
+
+void freeCounted(void* p) noexcept {
+  if (p == nullptr) return;
+  gFreeCount.fetch_add(1, std::memory_order_relaxed);
+  std::free(p);
+}
+
+void* allocateAlignedCounted(std::size_t size, std::size_t alignment) {
+  gAllocCount.fetch_add(1, std::memory_order_relaxed);
+  gAllocBytes.fetch_add(size, std::memory_order_relaxed);
+  for (;;) {
+#if defined(__unix__) || defined(__APPLE__)
+    void* p = nullptr;
+    if (posix_memalign(&p, alignment < sizeof(void*) ? sizeof(void*)
+                                                     : alignment,
+                       size == 0 ? alignment : size) == 0) {
+      return p;
+    }
+#else
+    if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+#endif
+    const std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) throw std::bad_alloc();
+    handler();
+  }
+}
+
+}  // namespace
+
+// Global allocator replacements. Living in this translation unit means the
+// hook is linked into a binary exactly when something in it references the
+// sampler API below (static-archive pull-in), so the library imposes no
+// cost on binaries that never sample resources.
+void* operator new(std::size_t size) { return allocateCounted(size); }
+void* operator new[](std::size_t size) { return allocateCounted(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  gAllocCount.fetch_add(1, std::memory_order_relaxed);
+  gAllocBytes.fetch_add(size, std::memory_order_relaxed);
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  gAllocCount.fetch_add(1, std::memory_order_relaxed);
+  gAllocBytes.fetch_add(size, std::memory_order_relaxed);
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new(std::size_t size, std::align_val_t alignment) {
+  return allocateAlignedCounted(size, static_cast<std::size_t>(alignment));
+}
+void* operator new[](std::size_t size, std::align_val_t alignment) {
+  return allocateAlignedCounted(size, static_cast<std::size_t>(alignment));
+}
+
+void operator delete(void* p) noexcept { freeCounted(p); }
+void operator delete[](void* p) noexcept { freeCounted(p); }
+void operator delete(void* p, std::size_t) noexcept { freeCounted(p); }
+void operator delete[](void* p, std::size_t) noexcept { freeCounted(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  freeCounted(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  freeCounted(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { freeCounted(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { freeCounted(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  freeCounted(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  freeCounted(p);
+}
+
+namespace ancstr::util {
+
+MemoryCounters memoryCounters() noexcept {
+  MemoryCounters out;
+  out.allocCount = gAllocCount.load(std::memory_order_relaxed);
+  out.freeCount = gFreeCount.load(std::memory_order_relaxed);
+  out.allocBytes = gAllocBytes.load(std::memory_order_relaxed);
+  return out;
+}
+
+std::uint64_t peakRssBytes() noexcept {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024u;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+ResourceSample ResourceSample::now() noexcept {
+  ResourceSample out;
+  out.memory = memoryCounters();
+  out.peakRssBytes = util::peakRssBytes();
+#if defined(__unix__) || defined(__APPLE__)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    out.userCpuSeconds =
+        static_cast<double>(usage.ru_utime.tv_sec) +
+        static_cast<double>(usage.ru_utime.tv_usec) * 1e-6;
+    out.systemCpuSeconds =
+        static_cast<double>(usage.ru_stime.tv_sec) +
+        static_cast<double>(usage.ru_stime.tv_usec) * 1e-6;
+  }
+#endif
+  return out;
+}
+
+ResourceSample ResourceSample::since(const ResourceSample& before)
+    const noexcept {
+  auto sub = [](std::uint64_t a, std::uint64_t b) {
+    return a >= b ? a - b : 0;
+  };
+  ResourceSample out;
+  out.memory.allocCount = sub(memory.allocCount, before.memory.allocCount);
+  out.memory.freeCount = sub(memory.freeCount, before.memory.freeCount);
+  out.memory.allocBytes = sub(memory.allocBytes, before.memory.allocBytes);
+  out.peakRssBytes = peakRssBytes;  // monotonic high-water mark, keep absolute
+  out.userCpuSeconds =
+      userCpuSeconds > before.userCpuSeconds
+          ? userCpuSeconds - before.userCpuSeconds : 0.0;
+  out.systemCpuSeconds =
+      systemCpuSeconds > before.systemCpuSeconds
+          ? systemCpuSeconds - before.systemCpuSeconds : 0.0;
+  return out;
+}
+
+}  // namespace ancstr::util

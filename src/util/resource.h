@@ -1,0 +1,46 @@
+// Process resource sampling for the bench harness: peak RSS and CPU time
+// via getrusage, plus allocation counts from a thread-safe counting
+// allocator hook (relaxed-atomic totals updated by the global operator
+// new/delete replacements in resource.cpp).
+//
+// Like tracing and metrics, sampling observes and never steers: reading a
+// sample is a handful of relaxed loads plus one getrusage call, and the
+// allocator hook adds one relaxed fetch_add per allocation — it never
+// changes which allocations happen.
+#pragma once
+
+#include <cstdint>
+
+namespace ancstr::util {
+
+/// Process-lifetime allocation totals from the counting allocator hook.
+/// Monotonic; diff two reads to attribute allocations to a region.
+struct MemoryCounters {
+  std::uint64_t allocCount = 0;  ///< global operator new calls
+  std::uint64_t freeCount = 0;   ///< global operator delete calls
+  std::uint64_t allocBytes = 0;  ///< bytes requested from operator new
+};
+
+/// Current allocator-hook totals (relaxed loads; safe from any thread).
+MemoryCounters memoryCounters() noexcept;
+
+/// Peak resident set size of the process in bytes (getrusage ru_maxrss);
+/// 0 when the platform does not report it. Monotonic over process life.
+std::uint64_t peakRssBytes() noexcept;
+
+/// One point-in-time resource reading.
+struct ResourceSample {
+  MemoryCounters memory;
+  std::uint64_t peakRssBytes = 0;
+  double userCpuSeconds = 0.0;
+  double systemCpuSeconds = 0.0;
+
+  static ResourceSample now() noexcept;
+
+  /// This sample minus `before`. Allocation and CPU fields subtract
+  /// (clamped at zero); peakRssBytes keeps this sample's absolute value
+  /// because the kernel's high-water mark cannot be rewound.
+  ResourceSample since(const ResourceSample& before) const noexcept;
+};
+
+}  // namespace ancstr::util

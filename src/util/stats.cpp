@@ -41,4 +41,21 @@ double stddev(const std::vector<double>& xs) {
   return std::sqrt(total / static_cast<double>(xs.size()));
 }
 
+double median(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const std::size_t mid = xs.size() / 2;
+  if (xs.size() % 2 == 1) return xs[mid];
+  return 0.5 * (xs[mid - 1] + xs[mid]);
+}
+
+double medianAbsDeviation(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = median(xs);
+  std::vector<double> deviations;
+  deviations.reserve(xs.size());
+  for (const double x : xs) deviations.push_back(std::fabs(x - m));
+  return median(std::move(deviations));
+}
+
 }  // namespace ancstr

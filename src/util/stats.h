@@ -16,4 +16,12 @@ double mean(const std::vector<double>& xs);
 /// Population standard deviation (0 for fewer than 2 samples).
 double stddev(const std::vector<double>& xs);
 
+/// Median (0 for empty input; mean of the two middle values for even n).
+double median(std::vector<double> xs);
+
+/// Median absolute deviation about the median (0 for fewer than 2
+/// samples). The robust spread estimator the bench harness reports next
+/// to the median wall time.
+double medianAbsDeviation(const std::vector<double>& xs);
+
 }  // namespace ancstr

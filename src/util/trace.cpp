@@ -151,4 +151,115 @@ void TraceCollector::writeFile(const std::filesystem::path& path) const {
   if (!out) throw Error("trace: write failure on '" + path.string() + "'");
 }
 
+namespace {
+
+/// Tolerance for "child fits inside parent" in microseconds. A child's
+/// recorded end can exceed its parent's by clock-read rounding only, so
+/// this just has to absorb double noise, not scheduling jitter.
+constexpr double kNestEpsUs = 0.05;
+
+void computeSelfTimes(SpanNode& node) {
+  double childUs = 0.0;
+  for (SpanNode& child : node.children) {
+    computeSelfTimes(child);
+    childUs += child.durationUs;
+  }
+  node.selfUs = std::max(0.0, node.durationUs - childUs);
+}
+
+Json spanToJson(const SpanNode& node) {
+  Json entry = Json::object();
+  entry.set("name", node.name);
+  entry.set("startUs", node.startUs);
+  entry.set("durUs", node.durationUs);
+  entry.set("selfUs", node.selfUs);
+  Json children = Json::array();
+  for (const SpanNode& child : node.children) {
+    children.push(spanToJson(child));
+  }
+  entry.set("children", std::move(children));
+  return entry;
+}
+
+}  // namespace
+
+std::vector<SpanNode> TraceCollector::spanForest() const {
+  std::vector<TraceEvent> sorted = events();
+  // Nesting needs same-start parents before their children: within a
+  // thread, order by start ascending then end descending (the enclosing
+  // span first).
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     if (a.startUs != b.startUs) return a.startUs < b.startUs;
+                     return a.startUs + a.durationUs > b.startUs + b.durationUs;
+                   });
+
+  std::vector<SpanNode> roots;
+  // Stack of currently open ancestors, addressed through the roots vector
+  // (indices into the child chain, re-resolved on each push because
+  // vectors reallocate).
+  std::vector<SpanNode*> open;
+  std::uint32_t openTid = 0;
+  for (const TraceEvent& event : sorted) {
+    if (!open.empty() && openTid != event.tid) open.clear();
+    const double end = event.startUs + event.durationUs;
+    while (!open.empty()) {
+      const SpanNode& top = *open.back();
+      const bool fits = event.startUs >= top.startUs - kNestEpsUs &&
+                        end <= top.startUs + top.durationUs + kNestEpsUs;
+      if (fits) break;
+      open.pop_back();
+    }
+    SpanNode node;
+    node.name = event.name;
+    node.startUs = event.startUs;
+    node.durationUs = event.durationUs;
+    node.tid = event.tid;
+    std::vector<SpanNode>& siblings =
+        open.empty() ? roots : open.back()->children;
+    siblings.push_back(std::move(node));
+    open.push_back(&siblings.back());
+    openTid = event.tid;
+  }
+  for (SpanNode& root : roots) computeSelfTimes(root);
+  return roots;
+}
+
+std::string TraceCollector::toSpanTreeJson() const {
+  const std::vector<SpanNode> forest = spanForest();
+  Json root = Json::object();
+  root.set("kind", "ancstr-span-tree");
+  root.set("schemaVersion", 1);
+  Json threads = Json::array();
+  // Forest is grouped by tid (events() sorts tids contiguously per start
+  // ordering above); emit one entry per distinct tid, in tid order.
+  std::vector<std::uint32_t> tids;
+  for (const SpanNode& node : forest) {
+    if (tids.empty() || tids.back() != node.tid) tids.push_back(node.tid);
+  }
+  for (const std::uint32_t tid : tids) {
+    Json entry = Json::object();
+    entry.set("tid", static_cast<std::size_t>(tid));
+    Json spans = Json::array();
+    for (const SpanNode& node : forest) {
+      if (node.tid == tid) spans.push(spanToJson(node));
+    }
+    entry.set("spans", std::move(spans));
+    threads.push(std::move(entry));
+  }
+  root.set("threads", std::move(threads));
+  return root.dump(2);
+}
+
+void TraceCollector::writeSpanTreeFile(
+    const std::filesystem::path& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw Error("trace: cannot open '" + path.string() + "' for writing");
+  }
+  out << toSpanTreeJson() << '\n';
+  if (!out) throw Error("trace: write failure on '" + path.string() + "'");
+}
+
 }  // namespace ancstr::trace

@@ -31,6 +31,19 @@ struct TraceEvent {
   std::uint32_t tid = 0;   ///< sequential thread id (currentThreadId)
 };
 
+/// One node of the per-thread span tree: a TraceEvent plus its nesting.
+/// `selfUs` is the duration not covered by direct children — the quantity
+/// scripts/analyze_trace.py charges to the span itself when attributing
+/// time along the critical path.
+struct SpanNode {
+  std::string name;
+  double startUs = 0.0;
+  double durationUs = 0.0;
+  double selfUs = 0.0;
+  std::uint32_t tid = 0;
+  std::vector<SpanNode> children;
+};
+
 /// Small sequential id for the calling thread, assigned on first use.
 /// Worker threads spawned by util::ThreadPool get their own ids, which is
 /// what attributes train.graph / embed.subcircuit spans to workers.
@@ -72,6 +85,19 @@ class TraceCollector {
   /// Writes toChromeJson() to `path`; throws Error on I/O failure.
   void writeFile(const std::filesystem::path& path) const;
 
+  /// Recorded events nested into one span tree per thread (a span is a
+  /// child of the tightest same-thread span that encloses it in time).
+  /// Roots are ordered by start time within each thread.
+  std::vector<SpanNode> spanForest() const;
+
+  /// Span-tree JSON for scripts/analyze_trace.py / check_trace.py:
+  /// {"kind": "ancstr-span-tree", "schemaVersion": 1, "threads":
+  ///  [{"tid", "spans": [{name, startUs, durUs, selfUs, children...}]}]}.
+  std::string toSpanTreeJson() const;
+
+  /// Writes toSpanTreeJson() to `path`; throws Error on I/O failure.
+  void writeSpanTreeFile(const std::filesystem::path& path) const;
+
   /// Internal per-thread buffer storage; public only so the TLS
   /// registration hook in trace.cpp can name it.
   struct Impl;
@@ -98,8 +124,12 @@ class TraceSpan {
 
   ~TraceSpan() {
     if (armed_) {
-      TraceCollector::instance().record(name_, startUs_,
-                                        watch_.seconds() * 1e6);
+      // Duration from the same nowUs() time base as startUs_, not from
+      // watch_: the Stopwatch starts a hair earlier (member init order),
+      // and that skew would let a child's reconstructed end overshoot its
+      // parent's, corrupting the span-tree nesting.
+      TraceCollector& collector = TraceCollector::instance();
+      collector.record(name_, startUs_, collector.nowUs() - startUs_);
     }
   }
 

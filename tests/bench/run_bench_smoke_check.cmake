@@ -1,0 +1,57 @@
+# End-to-end observability check, run as ctest `bench_smoke_observability`:
+# bench_smoke produces BENCH.json + both trace exports, the validators
+# accept them, analyze_trace.py digests them, and compare_bench.py passes
+# the run against itself. Mirrors the CI bench-smoke job on one rep so the
+# whole thing stays fast enough for the default ctest sweep.
+#
+# Inputs: BENCH_SMOKE (binary path), PYTHON, SCRIPTS (scripts/ dir),
+# WORK_DIR (scratch directory, recreated on every run).
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+execute_process(
+  COMMAND ${BENCH_SMOKE} --reps 1 --warmup 0 --threads 1
+          --json-out ${WORK_DIR}/bench.json
+          --trace-out ${WORK_DIR}/trace.json
+          --spans-out ${WORK_DIR}/spans.json
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bench_smoke failed with ${rc}")
+endif()
+
+# Training + extraction spans the smoke cases must produce.
+set(required_spans pipeline.train train.prepare train.loop graph.build
+    pipeline.extract extract.detection detect.run parallel.for)
+
+execute_process(
+  COMMAND ${PYTHON} ${SCRIPTS}/check_trace.py ${WORK_DIR}/trace.json
+          ${required_spans}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "check_trace.py rejected the chrome trace")
+endif()
+
+execute_process(
+  COMMAND ${PYTHON} ${SCRIPTS}/check_trace.py ${WORK_DIR}/spans.json
+          ${required_spans}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "check_trace.py rejected the span tree")
+endif()
+
+execute_process(
+  COMMAND ${PYTHON} ${SCRIPTS}/analyze_trace.py ${WORK_DIR}/spans.json
+  RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "analyze_trace.py failed on the span tree")
+endif()
+
+execute_process(
+  COMMAND ${PYTHON} ${SCRIPTS}/compare_bench.py ${WORK_DIR}/bench.json
+          ${WORK_DIR}/bench.json
+  RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "compare_bench.py rejected an identical pair")
+endif()
+
+message(STATUS "bench-smoke observability pipeline OK")

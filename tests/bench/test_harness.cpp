@@ -1,0 +1,224 @@
+#include "harness.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/bench_report.h"
+#include "util/json.h"
+#include "util/report.h"
+
+namespace ancstr::bench {
+namespace {
+
+using benchio::BenchCaseResult;
+using benchio::BenchRunInfo;
+
+std::vector<std::string> keyList(const Json& obj) { return obj.keys(); }
+
+BenchCaseResult sampleCase() {
+  BenchCaseResult result;
+  result.name = "sample.case";
+  result.reps = 3;
+  result.warmup = 1;
+  result.wallSeconds = {0.010, 0.012, 0.011};
+  result.report.addPhase("phase.a", 0.004);
+  result.report.addPhase("phase.b", 0.006);
+  result.resource.peakRssBytes = 1 << 20;
+  result.resource.memory.allocCount = 10;
+  result.resource.memory.freeCount = 9;
+  result.resource.memory.allocBytes = 4096;
+  result.counters["n"] = 64.0;
+  return result;
+}
+
+// Golden-schema tests: the exact key order below is the BENCH.json
+// contract consumed by scripts/compare_bench.py; reordering is a breaking
+// schema change and must bump schemaVersion.
+TEST(BenchReport, TopLevelKeyOrderIsStable) {
+  const Json root = benchio::benchRunToJson({"test_binary", 4, 7},
+                                            {sampleCase()});
+  const std::vector<std::string> expected = {
+      "schemaVersion", "binary", "gitSha", "buildType",
+      "buildFlags",    "threads", "seed",  "cases"};
+  EXPECT_EQ(keyList(root), expected);
+  EXPECT_EQ(root.get("schemaVersion").asNumber(), 1.0);
+  EXPECT_EQ(root.get("binary").asString(), "test_binary");
+  EXPECT_EQ(root.get("threads").asNumber(), 4.0);
+  EXPECT_EQ(root.get("seed").asNumber(), 7.0);
+}
+
+TEST(BenchReport, CaseKeyOrderIsStable) {
+  const Json root = benchio::benchRunToJson({"b", 1, 42}, {sampleCase()});
+  ASSERT_EQ(root.get("cases").size(), 1u);
+  const Json& c = root.get("cases").at(0);
+  const std::vector<std::string> expected = {
+      "name", "reps", "warmup", "wall", "phases", "metrics", "resource",
+      "counters"};
+  EXPECT_EQ(keyList(c), expected);
+
+  const std::vector<std::string> wallKeys = {"median", "mad", "min", "max",
+                                             "samples"};
+  EXPECT_EQ(keyList(c.get("wall")), wallKeys);
+
+  const std::vector<std::string> resourceKeys = {
+      "peakRssBytes", "allocCount",     "freeCount",
+      "allocBytes",   "userCpuSeconds", "systemCpuSeconds"};
+  EXPECT_EQ(keyList(c.get("resource")), resourceKeys);
+}
+
+TEST(BenchReport, WallStatsMatchSamples) {
+  const Json root = benchio::benchRunToJson({"b", 1, 42}, {sampleCase()});
+  const Json& wall = root.get("cases").at(0).get("wall");
+  EXPECT_DOUBLE_EQ(wall.get("median").asNumber(), 0.011);
+  EXPECT_DOUBLE_EQ(wall.get("min").asNumber(), 0.010);
+  EXPECT_DOUBLE_EQ(wall.get("max").asNumber(), 0.012);
+  EXPECT_DOUBLE_EQ(wall.get("mad").asNumber(), 0.001);
+  EXPECT_EQ(wall.get("samples").size(), 3u);
+}
+
+TEST(BenchReport, PhasesKeepRegistrationOrder) {
+  const Json root = benchio::benchRunToJson({"b", 1, 42}, {sampleCase()});
+  const Json& phases = root.get("cases").at(0).get("phases");
+  ASSERT_EQ(phases.size(), 2u);
+  EXPECT_EQ(phases.at(0).get("name").asString(), "phase.a");
+  EXPECT_EQ(phases.at(1).get("name").asString(), "phase.b");
+}
+
+TEST(BenchReport, BuildProvenanceIsNeverEmpty) {
+  EXPECT_FALSE(benchio::buildGitSha().empty());
+  EXPECT_FALSE(benchio::buildType().empty());
+}
+
+TEST(RunReportJson, KeyOrderIsStable) {
+  RunReport report;
+  report.addPhase("p", 0.5);
+  const Json json = report.toJson();
+  // Diagnostics are appended only when present; the base order is fixed.
+  const std::vector<std::string> expected = {"phases", "totalSeconds",
+                                             "metrics"};
+  EXPECT_EQ(keyList(json), expected);
+}
+
+TEST(BenchRegistryTest, RunsWarmupPlusMeasuredReps) {
+  BenchRegistry registry;
+  int calls = 0;
+  int warmupCalls = 0;
+  registry.add("count.case", [&](BenchContext& ctx) {
+    ++calls;
+    if (!ctx.measured()) ++warmupCalls;
+  });
+  BenchOptions options;
+  options.reps = 3;
+  options.warmup = 2;
+  const std::vector<BenchCaseResult> results = registry.run(options);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(calls, 5);
+  EXPECT_EQ(warmupCalls, 2);
+  EXPECT_EQ(results[0].reps, 3);
+  EXPECT_EQ(results[0].warmup, 2);
+  EXPECT_EQ(results[0].wallSeconds.size(), 3u);
+}
+
+TEST(BenchRegistryTest, RngReseededEveryRep) {
+  BenchRegistry registry;
+  std::vector<std::uint64_t> draws;
+  registry.add("rng.case",
+               [&](BenchContext& ctx) { draws.push_back(ctx.rng().next()); });
+  BenchOptions options;
+  options.reps = 3;
+  options.warmup = 1;
+  registry.run(options);
+  ASSERT_EQ(draws.size(), 4u);
+  EXPECT_EQ(draws[0], draws[1]);
+  EXPECT_EQ(draws[1], draws[2]);
+  EXPECT_EQ(draws[2], draws[3]);
+}
+
+TEST(BenchRegistryTest, CaseSeedDependsOnNameAndBaseSeed) {
+  BenchRegistry registry;
+  std::vector<std::uint64_t> seeds;
+  const auto capture = [&](BenchContext& ctx) {
+    seeds.push_back(ctx.caseSeed());
+  };
+  registry.add("case.a", capture);
+  registry.add("case.b", capture);
+  BenchOptions options;
+  registry.run(options);
+  options.seed = 43;
+  registry.run(options);
+  ASSERT_EQ(seeds.size(), 4u);
+  EXPECT_NE(seeds[0], seeds[1]);  // different names
+  EXPECT_NE(seeds[0], seeds[2]);  // different base seed
+}
+
+TEST(BenchRegistryTest, FilterSelectsBySubstring) {
+  BenchRegistry registry;
+  registry.add("alpha.one", [](BenchContext&) {});
+  registry.add("beta.two", [](BenchContext&) {});
+  BenchOptions options;
+  options.filter = "beta";
+  const std::vector<BenchCaseResult> results = registry.run(options);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].name, "beta.two");
+}
+
+TEST(BenchRegistryTest, CountersAndReportLandInResult) {
+  BenchRegistry registry;
+  registry.add("report.case", [](BenchContext& ctx) {
+    RunReport report;
+    report.addPhase("work", 0.001);
+    ctx.setReport(std::move(report));
+    ctx.setCounter("items", 12.0);
+  });
+  BenchOptions options;
+  options.reps = 2;
+  const std::vector<BenchCaseResult> results = registry.run(options);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_DOUBLE_EQ(results[0].report.phaseSeconds("work"), 0.001);
+  EXPECT_DOUBLE_EQ(results[0].counters.at("items"), 12.0);
+}
+
+TEST(BenchRegistryTest, ParseArgsReadsEveryFlag) {
+  std::vector<std::string> argvStrings = {
+      "bench",  "--reps",     "5",           "--warmup",    "2",
+      "--filter", "smoke",    "--threads",   "4",           "--seed",
+      "99",     "--json-out", "/tmp/b.json", "--trace-out", "/tmp/t.json",
+      "--spans-out", "/tmp/s.json"};
+  std::vector<char*> argv;
+  for (std::string& s : argvStrings) argv.push_back(s.data());
+  BenchOptions options;
+  ASSERT_TRUE(BenchRegistry::parseArgs(static_cast<int>(argv.size()),
+                                       argv.data(), &options));
+  EXPECT_EQ(options.reps, 5);
+  EXPECT_EQ(options.warmup, 2);
+  EXPECT_EQ(options.filter, "smoke");
+  EXPECT_EQ(options.threads, 4u);
+  EXPECT_EQ(options.seed, 99u);
+  EXPECT_EQ(options.jsonOut, "/tmp/b.json");
+  EXPECT_EQ(options.traceOut, "/tmp/t.json");
+  EXPECT_EQ(options.spansOut, "/tmp/s.json");
+}
+
+TEST(BenchRegistryTest, ParseArgsRejectsUnknownFlagAndBadInt) {
+  {
+    std::vector<std::string> argvStrings = {"bench", "--bogus"};
+    std::vector<char*> argv;
+    for (std::string& s : argvStrings) argv.push_back(s.data());
+    BenchOptions options;
+    EXPECT_FALSE(BenchRegistry::parseArgs(static_cast<int>(argv.size()),
+                                          argv.data(), &options));
+  }
+  {
+    std::vector<std::string> argvStrings = {"bench", "--reps", "many"};
+    std::vector<char*> argv;
+    for (std::string& s : argvStrings) argv.push_back(s.data());
+    BenchOptions options;
+    EXPECT_FALSE(BenchRegistry::parseArgs(static_cast<int>(argv.size()),
+                                          argv.data(), &options));
+  }
+}
+
+}  // namespace
+}  // namespace ancstr::bench

@@ -164,5 +164,51 @@ TEST(Snapshot, ToJsonHasStableSchema) {
   EXPECT_TRUE(Json::parse(json.dump(2), &error).has_value()) << error;
 }
 
+TEST(Snapshot, PrometheusSanitisesNamesAndTypesEveryMetric) {
+  Snapshot snapshot;
+  snapshot.counters["test.prom.counter"] = 7;
+  snapshot.gauges["test.prom.gauge"] = 2.5;
+
+  const std::string text = snapshot.toPrometheus();
+  EXPECT_NE(text.find("# TYPE ancstr_test_prom_counter counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ancstr_test_prom_counter 7\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE ancstr_test_prom_gauge gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ancstr_test_prom_gauge 2.5\n"), std::string::npos);
+  // Dots never survive into exposition names.
+  EXPECT_EQ(text.find("test.prom"), std::string::npos);
+}
+
+TEST(Snapshot, PrometheusHistogramBucketsAreCumulative) {
+  Snapshot snapshot;
+  HistogramSnapshot h;
+  h.upperBounds = {1.0, 2.0};
+  h.buckets = {3, 2, 1};  // per-bin: <=1, <=2, overflow
+  h.count = 6;
+  h.sum = 7.5;
+  snapshot.histograms["test.prom.hist"] = h;
+
+  const std::string text = snapshot.toPrometheus();
+  EXPECT_NE(text.find("# TYPE ancstr_test_prom_hist histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ancstr_test_prom_hist_bucket{le=\"1\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ancstr_test_prom_hist_bucket{le=\"2\"} 5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ancstr_test_prom_hist_bucket{le=\"+Inf\"} 6\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ancstr_test_prom_hist_sum 7.5\n"), std::string::npos);
+  EXPECT_NE(text.find("ancstr_test_prom_hist_count 6\n"), std::string::npos);
+}
+
+TEST(Snapshot, PrometheusCustomPrefixAndEmptySnapshot) {
+  Snapshot snapshot;
+  EXPECT_EQ(snapshot.toPrometheus(), "");
+  snapshot.counters["c"] = 1;
+  const std::string text = snapshot.toPrometheus("myapp");
+  EXPECT_NE(text.find("myapp_c 1\n"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace ancstr::metrics

@@ -1,0 +1,69 @@
+#include "util/resource.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace ancstr::util {
+namespace {
+
+TEST(MemoryCounters, AllocationIncrementsCountAndBytes) {
+  const MemoryCounters before = memoryCounters();
+  // A fresh heap allocation large enough that no small-buffer optimisation
+  // can elide the operator new call.
+  auto block = std::make_unique<std::vector<double>>(4096);
+  block->at(0) = 1.0;
+  const MemoryCounters after = memoryCounters();
+  EXPECT_GT(after.allocCount, before.allocCount);
+  EXPECT_GE(after.allocBytes - before.allocBytes, 4096 * sizeof(double));
+}
+
+TEST(MemoryCounters, FreeIncrementsFreeCount) {
+  const MemoryCounters before = memoryCounters();
+  { auto block = std::make_unique<std::vector<int>>(1024); }
+  const MemoryCounters after = memoryCounters();
+  EXPECT_GT(after.freeCount, before.freeCount);
+}
+
+TEST(PeakRss, ReportsNonZeroOnThisPlatform) {
+  // getrusage ru_maxrss works on Linux and macOS; a zero here means the
+  // platform shim regressed.
+  EXPECT_GT(peakRssBytes(), 0u);
+}
+
+TEST(ResourceSample, NowIsPopulated) {
+  const ResourceSample sample = ResourceSample::now();
+  EXPECT_GT(sample.peakRssBytes, 0u);
+  EXPECT_GE(sample.userCpuSeconds, 0.0);
+  EXPECT_GE(sample.systemCpuSeconds, 0.0);
+}
+
+TEST(ResourceSample, SinceSubtractsMonotonicFields) {
+  const ResourceSample before = ResourceSample::now();
+  auto block = std::make_unique<std::vector<double>>(8192);
+  block->at(1) = 2.0;
+  const ResourceSample after = ResourceSample::now();
+  const ResourceSample delta = after.since(before);
+  EXPECT_GT(delta.memory.allocCount, 0u);
+  EXPECT_GE(delta.memory.allocBytes, 8192 * sizeof(double));
+  // Peak RSS keeps the absolute high-water mark, never a difference.
+  EXPECT_EQ(delta.peakRssBytes, after.peakRssBytes);
+}
+
+TEST(ResourceSample, SinceClampsInvertedSamplesToZero) {
+  // Diffing in the wrong order must clamp instead of wrapping the
+  // unsigned counters around.
+  const ResourceSample early = ResourceSample::now();
+  auto block = std::make_unique<std::vector<int>>(512);
+  block->at(0) = 1;
+  const ResourceSample late = ResourceSample::now();
+  const ResourceSample delta = early.since(late);
+  EXPECT_EQ(delta.memory.allocCount, 0u);
+  EXPECT_EQ(delta.memory.allocBytes, 0u);
+  EXPECT_GE(delta.userCpuSeconds, 0.0);
+  EXPECT_GE(delta.systemCpuSeconds, 0.0);
+}
+
+}  // namespace
+}  // namespace ancstr::util

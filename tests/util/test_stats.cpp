@@ -46,5 +46,24 @@ TEST(MeanStddev, Basics) {
   EXPECT_NEAR(stddev({2, 4, 6}), 1.632993161855452, 1e-12);
 }
 
+TEST(Median, OddEvenEmptyAndUnsorted) {
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+  EXPECT_DOUBLE_EQ(median({7.0}), 7.0);
+  EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4, 1, 3, 2}), 2.5);
+}
+
+TEST(MedianAbsDeviation, KnownValuesAndDegenerateInputs) {
+  EXPECT_DOUBLE_EQ(medianAbsDeviation({}), 0.0);
+  EXPECT_DOUBLE_EQ(medianAbsDeviation({5.0}), 0.0);
+  // median = 2, |x - 2| = {1, 0, 1} -> MAD = 1.
+  EXPECT_DOUBLE_EQ(medianAbsDeviation({1, 2, 3}), 1.0);
+  // Constant samples have zero spread.
+  EXPECT_DOUBLE_EQ(medianAbsDeviation({4, 4, 4, 4}), 0.0);
+  // Robust to one outlier: median = 2.5, deviations {1.5, .5, .5, 97.5}
+  // -> MAD = 1.
+  EXPECT_DOUBLE_EQ(medianAbsDeviation({1, 2, 3, 100}), 1.0);
+}
+
 }  // namespace
 }  // namespace ancstr

@@ -81,9 +81,22 @@ TEST_F(TraceTest, WorkerThreadsGetDistinctThreadIds) {
     const TraceSpan span("test.worker");
   });
   const std::vector<TraceEvent> events = TraceCollector::instance().events();
-  ASSERT_EQ(events.size(), 64u);
   std::set<std::uint32_t> tids;
-  for (const TraceEvent& e : events) tids.insert(e.tid);
+  std::size_t workerSpans = 0, chunkSpans = 0, regionSpans = 0;
+  for (const TraceEvent& e : events) {
+    if (e.name == "test.worker") {
+      ++workerSpans;
+      tids.insert(e.tid);
+    } else if (e.name == "parallel.chunk") {
+      ++chunkSpans;
+    } else if (e.name == "parallel.for") {
+      ++regionSpans;
+    }
+  }
+  EXPECT_EQ(workerSpans, 64u);
+  // The runtime traces the region plus one span per static chunk.
+  EXPECT_EQ(regionSpans, 1u);
+  EXPECT_EQ(chunkSpans, 4u);
   // Static partition: chunk 0 on the caller, chunks 1..3 on workers.
   EXPECT_GT(tids.size(), 1u);
 }
@@ -132,6 +145,102 @@ TEST_F(TraceTest, EmptyCollectorStillExportsValidJson) {
       Json::parse(TraceCollector::instance().toChromeJson(), &error);
   ASSERT_TRUE(parsed.has_value()) << error;
   EXPECT_EQ(parsed->get("traceEvents").size(), 0u);
+}
+
+TEST_F(TraceTest, SpanForestNestsByTimeWindow) {
+  TraceCollector::instance().setEnabled(true);
+  {
+    const TraceSpan outer("test.outer");
+    { const TraceSpan inner("test.inner"); }
+    { const TraceSpan inner2("test.inner2"); }
+  }
+  const std::vector<SpanNode> forest =
+      TraceCollector::instance().spanForest();
+  ASSERT_EQ(forest.size(), 1u);
+  const SpanNode& outer = forest[0];
+  EXPECT_EQ(outer.name, "test.outer");
+  ASSERT_EQ(outer.children.size(), 2u);
+  EXPECT_EQ(outer.children[0].name, "test.inner");
+  EXPECT_EQ(outer.children[1].name, "test.inner2");
+  EXPECT_TRUE(outer.children[0].children.empty());
+}
+
+TEST_F(TraceTest, SpanForestSelfTimeExcludesChildren) {
+  TraceCollector::instance().setEnabled(true);
+  {
+    const TraceSpan outer("test.outer");
+    { const TraceSpan inner("test.inner"); }
+  }
+  const std::vector<SpanNode> forest =
+      TraceCollector::instance().spanForest();
+  ASSERT_EQ(forest.size(), 1u);
+  const SpanNode& outer = forest[0];
+  ASSERT_EQ(outer.children.size(), 1u);
+  const SpanNode& inner = outer.children[0];
+  EXPECT_DOUBLE_EQ(inner.selfUs, inner.durationUs);
+  EXPECT_NEAR(outer.selfUs, outer.durationUs - inner.durationUs, 1e-9);
+  EXPECT_GE(outer.selfUs, 0.0);
+  // The reconstructed child window must sit inside the parent's.
+  EXPECT_GE(inner.startUs, outer.startUs);
+  EXPECT_LE(inner.startUs + inner.durationUs,
+            outer.startUs + outer.durationUs);
+}
+
+// Golden-schema test: the span-tree export is the input contract of
+// scripts/analyze_trace.py and scripts/check_trace.py.
+TEST_F(TraceTest, SpanTreeJsonMatchesSchema) {
+  TraceCollector::instance().setEnabled(true);
+  {
+    const TraceSpan outer("test.outer");
+    { const TraceSpan inner("test.inner"); }
+  }
+  std::string error;
+  const auto parsed =
+      Json::parse(TraceCollector::instance().toSpanTreeJson(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  const Json& root = *parsed;
+  EXPECT_EQ(root.get("kind").asString(), "ancstr-span-tree");
+  EXPECT_EQ(root.get("schemaVersion").asNumber(), 1.0);
+  const Json& threads = root.get("threads");
+  ASSERT_TRUE(threads.isArray());
+  ASSERT_EQ(threads.size(), 1u);
+  const Json& thread = threads.at(0);
+  EXPECT_TRUE(thread.get("tid").isNumber());
+  ASSERT_EQ(thread.get("spans").size(), 1u);
+  const Json& span = thread.get("spans").at(0);
+  EXPECT_EQ(span.get("name").asString(), "test.outer");
+  EXPECT_TRUE(span.get("startUs").isNumber());
+  EXPECT_TRUE(span.get("durUs").isNumber());
+  EXPECT_TRUE(span.get("selfUs").isNumber());
+  ASSERT_EQ(span.get("children").size(), 1u);
+  EXPECT_EQ(span.get("children").at(0).get("name").asString(), "test.inner");
+}
+
+TEST_F(TraceTest, SpanTreeSplitsThreads) {
+  TraceCollector::instance().setEnabled(true);
+  { const TraceSpan span("test.main"); }
+  std::thread worker([] { const TraceSpan span("test.worker"); });
+  worker.join();
+  std::string error;
+  const auto parsed =
+      Json::parse(TraceCollector::instance().toSpanTreeJson(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->get("threads").size(), 2u);
+}
+
+TEST_F(TraceTest, WriteSpanTreeFileRoundTrips) {
+  TraceCollector::instance().setEnabled(true);
+  { const TraceSpan span("test.file"); }
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "ancstr_test_spans.json";
+  TraceCollector::instance().writeSpanTreeFile(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string error;
+  EXPECT_TRUE(Json::parse(buf.str(), &error).has_value()) << error;
+  std::filesystem::remove(path);
 }
 
 TEST_F(TraceTest, WriteFileRoundTrips) {

@@ -11,8 +11,12 @@
 // (docs/observability.md):
 //   --threads N        worker count (0 = hardware_concurrency)
 //   --trace-out FILE   Chrome/Perfetto trace of the run
-//   --metrics-out FILE metrics delta of the run as JSON
+//   --spans-out FILE   span-tree JSON (scripts/analyze_trace.py input)
+//   --metrics-out FILE metrics delta of the run
+//   --metrics-format json|prom   format for --metrics-out
 //   --report json|table  run report (phases + metrics) on stderr
+//   --bench-out FILE   single-case BENCH.json of the run
+//                      (same schema as the bench binaries' --json-out)
 //
 // Exit codes: 0 success, 1 usage error, 2 runtime failure.
 #include <cstdio>
@@ -32,9 +36,13 @@
 #include "netlist/spectre_parser.h"
 #include "netlist/spice_parser.h"
 #include "netlist/spice_writer.h"
+#include "util/bench_report.h"
 #include "util/diagnostics.h"
 #include "util/error.h"
 #include "util/json.h"
+#include "util/parallel.h"
+#include "util/resource.h"
+#include "util/timer.h"
 #include "util/trace.h"
 
 namespace {
@@ -52,7 +60,9 @@ int usage() {
                "  ancstr_cli check   --constraints FILE NETLIST\n"
                "  ancstr_cli corpus  --dir DIR\n"
                "train/extract also take: [--threads N] [--trace-out FILE]\n"
-               "  [--metrics-out FILE] [--report json|table]\n"
+               "  [--spans-out FILE] [--metrics-out FILE]\n"
+               "  [--metrics-format json|prom] [--report json|table]\n"
+               "  [--bench-out FILE]\n"
                "extract/stats also take: [--fail-soft] (recover from\n"
                "  malformed input with diagnostics instead of aborting)\n"
                "netlists may be SPICE or Spectre (auto-detected)\n");
@@ -105,41 +115,71 @@ void writeFileOrThrow(const std::filesystem::path& path,
 /// trace collector before any netlist is read, so parse spans are captured.
 struct ObserveOptions {
   std::filesystem::path traceOut;
+  std::filesystem::path spansOut;
   std::filesystem::path metricsOut;
-  std::string report;  ///< "", "json", or "table"
+  std::filesystem::path benchOut;
+  std::string metricsFormat = "json";  ///< "json" or "prom"
+  std::string report;                  ///< "", "json", or "table"
   std::size_t threads = 1;
+  Stopwatch wall;                      ///< runs from parse() to emit()
+  util::ResourceSample resourceStart;  ///< resources at parse()
 
   static ObserveOptions parse(Flags& flags) {
     ObserveOptions opts;
     opts.traceOut = flags.value("--trace-out", "");
+    opts.spansOut = flags.value("--spans-out", "");
     opts.metricsOut = flags.value("--metrics-out", "");
+    opts.benchOut = flags.value("--bench-out", "");
+    opts.metricsFormat = flags.value("--metrics-format", "json");
     opts.report = flags.value("--report", "");
     opts.threads =
         static_cast<std::size_t>(std::stoul(flags.value("--threads", "1")));
-    if (!opts.traceOut.empty()) {
+    if (!opts.traceOut.empty() || !opts.spansOut.empty()) {
       trace::TraceCollector::instance().setEnabled(true);
     }
+    opts.resourceStart = util::ResourceSample::now();
     return opts;
   }
 
   bool validReport() const {
-    return report.empty() || report == "json" || report == "table";
+    const bool reportOk =
+        report.empty() || report == "json" || report == "table";
+    return reportOk && (metricsFormat == "json" || metricsFormat == "prom");
   }
 
-  /// Emits the report/metrics/trace artefacts after the run. The run
-  /// report goes to stderr so stdout stays reserved for constraint
+  /// Emits the report/metrics/trace/bench artefacts after the run. The
+  /// run report goes to stderr so stdout stays reserved for constraint
   /// payloads.
-  void emit(const RunReport& report_) const {
+  void emit(const RunReport& report_, const std::string& benchCase) const {
     if (report == "json") {
       std::fputs((report_.toJson().dump(2) + "\n").c_str(), stderr);
     } else if (report == "table") {
       std::fputs(report_.toTable().c_str(), stderr);
     }
     if (!metricsOut.empty()) {
-      writeFileOrThrow(metricsOut, report_.metrics.toJson().dump(2) + "\n");
+      writeFileOrThrow(metricsOut,
+                       metricsFormat == "prom"
+                           ? report_.metrics.toPrometheus()
+                           : report_.metrics.toJson().dump(2) + "\n");
     }
     if (!traceOut.empty()) {
       trace::TraceCollector::instance().writeFile(traceOut);
+    }
+    if (!spansOut.empty()) {
+      trace::TraceCollector::instance().writeSpanTreeFile(spansOut);
+    }
+    if (!benchOut.empty()) {
+      benchio::BenchRunInfo info;
+      info.binary = "ancstr_cli";
+      info.threads = util::resolveThreadCount(threads);
+      benchio::BenchCaseResult result;
+      result.name = benchCase;
+      result.reps = 1;
+      result.warmup = 0;
+      result.wallSeconds.push_back(wall.seconds());
+      result.report = report_;
+      result.resource = util::ResourceSample::now().since(resourceStart);
+      benchio::writeBenchJson(benchOut, info, {result});
     }
   }
 };
@@ -171,7 +211,7 @@ int cmdTrain(Flags flags) {
   std::printf("trained %d epochs in %.2fs (final loss %.4f); model -> %s\n",
               epochs, report.report.phaseSeconds("train.loop"),
               report.finalLoss(), out.string().c_str());
-  observe.emit(report.report);
+  observe.emit(report.report, "cli.train");
   return 0;
 }
 
@@ -236,7 +276,7 @@ int cmdExtract(Flags flags) {
       std::fprintf(stderr, "%s\n", d.str().c_str());
     }
   }
-  observe.emit(result.report);
+  observe.emit(result.report, "cli.extract");
   return 0;
 }
 
