@@ -1,0 +1,172 @@
+// ExtractionEngine serving benchmark (core/engine.h): cold vs warm
+// repeated extraction over the five-ADC corpus, meant to be run with
+// --reps 3 --warmup 1 at threads 1 and 4 like bench_smoke. The speedup
+// case measures both halves in one rep and emits the cold/warm ratio plus
+// a bitwise-equality check of the results, so one BENCH.json carries the
+// whole serving story: wall times, engine.cache.* metrics deltas, and the
+// determinism verdict.
+#include <cstring>
+
+#include "circuits/benchmark.h"
+#include "core/engine.h"
+#include "harness.h"
+#include "util/timer.h"
+
+using namespace ancstr;
+using namespace ancstr::bench;
+
+namespace {
+
+std::span<const Library* const> adcLibs() {
+  static const std::vector<circuits::CircuitBenchmark> corpus =
+      circuits::adcBenchmarks();
+  static const std::vector<const Library*> ptrs = [] {
+    std::vector<const Library*> out;
+    out.reserve(corpus.size());
+    for (const circuits::CircuitBenchmark& b : corpus) out.push_back(&b.lib);
+    return out;
+  }();
+  return ptrs;
+}
+
+/// One pipeline trained once per run; serving cases measure extraction
+/// against frozen weights, so training quality (3 epochs) is irrelevant.
+Pipeline& trainedPipeline(BenchContext& ctx) {
+  static Pipeline pipeline = [&] {
+    PipelineConfig config;
+    config.train.epochs = 3;
+    config.threads = ctx.threads();
+    Pipeline p(config);
+    p.train(adcLibs());
+    return p;
+  }();
+  return pipeline;
+}
+
+EngineConfig engineConfig(BenchContext& ctx) {
+  EngineConfig config;
+  config.threads = ctx.threads();
+  return config;
+}
+
+/// Shared warm engine: first touch extracts the corpus once, so every
+/// later batch is served from the caches.
+ExtractionEngine& warmEngine(BenchContext& ctx) {
+  static ExtractionEngine engine(trainedPipeline(ctx), engineConfig(ctx));
+  static const bool warmed = [] {
+    engine.extractBatch(adcLibs());
+    return true;
+  }();
+  (void)warmed;
+  return engine;
+}
+
+bool bitwiseEqual(const std::vector<ExtractionResult>& a,
+                  const std::vector<ExtractionResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const DetectionResult& da = a[i].detection;
+    const DetectionResult& db = b[i].detection;
+    if (da.scored.size() != db.scored.size() ||
+        std::memcmp(&da.systemThreshold, &db.systemThreshold,
+                    sizeof(double)) != 0 ||
+        std::memcmp(&da.deviceThreshold, &db.deviceThreshold,
+                    sizeof(double)) != 0) {
+      return false;
+    }
+    for (std::size_t j = 0; j < da.scored.size(); ++j) {
+      const ScoredCandidate& ca = da.scored[j];
+      const ScoredCandidate& cb = db.scored[j];
+      if (!(ca.pair.a == cb.pair.a) || !(ca.pair.b == cb.pair.b) ||
+          ca.pair.hierarchy != cb.pair.hierarchy ||
+          ca.pair.level != cb.pair.level || ca.accepted != cb.accepted ||
+          std::memcmp(&ca.similarity, &cb.similarity, sizeof(double)) != 0) {
+        return false;
+      }
+    }
+    const nn::Matrix& za = a[i].embeddings;
+    const nn::Matrix& zb = b[i].embeddings;
+    if (za.rows() != zb.rows() || za.cols() != zb.cols()) return false;
+    for (std::size_t r = 0; r < za.rows(); ++r) {
+      if (std::memcmp(za.row(r), zb.row(r), za.cols() * sizeof(double)) !=
+          0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void setCacheCounters(BenchContext& ctx, const EngineCacheStats& before,
+                      const EngineCacheStats& after) {
+  ctx.setCounter("design_cache_hits",
+                 static_cast<double>(after.design.hits - before.design.hits));
+  ctx.setCounter(
+      "design_cache_misses",
+      static_cast<double>(after.design.misses - before.design.misses));
+  ctx.setCounter("block_cache_hits",
+                 static_cast<double>(after.blocks.hits - before.blocks.hits));
+  ctx.setCounter(
+      "block_cache_misses",
+      static_cast<double>(after.blocks.misses - before.blocks.misses));
+}
+
+/// Cold serving: a fresh engine per rep, every extraction a miss.
+void coldCase(BenchContext& ctx) {
+  const ExtractionEngine engine(trainedPipeline(ctx), engineConfig(ctx));
+  const EngineCacheStats before = engine.cacheStats();
+  RunReport report;
+  const std::vector<ExtractionResult> results =
+      engine.extractBatch(adcLibs(), {}, &report);
+  doNotOptimize(results);
+  ctx.setReport(std::move(report));
+  setCacheCounters(ctx, before, engine.cacheStats());
+  ctx.setCounter("designs", static_cast<double>(adcLibs().size()));
+}
+
+/// Warm serving: the shared pre-warmed engine, every extraction a hit.
+void warmCase(BenchContext& ctx) {
+  ExtractionEngine& engine = warmEngine(ctx);
+  const EngineCacheStats before = engine.cacheStats();
+  RunReport report;
+  const std::vector<ExtractionResult> results =
+      engine.extractBatch(adcLibs(), {}, &report);
+  doNotOptimize(results);
+  ctx.setReport(std::move(report));
+  setCacheCounters(ctx, before, engine.cacheStats());
+  ctx.setCounter("designs", static_cast<double>(adcLibs().size()));
+}
+
+/// Cold and warm in one rep: emits the speedup ratio and the bitwise
+/// warm-equals-cold verdict that the caching contract promises.
+void speedupCase(BenchContext& ctx) {
+  const ExtractionEngine cold(trainedPipeline(ctx), engineConfig(ctx));
+  Stopwatch coldWatch;
+  const std::vector<ExtractionResult> coldResults =
+      cold.extractBatch(adcLibs());
+  const double coldSeconds = coldWatch.seconds();
+
+  ExtractionEngine& warm = warmEngine(ctx);
+  Stopwatch warmWatch;
+  const std::vector<ExtractionResult> warmResults =
+      warm.extractBatch(adcLibs());
+  const double warmSeconds = warmWatch.seconds();
+
+  ctx.setCounter("cold_seconds", coldSeconds);
+  ctx.setCounter("warm_seconds", warmSeconds);
+  ctx.setCounter("speedup",
+                 warmSeconds > 0.0 ? coldSeconds / warmSeconds : 0.0);
+  ctx.setCounter("bitwise_equal",
+                 bitwiseEqual(coldResults, warmResults) ? 1.0 : 0.0);
+}
+
+[[maybe_unused]] const bool kRegistered = [] {
+  registerBench("engine.extract.adc.cold", coldCase);
+  registerBench("engine.extract.adc.warm", warmCase);
+  registerBench("engine.extract.adc.speedup", speedupCase);
+  return true;
+}();
+
+}  // namespace
+
+ANCSTR_BENCH_MAIN("bench_engine")

@@ -67,7 +67,7 @@ Evaluated evalOurs(const Pipeline& pipeline,
     if (c.pair.level == level) filtered.push_back(c);
   }
   Evaluated out =
-      reduce(design, filtered, bench.truth, result.timing().total());
+      reduce(design, filtered, bench.truth, result.report.totalSeconds());
   out.report = result.report;
   return out;
 }

@@ -49,7 +49,7 @@ int main() {
   const ExtractionResult result = pipeline.extract(lib);
 
   std::printf("extraction took %.3fs (%zu candidates scored)\n",
-              result.timing().total(), result.detection.scored.size());
+              result.report.totalSeconds(), result.detection.scored.size());
   std::printf("detected symmetry constraints:\n");
   for (const ScoredCandidate& c : result.detection.constraints()) {
     std::printf("  (%s, %s)  level=%s  similarity=%.4f\n",

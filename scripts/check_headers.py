@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Compile every public header standalone.
+
+A header that only builds after its includer happened to pull in the
+right things first is a latent break for every new call site. This
+check wraps each header under src/ in a one-line translation unit and
+runs the compiler in syntax-only mode, so include-order dependencies
+and missing forward declarations surface in CI instead of downstream.
+
+Usage: check_headers.py [--compiler CXX] [--src DIR] [--jobs N] [header...]
+Exit codes: 0 all headers self-contained, 1 at least one failure,
+2 usage/environment error.
+"""
+
+import argparse
+import concurrent.futures
+import os
+import subprocess
+import sys
+import tempfile
+
+FLAGS = ["-std=c++20", "-fsyntax-only", "-Wall", "-Wextra", "-x", "c++"]
+
+
+def find_headers(src_dir):
+    headers = []
+    for root, _dirs, files in os.walk(src_dir):
+        for name in sorted(files):
+            if name.endswith(".h"):
+                headers.append(os.path.join(root, name))
+    return sorted(headers)
+
+
+def check_header(compiler, src_dir, header):
+    """Returns (header, ok, compiler output)."""
+    rel = os.path.relpath(header, src_dir)
+    with tempfile.NamedTemporaryFile(
+        mode="w", suffix=".cpp", delete=False) as tu:
+        tu.write(f'#include "{rel}"\n')
+        tu_path = tu.name
+    try:
+        proc = subprocess.run(
+            [compiler, *FLAGS, f"-I{src_dir}", tu_path],
+            capture_output=True, text=True)
+        return rel, proc.returncode == 0, proc.stderr.strip()
+    finally:
+        os.unlink(tu_path)
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--compiler", default=os.environ.get("CXX", "c++"))
+    parser.add_argument("--src", default=None,
+                        help="source root (default: <repo>/src)")
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
+    parser.add_argument("headers", nargs="*",
+                        help="specific headers (default: all under --src)")
+    args = parser.parse_args(argv)
+
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    src_dir = os.path.abspath(args.src or os.path.join(repo, "src"))
+    if not os.path.isdir(src_dir):
+        print(f"error: no such source dir: {src_dir}", file=sys.stderr)
+        return 2
+
+    headers = [os.path.abspath(h) for h in args.headers] or \
+        find_headers(src_dir)
+    if not headers:
+        print(f"error: no headers found under {src_dir}", file=sys.stderr)
+        return 2
+
+    failures = []
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        results = pool.map(
+            lambda h: check_header(args.compiler, src_dir, h), headers)
+        for rel, ok, output in results:
+            if ok:
+                print(f"ok   {rel}")
+            else:
+                print(f"FAIL {rel}")
+                failures.append((rel, output))
+
+    if failures:
+        print(f"\n{len(failures)}/{len(headers)} headers are not "
+              "self-contained:", file=sys.stderr)
+        for rel, output in failures:
+            print(f"\n--- {rel} ---\n{output}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(headers)} headers compile standalone")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -12,10 +12,12 @@
 #include "baselines/sfa.h"
 #include "core/arrays.h"
 #include "core/candidates.h"
+#include "core/circuit_hash.h"
 #include "core/constraint_check.h"
 #include "core/constraint_io.h"
 #include "core/detector.h"
 #include "core/embedding.h"
+#include "core/engine.h"
 #include "core/features.h"
 #include "core/graph_builder.h"
 #include "core/groups.h"

@@ -1,0 +1,85 @@
+#include "core/circuit_hash.h"
+
+#include <unordered_map>
+
+namespace ancstr {
+
+namespace {
+
+constexpr std::uint64_t kSchemaVersion = 1;
+
+}  // namespace
+
+util::StructuralHash structuralHash(const FlatDesign& design,
+                                    std::span<const FlatDeviceId> subset,
+                                    const GraphBuildOptions& graph,
+                                    const FeatureConfig& features) {
+  util::StructuralHasher h;
+  h.add(kSchemaVersion);
+  h.addBool(graph.includeBulkPins);
+  h.addSize(graph.maxNetDegree);
+  h.addBool(graph.collapseEdgeTypes);
+  h.addBool(features.useGeometry);
+  h.addBool(features.useLayers);
+
+  // Section A — devices in subset order: type, sizing parameters (the
+  // feature inputs), and pins as (function, local net). Nets are numbered
+  // by first appearance in this walk, which erases global FlatNetIds.
+  h.addSize(subset.size());
+  std::unordered_map<FlatDeviceId, std::uint32_t> localDevice;
+  std::unordered_map<FlatNetId, std::uint32_t> localNet;
+  localDevice.reserve(subset.size());
+  for (std::uint32_t i = 0; i < subset.size(); ++i) {
+    localDevice.emplace(subset[i], i);
+  }
+  for (const FlatDeviceId id : subset) {
+    const FlatDevice& dev = design.device(id);
+    h.add(static_cast<std::uint64_t>(dev.type));
+    h.addDouble(dev.params.w);
+    h.addDouble(dev.params.l);
+    h.addDouble(dev.params.value);
+    h.addInt(dev.params.nf);
+    h.addInt(dev.params.m);
+    h.addInt(dev.params.layers);
+    h.addSize(dev.pins.size());
+    for (const auto& [function, net] : dev.pins) {
+      h.add(static_cast<std::uint64_t>(function));
+      const auto [it, inserted] =
+          localNet.emplace(net, static_cast<std::uint32_t>(localNet.size()));
+      (void)inserted;
+      h.add(it->second);
+    }
+  }
+
+  // Section B — nets in ascending global id order (the order the
+  // multigraph builder iterates, which fixes edge insertion order), each
+  // with its full-design degree eligibility and its subset-restricted
+  // terminal sequence in netTerminals order.
+  for (FlatNetId netId = 0; netId < design.nets().size(); ++netId) {
+    const auto itLocal = localNet.find(netId);
+    if (itLocal == localNet.end()) continue;
+    h.add(itLocal->second);
+    const auto& terms = design.netTerminals()[netId];
+    const bool skipped =
+        graph.maxNetDegree > 0 && terms.size() > graph.maxNetDegree;
+    h.addBool(skipped);
+    if (skipped) continue;
+    for (const auto& [deviceId, pinIdx] : terms) {
+      const auto itDev = localDevice.find(deviceId);
+      if (itDev == localDevice.end()) continue;
+      h.add(itDev->second);
+      h.add(pinIdx);
+    }
+  }
+  return h.finish();
+}
+
+util::StructuralHash structuralHash(const FlatDesign& design,
+                                    const GraphBuildOptions& graph,
+                                    const FeatureConfig& features) {
+  std::vector<FlatDeviceId> all(design.devices().size());
+  for (FlatDeviceId i = 0; i < all.size(); ++i) all[i] = i;
+  return structuralHash(design, all, graph, features);
+}
+
+}  // namespace ancstr

@@ -1,0 +1,43 @@
+// Canonical structural hashing of elaborated circuits — the key function
+// of the ExtractionEngine's content-addressed caches (core/engine.h).
+//
+// The hash is a positional, name-free serialization of everything the
+// extraction front half consumes: device types and sizing parameters
+// (feature init, Table II), pin functions and net connectivity in the
+// exact order the multigraph builder walks them (Algorithm 1), each net's
+// full-design degree eligibility under GraphBuildOptions::maxNetDegree
+// (the cap counts the WHOLE net, so a subtree's induced graph depends on
+// it), and the GraphBuildOptions / FeatureConfig switches themselves.
+//
+// Canonical ordering makes the hash independent of device/net/instance
+// NAMES, of hierarchy path strings, and of thread count; two instances of
+// the same master inside one design hash identically (their positional
+// serializations coincide), which is what lets repeated blocks share one
+// cache entry. Equal hashes imply bitwise-equal PreparedGraph + feature
+// matrices for a fixed model/config, so a cache hit reproduces the miss
+// result exactly.
+#pragma once
+
+#include <span>
+
+#include "core/features.h"
+#include "core/graph_builder.h"
+#include "netlist/flatten.h"
+#include "util/structural_hash.h"
+
+namespace ancstr {
+
+/// Hash of the induced extraction inputs over `subset` (typically one
+/// hierarchy node's subtree in preorder, or the whole design). The subset
+/// order is part of the serialization — it defines vertex numbering.
+util::StructuralHash structuralHash(const FlatDesign& design,
+                                    std::span<const FlatDeviceId> subset,
+                                    const GraphBuildOptions& graph,
+                                    const FeatureConfig& features);
+
+/// Hash of the full design (all devices in FlatDeviceId order).
+util::StructuralHash structuralHash(const FlatDesign& design,
+                                    const GraphBuildOptions& graph,
+                                    const FeatureConfig& features);
+
+}  // namespace ancstr

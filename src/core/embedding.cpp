@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/circuit_hash.h"
 #include "core/features.h"
 #include "graph/digraph.h"
 #include "graph/pagerank.h"
@@ -57,9 +58,33 @@ std::vector<SubcircuitEmbedding> embedSubcircuits(
     // traces show the block-embedding fan-out per thread id.
     const trace::TraceSpan span("embed.subcircuit");
     const std::vector<FlatDeviceId> subtree = design.subtreeDevices(nodes[i]);
+    SubcircuitEmbedding& embedding = out[i];
+
+    // Cache consult before any graph work: local-mode embeddings depend
+    // only on the subtree's structure, so a content-addressed hit skips
+    // induced-graph construction, PageRank, and GNN inference entirely.
+    // Cached entries are positional (vertex id == index into `subtree`,
+    // because buildInducedHeteroGraph numbers vertices in subset order),
+    // so one entry serves every instance of the same block.
+    BlockEmbeddingCache* cache =
+        localContext != nullptr ? localContext->cache : nullptr;
+    util::StructuralHash key;
+    if (cache != nullptr) {
+      key = structuralHash(design, subtree, graphOptions,
+                           localContext->features);
+      if (const auto hit = cache->lookup(key);
+          hit != nullptr && hit->subtreeSize == subtree.size()) {
+        embedding.devices.reserve(hit->representativePositions.size());
+        for (const std::uint32_t pos : hit->representativePositions) {
+          embedding.devices.push_back(subtree[pos]);
+        }
+        embedding.structural = hit->structural;
+        return;
+      }
+    }
+
     const CircuitGraph induced =
         buildInducedHeteroGraph(design, subtree, graphOptions);
-    SubcircuitEmbedding& embedding = out[i];
     embedding.devices = representativeDevices(induced, config);
     if (localContext != nullptr) {
       // Algorithm 2 on G_t: propagate the trained model over the
@@ -75,6 +100,17 @@ std::vector<SubcircuitEmbedding> embedSubcircuits(
         const double* data = localZ.row(row);
         embedding.structural.insert(embedding.structural.end(), data,
                                     data + localZ.cols());
+      }
+      if (cache != nullptr) {
+        auto entry = std::make_shared<CachedBlockEmbedding>();
+        entry->subtreeSize = subtree.size();
+        entry->representativePositions.reserve(embedding.devices.size());
+        for (const FlatDeviceId dev : embedding.devices) {
+          entry->representativePositions.push_back(
+              induced.deviceToVertex.at(dev));
+        }
+        entry->structural = embedding.structural;
+        cache->store(key, std::move(entry));
       }
     } else {
       embedding.structural = gatherEmbedding(embedding.devices,

@@ -7,6 +7,8 @@
 // their most structurally central devices.
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/features.h"
@@ -14,6 +16,7 @@
 #include "core/model.h"
 #include "nn/matrix.h"
 #include "util/parallel.h"
+#include "util/structural_hash.h"
 
 namespace ancstr {
 
@@ -49,12 +52,60 @@ std::vector<double> embedCircuit(const CircuitGraph& inducedGraph,
 double embeddingCosine(const std::vector<double>& a,
                        const std::vector<double>& b);
 
+/// One memoized Algorithm-2 result, stored positionally so a single cache
+/// entry serves every instance of the same block: `representativePositions`
+/// index into the instance's preorder subtree device list (== induced-graph
+/// vertex ids), and `structural` is the concatenated local-GNN embedding of
+/// those positions. Valid for any subtree with an equal structuralHash
+/// (core/circuit_hash.h): hash equality implies a positionally identical
+/// induced multigraph and feature matrix, hence bitwise-identical PageRank
+/// ranking and embedding rows.
+struct CachedBlockEmbedding {
+  std::size_t subtreeSize = 0;  ///< |subtree| when computed (sanity check)
+  std::vector<std::uint32_t> representativePositions;
+  std::vector<double> structural;
+
+  /// Byte charge against an ExtractionEngine cache budget.
+  std::size_t approxBytes() const {
+    return sizeof(CachedBlockEmbedding) +
+           representativePositions.size() * sizeof(std::uint32_t) +
+           structural.size() * sizeof(double);
+  }
+};
+
+/// Memoization hook for per-subcircuit local embeddings. Implementations
+/// must be thread-safe: embedSubcircuits consults the cache from every
+/// pool worker. Caching never changes results — a hit reproduces the miss
+/// computation bitwise (see CachedBlockEmbedding) — so implementations are
+/// free to drop entries at any time (lookup may return null for a key that
+/// was stored earlier). The LRU-backed implementation lives in
+/// core/engine.cpp.
+class BlockEmbeddingCache {
+ public:
+  virtual ~BlockEmbeddingCache() = default;
+
+  /// Returns the entry for `key`, or null on miss. The shared_ptr pins the
+  /// entry against eviction while the caller holds it.
+  virtual std::shared_ptr<const CachedBlockEmbedding> lookup(
+      const util::StructuralHash& key) = 0;
+
+  /// Stores a freshly computed entry. Concurrent stores of one key carry
+  /// identical content (content-addressing), so last-write-wins is fine.
+  virtual void store(const util::StructuralHash& key,
+                     std::shared_ptr<const CachedBlockEmbedding> entry) = 0;
+};
+
 /// Model + feature configuration used to compute per-subcircuit (local)
 /// block embeddings: Algorithm 2's "EmbedCircuitFeature(t, G_t, Z)" run
 /// with GNN inference on the subcircuit's own multigraph.
 struct BlockEmbeddingContext {
   const GnnModel& model;
   FeatureConfig features;
+  /// Optional cross-call memoization of the per-subcircuit GNN inference,
+  /// content-addressed by the subtree's structuralHash. Only consulted in
+  /// local mode — gather-mode embeddings depend on the surrounding design
+  /// and are never cached.
+  BlockEmbeddingCache* cache = nullptr;
 };
 
 /// Algorithm-2 output for one subcircuit: its representative devices in

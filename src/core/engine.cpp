@@ -1,0 +1,215 @@
+#include "core/engine.h"
+
+#include "core/circuit_hash.h"
+#include "util/error.h"
+#include "util/metrics.h"
+#include "util/parallel.h"
+#include "util/trace.h"
+
+namespace ancstr {
+
+namespace {
+
+// The shared budget is split evenly while both caches are enabled; a
+// disabled cache's half goes to the other one. Budget 0 disables a
+// LruByteCache outright, and the lookup paths below additionally skip
+// hashing for disabled caches.
+std::size_t designBudget(const EngineConfig& c) {
+  if (!c.cacheDesignInference) return 0;
+  return c.cacheBlockEmbeddings ? c.cacheBudgetBytes - c.cacheBudgetBytes / 2
+                                : c.cacheBudgetBytes;
+}
+
+std::size_t blockBudget(const EngineConfig& c) {
+  if (!c.cacheBlockEmbeddings) return 0;
+  return c.cacheDesignInference ? c.cacheBudgetBytes / 2 : c.cacheBudgetBytes;
+}
+
+}  // namespace
+
+/// BlockEmbeddingCache over the engine's LRU (consulted concurrently from
+/// every pool worker; the LRU's own mutex is the only synchronization).
+class ExtractionEngine::BlockCacheAdapter final : public BlockEmbeddingCache {
+ public:
+  explicit BlockCacheAdapter(
+      util::LruByteCache<util::StructuralHash, CachedBlockEmbedding>& cache)
+      : cache_(cache) {}
+
+  std::shared_ptr<const CachedBlockEmbedding> lookup(
+      const util::StructuralHash& key) override {
+    return cache_.get(key);
+  }
+
+  void store(const util::StructuralHash& key,
+             std::shared_ptr<const CachedBlockEmbedding> entry) override {
+    const std::size_t bytes = entry->approxBytes();
+    cache_.put(key, std::move(entry), bytes);
+  }
+
+ private:
+  util::LruByteCache<util::StructuralHash, CachedBlockEmbedding>& cache_;
+};
+
+ExtractionEngine::ExtractionEngine(const Pipeline& pipeline,
+                                   EngineConfig config)
+    : pipeline_(pipeline),
+      config_(config),
+      designCache_(designBudget(config)),
+      blockCache_(blockBudget(config)),
+      blockAdapter_(std::make_unique<BlockCacheAdapter>(blockCache_)) {}
+
+ExtractionEngine::~ExtractionEngine() = default;
+
+ExtractionResult ExtractionEngine::extractOne(
+    const Library& lib, diag::DiagnosticSink* sink) const {
+  const trace::TraceSpan extractSpan("engine.extract");
+  const bool failSoft = sink != nullptr && !sink->strict();
+  const std::size_t diagStart = failSoft ? sink->size() : 0;
+  static metrics::Counter& degradedCounter =
+      metrics::Registry::instance().counter("pipeline.extract_degraded");
+
+  ExtractionResult result;
+  try {
+    const FlatDesign design = failSoft ? FlatDesign::elaborate(lib, *sink)
+                                       : FlatDesign::elaborate(lib);
+
+    std::shared_ptr<const InferenceArtifacts> artifacts;
+    if (config_.cacheDesignInference && config_.cacheBudgetBytes > 0) {
+      util::StructuralHash key;
+      {
+        const trace::TraceSpan hashSpan("engine.hash");
+        key = structuralHash(design, pipeline_.config().graph,
+                             pipeline_.config().features);
+        result.report.addPhase("engine.hash", hashSpan.seconds());
+      }
+      artifacts = designCache_.get(key);
+      if (artifacts == nullptr) {
+        auto computed = std::make_shared<InferenceArtifacts>(
+            pipeline_.runInference(lib, design, result.report));
+        designCache_.put(key, computed, computed->approxBytes());
+        artifacts = std::move(computed);
+      }
+    } else {
+      artifacts = std::make_shared<InferenceArtifacts>(
+          pipeline_.runInference(lib, design, result.report));
+    }
+
+    BlockEmbeddingCache* blockCache =
+        config_.cacheBlockEmbeddings && config_.cacheBudgetBytes > 0
+            ? blockAdapter_.get()
+            : nullptr;
+    pipeline_.runDetection(lib, design, *artifacts, blockCache, result);
+    // Copy (not move): the artifact may live on in the cache. A hit thus
+    // yields the exact bytes the original miss computed.
+    result.embeddings = artifacts->embeddings;
+  } catch (const Error& e) {
+    if (!failSoft) throw;
+    // Same degradation contract as Pipeline::extract: empty result, keep
+    // completed phase timings, record [pipeline.extract_degraded].
+    degradedCounter.add();
+    sink->error(diag::codes::kExtractDegraded, "", 0,
+                std::string("extraction degraded to empty result: ") +
+                    e.what());
+  }
+  if (failSoft) {
+    result.report.addDiagnostics(sink->snapshotFrom(diagStart));
+  }
+  return result;
+}
+
+ExtractionResult ExtractionEngine::extract(const Library& lib,
+                                           ExtractOptions options) const {
+  const metrics::Snapshot before = metrics::Registry::instance().snapshot();
+  ExtractionResult result = extractOne(lib, options.sink);
+  publishCacheMetrics();
+  result.report.metrics =
+      metrics::Registry::instance().snapshot().since(before);
+  return result;
+}
+
+std::vector<ExtractionResult> ExtractionEngine::extractBatch(
+    std::span<const Library* const> batch, ExtractOptions options,
+    RunReport* batchReport) const {
+  const trace::TraceSpan batchSpan("engine.batch");
+  const metrics::Snapshot before = metrics::Registry::instance().snapshot();
+  const bool failSoft = options.sink != nullptr && !options.sink->strict();
+
+  // Each design gets a private collect sink: snapshotFrom index ranges on
+  // a sink shared across concurrent designs would interleave, so
+  // diagnostics are collected locally and merged in batch order below.
+  std::vector<std::unique_ptr<diag::DiagnosticSink>> localSinks;
+  if (failSoft) {
+    localSinks.reserve(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      localSinks.push_back(std::make_unique<diag::DiagnosticSink>(
+          diag::DiagnosticSink::Mode::kCollect));
+    }
+  }
+
+  std::vector<ExtractionResult> results(batch.size());
+  util::ThreadPool pool(util::resolveThreadCount(config_.threads));
+  pool.forEach(batch.size(), [&](std::size_t i) {
+    ANCSTR_ASSERT(batch[i] != nullptr);
+    results[i] =
+        extractOne(*batch[i], failSoft ? localSinks[i].get() : options.sink);
+  });
+
+  if (failSoft) {
+    for (const auto& local : localSinks) {
+      for (diag::Diagnostic& d : local->take()) {
+        options.sink->report(std::move(d));
+      }
+    }
+  }
+
+  publishCacheMetrics();
+  if (batchReport != nullptr) {
+    batchReport->addPhase("engine.batch", batchSpan.seconds());
+    batchReport->metrics =
+        metrics::Registry::instance().snapshot().since(before);
+  }
+  return results;
+}
+
+EngineCacheStats ExtractionEngine::cacheStats() const {
+  return EngineCacheStats{designCache_.stats(), blockCache_.stats()};
+}
+
+void ExtractionEngine::clearCaches() {
+  designCache_.clear();
+  blockCache_.clear();
+}
+
+void ExtractionEngine::publishCacheMetrics() const {
+  auto& registry = metrics::Registry::instance();
+  static metrics::Counter& designHit = registry.counter("engine.cache.hit");
+  static metrics::Counter& designMiss = registry.counter("engine.cache.miss");
+  static metrics::Counter& designEvict =
+      registry.counter("engine.cache.evict");
+  static metrics::Gauge& designBytes = registry.gauge("engine.cache.bytes");
+  static metrics::Counter& blockHit =
+      registry.counter("engine.block_cache.hit");
+  static metrics::Counter& blockMiss =
+      registry.counter("engine.block_cache.miss");
+  static metrics::Counter& blockEvict =
+      registry.counter("engine.block_cache.evict");
+  static metrics::Gauge& blockBytes =
+      registry.gauge("engine.block_cache.bytes");
+
+  // LruCacheStats hit/miss/eviction counts are cumulative and monotonic;
+  // publishing the delta since the last publish keeps the process-wide
+  // counters correct across any number of engines and calls.
+  const std::lock_guard<std::mutex> lock(publishMutex_);
+  const EngineCacheStats now = cacheStats();
+  designHit.add(now.design.hits - published_.design.hits);
+  designMiss.add(now.design.misses - published_.design.misses);
+  designEvict.add(now.design.evictions - published_.design.evictions);
+  designBytes.set(static_cast<double>(now.design.bytes));
+  blockHit.add(now.blocks.hits - published_.blocks.hits);
+  blockMiss.add(now.blocks.misses - published_.blocks.misses);
+  blockEvict.add(now.blocks.evictions - published_.blocks.evictions);
+  blockBytes.set(static_cast<double>(now.blocks.bytes));
+  published_ = now;
+}
+
+}  // namespace ancstr

@@ -1,0 +1,132 @@
+// ExtractionEngine: warm-model batch serving over a trained Pipeline.
+//
+// The paper's model is inductive — train once, extract anywhere — so a
+// serving deployment runs many extractions against one set of frozen
+// weights. The engine amortizes that workload with two content-addressed
+// caches keyed by structuralHash (core/circuit_hash.h):
+//
+//   * design cache  — the front half of an extraction (multigraph
+//     construction + feature init + full-design GNN inference), stored as
+//     InferenceArtifacts per whole-design hash;
+//   * block cache   — per-subcircuit Algorithm-2 local embeddings
+//     (CachedBlockEmbedding, core/embedding.h), stored per subtree hash,
+//     so repeated blocks — across designs or within one — are embedded
+//     once.
+//
+// Both caches share one LRU byte budget (EngineConfig::cacheBudgetBytes,
+// split evenly between them) with shared_ptr pinning: an entry in use is
+// never evicted (util/lru_cache.h). Caching never changes results — a
+// warm extraction is bitwise identical to a cold one, because hash
+// equality implies a positionally identical serialization of every input
+// the cached computation consumed.
+//
+// Batches fan out over the deterministic util/parallel.h thread pool
+// (EngineConfig::threads; ANCSTR_THREADS overrides); results land in
+// per-design slots, so batch output is identical for every thread count.
+//
+// Observability: "engine.extract" / "engine.hash" / "engine.batch" trace
+// spans, and engine.cache.* / engine.block_cache.* counters and gauges
+// (docs/observability.md).
+//
+// The engine holds the Pipeline by reference and assumes its model stays
+// fixed: reloading the pipeline's weights invalidates every cached entry
+// — call clearCaches() after loadModel().
+#pragma once
+
+#include <initializer_list>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "util/lru_cache.h"
+#include "util/structural_hash.h"
+
+namespace ancstr {
+
+struct EngineConfig {
+  /// Total byte budget across both caches (split evenly); 0 disables all
+  /// caching. The budget is soft: pinned (in-use) entries are never
+  /// evicted, so occupancy can transiently exceed it.
+  std::size_t cacheBudgetBytes = 64ull << 20;
+  /// Worker count for extractBatch's per-design fan-out. 0 =
+  /// hardware_concurrency, 1 = serial; ANCSTR_THREADS overrides (see
+  /// util::resolveThreadCount). Per-design pipeline-internal parallelism
+  /// stays governed by PipelineConfig::threads.
+  std::size_t threads = 1;
+  bool cacheDesignInference = true;
+  bool cacheBlockEmbeddings = true;
+};
+
+/// Cumulative cache counters (see util::LruCacheStats).
+struct EngineCacheStats {
+  util::LruCacheStats design;
+  util::LruCacheStats blocks;
+};
+
+class ExtractionEngine {
+ public:
+  /// `pipeline` must outlive the engine and be trained before the first
+  /// extract call.
+  explicit ExtractionEngine(const Pipeline& pipeline, EngineConfig config = {});
+  ~ExtractionEngine();
+
+  ExtractionEngine(const ExtractionEngine&) = delete;
+  ExtractionEngine& operator=(const ExtractionEngine&) = delete;
+
+  /// One warm-path extraction: identical contract (and bitwise identical
+  /// detection/embeddings output) to Pipeline::extract, plus cache
+  /// consultation. The result report gains an "engine.hash" phase and —
+  /// on a design-cache hit — omits the skipped "extract.graph_build" /
+  /// "extract.inference" phases.
+  ExtractionResult extract(const Library& lib,
+                           ExtractOptions options = {}) const;
+
+  /// Extracts every design of `batch` (null entries are a caller bug),
+  /// fanning out over EngineConfig::threads workers. results[i]
+  /// corresponds to batch[i] and is bitwise identical for every thread
+  /// count. With a collect-mode options.sink, each design degrades
+  /// independently (one corrupt design never poisons its neighbours);
+  /// diagnostics land in the matching result's report and are merged into
+  /// the caller's sink in batch order. `batchReport`, when non-null,
+  /// receives the whole-batch "engine.batch" phase and metrics delta.
+  std::vector<ExtractionResult> extractBatch(
+      std::span<const Library* const> batch, ExtractOptions options = {},
+      RunReport* batchReport = nullptr) const;
+
+  /// Braced-list convenience: extractBatch({&a, &b}).
+  std::vector<ExtractionResult> extractBatch(
+      std::initializer_list<const Library*> batch, ExtractOptions options = {},
+      RunReport* batchReport = nullptr) const {
+    return extractBatch(
+        std::span<const Library* const>(batch.begin(), batch.size()), options,
+        batchReport);
+  }
+
+  EngineCacheStats cacheStats() const;
+
+  /// Drops every unpinned cached entry (e.g. after Pipeline::loadModel).
+  void clearCaches();
+
+  const Pipeline& pipeline() const { return pipeline_; }
+  const EngineConfig& config() const { return config_; }
+
+ private:
+  class BlockCacheAdapter;
+
+  ExtractionResult extractOne(const Library& lib,
+                              diag::DiagnosticSink* sink) const;
+  void publishCacheMetrics() const;
+
+  const Pipeline& pipeline_;
+  EngineConfig config_;
+  mutable util::LruByteCache<util::StructuralHash, InferenceArtifacts>
+      designCache_;
+  mutable util::LruByteCache<util::StructuralHash, CachedBlockEmbedding>
+      blockCache_;
+  std::unique_ptr<BlockCacheAdapter> blockAdapter_;
+  mutable std::mutex publishMutex_;
+  mutable EngineCacheStats published_;
+};
+
+}  // namespace ancstr

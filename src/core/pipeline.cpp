@@ -20,7 +20,7 @@ PreparedGraph Pipeline::prepare(const Library& lib,
   return prepareGraph(graph, std::move(features));
 }
 
-TrainReport Pipeline::train(const std::vector<const Library*>& corpus) {
+TrainReport Pipeline::train(std::span<const Library* const> corpus) {
   const trace::TraceSpan pipelineSpan("pipeline.train");
   const metrics::Snapshot before = metrics::Registry::instance().snapshot();
   TrainReport report;
@@ -50,55 +50,75 @@ TrainReport Pipeline::train(const std::vector<const Library*>& corpus) {
   return report;
 }
 
-void Pipeline::runExtractPhases(const Library& lib, const FlatDesign& design,
-                                ExtractionResult& result) const {
+InferenceArtifacts Pipeline::runInference(const Library& lib,
+                                          const FlatDesign& design,
+                                          RunReport& report) const {
+  if (!model_) throw Error("Pipeline::runInference before train()/loadModel()");
   PreparedGraph g;
   {
     const trace::TraceSpan span("extract.graph_build");
     g = prepare(lib, design);
-    result.report.addPhase("extract.graph_build", span.seconds());
+    report.addPhase("extract.graph_build", span.seconds());
   }
 
-  nn::Matrix z;
+  InferenceArtifacts artifacts;
   {
     const trace::TraceSpan span("extract.inference");
-    z = model_->embed(g);
-    result.report.addPhase("extract.inference", span.seconds());
+    artifacts.embeddings = model_->embed(g);
+    report.addPhase("extract.inference", span.seconds());
   }
-
-  {
-    const trace::TraceSpan span("extract.detection");
-    // Embeddings are indexed by graph vertex; the full-design graph covers
-    // devices in id order so row i == device i.
-    DetectorConfig detector = config_.detector;
-    detector.graphOptions = config_.graph;
-    const BlockEmbeddingContext blockContext{*model_, config_.features};
-    result.detection = detectConstraints(design, lib, z, detector,
-                                         blockContext, config_.threads);
-    result.report.addPhase("extract.detection", span.seconds());
-  }
-
-  result.embeddings = std::move(z);
+  return artifacts;
 }
 
-ExtractionResult Pipeline::extract(const Library& lib) const {
-  if (!model_) throw Error("Pipeline::extract before train()/loadModel()");
-  const trace::TraceSpan pipelineSpan("pipeline.extract");
-  const metrics::Snapshot before = metrics::Registry::instance().snapshot();
-  ExtractionResult result;
-
-  const FlatDesign design = FlatDesign::elaborate(lib);
-  runExtractPhases(lib, design, result);
-
-  result.report.metrics =
-      metrics::Registry::instance().snapshot().since(before);
-  return result;
+void Pipeline::runDetection(const Library& lib, const FlatDesign& design,
+                            const InferenceArtifacts& artifacts,
+                            BlockEmbeddingCache* blockCache,
+                            ExtractionResult& result) const {
+  if (!model_) throw Error("Pipeline::runDetection before train()/loadModel()");
+  const trace::TraceSpan span("extract.detection");
+  // Embeddings are indexed by graph vertex; the full-design graph covers
+  // devices in id order so row i == device i.
+  DetectorConfig detector = config_.detector;
+  detector.graphOptions = config_.graph;
+  const BlockEmbeddingContext blockContext{*model_, config_.features,
+                                           blockCache};
+  result.detection = detectConstraints(design, lib, artifacts.embeddings,
+                                       detector, blockContext,
+                                       config_.threads);
+  result.report.addPhase("extract.detection", span.seconds());
 }
+
+namespace {
+
+void runExtractPhases(const Pipeline& pipeline, const Library& lib,
+                      const FlatDesign& design, ExtractionResult& result) {
+  InferenceArtifacts artifacts =
+      pipeline.runInference(lib, design, result.report);
+  pipeline.runDetection(lib, design, artifacts, nullptr, result);
+  result.embeddings = std::move(artifacts.embeddings);
+}
+
+}  // namespace
 
 ExtractionResult Pipeline::extract(const Library& lib,
-                                   diag::DiagnosticSink& sink) const {
-  if (sink.strict()) return extract(lib);
+                                   ExtractOptions options) const {
   if (!model_) throw Error("Pipeline::extract before train()/loadModel()");
+
+  if (options.sink == nullptr || options.sink->strict()) {
+    // Strict path: the first invalid construct throws, no sink involved.
+    const trace::TraceSpan pipelineSpan("pipeline.extract");
+    const metrics::Snapshot before = metrics::Registry::instance().snapshot();
+    ExtractionResult result;
+
+    const FlatDesign design = FlatDesign::elaborate(lib);
+    runExtractPhases(*this, lib, design, result);
+
+    result.report.metrics =
+        metrics::Registry::instance().snapshot().since(before);
+    return result;
+  }
+
+  diag::DiagnosticSink& sink = *options.sink;
   static metrics::Counter& degradedCounter =
       metrics::Registry::instance().counter("pipeline.extract_degraded");
 
@@ -108,7 +128,7 @@ ExtractionResult Pipeline::extract(const Library& lib,
   try {
     const trace::TraceSpan pipelineSpan("pipeline.extract");
     const FlatDesign design = FlatDesign::elaborate(lib, sink);
-    runExtractPhases(lib, design, result);
+    runExtractPhases(*this, lib, design, result);
   } catch (const Error& e) {
     // Degrade to an empty result: completed phase timings are kept, the
     // detection/embeddings stay default-constructed (detectConstraints

@@ -2,15 +2,24 @@
 // feature init, unsupervised GNN training, circuit embedding, and
 // constraint detection. Train once on a corpus, then extract constraints
 // from any circuit (the model is inductive).
+//
+// Public API surface and stability policy: docs/api.md. For warm-model
+// repeated serving over many designs, wrap a trained Pipeline in an
+// ExtractionEngine (core/engine.h), which memoizes the inference front
+// half through the runInference()/runDetection() hooks below.
 #pragma once
 
 #include <filesystem>
+#include <initializer_list>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/detector.h"
 #include "core/features.h"
 #include "core/trainer.h"
+#include "netlist/flatten.h"
+#include "nn/matrix.h"
 #include "util/report.h"
 
 namespace ancstr {
@@ -41,39 +50,32 @@ struct PipelineConfig {
   }
 };
 
-/// Wall-clock breakdown of one extraction (Tables V/VI runtime columns
-/// exclude training, matching the paper's footnote). Thin view derived
-/// from ExtractionResult::report — kept for callers that only want the
-/// three classic numbers.
-struct ExtractTiming {
-  double graphBuildSeconds = 0.0;
-  double inferenceSeconds = 0.0;
-  double detectionSeconds = 0.0;
-
-  double total() const {
-    return graphBuildSeconds + inferenceSeconds + detectionSeconds;
-  }
+/// Per-call options for Pipeline::extract / ExtractionEngine::extract.
+struct ExtractOptions {
+  /// Fail-soft switch (docs/robustness.md). Null or strict-mode sink:
+  /// classic strict semantics — the first invalid construct throws.
+  /// Collect-mode sink: invalid constructs degrade instead of aborting
+  /// (unresolvable subcircuit instances are skipped during elaboration
+  /// [pipeline.subckt_skipped]; a failure of any later phase degrades to
+  /// an empty result [pipeline.extract_degraded]), and all diagnostics
+  /// produced during the call are copied into result.report.diagnostics.
+  diag::DiagnosticSink* sink = nullptr;
 };
 
 /// Extraction output: scored candidates + accepted constraints + the run
-/// report (per-phase wall-clock and the metrics delta for this call).
+/// report (per-phase wall-clock — see util/report.h phase names
+/// "extract.graph_build" / "extract.inference" / "extract.detection" —
+/// and the metrics delta for this call).
 struct ExtractionResult {
   DetectionResult detection;
   RunReport report;
   /// Trained per-device embeddings (row = FlatDeviceId) — input for
   /// downstream analyses such as array-group detection (core/arrays.h).
   nn::Matrix embeddings;
-
-  /// Classic three-phase breakdown, derived from `report`.
-  ExtractTiming timing() const {
-    return ExtractTiming{report.phaseSeconds("extract.graph_build"),
-                         report.phaseSeconds("extract.inference"),
-                         report.phaseSeconds("extract.detection")};
-  }
 };
 
-/// Training output: per-epoch losses plus the run report. TrainStats is
-/// the legacy view, derivable via stats().
+/// Training output: per-epoch losses plus the run report (phase names
+/// "train.prepare" / "train.loop").
 struct TrainReport {
   RunReport report;
   std::vector<double> epochLoss;  ///< mean loss per epoch, in order
@@ -81,9 +83,19 @@ struct TrainReport {
   double finalLoss() const {
     return epochLoss.empty() ? 0.0 : epochLoss.back();
   }
+};
 
-  TrainStats stats() const {
-    return TrainStats{epochLoss, report.phaseSeconds("train.loop")};
+/// The memoizable front half of one extraction: everything detection
+/// consumes that depends only on the design's structure and the trained
+/// model — i.e. the full-design vertex embeddings. Content-addressed by
+/// structuralHash (core/circuit_hash.h) inside the ExtractionEngine.
+struct InferenceArtifacts {
+  nn::Matrix embeddings;  ///< row = FlatDeviceId
+
+  /// Byte charge against an ExtractionEngine cache budget.
+  std::size_t approxBytes() const {
+    return sizeof(InferenceArtifacts) +
+           embeddings.rows() * embeddings.cols() * sizeof(double);
   }
 };
 
@@ -92,25 +104,54 @@ class Pipeline {
   explicit Pipeline(PipelineConfig config = {});
 
   /// Trains the GNN on the given circuits (unsupervised; no labels).
-  TrainReport train(const std::vector<const Library*>& corpus);
+  TrainReport train(std::span<const Library* const> corpus);
+
+  /// Braced-list convenience: train({&lib1, &lib2}).
+  TrainReport train(std::initializer_list<const Library*> corpus) {
+    return train(std::span<const Library* const>(corpus.begin(),
+                                                 corpus.size()));
+  }
 
   /// True once train() or loadModel() has run.
   bool isTrained() const { return model_ != nullptr; }
 
-  /// Extracts symmetry constraints from one circuit.
-  ExtractionResult extract(const Library& lib) const;
-
-  /// Fail-soft extraction (docs/robustness.md). With a collect-mode sink,
-  /// invalid constructs degrade instead of aborting the run: unresolvable
-  /// subcircuit instances are skipped during elaboration
-  /// ([pipeline.subckt_skipped]) and a failure of any later phase
-  /// degrades to an empty result ([pipeline.extract_degraded]) rather
-  /// than throwing. All diagnostics produced during the call are copied
-  /// into result.report.diagnostics. With a strict sink this is exactly
-  /// extract(lib). Calling before train()/loadModel() still throws — that
-  /// is a caller bug, not corrupt input.
+  /// Extracts symmetry constraints from one circuit. Strict by default;
+  /// pass ExtractOptions{&sink} with a collect-mode sink for fail-soft
+  /// behaviour (see ExtractOptions::sink). Calling before
+  /// train()/loadModel() always throws — that is a caller bug, not
+  /// corrupt input.
   ExtractionResult extract(const Library& lib,
-                           diag::DiagnosticSink& sink) const;
+                           ExtractOptions options = {}) const;
+
+  /// Legacy fail-soft overload.
+  [[deprecated("pass ExtractOptions{&sink} instead")]]
+  ExtractionResult extract(const Library& lib,
+                           diag::DiagnosticSink& sink) const {
+    return extract(lib, ExtractOptions{&sink});
+  }
+
+  // --- Serving hooks (used by core/engine.h) ---------------------------
+  // extract() == runInference() + runDetection() over an elaborated
+  // design; the split exists so a serving layer can cache the artifacts
+  // between the two. Both throw before train()/loadModel().
+
+  /// Front half: multigraph construction + feature init + GNN inference
+  /// over the whole design. Appends the "extract.graph_build" and
+  /// "extract.inference" phases to `report`. Deterministic: bitwise
+  /// identical artifacts for identical (design structure, model, config).
+  InferenceArtifacts runInference(const Library& lib,
+                                  const FlatDesign& design,
+                                  RunReport& report) const;
+
+  /// Back half: candidate enumeration, block embedding, and scoring,
+  /// consuming previously computed artifacts. `blockCache` (may be null)
+  /// memoizes per-subcircuit Algorithm-2 embeddings across calls — see
+  /// BlockEmbeddingCache in core/embedding.h. Appends the
+  /// "extract.detection" phase and assigns result.detection.
+  void runDetection(const Library& lib, const FlatDesign& design,
+                    const InferenceArtifacts& artifacts,
+                    BlockEmbeddingCache* blockCache,
+                    ExtractionResult& result) const;
 
   const GnnModel& model() const;
   const PipelineConfig& config() const { return config_; }
@@ -120,8 +161,6 @@ class Pipeline {
 
  private:
   PreparedGraph prepare(const Library& lib, const FlatDesign& design) const;
-  void runExtractPhases(const Library& lib, const FlatDesign& design,
-                        ExtractionResult& result) const;
 
   PipelineConfig config_;
   std::unique_ptr<GnnModel> model_;

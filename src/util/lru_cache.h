@@ -1,0 +1,128 @@
+// Thread-safe byte-budget LRU cache with shared_ptr pinning, the storage
+// layer of the ExtractionEngine's content-addressed caches (core/engine.h).
+//
+// Values are held as shared_ptr<const V>: a get() hands the caller a
+// reference that pins the entry for as long as the caller keeps it —
+// eviction skips pinned entries (use_count > 1), so an artifact can never
+// be freed mid-use. The byte budget is therefore a soft ceiling: with
+// every entry pinned the cache may transiently exceed it, and converges
+// back as pins are released and later insertions evict.
+//
+// All operations take one mutex; the cached computations this fronts cost
+// milliseconds, so lock contention is noise. Hit/miss/eviction/byte
+// statistics are kept cumulatively and read via stats().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace ancstr::util {
+
+/// Cumulative counters of one cache instance. bytes/entries are current
+/// occupancy; the rest never decrease (clear() does not reset them).
+struct LruCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t bytes = 0;
+  std::size_t entries = 0;
+};
+
+template <typename Key, typename Value, typename KeyHash = std::hash<Key>>
+class LruByteCache {
+ public:
+  /// `budgetBytes` caps the sum of per-entry charges; 0 disables caching
+  /// entirely (every get() misses, put() is a no-op).
+  explicit LruByteCache(std::size_t budgetBytes) : budget_(budgetBytes) {}
+
+  LruByteCache(const LruByteCache&) = delete;
+  LruByteCache& operator=(const LruByteCache&) = delete;
+
+  /// Returns the cached value (bumped to most-recently-used) or nullptr.
+  std::shared_ptr<const Value> get(const Key& key) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++stats_.misses;
+      return nullptr;
+    }
+    order_.splice(order_.begin(), order_, it->second);
+    ++stats_.hits;
+    return it->second->value;
+  }
+
+  /// Inserts (or refreshes) `key`, charging `bytes` against the budget and
+  /// evicting least-recently-used unpinned entries until back within it.
+  void put(const Key& key, std::shared_ptr<const Value> value,
+           std::size_t bytes) {
+    if (budget_ == 0) return;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      // Concurrent producers of the same key write identical content (the
+      // cache is content-addressed); keep the bookkeeping of the newest.
+      stats_.bytes -= it->second->bytes;
+      it->second->value = std::move(value);
+      it->second->bytes = bytes;
+      stats_.bytes += bytes;
+      order_.splice(order_.begin(), order_, it->second);
+    } else {
+      order_.push_front(Entry{key, std::move(value), bytes});
+      index_.emplace(key, order_.begin());
+      stats_.bytes += bytes;
+    }
+    evictToBudget();
+  }
+
+  LruCacheStats stats() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    LruCacheStats out = stats_;
+    out.entries = index_.size();
+    return out;
+  }
+
+  std::size_t budgetBytes() const { return budget_; }
+
+  /// Drops every unpinned entry (pinned ones stay until released and are
+  /// then unreachable — their bytes leave the books immediately).
+  void clear() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stats_.bytes = 0;
+    index_.clear();
+    order_.clear();
+  }
+
+ private:
+  struct Entry {
+    Key key;
+    std::shared_ptr<const Value> value;
+    std::size_t bytes = 0;
+  };
+
+  void evictToBudget() {
+    auto it = order_.end();
+    while (stats_.bytes > budget_ && it != order_.begin()) {
+      --it;
+      // use_count > 1 means a caller still holds the artifact: pinned.
+      if (it->value.use_count() > 1) continue;
+      stats_.bytes -= it->bytes;
+      index_.erase(it->key);
+      it = order_.erase(it);
+      ++stats_.evictions;
+    }
+  }
+
+  const std::size_t budget_;
+  mutable std::mutex mutex_;
+  std::list<Entry> order_;  ///< front = most recently used
+  std::unordered_map<Key, typename std::list<Entry>::iterator, KeyHash>
+      index_;
+  LruCacheStats stats_;
+};
+
+}  // namespace ancstr::util

@@ -2,8 +2,8 @@
 // (Pipeline::extract / Pipeline::train / a bench run) — ordered per-phase
 // wall-clock plus a metrics delta, renderable as JSON or an ASCII table.
 //
-// Legacy ExtractTiming / TrainStats are thin accessors over this (see
-// core/pipeline.h); new code should consume the report directly.
+// Callers consume the report directly (phaseSeconds / totalSeconds /
+// toJson / toTable); there are no derived timing views.
 #pragma once
 
 #include <iterator>

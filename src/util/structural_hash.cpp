@@ -1,0 +1,41 @@
+#include "util/structural_hash.h"
+
+#include <bit>
+
+namespace ancstr::util {
+
+std::string StructuralHash::hex() const {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(32);
+  for (const std::uint64_t lane : {hi, lo}) {
+    for (int shift = 60; shift >= 0; shift -= 4) {
+      out.push_back(kDigits[(lane >> shift) & 0xF]);
+    }
+  }
+  return out;
+}
+
+void StructuralHasher::addDouble(double v) noexcept {
+  add(std::bit_cast<std::uint64_t>(v));
+}
+
+void StructuralHasher::addBytes(std::string_view bytes) noexcept {
+  addSize(bytes.size());
+  // Pack 8 bytes per word; the final partial word is zero-padded, which is
+  // unambiguous because the length is hashed first.
+  std::uint64_t word = 0;
+  int filled = 0;
+  for (const char c : bytes) {
+    word |= static_cast<std::uint64_t>(static_cast<unsigned char>(c))
+            << (8 * filled);
+    if (++filled == 8) {
+      add(word);
+      word = 0;
+      filled = 0;
+    }
+  }
+  if (filled > 0) add(word);
+}
+
+}  // namespace ancstr::util

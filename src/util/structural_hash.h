@@ -1,0 +1,90 @@
+// 128-bit streaming content hash for content-addressed caching
+// (core/engine.h). Two independently salted 64-bit lanes, each mixing
+// every input word through a splitmix64-style finalizer before an
+// FNV-style fold, give collision resistance far beyond a single 64-bit
+// hash at integer-only cost — no allocation, no platform dependence, so
+// hashes are stable across machines and usable as golden test values.
+//
+// The hasher itself is order-SENSITIVE: add() calls form a canonical
+// serialization, and equal hashes are only meaningful when producers
+// serialize in a canonical order (core/circuit_hash.h defines that order
+// for circuits: positional, name-free, and independent of container
+// iteration order and thread count).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ancstr::util {
+
+/// A 128-bit content hash value. Zero-initialised ("null") hashes compare
+/// equal to each other; finish() never returns the null hash for any
+/// input stream (the lanes start from non-zero offsets).
+struct StructuralHash {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  bool operator==(const StructuralHash&) const = default;
+
+  /// 32 lowercase hex characters, hi lane first.
+  std::string hex() const;
+};
+
+/// Streaming hasher. Feed the canonical serialization word by word and
+/// call finish(); finish() is idempotent and non-destructive, so a hasher
+/// can keep accumulating after an intermediate digest.
+class StructuralHasher {
+ public:
+  StructuralHasher() = default;
+
+  void add(std::uint64_t v) noexcept {
+    hi_ = (hi_ ^ mix(v ^ kSaltHi)) * kPrime;
+    lo_ = (lo_ ^ mix(v ^ kSaltLo)) * kPrime;
+  }
+
+  void addSize(std::size_t v) noexcept { add(static_cast<std::uint64_t>(v)); }
+  void addBool(bool v) noexcept { add(v ? 1u : 0u); }
+  void addInt(std::int64_t v) noexcept { add(static_cast<std::uint64_t>(v)); }
+
+  /// Hashes the exact bit pattern (content-addressing is bit-exact; +0.0
+  /// and -0.0 are deliberately distinct inputs).
+  void addDouble(double v) noexcept;
+
+  /// Hashes length + bytes (so "ab","c" never collides with "a","bc").
+  void addBytes(std::string_view bytes) noexcept;
+
+  StructuralHash finish() const noexcept {
+    // One extra avalanche so trailing add()s affect every output bit.
+    return StructuralHash{mix(hi_), mix(lo_)};
+  }
+
+ private:
+  static constexpr std::uint64_t kPrime = 0x100000001b3ull;  // FNV-1a prime
+  static constexpr std::uint64_t kSaltHi = 0x9e3779b97f4a7c15ull;
+  static constexpr std::uint64_t kSaltLo = 0xc2b2ae3d27d4eb4full;
+
+  static std::uint64_t mix(std::uint64_t x) noexcept {
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ull;
+    x ^= x >> 33;
+    return x;
+  }
+
+  std::uint64_t hi_ = 0xcbf29ce484222325ull;  // FNV offset basis
+  std::uint64_t lo_ = 0x84222325cbf29ce4ull;  // rotated basis, distinct lane
+};
+
+}  // namespace ancstr::util
+
+template <>
+struct std::hash<ancstr::util::StructuralHash> {
+  std::size_t operator()(const ancstr::util::StructuralHash& h) const noexcept {
+    // hi already avalanched by finish(); fold in lo for maps keyed on the
+    // full 128 bits.
+    return static_cast<std::size_t>(h.hi ^ (h.lo * 0x9e3779b97f4a7c15ull));
+  }
+};

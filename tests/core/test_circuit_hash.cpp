@@ -1,0 +1,178 @@
+#include "core/circuit_hash.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "netlist/builder.h"
+
+namespace ancstr {
+namespace {
+
+/// A small differential pair; `prefix` renames every net and device so the
+/// name-invariance tests can build structurally identical twins.
+Library diffPair(const std::string& prefix) {
+  NetlistBuilder b;
+  b.beginSubckt(prefix + "ota", {prefix + "inp", prefix + "inn",
+                                 prefix + "out", prefix + "vss"});
+  b.nmos(prefix + "m1", prefix + "out", prefix + "inp", prefix + "tail",
+         prefix + "vss", 2e-6, 0.5e-6);
+  b.nmos(prefix + "m2", prefix + "outn", prefix + "inn", prefix + "tail",
+         prefix + "vss", 2e-6, 0.5e-6);
+  b.res(prefix + "r1", prefix + "out", prefix + "vss", 1e3);
+  b.res(prefix + "r2", prefix + "outn", prefix + "vss", 1e3);
+  b.endSubckt();
+  return b.build(prefix + "ota");
+}
+
+/// Leaf master plus `extraCaps` extra capacitors on the instance's `x`
+/// port net, to steer the net's FULL-design degree across the cap.
+FlatDesign leafUnderLoad(int extraCaps) {
+  NetlistBuilder b;
+  b.beginSubckt("leaf", {"p"});
+  b.res("r1", "p", "q", 1e3);
+  b.cap("c1", "q", "p", 1e-15);
+  b.endSubckt();
+  b.beginSubckt("top", {"x", "vss"});
+  b.inst("u1", "leaf", {"x"});
+  for (int i = 0; i < extraCaps; ++i) {
+    b.cap("cx" + std::to_string(i), "x", "vss", 1e-15);
+  }
+  b.endSubckt();
+  return FlatDesign::elaborate(b.build("top"));
+}
+
+TEST(CircuitHash, InvariantUnderRenaming) {
+  const FlatDesign a = FlatDesign::elaborate(diffPair(""));
+  const FlatDesign b = FlatDesign::elaborate(diffPair("zz_"));
+  const GraphBuildOptions graph;
+  const FeatureConfig features;
+  EXPECT_EQ(structuralHash(a, graph, features),
+            structuralHash(b, graph, features));
+}
+
+TEST(CircuitHash, InstancesOfSameMasterHashEqual) {
+  NetlistBuilder b;
+  b.beginSubckt("leaf", {"a", "b"});
+  b.res("r1", "a", "mid", 1e3);
+  b.cap("c1", "mid", "b", 1e-15);
+  b.endSubckt();
+  b.beginSubckt("top", {"x", "y", "z"});
+  b.inst("u1", "leaf", {"x", "y"});
+  b.inst("u2", "leaf", {"y", "z"});
+  b.endSubckt();
+  const FlatDesign design = FlatDesign::elaborate(b.build("top"));
+  const auto& hier = design.hierarchy();
+  const std::vector<FlatDeviceId> s1 =
+      design.subtreeDevices(hier[0].children[0]);
+  const std::vector<FlatDeviceId> s2 =
+      design.subtreeDevices(hier[0].children[1]);
+  ASSERT_NE(s1, s2);  // distinct devices...
+  const GraphBuildOptions graph;
+  const FeatureConfig features;
+  EXPECT_EQ(structuralHash(design, s1, graph, features),  // ...same hash
+            structuralHash(design, s2, graph, features));
+}
+
+TEST(CircuitHash, SensitiveToDeviceParams) {
+  NetlistBuilder b1;
+  b1.beginSubckt("c", {"a", "b"});
+  b1.res("r1", "a", "b", 1e3);
+  b1.endSubckt();
+  NetlistBuilder b2;
+  b2.beginSubckt("c", {"a", "b"});
+  b2.res("r1", "a", "b", 2e3);
+  b2.endSubckt();
+  const FlatDesign d1 = FlatDesign::elaborate(b1.build("c"));
+  const FlatDesign d2 = FlatDesign::elaborate(b2.build("c"));
+  const GraphBuildOptions graph;
+  const FeatureConfig features;
+  EXPECT_NE(structuralHash(d1, graph, features),
+            structuralHash(d2, graph, features));
+}
+
+TEST(CircuitHash, SensitiveToConnectivity) {
+  // Same devices and nets; only m1's gate and source are exchanged.
+  NetlistBuilder b1;
+  b1.beginSubckt("c", {"d", "g", "s", "vss"});
+  b1.nmos("m1", "d", "g", "s", "vss", 1e-6, 1e-7);
+  b1.endSubckt();
+  NetlistBuilder b2;
+  b2.beginSubckt("c", {"d", "g", "s", "vss"});
+  b2.nmos("m1", "d", "s", "g", "vss", 1e-6, 1e-7);
+  b2.endSubckt();
+  const FlatDesign d1 = FlatDesign::elaborate(b1.build("c"));
+  const FlatDesign d2 = FlatDesign::elaborate(b2.build("c"));
+  const GraphBuildOptions graph;
+  const FeatureConfig features;
+  EXPECT_NE(structuralHash(d1, graph, features),
+            structuralHash(d2, graph, features));
+}
+
+TEST(CircuitHash, SensitiveToBuildAndFeatureOptions) {
+  const FlatDesign design = FlatDesign::elaborate(diffPair(""));
+  const GraphBuildOptions base;
+  const FeatureConfig features;
+  const util::StructuralHash reference =
+      structuralHash(design, base, features);
+
+  GraphBuildOptions capped = base;
+  capped.maxNetDegree = 3;
+  EXPECT_NE(structuralHash(design, capped, features), reference);
+
+  GraphBuildOptions noBulk = base;
+  noBulk.includeBulkPins = !base.includeBulkPins;
+  EXPECT_NE(structuralHash(design, noBulk, features), reference);
+
+  FeatureConfig noGeometry = features;
+  noGeometry.useGeometry = !features.useGeometry;
+  EXPECT_NE(structuralHash(design, base, noGeometry), reference);
+}
+
+TEST(CircuitHash, NetDegreeEligibilityUsesFullDesignDegree) {
+  // The leaf subtree is identical in both designs; only the surrounding
+  // load on its port net differs. With a cap of 3 the loaded design's net
+  // is skipped by the graph builder, so the subtree hash must change.
+  const FlatDesign light = leafUnderLoad(0);  // x degree 2 (r1 + c1)
+  const FlatDesign heavy = leafUnderLoad(4);  // x degree 6
+  GraphBuildOptions graph;
+  graph.maxNetDegree = 3;
+  const FeatureConfig features;
+  const auto subtreeOf = [](const FlatDesign& design) {
+    return design.subtreeDevices(design.hierarchy()[0].children[0]);
+  };
+  EXPECT_NE(
+      structuralHash(light, subtreeOf(light), graph, features),
+      structuralHash(heavy, subtreeOf(heavy), graph, features));
+
+  // Without the cap both subtrees serialize identically again.
+  const GraphBuildOptions uncapped;
+  EXPECT_EQ(
+      structuralHash(light, subtreeOf(light), uncapped, features),
+      structuralHash(heavy, subtreeOf(heavy), uncapped, features));
+}
+
+TEST(CircuitHash, SubsetOrderDefinesVertexNumbering) {
+  const FlatDesign design = FlatDesign::elaborate(diffPair(""));
+  const std::vector<FlatDeviceId> forward{0, 1, 2, 3};
+  const std::vector<FlatDeviceId> reversed{3, 2, 1, 0};
+  const GraphBuildOptions graph;
+  const FeatureConfig features;
+  EXPECT_NE(structuralHash(design, forward, graph, features),
+            structuralHash(design, reversed, graph, features));
+}
+
+// Golden value: the cache key must stay stable across platforms and
+// releases; an unintended serialization change shows up here before it
+// silently invalidates (or worse, aliases) persisted cache entries.
+TEST(CircuitHash, GoldenValue) {
+  const FlatDesign design = FlatDesign::elaborate(diffPair(""));
+  const GraphBuildOptions graph;
+  const FeatureConfig features;
+  EXPECT_EQ(structuralHash(design, graph, features).hex(),
+            "2d6c1dd0e37380d9edd9e72c6548cff4");
+}
+
+}  // namespace
+}  // namespace ancstr

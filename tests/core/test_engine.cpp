@@ -1,0 +1,210 @@
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "circuits/synthetic.h"
+#include "util/diagnostics.h"
+#include "util/error.h"
+
+namespace ancstr {
+namespace {
+
+PipelineConfig fastConfig() {
+  PipelineConfig config;
+  config.train.epochs = 8;
+  return config;
+}
+
+/// Bitwise comparison (memcmp on doubles, not tolerance): the engine's
+/// contract is that a cache hit reproduces the miss result exactly.
+void expectBitwiseEqual(const ExtractionResult& a,
+                        const ExtractionResult& b) {
+  const DetectionResult& da = a.detection;
+  const DetectionResult& db = b.detection;
+  EXPECT_EQ(std::memcmp(&da.systemThreshold, &db.systemThreshold,
+                        sizeof(double)),
+            0);
+  EXPECT_EQ(std::memcmp(&da.deviceThreshold, &db.deviceThreshold,
+                        sizeof(double)),
+            0);
+  ASSERT_EQ(da.scored.size(), db.scored.size());
+  for (std::size_t i = 0; i < da.scored.size(); ++i) {
+    const ScoredCandidate& ca = da.scored[i];
+    const ScoredCandidate& cb = db.scored[i];
+    EXPECT_TRUE(ca.pair.a == cb.pair.a);
+    EXPECT_TRUE(ca.pair.b == cb.pair.b);
+    EXPECT_EQ(ca.pair.hierarchy, cb.pair.hierarchy);
+    EXPECT_EQ(ca.pair.level, cb.pair.level);
+    EXPECT_EQ(ca.accepted, cb.accepted);
+    EXPECT_EQ(std::memcmp(&ca.similarity, &cb.similarity, sizeof(double)),
+              0);
+  }
+  ASSERT_EQ(a.embeddings.rows(), b.embeddings.rows());
+  ASSERT_EQ(a.embeddings.cols(), b.embeddings.cols());
+  for (std::size_t r = 0; r < a.embeddings.rows(); ++r) {
+    EXPECT_EQ(std::memcmp(a.embeddings.row(r), b.embeddings.row(r),
+                          a.embeddings.cols() * sizeof(double)),
+              0);
+  }
+}
+
+TEST(Engine, WarmEqualsColdEqualsPipeline) {
+  Pipeline pipeline(fastConfig());
+  const auto bench = circuits::makeDiffChain(3);
+  pipeline.train({&bench.lib});
+  const ExtractionResult direct = pipeline.extract(bench.lib);
+
+  const ExtractionEngine engine(pipeline);
+  const ExtractionResult cold = engine.extract(bench.lib);
+  const ExtractionResult warm = engine.extract(bench.lib);
+
+  expectBitwiseEqual(direct, cold);
+  expectBitwiseEqual(cold, warm);
+  const EngineCacheStats stats = engine.cacheStats();
+  EXPECT_GE(stats.design.misses, 1u);
+  EXPECT_GE(stats.design.hits, 1u);
+}
+
+TEST(Engine, CorrectUnderConstantEviction) {
+  Pipeline pipeline(fastConfig());
+  const auto a = circuits::makeDiffChain(2);
+  const auto b = circuits::makeDiffChain(4);
+  pipeline.train({&a.lib, &b.lib});
+  const ExtractionResult directA = pipeline.extract(a.lib);
+  const ExtractionResult directB = pipeline.extract(b.lib);
+
+  // A budget far below any entry's size: every insertion immediately
+  // overflows and evicts whatever is unpinned, so the engine runs in a
+  // permanent thrash — results must still be exact.
+  EngineConfig config;
+  config.cacheBudgetBytes = 64;
+  const ExtractionEngine engine(pipeline, config);
+  expectBitwiseEqual(engine.extract(a.lib), directA);
+  expectBitwiseEqual(engine.extract(b.lib), directB);
+  expectBitwiseEqual(engine.extract(a.lib), directA);
+  EXPECT_GE(engine.cacheStats().design.evictions, 1u);
+}
+
+TEST(Engine, ConcurrentMixedBatchIsDeterministic) {
+  Pipeline pipeline(fastConfig());
+  const auto a = circuits::makeDiffChain(2);
+  const auto b = circuits::makeDiffChain(4);
+  pipeline.train({&a.lib, &b.lib});
+  const ExtractionResult directA = pipeline.extract(a.lib);
+  const ExtractionResult directB = pipeline.extract(b.lib);
+
+  EngineConfig config;
+  config.threads = 4;
+  const ExtractionEngine engine(pipeline, config);
+  // Duplicate designs in one batch race for the same cache entries; the
+  // TSan CI configuration runs this at ANCSTR_THREADS=4 as well.
+  const std::vector<ExtractionResult> results =
+      engine.extractBatch({&a.lib, &b.lib, &a.lib, &b.lib});
+  ASSERT_EQ(results.size(), 4u);
+  expectBitwiseEqual(results[0], directA);
+  expectBitwiseEqual(results[1], directB);
+  expectBitwiseEqual(results[2], directA);
+  expectBitwiseEqual(results[3], directB);
+}
+
+TEST(Engine, StrictExtractOnBadInputThrows) {
+  Pipeline pipeline(fastConfig());
+  const auto bench = circuits::makeDiffChain(2);
+  pipeline.train({&bench.lib});
+  const ExtractionEngine engine(pipeline);
+  EXPECT_THROW(engine.extract(Library{}), Error);
+}
+
+TEST(Engine, FailSoftBatchIsolatesTheBadDesign) {
+  Pipeline pipeline(fastConfig());
+  const auto good = circuits::makeDiffChain(2);
+  pipeline.train({&good.lib});
+  const Library corrupt{};  // no top cell: elaboration fails
+
+  const ExtractionEngine engine(pipeline);
+  diag::DiagnosticSink sink(diag::DiagnosticSink::Mode::kCollect);
+  const std::vector<ExtractionResult> results =
+      engine.extractBatch({&good.lib, &corrupt, &good.lib},
+                          ExtractOptions{&sink});
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_GT(results[0].detection.scored.size(), 0u);
+  EXPECT_GT(results[2].detection.scored.size(), 0u);
+  expectBitwiseEqual(results[0], results[2]);
+
+  // The degraded design yields an empty result carrying its own
+  // diagnostic; the neighbours' reports stay clean.
+  EXPECT_EQ(results[1].detection.scored.size(), 0u);
+  const auto hasDegraded = [](const std::vector<diag::Diagnostic>& diags) {
+    for (const diag::Diagnostic& d : diags) {
+      if (d.code == diag::codes::kExtractDegraded) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(hasDegraded(results[1].report.diagnostics));
+  EXPECT_FALSE(hasDegraded(results[0].report.diagnostics));
+  EXPECT_FALSE(hasDegraded(results[2].report.diagnostics));
+  EXPECT_TRUE(hasDegraded(sink.snapshot()));
+}
+
+TEST(Engine, PublishesCacheMetricsIntoReports) {
+  Pipeline pipeline(fastConfig());
+  const auto bench = circuits::makeDiffChain(2);
+  pipeline.train({&bench.lib});
+  const ExtractionEngine engine(pipeline);
+
+  const ExtractionResult cold = engine.extract(bench.lib);
+  ASSERT_TRUE(cold.report.metrics.counters.contains("engine.cache.miss"));
+  EXPECT_GE(cold.report.metrics.counters.at("engine.cache.miss"), 1u);
+
+  const ExtractionResult warm = engine.extract(bench.lib);
+  ASSERT_TRUE(warm.report.metrics.counters.contains("engine.cache.hit"));
+  EXPECT_GE(warm.report.metrics.counters.at("engine.cache.hit"), 1u);
+  EXPECT_GT(warm.report.metrics.gauges.at("engine.cache.bytes"), 0.0);
+}
+
+TEST(Engine, ClearCachesKeepsCumulativeCounters) {
+  Pipeline pipeline(fastConfig());
+  const auto bench = circuits::makeDiffChain(2);
+  pipeline.train({&bench.lib});
+  ExtractionEngine engine(pipeline);
+
+  (void)engine.extract(bench.lib);
+  (void)engine.extract(bench.lib);
+  const EngineCacheStats before = engine.cacheStats();
+  EXPECT_GE(before.design.hits, 1u);
+  EXPECT_GT(before.design.entries, 0u);
+
+  engine.clearCaches();
+  const EngineCacheStats after = engine.cacheStats();
+  EXPECT_EQ(after.design.entries, 0u);
+  EXPECT_EQ(after.design.bytes, 0u);
+  EXPECT_EQ(after.design.hits, before.design.hits);
+
+  // The next extraction misses again and still reproduces the result.
+  const ExtractionResult again = engine.extract(bench.lib);
+  EXPECT_GT(again.detection.scored.size(), 0u);
+  EXPECT_GT(engine.cacheStats().design.misses, before.design.misses);
+}
+
+TEST(Engine, DisablingCachesStillExtractsExactly) {
+  Pipeline pipeline(fastConfig());
+  const auto bench = circuits::makeDiffChain(3);
+  pipeline.train({&bench.lib});
+  const ExtractionResult direct = pipeline.extract(bench.lib);
+
+  EngineConfig config;
+  config.cacheDesignInference = false;
+  config.cacheBlockEmbeddings = false;
+  const ExtractionEngine engine(pipeline, config);
+  expectBitwiseEqual(engine.extract(bench.lib), direct);
+  expectBitwiseEqual(engine.extract(bench.lib), direct);
+  const EngineCacheStats stats = engine.cacheStats();
+  EXPECT_EQ(stats.design.entries, 0u);
+  EXPECT_EQ(stats.blocks.entries, 0u);
+}
+
+}  // namespace
+}  // namespace ancstr

@@ -28,7 +28,7 @@ TEST(Pipeline, TrainThenExtractProducesScoredCandidates) {
   EXPECT_TRUE(pipeline.isTrained());
   const ExtractionResult result = pipeline.extract(bench.lib);
   EXPECT_GT(result.detection.scored.size(), 0u);
-  EXPECT_GT(result.timing().total(), 0.0);
+  EXPECT_GT(result.report.totalSeconds(), 0.0);
 }
 
 TEST(Pipeline, InductiveExtractionOnUnseenCircuit) {

@@ -255,7 +255,8 @@ TEST(ParserRecovery, WholeCorpusSurvivesFailSoftExtraction) {
     // The surviving remainder must flow through extraction fail-soft.
     diag::DiagnosticSink sink;
     ExtractionResult result;
-    EXPECT_NO_THROW(result = pipeline.extract(parsed.value, sink));
+    EXPECT_NO_THROW(
+        result = pipeline.extract(parsed.value, ExtractOptions{&sink}));
     // Diagnostics collected during extraction land in the run report.
     EXPECT_EQ(result.report.diagnostics.size(), sink.size());
   }

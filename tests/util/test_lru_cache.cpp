@@ -1,0 +1,134 @@
+#include "util/lru_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ancstr::util {
+namespace {
+
+using Cache = LruByteCache<int, std::string>;
+
+std::shared_ptr<const std::string> val(const char* s) {
+  return std::make_shared<const std::string>(s);
+}
+
+TEST(LruByteCache, MissThenHit) {
+  Cache cache(100);
+  EXPECT_EQ(cache.get(1), nullptr);
+  cache.put(1, val("a"), 10);
+  const auto hit = cache.get(1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, "a");
+  const LruCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.bytes, 10u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(LruByteCache, EvictsLeastRecentlyUsedFirst) {
+  Cache cache(30);
+  cache.put(1, val("a"), 10);
+  cache.put(2, val("b"), 10);
+  cache.put(3, val("c"), 10);
+  // Touch 1 so 2 becomes the LRU entry, then overflow.
+  EXPECT_NE(cache.get(1), nullptr);
+  cache.put(4, val("d"), 10);
+  EXPECT_EQ(cache.get(2), nullptr);  // evicted
+  EXPECT_NE(cache.get(1), nullptr);
+  EXPECT_NE(cache.get(3), nullptr);
+  EXPECT_NE(cache.get(4), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_LE(cache.stats().bytes, 30u);
+}
+
+TEST(LruByteCache, PinnedEntriesSurviveEviction) {
+  Cache cache(20);
+  cache.put(1, val("pinned"), 10);
+  const auto pin = cache.get(1);  // hold a reference -> use_count > 1
+  cache.put(2, val("b"), 10);
+  cache.put(3, val("c"), 10);  // over budget; 1 is pinned, 2 is evictable
+  EXPECT_NE(cache.get(1), nullptr);
+  EXPECT_EQ(cache.get(2), nullptr);
+  EXPECT_NE(cache.get(3), nullptr);
+}
+
+TEST(LruByteCache, BudgetIsSoftWhenEverythingIsPinned) {
+  Cache cache(10);
+  // Holding the pointer passed to put pins the entry through the put's own
+  // eviction sweep — the producer-keeps-a-reference pattern the engine uses.
+  const auto v1 = val("a");
+  const auto v2 = val("b");
+  const auto v3 = val("c");
+  cache.put(1, v1, 10);
+  cache.put(2, v2, 10);
+  cache.put(3, v3, 10);
+  // All pinned: nothing evictable, occupancy exceeds the budget.
+  EXPECT_EQ(cache.stats().entries, 3u);
+  EXPECT_GT(cache.stats().bytes, 10u);
+}
+
+TEST(LruByteCache, DuplicatePutRefreshesBytes) {
+  Cache cache(100);
+  cache.put(1, val("a"), 10);
+  cache.put(1, val("bigger"), 30);
+  EXPECT_EQ(cache.stats().bytes, 30u);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(*cache.get(1), "bigger");
+}
+
+TEST(LruByteCache, ZeroBudgetDisablesCaching) {
+  Cache cache(0);
+  cache.put(1, val("a"), 1);
+  EXPECT_EQ(cache.get(1), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+}
+
+TEST(LruByteCache, OversizedUnpinnedEntryIsDroppedImmediately) {
+  Cache cache(10);
+  cache.put(1, val("huge"), 100);  // over budget, nobody holds the pointer
+  EXPECT_EQ(cache.stats().entries, 0u);  // evicted by its own put
+  EXPECT_EQ(cache.stats().bytes, 0u);
+}
+
+TEST(LruByteCache, ClearKeepsCumulativeCounters) {
+  Cache cache(100);
+  cache.put(1, val("a"), 10);
+  (void)cache.get(1);
+  (void)cache.get(2);
+  cache.clear();
+  const LruCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.bytes, 0u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(cache.get(1), nullptr);
+}
+
+TEST(LruByteCache, ConcurrentMixedAccessIsSafe) {
+  Cache cache(1000);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&cache, t] {
+      for (int i = 0; i < 200; ++i) {
+        const int key = (t * 7 + i) % 16;
+        if (const auto hit = cache.get(key)) {
+          EXPECT_EQ(*hit, std::to_string(key));
+        } else {
+          cache.put(key,
+                    std::make_shared<const std::string>(std::to_string(key)),
+                    64);
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_LE(cache.stats().bytes, 1000u + 64u);  // soft budget, one pin max
+}
+
+}  // namespace
+}  // namespace ancstr::util

@@ -1,0 +1,119 @@
+#include "util/structural_hash.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+namespace ancstr::util {
+namespace {
+
+TEST(StructuralHash, DeterministicForEqualStreams) {
+  StructuralHasher a;
+  StructuralHasher b;
+  for (std::uint64_t v : {1ull, 2ull, 3ull}) {
+    a.add(v);
+    b.add(v);
+  }
+  EXPECT_EQ(a.finish(), b.finish());
+}
+
+TEST(StructuralHash, OrderSensitive) {
+  StructuralHasher a;
+  a.add(1);
+  a.add(2);
+  StructuralHasher b;
+  b.add(2);
+  b.add(1);
+  EXPECT_NE(a.finish(), b.finish());
+}
+
+TEST(StructuralHash, FinishIsIdempotentAndNonDestructive) {
+  StructuralHasher h;
+  h.add(7);
+  const StructuralHash first = h.finish();
+  EXPECT_EQ(h.finish(), first);
+  h.add(8);
+  EXPECT_NE(h.finish(), first);
+}
+
+TEST(StructuralHash, EmptyStreamIsNotNullHash) {
+  EXPECT_NE(StructuralHasher().finish(), StructuralHash{});
+}
+
+TEST(StructuralHash, SingleBitInputChangesBothLanes) {
+  StructuralHasher a;
+  a.add(0);
+  StructuralHasher b;
+  b.add(1);
+  const StructuralHash ha = a.finish();
+  const StructuralHash hb = b.finish();
+  EXPECT_NE(ha.hi, hb.hi);
+  EXPECT_NE(ha.lo, hb.lo);
+}
+
+TEST(StructuralHash, BytesAreLengthPrefixed) {
+  StructuralHasher a;
+  a.addBytes("ab");
+  a.addBytes("c");
+  StructuralHasher b;
+  b.addBytes("a");
+  b.addBytes("bc");
+  EXPECT_NE(a.finish(), b.finish());
+
+  StructuralHasher c;
+  c.addBytes("");
+  EXPECT_NE(c.finish(), StructuralHasher().finish());
+}
+
+TEST(StructuralHash, BytesCrossWordBoundary) {
+  StructuralHasher a;
+  a.addBytes("exactly8");
+  StructuralHasher b;
+  b.addBytes("exactly8+");
+  EXPECT_NE(a.finish(), b.finish());
+}
+
+TEST(StructuralHash, DoubleIsBitExact) {
+  StructuralHasher pos;
+  pos.addDouble(0.0);
+  StructuralHasher neg;
+  neg.addDouble(-0.0);
+  EXPECT_NE(pos.finish(), neg.finish());
+}
+
+TEST(StructuralHash, HexIs32LowercaseChars) {
+  const StructuralHash h{0x0123456789abcdefull, 0xfedcba9876543210ull};
+  EXPECT_EQ(h.hex(), "0123456789abcdeffedcba9876543210");
+  EXPECT_EQ(StructuralHash{}.hex(),
+            "00000000000000000000000000000000");
+}
+
+// Golden values: the hash is part of the cache-key contract and must stay
+// stable across platforms and releases (a silent change would orphan
+// every persisted golden in test_circuit_hash.cpp too).
+TEST(StructuralHash, GoldenValues) {
+  EXPECT_EQ(StructuralHasher().finish().hex(),
+            "efd01f60ba992926b94678ea86d5cb1a");
+  StructuralHasher h;
+  h.add(1);
+  h.add(2);
+  h.add(3);
+  EXPECT_EQ(h.finish().hex(), "39f185a062c8070b767e84f62b4dcd48");
+  StructuralHasher s;
+  s.addBytes("ancstr");
+  EXPECT_EQ(s.finish().hex(), "5a77cf533bafc11b3796b653ca685eb9");
+}
+
+TEST(StructuralHash, UsableAsUnorderedMapKey) {
+  std::unordered_map<StructuralHash, int> map;
+  StructuralHasher a;
+  a.add(42);
+  map[a.finish()] = 1;
+  StructuralHasher b;
+  b.add(42);
+  EXPECT_EQ(map.at(b.finish()), 1);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ancstr::util

@@ -3,6 +3,11 @@
 //   ancstr_cli train   --out model.txt [--epochs N] [--seed S] netlist.sp...
 //   ancstr_cli extract --model model.txt [--format json|sym]
 //                      [--out file] [--groups] netlist.sp
+//   ancstr_cli extract --model model.txt --batch DIR [--repeat N]
+//                      [--out-dir DIR] [--cache-budget BYTES]
+//                      # warm-model batch serving (core/engine.h): every
+//                      # .sp/.scs netlist in DIR, extracted concurrently
+//                      # (--threads) with content-addressed caching
 //   ancstr_cli stats   netlist.sp...
 //   ancstr_cli corpus  --dir DIR     # emit the benchmark corpus + golden
 //                                    # constraint files
@@ -19,6 +24,7 @@
 //                      (same schema as the bench binaries' --json-out)
 //
 // Exit codes: 0 success, 1 usage error, 2 runtime failure.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -31,6 +37,7 @@
 #include "circuits/benchmark.h"
 #include "core/constraint_check.h"
 #include "core/constraint_io.h"
+#include "core/engine.h"
 #include "core/groups.h"
 #include "core/pipeline.h"
 #include "netlist/spectre_parser.h"
@@ -56,6 +63,8 @@ int usage() {
                "NETLIST...\n"
                "  ancstr_cli extract --model MODEL [--format json|sym] "
                "[--out FILE] [--groups] [--fail-soft] NETLIST\n"
+               "  ancstr_cli extract --model MODEL --batch DIR [--repeat N] "
+               "[--out-dir DIR] [--cache-budget BYTES] [--fail-soft]\n"
                "  ancstr_cli stats   [--fail-soft] NETLIST...\n"
                "  ancstr_cli check   --constraints FILE NETLIST\n"
                "  ancstr_cli corpus  --dir DIR\n"
@@ -215,9 +224,129 @@ int cmdTrain(Flags flags) {
   return 0;
 }
 
+/// `extract --batch DIR`: warm-model serving of every netlist in DIR
+/// through one ExtractionEngine. --repeat re-extracts the whole batch
+/// (later passes hit the content-addressed caches); --threads is the
+/// batch-level fan-out. Per-design constraint files land in --out-dir.
+int cmdExtractBatch(Flags flags, ObserveOptions observe,
+                    const std::filesystem::path& modelPath,
+                    const std::filesystem::path& batchDir) {
+  const std::string format = flags.value("--format", "json");
+  const std::filesystem::path outDir = flags.value("--out-dir", "");
+  const int repeat = std::stoi(flags.value("--repeat", "1"));
+  const std::size_t cacheBudget = static_cast<std::size_t>(
+      std::stoull(flags.value("--cache-budget", "67108864")));
+  const bool failSoft = flags.flag("--fail-soft");
+  if (!flags.positional().empty() || repeat < 1 || !observe.validReport() ||
+      (format != "json" && format != "sym")) {
+    return usage();
+  }
+
+  std::vector<std::filesystem::path> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(batchDir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext == ".sp" || ext == ".cir" || ext == ".spice" || ext == ".scs") {
+      paths.push_back(entry.path());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  if (paths.empty()) {
+    throw Error("--batch directory holds no netlists: " + batchDir.string());
+  }
+
+  diag::DiagnosticSink sink;  // collect mode; used only with --fail-soft
+  std::vector<Library> libs;
+  libs.reserve(paths.size());
+  for (const std::filesystem::path& path : paths) {
+    if (failSoft) {
+      diag::Parsed<Library> parsed = parseNetlistFileRecovering(path);
+      for (const diag::Diagnostic& d : parsed.diagnostics) sink.report(d);
+      libs.push_back(std::move(parsed.value));
+    } else {
+      libs.push_back(parseNetlistFile(path));
+    }
+  }
+
+  PipelineConfig config;  // per-design work stays serial; the engine fans out
+  Pipeline pipeline(config);
+  pipeline.loadModel(modelPath);
+  EngineConfig engineConfig;
+  engineConfig.cacheBudgetBytes = cacheBudget;
+  engineConfig.threads = observe.threads;
+  const ExtractionEngine engine(pipeline, engineConfig);
+
+  std::vector<const Library*> ptrs;
+  ptrs.reserve(libs.size());
+  for (const Library& lib : libs) ptrs.push_back(&lib);
+
+  const metrics::Snapshot before = metrics::Registry::instance().snapshot();
+  RunReport batchReport;
+  std::vector<ExtractionResult> results;
+  for (int rep = 0; rep < repeat; ++rep) {
+    RunReport repReport;
+    results = engine.extractBatch(
+        ptrs, ExtractOptions{failSoft ? &sink : nullptr}, &repReport);
+    batchReport.accumulate(repReport);
+  }
+  // accumulate() keeps only the last rep's metrics; the batch report wants
+  // the delta over every rep.
+  batchReport.metrics = metrics::Registry::instance().snapshot().since(before);
+
+  if (!outDir.empty()) std::filesystem::create_directories(outDir);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ExtractionResult& result = results[i];
+    std::fprintf(stderr, "%s: %zu constraints (%zu candidates)\n",
+                 paths[i].filename().string().c_str(),
+                 result.detection.constraints().size(),
+                 result.detection.scored.size());
+    if (outDir.empty()) continue;
+    diag::DiagnosticSink designSink;  // elaboration diags already reported
+    const FlatDesign design = failSoft
+                                  ? FlatDesign::elaborate(libs[i], designSink)
+                                  : FlatDesign::elaborate(libs[i]);
+    const std::string text =
+        format == "json"
+            ? constraintsToJson(design, result.detection, {}, {})
+            : constraintsToSym(design, result.detection, {});
+    const std::filesystem::path out =
+        outDir / (paths[i].stem().string() + (format == "json" ? ".json"
+                                                               : ".sym"));
+    writeFileOrThrow(out, text);
+  }
+
+  const EngineCacheStats cache = engine.cacheStats();
+  std::fprintf(
+      stderr,
+      "cache: design %llu hit / %llu miss / %llu evict (%zu bytes), "
+      "blocks %llu hit / %llu miss / %llu evict (%zu bytes)\n",
+      static_cast<unsigned long long>(cache.design.hits),
+      static_cast<unsigned long long>(cache.design.misses),
+      static_cast<unsigned long long>(cache.design.evictions),
+      cache.design.bytes,
+      static_cast<unsigned long long>(cache.blocks.hits),
+      static_cast<unsigned long long>(cache.blocks.misses),
+      static_cast<unsigned long long>(cache.blocks.evictions),
+      cache.blocks.bytes);
+  if (failSoft) {
+    batchReport.diagnostics = sink.snapshot();
+    for (const diag::Diagnostic& d : batchReport.diagnostics) {
+      std::fprintf(stderr, "%s\n", d.str().c_str());
+    }
+  }
+  observe.emit(batchReport, "cli.extract_batch");
+  return 0;
+}
+
 int cmdExtract(Flags flags) {
   ObserveOptions observe = ObserveOptions::parse(flags);
   const std::filesystem::path modelPath = flags.value("--model", "");
+  const std::filesystem::path batchDir = flags.value("--batch", "");
+  if (!batchDir.empty()) {
+    if (modelPath.empty()) return usage();
+    return cmdExtractBatch(std::move(flags), std::move(observe), modelPath,
+                           batchDir);
+  }
   const std::string format = flags.value("--format", "json");
   const std::filesystem::path outPath = flags.value("--out", "");
   const bool withGroups = flags.flag("--groups");
@@ -244,7 +373,7 @@ int cmdExtract(Flags flags) {
   Pipeline pipeline(config);
   pipeline.loadModel(modelPath);
   ExtractionResult result =
-      failSoft ? pipeline.extract(lib, sink) : pipeline.extract(lib);
+      pipeline.extract(lib, ExtractOptions{failSoft ? &sink : nullptr});
   // extract() already reported elaboration problems into `sink`; use a
   // throwaway sink here so they are not duplicated.
   diag::DiagnosticSink designSink;
@@ -268,7 +397,7 @@ int cmdExtract(Flags flags) {
   std::fprintf(stderr,
                "extracted %zu constraints (%zu candidates) in %.3fs\n",
                result.detection.constraints().size(),
-               result.detection.scored.size(), result.timing().total());
+               result.detection.scored.size(), result.report.totalSeconds());
   if (failSoft) {
     // The emitted report carries everything (parse + elaborate + extract).
     result.report.diagnostics = sink.snapshot();
