@@ -1,0 +1,237 @@
+// Incremental (ECO) extraction benchmark (core/engine.h extractDelta):
+// a 10%-edit workload over ten deep block towers, measuring the delta
+// path against a cold full extract of the same edited version. The
+// speedup case emits the cold/delta ratio plus the bitwise-equality
+// verdict the delta contract promises; CI gates the ratio with
+// scripts/gate_counters.py (delta must stay >= 3x faster than cold).
+//
+// Workload shape: each tower is a depth-kDepth spine — every spine
+// master instantiates the next spine level plus a small stub sibling —
+// with per-(tower, level) unique device sizing so every subtree hash is
+// distinct (no within-run dedup). Sibling spine/stub pairs (and the ten
+// tower roots under the top) make every node a block-embedding
+// candidate, so the full extraction's detection work scales with
+// depth x devices while GNN inference stays linear in devices. The ECO
+// edits the bottom of one tower, dirtying that tower's whole spine
+// (~10% of the design); the other nine towers are served from the block
+// and pair caches.
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "harness.h"
+#include "netlist/builder.h"
+#include "util/timer.h"
+
+using namespace ancstr;
+using namespace ancstr::bench;
+
+namespace {
+
+constexpr int kTowers = 10;  ///< tower count; the ECO touches one of them
+constexpr int kDepth = 32;   ///< spine levels per tower
+
+/// Per-(tower, level, device) unique MOS width: every master's content
+/// hash — and therefore every subtree hash — is distinct, so nothing
+/// dedups inside one extraction and cache reuse across versions is
+/// attributable to the delta path alone.
+double mosWidth(int tower, int level, int dev) {
+  return 1e-6 * (1.0 + 0.01 * (tower * kDepth + level) + 0.2 * dev);
+}
+
+/// Four uniquely sized devices per cell (two matched NMOS, two matched
+/// PMOS by position, so each node also carries device-level candidates).
+void addCellDevices(NetlistBuilder& b, int tower, int level, int offset,
+                    double bump) {
+  const auto w = [&](int dev) { return mosWidth(tower, level, dev + offset); };
+  b.nmos("m1", "vout", "vin", "vss", "vss", w(0) * bump, 2e-7);
+  b.nmos("m2", "mid", "vin", "vss", "vss", w(1) * bump, 2e-7);
+  b.pmos("m3", "vout", "mid", "vdd", "vdd", w(2) * bump, 2e-7);
+  b.pmos("m4", "mid", "vin", "vdd", "vdd", w(3) * bump, 2e-7);
+}
+
+/// ECO workload: kTowers spine towers under one top. Master names are
+/// chosen so blockCategory (core/candidates.h) maps every spine and stub
+/// master to the same category: spine level J pairs with its stub
+/// sibling at every level, and the tower roots pair with each other
+/// under the top — every hierarchy node below the top becomes a block
+/// candidate. The edit rewrites tower 0 outright (every spine and stub
+/// width doubled): exactly 10% of the design's devices are dirty, while
+/// the other nine towers keep their baseline subtree hashes.
+Library makeEcoLibrary(bool edited) {
+  NetlistBuilder b;
+  for (int t = 0; t < kTowers; ++t) {
+    const std::string tower = "t" + std::to_string(t);
+    const double bump = edited && t == 0 ? 2.0 : 1.0;
+    for (int j = kDepth - 1; j >= 0; --j) {
+      const std::string level = std::to_string(j);
+      if (j > 0) {
+        b.beginSubckt(tower + "_b" + level, {"vin", "vout", "vdd", "vss"});
+        addCellDevices(b, t, j, 4, bump);
+        b.endSubckt();
+      }
+      b.beginSubckt(tower + "_a" + level, {"vin", "vout", "vdd", "vss"});
+      addCellDevices(b, t, j, 0, bump);
+      if (j + 1 < kDepth) {
+        const std::string next = std::to_string(j + 1);
+        b.inst("xa", tower + "_a" + next, {"mid", "vout", "vdd", "vss"});
+        b.inst("xb", tower + "_b" + next, {"mid", "vout", "vdd", "vss"});
+      }
+      b.endSubckt();
+    }
+  }
+  b.beginSubckt("eco_top", {"vin", "vdd", "vss"});
+  for (int t = 0; t < kTowers; ++t) {
+    const std::string n = std::to_string(t);
+    b.inst("x" + n, "t" + n + "_a0", {"vin", "out" + n, "vdd", "vss"});
+  }
+  b.endSubckt();
+  return b.build("eco_top");
+}
+
+const Library& baseLibrary() {
+  static const Library lib = makeEcoLibrary(false);
+  return lib;
+}
+
+const Library& editedLibrary() {
+  static const Library lib = makeEcoLibrary(true);
+  return lib;
+}
+
+/// One pipeline trained once per run; the delta cases measure serving
+/// against frozen weights, so training quality (3 epochs) is irrelevant.
+Pipeline& trainedPipeline(BenchContext& ctx) {
+  static Pipeline pipeline = [&] {
+    PipelineConfig config;
+    config.train.epochs = 3;
+    config.threads = ctx.threads();
+    Pipeline p(config);
+    p.train({&baseLibrary()});
+    return p;
+  }();
+  return pipeline;
+}
+
+EngineConfig engineConfig(BenchContext& ctx) {
+  EngineConfig config;
+  config.threads = ctx.threads();
+  return config;
+}
+
+bool bitwiseEqual(const ExtractionResult& a, const ExtractionResult& b) {
+  const DetectionResult& da = a.detection;
+  const DetectionResult& db = b.detection;
+  if (da.scored.size() != db.scored.size() ||
+      std::memcmp(&da.systemThreshold, &db.systemThreshold,
+                  sizeof(double)) != 0 ||
+      std::memcmp(&da.deviceThreshold, &db.deviceThreshold,
+                  sizeof(double)) != 0) {
+    return false;
+  }
+  for (std::size_t j = 0; j < da.scored.size(); ++j) {
+    const ScoredCandidate& ca = da.scored[j];
+    const ScoredCandidate& cb = db.scored[j];
+    if (!(ca.pair.a == cb.pair.a) || !(ca.pair.b == cb.pair.b) ||
+        ca.pair.hierarchy != cb.pair.hierarchy ||
+        ca.pair.level != cb.pair.level || ca.accepted != cb.accepted ||
+        std::memcmp(&ca.similarity, &cb.similarity, sizeof(double)) != 0) {
+      return false;
+    }
+  }
+  const nn::Matrix& za = a.embeddings;
+  const nn::Matrix& zb = b.embeddings;
+  if (za.rows() != zb.rows() || za.cols() != zb.cols()) return false;
+  for (std::size_t r = 0; r < za.rows(); ++r) {
+    if (std::memcmp(za.row(r), zb.row(r), za.cols() * sizeof(double)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Cold full extract of the edited version: the ground-truth cost an ECO
+/// pays without the delta path.
+void coldCase(BenchContext& ctx) {
+  const ExtractionEngine engine(trainedPipeline(ctx), engineConfig(ctx));
+  ExtractionResult result = engine.extract(editedLibrary());
+  doNotOptimize(result);
+  ctx.setReport(std::move(result.report));
+  ctx.setCounter("devices",
+                 static_cast<double>(editedLibrary().flatDeviceCount()));
+}
+
+/// Identity delta on a warm baseline: the whole result is one design-cache
+/// hit — the ceiling of what incremental serving can save.
+void identityCase(BenchContext& ctx) {
+  static const ExtractionEngine engine(trainedPipeline(ctx),
+                                       engineConfig(ctx));
+  static const bool warmed = [] {
+    engine.extract(baseLibrary());
+    return true;
+  }();
+  (void)warmed;
+  DeltaReport delta;
+  const ExtractionResult result =
+      engine.extractDelta(baseLibrary(), baseLibrary(), {}, &delta);
+  doNotOptimize(result);
+  ctx.setCounter("identical", delta.diff.identical() ? 1.0 : 0.0);
+  ctx.setCounter("design_cache_hits",
+                 static_cast<double>(delta.reuse.design.hits));
+}
+
+/// Cold and delta in one rep: a fresh engine extracts the edited version
+/// from scratch, then a second engine with the baseline resident runs
+/// extractDelta. Emits the speedup ratio, the reuse counters, and the
+/// bitwise delta-equals-cold verdict. The eco engine warms through
+/// extractDelta(base, base) — the v1 run an ECO flow already executed —
+/// which also seeds the engine's subtree-hash memo for the baseline.
+void speedupCase(BenchContext& ctx) {
+  const ExtractionEngine cold(trainedPipeline(ctx), engineConfig(ctx));
+  Stopwatch coldWatch;
+  const ExtractionResult coldResult = cold.extract(editedLibrary());
+  const double coldSeconds = coldWatch.seconds();
+
+  const ExtractionEngine eco(trainedPipeline(ctx), engineConfig(ctx));
+  (void)eco.extractDelta(baseLibrary(), baseLibrary());
+  DeltaReport delta;
+  Stopwatch deltaWatch;
+  const ExtractionResult deltaResult =
+      eco.extractDelta(baseLibrary(), editedLibrary(), {}, &delta);
+  const double deltaSeconds = deltaWatch.seconds();
+
+  ctx.setCounter("cold_seconds", coldSeconds);
+  ctx.setCounter("delta_seconds", deltaSeconds);
+  ctx.setCounter("delta_diff_seconds",
+                 deltaResult.report.phaseSeconds("engine.diff"));
+  ctx.setCounter("delta_inference_seconds",
+                 deltaResult.report.phaseSeconds("extract.inference"));
+  ctx.setCounter("delta_detection_seconds",
+                 deltaResult.report.phaseSeconds("extract.detection"));
+  ctx.setCounter("delta_graph_seconds",
+                 deltaResult.report.phaseSeconds("extract.graph_build"));
+  ctx.setCounter("speedup",
+                 deltaSeconds > 0.0 ? coldSeconds / deltaSeconds : 0.0);
+  ctx.setCounter("bitwise_equal",
+                 bitwiseEqual(coldResult, deltaResult) ? 1.0 : 0.0);
+  ctx.setCounter("dirty_nodes", static_cast<double>(delta.diff.dirtyNodes));
+  ctx.setCounter("clean_nodes", static_cast<double>(delta.diff.cleanNodes));
+  ctx.setCounter("reusable_devices",
+                 static_cast<double>(delta.diff.reusableDevices));
+  ctx.setCounter("block_reuse_hits",
+                 static_cast<double>(delta.reuse.blocks.hits));
+  ctx.setCounter("pair_reuse_hits",
+                 static_cast<double>(delta.reuse.pairs.hits));
+}
+
+[[maybe_unused]] const bool kRegistered = [] {
+  registerBench("engine.delta.eco10.cold", coldCase);
+  registerBench("engine.delta.eco10.identity", identityCase);
+  registerBench("engine.delta.eco10.speedup", speedupCase);
+  return true;
+}();
+
+}  // namespace
+
+ANCSTR_BENCH_MAIN("bench_delta")

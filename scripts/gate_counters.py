@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Gates case counters in a BENCH.json report.
+
+    gate_counters.py REPORT.json --case NAME --require EXPR [--require ...]
+
+Each --require EXPR is `<counter><op><value>` with op one of >=, <=, >, <,
+==, != (e.g. "speedup>=3.0", "bitwise_equal==1"). All requirements apply to
+the case named by the preceding --case; --case may repeat to gate several
+cases in one run.
+
+Exits 0 when every requirement holds, 1 when any fails (or a named case or
+counter is absent), and 2 when the report is missing, unreadable, or does
+not match the BENCH.json schema (docs/observability.md) — mirroring
+scripts/compare_bench.py.
+
+Example (the bench_delta CI gate, docs/api.md):
+
+    gate_counters.py bench-delta.json \
+        --case engine.delta.eco10.speedup \
+        --require "speedup>=3.0" --require "bitwise_equal==1"
+"""
+import argparse
+import json
+import operator
+import re
+import sys
+
+SCHEMA_VERSION = 1
+
+OPS = {
+    ">=": operator.ge,
+    "<=": operator.le,
+    "==": operator.eq,
+    "!=": operator.ne,
+    ">": operator.gt,
+    "<": operator.lt,
+}
+
+REQUIRE_RE = re.compile(r"^\s*([A-Za-z0-9_.]+)\s*(>=|<=|==|!=|>|<)\s*"
+                        r"(-?[0-9.eE+-]+)\s*$")
+
+
+class SchemaError(Exception):
+    pass
+
+
+def load_cases(path):
+    """Returns {case name: counters dict} or raises SchemaError."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            report = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        raise SchemaError(f"cannot load {path}: {err}")
+    if not isinstance(report, dict):
+        raise SchemaError(f"{path}: top level is not an object")
+    if report.get("schemaVersion") != SCHEMA_VERSION:
+        raise SchemaError(
+            f"{path}: schemaVersion {report.get('schemaVersion')!r}, "
+            f"expected {SCHEMA_VERSION}")
+    cases = report.get("cases")
+    if not isinstance(cases, list) or not cases:
+        raise SchemaError(f"{path}: cases missing or empty")
+    by_name = {}
+    for i, case in enumerate(cases):
+        if not isinstance(case, dict) or not isinstance(case.get("name"), str):
+            raise SchemaError(f"{path}: case {i} malformed")
+        counters = case.get("counters", {})
+        if not isinstance(counters, dict):
+            raise SchemaError(f"{path}: case {case['name']!r} counters "
+                              f"malformed")
+        by_name[case["name"]] = counters
+    return by_name
+
+
+def parse_requirement(expr):
+    """Returns (counter, op string, value) or raises ValueError."""
+    match = REQUIRE_RE.match(expr)
+    if not match:
+        raise ValueError(f"malformed requirement {expr!r} "
+                         f"(expected <counter><op><number>)")
+    counter, op, value = match.groups()
+    try:
+        return counter, op, float(value)
+    except ValueError:
+        raise ValueError(f"malformed requirement {expr!r}: bad number "
+                         f"{value!r}")
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("report", help="BENCH.json to gate")
+    parser.add_argument("--case", dest="cases", action="append", default=[],
+                        metavar="NAME",
+                        help="case name the following --require apply to "
+                             "(repeatable)")
+    parser.add_argument("--require", dest="requires", action="append",
+                        default=[], metavar="EXPR",
+                        help="requirement like 'speedup>=3.0' on the "
+                             "preceding --case (repeatable)")
+    args, order = parser.parse_args(argv[1:]), []
+
+    # argparse loses --case/--require interleaving, so recover it from argv:
+    # each requirement binds to the most recent --case.
+    current = None
+    it = iter(argv[1:])
+    for token in it:
+        if token == "--case":
+            current = next(it, None)
+        elif token.startswith("--case="):
+            current = token.split("=", 1)[1]
+        elif token == "--require" or token.startswith("--require="):
+            expr = (token.split("=", 1)[1] if "=" in token
+                    else next(it, None))
+            if current is None:
+                print("SCHEMA ERROR: --require before any --case",
+                      file=sys.stderr)
+                return 2
+            order.append((current, expr))
+    if not order:
+        print("SCHEMA ERROR: no requirements given", file=sys.stderr)
+        return 2
+
+    try:
+        cases = load_cases(args.report)
+        checks = [(case, *parse_requirement(expr)) for case, expr in order]
+    except (SchemaError, ValueError) as err:
+        print(f"SCHEMA ERROR: {err}", file=sys.stderr)
+        return 2
+
+    failures = []
+    for case, counter, op, wanted in checks:
+        if case not in cases:
+            failures.append(f"{case}: case not in report")
+            continue
+        if counter not in cases[case]:
+            failures.append(f"{case}: counter {counter!r} missing")
+            continue
+        actual = float(cases[case][counter])
+        ok = OPS[op](actual, wanted)
+        verdict = "ok   " if ok else "FAIL "
+        print(f"{verdict} {case}: {counter} = {actual:g} "
+              f"(require {op} {wanted:g})")
+        if not ok:
+            failures.append(
+                f"{case}: {counter} = {actual:g}, required {op} {wanted:g}")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} requirement(s) not met:",
+              file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"\nOK: {len(checks)} requirement(s) met")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Self-test for gate_counters.py (registered as ctest `gate_counters_gate`).
+
+Builds synthetic BENCH.json reports in a temp directory and checks the exit
+codes the bench_delta CI gate relies on: 0 when every requirement holds, 1
+when a requirement fails or names a missing case/counter, and 2 for schema
+violations or malformed requirement expressions.
+"""
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "gate_counters.py")
+
+
+def make_report(counters, name="engine.delta.eco10.speedup"):
+    return {
+        "schemaVersion": 1,
+        "binary": "synthetic",
+        "cases": [{
+            "name": name,
+            "reps": 1,
+            "warmup": 0,
+            "wall": {"median": 0.1, "mad": 0.0, "min": 0.1, "max": 0.1,
+                     "samples": [0.1]},
+            "phases": [],
+            "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
+            "resource": {"peakRssBytes": 1 << 20, "allocCount": 1,
+                         "freeCount": 1, "allocBytes": 100,
+                         "userCpuSeconds": 0.1, "systemCpuSeconds": 0.0},
+            "counters": counters,
+        }],
+    }
+
+
+def run(report, *args):
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "bench.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(report, fh)
+        proc = subprocess.run([sys.executable, SCRIPT, path, *args],
+                              capture_output=True, text=True)
+        return proc.returncode
+
+
+def check(label, got, want):
+    status = "ok" if got == want else "FAIL"
+    print(f"{status}: {label}: exit {got}, want {want}")
+    return got == want
+
+
+def main():
+    good = make_report({"speedup": 4.5, "bitwise_equal": 1.0})
+    case = "engine.delta.eco10.speedup"
+    ok = True
+
+    ok &= check("all requirements hold",
+                run(good, "--case", case, "--require", "speedup>=3.0",
+                    "--require", "bitwise_equal==1"), 0)
+    ok &= check("speedup below gate",
+                run(make_report({"speedup": 2.4, "bitwise_equal": 1.0}),
+                    "--case", case, "--require", "speedup>=3.0"), 1)
+    ok &= check("bitwise mismatch",
+                run(make_report({"speedup": 4.5, "bitwise_equal": 0.0}),
+                    "--case", case, "--require", "speedup>=3.0",
+                    "--require", "bitwise_equal==1"), 1)
+    ok &= check("missing counter",
+                run(good, "--case", case, "--require", "nope>=1"), 1)
+    ok &= check("missing case",
+                run(good, "--case", "no.such.case",
+                    "--require", "speedup>=3.0"), 1)
+    ok &= check("strict inequality",
+                run(good, "--case", case, "--require", "speedup>4.5"), 1)
+    ok &= check("two cases, second fails",
+                run(good, "--case", case, "--require", "speedup>=3.0",
+                    "--case", "no.such.case", "--require", "speedup>=3.0"),
+                1)
+    ok &= check("malformed requirement",
+                run(good, "--case", case, "--require", "speedup@3"), 2)
+    ok &= check("requirement before any case",
+                run(good, "--require", "speedup>=3.0"), 2)
+    ok &= check("no requirements", run(good, "--case", case), 2)
+    ok &= check("schema violation",
+                run({"schemaVersion": 99}, "--case", case,
+                    "--require", "speedup>=3.0"), 2)
+
+    if not ok:
+        print("FAIL: gate_counters.py contract violated", file=sys.stderr)
+        return 1
+    print("OK: all gate_counters.py contracts hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

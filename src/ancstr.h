@@ -21,6 +21,7 @@
 #include "core/features.h"
 #include "core/graph_builder.h"
 #include "core/groups.h"
+#include "core/library_diff.h"
 #include "core/model.h"
 #include "core/model_io.h"
 #include "core/pipeline.h"
@@ -31,6 +32,7 @@
 #include "eval/roc.h"
 #include "netlist/builder.h"
 #include "netlist/flatten.h"
+#include "netlist/manifest.h"
 #include "netlist/netlist.h"
 #include "netlist/spectre_parser.h"
 #include "netlist/spice_parser.h"

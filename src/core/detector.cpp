@@ -76,7 +76,7 @@ DetectionResult detectImpl(const FlatDesign& design, const Library& lib,
                            const nn::Matrix& designEmbeddings,
                            const DetectorConfig& config,
                            const BlockEmbeddingContext* blockContext,
-                           std::size_t threads) {
+                           PairScoreCache* pairCache, std::size_t threads) {
   const trace::TraceSpan detectSpan("detect.run");
   static metrics::Counter& scoredCounter =
       metrics::Registry::instance().counter("detector.pairs_scored");
@@ -89,6 +89,9 @@ DetectionResult detectImpl(const FlatDesign& design, const Library& lib,
   }
   const bool localBlocks =
       config.localBlockEmbeddings && blockContext != nullptr;
+  // Pair-score caching is sound only in local mode, where a block pair's
+  // similarity is a pure function of the two subtree hashes.
+  const bool usePairCache = localBlocks && pairCache != nullptr;
 
   DetectionResult result;
   result.systemThreshold =
@@ -119,7 +122,8 @@ DetectionResult detectImpl(const FlatDesign& design, const Library& lib,
     const trace::TraceSpan span("detect.embed_blocks");
     blocks = embedSubcircuits(design, blockNodes, designEmbeddings,
                               config.embedding, config.graphOptions,
-                              localBlocks ? blockContext : nullptr, pool);
+                              localBlocks ? blockContext : nullptr, pool,
+                              /*computeHashes=*/usePairCache);
   }
 
   // Phase 2: score every candidate pair. Each similarity is independent
@@ -134,10 +138,19 @@ DetectionResult detectImpl(const FlatDesign& design, const Library& lib,
     if (pair.a.kind == ModuleKind::kBlock) {
       const SubcircuitEmbedding& ea = blocks[blockIndex.at(pair.a.id)];
       const SubcircuitEmbedding& eb = blocks[blockIndex.at(pair.b.id)];
-      scored.similarity = embeddingCosine(ea.structural, eb.structural);
-      if (config.sizingAwareSimilarity) {
-        scored.similarity *= clamp01(
-            blockSizeSimilarity(design, ea.devices, eb.devices));
+      const bool cacheable = usePairCache && ea.hashValid && eb.hashValid;
+      const PairScoreKey key{ea.hash, eb.hash};
+      if (cacheable && pairCache->lookup(key, &scored.similarity)) {
+        // Hit: the cached value is the bitwise-identical similarity the
+        // recompute below would produce. The accept decision still runs —
+        // the threshold depends on the surrounding design.
+      } else {
+        scored.similarity = embeddingCosine(ea.structural, eb.structural);
+        if (config.sizingAwareSimilarity) {
+          scored.similarity *= clamp01(
+              blockSizeSimilarity(design, ea.devices, eb.devices));
+        }
+        if (cacheable) pairCache->store(key, scored.similarity);
       }
     } else {
       const nn::Matrix za = designEmbeddings.rowCopy(pair.a.id);
@@ -171,7 +184,8 @@ DetectionResult detectConstraints(const FlatDesign& design, const Library& lib,
                                   const nn::Matrix& designEmbeddings,
                                   const DetectorConfig& config,
                                   std::size_t threads) {
-  return detectImpl(design, lib, designEmbeddings, config, nullptr, threads);
+  return detectImpl(design, lib, designEmbeddings, config, nullptr, nullptr,
+                    threads);
 }
 
 DetectionResult detectConstraints(const FlatDesign& design, const Library& lib,
@@ -180,7 +194,17 @@ DetectionResult detectConstraints(const FlatDesign& design, const Library& lib,
                                   const BlockEmbeddingContext& blockContext,
                                   std::size_t threads) {
   return detectImpl(design, lib, designEmbeddings, config, &blockContext,
-                    threads);
+                    nullptr, threads);
+}
+
+DetectionResult detectConstraints(const FlatDesign& design, const Library& lib,
+                                  const nn::Matrix& designEmbeddings,
+                                  const DetectorConfig& config,
+                                  const BlockEmbeddingContext& blockContext,
+                                  PairScoreCache* pairCache,
+                                  std::size_t threads) {
+  return detectImpl(design, lib, designEmbeddings, config, &blockContext,
+                    pairCache, threads);
 }
 
 }  // namespace ancstr

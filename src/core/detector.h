@@ -43,6 +43,59 @@ struct DetectorConfig {
   bool localBlockEmbeddings = true;
 };
 
+/// Key of one cached block-pair similarity: the subtree structuralHashes
+/// of the two endpoints, in pair order.
+struct PairScoreKey {
+  util::StructuralHash a;
+  util::StructuralHash b;
+
+  bool operator==(const PairScoreKey&) const = default;
+};
+
+struct PairScoreKeyHash {
+  std::size_t operator()(const PairScoreKey& key) const noexcept {
+    const std::hash<util::StructuralHash> h;
+    return h(key.a) ^ (h(key.b) * 0x9e3779b97f4a7c15ull);
+  }
+};
+
+/// Memoization hook for block-pair similarities. Sound because a local-
+/// mode block pair's similarity — embedding cosine times the optional
+/// sizing factor — is a pure function of the two subtree hashes: each
+/// hash determines its block's structural embedding and the sizing
+/// parameters of its representative devices bitwise (see
+/// SubcircuitEmbedding::hash). Only the raw similarity is cached; the
+/// accept decision is always re-derived, because the Eq. 4 threshold
+/// depends on the surrounding design. Implementations must be
+/// thread-safe (consulted from every scoring worker) and may drop
+/// entries at any time. The LRU-backed implementation lives in
+/// core/engine.cpp.
+class PairScoreCache {
+ public:
+  virtual ~PairScoreCache() = default;
+
+  /// True on a hit, with the cached similarity in `*similarity`.
+  virtual bool lookup(const PairScoreKey& key, double* similarity) = 0;
+
+  /// Stores a freshly computed similarity (last-write-wins; concurrent
+  /// stores of one key carry the identical value).
+  virtual void store(const PairScoreKey& key, double similarity) = 0;
+};
+
+/// The cache set a serving layer may hand to detection; all optional.
+struct DetectionCaches {
+  BlockEmbeddingCache* blocks = nullptr;
+  PairScoreCache* pairs = nullptr;
+  /// Precomputed subtree structural hashes, indexed by HierNodeId of the
+  /// design under detection. Every entry must equal what structuralHash
+  /// (core/circuit_hash.h) returns for that node's subtreeDevices under
+  /// the run's GraphBuildOptions/FeatureConfig — the engine's delta path
+  /// supplies the vector it already computed for diffing, so block
+  /// embedding skips re-hashing each subtree. Purely an optimization:
+  /// results are bitwise identical with or without it.
+  const std::vector<util::StructuralHash>* nodeHashes = nullptr;
+};
+
 /// A candidate together with its similarity score.
 struct ScoredCandidate {
   CandidatePair pair;
@@ -91,6 +144,16 @@ DetectionResult detectConstraints(const FlatDesign& design, const Library& lib,
                                   const nn::Matrix& designEmbeddings,
                                   const DetectorConfig& config,
                                   const BlockEmbeddingContext& blockContext,
+                                  std::size_t threads = 1);
+
+/// As above, additionally memoizing block-pair similarities through
+/// `pairCache` (may be null). Caching never changes results: a hit
+/// returns the bitwise-identical similarity the miss would compute.
+DetectionResult detectConstraints(const FlatDesign& design, const Library& lib,
+                                  const nn::Matrix& designEmbeddings,
+                                  const DetectorConfig& config,
+                                  const BlockEmbeddingContext& blockContext,
+                                  PairScoreCache* pairCache,
                                   std::size_t threads = 1);
 
 }  // namespace ancstr

@@ -51,7 +51,8 @@ std::vector<SubcircuitEmbedding> embedSubcircuits(
     const FlatDesign& design, const std::vector<HierNodeId>& nodes,
     const nn::Matrix& designEmbeddings, const EmbeddingConfig& config,
     const GraphBuildOptions& graphOptions,
-    const BlockEmbeddingContext* localContext, util::ThreadPool& pool) {
+    const BlockEmbeddingContext* localContext, util::ThreadPool& pool,
+    bool computeHashes) {
   std::vector<SubcircuitEmbedding> out(nodes.size());
   pool.forEach(nodes.size(), [&](std::size_t i) {
     // Per-subcircuit span: runs on whichever worker owns the chunk, so
@@ -68,10 +69,26 @@ std::vector<SubcircuitEmbedding> embedSubcircuits(
     // so one entry serves every instance of the same block.
     BlockEmbeddingCache* cache =
         localContext != nullptr ? localContext->cache : nullptr;
+    const bool wantHash =
+        localContext != nullptr && (cache != nullptr || computeHashes);
     util::StructuralHash key;
+    if (wantHash) {
+      // A caller-supplied hash vector (the engine's delta path) carries
+      // the identical value structuralHash would compute, just already
+      // paid for during diffing.
+      const std::vector<util::StructuralHash>* nodeHashes =
+          localContext->nodeHashes;
+      if (nodeHashes != nullptr) {
+        ANCSTR_ASSERT(nodes[i] < nodeHashes->size());
+        key = (*nodeHashes)[nodes[i]];
+      } else {
+        key = structuralHash(design, subtree, graphOptions,
+                             localContext->features);
+      }
+      embedding.hash = key;
+      embedding.hashValid = true;
+    }
     if (cache != nullptr) {
-      key = structuralHash(design, subtree, graphOptions,
-                           localContext->features);
       if (const auto hit = cache->lookup(key);
           hit != nullptr && hit->subtreeSize == subtree.size()) {
         embedding.devices.reserve(hit->representativePositions.size());

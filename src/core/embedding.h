@@ -106,6 +106,12 @@ struct BlockEmbeddingContext {
   /// local mode — gather-mode embeddings depend on the surrounding design
   /// and are never cached.
   BlockEmbeddingCache* cache = nullptr;
+  /// Optional precomputed subtree hashes, indexed by HierNodeId of the
+  /// design passed to embedSubcircuits. When set, cache keys are read
+  /// from this vector instead of re-hashing each subtree; entries must
+  /// equal the structuralHash of the node's subtree under the run's
+  /// options (see core/detector.h DetectionCaches::nodeHashes).
+  const std::vector<util::StructuralHash>* nodeHashes = nullptr;
 };
 
 /// Algorithm-2 output for one subcircuit: its representative devices in
@@ -113,6 +119,13 @@ struct BlockEmbeddingContext {
 struct SubcircuitEmbedding {
   std::vector<FlatDeviceId> devices;
   std::vector<double> structural;
+  /// Subtree structuralHash (core/circuit_hash.h), filled in local mode
+  /// when a cache is consulted or hashes were requested. In local mode the
+  /// hash fully determines `structural` and the sizing parameters of
+  /// `devices`, which is what makes pair-score caching sound
+  /// (core/detector.h PairScoreCache).
+  util::StructuralHash hash;
+  bool hashValid = false;
 };
 
 /// Embeds many subcircuits at once, one per hierarchy node in `nodes`:
@@ -121,10 +134,16 @@ struct SubcircuitEmbedding {
 /// Each subcircuit is independent, so the nodes are spread across `pool`;
 /// results are written to per-node slots and are bitwise identical for
 /// every pool size. out[i] corresponds to nodes[i].
+///
+/// `computeHashes` forces each local-mode result's SubcircuitEmbedding
+/// hash to be filled even without a block cache (pair-score caching needs
+/// the hashes; see core/detector.h). Ignored in gather mode, where
+/// embeddings depend on the surrounding design and no hash is sound.
 std::vector<SubcircuitEmbedding> embedSubcircuits(
     const FlatDesign& design, const std::vector<HierNodeId>& nodes,
     const nn::Matrix& designEmbeddings, const EmbeddingConfig& config,
     const GraphBuildOptions& graphOptions,
-    const BlockEmbeddingContext* localContext, util::ThreadPool& pool);
+    const BlockEmbeddingContext* localContext, util::ThreadPool& pool,
+    bool computeHashes = false);
 
 }  // namespace ancstr

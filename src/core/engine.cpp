@@ -1,7 +1,10 @@
 #include "core/engine.h"
 
+#include <optional>
+
 #include "core/circuit_hash.h"
 #include "util/error.h"
+#include "util/fault.h"
 #include "util/metrics.h"
 #include "util/parallel.h"
 #include "util/trace.h"
@@ -23,6 +26,35 @@ std::size_t designBudget(const EngineConfig& c) {
 std::size_t blockBudget(const EngineConfig& c) {
   if (!c.cacheBlockEmbeddings) return 0;
   return c.cacheDesignInference ? c.cacheBudgetBytes / 2 : c.cacheBudgetBytes;
+}
+
+// The pair cache holds 8-byte similarities, so a thin 1/16 slice on top of
+// the design/block split carries thousands of pairs without disturbing the
+// established split (the overall budget is soft anyway).
+std::size_t pairBudget(const EngineConfig& c) {
+  return c.cachePairScores ? c.cacheBudgetBytes / 16 : 0;
+}
+
+// Subtree-hash vectors are 16 bytes per hierarchy node, so an even
+// thinner slice keeps many design versions' hashes resident for chained
+// delta calls.
+std::size_t subtreeMemoBudget(const EngineConfig& c) {
+  return c.cacheBudgetBytes / 32;
+}
+
+// Byte charge per pair entry: key + value + list/map node overhead.
+constexpr std::size_t kPairEntryBytes =
+    sizeof(PairScoreKey) + sizeof(double) + 4 * sizeof(void*);
+
+util::LruCacheStats statsDelta(const util::LruCacheStats& now,
+                               const util::LruCacheStats& then) {
+  util::LruCacheStats d;
+  d.hits = now.hits - then.hits;
+  d.misses = now.misses - then.misses;
+  d.evictions = now.evictions - then.evictions;
+  d.bytes = now.bytes;      // occupancy, not a counter
+  d.entries = now.entries;  // ditto
+  return d;
 }
 
 }  // namespace
@@ -50,36 +82,76 @@ class ExtractionEngine::BlockCacheAdapter final : public BlockEmbeddingCache {
   util::LruByteCache<util::StructuralHash, CachedBlockEmbedding>& cache_;
 };
 
+/// PairScoreCache over the engine's LRU (same concurrency model as the
+/// block adapter: the LRU's mutex is the only synchronization).
+class ExtractionEngine::PairCacheAdapter final : public PairScoreCache {
+ public:
+  explicit PairCacheAdapter(
+      util::LruByteCache<PairScoreKey, double, PairScoreKeyHash>& cache)
+      : cache_(cache) {}
+
+  bool lookup(const PairScoreKey& key, double* similarity) override {
+    if (const auto hit = cache_.get(key)) {
+      *similarity = *hit;
+      return true;
+    }
+    return false;
+  }
+
+  void store(const PairScoreKey& key, double similarity) override {
+    cache_.put(key, std::make_shared<const double>(similarity),
+               kPairEntryBytes);
+  }
+
+ private:
+  util::LruByteCache<PairScoreKey, double, PairScoreKeyHash>& cache_;
+};
+
 ExtractionEngine::ExtractionEngine(const Pipeline& pipeline,
                                    EngineConfig config)
     : pipeline_(pipeline),
       config_(config),
       designCache_(designBudget(config)),
       blockCache_(blockBudget(config)),
-      blockAdapter_(std::make_unique<BlockCacheAdapter>(blockCache_)) {}
+      pairCache_(pairBudget(config)),
+      subtreeHashMemo_(subtreeMemoBudget(config)),
+      blockAdapter_(std::make_unique<BlockCacheAdapter>(blockCache_)),
+      pairAdapter_(std::make_unique<PairCacheAdapter>(pairCache_)) {}
 
 ExtractionEngine::~ExtractionEngine() = default;
 
 ExtractionResult ExtractionEngine::extractOne(
-    const Library& lib, diag::DiagnosticSink* sink) const {
+    const Library& lib, diag::DiagnosticSink* sink,
+    const FlatDesign* preElaborated, const util::StructuralHash* designHash,
+    const std::vector<util::StructuralHash>* nodeHashes) const {
   const trace::TraceSpan extractSpan("engine.extract");
   const bool failSoft = sink != nullptr && !sink->strict();
   const std::size_t diagStart = failSoft ? sink->size() : 0;
+  const metrics::Snapshot before = metrics::Registry::instance().snapshot();
   static metrics::Counter& degradedCounter =
       metrics::Registry::instance().counter("pipeline.extract_degraded");
 
   ExtractionResult result;
   try {
-    const FlatDesign design = failSoft ? FlatDesign::elaborate(lib, *sink)
-                                       : FlatDesign::elaborate(lib);
+    std::optional<FlatDesign> owned;
+    if (preElaborated == nullptr) {
+      owned.emplace(failSoft ? FlatDesign::elaborate(lib, *sink)
+                             : FlatDesign::elaborate(lib));
+    }
+    const FlatDesign& design =
+        preElaborated != nullptr ? *preElaborated : *owned;
 
     std::shared_ptr<const InferenceArtifacts> artifacts;
     if (config_.cacheDesignInference && config_.cacheBudgetBytes > 0) {
       util::StructuralHash key;
       {
         const trace::TraceSpan hashSpan("engine.hash");
-        key = structuralHash(design, pipeline_.config().graph,
-                             pipeline_.config().features);
+        // The delta path hands in the hash it computed while diffing;
+        // plain extract() pays for it here.
+        key = designHash != nullptr
+                  ? *designHash
+                  : structuralHash(design, pipeline_.config().graph,
+                                   pipeline_.config().features);
         result.report.addPhase("engine.hash", hashSpan.seconds());
       }
       artifacts = designCache_.get(key);
@@ -94,19 +166,35 @@ ExtractionResult ExtractionEngine::extractOne(
           pipeline_.runInference(lib, design, result.report));
     }
 
-    BlockEmbeddingCache* blockCache =
-        config_.cacheBlockEmbeddings && config_.cacheBudgetBytes > 0
-            ? blockAdapter_.get()
-            : nullptr;
-    pipeline_.runDetection(lib, design, *artifacts, blockCache, result);
+    // Fault site for robustness tests, placed after the design-cache
+    // consult so an injected failure exercises the "cache activity before
+    // the error must still be published" contract.
+    if (fault::shouldFail("engine.extract")) {
+      throw Error("injected fault: engine.extract");
+    }
+
+    const bool cachesOn = config_.cacheBudgetBytes > 0;
+    const DetectionCaches caches{
+        cachesOn && config_.cacheBlockEmbeddings ? blockAdapter_.get()
+                                                 : nullptr,
+        cachesOn && config_.cachePairScores ? pairAdapter_.get() : nullptr,
+        nodeHashes};
+    pipeline_.runDetection(lib, design, *artifacts, caches, result);
     // Copy (not move): the artifact may live on in the cache. A hit thus
     // yields the exact bytes the original miss computed.
     result.embeddings = artifacts->embeddings;
   } catch (const Error& e) {
     if (!failSoft) throw;
     // Same degradation contract as Pipeline::extract: empty result, keep
-    // completed phase timings, record [pipeline.extract_degraded].
+    // completed phase timings, record [pipeline.extract_degraded]. Cache
+    // activity up to the failure point (design-cache consult, block
+    // embedding hits) still counts: publish it so the degraded design's
+    // report carries its engine.cache.* metrics rather than dropping them
+    // on the error branch.
     degradedCounter.add();
+    publishCacheMetrics();
+    result.report.metrics =
+        metrics::Registry::instance().snapshot().since(before);
     sink->error(diag::codes::kExtractDegraded, "", 0,
                 std::string("extraction degraded to empty result: ") +
                     e.what());
@@ -120,10 +208,134 @@ ExtractionResult ExtractionEngine::extractOne(
 ExtractionResult ExtractionEngine::extract(const Library& lib,
                                            ExtractOptions options) const {
   const metrics::Snapshot before = metrics::Registry::instance().snapshot();
-  ExtractionResult result = extractOne(lib, options.sink);
+  try {
+    ExtractionResult result = extractOne(lib, options.sink);
+    publishCacheMetrics();
+    result.report.metrics =
+        metrics::Registry::instance().snapshot().since(before);
+    return result;
+  } catch (...) {
+    // Strict-mode failure: cache consults that already happened must not
+    // vanish from the process-wide counters.
+    publishCacheMetrics();
+    throw;
+  }
+}
+
+ExtractionResult ExtractionEngine::extractDelta(const Library& oldLib,
+                                                const Library& newLib,
+                                                ExtractOptions options,
+                                                DeltaReport* delta) const {
+  const metrics::Snapshot before = metrics::Registry::instance().snapshot();
+  const EngineCacheStats statsBefore = cacheStats();
+  auto& registry = metrics::Registry::instance();
+  static metrics::Counter& dirtyNodes =
+      registry.counter("engine.delta.dirty_nodes");
+  static metrics::Counter& cleanNodes =
+      registry.counter("engine.delta.clean_nodes");
+  static metrics::Counter& reusedDevices =
+      registry.counter("engine.delta.reused_devices");
+  static metrics::Counter& identical =
+      registry.counter("engine.delta.identical");
+
+  DeltaReport localDelta;
+  DeltaReport& out = delta != nullptr ? *delta : localDelta;
+  out = DeltaReport{};
+
+  // Phase 1 — diff. Each side is elaborated and hashed at most once; the
+  // hashes feed the diff here, the design-cache probe and warm-up below,
+  // and the detection phase (DetectionCaches::nodeHashes). Baseline
+  // subtree hashes are additionally memoized per design hash, so chained
+  // ECO calls (v1->v2, v2->v3) skip the old side's hashing outright. The
+  // baseline is consumed fail-soft: a baseline that does not elaborate
+  // leaves the diff empty (nothing provably clean) and never aborts the
+  // newLib extraction.
+  RunReport prelude;
+  const GraphBuildOptions& graph = pipeline_.config().graph;
+  const FeatureConfig& features = pipeline_.config().features;
+  std::optional<FlatDesign> oldDesign;
+  std::optional<FlatDesign> newDesign;
+  util::StructuralHash oldHash;
+  util::StructuralHash newHash;
+  std::shared_ptr<const std::vector<util::StructuralHash>> oldNodeHashes;
+  std::shared_ptr<const std::vector<util::StructuralHash>> newNodeHashes;
+  {
+    const trace::TraceSpan diffSpan("engine.diff");
+    try {
+      oldDesign.emplace(FlatDesign::elaborate(oldLib));
+      oldHash = structuralHash(*oldDesign, graph, features);
+      oldNodeHashes = memoizedSubtreeHashes(*oldDesign, oldHash);
+    } catch (const Error&) {
+      oldDesign.reset();  // baseline unusable: empty diff, plain extract
+    }
+    try {
+      newDesign.emplace(FlatDesign::elaborate(newLib));
+      newHash = structuralHash(*newDesign, graph, features);
+      newNodeHashes = memoizedSubtreeHashes(*newDesign, newHash);
+    } catch (const Error&) {
+      // Strict elaboration failed: phase 3's extractOne re-elaborates
+      // under the caller's sink and degrades (or throws) as usual.
+      newDesign.reset();
+    }
+    if (oldDesign.has_value() && newDesign.has_value()) {
+      try {
+        out.diff = diffPrehashed(*newDesign, *oldNodeHashes, oldHash,
+                                 *newNodeHashes, newHash);
+        out.diff.masters = diffMasters(oldLib, newLib);
+      } catch (const Error&) {
+        out.diff = LibraryDiff{};
+      }
+    }
+    prelude.addPhase("engine.diff", diffSpan.seconds());
+  }
+  dirtyNodes.add(out.diff.dirtyNodes);
+  cleanNodes.add(out.diff.cleanNodes);
+  reusedDevices.add(out.diff.reusableDevices);
+  if (out.diff.identical()) identical.add();
+
+  // Phase 2 — re-warm the caches from the baseline when it is not already
+  // resident (contains() probes without skewing hit/miss statistics).
+  // Warming runs the normal extraction path over oldLib, so everything it
+  // caches is exactly what a prior extract(oldLib) would have cached;
+  // skipping or failing it never changes the newLib result.
+  if (config_.cacheBudgetBytes > 0 && oldDesign.has_value()) {
+    try {
+      const bool warm =
+          !config_.cacheDesignInference || !designCache_.contains(oldHash);
+      if (warm) {
+        const trace::TraceSpan warmSpan("engine.warm");
+        (void)extractOne(oldLib, nullptr, &*oldDesign, &oldHash,
+                         oldNodeHashes.get());
+        prelude.addPhase("engine.warm", warmSpan.seconds());
+      }
+    } catch (const Error&) {
+      // Baseline unusable — proceed as a plain (cold) extraction.
+    }
+  }
+  oldDesign.reset();  // free the baseline before the main extraction
+
+  // Phase 3 — the identical cached extraction path extract() runs, which
+  // is what makes the delta result bitwise-equal to the full one.
+  ExtractionResult result;
+  try {
+    result = extractOne(newLib, options.sink,
+                        newDesign.has_value() ? &*newDesign : nullptr,
+                        newDesign.has_value() ? &newHash : nullptr,
+                        newDesign.has_value() ? newNodeHashes.get() : nullptr);
+  } catch (...) {
+    publishCacheMetrics();
+    throw;
+  }
   publishCacheMetrics();
+  prelude.accumulate(result.report);
+  result.report = std::move(prelude);
   result.report.metrics =
       metrics::Registry::instance().snapshot().since(before);
+
+  const EngineCacheStats statsAfter = cacheStats();
+  out.reuse.design = statsDelta(statsAfter.design, statsBefore.design);
+  out.reuse.blocks = statsDelta(statsAfter.blocks, statsBefore.blocks);
+  out.reuse.pairs = statsDelta(statsAfter.pairs, statsBefore.pairs);
   return result;
 }
 
@@ -148,11 +360,18 @@ std::vector<ExtractionResult> ExtractionEngine::extractBatch(
 
   std::vector<ExtractionResult> results(batch.size());
   util::ThreadPool pool(util::resolveThreadCount(config_.threads));
-  pool.forEach(batch.size(), [&](std::size_t i) {
-    ANCSTR_ASSERT(batch[i] != nullptr);
-    results[i] =
-        extractOne(*batch[i], failSoft ? localSinks[i].get() : options.sink);
-  });
+  try {
+    pool.forEach(batch.size(), [&](std::size_t i) {
+      ANCSTR_ASSERT(batch[i] != nullptr);
+      results[i] =
+          extractOne(*batch[i], failSoft ? localSinks[i].get() : options.sink);
+    });
+  } catch (...) {
+    // Strict-mode failure mid-batch: publish the cache consults that
+    // already happened before rethrowing (same as extract()).
+    publishCacheMetrics();
+    throw;
+  }
 
   if (failSoft) {
     for (const auto& local : localSinks) {
@@ -171,13 +390,33 @@ std::vector<ExtractionResult> ExtractionEngine::extractBatch(
   return results;
 }
 
+std::shared_ptr<const std::vector<util::StructuralHash>>
+ExtractionEngine::memoizedSubtreeHashes(
+    const FlatDesign& design, const util::StructuralHash& designHash) const {
+  if (auto hit = subtreeHashMemo_.get(designHash);
+      hit != nullptr && hit->size() == design.hierarchy().size()) {
+    return hit;
+  }
+  auto computed = std::make_shared<std::vector<util::StructuralHash>>(
+      subtreeHashes(design, pipeline_.config().graph,
+                    pipeline_.config().features));
+  const std::size_t bytes =
+      sizeof(std::vector<util::StructuralHash>) +
+      computed->size() * sizeof(util::StructuralHash);
+  subtreeHashMemo_.put(designHash, computed, bytes);
+  return computed;
+}
+
 EngineCacheStats ExtractionEngine::cacheStats() const {
-  return EngineCacheStats{designCache_.stats(), blockCache_.stats()};
+  return EngineCacheStats{designCache_.stats(), blockCache_.stats(),
+                          pairCache_.stats()};
 }
 
 void ExtractionEngine::clearCaches() {
   designCache_.clear();
   blockCache_.clear();
+  pairCache_.clear();
+  subtreeHashMemo_.clear();
 }
 
 void ExtractionEngine::publishCacheMetrics() const {
@@ -195,6 +434,14 @@ void ExtractionEngine::publishCacheMetrics() const {
       registry.counter("engine.block_cache.evict");
   static metrics::Gauge& blockBytes =
       registry.gauge("engine.block_cache.bytes");
+  static metrics::Counter& pairHit =
+      registry.counter("engine.pair_cache.hit");
+  static metrics::Counter& pairMiss =
+      registry.counter("engine.pair_cache.miss");
+  static metrics::Counter& pairEvict =
+      registry.counter("engine.pair_cache.evict");
+  static metrics::Gauge& pairBytes =
+      registry.gauge("engine.pair_cache.bytes");
 
   // LruCacheStats hit/miss/eviction counts are cumulative and monotonic;
   // publishing the delta since the last publish keeps the process-wide
@@ -209,6 +456,10 @@ void ExtractionEngine::publishCacheMetrics() const {
   blockMiss.add(now.blocks.misses - published_.blocks.misses);
   blockEvict.add(now.blocks.evictions - published_.blocks.evictions);
   blockBytes.set(static_cast<double>(now.blocks.bytes));
+  pairHit.add(now.pairs.hits - published_.pairs.hits);
+  pairMiss.add(now.pairs.misses - published_.pairs.misses);
+  pairEvict.add(now.pairs.evictions - published_.pairs.evictions);
+  pairBytes.set(static_cast<double>(now.pairs.bytes));
   published_ = now;
 }
 

@@ -11,14 +11,29 @@
 //   * block cache   — per-subcircuit Algorithm-2 local embeddings
 //     (CachedBlockEmbedding, core/embedding.h), stored per subtree hash,
 //     so repeated blocks — across designs or within one — are embedded
-//     once.
+//     once;
+//   * pair cache    — block-pair similarities keyed by the two subtree
+//     hashes (PairScoreCache, core/detector.h), so unchanged pairs skip
+//     re-scoring.
 //
-// Both caches share one LRU byte budget (EngineConfig::cacheBudgetBytes,
-// split evenly between them) with shared_ptr pinning: an entry in use is
-// never evicted (util/lru_cache.h). Caching never changes results — a
-// warm extraction is bitwise identical to a cold one, because hash
-// equality implies a positionally identical serialization of every input
-// the cached computation consumed.
+// The design and block caches share one LRU byte budget
+// (EngineConfig::cacheBudgetBytes, split evenly between them; the pair
+// cache adds a small 1/16 slice on top) with shared_ptr pinning: an entry
+// in use is never evicted (util/lru_cache.h). Caching never changes
+// results — a warm extraction is bitwise identical to a cold one, because
+// hash equality implies a positionally identical serialization of every
+// input the cached computation consumed.
+//
+// Incremental (ECO) serving: extractDelta(oldLib, newLib) diffs the two
+// versions (core/library_diff.h), re-warms the caches from the baseline
+// when it is not already resident, and then runs the identical cached
+// extraction path over newLib — so its result is bitwise-equal to
+// extract(newLib) by construction, and the clean cone of the edit is
+// served from the caches instead of recomputed. The delta path hashes
+// each design exactly once: the subtree hashes computed for diffing are
+// handed to block embedding (DetectionCaches::nodeHashes) and memoized
+// per design hash (a cacheBudgetBytes/32 slice), so chained ECO calls
+// skip the baseline side's hashing entirely.
 //
 // Batches fan out over the deterministic util/parallel.h thread pool
 // (EngineConfig::threads; ANCSTR_THREADS overrides); results land in
@@ -38,6 +53,7 @@
 #include <span>
 #include <vector>
 
+#include "core/library_diff.h"
 #include "core/pipeline.h"
 #include "util/lru_cache.h"
 #include "util/structural_hash.h"
@@ -56,12 +72,27 @@ struct EngineConfig {
   std::size_t threads = 1;
   bool cacheDesignInference = true;
   bool cacheBlockEmbeddings = true;
+  /// Memoize block-pair similarities by subtree-hash pair (an extra
+  /// cacheBudgetBytes/16 slice on top of the design/block split).
+  bool cachePairScores = true;
 };
 
 /// Cumulative cache counters (see util::LruCacheStats).
 struct EngineCacheStats {
   util::LruCacheStats design;
   util::LruCacheStats blocks;
+  util::LruCacheStats pairs;
+};
+
+/// What ExtractionEngine::extractDelta learned about the edit.
+struct DeltaReport {
+  /// Master classification and new-design dirtiness (core/library_diff.h).
+  /// Default-constructed (no masters, no nodes) when the baseline failed
+  /// to elaborate — nothing is provably clean then.
+  LibraryDiff diff;
+  /// Cache-activity delta over this call: reuse.blocks.hits etc. count
+  /// how much of the clean cone was served from cache.
+  EngineCacheStats reuse;
 };
 
 class ExtractionEngine {
@@ -81,6 +112,30 @@ class ExtractionEngine {
   /// "extract.inference" phases.
   ExtractionResult extract(const Library& lib,
                            ExtractOptions options = {}) const;
+
+  /// Incremental (ECO) extraction of `newLib` against the `oldLib`
+  /// baseline. Semantics: the detection result, constraints, and
+  /// embeddings are bitwise-identical to extract(newLib) — for every
+  /// thread count, cache budget, and prior cache state — because after
+  /// diffing and warming this runs the exact same cached extraction path.
+  /// The delta value is time: subtrees whose structural hash already
+  /// appears in the baseline (the clean cone) are served from the block
+  /// and pair caches. A node is dirty when its subtree hash is absent
+  /// from the baseline — which covers edits inside it, edits in any
+  /// descendant, and `maxNetDegree` eligibility flips of any net it
+  /// touches (core/library_diff.h).
+  ///
+  /// The baseline is consumed fail-soft: if `oldLib` does not elaborate,
+  /// the diff is empty and the call degrades to a plain extract(newLib)
+  /// (never throws because of the baseline). `options` applies to the
+  /// newLib extraction exactly as in extract(). `delta`, when non-null,
+  /// receives the diff and the cache-reuse counters for this call. The
+  /// result report gains "engine.diff" and (on a cold baseline)
+  /// "engine.warm" phases, plus engine.delta.* metrics
+  /// (docs/observability.md).
+  ExtractionResult extractDelta(const Library& oldLib, const Library& newLib,
+                                ExtractOptions options = {},
+                                DeltaReport* delta = nullptr) const;
 
   /// Extracts every design of `batch` (null entries are a caller bug),
   /// fanning out over EngineConfig::threads workers. results[i]
@@ -113,9 +168,27 @@ class ExtractionEngine {
 
  private:
   class BlockCacheAdapter;
+  class PairCacheAdapter;
 
-  ExtractionResult extractOne(const Library& lib,
-                              diag::DiagnosticSink* sink) const;
+  /// `preElaborated`, when non-null, skips elaboration (internal paths
+  /// that already hold the FlatDesign; sound under a fail-soft sink too,
+  /// because strict elaboration succeeding implies the sink-mode
+  /// elaboration of the same library is identical and diagnostic-free).
+  /// `designHash` / `nodeHashes`, when non-null, are the precomputed
+  /// whole-design and per-node subtree hashes for `preElaborated` — the
+  /// delta path hashes each design once and reuses the values here.
+  ExtractionResult extractOne(
+      const Library& lib, diag::DiagnosticSink* sink,
+      const FlatDesign* preElaborated = nullptr,
+      const util::StructuralHash* designHash = nullptr,
+      const std::vector<util::StructuralHash>* nodeHashes = nullptr) const;
+
+  /// Subtree hashes of `design`, memoized by its whole-design hash so
+  /// chained delta calls (v1->v2, v2->v3, ...) hash each version once.
+  std::shared_ptr<const std::vector<util::StructuralHash>>
+  memoizedSubtreeHashes(const FlatDesign& design,
+                        const util::StructuralHash& designHash) const;
+
   void publishCacheMetrics() const;
 
   const Pipeline& pipeline_;
@@ -124,7 +197,16 @@ class ExtractionEngine {
       designCache_;
   mutable util::LruByteCache<util::StructuralHash, CachedBlockEmbedding>
       blockCache_;
+  mutable util::LruByteCache<PairScoreKey, double, PairScoreKeyHash>
+      pairCache_;
+  /// Subtree-hash vectors keyed by whole-design hash (a thin
+  /// cacheBudgetBytes/32 slice). Feeds extractDelta only; never affects
+  /// results — a memoized vector is bitwise what subtreeHashes() returns.
+  mutable util::LruByteCache<util::StructuralHash,
+                             std::vector<util::StructuralHash>>
+      subtreeHashMemo_;
   std::unique_ptr<BlockCacheAdapter> blockAdapter_;
+  std::unique_ptr<PairCacheAdapter> pairAdapter_;
   mutable std::mutex publishMutex_;
   mutable EngineCacheStats published_;
 };

@@ -1,0 +1,217 @@
+#include "core/library_diff.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/circuit_hash.h"
+#include "util/error.h"
+
+namespace ancstr {
+
+namespace {
+
+constexpr std::uint64_t kConfigSchemaVersion = 1;
+
+/// Classifies masters by merging two name-sorted manifest entry lists.
+std::vector<MasterDelta> classifyMasters(
+    const std::vector<ManifestEntry>& oldMasters,
+    const std::vector<ManifestEntry>& newMasters) {
+  std::vector<MasterDelta> out;
+  out.reserve(std::max(oldMasters.size(), newMasters.size()));
+  std::size_t i = 0, j = 0;
+  while (i < oldMasters.size() || j < newMasters.size()) {
+    if (j == newMasters.size() ||
+        (i < oldMasters.size() && oldMasters[i].name < newMasters[j].name)) {
+      out.push_back(MasterDelta{oldMasters[i].name, MasterChange::kRemoved,
+                                oldMasters[i].hash, {}});
+      ++i;
+    } else if (i == oldMasters.size() ||
+               newMasters[j].name < oldMasters[i].name) {
+      out.push_back(MasterDelta{newMasters[j].name, MasterChange::kAdded,
+                                {}, newMasters[j].hash});
+      ++j;
+    } else {
+      const MasterChange change = oldMasters[i].hash == newMasters[j].hash
+                                      ? MasterChange::kUnchanged
+                                      : MasterChange::kModified;
+      out.push_back(MasterDelta{newMasters[j].name, change,
+                                oldMasters[i].hash, newMasters[j].hash});
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+/// Fills the node/device dirtiness fields of `diff` by testing each new
+/// subtree hash against the baseline set. A device is reusable when its
+/// owner or any ancestor node is clean (a clean ancestor's subtree
+/// serialization covers the device byte-for-byte).
+void classifyNodes(const FlatDesign& newDesign,
+                   const std::vector<util::StructuralHash>& newHashes,
+                   const std::unordered_set<util::StructuralHash>& baseline,
+                   LibraryDiff* diff) {
+  const std::size_t nodeCount = newDesign.hierarchy().size();
+  diff->dirtyNode.assign(nodeCount, true);
+  std::vector<char> covered(nodeCount, 0);
+  for (HierNodeId id = 0; id < nodeCount; ++id) {
+    const bool clean = baseline.contains(newHashes[id]);
+    diff->dirtyNode[id] = !clean;
+    clean ? ++diff->cleanNodes : ++diff->dirtyNodes;
+    // Hierarchy ids are topological (parent < child except the root's
+    // self-parent), so coverage propagates in one forward pass.
+    const HierNodeId parent = newDesign.node(id).parent;
+    covered[id] = clean || (parent != id && covered[parent]) ? 1 : 0;
+  }
+  for (const FlatDevice& dev : newDesign.devices()) {
+    covered[dev.owner] ? ++diff->reusableDevices : ++diff->dirtyDevices;
+  }
+}
+
+LibraryDiff diffAgainstHashes(
+    const FlatDesign& newDesign, const GraphBuildOptions& graph,
+    const FeatureConfig& features,
+    const std::unordered_set<util::StructuralHash>& baselineSubtrees,
+    const util::StructuralHash& baselineDesign, bool baselineUsable) {
+  LibraryDiff diff;
+  const std::vector<util::StructuralHash> newHashes =
+      subtreeHashes(newDesign, graph, features);
+  classifyNodes(newDesign, newHashes,
+                baselineUsable
+                    ? baselineSubtrees
+                    : std::unordered_set<util::StructuralHash>{},
+                &diff);
+  diff.designUnchanged =
+      baselineUsable && !(baselineDesign == util::StructuralHash{}) &&
+      structuralHash(newDesign, graph, features) == baselineDesign;
+  return diff;
+}
+
+}  // namespace
+
+const char* toString(MasterChange change) {
+  switch (change) {
+    case MasterChange::kUnchanged: return "unchanged";
+    case MasterChange::kModified: return "modified";
+    case MasterChange::kAdded: return "added";
+    case MasterChange::kRemoved: return "removed";
+  }
+  return "unknown";
+}
+
+std::size_t LibraryDiff::changedMasters() const {
+  std::size_t n = 0;
+  for (const MasterDelta& delta : masters) {
+    if (delta.change != MasterChange::kUnchanged) ++n;
+  }
+  return n;
+}
+
+util::StructuralHash extractionConfigHash(const GraphBuildOptions& graph,
+                                          const FeatureConfig& features) {
+  util::StructuralHasher h;
+  h.add(kConfigSchemaVersion);
+  h.addBool(graph.includeBulkPins);
+  h.addSize(graph.maxNetDegree);
+  h.addBool(graph.collapseEdgeTypes);
+  h.addBool(features.useGeometry);
+  h.addBool(features.useLayers);
+  return h.finish();
+}
+
+std::vector<util::StructuralHash> subtreeHashes(
+    const FlatDesign& design, const GraphBuildOptions& graph,
+    const FeatureConfig& features) {
+  std::vector<util::StructuralHash> out(design.hierarchy().size());
+  for (HierNodeId id = 0; id < design.hierarchy().size(); ++id) {
+    const std::vector<FlatDeviceId> subset = design.subtreeDevices(id);
+    out[id] = structuralHash(design, subset, graph, features);
+  }
+  return out;
+}
+
+LibraryDiff diffDesigns(const FlatDesign& oldDesign,
+                        const FlatDesign& newDesign,
+                        const GraphBuildOptions& graph,
+                        const FeatureConfig& features) {
+  const std::vector<util::StructuralHash> oldHashes =
+      subtreeHashes(oldDesign, graph, features);
+  const std::unordered_set<util::StructuralHash> baseline(oldHashes.begin(),
+                                                          oldHashes.end());
+  return diffAgainstHashes(newDesign, graph, features, baseline,
+                           structuralHash(oldDesign, graph, features),
+                           /*baselineUsable=*/true);
+}
+
+LibraryDiff diffPrehashed(const FlatDesign& newDesign,
+                          const std::vector<util::StructuralHash>& oldSubtrees,
+                          const util::StructuralHash& oldDesignHash,
+                          const std::vector<util::StructuralHash>& newSubtrees,
+                          const util::StructuralHash& newDesignHash) {
+  ANCSTR_ASSERT(newSubtrees.size() == newDesign.hierarchy().size());
+  LibraryDiff diff;
+  const std::unordered_set<util::StructuralHash> baseline(oldSubtrees.begin(),
+                                                          oldSubtrees.end());
+  classifyNodes(newDesign, newSubtrees, baseline, &diff);
+  diff.designUnchanged = !(oldDesignHash == util::StructuralHash{}) &&
+                         newDesignHash == oldDesignHash;
+  return diff;
+}
+
+std::vector<MasterDelta> diffMasters(const Library& oldLib,
+                                     const Library& newLib) {
+  return classifyMasters(buildNetlistManifest(oldLib).masters,
+                         buildNetlistManifest(newLib).masters);
+}
+
+LibraryDiff diffLibraries(const Library& oldLib, const Library& newLib,
+                          const GraphBuildOptions& graph,
+                          const FeatureConfig& features) {
+  const FlatDesign oldDesign = FlatDesign::elaborate(oldLib);
+  const FlatDesign newDesign = FlatDesign::elaborate(newLib);
+  LibraryDiff diff = diffDesigns(oldDesign, newDesign, graph, features);
+  diff.masters = classifyMasters(buildNetlistManifest(oldLib).masters,
+                                 buildNetlistManifest(newLib).masters);
+  return diff;
+}
+
+DesignManifest buildManifest(const Library& lib,
+                             const GraphBuildOptions& graph,
+                             const FeatureConfig& features) {
+  DesignManifest manifest = buildNetlistManifest(lib);
+  manifest.configHash = extractionConfigHash(graph, features);
+  const FlatDesign design = FlatDesign::elaborate(lib);
+  manifest.designHash = structuralHash(design, graph, features);
+  manifest.subtreeHashes = subtreeHashes(design, graph, features);
+  std::sort(manifest.subtreeHashes.begin(), manifest.subtreeHashes.end(),
+            [](const util::StructuralHash& a, const util::StructuralHash& b) {
+              return a.hi != b.hi ? a.hi < b.hi : a.lo < b.lo;
+            });
+  manifest.subtreeHashes.erase(
+      std::unique(manifest.subtreeHashes.begin(),
+                  manifest.subtreeHashes.end()),
+      manifest.subtreeHashes.end());
+  return manifest;
+}
+
+LibraryDiff diffManifest(const DesignManifest& baseline,
+                         const Library& newLib,
+                         const GraphBuildOptions& graph,
+                         const FeatureConfig& features) {
+  const FlatDesign newDesign = FlatDesign::elaborate(newLib);
+  const bool configMatches =
+      baseline.configHash == extractionConfigHash(graph, features);
+  const bool usable = configMatches && !baseline.subtreeHashes.empty();
+  const std::unordered_set<util::StructuralHash> subtrees(
+      baseline.subtreeHashes.begin(), baseline.subtreeHashes.end());
+  LibraryDiff diff =
+      diffAgainstHashes(newDesign, graph, features, subtrees,
+                        configMatches ? baseline.designHash
+                                      : util::StructuralHash{},
+                        usable);
+  diff.masters = classifyMasters(baseline.masters,
+                                 buildNetlistManifest(newLib).masters);
+  return diff;
+}
+
+}  // namespace ancstr

@@ -1,0 +1,148 @@
+// Library diffing for incremental (ECO) extraction (docs/api.md).
+//
+// Compares two versions of a design at subcircuit granularity using the
+// same 128-bit hashes the ExtractionEngine caches key on:
+//
+//  * masters are classified unchanged / modified / added / removed by
+//    their name-free content hash (netlist/manifest.h), matched by name —
+//    a pure rename therefore reads as added + removed, but every cache
+//    keyed on content still hits;
+//  * hierarchy nodes of the NEW design are classified clean / dirty by
+//    membership of their subtree structural hash (core/circuit_hash.h) in
+//    the baseline's subtree-hash set. Because the subtree hash serializes
+//    a parent's devices together with every descendant's, an edit dirties
+//    the whole instantiating cone automatically; and because it encodes
+//    each net's full-design degree eligibility under
+//    GraphBuildOptions::maxNetDegree, an edit that flips a shared net
+//    across the cap dirties every subtree touching that net, even ones
+//    whose own devices did not change.
+//
+// A baseline can be a live Library, a FlatDesign, or a saved manifest
+// (`extract --since BASELINE`); a manifest written by buildManifest
+// carries the config-dependent hashes, so diffing needs no access to the
+// original netlist text.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/features.h"
+#include "core/graph_builder.h"
+#include "netlist/flatten.h"
+#include "netlist/manifest.h"
+
+namespace ancstr {
+
+/// Classification of one master between two library versions.
+enum class MasterChange {
+  kUnchanged,  ///< same name, same content hash
+  kModified,   ///< same name, different content hash
+  kAdded,      ///< name only in the new library
+  kRemoved,    ///< name only in the old library
+};
+
+/// Display name ("unchanged", "modified", "added", "removed").
+const char* toString(MasterChange change);
+
+/// One master's classification.
+struct MasterDelta {
+  std::string name;
+  MasterChange change = MasterChange::kUnchanged;
+  util::StructuralHash oldHash;  ///< null when added
+  util::StructuralHash newHash;  ///< null when removed
+};
+
+/// Result of diffing a baseline against a new design. Node indices refer
+/// to the NEW design's hierarchy.
+struct LibraryDiff {
+  /// Per-master classification, sorted by name. Empty when the baseline
+  /// carried no master entries.
+  std::vector<MasterDelta> masters;
+  /// Per-HierNodeId of the new design: true when the node's subtree hash
+  /// is absent from the baseline (its extraction inputs changed).
+  std::vector<bool> dirtyNode;
+  std::size_t dirtyNodes = 0;    ///< count of true entries in dirtyNode
+  std::size_t cleanNodes = 0;    ///< count of false entries in dirtyNode
+  /// Devices inside at least one clean subtree: their positional block
+  /// context is byte-identical to the baseline's, so cached per-block
+  /// artifacts keyed on those hashes are reusable.
+  std::size_t reusableDevices = 0;
+  std::size_t dirtyDevices = 0;  ///< devices() size minus reusableDevices
+  /// Whole-design structural hash unchanged — the engine's design-level
+  /// cache key matches and the entire cached result is reusable.
+  bool designUnchanged = false;
+
+  /// True when the extraction inputs are unchanged (identity edit): the
+  /// design hash matches and no hierarchy node is dirty. Master-list
+  /// edits outside the instantiated hierarchy (an added spare cell, say)
+  /// do not count — check changedMasters() for those.
+  bool identical() const { return designUnchanged && dirtyNodes == 0; }
+
+  /// Count of masters not classified kUnchanged.
+  std::size_t changedMasters() const;
+};
+
+/// Hash of the (GraphBuildOptions, FeatureConfig) pair, recorded in
+/// manifests so a baseline saved under one configuration is never trusted
+/// under another.
+util::StructuralHash extractionConfigHash(const GraphBuildOptions& graph,
+                                          const FeatureConfig& features);
+
+/// Subtree structural hash of every hierarchy node, indexed by HierNodeId.
+std::vector<util::StructuralHash> subtreeHashes(
+    const FlatDesign& design, const GraphBuildOptions& graph,
+    const FeatureConfig& features);
+
+/// Node-level diff of two elaborated designs (no master classification —
+/// see diffLibraries for the full form).
+LibraryDiff diffDesigns(const FlatDesign& oldDesign,
+                        const FlatDesign& newDesign,
+                        const GraphBuildOptions& graph,
+                        const FeatureConfig& features);
+
+/// Node-level diff when the caller already holds every hash: the old
+/// side's subtree hashes (any order), the new side's subtree hashes
+/// indexed by `newDesign`'s HierNodeId (subtreeHashes() output), and both
+/// whole-design hashes. Classification is identical to diffDesigns over
+/// the same designs; the point is cost — the engine's delta path computes
+/// each hash exactly once and reuses it here, for the design-cache probe,
+/// and for block embedding (core/detector.h DetectionCaches::nodeHashes).
+/// A null `oldDesignHash` means "unknown" and leaves designUnchanged
+/// false.
+LibraryDiff diffPrehashed(const FlatDesign& newDesign,
+                          const std::vector<util::StructuralHash>& oldSubtrees,
+                          const util::StructuralHash& oldDesignHash,
+                          const std::vector<util::StructuralHash>& newSubtrees,
+                          const util::StructuralHash& newDesignHash);
+
+/// Master classification alone (netlist content hashes, matched by name;
+/// config-independent). Throws NetlistError on a recursive hierarchy.
+std::vector<MasterDelta> diffMasters(const Library& oldLib,
+                                     const Library& newLib);
+
+/// Full diff of two libraries: master classification plus node-level
+/// dirtiness. Throws NetlistError when either library fails elaboration.
+LibraryDiff diffLibraries(const Library& oldLib, const Library& newLib,
+                          const GraphBuildOptions& graph,
+                          const FeatureConfig& features);
+
+/// Complete manifest of `lib`: per-master content hashes plus the
+/// config-dependent whole-design and subtree structural hashes, ready for
+/// saveManifest (netlist/manifest.h). Throws NetlistError when `lib`
+/// fails elaboration.
+DesignManifest buildManifest(const Library& lib,
+                             const GraphBuildOptions& graph,
+                             const FeatureConfig& features);
+
+/// Diff of a saved baseline manifest against a new library. When the
+/// baseline's configHash differs from the current configuration (or it
+/// carries no subtree hashes — a netlist-only manifest), node-level
+/// reuse cannot be proven and every node is conservatively dirty; master
+/// classification still applies, since content hashes are
+/// config-independent.
+LibraryDiff diffManifest(const DesignManifest& baseline,
+                         const Library& newLib,
+                         const GraphBuildOptions& graph,
+                         const FeatureConfig& features);
+
+}  // namespace ancstr

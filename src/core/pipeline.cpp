@@ -2,6 +2,7 @@
 
 #include "core/model_io.h"
 #include "util/error.h"
+#include "util/fault.h"
 #include "util/trace.h"
 
 namespace ancstr {
@@ -72,18 +73,25 @@ InferenceArtifacts Pipeline::runInference(const Library& lib,
 
 void Pipeline::runDetection(const Library& lib, const FlatDesign& design,
                             const InferenceArtifacts& artifacts,
-                            BlockEmbeddingCache* blockCache,
+                            const DetectionCaches& caches,
                             ExtractionResult& result) const {
   if (!model_) throw Error("Pipeline::runDetection before train()/loadModel()");
   const trace::TraceSpan span("extract.detection");
+  // Fault site shared by Pipeline::extract and the ExtractionEngine paths
+  // (docs/robustness.md): under fail-soft, full and delta extraction
+  // degrade at the identical point, which the delta-equivalence property
+  // suite exercises.
+  if (fault::shouldFail("extract.detect")) {
+    throw Error("injected fault: extract.detect");
+  }
   // Embeddings are indexed by graph vertex; the full-design graph covers
   // devices in id order so row i == device i.
   DetectorConfig detector = config_.detector;
   detector.graphOptions = config_.graph;
   const BlockEmbeddingContext blockContext{*model_, config_.features,
-                                           blockCache};
+                                           caches.blocks, caches.nodeHashes};
   result.detection = detectConstraints(design, lib, artifacts.embeddings,
-                                       detector, blockContext,
+                                       detector, blockContext, caches.pairs,
                                        config_.threads);
   result.report.addPhase("extract.detection", span.seconds());
 }

@@ -151,6 +151,16 @@ class Pipeline {
   void runDetection(const Library& lib, const FlatDesign& design,
                     const InferenceArtifacts& artifacts,
                     BlockEmbeddingCache* blockCache,
+                    ExtractionResult& result) const {
+    runDetection(lib, design, artifacts, DetectionCaches{blockCache, nullptr},
+                 result);
+  }
+
+  /// As above with the full cache set (block embeddings + pair scores —
+  /// see DetectionCaches in core/detector.h); any member may be null.
+  void runDetection(const Library& lib, const FlatDesign& design,
+                    const InferenceArtifacts& artifacts,
+                    const DetectionCaches& caches,
                     ExtractionResult& result) const;
 
   const GnnModel& model() const;

@@ -1,0 +1,221 @@
+#include "netlist/manifest.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/fault.h"
+
+namespace ancstr {
+
+namespace {
+
+constexpr std::uint64_t kContentSchemaVersion = 1;
+
+/// Post-order content hashing with memoization. `state` is 0 (unvisited),
+/// 1 (on the current recursion path), 2 (done).
+util::StructuralHash contentHash(const Library& lib, SubcktId id,
+                                 std::vector<util::StructuralHash>& memo,
+                                 std::vector<int>& state) {
+  if (state[id] == 2) return memo[id];
+  if (state[id] == 1) {
+    throw NetlistError("subcktContentHash: recursive instantiation of '" +
+                       lib.subckt(id).name() + "'");
+  }
+  state[id] = 1;
+
+  const SubcktDef& def = lib.subckt(id);
+  util::StructuralHasher h;
+  h.add(kContentSchemaVersion);
+
+  // Local net numbering by first appearance over the canonical walk
+  // (ports, then device pins, then instance connections), so net NAMES
+  // and creation order never reach the hash.
+  std::vector<std::uint32_t> localNet(def.nets().size(), kInvalidId);
+  std::uint32_t nextLocal = 0;
+  const auto local = [&](NetId net) {
+    if (localNet.at(net) == kInvalidId) localNet[net] = nextLocal++;
+    return localNet[net];
+  };
+
+  h.addSize(def.ports().size());
+  for (const NetId port : def.ports()) h.add(local(port));
+
+  h.addSize(def.devices().size());
+  for (const Device& dev : def.devices()) {
+    h.add(static_cast<std::uint64_t>(dev.type));
+    h.addDouble(dev.params.w);
+    h.addDouble(dev.params.l);
+    h.addDouble(dev.params.value);
+    h.addInt(dev.params.nf);
+    h.addInt(dev.params.m);
+    h.addInt(dev.params.layers);
+    h.addSize(dev.pins.size());
+    for (const Pin& pin : dev.pins) {
+      h.add(static_cast<std::uint64_t>(pin.function));
+      h.add(local(pin.net));
+    }
+  }
+
+  h.addSize(def.instances().size());
+  for (const Instance& inst : def.instances()) {
+    const util::StructuralHash master =
+        contentHash(lib, inst.master, memo, state);
+    h.add(master.hi);
+    h.add(master.lo);
+    h.addSize(inst.connections.size());
+    for (const NetId net : inst.connections) h.add(local(net));
+  }
+
+  state[id] = 2;
+  memo[id] = h.finish();
+  return memo[id];
+}
+
+bool parseHex128(std::string_view hex, util::StructuralHash* out) {
+  if (hex.size() != 32) return false;
+  std::uint64_t lanes[2] = {0, 0};
+  for (int lane = 0; lane < 2; ++lane) {
+    for (int i = 0; i < 16; ++i) {
+      const char c = hex[static_cast<std::size_t>(lane * 16 + i)];
+      std::uint64_t digit = 0;
+      if (c >= '0' && c <= '9') {
+        digit = static_cast<std::uint64_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        digit = static_cast<std::uint64_t>(c - 'a') + 10;
+      } else {
+        return false;
+      }
+      lanes[lane] = (lanes[lane] << 4) | digit;
+    }
+  }
+  out->hi = lanes[0];
+  out->lo = lanes[1];
+  return true;
+}
+
+[[noreturn]] void formatError(const std::filesystem::path& path,
+                              std::size_t line, const std::string& what) {
+  throw Error("manifest '" + path.string() + "' line " +
+              std::to_string(line) + ": " + what);
+}
+
+}  // namespace
+
+const ManifestEntry* DesignManifest::findMaster(std::string_view name) const {
+  for (const ManifestEntry& entry : masters) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+util::StructuralHash subcktContentHash(const Library& lib, SubcktId id) {
+  std::vector<util::StructuralHash> memo(lib.subcktCount());
+  std::vector<int> state(lib.subcktCount(), 0);
+  return contentHash(lib, id, memo, state);
+}
+
+DesignManifest buildNetlistManifest(const Library& lib) {
+  DesignManifest manifest;
+  std::vector<util::StructuralHash> memo(lib.subcktCount());
+  std::vector<int> state(lib.subcktCount(), 0);
+  manifest.masters.reserve(lib.subcktCount());
+  for (SubcktId id = 0; id < lib.subcktCount(); ++id) {
+    manifest.masters.push_back(ManifestEntry{
+        lib.subckt(id).name(), contentHash(lib, id, memo, state)});
+  }
+  std::sort(manifest.masters.begin(), manifest.masters.end(),
+            [](const ManifestEntry& a, const ManifestEntry& b) {
+              return a.name < b.name;
+            });
+  return manifest;
+}
+
+void saveManifest(const DesignManifest& manifest,
+                  const std::filesystem::path& path) {
+  std::ofstream out(path);
+  if (fault::shouldFail("manifest.open") || !out) {
+    throw Error("cannot open manifest '" + path.string() + "' for writing");
+  }
+  out << "ancstr-manifest v" << DesignManifest::kFormatVersion << "\n";
+  const util::StructuralHash null{};
+  if (!(manifest.configHash == null)) {
+    out << "config " << manifest.configHash.hex() << "\n";
+  }
+  if (!(manifest.designHash == null)) {
+    out << "design " << manifest.designHash.hex() << "\n";
+  }
+  for (const ManifestEntry& entry : manifest.masters) {
+    out << "master " << entry.name << " " << entry.hash.hex() << "\n";
+  }
+  for (const util::StructuralHash& hash : manifest.subtreeHashes) {
+    out << "subtree " << hash.hex() << "\n";
+  }
+  if (!out) throw Error("write failure on manifest '" + path.string() + "'");
+}
+
+DesignManifest loadManifest(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (fault::shouldFail("manifest.open") || !in) {
+    throw Error("cannot open manifest '" + path.string() + "'");
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::istringstream text(
+      fault::corruptText("manifest.read", std::move(buf).str()));
+
+  DesignManifest manifest;
+  std::string line;
+  std::size_t lineNo = 0;
+  if (!std::getline(text, line)) formatError(path, 1, "empty file");
+  ++lineNo;
+  if (line != "ancstr-manifest v1") {
+    formatError(path, lineNo,
+                "unsupported header '" + line + "' (expected v" +
+                    std::to_string(DesignManifest::kFormatVersion) + ")");
+  }
+  while (std::getline(text, line)) {
+    ++lineNo;
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string kind;
+    fields >> kind;
+    if (kind == "config" || kind == "design" || kind == "subtree") {
+      std::string hex;
+      fields >> hex;
+      util::StructuralHash hash;
+      if (!parseHex128(hex, &hash)) {
+        formatError(path, lineNo, "bad hash '" + hex + "'");
+      }
+      if (kind == "config") {
+        manifest.configHash = hash;
+      } else if (kind == "design") {
+        manifest.designHash = hash;
+      } else {
+        manifest.subtreeHashes.push_back(hash);
+      }
+    } else if (kind == "master") {
+      std::string name, hex;
+      fields >> name >> hex;
+      util::StructuralHash hash;
+      if (name.empty() || !parseHex128(hex, &hash)) {
+        formatError(path, lineNo, "bad master entry '" + line + "'");
+      }
+      manifest.masters.push_back(ManifestEntry{std::move(name), hash});
+    } else {
+      formatError(path, lineNo, "unknown record '" + kind + "'");
+    }
+  }
+  std::sort(manifest.masters.begin(), manifest.masters.end(),
+            [](const ManifestEntry& a, const ManifestEntry& b) {
+              return a.name < b.name;
+            });
+  std::sort(manifest.subtreeHashes.begin(), manifest.subtreeHashes.end(),
+            [](const util::StructuralHash& a, const util::StructuralHash& b) {
+              return a.hi != b.hi ? a.hi < b.hi : a.lo < b.lo;
+            });
+  return manifest;
+}
+
+}  // namespace ancstr

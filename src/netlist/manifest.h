@@ -1,0 +1,82 @@
+// Design hash manifests: the on-disk baseline format for incremental
+// (ECO) extraction (`extract --since BASELINE`, docs/api.md).
+//
+// A manifest records, for one netlist version, the name-free content hash
+// of every subcircuit master plus (when written by the extraction layer,
+// core/library_diff.h) the config-dependent whole-design and subtree
+// structural hashes. Diffing a manifest against a later netlist version
+// classifies each master as unchanged / modified / added / removed without
+// access to the original netlist text.
+//
+// The master content hash is positional and name-free, like
+// core/circuit_hash.h: renaming nets, devices, or instances inside a
+// master does not change its hash, and instances reference their master
+// by the master's own content hash (recursively), so renaming a master
+// leaves its instantiators' hashes untouched. Reordering cards is a
+// content change, exactly as it is for the extraction caches.
+#pragma once
+
+#include <filesystem>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "util/structural_hash.h"
+
+namespace ancstr {
+
+/// One master's entry in a manifest.
+struct ManifestEntry {
+  std::string name;            ///< master (subckt) name
+  util::StructuralHash hash;   ///< name-free content hash
+
+  bool operator==(const ManifestEntry&) const = default;
+};
+
+/// A saved baseline for library diffing. The netlist layer fills
+/// `masters`; the extraction layer (core/library_diff.h buildManifest)
+/// additionally fills `configHash` / `designHash` / `subtreeHashes`, which
+/// depend on the graph/feature configuration. Null hashes mean "not
+/// recorded".
+struct DesignManifest {
+  /// On-disk format version (readers reject anything else).
+  static constexpr std::uint32_t kFormatVersion = 1;
+
+  /// Hash of the GraphBuildOptions / FeatureConfig the structural hashes
+  /// were computed under; null for netlist-only manifests.
+  util::StructuralHash configHash;
+  /// Whole-design extraction hash (core/circuit_hash.h); null when not
+  /// recorded.
+  util::StructuralHash designHash;
+  /// Per-master content hashes, sorted by name.
+  std::vector<ManifestEntry> masters;
+  /// Subtree structural hashes of every hierarchy node, sorted and
+  /// deduplicated; empty when not recorded.
+  std::vector<util::StructuralHash> subtreeHashes;
+
+  bool operator==(const DesignManifest&) const = default;
+
+  /// Entry for `name`, or nullptr.
+  const ManifestEntry* findMaster(std::string_view name) const;
+};
+
+/// Name-free positional content hash of one master: device types, sizing
+/// parameters, pin wiring, and instance connectivity, with instances
+/// identified by their master's content hash (recursive). Throws
+/// NetlistError on recursive instantiation.
+util::StructuralHash subcktContentHash(const Library& lib, SubcktId id);
+
+/// Manifest of `lib` with per-master content hashes only (`configHash` /
+/// `designHash` / `subtreeHashes` stay null — see
+/// core/library_diff.h buildManifest for the full form).
+DesignManifest buildNetlistManifest(const Library& lib);
+
+/// Writes `manifest` as the versioned line-based text format
+/// (docs/file_formats.md). Throws Error on IO failure.
+void saveManifest(const DesignManifest& manifest,
+                  const std::filesystem::path& path);
+
+/// Reads a manifest written by saveManifest. Throws Error on IO failure,
+/// malformed lines, or an unsupported format version.
+DesignManifest loadManifest(const std::filesystem::path& path);
+
+}  // namespace ancstr

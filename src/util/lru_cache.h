@@ -79,6 +79,14 @@ class LruByteCache {
     evictToBudget();
   }
 
+  /// True if `key` is resident. A pure probe: no hit/miss accounting, no
+  /// LRU bump — safe for planning decisions (e.g. whether extractDelta
+  /// needs to re-warm a baseline) without skewing cache statistics.
+  bool contains(const Key& key) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return index_.find(key) != index_.end();
+  }
+
   LruCacheStats stats() const {
     const std::lock_guard<std::mutex> lock(mutex_);
     LruCacheStats out = stats_;

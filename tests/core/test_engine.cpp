@@ -8,6 +8,8 @@
 #include "circuits/synthetic.h"
 #include "util/diagnostics.h"
 #include "util/error.h"
+#include "util/fault.h"
+#include "util/metrics.h"
 
 namespace ancstr {
 namespace {
@@ -187,6 +189,83 @@ TEST(Engine, ClearCachesKeepsCumulativeCounters) {
   const ExtractionResult again = engine.extract(bench.lib);
   EXPECT_GT(again.detection.scored.size(), 0u);
   EXPECT_GT(engine.cacheStats().design.misses, before.design.misses);
+}
+
+TEST(Engine, PairScoreCacheHitsOnRepeatedBlockPairs) {
+  Pipeline pipeline(fastConfig());
+  const auto bench = circuits::makeBlockArray(4);
+  pipeline.train({&bench.lib});
+  const ExtractionResult direct = pipeline.extract(bench.lib);
+
+  const ExtractionEngine engine(pipeline);
+  expectBitwiseEqual(engine.extract(bench.lib), direct);
+  const EngineCacheStats first = engine.cacheStats();
+  EXPECT_GT(first.pairs.entries, 0u);
+
+  // A design-cache hit skips inference but detection re-runs: every
+  // block-pair score is now served from the pair cache.
+  expectBitwiseEqual(engine.extract(bench.lib), direct);
+  const EngineCacheStats second = engine.cacheStats();
+  EXPECT_GT(second.pairs.hits, first.pairs.hits);
+}
+
+TEST(Engine, DisablingPairCacheStillExtractsExactly) {
+  Pipeline pipeline(fastConfig());
+  const auto bench = circuits::makeBlockArray(3);
+  pipeline.train({&bench.lib});
+  const ExtractionResult direct = pipeline.extract(bench.lib);
+
+  EngineConfig config;
+  config.cachePairScores = false;
+  const ExtractionEngine engine(pipeline, config);
+  expectBitwiseEqual(engine.extract(bench.lib), direct);
+  expectBitwiseEqual(engine.extract(bench.lib), direct);
+  EXPECT_EQ(engine.cacheStats().pairs.entries, 0u);
+}
+
+TEST(Engine, DegradedExtractReportCarriesCacheMetrics) {
+  Pipeline pipeline(fastConfig());
+  const auto bench = circuits::makeDiffChain(2);
+  pipeline.train({&bench.lib});
+  const ExtractionEngine engine(pipeline);
+  (void)engine.extract(bench.lib);  // warm the design cache
+
+  // The fault fires after the design-cache consult: the degraded design's
+  // report must still carry the engine.cache.* metrics for the cache
+  // activity that happened before the failure (regression guard — these
+  // used to be dropped on the error branch).
+  diag::DiagnosticSink sink(diag::DiagnosticSink::Mode::kCollect);
+  const fault::ScopedFault fault("engine.extract");
+  const ExtractionResult degraded =
+      engine.extract(bench.lib, ExtractOptions{&sink});
+  EXPECT_EQ(degraded.detection.scored.size(), 0u);
+  bool hasDiag = false;
+  for (const diag::Diagnostic& d : degraded.report.diagnostics) {
+    if (d.code == diag::codes::kExtractDegraded) hasDiag = true;
+  }
+  EXPECT_TRUE(hasDiag);
+  ASSERT_TRUE(
+      degraded.report.metrics.counters.contains("engine.cache.hit"));
+  EXPECT_GE(degraded.report.metrics.counters.at("engine.cache.hit"), 1u);
+  ASSERT_TRUE(degraded.report.metrics.counters.contains(
+      "pipeline.extract_degraded"));
+}
+
+TEST(Engine, StrictFaultStillPublishesCacheCounters) {
+  Pipeline pipeline(fastConfig());
+  const auto bench = circuits::makeDiffChain(2);
+  pipeline.train({&bench.lib});
+  const ExtractionEngine engine(pipeline);
+
+  const metrics::Snapshot before = metrics::Registry::instance().snapshot();
+  {
+    const fault::ScopedFault fault("engine.extract");
+    EXPECT_THROW((void)engine.extract(bench.lib), Error);
+  }
+  const metrics::Snapshot delta =
+      metrics::Registry::instance().snapshot().since(before);
+  ASSERT_TRUE(delta.counters.contains("engine.cache.miss"));
+  EXPECT_GE(delta.counters.at("engine.cache.miss"), 1u);
 }
 
 TEST(Engine, DisablingCachesStillExtractsExactly) {

@@ -1,0 +1,275 @@
+#include "core/library_diff.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "circuits/synthetic.h"
+#include "netlist/flatten.h"
+#include "support/netlist_mutator.h"
+#include "util/error.h"
+
+namespace ancstr {
+namespace {
+
+using testsupport::attachFanout;
+using testsupport::LibrarySpec;
+using testsupport::libraryFromSpec;
+using testsupport::MutationKind;
+using testsupport::NetlistMutator;
+using testsupport::rebuildIdentity;
+using testsupport::specFromLibrary;
+
+GraphBuildOptions uncapped() { return GraphBuildOptions{}; }
+
+const MasterDelta* findMaster(const LibraryDiff& diff,
+                              const std::string& name) {
+  for (const MasterDelta& m : diff.masters) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+/// Unique temp path for manifest round-trips.
+std::filesystem::path tempManifestPath(const char* tag) {
+  return std::filesystem::temp_directory_path() /
+         (std::string("ancstr_diff_test_") + tag + ".manifest");
+}
+
+TEST(LibraryDiff, IdentityDiffIsFullyClean) {
+  const auto bench = circuits::makeBlockArray(3);
+  const LibraryDiff diff = diffLibraries(bench.lib, rebuildIdentity(bench.lib),
+                                         uncapped(), FeatureConfig{});
+  EXPECT_TRUE(diff.identical());
+  EXPECT_TRUE(diff.designUnchanged);
+  EXPECT_EQ(diff.dirtyNodes, 0u);
+  EXPECT_EQ(diff.dirtyDevices, 0u);
+  EXPECT_GT(diff.cleanNodes, 0u);
+  EXPECT_GT(diff.reusableDevices, 0u);
+  EXPECT_EQ(diff.changedMasters(), 0u);
+  for (const MasterDelta& m : diff.masters) {
+    EXPECT_EQ(m.change, MasterChange::kUnchanged) << m.name;
+    EXPECT_TRUE(m.oldHash == m.newHash) << m.name;
+  }
+}
+
+TEST(LibraryDiff, PureRenamesReadAsUnchanged) {
+  const auto bench = circuits::makeBlockArray(3);
+  NetlistMutator mutator(bench.lib, /*seed=*/19);
+  const Library renamed = mutator.mutate(
+      5, {MutationKind::kRenameNet, MutationKind::kRenameDevice,
+          MutationKind::kRenameInstance});
+  const LibraryDiff diff =
+      diffLibraries(bench.lib, renamed, uncapped(), FeatureConfig{});
+  EXPECT_TRUE(diff.identical());
+  EXPECT_EQ(diff.changedMasters(), 0u);
+}
+
+TEST(LibraryDiff, TopLevelEditKeepsChildSubtreesClean) {
+  const auto bench = circuits::makeBlockArray(4);
+  // attachFanout adds capacitors to the TOP cell only. Uncapped, the OTA
+  // children's subtree hashes are untouched: exactly the root is dirty.
+  const Library fanned = attachFanout(bench.lib, 2);
+  const LibraryDiff diff =
+      diffLibraries(bench.lib, fanned, uncapped(), FeatureConfig{});
+  EXPECT_FALSE(diff.designUnchanged);
+  EXPECT_EQ(diff.dirtyNodes, 1u);
+  EXPECT_EQ(diff.cleanNodes, 4u);
+  EXPECT_TRUE(diff.dirtyNode.at(0));
+
+  const FlatDesign newDesign = FlatDesign::elaborate(fanned);
+  std::size_t rootOwned = newDesign.root().leafDevices.size();
+  EXPECT_EQ(diff.dirtyDevices, rootOwned);
+  EXPECT_EQ(diff.reusableDevices, newDesign.devices().size() - rootOwned);
+
+  // The top master's content changed; the OTA master did not.
+  const MasterDelta* ota = findMaster(diff, "ota_cell");
+  ASSERT_NE(ota, nullptr);
+  EXPECT_EQ(ota->change, MasterChange::kUnchanged);
+  EXPECT_EQ(diff.changedMasters(), 1u);
+}
+
+TEST(LibraryDiff, MasterEditDirtiesEveryInstance) {
+  const auto bench = circuits::makeBlockArray(4);
+  // Scale a device inside the shared OTA master: every instance's subtree
+  // (and the root above them) changes.
+  LibrarySpec spec = specFromLibrary(bench.lib);
+  bool edited = false;
+  for (auto& sub : spec.subckts) {
+    if (sub.name == "ota_cell") {
+      ASSERT_FALSE(sub.devices.empty());
+      for (auto& dev : sub.devices) {
+        dev.params.w *= 2.0;
+        dev.params.l *= 2.0;
+        dev.params.value *= 2.0;
+      }
+      edited = true;
+    }
+  }
+  ASSERT_TRUE(edited);
+  const Library resized = libraryFromSpec(spec);
+
+  const LibraryDiff diff =
+      diffLibraries(bench.lib, resized, uncapped(), FeatureConfig{});
+  const FlatDesign newDesign = FlatDesign::elaborate(resized);
+  EXPECT_EQ(diff.dirtyNodes, newDesign.hierarchy().size());
+  EXPECT_EQ(diff.cleanNodes, 0u);
+  EXPECT_EQ(diff.reusableDevices, 0u);
+  const MasterDelta* ota = findMaster(diff, "ota_cell");
+  ASSERT_NE(ota, nullptr);
+  EXPECT_EQ(ota->change, MasterChange::kModified);
+  EXPECT_FALSE(ota->oldHash == ota->newHash);
+}
+
+TEST(LibraryDiff, AddedAndRemovedMastersAreClassified) {
+  const auto bench = circuits::makeBlockArray(3);
+  LibrarySpec spec = specFromLibrary(bench.lib);
+  testsupport::SubcktSpec spare;
+  spare.name = "spare_cell";
+  spare.nets.push_back({"a", true});
+  spare.nets.push_back({"b", true});
+  testsupport::DeviceSpec cap;
+  cap.name = "c0";
+  cap.type = DeviceType::kCapMim;
+  cap.params.value = 1e-13;
+  cap.pins = {{PinFunction::kPassivePos, 0}, {PinFunction::kPassiveNeg, 1}};
+  spare.devices.push_back(cap);
+  spec.subckts.push_back(spare);
+  const Library withSpare = libraryFromSpec(spec);
+
+  const LibraryDiff added =
+      diffLibraries(bench.lib, withSpare, uncapped(), FeatureConfig{});
+  const MasterDelta* spareDelta = findMaster(added, "spare_cell");
+  ASSERT_NE(spareDelta, nullptr);
+  EXPECT_EQ(spareDelta->change, MasterChange::kAdded);
+  // The spare is never instantiated: the elaborated hierarchy is
+  // untouched and the design hash still matches.
+  EXPECT_EQ(added.dirtyNodes, 0u);
+  EXPECT_TRUE(added.designUnchanged);
+  // identical() speaks about extraction inputs, which an uninstantiated
+  // master does not touch — the master list still records the addition.
+  EXPECT_TRUE(added.identical());
+  EXPECT_EQ(added.changedMasters(), 1u);
+
+  const LibraryDiff removed =
+      diffLibraries(withSpare, bench.lib, uncapped(), FeatureConfig{});
+  const MasterDelta* removedDelta = findMaster(removed, "spare_cell");
+  ASSERT_NE(removedDelta, nullptr);
+  EXPECT_EQ(removedDelta->change, MasterChange::kRemoved);
+}
+
+TEST(LibraryDiff, NetDegreeEligibilityFlipDirtiesTouchingSubtrees) {
+  const auto bench = circuits::makeBlockArray(4);
+  const Library fanned = attachFanout(bench.lib, 6);
+  const FlatDesign base = FlatDesign::elaborate(bench.lib);
+  const FlatDesign after = FlatDesign::elaborate(fanned);
+
+  // Cap = the largest base degree among the nets the fanout touched, so
+  // those nets are eligible in the base and pushed past the cap by the
+  // six extra terminals.
+  std::size_t cap = 0;
+  for (FlatNetId net = 0; net < base.nets().size(); ++net) {
+    const std::size_t degBase = base.netTerminals()[net].size();
+    // Net ids of pre-existing nets are preserved by attachFanout's
+    // id-order rebuild.
+    const std::size_t degAfter = after.netTerminals()[net].size();
+    if (degAfter != degBase) cap = std::max(cap, degBase);
+  }
+  ASSERT_GT(cap, 0u);
+
+  GraphBuildOptions capped;
+  capped.maxNetDegree = cap;
+  const LibraryDiff cappedDiff =
+      diffLibraries(bench.lib, fanned, capped, FeatureConfig{});
+  const LibraryDiff uncappedDiff =
+      diffLibraries(bench.lib, fanned, uncapped(), FeatureConfig{});
+
+  // Uncapped the edit is local to the top cell; with the cap the shared
+  // hub net flips eligibility, dirtying OTA subtrees whose own devices
+  // never changed. Master classification is config-independent.
+  EXPECT_EQ(uncappedDiff.dirtyNodes, 1u);
+  EXPECT_GT(cappedDiff.dirtyNodes, 1u);
+  EXPECT_EQ(cappedDiff.changedMasters(), uncappedDiff.changedMasters());
+}
+
+TEST(LibraryDiff, ManifestRoundTripMatchesLiveDiff) {
+  const auto bench = circuits::makeBlockArray(3);
+  NetlistMutator mutator(bench.lib, /*seed=*/23);
+  const Library edited = mutator.mutate(2);
+
+  const DesignManifest manifest =
+      buildManifest(bench.lib, uncapped(), FeatureConfig{});
+  const std::filesystem::path path = tempManifestPath("roundtrip");
+  saveManifest(manifest, path);
+  const DesignManifest loaded = loadManifest(path);
+  std::filesystem::remove(path);
+  EXPECT_TRUE(manifest == loaded);
+
+  const LibraryDiff live =
+      diffLibraries(bench.lib, edited, uncapped(), FeatureConfig{});
+  const LibraryDiff fromManifest =
+      diffManifest(loaded, edited, uncapped(), FeatureConfig{});
+  EXPECT_EQ(live.dirtyNodes, fromManifest.dirtyNodes);
+  EXPECT_EQ(live.cleanNodes, fromManifest.cleanNodes);
+  EXPECT_EQ(live.reusableDevices, fromManifest.reusableDevices);
+  EXPECT_EQ(live.designUnchanged, fromManifest.designUnchanged);
+  ASSERT_EQ(live.masters.size(), fromManifest.masters.size());
+  for (std::size_t i = 0; i < live.masters.size(); ++i) {
+    EXPECT_EQ(live.masters[i].name, fromManifest.masters[i].name);
+    EXPECT_EQ(live.masters[i].change, fromManifest.masters[i].change);
+  }
+}
+
+TEST(LibraryDiff, ConfigMismatchForcesConservativeDirtiness) {
+  const auto bench = circuits::makeBlockArray(3);
+  GraphBuildOptions other;
+  other.maxNetDegree = 7;
+  const DesignManifest baseline =
+      buildManifest(bench.lib, other, FeatureConfig{});
+
+  // Same netlist, different extraction config: node-level reuse cannot be
+  // proven, so everything is dirty — but masters still classify.
+  const LibraryDiff diff =
+      diffManifest(baseline, bench.lib, uncapped(), FeatureConfig{});
+  const FlatDesign design = FlatDesign::elaborate(bench.lib);
+  EXPECT_EQ(diff.dirtyNodes, design.hierarchy().size());
+  EXPECT_EQ(diff.cleanNodes, 0u);
+  EXPECT_EQ(diff.reusableDevices, 0u);
+  EXPECT_FALSE(diff.designUnchanged);
+  EXPECT_EQ(diff.changedMasters(), 0u);
+  EXPECT_FALSE(extractionConfigHash(other, FeatureConfig{}) ==
+               extractionConfigHash(uncapped(), FeatureConfig{}));
+}
+
+TEST(LibraryDiff, NetlistOnlyManifestIsConservative) {
+  const auto bench = circuits::makeBlockArray(3);
+  const DesignManifest baseline = buildNetlistManifest(bench.lib);
+  const LibraryDiff diff =
+      diffManifest(baseline, bench.lib, uncapped(), FeatureConfig{});
+  const FlatDesign design = FlatDesign::elaborate(bench.lib);
+  EXPECT_EQ(diff.dirtyNodes, design.hierarchy().size());
+  EXPECT_EQ(diff.changedMasters(), 0u);
+}
+
+TEST(LibraryDiff, InvalidLibraryThrows) {
+  const auto bench = circuits::makeBlockArray(2);
+  EXPECT_THROW(
+      diffLibraries(Library{}, bench.lib, uncapped(), FeatureConfig{}),
+      Error);
+  EXPECT_THROW(
+      diffLibraries(bench.lib, Library{}, uncapped(), FeatureConfig{}),
+      Error);
+}
+
+TEST(LibraryDiff, ToStringCoversEveryChange) {
+  EXPECT_STREQ(toString(MasterChange::kUnchanged), "unchanged");
+  EXPECT_STREQ(toString(MasterChange::kModified), "modified");
+  EXPECT_STREQ(toString(MasterChange::kAdded), "added");
+  EXPECT_STREQ(toString(MasterChange::kRemoved), "removed");
+}
+
+}  // namespace
+}  // namespace ancstr

@@ -1,0 +1,290 @@
+// Differential-testing harness for incremental (ECO) extraction: across
+// hundreds of seeded mutation sequences, ExtractionEngine::extractDelta
+// must be BITWISE identical to a cacheless cold Pipeline::extract of the
+// new version — at 1 and 4 threads, under LRU eviction pressure, across
+// maxNetDegree eligibility flips, and with fault injection active.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "circuits/synthetic.h"
+#include "core/engine.h"
+#include "netlist/flatten.h"
+#include "support/netlist_mutator.h"
+#include "util/diagnostics.h"
+#include "util/error.h"
+#include "util/fault.h"
+
+namespace ancstr {
+namespace {
+
+using testsupport::attachFanout;
+using testsupport::NetlistMutator;
+using testsupport::rebuildIdentity;
+
+PipelineConfig fastConfig(std::size_t threads = 1) {
+  PipelineConfig config;
+  config.train.epochs = 8;
+  config.threads = threads;
+  return config;
+}
+
+/// Bitwise comparison (memcmp on doubles, no tolerance): the delta
+/// contract is exact reproduction, not approximation.
+::testing::AssertionResult bitwiseEqual(const ExtractionResult& a,
+                                        const ExtractionResult& b) {
+  const DetectionResult& da = a.detection;
+  const DetectionResult& db = b.detection;
+  if (std::memcmp(&da.systemThreshold, &db.systemThreshold,
+                  sizeof(double)) != 0) {
+    return ::testing::AssertionFailure() << "systemThreshold differs";
+  }
+  if (std::memcmp(&da.deviceThreshold, &db.deviceThreshold,
+                  sizeof(double)) != 0) {
+    return ::testing::AssertionFailure() << "deviceThreshold differs";
+  }
+  if (da.scored.size() != db.scored.size()) {
+    return ::testing::AssertionFailure()
+           << "scored size " << da.scored.size() << " vs "
+           << db.scored.size();
+  }
+  for (std::size_t i = 0; i < da.scored.size(); ++i) {
+    const ScoredCandidate& ca = da.scored[i];
+    const ScoredCandidate& cb = db.scored[i];
+    if (!(ca.pair.a == cb.pair.a) || !(ca.pair.b == cb.pair.b) ||
+        ca.pair.hierarchy != cb.pair.hierarchy ||
+        ca.pair.level != cb.pair.level || ca.accepted != cb.accepted ||
+        std::memcmp(&ca.similarity, &cb.similarity, sizeof(double)) != 0) {
+      return ::testing::AssertionFailure() << "candidate " << i << " differs";
+    }
+  }
+  if (a.embeddings.rows() != b.embeddings.rows() ||
+      a.embeddings.cols() != b.embeddings.cols()) {
+    return ::testing::AssertionFailure() << "embedding shape differs";
+  }
+  for (std::size_t r = 0; r < a.embeddings.rows(); ++r) {
+    if (std::memcmp(a.embeddings.row(r), b.embeddings.row(r),
+                    a.embeddings.cols() * sizeof(double)) != 0) {
+      return ::testing::AssertionFailure() << "embedding row " << r
+                                           << " differs";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+std::string mutationLog(const NetlistMutator& mutator) {
+  std::ostringstream out;
+  for (const auto& m : mutator.applied()) {
+    out << "\n  [" << testsupport::toString(m.kind) << "] " << m.description;
+  }
+  return out.str();
+}
+
+/// One trained pipeline per thread configuration, shared across the
+/// property tests (training dominates the fixture cost). The trained
+/// weights are bitwise identical for every thread count, so the two
+/// contexts compare the same model at different parallelism.
+Pipeline& sharedPipeline(std::size_t threads) {
+  static Pipeline* serial = nullptr;
+  static Pipeline* parallel4 = nullptr;
+  Pipeline*& slot = threads == 1 ? serial : parallel4;
+  if (slot == nullptr) {
+    slot = new Pipeline(fastConfig(threads));
+    const auto a = circuits::makeBlockArray(3);
+    const auto b = circuits::makeDiffChain(2);
+    slot->train({&a.lib, &b.lib});
+  }
+  return *slot;
+}
+
+/// The property: for `seeds` seeded edit sequences, every step's
+/// extractDelta against the previous version equals a cacheless cold
+/// extract of the new version, bitwise. One persistent engine serves the
+/// whole run, so cache state accumulates across seeds exactly as in a
+/// long-lived serving process.
+void runSeededSequences(std::size_t threads, std::uint64_t seedBase,
+                        int seeds, EngineConfig engineConfig = {}) {
+  Pipeline& pipeline = sharedPipeline(threads);
+  engineConfig.threads = threads;
+  const ExtractionEngine engine(pipeline, engineConfig);
+  const auto base = circuits::makeBlockArray(3);
+
+  for (int k = 0; k < seeds; ++k) {
+    const std::uint64_t seed = seedBase + static_cast<std::uint64_t>(k);
+    NetlistMutator mutator(base.lib, seed);
+    Library oldLib = mutator.current();
+    const int steps = 1 + static_cast<int>(seed % 3);
+    for (int step = 0; step < steps; ++step) {
+      Library newLib =
+          mutator.mutate(1 + static_cast<int>((seed + step) % 3));
+      const ExtractionResult full = pipeline.extract(newLib);
+      DeltaReport delta;
+      const ExtractionResult incremental =
+          engine.extractDelta(oldLib, newLib, {}, &delta);
+      EXPECT_TRUE(bitwiseEqual(full, incremental))
+          << "seed=" << seed << " step=" << step << mutationLog(mutator);
+      oldLib = std::move(newLib);
+    }
+  }
+}
+
+TEST(DeltaEquivalence, PropertySerial) {
+  runSeededSequences(/*threads=*/1, /*seedBase=*/1000, /*seeds=*/100);
+}
+
+TEST(DeltaEquivalence, PropertyFourThreads) {
+  runSeededSequences(/*threads=*/4, /*seedBase=*/2000, /*seeds=*/100);
+}
+
+TEST(DeltaEquivalence, EvictionThrashStaysExact) {
+  // A budget far below any entry's size: every insertion immediately
+  // overflows, so the delta path runs in a permanent thrash and can never
+  // rely on a warm baseline actually being resident.
+  EngineConfig config;
+  config.cacheBudgetBytes = 64;
+  runSeededSequences(/*threads=*/1, /*seedBase=*/3000, /*seeds=*/10, config);
+
+  Pipeline& pipeline = sharedPipeline(1);
+  const ExtractionEngine engine(pipeline, config);
+  const auto base = circuits::makeBlockArray(3);
+  NetlistMutator mutator(base.lib, /*seed=*/99);
+  const Library edited = mutator.mutate(2);
+  (void)engine.extractDelta(base.lib, edited);
+  EXPECT_GE(engine.cacheStats().design.evictions, 1u);
+}
+
+TEST(DeltaEquivalence, IdentityEditIsIdenticalAndServedFromCache) {
+  Pipeline& pipeline = sharedPipeline(1);
+  const ExtractionEngine engine(pipeline);
+  const auto base = circuits::makeBlockArray(3);
+  const Library same = rebuildIdentity(base.lib);
+
+  const ExtractionResult full = pipeline.extract(same);
+  DeltaReport first;
+  const ExtractionResult cold = engine.extractDelta(base.lib, same, {}, &first);
+  EXPECT_TRUE(bitwiseEqual(full, cold));
+  EXPECT_TRUE(first.diff.identical());
+  EXPECT_EQ(first.diff.dirtyNodes, 0u);
+  EXPECT_EQ(first.diff.changedMasters(), 0u);
+
+  // Second identity delta: the baseline is resident now, so the new
+  // version is a pure design-cache hit.
+  DeltaReport second;
+  const ExtractionResult warm =
+      engine.extractDelta(base.lib, same, {}, &second);
+  EXPECT_TRUE(bitwiseEqual(full, warm));
+  EXPECT_GE(second.reuse.design.hits, 1u);
+}
+
+TEST(DeltaEquivalence, DeltaReportCountsReuseAfterALeafEdit) {
+  Pipeline& pipeline = sharedPipeline(1);
+  const ExtractionEngine engine(pipeline);
+  const auto base = circuits::makeBlockArray(4);
+  // Top-cell-only edit: every OTA subtree stays clean and its block
+  // artifacts are served from cache.
+  const Library edited = attachFanout(base.lib, 2);
+
+  DeltaReport delta;
+  const ExtractionResult incremental =
+      engine.extractDelta(base.lib, edited, {}, &delta);
+  EXPECT_TRUE(bitwiseEqual(pipeline.extract(edited), incremental));
+  EXPECT_FALSE(delta.diff.designUnchanged);
+  EXPECT_EQ(delta.diff.dirtyNodes, 1u);
+  EXPECT_EQ(delta.diff.cleanNodes, 4u);
+  EXPECT_GT(delta.diff.reusableDevices, 0u);
+  EXPECT_GE(delta.reuse.blocks.hits, 1u);
+}
+
+TEST(DeltaEquivalence, EligibilityFlipStaysBitwiseEqual) {
+  const auto base = circuits::makeBlockArray(4);
+  const Library fanned = attachFanout(base.lib, 6);
+  const FlatDesign baseDesign = FlatDesign::elaborate(base.lib);
+  const FlatDesign fannedDesign = FlatDesign::elaborate(fanned);
+
+  // Cap between the touched nets' base and fanned degrees: the base is
+  // eligible, the fanout pushes past the cap, and the eligibility bit of
+  // every subtree touching the hub net flips.
+  std::size_t cap = 0;
+  for (FlatNetId net = 0; net < baseDesign.nets().size(); ++net) {
+    const std::size_t before = baseDesign.netTerminals()[net].size();
+    const std::size_t after = fannedDesign.netTerminals()[net].size();
+    if (before != after) cap = std::max(cap, before);
+  }
+  ASSERT_GT(cap, 0u);
+
+  PipelineConfig config = fastConfig();
+  config.graph.maxNetDegree = cap;
+  Pipeline pipeline(config);
+  pipeline.train({&base.lib});
+  const ExtractionEngine engine(pipeline);
+
+  DeltaReport delta;
+  const ExtractionResult incremental =
+      engine.extractDelta(base.lib, fanned, {}, &delta);
+  EXPECT_TRUE(bitwiseEqual(pipeline.extract(fanned), incremental));
+  // The flip dirties subtrees whose own devices never changed: strictly
+  // more than the top node alone.
+  EXPECT_GT(delta.diff.dirtyNodes, 1u);
+}
+
+TEST(DeltaEquivalence, CorruptBaselineNeverChangesTheResult) {
+  Pipeline& pipeline = sharedPipeline(1);
+  const ExtractionEngine engine(pipeline);
+  const auto base = circuits::makeBlockArray(3);
+
+  // An empty library does not elaborate; the delta degrades to a plain
+  // extract with an empty diff, and never throws because of the baseline.
+  DeltaReport delta;
+  const ExtractionResult incremental =
+      engine.extractDelta(Library{}, base.lib, {}, &delta);
+  EXPECT_TRUE(bitwiseEqual(pipeline.extract(base.lib), incremental));
+  EXPECT_TRUE(delta.diff.masters.empty());
+  EXPECT_TRUE(delta.diff.dirtyNode.empty());
+  EXPECT_FALSE(delta.diff.designUnchanged);
+}
+
+TEST(DeltaEquivalence, FaultInjectionDegradesFullAndDeltaIdentically) {
+  Pipeline& pipeline = sharedPipeline(1);
+  const ExtractionEngine engine(pipeline);
+  const auto base = circuits::makeBlockArray(3);
+  NetlistMutator mutator(base.lib, /*seed=*/77);
+  const Library edited = mutator.mutate(2);
+
+  // "extract.detect" sits on the shared detection path: both the full and
+  // the delta extraction hit it and must degrade to the same empty result
+  // with the same diagnostic.
+  const fault::ScopedFault fault("extract.detect");
+  diag::DiagnosticSink fullSink(diag::DiagnosticSink::Mode::kCollect);
+  diag::DiagnosticSink deltaSink(diag::DiagnosticSink::Mode::kCollect);
+  const ExtractionResult full =
+      pipeline.extract(edited, ExtractOptions{&fullSink});
+  const ExtractionResult incremental = engine.extractDelta(
+      base.lib, edited, ExtractOptions{&deltaSink});
+
+  EXPECT_TRUE(bitwiseEqual(full, incremental));
+  EXPECT_EQ(full.detection.scored.size(), 0u);
+  const auto hasDegraded = [](const diag::DiagnosticSink& sink) {
+    for (const diag::Diagnostic& d : sink.snapshot()) {
+      if (d.code == diag::codes::kExtractDegraded) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(hasDegraded(fullSink));
+  EXPECT_TRUE(hasDegraded(deltaSink));
+}
+
+TEST(DeltaEquivalence, StrictDeltaStillThrowsOnFault) {
+  Pipeline& pipeline = sharedPipeline(1);
+  const ExtractionEngine engine(pipeline);
+  const auto base = circuits::makeBlockArray(3);
+  NetlistMutator mutator(base.lib, /*seed=*/78);
+  const Library edited = mutator.mutate(1);
+
+  const fault::ScopedFault fault("extract.detect");
+  EXPECT_THROW((void)engine.extractDelta(base.lib, edited), Error);
+}
+
+}  // namespace
+}  // namespace ancstr

@@ -1,0 +1,184 @@
+#include "netlist/manifest.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "util/error.h"
+#include "util/fault.h"
+
+namespace ancstr {
+namespace {
+
+/// inv_<tag>: inverter-like pair (vin, vout ports; M1/M2) used as the
+/// shared master; names are parameterized so renames can be tested.
+Library makeLib(const std::string& netPrefix = "n",
+                const std::string& devPrefix = "m",
+                double width = 1e-6) {
+  Library lib;
+  const SubcktId inv = lib.addSubckt("inv");
+  {
+    SubcktDef& def = lib.mutableSubckt(inv);
+    const NetId in = def.addNet(netPrefix + "_in", true);
+    const NetId out = def.addNet(netPrefix + "_out", true);
+    const NetId rail = def.addNet(netPrefix + "_rail", false);
+    Device m1;
+    m1.name = devPrefix + "1";
+    m1.type = DeviceType::kNch;
+    m1.params.w = width;
+    m1.params.l = 1e-7;
+    m1.pins = {{PinFunction::kDrain, out},
+               {PinFunction::kGate, in},
+               {PinFunction::kSource, rail},
+               {PinFunction::kBulk, rail}};
+    def.addDevice(std::move(m1));
+    Device m2;
+    m2.name = devPrefix + "2";
+    m2.type = DeviceType::kPch;
+    m2.params.w = 2.0 * width;
+    m2.params.l = 1e-7;
+    m2.pins = {{PinFunction::kDrain, out},
+               {PinFunction::kGate, in},
+               {PinFunction::kSource, rail},
+               {PinFunction::kBulk, rail}};
+    def.addDevice(std::move(m2));
+  }
+  const SubcktId top = lib.addSubckt("top");
+  {
+    SubcktDef& def = lib.mutableSubckt(top);
+    const NetId a = def.addNet(netPrefix + "_a", true);
+    const NetId b = def.addNet(netPrefix + "_b", false);
+    Instance x1;
+    x1.name = "x1";
+    x1.master = inv;
+    x1.connections = {a, b};
+    def.addInstance(std::move(x1));
+    Instance x2;
+    x2.name = "x2";
+    x2.master = inv;
+    x2.connections = {b, a};
+    def.addInstance(std::move(x2));
+  }
+  lib.setTop(top);
+  return lib;
+}
+
+std::filesystem::path tempPath(const char* tag) {
+  return std::filesystem::temp_directory_path() /
+         (std::string("ancstr_manifest_test_") + tag + ".manifest");
+}
+
+TEST(Manifest, ContentHashIsNameFree) {
+  const Library a = makeLib("n", "m");
+  const Library b = makeLib("sig", "dev");
+  for (SubcktId id = 0; id < a.subcktCount(); ++id) {
+    EXPECT_TRUE(subcktContentHash(a, id) == subcktContentHash(b, id));
+  }
+}
+
+TEST(Manifest, ContentHashSeesParameterEdits) {
+  const Library a = makeLib("n", "m", 1e-6);
+  const Library b = makeLib("n", "m", 2e-6);
+  EXPECT_FALSE(subcktContentHash(a, 0) == subcktContentHash(b, 0));
+  // The instantiator references its master by content hash, so the edit
+  // propagates upward.
+  EXPECT_FALSE(subcktContentHash(a, 1) == subcktContentHash(b, 1));
+}
+
+TEST(Manifest, RecursiveInstantiationThrows) {
+  Library lib;
+  const SubcktId a = lib.addSubckt("a");
+  SubcktDef& def = lib.mutableSubckt(a);
+  const NetId p = def.addNet("p", true);
+  Instance self;
+  self.name = "xself";
+  self.master = a;
+  self.connections = {p};
+  def.addInstance(std::move(self));
+  lib.setTop(a);
+  EXPECT_THROW(subcktContentHash(lib, a), NetlistError);
+}
+
+TEST(Manifest, BuildNetlistManifestIsSortedAndNetlistOnly) {
+  const Library lib = makeLib();
+  const DesignManifest manifest = buildNetlistManifest(lib);
+  ASSERT_EQ(manifest.masters.size(), 2u);
+  EXPECT_EQ(manifest.masters[0].name, "inv");
+  EXPECT_EQ(manifest.masters[1].name, "top");
+  EXPECT_TRUE(manifest.configHash == util::StructuralHash{});
+  EXPECT_TRUE(manifest.designHash == util::StructuralHash{});
+  EXPECT_TRUE(manifest.subtreeHashes.empty());
+  ASSERT_NE(manifest.findMaster("inv"), nullptr);
+  EXPECT_TRUE(manifest.findMaster("inv")->hash ==
+              subcktContentHash(lib, 0));
+  EXPECT_EQ(manifest.findMaster("nope"), nullptr);
+}
+
+TEST(Manifest, SaveLoadRoundTripsEveryField) {
+  DesignManifest manifest = buildNetlistManifest(makeLib());
+  manifest.configHash = util::StructuralHash{0x1234, 0x5678};
+  manifest.designHash = util::StructuralHash{0x9abc, 0xdef0};
+  manifest.subtreeHashes = {util::StructuralHash{1, 2},
+                            util::StructuralHash{3, 4}};
+  const std::filesystem::path path = tempPath("roundtrip");
+  saveManifest(manifest, path);
+  const DesignManifest loaded = loadManifest(path);
+  std::filesystem::remove(path);
+  EXPECT_TRUE(manifest == loaded);
+}
+
+TEST(Manifest, LoadRejectsMalformedInput) {
+  const std::filesystem::path path = tempPath("malformed");
+
+  {
+    std::ofstream out(path);
+    out << "not a manifest\n";
+  }
+  EXPECT_THROW(loadManifest(path), Error);
+
+  {
+    std::ofstream out(path);
+    out << "ancstr-manifest v999\n";
+  }
+  EXPECT_THROW(loadManifest(path), Error);
+
+  {
+    std::ofstream out(path);
+    out << "ancstr-manifest v1\n";
+    out << "master broken nothex\n";
+  }
+  EXPECT_THROW(loadManifest(path), Error);
+
+  std::filesystem::remove(path);
+  EXPECT_THROW(loadManifest(path), Error) << "missing file must throw";
+}
+
+TEST(Manifest, FaultInjectionCoversIoSites) {
+  const DesignManifest manifest = buildNetlistManifest(makeLib());
+  const std::filesystem::path path = tempPath("fault");
+  {
+    const fault::ScopedFault fault("manifest.open");
+    EXPECT_THROW(saveManifest(manifest, path), Error);
+  }
+  saveManifest(manifest, path);
+  {
+    // Truncation corrupts the payload: the load must fail loudly or —
+    // when the cut lands exactly on a line boundary — yield a manifest
+    // that no longer equals the original, never a silent full read.
+    const fault::ScopedFault fault("manifest.read");
+    bool threw = false;
+    DesignManifest loaded;
+    try {
+      loaded = loadManifest(path);
+    } catch (const Error&) {
+      threw = true;
+    }
+    EXPECT_TRUE(threw || !(loaded == manifest));
+  }
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace ancstr

@@ -1,0 +1,315 @@
+#include "support/netlist_mutator.h"
+
+#include <algorithm>
+
+#include "netlist/flatten.h"
+#include "util/error.h"
+
+namespace ancstr::testsupport {
+
+const char* toString(MutationKind kind) {
+  switch (kind) {
+    case MutationKind::kRenameNet: return "rename-net";
+    case MutationKind::kRenameDevice: return "rename-device";
+    case MutationKind::kRenameInstance: return "rename-instance";
+    case MutationKind::kSwapPins: return "swap-pins";
+    case MutationKind::kAddDevice: return "add-device";
+    case MutationKind::kRemoveDevice: return "remove-device";
+    case MutationKind::kRetargetInstance: return "retarget-instance";
+    case MutationKind::kEditParams: return "edit-params";
+  }
+  return "unknown";
+}
+
+LibrarySpec specFromLibrary(const Library& lib) {
+  LibrarySpec spec;
+  spec.subckts.reserve(lib.subcktCount());
+  for (SubcktId id = 0; id < lib.subcktCount(); ++id) {
+    const SubcktDef& def = lib.subckt(id);
+    SubcktSpec s;
+    s.name = def.name();
+    // The rebuild re-adds nets in id order, which re-appends ports in the
+    // order they are encountered. Net-id preservation (the property the
+    // structural-hash identity of the round-trip rests on) therefore
+    // requires the original ports to be nets 0..k-1 in order.
+    for (std::size_t p = 0; p < def.ports().size(); ++p) {
+      if (def.ports()[p] != p) {
+        throw NetlistError("specFromLibrary: subckt '" + def.name() +
+                           "' ports are not its first nets in order");
+      }
+    }
+    s.nets.reserve(def.nets().size());
+    for (const Net& net : def.nets()) {
+      s.nets.push_back(NetSpec{net.name, net.isPort});
+    }
+    s.devices.reserve(def.devices().size());
+    for (const Device& dev : def.devices()) {
+      DeviceSpec d;
+      d.name = dev.name;
+      d.type = dev.type;
+      d.model = dev.model;
+      d.params = dev.params;
+      d.pins.reserve(dev.pins.size());
+      for (const Pin& pin : dev.pins) {
+        d.pins.emplace_back(pin.function, static_cast<std::size_t>(pin.net));
+      }
+      s.devices.push_back(std::move(d));
+    }
+    s.instances.reserve(def.instances().size());
+    for (const Instance& inst : def.instances()) {
+      InstanceSpec i;
+      i.name = inst.name;
+      i.master = inst.master;
+      i.connections.assign(inst.connections.begin(), inst.connections.end());
+      s.instances.push_back(std::move(i));
+    }
+    spec.subckts.push_back(std::move(s));
+  }
+  spec.top = lib.top();
+  return spec;
+}
+
+Library libraryFromSpec(const LibrarySpec& spec) {
+  Library lib;
+  for (const SubcktSpec& s : spec.subckts) {
+    lib.addSubckt(s.name);
+  }
+  for (std::size_t id = 0; id < spec.subckts.size(); ++id) {
+    const SubcktSpec& s = spec.subckts[id];
+    SubcktDef& def = lib.mutableSubckt(static_cast<SubcktId>(id));
+    for (const NetSpec& net : s.nets) {
+      def.addNet(net.name, net.isPort);
+    }
+    for (const DeviceSpec& d : s.devices) {
+      Device dev;
+      dev.name = d.name;
+      dev.type = d.type;
+      dev.model = d.model;
+      dev.params = d.params;
+      dev.pins.reserve(d.pins.size());
+      for (const auto& [function, net] : d.pins) {
+        dev.pins.push_back(Pin{function, static_cast<NetId>(net)});
+      }
+      def.addDevice(std::move(dev));
+    }
+    for (const InstanceSpec& i : s.instances) {
+      Instance inst;
+      inst.name = i.name;
+      inst.master = static_cast<SubcktId>(i.master);
+      inst.connections.assign(i.connections.begin(), i.connections.end());
+      def.addInstance(std::move(inst));
+    }
+  }
+  lib.setTop(static_cast<SubcktId>(spec.top));
+  return lib;
+}
+
+Library rebuildIdentity(const Library& lib) {
+  return libraryFromSpec(specFromLibrary(lib));
+}
+
+namespace {
+
+/// True when `from` can reach `target` through instance edges — used to
+/// keep retargeting from creating recursive hierarchies.
+bool reaches(const LibrarySpec& spec, std::size_t from, std::size_t target) {
+  if (from == target) return true;
+  std::vector<char> seen(spec.subckts.size(), 0);
+  std::vector<std::size_t> stack{from};
+  while (!stack.empty()) {
+    const std::size_t at = stack.back();
+    stack.pop_back();
+    if (at == target) return true;
+    if (seen[at]) continue;
+    seen[at] = 1;
+    for (const InstanceSpec& inst : spec.subckts[at].instances) {
+      stack.push_back(inst.master);
+    }
+  }
+  return false;
+}
+
+std::size_t portCount(const SubcktSpec& s) {
+  std::size_t n = 0;
+  for (const NetSpec& net : s.nets) {
+    if (net.isPort) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+NetlistMutator::NetlistMutator(const Library& base, std::uint64_t seed)
+    : spec_(specFromLibrary(base)), rng_(seed) {}
+
+Library NetlistMutator::current() const { return libraryFromSpec(spec_); }
+
+Library NetlistMutator::mutate(int count) {
+  static const std::vector<MutationKind> kAll = {
+      MutationKind::kRenameNet,        MutationKind::kRenameDevice,
+      MutationKind::kRenameInstance,   MutationKind::kSwapPins,
+      MutationKind::kAddDevice,        MutationKind::kRemoveDevice,
+      MutationKind::kRetargetInstance, MutationKind::kEditParams,
+  };
+  return mutate(count, kAll);
+}
+
+Library NetlistMutator::mutate(int count,
+                               const std::vector<MutationKind>& kinds) {
+  for (int edit = 0; edit < count; ++edit) {
+    bool applied = false;
+    for (int attempt = 0; attempt < 64 && !applied; ++attempt) {
+      const MutationKind kind = kinds[rng_.index(kinds.size())];
+      LibrarySpec candidate = spec_;
+      std::string desc;
+      if (!tryApply(candidate, kind, &desc)) continue;
+      try {
+        const Library lib = libraryFromSpec(candidate);
+        lib.validate();
+        (void)FlatDesign::elaborate(lib);
+      } catch (const Error&) {
+        continue;  // rejected edit (e.g. made the hierarchy invalid)
+      }
+      spec_ = std::move(candidate);
+      applied_.push_back(Mutation{kind, std::move(desc)});
+      applied = true;
+    }
+    if (!applied) {
+      throw Error("NetlistMutator: no valid mutation found after 64 draws");
+    }
+  }
+  return current();
+}
+
+bool NetlistMutator::tryApply(LibrarySpec& spec, MutationKind kind,
+                              std::string* desc) {
+  const std::size_t s = rng_.index(spec.subckts.size());
+  SubcktSpec& sub = spec.subckts[s];
+  switch (kind) {
+    case MutationKind::kRenameNet: {
+      if (sub.nets.empty()) return false;
+      const std::size_t n = rng_.index(sub.nets.size());
+      const std::string name = "mutnet_" + std::to_string(fresh_++);
+      *desc = sub.name + ": net '" + sub.nets[n].name + "' -> " + name;
+      sub.nets[n].name = name;
+      return true;
+    }
+    case MutationKind::kRenameDevice: {
+      if (sub.devices.empty()) return false;
+      const std::size_t d = rng_.index(sub.devices.size());
+      const std::string name = "mutdev_" + std::to_string(fresh_++);
+      *desc = sub.name + ": device '" + sub.devices[d].name + "' -> " + name;
+      sub.devices[d].name = name;
+      return true;
+    }
+    case MutationKind::kRenameInstance: {
+      if (sub.instances.empty()) return false;
+      const std::size_t i = rng_.index(sub.instances.size());
+      const std::string name = "mutinst_" + std::to_string(fresh_++);
+      *desc =
+          sub.name + ": instance '" + sub.instances[i].name + "' -> " + name;
+      sub.instances[i].name = name;
+      return true;
+    }
+    case MutationKind::kSwapPins: {
+      if (sub.devices.empty()) return false;
+      DeviceSpec& dev = sub.devices[rng_.index(sub.devices.size())];
+      if (dev.pins.size() < 2) return false;
+      const std::size_t a = rng_.index(dev.pins.size());
+      const std::size_t b = rng_.index(dev.pins.size());
+      if (a == b || dev.pins[a].second == dev.pins[b].second) return false;
+      *desc = sub.name + "/" + dev.name + ": swap pins " + std::to_string(a) +
+              "<->" + std::to_string(b);
+      std::swap(dev.pins[a].second, dev.pins[b].second);
+      return true;
+    }
+    case MutationKind::kAddDevice: {
+      if (sub.nets.empty()) return false;
+      const std::size_t na = rng_.index(sub.nets.size());
+      const std::size_t nb = rng_.index(sub.nets.size());
+      DeviceSpec d;
+      d.name = "mutadd_" + std::to_string(fresh_++);
+      d.type = rng_.chance(0.5) ? DeviceType::kCapMim : DeviceType::kResPoly;
+      d.params.value = d.type == DeviceType::kCapMim ? 1e-13 : 1e3;
+      d.pins = {{PinFunction::kPassivePos, na},
+                {PinFunction::kPassiveNeg, nb}};
+      *desc = sub.name + ": add " + d.name;
+      sub.devices.push_back(std::move(d));
+      return true;
+    }
+    case MutationKind::kRemoveDevice: {
+      if (sub.devices.size() < 2) return false;
+      const std::size_t d = rng_.index(sub.devices.size());
+      *desc = sub.name + ": remove device '" + sub.devices[d].name + "'";
+      sub.devices.erase(sub.devices.begin() +
+                        static_cast<std::ptrdiff_t>(d));
+      return true;
+    }
+    case MutationKind::kRetargetInstance: {
+      if (sub.instances.empty()) return false;
+      InstanceSpec& inst = sub.instances[rng_.index(sub.instances.size())];
+      std::vector<std::size_t> candidates;
+      for (std::size_t m = 0; m < spec.subckts.size(); ++m) {
+        if (m == inst.master) continue;
+        if (portCount(spec.subckts[m]) != inst.connections.size()) continue;
+        if (reaches(spec, m, s)) continue;  // would recurse
+        candidates.push_back(m);
+      }
+      if (candidates.empty()) return false;
+      const std::size_t target = candidates[rng_.index(candidates.size())];
+      *desc = sub.name + "/" + inst.name + ": retarget '" +
+              spec.subckts[inst.master].name + "' -> '" +
+              spec.subckts[target].name + "'";
+      inst.master = target;
+      return true;
+    }
+    case MutationKind::kEditParams: {
+      if (sub.devices.empty()) return false;
+      DeviceSpec& dev = sub.devices[rng_.index(sub.devices.size())];
+      DeviceParams& p = dev.params;
+      if (p.w <= 0.0 && p.l <= 0.0 && p.value <= 0.0) return false;
+      static constexpr double kFactors[] = {0.5, 1.25, 2.0};
+      const double f = kFactors[rng_.index(3)];
+      p.w *= f;
+      p.l *= f;
+      p.value *= f;
+      *desc = sub.name + "/" + dev.name + ": scale params by " +
+              std::to_string(f);
+      return true;
+    }
+  }
+  return false;
+}
+
+Library attachFanout(const Library& lib, std::size_t extraTerminals) {
+  LibrarySpec spec = specFromLibrary(lib);
+  SubcktSpec& top = spec.subckts[spec.top];
+  if (top.nets.empty()) {
+    throw Error("attachFanout: top cell has no nets");
+  }
+  // Local degree of each top-cell net (device pins + instance ports).
+  std::vector<std::size_t> degree(top.nets.size(), 0);
+  for (const DeviceSpec& dev : top.devices) {
+    for (const auto& [function, net] : dev.pins) ++degree[net];
+  }
+  for (const InstanceSpec& inst : top.instances) {
+    for (const std::size_t net : inst.connections) ++degree[net];
+  }
+  const std::size_t hub = static_cast<std::size_t>(
+      std::max_element(degree.begin(), degree.end()) - degree.begin());
+  // Each cap adds exactly one terminal to the hub net.
+  const std::size_t other = top.nets.size() > 1 ? (hub + 1) % top.nets.size()
+                                                : hub;
+  for (std::size_t k = 0; k < extraTerminals; ++k) {
+    DeviceSpec d;
+    d.name = "fanout_" + std::to_string(k);
+    d.type = DeviceType::kCapMim;
+    d.params.value = 1e-14;
+    d.pins = {{PinFunction::kPassivePos, hub},
+              {PinFunction::kPassiveNeg, other}};
+    top.devices.push_back(std::move(d));
+  }
+  return libraryFromSpec(spec);
+}
+
+}  // namespace ancstr::testsupport

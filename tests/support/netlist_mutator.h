@@ -1,0 +1,131 @@
+// Seeded netlist mutation for the delta-equivalence differential-testing
+// harness (tests/integration/test_delta_equivalence.cpp).
+//
+// A Library is lifted into an index-based LibrarySpec, edited there, and
+// rebuilt — SubcktDef has no rename/remove API, and in-place edits would
+// desync the per-net terminal lists. The rebuild is id-preserving: nets,
+// devices, and instances are re-added in their original id order, so an
+// identity round-trip produces a library whose elaboration is
+// hash-identical to the original (verified by the mutator's own tests).
+//
+// Mutations model real ECO edits: pure renames (hash-invariant — the diff
+// must classify everything clean), pin swaps, device insertion/removal,
+// instance retargeting, and sizing edits (all hash-visible — the diff
+// must dirty exactly the touched cone). Every mutation validates the
+// rebuilt library and retries with a fresh draw on failure, so a mutated
+// library is always structurally valid.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "util/rng.h"
+
+namespace ancstr::testsupport {
+
+/// Index-based mirror of one Device: pins reference nets by index into
+/// the owning SubcktSpec::nets, so renaming a net touches one string.
+struct DeviceSpec {
+  std::string name;
+  DeviceType type = DeviceType::kUnknown;
+  std::string model;
+  DeviceParams params;
+  std::vector<std::pair<PinFunction, std::size_t>> pins;
+};
+
+struct InstanceSpec {
+  std::string name;
+  std::size_t master = 0;  ///< index into LibrarySpec::subckts
+  std::vector<std::size_t> connections;
+};
+
+struct NetSpec {
+  std::string name;
+  bool isPort = false;
+};
+
+struct SubcktSpec {
+  std::string name;
+  std::vector<NetSpec> nets;  ///< in NetId order; ports first
+  std::vector<DeviceSpec> devices;
+  std::vector<InstanceSpec> instances;
+};
+
+struct LibrarySpec {
+  std::vector<SubcktSpec> subckts;  ///< in SubcktId order
+  std::size_t top = 0;
+};
+
+/// Lifts `lib` into a spec. Requires each subckt's ports to be nets
+/// 0..k-1 in order (true for every parser/builder in this repo — they
+/// create port nets first); throws NetlistError otherwise, because the
+/// rebuild could not preserve net ids.
+LibrarySpec specFromLibrary(const Library& lib);
+
+/// Rebuilds a Library from a spec, preserving net/device/instance id
+/// order exactly.
+Library libraryFromSpec(const LibrarySpec& spec);
+
+/// Identity round-trip: specFromLibrary + libraryFromSpec. The result
+/// elaborates to the same structural hashes as `lib`.
+Library rebuildIdentity(const Library& lib);
+
+enum class MutationKind {
+  kRenameNet,        ///< hash-invariant
+  kRenameDevice,     ///< hash-invariant
+  kRenameInstance,   ///< hash-invariant
+  kSwapPins,         ///< swap the nets of two pins of one device
+  kAddDevice,        ///< insert a passive between two existing nets
+  kRemoveDevice,     ///< delete one device
+  kRetargetInstance, ///< repoint an instance at an arity-compatible master
+  kEditParams,       ///< scale one device's sizing parameters
+};
+
+const char* toString(MutationKind kind);
+
+/// One applied edit, for failure-message reproduction.
+struct Mutation {
+  MutationKind kind = MutationKind::kRenameNet;
+  std::string description;
+};
+
+/// Deterministic: the same (base, seed, counts) always produces the same
+/// mutated libraries and log.
+class NetlistMutator {
+ public:
+  NetlistMutator(const Library& base, std::uint64_t seed);
+
+  /// Applies `count` random valid edits on top of the current state and
+  /// returns the rebuilt library (the mutator keeps the state, so
+  /// successive calls build an edit history). Throws Error if no valid
+  /// mutation can be found (pathologically constrained base).
+  Library mutate(int count);
+
+  /// As mutate(), but drawing only from `kinds`.
+  Library mutate(int count, const std::vector<MutationKind>& kinds);
+
+  /// Library for the current (possibly unmutated) state.
+  Library current() const;
+
+  /// Every edit applied so far, in order.
+  const std::vector<Mutation>& applied() const { return applied_; }
+
+ private:
+  bool tryApply(LibrarySpec& spec, MutationKind kind, std::string* desc);
+
+  LibrarySpec spec_;
+  Rng rng_;
+  std::vector<Mutation> applied_;
+  std::uint64_t fresh_ = 0;  ///< counter for generated unique names
+};
+
+/// Returns a copy of `lib` with `extraTerminals` additional capacitors
+/// hanging between the highest-degree net of the top cell and its other
+/// nets — pushes that net's flat degree across a nearby
+/// GraphBuildOptions::maxNetDegree cap, flipping the eligibility bit that
+/// the structural hash encodes for every subtree touching the net.
+Library attachFanout(const Library& lib, std::size_t extraTerminals);
+
+}  // namespace ancstr::testsupport

@@ -1,0 +1,117 @@
+#include "support/netlist_mutator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "circuits/synthetic.h"
+#include "core/circuit_hash.h"
+#include "netlist/flatten.h"
+#include "netlist/manifest.h"
+
+namespace ancstr {
+namespace {
+
+using testsupport::attachFanout;
+using testsupport::MutationKind;
+using testsupport::NetlistMutator;
+using testsupport::rebuildIdentity;
+
+util::StructuralHash designHash(const Library& lib) {
+  const FlatDesign design = FlatDesign::elaborate(lib);
+  return structuralHash(design, GraphBuildOptions{}, FeatureConfig{});
+}
+
+/// Flat terminal count per net path (paths are unique within a design).
+std::map<std::string, std::size_t> terminalsByPath(const FlatDesign& design) {
+  std::map<std::string, std::size_t> counts;
+  for (FlatNetId net = 0; net < design.nets().size(); ++net) {
+    counts[design.net(net).path] = design.netTerminals()[net].size();
+  }
+  return counts;
+}
+
+TEST(NetlistMutator, IdentityRebuildIsHashIdentical) {
+  const auto bench = circuits::makeBlockArray(3);
+  const Library rebuilt = rebuildIdentity(bench.lib);
+  EXPECT_TRUE(designHash(bench.lib) == designHash(rebuilt));
+  // Master content hashes survive the round-trip too (all ids preserved).
+  for (SubcktId id = 0; id < bench.lib.subcktCount(); ++id) {
+    EXPECT_TRUE(subcktContentHash(bench.lib, id) ==
+                subcktContentHash(rebuilt, id));
+  }
+}
+
+TEST(NetlistMutator, RenamesAreHashInvariant) {
+  const auto bench = circuits::makeBlockArray(3);
+  NetlistMutator mutator(bench.lib, /*seed=*/7);
+  const Library mutated = mutator.mutate(
+      6, {MutationKind::kRenameNet, MutationKind::kRenameDevice,
+          MutationKind::kRenameInstance});
+  ASSERT_EQ(mutator.applied().size(), 6u);
+  EXPECT_TRUE(designHash(bench.lib) == designHash(mutated));
+}
+
+TEST(NetlistMutator, StructuralEditsChangeTheDesignHash) {
+  const auto bench = circuits::makeBlockArray(3);
+  NetlistMutator addDevice(bench.lib, /*seed=*/11);
+  EXPECT_FALSE(designHash(bench.lib) ==
+               designHash(addDevice.mutate(1, {MutationKind::kAddDevice})));
+  NetlistMutator editParams(bench.lib, /*seed=*/12);
+  EXPECT_FALSE(designHash(bench.lib) ==
+               designHash(editParams.mutate(1, {MutationKind::kEditParams})));
+}
+
+TEST(NetlistMutator, MutatedLibrariesStayValid) {
+  const auto bench = circuits::makeBlockArray(3);
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    NetlistMutator mutator(bench.lib, seed);
+    const Library mutated = mutator.mutate(5);
+    EXPECT_NO_THROW(mutated.validate()) << "seed=" << seed;
+    const FlatDesign design = FlatDesign::elaborate(mutated);
+    EXPECT_GT(design.devices().size(), 0u) << "seed=" << seed;
+  }
+}
+
+TEST(NetlistMutator, SameSeedReproducesTheSameEditSequence) {
+  const auto bench = circuits::makeBlockArray(3);
+  NetlistMutator a(bench.lib, /*seed=*/3);
+  NetlistMutator b(bench.lib, /*seed=*/3);
+  const Library la = a.mutate(4);
+  const Library lb = b.mutate(4);
+  ASSERT_EQ(a.applied().size(), b.applied().size());
+  for (std::size_t i = 0; i < a.applied().size(); ++i) {
+    EXPECT_EQ(a.applied()[i].kind, b.applied()[i].kind);
+    EXPECT_EQ(a.applied()[i].description, b.applied()[i].description);
+  }
+  EXPECT_TRUE(designHash(la) == designHash(lb));
+}
+
+TEST(NetlistMutator, AttachFanoutAddsTerminalsToExistingNets) {
+  const auto bench = circuits::makeBlockArray(3);
+  const std::map<std::string, std::size_t> before =
+      terminalsByPath(FlatDesign::elaborate(bench.lib));
+  const Library fanned = attachFanout(bench.lib, 5);
+  const std::map<std::string, std::size_t> after =
+      terminalsByPath(FlatDesign::elaborate(fanned));
+
+  // Five two-pin caps: ten new terminals, all landing on pre-existing
+  // nets (the hub gets five, the return net gets the other five).
+  std::size_t gained = 0;
+  std::size_t maxGain = 0;
+  for (const auto& [path, count] : before) {
+    ASSERT_TRUE(after.contains(path)) << path;
+    ASSERT_GE(after.at(path), count) << path;
+    const std::size_t gain = after.at(path) - count;
+    gained += gain;
+    maxGain = std::max(maxGain, gain);
+  }
+  EXPECT_EQ(after.size(), before.size());
+  EXPECT_EQ(gained, 10u);
+  EXPECT_EQ(maxGain, 5u);
+}
+
+}  // namespace
+}  // namespace ancstr

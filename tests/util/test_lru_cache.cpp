@@ -109,6 +109,26 @@ TEST(LruByteCache, ClearKeepsCumulativeCounters) {
   EXPECT_EQ(cache.get(1), nullptr);
 }
 
+TEST(LruByteCache, ContainsIsAPureProbe) {
+  Cache cache(100);
+  cache.put(1, val("a"), 10);
+  cache.put(2, val("b"), 10);
+  const LruCacheStats before = cache.stats();
+
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(3));
+  // No hit/miss accounting and no LRU bump.
+  const LruCacheStats after = cache.stats();
+  EXPECT_EQ(after.hits, before.hits);
+  EXPECT_EQ(after.misses, before.misses);
+
+  // Probing key 1 must not have refreshed its recency: key 1 is still the
+  // least recently *used* entry and is evicted first.
+  cache.put(3, val("c"), 90);
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(3));
+}
+
 TEST(LruByteCache, ConcurrentMixedAccessIsSafe) {
   Cache cache(1000);
   std::vector<std::thread> workers;

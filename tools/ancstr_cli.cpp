@@ -3,6 +3,13 @@
 //   ancstr_cli train   --out model.txt [--epochs N] [--seed S] netlist.sp...
 //   ancstr_cli extract --model model.txt [--format json|sym]
 //                      [--out file] [--groups] netlist.sp
+//   ancstr_cli extract --model model.txt --since BASELINE
+//                      [--manifest-out FILE] netlist.sp
+//                      # incremental (ECO) extraction: BASELINE is the
+//                      # prior netlist OR a manifest saved with
+//                      # --manifest-out; the delta is served from the
+//                      # engine caches and is bitwise-identical to a
+//                      # full extract (core/engine.h extractDelta)
 //   ancstr_cli extract --model model.txt --batch DIR [--repeat N]
 //                      [--out-dir DIR] [--cache-budget BYTES]
 //                      # warm-model batch serving (core/engine.h): every
@@ -39,7 +46,9 @@
 #include "core/constraint_io.h"
 #include "core/engine.h"
 #include "core/groups.h"
+#include "core/library_diff.h"
 #include "core/pipeline.h"
+#include "netlist/manifest.h"
 #include "netlist/spectre_parser.h"
 #include "netlist/spice_parser.h"
 #include "netlist/spice_writer.h"
@@ -62,7 +71,9 @@ int usage() {
                "  ancstr_cli train   --out MODEL [--epochs N] [--seed S] "
                "NETLIST...\n"
                "  ancstr_cli extract --model MODEL [--format json|sym] "
-               "[--out FILE] [--groups] [--fail-soft] NETLIST\n"
+               "[--out FILE] [--groups] [--fail-soft]\n"
+               "                     [--since BASELINE] [--manifest-out FILE] "
+               "NETLIST\n"
                "  ancstr_cli extract --model MODEL --batch DIR [--repeat N] "
                "[--out-dir DIR] [--cache-budget BYTES] [--fail-soft]\n"
                "  ancstr_cli stats   [--fail-soft] NETLIST...\n"
@@ -338,6 +349,41 @@ int cmdExtractBatch(Flags flags, ObserveOptions observe,
   return 0;
 }
 
+/// True when `path` begins with the manifest magic — the sniff that lets
+/// `--since` take either a prior netlist or a saved hash manifest.
+bool looksLikeManifest(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::string line;
+  if (!in || !std::getline(in, line)) return false;
+  return line.rfind("ancstr-manifest", 0) == 0;
+}
+
+/// Delta summary on stderr: what changed, what is provably reusable, and
+/// how much of the clean cone was actually served from the caches.
+void printDeltaSummary(const DeltaReport& delta) {
+  const LibraryDiff& diff = delta.diff;
+  std::fprintf(stderr,
+               "delta: %zu/%zu masters changed, %zu dirty / %zu clean "
+               "nodes, %zu/%zu devices reusable%s\n",
+               diff.changedMasters(), diff.masters.size(), diff.dirtyNodes,
+               diff.cleanNodes, diff.reusableDevices,
+               diff.reusableDevices + diff.dirtyDevices,
+               diff.identical() ? " (identity edit)" : "");
+  for (const MasterDelta& master : diff.masters) {
+    if (master.change == MasterChange::kUnchanged) continue;
+    std::fprintf(stderr, "delta:   %-8s %s\n", toString(master.change),
+                 master.name.c_str());
+  }
+  std::fprintf(stderr,
+               "delta: reuse design %llu hit, blocks %llu hit / %llu miss, "
+               "pairs %llu hit / %llu miss\n",
+               static_cast<unsigned long long>(delta.reuse.design.hits),
+               static_cast<unsigned long long>(delta.reuse.blocks.hits),
+               static_cast<unsigned long long>(delta.reuse.blocks.misses),
+               static_cast<unsigned long long>(delta.reuse.pairs.hits),
+               static_cast<unsigned long long>(delta.reuse.pairs.misses));
+}
+
 int cmdExtract(Flags flags) {
   ObserveOptions observe = ObserveOptions::parse(flags);
   const std::filesystem::path modelPath = flags.value("--model", "");
@@ -349,6 +395,9 @@ int cmdExtract(Flags flags) {
   }
   const std::string format = flags.value("--format", "json");
   const std::filesystem::path outPath = flags.value("--out", "");
+  const std::filesystem::path sincePath = flags.value("--since", "");
+  const std::filesystem::path manifestOutPath =
+      flags.value("--manifest-out", "");
   const bool withGroups = flags.flag("--groups");
   const bool withArrays = flags.flag("--arrays");
   const bool failSoft = flags.flag("--fail-soft");
@@ -372,8 +421,53 @@ int cmdExtract(Flags flags) {
   config.threads = observe.threads;
   Pipeline pipeline(config);
   pipeline.loadModel(modelPath);
-  ExtractionResult result =
-      pipeline.extract(lib, ExtractOptions{failSoft ? &sink : nullptr});
+  const ExtractOptions extractOptions{failSoft ? &sink : nullptr};
+  ExtractionResult result;
+  if (sincePath.empty()) {
+    result = pipeline.extract(lib, extractOptions);
+  } else if (looksLikeManifest(sincePath)) {
+    // Manifest baseline: hashes only, so there is nothing to warm the
+    // caches from — the value is the change report; the extraction runs
+    // the engine's plain (bitwise-equivalent) path. The baseline is
+    // fail-soft: an unreadable manifest falls back to a full extract.
+    const ExtractionEngine engine(pipeline);
+    DeltaReport delta;
+    try {
+      const DesignManifest baseline = loadManifest(sincePath);
+      delta.diff = diffManifest(baseline, lib, config.graph, config.features);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr,
+                   "note: baseline manifest unusable (%s); running full "
+                   "extract\n",
+                   e.what());
+    }
+    result = engine.extract(lib, extractOptions);
+    printDeltaSummary(delta);
+  } else {
+    // Netlist baseline: extractDelta warms the caches from the old
+    // version, then serves the clean cone of the edit from them. A
+    // baseline that fails to parse degrades to a full extract — the old
+    // version must never make the new one unextractable.
+    const ExtractionEngine engine(pipeline);
+    DeltaReport delta;
+    Library oldLib;
+    try {
+      oldLib = parseNetlistFile(sincePath);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr,
+                   "note: baseline netlist unusable (%s); running full "
+                   "extract\n",
+                   e.what());
+    }
+    result = engine.extractDelta(oldLib, lib, extractOptions, &delta);
+    printDeltaSummary(delta);
+  }
+  if (!manifestOutPath.empty()) {
+    saveManifest(buildManifest(lib, config.graph, config.features),
+                 manifestOutPath);
+    std::fprintf(stderr, "manifest -> %s\n",
+                 manifestOutPath.string().c_str());
+  }
   // extract() already reported elaboration problems into `sink`; use a
   // throwaway sink here so they are not duplicated.
   diag::DiagnosticSink designSink;
