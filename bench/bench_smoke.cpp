@@ -4,6 +4,7 @@
 // phase breakdown, metrics delta, resource usage — cheaply enough to gate
 // every push via scripts/compare_bench.py.
 #include "circuits/synthetic.h"
+#include "core/constraint_io.h"
 #include "core/pipeline.h"
 #include "harness.h"
 
@@ -60,10 +61,32 @@ void extractArrayCase(BenchContext& ctx) {
                  static_cast<double>(result.detection.scored.size()));
 }
 
+void extractMirrorBankCase(BenchContext& ctx) {
+  // Current-mirror detection + ALIGN export on the synthetic mirror banks.
+  // The candidate count is topology-driven (3 per bank), independent of
+  // model weights, so CI gates the detector.mirror.* counters hard.
+  static const circuits::CircuitBenchmark bench = circuits::makeMirrorBank(4);
+  const ExtractionResult result = trainedPipeline(ctx).extract(bench.lib);
+  const FlatDesign design = FlatDesign::elaborate(bench.lib);
+  const std::string align =
+      constraintSetToAlignJson(design, result.detection.set);
+  ctx.setReport(result.report);
+  ctx.setCounter("detector.mirror.candidates",
+                 static_cast<double>(result.detection.mirrorScored.size()));
+  ctx.setCounter(
+      "detector.mirror.accepted",
+      static_cast<double>(
+          result.detection.set.count(ConstraintType::kCurrentMirror)));
+  ctx.setCounter("constraints.exported",
+                 static_cast<double>(result.detection.set.size()));
+  ctx.setCounter("align_bytes", static_cast<double>(align.size()));
+}
+
 [[maybe_unused]] const bool kRegistered = [] {
   registerBench("smoke.train.diff_chain8", trainCase);
   registerBench("smoke.extract.diff_chain8", extractChainCase);
   registerBench("smoke.extract.block_array4", extractArrayCase);
+  registerBench("smoke.extract.mirror_bank4", extractMirrorBankCase);
   return true;
 }();
 

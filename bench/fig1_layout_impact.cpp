@@ -118,9 +118,10 @@ void run(BenchContext& ctx) {
 
     // Extracted device-level pairs at the root hierarchy.
     std::vector<std::pair<std::string, std::string>> extracted;
-    for (const ScoredCandidate& c : extraction.detection.constraints()) {
-      if (c.pair.hierarchy == 0 && c.pair.a.kind == ModuleKind::kDevice) {
-        extracted.emplace_back(c.pair.nameA, c.pair.nameB);
+    for (const Constraint* c :
+         extraction.detection.set.ofType(ConstraintType::kSymmetryPair)) {
+      if (c->hierarchy == 0 && c->members[0].kind == ModuleKind::kDevice) {
+        extracted.emplace_back(c->members[0].name, c->members[1].name);
       }
     }
     // Designer ground truth (assessment yardstick).

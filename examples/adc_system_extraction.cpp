@@ -34,16 +34,17 @@ int main() {
   std::printf("\nsystem-level constraints detected in %s:\n",
               sar.name.c_str());
   std::size_t shown = 0;
-  for (const ScoredCandidate& c : result.detection.constraints()) {
-    if (c.pair.level != ConstraintLevel::kSystem) continue;
+  for (const Constraint* c :
+       result.detection.set.ofType(ConstraintType::kSymmetryPair)) {
+    if (c->level != ConstraintLevel::kSystem) continue;
     if (++shown > 12) {
       std::printf("  ... and more\n");
       break;
     }
-    const std::string& hier = design.node(c.pair.hierarchy).path;
+    const std::string& hier = design.node(c->hierarchy).path;
     std::printf("  [%s] (%s, %s)  sim=%.4f\n",
-                hier.empty() ? "top" : hier.c_str(), c.pair.nameA.c_str(),
-                c.pair.nameB.c_str(), c.similarity);
+                hier.empty() ? "top" : hier.c_str(), c->members[0].name.c_str(),
+                c->members[1].name.c_str(), c->score);
   }
 
   // Score against the generator's designer-style ground truth.

@@ -37,9 +37,10 @@ int main() {
   const FlatDesign design = FlatDesign::elaborate(comp.lib);
 
   std::printf("\ndevice-level constraints in %s:\n", comp.name.c_str());
-  for (const ScoredCandidate& c : result.detection.constraints()) {
-    std::printf("  (%s, %s)  sim=%.4f\n", c.pair.nameA.c_str(),
-                c.pair.nameB.c_str(), c.similarity);
+  for (const Constraint* c :
+       result.detection.set.ofType(ConstraintType::kSymmetryPair)) {
+    std::printf("  (%s, %s)  sim=%.4f\n", c->members[0].name.c_str(),
+                c->members[1].name.c_str(), c->score);
   }
 
   const auto ourLabels =

@@ -44,14 +44,16 @@ int main(int argc, char** argv) {
     }
     return -1;
   };
-  for (const ScoredCandidate& c : extraction.detection.constraints()) {
-    const int a = indexOf(c.pair.nameA);
-    const int b = indexOf(c.pair.nameB);
+  for (const Constraint* c :
+       extraction.detection.set.ofType(ConstraintType::kSymmetryPair)) {
+    const int a = indexOf(c->members[0].name);
+    const int b = indexOf(c->members[1].name);
     if (a >= 0 && b >= 0) {
       problem.symmetricPairs.emplace_back(static_cast<std::size_t>(a),
                                           static_cast<std::size_t>(b));
-      std::printf("constraint: (%s, %s) sim=%.4f\n", c.pair.nameA.c_str(),
-                  c.pair.nameB.c_str(), c.similarity);
+      std::printf("constraint: (%s, %s) sim=%.4f\n",
+                  c->members[0].name.c_str(), c->members[1].name.c_str(),
+                  c->score);
     }
   }
 

@@ -51,10 +51,11 @@ int main() {
   std::printf("extraction took %.3fs (%zu candidates scored)\n",
               result.report.totalSeconds(), result.detection.scored.size());
   std::printf("detected symmetry constraints:\n");
-  for (const ScoredCandidate& c : result.detection.constraints()) {
+  for (const Constraint* c :
+       result.detection.set.ofType(ConstraintType::kSymmetryPair)) {
     std::printf("  (%s, %s)  level=%s  similarity=%.4f\n",
-                c.pair.nameA.c_str(), c.pair.nameB.c_str(),
-                constraintLevelName(c.pair.level), c.similarity);
+                c->members[0].name.c_str(), c->members[1].name.c_str(),
+                constraintLevelName(c->level), c->score);
   }
   return 0;
 }

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Validates an ALIGN-compatible constraint export (docs/file_formats.md).
+
+    check_align_json.py EXPORT.json [--require-nonempty]
+
+Checks the schema constraintSetToAlignJson emits: the envelope
+(format "align-constraints", version 1, object-valued "cells"), and every
+cell entry --
+
+  * SymmetricBlocks: direction "H" or "V"; "pairs" a non-empty list of
+    1-element (self-symmetric) or 2-element (pair) lists of non-empty,
+    per-entry-unique strings;
+  * CurrentMirror: non-empty "reference" string; non-empty "mirrors" list
+    of non-empty strings; "ratios" positive numbers, one per mirror.
+
+Exits 0 when the document validates, 1 on any schema violation (all are
+reported, not just the first), and 2 when the file is missing or is not
+JSON -- the compare_bench.py / gate_counters.py convention.
+"""
+import argparse
+import json
+import sys
+
+
+def check_symmetric_blocks(entry, where, errors):
+    if entry.get("direction") not in ("H", "V"):
+        errors.append(f"{where}: direction {entry.get('direction')!r} "
+                      f"not 'H'/'V'")
+    pairs = entry.get("pairs")
+    if not isinstance(pairs, list) or not pairs:
+        errors.append(f"{where}: pairs missing or empty")
+        return
+    for i, pair in enumerate(pairs):
+        if not isinstance(pair, list) or len(pair) not in (1, 2):
+            errors.append(f"{where}: pairs[{i}] is not a 1- or 2-element "
+                          f"list")
+            continue
+        if not all(isinstance(n, str) and n for n in pair):
+            errors.append(f"{where}: pairs[{i}] holds a non-string or "
+                          f"empty name")
+        elif len(pair) == 2 and pair[0] == pair[1]:
+            errors.append(f"{where}: pairs[{i}] pairs {pair[0]!r} with "
+                          f"itself")
+
+
+def check_current_mirror(entry, where, errors):
+    reference = entry.get("reference")
+    if not isinstance(reference, str) or not reference:
+        errors.append(f"{where}: reference missing or empty")
+    mirrors = entry.get("mirrors")
+    ratios = entry.get("ratios")
+    if not isinstance(mirrors, list) or not mirrors:
+        errors.append(f"{where}: mirrors missing or empty")
+        return
+    if not all(isinstance(m, str) and m for m in mirrors):
+        errors.append(f"{where}: mirrors holds a non-string or empty name")
+    if isinstance(reference, str) and reference in mirrors:
+        errors.append(f"{where}: reference {reference!r} mirrors itself")
+    if not isinstance(ratios, list) or len(ratios) != len(mirrors):
+        errors.append(f"{where}: ratios missing or not one per mirror")
+    elif not all(isinstance(r, (int, float)) and r > 0 for r in ratios):
+        errors.append(f"{where}: ratios must be positive numbers")
+
+
+def check_document(doc, path, errors):
+    if not isinstance(doc, dict):
+        errors.append(f"{path}: top level is not an object")
+        return 0
+    if doc.get("format") != "align-constraints":
+        errors.append(f"{path}: format {doc.get('format')!r}, expected "
+                      f"'align-constraints'")
+    if doc.get("version") != 1:
+        errors.append(f"{path}: version {doc.get('version')!r}, expected 1")
+    cells = doc.get("cells")
+    if not isinstance(cells, dict):
+        errors.append(f"{path}: cells missing or not an object")
+        return 0
+    total = 0
+    for cell, entries in cells.items():
+        if not isinstance(entries, list):
+            errors.append(f"cell {cell!r}: not a list")
+            continue
+        for i, entry in enumerate(entries):
+            where = f"cell {cell!r} entry {i}"
+            if not isinstance(entry, dict):
+                errors.append(f"{where}: not an object")
+                continue
+            total += 1
+            kind = entry.get("constraint")
+            if kind == "SymmetricBlocks":
+                check_symmetric_blocks(entry, where, errors)
+            elif kind == "CurrentMirror":
+                check_current_mirror(entry, where, errors)
+            else:
+                errors.append(f"{where}: unknown constraint {kind!r}")
+    return total
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("export_path", metavar="EXPORT.json")
+    parser.add_argument("--require-nonempty", action="store_true",
+                        help="fail when the export holds zero constraints")
+    args = parser.parse_args(argv[1:])
+
+    try:
+        with open(args.export_path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"ERROR: cannot load {args.export_path}: {err}",
+              file=sys.stderr)
+        return 2
+
+    errors = []
+    total = check_document(doc, args.export_path, errors)
+    if args.require_nonempty and total == 0 and not errors:
+        errors.append(f"{args.export_path}: no constraints "
+                      f"(--require-nonempty)")
+    if errors:
+        print(f"FAIL: {len(errors)} schema violation(s):", file=sys.stderr)
+        for line in errors:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"OK: {args.export_path}: {total} constraint entr"
+          f"{'y' if total == 1 else 'ies'} validated")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -17,14 +17,21 @@ namespace {
 
 CircuitBenchmark makeBlock(
     const std::string& name, const std::string& category, const char* spice,
-    std::initializer_list<std::pair<const char*, const char*>> devicePairs) {
+    std::initializer_list<std::pair<const char*, const char*>> devicePairs,
+    std::initializer_list<std::pair<const char*, const char*>> mirrors = {}) {
   CircuitBenchmark bench;
   bench.name = name;
   bench.category = category;
   bench.lib = parseSpice(spice, name + ".sp");
   std::vector<GroundTruthEntry> entries;
   for (const auto& [a, b] : devicePairs) {
-    entries.push_back({"", a, b, ConstraintLevel::kDevice});
+    entries.push_back({"", a, b, ConstraintLevel::kDevice,
+                       ConstraintType::kSymmetryPair});
+  }
+  // Mirror labels are (diode-connected reference, mirror output device).
+  for (const auto& [ref, mir] : mirrors) {
+    entries.push_back({"", ref, mir, ConstraintLevel::kDevice,
+                       ConstraintType::kCurrentMirror});
   }
   bench.truth = GroundTruth(std::move(entries));
   return bench;
@@ -504,11 +511,20 @@ std::vector<CircuitBenchmark> blockBenchmarks() {
                            {"m5", "m6"},
                            {"m7", "m8"}}));
   out.push_back(makeBlock("OTA2", "OTA", kOta2,
-                          {{"m1", "m2"}, {"m3", "m4"}}));
+                          {{"m1", "m2"}, {"m3", "m4"}},
+                          {{"m3", "m4"},
+                           {"m8", "m5"},
+                           {"m8", "m7"},
+                           {"m8", "m12"},
+                           {"m14", "m13"},
+                           {"m9", "m10"}}));
   out.push_back(makeBlock("OTA3", "OTA", kOta3,
                           {{"m1", "m2"},
                            {"m3", "m4"},
                            {"m5", "m6"},
+                           {"m7", "m8"}},
+                          {{"m3", "m5"},
+                           {"m4", "m6"},
                            {"m7", "m8"}}));
   out.push_back(makeBlock("OTA4", "OTA", kOta4,
                           {{"m1", "m2"},
@@ -520,7 +536,10 @@ std::vector<CircuitBenchmark> blockBenchmarks() {
                            {"m22", "m23"},
                            {"c1", "c2"},
                            {"c3", "c4"},
-                           {"r1", "r2"}}));
+                           {"r1", "r2"}},
+                          {{"m15", "m4"},
+                           {"m15", "m5"},
+                           {"m15", "m19"}}));
   out.push_back(makeBlock("OTA5", "OTA", kOta5,
                           {{"m1", "m2"},
                            {"m3", "m4"},
@@ -531,9 +550,18 @@ std::vector<CircuitBenchmark> blockBenchmarks() {
                            {"rz1", "rz2"},
                            {"cc1", "cc2"},
                            {"rcm1", "rcm2"},
-                           {"c1", "c2"}}));
+                           {"c1", "c2"}},
+                          {{"m11", "m10"},
+                           {"m12", "m3"},
+                           {"m12", "m4"},
+                           {"m12", "m15"},
+                           {"m14", "m8"},
+                           {"m14", "m9"},
+                           {"m18", "m19"}}));
   out.push_back(makeBlock("OTA6", "OTA", kOta6,
-                          {{"m1", "m2"}, {"m3", "m4"}}));
+                          {{"m1", "m2"}, {"m3", "m4"}},
+                          {{"m3", "m4"},
+                           {"m9", "m8"}}));
 
   out.push_back(makeBlock("COMP1", "COMP", kComp1,
                           {{"m1", "m2"},
@@ -553,7 +581,10 @@ std::vector<CircuitBenchmark> blockBenchmarks() {
                            {"m39", "m40"},
                            {"c1", "c2"},
                            {"c3", "c4"},
-                           {"r2", "r3"}}));
+                           {"r2", "r3"}},
+                          {{"m6", "m3"},
+                           {"m6", "m4"},
+                           {"m38", "m37"}}));
   out.push_back(makeBlock("COMP2", "COMP", kComp2,
                           {{"m1", "m2"}, {"m3", "m4"}, {"m5", "m6"}}));
   out.push_back(makeBlock("COMP3", "COMP", kComp3,
@@ -600,7 +631,10 @@ std::vector<CircuitBenchmark> blockBenchmarks() {
   out.push_back(makeBlock("DAC1", "DAC", kDac1,
                           {{"msw0p", "msw0n"},
                            {"msw1p", "msw1n"},
-                           {"msw2p", "msw2n"}}));
+                           {"msw2p", "msw2n"}},
+                          {{"mbias", "mcs0"},
+                           {"mbias", "mcs1"},
+                           {"mbias", "mcs2"}}));
   out.push_back(makeBlock("DAC2", "DAC", kDac2,
                           {{"m0r", "m0g"}, {"m1r", "m1g"}, {"m2r", "m2g"}}));
 
@@ -614,7 +648,8 @@ std::vector<CircuitBenchmark> blockBenchmarks() {
                            {"r1", "r2"},
                            {"r3", "r4"},
                            {"c1", "c2"},
-                           {"m7", "m14"}}));
+                           {"m7", "m14"}},
+                          {{"m15", "m7"}, {"m15", "m14"}}));
   return out;
 }
 

@@ -80,4 +80,35 @@ CircuitBenchmark makeBlockArray(int blocks) {
   return bench;
 }
 
+CircuitBenchmark makeMirrorBank(int banks) {
+  NetlistBuilder b;
+  std::vector<GroundTruthEntry> truth;
+  const std::string name = "mirrorbank" + std::to_string(banks);
+  b.beginSubckt(name, {"vdd", "vss"});
+  for (int i = 0; i < banks; ++i) {
+    const std::string bias = num("bias", i);
+    const std::string ref = num("mref", i);
+    // Diode-connected reference, fed from vdd through a bias resistor.
+    b.nmos(ref, bias, bias, "vss", "vss", 2e-6, 0.4e-6);
+    b.res(num("rb", i), bias, "vdd", 50e3);
+    for (int j = 0; j < 3; ++j) {
+      const std::string out = num("o", i) + "_" + std::to_string(j);
+      const std::string mir = num("mout", i) + "_" + std::to_string(j);
+      b.nmos(mir, out, bias, "vss", "vss", 2e-6 * static_cast<double>(1 << j),
+             0.4e-6);
+      b.res(num("rl", i) + "_" + std::to_string(j), out, "vdd", 10e3);
+      truth.push_back({"", ref, mir, ConstraintLevel::kDevice,
+                       ConstraintType::kCurrentMirror});
+    }
+  }
+  b.endSubckt();
+
+  CircuitBenchmark bench;
+  bench.name = name;
+  bench.category = "SYNTH";
+  bench.lib = b.build(name);
+  bench.truth = GroundTruth(std::move(truth));
+  return bench;
+}
+
 }  // namespace ancstr::circuits

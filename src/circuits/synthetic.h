@@ -17,4 +17,12 @@ CircuitBenchmark makeDiffChain(int stages);
 /// system-level detection cost as block count grows.
 CircuitBenchmark makeBlockArray(int blocks);
 
+/// `banks` independent NMOS current-mirror banks in one flat subckt: each
+/// bank is a diode-connected reference fanning out to three mirror
+/// outputs sized 1x/2x/4x. Ground truth is pure kCurrentMirror entries
+/// (3 per bank), and the topology-driven candidate count (3 per bank) is
+/// deterministic — independent of model weights — so the bench harness
+/// can gate detector.mirror.* counters on it.
+CircuitBenchmark makeMirrorBank(int banks);
+
 }  // namespace ancstr::circuits

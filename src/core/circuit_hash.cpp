@@ -82,4 +82,29 @@ util::StructuralHash structuralHash(const FlatDesign& design,
   return structuralHash(design, all, graph, features);
 }
 
+std::uint64_t detectorConfigSignature(const DetectorConfig& config) {
+  util::StructuralHasher h;
+  h.add(kSchemaVersion);
+  h.addDouble(config.alpha);
+  h.addDouble(config.beta);
+  h.addDouble(config.deviceThreshold);
+  h.addSize(config.embedding.topM);
+  h.addDouble(config.embedding.damping);
+  h.addBool(config.sizingAwareSimilarity);
+  h.addBool(config.localBlockEmbeddings);
+  h.addBool(config.mirror.enabled);
+  h.addDouble(config.mirror.threshold);
+  h.addSize(config.mirror.maxGateNetDegree);
+  return h.finish().hi;
+}
+
+util::StructuralHash withConfigSalt(const util::StructuralHash& hash,
+                                    std::uint64_t salt) {
+  util::StructuralHasher h;
+  h.add(hash.hi);
+  h.add(hash.lo);
+  h.add(salt);
+  return h.finish();
+}
+
 }  // namespace ancstr

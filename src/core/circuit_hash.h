@@ -20,6 +20,7 @@
 
 #include <span>
 
+#include "core/detector.h"
 #include "core/features.h"
 #include "core/graph_builder.h"
 #include "netlist/flatten.h"
@@ -39,5 +40,18 @@ util::StructuralHash structuralHash(const FlatDesign& design,
 util::StructuralHash structuralHash(const FlatDesign& design,
                                     const GraphBuildOptions& graph,
                                     const FeatureConfig& features);
+
+/// 64-bit signature of every DetectorConfig field that shapes detection
+/// output — thresholds, embedding options, similarity switches, and the
+/// constraint-type (mirror) configuration. The engine mixes it into its
+/// cache keys (withConfigSalt) so cached results never leak across
+/// detector configurations: structuralHash covers only what the
+/// inference front half consumes, not how its outputs are scored.
+std::uint64_t detectorConfigSignature(const DetectorConfig& config);
+
+/// Mixes a config signature into a structural hash, producing the salted
+/// cache key. Deterministic; distinct salts give distinct keys.
+util::StructuralHash withConfigSalt(const util::StructuralHash& hash,
+                                    std::uint64_t salt);
 
 }  // namespace ancstr

@@ -1,0 +1,77 @@
+#include "core/constraint.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace ancstr {
+
+const char* constraintTypeName(ConstraintType type) {
+  switch (type) {
+    case ConstraintType::kSymmetryPair:
+      return "symmetry_pair";
+    case ConstraintType::kSelfSymmetric:
+      return "self_symmetric";
+    case ConstraintType::kCurrentMirror:
+      return "current_mirror";
+    case ConstraintType::kSymmetryGroup:
+      return "symmetry_group";
+  }
+  return "symmetry_pair";
+}
+
+std::optional<ConstraintType> constraintTypeFromName(std::string_view name) {
+  if (name == "symmetry_pair") return ConstraintType::kSymmetryPair;
+  if (name == "self_symmetric") return ConstraintType::kSelfSymmetric;
+  if (name == "current_mirror") return ConstraintType::kCurrentMirror;
+  if (name == "symmetry_group") return ConstraintType::kSymmetryGroup;
+  return std::nullopt;
+}
+
+namespace {
+
+auto memberKey(const ConstraintMember& m) {
+  return std::tie(m.kind, m.id, m.name);
+}
+
+bool membersLess(const std::vector<ConstraintMember>& a,
+                 const std::vector<ConstraintMember>& b) {
+  return std::lexicographical_compare(
+      a.begin(), a.end(), b.begin(), b.end(),
+      [](const ConstraintMember& x, const ConstraintMember& y) {
+        return memberKey(x) < memberKey(y);
+      });
+}
+
+}  // namespace
+
+void ConstraintSet::canonicalize() {
+  std::stable_sort(
+      constraints_.begin(), constraints_.end(),
+      [](const Constraint& a, const Constraint& b) {
+        if (a.hierarchy != b.hierarchy) return a.hierarchy < b.hierarchy;
+        if (a.type != b.type) return a.type < b.type;
+        if (a.level != b.level) return a.level < b.level;
+        if (a.members != b.members) return membersLess(a.members, b.members);
+        if (a.pairCount != b.pairCount) return a.pairCount < b.pairCount;
+        return a.score < b.score;
+      });
+}
+
+std::vector<const Constraint*> ConstraintSet::ofType(
+    ConstraintType type) const {
+  std::vector<const Constraint*> out;
+  for (const Constraint& c : constraints_) {
+    if (c.type == type) out.push_back(&c);
+  }
+  return out;
+}
+
+std::size_t ConstraintSet::count(ConstraintType type) const {
+  std::size_t n = 0;
+  for (const Constraint& c : constraints_) {
+    if (c.type == type) ++n;
+  }
+  return n;
+}
+
+}  // namespace ancstr

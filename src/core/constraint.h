@@ -1,0 +1,115 @@
+// Typed constraint registry — the single currency of the detection
+// output path.
+//
+// Detection used to speak three ad-hoc dialects: the detector's accepted
+// ScoredCandidates, groups.h's SymmetryGroup (string pairs), and
+// constraint_io's ParsedConstraint records. This header replaces all
+// three with one tagged model: a `Constraint` carries a type (symmetry
+// pair, self-symmetric member, current mirror, hierarchical symmetry
+// group per Kunal et al., arXiv:2010.00051), per-type metadata, and
+// members that hold BOTH a stable structural id and a display name — ids
+// key caches and grouping (rename-proof, like the engine's structural
+// hashes), names key files and reports. A `ConstraintSet` owns the
+// records plus the run's thresholds in a canonical deterministic order,
+// so every consumer — grouping, eval, IO writers, the CLI — reads the
+// same object.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/candidates.h"
+#include "netlist/flatten.h"
+
+namespace ancstr {
+
+/// The constraint vocabulary downstream P&R engines consume.
+enum class ConstraintType : std::uint8_t {
+  kSymmetryPair = 0,   ///< matched module pair (paper Alg. 3 output)
+  kSelfSymmetric = 1,  ///< single device straddling a symmetry axis
+  kCurrentMirror = 2,  ///< diode-connected reference + mirror branch
+  kSymmetryGroup = 3,  ///< merged hierarchical group of pairs + selfs
+};
+
+/// Stable lowercase tag ("symmetry_pair", ...) used by the serialized
+/// formats; covered by the format-versioning policy in docs/api.md.
+const char* constraintTypeName(ConstraintType type);
+
+/// Inverse of constraintTypeName; nullopt for unknown tags.
+std::optional<ConstraintType> constraintTypeFromName(std::string_view name);
+
+/// One participating module. `id` is the stable structural identity
+/// (HierNodeId for blocks, FlatDeviceId for devices) within the design
+/// the set was extracted from; `name` is the local display name used by
+/// the text formats. Grouping and delta caching key on (kind, id), so
+/// rename-only netlist edits keep every content-keyed cache hot.
+struct ConstraintMember {
+  ModuleKind kind = ModuleKind::kDevice;
+  std::uint32_t id = 0;
+  std::string name;
+
+  bool operator==(const ConstraintMember&) const = default;
+};
+
+/// One typed constraint record.
+///
+/// Member layout by type:
+///   * kSymmetryPair   — members = {a, b}
+///   * kSelfSymmetric  — members = {device}
+///   * kCurrentMirror  — members = {reference, mirror}; `ratio` is the
+///                       mirror/reference effective-width multiple
+///                       (W * nf * m), the intended current gain
+///   * kSymmetryGroup  — members[0 .. 2*pairCount) are the merged pairs
+///                       in (a0, b0, a1, b1, ...) order; the tail holds
+///                       the group's self-symmetric members
+struct Constraint {
+  ConstraintType type = ConstraintType::kSymmetryPair;
+  HierNodeId hierarchy = 0;
+  ConstraintLevel level = ConstraintLevel::kDevice;
+  std::vector<ConstraintMember> members;
+  double score = 0.0;  ///< detector similarity; 0 when not applicable
+  double ratio = 1.0;  ///< current-mirror gain; 1 otherwise
+  std::uint32_t pairCount = 0;  ///< kSymmetryGroup only
+
+  bool operator==(const Constraint&) const = default;
+};
+
+/// The detection-output registry: typed records plus the thresholds that
+/// produced them. canonicalize() fixes a deterministic order, so equal
+/// extractions yield bitwise-equal sets for any thread count.
+class ConstraintSet {
+ public:
+  ConstraintSet() = default;
+
+  void add(Constraint constraint) {
+    constraints_.push_back(std::move(constraint));
+  }
+
+  /// Sorts records into the canonical order: (hierarchy, type, level,
+  /// members by (kind, id, name), pairCount, score). Stable, idempotent.
+  void canonicalize();
+
+  const std::vector<Constraint>& all() const { return constraints_; }
+  std::size_t size() const { return constraints_.size(); }
+  bool empty() const { return constraints_.empty(); }
+
+  /// Records of one type, in set order.
+  std::vector<const Constraint*> ofType(ConstraintType type) const;
+  std::size_t count(ConstraintType type) const;
+
+  bool operator==(const ConstraintSet&) const = default;
+
+  /// Thresholds of the detection run that produced the set (carried here
+  /// so IO consumes nothing but the design and the set).
+  double systemThreshold = 0.0;
+  double deviceThreshold = 0.0;
+  double mirrorThreshold = 0.0;
+
+ private:
+  std::vector<Constraint> constraints_;
+};
+
+}  // namespace ancstr

@@ -94,4 +94,35 @@ std::vector<ConstraintIssue> checkConstraints(
   return issues;
 }
 
+std::vector<ConstraintIssue> checkConstraints(const FlatDesign& design,
+                                              const Library& lib,
+                                              const ConstraintSet& set) {
+  // Project typed records to the flat pair form (matching projectV2 in
+  // constraint_io.cpp), keeping set indices so issues point back at the
+  // registry record.
+  std::vector<ParsedConstraint> projected;
+  std::vector<std::size_t> sourceIndex;
+  const std::vector<Constraint>& all = set.all();
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const Constraint& c = all[i];
+    if (c.type == ConstraintType::kSymmetryGroup || c.members.empty()) {
+      continue;
+    }
+    ParsedConstraint p;
+    p.hierPath = design.node(c.hierarchy).path;
+    p.level = c.level;
+    p.similarity = c.score;
+    p.nameA = c.members[0].name;
+    if (c.members.size() > 1) p.nameB = c.members[1].name;
+    projected.push_back(std::move(p));
+    sourceIndex.push_back(i);
+  }
+  std::vector<ConstraintIssue> issues =
+      checkConstraints(design, lib, projected);
+  for (ConstraintIssue& issue : issues) {
+    issue.index = sourceIndex[issue.index];
+  }
+  return issues;
+}
+
 }  // namespace ancstr

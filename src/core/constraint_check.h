@@ -27,4 +27,14 @@ std::vector<ConstraintIssue> checkConstraints(
     const FlatDesign& design, const Library& lib,
     const std::vector<ParsedConstraint>& constraints);
 
+/// Lints a typed registry (core/constraint.h) by name, so a round-tripped
+/// set can be validated against a freshly elaborated design. Records
+/// project exactly as parseConstraintsJson projects v2 files: pairs and
+/// mirrors check as (a, b) pairs, self-symmetric records as single
+/// names, groups are skipped (their members are covered by the former).
+/// Issue indices refer to the set's canonical record order.
+std::vector<ConstraintIssue> checkConstraints(const FlatDesign& design,
+                                              const Library& lib,
+                                              const ConstraintSet& set);
+
 }  // namespace ancstr

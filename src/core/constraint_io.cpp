@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
 
@@ -24,6 +25,12 @@ namespace {
   throw Error(message + " [" + std::string(code) + "]");
 }
 
+void bumpExported(std::size_t records) {
+  static metrics::Counter& exported =
+      metrics::Registry::instance().counter("constraints.exported");
+  exported.add(records);
+}
+
 const char* levelName(ConstraintLevel level) {
   return level == ConstraintLevel::kSystem ? "system" : "device";
 }
@@ -34,12 +41,280 @@ ConstraintLevel levelFromName(const std::string& name) {
   fail("unknown constraint level '" + name + "'", diag::codes::kIoFormat);
 }
 
+const char* kindName(ModuleKind kind) {
+  return kind == ModuleKind::kBlock ? "block" : "device";
+}
+
+ModuleKind kindFromName(const std::string& name) {
+  if (name == "block") return ModuleKind::kBlock;
+  if (name == "device") return ModuleKind::kDevice;
+  fail("unknown member kind '" + name + "'", diag::codes::kIoFormat);
+}
+
 std::string symPath(const std::string& hierPath) {
   return hierPath.empty() ? "." : hierPath;
 }
 
+Json arraysToJson(const FlatDesign& design,
+                  const std::vector<ArrayGroup>& arrays) {
+  Json arrayJson = Json::array();
+  for (const ArrayGroup& array : arrays) {
+    Json entry = Json::object();
+    entry.set("hierarchy", design.node(array.hierarchy).path);
+    entry.set("device_type", std::string(deviceTypeName(array.type)));
+    entry.set("unit", array.unit);
+    Json members = Json::array();
+    for (const auto& [name, multiple] : array.members) {
+      Json member = Json::object();
+      member.set("name", name);
+      member.set("multiple", multiple);
+      members.push(std::move(member));
+    }
+    entry.set("members", std::move(members));
+    arrayJson.push(std::move(entry));
+  }
+  return arrayJson;
+}
+
+double finiteNumber(const Json& value, std::string_view what) {
+  const double v = value.asNumber();
+  if (!std::isfinite(v)) {
+    fail("constraint JSON: non-finite " + std::string(what),
+         diag::codes::kIoNonFinite);
+  }
+  return v;
+}
+
 }  // namespace
 
+std::string constraintSetToJson(const FlatDesign& design,
+                                const ConstraintSet& set,
+                                const std::vector<ArrayGroup>& arrays) {
+  Json root = Json::object();
+  root.set("format", "ancstr-constraints");
+  root.set("version", 2);
+  Json thresholds = Json::object();
+  thresholds.set("system", set.systemThreshold);
+  thresholds.set("device", set.deviceThreshold);
+  thresholds.set("mirror", set.mirrorThreshold);
+  root.set("thresholds", std::move(thresholds));
+
+  Json constraints = Json::array();
+  for (const Constraint& c : set.all()) {
+    Json entry = Json::object();
+    entry.set("type", constraintTypeName(c.type));
+    entry.set("hierarchy", design.node(c.hierarchy).path);
+    entry.set("hierarchy_id", static_cast<std::size_t>(c.hierarchy));
+    entry.set("level", levelName(c.level));
+    Json members = Json::array();
+    for (const ConstraintMember& m : c.members) {
+      Json member = Json::object();
+      member.set("kind", kindName(m.kind));
+      member.set("id", static_cast<std::size_t>(m.id));
+      member.set("name", m.name);
+      members.push(std::move(member));
+    }
+    entry.set("members", std::move(members));
+    entry.set("score", c.score);
+    if (c.type == ConstraintType::kCurrentMirror) {
+      entry.set("ratio", c.ratio);
+    }
+    if (c.type == ConstraintType::kSymmetryGroup) {
+      entry.set("pair_count", static_cast<std::size_t>(c.pairCount));
+    }
+    constraints.push(std::move(entry));
+  }
+  root.set("constraints", std::move(constraints));
+
+  if (!arrays.empty()) {
+    root.set("arrays", arraysToJson(design, arrays));
+  }
+  bumpExported(set.size());
+  return root.dump(2) + "\n";
+}
+
+ConstraintSet parseConstraintSetJson(const std::string& text) {
+  std::string error;
+  const auto root = Json::parse(text, &error);
+  if (!root) {
+    fail("constraint JSON: " + error, diag::codes::kIoTruncated);
+  }
+  if (const Json* format = root->find("format");
+      format == nullptr || format->asString() != "ancstr-constraints") {
+    fail("constraint JSON: missing/unknown format tag",
+         diag::codes::kIoFormat);
+  }
+  const Json* version = root->find("version");
+  if (version == nullptr || version->asNumber() != 2) {
+    fail("parseConstraintSetJson: expected version 2",
+         diag::codes::kIoFormat);
+  }
+  ConstraintSet set;
+  if (const Json* thresholds = root->find("thresholds")) {
+    if (const Json* v = thresholds->find("system")) {
+      set.systemThreshold = finiteNumber(*v, "system threshold");
+    }
+    if (const Json* v = thresholds->find("device")) {
+      set.deviceThreshold = finiteNumber(*v, "device threshold");
+    }
+    if (const Json* v = thresholds->find("mirror")) {
+      set.mirrorThreshold = finiteNumber(*v, "mirror threshold");
+    }
+  }
+  const Json& constraints = root->get("constraints");
+  for (std::size_t i = 0; i < constraints.size(); ++i) {
+    const Json& entry = constraints.at(i);
+    Constraint c;
+    const std::string& typeTag = entry.get("type").asString();
+    const auto type = constraintTypeFromName(typeTag);
+    if (!type) {
+      fail("constraint JSON: unknown constraint type '" + typeTag + "'",
+           diag::codes::kIoFormat);
+    }
+    c.type = *type;
+    c.hierarchy =
+        static_cast<HierNodeId>(entry.get("hierarchy_id").asNumber());
+    c.level = levelFromName(entry.get("level").asString());
+    c.score = finiteNumber(entry.get("score"), "score");
+    if (const Json* ratio = entry.find("ratio")) {
+      c.ratio = finiteNumber(*ratio, "ratio");
+    }
+    if (const Json* pairCount = entry.find("pair_count")) {
+      c.pairCount = static_cast<std::uint32_t>(pairCount->asNumber());
+    }
+    const Json& members = entry.get("members");
+    for (std::size_t m = 0; m < members.size(); ++m) {
+      const Json& member = members.at(m);
+      c.members.push_back(
+          {kindFromName(member.get("kind").asString()),
+           static_cast<std::uint32_t>(member.get("id").asNumber()),
+           member.get("name").asString()});
+    }
+    set.add(std::move(c));
+  }
+  set.canonicalize();
+  return set;
+}
+
+std::string constraintSetToAlignJson(const FlatDesign& design,
+                                     const ConstraintSet& set) {
+  // Per-cell entry lists keyed by hierarchy node, in node-id order.
+  std::map<HierNodeId, Json> cells;
+  auto cellEntries = [&](HierNodeId node) -> Json& {
+    auto it = cells.find(node);
+    if (it == cells.end()) it = cells.emplace(node, Json::array()).first;
+    return it->second;
+  };
+
+  const bool haveGroups = set.count(ConstraintType::kSymmetryGroup) > 0;
+  for (const Constraint& c : set.all()) {
+    if (c.type == ConstraintType::kSymmetryGroup) {
+      Json pairs = Json::array();
+      for (std::size_t i = 0; i < c.pairCount; ++i) {
+        Json pair = Json::array();
+        pair.push(c.members[2 * i].name);
+        pair.push(c.members[2 * i + 1].name);
+        pairs.push(std::move(pair));
+      }
+      for (std::size_t i = 2 * c.pairCount; i < c.members.size(); ++i) {
+        Json single = Json::array();
+        single.push(c.members[i].name);
+        pairs.push(std::move(single));
+      }
+      Json entry = Json::object();
+      entry.set("constraint", "SymmetricBlocks");
+      entry.set("direction", "V");
+      entry.set("pairs", std::move(pairs));
+      cellEntries(c.hierarchy).push(std::move(entry));
+    } else if (!haveGroups && c.type == ConstraintType::kSymmetryPair) {
+      Json pair = Json::array();
+      pair.push(c.members[0].name);
+      pair.push(c.members[1].name);
+      Json pairs = Json::array();
+      pairs.push(std::move(pair));
+      Json entry = Json::object();
+      entry.set("constraint", "SymmetricBlocks");
+      entry.set("direction", "V");
+      entry.set("pairs", std::move(pairs));
+      cellEntries(c.hierarchy).push(std::move(entry));
+    } else if (!haveGroups && c.type == ConstraintType::kSelfSymmetric) {
+      Json single = Json::array();
+      single.push(c.members[0].name);
+      Json pairs = Json::array();
+      pairs.push(std::move(single));
+      Json entry = Json::object();
+      entry.set("constraint", "SymmetricBlocks");
+      entry.set("direction", "V");
+      entry.set("pairs", std::move(pairs));
+      cellEntries(c.hierarchy).push(std::move(entry));
+    }
+  }
+
+  // Mirrors grouped by reference: canonical set order keeps records of
+  // one (hierarchy, reference) adjacent, so a single run-collapsing pass
+  // is deterministic.
+  const std::vector<const Constraint*> mirrors =
+      set.ofType(ConstraintType::kCurrentMirror);
+  for (std::size_t i = 0; i < mirrors.size();) {
+    const Constraint& first = *mirrors[i];
+    Json mirrorNames = Json::array();
+    Json ratios = Json::array();
+    std::size_t j = i;
+    for (; j < mirrors.size(); ++j) {
+      const Constraint& c = *mirrors[j];
+      if (c.hierarchy != first.hierarchy ||
+          c.members[0] != first.members[0]) {
+        break;
+      }
+      mirrorNames.push(c.members[1].name);
+      ratios.push(c.ratio);
+    }
+    Json entry = Json::object();
+    entry.set("constraint", "CurrentMirror");
+    entry.set("reference", first.members[0].name);
+    entry.set("mirrors", std::move(mirrorNames));
+    entry.set("ratios", std::move(ratios));
+    cellEntries(first.hierarchy).push(std::move(entry));
+    i = j;
+  }
+
+  Json cellsJson = Json::object();
+  for (auto& [node, entries] : cells) {
+    cellsJson.set(symPath(design.node(node).path), std::move(entries));
+  }
+  Json root = Json::object();
+  root.set("format", "align-constraints");
+  root.set("version", 1);
+  root.set("cells", std::move(cellsJson));
+  bumpExported(set.size());
+  return root.dump(2) + "\n";
+}
+
+std::string constraintSetToSym(const FlatDesign& design,
+                               const ConstraintSet& set) {
+  std::ostringstream os;
+  os << "# ancstr symmetry constraints\n";
+  for (const Constraint* c : set.ofType(ConstraintType::kSymmetryPair)) {
+    os << symPath(design.node(c->hierarchy).path) << ' '
+       << c->members[0].name << ' ' << c->members[1].name << '\n';
+  }
+  // A device may bridge several groups; emit each (hierarchy, name) once.
+  std::set<std::pair<HierNodeId, std::string>> seen;
+  for (const Constraint* c : set.ofType(ConstraintType::kSelfSymmetric)) {
+    if (!seen.emplace(c->hierarchy, c->members[0].name).second) continue;
+    os << symPath(design.node(c->hierarchy).path) << ' '
+       << c->members[0].name << '\n';
+  }
+  bumpExported(set.size());
+  return os.str();
+}
+
+// Legacy v1 writers, kept verbatim behind the deprecation shims so v1
+// consumers migrate on a warning (docs/api.md deprecation policy).
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
 std::string constraintsToJson(const FlatDesign& design,
                               const DetectionResult& detection,
                               const std::vector<SymmetryGroup>& groups,
@@ -86,23 +361,7 @@ std::string constraintsToJson(const FlatDesign& design,
   root.set("groups", std::move(groupArray));
 
   if (!arrays.empty()) {
-    Json arrayJson = Json::array();
-    for (const ArrayGroup& array : arrays) {
-      Json entry = Json::object();
-      entry.set("hierarchy", design.node(array.hierarchy).path);
-      entry.set("device_type", std::string(deviceTypeName(array.type)));
-      entry.set("unit", array.unit);
-      Json members = Json::array();
-      for (const auto& [name, multiple] : array.members) {
-        Json member = Json::object();
-        member.set("name", name);
-        member.set("multiple", multiple);
-        members.push(std::move(member));
-      }
-      entry.set("members", std::move(members));
-      arrayJson.push(std::move(entry));
-    }
-    root.set("arrays", std::move(arrayJson));
+    root.set("arrays", arraysToJson(design, arrays));
   }
   return root.dump(2) + "\n";
 }
@@ -127,6 +386,40 @@ std::string constraintsToSym(const FlatDesign& design,
   }
   return os.str();
 }
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+namespace {
+
+/// Projects a parsed v2 document into flat pair records: pairs and
+/// mirrors become (a, b) entries, self-symmetric records single names,
+/// groups are skipped (contents already covered by the above).
+std::vector<ParsedConstraint> projectV2(const Json& root) {
+  std::vector<ParsedConstraint> out;
+  const Json& constraints = root.get("constraints");
+  for (std::size_t i = 0; i < constraints.size(); ++i) {
+    const Json& entry = constraints.at(i);
+    const std::string& typeTag = entry.get("type").asString();
+    const auto type = constraintTypeFromName(typeTag);
+    if (!type) {
+      fail("constraint JSON: unknown constraint type '" + typeTag + "'",
+           diag::codes::kIoFormat);
+    }
+    if (*type == ConstraintType::kSymmetryGroup) continue;
+    ParsedConstraint p;
+    p.hierPath = entry.get("hierarchy").asString();
+    p.level = levelFromName(entry.get("level").asString());
+    p.similarity = finiteNumber(entry.get("score"), "score");
+    const Json& members = entry.get("members");
+    p.nameA = members.at(0).get("name").asString();
+    if (members.size() > 1) p.nameB = members.at(1).get("name").asString();
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace
 
 std::vector<ParsedConstraint> parseConstraintsJson(const std::string& text) {
   std::string error;
@@ -138,6 +431,10 @@ std::vector<ParsedConstraint> parseConstraintsJson(const std::string& text) {
       format == nullptr || format->asString() != "ancstr-constraints") {
     fail("constraint JSON: missing/unknown format tag",
          diag::codes::kIoFormat);
+  }
+  if (const Json* version = root->find("version");
+      version != nullptr && version->asNumber() == 2) {
+    return projectV2(*root);
   }
   std::vector<ParsedConstraint> out;
   const Json& constraints = root->get("constraints");

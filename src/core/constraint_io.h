@@ -1,13 +1,22 @@
-// Constraint file I/O.
+// Constraint file I/O over the typed registry (core/constraint.h).
 //
-// Two formats:
-//   * JSON — full-fidelity: thresholds, per-pair similarities, levels,
-//     and symmetry groups; the interchange format of this project.
-//   * SYM  — MAGICAL-style plain text consumed by analog P&R engines:
+// Three formats:
+//   * native JSON v2 — full-fidelity round-trip of a ConstraintSet:
+//     typed records (symmetry_pair / self_symmetric / current_mirror /
+//     symmetry_group), member kinds + stable ids + names, scores,
+//     mirror ratios, thresholds. The interchange format of this project.
+//   * ALIGN JSON — ALIGN/MAGICAL-ecosystem constraint export: per-cell
+//     SymmetricBlocks and CurrentMirror entries (validated in CI by
+//     scripts/check_align_json.py).
+//   * SYM — MAGICAL-style plain text consumed by analog P&R engines:
 //     one constraint per line,
 //        <hierarchy-path> <nameA> <nameB>     (matched pair)
 //        <hierarchy-path> <name>              (self-symmetric device)
 //     with "." denoting the top hierarchy and "#" starting comments.
+//
+// The legacy v1 writers (DetectionResult + SymmetryGroup inputs) remain
+// as [[deprecated]] shims per the docs/api.md deprecation policy; the
+// readers accept both versions.
 #pragma once
 
 #include <filesystem>
@@ -15,14 +24,43 @@
 #include <vector>
 
 #include "core/arrays.h"
+#include "core/constraint.h"
 #include "core/detector.h"
 #include "core/groups.h"
 #include "netlist/flatten.h"
 
 namespace ancstr {
 
+/// Serialises the registry (plus optional common-centroid array groups)
+/// as native JSON v2. Lossless: parseConstraintSetJson returns an equal
+/// set. Bumps the constraints.exported counter by set.size().
+std::string constraintSetToJson(const FlatDesign& design,
+                                const ConstraintSet& set,
+                                const std::vector<ArrayGroup>& arrays = {});
+
+/// Parses a native v2 JSON file back into the registry (member ids and
+/// the hierarchy ids round-trip verbatim; they are only meaningful
+/// against the design the set was extracted from). Throws Error on
+/// malformed input or any other version.
+ConstraintSet parseConstraintSetJson(const std::string& text);
+
+/// Serialises the registry as an ALIGN-compatible constraint file: one
+/// entry list per cell (hierarchy path, "." for the top), SymmetricBlocks
+/// from symmetry groups (or ungrouped pairs + self-symmetric records when
+/// no groups were built) and CurrentMirror entries grouped by reference
+/// device. Bumps constraints.exported.
+std::string constraintSetToAlignJson(const FlatDesign& design,
+                                     const ConstraintSet& set);
+
+/// Serialises the registry's symmetry pairs and self-symmetric members
+/// as a MAGICAL-style .sym deck (mirrors and groups have no .sym
+/// encoding). Bumps constraints.exported.
+std::string constraintSetToSym(const FlatDesign& design,
+                               const ConstraintSet& set);
+
 /// Serialises a detection run (accepted constraints + groups + optional
-/// common-centroid array groups) to JSON.
+/// common-centroid array groups) to legacy JSON v1.
+[[deprecated("use constraintSetToJson on DetectionResult::set")]]
 std::string constraintsToJson(const FlatDesign& design,
                               const DetectionResult& detection,
                               const std::vector<SymmetryGroup>& groups = {},
@@ -30,6 +68,7 @@ std::string constraintsToJson(const FlatDesign& design,
 
 /// Serialises the accepted constraints (and group self-symmetric members)
 /// as a MAGICAL-style .sym deck.
+[[deprecated("use constraintSetToSym on DetectionResult::set")]]
 std::string constraintsToSym(const FlatDesign& design,
                              const DetectionResult& detection,
                              const std::vector<SymmetryGroup>& groups = {});
@@ -43,7 +82,10 @@ struct ParsedConstraint {
   double similarity = 0.0;  ///< 0 when absent (SYM format)
 };
 
-/// Parses a JSON constraint file. Throws Error on malformed input.
+/// Parses a JSON constraint file (v1 or v2) into flat pair records:
+/// symmetry pairs and current mirrors project to (a, b) pairs,
+/// self-symmetric records to single names, groups are skipped (their
+/// contents are already covered). Throws Error on malformed input.
 std::vector<ParsedConstraint> parseConstraintsJson(const std::string& text);
 
 /// Parses a .sym deck. Throws ParseError on malformed lines.

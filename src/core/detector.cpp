@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
+#include <string>
 #include <unordered_map>
 
 #include "util/error.h"
@@ -11,6 +13,12 @@
 
 namespace ancstr {
 
+// Out-of-line definition of the deprecated accessor; suppression keeps
+// the shim itself warning-free under -Werror.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
 std::vector<ScoredCandidate> DetectionResult::constraints() const {
   std::vector<ScoredCandidate> out;
   for (const ScoredCandidate& c : scored) {
@@ -18,6 +26,9 @@ std::vector<ScoredCandidate> DetectionResult::constraints() const {
   }
   return out;
 }
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 double systemThreshold(double alpha, double beta,
                        std::size_t maxSubcircuitSize) {
@@ -68,7 +79,106 @@ double blockSizeSimilarity(const FlatDesign& design,
 
 double clamp01(double v) { return std::min(1.0, std::max(0.0, v)); }
 
+std::string localDeviceName(const FlatDevice& dev) {
+  const std::size_t slash = dev.path.rfind('/');
+  return slash == std::string::npos ? dev.path : dev.path.substr(slash + 1);
+}
+
+/// First net attached through `function`, or nullopt.
+std::optional<FlatNetId> pinNet(const FlatDevice& dev, PinFunction function) {
+  for (const auto& [fn, net] : dev.pins) {
+    if (fn == function) return net;
+  }
+  return std::nullopt;
+}
+
+/// Diode-connected MOS: gate and drain tied to one net.
+bool isDiodeConnected(const FlatDevice& dev) {
+  if (!isMos(dev.type)) return false;
+  const auto gate = pinNet(dev, PinFunction::kGate);
+  const auto drain = pinNet(dev, PinFunction::kDrain);
+  return gate && drain && *gate == *drain;
+}
+
+double effectiveWidth(const FlatDevice& dev) {
+  return dev.params.w * static_cast<double>(dev.params.nf) *
+         static_cast<double>(dev.params.m);
+}
+
+/// Gate/drain-sharing heuristic: every (diode-connected reference,
+/// same-type gate+source-sharing branch) pair under one hierarchy node,
+/// in (node id, reference device, branch device) order — deterministic
+/// by construction, so the scoring fan-out below is thread-count
+/// independent.
+std::vector<CandidatePair> enumerateMirrorCandidates(
+    const FlatDesign& design, const MirrorConfig& config) {
+  std::vector<CandidatePair> out;
+  for (const HierNode& node : design.hierarchy()) {
+    for (const FlatDeviceId refId : node.leafDevices) {
+      const FlatDevice& ref = design.device(refId);
+      if (!isDiodeConnected(ref)) continue;
+      const FlatNetId gate = *pinNet(ref, PinFunction::kGate);
+      if (design.netTerminals()[gate].size() > config.maxGateNetDegree) {
+        continue;
+      }
+      const auto refSource = pinNet(ref, PinFunction::kSource);
+      if (!refSource) continue;
+      for (const FlatDeviceId mirId : node.leafDevices) {
+        if (mirId == refId) continue;
+        const FlatDevice& mir = design.device(mirId);
+        if (mir.type != ref.type || isDiodeConnected(mir)) continue;
+        if (pinNet(mir, PinFunction::kGate) != std::optional(gate)) continue;
+        if (pinNet(mir, PinFunction::kSource) != refSource) continue;
+        CandidatePair pair;
+        pair.hierarchy = node.id;
+        pair.level = ConstraintLevel::kDevice;
+        pair.a = {ModuleKind::kDevice, refId};
+        pair.b = {ModuleKind::kDevice, mirId};
+        pair.nameA = localDeviceName(ref);
+        pair.nameB = localDeviceName(mir);
+        out.push_back(std::move(pair));
+      }
+    }
+  }
+  return out;
+}
+
 }  // namespace
+
+ConstraintSet buildConstraintSet(const FlatDesign& design,
+                                 const DetectionResult& detection) {
+  ConstraintSet set;
+  set.systemThreshold = detection.systemThreshold;
+  set.deviceThreshold = detection.deviceThreshold;
+  set.mirrorThreshold = detection.mirrorThreshold;
+  for (const ScoredCandidate& c : detection.scored) {
+    if (!c.accepted) continue;
+    Constraint constraint;
+    constraint.type = ConstraintType::kSymmetryPair;
+    constraint.hierarchy = c.pair.hierarchy;
+    constraint.level = c.pair.level;
+    constraint.members = {{c.pair.a.kind, c.pair.a.id, c.pair.nameA},
+                          {c.pair.b.kind, c.pair.b.id, c.pair.nameB}};
+    constraint.score = c.similarity;
+    set.add(std::move(constraint));
+  }
+  for (const ScoredCandidate& c : detection.mirrorScored) {
+    if (!c.accepted) continue;
+    Constraint constraint;
+    constraint.type = ConstraintType::kCurrentMirror;
+    constraint.hierarchy = c.pair.hierarchy;
+    constraint.level = c.pair.level;
+    constraint.members = {{c.pair.a.kind, c.pair.a.id, c.pair.nameA},
+                          {c.pair.b.kind, c.pair.b.id, c.pair.nameB}};
+    constraint.score = c.similarity;
+    const double refWidth = effectiveWidth(design.device(c.pair.a.id));
+    const double mirWidth = effectiveWidth(design.device(c.pair.b.id));
+    constraint.ratio = refWidth > 0.0 ? mirWidth / refWidth : 1.0;
+    set.add(std::move(constraint));
+  }
+  set.canonicalize();
+  return set;
+}
 
 namespace {
 
@@ -82,6 +192,10 @@ DetectionResult detectImpl(const FlatDesign& design, const Library& lib,
       metrics::Registry::instance().counter("detector.pairs_scored");
   static metrics::Counter& acceptedCounter =
       metrics::Registry::instance().counter("detector.pairs_accepted");
+  static metrics::Counter& mirrorCandidatesCounter =
+      metrics::Registry::instance().counter("detector.mirror.candidates");
+  static metrics::Counter& mirrorAcceptedCounter =
+      metrics::Registry::instance().counter("detector.mirror.accepted");
 
   if (designEmbeddings.rows() != design.devices().size()) {
     throw ShapeError(
@@ -97,6 +211,7 @@ DetectionResult detectImpl(const FlatDesign& design, const Library& lib,
   result.systemThreshold =
       systemThreshold(config.alpha, config.beta, design.maxSubcircuitSize());
   result.deviceThreshold = config.deviceThreshold;
+  result.mirrorThreshold = config.mirror.threshold;
 
   const CandidateSet candidates = enumerateCandidates(design, lib);
 
@@ -167,6 +282,33 @@ DetectionResult detectImpl(const FlatDesign& design, const Library& lib,
     scored.accepted = scored.similarity > threshold;
   });
 
+  // Phase 3: current mirrors. Candidates come from the gate/drain-
+  // sharing topology heuristic; scores are embedding-row cosines times
+  // the gate-length agreement, each landing in its own slot (bitwise
+  // thread-count independent like phase 2).
+  if (config.mirror.enabled) {
+    const trace::TraceSpan mirrorSpan("detect.mirrors");
+    const std::vector<CandidatePair> mirrorPairs =
+        enumerateMirrorCandidates(design, config.mirror);
+    result.mirrorScored.resize(mirrorPairs.size());
+    pool.forEach(mirrorPairs.size(), [&](std::size_t i) {
+      const CandidatePair& pair = mirrorPairs[i];
+      ScoredCandidate& scored = result.mirrorScored[i];
+      scored.pair = pair;
+      const nn::Matrix za = designEmbeddings.rowCopy(pair.a.id);
+      const nn::Matrix zb = designEmbeddings.rowCopy(pair.b.id);
+      scored.similarity = nn::Matrix::cosineSimilarity(za, zb);
+      const FlatDevice& ref = design.device(pair.a.id);
+      const FlatDevice& mir = design.device(pair.b.id);
+      // Length must agree for the mirror ratio to be W-defined; the
+      // width multiple is intent, not mismatch (reported as ratio).
+      scored.similarity *= clamp01(ratio(ref.params.l, mir.params.l));
+      scored.accepted = scored.similarity > result.mirrorThreshold;
+    });
+  }
+
+  result.set = buildConstraintSet(design, result);
+
   // Publish metrics once, serially, after the fan-out (never per pair
   // inside worker loops — see util/metrics.h).
   std::uint64_t accepted = 0;
@@ -175,6 +317,9 @@ DetectionResult detectImpl(const FlatDesign& design, const Library& lib,
   }
   scoredCounter.add(result.scored.size());
   acceptedCounter.add(accepted);
+  mirrorCandidatesCounter.add(result.mirrorScored.size());
+  mirrorAcceptedCounter.add(
+      result.set.count(ConstraintType::kCurrentMirror));
   return result;
 }
 

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/candidates.h"
+#include "core/constraint.h"
 #include "core/embedding.h"
 #include "core/features.h"
 #include "core/graph_builder.h"
@@ -17,6 +18,26 @@
 #include "nn/matrix.h"
 
 namespace ancstr {
+
+/// Current-mirror detection knobs. Candidates come from a gate/drain-
+/// sharing topology heuristic on the elaborated design: a diode-connected
+/// MOS device (gate net == drain net) is a mirror *reference*; every
+/// same-type device under the same hierarchy node that shares its gate
+/// and source nets is a candidate *mirror* branch. Candidates are scored
+/// with the trained embeddings (cosine of the two devices' rows, times
+/// the gate-length agreement ratio — the width term of
+/// deviceSizeSimilarity is deliberately dropped because a mirror's width
+/// MULTIPLE is the design intent, reported as Constraint::ratio).
+struct MirrorConfig {
+  bool enabled = true;
+  /// Accept a (reference, mirror) candidate above this score.
+  double threshold = 0.5;
+  /// Gate nets with more terminals than this are skipped (a gate tied to
+  /// a rail-sized net is distribution, not mirroring).
+  std::size_t maxGateNetDegree = 64;
+
+  bool operator==(const MirrorConfig&) const = default;
+};
 
 struct DetectorConfig {
   double alpha = 0.95;            ///< Eq. 4 alpha
@@ -41,6 +62,8 @@ struct DetectorConfig {
   /// is supplied — block embeddings are gathered from the whole-design
   /// vertex embeddings instead (context-sensitive; ablated).
   bool localBlockEmbeddings = true;
+  /// Current-mirror detection (see MirrorConfig).
+  MirrorConfig mirror;
 };
 
 /// Key of one cached block-pair similarity: the subtree structuralHashes
@@ -105,14 +128,32 @@ struct ScoredCandidate {
 
 /// Output of a detection run.
 struct DetectionResult {
-  /// Every valid candidate with its score (input to ROC sweeps).
+  /// Every valid symmetry candidate with its score (input to ROC sweeps).
   std::vector<ScoredCandidate> scored;
+  /// Every current-mirror candidate (reference in pair.a, mirror branch
+  /// in pair.b) with its score — the per-type FPR denominator.
+  std::vector<ScoredCandidate> mirrorScored;
   double systemThreshold = 0.0;  ///< Eq. 4 lambda_th used
   double deviceThreshold = 0.0;
+  double mirrorThreshold = 0.0;  ///< MirrorConfig::threshold used
 
-  /// Accepted constraints only.
+  /// The typed constraint registry (core/constraint.h) holding every
+  /// accepted record — the single detection-output currency consumed by
+  /// grouping, eval, IO, and the CLI.
+  ConstraintSet set;
+
+  /// Accepted symmetry pairs only.
+  [[deprecated(
+      "use DetectionResult::set (the typed ConstraintSet registry)")]]
   std::vector<ScoredCandidate> constraints() const;
 };
+
+/// Builds the typed registry from a detection run's accepted candidates
+/// and thresholds. detectConstraints() populates DetectionResult::set
+/// with exactly this; exposed for hand-built DetectionResults (tests,
+/// ROC sweeps re-thresholding `scored`) and the legacy grouping shim.
+ConstraintSet buildConstraintSet(const FlatDesign& design,
+                                 const DetectionResult& detection);
 
 /// Eq. 4: lambda_th = min(0.999, alpha + beta / (1 + |N_sub|)).
 double systemThreshold(double alpha, double beta,

@@ -63,35 +63,38 @@ util::LruCacheStats statsDelta(const util::LruCacheStats& now,
 /// every pool worker; the LRU's own mutex is the only synchronization).
 class ExtractionEngine::BlockCacheAdapter final : public BlockEmbeddingCache {
  public:
-  explicit BlockCacheAdapter(
-      util::LruByteCache<util::StructuralHash, CachedBlockEmbedding>& cache)
-      : cache_(cache) {}
+  BlockCacheAdapter(
+      util::LruByteCache<util::StructuralHash, CachedBlockEmbedding>& cache,
+      std::uint64_t salt)
+      : cache_(cache), salt_(salt) {}
 
   std::shared_ptr<const CachedBlockEmbedding> lookup(
       const util::StructuralHash& key) override {
-    return cache_.get(key);
+    return cache_.get(withConfigSalt(key, salt_));
   }
 
   void store(const util::StructuralHash& key,
              std::shared_ptr<const CachedBlockEmbedding> entry) override {
     const std::size_t bytes = entry->approxBytes();
-    cache_.put(key, std::move(entry), bytes);
+    cache_.put(withConfigSalt(key, salt_), std::move(entry), bytes);
   }
 
  private:
   util::LruByteCache<util::StructuralHash, CachedBlockEmbedding>& cache_;
+  const std::uint64_t salt_;  ///< see ExtractionEngine::detectorSalt()
 };
 
 /// PairScoreCache over the engine's LRU (same concurrency model as the
 /// block adapter: the LRU's mutex is the only synchronization).
 class ExtractionEngine::PairCacheAdapter final : public PairScoreCache {
  public:
-  explicit PairCacheAdapter(
-      util::LruByteCache<PairScoreKey, double, PairScoreKeyHash>& cache)
-      : cache_(cache) {}
+  PairCacheAdapter(
+      util::LruByteCache<PairScoreKey, double, PairScoreKeyHash>& cache,
+      std::uint64_t salt)
+      : cache_(cache), salt_(salt) {}
 
   bool lookup(const PairScoreKey& key, double* similarity) override {
-    if (const auto hit = cache_.get(key)) {
+    if (const auto hit = cache_.get(salted(key))) {
       *similarity = *hit;
       return true;
     }
@@ -99,24 +102,32 @@ class ExtractionEngine::PairCacheAdapter final : public PairScoreCache {
   }
 
   void store(const PairScoreKey& key, double similarity) override {
-    cache_.put(key, std::make_shared<const double>(similarity),
+    cache_.put(salted(key), std::make_shared<const double>(similarity),
                kPairEntryBytes);
   }
 
  private:
+  PairScoreKey salted(const PairScoreKey& key) const {
+    return {withConfigSalt(key.a, salt_), withConfigSalt(key.b, salt_)};
+  }
+
   util::LruByteCache<PairScoreKey, double, PairScoreKeyHash>& cache_;
+  const std::uint64_t salt_;  ///< see ExtractionEngine::detectorSalt()
 };
 
 ExtractionEngine::ExtractionEngine(const Pipeline& pipeline,
                                    EngineConfig config)
     : pipeline_(pipeline),
       config_(config),
+      detectorSalt_(detectorConfigSignature(pipeline.config().detector)),
       designCache_(designBudget(config)),
       blockCache_(blockBudget(config)),
       pairCache_(pairBudget(config)),
       subtreeHashMemo_(subtreeMemoBudget(config)),
-      blockAdapter_(std::make_unique<BlockCacheAdapter>(blockCache_)),
-      pairAdapter_(std::make_unique<PairCacheAdapter>(pairCache_)) {}
+      blockAdapter_(
+          std::make_unique<BlockCacheAdapter>(blockCache_, detectorSalt_)),
+      pairAdapter_(
+          std::make_unique<PairCacheAdapter>(pairCache_, detectorSalt_)) {}
 
 ExtractionEngine::~ExtractionEngine() = default;
 
@@ -154,11 +165,14 @@ ExtractionResult ExtractionEngine::extractOne(
                                    pipeline_.config().features);
         result.report.addPhase("engine.hash", hashSpan.seconds());
       }
-      artifacts = designCache_.get(key);
+      // Cache keys carry the detector-config salt (see detectorSalt());
+      // the raw hash stays the currency of diffing and manifests.
+      const util::StructuralHash cacheKey = withConfigSalt(key, detectorSalt_);
+      artifacts = designCache_.get(cacheKey);
       if (artifacts == nullptr) {
         auto computed = std::make_shared<InferenceArtifacts>(
             pipeline_.runInference(lib, design, result.report));
-        designCache_.put(key, computed, computed->approxBytes());
+        designCache_.put(cacheKey, computed, computed->approxBytes());
         artifacts = std::move(computed);
       }
     } else {
@@ -301,7 +315,8 @@ ExtractionResult ExtractionEngine::extractDelta(const Library& oldLib,
   if (config_.cacheBudgetBytes > 0 && oldDesign.has_value()) {
     try {
       const bool warm =
-          !config_.cacheDesignInference || !designCache_.contains(oldHash);
+          !config_.cacheDesignInference ||
+          !designCache_.contains(withConfigSalt(oldHash, detectorSalt_));
       if (warm) {
         const trace::TraceSpan warmSpan("engine.warm");
         (void)extractOne(oldLib, nullptr, &*oldDesign, &oldHash,

@@ -160,6 +160,14 @@ class ExtractionEngine {
 
   EngineCacheStats cacheStats() const;
 
+  /// The detector-configuration salt mixed into every design/block/pair
+  /// cache key (detectorConfigSignature of the wrapped pipeline's
+  /// detector config, core/circuit_hash.h). Engines over pipelines with
+  /// different detector configurations — thresholds, embedding options,
+  /// constraint-type (mirror) settings — therefore key disjoint cache
+  /// spaces, so cached results can never leak across configurations.
+  std::uint64_t detectorSalt() const { return detectorSalt_; }
+
   /// Drops every unpinned cached entry (e.g. after Pipeline::loadModel).
   void clearCaches();
 
@@ -193,6 +201,10 @@ class ExtractionEngine {
 
   const Pipeline& pipeline_;
   EngineConfig config_;
+  /// See detectorSalt(). The subtree-hash memo stays UNSALTED: subtree
+  /// hashes are a pure function of design + graph/feature options,
+  /// independent of how detection scores them.
+  std::uint64_t detectorSalt_ = 0;
   mutable util::LruByteCache<util::StructuralHash, InferenceArtifacts>
       designCache_;
   mutable util::LruByteCache<util::StructuralHash, CachedBlockEmbedding>

@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <map>
 #include <set>
-#include <unordered_map>
+#include <tuple>
+#include <utility>
 
 namespace ancstr {
 namespace {
@@ -27,7 +28,8 @@ class DisjointSets {
   std::vector<std::size_t> parent_;
 };
 
-/// Key identifying one module within one hierarchy.
+/// Key identifying one module within one hierarchy (stable ids, never
+/// names — rename-only edits keep the grouping keyspace unchanged).
 struct ModuleKey {
   HierNodeId hierarchy;
   ModuleKind kind;
@@ -67,80 +69,128 @@ bool bridges(const FlatDesign& design, FlatDeviceId d, FlatDeviceId a,
   return false;
 }
 
+std::string localDeviceName(const FlatDesign& design, FlatDeviceId d) {
+  const std::string& path = design.device(d).path;
+  const std::size_t slash = path.rfind('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
 }  // namespace
 
-std::vector<SymmetryGroup> buildSymmetryGroups(const FlatDesign& design,
-                                               const DetectionResult& detection,
-                                               const GroupOptions& options) {
-  // Collect accepted pairs, assign dense indices to their modules.
+std::size_t appendSymmetryGroups(const FlatDesign& design, ConstraintSet& set,
+                                 const GroupOptions& options) {
+  // Assign dense indices to the modules of every symmetry pair.
+  const std::vector<const Constraint*> pairs =
+      set.ofType(ConstraintType::kSymmetryPair);
   std::map<ModuleKey, std::size_t> indexOf;
   std::vector<ModuleKey> moduleAt;
-  std::vector<const ScoredCandidate*> accepted;
+  auto keyOf = [](const Constraint& c, std::size_t side) {
+    return ModuleKey{c.hierarchy, c.members[side].kind, c.members[side].id};
+  };
   auto indexFor = [&](const ModuleKey& key) {
     const auto [it, inserted] = indexOf.emplace(key, moduleAt.size());
     if (inserted) moduleAt.push_back(key);
     return it->second;
   };
-  for (const ScoredCandidate& c : detection.scored) {
-    if (!c.accepted) continue;
-    accepted.push_back(&c);
-    indexFor({c.pair.hierarchy, c.pair.a.kind, c.pair.a.id});
-    indexFor({c.pair.hierarchy, c.pair.b.kind, c.pair.b.id});
+  for (const Constraint* c : pairs) {
+    indexFor(keyOf(*c, 0));
+    indexFor(keyOf(*c, 1));
   }
 
   DisjointSets sets(moduleAt.size());
-  for (const ScoredCandidate* c : accepted) {
-    sets.unite(indexOf.at({c->pair.hierarchy, c->pair.a.kind, c->pair.a.id}),
-               indexOf.at({c->pair.hierarchy, c->pair.b.kind, c->pair.b.id}));
+  for (const Constraint* c : pairs) {
+    sets.unite(indexOf.at(keyOf(*c, 0)), indexOf.at(keyOf(*c, 1)));
   }
 
-  // Group pairs by component root.
-  std::map<std::size_t, SymmetryGroup> groups;
-  for (const ScoredCandidate* c : accepted) {
-    const std::size_t root =
-        sets.find(indexOf.at({c->pair.hierarchy, c->pair.a.kind, c->pair.a.id}));
-    SymmetryGroup& group = groups[root];
-    group.hierarchy = c->pair.hierarchy;
-    group.level = c->pair.level;
-    group.pairs.emplace_back(c->pair.nameA, c->pair.nameB);
+  // Pairs per component root, in a root-keyed deterministic order.
+  std::map<std::size_t, std::vector<const Constraint*>> components;
+  for (const Constraint* c : pairs) {
+    components[sets.find(indexOf.at(keyOf(*c, 0)))].push_back(c);
   }
 
-  // Self-symmetric detection: unmatched leaf devices bridging a pair.
-  if (options.detectSelfSymmetric) {
-    std::set<FlatDeviceId> matchedDevices;
-    for (const ScoredCandidate* c : accepted) {
-      if (c->pair.a.kind == ModuleKind::kDevice) {
-        matchedDevices.insert(c->pair.a.id);
-        matchedDevices.insert(c->pair.b.id);
-      }
+  std::set<FlatDeviceId> matchedDevices;
+  for (const Constraint* c : pairs) {
+    if (c->members[0].kind == ModuleKind::kDevice) {
+      matchedDevices.insert(c->members[0].id);
+      matchedDevices.insert(c->members[1].id);
     }
-    for (auto& [root, group] : groups) {
-      std::set<std::string> self;
-      for (const ScoredCandidate* c : accepted) {
-        if (c->pair.a.kind != ModuleKind::kDevice) continue;
-        const std::size_t croot = sets.find(
-            indexOf.at({c->pair.hierarchy, c->pair.a.kind, c->pair.a.id}));
-        if (croot != root) continue;
-        for (const FlatDeviceId d :
-             design.node(c->pair.hierarchy).leafDevices) {
+  }
+
+  std::vector<Constraint> appended;
+  std::set<std::pair<HierNodeId, FlatDeviceId>> selfSeen;
+  for (auto& [root, members] : components) {
+    std::sort(members.begin(), members.end(),
+              [](const Constraint* a, const Constraint* b) {
+                return std::tie(a->members[0].name, a->members[1].name) <
+                       std::tie(b->members[0].name, b->members[1].name);
+              });
+    Constraint group;
+    group.type = ConstraintType::kSymmetryGroup;
+    group.hierarchy = members.front()->hierarchy;
+    group.level = members.front()->level;
+    group.pairCount = static_cast<std::uint32_t>(members.size());
+    for (const Constraint* c : members) {
+      group.members.push_back(c->members[0]);
+      group.members.push_back(c->members[1]);
+    }
+
+    // Self-symmetric detection: unmatched leaf devices bridging a pair.
+    if (options.detectSelfSymmetric) {
+      std::map<std::string, FlatDeviceId> self;  // name-sorted, id-carrying
+      for (const Constraint* c : members) {
+        if (c->members[0].kind != ModuleKind::kDevice) continue;
+        for (const FlatDeviceId d : design.node(c->hierarchy).leafDevices) {
           if (matchedDevices.count(d) != 0) continue;
-          if (bridges(design, d, c->pair.a.id, c->pair.b.id,
+          if (bridges(design, d, c->members[0].id, c->members[1].id,
                       options.maxNetDegree)) {
-            const std::string& path = design.device(d).path;
-            const std::size_t slash = path.rfind('/');
-            self.insert(slash == std::string::npos ? path
-                                                   : path.substr(slash + 1));
+            self.emplace(localDeviceName(design, d), d);
           }
         }
       }
-      group.selfSymmetric.assign(self.begin(), self.end());
+      for (const auto& [name, d] : self) {
+        group.members.push_back({ModuleKind::kDevice, d, name});
+        if (selfSeen.emplace(group.hierarchy, d).second) {
+          Constraint single;
+          single.type = ConstraintType::kSelfSymmetric;
+          single.hierarchy = group.hierarchy;
+          single.level = ConstraintLevel::kDevice;
+          single.members = {{ModuleKind::kDevice, d, name}};
+          appended.push_back(std::move(single));
+        }
+      }
     }
+    appended.push_back(std::move(group));
   }
 
+  const std::size_t count = appended.size();
+  for (Constraint& c : appended) set.add(std::move(c));
+  set.canonicalize();
+  return count;
+}
+
+// Legacy name-pair view, reconstructed through the registry path so old
+// and new callers agree record for record.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+std::vector<SymmetryGroup> buildSymmetryGroups(const FlatDesign& design,
+                                               const DetectionResult& detection,
+                                               const GroupOptions& options) {
+  ConstraintSet set = buildConstraintSet(design, detection);
+  appendSymmetryGroups(design, set, options);
   std::vector<SymmetryGroup> out;
-  out.reserve(groups.size());
-  for (auto& [root, group] : groups) {
-    std::sort(group.pairs.begin(), group.pairs.end());
+  for (const Constraint* g : set.ofType(ConstraintType::kSymmetryGroup)) {
+    SymmetryGroup group;
+    group.hierarchy = g->hierarchy;
+    group.level = g->level;
+    for (std::size_t i = 0; i < g->pairCount; ++i) {
+      group.pairs.emplace_back(g->members[2 * i].name,
+                               g->members[2 * i + 1].name);
+    }
+    for (std::size_t i = 2 * g->pairCount; i < g->members.size(); ++i) {
+      group.selfSymmetric.push_back(g->members[i].name);
+    }
     out.push_back(std::move(group));
   }
   std::sort(out.begin(), out.end(),
@@ -150,5 +200,8 @@ std::vector<SymmetryGroup> buildSymmetryGroups(const FlatDesign& design,
             });
   return out;
 }
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 }  // namespace ancstr

@@ -5,11 +5,19 @@
 // electrically *between* the two sides of a matched pair — e.g. the tail
 // transistor of a differential pair — are annotated as self-symmetric
 // members that must straddle the group's symmetry axis.
+//
+// Grouping reads and writes the typed registry (core/constraint.h):
+// appendSymmetryGroups() merges a set's kSymmetryPair records into
+// kSymmetryGroup constraints (stable member ids + names, so rename-only
+// edits keep delta caches hot) and appends kSelfSymmetric records for the
+// bridging devices. The legacy name-pair SymmetryGroup view remains as a
+// deprecated shim.
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "core/constraint.h"
 #include "core/detector.h"
 #include "netlist/flatten.h"
 
@@ -23,7 +31,17 @@ struct GroupOptions {
   bool detectSelfSymmetric = true;
 };
 
-/// One symmetry group under `hierarchy`.
+/// Merges the set's kSymmetryPair constraints into kSymmetryGroup
+/// records (one per connected component over shared modules; members are
+/// the merged pairs in (a0, b0, a1, b1, ...) order followed by the
+/// group's self-symmetric devices, pairCount = number of pairs) and
+/// appends one kSelfSymmetric record per unique bridging device. The set
+/// is re-canonicalized; the number of appended records is returned.
+/// Deterministic: equal input sets yield bitwise-equal output sets.
+std::size_t appendSymmetryGroups(const FlatDesign& design, ConstraintSet& set,
+                                 const GroupOptions& options = {});
+
+/// One symmetry group under `hierarchy` (legacy name-pair view).
 struct SymmetryGroup {
   HierNodeId hierarchy = 0;
   ConstraintLevel level = ConstraintLevel::kDevice;
@@ -40,6 +58,8 @@ struct SymmetryGroup {
 /// Merges the accepted constraints of `detection` into symmetry groups.
 /// Groups are reported in a deterministic order (by hierarchy id, then
 /// first pair name).
+[[deprecated(
+    "use appendSymmetryGroups on the typed ConstraintSet registry")]]
 std::vector<SymmetryGroup> buildSymmetryGroups(
     const FlatDesign& design, const DetectionResult& detection,
     const GroupOptions& options = {});

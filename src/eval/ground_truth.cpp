@@ -10,12 +10,20 @@
 namespace ancstr {
 namespace {
 
-std::string pairKey(std::string_view hierPath, std::string_view a,
-                    std::string_view b) {
+/// Legacy symmetry-pair keys stay unprefixed so golden files and saved
+/// indices keep matching; other constraint types get a type-tag prefix.
+std::string pairKey(ConstraintType type, std::string_view hierPath,
+                    std::string_view a, std::string_view b) {
   std::string la = str::toLower(a);
   std::string lb = str::toLower(b);
   if (lb < la) std::swap(la, lb);
-  return str::toLower(hierPath) + "|" + la + "|" + lb;
+  std::string key;
+  if (type != ConstraintType::kSymmetryPair) {
+    key += constraintTypeName(type);
+    key += "|";
+  }
+  key += str::toLower(hierPath) + "|" + la + "|" + lb;
+  return key;
 }
 
 }  // namespace
@@ -23,19 +31,39 @@ std::string pairKey(std::string_view hierPath, std::string_view a,
 GroundTruth::GroundTruth(std::vector<GroundTruthEntry> entries)
     : entries_(std::move(entries)) {
   for (const GroundTruthEntry& e : entries_) {
-    keys_.insert(pairKey(e.hierPath, e.nameA, e.nameB));
+    keys_.insert(pairKey(e.type, e.hierPath, e.nameA, e.nameB));
   }
+}
+
+std::size_t GroundTruth::count(ConstraintType type) const {
+  std::size_t n = 0;
+  for (const GroundTruthEntry& e : entries_) {
+    if (e.type == type) ++n;
+  }
+  return n;
 }
 
 bool GroundTruth::contains(std::string_view hierPath, std::string_view a,
                            std::string_view b) const {
-  return keys_.count(pairKey(hierPath, a, b)) != 0;
+  return contains(ConstraintType::kSymmetryPair, hierPath, a, b);
+}
+
+bool GroundTruth::contains(ConstraintType type, std::string_view hierPath,
+                           std::string_view a, std::string_view b) const {
+  return keys_.count(pairKey(type, hierPath, a, b)) != 0;
 }
 
 bool GroundTruth::matches(const FlatDesign& design,
                           const CandidatePair& pair) const {
   const std::string& hierPath = design.node(pair.hierarchy).path;
   return contains(hierPath, pair.nameA, pair.nameB);
+}
+
+bool GroundTruth::matchesMirror(const FlatDesign& design,
+                                const CandidatePair& pair) const {
+  const std::string& hierPath = design.node(pair.hierarchy).path;
+  return contains(ConstraintType::kCurrentMirror, hierPath, pair.nameA,
+                  pair.nameB);
 }
 
 std::vector<bool> labelCandidates(const FlatDesign& design,
@@ -48,6 +76,20 @@ std::vector<bool> labelCandidates(const FlatDesign& design,
   std::vector<bool> labels(scored.size(), false);
   for (std::size_t i = 0; i < scored.size(); ++i) {
     labels[i] = truth.matches(design, scored[i].pair);
+  }
+  return labels;
+}
+
+std::vector<bool> labelMirrorCandidates(
+    const FlatDesign& design, const std::vector<ScoredCandidate>& scored,
+    const GroundTruth& truth) {
+  static metrics::Counter& labeledCounter =
+      metrics::Registry::instance().counter("eval.mirrors_labeled");
+  const trace::TraceSpan span("eval.label_mirrors");
+  labeledCounter.add(scored.size());
+  std::vector<bool> labels(scored.size(), false);
+  for (std::size_t i = 0; i < scored.size(); ++i) {
+    labels[i] = truth.matchesMirror(design, scored[i].pair);
   }
   return labels;
 }

@@ -1,9 +1,10 @@
 // Designer ground-truth constraints and matching against detector output.
 //
-// Ground truth is a set of (hierarchy path, module name, module name)
-// triples; pair order and name case are normalised. Benchmark generators
-// emit these alongside the netlist; the evaluation harness labels every
-// scored candidate and reduces decisions to a confusion matrix.
+// Ground truth is a set of typed (constraint type, hierarchy path, module
+// name, module name) records; pair order and name case are normalised.
+// Benchmark generators emit these alongside the netlist; the evaluation
+// harness labels every scored candidate and reduces decisions to a
+// per-constraint-type confusion matrix.
 #pragma once
 
 #include <string>
@@ -12,6 +13,7 @@
 #include <vector>
 
 #include "core/candidates.h"
+#include "core/constraint.h"
 #include "core/constraint_io.h"
 #include "core/detector.h"
 #include "eval/metrics.h"
@@ -19,12 +21,15 @@
 
 namespace ancstr {
 
-/// One designer-annotated symmetry constraint.
+/// One designer-annotated constraint. For kSymmetryPair the names are the
+/// matched pair; for kCurrentMirror nameA is the (diode-connected)
+/// reference and nameB the mirror output device.
 struct GroundTruthEntry {
   std::string hierPath;  ///< "" for the top cell, else "xfilter/xota"
   std::string nameA;     ///< local instance or device name
   std::string nameB;
   ConstraintLevel level = ConstraintLevel::kDevice;
+  ConstraintType type = ConstraintType::kSymmetryPair;
 };
 
 /// Indexed ground truth for O(1) pair lookups.
@@ -36,12 +41,26 @@ class GroundTruth {
   std::size_t size() const { return entries_.size(); }
   const std::vector<GroundTruthEntry>& entries() const { return entries_; }
 
-  /// True when (hierPath, a, b) is annotated (order-insensitive).
+  /// Number of annotated constraints of one type.
+  std::size_t count(ConstraintType type) const;
+
+  /// True when (hierPath, a, b) is annotated as a symmetry pair
+  /// (order-insensitive).
   bool contains(std::string_view hierPath, std::string_view a,
                 std::string_view b) const;
 
-  /// True when the candidate matches an annotated constraint.
+  /// True when (hierPath, a, b) is annotated with the given constraint
+  /// type (order-insensitive within the pair).
+  bool contains(ConstraintType type, std::string_view hierPath,
+                std::string_view a, std::string_view b) const;
+
+  /// True when the candidate matches an annotated symmetry pair.
   bool matches(const FlatDesign& design, const CandidatePair& pair) const;
+
+  /// True when the candidate (reference in nameA, mirror in nameB, as in
+  /// DetectionResult::mirrorScored) matches an annotated current mirror.
+  bool matchesMirror(const FlatDesign& design,
+                     const CandidatePair& pair) const;
 
  private:
   std::vector<GroundTruthEntry> entries_;
@@ -53,6 +72,12 @@ class GroundTruth {
 std::vector<bool> labelCandidates(const FlatDesign& design,
                                   const std::vector<ScoredCandidate>& scored,
                                   const GroundTruth& truth);
+
+/// Labels mirror candidates (DetectionResult::mirrorScored — reference in
+/// pair.nameA, mirror in pair.nameB) against the kCurrentMirror entries.
+std::vector<bool> labelMirrorCandidates(
+    const FlatDesign& design, const std::vector<ScoredCandidate>& scored,
+    const GroundTruth& truth);
 
 /// Reduces accept decisions + labels to confusion counts, optionally
 /// restricted to one constraint level.

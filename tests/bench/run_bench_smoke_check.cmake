@@ -54,4 +54,18 @@ if(NOT rc EQUAL 0)
   message(FATAL_ERROR "compare_bench.py rejected an identical pair")
 endif()
 
+# Constraint-registry counters (mirrors the CI gate): mirror-bank
+# candidates are topology-driven and must be exact; accepted/export
+# counts prove the ALIGN path ran.
+execute_process(
+  COMMAND ${PYTHON} ${SCRIPTS}/gate_counters.py ${WORK_DIR}/bench.json
+          --case smoke.extract.mirror_bank4
+          --require "detector.mirror.candidates==12"
+          --require "detector.mirror.accepted>=1"
+          --require "constraints.exported>=12"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "gate_counters.py rejected the mirror counters")
+endif()
+
 message(STATUS "bench-smoke observability pipeline OK")

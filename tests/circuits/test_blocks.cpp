@@ -2,6 +2,7 @@
 
 #include "circuits/benchmark.h"
 #include "core/candidates.h"
+#include "core/detector.h"
 #include "netlist/flatten.h"
 
 namespace ancstr::circuits {
@@ -45,8 +46,9 @@ TEST_F(BlockCorpusTest, AllElaborateAndValidate) {
 }
 
 TEST_F(BlockCorpusTest, GroundTruthPairsAreValidCandidates) {
-  // Every annotated constraint must be enumerable as a valid candidate:
-  // same hierarchy, same type.
+  // Every annotated symmetry pair must be enumerable as a valid
+  // candidate: same hierarchy, same type. (Mirror entries live in the
+  // separate mirror enumeration, checked below.)
   for (const auto& bench : *corpus_) {
     SCOPED_TRACE(bench.name);
     const FlatDesign design = FlatDesign::elaborate(bench.lib);
@@ -55,8 +57,27 @@ TEST_F(BlockCorpusTest, GroundTruthPairsAreValidCandidates) {
     for (const CandidatePair& p : candidates.pairs) {
       if (bench.truth.matches(design, p)) ++matched;
     }
-    EXPECT_EQ(matched, bench.truth.size())
-        << "some ground-truth entries are not valid candidates";
+    EXPECT_EQ(matched, bench.truth.count(ConstraintType::kSymmetryPair))
+        << "some ground-truth pairs are not valid candidates";
+  }
+}
+
+TEST_F(BlockCorpusTest, GroundTruthMirrorsAreEnumerableCandidates) {
+  // Every annotated current mirror must come out of the detector's
+  // gate/drain-sharing candidate enumeration (scoring uses placeholder
+  // embeddings; only the candidate list matters here).
+  for (const auto& bench : *corpus_) {
+    SCOPED_TRACE(bench.name);
+    const FlatDesign design = FlatDesign::elaborate(bench.lib);
+    const nn::Matrix z(design.devices().size(), 2, 1.0);
+    const DetectionResult result =
+        detectConstraints(design, bench.lib, z, DetectorConfig{});
+    std::size_t matched = 0;
+    for (const ScoredCandidate& c : result.mirrorScored) {
+      if (bench.truth.matchesMirror(design, c.pair)) ++matched;
+    }
+    EXPECT_EQ(matched, bench.truth.count(ConstraintType::kCurrentMirror))
+        << "some ground-truth mirrors are not enumerable candidates";
   }
 }
 

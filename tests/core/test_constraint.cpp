@@ -1,0 +1,373 @@
+// Typed constraint registry (core/constraint.h), current-mirror
+// detection, and the detector-config cache salting (core/circuit_hash.h).
+#include "core/constraint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/circuit_hash.h"
+#include "core/constraint_io.h"
+#include "core/detector.h"
+#include "core/engine.h"
+#include "core/pipeline.h"
+#include "netlist/builder.h"
+
+namespace ancstr {
+namespace {
+
+// ------------------------------------------------------------- registry
+
+TEST(Constraint, TypeNamesRoundTrip) {
+  for (const ConstraintType type :
+       {ConstraintType::kSymmetryPair, ConstraintType::kSelfSymmetric,
+        ConstraintType::kCurrentMirror, ConstraintType::kSymmetryGroup}) {
+    const auto back = constraintTypeFromName(constraintTypeName(type));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, type);
+  }
+  EXPECT_FALSE(constraintTypeFromName("wormhole").has_value());
+  EXPECT_FALSE(constraintTypeFromName("").has_value());
+}
+
+Constraint makeRecord(ConstraintType type, HierNodeId hier,
+                      const std::string& a, const std::string& b,
+                      double score = 0.5) {
+  Constraint c;
+  c.type = type;
+  c.hierarchy = hier;
+  c.members.push_back({ModuleKind::kDevice, 0, a});
+  if (!b.empty()) c.members.push_back({ModuleKind::kDevice, 1, b});
+  c.score = score;
+  return c;
+}
+
+TEST(Constraint, CanonicalOrderIsInsertionIndependent) {
+  std::vector<Constraint> records{
+      makeRecord(ConstraintType::kCurrentMirror, 1, "mref", "mo1"),
+      makeRecord(ConstraintType::kSymmetryPair, 0, "m1", "m2"),
+      makeRecord(ConstraintType::kSelfSymmetric, 0, "mt", ""),
+      makeRecord(ConstraintType::kSymmetryPair, 1, "r1", "r2"),
+  };
+  ConstraintSet forward;
+  for (const Constraint& c : records) forward.add(c);
+  forward.canonicalize();
+
+  std::reverse(records.begin(), records.end());
+  ConstraintSet backward;
+  for (const Constraint& c : records) backward.add(c);
+  backward.canonicalize();
+
+  EXPECT_TRUE(forward == backward);
+  // Hierarchy is the primary sort key, then type.
+  ASSERT_EQ(forward.size(), 4u);
+  EXPECT_EQ(forward.all()[0].hierarchy, 0u);
+  EXPECT_EQ(forward.all()[0].type, ConstraintType::kSymmetryPair);
+  EXPECT_EQ(forward.all()[1].type, ConstraintType::kSelfSymmetric);
+  EXPECT_EQ(forward.all()[2].hierarchy, 1u);
+}
+
+TEST(Constraint, OfTypeAndCountAgree) {
+  ConstraintSet set;
+  set.add(makeRecord(ConstraintType::kSymmetryPair, 0, "a", "b"));
+  set.add(makeRecord(ConstraintType::kSymmetryPair, 0, "c", "d"));
+  set.add(makeRecord(ConstraintType::kCurrentMirror, 0, "r", "m"));
+  set.canonicalize();
+  EXPECT_EQ(set.count(ConstraintType::kSymmetryPair), 2u);
+  EXPECT_EQ(set.ofType(ConstraintType::kSymmetryPair).size(), 2u);
+  EXPECT_EQ(set.count(ConstraintType::kCurrentMirror), 1u);
+  EXPECT_EQ(set.count(ConstraintType::kSymmetryGroup), 0u);
+  EXPECT_FALSE(set.empty());
+  EXPECT_EQ(set.size(), 3u);
+}
+
+// ----------------------------------------------------- mirror detection
+
+struct MirrorSetup {
+  Library lib;
+  FlatDesign design;
+  nn::Matrix z;
+};
+
+/// Diode-connected reference `mref` fanning out to 2x and 4x branches,
+/// plus `mx` on an unrelated gate net (not a candidate).
+MirrorSetup makeMirrorSetup(double branchLength = 0.4e-6) {
+  NetlistBuilder b;
+  b.beginSubckt("bank", {"vdd", "vss", "en"});
+  b.nmos("mref", "bias", "bias", "vss", "vss", 2e-6, 0.4e-6);
+  b.res("rb", "bias", "vdd", 50e3);
+  b.nmos("mo1", "o1", "bias", "vss", "vss", 4e-6, branchLength);
+  b.nmos("mo2", "o2", "bias", "vss", "vss", 8e-6, branchLength);
+  b.nmos("mx", "o3", "en", "vss", "vss", 2e-6, 0.4e-6);
+  b.res("r1", "o1", "vdd", 10e3);
+  b.res("r2", "o2", "vdd", 10e3);
+  b.res("r3", "o3", "vdd", 10e3);
+  b.endSubckt();
+  Library lib = b.build("bank");
+  FlatDesign design = FlatDesign::elaborate(lib);
+  MirrorSetup s{std::move(lib), std::move(design), {}};
+  // Identical embedding rows: cosine 1 for every device pair. (3, 4, 0)
+  // has norm exactly 5, so the self-cosine is exactly 1.0 and the
+  // similarity assertions below can demand bitwise values.
+  s.z = nn::Matrix(s.design.devices().size(), 3);
+  for (std::size_t r = 0; r < s.z.rows(); ++r) {
+    s.z(r, 0) = 3.0;
+    s.z(r, 1) = 4.0;
+    s.z(r, 2) = 0.0;
+  }
+  return s;
+}
+
+FlatDeviceId deviceByName(const FlatDesign& design, const std::string& name) {
+  for (FlatDeviceId i = 0; i < design.devices().size(); ++i) {
+    if (design.device(i).path == name) return i;
+  }
+  ADD_FAILURE() << "no device named " << name;
+  return 0;
+}
+
+TEST(MirrorDetection, DiodeReferenceFansOutWithRatios) {
+  const MirrorSetup s = makeMirrorSetup();
+  const DetectionResult result =
+      detectConstraints(s.design, s.lib, s.z, DetectorConfig{});
+  // Candidates: (mref, mo1) and (mref, mo2) — mx shares neither gate.
+  ASSERT_EQ(result.mirrorScored.size(), 2u);
+  for (const ScoredCandidate& c : result.mirrorScored) {
+    EXPECT_EQ(c.pair.nameA, "mref");
+    EXPECT_TRUE(c.accepted) << c.pair.nameB;
+    EXPECT_DOUBLE_EQ(c.similarity, 1.0);
+  }
+  const auto mirrors = result.set.ofType(ConstraintType::kCurrentMirror);
+  ASSERT_EQ(mirrors.size(), 2u);
+  EXPECT_EQ(mirrors[0]->members[0].name, "mref");
+  EXPECT_EQ(mirrors[0]->members[1].name, "mo1");
+  EXPECT_DOUBLE_EQ(mirrors[0]->ratio, 2.0);
+  EXPECT_EQ(mirrors[1]->members[1].name, "mo2");
+  EXPECT_DOUBLE_EQ(mirrors[1]->ratio, 4.0);
+}
+
+TEST(MirrorDetection, DissimilarEmbeddingRejectedButStillScored) {
+  MirrorSetup s = makeMirrorSetup();
+  // Make mo1's embedding orthogonal to mref's (3, 4, 0).
+  const FlatDeviceId mo1 = deviceByName(s.design, "mo1");
+  s.z(mo1, 0) = 4.0;
+  s.z(mo1, 1) = -3.0;
+  s.z(mo1, 2) = 0.0;
+  const DetectionResult result =
+      detectConstraints(s.design, s.lib, s.z, DetectorConfig{});
+  ASSERT_EQ(result.mirrorScored.size(), 2u);  // FPR denominator intact
+  EXPECT_EQ(result.set.count(ConstraintType::kCurrentMirror), 1u);
+  for (const ScoredCandidate& c : result.mirrorScored) {
+    if (c.pair.nameB == "mo1") EXPECT_FALSE(c.accepted);
+  }
+}
+
+TEST(MirrorDetection, LengthMismatchPenalized) {
+  // Branch L = 2x reference L: similarity = 0.5 even with identical
+  // embeddings, which does not clear the default 0.5 threshold.
+  const MirrorSetup s = makeMirrorSetup(/*branchLength=*/0.8e-6);
+  const DetectionResult result =
+      detectConstraints(s.design, s.lib, s.z, DetectorConfig{});
+  ASSERT_EQ(result.mirrorScored.size(), 2u);
+  for (const ScoredCandidate& c : result.mirrorScored) {
+    EXPECT_DOUBLE_EQ(c.similarity, 0.5);
+    EXPECT_FALSE(c.accepted);
+  }
+  EXPECT_EQ(result.set.count(ConstraintType::kCurrentMirror), 0u);
+}
+
+TEST(MirrorDetection, DisabledConfigYieldsNoCandidates) {
+  const MirrorSetup s = makeMirrorSetup();
+  DetectorConfig config;
+  config.mirror.enabled = false;
+  const DetectionResult result =
+      detectConstraints(s.design, s.lib, s.z, config);
+  EXPECT_TRUE(result.mirrorScored.empty());
+  EXPECT_EQ(result.set.count(ConstraintType::kCurrentMirror), 0u);
+}
+
+TEST(MirrorDetection, GateNetDegreeCapSkipsWideNets) {
+  const MirrorSetup s = makeMirrorSetup();
+  DetectorConfig config;
+  config.mirror.maxGateNetDegree = 2;  // bias net has 4+ terminals
+  const DetectionResult result =
+      detectConstraints(s.design, s.lib, s.z, config);
+  EXPECT_TRUE(result.mirrorScored.empty());
+}
+
+TEST(MirrorDetection, SerialAndFourThreadsBitwiseIdentical) {
+  const MirrorSetup s = makeMirrorSetup();
+  const DetectionResult serial =
+      detectConstraints(s.design, s.lib, s.z, DetectorConfig{}, 1);
+  const DetectionResult parallel =
+      detectConstraints(s.design, s.lib, s.z, DetectorConfig{}, 4);
+  ASSERT_EQ(serial.mirrorScored.size(), parallel.mirrorScored.size());
+  for (std::size_t i = 0; i < serial.mirrorScored.size(); ++i) {
+    // EXPECT_EQ on double is exact comparison — bitwise, not near.
+    EXPECT_EQ(serial.mirrorScored[i].similarity,
+              parallel.mirrorScored[i].similarity);
+    EXPECT_EQ(serial.mirrorScored[i].accepted,
+              parallel.mirrorScored[i].accepted);
+    EXPECT_EQ(serial.mirrorScored[i].pair.a, parallel.mirrorScored[i].pair.a);
+    EXPECT_EQ(serial.mirrorScored[i].pair.b, parallel.mirrorScored[i].pair.b);
+  }
+  EXPECT_TRUE(serial.set == parallel.set);
+}
+
+// ------------------------------------------------- config cache salting
+
+TEST(DetectorConfigSignature, SensitiveToEveryDetectionKnob) {
+  const std::uint64_t base = detectorConfigSignature(DetectorConfig{});
+  const auto mutated = [](auto&& mutate) {
+    DetectorConfig config;
+    mutate(config);
+    return detectorConfigSignature(config);
+  };
+  EXPECT_NE(base, mutated([](DetectorConfig& c) { c.alpha += 0.01; }));
+  EXPECT_NE(base, mutated([](DetectorConfig& c) { c.beta += 0.01; }));
+  EXPECT_NE(base,
+            mutated([](DetectorConfig& c) { c.deviceThreshold += 0.01; }));
+  EXPECT_NE(base, mutated([](DetectorConfig& c) { c.embedding.topM += 1; }));
+  EXPECT_NE(base,
+            mutated([](DetectorConfig& c) { c.embedding.damping += 0.1; }));
+  EXPECT_NE(base, mutated([](DetectorConfig& c) {
+              c.sizingAwareSimilarity = !c.sizingAwareSimilarity;
+            }));
+  EXPECT_NE(base, mutated([](DetectorConfig& c) {
+              c.localBlockEmbeddings = !c.localBlockEmbeddings;
+            }));
+  EXPECT_NE(base, mutated([](DetectorConfig& c) {
+              c.mirror.enabled = !c.mirror.enabled;
+            }));
+  EXPECT_NE(base,
+            mutated([](DetectorConfig& c) { c.mirror.threshold += 0.1; }));
+  EXPECT_NE(base, mutated([](DetectorConfig& c) {
+              c.mirror.maxGateNetDegree += 1;
+            }));
+  // And it is a pure function: same config, same signature.
+  EXPECT_EQ(base, detectorConfigSignature(DetectorConfig{}));
+}
+
+TEST(DetectorConfigSignature, SaltedKeysAreDisjointAcrossConfigs) {
+  const util::StructuralHash h{0x0123456789abcdefull, 0xfedcba9876543210ull};
+  DetectorConfig other;
+  other.mirror.threshold = 0.9;
+  const std::uint64_t saltA = detectorConfigSignature(DetectorConfig{});
+  const std::uint64_t saltB = detectorConfigSignature(other);
+  ASSERT_NE(saltA, saltB);
+  EXPECT_FALSE(withConfigSalt(h, saltA) == withConfigSalt(h, saltB));
+  EXPECT_TRUE(withConfigSalt(h, saltA) == withConfigSalt(h, saltA));
+  // Salting actually changes the key — raw hashes never collide with
+  // salted ones by identity.
+  EXPECT_FALSE(withConfigSalt(h, saltA) == h);
+}
+
+TEST(Engine, DetectorSaltTracksPipelineConfig) {
+  PipelineConfig configA;
+  PipelineConfig configB;
+  configB.detector.mirror.enabled = false;
+  PipelineConfig configC;  // same as A
+  Pipeline pipelineA(configA);
+  Pipeline pipelineB(configB);
+  Pipeline pipelineC(configC);
+  const ExtractionEngine engineA(pipelineA);
+  const ExtractionEngine engineB(pipelineB);
+  const ExtractionEngine engineC(pipelineC);
+  EXPECT_NE(engineA.detectorSalt(), engineB.detectorSalt());
+  EXPECT_EQ(engineA.detectorSalt(), engineC.detectorSalt());
+}
+
+TEST(Engine, CachedExtractionRespectsMirrorConfig) {
+  // Same design through two engines whose pipelines differ only in the
+  // constraint-type (mirror) configuration: the warm second extract on
+  // each engine must keep reporting that engine's own config's results —
+  // cached entries never leak across detector configurations.
+  const MirrorSetup s = makeMirrorSetup();
+  PipelineConfig on;
+  on.train.epochs = 4;
+  PipelineConfig off = on;
+  off.detector.mirror.enabled = false;
+
+  Pipeline withMirrors(on);
+  withMirrors.train({&s.lib});
+  Pipeline withoutMirrors(off);
+  withoutMirrors.train({&s.lib});
+
+  const ExtractionEngine engineOn(withMirrors);
+  const ExtractionEngine engineOff(withoutMirrors);
+  const ExtractionResult coldOn = engineOn.extract(s.lib);
+  const ExtractionResult coldOff = engineOff.extract(s.lib);
+  EXPECT_EQ(coldOn.detection.mirrorScored.size(), 2u);
+  EXPECT_TRUE(coldOff.detection.mirrorScored.empty());
+
+  const ExtractionResult warmOn = engineOn.extract(s.lib);
+  const ExtractionResult warmOff = engineOff.extract(s.lib);
+  EXPECT_TRUE(warmOn.detection.set == coldOn.detection.set);
+  EXPECT_TRUE(warmOff.detection.set == coldOff.detection.set);
+  EXPECT_EQ(engineOn.cacheStats().design.hits, 1u);
+  EXPECT_EQ(engineOff.cacheStats().design.hits, 1u);
+}
+
+// ------------------------------------------------------- ALIGN export
+
+TEST(AlignExport, GroupsPairsAndMirrors) {
+  const MirrorSetup s = makeMirrorSetup();
+  DetectionResult detection;
+  const CandidateSet candidates = enumerateCandidates(s.design, s.lib);
+  for (const CandidatePair& pair : candidates.pairs) {
+    ScoredCandidate c;
+    c.pair = pair;
+    c.similarity = 0.9;
+    c.accepted = pair.nameA == "r1" && pair.nameB == "r2";
+    detection.scored.push_back(c);
+  }
+  detection.set = buildConstraintSet(s.design, detection);
+  ConstraintSet set = detection.set;
+  Constraint mirror = makeRecord(ConstraintType::kCurrentMirror, 0, "mref",
+                                 "mo1", /*score=*/1.0);
+  mirror.ratio = 2.0;
+  set.add(mirror);
+  mirror.members[1].name = "mo2";
+  mirror.ratio = 4.0;
+  set.add(mirror);
+  set.canonicalize();
+  const std::string align = constraintSetToAlignJson(s.design, set);
+
+  // Golden payload: one SymmetricBlocks entry for the accepted pair, one
+  // CurrentMirror entry with both branches grouped under the reference.
+  const std::string golden = R"({
+  "format": "align-constraints",
+  "version": 1,
+  "cells": {
+    ".": [
+      {
+        "constraint": "SymmetricBlocks",
+        "direction": "V",
+        "pairs": [
+          [
+            "r1",
+            "r2"
+          ]
+        ]
+      },
+      {
+        "constraint": "CurrentMirror",
+        "reference": "mref",
+        "mirrors": [
+          "mo1",
+          "mo2"
+        ],
+        "ratios": [
+          2,
+          4
+        ]
+      }
+    ]
+  }
+}
+)";
+  EXPECT_EQ(align, golden);
+}
+
+}  // namespace
+}  // namespace ancstr

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <limits>
+#include <tuple>
 
 #include "core/groups.h"
 #include "eval/ground_truth.h"
@@ -44,13 +46,15 @@ IoSetup makeSetup() {
     c.accepted = true;
     detection.scored.push_back(c);
   }
+  detection.set = buildConstraintSet(design, detection);
   return {std::move(lib), std::move(design), std::move(detection)};
 }
 
 TEST(ConstraintIo, JsonRoundTrip) {
   const IoSetup s = makeSetup();
-  const auto groups = buildSymmetryGroups(s.design, s.detection);
-  const std::string text = constraintsToJson(s.design, s.detection, groups);
+  ConstraintSet set = s.detection.set;
+  appendSymmetryGroups(s.design, set);
+  const std::string text = constraintSetToJson(s.design, set);
   const auto parsed = parseConstraintsJson(text);
 
   // Every accepted constraint must come back with the same key fields.
@@ -63,9 +67,45 @@ TEST(ConstraintIo, JsonRoundTrip) {
   EXPECT_EQ(pairRecords, s.detection.scored.size());
 }
 
+TEST(ConstraintIo, NativeRoundTripIsLossless) {
+  const IoSetup s = makeSetup();
+  ConstraintSet set = s.detection.set;
+  appendSymmetryGroups(s.design, set);
+  const ConstraintSet back =
+      parseConstraintSetJson(constraintSetToJson(s.design, set));
+  EXPECT_TRUE(back == set);
+  // And the round trip is a fixed point: re-serializing gives the bytes.
+  EXPECT_EQ(constraintSetToJson(s.design, back),
+            constraintSetToJson(s.design, set));
+}
+
+TEST(ConstraintIo, NativeParserRejectsV1Documents) {
+  const std::string v1 =
+      "{\"format\":\"ancstr-constraints\",\"version\":1,\"constraints\":[]}";
+  try {
+    parseConstraintSetJson(v1);
+    FAIL() << "expected parseConstraintSetJson to reject version 1";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("io.format"), std::string::npos);
+  }
+}
+
+TEST(ConstraintIo, NativeParserRejectsUnknownType) {
+  const std::string text =
+      "{\"format\":\"ancstr-constraints\",\"version\":2,\"constraints\":"
+      "[{\"type\":\"wormhole\",\"hierarchy\":\"\",\"hierarchy_id\":0,"
+      "\"level\":\"device\",\"members\":[],\"score\":0.5}]}";
+  try {
+    parseConstraintSetJson(text);
+    FAIL() << "expected parseConstraintSetJson to reject unknown type";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("io.format"), std::string::npos);
+  }
+}
+
 TEST(ConstraintIo, JsonPreservesHierarchyAndLevel) {
   const IoSetup s = makeSetup();
-  const std::string text = constraintsToJson(s.design, s.detection);
+  const std::string text = constraintSetToJson(s.design, s.detection.set);
   const auto parsed = parseConstraintsJson(text);
   bool sawSystem = false, sawDeviceInLeaf = false;
   for (const ParsedConstraint& p : parsed) {
@@ -81,8 +121,9 @@ TEST(ConstraintIo, JsonPreservesHierarchyAndLevel) {
 
 TEST(ConstraintIo, SymRoundTrip) {
   const IoSetup s = makeSetup();
-  const auto groups = buildSymmetryGroups(s.design, s.detection);
-  const std::string text = constraintsToSym(s.design, s.detection, groups);
+  ConstraintSet set = s.detection.set;
+  appendSymmetryGroups(s.design, set);
+  const std::string text = constraintSetToSym(s.design, set);
   const auto parsed = parseConstraintsSym(text);
   std::size_t pairs = 0;
   for (const ParsedConstraint& p : parsed) {
@@ -93,7 +134,7 @@ TEST(ConstraintIo, SymRoundTrip) {
 
 TEST(ConstraintIo, SymTopHierarchyIsDot) {
   const IoSetup s = makeSetup();
-  const std::string text = constraintsToSym(s.design, s.detection);
+  const std::string text = constraintSetToSym(s.design, s.detection.set);
   EXPECT_NE(text.find(". m1 m2"), std::string::npos);
   EXPECT_NE(text.find("u1 r1 r2"), std::string::npos);
 }
@@ -143,7 +184,7 @@ std::string jsonErrorWhat(const std::string& text) {
 
 TEST(ConstraintIo, TruncatedJsonCarriesTruncatedCode) {
   const IoSetup s = makeSetup();
-  std::string text = constraintsToJson(s.design, s.detection);
+  std::string text = constraintSetToJson(s.design, s.detection.set);
   text.resize(text.size() / 2);  // cut mid-document
   EXPECT_NE(jsonErrorWhat(text).find("io.truncated"), std::string::npos);
 }
@@ -171,15 +212,16 @@ TEST(ConstraintIo, OverflowingSimilarityIsRejected) {
   EXPECT_NE(jsonErrorWhat(text).find("io.truncated"), std::string::npos);
 }
 
-TEST(ConstraintIo, NaNSimilarityDoesNotRoundTrip) {
-  // A NaN similarity in a detection result must not survive a JSON
-  // round-trip unnoticed: the dump renders a token JSON cannot parse, so
-  // reading it back fails loudly with a coded error.
+TEST(ConstraintIo, NaNScoreDoesNotRoundTrip) {
+  // A NaN score in a registry must not survive a JSON round-trip
+  // unnoticed: the dump renders a token JSON cannot parse, so reading it
+  // back fails loudly with a coded error.
   IoSetup s = makeSetup();
   ASSERT_FALSE(s.detection.scored.empty());
   s.detection.scored[0].similarity =
       std::numeric_limits<double>::quiet_NaN();
-  const std::string text = constraintsToJson(s.design, s.detection);
+  s.detection.set = buildConstraintSet(s.design, s.detection);
+  const std::string text = constraintSetToJson(s.design, s.detection.set);
   EXPECT_NE(jsonErrorWhat(text).find("io.truncated"), std::string::npos);
 }
 
@@ -196,11 +238,84 @@ TEST(ConstraintIo, GoldenFileDiffWorkflow) {
   // Extract -> write sym -> read back as ground truth -> every accepted
   // constraint labels as true.
   const IoSetup s = makeSetup();
-  const std::string text = constraintsToSym(s.design, s.detection);
+  const std::string text = constraintSetToSym(s.design, s.detection.set);
   const GroundTruth golden = toGroundTruth(parseConstraintsSym(text));
   const auto labels = labelCandidates(s.design, s.detection.scored, golden);
   for (const bool l : labels) EXPECT_TRUE(l);
 }
+
+// --- deprecated-shim equivalence (docs/api.md deprecation policy) ------
+//
+// The legacy v1 writers remain as [[deprecated]] shims for one release;
+// these tests pin their output to the registry writers' content. Records
+// are compared as sorted (hier, a, b) tuples because the registry
+// serializes in canonical set order while the legacy writers follow
+// scored order.
+
+using Record = std::tuple<std::string, std::string, std::string>;
+
+std::vector<Record> sortedRecords(const std::vector<ParsedConstraint>& parsed) {
+  std::vector<Record> records;
+  for (const ParsedConstraint& p : parsed) {
+    std::string a = p.nameA, b = p.nameB;
+    if (!b.empty() && b < a) std::swap(a, b);
+    records.emplace_back(p.hierPath, a, b);
+  }
+  std::sort(records.begin(), records.end());
+  return records;
+}
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(ConstraintIo, LegacyJsonShimMatchesRegistryWriter) {
+  const IoSetup s = makeSetup();
+  const std::vector<SymmetryGroup> groups =
+      buildSymmetryGroups(s.design, s.detection);
+  ConstraintSet set = s.detection.set;
+  appendSymmetryGroups(s.design, set);
+
+  const auto legacy =
+      parseConstraintsJson(constraintsToJson(s.design, s.detection, groups));
+  const auto typed =
+      parseConstraintsJson(constraintSetToJson(s.design, set));
+  EXPECT_EQ(sortedRecords(legacy), sortedRecords(typed));
+}
+
+TEST(ConstraintIo, LegacySymShimMatchesRegistryWriter) {
+  const IoSetup s = makeSetup();
+  const std::vector<SymmetryGroup> groups =
+      buildSymmetryGroups(s.design, s.detection);
+  ConstraintSet set = s.detection.set;
+  appendSymmetryGroups(s.design, set);
+
+  const auto legacy =
+      parseConstraintsSym(constraintsToSym(s.design, s.detection, groups));
+  const auto typed = parseConstraintsSym(constraintSetToSym(s.design, set));
+  EXPECT_EQ(sortedRecords(legacy), sortedRecords(typed));
+}
+
+TEST(ConstraintIo, LegacyConstraintsAccessorMatchesRegistry) {
+  const IoSetup s = makeSetup();
+  const std::vector<ScoredCandidate> accepted = s.detection.constraints();
+  const auto pairs = s.detection.set.ofType(ConstraintType::kSymmetryPair);
+  ASSERT_EQ(accepted.size(), pairs.size());
+  std::vector<Record> fromAccessor;
+  for (const ScoredCandidate& c : accepted) {
+    std::string a = c.pair.nameA, b = c.pair.nameB;
+    if (b < a) std::swap(a, b);
+    fromAccessor.emplace_back(s.design.node(c.pair.hierarchy).path, a, b);
+  }
+  std::vector<Record> fromSet;
+  for (const Constraint* c : pairs) {
+    std::string a = c->members[0].name, b = c->members[1].name;
+    if (b < a) std::swap(a, b);
+    fromSet.emplace_back(s.design.node(c->hierarchy).path, a, b);
+  }
+  std::sort(fromAccessor.begin(), fromAccessor.end());
+  std::sort(fromSet.begin(), fromSet.end());
+  EXPECT_EQ(fromAccessor, fromSet);
+}
+#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace ancstr

@@ -138,11 +138,22 @@ TEST(Detector, ConstraintsSubsetOfScored) {
   DetectorSetup s = makeSetup();
   const DetectionResult result =
       detectConstraints(s.design, s.lib, s.z, DetectorConfig{});
-  const auto constraints = result.constraints();
-  for (const ScoredCandidate& c : constraints) EXPECT_TRUE(c.accepted);
+  const auto pairs = result.set.ofType(ConstraintType::kSymmetryPair);
   std::size_t accepted = 0;
   for (const ScoredCandidate& c : result.scored) accepted += c.accepted;
-  EXPECT_EQ(constraints.size(), accepted);
+  EXPECT_EQ(pairs.size(), accepted);
+  // Every registry pair record carries the score of an accepted candidate.
+  for (const Constraint* c : pairs) {
+    bool found = false;
+    for (const ScoredCandidate& s : result.scored) {
+      if (s.accepted && s.pair.nameA == c->members[0].name &&
+          s.pair.nameB == c->members[1].name &&
+          s.similarity == c->score) {
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
 }
 
 TEST(Detector, LocalBlockEmbeddingsIgnoreInstanceContext) {

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "netlist/builder.h"
 
 namespace ancstr {
@@ -38,38 +41,69 @@ GroupSetup makeSetup() {
     c.accepted = matched;
     detection.scored.push_back(c);
   }
+  detection.set = buildConstraintSet(design, detection);
   return {std::move(lib), std::move(design), std::move(detection)};
+}
+
+/// The (a, b) name pairs of one kSymmetryGroup record.
+std::vector<std::pair<std::string, std::string>> groupPairs(
+    const Constraint& g) {
+  std::vector<std::pair<std::string, std::string>> pairs;
+  for (std::uint32_t i = 0; i < g.pairCount; ++i) {
+    pairs.emplace_back(g.members[2 * i].name, g.members[2 * i + 1].name);
+  }
+  return pairs;
+}
+
+/// The self-symmetric tail names of one kSymmetryGroup record.
+std::vector<std::string> groupSelfs(const Constraint& g) {
+  std::vector<std::string> selfs;
+  for (std::size_t i = 2 * g.pairCount; i < g.members.size(); ++i) {
+    selfs.push_back(g.members[i].name);
+  }
+  return selfs;
 }
 
 TEST(Groups, DisjointPairsFormSeparateGroups) {
   const GroupSetup s = makeSetup();
-  const auto groups = buildSymmetryGroups(s.design, s.detection);
+  ConstraintSet set = s.detection.set;
+  appendSymmetryGroups(s.design, set);
+  const auto groups = set.ofType(ConstraintType::kSymmetryGroup);
   ASSERT_EQ(groups.size(), 2u);
-  EXPECT_EQ(groups[0].pairs.size(), 1u);
-  EXPECT_EQ(groups[1].pairs.size(), 1u);
+  EXPECT_EQ(groups[0]->pairCount, 1u);
+  EXPECT_EQ(groups[1]->pairCount, 1u);
 }
 
 TEST(Groups, TailDetectedAsSelfSymmetric) {
   const GroupSetup s = makeSetup();
-  const auto groups = buildSymmetryGroups(s.design, s.detection);
+  ConstraintSet set = s.detection.set;
+  appendSymmetryGroups(s.design, set);
   bool found = false;
-  for (const SymmetryGroup& g : groups) {
-    for (const auto& [a, b] : g.pairs) {
+  for (const Constraint* g : set.ofType(ConstraintType::kSymmetryGroup)) {
+    for (const auto& [a, b] : groupPairs(*g)) {
       if (a == "m1" && b == "m2") {
         found = true;
-        ASSERT_EQ(g.selfSymmetric.size(), 1u);
-        EXPECT_EQ(g.selfSymmetric[0], "mt");
+        const auto selfs = groupSelfs(*g);
+        ASSERT_EQ(selfs.size(), 1u);
+        EXPECT_EQ(selfs[0], "mt");
       }
     }
   }
   EXPECT_TRUE(found);
+  // The bridge device is also registered as a standalone kSelfSymmetric
+  // record, so flat consumers see it without walking group tails.
+  const auto selfs = set.ofType(ConstraintType::kSelfSymmetric);
+  ASSERT_EQ(selfs.size(), 1u);
+  ASSERT_EQ(selfs[0]->members.size(), 1u);
+  EXPECT_EQ(selfs[0]->members[0].name, "mt");
 }
 
 TEST(Groups, MatchedDevicesNeverSelfSymmetric) {
   const GroupSetup s = makeSetup();
-  const auto groups = buildSymmetryGroups(s.design, s.detection);
-  for (const SymmetryGroup& g : groups) {
-    for (const std::string& name : g.selfSymmetric) {
+  ConstraintSet set = s.detection.set;
+  appendSymmetryGroups(s.design, set);
+  for (const Constraint* g : set.ofType(ConstraintType::kSymmetryGroup)) {
+    for (const std::string& name : groupSelfs(*g)) {
       EXPECT_NE(name, "m1");
       EXPECT_NE(name, "m2");
       EXPECT_NE(name, "r1");
@@ -82,20 +116,17 @@ TEST(Groups, SelfSymmetricDetectionCanBeDisabled) {
   const GroupSetup s = makeSetup();
   GroupOptions options;
   options.detectSelfSymmetric = false;
-  const auto groups = buildSymmetryGroups(s.design, s.detection, options);
-  for (const SymmetryGroup& g : groups) {
-    EXPECT_TRUE(g.selfSymmetric.empty());
+  ConstraintSet set = s.detection.set;
+  appendSymmetryGroups(s.design, set, options);
+  EXPECT_EQ(set.count(ConstraintType::kSelfSymmetric), 0u);
+  for (const Constraint* g : set.ofType(ConstraintType::kSymmetryGroup)) {
+    EXPECT_TRUE(groupSelfs(*g).empty());
   }
 }
 
 TEST(Groups, SharedModuleMergesGroups) {
   // Accept (m1,m2) and (m2,mt): one group of two pairs.
   GroupSetup s = makeSetup();
-  for (ScoredCandidate& c : s.detection.scored) {
-    if (c.pair.nameA == "m2" && c.pair.nameB == "mt") c.accepted = true;
-    if (c.pair.nameA == "m1" && c.pair.nameB == "mt") c.accepted = false;
-  }
-  // m1/m2 and m2/mt are candidates (same type) — find and accept.
   bool chained = false;
   for (ScoredCandidate& c : s.detection.scored) {
     if ((c.pair.nameA == "m1" && c.pair.nameB == "mt") ||
@@ -105,14 +136,17 @@ TEST(Groups, SharedModuleMergesGroups) {
     }
   }
   ASSERT_TRUE(chained);
-  const auto groups = buildSymmetryGroups(s.design, s.detection);
+  s.detection.set = buildConstraintSet(s.design, s.detection);
+  ConstraintSet set = s.detection.set;
+  appendSymmetryGroups(s.design, set);
   std::size_t mosGroupPairs = 0;
-  for (const SymmetryGroup& g : groups) {
-    for (const auto& [a, b] : g.pairs) {
+  for (const Constraint* g : set.ofType(ConstraintType::kSymmetryGroup)) {
+    const auto pairs = groupPairs(*g);
+    for (const auto& [a, b] : pairs) {
       if (a[0] == 'm') ++mosGroupPairs;
     }
-    if (!g.pairs.empty() && g.pairs[0].first[0] == 'm') {
-      EXPECT_GE(g.pairs.size(), 2u);
+    if (!pairs.empty() && pairs[0].first[0] == 'm') {
+      EXPECT_GE(pairs.size(), 2u);
     }
   }
   EXPECT_GE(mosGroupPairs, 2u);
@@ -121,19 +155,46 @@ TEST(Groups, SharedModuleMergesGroups) {
 TEST(Groups, EmptyDetectionGivesNoGroups) {
   GroupSetup s = makeSetup();
   for (ScoredCandidate& c : s.detection.scored) c.accepted = false;
-  EXPECT_TRUE(buildSymmetryGroups(s.design, s.detection).empty());
+  s.detection.set = buildConstraintSet(s.design, s.detection);
+  ConstraintSet set = s.detection.set;
+  EXPECT_EQ(appendSymmetryGroups(s.design, set), 0u);
+  EXPECT_TRUE(set.empty());
 }
 
 TEST(Groups, DeterministicOrder) {
   const GroupSetup s = makeSetup();
-  const auto a = buildSymmetryGroups(s.design, s.detection);
-  const auto b = buildSymmetryGroups(s.design, s.detection);
-  ASSERT_EQ(a.size(), b.size());
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    EXPECT_EQ(a[i].pairs, b[i].pairs);
-    EXPECT_EQ(a[i].selfSymmetric, b[i].selfSymmetric);
+  ConstraintSet a = s.detection.set;
+  ConstraintSet b = s.detection.set;
+  appendSymmetryGroups(s.design, a);
+  appendSymmetryGroups(s.design, b);
+  EXPECT_TRUE(a == b);
+}
+
+// Deprecated-shim equivalence: the legacy name-pair view must agree with
+// the registry it is now derived from.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(Groups, LegacyShimMatchesRegistry) {
+  const GroupSetup s = makeSetup();
+  const std::vector<SymmetryGroup> legacy =
+      buildSymmetryGroups(s.design, s.detection);
+
+  ConstraintSet set = s.detection.set;
+  appendSymmetryGroups(s.design, set);
+  const auto groups = set.ofType(ConstraintType::kSymmetryGroup);
+  ASSERT_EQ(legacy.size(), groups.size());
+  for (const SymmetryGroup& g : legacy) {
+    bool matched = false;
+    for (const Constraint* c : groups) {
+      if (groupPairs(*c) == g.pairs && groupSelfs(*c) == g.selfSymmetric &&
+          c->hierarchy == g.hierarchy) {
+        matched = true;
+      }
+    }
+    EXPECT_TRUE(matched);
   }
 }
+#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace ancstr

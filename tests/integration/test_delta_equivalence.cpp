@@ -21,6 +21,7 @@ namespace ancstr {
 namespace {
 
 using testsupport::attachFanout;
+using testsupport::MutationKind;
 using testsupport::NetlistMutator;
 using testsupport::rebuildIdentity;
 
@@ -59,6 +60,30 @@ PipelineConfig fastConfig(std::size_t threads = 1) {
         std::memcmp(&ca.similarity, &cb.similarity, sizeof(double)) != 0) {
       return ::testing::AssertionFailure() << "candidate " << i << " differs";
     }
+  }
+  if (std::memcmp(&da.mirrorThreshold, &db.mirrorThreshold,
+                  sizeof(double)) != 0) {
+    return ::testing::AssertionFailure() << "mirrorThreshold differs";
+  }
+  if (da.mirrorScored.size() != db.mirrorScored.size()) {
+    return ::testing::AssertionFailure()
+           << "mirrorScored size " << da.mirrorScored.size() << " vs "
+           << db.mirrorScored.size();
+  }
+  for (std::size_t i = 0; i < da.mirrorScored.size(); ++i) {
+    const ScoredCandidate& ca = da.mirrorScored[i];
+    const ScoredCandidate& cb = db.mirrorScored[i];
+    if (!(ca.pair.a == cb.pair.a) || !(ca.pair.b == cb.pair.b) ||
+        ca.pair.hierarchy != cb.pair.hierarchy ||
+        ca.accepted != cb.accepted ||
+        std::memcmp(&ca.similarity, &cb.similarity, sizeof(double)) != 0) {
+      return ::testing::AssertionFailure() << "mirror " << i << " differs";
+    }
+  }
+  // The typed registry is derived from the above plus member names; its
+  // defaulted operator== covers scores (exact double compare) and ids.
+  if (!(da.set == db.set)) {
+    return ::testing::AssertionFailure() << "constraint set differs";
   }
   if (a.embeddings.rows() != b.embeddings.rows() ||
       a.embeddings.cols() != b.embeddings.cols()) {
@@ -176,6 +201,53 @@ TEST(DeltaEquivalence, IdentityEditIsIdenticalAndServedFromCache) {
       engine.extractDelta(base.lib, same, {}, &second);
   EXPECT_TRUE(bitwiseEqual(full, warm));
   EXPECT_GE(second.reuse.design.hits, 1u);
+}
+
+TEST(DeltaEquivalence, RenameOnlyEditKeepsCachesHotAndIdsStable) {
+  Pipeline& pipeline = sharedPipeline(1);
+  const ExtractionEngine engine(pipeline);
+  const auto base = circuits::makeBlockArray(3);
+
+  // Make the baseline resident.
+  (void)engine.extractDelta(base.lib, rebuildIdentity(base.lib));
+
+  NetlistMutator mutator(base.lib, /*seed=*/4242);
+  const Library renamed = mutator.mutate(
+      4, {MutationKind::kRenameNet, MutationKind::kRenameDevice,
+          MutationKind::kRenameInstance});
+
+  DeltaReport delta;
+  const ExtractionResult incremental =
+      engine.extractDelta(base.lib, renamed, {}, &delta);
+  EXPECT_TRUE(bitwiseEqual(pipeline.extract(renamed), incremental))
+      << mutationLog(mutator);
+  // Renames are hash-invariant: the renamed design IS the baseline to
+  // every content-addressed cache, so the delta is a pure design-cache
+  // hit — no node is dirty and nothing is recomputed.
+  EXPECT_TRUE(delta.diff.designUnchanged) << mutationLog(mutator);
+  EXPECT_EQ(delta.diff.dirtyNodes, 0u);
+  EXPECT_GE(delta.reuse.design.hits, 1u);
+
+  // Registry member ids are structural (flatten order), not name-derived:
+  // record for record, the renamed extraction carries the same ids as the
+  // baseline even where the display names moved.
+  const ExtractionResult baseline = pipeline.extract(base.lib);
+  const ConstraintSet& before = baseline.detection.set;
+  const ConstraintSet& after = incremental.detection.set;
+  ASSERT_EQ(before.size(), after.size());
+  ASSERT_FALSE(before.empty());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    const Constraint& ca = before.all()[i];
+    const Constraint& cb = after.all()[i];
+    EXPECT_EQ(ca.type, cb.type);
+    EXPECT_EQ(ca.hierarchy, cb.hierarchy);
+    ASSERT_EQ(ca.members.size(), cb.members.size());
+    for (std::size_t m = 0; m < ca.members.size(); ++m) {
+      EXPECT_EQ(ca.members[m].kind, cb.members[m].kind);
+      EXPECT_EQ(ca.members[m].id, cb.members[m].id);
+    }
+    EXPECT_EQ(ca.score, cb.score);
+  }
 }
 
 TEST(DeltaEquivalence, DeltaReportCountsReuseAfterALeafEdit) {

@@ -154,7 +154,7 @@ class ConstraintIoFaults : public ::testing::Test {
     path_ = std::filesystem::path(testing::TempDir()) /
             "fault_constraints.json";
     std::ofstream out(path_);
-    out << constraintsToJson(design, DetectionResult{});
+    out << constraintSetToJson(design, ConstraintSet{});
   }
 
   std::filesystem::path path_;

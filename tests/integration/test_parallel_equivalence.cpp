@@ -93,8 +93,24 @@ void expectBitwiseIdentical(const RunResult& serial,
           << sa.pair.nameB;
       EXPECT_EQ(sa.accepted, sb.accepted);
     }
-    ASSERT_EQ(a.detection.constraints().size(),
-              b.detection.constraints().size());
+    // Mirror detection runs through the same fixed-slot fan-out, so its
+    // scored list must also be positionally bitwise identical.
+    ASSERT_EQ(a.detection.mirrorScored.size(), b.detection.mirrorScored.size())
+        << "circuit " << c;
+    for (std::size_t i = 0; i < a.detection.mirrorScored.size(); ++i) {
+      const ScoredCandidate& sa = a.detection.mirrorScored[i];
+      const ScoredCandidate& sb = b.detection.mirrorScored[i];
+      EXPECT_EQ(sa.pair.a, sb.pair.a) << "circuit " << c << " mirror " << i;
+      EXPECT_EQ(sa.pair.b, sb.pair.b) << "circuit " << c << " mirror " << i;
+      EXPECT_EQ(sa.similarity, sb.similarity)
+          << "circuit " << c << " mirror " << sa.pair.nameA << "/"
+          << sa.pair.nameB;
+      EXPECT_EQ(sa.accepted, sb.accepted);
+    }
+    EXPECT_EQ(a.detection.mirrorThreshold, b.detection.mirrorThreshold);
+    // The typed registry is derived deterministically from the above, so
+    // it must compare equal wholesale.
+    EXPECT_TRUE(a.detection.set == b.detection.set) << "circuit " << c;
   }
 }
 

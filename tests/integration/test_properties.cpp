@@ -188,9 +188,9 @@ TEST(Properties, CandidateOrderDoesNotChangeAcceptedSet) {
 
   auto acceptedSet = [&](const Library& lib) {
     std::set<std::pair<std::string, std::string>> out;
-    for (const ScoredCandidate& c :
-         pipeline.extract(lib).detection.constraints()) {
-      auto key = std::minmax(c.pair.nameA, c.pair.nameB);
+    const ConstraintSet set = pipeline.extract(lib).detection.set;
+    for (const Constraint* c : set.ofType(ConstraintType::kSymmetryPair)) {
+      auto key = std::minmax(c->members[0].name, c->members[1].name);
       out.insert({key.first, key.second});
     }
     return out;

@@ -22,13 +22,13 @@ r2 on vdd 1k
   const ExtractionResult result = pipeline.extract(lib);
   const FlatDesign design = FlatDesign::elaborate(lib);
 
-  const auto groups = buildSymmetryGroups(design, result.detection);
+  ConstraintSet set = result.detection.set;
+  appendSymmetryGroups(design, set);
   const auto arrays = detectArrayGroups(design, result.embeddings);
-  const std::string json =
-      constraintsToJson(design, result.detection, groups, arrays);
+  const std::string json = constraintSetToJson(design, set, arrays);
   EXPECT_FALSE(parseConstraintsJson(json).empty());
-  EXPECT_TRUE(checkConstraints(design, lib, parseConstraintsJson(json))
-                  .empty());
+  EXPECT_TRUE(checkConstraints(design, lib, set).empty());
+  EXPECT_FALSE(constraintSetToAlignJson(design, set).empty());
 
   const auto sfaResult = sfa::detectDeviceConstraints(design, lib);
   EXPECT_FALSE(sfaResult.scored.empty());

@@ -1,7 +1,7 @@
 // ancstr_cli — command-line front end for the symmetry-extraction flow.
 //
 //   ancstr_cli train   --out model.txt [--epochs N] [--seed S] netlist.sp...
-//   ancstr_cli extract --model model.txt [--format json|sym]
+//   ancstr_cli extract --model model.txt [--format json|sym|align]
 //                      [--out file] [--groups] netlist.sp
 //   ancstr_cli extract --model model.txt --since BASELINE
 //                      [--manifest-out FILE] netlist.sp
@@ -16,6 +16,11 @@
 //                      # .sp/.scs netlist in DIR, extracted concurrently
 //                      # (--threads) with content-addressed caching
 //   ancstr_cli stats   netlist.sp...
+//   ancstr_cli eval    [--epochs N] [--seed S]
+//                      # train on the built-in benchmark corpus and report
+//                      # TPR/FPR per constraint type (symmetry pairs by
+//                      # level, current mirrors) against generator ground
+//                      # truth
 //   ancstr_cli corpus  --dir DIR     # emit the benchmark corpus + golden
 //                                    # constraint files
 //
@@ -48,6 +53,7 @@
 #include "core/groups.h"
 #include "core/library_diff.h"
 #include "core/pipeline.h"
+#include "eval/ground_truth.h"
 #include "netlist/manifest.h"
 #include "netlist/spectre_parser.h"
 #include "netlist/spice_parser.h"
@@ -70,7 +76,7 @@ int usage() {
                "usage:\n"
                "  ancstr_cli train   --out MODEL [--epochs N] [--seed S] "
                "NETLIST...\n"
-               "  ancstr_cli extract --model MODEL [--format json|sym] "
+               "  ancstr_cli extract --model MODEL [--format json|sym|align] "
                "[--out FILE] [--groups] [--fail-soft]\n"
                "                     [--since BASELINE] [--manifest-out FILE] "
                "NETLIST\n"
@@ -78,6 +84,7 @@ int usage() {
                "[--out-dir DIR] [--cache-budget BYTES] [--fail-soft]\n"
                "  ancstr_cli stats   [--fail-soft] NETLIST...\n"
                "  ancstr_cli check   --constraints FILE NETLIST\n"
+               "  ancstr_cli eval    [--epochs N] [--seed S]\n"
                "  ancstr_cli corpus  --dir DIR\n"
                "train/extract also take: [--threads N] [--trace-out FILE]\n"
                "  [--spans-out FILE] [--metrics-out FILE]\n"
@@ -249,7 +256,7 @@ int cmdExtractBatch(Flags flags, ObserveOptions observe,
       std::stoull(flags.value("--cache-budget", "67108864")));
   const bool failSoft = flags.flag("--fail-soft");
   if (!flags.positional().empty() || repeat < 1 || !observe.validReport() ||
-      (format != "json" && format != "sym")) {
+      (format != "json" && format != "sym" && format != "align")) {
     return usage();
   }
 
@@ -309,20 +316,20 @@ int cmdExtractBatch(Flags flags, ObserveOptions observe,
     const ExtractionResult& result = results[i];
     std::fprintf(stderr, "%s: %zu constraints (%zu candidates)\n",
                  paths[i].filename().string().c_str(),
-                 result.detection.constraints().size(),
-                 result.detection.scored.size());
+                 result.detection.set.size(), result.detection.scored.size());
     if (outDir.empty()) continue;
     diag::DiagnosticSink designSink;  // elaboration diags already reported
     const FlatDesign design = failSoft
                                   ? FlatDesign::elaborate(libs[i], designSink)
                                   : FlatDesign::elaborate(libs[i]);
     const std::string text =
-        format == "json"
-            ? constraintsToJson(design, result.detection, {}, {})
-            : constraintsToSym(design, result.detection, {});
+        format == "sym" ? constraintSetToSym(design, result.detection.set)
+        : format == "align"
+            ? constraintSetToAlignJson(design, result.detection.set)
+            : constraintSetToJson(design, result.detection.set);
     const std::filesystem::path out =
-        outDir / (paths[i].stem().string() + (format == "json" ? ".json"
-                                                               : ".sym"));
+        outDir /
+        (paths[i].stem().string() + (format == "sym" ? ".sym" : ".json"));
     writeFileOrThrow(out, text);
   }
 
@@ -405,7 +412,9 @@ int cmdExtract(Flags flags) {
       !observe.validReport()) {
     return usage();
   }
-  if (format != "json" && format != "sym") return usage();
+  if (format != "json" && format != "sym" && format != "align") {
+    return usage();
+  }
 
   diag::DiagnosticSink sink;  // collect mode; used only with --fail-soft
   Library lib;
@@ -474,15 +483,15 @@ int cmdExtract(Flags flags) {
   const FlatDesign design = failSoft ? FlatDesign::elaborate(lib, designSink)
                                      : FlatDesign::elaborate(lib);
 
-  std::vector<SymmetryGroup> groups;
-  if (withGroups) groups = buildSymmetryGroups(design, result.detection);
+  ConstraintSet set = result.detection.set;
+  if (withGroups) appendSymmetryGroups(design, set);
   std::vector<ArrayGroup> arrays;
   if (withArrays) arrays = detectArrayGroups(design, result.embeddings);
 
   const std::string text =
-      format == "json"
-          ? constraintsToJson(design, result.detection, groups, arrays)
-          : constraintsToSym(design, result.detection, groups);
+      format == "sym"     ? constraintSetToSym(design, set)
+      : format == "align" ? constraintSetToAlignJson(design, set)
+                          : constraintSetToJson(design, set, arrays);
   if (outPath.empty()) {
     std::fputs(text.c_str(), stdout);
   } else {
@@ -490,8 +499,8 @@ int cmdExtract(Flags flags) {
   }
   std::fprintf(stderr,
                "extracted %zu constraints (%zu candidates) in %.3fs\n",
-               result.detection.constraints().size(),
-               result.detection.scored.size(), result.report.totalSeconds());
+               set.size(), result.detection.scored.size(),
+               result.report.totalSeconds());
   if (failSoft) {
     // The emitted report carries everything (parse + elaborate + extract).
     result.report.diagnostics = sink.snapshot();
@@ -554,6 +563,79 @@ int cmdCheck(Flags flags) {
   return issues.empty() ? 0 : 2;
 }
 
+/// `eval`: trains on the built-in corpus and reports TPR/FPR per
+/// constraint type. Symmetry-pair rows are split by level; the
+/// current-mirror row scores DetectionResult::mirrorScored (topology
+/// candidates) against the generators' kCurrentMirror ground truth. The
+/// per-type counts are also published as eval.<type>.{tp,fp,fn,tn}
+/// counters so they land in the RunReport / --metrics-out payloads.
+int cmdEval(Flags flags) {
+  ObserveOptions observe = ObserveOptions::parse(flags);
+  const int epochs = std::stoi(flags.value("--epochs", "40"));
+  const std::uint64_t seed = std::stoull(flags.value("--seed", "7"));
+  if (!flags.positional().empty() || !observe.validReport()) return usage();
+
+  std::vector<circuits::CircuitBenchmark> corpus =
+      circuits::blockBenchmarks();
+  for (circuits::CircuitBenchmark& bench : circuits::adcBenchmarks()) {
+    corpus.push_back(std::move(bench));
+  }
+
+  PipelineConfig config;
+  config.train.epochs = epochs;
+  config.seed = seed;
+  config.threads = observe.threads;
+  Pipeline pipeline(config);
+  std::vector<const Library*> ptrs;
+  ptrs.reserve(corpus.size());
+  for (const circuits::CircuitBenchmark& bench : corpus) {
+    ptrs.push_back(&bench.lib);
+  }
+  const metrics::Snapshot before = metrics::Registry::instance().snapshot();
+  pipeline.train(ptrs);
+
+  ConfusionCounts device;
+  ConfusionCounts system;
+  ConfusionCounts mirror;
+  RunReport evalReport;
+  for (const circuits::CircuitBenchmark& bench : corpus) {
+    const ExtractionResult result = pipeline.extract(bench.lib);
+    const FlatDesign design = FlatDesign::elaborate(bench.lib);
+    const std::vector<bool> labels =
+        labelCandidates(design, result.detection.scored, bench.truth);
+    device += confusionFromScored(result.detection.scored, labels,
+                                  ConstraintLevel::kDevice);
+    system += confusionFromScored(result.detection.scored, labels,
+                                  ConstraintLevel::kSystem);
+    const std::vector<bool> mirrorLabels = labelMirrorCandidates(
+        design, result.detection.mirrorScored, bench.truth);
+    mirror += confusionFromScored(result.detection.mirrorScored, mirrorLabels);
+    evalReport.accumulate(result.report);
+  }
+
+  const auto row = [](const char* name, const ConfusionCounts& counts) {
+    const Metrics m = computeMetrics(counts);
+    std::printf("%-22s %5zu %5zu %5zu %7zu  %6.4f %6.4f %6.4f\n", name,
+                counts.tp, counts.fp, counts.fn, counts.tn, m.tpr, m.fpr,
+                m.f1);
+    const std::string prefix = std::string("eval.") + name + ".";
+    metrics::Registry& reg = metrics::Registry::instance();
+    reg.counter(prefix + "tp").add(counts.tp);
+    reg.counter(prefix + "fp").add(counts.fp);
+    reg.counter(prefix + "fn").add(counts.fn);
+    reg.counter(prefix + "tn").add(counts.tn);
+  };
+  std::printf("%-22s %5s %5s %5s %7s  %6s %6s %6s\n", "constraint type",
+              "tp", "fp", "fn", "tn", "tpr", "fpr", "f1");
+  row("symmetry_pair.device", device);
+  row("symmetry_pair.system", system);
+  row("current_mirror", mirror);
+
+  evalReport.metrics = metrics::Registry::instance().snapshot().since(before);
+  observe.emit(evalReport, "cli.eval");
+  return 0;
+}
+
 int cmdCorpus(Flags flags) {
   const std::filesystem::path dir = flags.value("--dir", "");
   if (dir.empty()) return usage();
@@ -587,6 +669,7 @@ int main(int argc, char** argv) {
     if (command == "extract") return cmdExtract(std::move(flags));
     if (command == "stats") return cmdStats(std::move(flags));
     if (command == "check") return cmdCheck(std::move(flags));
+    if (command == "eval") return cmdEval(std::move(flags));
     if (command == "corpus") return cmdCorpus(std::move(flags));
     return usage();
   } catch (const std::exception& e) {
