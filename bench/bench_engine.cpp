@@ -5,7 +5,11 @@
 // a bitwise-equality check of the results, so one BENCH.json carries the
 // whole serving story: wall times, engine.cache.* metrics deltas, and the
 // determinism verdict.
+#include <unistd.h>
+
 #include <cstring>
+#include <filesystem>
+#include <string>
 
 #include "circuits/benchmark.h"
 #include "core/engine.h"
@@ -160,10 +164,60 @@ void speedupCase(BenchContext& ctx) {
                  bitwiseEqual(coldResults, warmResults) ? 1.0 : 0.0);
 }
 
+/// Restart-warm serving: a cold engine populates a --cache-dir-style disk
+/// tier and is destroyed (process-restart simulation: only the directory
+/// survives); a fresh engine over the same directory then serves the
+/// batch. Emits the restart speedup, the bitwise restart-equals-cold
+/// verdict, and the engine.disk_cache.* deltas gate_counters.py gates in
+/// CI (docs/robustness.md).
+void restartWarmCase(BenchContext& ctx) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("ancstr_bench_engine.cache." +
+       std::to_string(static_cast<long>(::getpid())));
+  std::error_code ec;
+  fs::remove_all(dir, ec);  // each rep starts from an empty directory
+
+  EngineConfig config = engineConfig(ctx);
+  config.cachePath = dir;
+
+  std::vector<ExtractionResult> coldResults;
+  double coldSeconds = 0.0;
+  {
+    const ExtractionEngine cold(trainedPipeline(ctx), config);
+    Stopwatch coldWatch;
+    coldResults = cold.extractBatch(adcLibs());
+    coldSeconds = coldWatch.seconds();
+    cold.flushDiskWrites();
+  }  // "restart": the engine (and its memory caches) are gone
+
+  const ExtractionEngine restarted(trainedPipeline(ctx), config);
+  Stopwatch warmWatch;
+  const std::vector<ExtractionResult> warmResults =
+      restarted.extractBatch(adcLibs());
+  const double warmSeconds = warmWatch.seconds();
+  const util::DiskCacheStats disk = restarted.diskCacheStats();
+
+  ctx.setCounter("cold_seconds", coldSeconds);
+  ctx.setCounter("restart_warm_seconds", warmSeconds);
+  ctx.setCounter("speedup",
+                 warmSeconds > 0.0 ? coldSeconds / warmSeconds : 0.0);
+  ctx.setCounter("bitwise_equal",
+                 bitwiseEqual(coldResults, warmResults) ? 1.0 : 0.0);
+  ctx.setCounter("engine.disk_cache.hit", static_cast<double>(disk.hits));
+  ctx.setCounter("engine.disk_cache.miss", static_cast<double>(disk.misses));
+  ctx.setCounter("engine.disk_cache.corrupt",
+                 static_cast<double>(disk.corrupt));
+  ctx.setCounter("designs", static_cast<double>(adcLibs().size()));
+  fs::remove_all(dir, ec);
+}
+
 [[maybe_unused]] const bool kRegistered = [] {
   registerBench("engine.extract.adc.cold", coldCase);
   registerBench("engine.extract.adc.warm", warmCase);
   registerBench("engine.extract.adc.speedup", speedupCase);
+  registerBench("engine.extract.adc.restart_warm", restartWarmCase);
   return true;
 }();
 

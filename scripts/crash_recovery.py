@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Crash-recovery drill for the persistent cache tier (docs/robustness.md).
+
+Proves the crash-safety half of the persistence contract end to end:
+
+  1. Reference: a cold `extract --batch --cache-dir` run into a private
+     cache directory, timed — its outputs are the ground truth.
+  2. Crash: the same batch into a FRESH cache directory, SIGKILLed
+     mid-run, leaving a partially populated (and possibly mid-write)
+     store on disk.
+  3. Recovery: rerun over the killed run's directory. Must exit 0,
+     sweep every stale temp file, and produce constraint files bitwise
+     identical to the reference — a torn or partial entry must never
+     change an answer.
+  4. Warm restart: one more run over the now-complete directory, timed.
+     Must also be bitwise identical and beat the cold reference by
+     --min-speedup (the restart-warm property bench_engine gates harder).
+
+Usage:
+  scripts/crash_recovery.py [--cli build/tools/ancstr_cli]
+                            [--work crash-recovery-work]
+                            [--kill-after-fraction 0.4]
+                            [--min-speedup 1.2]
+"""
+
+import argparse
+import filecmp
+import pathlib
+import shutil
+import signal
+import subprocess
+import sys
+import time
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+def run_checked(argv, what):
+    proc = subprocess.run(argv, capture_output=True, text=True, timeout=600)
+    if proc.returncode != 0:
+        sys.exit(f"crash_recovery: {what} failed ({proc.returncode}):\n"
+                 f"{proc.stderr}")
+    return proc
+
+
+def batch_argv(cli, model, corpus, cache, out):
+    return [cli, "extract", "--model", str(model), "--batch", str(corpus),
+            "--cache-dir", str(cache), "--out-dir", str(out)]
+
+
+def timed_batch(cli, model, corpus, cache, out, what):
+    start = time.monotonic()
+    run_checked(batch_argv(cli, model, corpus, cache, out), what)
+    return time.monotonic() - start
+
+
+def compare_outputs(ref, out, what):
+    names = sorted(p.name for p in ref.iterdir())
+    if not names:
+        sys.exit("crash_recovery: reference run produced no outputs")
+    for name in names:
+        candidate = out / name
+        if not candidate.exists():
+            sys.exit(f"crash_recovery: {what}: missing output {name}")
+        if not filecmp.cmp(ref / name, candidate, shallow=False):
+            sys.exit(f"crash_recovery: {what}: {name} differs from the "
+                     f"reference — the recovered cache served bad bytes")
+    return len(names)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cli", default=str(REPO / "build/tools/ancstr_cli"))
+    parser.add_argument("--work", default="crash-recovery-work")
+    parser.add_argument("--kill-after-fraction", type=float, default=0.4,
+                        help="fraction of the cold runtime to wait before "
+                             "SIGKILL")
+    parser.add_argument("--min-speedup", type=float, default=1.2,
+                        help="required cold/warm-restart ratio (kept loose "
+                             "for noisy shared runners; bench_engine gates "
+                             "the 3x property)")
+    args = parser.parse_args()
+
+    cli = pathlib.Path(args.cli)
+    if not cli.exists():
+        sys.exit(f"crash_recovery: CLI not found at {cli}")
+    work = pathlib.Path(args.work)
+    shutil.rmtree(work, ignore_errors=True)
+    work.mkdir(parents=True)
+
+    corpus = work / "corpus"
+    model = work / "model.txt"
+    run_checked([str(cli), "corpus", "--dir", str(corpus)], "corpus")
+    run_checked([str(cli), "train", "--out", str(model), "--epochs", "3",
+                 str(corpus / "OTA1.sp"), str(corpus / "COMP2.sp")], "train")
+
+    # 1. Cold reference into its own cache directory.
+    ref_out = work / "ref-out"
+    cold_seconds = timed_batch(str(cli), model, corpus, work / "ref-cache",
+                               ref_out, "cold reference")
+    print(f"crash_recovery: cold reference {cold_seconds:.3f}s")
+
+    # 2. Crash run: SIGKILL mid-batch, mid-cache-population.
+    crash_cache = work / "cache"
+    proc = subprocess.Popen(
+        batch_argv(str(cli), model, corpus, crash_cache, work / "crash-out"),
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+    time.sleep(max(0.05, cold_seconds * args.kill_after_fraction))
+    killed = proc.poll() is None
+    if killed:
+        proc.send_signal(signal.SIGKILL)
+    proc.wait()
+    leftover = sorted(p.name for p in crash_cache.glob("*")) \
+        if crash_cache.exists() else []
+    print(f"crash_recovery: {'killed mid-run' if killed else 'finished before the kill window'}, "
+          f"{len(leftover)} files left in the cache")
+
+    # 3. Recovery over the killed store: exit 0, bitwise-equal outputs,
+    #    stale temp files swept.
+    recovered_out = work / "recovered-out"
+    timed_batch(str(cli), model, corpus, crash_cache, recovered_out,
+                "recovery rerun")
+    count = compare_outputs(ref_out, recovered_out, "recovery rerun")
+    stale = [p.name for p in crash_cache.glob("*.tmp*")]
+    if stale:
+        sys.exit(f"crash_recovery: stale temp files survived recovery: "
+                 f"{stale}")
+    print(f"crash_recovery: recovery OK — {count} outputs bitwise equal, "
+          f"no stale temp files")
+
+    # 4. Warm restart over the now-complete store.
+    warm_out = work / "warm-out"
+    warm_seconds = timed_batch(str(cli), model, corpus, crash_cache,
+                               warm_out, "warm restart")
+    compare_outputs(ref_out, warm_out, "warm restart")
+    speedup = cold_seconds / warm_seconds if warm_seconds > 0 else 0.0
+    print(f"crash_recovery: warm restart {warm_seconds:.3f}s "
+          f"({speedup:.2f}x vs cold)")
+    if speedup < args.min_speedup:
+        sys.exit(f"crash_recovery: warm restart speedup {speedup:.2f}x "
+                 f"< required {args.min_speedup}x")
+    print("crash_recovery: PASS")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,22 +1,44 @@
 #!/usr/bin/env python3
-"""Deterministic fuzz smoke test for the fail-soft netlist parsers.
+"""Deterministic fuzz smoke test for the fail-soft input surfaces.
 
-Takes the seed decks under tests/netlist/corpus_malformed/ (plus two
-clean built-in decks), applies seeded random mutations (truncation, line
-shuffling, byte flips, garbage splices), and pushes every mutant through
-`ancstr_cli stats --fail-soft`. The CLI must either succeed (exit 0) or
-fail cleanly with a one-line error (exit 2) — any other exit status, and
-in particular death by signal, fails the run. The mutation stream is
-fully determined by --seed, so a failure reproduces exactly.
+Three modes, selected with --modes (comma list, default "netlist"):
+
+  netlist    Takes the seed decks under tests/netlist/corpus_malformed/
+             (plus two clean built-in decks), applies seeded random
+             mutations (truncation, line shuffling, byte flips, garbage
+             splices), and pushes every mutant through
+             `ancstr_cli stats --fail-soft`. The CLI must either succeed
+             (exit 0) or fail cleanly with a one-line error (exit 2) —
+             any other exit status, and in particular death by signal,
+             fails the run.
+
+  manifest   Saves a real hash manifest with `extract --manifest-out`,
+             mutates its text the same way, and feeds every mutant back
+             through `extract --since` — the manifest loader must accept
+             or reject cleanly, never crash.
+
+  diskcache  Populates a real disk-cache directory (util/disk_cache.h)
+             with `extract --batch --cache-dir`, then corrupts one entry
+             per iteration (bit flips, truncation, appended junk, zeroed
+             spans) and reruns over the damaged directory. The run must
+             exit 0 AND produce constraint files bitwise identical to the
+             pristine reference: corruption anywhere in the cache tier is
+             quarantined and recomputed, never served (docs/robustness.md).
+
+The mutation stream is fully determined by --seed, so a failure
+reproduces exactly.
 
 Usage:
   scripts/fuzz_parsers.py [--cli build/tools/ancstr_cli]
                           [--iterations 200] [--seed 1]
+                          [--modes netlist,manifest,diskcache]
 """
 
 import argparse
+import filecmp
 import pathlib
 import random
+import shutil
 import string
 import subprocess
 import sys
@@ -87,38 +109,190 @@ def mutate(rng, seeds):
     return name, text
 
 
+def mutate_bytes(rng, data):
+    """One seeded binary mutation of a disk-cache entry."""
+    data = bytearray(data)
+    op = rng.randrange(5)
+    if op == 0 and data:  # flip one byte
+        i = rng.randrange(len(data))
+        data[i] ^= 1 << rng.randrange(8)
+    elif op == 1 and len(data) > 1:  # truncate (header or payload)
+        del data[rng.randrange(1, len(data)):]
+    elif op == 2:  # append junk past the declared payload length
+        data.extend(rng.randbytes(rng.randrange(1, 64)))
+    elif op == 3 and data:  # zero a random span
+        i = rng.randrange(len(data))
+        j = min(len(data), i + rng.randrange(1, 16))
+        data[i:j] = bytes(j - i)
+    else:  # replace wholesale with garbage
+        data = bytearray(rng.randbytes(rng.randrange(0, 128)))
+    return bytes(data)
+
+
+def run_cli(argv, timeout=120):
+    return subprocess.run(argv, capture_output=True, text=True,
+                          timeout=timeout)
+
+
+def checked(argv, what):
+    proc = run_cli(argv)
+    if proc.returncode != 0:
+        sys.exit(f"fuzz_parsers: setup step '{what}' failed "
+                 f"({proc.returncode}):\n{proc.stderr}")
+    return proc
+
+
+def fail(mode, i, seed, detail):
+    print(f"FAIL[{mode}]: iteration {i} (seed {seed}): {detail}",
+          file=sys.stderr)
+    sys.exit(1)
+
+
+def setup_workspace(cli, tmp):
+    """Emits the generator corpus and trains a tiny model once per mode."""
+    corpus = tmp / "corpus"
+    checked([cli, "corpus", "--dir", str(corpus)], "corpus")
+    model = tmp / "model.txt"
+    checked([cli, "train", "--out", str(model), "--epochs", "2",
+             str(corpus / "OTA1.sp"), str(corpus / "COMP2.sp")], "train")
+    return corpus, model
+
+
+def fuzz_netlist(cli, iterations, seed, tmp):
+    rng = random.Random(seed)
+    seeds = load_seeds()
+    exits = {0: 0, 2: 0}
+    for i in range(iterations):
+        name, text = mutate(rng, seeds)
+        target = tmp / f"mutant_{i}_{name}"
+        target.write_text(text)
+        proc = run_cli([cli, "stats", "--fail-soft", str(target)],
+                       timeout=60)
+        if proc.returncode not in (0, 2):
+            print("--- mutant ---", file=sys.stderr)
+            print(text, file=sys.stderr)
+            print("--- stderr ---", file=sys.stderr)
+            print(proc.stderr, file=sys.stderr)
+            fail("netlist", i, seed,
+                 f"exited {proc.returncode} on {name}")
+        exits[proc.returncode] += 1
+    print(f"fuzz_parsers[netlist]: {iterations} mutants, "
+          f"{exits[0]} parsed fail-soft, {exits[2]} rejected cleanly")
+
+
+def fuzz_manifest(cli, iterations, seed, tmp):
+    rng = random.Random(seed)
+    corpus, model = setup_workspace(cli, tmp)
+    deck = corpus / "OTA1.sp"
+    manifest = tmp / "seed.manifest"
+    checked([cli, "extract", "--model", str(model),
+             "--manifest-out", str(manifest),
+             "--out", str(tmp / "seed_out.json"), str(deck)],
+            "manifest-out")
+    # Reference: a plain full extract. A mutated --since baseline may be
+    # used (delta path) or rejected and degraded to a full extract — but
+    # either way the constraints written must be bitwise these.
+    reference = tmp / "reference.json"
+    checked([cli, "extract", "--model", str(model),
+             "--out", str(reference), str(deck)], "reference extract")
+    seeds = [("seed.manifest", manifest.read_text())]
+    exits = {0: 0, 2: 0}
+    for i in range(iterations):
+        _, text = mutate(rng, seeds)
+        mutant = tmp / f"mutant_{i}.manifest"
+        mutant.write_text(text)
+        out = tmp / f"out_{i}.json"
+        proc = run_cli([cli, "extract", "--model", str(model),
+                        "--since", str(mutant),
+                        "--out", str(out), str(deck)])
+        if proc.returncode not in (0, 2):
+            print("--- mutant manifest ---", file=sys.stderr)
+            print(text, file=sys.stderr)
+            print("--- stderr ---", file=sys.stderr)
+            print(proc.stderr, file=sys.stderr)
+            fail("manifest", i, seed, f"exited {proc.returncode}")
+        if proc.returncode == 0 and not filecmp.cmp(reference, out,
+                                                    shallow=False):
+            fail("manifest", i, seed,
+                 "constraints differ from the full-extract reference "
+                 "under a mutated --since baseline")
+        exits[proc.returncode] += 1
+    print(f"fuzz_parsers[manifest]: {iterations} mutants, "
+          f"{exits[0]} served identically, {exits[2]} rejected cleanly")
+
+
+def fuzz_diskcache(cli, iterations, seed, tmp):
+    rng = random.Random(seed)
+    corpus, model = setup_workspace(cli, tmp)
+    mini = tmp / "mini"
+    mini.mkdir()
+    for name in ("OTA1.sp", "COMP2.sp"):
+        shutil.copy(corpus / name, mini / name)
+
+    pristine = tmp / "pristine_cache"
+    ref = tmp / "ref"
+    checked([cli, "extract", "--model", str(model), "--batch", str(mini),
+             "--cache-dir", str(pristine), "--out-dir", str(ref)],
+            "cache populate")
+    entries = sorted(pristine.glob("*.e"))
+    if not entries:
+        sys.exit("fuzz_parsers: cache populate left no entries")
+    ref_files = sorted(p.name for p in ref.iterdir())
+
+    for i in range(iterations):
+        work = tmp / f"cache_{i}"
+        shutil.copytree(pristine, work)
+        victim = work / rng.choice(entries).name
+        victim.write_bytes(mutate_bytes(rng, victim.read_bytes()))
+        out = tmp / f"out_{i}"
+        proc = run_cli([cli, "extract", "--model", str(model),
+                        "--batch", str(mini), "--cache-dir", str(work),
+                        "--out-dir", str(out)])
+        if proc.returncode != 0:
+            print(proc.stderr, file=sys.stderr)
+            fail("diskcache", i, seed,
+                 f"exited {proc.returncode} on corrupted {victim.name}")
+        # The serving contract: a damaged cache entry never changes the
+        # output, it is quarantined and the artifact recomputed.
+        for name in ref_files:
+            if not filecmp.cmp(ref / name, out / name, shallow=False):
+                fail("diskcache", i, seed,
+                     f"output {name} differs from the pristine reference "
+                     f"after corrupting {victim.name}")
+        shutil.rmtree(work)
+        shutil.rmtree(out)
+    print(f"fuzz_parsers[diskcache]: {iterations} corrupted-cache runs, "
+          f"all exited 0 with bitwise-identical outputs")
+
+
+MODES = {
+    "netlist": fuzz_netlist,
+    "manifest": fuzz_manifest,
+    "diskcache": fuzz_diskcache,
+}
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--cli", default=str(REPO / "build/tools/ancstr_cli"))
     parser.add_argument("--iterations", type=int, default=200)
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--modes", default="netlist",
+                        help="comma list of: " + ",".join(MODES))
     args = parser.parse_args()
 
     if not pathlib.Path(args.cli).exists():
         sys.exit(f"fuzz_parsers: CLI not found at {args.cli}")
+    modes = [m.strip() for m in args.modes.split(",") if m.strip()]
+    for mode in modes:
+        if mode not in MODES:
+            sys.exit(f"fuzz_parsers: unknown mode '{mode}' "
+                     f"(expected one of {','.join(MODES)})")
 
-    rng = random.Random(args.seed)
-    seeds = load_seeds()
-    exits = {0: 0, 2: 0}
-    with tempfile.TemporaryDirectory(prefix="ancstr_fuzz_") as tmp:
-        for i in range(args.iterations):
-            name, text = mutate(rng, seeds)
-            target = pathlib.Path(tmp) / f"mutant_{i}_{name}"
-            target.write_text(text)
-            proc = subprocess.run(
-                [args.cli, "stats", "--fail-soft", str(target)],
-                capture_output=True, text=True, timeout=60)
-            if proc.returncode not in (0, 2):
-                print(f"FAIL: iteration {i} (seed {args.seed}) exited "
-                      f"{proc.returncode} on {name}", file=sys.stderr)
-                print("--- mutant ---", file=sys.stderr)
-                print(text, file=sys.stderr)
-                print("--- stderr ---", file=sys.stderr)
-                print(proc.stderr, file=sys.stderr)
-                sys.exit(1)
-            exits[proc.returncode] += 1
-    print(f"fuzz_parsers: {args.iterations} mutants, "
-          f"{exits[0]} parsed fail-soft, {exits[2]} rejected cleanly")
+    for mode in modes:
+        with tempfile.TemporaryDirectory(prefix=f"ancstr_fuzz_{mode}_") as t:
+            MODES[mode](args.cli, args.iterations, args.seed,
+                        pathlib.Path(t))
 
 
 if __name__ == "__main__":

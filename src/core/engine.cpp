@@ -1,8 +1,11 @@
 #include "core/engine.h"
 
+#include <cstring>
 #include <optional>
+#include <sstream>
 
 #include "core/circuit_hash.h"
+#include "core/model_io.h"
 #include "util/error.h"
 #include "util/fault.h"
 #include "util/metrics.h"
@@ -57,6 +60,120 @@ util::LruCacheStats statsDelta(const util::LruCacheStats& now,
   return d;
 }
 
+// --- disk-tier payload serialization ---------------------------------
+// Little-endian raw-byte encodings so a disk hit reproduces the cached
+// doubles bit for bit (the bitwise-identity contract). Each payload opens
+// with its own 4-byte magic on top of the DiskCache entry header, so a
+// namespace mix-up decodes to "corrupt", never to garbage values.
+
+constexpr char kArtifactsMagic[4] = {'A', 'I', 'A', '1'};
+constexpr char kBlockMagic[4] = {'A', 'B', 'E', '1'};
+// Decode-side sanity bound: no cached artifact legitimately approaches
+// this, and it keeps a corrupt-but-checksummed size field from driving a
+// giant allocation.
+constexpr std::uint64_t kMaxDecodeElements = 1ull << 32;
+
+void appendU64(std::string& out, std::uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, sizeof(v));
+  out.append(buf, sizeof(buf));
+}
+
+void appendDoubles(std::string& out, const double* data, std::size_t n) {
+  out.append(reinterpret_cast<const char*>(data), n * sizeof(double));
+}
+
+bool readU64(const std::string& in, std::size_t& pos, std::uint64_t* v) {
+  if (in.size() - pos < sizeof(*v)) return false;
+  std::memcpy(v, in.data() + pos, sizeof(*v));
+  pos += sizeof(*v);
+  return true;
+}
+
+std::string encodeArtifacts(const InferenceArtifacts& a) {
+  std::string out;
+  out.reserve(4 + 16 + a.embeddings.size() * sizeof(double));
+  out.append(kArtifactsMagic, sizeof(kArtifactsMagic));
+  appendU64(out, a.embeddings.rows());
+  appendU64(out, a.embeddings.cols());
+  appendDoubles(out, a.embeddings.data(), a.embeddings.size());
+  return out;
+}
+
+bool decodeArtifacts(const std::string& in, InferenceArtifacts* out) {
+  std::size_t pos = sizeof(kArtifactsMagic);
+  std::uint64_t rows = 0;
+  std::uint64_t cols = 0;
+  if (in.size() < pos ||
+      std::memcmp(in.data(), kArtifactsMagic, pos) != 0 ||
+      !readU64(in, pos, &rows) || !readU64(in, pos, &cols)) {
+    return false;
+  }
+  if (rows > kMaxDecodeElements || cols > kMaxDecodeElements ||
+      (cols != 0 && rows > kMaxDecodeElements / cols) ||
+      in.size() - pos != rows * cols * sizeof(double)) {
+    return false;
+  }
+  std::vector<double> data(rows * cols);
+  std::memcpy(data.data(), in.data() + pos, data.size() * sizeof(double));
+  out->embeddings =
+      nn::Matrix(static_cast<std::size_t>(rows),
+                 static_cast<std::size_t>(cols), std::move(data));
+  return true;
+}
+
+std::string encodeBlock(const CachedBlockEmbedding& e) {
+  std::string out;
+  out.reserve(4 + 24 + e.representativePositions.size() * sizeof(std::uint32_t) +
+              e.structural.size() * sizeof(double));
+  out.append(kBlockMagic, sizeof(kBlockMagic));
+  appendU64(out, e.subtreeSize);
+  appendU64(out, e.representativePositions.size());
+  out.append(reinterpret_cast<const char*>(e.representativePositions.data()),
+             e.representativePositions.size() * sizeof(std::uint32_t));
+  appendU64(out, e.structural.size());
+  appendDoubles(out, e.structural.data(), e.structural.size());
+  return out;
+}
+
+bool decodeBlock(const std::string& in, CachedBlockEmbedding* out) {
+  std::size_t pos = sizeof(kBlockMagic);
+  std::uint64_t subtreeSize = 0;
+  std::uint64_t npos = 0;
+  if (in.size() < pos || std::memcmp(in.data(), kBlockMagic, pos) != 0 ||
+      !readU64(in, pos, &subtreeSize) || !readU64(in, pos, &npos)) {
+    return false;
+  }
+  if (npos > kMaxDecodeElements ||
+      in.size() - pos < npos * sizeof(std::uint32_t)) {
+    return false;
+  }
+  out->subtreeSize = static_cast<std::size_t>(subtreeSize);
+  out->representativePositions.resize(static_cast<std::size_t>(npos));
+  std::memcpy(out->representativePositions.data(), in.data() + pos,
+              npos * sizeof(std::uint32_t));
+  pos += npos * sizeof(std::uint32_t);
+  std::uint64_t nstruct = 0;
+  if (!readU64(in, pos, &nstruct) || nstruct > kMaxDecodeElements ||
+      in.size() - pos != nstruct * sizeof(double)) {
+    return false;
+  }
+  out->structural.resize(static_cast<std::size_t>(nstruct));
+  std::memcpy(out->structural.data(), in.data() + pos,
+              nstruct * sizeof(double));
+  return true;
+}
+
+metrics::Counter& decodeFailedCounter() {
+  static metrics::Counter& c =
+      metrics::Registry::instance().counter("engine.disk_cache.decode_failed");
+  return c;
+}
+
+// Coarse per-design in-flight estimate for admission control: devices
+// dominate (embeddings, graph, candidates), so charge a flat ~1 KiB each.
+constexpr std::size_t kAdmissionBytesPerDevice = 1024;
+
 }  // namespace
 
 /// BlockEmbeddingCache over the engine's LRU (consulted concurrently from
@@ -64,22 +181,39 @@ util::LruCacheStats statsDelta(const util::LruCacheStats& now,
 class ExtractionEngine::BlockCacheAdapter final : public BlockEmbeddingCache {
  public:
   BlockCacheAdapter(
+      const ExtractionEngine* engine,
       util::LruByteCache<util::StructuralHash, CachedBlockEmbedding>& cache,
       std::uint64_t salt)
-      : cache_(cache), salt_(salt) {}
+      : engine_(engine), cache_(cache), salt_(salt) {}
 
   std::shared_ptr<const CachedBlockEmbedding> lookup(
       const util::StructuralHash& key) override {
-    return cache_.get(withConfigSalt(key, salt_));
+    const util::StructuralHash salted = withConfigSalt(key, salt_);
+    if (auto hit = cache_.get(salted)) return hit;
+    // Memory miss: consult the persistent tier (corrupt entries there are
+    // quarantined inside diskGet and come back as a miss). A decode
+    // failure is counted and recomputed — never served.
+    if (auto payload = engine_->diskGet("block", salted, nullptr)) {
+      auto decoded = std::make_shared<CachedBlockEmbedding>();
+      if (decodeBlock(*payload, decoded.get())) {
+        cache_.put(salted, decoded, decoded->approxBytes());
+        return decoded;
+      }
+      decodeFailedCounter().add();
+    }
+    return nullptr;
   }
 
   void store(const util::StructuralHash& key,
              std::shared_ptr<const CachedBlockEmbedding> entry) override {
+    const util::StructuralHash salted = withConfigSalt(key, salt_);
+    engine_->diskPut("block", salted, encodeBlock(*entry));
     const std::size_t bytes = entry->approxBytes();
-    cache_.put(withConfigSalt(key, salt_), std::move(entry), bytes);
+    cache_.put(salted, std::move(entry), bytes);
   }
 
  private:
+  const ExtractionEngine* engine_;
   util::LruByteCache<util::StructuralHash, CachedBlockEmbedding>& cache_;
   const std::uint64_t salt_;  ///< see ExtractionEngine::detectorSalt()
 };
@@ -124,15 +258,53 @@ ExtractionEngine::ExtractionEngine(const Pipeline& pipeline,
       blockCache_(blockBudget(config)),
       pairCache_(pairBudget(config)),
       subtreeHashMemo_(subtreeMemoBudget(config)),
-      blockAdapter_(
-          std::make_unique<BlockCacheAdapter>(blockCache_, detectorSalt_)),
+      blockAdapter_(std::make_unique<BlockCacheAdapter>(this, blockCache_,
+                                                        detectorSalt_)),
       pairAdapter_(
-          std::make_unique<PairCacheAdapter>(pairCache_, detectorSalt_)) {}
+          std::make_unique<PairCacheAdapter>(pairCache_, detectorSalt_)) {
+  if (!config_.cachePath.empty() && config_.cacheBudgetBytes > 0) {
+    util::DiskCacheConfig diskConfig;
+    diskConfig.dir = config_.cachePath;
+    diskConfig.budgetBytes = config_.diskBudgetBytes;
+    diskConfig.writeBehind = config_.diskWriteBehind;
+    disk_ = std::make_unique<util::DiskCache>(std::move(diskConfig));
+  }
+}
 
 ExtractionEngine::~ExtractionEngine() = default;
 
+std::uint64_t ExtractionEngine::modelSalt() const {
+  const std::lock_guard<std::mutex> lock(modelSaltMutex_);
+  if (!modelSaltReady_) {
+    // Fold the serialized trained weights into one lane: any model change
+    // (retrain, reload, different seed) re-keys the whole disk space.
+    std::ostringstream serialized;
+    saveModel(pipeline_.model(), serialized);
+    util::StructuralHasher hasher;
+    hasher.addBytes(serialized.str());
+    const util::StructuralHash h = hasher.finish();
+    modelSalt_ = h.hi ^ h.lo;
+    modelSaltReady_ = true;
+  }
+  return modelSalt_;
+}
+
+std::optional<std::string> ExtractionEngine::diskGet(
+    std::string_view ns, const util::StructuralHash& saltedKey,
+    diag::DiagnosticSink* sink) const {
+  if (disk_ == nullptr || !disk_->enabled()) return std::nullopt;
+  return disk_->get(ns, withConfigSalt(saltedKey, modelSalt()), sink);
+}
+
+void ExtractionEngine::diskPut(std::string_view ns,
+                               const util::StructuralHash& saltedKey,
+                               std::string payload) const {
+  if (disk_ == nullptr || !disk_->enabled()) return;
+  disk_->put(ns, withConfigSalt(saltedKey, modelSalt()), std::move(payload));
+}
+
 ExtractionResult ExtractionEngine::extractOne(
-    const Library& lib, diag::DiagnosticSink* sink,
+    const Library& lib, diag::DiagnosticSink* sink, util::Deadline deadline,
     const FlatDesign* preElaborated, const util::StructuralHash* designHash,
     const std::vector<util::StructuralHash>* nodeHashes) const {
   const trace::TraceSpan extractSpan("engine.extract");
@@ -141,9 +313,11 @@ ExtractionResult ExtractionEngine::extractOne(
   const metrics::Snapshot before = metrics::Registry::instance().snapshot();
   static metrics::Counter& degradedCounter =
       metrics::Registry::instance().counter("pipeline.extract_degraded");
+  const util::DeadlineToken token(deadline);
 
   ExtractionResult result;
   try {
+    token.checkpoint("engine.elaborate");
     std::optional<FlatDesign> owned;
     if (preElaborated == nullptr) {
       owned.emplace(failSoft ? FlatDesign::elaborate(lib, *sink)
@@ -152,6 +326,7 @@ ExtractionResult ExtractionEngine::extractOne(
     const FlatDesign& design =
         preElaborated != nullptr ? *preElaborated : *owned;
 
+    token.checkpoint("engine.hash");
     std::shared_ptr<const InferenceArtifacts> artifacts;
     if (config_.cacheDesignInference && config_.cacheBudgetBytes > 0) {
       util::StructuralHash key;
@@ -170,12 +345,30 @@ ExtractionResult ExtractionEngine::extractOne(
       const util::StructuralHash cacheKey = withConfigSalt(key, detectorSalt_);
       artifacts = designCache_.get(cacheKey);
       if (artifacts == nullptr) {
+        // Memory miss: the persistent tier may still hold this design's
+        // inference from an earlier process. A corrupt entry comes back
+        // as a miss (quarantined, warning diagnostic on the sink); a
+        // decode failure is counted and falls through to recompute.
+        if (auto payload = diskGet("design", cacheKey, sink)) {
+          auto fromDisk = std::make_shared<InferenceArtifacts>();
+          if (decodeArtifacts(*payload, fromDisk.get())) {
+            designCache_.put(cacheKey, fromDisk, fromDisk->approxBytes());
+            artifacts = std::move(fromDisk);
+          } else {
+            decodeFailedCounter().add();
+          }
+        }
+      }
+      if (artifacts == nullptr) {
+        token.checkpoint("engine.inference");
         auto computed = std::make_shared<InferenceArtifacts>(
             pipeline_.runInference(lib, design, result.report));
         designCache_.put(cacheKey, computed, computed->approxBytes());
+        diskPut("design", cacheKey, encodeArtifacts(*computed));
         artifacts = std::move(computed);
       }
     } else {
+      token.checkpoint("engine.inference");
       artifacts = std::make_shared<InferenceArtifacts>(
           pipeline_.runInference(lib, design, result.report));
     }
@@ -187,6 +380,7 @@ ExtractionResult ExtractionEngine::extractOne(
       throw Error("injected fault: engine.extract");
     }
 
+    token.checkpoint("engine.detection");
     const bool cachesOn = config_.cacheBudgetBytes > 0;
     const DetectionCaches caches{
         cachesOn && config_.cacheBlockEmbeddings ? blockAdapter_.get()
@@ -197,6 +391,21 @@ ExtractionResult ExtractionEngine::extractOne(
     // Copy (not move): the artifact may live on in the cache. A hit thus
     // yields the exact bytes the original miss computed.
     result.embeddings = artifacts->embeddings;
+  } catch (const util::DeadlineError& e) {
+    // Out of time, not bad input. No partial result in either mode: the
+    // checkpoint threw before detection assigned anything. Strict mode
+    // propagates the typed error; fail-soft records the coded diagnostic
+    // — deliberately NOT extract_degraded, so dashboards can tell load
+    // shedding from corrupt input.
+    if (!failSoft) {
+      publishCacheMetrics();
+      throw;
+    }
+    publishCacheMetrics();
+    result = ExtractionResult{};
+    result.report.metrics =
+        metrics::Registry::instance().snapshot().since(before);
+    sink->error(diag::codes::kDeadlineExceeded, "", 0, e.what());
   } catch (const Error& e) {
     if (!failSoft) throw;
     // Same degradation contract as Pipeline::extract: empty result, keep
@@ -223,7 +432,7 @@ ExtractionResult ExtractionEngine::extract(const Library& lib,
                                            ExtractOptions options) const {
   const metrics::Snapshot before = metrics::Registry::instance().snapshot();
   try {
-    ExtractionResult result = extractOne(lib, options.sink);
+    ExtractionResult result = extractOne(lib, options.sink, options.deadline);
     publishCacheMetrics();
     result.report.metrics =
         metrics::Registry::instance().snapshot().since(before);
@@ -319,8 +528,11 @@ ExtractionResult ExtractionEngine::extractDelta(const Library& oldLib,
           !designCache_.contains(withConfigSalt(oldHash, detectorSalt_));
       if (warm) {
         const trace::TraceSpan warmSpan("engine.warm");
-        (void)extractOne(oldLib, nullptr, &*oldDesign, &oldHash,
-                         oldNodeHashes.get());
+        // The request deadline covers warming too; a DeadlineError here is
+        // swallowed like any warm failure, and phase 3's own checkpoints
+        // then surface the expiry with the proper contract.
+        (void)extractOne(oldLib, nullptr, options.deadline, &*oldDesign,
+                         &oldHash, oldNodeHashes.get());
         prelude.addPhase("engine.warm", warmSpan.seconds());
       }
     } catch (const Error&) {
@@ -333,7 +545,7 @@ ExtractionResult ExtractionEngine::extractDelta(const Library& oldLib,
   // is what makes the delta result bitwise-equal to the full one.
   ExtractionResult result;
   try {
-    result = extractOne(newLib, options.sink,
+    result = extractOne(newLib, options.sink, options.deadline,
                         newDesign.has_value() ? &*newDesign : nullptr,
                         newDesign.has_value() ? &newHash : nullptr,
                         newDesign.has_value() ? newNodeHashes.get() : nullptr);
@@ -360,6 +572,56 @@ std::vector<ExtractionResult> ExtractionEngine::extractBatch(
   const trace::TraceSpan batchSpan("engine.batch");
   const metrics::Snapshot before = metrics::Registry::instance().snapshot();
   const bool failSoft = options.sink != nullptr && !options.sink->strict();
+  static metrics::Counter& admissionAccepted =
+      metrics::Registry::instance().counter("engine.admission.accepted");
+  static metrics::Counter& admissionRejected =
+      metrics::Registry::instance().counter("engine.admission.rejected");
+
+  // Admission control: refuse an oversized batch whole, before any work
+  // starts — a shed request must cost O(estimate), not O(extraction).
+  std::string rejectReason;
+  if (config_.admissionMaxDesigns > 0 &&
+      batch.size() > config_.admissionMaxDesigns) {
+    rejectReason = "batch of " + std::to_string(batch.size()) +
+                   " designs exceeds admissionMaxDesigns=" +
+                   std::to_string(config_.admissionMaxDesigns);
+  } else if (config_.admissionMaxBytes > 0) {
+    std::size_t estimatedBytes = 0;
+    for (const Library* lib : batch) {
+      if (lib == nullptr) continue;
+      try {
+        estimatedBytes += lib->flatDeviceCount() * kAdmissionBytesPerDevice;
+      } catch (const Error&) {
+        // Unresolvable hierarchy: no estimate. Admit; extraction itself
+        // reports the real problem with the right diagnostics.
+      }
+    }
+    if (estimatedBytes > config_.admissionMaxBytes) {
+      rejectReason = "estimated in-flight " +
+                     std::to_string(estimatedBytes) +
+                     " bytes exceeds admissionMaxBytes=" +
+                     std::to_string(config_.admissionMaxBytes);
+    }
+  }
+  if (!rejectReason.empty()) {
+    admissionRejected.add();
+    if (!failSoft) throw AdmissionError("batch rejected: " + rejectReason);
+    options.sink->error(diag::codes::kAdmissionRejected, "", 0, rejectReason);
+    const diag::Diagnostic rejectDiag{diag::Severity::kError,
+                                      std::string(diag::codes::kAdmissionRejected),
+                                      "", 0, rejectReason};
+    std::vector<ExtractionResult> rejected(batch.size());
+    for (ExtractionResult& r : rejected) {
+      r.report.addDiagnostics({rejectDiag});
+    }
+    if (batchReport != nullptr) {
+      batchReport->addPhase("engine.batch", batchSpan.seconds());
+      batchReport->metrics =
+          metrics::Registry::instance().snapshot().since(before);
+    }
+    return rejected;
+  }
+  admissionAccepted.add();
 
   // Each design gets a private collect sink: snapshotFrom index ranges on
   // a sink shared across concurrent designs would interleave, so
@@ -379,7 +641,8 @@ std::vector<ExtractionResult> ExtractionEngine::extractBatch(
     pool.forEach(batch.size(), [&](std::size_t i) {
       ANCSTR_ASSERT(batch[i] != nullptr);
       results[i] =
-          extractOne(*batch[i], failSoft ? localSinks[i].get() : options.sink);
+          extractOne(*batch[i], failSoft ? localSinks[i].get() : options.sink,
+                     options.deadline);
     });
   } catch (...) {
     // Strict-mode failure mid-batch: publish the cache consults that
@@ -427,11 +690,24 @@ EngineCacheStats ExtractionEngine::cacheStats() const {
                           pairCache_.stats()};
 }
 
+util::DiskCacheStats ExtractionEngine::diskCacheStats() const {
+  return disk_ != nullptr ? disk_->stats() : util::DiskCacheStats{};
+}
+
+void ExtractionEngine::flushDiskWrites() const {
+  if (disk_ != nullptr) disk_->flush();
+}
+
 void ExtractionEngine::clearCaches() {
   designCache_.clear();
   blockCache_.clear();
   pairCache_.clear();
   subtreeHashMemo_.clear();
+  // Disk keys carry the model salt; dropping it here makes the next disk
+  // access re-derive it from the (possibly reloaded) weights, keying a
+  // fresh disk space instead of serving the old model's entries.
+  const std::lock_guard<std::mutex> lock(modelSaltMutex_);
+  modelSaltReady_ = false;
 }
 
 void ExtractionEngine::publishCacheMetrics() const {
@@ -476,6 +752,41 @@ void ExtractionEngine::publishCacheMetrics() const {
   pairEvict.add(now.pairs.evictions - published_.pairs.evictions);
   pairBytes.set(static_cast<double>(now.pairs.bytes));
   published_ = now;
+
+  if (disk_ != nullptr) {
+    static metrics::Counter& diskHit =
+        registry.counter("engine.disk_cache.hit");
+    static metrics::Counter& diskMiss =
+        registry.counter("engine.disk_cache.miss");
+    static metrics::Counter& diskCorrupt =
+        registry.counter("engine.disk_cache.corrupt");
+    static metrics::Counter& diskQuarantined =
+        registry.counter("engine.disk_cache.quarantined");
+    static metrics::Counter& diskWrite =
+        registry.counter("engine.disk_cache.write");
+    static metrics::Counter& diskWriteFailure =
+        registry.counter("engine.disk_cache.write_failure");
+    static metrics::Counter& diskEvict =
+        registry.counter("engine.disk_cache.evict");
+    static metrics::Counter& diskRetry =
+        registry.counter("engine.disk_cache.retry");
+    static metrics::Gauge& diskBytes =
+        registry.gauge("engine.disk_cache.bytes");
+    static metrics::Gauge& diskDegraded =
+        registry.gauge("engine.disk_cache.degraded");
+    const util::DiskCacheStats d = disk_->stats();
+    diskHit.add(d.hits - publishedDisk_.hits);
+    diskMiss.add(d.misses - publishedDisk_.misses);
+    diskCorrupt.add(d.corrupt - publishedDisk_.corrupt);
+    diskQuarantined.add(d.quarantined - publishedDisk_.quarantined);
+    diskWrite.add(d.writes - publishedDisk_.writes);
+    diskWriteFailure.add(d.writeFailures - publishedDisk_.writeFailures);
+    diskEvict.add(d.evictions - publishedDisk_.evictions);
+    diskRetry.add(d.retries - publishedDisk_.retries);
+    diskBytes.set(static_cast<double>(d.bytes));
+    diskDegraded.set(d.degraded ? 1.0 : 0.0);
+    publishedDisk_ = d;
+  }
 }
 
 }  // namespace ancstr

@@ -35,30 +35,61 @@
 // per design hash (a cacheBudgetBytes/32 slice), so chained ECO calls
 // skip the baseline side's hashing entirely.
 //
+// Persistent tier: with EngineConfig::cachePath set, design-inference
+// artifacts and block embeddings are additionally written through to a
+// crash-safe on-disk store (util/disk_cache.h) and served from it on
+// memory misses — a fresh process over a populated directory starts warm,
+// and a disk hit is bitwise identical to a cold run. Disk keys carry the
+// detector salt AND a model-identity salt (modelSalt()), so entries can
+// never leak across configurations or trained weights. Every disk-tier
+// failure (corruption, IO error, full disk) degrades to recompute.
+//
+// Serving hardening: ExtractOptions::deadline bounds each request
+// cooperatively (checked at phase boundaries; expiry yields a typed
+// diagnostic / util::DeadlineError, never a partial result), and
+// EngineConfig::admissionMaxDesigns / admissionMaxBytes let extractBatch
+// shed oversized batches up front (AdmissionError /
+// [engine.admission_rejected]). See docs/robustness.md.
+//
 // Batches fan out over the deterministic util/parallel.h thread pool
 // (EngineConfig::threads; ANCSTR_THREADS overrides); results land in
 // per-design slots, so batch output is identical for every thread count.
 //
-// Observability: "engine.extract" / "engine.hash" / "engine.batch" trace
-// spans, and engine.cache.* / engine.block_cache.* counters and gauges
-// (docs/observability.md).
+// Observability: "engine.extract" / "engine.hash" / "engine.batch" (and
+// disk_cache.open/read/write) trace spans, plus engine.cache.* /
+// engine.block_cache.* / engine.disk_cache.* / engine.deadline.* /
+// engine.admission.* counters and gauges (docs/observability.md).
 //
 // The engine holds the Pipeline by reference and assumes its model stays
 // fixed: reloading the pipeline's weights invalidates every cached entry
 // — call clearCaches() after loadModel().
 #pragma once
 
+#include <filesystem>
 #include <initializer_list>
 #include <memory>
+#include <optional>
 #include <span>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/library_diff.h"
 #include "core/pipeline.h"
+#include "util/disk_cache.h"
 #include "util/lru_cache.h"
 #include "util/structural_hash.h"
 
 namespace ancstr {
+
+/// extractBatch refused the batch up front (admission control, see
+/// EngineConfig::admissionMaxDesigns / admissionMaxBytes). Typed so strict
+/// callers can shed load distinctly from input errors; fail-soft callers
+/// get [engine.admission_rejected] diagnostics instead.
+class AdmissionError : public Error {
+ public:
+  using Error::Error;
+};
 
 struct EngineConfig {
   /// Total byte budget across both caches (split evenly); 0 disables all
@@ -75,6 +106,32 @@ struct EngineConfig {
   /// Memoize block-pair similarities by subtree-hash pair (an extra
   /// cacheBudgetBytes/16 slice on top of the design/block split).
   bool cachePairScores = true;
+
+  // --- persistent tier (util/disk_cache.h) ----------------------------
+  /// Directory for the crash-safe on-disk cache tier; empty (the default)
+  /// disables persistence. Design-inference artifacts and block
+  /// embeddings are written through (write-behind) and served on memory
+  /// misses, so a fresh process over a populated directory starts warm. A
+  /// disk hit is bitwise identical to a cold run; disk keys additionally
+  /// carry a model-identity salt, so entries written under different
+  /// trained weights can never alias.
+  std::filesystem::path cachePath;
+  /// Byte budget for the disk tier (LRU eviction); 0 = unbounded.
+  std::size_t diskBudgetBytes = 256ull << 20;
+  /// Write-behind disk population (background writer thread). Off =
+  /// synchronous writes, deterministic for tests.
+  bool diskWriteBehind = true;
+
+  // --- admission control (extractBatch) -------------------------------
+  /// Maximum designs accepted per extractBatch call; 0 = unlimited. An
+  /// oversized batch is rejected whole, up front: AdmissionError in
+  /// strict mode, [engine.admission_rejected] + empty results under a
+  /// collect sink.
+  std::size_t admissionMaxDesigns = 0;
+  /// Maximum estimated in-flight bytes per extractBatch call (coarse:
+  /// flatDeviceCount * ~1 KiB per design); 0 = unlimited. Same rejection
+  /// contract as admissionMaxDesigns.
+  std::size_t admissionMaxBytes = 0;
 };
 
 /// Cumulative cache counters (see util::LruCacheStats).
@@ -160,6 +217,15 @@ class ExtractionEngine {
 
   EngineCacheStats cacheStats() const;
 
+  /// Cumulative disk-tier counters; all-zero/disabled when
+  /// EngineConfig::cachePath is empty.
+  util::DiskCacheStats diskCacheStats() const;
+
+  /// Drains pending write-behind disk writes (no-op without a disk tier).
+  /// The destructor drains too; call this when another process — or a
+  /// fresh engine over the same directory — must observe the entries now.
+  void flushDiskWrites() const;
+
   /// The detector-configuration salt mixed into every design/block/pair
   /// cache key (detectorConfigSignature of the wrapped pipeline's
   /// detector config, core/circuit_hash.h). Engines over pipelines with
@@ -187,9 +253,24 @@ class ExtractionEngine {
   /// delta path hashes each design once and reuses the values here.
   ExtractionResult extractOne(
       const Library& lib, diag::DiagnosticSink* sink,
-      const FlatDesign* preElaborated = nullptr,
+      util::Deadline deadline = {}, const FlatDesign* preElaborated = nullptr,
       const util::StructuralHash* designHash = nullptr,
       const std::vector<util::StructuralHash>* nodeHashes = nullptr) const;
+
+  /// Model-identity salt mixed into every disk key (a fold of the
+  /// serialized trained weights): on-disk entries outlive the process, so
+  /// unlike the in-memory tier they must also be disjoint across models.
+  /// Computed lazily (the pipeline may be untrained at construction);
+  /// clearCaches() resets it for the post-loadModel() weights.
+  std::uint64_t modelSalt() const;
+
+  /// Disk-tier read/write of an already detector-salted key; no-ops
+  /// (nullopt) without an enabled disk tier.
+  std::optional<std::string> diskGet(std::string_view ns,
+                                     const util::StructuralHash& saltedKey,
+                                     diag::DiagnosticSink* sink) const;
+  void diskPut(std::string_view ns, const util::StructuralHash& saltedKey,
+               std::string payload) const;
 
   /// Subtree hashes of `design`, memoized by its whole-design hash so
   /// chained delta calls (v1->v2, v2->v3, ...) hash each version once.
@@ -219,8 +300,14 @@ class ExtractionEngine {
       subtreeHashMemo_;
   std::unique_ptr<BlockCacheAdapter> blockAdapter_;
   std::unique_ptr<PairCacheAdapter> pairAdapter_;
+  /// Persistent second tier (null without EngineConfig::cachePath).
+  std::unique_ptr<util::DiskCache> disk_;
+  mutable std::mutex modelSaltMutex_;
+  mutable bool modelSaltReady_ = false;
+  mutable std::uint64_t modelSalt_ = 0;
   mutable std::mutex publishMutex_;
   mutable EngineCacheStats published_;
+  mutable util::DiskCacheStats publishedDisk_;
 };
 
 }  // namespace ancstr

@@ -99,9 +99,12 @@ void Pipeline::runDetection(const Library& lib, const FlatDesign& design,
 namespace {
 
 void runExtractPhases(const Pipeline& pipeline, const Library& lib,
-                      const FlatDesign& design, ExtractionResult& result) {
+                      const FlatDesign& design, ExtractionResult& result,
+                      const util::DeadlineToken& deadline) {
+  deadline.checkpoint("extract.inference");
   InferenceArtifacts artifacts =
       pipeline.runInference(lib, design, result.report);
+  deadline.checkpoint("extract.detection");
   pipeline.runDetection(lib, design, artifacts, nullptr, result);
   result.embeddings = std::move(artifacts.embeddings);
 }
@@ -112,14 +115,17 @@ ExtractionResult Pipeline::extract(const Library& lib,
                                    ExtractOptions options) const {
   if (!model_) throw Error("Pipeline::extract before train()/loadModel()");
 
+  const util::DeadlineToken deadline(options.deadline);
   if (options.sink == nullptr || options.sink->strict()) {
     // Strict path: the first invalid construct throws, no sink involved.
+    // Deadline expiry throws util::DeadlineError from a checkpoint.
     const trace::TraceSpan pipelineSpan("pipeline.extract");
     const metrics::Snapshot before = metrics::Registry::instance().snapshot();
     ExtractionResult result;
 
+    deadline.checkpoint("pipeline.elaborate");
     const FlatDesign design = FlatDesign::elaborate(lib);
-    runExtractPhases(*this, lib, design, result);
+    runExtractPhases(*this, lib, design, result, deadline);
 
     result.report.metrics =
         metrics::Registry::instance().snapshot().since(before);
@@ -135,8 +141,14 @@ ExtractionResult Pipeline::extract(const Library& lib,
   ExtractionResult result;
   try {
     const trace::TraceSpan pipelineSpan("pipeline.extract");
+    deadline.checkpoint("pipeline.elaborate");
     const FlatDesign design = FlatDesign::elaborate(lib, sink);
-    runExtractPhases(*this, lib, design, result);
+    runExtractPhases(*this, lib, design, result, deadline);
+  } catch (const util::DeadlineError& e) {
+    // Out of time, not bad input: no partial result, its own code, and no
+    // extract_degraded bump (the input may be perfectly valid).
+    result = ExtractionResult{};
+    sink.error(diag::codes::kDeadlineExceeded, "", 0, e.what());
   } catch (const Error& e) {
     // Degrade to an empty result: completed phase timings are kept, the
     // detection/embeddings stay default-constructed (detectConstraints

@@ -20,6 +20,7 @@
 #include "core/trainer.h"
 #include "netlist/flatten.h"
 #include "nn/matrix.h"
+#include "util/deadline.h"
 #include "util/report.h"
 
 namespace ancstr {
@@ -60,6 +61,12 @@ struct ExtractOptions {
   /// an empty result [pipeline.extract_degraded]), and all diagnostics
   /// produced during the call are copied into result.report.diagnostics.
   diag::DiagnosticSink* sink = nullptr;
+  /// Per-request deadline, checked cooperatively at phase boundaries
+  /// (util/deadline.h). Default is unarmed (never expires). Expiry yields
+  /// no partial result: strict mode throws util::DeadlineError; a
+  /// collect-mode sink records [engine.deadline_exceeded] and the call
+  /// returns an empty result.
+  util::Deadline deadline = {};
 };
 
 /// Extraction output: scored candidates + accepted constraints + the run
@@ -127,7 +134,9 @@ class Pipeline {
   [[deprecated("pass ExtractOptions{&sink} instead")]]
   ExtractionResult extract(const Library& lib,
                            diag::DiagnosticSink& sink) const {
-    return extract(lib, ExtractOptions{&sink});
+    ExtractOptions options;
+    options.sink = &sink;
+    return extract(lib, options);
   }
 
   // --- Serving hooks (used by core/engine.h) ---------------------------

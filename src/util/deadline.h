@@ -1,0 +1,100 @@
+// Cooperative per-request deadlines for the serving path
+// (docs/robustness.md, "Deadlines and admission control").
+//
+// A Deadline is a point in steady-clock time a request must not run past;
+// a DeadlineToken is the per-request object serving code carries and
+// consults at phase boundaries. Checks are cooperative — nothing is
+// preempted — so the guarantee is "no new phase starts after expiry", and
+// the latency bound is the deadline plus one phase. Expiry never yields a
+// partial result: the checkpoint throws DeadlineError, which the serving
+// layer turns into a coded diagnostic ([engine.deadline_exceeded]) and an
+// empty result under a fail-soft sink, or propagates typed in strict mode
+// (core/engine.h).
+//
+// A default-constructed Deadline is unarmed and never expires, so passing
+// ExtractOptions without a deadline costs nothing on the hot path.
+#pragma once
+
+#include <chrono>
+#include <limits>
+#include <string>
+
+#include "util/error.h"
+#include "util/metrics.h"
+
+namespace ancstr::util {
+
+/// A request deadline was exceeded at a cooperative checkpoint. Distinct
+/// from Error subclasses that mean "bad input": the input may be perfectly
+/// valid, the time budget simply ran out.
+class DeadlineError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// An absolute steady-clock expiry time, or "unarmed" (never expires).
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Unarmed: expired() is always false.
+  Deadline() = default;
+
+  /// Expires `seconds` from now (<= 0 means already expired).
+  static Deadline afterSeconds(double seconds) {
+    return Deadline(Clock::now() +
+                    std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(seconds)));
+  }
+
+  /// Expires at the given steady-clock time point.
+  static Deadline at(Clock::time_point when) { return Deadline(when); }
+
+  bool armed() const { return armed_; }
+
+  bool expired() const { return armed_ && Clock::now() >= when_; }
+
+  /// Seconds until expiry (negative once past it); +inf when unarmed.
+  double remainingSeconds() const {
+    if (!armed_) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double>(when_ - Clock::now()).count();
+  }
+
+ private:
+  explicit Deadline(Clock::time_point when) : when_(when), armed_(true) {}
+
+  Clock::time_point when_{};
+  bool armed_ = false;
+};
+
+/// The per-request handle serving code consults at phase boundaries.
+/// Wraps the deadline with the process-wide engine.deadline.* counters so
+/// every checkpoint is observable (docs/observability.md).
+class DeadlineToken {
+ public:
+  explicit DeadlineToken(Deadline deadline = {}) : deadline_(deadline) {}
+
+  bool armed() const { return deadline_.armed(); }
+  const Deadline& deadline() const { return deadline_; }
+
+  /// One cooperative check. Returns normally while time remains; throws
+  /// DeadlineError (naming `phase`) once the deadline has passed. Unarmed
+  /// tokens return immediately without touching the clock or counters.
+  void checkpoint(const char* phase) const {
+    if (!deadline_.armed()) return;
+    static metrics::Counter& checks =
+        metrics::Registry::instance().counter("engine.deadline.checks");
+    static metrics::Counter& expired =
+        metrics::Registry::instance().counter("engine.deadline.expired");
+    checks.add();
+    if (deadline_.expired()) {
+      expired.add();
+      throw DeadlineError(std::string("deadline exceeded at ") + phase);
+    }
+  }
+
+ private:
+  Deadline deadline_;
+};
+
+}  // namespace ancstr::util

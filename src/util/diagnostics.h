@@ -64,6 +64,15 @@ inline constexpr std::string_view kRetriesExhausted =
 inline constexpr std::string_view kSubcktSkipped = "pipeline.subckt_skipped";
 inline constexpr std::string_view kExtractDegraded =
     "pipeline.extract_degraded";
+// --- disk cache (warnings: the serving path recovers by recomputing) --
+inline constexpr std::string_view kCacheCorrupt = "cache.corrupt_entry";
+inline constexpr std::string_view kCacheVersion = "cache.version_mismatch";
+inline constexpr std::string_view kCacheIo = "cache.io_failure";
+// --- serving ---------------------------------------------------------
+inline constexpr std::string_view kDeadlineExceeded =
+    "engine.deadline_exceeded";
+inline constexpr std::string_view kAdmissionRejected =
+    "engine.admission_rejected";
 }  // namespace codes
 
 /// One problem report. `file`/`line` are 0/"" when no position applies.

@@ -1,0 +1,444 @@
+#include "util/disk_cache.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <thread>
+#include <vector>
+
+#include "util/error.h"
+#include "util/fault.h"
+#include "util/trace.h"
+
+namespace ancstr::util {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kMagic[8] = {'A', 'N', 'C', 'S', 'T', 'R', 'D', 'C'};
+constexpr std::size_t kHeaderBytes = 8 + 4 + 4 + 8 + 8 + 8;
+constexpr std::size_t kMaxQueuedWrites = 1024;
+
+void append32(std::string& out, std::uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, sizeof(v));
+  out.append(buf, sizeof(buf));
+}
+
+void append64(std::string& out, std::uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, sizeof(v));
+  out.append(buf, sizeof(buf));
+}
+
+std::uint32_t read32(const char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+std::uint64_t read64(const char* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+StructuralHash payloadChecksum(std::string_view payload) {
+  StructuralHasher hasher;
+  hasher.addBytes(payload);
+  return hasher.finish();
+}
+
+/// Header + payload as the exact byte stream renamed into place.
+std::string encodeEntry(std::string_view payload) {
+  std::string out;
+  out.reserve(kHeaderBytes + payload.size());
+  out.append(kMagic, sizeof(kMagic));
+  append32(out, DiskCache::kFormatVersion);
+  append32(out, 0);  // reserved
+  append64(out, static_cast<std::uint64_t>(payload.size()));
+  const StructuralHash sum = payloadChecksum(payload);
+  append64(out, sum.hi);
+  append64(out, sum.lo);
+  out.append(payload);
+  return out;
+}
+
+/// Why a read failed to yield a payload.
+enum class ReadVerdict { kOk, kCorrupt, kVersionMismatch };
+
+/// Validates `bytes` as a complete entry; on success `payload` gets the
+/// verified payload. Never throws.
+ReadVerdict decodeEntry(const std::string& bytes, std::string* payload) {
+  if (bytes.size() < kHeaderBytes ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return ReadVerdict::kCorrupt;
+  }
+  const std::uint32_t version = read32(bytes.data() + 8);
+  if (version != DiskCache::kFormatVersion) {
+    return ReadVerdict::kVersionMismatch;
+  }
+  const std::uint64_t payloadSize = read64(bytes.data() + 16);
+  if (bytes.size() != kHeaderBytes + payloadSize) {
+    return ReadVerdict::kCorrupt;  // short read / truncation / trailing junk
+  }
+  StructuralHash stored;
+  stored.hi = read64(bytes.data() + 24);
+  stored.lo = read64(bytes.data() + 32);
+  std::string body = bytes.substr(kHeaderBytes);
+  StructuralHash actual = payloadChecksum(body);
+  if (fault::shouldFail("disk_cache.checksum")) {
+    actual.hi ^= 1;  // injected bit rot
+  }
+  if (!(actual == stored)) return ReadVerdict::kCorrupt;
+  *payload = std::move(body);
+  return ReadVerdict::kOk;
+}
+
+}  // namespace
+
+std::string DiskCache::entryFileName(std::string_view ns,
+                                     const StructuralHash& key) {
+  return std::string(ns) + "-" + key.hex() + ".e";
+}
+
+DiskCache::DiskCache(DiskCacheConfig config) : config_(std::move(config)) {
+  if (config_.dir.empty()) return;
+  open();
+  if (opened_.load(std::memory_order_relaxed) && config_.writeBehind) {
+    writer_ = std::thread([this] { writerLoop(); });
+  }
+}
+
+DiskCache::~DiskCache() {
+  if (writer_.joinable()) {
+    {
+      const std::lock_guard<std::mutex> lock(queueMutex_);
+      stopping_ = true;  // writerLoop drains the queue before exiting
+    }
+    queueCv_.notify_all();
+    writer_.join();
+  }
+}
+
+bool DiskCache::enabled() const {
+  return opened_.load(std::memory_order_relaxed) &&
+         !degraded_.load(std::memory_order_relaxed);
+}
+
+void DiskCache::open() {
+  const trace::TraceSpan span("disk_cache.open");
+  try {
+    if (fault::shouldFail("disk_cache.open")) {
+      throw Error("injected fault: disk_cache.open");
+    }
+    fs::create_directories(config_.dir);
+
+    // Index existing entries by mtime; sweep crash leftovers (temp files
+    // from interrupted writes) and prior quarantined entries.
+    struct Found {
+      fs::file_time_type mtime;
+      std::string name;
+      std::size_t size = 0;
+    };
+    std::vector<Found> found;
+    for (const auto& entry : fs::directory_iterator(config_.dir)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string name = entry.path().filename().string();
+      if (name.find(".tmp") != std::string::npos ||
+          (name.size() > 2 && name.compare(name.size() - 2, 2, ".q") == 0)) {
+        std::error_code ec;
+        fs::remove(entry.path(), ec);
+        continue;
+      }
+      if (name.size() > 2 && name.compare(name.size() - 2, 2, ".e") == 0) {
+        found.push_back({entry.last_write_time(), name,
+                         static_cast<std::size_t>(entry.file_size())});
+      }
+    }
+    std::sort(found.begin(), found.end(), [](const Found& a, const Found& b) {
+      return a.mtime != b.mtime ? a.mtime < b.mtime : a.name < b.name;
+    });
+
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const Found& f : found) {
+      index_[f.name] = IndexEntry{f.size, ++seq_};
+      stats_.bytes += f.size;
+    }
+    evictToBudgetLocked();
+    opened_.store(true, std::memory_order_relaxed);
+  } catch (...) {
+    // Unusable store directory: open disabled. Serving continues without
+    // the disk tier; stats().enabled tells the story.
+    opened_.store(false, std::memory_order_relaxed);
+  }
+}
+
+void DiskCache::evictToBudgetLocked() {
+  if (config_.budgetBytes == 0) return;
+  // Keep at least the most recent entry: a single artifact larger than
+  // the whole budget still serves its own restarts.
+  while (stats_.bytes > config_.budgetBytes && index_.size() > 1) {
+    auto victim = index_.begin();
+    for (auto it = std::next(index_.begin()); it != index_.end(); ++it) {
+      if (it->second.seq < victim->second.seq) victim = it;
+    }
+    std::error_code ec;
+    fs::remove(config_.dir / victim->first, ec);
+    stats_.bytes -= std::min(stats_.bytes, victim->second.size);
+    index_.erase(victim);
+    ++stats_.evictions;
+  }
+}
+
+void DiskCache::noteIoFailure() {
+  const int failures =
+      consecutiveFailures_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (config_.degradeAfterFailures > 0 &&
+      failures >= config_.degradeAfterFailures) {
+    degraded_.store(true, std::memory_order_relaxed);
+  }
+}
+
+void DiskCache::noteIoSuccess() {
+  consecutiveFailures_.store(0, std::memory_order_relaxed);
+}
+
+void DiskCache::quarantine(const fs::path& path, const std::string& name) {
+  std::error_code ec;
+  bool renamed = false;
+  if (!fault::shouldFail("disk_cache.rename")) {
+    fs::rename(path, fs::path(path) += ".q", ec);
+    renamed = !ec;
+  }
+  if (!renamed) fs::remove(path, ec);  // neutralize it either way
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(name);
+  if (it != index_.end()) {
+    stats_.bytes -= std::min(stats_.bytes, it->second.size);
+    index_.erase(it);
+  }
+  ++stats_.corrupt;
+  if (renamed) ++stats_.quarantined;
+}
+
+std::optional<std::string> DiskCache::get(std::string_view ns,
+                                          const StructuralHash& key,
+                                          diag::DiagnosticSink* sink) {
+  if (!enabled()) return std::nullopt;
+  const std::string name = entryFileName(ns, key);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (index_.find(name) == index_.end()) {
+      ++stats_.misses;
+      return std::nullopt;
+    }
+  }
+  const fs::path path = config_.dir / name;
+  const trace::TraceSpan span("disk_cache.read");
+
+  std::string bytes;
+  bool read = false;
+  bool sawIoError = false;
+  for (int attempt = 0; attempt <= config_.maxIoRetries; ++attempt) {
+    if (attempt > 0) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.retries;
+    }
+    if (attempt > 0 && config_.retryBackoffMicros > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          config_.retryBackoffMicros << (attempt - 1)));
+    }
+    if (fault::shouldFail("disk_cache.read")) {
+      sawIoError = true;
+      continue;
+    }
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      // Most likely evicted or replaced under us: a plain miss, not an IO
+      // fault worth degrading over.
+      const std::lock_guard<std::mutex> lock(mutex_);
+      index_.erase(name);
+      ++stats_.misses;
+      return std::nullopt;
+    }
+    std::string data((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    if (in.bad()) {
+      sawIoError = true;
+      continue;
+    }
+    bytes = std::move(data);
+    read = true;
+    break;
+  }
+  if (!read) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.readFailures;
+      ++stats_.misses;
+    }
+    if (sawIoError) noteIoFailure();
+    if (sink != nullptr) {
+      sink->warning(diag::codes::kCacheIo, path.string(), 0,
+                    "disk cache read failed; recomputing");
+    }
+    return std::nullopt;
+  }
+
+  std::string payload;
+  const ReadVerdict verdict = decodeEntry(bytes, &payload);
+  if (verdict != ReadVerdict::kOk) {
+    quarantine(path, name);
+    if (sink != nullptr) {
+      if (verdict == ReadVerdict::kVersionMismatch) {
+        sink->warning(diag::codes::kCacheVersion, path.string(), 0,
+                      "disk cache entry has an unsupported format version; "
+                      "quarantined and recomputing");
+      } else {
+        sink->warning(diag::codes::kCacheCorrupt, path.string(), 0,
+                      "disk cache entry corrupt (bad magic, length, or "
+                      "checksum); quarantined and recomputing");
+      }
+    }
+    return std::nullopt;
+  }
+
+  noteIoSuccess();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.hits;
+  const auto it = index_.find(name);
+  if (it != index_.end()) it->second.seq = ++seq_;
+  return payload;
+}
+
+void DiskCache::put(std::string_view ns, const StructuralHash& key,
+                    std::string payload) {
+  if (!enabled()) return;
+  const std::string name = entryFileName(ns, key);
+  std::string bytes = encodeEntry(payload);
+  if (!config_.writeBehind) {
+    writeEntry(name, bytes);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(queueMutex_);
+    if (stopping_ || queue_.size() >= kMaxQueuedWrites) {
+      const std::lock_guard<std::mutex> statsLock(mutex_);
+      ++stats_.droppedWrites;
+      return;
+    }
+    queue_.emplace_back(name, std::move(bytes));
+  }
+  queueCv_.notify_one();
+}
+
+bool DiskCache::writeEntry(const std::string& name,
+                           const std::string& bytes) {
+  const trace::TraceSpan span("disk_cache.write");
+  const fs::path target = config_.dir / name;
+  for (int attempt = 0; attempt <= config_.maxIoRetries; ++attempt) {
+    if (attempt > 0) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.retries;
+    }
+    if (attempt > 0 && config_.retryBackoffMicros > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          config_.retryBackoffMicros << (attempt - 1)));
+    }
+    std::uint64_t tmpId;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      tmpId = ++tmpSeq_;
+    }
+    const fs::path tmp =
+        config_.dir / (name + ".tmp" + std::to_string(tmpId));
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      if (!out) continue;
+      if (fault::shouldFail("disk_cache.write")) {
+        // Simulated ENOSPC / crash mid-write: half the bytes land in the
+        // temp file and nothing is renamed — exactly the torn state the
+        // atomic-rename protocol must make invisible to readers.
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size() / 2));
+        continue;
+      }
+      out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+      out.flush();
+      if (!out.good()) {
+        out.close();
+        std::error_code ec;
+        fs::remove(tmp, ec);
+        continue;
+      }
+    }
+    std::error_code ec;
+    if (fault::shouldFail("disk_cache.rename")) {
+      fs::remove(tmp, ec);
+      continue;
+    }
+    fs::rename(tmp, target, ec);
+    if (ec) {
+      fs::remove(tmp, ec);
+      continue;
+    }
+    noteIoSuccess();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.writes;
+    const auto it = index_.find(name);
+    if (it != index_.end()) {
+      stats_.bytes -= std::min(stats_.bytes, it->second.size);
+      it->second.size = bytes.size();
+      it->second.seq = ++seq_;
+    } else {
+      index_[name] = IndexEntry{bytes.size(), ++seq_};
+    }
+    stats_.bytes += bytes.size();
+    evictToBudgetLocked();
+    return true;
+  }
+  noteIoFailure();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.writeFailures;
+  return false;
+}
+
+void DiskCache::writerLoop() {
+  std::unique_lock<std::mutex> lock(queueMutex_);
+  for (;;) {
+    queueCv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+    auto [name, bytes] = std::move(queue_.front());
+    queue_.pop_front();
+    writerBusy_ = true;
+    lock.unlock();
+    if (enabled()) writeEntry(name, bytes);
+    lock.lock();
+    writerBusy_ = false;
+    if (queue_.empty()) idleCv_.notify_all();
+  }
+}
+
+void DiskCache::flush() {
+  if (!writer_.joinable()) return;
+  std::unique_lock<std::mutex> lock(queueMutex_);
+  idleCv_.wait(lock, [this] { return queue_.empty() && !writerBusy_; });
+}
+
+DiskCacheStats DiskCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  DiskCacheStats out = stats_;
+  out.entries = index_.size();
+  out.enabled = enabled();
+  out.degraded = degraded_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace ancstr::util

@@ -1,0 +1,176 @@
+// Crash-safe content-addressed on-disk blob store: the persistent second
+// cache tier under the ExtractionEngine (core/engine.h), keyed by the
+// 128-bit structural hash. Restarting the process starts warm
+// (docs/robustness.md, "Disk cache crash-safety and recovery";
+// docs/api.md, "Persistence contract").
+//
+// Guarantees:
+//
+//   * Crash safety — an entry is written to a private temp file and
+//     renamed into place, so a reader (including one in a process that
+//     starts after a mid-write SIGKILL or ENOSPC) observes either the
+//     complete entry or no entry; never a torn one. Stale temp files are
+//     swept on open.
+//   * Self-verification — every entry carries a versioned header with the
+//     payload length and a 128-bit FNV/splitmix checksum
+//     (util/structural_hash.h). Corruption, short reads, and
+//     future-version headers are detected on read; the bad entry is
+//     quarantined (renamed to "<entry>.q") and the caller recomputes. The
+//     read path never throws.
+//   * Fail-soft serving — every failure (unopenable directory, IO error,
+//     corrupt entry, full disk) degrades to a miss. Transient IO failures
+//     are retried with exponential backoff; after
+//     `degradeAfterFailures` consecutive failures the store turns itself
+//     off for the rest of its lifetime (cache-off operation) rather than
+//     stalling the serving path.
+//   * Bounded size — `budgetBytes` caps the sum of live entry sizes.
+//     Least-recently-used entries are evicted on open (ordered by mtime)
+//     and after each write (ordered by in-process recency).
+//
+// Writes are write-behind by default: put() enqueues to a single
+// background writer thread and returns; flush() drains the queue and the
+// destructor flushes before joining. Readers that race a write simply
+// miss — the engine's in-memory tier already holds the value.
+//
+// Fault sites (util/fault.h): disk_cache.open, disk_cache.read,
+// disk_cache.write, disk_cache.rename, disk_cache.checksum.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <filesystem>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+
+#include "util/diagnostics.h"
+#include "util/structural_hash.h"
+
+namespace ancstr::util {
+
+struct DiskCacheConfig {
+  /// Store directory (created on open). An empty path disables the store.
+  std::filesystem::path dir;
+  /// Byte budget over live entries; 0 = unbounded. Enforced on open (LRU
+  /// by mtime) and after every write (LRU by in-process recency).
+  std::size_t budgetBytes = 256ull << 20;
+  /// Write-behind: puts enqueue to a background writer thread. Off =
+  /// synchronous writes on the calling thread (deterministic for tests).
+  bool writeBehind = true;
+  /// Extra attempts per failed IO operation (read or write).
+  int maxIoRetries = 2;
+  /// Backoff before the first retry, doubling per attempt; 0 = no sleep.
+  int retryBackoffMicros = 200;
+  /// Consecutive IO failures (after retries) before the store degrades to
+  /// cache-off operation for the rest of its lifetime.
+  int degradeAfterFailures = 4;
+};
+
+/// Cumulative counters of one DiskCache. bytes/entries are current live
+/// occupancy; hit/miss/corrupt are disjoint read outcomes (a corrupt read
+/// is not also counted as a miss).
+struct DiskCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t corrupt = 0;      ///< bad magic/version/length/checksum
+  std::uint64_t quarantined = 0;  ///< corrupt entries renamed aside
+  std::uint64_t writes = 0;       ///< entries durably renamed into place
+  std::uint64_t writeFailures = 0;
+  std::uint64_t readFailures = 0;  ///< IO read failures after retries
+  std::uint64_t droppedWrites = 0;  ///< write-behind queue overflow
+  std::uint64_t evictions = 0;
+  std::uint64_t retries = 0;  ///< IO retry attempts (read + write)
+  std::size_t bytes = 0;
+  std::size_t entries = 0;
+  bool enabled = false;   ///< open succeeded and not degraded
+  bool degraded = false;  ///< turned itself off after repeated IO failures
+};
+
+/// See file comment. All methods are thread-safe and none of them throws:
+/// a DiskCache can sit directly on a serving path.
+class DiskCache {
+ public:
+  /// On-disk entry format version; readers quarantine anything newer.
+  static constexpr std::uint32_t kFormatVersion = 1;
+
+  /// Opens (and creates) the store directory, sweeps stale temp and
+  /// quarantine files, indexes existing entries, and evicts past the
+  /// budget oldest-mtime-first. On any failure the store opens disabled —
+  /// a missing disk tier must never take down serving.
+  explicit DiskCache(DiskCacheConfig config);
+  ~DiskCache();
+
+  DiskCache(const DiskCache&) = delete;
+  DiskCache& operator=(const DiskCache&) = delete;
+
+  /// False when open failed or the store degraded to cache-off.
+  bool enabled() const;
+
+  /// Reads the payload stored under (ns, key). Returns nullopt on miss,
+  /// IO failure (after retries), or corruption — a corrupt entry is
+  /// quarantined and reported on `sink` (when given) as a warning with a
+  /// cache.* code, so strict sinks never throw because of it.
+  std::optional<std::string> get(std::string_view ns,
+                                 const StructuralHash& key,
+                                 diag::DiagnosticSink* sink = nullptr);
+
+  /// Stores `payload` under (ns, key). Write-behind mode enqueues and
+  /// returns; a full queue drops the write (counted). Failures after
+  /// retries are counted and — once consecutive enough — degrade the
+  /// store to cache-off.
+  void put(std::string_view ns, const StructuralHash& key,
+           std::string payload);
+
+  /// Drains pending write-behind entries (no-op in synchronous mode).
+  void flush();
+
+  DiskCacheStats stats() const;
+  const DiskCacheConfig& config() const { return config_; }
+
+  /// "<ns>-<32 hex chars>.e" — exposed for tests and tooling.
+  static std::string entryFileName(std::string_view ns,
+                                   const StructuralHash& key);
+
+ private:
+  struct IndexEntry {
+    std::size_t size = 0;
+    std::uint64_t seq = 0;  ///< recency; larger = more recent
+  };
+
+  void open();
+  bool writeEntry(const std::string& name, const std::string& bytes);
+  void writerLoop();
+  void noteIoFailure();
+  void noteIoSuccess();
+  void quarantine(const std::filesystem::path& path, const std::string& name);
+  /// Evicts lowest-seq entries until live bytes fit the budget. Caller
+  /// holds mutex_.
+  void evictToBudgetLocked();
+
+  DiskCacheConfig config_;
+  std::atomic<bool> opened_{false};
+  std::atomic<bool> degraded_{false};
+  std::atomic<int> consecutiveFailures_{0};
+
+  mutable std::mutex mutex_;  ///< index + stats + seq
+  std::unordered_map<std::string, IndexEntry> index_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t tmpSeq_ = 0;
+  DiskCacheStats stats_;
+
+  // Write-behind machinery (writeBehind only).
+  std::mutex queueMutex_;
+  std::condition_variable queueCv_;
+  std::condition_variable idleCv_;
+  std::deque<std::pair<std::string, std::string>> queue_;  ///< name, bytes
+  bool writerBusy_ = false;
+  bool stopping_ = false;
+  std::thread writer_;
+};
+
+}  // namespace ancstr::util

@@ -3,9 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
 #include <vector>
 
 #include "circuits/synthetic.h"
+#include "util/deadline.h"
 #include "util/diagnostics.h"
 #include "util/error.h"
 #include "util/fault.h"
@@ -266,6 +270,324 @@ TEST(Engine, StrictFaultStillPublishesCacheCounters) {
       metrics::Registry::instance().snapshot().since(before);
   ASSERT_TRUE(delta.counters.contains("engine.cache.miss"));
   EXPECT_GE(delta.counters.at("engine.cache.miss"), 1u);
+}
+
+namespace fs = std::filesystem;
+
+/// Fresh per-test disk-tier directory under the gtest temp root.
+fs::path freshCacheDir(const std::string& name) {
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / ("ancstr_engine_disk_" + name);
+  fs::remove_all(dir);
+  return dir;
+}
+
+bool reportHasCode(const ExtractionResult& result, std::string_view code) {
+  for (const diag::Diagnostic& d : result.report.diagnostics) {
+    if (d.code == code) return true;
+  }
+  return false;
+}
+
+TEST(Engine, DiskTierServesAcrossEngineInstances) {
+  Pipeline pipeline(fastConfig());
+  const auto bench = circuits::makeDiffChain(3);
+  pipeline.train({&bench.lib});
+  const ExtractionResult direct = pipeline.extract(bench.lib);
+
+  EngineConfig config;
+  config.cachePath = freshCacheDir("persist");
+  config.diskWriteBehind = false;
+  {
+    const ExtractionEngine cold(pipeline, config);
+    expectBitwiseEqual(cold.extract(bench.lib), direct);
+    const util::DiskCacheStats disk = cold.diskCacheStats();
+    EXPECT_TRUE(disk.enabled);
+    EXPECT_GE(disk.writes, 1u);
+    EXPECT_GE(disk.misses, 1u);
+  }  // restart: the engine and its memory tier are destroyed
+
+  const ExtractionEngine restarted(pipeline, config);
+  expectBitwiseEqual(restarted.extract(bench.lib), direct);
+  const util::DiskCacheStats disk = restarted.diskCacheStats();
+  EXPECT_GE(disk.hits, 1u);
+  EXPECT_EQ(disk.misses, 0u);
+  EXPECT_EQ(disk.corrupt, 0u);
+}
+
+TEST(Engine, DiskCorruptEntriesRecomputeExactly) {
+  Pipeline pipeline(fastConfig());
+  const auto bench = circuits::makeDiffChain(3);
+  pipeline.train({&bench.lib});
+  const ExtractionResult direct = pipeline.extract(bench.lib);
+
+  EngineConfig config;
+  config.cachePath = freshCacheDir("corrupt");
+  config.diskWriteBehind = false;
+  {
+    const ExtractionEngine cold(pipeline, config);
+    (void)cold.extract(bench.lib);
+  }
+  // Flip the last byte of every entry on disk: checksums no longer match.
+  for (const auto& entry : fs::directory_iterator(config.cachePath)) {
+    std::string bytes;
+    {
+      std::ifstream in(entry.path(), std::ios::binary);
+      bytes.assign((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+    }
+    ASSERT_FALSE(bytes.empty());
+    bytes.back() = static_cast<char>(bytes.back() ^ 0x01);
+    std::ofstream out(entry.path(), std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  const ExtractionEngine restarted(pipeline, config);
+  diag::DiagnosticSink sink(diag::DiagnosticSink::Mode::kCollect);
+  ExtractOptions options;
+  options.sink = &sink;
+  // Corruption anywhere in the tier must never change the answer — the
+  // entries are quarantined and everything recomputes.
+  expectBitwiseEqual(restarted.extract(bench.lib, options), direct);
+  const util::DiskCacheStats disk = restarted.diskCacheStats();
+  EXPECT_GE(disk.corrupt, 1u);
+  EXPECT_EQ(disk.hits, 0u);
+  bool sawCorrupt = false;
+  for (const diag::Diagnostic& d : sink.snapshot()) {
+    if (d.code == diag::codes::kCacheCorrupt) sawCorrupt = true;
+    EXPECT_NE(d.severity, diag::Severity::kError) << d.message;
+  }
+  EXPECT_TRUE(sawCorrupt);
+}
+
+TEST(Engine, DiskTierIsScopedToModelIdentity) {
+  // Two engines over the SAME directory but different trained weights:
+  // entries written by one must be invisible to the other (the disk key
+  // is salted with the model identity), or stale constraints would leak
+  // across retrains.
+  const auto bench = circuits::makeDiffChain(3);
+  Pipeline pipelineA(fastConfig());
+  pipelineA.train({&bench.lib});
+  PipelineConfig otherConfig = fastConfig();
+  otherConfig.train.epochs = 12;  // different weights, same architecture
+  Pipeline pipelineB(otherConfig);
+  pipelineB.train({&bench.lib});
+  const ExtractionResult directB = pipelineB.extract(bench.lib);
+
+  EngineConfig config;
+  config.cachePath = freshCacheDir("model_salt");
+  config.diskWriteBehind = false;
+  {
+    const ExtractionEngine engineA(pipelineA, config);
+    (void)engineA.extract(bench.lib);
+    EXPECT_GE(engineA.diskCacheStats().writes, 1u);
+  }
+  const ExtractionEngine engineB(pipelineB, config);
+  expectBitwiseEqual(engineB.extract(bench.lib), directB);
+  EXPECT_EQ(engineB.diskCacheStats().hits, 0u);
+}
+
+TEST(Engine, ExpiredDeadlineStrictThrowsTyped) {
+  Pipeline pipeline(fastConfig());
+  const auto bench = circuits::makeDiffChain(2);
+  pipeline.train({&bench.lib});
+  const ExtractionEngine engine(pipeline);
+
+  ExtractOptions options;
+  options.deadline = util::Deadline::afterSeconds(-1.0);
+  EXPECT_THROW((void)engine.extract(bench.lib, options), util::DeadlineError);
+  // DeadlineError stays catchable as Error for callers that don't care.
+  EXPECT_THROW((void)engine.extract(bench.lib, options), Error);
+}
+
+TEST(Engine, ExpiredDeadlineFailSoftYieldsEmptyTypedResult) {
+  Pipeline pipeline(fastConfig());
+  const auto bench = circuits::makeDiffChain(2);
+  pipeline.train({&bench.lib});
+  const ExtractionEngine engine(pipeline);
+
+  diag::DiagnosticSink sink(diag::DiagnosticSink::Mode::kCollect);
+  ExtractOptions options;
+  options.sink = &sink;
+  options.deadline = util::Deadline::afterSeconds(-1.0);
+  const ExtractionResult result = engine.extract(bench.lib, options);
+  // No partial result, and load shedding is NOT labeled as degradation:
+  // dashboards must be able to tell "out of time" from "corrupt input".
+  EXPECT_EQ(result.detection.scored.size(), 0u);
+  EXPECT_EQ(result.embeddings.rows(), 0u);
+  EXPECT_TRUE(reportHasCode(result, diag::codes::kDeadlineExceeded));
+  EXPECT_FALSE(reportHasCode(result, diag::codes::kExtractDegraded));
+}
+
+TEST(Engine, UnarmedDeadlineIsTheDefaultAndChangesNothing) {
+  Pipeline pipeline(fastConfig());
+  const auto bench = circuits::makeDiffChain(2);
+  pipeline.train({&bench.lib});
+  const ExtractionResult direct = pipeline.extract(bench.lib);
+  const ExtractionEngine engine(pipeline);
+
+  ExtractOptions options;  // deadline defaults to unarmed
+  EXPECT_FALSE(options.deadline.armed());
+  expectBitwiseEqual(engine.extract(bench.lib, options), direct);
+}
+
+TEST(Engine, GenerousDeadlineStillServesExactly) {
+  Pipeline pipeline(fastConfig());
+  const auto bench = circuits::makeDiffChain(2);
+  pipeline.train({&bench.lib});
+  const ExtractionResult direct = pipeline.extract(bench.lib);
+  const ExtractionEngine engine(pipeline);
+
+  ExtractOptions options;
+  options.deadline = util::Deadline::afterSeconds(3600.0);
+  expectBitwiseEqual(engine.extract(bench.lib, options), direct);
+  const std::vector<ExtractionResult> batch =
+      engine.extractBatch({&bench.lib, &bench.lib}, options);
+  ASSERT_EQ(batch.size(), 2u);
+  expectBitwiseEqual(batch[0], direct);
+  expectBitwiseEqual(batch[1], direct);
+}
+
+TEST(Engine, AdmissionStrictRejectsOversizedBatchTyped) {
+  Pipeline pipeline(fastConfig());
+  const auto bench = circuits::makeDiffChain(2);
+  pipeline.train({&bench.lib});
+
+  EngineConfig config;
+  config.admissionMaxDesigns = 1;
+  const ExtractionEngine engine(pipeline, config);
+  EXPECT_THROW((void)engine.extractBatch({&bench.lib, &bench.lib}),
+               AdmissionError);
+  // The single-design path is under the limit and unaffected.
+  EXPECT_GT(engine.extract(bench.lib).detection.scored.size(), 0u);
+}
+
+TEST(Engine, AdmissionFailSoftRejectsWholeBatchWithDiagnostics) {
+  Pipeline pipeline(fastConfig());
+  const auto bench = circuits::makeDiffChain(2);
+  pipeline.train({&bench.lib});
+
+  EngineConfig config;
+  config.admissionMaxDesigns = 1;
+  const ExtractionEngine engine(pipeline, config);
+  diag::DiagnosticSink sink(diag::DiagnosticSink::Mode::kCollect);
+  ExtractOptions options;
+  options.sink = &sink;
+  const std::vector<ExtractionResult> results =
+      engine.extractBatch({&bench.lib, &bench.lib}, options);
+  // Typed whole-batch rejection: every slot comes back empty and carries
+  // the admission diagnostic — no design is half-served.
+  ASSERT_EQ(results.size(), 2u);
+  for (const ExtractionResult& r : results) {
+    EXPECT_EQ(r.detection.scored.size(), 0u);
+    EXPECT_TRUE(reportHasCode(r, diag::codes::kAdmissionRejected));
+  }
+  bool sawRejected = false;
+  for (const diag::Diagnostic& d : sink.snapshot()) {
+    if (d.code == diag::codes::kAdmissionRejected) sawRejected = true;
+  }
+  EXPECT_TRUE(sawRejected);
+}
+
+TEST(Engine, AdmissionByteBudgetRejects) {
+  Pipeline pipeline(fastConfig());
+  const auto bench = circuits::makeDiffChain(2);
+  pipeline.train({&bench.lib});
+
+  EngineConfig config;
+  config.admissionMaxBytes = 1;  // below any design's in-flight estimate
+  const ExtractionEngine engine(pipeline, config);
+  EXPECT_THROW((void)engine.extractBatch({&bench.lib}), AdmissionError);
+}
+
+TEST(Engine, AdmissionUnderTheLimitsIsIdentical) {
+  Pipeline pipeline(fastConfig());
+  const auto bench = circuits::makeDiffChain(2);
+  pipeline.train({&bench.lib});
+  const ExtractionResult direct = pipeline.extract(bench.lib);
+
+  EngineConfig config;
+  config.admissionMaxDesigns = 8;
+  config.admissionMaxBytes = 1ull << 30;
+  const ExtractionEngine engine(pipeline, config);
+  const std::vector<ExtractionResult> results =
+      engine.extractBatch({&bench.lib, &bench.lib});
+  ASSERT_EQ(results.size(), 2u);
+  expectBitwiseEqual(results[0], direct);
+  expectBitwiseEqual(results[1], direct);
+}
+
+TEST(EngineFault, DiskWriteFaultsDegradeToCacheOffButStayExact) {
+  // Every disk write fails (ENOSPC-style): the tier retries, then counts
+  // failures, then turns itself off — and every served result along the
+  // way stays bitwise identical to the no-cache answer.
+  Pipeline pipeline(fastConfig());
+  const auto bench = circuits::makeDiffChain(3);
+  pipeline.train({&bench.lib});
+  const ExtractionResult direct = pipeline.extract(bench.lib);
+
+  EngineConfig config;
+  config.cachePath = freshCacheDir("write_faults");
+  config.diskWriteBehind = false;
+  ExtractionEngine engine(pipeline, config);
+
+  const fault::ScopedFault armed("disk_cache.write");
+  for (int round = 0; round < 4; ++round) {
+    expectBitwiseEqual(engine.extract(bench.lib), direct);
+    engine.clearCaches();  // force the next round back through the tier
+  }
+  const util::DiskCacheStats disk = engine.diskCacheStats();
+  EXPECT_GE(disk.writeFailures, 4u);
+  EXPECT_EQ(disk.writes, 0u);
+  EXPECT_TRUE(disk.degraded);
+
+  // Degraded tier == cache-off serving, still exact.
+  expectBitwiseEqual(engine.extract(bench.lib), direct);
+}
+
+TEST(EngineFault, DiskReadFaultsDegradeToRecomputeButStayExact) {
+  Pipeline pipeline(fastConfig());
+  const auto bench = circuits::makeDiffChain(3);
+  pipeline.train({&bench.lib});
+  const ExtractionResult direct = pipeline.extract(bench.lib);
+
+  EngineConfig config;
+  config.cachePath = freshCacheDir("read_faults");
+  config.diskWriteBehind = false;
+  {
+    const ExtractionEngine cold(pipeline, config);
+    (void)cold.extract(bench.lib);
+  }
+  ExtractionEngine engine(pipeline, config);
+  const fault::ScopedFault armed("disk_cache.read");
+  expectBitwiseEqual(engine.extract(bench.lib), direct);
+  const util::DiskCacheStats disk = engine.diskCacheStats();
+  EXPECT_GE(disk.readFailures, 1u);
+  EXPECT_EQ(disk.corrupt, 0u);  // IO trouble must not quarantine entries
+}
+
+TEST(Engine, DiskCacheMetricsReachReportsAndStats) {
+  Pipeline pipeline(fastConfig());
+  const auto bench = circuits::makeDiffChain(2);
+  pipeline.train({&bench.lib});
+
+  EngineConfig config;
+  config.cachePath = freshCacheDir("metrics");
+  config.diskWriteBehind = false;
+  {
+    const ExtractionEngine cold(pipeline, config);
+    RunReport report;
+    (void)cold.extractBatch({&bench.lib}, {}, &report);
+    ASSERT_TRUE(report.metrics.counters.contains("engine.disk_cache.miss"));
+    EXPECT_GE(report.metrics.counters.at("engine.disk_cache.miss"), 1u);
+    ASSERT_TRUE(report.metrics.counters.contains("engine.disk_cache.write"));
+  }
+  const ExtractionEngine restarted(pipeline, config);
+  RunReport report;
+  (void)restarted.extractBatch({&bench.lib}, {}, &report);
+  ASSERT_TRUE(report.metrics.counters.contains("engine.disk_cache.hit"));
+  EXPECT_GE(report.metrics.counters.at("engine.disk_cache.hit"), 1u);
+  EXPECT_GT(report.metrics.gauges.at("engine.disk_cache.bytes"), 0.0);
 }
 
 TEST(Engine, DisablingCachesStillExtractsExactly) {

@@ -1,0 +1,93 @@
+#include "util/deadline.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <string>
+
+#include "util/error.h"
+#include "util/metrics.h"
+
+namespace ancstr {
+namespace {
+
+using util::Deadline;
+using util::DeadlineError;
+using util::DeadlineToken;
+
+TEST(Deadline, DefaultIsUnarmedAndNeverExpires) {
+  const Deadline deadline;
+  EXPECT_FALSE(deadline.armed());
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_TRUE(std::isinf(deadline.remainingSeconds()));
+}
+
+TEST(Deadline, AfterSecondsArmsRelativeToNow) {
+  const Deadline future = Deadline::afterSeconds(60.0);
+  EXPECT_TRUE(future.armed());
+  EXPECT_FALSE(future.expired());
+  EXPECT_GT(future.remainingSeconds(), 0.0);
+  EXPECT_LE(future.remainingSeconds(), 60.0);
+
+  const Deadline past = Deadline::afterSeconds(-1.0);
+  EXPECT_TRUE(past.armed());
+  EXPECT_TRUE(past.expired());
+  EXPECT_LT(past.remainingSeconds(), 0.0);
+}
+
+TEST(Deadline, AtArmsAbsoluteTimePoint) {
+  const Deadline past =
+      Deadline::at(Deadline::Clock::now() - std::chrono::milliseconds(1));
+  EXPECT_TRUE(past.armed());
+  EXPECT_TRUE(past.expired());
+}
+
+TEST(Deadline, UnarmedTokenCheckpointIsFree) {
+  const DeadlineToken token;
+  EXPECT_FALSE(token.armed());
+  const metrics::Snapshot before = metrics::Registry::instance().snapshot();
+  EXPECT_NO_THROW(token.checkpoint("unit.phase"));
+  // The fast path must not touch the deadline counters at all.
+  const metrics::Snapshot delta =
+      metrics::Registry::instance().snapshot().since(before);
+  EXPECT_FALSE(delta.counters.contains("engine.deadline.checks"));
+}
+
+TEST(Deadline, CheckpointPassesWhileTimeRemains) {
+  const DeadlineToken token(Deadline::afterSeconds(60.0));
+  const metrics::Snapshot before = metrics::Registry::instance().snapshot();
+  EXPECT_NO_THROW(token.checkpoint("unit.phase"));
+  const metrics::Snapshot delta =
+      metrics::Registry::instance().snapshot().since(before);
+  ASSERT_TRUE(delta.counters.contains("engine.deadline.checks"));
+  EXPECT_EQ(delta.counters.at("engine.deadline.checks"), 1u);
+}
+
+TEST(Deadline, ExpiredCheckpointThrowsTypedErrorNamingThePhase) {
+  const DeadlineToken token(Deadline::afterSeconds(-1.0));
+  const metrics::Snapshot before = metrics::Registry::instance().snapshot();
+  try {
+    token.checkpoint("extract.detection");
+    FAIL() << "expired checkpoint must throw";
+  } catch (const DeadlineError& e) {
+    EXPECT_NE(std::string(e.what()).find("extract.detection"),
+              std::string::npos)
+        << e.what();
+  }
+  const metrics::Snapshot delta =
+      metrics::Registry::instance().snapshot().since(before);
+  ASSERT_TRUE(delta.counters.contains("engine.deadline.expired"));
+  EXPECT_GE(delta.counters.at("engine.deadline.expired"), 1u);
+}
+
+TEST(Deadline, DeadlineErrorIsAnError) {
+  // The serving layer distinguishes DeadlineError from plain Error by
+  // catch order; both must stay catchable as Error for strict callers.
+  const DeadlineToken token(Deadline::afterSeconds(-1.0));
+  EXPECT_THROW(token.checkpoint("unit.phase"), Error);
+  EXPECT_THROW(token.checkpoint("unit.phase"), DeadlineError);
+}
+
+}  // namespace
+}  // namespace ancstr

@@ -1,0 +1,554 @@
+#include "util/disk_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/diagnostics.h"
+#include "util/fault.h"
+
+namespace ancstr {
+namespace {
+
+namespace fs = std::filesystem;
+using util::DiskCache;
+using util::DiskCacheConfig;
+using util::DiskCacheStats;
+using util::StructuralHash;
+
+/// Fresh per-test store directory under the gtest temp root.
+fs::path freshDir(const std::string& name) {
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / ("ancstr_disk_cache_" + name);
+  fs::remove_all(dir);
+  return dir;
+}
+
+StructuralHash key(std::uint64_t n) {
+  StructuralHash h;
+  h.hi = 0x9e3779b97f4a7c15ull * (n + 1);
+  h.lo = 0xc2b2ae3d27d4eb4full ^ (n << 7);
+  return h;
+}
+
+/// Synchronous, no-backoff config: every put is durable on return and
+/// retry loops run instantly, so tests are deterministic and fast.
+DiskCacheConfig syncConfig(const fs::path& dir) {
+  DiskCacheConfig config;
+  config.dir = dir;
+  config.writeBehind = false;
+  config.retryBackoffMicros = 0;
+  return config;
+}
+
+std::string readFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void writeFile(const fs::path& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+bool sinkHasCode(const diag::DiagnosticSink& sink, std::string_view code) {
+  for (const diag::Diagnostic& d : sink.snapshot()) {
+    if (d.code == code) return true;
+  }
+  return false;
+}
+
+TEST(DiskCache, RoundtripAndStats) {
+  DiskCache cache(syncConfig(freshDir("roundtrip")));
+  ASSERT_TRUE(cache.enabled());
+
+  EXPECT_FALSE(cache.get("design", key(1)).has_value());
+  cache.put("design", key(1), "payload-one");
+  const std::optional<std::string> got = cache.get("design", key(1));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, "payload-one");
+
+  const DiskCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.writes, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.bytes, std::string("payload-one").size());
+  EXPECT_EQ(stats.corrupt, 0u);
+  EXPECT_TRUE(stats.enabled);
+  EXPECT_FALSE(stats.degraded);
+}
+
+TEST(DiskCache, EntryFileNameIsNamespacedHex) {
+  const std::string name = DiskCache::entryFileName("design", key(7));
+  EXPECT_EQ(name, "design-" + key(7).hex() + ".e");
+  EXPECT_EQ(name.size(), std::string("design-").size() + 32 + 2);
+}
+
+TEST(DiskCache, PersistsAcrossInstances) {
+  const fs::path dir = freshDir("persist");
+  {
+    DiskCache cache(syncConfig(dir));
+    cache.put("design", key(2), "survives restart");
+  }
+  DiskCache reopened(syncConfig(dir));
+  ASSERT_TRUE(reopened.enabled());
+  EXPECT_EQ(reopened.stats().entries, 1u);
+  const std::optional<std::string> got = reopened.get("design", key(2));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, "survives restart");
+}
+
+TEST(DiskCache, NamespacesAreDisjoint) {
+  DiskCache cache(syncConfig(freshDir("namespaces")));
+  cache.put("design", key(3), "design artifact");
+  cache.put("block", key(3), "block embedding");
+  EXPECT_EQ(cache.get("design", key(3)).value(), "design artifact");
+  EXPECT_EQ(cache.get("block", key(3)).value(), "block embedding");
+  EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST(DiskCache, EmptyDirDisablesStore) {
+  DiskCache cache(DiskCacheConfig{});  // no directory configured
+  EXPECT_FALSE(cache.enabled());
+  cache.put("design", key(4), "ignored");
+  EXPECT_FALSE(cache.get("design", key(4)).has_value());
+  const DiskCacheStats stats = cache.stats();
+  EXPECT_FALSE(stats.enabled);
+  EXPECT_EQ(stats.writes, 0u);
+}
+
+TEST(DiskCache, UnopenableDirectoryOpensDisabled) {
+  const fs::path blocker = freshDir("blocker");
+  writeFile(blocker, "a regular file where the store wants a directory");
+  DiskCacheConfig config = syncConfig(blocker / "store");
+  DiskCache cache(config);
+  EXPECT_FALSE(cache.enabled());
+  cache.put("design", key(5), "ignored");  // must not throw
+  EXPECT_FALSE(cache.get("design", key(5)).has_value());
+  EXPECT_FALSE(cache.stats().enabled);
+}
+
+TEST(DiskCache, SweepsCrashLeftoversOnOpen) {
+  const fs::path dir = freshDir("sweep");
+  {
+    DiskCache cache(syncConfig(dir));
+    cache.put("design", key(6), "real entry");
+  }
+  // Simulated crash leftovers: a torn temp file from an interrupted write
+  // and a previously quarantined entry.
+  const std::string name = DiskCache::entryFileName("design", key(6));
+  writeFile(dir / (name + ".tmp17"), "torn half-write");
+  writeFile(dir / "design-00000000000000000000000000000000.e.q", "bad");
+
+  DiskCache reopened(syncConfig(dir));
+  EXPECT_FALSE(fs::exists(dir / (name + ".tmp17")));
+  EXPECT_FALSE(
+      fs::exists(dir / "design-00000000000000000000000000000000.e.q"));
+  EXPECT_EQ(reopened.stats().entries, 1u);
+  EXPECT_EQ(reopened.get("design", key(6)).value(), "real entry");
+}
+
+TEST(DiskCache, EvictsOldestByMtimeOnOpen) {
+  const fs::path dir = freshDir("evict_open");
+  const std::string payload(100, 'x');
+  {
+    DiskCacheConfig config = syncConfig(dir);
+    config.budgetBytes = 0;  // unbounded while populating
+    DiskCache cache(config);
+    cache.put("design", key(10), payload);
+    cache.put("design", key(11), payload);
+    cache.put("design", key(12), payload);
+  }
+  // Back-date entries 10 and 11 so mtime order is unambiguous.
+  const auto now = fs::file_time_type::clock::now();
+  fs::last_write_time(dir / DiskCache::entryFileName("design", key(10)),
+                      now - std::chrono::hours(2));
+  fs::last_write_time(dir / DiskCache::entryFileName("design", key(11)),
+                      now - std::chrono::hours(1));
+
+  DiskCacheConfig config = syncConfig(dir);
+  config.budgetBytes = 2 * (100 + 40);  // header is 40 bytes per entry
+  DiskCache cache(config);
+  const DiskCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_GE(stats.evictions, 1u);
+  EXPECT_FALSE(cache.get("design", key(10)).has_value());
+  EXPECT_TRUE(cache.get("design", key(11)).has_value());
+  EXPECT_TRUE(cache.get("design", key(12)).has_value());
+}
+
+TEST(DiskCache, RuntimeEvictionDropsLeastRecentlyUsed) {
+  DiskCacheConfig config = syncConfig(freshDir("evict_runtime"));
+  config.budgetBytes = 150;  // fits exactly one 140-byte entry
+  DiskCache cache(config);
+  const std::string payload(100, 'y');
+  cache.put("design", key(20), payload);
+  cache.put("design", key(21), payload);
+  const DiskCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GE(stats.evictions, 1u);
+  EXPECT_FALSE(cache.get("design", key(20)).has_value());
+  EXPECT_EQ(cache.get("design", key(21)).value(), payload);
+}
+
+TEST(DiskCache, KeepsNewestEntryEvenOverBudget) {
+  DiskCacheConfig config = syncConfig(freshDir("keep_newest"));
+  config.budgetBytes = 16;  // smaller than any single entry
+  DiskCache cache(config);
+  cache.put("design", key(22), std::string(100, 'z'));
+  // A single artifact larger than the whole budget still serves its own
+  // restarts rather than evicting itself into a permanent miss loop.
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_TRUE(cache.get("design", key(22)).has_value());
+}
+
+TEST(DiskCache, WriteBehindFlushMakesEntriesDurable) {
+  const fs::path dir = freshDir("write_behind");
+  DiskCacheConfig config = syncConfig(dir);
+  config.writeBehind = true;
+  DiskCache cache(config);
+  cache.put("design", key(30), "queued payload");
+  cache.flush();
+  EXPECT_EQ(cache.stats().writes, 1u);
+  EXPECT_EQ(cache.get("design", key(30)).value(), "queued payload");
+
+  DiskCache reopened(syncConfig(dir));
+  EXPECT_EQ(reopened.get("design", key(30)).value(), "queued payload");
+}
+
+TEST(DiskCache, DestructorFlushesQueuedWrites) {
+  const fs::path dir = freshDir("dtor_flush");
+  {
+    DiskCacheConfig config = syncConfig(dir);
+    config.writeBehind = true;
+    DiskCache cache(config);
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      cache.put("design", key(40 + i), "entry " + std::to_string(i));
+    }
+  }  // no explicit flush: the destructor drains the queue before joining
+  DiskCache reopened(syncConfig(dir));
+  EXPECT_EQ(reopened.stats().entries, 8u);
+  EXPECT_EQ(reopened.get("design", key(43)).value(), "entry 3");
+}
+
+TEST(DiskCache, CorruptEntryQuarantinedAndRecovered) {
+  const fs::path dir = freshDir("corrupt");
+  DiskCache cache(syncConfig(dir));
+  cache.put("design", key(50), "precious artifact");
+  const std::string name = DiskCache::entryFileName("design", key(50));
+
+  // Flip one payload byte on disk: the checksum no longer matches.
+  std::string bytes = readFile(dir / name);
+  ASSERT_GT(bytes.size(), 40u);
+  bytes.back() = static_cast<char>(bytes.back() ^ 0x01);
+  writeFile(dir / name, bytes);
+
+  diag::DiagnosticSink sink(diag::DiagnosticSink::Mode::kCollect);
+  EXPECT_FALSE(cache.get("design", key(50), &sink).has_value());
+  EXPECT_TRUE(sinkHasCode(sink, diag::codes::kCacheCorrupt));
+  EXPECT_TRUE(fs::exists(dir / (name + ".q")));
+  EXPECT_FALSE(fs::exists(dir / name));
+
+  DiskCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.corrupt, 1u);
+  EXPECT_EQ(stats.quarantined, 1u);
+  EXPECT_EQ(stats.hits, 0u);
+
+  // The caller recomputes and repopulates; the entry serves again.
+  EXPECT_FALSE(cache.get("design", key(50)).has_value());  // plain miss now
+  cache.put("design", key(50), "precious artifact");
+  EXPECT_EQ(cache.get("design", key(50)).value(), "precious artifact");
+}
+
+TEST(DiskCache, TruncatedEntryQuarantined) {
+  const fs::path dir = freshDir("truncated");
+  DiskCache cache(syncConfig(dir));
+  cache.put("design", key(51), std::string(200, 'p'));
+  const std::string name = DiskCache::entryFileName("design", key(51));
+  writeFile(dir / name, readFile(dir / name).substr(0, 60));  // mid-payload
+
+  diag::DiagnosticSink sink(diag::DiagnosticSink::Mode::kCollect);
+  EXPECT_FALSE(cache.get("design", key(51), &sink).has_value());
+  EXPECT_TRUE(sinkHasCode(sink, diag::codes::kCacheCorrupt));
+  EXPECT_EQ(cache.stats().corrupt, 1u);
+}
+
+TEST(DiskCache, FutureVersionQuarantinedWithVersionCode) {
+  const fs::path dir = freshDir("future_version");
+  DiskCache cache(syncConfig(dir));
+  cache.put("design", key(52), "from the future");
+  const std::string name = DiskCache::entryFileName("design", key(52));
+  std::string bytes = readFile(dir / name);
+  bytes[8] = 99;  // version field (little-endian u32 at offset 8)
+  writeFile(dir / name, bytes);
+
+  diag::DiagnosticSink sink(diag::DiagnosticSink::Mode::kCollect);
+  EXPECT_FALSE(cache.get("design", key(52), &sink).has_value());
+  EXPECT_TRUE(sinkHasCode(sink, diag::codes::kCacheVersion));
+  EXPECT_FALSE(sinkHasCode(sink, diag::codes::kCacheCorrupt));
+  EXPECT_TRUE(fs::exists(dir / (name + ".q")));
+  EXPECT_EQ(cache.stats().corrupt, 1u);
+}
+
+/// The checked-in fixtures (tests/netlist/corpus_malformed/disk_cache/)
+/// pin the on-disk format: if the header layout drifts, these start
+/// passing validation (or failing with the wrong code) and the test
+/// catches it.
+struct GoldenFixture {
+  const char* file;
+  std::string_view expectedCode;
+};
+
+class DiskCacheGoldenFixture
+    : public ::testing::TestWithParam<GoldenFixture> {};
+
+TEST_P(DiskCacheGoldenFixture, QuarantinedWithExpectedCode) {
+  const GoldenFixture param = GetParam();
+  const fs::path fixture = fs::path(ANCSTR_TEST_DIR) /
+                           "netlist/corpus_malformed/disk_cache" /
+                           param.file;
+  ASSERT_TRUE(fs::exists(fixture)) << fixture;
+
+  // Plant the fixture bytes under a legitimate entry name, then open the
+  // store over it: the entry is indexed, read, rejected, quarantined.
+  const fs::path dir = freshDir(std::string("golden_") + param.file);
+  fs::create_directories(dir);
+  const std::string name = DiskCache::entryFileName("design", key(60));
+  fs::copy_file(fixture, dir / name);
+
+  DiskCache cache(syncConfig(dir));
+  ASSERT_EQ(cache.stats().entries, 1u);
+  diag::DiagnosticSink sink(diag::DiagnosticSink::Mode::kCollect);
+  EXPECT_FALSE(cache.get("design", key(60), &sink).has_value());
+  EXPECT_TRUE(sinkHasCode(sink, param.expectedCode));
+  EXPECT_TRUE(fs::exists(dir / (name + ".q")));
+  const DiskCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.corrupt, 1u);
+  EXPECT_EQ(stats.quarantined, 1u);
+  EXPECT_EQ(stats.entries, 0u);
+  // Recompute-and-repopulate restores service over the same name.
+  cache.put("design", key(60), "recomputed");
+  EXPECT_EQ(cache.get("design", key(60)).value(), "recomputed");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CorpusMalformed, DiskCacheGoldenFixture,
+    ::testing::Values(
+        GoldenFixture{"bad_checksum.e", diag::codes::kCacheCorrupt},
+        GoldenFixture{"truncated.e", diag::codes::kCacheCorrupt},
+        GoldenFixture{"future_version.e", diag::codes::kCacheVersion}),
+    [](const ::testing::TestParamInfo<GoldenFixture>& info) {
+      std::string name = info.param.file;
+      name.resize(name.size() - 2);  // drop ".e"
+      std::replace(name.begin(), name.end(), '.', '_');
+      return name;
+    });
+
+// --- Fault-injection coverage (util/fault.h sites). The suite name
+// matches the CI fault-injection job's ctest regex.
+
+TEST(DiskCacheFault, OpenFaultOpensDisabledThenRecoversOnReopen) {
+  const fs::path dir = freshDir("open_fault");
+  {
+    const fault::ScopedFault armed("disk_cache.open");
+    DiskCache cache(syncConfig(dir));
+    EXPECT_FALSE(cache.enabled());
+    cache.put("design", key(70), "ignored");
+    EXPECT_FALSE(cache.get("design", key(70)).has_value());
+  }
+  DiskCache cache(syncConfig(dir));
+  EXPECT_TRUE(cache.enabled());
+  cache.put("design", key(70), "now it lands");
+  EXPECT_EQ(cache.get("design", key(70)).value(), "now it lands");
+}
+
+TEST(DiskCacheFault, PersistentReadFaultIsMissNotCorruption) {
+  DiskCacheConfig config = syncConfig(freshDir("read_fault"));
+  DiskCache cache(config);
+  cache.put("design", key(71), "unreachable for now");
+
+  diag::DiagnosticSink sink(diag::DiagnosticSink::Mode::kCollect);
+  {
+    const fault::ScopedFault armed("disk_cache.read");
+    EXPECT_FALSE(cache.get("design", key(71), &sink).has_value());
+  }
+  const DiskCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.retries, static_cast<std::uint64_t>(config.maxIoRetries));
+  EXPECT_EQ(stats.readFailures, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.corrupt, 0u);  // IO failure must not quarantine the entry
+  EXPECT_TRUE(sinkHasCode(sink, diag::codes::kCacheIo));
+  EXPECT_FALSE(cache.stats().degraded);
+
+  // The entry survived: once IO recovers, it serves again.
+  EXPECT_EQ(cache.get("design", key(71)).value(), "unreachable for now");
+}
+
+TEST(DiskCacheFault, TransientReadFaultRecoversViaRetry) {
+  DiskCache cache(syncConfig(freshDir("read_retry")));
+  cache.put("design", key(72), "retried into existence");
+
+  const fault::ScopedFault armed("disk_cache.read@1");  // first attempt only
+  EXPECT_EQ(cache.get("design", key(72)).value(), "retried into existence");
+  const DiskCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.retries, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.readFailures, 0u);
+}
+
+TEST(DiskCacheFault, ChecksumFaultQuarantines) {
+  const fs::path dir = freshDir("checksum_fault");
+  DiskCache cache(syncConfig(dir));
+  cache.put("design", key(73), "bit-rot victim");
+
+  const fault::ScopedFault armed("disk_cache.checksum@1");
+  EXPECT_FALSE(cache.get("design", key(73)).has_value());
+  const DiskCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.corrupt, 1u);
+  EXPECT_EQ(stats.quarantined, 1u);
+  const std::string name = DiskCache::entryFileName("design", key(73));
+  EXPECT_TRUE(fs::exists(dir / (name + ".q")));
+}
+
+TEST(DiskCacheFault, ShortWriteNeverTearsAnEntry) {
+  // Crash-consistency property, serial: a write that dies mid-entry
+  // (ENOSPC / SIGKILL simulation) must leave either the old complete
+  // value or nothing — a reader never observes torn bytes.
+  const fs::path dir = freshDir("torn_serial");
+  DiskCacheConfig config = syncConfig(dir);
+  config.maxIoRetries = 0;
+  config.degradeAfterFailures = 0;  // keep serving through the faults
+  DiskCache cache(config);
+
+  cache.put("design", key(80), "version one");
+  {
+    const fault::ScopedFault armed("disk_cache.write@1");
+    cache.put("design", key(80), "version two");  // dies half-written
+  }
+  EXPECT_EQ(cache.stats().writeFailures, 1u);
+  // Old value intact, bit for bit — the rename never happened.
+  EXPECT_EQ(cache.get("design", key(80)).value(), "version one");
+
+  // First-ever write dying must yield "no entry", not a torn one.
+  {
+    const fault::ScopedFault armed("disk_cache.write@1");
+    cache.put("design", key(81), "never lands");
+  }
+  EXPECT_FALSE(cache.get("design", key(81)).has_value());
+
+  // A restart over the same directory sweeps the torn temp files and
+  // observes the same consistent state.
+  DiskCache reopened(config);
+  EXPECT_EQ(reopened.get("design", key(80)).value(), "version one");
+  EXPECT_FALSE(reopened.get("design", key(81)).has_value());
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    EXPECT_EQ(name.find(".tmp"), std::string::npos) << name;
+  }
+
+  // Service recovers fully once writes succeed again.
+  cache.put("design", key(81), "lands now");
+  EXPECT_EQ(cache.get("design", key(81)).value(), "lands now");
+}
+
+TEST(DiskCacheFault, ShortWriteCrashConsistencyFourThreads) {
+  // The same property under concurrency: four threads hammer their own
+  // keys while a torn write and a failed rename are injected somewhere in
+  // the interleaving. Any observed payload must be bitwise one that was
+  // actually put for that key. The TSan CI configuration runs this too.
+  const fs::path dir = freshDir("torn_mt");
+  DiskCacheConfig config = syncConfig(dir);
+  config.maxIoRetries = 0;
+  config.degradeAfterFailures = 0;
+  DiskCache cache(config);
+  ASSERT_TRUE(cache.enabled());
+
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 8;
+  const fault::ScopedFault armed("disk_cache.write@3,disk_cache.rename@5");
+
+  std::vector<std::vector<std::string>> written(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &written, t] {
+      const StructuralHash k = key(1000 + static_cast<std::uint64_t>(t));
+      for (int r = 0; r < kRounds; ++r) {
+        std::string payload = "t" + std::to_string(t) + ":r" +
+                              std::to_string(r) + ":" +
+                              std::string(256 + t, static_cast<char>('a' + t));
+        written[t].push_back(payload);
+        cache.put("mt", k, std::move(payload));
+        const std::optional<std::string> got = cache.get("mt", k);
+        if (got.has_value()) {
+          EXPECT_NE(std::find(written[t].begin(), written[t].end(), *got),
+                    written[t].end())
+              << "torn or foreign payload observed by thread " << t;
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  fault::disarmAll();
+
+  // A restart over the directory must also see only complete payloads.
+  DiskCache reopened(config);
+  for (int t = 0; t < kThreads; ++t) {
+    const std::optional<std::string> got =
+        reopened.get("mt", key(1000 + static_cast<std::uint64_t>(t)));
+    if (got.has_value()) {
+      EXPECT_NE(std::find(written[t].begin(), written[t].end(), *got),
+                written[t].end())
+          << "torn payload survived restart for thread " << t;
+    }
+  }
+}
+
+TEST(DiskCacheFault, DegradesToCacheOffAfterConsecutiveFailures) {
+  DiskCacheConfig config = syncConfig(freshDir("degrade"));
+  config.maxIoRetries = 0;
+  config.degradeAfterFailures = 2;
+  DiskCache cache(config);
+  ASSERT_TRUE(cache.enabled());
+
+  {
+    const fault::ScopedFault armed("disk_cache.write");
+    cache.put("design", key(90), "fails once");
+    EXPECT_TRUE(cache.enabled());  // one failure is below the threshold
+    cache.put("design", key(91), "fails twice");
+  }
+  EXPECT_FALSE(cache.enabled());
+  const DiskCacheStats stats = cache.stats();
+  EXPECT_TRUE(stats.degraded);
+  EXPECT_EQ(stats.writeFailures, 2u);
+
+  // Cache-off is for the store's lifetime: later calls are no-ops even
+  // though the fault is gone.
+  cache.put("design", key(92), "ignored");
+  EXPECT_FALSE(cache.get("design", key(92)).has_value());
+  EXPECT_EQ(cache.stats().writes, 0u);
+}
+
+TEST(DiskCacheFault, WriteRetrySurvivesTransientFault) {
+  DiskCache cache(syncConfig(freshDir("write_retry")));
+  const fault::ScopedFault armed("disk_cache.write@1");  // first attempt only
+  cache.put("design", key(95), "second attempt lands");
+  const DiskCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.writes, 1u);
+  EXPECT_EQ(stats.writeFailures, 0u);
+  EXPECT_EQ(stats.retries, 1u);
+  EXPECT_EQ(cache.get("design", key(95)).value(), "second attempt lands");
+}
+
+}  // namespace
+}  // namespace ancstr

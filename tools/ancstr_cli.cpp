@@ -12,9 +12,12 @@
 //                      # full extract (core/engine.h extractDelta)
 //   ancstr_cli extract --model model.txt --batch DIR [--repeat N]
 //                      [--out-dir DIR] [--cache-budget BYTES]
+//                      [--cache-dir DIR]
 //                      # warm-model batch serving (core/engine.h): every
 //                      # .sp/.scs netlist in DIR, extracted concurrently
-//                      # (--threads) with content-addressed caching
+//                      # (--threads) with content-addressed caching;
+//                      # --cache-dir adds the crash-safe persistent tier
+//                      # (util/disk_cache.h) so a rerun starts warm
 //   ancstr_cli stats   netlist.sp...
 //   ancstr_cli eval    [--epochs N] [--seed S]
 //                      # train on the built-in benchmark corpus and report
@@ -79,9 +82,10 @@ int usage() {
                "  ancstr_cli extract --model MODEL [--format json|sym|align] "
                "[--out FILE] [--groups] [--fail-soft]\n"
                "                     [--since BASELINE] [--manifest-out FILE] "
-               "NETLIST\n"
+               "[--cache-dir DIR] NETLIST\n"
                "  ancstr_cli extract --model MODEL --batch DIR [--repeat N] "
-               "[--out-dir DIR] [--cache-budget BYTES] [--fail-soft]\n"
+               "[--out-dir DIR] [--cache-budget BYTES]\n"
+               "                     [--cache-dir DIR] [--fail-soft]\n"
                "  ancstr_cli stats   [--fail-soft] NETLIST...\n"
                "  ancstr_cli check   --constraints FILE NETLIST\n"
                "  ancstr_cli eval    [--epochs N] [--seed S]\n"
@@ -254,6 +258,7 @@ int cmdExtractBatch(Flags flags, ObserveOptions observe,
   const int repeat = std::stoi(flags.value("--repeat", "1"));
   const std::size_t cacheBudget = static_cast<std::size_t>(
       std::stoull(flags.value("--cache-budget", "67108864")));
+  const std::filesystem::path cacheDir = flags.value("--cache-dir", "");
   const bool failSoft = flags.flag("--fail-soft");
   if (!flags.positional().empty() || repeat < 1 || !observe.validReport() ||
       (format != "json" && format != "sym" && format != "align")) {
@@ -292,6 +297,7 @@ int cmdExtractBatch(Flags flags, ObserveOptions observe,
   EngineConfig engineConfig;
   engineConfig.cacheBudgetBytes = cacheBudget;
   engineConfig.threads = observe.threads;
+  engineConfig.cachePath = cacheDir;
   const ExtractionEngine engine(pipeline, engineConfig);
 
   std::vector<const Library*> ptrs;
@@ -346,6 +352,21 @@ int cmdExtractBatch(Flags flags, ObserveOptions observe,
       static_cast<unsigned long long>(cache.blocks.misses),
       static_cast<unsigned long long>(cache.blocks.evictions),
       cache.blocks.bytes);
+  if (!cacheDir.empty()) {
+    // Make the entries durable before reporting: a rerun over this
+    // directory (or a crash-recovery check) must observe them.
+    engine.flushDiskWrites();
+    const util::DiskCacheStats disk = engine.diskCacheStats();
+    std::fprintf(
+        stderr,
+        "disk cache: %llu hit / %llu miss / %llu corrupt, %llu writes "
+        "(%zu entries, %zu bytes)%s\n",
+        static_cast<unsigned long long>(disk.hits),
+        static_cast<unsigned long long>(disk.misses),
+        static_cast<unsigned long long>(disk.corrupt),
+        static_cast<unsigned long long>(disk.writes), disk.entries,
+        disk.bytes, disk.enabled ? "" : " [disabled]");
+  }
   if (failSoft) {
     batchReport.diagnostics = sink.snapshot();
     for (const diag::Diagnostic& d : batchReport.diagnostics) {
@@ -403,6 +424,7 @@ int cmdExtract(Flags flags) {
   const std::string format = flags.value("--format", "json");
   const std::filesystem::path outPath = flags.value("--out", "");
   const std::filesystem::path sincePath = flags.value("--since", "");
+  const std::filesystem::path cacheDir = flags.value("--cache-dir", "");
   const std::filesystem::path manifestOutPath =
       flags.value("--manifest-out", "");
   const bool withGroups = flags.flag("--groups");
@@ -430,16 +452,28 @@ int cmdExtract(Flags flags) {
   config.threads = observe.threads;
   Pipeline pipeline(config);
   pipeline.loadModel(modelPath);
-  const ExtractOptions extractOptions{failSoft ? &sink : nullptr};
+  ExtractOptions extractOptions;
+  extractOptions.sink = failSoft ? &sink : nullptr;
+  EngineConfig engineConfig;
+  engineConfig.cachePath = cacheDir;
   ExtractionResult result;
   if (sincePath.empty()) {
-    result = pipeline.extract(lib, extractOptions);
+    if (cacheDir.empty()) {
+      result = pipeline.extract(lib, extractOptions);
+    } else {
+      // Persistent tier requested: route through the engine so the
+      // design-inference and block-embedding artifacts are written
+      // through to --cache-dir and served from it on the next run.
+      const ExtractionEngine engine(pipeline, engineConfig);
+      result = engine.extract(lib, extractOptions);
+      engine.flushDiskWrites();
+    }
   } else if (looksLikeManifest(sincePath)) {
     // Manifest baseline: hashes only, so there is nothing to warm the
     // caches from — the value is the change report; the extraction runs
     // the engine's plain (bitwise-equivalent) path. The baseline is
     // fail-soft: an unreadable manifest falls back to a full extract.
-    const ExtractionEngine engine(pipeline);
+    const ExtractionEngine engine(pipeline, engineConfig);
     DeltaReport delta;
     try {
       const DesignManifest baseline = loadManifest(sincePath);
@@ -457,7 +491,7 @@ int cmdExtract(Flags flags) {
     // version, then serves the clean cone of the edit from them. A
     // baseline that fails to parse degrades to a full extract — the old
     // version must never make the new one unextractable.
-    const ExtractionEngine engine(pipeline);
+    const ExtractionEngine engine(pipeline, engineConfig);
     DeltaReport delta;
     Library oldLib;
     try {

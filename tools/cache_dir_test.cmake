@@ -1,0 +1,53 @@
+# Persistence-contract check for `extract --batch --cache-dir` (docs/api.md):
+# two runs of the CLI against the same cache directory — the second one
+# restart-warm, served from the disk tier — must produce bitwise-identical
+# constraint files, and the first run must have populated the directory.
+#
+# Invoked by ctest as:
+#   cmake -DCLI=<ancstr_cli> -DMODEL=<model.txt> -DCORPUS=<dir> -DWORK=<dir>
+#         -P cache_dir_test.cmake
+foreach(var CLI MODEL CORPUS WORK)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "cache_dir_test.cmake: -D${var}=... is required")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE ${WORK})
+file(MAKE_DIRECTORY ${WORK})
+
+foreach(pass cold warm)
+  execute_process(
+    COMMAND ${CLI} extract --model ${MODEL} --batch ${CORPUS}
+            --cache-dir ${WORK}/cache --out-dir ${WORK}/${pass}
+    RESULT_VARIABLE rc
+    ERROR_VARIABLE log)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${pass} extract --cache-dir failed (${rc}):\n${log}")
+  endif()
+endforeach()
+
+file(GLOB entries ${WORK}/cache/*.e)
+list(LENGTH entries entry_count)
+if(entry_count EQUAL 0)
+  message(FATAL_ERROR "cold run left no entries in ${WORK}/cache")
+endif()
+
+file(GLOB cold_files RELATIVE ${WORK}/cold ${WORK}/cold/*)
+list(LENGTH cold_files cold_count)
+if(cold_count EQUAL 0)
+  message(FATAL_ERROR "cold run produced no constraint files")
+endif()
+foreach(name ${cold_files})
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${WORK}/cold/${name} ${WORK}/warm/${name}
+    RESULT_VARIABLE same)
+  if(NOT same EQUAL 0)
+    message(FATAL_ERROR
+            "restart-warm output differs from cold for ${name} — the disk "
+            "tier served something other than the cold-path bytes")
+  endif()
+endforeach()
+
+message(STATUS "cache-dir persistence OK: ${cold_count} outputs bitwise "
+               "equal across restart, ${entry_count} cache entries")
