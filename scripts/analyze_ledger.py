@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Summarizes an ancstr run-ledger file (extract --ledger-out).
+
+Reads the JSON-lines ledger (docs/observability.md, "Run ledger") and
+prints:
+
+  * per-cache-tier request counts and wallSeconds percentiles (p50/p90/p99),
+  * the overall tier hit-rate breakdown (mem_hit / disk_hit / cold / none),
+  * the top-N slowest requests (request id, design hash, tier, wall time),
+  * the diagnostics histogram summed across every record.
+
+Run check_ledger.py first when schema validity matters — this tool skips
+lines it cannot parse (counted) rather than failing. Usage:
+
+    analyze_ledger.py LEDGER [--top N]
+"""
+import json
+import sys
+
+
+def percentile(sorted_values, fraction):
+    """Nearest-rank percentile over an ascending list (empty -> 0)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      int(fraction * len(sorted_values))))
+    return sorted_values[rank]
+
+
+def main(argv):
+    args = list(argv[1:])
+    top_n = 5
+    if "--top" in args:
+        i = args.index("--top")
+        top_n = int(args[i + 1])
+        del args[i:i + 2]
+    if len(args) != 1:
+        print(__doc__, file=sys.stderr)
+        return 1
+    path = args[0]
+
+    try:
+        with open(path, encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+    except OSError as err:
+        print(f"error: cannot read {path}: {err}", file=sys.stderr)
+        return 1
+
+    records = []
+    skipped = 0
+    for line in lines:
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            skipped += 1
+            continue
+        if isinstance(record, dict):
+            records.append(record)
+        else:
+            skipped += 1
+    if not records:
+        print(f"error: no ledger records in {path}", file=sys.stderr)
+        return 1
+
+    by_tier = {}
+    for record in records:
+        tier = record.get("cacheOutcome", "none")
+        by_tier.setdefault(tier, []).append(
+            float(record.get("wallSeconds", 0.0)))
+
+    print(f"{len(records)} request(s)" +
+          (f" ({skipped} unparsable line(s) skipped)" if skipped else ""))
+    print()
+    print(f"{'tier':<10} {'count':>6} {'share':>7} "
+          f"{'p50 s':>10} {'p90 s':>10} {'p99 s':>10}")
+    for tier in ("mem_hit", "disk_hit", "cold", "none"):
+        walls = sorted(by_tier.get(tier, []))
+        if not walls:
+            continue
+        share = len(walls) / len(records)
+        print(f"{tier:<10} {len(walls):>6} {share:>6.1%} "
+              f"{percentile(walls, 0.50):>10.4f} "
+              f"{percentile(walls, 0.90):>10.4f} "
+              f"{percentile(walls, 0.99):>10.4f}")
+    served = sum(len(by_tier.get(t, [])) for t in ("mem_hit", "disk_hit"))
+    print(f"\ncache hit rate: {served}/{len(records)} "
+          f"({served / len(records):.1%}) served from a cache tier")
+
+    slowest = sorted(records, key=lambda r: -float(r.get("wallSeconds", 0.0)))
+    print(f"\ntop {min(top_n, len(slowest))} slowest:")
+    for record in slowest[:top_n]:
+        print(f"  request {record.get('requestId', '?'):>6}  "
+              f"{(record.get('designHash') or '-'):<32}  "
+              f"{record.get('cacheOutcome', '?'):<8}  "
+              f"{float(record.get('wallSeconds', 0.0)):.4f}s  "
+              f"{record.get('outcome', '?')}")
+
+    histogram = {}
+    for record in records:
+        for code, count in (record.get("diagnostics") or {}).items():
+            histogram[code] = histogram.get(code, 0) + int(count)
+    if histogram:
+        print("\ndiagnostics:")
+        for code in sorted(histogram, key=lambda c: (-histogram[c], c)):
+            print(f"  {histogram[code]:>6}  {code}")
+    else:
+        print("\ndiagnostics: none")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Validates an ancstr run-ledger file (extract --ledger-out).
+
+A ledger is JSON-lines: one wide-event object per extraction request
+(docs/observability.md, "Run ledger"; util/run_ledger.h). Every line must
+carry the exact schema-v1 top-level key sequence — key ORDER is part of the
+contract, same as BENCH.json — plus well-formed values:
+
+  * requestId         positive integer
+  * designHash        32 lowercase hex chars; "" only when outcome != "ok"
+  * cacheOutcome      mem_hit | disk_hit | cold | none
+  * outcome           ok | degraded | deadline_exceeded |
+                      admission_rejected | error
+  * constraintsTotal  == sum of the per-type constraints counts
+  * phases            non-negative numbers
+  * wallSeconds / unixTimeSeconds  non-negative numbers
+
+Exit 0 when every line validates, 1 otherwise. Usage:
+
+    check_ledger.py LEDGER [--expect N] [--expect-cache-outcome OUTCOME]
+
+--expect fails unless the file holds exactly N records; --expect-cache-outcome
+fails unless every record's cacheOutcome matches (e.g. disk_hit for a
+restart-warm rerun over a persistent cache directory).
+"""
+import json
+import re
+import sys
+
+KEY_ORDER = [
+    "schemaVersion", "requestId", "correlationId", "designHash", "devices",
+    "nets", "hierarchyNodes", "cacheOutcome", "blockCacheHits",
+    "blockCacheMisses", "outcome", "constraintsTotal", "constraints",
+    "diagnostics", "phases", "wallSeconds", "peakRssDeltaBytes",
+    "unixTimeSeconds",
+]
+SCHEMA_VERSION = 1
+CACHE_OUTCOMES = {"mem_hit", "disk_hit", "cold", "none"}
+OUTCOMES = {"ok", "degraded", "deadline_exceeded", "admission_rejected",
+            "error"}
+HASH_RE = re.compile(r"^[0-9a-f]{32}$")
+
+
+def check_record(record, keys, line_no):
+    """Returns a list of error strings for one parsed ledger line."""
+    errors = []
+    if keys != KEY_ORDER:
+        errors.append(f"line {line_no}: key order {keys} != schema order")
+        return errors  # positional checks below assume the schema order
+    if record["schemaVersion"] != SCHEMA_VERSION:
+        errors.append(f"line {line_no}: schemaVersion "
+                      f"{record['schemaVersion']!r}, expected "
+                      f"{SCHEMA_VERSION}")
+    if not isinstance(record["requestId"], int) or record["requestId"] <= 0:
+        errors.append(f"line {line_no}: requestId "
+                      f"{record['requestId']!r} not a positive integer")
+    if not isinstance(record["correlationId"], str):
+        errors.append(f"line {line_no}: correlationId not a string")
+    outcome = record["outcome"]
+    if outcome not in OUTCOMES:
+        errors.append(f"line {line_no}: outcome {outcome!r} not in "
+                      f"{sorted(OUTCOMES)}")
+    design_hash = record["designHash"]
+    if not isinstance(design_hash, str) or \
+            (design_hash and not HASH_RE.match(design_hash)):
+        errors.append(f"line {line_no}: designHash {design_hash!r} is not "
+                      f"32 lowercase hex chars")
+    elif not design_hash and outcome == "ok":
+        errors.append(f"line {line_no}: outcome 'ok' with empty designHash")
+    if record["cacheOutcome"] not in CACHE_OUTCOMES:
+        errors.append(f"line {line_no}: cacheOutcome "
+                      f"{record['cacheOutcome']!r} not in "
+                      f"{sorted(CACHE_OUTCOMES)}")
+    for key in ("devices", "nets", "hierarchyNodes", "blockCacheHits",
+                "blockCacheMisses", "constraintsTotal", "peakRssDeltaBytes"):
+        if not isinstance(record[key], int) or record[key] < 0:
+            errors.append(f"line {line_no}: {key} {record[key]!r} not a "
+                          f"non-negative integer")
+    for key in ("constraints", "diagnostics", "phases"):
+        if not isinstance(record[key], dict):
+            errors.append(f"line {line_no}: {key} is not an object")
+    if isinstance(record["constraints"], dict):
+        total = sum(v for v in record["constraints"].values()
+                    if isinstance(v, int))
+        if total != record["constraintsTotal"]:
+            errors.append(f"line {line_no}: constraintsTotal "
+                          f"{record['constraintsTotal']} != sum of "
+                          f"constraints counts {total}")
+    if isinstance(record["phases"], dict):
+        for name, seconds in record["phases"].items():
+            if not isinstance(seconds, (int, float)) or seconds < 0:
+                errors.append(f"line {line_no}: phase {name!r} timing "
+                              f"{seconds!r} not a non-negative number")
+    for key in ("wallSeconds", "unixTimeSeconds"):
+        if not isinstance(record[key], (int, float)) or record[key] < 0:
+            errors.append(f"line {line_no}: {key} {record[key]!r} not a "
+                          f"non-negative number")
+    return errors
+
+
+def main(argv):
+    args = list(argv[1:])
+    expect = None
+    expect_cache = None
+    if "--expect" in args:
+        i = args.index("--expect")
+        expect = int(args[i + 1])
+        del args[i:i + 2]
+    if "--expect-cache-outcome" in args:
+        i = args.index("--expect-cache-outcome")
+        expect_cache = args[i + 1]
+        del args[i:i + 2]
+    if len(args) != 1:
+        print(__doc__, file=sys.stderr)
+        return 1
+    path = args[0]
+
+    try:
+        with open(path, encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+    except OSError as err:
+        print(f"FAIL: cannot read {path}: {err}", file=sys.stderr)
+        return 1
+
+    records = []
+    errors = []
+    for line_no, line in enumerate(lines, start=1):
+        if not line.strip():
+            errors.append(f"line {line_no}: blank line")
+            continue
+        keys = []
+
+        def note_keys(pairs, keys=keys):
+            keys.extend(k for k, _ in pairs)
+            return dict(pairs)
+
+        try:
+            record = json.loads(line, object_pairs_hook=note_keys)
+        except json.JSONDecodeError as err:
+            errors.append(f"line {line_no}: invalid JSON: {err}")
+            continue
+        if not isinstance(record, dict):
+            errors.append(f"line {line_no}: not a JSON object")
+            continue
+        # object_pairs_hook fires for nested objects too; the top-level
+        # object's keys are the last len(record) appended.
+        top_keys = keys[-len(record):] if record else []
+        errors.extend(check_record(record, top_keys, line_no))
+        records.append(record)
+
+    if expect is not None and len(records) != expect:
+        errors.append(f"expected {expect} records, found {len(records)}")
+    if expect_cache is not None:
+        bad = [i + 1 for i, r in enumerate(records)
+               if r.get("cacheOutcome") != expect_cache]
+        if bad:
+            errors.append(f"records at lines {bad} lack cacheOutcome "
+                          f"{expect_cache!r}")
+
+    if errors:
+        for err in errors:
+            print(f"FAIL: {err}", file=sys.stderr)
+        return 1
+    print(f"OK: {len(records)} schema-valid ledger record(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

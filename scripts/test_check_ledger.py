@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Self-test for check_ledger.py (registered as ctest `check_ledger_gate`).
+
+Builds synthetic ledger files in a temp directory and checks the exit codes
+the CI ledger gate relies on: 0 for schema-valid files (including the
+--expect / --expect-cache-outcome modes), 1 for any violation — wrong key
+order, bad enums, malformed hashes, count mismatches, or unmet
+expectations.
+"""
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "check_ledger.py")
+
+KEY_ORDER = [
+    "schemaVersion", "requestId", "correlationId", "designHash", "devices",
+    "nets", "hierarchyNodes", "cacheOutcome", "blockCacheHits",
+    "blockCacheMisses", "outcome", "constraintsTotal", "constraints",
+    "diagnostics", "phases", "wallSeconds", "peakRssDeltaBytes",
+    "unixTimeSeconds",
+]
+
+
+def make_record(**overrides):
+    record = {
+        "schemaVersion": 1,
+        "requestId": 1,
+        "correlationId": "",
+        "designHash": "0123456789abcdef0123456789abcdef",
+        "devices": 12,
+        "nets": 9,
+        "hierarchyNodes": 3,
+        "cacheOutcome": "cold",
+        "blockCacheHits": 2,
+        "blockCacheMisses": 1,
+        "outcome": "ok",
+        "constraintsTotal": 3,
+        "constraints": {"symmetry_pair": 2, "self_symmetric": 1,
+                        "current_mirror": 0, "symmetry_group": 0},
+        "diagnostics": {},
+        "phases": {"extract.inference": 0.01, "extract.detection": 0.02},
+        "wallSeconds": 0.04,
+        "peakRssDeltaBytes": 4096,
+        "unixTimeSeconds": 1754000000.5,
+    }
+    record.update(overrides)
+    return record
+
+
+def dump(record, key_order=KEY_ORDER):
+    return json.dumps({k: record[k] for k in key_order if k in record},
+                      separators=(",", ":"))
+
+
+def run(lines, *args):
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "ledger.jsonl")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(lines) + ("\n" if lines else ""))
+        proc = subprocess.run([sys.executable, SCRIPT, path, *args],
+                              capture_output=True, text=True)
+        return proc.returncode
+
+
+def check(label, got, want):
+    status = "ok" if got == want else "FAIL"
+    print(f"{status}: {label}: exit {got}, want {want}")
+    return got == want
+
+
+def main():
+    good = dump(make_record())
+    second = dump(make_record(requestId=2, cacheOutcome="mem_hit"))
+    ok = True
+
+    ok &= check("valid two-record ledger", run([good, second]), 0)
+    ok &= check("--expect matches", run([good, second], "--expect", "2"), 0)
+    ok &= check("--expect mismatch", run([good], "--expect", "2"), 1)
+    ok &= check("--expect-cache-outcome matches",
+                run([dump(make_record(cacheOutcome="disk_hit"))],
+                    "--expect-cache-outcome", "disk_hit"), 0)
+    ok &= check("--expect-cache-outcome mismatch",
+                run([good], "--expect-cache-outcome", "disk_hit"), 1)
+    ok &= check("invalid JSON line", run([good, "{not json"]), 1)
+    ok &= check("key order violated",
+                run([dump(make_record(),
+                          key_order=list(reversed(KEY_ORDER)))]), 1)
+    ok &= check("missing key",
+                run([dump(make_record(), key_order=KEY_ORDER[:-1])]), 1)
+    ok &= check("bad schemaVersion",
+                run([dump(make_record(schemaVersion=2))]), 1)
+    ok &= check("requestId zero", run([dump(make_record(requestId=0))]), 1)
+    ok &= check("bad cacheOutcome",
+                run([dump(make_record(cacheOutcome="warm"))]), 1)
+    ok &= check("bad outcome", run([dump(make_record(outcome="fine"))]), 1)
+    ok &= check("short designHash",
+                run([dump(make_record(designHash="abc123"))]), 1)
+    ok &= check("uppercase designHash",
+                run([dump(make_record(
+                    designHash="0123456789ABCDEF0123456789ABCDEF"))]), 1)
+    ok &= check("ok outcome with empty hash",
+                run([dump(make_record(designHash=""))]), 1)
+    ok &= check("rejected record may omit hash",
+                run([dump(make_record(designHash="", cacheOutcome="none",
+                                      outcome="admission_rejected",
+                                      constraintsTotal=0,
+                                      constraints={}))]), 0)
+    ok &= check("constraintsTotal mismatch",
+                run([dump(make_record(constraintsTotal=7))]), 1)
+    ok &= check("negative phase timing",
+                run([dump(make_record(
+                    phases={"extract.inference": -0.1}))]), 1)
+    ok &= check("negative wallSeconds",
+                run([dump(make_record(wallSeconds=-1.0))]), 1)
+
+    if not ok:
+        print("FAIL: check_ledger.py contract violated", file=sys.stderr)
+        return 1
+    print("OK: all check_ledger.py contracts hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,8 @@
 #include "core/engine.h"
 
 #include <cstring>
+#include <initializer_list>
+#include <map>
 #include <optional>
 #include <sstream>
 
@@ -10,6 +12,7 @@
 #include "util/fault.h"
 #include "util/metrics.h"
 #include "util/parallel.h"
+#include "util/resource.h"
 #include "util/trace.h"
 
 namespace ancstr {
@@ -174,6 +177,61 @@ metrics::Counter& decodeFailedCounter() {
 // dominate (embeddings, graph, candidates), so charge a flat ~1 KiB each.
 constexpr std::size_t kAdmissionBytesPerDevice = 1024;
 
+/// Per-request hit/miss counter around the shared block-cache adapter —
+/// the adapter's LRU stats are engine-wide, but the ledger wants this
+/// request's counts. Lookups come from every detection worker, hence the
+/// atomics; counting observes and never steers (the inner cache decides).
+class CountingBlockCache final : public BlockEmbeddingCache {
+ public:
+  explicit CountingBlockCache(BlockEmbeddingCache* inner) : inner_(inner) {}
+
+  std::shared_ptr<const CachedBlockEmbedding> lookup(
+      const util::StructuralHash& key) override {
+    auto hit = inner_->lookup(key);
+    (hit != nullptr ? hits_ : misses_).fetch_add(1, std::memory_order_relaxed);
+    return hit;
+  }
+
+  void store(const util::StructuralHash& key,
+             std::shared_ptr<const CachedBlockEmbedding> entry) override {
+    inner_->store(key, std::move(entry));
+  }
+
+  void setInner(BlockEmbeddingCache* inner) { inner_ = inner; }
+
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  BlockEmbeddingCache* inner_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+/// Fills the result-shaped tail of a ledger record (constraint counts,
+/// diagnostic histogram, phase timings) from a finished extraction.
+void fillLedgerOutputs(ledger::LedgerRecord& rec,
+                       const ExtractionResult& result) {
+  using ConstraintTypeList = std::initializer_list<ConstraintType>;
+  for (const ConstraintType type : ConstraintTypeList{
+           ConstraintType::kSymmetryPair, ConstraintType::kSelfSymmetric,
+           ConstraintType::kCurrentMirror, ConstraintType::kSymmetryGroup}) {
+    rec.constraints.emplace_back(constraintTypeName(type),
+                                 result.detection.set.count(type));
+  }
+  rec.constraintsTotal = result.detection.set.size();
+  std::map<std::string, std::uint64_t> byCode;
+  for (const diag::Diagnostic& d : result.report.diagnostics) {
+    ++byCode[d.code];
+  }
+  rec.diagnostics.assign(byCode.begin(), byCode.end());
+  for (const PhaseTiming& phase : result.report.phases) {
+    rec.phases.emplace_back(phase.name, phase.seconds);
+  }
+}
+
 }  // namespace
 
 /// BlockEmbeddingCache over the engine's LRU (consulted concurrently from
@@ -269,6 +327,12 @@ ExtractionEngine::ExtractionEngine(const Pipeline& pipeline,
     diskConfig.writeBehind = config_.diskWriteBehind;
     disk_ = std::make_unique<util::DiskCache>(std::move(diskConfig));
   }
+  if (!config_.ledgerPath.empty()) {
+    ledger::LedgerWriterConfig ledgerConfig;
+    ledgerConfig.path = config_.ledgerPath;
+    ledgerConfig.writeBehind = config_.ledgerWriteBehind;
+    ledger_ = std::make_unique<ledger::LedgerWriter>(std::move(ledgerConfig));
+  }
 }
 
 ExtractionEngine::~ExtractionEngine() = default;
@@ -306,16 +370,21 @@ void ExtractionEngine::diskPut(std::string_view ns,
 ExtractionResult ExtractionEngine::extractOne(
     const Library& lib, diag::DiagnosticSink* sink, util::Deadline deadline,
     const FlatDesign* preElaborated, const util::StructuralHash* designHash,
-    const std::vector<util::StructuralHash>* nodeHashes) const {
-  const trace::TraceSpan extractSpan("engine.extract");
+    const std::vector<util::StructuralHash>* nodeHashes,
+    std::uint64_t requestId, ledger::LedgerRecord* ledgerRec) const {
+  const trace::TraceSpan extractSpan("engine.extract", requestId);
   const bool failSoft = sink != nullptr && !sink->strict();
   const std::size_t diagStart = failSoft ? sink->size() : 0;
   const metrics::Snapshot before = metrics::Registry::instance().snapshot();
   static metrics::Counter& degradedCounter =
       metrics::Registry::instance().counter("pipeline.extract_degraded");
   const util::DeadlineToken token(deadline);
+  const std::uint64_t rssBefore =
+      ledgerRec != nullptr ? util::peakRssBytes() : 0;
+  if (ledgerRec != nullptr) ledgerRec->requestId = requestId;
 
   ExtractionResult result;
+  CountingBlockCache blockCounts(nullptr);
   try {
     token.checkpoint("engine.elaborate");
     std::optional<FlatDesign> owned;
@@ -325,25 +394,38 @@ ExtractionResult ExtractionEngine::extractOne(
     }
     const FlatDesign& design =
         preElaborated != nullptr ? *preElaborated : *owned;
+    if (ledgerRec != nullptr) {
+      ledgerRec->devices = design.devices().size();
+      ledgerRec->nets = design.nets().size();
+      ledgerRec->hierarchyNodes = design.hierarchy().size();
+    }
 
     token.checkpoint("engine.hash");
+    // The ledger needs the design hash even when the design cache is off,
+    // so the hash is computed whenever either consumer wants it.
+    const bool wantDesignCache =
+        config_.cacheDesignInference && config_.cacheBudgetBytes > 0;
+    util::StructuralHash key;
+    if (wantDesignCache || ledgerRec != nullptr) {
+      const trace::TraceSpan hashSpan("engine.hash", requestId);
+      // The delta path hands in the hash it computed while diffing;
+      // plain extract() pays for it here.
+      key = designHash != nullptr
+                ? *designHash
+                : structuralHash(design, pipeline_.config().graph,
+                                 pipeline_.config().features);
+      result.report.addPhase("engine.hash", hashSpan.seconds());
+      if (ledgerRec != nullptr) ledgerRec->designHash = key.hex();
+    }
     std::shared_ptr<const InferenceArtifacts> artifacts;
-    if (config_.cacheDesignInference && config_.cacheBudgetBytes > 0) {
-      util::StructuralHash key;
-      {
-        const trace::TraceSpan hashSpan("engine.hash");
-        // The delta path hands in the hash it computed while diffing;
-        // plain extract() pays for it here.
-        key = designHash != nullptr
-                  ? *designHash
-                  : structuralHash(design, pipeline_.config().graph,
-                                   pipeline_.config().features);
-        result.report.addPhase("engine.hash", hashSpan.seconds());
-      }
+    if (wantDesignCache) {
       // Cache keys carry the detector-config salt (see detectorSalt());
       // the raw hash stays the currency of diffing and manifests.
       const util::StructuralHash cacheKey = withConfigSalt(key, detectorSalt_);
       artifacts = designCache_.get(cacheKey);
+      if (artifacts != nullptr && ledgerRec != nullptr) {
+        ledgerRec->cacheOutcome = "mem_hit";
+      }
       if (artifacts == nullptr) {
         // Memory miss: the persistent tier may still hold this design's
         // inference from an earlier process. A corrupt entry comes back
@@ -354,12 +436,14 @@ ExtractionResult ExtractionEngine::extractOne(
           if (decodeArtifacts(*payload, fromDisk.get())) {
             designCache_.put(cacheKey, fromDisk, fromDisk->approxBytes());
             artifacts = std::move(fromDisk);
+            if (ledgerRec != nullptr) ledgerRec->cacheOutcome = "disk_hit";
           } else {
             decodeFailedCounter().add();
           }
         }
       }
       if (artifacts == nullptr) {
+        if (ledgerRec != nullptr) ledgerRec->cacheOutcome = "cold";
         token.checkpoint("engine.inference");
         auto computed = std::make_shared<InferenceArtifacts>(
             pipeline_.runInference(lib, design, result.report));
@@ -368,6 +452,7 @@ ExtractionResult ExtractionEngine::extractOne(
         artifacts = std::move(computed);
       }
     } else {
+      if (ledgerRec != nullptr) ledgerRec->cacheOutcome = "cold";
       token.checkpoint("engine.inference");
       artifacts = std::make_shared<InferenceArtifacts>(
           pipeline_.runInference(lib, design, result.report));
@@ -382,9 +467,17 @@ ExtractionResult ExtractionEngine::extractOne(
 
     token.checkpoint("engine.detection");
     const bool cachesOn = config_.cacheBudgetBytes > 0;
-    const DetectionCaches caches{
+    BlockEmbeddingCache* blockCache =
         cachesOn && config_.cacheBlockEmbeddings ? blockAdapter_.get()
-                                                 : nullptr,
+                                                 : nullptr;
+    if (ledgerRec != nullptr && blockCache != nullptr) {
+      // Wrap the shared adapter in this request's counter; counting never
+      // steers, so the ledger observes without changing any result.
+      blockCounts.setInner(blockCache);
+      blockCache = &blockCounts;
+    }
+    const DetectionCaches caches{
+        blockCache,
         cachesOn && config_.cachePairScores ? pairAdapter_.get() : nullptr,
         nodeHashes};
     pipeline_.runDetection(lib, design, *artifacts, caches, result);
@@ -397,6 +490,7 @@ ExtractionResult ExtractionEngine::extractOne(
     // propagates the typed error; fail-soft records the coded diagnostic
     // — deliberately NOT extract_degraded, so dashboards can tell load
     // shedding from corrupt input.
+    if (ledgerRec != nullptr) ledgerRec->outcome = "deadline_exceeded";
     if (!failSoft) {
       publishCacheMetrics();
       throw;
@@ -407,13 +501,17 @@ ExtractionResult ExtractionEngine::extractOne(
         metrics::Registry::instance().snapshot().since(before);
     sink->error(diag::codes::kDeadlineExceeded, "", 0, e.what());
   } catch (const Error& e) {
-    if (!failSoft) throw;
+    if (!failSoft) {
+      if (ledgerRec != nullptr) ledgerRec->outcome = "error";
+      throw;
+    }
     // Same degradation contract as Pipeline::extract: empty result, keep
     // completed phase timings, record [pipeline.extract_degraded]. Cache
     // activity up to the failure point (design-cache consult, block
     // embedding hits) still counts: publish it so the degraded design's
     // report carries its engine.cache.* metrics rather than dropping them
     // on the error branch.
+    if (ledgerRec != nullptr) ledgerRec->outcome = "degraded";
     degradedCounter.add();
     publishCacheMetrics();
     result.report.metrics =
@@ -425,22 +523,55 @@ ExtractionResult ExtractionEngine::extractOne(
   if (failSoft) {
     result.report.addDiagnostics(sink->snapshotFrom(diagStart));
   }
+  result.report.requestId = requestId;
+  if (requestId != 0) {
+    for (diag::Diagnostic& d : result.report.diagnostics) {
+      d.requestId = requestId;
+    }
+  }
+  if (ledgerRec != nullptr) {
+    ledgerRec->blockCacheHits = blockCounts.hits();
+    ledgerRec->blockCacheMisses = blockCounts.misses();
+    fillLedgerOutputs(*ledgerRec, result);
+    ledgerRec->wallSeconds = extractSpan.seconds();
+    const std::uint64_t rssAfter = util::peakRssBytes();
+    ledgerRec->peakRssDeltaBytes =
+        rssAfter >= rssBefore ? rssAfter - rssBefore : 0;
+  }
   return result;
 }
 
 ExtractionResult ExtractionEngine::extract(const Library& lib,
                                            ExtractOptions options) const {
   const metrics::Snapshot before = metrics::Registry::instance().snapshot();
+  const std::uint64_t requestId = claimRequestIds(1);
+  ledger::LedgerRecord rec;
+  ledger::LedgerRecord* recPtr = ledger_ != nullptr ? &rec : nullptr;
   try {
-    ExtractionResult result = extractOne(lib, options.sink, options.deadline);
+    ExtractionResult result = extractOne(lib, options.sink, options.deadline,
+                                         nullptr, nullptr, nullptr, requestId,
+                                         recPtr);
     publishCacheMetrics();
     result.report.metrics =
         metrics::Registry::instance().snapshot().since(before);
+    result.report.correlationId = options.correlationId;
+    if (recPtr != nullptr) {
+      rec.correlationId = options.correlationId;
+      ledger_->append(rec);
+    }
     return result;
   } catch (...) {
     // Strict-mode failure: cache consults that already happened must not
-    // vanish from the process-wide counters.
+    // vanish from the process-wide counters — and the request still gets
+    // its ledger record (outcome "error" unless the deadline path already
+    // stamped a more precise one).
     publishCacheMetrics();
+    if (recPtr != nullptr) {
+      rec.requestId = requestId;
+      rec.correlationId = options.correlationId;
+      if (rec.outcome == "ok") rec.outcome = "error";
+      ledger_->append(rec);
+    }
     throw;
   }
 }
@@ -451,6 +582,12 @@ ExtractionResult ExtractionEngine::extractDelta(const Library& oldLib,
                                                 DeltaReport* delta) const {
   const metrics::Snapshot before = metrics::Registry::instance().snapshot();
   const EngineCacheStats statsBefore = cacheStats();
+  // One request id covers the whole delta call (diff + warm + extract):
+  // the ledger records one serving-layer request, not its internal phases.
+  const std::uint64_t requestId = claimRequestIds(1);
+  const trace::TraceSpan deltaSpan("engine.delta", requestId);
+  ledger::LedgerRecord rec;
+  ledger::LedgerRecord* recPtr = ledger_ != nullptr ? &rec : nullptr;
   auto& registry = metrics::Registry::instance();
   static metrics::Counter& dirtyNodes =
       registry.counter("engine.delta.dirty_nodes");
@@ -483,7 +620,7 @@ ExtractionResult ExtractionEngine::extractDelta(const Library& oldLib,
   std::shared_ptr<const std::vector<util::StructuralHash>> oldNodeHashes;
   std::shared_ptr<const std::vector<util::StructuralHash>> newNodeHashes;
   {
-    const trace::TraceSpan diffSpan("engine.diff");
+    const trace::TraceSpan diffSpan("engine.diff", requestId);
     try {
       oldDesign.emplace(FlatDesign::elaborate(oldLib));
       oldHash = structuralHash(*oldDesign, graph, features);
@@ -527,7 +664,7 @@ ExtractionResult ExtractionEngine::extractDelta(const Library& oldLib,
           !config_.cacheDesignInference ||
           !designCache_.contains(withConfigSalt(oldHash, detectorSalt_));
       if (warm) {
-        const trace::TraceSpan warmSpan("engine.warm");
+        const trace::TraceSpan warmSpan("engine.warm", requestId);
         // The request deadline covers warming too; a DeadlineError here is
         // swallowed like any warm failure, and phase 3's own checkpoints
         // then surface the expiry with the proper contract.
@@ -548,9 +685,17 @@ ExtractionResult ExtractionEngine::extractDelta(const Library& oldLib,
     result = extractOne(newLib, options.sink, options.deadline,
                         newDesign.has_value() ? &*newDesign : nullptr,
                         newDesign.has_value() ? &newHash : nullptr,
-                        newDesign.has_value() ? newNodeHashes.get() : nullptr);
+                        newDesign.has_value() ? newNodeHashes.get() : nullptr,
+                        requestId, recPtr);
   } catch (...) {
     publishCacheMetrics();
+    if (recPtr != nullptr) {
+      rec.requestId = requestId;
+      rec.correlationId = options.correlationId;
+      if (rec.outcome == "ok") rec.outcome = "error";
+      rec.wallSeconds = deltaSpan.seconds();
+      ledger_->append(rec);
+    }
     throw;
   }
   publishCacheMetrics();
@@ -558,11 +703,25 @@ ExtractionResult ExtractionEngine::extractDelta(const Library& oldLib,
   result.report = std::move(prelude);
   result.report.metrics =
       metrics::Registry::instance().snapshot().since(before);
+  result.report.requestId = requestId;
+  result.report.correlationId = options.correlationId;
 
   const EngineCacheStats statsAfter = cacheStats();
   out.reuse.design = statsDelta(statsAfter.design, statsBefore.design);
   out.reuse.blocks = statsDelta(statsAfter.blocks, statsBefore.blocks);
   out.reuse.pairs = statsDelta(statsAfter.pairs, statsBefore.pairs);
+  if (recPtr != nullptr) {
+    // The merged report carries the delta-only phases (engine.diff,
+    // engine.warm) ahead of the extraction phases; rebuild the record's
+    // phase list from it and charge the whole call's wall time.
+    rec.correlationId = options.correlationId;
+    rec.phases.clear();
+    for (const PhaseTiming& phase : result.report.phases) {
+      rec.phases.emplace_back(phase.name, phase.seconds);
+    }
+    rec.wallSeconds = deltaSpan.seconds();
+    ledger_->append(rec);
+  }
   return result;
 }
 
@@ -572,6 +731,12 @@ std::vector<ExtractionResult> ExtractionEngine::extractBatch(
   const trace::TraceSpan batchSpan("engine.batch");
   const metrics::Snapshot before = metrics::Registry::instance().snapshot();
   const bool failSoft = options.sink != nullptr && !options.sink->strict();
+  // Claim the whole batch's request-id range up front: slot i always gets
+  // baseId + i, so ids (and the ledger sequence below) are invariant to
+  // the worker count — the batch determinism contract extends to the
+  // observability surface.
+  const std::uint64_t baseId =
+      batch.empty() ? 0 : claimRequestIds(batch.size());
   static metrics::Counter& admissionAccepted =
       metrics::Registry::instance().counter("engine.admission.accepted");
   static metrics::Counter& admissionRejected =
@@ -607,12 +772,27 @@ std::vector<ExtractionResult> ExtractionEngine::extractBatch(
     admissionRejected.add();
     if (!failSoft) throw AdmissionError("batch rejected: " + rejectReason);
     options.sink->error(diag::codes::kAdmissionRejected, "", 0, rejectReason);
-    const diag::Diagnostic rejectDiag{diag::Severity::kError,
-                                      std::string(diag::codes::kAdmissionRejected),
-                                      "", 0, rejectReason};
     std::vector<ExtractionResult> rejected(batch.size());
-    for (ExtractionResult& r : rejected) {
-      r.report.addDiagnostics({rejectDiag});
+    for (std::size_t i = 0; i < rejected.size(); ++i) {
+      diag::Diagnostic rejectDiag{diag::Severity::kError,
+                                  std::string(diag::codes::kAdmissionRejected),
+                                  "", 0, rejectReason};
+      rejectDiag.requestId = baseId + i;
+      rejected[i].report.requestId = baseId + i;
+      rejected[i].report.correlationId = options.correlationId;
+      rejected[i].report.addDiagnostics({rejectDiag});
+      if (ledger_ != nullptr) {
+        // A shed request still ledgers: one record per design, outcome
+        // "admission_rejected", no hash or phases (no work happened).
+        ledger::LedgerRecord rec;
+        rec.requestId = baseId + i;
+        rec.correlationId = options.correlationId;
+        rec.outcome = "admission_rejected";
+        rec.cacheOutcome = "none";
+        rec.diagnostics.emplace_back(
+            std::string(diag::codes::kAdmissionRejected), 1);
+        ledger_->append(rec);
+      }
     }
     if (batchReport != nullptr) {
       batchReport->addPhase("engine.batch", batchSpan.seconds());
@@ -636,30 +816,48 @@ std::vector<ExtractionResult> ExtractionEngine::extractBatch(
   }
 
   std::vector<ExtractionResult> results(batch.size());
+  std::vector<ledger::LedgerRecord> records(
+      ledger_ != nullptr ? batch.size() : 0);
   util::ThreadPool pool(util::resolveThreadCount(config_.threads));
   try {
     pool.forEach(batch.size(), [&](std::size_t i) {
       ANCSTR_ASSERT(batch[i] != nullptr);
       results[i] =
           extractOne(*batch[i], failSoft ? localSinks[i].get() : options.sink,
-                     options.deadline);
+                     options.deadline, nullptr, nullptr, nullptr, baseId + i,
+                     ledger_ != nullptr ? &records[i] : nullptr);
     });
   } catch (...) {
     // Strict-mode failure mid-batch: publish the cache consults that
-    // already happened before rethrowing (same as extract()).
+    // already happened before rethrowing (same as extract()). No ledger
+    // records are appended — with workers racing, any subset of slots may
+    // have finished, and a partial sequence would break the batch-order
+    // append contract below.
     publishCacheMetrics();
     throw;
   }
 
   if (failSoft) {
-    for (const auto& local : localSinks) {
-      for (diag::Diagnostic& d : local->take()) {
+    for (std::size_t i = 0; i < localSinks.size(); ++i) {
+      for (diag::Diagnostic& d : localSinks[i]->take()) {
+        d.requestId = baseId + i;
         options.sink->report(std::move(d));
       }
     }
   }
 
   publishCacheMetrics();
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    results[i].report.correlationId = options.correlationId;
+  }
+  if (ledger_ != nullptr) {
+    // Appended in batch order after the fan-out joins: the ledger line
+    // sequence for a batch is identical for every worker count.
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      records[i].correlationId = options.correlationId;
+      ledger_->append(records[i]);
+    }
+  }
   if (batchReport != nullptr) {
     batchReport->addPhase("engine.batch", batchSpan.seconds());
     batchReport->metrics =
@@ -696,6 +894,14 @@ util::DiskCacheStats ExtractionEngine::diskCacheStats() const {
 
 void ExtractionEngine::flushDiskWrites() const {
   if (disk_ != nullptr) disk_->flush();
+}
+
+ledger::LedgerStats ExtractionEngine::ledgerStats() const {
+  return ledger_ != nullptr ? ledger_->stats() : ledger::LedgerStats{};
+}
+
+void ExtractionEngine::flushLedger() const {
+  if (ledger_ != nullptr) ledger_->flush();
 }
 
 void ExtractionEngine::clearCaches() {

@@ -74,10 +74,13 @@
 #include <string_view>
 #include <vector>
 
+#include <atomic>
+
 #include "core/library_diff.h"
 #include "core/pipeline.h"
 #include "util/disk_cache.h"
 #include "util/lru_cache.h"
+#include "util/run_ledger.h"
 #include "util/structural_hash.h"
 
 namespace ancstr {
@@ -121,6 +124,19 @@ struct EngineConfig {
   /// Write-behind disk population (background writer thread). Off =
   /// synchronous writes, deterministic for tests.
   bool diskWriteBehind = true;
+
+  // --- run ledger (util/run_ledger.h) ---------------------------------
+  /// JSON-lines run-ledger path; empty (the default) disables. One
+  /// wide-event record per request — extract(), extractDelta(), and each
+  /// design of extractBatch() — capturing request id, design hash, cache
+  /// tier outcome, phase timings, diagnostic and constraint counts, and
+  /// peak-RSS delta. Appends are fail-soft: a broken ledger never fails a
+  /// request. Batch records are appended in batch order after the fan-out
+  /// joins, so the ledger sequence is identical for every thread count.
+  std::filesystem::path ledgerPath;
+  /// Write-behind ledger appends (background writer thread). Off =
+  /// synchronous appends, deterministic for tests.
+  bool ledgerWriteBehind = true;
 
   // --- admission control (extractBatch) -------------------------------
   /// Maximum designs accepted per extractBatch call; 0 = unlimited. An
@@ -226,6 +242,14 @@ class ExtractionEngine {
   /// fresh engine over the same directory — must observe the entries now.
   void flushDiskWrites() const;
 
+  /// Cumulative run-ledger counters; disabled/all-zero when
+  /// EngineConfig::ledgerPath is empty.
+  ledger::LedgerStats ledgerStats() const;
+
+  /// Drains pending write-behind ledger appends (no-op without a ledger;
+  /// the destructor drains too).
+  void flushLedger() const;
+
   /// The detector-configuration salt mixed into every design/block/pair
   /// cache key (detectorConfigSignature of the wrapped pipeline's
   /// detector config, core/circuit_hash.h). Engines over pipelines with
@@ -251,11 +275,24 @@ class ExtractionEngine {
   /// `designHash` / `nodeHashes`, when non-null, are the precomputed
   /// whole-design and per-node subtree hashes for `preElaborated` — the
   /// delta path hashes each design once and reuses the values here.
+  /// `requestId` (nonzero on every public path) is stamped onto the
+  /// top-level spans, the result report, and every surfaced diagnostic.
+  /// `ledgerRec`, when non-null, is filled with this request's wide event
+  /// (the caller appends it to the ledger — extractBatch defers appends
+  /// until after the fan-out joins so ledger order is thread-invariant).
   ExtractionResult extractOne(
       const Library& lib, diag::DiagnosticSink* sink,
       util::Deadline deadline = {}, const FlatDesign* preElaborated = nullptr,
       const util::StructuralHash* designHash = nullptr,
-      const std::vector<util::StructuralHash>* nodeHashes = nullptr) const;
+      const std::vector<util::StructuralHash>* nodeHashes = nullptr,
+      std::uint64_t requestId = 0,
+      ledger::LedgerRecord* ledgerRec = nullptr) const;
+
+  /// Reserves `n` consecutive request ids; returns the first. Batch slots
+  /// get base + i, so ids are dense and thread-count invariant.
+  std::uint64_t claimRequestIds(std::size_t n) const {
+    return nextRequestId_.fetch_add(n, std::memory_order_relaxed) + 1;
+  }
 
   /// Model-identity salt mixed into every disk key (a fold of the
   /// serialized trained weights): on-disk entries outlive the process, so
@@ -302,6 +339,10 @@ class ExtractionEngine {
   std::unique_ptr<PairCacheAdapter> pairAdapter_;
   /// Persistent second tier (null without EngineConfig::cachePath).
   std::unique_ptr<util::DiskCache> disk_;
+  /// Per-request wide-event ledger (null without EngineConfig::ledgerPath).
+  std::unique_ptr<ledger::LedgerWriter> ledger_;
+  /// Monotonic per-engine request-id source (first id = 1).
+  mutable std::atomic<std::uint64_t> nextRequestId_{0};
   mutable std::mutex modelSaltMutex_;
   mutable bool modelSaltReady_ = false;
   mutable std::uint64_t modelSalt_ = 0;

@@ -3,6 +3,7 @@
 #include "core/model_io.h"
 #include "util/error.h"
 #include "util/fault.h"
+#include "util/logging.h"
 #include "util/trace.h"
 
 namespace ancstr {
@@ -116,10 +117,15 @@ ExtractionResult Pipeline::extract(const Library& lib,
   if (!model_) throw Error("Pipeline::extract before train()/loadModel()");
 
   const util::DeadlineToken deadline(options.deadline);
+  // Standalone extraction draws from the process-wide request-id source
+  // (the ExtractionEngine keeps its own per-engine counter); the id is
+  // stamped onto the top-level span and the report so one request can be
+  // followed across traces, reports, and diagnostics.
+  const std::uint64_t requestId = log::nextRequestId();
   if (options.sink == nullptr || options.sink->strict()) {
     // Strict path: the first invalid construct throws, no sink involved.
     // Deadline expiry throws util::DeadlineError from a checkpoint.
-    const trace::TraceSpan pipelineSpan("pipeline.extract");
+    const trace::TraceSpan pipelineSpan("pipeline.extract", requestId);
     const metrics::Snapshot before = metrics::Registry::instance().snapshot();
     ExtractionResult result;
 
@@ -129,6 +135,8 @@ ExtractionResult Pipeline::extract(const Library& lib,
 
     result.report.metrics =
         metrics::Registry::instance().snapshot().since(before);
+    result.report.requestId = requestId;
+    result.report.correlationId = options.correlationId;
     return result;
   }
 
@@ -140,7 +148,7 @@ ExtractionResult Pipeline::extract(const Library& lib,
   const std::size_t diagStart = sink.size();
   ExtractionResult result;
   try {
-    const trace::TraceSpan pipelineSpan("pipeline.extract");
+    const trace::TraceSpan pipelineSpan("pipeline.extract", requestId);
     deadline.checkpoint("pipeline.elaborate");
     const FlatDesign design = FlatDesign::elaborate(lib, sink);
     runExtractPhases(*this, lib, design, result, deadline);
@@ -161,6 +169,11 @@ ExtractionResult Pipeline::extract(const Library& lib,
   result.report.metrics =
       metrics::Registry::instance().snapshot().since(before);
   result.report.addDiagnostics(sink.snapshotFrom(diagStart));
+  result.report.requestId = requestId;
+  result.report.correlationId = options.correlationId;
+  for (diag::Diagnostic& d : result.report.diagnostics) {
+    d.requestId = requestId;
+  }
   return result;
 }
 

@@ -67,6 +67,12 @@ struct ExtractOptions {
   /// collect-mode sink records [engine.deadline_exceeded] and the call
   /// returns an empty result.
   util::Deadline deadline = {};
+  /// Optional caller-supplied correlation id (docs/observability.md,
+  /// "Request correlation"): copied verbatim into the result report and —
+  /// on the engine path — the run-ledger record, so an upstream system's
+  /// own request identity can be joined against ancstr's request ids.
+  /// Never parsed or compared; "" = none.
+  std::string correlationId;
 };
 
 /// Extraction output: scored candidates + accepted constraints + the run

@@ -26,6 +26,11 @@ std::string Diagnostic::str() const {
   out += code;
   out += "]: ";
   out += message;
+  if (requestId != 0) {
+    out += " (request ";
+    out += std::to_string(requestId);
+    out += ')';
+  }
   return out;
 }
 

@@ -68,6 +68,8 @@ inline constexpr std::string_view kExtractDegraded =
 inline constexpr std::string_view kCacheCorrupt = "cache.corrupt_entry";
 inline constexpr std::string_view kCacheVersion = "cache.version_mismatch";
 inline constexpr std::string_view kCacheIo = "cache.io_failure";
+// --- run ledger (util/run_ledger.h) ----------------------------------
+inline constexpr std::string_view kLedgerIo = "ledger.io_failure";
 // --- serving ---------------------------------------------------------
 inline constexpr std::string_view kDeadlineExceeded =
     "engine.deadline_exceeded";
@@ -82,12 +84,23 @@ struct Diagnostic {
   std::string file;
   std::size_t line = 0;
   std::string message;
+  /// Request correlation (docs/observability.md): the ExtractionEngine
+  /// stamps the serving request id onto every diagnostic it surfaces in a
+  /// result report; 0 = not request-scoped. Excluded from equality so a
+  /// request-stamped diagnostic still compares equal to the position-built
+  /// expectation (bitwise serial/threaded and delta-equivalence harnesses
+  /// compare diagnostics across runs with different request ids).
+  std::uint64_t requestId = 0;
 
-  /// "file:line: error[parse.bad_card]: message" (position parts elided
-  /// when absent).
+  /// "file:line: error[parse.bad_card]: message (request N)" (position
+  /// and request parts elided when absent).
   std::string str() const;
 
-  bool operator==(const Diagnostic&) const = default;
+  bool operator==(const Diagnostic& other) const {
+    return severity == other.severity && code == other.code &&
+           file == other.file && line == other.line &&
+           message == other.message;
+  }
 };
 
 /// Thread-safe collector of diagnostics with the strict/fail-soft policy

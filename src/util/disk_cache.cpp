@@ -10,6 +10,7 @@
 
 #include "util/error.h"
 #include "util/fault.h"
+#include "util/logging.h"
 #include "util/trace.h"
 
 namespace ancstr::util {
@@ -286,6 +287,12 @@ std::optional<std::string> DiskCache::get(std::string_view ns,
       sink->warning(diag::codes::kCacheIo, path.string(), 0,
                     "disk cache read failed; recomputing");
     }
+    // Rate-limited operator visibility: an IO-failure storm (dying disk)
+    // emits a bounded number of lines plus a suppression summary, never
+    // one line per failed read (docs/observability.md).
+    log::log(log::Level::kWarn, diag::codes::kCacheIo,
+             "disk cache read failed; recomputing",
+             {log::Field("path", path.string())});
     return std::nullopt;
   }
 
@@ -304,6 +311,14 @@ std::optional<std::string> DiskCache::get(std::string_view ns,
                       "checksum); quarantined and recomputing");
       }
     }
+    // Same rate-limited visibility as the IO-failure path above: a
+    // corrupted store surfaces as a bounded warning stream.
+    log::log(log::Level::kWarn,
+             verdict == ReadVerdict::kVersionMismatch
+                 ? diag::codes::kCacheVersion
+                 : diag::codes::kCacheCorrupt,
+             "disk cache entry quarantined; recomputing",
+             {log::Field("path", path.string())});
     return std::nullopt;
   }
 

@@ -1,11 +1,21 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "util/metrics.h"
 
 namespace ancstr::log {
 namespace {
 
+// The level gate lives outside the Logger mutex so a filtered-out log()
+// costs one relaxed load. configure()/setLevel() keep it in sync with
+// LoggerConfig::minLevel.
 std::atomic<Level> g_level{Level::kWarn};
 
 const char* levelTag(Level lvl) {
@@ -24,15 +34,277 @@ const char* levelTag(Level lvl) {
   return "?????";
 }
 
+void appendJsonEscaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void appendFieldValue(std::string& out, const Field& field) {
+  if (field.isNumber) {
+    char buf[64];
+    if (field.isInteger) {
+      std::snprintf(buf, sizeof(buf), "%.0f", field.number);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.17g", field.number);
+    }
+    out += buf;
+  } else {
+    out += '"';
+    appendJsonEscaped(out, field.text);
+    out += '"';
+  }
+}
+
+std::string renderJson(Level lvl, std::string_view code,
+                       std::string_view message,
+                       const std::vector<Field>& fields) {
+  std::string out = "{\"level\":\"";
+  out += levelName(lvl);
+  out += "\",\"code\":\"";
+  appendJsonEscaped(out, code);
+  out += "\",\"msg\":\"";
+  appendJsonEscaped(out, message);
+  out += '"';
+  for (const Field& field : fields) {
+    out += ",\"";
+    appendJsonEscaped(out, field.key);
+    out += "\":";
+    appendFieldValue(out, field);
+  }
+  out += '}';
+  return out;
+}
+
+std::string renderText(Level lvl, std::string_view code,
+                       std::string_view message,
+                       const std::vector<Field>& fields) {
+  std::string out = "[ancstr ";
+  out += levelTag(lvl);
+  out += "] ";
+  if (!code.empty()) {
+    out += code;
+    out += ": ";
+  }
+  out += message;
+  if (!fields.empty()) {
+    out += " (";
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += fields[i].key;
+      out += '=';
+      if (fields[i].isNumber) {
+        char buf[64];
+        if (fields[i].isInteger) {
+          std::snprintf(buf, sizeof(buf), "%.0f", fields[i].number);
+        } else {
+          std::snprintf(buf, sizeof(buf), "%g", fields[i].number);
+        }
+        out += buf;
+      } else {
+        out += fields[i].text;
+      }
+    }
+    out += ')';
+  }
+  return out;
+}
+
 }  // namespace
 
-void setLevel(Level lvl) noexcept { g_level.store(lvl, std::memory_order_relaxed); }
+std::string_view levelName(Level lvl) noexcept {
+  switch (lvl) {
+    case Level::kDebug:
+      return "debug";
+    case Level::kInfo:
+      return "info";
+    case Level::kWarn:
+      return "warn";
+    case Level::kError:
+      return "error";
+    case Level::kOff:
+      return "off";
+  }
+  return "unknown";
+}
+
+std::optional<Level> parseLevel(std::string_view name) noexcept {
+  if (name == "debug") return Level::kDebug;
+  if (name == "info") return Level::kInfo;
+  if (name == "warn") return Level::kWarn;
+  if (name == "error") return Level::kError;
+  if (name == "off") return Level::kOff;
+  return std::nullopt;
+}
+
+struct Logger::Impl {
+  /// Per-code rate-limit window (guarded by mutex).
+  struct CodeWindow {
+    double windowStart = 0.0;
+    std::uint64_t emitted = 0;
+    std::uint64_t suppressed = 0;
+    Level lastLevel = Level::kWarn;
+  };
+
+  mutable std::mutex mutex;
+  LoggerConfig config;
+  std::ofstream file;
+  LoggerStats stats;
+  std::map<std::string, CodeWindow, std::less<>> windows;
+  std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+
+  double nowSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch)
+        .count();
+  }
+
+  void openFileLocked() {
+    file = std::ofstream();
+    if (!config.filePath.empty()) {
+      file.open(config.filePath, std::ios::app);
+      if (!file.is_open()) ++stats.fileWriteFailures;
+    }
+  }
+
+  /// Writes one rendered line to the configured sinks. Caller holds mutex.
+  void writeLocked(Level lvl, std::string_view code, std::string_view message,
+                   const std::vector<Field>& fields) {
+    if (config.toStderr) {
+      const std::string line =
+          config.format == Format::kJson
+              ? renderJson(lvl, code, message, fields)
+              : renderText(lvl, code, message, fields);
+      std::fprintf(stderr, "%s\n", line.c_str());
+    }
+    if (file.is_open()) {
+      const std::string line = renderJson(lvl, code, message, fields);
+      file << line << '\n';
+      file.flush();
+      if (!file) {
+        ++stats.fileWriteFailures;
+        file.clear();
+      }
+    }
+    ++stats.emitted;
+    metrics::Registry::instance().counter("log.emitted").add();
+  }
+};
+
+Logger::Logger() : impl_(new Impl) {}
+
+Logger& Logger::instance() {
+  // Leaked: see header.
+  static Logger* logger = new Logger();
+  return *logger;
+}
+
+void Logger::configure(LoggerConfig config) {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  const bool reopen = config.filePath != impl_->config.filePath;
+  impl_->config = std::move(config);
+  g_level.store(impl_->config.minLevel, std::memory_order_relaxed);
+  if (reopen) impl_->openFileLocked();
+}
+
+LoggerConfig Logger::config() const {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->config;
+}
+
+void Logger::log(Level lvl, std::string_view code, std::string_view message,
+                 std::vector<Field> fields) {
+  if (lvl == Level::kOff) return;
+  if (static_cast<int>(lvl) < static_cast<int>(level())) return;
+
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (!code.empty() && impl_->config.maxPerCodeWindow > 0) {
+    const double now = impl_->nowSeconds();
+    auto it = impl_->windows.find(code);
+    if (it == impl_->windows.end()) {
+      it = impl_->windows.emplace(std::string(code), Impl::CodeWindow{})
+               .first;
+      it->second.windowStart = now;
+    }
+    Impl::CodeWindow& window = it->second;
+    if (now - window.windowStart >= impl_->config.rateWindowSeconds) {
+      // Window rollover: summarize what the previous window swallowed so
+      // a storm leaves a trace of its true size, then start fresh.
+      if (window.suppressed > 0) {
+        impl_->writeLocked(
+            window.lastLevel, code, "suppressed repeated messages",
+            {Field("suppressed_count", window.suppressed),
+             Field("window_seconds", impl_->config.rateWindowSeconds)});
+      }
+      window.windowStart = now;
+      window.emitted = 0;
+      window.suppressed = 0;
+    }
+    window.lastLevel = lvl;
+    if (window.emitted >= impl_->config.maxPerCodeWindow) {
+      ++window.suppressed;
+      ++impl_->stats.suppressed;
+      metrics::Registry::instance().counter("log.suppressed").add();
+      return;
+    }
+    ++window.emitted;
+  }
+  impl_->writeLocked(lvl, code, message, fields);
+}
+
+LoggerStats Logger::stats() const {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->stats;
+}
+
+void Logger::resetRateLimits() {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->windows.clear();
+}
+
+void log(Level lvl, std::string_view code, std::string_view message,
+         std::vector<Field> fields) {
+  Logger::instance().log(lvl, code, message, std::move(fields));
+}
+
+std::uint64_t nextRequestId() noexcept {
+  static std::atomic<std::uint64_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+void setLevel(Level lvl) noexcept {
+  g_level.store(lvl, std::memory_order_relaxed);
+}
 
 Level level() noexcept { return g_level.load(std::memory_order_relaxed); }
 
 void emit(Level lvl, const std::string& message) {
-  if (static_cast<int>(lvl) < static_cast<int>(level())) return;
-  std::fprintf(stderr, "[ancstr %s] %s\n", levelTag(lvl), message.c_str());
+  Logger::instance().log(lvl, "", message);
 }
 
 }  // namespace ancstr::log

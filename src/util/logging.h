@@ -1,19 +1,146 @@
-// Minimal leveled logger. Intentionally tiny: one global sink (stderr),
-// a process-wide level, printf-free stream formatting.
+// Structured, leveled, thread-safe logging (docs/observability.md).
+//
+// One process-wide Logger with two sinks:
+//
+//   * stderr — human text (`[ancstr WARN ] code: message (k=v)`) or
+//     JSON-lines, selected by LoggerConfig::format;
+//   * file   — JSON-lines only (one object per line, stable key order:
+//     level, code, msg, then fields in call order), opened in append mode
+//     so concurrent processes interleave whole lines.
+//
+// Emission is serialized under one mutex (TSan-clean by construction) and
+// never throws: a file-sink failure is counted and the logger keeps
+// serving — logging sits on the engine's serving path and must not take
+// it down.
+//
+// Per-code rate limiting: with LoggerConfig::maxPerCodeWindow > 0, at
+// most that many lines per code are emitted per rateWindowSeconds window;
+// the rest are suppressed (counted in LoggerStats::suppressed and the
+// `log.suppressed` registry counter) and summarized by one line when the
+// window rolls over. Lines with an empty code are never rate-limited.
+//
+// The pre-PR-9 minimal API (setLevel / level / emit / debug()...error()
+// stream builders) is preserved as a shim over the structured logger, so
+// legacy call sites keep compiling and behaving identically.
 #pragma once
 
+#include <cstdint>
+#include <filesystem>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
+#include <vector>
 
 namespace ancstr::log {
 
 enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Sets the process-wide minimum level that will be emitted.
+/// "debug" / "info" / "warn" / "error" / "off".
+std::string_view levelName(Level lvl) noexcept;
+
+/// Inverse of levelName (exact match); nullopt for unknown names.
+std::optional<Level> parseLevel(std::string_view name) noexcept;
+
+enum class Format { kText, kJson };
+
+struct LoggerConfig {
+  /// Minimum level emitted by either sink.
+  Level minLevel = Level::kWarn;
+  /// Rendering of the stderr sink (the file sink is always JSON-lines).
+  Format format = Format::kText;
+  bool toStderr = true;
+  /// JSON-lines file sink; empty disables. Opened in append mode; an open
+  /// or write failure is counted (LoggerStats::fileWriteFailures), never
+  /// thrown.
+  std::filesystem::path filePath;
+  /// Per-code emission cap per window; 0 = unlimited. Coded warning
+  /// storms (e.g. cache.io_failure on a dying disk) emit at most this
+  /// many lines per window plus one suppression summary.
+  std::uint64_t maxPerCodeWindow = 8;
+  double rateWindowSeconds = 10.0;
+};
+
+/// One structured key/value pair. Numbers render as JSON numbers
+/// (integers without a decimal point); everything else as strings.
+struct Field {
+  std::string key;
+  std::string text;
+  double number = 0.0;
+  bool isNumber = false;
+  bool isInteger = false;
+
+  Field(std::string k, std::string v)
+      : key(std::move(k)), text(std::move(v)) {}
+  Field(std::string k, const char* v) : key(std::move(k)), text(v) {}
+  Field(std::string k, std::string_view v) : key(std::move(k)), text(v) {}
+  Field(std::string k, double v)
+      : key(std::move(k)), number(v), isNumber(true) {}
+  Field(std::string k, std::uint64_t v)
+      : key(std::move(k)),
+        number(static_cast<double>(v)),
+        isNumber(true),
+        isInteger(true) {}
+  Field(std::string k, int v)
+      : key(std::move(k)),
+        number(v),
+        isNumber(true),
+        isInteger(true) {}
+};
+
+/// Cumulative emission counters (mirrored into the metrics registry as
+/// log.emitted / log.suppressed).
+struct LoggerStats {
+  std::uint64_t emitted = 0;
+  std::uint64_t suppressed = 0;
+  std::uint64_t fileWriteFailures = 0;
+};
+
+class Logger {
+ public:
+  /// Leaked singleton (same rationale as the trace collector: TLS and
+  /// static destructors may log very late).
+  static Logger& instance();
+
+  /// Swaps the configuration; reopens the file sink when filePath
+  /// changed. Thread-safe against concurrent log() calls.
+  void configure(LoggerConfig config);
+  LoggerConfig config() const;
+
+  /// Emits one structured line to the configured sinks. Never throws.
+  void log(Level lvl, std::string_view code, std::string_view message,
+           std::vector<Field> fields = {});
+
+  LoggerStats stats() const;
+
+  /// Drops all per-code rate-limit windows (tests).
+  void resetRateLimits();
+
+ private:
+  Logger();
+  ~Logger() = delete;  // leaked singleton
+
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Convenience: Logger::instance().log(...).
+void log(Level lvl, std::string_view code, std::string_view message,
+         std::vector<Field> fields = {});
+
+/// Process-wide monotonic request-id source (starts at 1). Used by
+/// standalone Pipeline::extract; the ExtractionEngine keeps its own
+/// per-engine counter so engine request ids are dense per ledger file.
+std::uint64_t nextRequestId() noexcept;
+
+// --- legacy shim (pre-structured API) ---------------------------------
+
+/// Sets the process-wide minimum level (same knob as
+/// LoggerConfig::minLevel; kept for existing call sites).
 void setLevel(Level level) noexcept;
 Level level() noexcept;
 
-/// Emits one formatted line to stderr if `lvl` passes the filter.
+/// Emits one uncoded line (shim over Logger::log with an empty code).
 void emit(Level lvl, const std::string& message);
 
 namespace detail {

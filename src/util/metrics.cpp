@@ -1,8 +1,10 @@
 #include "util/metrics.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 
+#include "util/bench_report.h"
 #include "util/error.h"
 #include "util/json.h"
 
@@ -123,19 +125,35 @@ std::string prometheusNumber(double value) {
   return buf;
 }
 
+/// Splits an embedded label block off a registry name: only the part
+/// before '{' is sanitised, the label block passes through verbatim.
+struct LabeledName {
+  std::string base;    ///< sanitised, prefixed metric name
+  std::string labels;  ///< "{k=\"v\",...}" or ""
+};
+
+LabeledName splitLabels(std::string_view prefix, std::string_view name) {
+  const std::size_t brace = name.find('{');
+  if (brace == std::string_view::npos) {
+    return {prometheusName(prefix, name), ""};
+  }
+  return {prometheusName(prefix, name.substr(0, brace)),
+          std::string(name.substr(brace))};
+}
+
 }  // namespace
 
 std::string Snapshot::toPrometheus(std::string_view prefix) const {
   std::string out;
   for (const auto& [name, value] : counters) {
-    const std::string p = prometheusName(prefix, name);
-    out += "# TYPE " + p + " counter\n";
-    out += p + " " + std::to_string(value) + "\n";
+    const LabeledName p = splitLabels(prefix, name);
+    out += "# TYPE " + p.base + " counter\n";
+    out += p.base + p.labels + " " + std::to_string(value) + "\n";
   }
   for (const auto& [name, value] : gauges) {
-    const std::string p = prometheusName(prefix, name);
-    out += "# TYPE " + p + " gauge\n";
-    out += p + " " + prometheusNumber(value) + "\n";
+    const LabeledName p = splitLabels(prefix, name);
+    out += "# TYPE " + p.base + " gauge\n";
+    out += p.base + p.labels + " " + prometheusNumber(value) + "\n";
   }
   for (const auto& [name, histogram] : histograms) {
     const std::string p = prometheusName(prefix, name);
@@ -223,6 +241,44 @@ void Registry::reset() {
   for (auto& [name, counter] : counters_) counter->reset();
   for (auto& [name, gauge] : gauges_) gauge->reset();
   for (auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+namespace {
+
+/// Captured at static initialisation of this module — close enough to
+/// process start for an uptime gauge.
+const std::chrono::steady_clock::time_point g_processStart =
+    std::chrono::steady_clock::now();
+
+/// Escapes a Prometheus label value (backslash, quote, newline).
+std::string escapeLabelValue(std::string_view value) {
+  std::string out;
+  for (const char c : value) {
+    if (c == '\\' || c == '"') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+void publishProcessMetrics() {
+  auto& registry = Registry::instance();
+  static Gauge& uptime = registry.gauge("process.uptime_seconds");
+  uptime.set(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           g_processStart)
+                 .count());
+  // The label block is baked into the registry name once: build
+  // provenance is constant for the process lifetime.
+  static Gauge& buildInfo = registry.gauge(
+      "process.build_info{git_sha=\"" +
+      escapeLabelValue(benchio::buildGitSha()) + "\",build_type=\"" +
+      escapeLabelValue(benchio::buildType()) + "\"}");
+  buildInfo.set(1.0);
 }
 
 }  // namespace ancstr::metrics

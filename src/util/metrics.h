@@ -107,7 +107,10 @@ struct Snapshot {
   /// and prefixed (`detector.pairs_scored` ->
   /// `ancstr_detector_pairs_scored`); histogram buckets are emitted
   /// cumulatively with the trailing `+Inf` bucket, `_sum`, and `_count`
-  /// samples, matching scraper expectations.
+  /// samples, matching scraper expectations. Counter/gauge names may
+  /// carry an embedded label block (`process.build_info{git_sha="..."}`):
+  /// only the part before `{` is sanitised, the label block passes
+  /// through verbatim on the sample line and is dropped from `# TYPE`.
   std::string toPrometheus(std::string_view prefix = "ancstr") const;
 };
 
@@ -137,5 +140,16 @@ class Registry {
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
 };
+
+/// Refreshes the process-wide gauges (docs/observability.md):
+///   * process.uptime_seconds — seconds since this module initialised
+///     (approximately process start);
+///   * process.build_info{git_sha="...",build_type="..."} — constant-1
+///     info metric carrying build provenance (util/bench_report.h) as
+///     Prometheus labels, so dashboards can correlate regressions with
+///     deploys.
+/// Called by the CLI observability emitters and the engine's metric
+/// publisher; cheap and thread-safe.
+void publishProcessMetrics();
 
 }  // namespace ancstr::metrics

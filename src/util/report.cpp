@@ -30,6 +30,8 @@ void RunReport::accumulate(const RunReport& other) {
     if (!found) phases.push_back(phase);
   }
   metrics = other.metrics;
+  if (requestId == 0) requestId = other.requestId;
+  if (correlationId.empty()) correlationId = other.correlationId;
   std::vector<diag::Diagnostic> more = other.diagnostics;
   addDiagnostics(std::move(more));
 }
@@ -49,6 +51,10 @@ double RunReport::totalSeconds() const {
 
 Json RunReport::toJson() const {
   Json root = Json::object();
+  if (requestId != 0) {
+    root.set("requestId", static_cast<std::size_t>(requestId));
+  }
+  if (!correlationId.empty()) root.set("correlationId", correlationId);
   Json phaseArray = Json::array();
   for (const PhaseTiming& phase : phases) {
     Json entry = Json::object();
@@ -68,6 +74,9 @@ Json RunReport::toJson() const {
       if (!d.file.empty()) entry.set("file", d.file);
       if (d.line != 0) entry.set("line", static_cast<double>(d.line));
       entry.set("message", d.message);
+      if (d.requestId != 0) {
+        entry.set("requestId", static_cast<std::size_t>(d.requestId));
+      }
       diagArray.push(std::move(entry));
     }
     root.set("diagnostics", std::move(diagArray));

@@ -30,6 +30,15 @@ struct RunReport {
   /// Problems collected during a fail-soft run (empty in strict mode,
   /// which throws instead — see docs/robustness.md).
   std::vector<diag::Diagnostic> diagnostics;
+  /// Request correlation (docs/observability.md): the serving request id
+  /// stamped by the ExtractionEngine (per-engine monotonic) or
+  /// Pipeline::extract (process-wide); 0 = unset (training, bench
+  /// aggregation). Omitted from toJson when unset, so pre-PR-9 report
+  /// JSON is unchanged.
+  std::uint64_t requestId = 0;
+  /// Caller-supplied correlation id (ExtractOptions::correlationId),
+  /// copied verbatim; "" = none (omitted from toJson).
+  std::string correlationId;
 
   void addPhase(std::string name, double seconds) {
     phases.push_back(PhaseTiming{std::move(name), seconds});
@@ -63,7 +72,8 @@ struct RunReport {
   /// Sum over all phases.
   double totalSeconds() const;
 
-  /// {"phases": [{"name", "seconds"}...], "totalSeconds", "metrics"}.
+  /// {["requestId"], ["correlationId"], "phases": [{"name", "seconds"}...],
+  /// "totalSeconds", "metrics"} — request keys only when set.
   Json toJson() const;
 
   /// Aligned ASCII rendering: a phase table followed by non-zero

@@ -1,0 +1,219 @@
+#include "util/run_ledger.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <fstream>
+#include <mutex>
+#include <thread>
+
+#include "util/fault.h"
+#include "util/json.h"
+#include "util/metrics.h"
+
+namespace ancstr::ledger {
+
+Json LedgerRecord::toJson() const {
+  Json root = Json::object();
+  root.set("schemaVersion", LedgerWriter::kSchemaVersion);
+  root.set("requestId", static_cast<std::size_t>(requestId));
+  root.set("correlationId", correlationId);
+  root.set("designHash", designHash);
+  root.set("devices", static_cast<std::size_t>(devices));
+  root.set("nets", static_cast<std::size_t>(nets));
+  root.set("hierarchyNodes", static_cast<std::size_t>(hierarchyNodes));
+  root.set("cacheOutcome", cacheOutcome);
+  root.set("blockCacheHits", static_cast<std::size_t>(blockCacheHits));
+  root.set("blockCacheMisses", static_cast<std::size_t>(blockCacheMisses));
+  root.set("outcome", outcome);
+  root.set("constraintsTotal", static_cast<std::size_t>(constraintsTotal));
+  Json constraintObj = Json::object();
+  for (const auto& [type, count] : constraints) {
+    constraintObj.set(type, static_cast<std::size_t>(count));
+  }
+  root.set("constraints", std::move(constraintObj));
+  Json diagObj = Json::object();
+  for (const auto& [code, count] : diagnostics) {
+    diagObj.set(code, static_cast<std::size_t>(count));
+  }
+  root.set("diagnostics", std::move(diagObj));
+  Json phaseObj = Json::object();
+  for (const auto& [name, seconds] : phases) phaseObj.set(name, seconds);
+  root.set("phases", std::move(phaseObj));
+  root.set("wallSeconds", wallSeconds);
+  root.set("peakRssDeltaBytes", static_cast<std::size_t>(peakRssDeltaBytes));
+  root.set("unixTimeSeconds", unixTimeSeconds);
+  return root;
+}
+
+std::string LedgerRecord::toJsonLine() const { return toJson().dump(0); }
+
+namespace {
+
+metrics::Counter& appendedCounter() {
+  static metrics::Counter& c =
+      metrics::Registry::instance().counter("ledger.appended");
+  return c;
+}
+
+metrics::Counter& droppedCounter() {
+  static metrics::Counter& c =
+      metrics::Registry::instance().counter("ledger.dropped");
+  return c;
+}
+
+metrics::Counter& writeFailureCounter() {
+  static metrics::Counter& c =
+      metrics::Registry::instance().counter("ledger.write_failure");
+  return c;
+}
+
+}  // namespace
+
+struct LedgerWriter::Impl {
+  std::atomic<bool> opened{false};
+  std::atomic<bool> degraded{false};
+  std::atomic<int> consecutiveFailures{0};
+
+  mutable std::mutex mutex;  ///< file + stats
+  std::ofstream file;
+  LedgerStats stats;
+
+  // Write-behind machinery (writeBehind only); mirrors DiskCache.
+  std::mutex queueMutex;
+  std::condition_variable queueCv;
+  std::condition_variable idleCv;
+  std::deque<std::string> queue;
+  bool writerBusy = false;
+  bool stopping = false;
+  std::thread writer;
+};
+
+LedgerWriter::LedgerWriter(LedgerWriterConfig config)
+    : config_(std::move(config)), impl_(new Impl) {
+  if (config_.path.empty()) return;
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->file.open(config_.path, std::ios::app);
+    if (impl_->file.is_open()) {
+      impl_->opened.store(true, std::memory_order_relaxed);
+    }
+  }
+  if (impl_->opened.load(std::memory_order_relaxed) && config_.writeBehind) {
+    impl_->writer = std::thread([this] { writerLoop(); });
+  }
+}
+
+LedgerWriter::~LedgerWriter() {
+  if (impl_->writer.joinable()) {
+    flush();
+    {
+      const std::lock_guard<std::mutex> lock(impl_->queueMutex);
+      impl_->stopping = true;
+    }
+    impl_->queueCv.notify_all();
+    impl_->writer.join();
+  }
+  delete impl_;
+}
+
+bool LedgerWriter::enabled() const {
+  return impl_->opened.load(std::memory_order_relaxed) &&
+         !impl_->degraded.load(std::memory_order_relaxed);
+}
+
+void LedgerWriter::noteWriteFailure() {
+  writeFailureCounter().add();
+  const int failures =
+      impl_->consecutiveFailures.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (failures >= config_.degradeAfterFailures) {
+    impl_->degraded.store(true, std::memory_order_relaxed);
+  }
+}
+
+bool LedgerWriter::writeLine(const std::string& line) {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  bool ok = !fault::shouldFail("ledger.write");
+  if (ok) {
+    impl_->file << line << '\n';
+    impl_->file.flush();
+    ok = static_cast<bool>(impl_->file);
+    if (!ok) impl_->file.clear();
+  }
+  if (ok) {
+    ++impl_->stats.appended;
+    appendedCounter().add();
+    impl_->consecutiveFailures.store(0, std::memory_order_relaxed);
+  } else {
+    ++impl_->stats.writeFailures;
+  }
+  return ok;
+}
+
+void LedgerWriter::append(const LedgerRecord& record) {
+  if (!enabled()) {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    ++impl_->stats.dropped;
+    droppedCounter().add();
+    return;
+  }
+  LedgerRecord stamped = record;
+  stamped.unixTimeSeconds =
+      std::chrono::duration<double>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  std::string line = stamped.toJsonLine();
+  if (!config_.writeBehind) {
+    if (!writeLine(line)) noteWriteFailure();
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(impl_->queueMutex);
+    if (impl_->queue.size() >= config_.maxQueuedRecords) {
+      const std::lock_guard<std::mutex> statsLock(impl_->mutex);
+      ++impl_->stats.dropped;
+      droppedCounter().add();
+      return;
+    }
+    impl_->queue.push_back(std::move(line));
+  }
+  impl_->queueCv.notify_one();
+}
+
+void LedgerWriter::writerLoop() {
+  std::unique_lock<std::mutex> lock(impl_->queueMutex);
+  for (;;) {
+    impl_->queueCv.wait(
+        lock, [this] { return impl_->stopping || !impl_->queue.empty(); });
+    if (impl_->queue.empty()) {
+      if (impl_->stopping) return;
+      continue;
+    }
+    const std::string line = std::move(impl_->queue.front());
+    impl_->queue.pop_front();
+    impl_->writerBusy = true;
+    lock.unlock();
+    if (!writeLine(line)) noteWriteFailure();
+    lock.lock();
+    impl_->writerBusy = false;
+    if (impl_->queue.empty()) impl_->idleCv.notify_all();
+  }
+}
+
+void LedgerWriter::flush() {
+  if (!impl_->writer.joinable()) return;
+  std::unique_lock<std::mutex> lock(impl_->queueMutex);
+  impl_->idleCv.wait(
+      lock, [this] { return impl_->queue.empty() && !impl_->writerBusy; });
+}
+
+LedgerStats LedgerWriter::stats() const {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  LedgerStats out = impl_->stats;
+  out.enabled = enabled();
+  out.degraded = impl_->degraded.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace ancstr::ledger

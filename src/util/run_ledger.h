@@ -1,0 +1,134 @@
+// Per-request run ledger: one wide-event JSON line per extraction request
+// (docs/observability.md, "Run ledger").
+//
+// Where trace spans and the metrics registry are aggregate views, the
+// ledger is the per-request record: which cache tier served the design,
+// how long each phase took, which diagnostics fired, what came out. Each
+// LedgerRecord serializes with a fixed top-level key order (validated by
+// scripts/check_ledger.py, same contract style as BENCH.json), so ledgers
+// diff cleanly and downstream tooling can parse them positionally.
+//
+// LedgerWriter reuses the disk_cache append discipline: appends never
+// throw, are whole-line (compose, then one buffered write + flush, so
+// concurrent engine requests interleave at line granularity only), are
+// write-behind by default (background writer thread, flush-on-destruct),
+// and degrade fail-soft — after `degradeAfterFailures` consecutive write
+// failures the writer turns itself off for the rest of its lifetime
+// rather than stalling the serving path.
+//
+// Fault site (util/fault.h): ledger.write.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ancstr {
+class Json;
+}
+
+namespace ancstr::ledger {
+
+/// One request's wide event. Field order here mirrors the serialized key
+/// order; see toJson(). String enums:
+///   cacheOutcome — "mem_hit" | "disk_hit" | "cold" | "none" (no design
+///                  hash was consulted: rejected/errored before hashing);
+///   outcome      — "ok" | "degraded" | "deadline_exceeded" |
+///                  "admission_rejected" | "error".
+struct LedgerRecord {
+  std::uint64_t requestId = 0;
+  std::string correlationId;  ///< caller-supplied; "" when none
+  std::string designHash;     ///< 32 lowercase hex chars; "" pre-hash
+  std::uint64_t devices = 0;
+  std::uint64_t nets = 0;
+  std::uint64_t hierarchyNodes = 0;
+  std::string cacheOutcome = "none";
+  std::uint64_t blockCacheHits = 0;
+  std::uint64_t blockCacheMisses = 0;
+  std::string outcome = "ok";
+  /// Constraint counts by type tag, in ConstraintType enum order.
+  std::vector<std::pair<std::string, std::uint64_t>> constraints;
+  std::uint64_t constraintsTotal = 0;
+  /// Diagnostic counts by code, sorted by code.
+  std::vector<std::pair<std::string, std::uint64_t>> diagnostics;
+  /// Phase timings from the RunReport, in execution order.
+  std::vector<std::pair<std::string, double>> phases;
+  double wallSeconds = 0.0;
+  std::uint64_t peakRssDeltaBytes = 0;
+  /// Wall-clock append time (seconds since the Unix epoch); stamped by
+  /// LedgerWriter::append, not by the producer.
+  double unixTimeSeconds = 0.0;
+
+  /// Key order (the schema contract): schemaVersion, requestId,
+  /// correlationId, designHash, devices, nets, hierarchyNodes,
+  /// cacheOutcome, blockCacheHits, blockCacheMisses, outcome,
+  /// constraintsTotal, constraints, diagnostics, phases, wallSeconds,
+  /// peakRssDeltaBytes, unixTimeSeconds.
+  Json toJson() const;
+
+  /// Compact single-line serialization of toJson() (no trailing newline).
+  std::string toJsonLine() const;
+};
+
+struct LedgerWriterConfig {
+  /// JSON-lines output path, opened in append mode (created if absent).
+  /// An empty path — or an open failure — disables the writer.
+  std::filesystem::path path;
+  /// Write-behind appends (background writer thread). Off = synchronous
+  /// appends on the calling thread, deterministic for tests.
+  bool writeBehind = true;
+  /// Write-behind queue bound; a full queue drops the record (counted).
+  std::size_t maxQueuedRecords = 1024;
+  /// Consecutive write failures before the writer degrades to off.
+  int degradeAfterFailures = 4;
+};
+
+/// Cumulative counters of one LedgerWriter.
+struct LedgerStats {
+  std::uint64_t appended = 0;  ///< records durably written
+  std::uint64_t dropped = 0;   ///< queue overflow or degraded writer
+  std::uint64_t writeFailures = 0;
+  bool enabled = false;   ///< open succeeded and not degraded
+  bool degraded = false;  ///< turned itself off after repeated failures
+};
+
+/// See file comment. All methods are thread-safe and none of them throws.
+class LedgerWriter {
+ public:
+  /// The "schemaVersion" value stamped into every record.
+  static constexpr int kSchemaVersion = 1;
+
+  explicit LedgerWriter(LedgerWriterConfig config);
+  ~LedgerWriter();  ///< flushes pending write-behind appends
+
+  LedgerWriter(const LedgerWriter&) = delete;
+  LedgerWriter& operator=(const LedgerWriter&) = delete;
+
+  /// False when open failed or the writer degraded.
+  bool enabled() const;
+
+  /// Serializes and appends one record (stamping unixTimeSeconds).
+  /// Write-behind mode enqueues and returns; a full queue drops the
+  /// record (counted). Never throws.
+  void append(const LedgerRecord& record);
+
+  /// Drains pending write-behind appends (no-op in synchronous mode).
+  void flush();
+
+  LedgerStats stats() const;
+  const LedgerWriterConfig& config() const { return config_; }
+
+ private:
+  struct Impl;
+
+  bool writeLine(const std::string& line);
+  void writerLoop();
+  void noteWriteFailure();
+
+  LedgerWriterConfig config_;
+  Impl* impl_;
+};
+
+}  // namespace ancstr::ledger

@@ -74,7 +74,7 @@ TraceCollector& TraceCollector::instance() {
 double TraceCollector::nowUs() const { return impl_->epoch.seconds() * 1e6; }
 
 void TraceCollector::record(const char* name, double startUs,
-                            double durationUs) {
+                            double durationUs, std::uint64_t requestId) {
   // No enabled() gate here: spans arm themselves at construction, and an
   // armed span must complete even if tracing was switched off mid-flight
   // (otherwise a snapshot taken right after disabling loses the tail).
@@ -85,7 +85,7 @@ void TraceCollector::record(const char* name, double startUs,
   Impl::Buffer& buffer = *tlsSlot.buffer;
   const std::lock_guard<std::mutex> lock(buffer.mutex);
   buffer.events.push_back(
-      TraceEvent{name, startUs, durationUs, currentThreadId()});
+      TraceEvent{name, startUs, durationUs, currentThreadId(), requestId});
 }
 
 std::vector<TraceEvent> TraceCollector::events() const {
@@ -135,6 +135,11 @@ std::string TraceCollector::toChromeJson() const {
     entry.set("dur", event.durationUs);
     entry.set("pid", 1);
     entry.set("tid", static_cast<std::size_t>(event.tid));
+    if (event.requestId != 0) {
+      Json args = Json::object();
+      args.set("request_id", static_cast<std::size_t>(event.requestId));
+      entry.set("args", std::move(args));
+    }
     traceEvents.push(std::move(entry));
   }
   root.set("traceEvents", std::move(traceEvents));
@@ -173,6 +178,9 @@ Json spanToJson(const SpanNode& node) {
   entry.set("startUs", node.startUs);
   entry.set("durUs", node.durationUs);
   entry.set("selfUs", node.selfUs);
+  if (node.requestId != 0) {
+    entry.set("requestId", static_cast<std::size_t>(node.requestId));
+  }
   Json children = Json::array();
   for (const SpanNode& child : node.children) {
     children.push(spanToJson(child));
@@ -216,6 +224,7 @@ std::vector<SpanNode> TraceCollector::spanForest() const {
     node.startUs = event.startUs;
     node.durationUs = event.durationUs;
     node.tid = event.tid;
+    node.requestId = event.requestId;
     std::vector<SpanNode>& siblings =
         open.empty() ? roots : open.back()->children;
     siblings.push_back(std::move(node));

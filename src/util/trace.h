@@ -29,6 +29,9 @@ struct TraceEvent {
   double startUs = 0.0;    ///< microseconds since the collector epoch
   double durationUs = 0.0; ///< span duration in microseconds
   std::uint32_t tid = 0;   ///< sequential thread id (currentThreadId)
+  /// Request correlation (docs/observability.md, "Request correlation");
+  /// 0 = none. Exported as Chrome JSON "args":{"request_id"}.
+  std::uint64_t requestId = 0;
 };
 
 /// One node of the per-thread span tree: a TraceEvent plus its nesting.
@@ -41,6 +44,7 @@ struct SpanNode {
   double durationUs = 0.0;
   double selfUs = 0.0;
   std::uint32_t tid = 0;
+  std::uint64_t requestId = 0;  ///< see TraceEvent::requestId
   std::vector<SpanNode> children;
 };
 
@@ -69,7 +73,8 @@ class TraceCollector {
   /// construction so in-flight spans complete even if tracing is switched
   /// off). Safe to call from any thread; recording order across threads is
   /// irrelevant because snapshots sort by start time.
-  void record(const char* name, double startUs, double durationUs);
+  void record(const char* name, double startUs, double durationUs,
+              std::uint64_t requestId = 0);
 
   /// All recorded events, merged across threads and ordered by
   /// (startUs, tid, name) for stable output.
@@ -117,8 +122,12 @@ class TraceCollector {
 class TraceSpan {
  public:
   /// `name` must outlive the span (use string literals from the taxonomy).
-  explicit TraceSpan(const char* name)
-      : name_(name), armed_(TraceCollector::instance().enabled()) {
+  /// `requestId`, when nonzero, is stamped onto the recorded event so a
+  /// request can be followed through the trace (docs/observability.md).
+  explicit TraceSpan(const char* name, std::uint64_t requestId = 0)
+      : name_(name),
+        requestId_(requestId),
+        armed_(TraceCollector::instance().enabled()) {
     if (armed_) startUs_ = TraceCollector::instance().nowUs();
   }
 
@@ -129,7 +138,8 @@ class TraceSpan {
       // and that skew would let a child's reconstructed end overshoot its
       // parent's, corrupting the span-tree nesting.
       TraceCollector& collector = TraceCollector::instance();
-      collector.record(name_, startUs_, collector.nowUs() - startUs_);
+      collector.record(name_, startUs_, collector.nowUs() - startUs_,
+                       requestId_);
     }
   }
 
@@ -142,6 +152,7 @@ class TraceSpan {
  private:
   Stopwatch watch_;
   const char* name_;
+  std::uint64_t requestId_;
   double startUs_ = 0.0;
   bool armed_;
 };

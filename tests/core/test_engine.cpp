@@ -13,7 +13,9 @@
 #include "util/diagnostics.h"
 #include "util/error.h"
 #include "util/fault.h"
+#include "util/json.h"
 #include "util/metrics.h"
+#include "util/run_ledger.h"
 
 namespace ancstr {
 namespace {
@@ -588,6 +590,310 @@ TEST(Engine, DiskCacheMetricsReachReportsAndStats) {
   ASSERT_TRUE(report.metrics.counters.contains("engine.disk_cache.hit"));
   EXPECT_GE(report.metrics.counters.at("engine.disk_cache.hit"), 1u);
   EXPECT_GT(report.metrics.gauges.at("engine.disk_cache.bytes"), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Run-ledger integration: one wide-event line per request, thread-count
+// invariant ordering, cache-outcome labelling, and request correlation.
+// Writer-level behaviour (key order, write-behind, fault degradation)
+// lives in util/test_run_ledger.cpp.
+
+fs::path freshLedgerPath(const std::string& name) {
+  const fs::path path =
+      fs::path(::testing::TempDir()) / ("ancstr_engine_ledger_" + name +
+                                        ".jsonl");
+  fs::remove(path);
+  return path;
+}
+
+std::vector<Json> readLedger(const fs::path& path) {
+  std::ifstream in(path);
+  std::vector<Json> records;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string error;
+    auto parsed = Json::parse(line, &error);
+    EXPECT_TRUE(parsed.has_value()) << error << ": " << line;
+    if (parsed.has_value()) records.push_back(std::move(*parsed));
+  }
+  return records;
+}
+
+TEST(EngineLedger, OneRecordPerRequestWithMonotonicIds) {
+  Pipeline pipeline(fastConfig());
+  const auto bench = circuits::makeDiffChain(2);
+  pipeline.train({&bench.lib});
+
+  EngineConfig config;
+  config.ledgerPath = freshLedgerPath("one_per_request");
+  config.ledgerWriteBehind = false;
+  const ExtractionEngine engine(pipeline, config);
+
+  const ExtractionResult cold = engine.extract(bench.lib);
+  const ExtractionResult warm = engine.extract(bench.lib);
+  EXPECT_EQ(cold.report.requestId, 1u);
+  EXPECT_EQ(warm.report.requestId, 2u);
+
+  const std::vector<Json> records = readLedger(config.ledgerPath);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].get("requestId").asNumber(), 1.0);
+  EXPECT_EQ(records[1].get("requestId").asNumber(), 2.0);
+  // Same design, same engine: identical hash, and the repeat is served
+  // from the memory tier.
+  const std::string hash = records[0].get("designHash").asString();
+  EXPECT_EQ(hash.size(), 32u);
+  EXPECT_EQ(records[1].get("designHash").asString(), hash);
+  EXPECT_EQ(records[0].get("cacheOutcome").asString(), "cold");
+  EXPECT_EQ(records[1].get("cacheOutcome").asString(), "mem_hit");
+  for (const Json& rec : records) {
+    EXPECT_EQ(rec.get("outcome").asString(), "ok");
+    EXPECT_GT(rec.get("devices").asNumber(), 0.0);
+    EXPECT_GE(rec.get("wallSeconds").asNumber(), 0.0);
+    EXPECT_EQ(rec.get("constraintsTotal").asNumber(),
+              static_cast<double>(cold.detection.set.size()));
+  }
+  const ledger::LedgerStats stats = engine.ledgerStats();
+  EXPECT_EQ(stats.appended, 2u);
+  EXPECT_EQ(stats.dropped, 0u);
+}
+
+TEST(EngineLedger, BatchOrderIsThreadCountInvariant) {
+  Pipeline pipeline(fastConfig());
+  const auto a = circuits::makeDiffChain(2);
+  const auto b = circuits::makeDiffChain(3);
+  const auto c = circuits::makeBlockArray(3);
+  const auto d = circuits::makeBlockArray(4);
+  pipeline.train({&a.lib});
+  const std::vector<const Library*> batch = {&a.lib, &b.lib, &c.lib,
+                                             &d.lib};
+
+  EngineConfig serialConfig;
+  serialConfig.threads = 1;
+  serialConfig.ledgerPath = freshLedgerPath("serial");
+  serialConfig.ledgerWriteBehind = false;
+  const ExtractionEngine serial(pipeline, serialConfig);
+  const std::vector<ExtractionResult> serialResults =
+      serial.extractBatch(batch);
+
+  EngineConfig threadedConfig;
+  threadedConfig.threads = 4;
+  threadedConfig.ledgerPath = freshLedgerPath("threaded");
+  threadedConfig.ledgerWriteBehind = true;  // drained by flushLedger()
+  const ExtractionEngine threaded(pipeline, threadedConfig);
+  const std::vector<ExtractionResult> threadedResults =
+      threaded.extractBatch(batch);
+  threaded.flushLedger();
+
+  ASSERT_EQ(serialResults.size(), batch.size());
+  ASSERT_EQ(threadedResults.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    expectBitwiseEqual(serialResults[i], threadedResults[i]);
+  }
+
+  // The ledger sequence (slot order, ids, hashes) must not depend on the
+  // thread count: appends are deferred until the fan-out joins.
+  const std::vector<Json> serialLedger = readLedger(serialConfig.ledgerPath);
+  const std::vector<Json> threadedLedger =
+      readLedger(threadedConfig.ledgerPath);
+  ASSERT_EQ(serialLedger.size(), batch.size());
+  ASSERT_EQ(threadedLedger.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(serialLedger[i].get("requestId").asNumber(),
+              static_cast<double>(i + 1));
+    EXPECT_EQ(threadedLedger[i].get("requestId").asNumber(),
+              static_cast<double>(i + 1));
+    EXPECT_EQ(serialLedger[i].get("designHash").asString(),
+              threadedLedger[i].get("designHash").asString());
+    EXPECT_EQ(serialLedger[i].get("constraintsTotal").asNumber(),
+              threadedLedger[i].get("constraintsTotal").asNumber());
+  }
+}
+
+TEST(EngineLedger, RestartWarmRunShowsDiskHitForEveryDesign) {
+  Pipeline pipeline(fastConfig());
+  const auto a = circuits::makeDiffChain(2);
+  const auto b = circuits::makeDiffChain(3);
+  pipeline.train({&a.lib});
+
+  EngineConfig config;
+  config.cachePath = freshCacheDir("ledger_warm");
+  config.diskWriteBehind = false;
+  config.ledgerWriteBehind = false;
+  {
+    config.ledgerPath = freshLedgerPath("cold_run");
+    const ExtractionEngine cold(pipeline, config);
+    (void)cold.extractBatch({&a.lib, &b.lib});
+    for (const Json& rec : readLedger(config.ledgerPath)) {
+      EXPECT_EQ(rec.get("cacheOutcome").asString(), "cold");
+    }
+  }  // restart: memory tier gone, disk tier persists
+
+  config.ledgerPath = freshLedgerPath("warm_run");
+  const ExtractionEngine restarted(pipeline, config);
+  (void)restarted.extractBatch({&a.lib, &b.lib});
+  const std::vector<Json> records = readLedger(config.ledgerPath);
+  ASSERT_EQ(records.size(), 2u);
+  for (const Json& rec : records) {
+    EXPECT_EQ(rec.get("cacheOutcome").asString(), "disk_hit");
+    EXPECT_EQ(rec.get("outcome").asString(), "ok");
+  }
+}
+
+TEST(EngineLedger, CorrelationIdFlowsToReportDiagnosticsAndLedger) {
+  Pipeline pipeline(fastConfig());
+  const auto bench = circuits::makeDiffChain(2);
+  pipeline.train({&bench.lib});
+
+  EngineConfig config;
+  config.ledgerPath = freshLedgerPath("correlation");
+  config.ledgerWriteBehind = false;
+  const ExtractionEngine engine(pipeline, config);
+
+  ExtractOptions options;
+  options.correlationId = "caller-trace-42";
+  const ExtractionResult result = engine.extract(bench.lib, options);
+  EXPECT_EQ(result.report.correlationId, "caller-trace-42");
+  EXPECT_EQ(result.report.requestId, 1u);
+
+  const std::vector<Json> records = readLedger(config.ledgerPath);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].get("correlationId").asString(), "caller-trace-42");
+  EXPECT_EQ(records[0].get("requestId").asNumber(), 1.0);
+}
+
+TEST(EngineLedger, DeadlineExceededOutcomeIsRecorded) {
+  Pipeline pipeline(fastConfig());
+  const auto bench = circuits::makeDiffChain(2);
+  pipeline.train({&bench.lib});
+
+  EngineConfig config;
+  config.ledgerPath = freshLedgerPath("deadline");
+  config.ledgerWriteBehind = false;
+  const ExtractionEngine engine(pipeline, config);
+
+  diag::DiagnosticSink sink(diag::DiagnosticSink::Mode::kCollect);
+  ExtractOptions options;
+  options.sink = &sink;
+  options.deadline = util::Deadline::afterSeconds(-1.0);
+  (void)engine.extract(bench.lib, options);
+
+  const std::vector<Json> records = readLedger(config.ledgerPath);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].get("outcome").asString(), "deadline_exceeded");
+  ASSERT_NE(records[0].get("diagnostics")
+                .find(std::string(diag::codes::kDeadlineExceeded)),
+            nullptr);
+}
+
+TEST(EngineLedger, AdmissionRejectedBatchRecordsEveryDesign) {
+  Pipeline pipeline(fastConfig());
+  const auto bench = circuits::makeDiffChain(2);
+  pipeline.train({&bench.lib});
+
+  EngineConfig config;
+  config.admissionMaxDesigns = 1;
+  config.ledgerPath = freshLedgerPath("admission");
+  config.ledgerWriteBehind = false;
+  const ExtractionEngine engine(pipeline, config);
+
+  diag::DiagnosticSink sink(diag::DiagnosticSink::Mode::kCollect);
+  const std::vector<ExtractionResult> results =
+      engine.extractBatch({&bench.lib, &bench.lib}, ExtractOptions{&sink});
+  ASSERT_EQ(results.size(), 2u);
+
+  const std::vector<Json> records = readLedger(config.ledgerPath);
+  ASSERT_EQ(records.size(), 2u);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].get("requestId").asNumber(),
+              static_cast<double>(i + 1));
+    EXPECT_EQ(records[i].get("outcome").asString(), "admission_rejected");
+    EXPECT_EQ(records[i].get("cacheOutcome").asString(), "none");
+    EXPECT_EQ(records[i].get("constraintsTotal").asNumber(), 0.0);
+  }
+}
+
+TEST(EngineLedger, DegradedExtractIsRecordedWithDiagnosticCounts) {
+  Pipeline pipeline(fastConfig());
+  const auto bench = circuits::makeDiffChain(2);
+  pipeline.train({&bench.lib});
+
+  EngineConfig config;
+  config.ledgerPath = freshLedgerPath("degraded");
+  config.ledgerWriteBehind = false;
+  const ExtractionEngine engine(pipeline, config);
+
+  diag::DiagnosticSink sink(diag::DiagnosticSink::Mode::kCollect);
+  const Library corrupt{};  // no top cell: elaboration fails
+  (void)engine.extract(corrupt, ExtractOptions{&sink});
+
+  const std::vector<Json> records = readLedger(config.ledgerPath);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].get("outcome").asString(), "degraded");
+  ASSERT_NE(records[0].get("diagnostics")
+                .find(std::string(diag::codes::kExtractDegraded)),
+            nullptr);
+}
+
+TEST(EngineLedger, DiagnosticsCarryTheRequestId) {
+  Pipeline pipeline(fastConfig());
+  const auto bench = circuits::makeDiffChain(2);
+  pipeline.train({&bench.lib});
+  const ExtractionEngine engine(pipeline);  // no ledger needed
+
+  (void)engine.extract(bench.lib);  // request 1
+  diag::DiagnosticSink sink(diag::DiagnosticSink::Mode::kCollect);
+  const Library corrupt{};
+  const ExtractionResult degraded =
+      engine.extract(corrupt, ExtractOptions{&sink});
+  EXPECT_EQ(degraded.report.requestId, 2u);
+  ASSERT_FALSE(degraded.report.diagnostics.empty());
+  for (const diag::Diagnostic& d : degraded.report.diagnostics) {
+    EXPECT_EQ(d.requestId, 2u) << d.code;
+  }
+}
+
+TEST(EngineLedger, StrictFailureStillAppendsAnErrorRecord) {
+  Pipeline pipeline(fastConfig());
+  const auto bench = circuits::makeDiffChain(2);
+  pipeline.train({&bench.lib});
+
+  EngineConfig config;
+  config.ledgerPath = freshLedgerPath("strict_error");
+  config.ledgerWriteBehind = false;
+  const ExtractionEngine engine(pipeline, config);
+
+  EXPECT_THROW((void)engine.extract(Library{}), Error);
+  const std::vector<Json> records = readLedger(config.ledgerPath);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].get("outcome").asString(), "error");
+  EXPECT_EQ(records[0].get("requestId").asNumber(), 1.0);
+}
+
+TEST(EngineLedger, DeltaExtractionAppendsOneRecord) {
+  Pipeline pipeline(fastConfig());
+  const auto base = circuits::makeDiffChain(3);
+  const auto revised = circuits::makeDiffChain(4);
+  pipeline.train({&base.lib});
+
+  EngineConfig config;
+  config.ledgerPath = freshLedgerPath("delta");
+  config.ledgerWriteBehind = false;
+  const ExtractionEngine engine(pipeline, config);
+
+  const ExtractionResult full = engine.extract(base.lib);  // request 1
+  const ExtractionResult delta =
+      engine.extractDelta(base.lib, revised.lib);  // request 2
+  EXPECT_EQ(delta.report.requestId, 2u);
+
+  const std::vector<Json> records = readLedger(config.ledgerPath);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1].get("requestId").asNumber(), 2.0);
+  EXPECT_EQ(records[1].get("outcome").asString(), "ok");
+  // The delta record's phases include the ECO-specific spans and its
+  // wall time covers the whole diff+warm+extract call.
+  ASSERT_NE(records[1].get("phases").find("engine.diff"), nullptr);
+  EXPECT_GT(records[1].get("wallSeconds").asNumber(), 0.0);
+  (void)full;
 }
 
 TEST(Engine, DisablingCachesStillExtractsExactly) {

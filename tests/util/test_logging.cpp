@@ -1,0 +1,237 @@
+// Structured-logger coverage (util/logging.h): JSON file sink validity,
+// per-code rate limiting with suppression accounting, concurrent emission,
+// and the parseLevel/levelName pair. The legacy shim surface (setLevel /
+// stream builders) is covered in util/test_misc.cpp.
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/json.h"
+
+namespace ancstr::log {
+namespace {
+
+/// The logger is process-wide; each test runs against a quiet stderr-off
+/// configuration with a private temp file sink and restores the previous
+/// configuration on exit.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    previous_ = Logger::instance().config();
+    previousLevel_ = level();
+    path_ = std::filesystem::temp_directory_path() /
+            ("ancstr_test_log_" +
+             std::to_string(::testing::UnitTest::GetInstance()
+                                ->random_seed()) +
+             "_" + ::testing::UnitTest::GetInstance()
+                       ->current_test_info()
+                       ->name() +
+             ".jsonl");
+    std::filesystem::remove(path_);
+    LoggerConfig config;
+    config.minLevel = Level::kDebug;
+    config.toStderr = false;
+    config.filePath = path_;
+    config.maxPerCodeWindow = 0;  // individual tests opt in
+    Logger::instance().configure(config);
+    Logger::instance().resetRateLimits();
+  }
+  void TearDown() override {
+    Logger::instance().configure(previous_);
+    setLevel(previousLevel_);
+    Logger::instance().resetRateLimits();
+    std::filesystem::remove(path_);
+  }
+
+  std::vector<std::string> fileLines() const {
+    std::ifstream in(path_);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+    return lines;
+  }
+
+  std::filesystem::path path_;
+  LoggerConfig previous_;
+  Level previousLevel_ = Level::kWarn;
+};
+
+TEST(LogLevel, ParseLevelInvertsLevelName) {
+  for (const Level lvl : {Level::kDebug, Level::kInfo, Level::kWarn,
+                          Level::kError, Level::kOff}) {
+    const auto parsed = parseLevel(levelName(lvl));
+    ASSERT_TRUE(parsed.has_value()) << levelName(lvl);
+    EXPECT_EQ(*parsed, lvl);
+  }
+  EXPECT_FALSE(parseLevel("WARN").has_value());  // exact match only
+  EXPECT_FALSE(parseLevel("").has_value());
+  EXPECT_FALSE(parseLevel("verbose").has_value());
+}
+
+TEST_F(LoggingTest, FileSinkEmitsParseableJsonWithStableKeyOrder) {
+  log(Level::kWarn, "test.code", "something happened",
+      {Field("path", "/tmp/x"), Field("bytes", std::uint64_t{4096}),
+       Field("ratio", 0.5)});
+
+  const std::vector<std::string> lines = fileLines();
+  ASSERT_EQ(lines.size(), 1u);
+  std::string error;
+  const auto parsed = Json::parse(lines[0], &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->get("level").asString(), "warn");
+  EXPECT_EQ(parsed->get("code").asString(), "test.code");
+  EXPECT_EQ(parsed->get("msg").asString(), "something happened");
+  EXPECT_EQ(parsed->get("path").asString(), "/tmp/x");
+  EXPECT_EQ(parsed->get("bytes").asNumber(), 4096.0);
+  EXPECT_EQ(parsed->get("ratio").asNumber(), 0.5);
+  // Key order: level, code, msg, then fields in call order. Integer
+  // fields render without a decimal point.
+  EXPECT_EQ(lines[0].find("\"level\""), 1u);
+  EXPECT_LT(lines[0].find("\"code\""), lines[0].find("\"msg\""));
+  EXPECT_LT(lines[0].find("\"path\""), lines[0].find("\"bytes\""));
+  EXPECT_NE(lines[0].find("\"bytes\":4096"), std::string::npos);
+  EXPECT_EQ(lines[0].find("4096.0"), std::string::npos);
+}
+
+TEST_F(LoggingTest, JsonEscapesQuotesAndControlCharacters) {
+  log(Level::kError, "test.escape", "a \"quoted\"\nline",
+      {Field("key", std::string("tab\there"))});
+  const std::vector<std::string> lines = fileLines();
+  ASSERT_EQ(lines.size(), 1u);  // the newline is escaped, not emitted
+  std::string error;
+  const auto parsed = Json::parse(lines[0], &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->get("msg").asString(), "a \"quoted\"\nline");
+  EXPECT_EQ(parsed->get("key").asString(), "tab\there");
+}
+
+TEST_F(LoggingTest, MinLevelFiltersBelowThreshold) {
+  LoggerConfig config = Logger::instance().config();
+  config.minLevel = Level::kWarn;
+  Logger::instance().configure(config);
+  const LoggerStats before = Logger::instance().stats();
+  log(Level::kDebug, "test.filtered", "dropped");
+  log(Level::kInfo, "test.filtered", "dropped");
+  log(Level::kWarn, "test.filtered", "kept");
+  const LoggerStats after = Logger::instance().stats();
+  EXPECT_EQ(after.emitted - before.emitted, 1u);
+  EXPECT_EQ(fileLines().size(), 1u);
+}
+
+TEST_F(LoggingTest, PerCodeRateLimitSuppressesAndCounts) {
+  LoggerConfig config = Logger::instance().config();
+  config.maxPerCodeWindow = 3;
+  config.rateWindowSeconds = 3600.0;  // no rollover during the test
+  Logger::instance().configure(config);
+  Logger::instance().resetRateLimits();
+
+  const LoggerStats before = Logger::instance().stats();
+  for (int i = 0; i < 10; ++i) {
+    log(Level::kWarn, "test.storm", "repeated failure");
+  }
+  // A different code has its own window; uncoded lines are never limited.
+  log(Level::kWarn, "test.other", "unrelated");
+  for (int i = 0; i < 5; ++i) log(Level::kWarn, "", "uncoded");
+
+  const LoggerStats after = Logger::instance().stats();
+  EXPECT_EQ(after.emitted - before.emitted, 3u + 1u + 5u);
+  EXPECT_EQ(after.suppressed - before.suppressed, 7u);
+  EXPECT_EQ(fileLines().size(), 9u);
+}
+
+TEST_F(LoggingTest, WindowRolloverEmitsSuppressionSummary) {
+  LoggerConfig config = Logger::instance().config();
+  config.maxPerCodeWindow = 1;
+  config.rateWindowSeconds = 0.05;
+  Logger::instance().configure(config);
+  Logger::instance().resetRateLimits();
+
+  log(Level::kWarn, "test.rollover", "first");       // emitted
+  log(Level::kWarn, "test.rollover", "suppressed");  // suppressed
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  log(Level::kWarn, "test.rollover", "next window");  // summary + this
+
+  const std::vector<std::string> lines = fileLines();
+  ASSERT_EQ(lines.size(), 3u);
+  std::string error;
+  const auto summary = Json::parse(lines[1], &error);
+  ASSERT_TRUE(summary.has_value()) << error;
+  EXPECT_EQ(summary->get("msg").asString(), "suppressed repeated messages");
+  EXPECT_EQ(summary->get("suppressed_count").asNumber(), 1.0);
+}
+
+TEST_F(LoggingTest, FileSinkFailureIsCountedNotThrown) {
+  LoggerConfig config = Logger::instance().config();
+  config.filePath = "/nonexistent-dir-ancstr/log.jsonl";
+  Logger::instance().configure(config);
+  const LoggerStats before = Logger::instance().stats();
+  EXPECT_NO_THROW(log(Level::kError, "test.sink", "still served"));
+  EXPECT_GE(Logger::instance().stats().fileWriteFailures,
+            before.fileWriteFailures);
+}
+
+TEST_F(LoggingTest, ConcurrentEmissionKeepsLinesWholeAndCountsAll) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  const LoggerStats before = Logger::instance().stats();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        log(Level::kInfo, "test.concurrent", "worker line",
+            {Field("thread", t), Field("i", i)});
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const LoggerStats after = Logger::instance().stats();
+  EXPECT_EQ(after.emitted - before.emitted,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  const std::vector<std::string> lines = fileLines();
+  ASSERT_EQ(lines.size(), static_cast<std::size_t>(kThreads) * kPerThread);
+  // Serialized under one mutex: every line is a whole, parseable object.
+  for (const std::string& line : lines) {
+    std::string error;
+    ASSERT_TRUE(Json::parse(line, &error).has_value())
+        << error << ": " << line;
+  }
+}
+
+TEST(RequestIds, NextRequestIdIsMonotonicAndUniqueAcrossThreads) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<std::vector<std::uint64_t>> drawn(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &drawn] {
+      for (int i = 0; i < kPerThread; ++i) {
+        drawn[static_cast<std::size_t>(t)].push_back(nextRequestId());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  std::vector<std::uint64_t> all;
+  for (const auto& v : drawn) {
+    // Per-thread draws are strictly increasing.
+    for (std::size_t i = 1; i < v.size(); ++i) EXPECT_LT(v[i - 1], v[i]);
+    all.insert(all.end(), v.begin(), v.end());
+  }
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end())
+      << "duplicate request id";
+  EXPECT_GT(all.front(), 0u);
+}
+
+}  // namespace
+}  // namespace ancstr::log

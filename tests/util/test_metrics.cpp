@@ -210,5 +210,52 @@ TEST(Snapshot, PrometheusCustomPrefixAndEmptySnapshot) {
   EXPECT_NE(text.find("myapp_c 1\n"), std::string::npos);
 }
 
+TEST(Snapshot, PrometheusPassesEmbeddedLabelBlocksThrough) {
+  // Registry names may carry a literal {k="v"} label block (e.g.
+  // process.build_info). Only the prefix before '{' is sanitized; the
+  // block itself is exposition syntax and must survive verbatim, and the
+  // "# TYPE" line uses the bare metric name.
+  Snapshot snapshot;
+  snapshot.gauges["process.build_info{git_sha=\"abc123\","
+                  "build_type=\"Release\"}"] = 1.0;
+  snapshot.counters["weird.name{path=\"a.b/c\"}"] = 2;
+
+  const std::string text = snapshot.toPrometheus();
+  EXPECT_NE(text.find("# TYPE ancstr_process_build_info gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ancstr_process_build_info{git_sha=\"abc123\","
+                      "build_type=\"Release\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE ancstr_weird_name counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ancstr_weird_name{path=\"a.b/c\"} 2\n"),
+            std::string::npos);
+  // The dot in the base name is sanitized even with a label block present.
+  EXPECT_EQ(text.find("weird.name"), std::string::npos);
+}
+
+TEST(Registry, PublishProcessMetricsSetsUptimeAndBuildInfo) {
+  publishProcessMetrics();
+  const Snapshot snapshot = Registry::instance().snapshot();
+  ASSERT_EQ(snapshot.gauges.count("process.uptime_seconds"), 1u);
+  EXPECT_GE(snapshot.gauges.at("process.uptime_seconds"), 0.0);
+
+  bool foundBuildInfo = false;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (name.rfind("process.build_info{git_sha=\"", 0) == 0) {
+      foundBuildInfo = true;
+      EXPECT_EQ(value, 1.0);
+      EXPECT_NE(name.find("build_type=\""), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(foundBuildInfo);
+
+  // Re-publishing refreshes the uptime gauge monotonically.
+  publishProcessMetrics();
+  const Snapshot again = Registry::instance().snapshot();
+  EXPECT_GE(again.gauges.at("process.uptime_seconds"),
+            snapshot.gauges.at("process.uptime_seconds"));
+}
+
 }  // namespace
 }  // namespace ancstr::metrics

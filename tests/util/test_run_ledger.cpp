@@ -1,0 +1,219 @@
+// LedgerWriter coverage (util/run_ledger.h): schema key order, synchronous
+// and write-behind appends, fail-soft open failure, and fault-injected
+// degradation. Engine-level ledger behaviour (one record per request,
+// batch ordering) lives in core/test_engine.cpp.
+#include "util/run_ledger.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/fault.h"
+#include "util/json.h"
+
+namespace ancstr::ledger {
+namespace {
+
+const char* const kKeyOrder[] = {
+    "schemaVersion",    "requestId",   "correlationId",
+    "designHash",       "devices",     "nets",
+    "hierarchyNodes",   "cacheOutcome", "blockCacheHits",
+    "blockCacheMisses", "outcome",     "constraintsTotal",
+    "constraints",      "diagnostics", "phases",
+    "wallSeconds",      "peakRssDeltaBytes", "unixTimeSeconds"};
+
+LedgerRecord makeRecord(std::uint64_t requestId = 1) {
+  LedgerRecord rec;
+  rec.requestId = requestId;
+  rec.designHash = "0123456789abcdef0123456789abcdef";
+  rec.devices = 12;
+  rec.nets = 9;
+  rec.hierarchyNodes = 3;
+  rec.cacheOutcome = "cold";
+  rec.constraints = {{"symmetry_pair", 2}, {"self_symmetric", 0},
+                     {"current_mirror", 1}, {"symmetry_group", 0}};
+  rec.constraintsTotal = 3;
+  rec.phases = {{"extract.inference", 0.01}, {"extract.detection", 0.02}};
+  rec.wallSeconds = 0.04;
+  return rec;
+}
+
+class RunLedgerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("ancstr_test_ledger_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name()) +
+             ".jsonl");
+    std::filesystem::remove(path_);
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  std::vector<std::string> fileLines() const {
+    std::ifstream in(path_);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+    return lines;
+  }
+
+  std::filesystem::path path_;
+};
+
+TEST(LedgerRecord, ToJsonLineHasExactKeyOrder) {
+  const std::string line = makeRecord().toJsonLine();
+  std::string error;
+  const auto parsed = Json::parse(line, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->get("schemaVersion").asNumber(),
+            static_cast<double>(LedgerWriter::kSchemaVersion));
+
+  // Key ORDER is the contract (scripts/check_ledger.py validates it):
+  // each key must appear after the previous one in the serialized line.
+  std::size_t last = 0;
+  for (const char* key : kKeyOrder) {
+    const std::size_t pos = line.find("\"" + std::string(key) + "\":");
+    ASSERT_NE(pos, std::string::npos) << key;
+    EXPECT_GT(pos, last) << key << " out of order";
+    last = pos;
+  }
+  // Nested objects keep insertion order too.
+  EXPECT_LT(line.find("\"symmetry_pair\""), line.find("\"self_symmetric\""));
+  EXPECT_LT(line.find("\"extract.inference\""),
+            line.find("\"extract.detection\""));
+  // Integers serialize without a decimal point.
+  EXPECT_NE(line.find("\"requestId\":1,"), std::string::npos);
+}
+
+TEST_F(RunLedgerTest, SynchronousAppendWritesOneLinePerRecord) {
+  LedgerWriterConfig config;
+  config.path = path_;
+  config.writeBehind = false;
+  LedgerWriter writer(config);
+  ASSERT_TRUE(writer.enabled());
+
+  writer.append(makeRecord(1));
+  writer.append(makeRecord(2));
+
+  const std::vector<std::string> lines = fileLines();
+  ASSERT_EQ(lines.size(), 2u);
+  for (const std::string& line : lines) {
+    std::string error;
+    const auto parsed = Json::parse(line, &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    // unixTimeSeconds is stamped at append time, not by the producer.
+    EXPECT_GT(parsed->get("unixTimeSeconds").asNumber(), 0.0);
+  }
+  const LedgerStats stats = writer.stats();
+  EXPECT_EQ(stats.appended, 2u);
+  EXPECT_EQ(stats.dropped, 0u);
+  EXPECT_FALSE(stats.degraded);
+}
+
+TEST_F(RunLedgerTest, WriteBehindAppendsAreDurableAfterFlush) {
+  LedgerWriterConfig config;
+  config.path = path_;
+  config.writeBehind = true;
+  LedgerWriter writer(config);
+  for (std::uint64_t i = 1; i <= 16; ++i) writer.append(makeRecord(i));
+  writer.flush();
+  EXPECT_EQ(fileLines().size(), 16u);
+  EXPECT_EQ(writer.stats().appended, 16u);
+}
+
+TEST_F(RunLedgerTest, DestructorFlushesPendingAppends) {
+  {
+    LedgerWriterConfig config;
+    config.path = path_;
+    config.writeBehind = true;
+    LedgerWriter writer(config);
+    for (std::uint64_t i = 1; i <= 8; ++i) writer.append(makeRecord(i));
+  }
+  EXPECT_EQ(fileLines().size(), 8u);
+}
+
+TEST_F(RunLedgerTest, AppendsPreserveOrder) {
+  LedgerWriterConfig config;
+  config.path = path_;
+  LedgerWriter writer(config);
+  for (std::uint64_t i = 1; i <= 20; ++i) writer.append(makeRecord(i));
+  writer.flush();
+  const std::vector<std::string> lines = fileLines();
+  ASSERT_EQ(lines.size(), 20u);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::string error;
+    const auto parsed = Json::parse(lines[i], &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    EXPECT_EQ(parsed->get("requestId").asNumber(),
+              static_cast<double>(i + 1));
+  }
+}
+
+TEST(RunLedger, EmptyPathDisablesAndDropsSilently) {
+  LedgerWriter writer(LedgerWriterConfig{});
+  EXPECT_FALSE(writer.enabled());
+  EXPECT_NO_THROW(writer.append(makeRecord()));
+  EXPECT_NO_THROW(writer.flush());
+  EXPECT_EQ(writer.stats().appended, 0u);
+  EXPECT_EQ(writer.stats().dropped, 1u);
+}
+
+TEST(RunLedger, UnopenableParentDirIsFailSoft) {
+  LedgerWriterConfig config;
+  config.path = "/nonexistent-dir-ancstr/ledger.jsonl";
+  LedgerWriter writer(config);
+  EXPECT_FALSE(writer.enabled());
+  EXPECT_NO_THROW(writer.append(makeRecord()));
+  EXPECT_EQ(writer.stats().dropped, 1u);
+}
+
+TEST_F(RunLedgerTest, RepeatedWriteFailuresDegradeTheWriter) {
+  LedgerWriterConfig config;
+  config.path = path_;
+  config.writeBehind = false;  // deterministic failure accounting
+  config.degradeAfterFailures = 3;
+  LedgerWriter writer(config);
+  ASSERT_TRUE(writer.enabled());
+
+  {
+    // Every write fails at the injected fault site.
+    const fault::ScopedFault fail("ledger.write");
+    for (std::uint64_t i = 1; i <= 3; ++i) writer.append(makeRecord(i));
+  }
+  const LedgerStats stats = writer.stats();
+  EXPECT_EQ(stats.writeFailures, 3u);
+  EXPECT_TRUE(stats.degraded);
+  EXPECT_FALSE(writer.enabled());
+
+  // Degraded writer drops (never throws) even after the fault clears.
+  writer.append(makeRecord(4));
+  EXPECT_EQ(writer.stats().dropped, 1u);
+  EXPECT_TRUE(fileLines().empty());
+}
+
+TEST_F(RunLedgerTest, OneFailureThenSuccessDoesNotDegrade) {
+  LedgerWriterConfig config;
+  config.path = path_;
+  config.writeBehind = false;
+  config.degradeAfterFailures = 2;
+  LedgerWriter writer(config);
+
+  {
+    const fault::ScopedFault fail("ledger.write@1");  // first write only
+    writer.append(makeRecord(1));                     // fails
+    writer.append(makeRecord(2));                     // succeeds, resets
+  }
+  writer.append(makeRecord(3));
+  const LedgerStats stats = writer.stats();
+  EXPECT_EQ(stats.writeFailures, 1u);
+  EXPECT_FALSE(stats.degraded);
+  EXPECT_EQ(stats.appended, 2u);
+}
+
+}  // namespace
+}  // namespace ancstr::ledger

@@ -243,6 +243,41 @@ TEST_F(TraceTest, WriteSpanTreeFileRoundTrips) {
   std::filesystem::remove(path);
 }
 
+TEST_F(TraceTest, RequestIdLandsInEventsChromeArgsAndSpanTree) {
+  TraceCollector::instance().setEnabled(true);
+  {
+    const TraceSpan tagged("test.tagged", 42);
+    { const TraceSpan untagged("test.untagged"); }
+  }
+  const std::vector<TraceEvent> events = TraceCollector::instance().events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].requestId, 42u);
+  EXPECT_EQ(events[1].requestId, 0u);
+
+  // Chrome export: tagged spans carry args.request_id, untagged spans
+  // stay arg-free (the pre-PR-9 event shape).
+  std::string error;
+  const auto chrome =
+      Json::parse(TraceCollector::instance().toChromeJson(), &error);
+  ASSERT_TRUE(chrome.has_value()) << error;
+  const Json& chromeEvents = chrome->get("traceEvents");
+  ASSERT_EQ(chromeEvents.size(), 2u);
+  const Json& taggedEvent = chromeEvents.at(0);
+  ASSERT_NE(taggedEvent.find("args"), nullptr);
+  EXPECT_EQ(taggedEvent.get("args").get("request_id").asNumber(), 42.0);
+  EXPECT_EQ(chromeEvents.at(1).find("args"), nullptr);
+
+  // Span-tree export: same conditional key.
+  const auto tree =
+      Json::parse(TraceCollector::instance().toSpanTreeJson(), &error);
+  ASSERT_TRUE(tree.has_value()) << error;
+  const Json& span = tree->get("threads").at(0).get("spans").at(0);
+  EXPECT_EQ(span.get("name").asString(), "test.tagged");
+  ASSERT_NE(span.find("requestId"), nullptr);
+  EXPECT_EQ(span.get("requestId").asNumber(), 42.0);
+  EXPECT_EQ(span.get("children").at(0).find("requestId"), nullptr);
+}
+
 TEST_F(TraceTest, WriteFileRoundTrips) {
   TraceCollector::instance().setEnabled(true);
   { const TraceSpan span("test.file"); }

@@ -37,6 +37,14 @@
 //   --report json|table  run report (phases + metrics) on stderr
 //   --bench-out FILE   single-case BENCH.json of the run
 //                      (same schema as the bench binaries' --json-out)
+//   --log-level L      structured-log threshold (debug|info|warn|error|off)
+//   --log-json         render stderr log lines as JSON instead of text
+//   --log-out FILE     JSON-lines log file sink (append mode)
+// extract additionally takes:
+//   --ledger-out FILE  per-request run ledger, one wide-event JSON line
+//                      per extracted design (docs/observability.md,
+//                      "Run ledger"; validate with scripts/check_ledger.py,
+//                      summarize with scripts/analyze_ledger.py)
 //
 // Exit codes: 0 success, 1 usage error, 2 runtime failure.
 #include <algorithm>
@@ -65,6 +73,7 @@
 #include "util/diagnostics.h"
 #include "util/error.h"
 #include "util/json.h"
+#include "util/logging.h"
 #include "util/parallel.h"
 #include "util/resource.h"
 #include "util/timer.h"
@@ -93,7 +102,10 @@ int usage() {
                "train/extract also take: [--threads N] [--trace-out FILE]\n"
                "  [--spans-out FILE] [--metrics-out FILE]\n"
                "  [--metrics-format json|prom] [--report json|table]\n"
-               "  [--bench-out FILE]\n"
+               "  [--bench-out FILE] [--log-level debug|info|warn|error|off]\n"
+               "  [--log-json] [--log-out FILE]\n"
+               "extract also takes: [--ledger-out FILE] (per-request run\n"
+               "  ledger, one JSON line per design)\n"
                "extract/stats also take: [--fail-soft] (recover from\n"
                "  malformed input with diagnostics instead of aborting)\n"
                "netlists may be SPICE or Spectre (auto-detected)\n");
@@ -152,6 +164,7 @@ struct ObserveOptions {
   std::string metricsFormat = "json";  ///< "json" or "prom"
   std::string report;                  ///< "", "json", or "table"
   std::size_t threads = 1;
+  bool logFlagsOk = true;              ///< --log-level parsed cleanly
   Stopwatch wall;                      ///< runs from parse() to emit()
   util::ResourceSample resourceStart;  ///< resources at parse()
 
@@ -168,6 +181,22 @@ struct ObserveOptions {
     if (!opts.traceOut.empty() || !opts.spansOut.empty()) {
       trace::TraceCollector::instance().setEnabled(true);
     }
+    const std::string logLevel = flags.value("--log-level", "");
+    const bool logJson = flags.flag("--log-json");
+    const std::filesystem::path logOut = flags.value("--log-out", "");
+    if (!logLevel.empty() || logJson || !logOut.empty()) {
+      log::LoggerConfig logConfig = log::Logger::instance().config();
+      if (!logLevel.empty()) {
+        if (const auto parsed = log::parseLevel(logLevel)) {
+          logConfig.minLevel = *parsed;
+        } else {
+          opts.logFlagsOk = false;
+        }
+      }
+      if (logJson) logConfig.format = log::Format::kJson;
+      if (!logOut.empty()) logConfig.filePath = logOut;
+      if (opts.logFlagsOk) log::Logger::instance().configure(logConfig);
+    }
     opts.resourceStart = util::ResourceSample::now();
     return opts;
   }
@@ -175,7 +204,8 @@ struct ObserveOptions {
   bool validReport() const {
     const bool reportOk =
         report.empty() || report == "json" || report == "table";
-    return reportOk && (metricsFormat == "json" || metricsFormat == "prom");
+    return logFlagsOk && reportOk &&
+           (metricsFormat == "json" || metricsFormat == "prom");
   }
 
   /// Emits the report/metrics/trace/bench artefacts after the run. The
@@ -259,6 +289,7 @@ int cmdExtractBatch(Flags flags, ObserveOptions observe,
   const std::size_t cacheBudget = static_cast<std::size_t>(
       std::stoull(flags.value("--cache-budget", "67108864")));
   const std::filesystem::path cacheDir = flags.value("--cache-dir", "");
+  const std::filesystem::path ledgerOut = flags.value("--ledger-out", "");
   const bool failSoft = flags.flag("--fail-soft");
   if (!flags.positional().empty() || repeat < 1 || !observe.validReport() ||
       (format != "json" && format != "sym" && format != "align")) {
@@ -298,6 +329,7 @@ int cmdExtractBatch(Flags flags, ObserveOptions observe,
   engineConfig.cacheBudgetBytes = cacheBudget;
   engineConfig.threads = observe.threads;
   engineConfig.cachePath = cacheDir;
+  engineConfig.ledgerPath = ledgerOut;
   const ExtractionEngine engine(pipeline, engineConfig);
 
   std::vector<const Library*> ptrs;
@@ -367,6 +399,16 @@ int cmdExtractBatch(Flags flags, ObserveOptions observe,
         static_cast<unsigned long long>(disk.writes), disk.entries,
         disk.bytes, disk.enabled ? "" : " [disabled]");
   }
+  if (!ledgerOut.empty()) {
+    // Make pending write-behind appends durable before reporting, so a
+    // validator run right after this command sees every record.
+    engine.flushLedger();
+    const ledger::LedgerStats stats = engine.ledgerStats();
+    std::fprintf(stderr, "ledger: %llu records -> %s%s\n",
+                 static_cast<unsigned long long>(stats.appended),
+                 ledgerOut.string().c_str(),
+                 stats.enabled ? "" : " [disabled]");
+  }
   if (failSoft) {
     batchReport.diagnostics = sink.snapshot();
     for (const diag::Diagnostic& d : batchReport.diagnostics) {
@@ -425,6 +467,7 @@ int cmdExtract(Flags flags) {
   const std::filesystem::path outPath = flags.value("--out", "");
   const std::filesystem::path sincePath = flags.value("--since", "");
   const std::filesystem::path cacheDir = flags.value("--cache-dir", "");
+  const std::filesystem::path ledgerOut = flags.value("--ledger-out", "");
   const std::filesystem::path manifestOutPath =
       flags.value("--manifest-out", "");
   const bool withGroups = flags.flag("--groups");
@@ -456,17 +499,20 @@ int cmdExtract(Flags flags) {
   extractOptions.sink = failSoft ? &sink : nullptr;
   EngineConfig engineConfig;
   engineConfig.cachePath = cacheDir;
+  engineConfig.ledgerPath = ledgerOut;
   ExtractionResult result;
   if (sincePath.empty()) {
-    if (cacheDir.empty()) {
+    if (cacheDir.empty() && ledgerOut.empty()) {
       result = pipeline.extract(lib, extractOptions);
     } else {
-      // Persistent tier requested: route through the engine so the
-      // design-inference and block-embedding artifacts are written
-      // through to --cache-dir and served from it on the next run.
+      // Persistent tier or ledger requested: route through the engine so
+      // the design-inference and block-embedding artifacts are written
+      // through to --cache-dir (and served from it on the next run) and
+      // the request gets its run-ledger record.
       const ExtractionEngine engine(pipeline, engineConfig);
       result = engine.extract(lib, extractOptions);
       engine.flushDiskWrites();
+      engine.flushLedger();
     }
   } else if (looksLikeManifest(sincePath)) {
     // Manifest baseline: hashes only, so there is nothing to warm the

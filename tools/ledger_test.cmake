@@ -1,0 +1,59 @@
+# Run-ledger contract check for `extract --batch --ledger-out`
+# (docs/observability.md): every design in a batch produces exactly one
+# schema-valid ledger line, and a restart-warm rerun over the same
+# --cache-dir reports `disk_hit` for every design. Validation is delegated
+# to scripts/check_ledger.py — the same gate CI runs.
+#
+# Invoked by ctest as:
+#   cmake -DCLI=<ancstr_cli> -DMODEL=<model.txt> -DCORPUS=<dir> -DWORK=<dir>
+#         -DPYTHON=<python3> -DSCRIPTS=<scripts dir> -P ledger_test.cmake
+foreach(var CLI MODEL CORPUS WORK PYTHON SCRIPTS)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "ledger_test.cmake: -D${var}=... is required")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE ${WORK})
+file(MAKE_DIRECTORY ${WORK})
+
+file(GLOB designs ${CORPUS}/*.sp)
+list(LENGTH designs design_count)
+if(design_count EQUAL 0)
+  message(FATAL_ERROR "no .sp designs found in ${CORPUS}")
+endif()
+
+foreach(pass cold warm)
+  execute_process(
+    COMMAND ${CLI} extract --model ${MODEL} --batch ${CORPUS}
+            --threads 2 --cache-dir ${WORK}/cache
+            --ledger-out ${WORK}/${pass}-ledger.jsonl
+            --out-dir ${WORK}/${pass}
+    RESULT_VARIABLE rc
+    ERROR_VARIABLE log)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${pass} extract --ledger-out failed (${rc}):\n${log}")
+  endif()
+endforeach()
+
+# One schema-valid record per design on the cold pass.
+execute_process(
+  COMMAND ${PYTHON} ${SCRIPTS}/check_ledger.py ${WORK}/cold-ledger.jsonl
+          --expect ${design_count}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out ERROR_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "cold ledger failed validation:\n${out}")
+endif()
+
+# The restart-warm pass must be served entirely from the disk tier.
+execute_process(
+  COMMAND ${PYTHON} ${SCRIPTS}/check_ledger.py ${WORK}/warm-ledger.jsonl
+          --expect ${design_count} --expect-cache-outcome disk_hit
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out ERROR_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "warm ledger failed validation:\n${out}")
+endif()
+
+message(STATUS "run-ledger OK: ${design_count} records per pass, "
+               "restart-warm pass all disk_hit")
