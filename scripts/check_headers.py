@@ -21,6 +21,31 @@ import tempfile
 
 FLAGS = ["-std=c++20", "-fsyntax-only", "-Wall", "-Wextra", "-x", "c++"]
 
+# ISA-gated kernel headers (src/nn/kernels_*.h) compile to an empty TU
+# without their -m flag (the whole body sits behind #if defined(__AVX2__)
+# etc.), so the plain pass only proves the guard. Each entry adds a second
+# pass with the flag so the intrinsics body itself is checked — skipped
+# gracefully when the compiler lacks the flag.
+EXTRA_FLAG_PASSES = {
+    "nn/kernels_avx2.h": ["-mavx2"],
+    "nn/kernels_avx512.h": ["-mavx512f"],
+}
+
+
+def compiler_supports(compiler, flag):
+    """True when `compiler` accepts `flag` for an empty TU."""
+    with tempfile.NamedTemporaryFile(
+        mode="w", suffix=".cpp", delete=False) as tu:
+        tu.write("int main() { return 0; }\n")
+        tu_path = tu.name
+    try:
+        proc = subprocess.run(
+            [compiler, flag, "-fsyntax-only", "-x", "c++", tu_path],
+            capture_output=True, text=True)
+        return proc.returncode == 0
+    finally:
+        os.unlink(tu_path)
+
 
 def find_headers(src_dir):
     headers = []
@@ -31,18 +56,19 @@ def find_headers(src_dir):
     return sorted(headers)
 
 
-def check_header(compiler, src_dir, header):
-    """Returns (header, ok, compiler output)."""
+def check_header(compiler, src_dir, header, extra_flags=()):
+    """Returns (label, ok, compiler output)."""
     rel = os.path.relpath(header, src_dir)
+    label = rel if not extra_flags else f"{rel} [{' '.join(extra_flags)}]"
     with tempfile.NamedTemporaryFile(
         mode="w", suffix=".cpp", delete=False) as tu:
         tu.write(f'#include "{rel}"\n')
         tu_path = tu.name
     try:
         proc = subprocess.run(
-            [compiler, *FLAGS, f"-I{src_dir}", tu_path],
+            [compiler, *FLAGS, *extra_flags, f"-I{src_dir}", tu_path],
             capture_output=True, text=True)
-        return rel, proc.returncode == 0, proc.stderr.strip()
+        return label, proc.returncode == 0, proc.stderr.strip()
     finally:
         os.unlink(tu_path)
 
@@ -69,24 +95,35 @@ def main(argv):
         print(f"error: no headers found under {src_dir}", file=sys.stderr)
         return 2
 
+    # The plain pass covers every header; ISA-gated kernel headers get one
+    # extra pass per -m flag so the guarded intrinsics compile too.
+    jobs = [(h, ()) for h in headers]
+    for header in headers:
+        rel = os.path.relpath(header, src_dir).replace(os.sep, "/")
+        for flag in EXTRA_FLAG_PASSES.get(rel, []):
+            if compiler_supports(args.compiler, flag):
+                jobs.append((header, (flag,)))
+            else:
+                print(f"skip {rel} [{flag}]: compiler lacks {flag}")
+
     failures = []
     with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
         results = pool.map(
-            lambda h: check_header(args.compiler, src_dir, h), headers)
-        for rel, ok, output in results:
+            lambda job: check_header(args.compiler, src_dir, *job), jobs)
+        for label, ok, output in results:
             if ok:
-                print(f"ok   {rel}")
+                print(f"ok   {label}")
             else:
-                print(f"FAIL {rel}")
-                failures.append((rel, output))
+                print(f"FAIL {label}")
+                failures.append((label, output))
 
     if failures:
-        print(f"\n{len(failures)}/{len(headers)} headers are not "
+        print(f"\n{len(failures)}/{len(jobs)} header passes are not "
               "self-contained:", file=sys.stderr)
-        for rel, output in failures:
-            print(f"\n--- {rel} ---\n{output}", file=sys.stderr)
+        for label, output in failures:
+            print(f"\n--- {label} ---\n{output}", file=sys.stderr)
         return 1
-    print(f"\nall {len(headers)} headers compile standalone")
+    print(f"\nall {len(jobs)} header passes compile standalone")
     return 0
 
 

@@ -3,7 +3,7 @@
 
 A ledger is JSON-lines: one wide-event object per extraction request
 (docs/observability.md, "Run ledger"; util/run_ledger.h). Every line must
-carry the exact schema-v1 top-level key sequence — key ORDER is part of the
+carry the exact schema-v2 top-level key sequence — key ORDER is part of the
 contract, same as BENCH.json — plus well-formed values:
 
   * requestId         positive integer
@@ -11,6 +11,7 @@ contract, same as BENCH.json — plus well-formed values:
   * cacheOutcome      mem_hit | disk_hit | cold | none
   * outcome           ok | degraded | deadline_exceeded |
                       admission_rejected | error
+  * kernel            scalar | avx2 | avx512 (nn kernel dispatch; v2)
   * constraintsTotal  == sum of the per-type constraints counts
   * phases            non-negative numbers
   * wallSeconds / unixTimeSeconds  non-negative numbers
@@ -30,14 +31,15 @@ import sys
 KEY_ORDER = [
     "schemaVersion", "requestId", "correlationId", "designHash", "devices",
     "nets", "hierarchyNodes", "cacheOutcome", "blockCacheHits",
-    "blockCacheMisses", "outcome", "constraintsTotal", "constraints",
-    "diagnostics", "phases", "wallSeconds", "peakRssDeltaBytes",
-    "unixTimeSeconds",
+    "blockCacheMisses", "outcome", "kernel", "constraintsTotal",
+    "constraints", "diagnostics", "phases", "wallSeconds",
+    "peakRssDeltaBytes", "unixTimeSeconds",
 ]
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 CACHE_OUTCOMES = {"mem_hit", "disk_hit", "cold", "none"}
 OUTCOMES = {"ok", "degraded", "deadline_exceeded", "admission_rejected",
             "error"}
+KERNELS = {"scalar", "avx2", "avx512"}
 HASH_RE = re.compile(r"^[0-9a-f]{32}$")
 
 
@@ -67,6 +69,9 @@ def check_record(record, keys, line_no):
                       f"32 lowercase hex chars")
     elif not design_hash and outcome == "ok":
         errors.append(f"line {line_no}: outcome 'ok' with empty designHash")
+    if record["kernel"] not in KERNELS:
+        errors.append(f"line {line_no}: kernel {record['kernel']!r} not in "
+                      f"{sorted(KERNELS)}")
     if record["cacheOutcome"] not in CACHE_OUTCOMES:
         errors.append(f"line {line_no}: cacheOutcome "
                       f"{record['cacheOutcome']!r} not in "

@@ -19,15 +19,15 @@ SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
 KEY_ORDER = [
     "schemaVersion", "requestId", "correlationId", "designHash", "devices",
     "nets", "hierarchyNodes", "cacheOutcome", "blockCacheHits",
-    "blockCacheMisses", "outcome", "constraintsTotal", "constraints",
-    "diagnostics", "phases", "wallSeconds", "peakRssDeltaBytes",
-    "unixTimeSeconds",
+    "blockCacheMisses", "outcome", "kernel", "constraintsTotal",
+    "constraints", "diagnostics", "phases", "wallSeconds",
+    "peakRssDeltaBytes", "unixTimeSeconds",
 ]
 
 
 def make_record(**overrides):
     record = {
-        "schemaVersion": 1,
+        "schemaVersion": 2,
         "requestId": 1,
         "correlationId": "",
         "designHash": "0123456789abcdef0123456789abcdef",
@@ -38,6 +38,7 @@ def make_record(**overrides):
         "blockCacheHits": 2,
         "blockCacheMisses": 1,
         "outcome": "ok",
+        "kernel": "scalar",
         "constraintsTotal": 3,
         "constraints": {"symmetry_pair": 2, "self_symmetric": 1,
                         "current_mirror": 0, "symmetry_group": 0},
@@ -92,8 +93,11 @@ def main():
     ok &= check("missing key",
                 run([dump(make_record(), key_order=KEY_ORDER[:-1])]), 1)
     ok &= check("bad schemaVersion",
-                run([dump(make_record(schemaVersion=2))]), 1)
+                run([dump(make_record(schemaVersion=1))]), 1)
     ok &= check("requestId zero", run([dump(make_record(requestId=0))]), 1)
+    ok &= check("bad kernel", run([dump(make_record(kernel="sse2"))]), 1)
+    ok &= check("avx512 kernel ok",
+                run([dump(make_record(kernel="avx512"))]), 0)
     ok &= check("bad cacheOutcome",
                 run([dump(make_record(cacheOutcome="warm"))]), 1)
     ok &= check("bad outcome", run([dump(make_record(outcome="fine"))]), 1)

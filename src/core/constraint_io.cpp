@@ -309,87 +309,6 @@ std::string constraintSetToSym(const FlatDesign& design,
   return os.str();
 }
 
-// Legacy v1 writers, kept verbatim behind the deprecation shims so v1
-// consumers migrate on a warning (docs/api.md deprecation policy).
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-std::string constraintsToJson(const FlatDesign& design,
-                              const DetectionResult& detection,
-                              const std::vector<SymmetryGroup>& groups,
-                              const std::vector<ArrayGroup>& arrays) {
-  Json root = Json::object();
-  root.set("format", "ancstr-constraints");
-  root.set("version", 1);
-  Json thresholds = Json::object();
-  thresholds.set("system", detection.systemThreshold);
-  thresholds.set("device", detection.deviceThreshold);
-  root.set("thresholds", std::move(thresholds));
-
-  Json constraints = Json::array();
-  for (const ScoredCandidate& c : detection.scored) {
-    if (!c.accepted) continue;
-    Json entry = Json::object();
-    entry.set("hierarchy", design.node(c.pair.hierarchy).path);
-    entry.set("level", levelName(c.pair.level));
-    entry.set("a", c.pair.nameA);
-    entry.set("b", c.pair.nameB);
-    entry.set("similarity", c.similarity);
-    constraints.push(std::move(entry));
-  }
-  root.set("constraints", std::move(constraints));
-
-  Json groupArray = Json::array();
-  for (const SymmetryGroup& group : groups) {
-    Json entry = Json::object();
-    entry.set("hierarchy", design.node(group.hierarchy).path);
-    entry.set("level", levelName(group.level));
-    Json pairs = Json::array();
-    for (const auto& [a, b] : group.pairs) {
-      Json pair = Json::array();
-      pair.push(a);
-      pair.push(b);
-      pairs.push(std::move(pair));
-    }
-    entry.set("pairs", std::move(pairs));
-    Json self = Json::array();
-    for (const std::string& name : group.selfSymmetric) self.push(name);
-    entry.set("self_symmetric", std::move(self));
-    groupArray.push(std::move(entry));
-  }
-  root.set("groups", std::move(groupArray));
-
-  if (!arrays.empty()) {
-    root.set("arrays", arraysToJson(design, arrays));
-  }
-  return root.dump(2) + "\n";
-}
-
-std::string constraintsToSym(const FlatDesign& design,
-                             const DetectionResult& detection,
-                             const std::vector<SymmetryGroup>& groups) {
-  std::ostringstream os;
-  os << "# ancstr symmetry constraints\n";
-  for (const ScoredCandidate& c : detection.scored) {
-    if (!c.accepted) continue;
-    os << symPath(design.node(c.pair.hierarchy).path) << ' ' << c.pair.nameA
-       << ' ' << c.pair.nameB << '\n';
-  }
-  // A device may bridge several groups; emit each (hierarchy, name) once.
-  std::set<std::pair<HierNodeId, std::string>> seen;
-  for (const SymmetryGroup& group : groups) {
-    for (const std::string& name : group.selfSymmetric) {
-      if (!seen.emplace(group.hierarchy, name).second) continue;
-      os << symPath(design.node(group.hierarchy).path) << ' ' << name << '\n';
-    }
-  }
-  return os.str();
-}
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
-
 namespace {
 
 /// Projects a parsed v2 document into flat pair records: pairs and

@@ -14,9 +14,8 @@
 //        <hierarchy-path> <name>              (self-symmetric device)
 //     with "." denoting the top hierarchy and "#" starting comments.
 //
-// The legacy v1 writers (DetectionResult + SymmetryGroup inputs) remain
-// as [[deprecated]] shims per the docs/api.md deprecation policy; the
-// readers accept both versions.
+// The legacy v1 writers were removed per the docs/api.md deprecation
+// policy; the readers still accept both versions.
 #pragma once
 
 #include <filesystem>
@@ -26,7 +25,6 @@
 #include "core/arrays.h"
 #include "core/constraint.h"
 #include "core/detector.h"
-#include "core/groups.h"
 #include "netlist/flatten.h"
 
 namespace ancstr {
@@ -57,21 +55,6 @@ std::string constraintSetToAlignJson(const FlatDesign& design,
 /// encoding). Bumps constraints.exported.
 std::string constraintSetToSym(const FlatDesign& design,
                                const ConstraintSet& set);
-
-/// Serialises a detection run (accepted constraints + groups + optional
-/// common-centroid array groups) to legacy JSON v1.
-[[deprecated("use constraintSetToJson on DetectionResult::set")]]
-std::string constraintsToJson(const FlatDesign& design,
-                              const DetectionResult& detection,
-                              const std::vector<SymmetryGroup>& groups = {},
-                              const std::vector<ArrayGroup>& arrays = {});
-
-/// Serialises the accepted constraints (and group self-symmetric members)
-/// as a MAGICAL-style .sym deck.
-[[deprecated("use constraintSetToSym on DetectionResult::set")]]
-std::string constraintsToSym(const FlatDesign& design,
-                             const DetectionResult& detection,
-                             const std::vector<SymmetryGroup>& groups = {});
 
 /// A constraint record read back from either format.
 struct ParsedConstraint {

@@ -13,23 +13,6 @@
 
 namespace ancstr {
 
-// Out-of-line definition of the deprecated accessor; suppression keeps
-// the shim itself warning-free under -Werror.
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-std::vector<ScoredCandidate> DetectionResult::constraints() const {
-  std::vector<ScoredCandidate> out;
-  for (const ScoredCandidate& c : scored) {
-    if (c.accepted) out.push_back(c);
-  }
-  return out;
-}
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
-
 double systemThreshold(double alpha, double beta,
                        std::size_t maxSubcircuitSize) {
   return std::min(0.999,

@@ -141,11 +141,6 @@ struct DetectionResult {
   /// accepted record — the single detection-output currency consumed by
   /// grouping, eval, IO, and the CLI.
   ConstraintSet set;
-
-  /// Accepted symmetry pairs only.
-  [[deprecated(
-      "use DetectionResult::set (the typed ConstraintSet registry)")]]
-  std::vector<ScoredCandidate> constraints() const;
 };
 
 /// Builds the typed registry from a detection run's accepted candidates

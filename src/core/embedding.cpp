@@ -1,6 +1,9 @@
 #include "core/embedding.h"
 
+#include <algorithm>
 #include <cmath>
+#include <map>
+#include <tuple>
 
 #include "core/circuit_hash.h"
 #include "core/features.h"
@@ -47,6 +50,20 @@ std::vector<double> embedCircuit(const CircuitGraph& inducedGraph,
                          designEmbeddings);
 }
 
+namespace {
+
+/// One distinct local-mode embedding computation: the representative node
+/// plus every node whose subtree has the same (hash, size) — those share
+/// a positionally identical induced multigraph and feature matrix, so one
+/// GNN inference serves them all (the same soundness argument as
+/// CachedBlockEmbedding, applied within the run).
+struct BlockWorkGroup {
+  std::size_t rep = 0;               ///< index into `nodes`
+  std::vector<std::size_t> members;  ///< node indexes incl. rep, ascending
+};
+
+}  // namespace
+
 std::vector<SubcircuitEmbedding> embedSubcircuits(
     const FlatDesign& design, const std::vector<HierNodeId>& nodes,
     const nn::Matrix& designEmbeddings, const EmbeddingConfig& config,
@@ -54,23 +71,40 @@ std::vector<SubcircuitEmbedding> embedSubcircuits(
     const BlockEmbeddingContext* localContext, util::ThreadPool& pool,
     bool computeHashes) {
   std::vector<SubcircuitEmbedding> out(nodes.size());
+
+  if (localContext == nullptr) {
+    // Gather mode: embeddings are rows of the design-level matrix, no GNN
+    // inference to batch.
+    pool.forEach(nodes.size(), [&](std::size_t i) {
+      const trace::TraceSpan span("embed.subcircuit");
+      const std::vector<FlatDeviceId> subtree =
+          design.subtreeDevices(nodes[i]);
+      const CircuitGraph induced =
+          buildInducedHeteroGraph(design, subtree, graphOptions);
+      out[i].devices = representativeDevices(induced, config);
+      out[i].structural = gatherEmbedding(out[i].devices, designEmbeddings);
+    });
+    return out;
+  }
+
+  BlockEmbeddingCache* cache = localContext->cache;
+  const bool wantHash = cache != nullptr || computeHashes;
+
+  // Phase 1 (parallel): subtree, content hash, and cache consult per node.
+  // Local-mode embeddings depend only on the subtree's structure, so a
+  // content-addressed hit skips induced-graph construction, PageRank, and
+  // GNN inference entirely. Cached entries are positional (vertex id ==
+  // index into the subtree, because buildInducedHeteroGraph numbers
+  // vertices in subset order), so one entry serves every instance of the
+  // same block.
+  std::vector<std::vector<FlatDeviceId>> subtrees(nodes.size());
+  std::vector<char> isMiss(nodes.size(), 0);
   pool.forEach(nodes.size(), [&](std::size_t i) {
     // Per-subcircuit span: runs on whichever worker owns the chunk, so
     // traces show the block-embedding fan-out per thread id.
     const trace::TraceSpan span("embed.subcircuit");
-    const std::vector<FlatDeviceId> subtree = design.subtreeDevices(nodes[i]);
+    subtrees[i] = design.subtreeDevices(nodes[i]);
     SubcircuitEmbedding& embedding = out[i];
-
-    // Cache consult before any graph work: local-mode embeddings depend
-    // only on the subtree's structure, so a content-addressed hit skips
-    // induced-graph construction, PageRank, and GNN inference entirely.
-    // Cached entries are positional (vertex id == index into `subtree`,
-    // because buildInducedHeteroGraph numbers vertices in subset order),
-    // so one entry serves every instance of the same block.
-    BlockEmbeddingCache* cache =
-        localContext != nullptr ? localContext->cache : nullptr;
-    const bool wantHash =
-        localContext != nullptr && (cache != nullptr || computeHashes);
     util::StructuralHash key;
     if (wantHash) {
       // A caller-supplied hash vector (the engine's delta path) carries
@@ -82,7 +116,7 @@ std::vector<SubcircuitEmbedding> embedSubcircuits(
         ANCSTR_ASSERT(nodes[i] < nodeHashes->size());
         key = (*nodeHashes)[nodes[i]];
       } else {
-        key = structuralHash(design, subtree, graphOptions,
+        key = structuralHash(design, subtrees[i], graphOptions,
                              localContext->features);
       }
       embedding.hash = key;
@@ -90,48 +124,111 @@ std::vector<SubcircuitEmbedding> embedSubcircuits(
     }
     if (cache != nullptr) {
       if (const auto hit = cache->lookup(key);
-          hit != nullptr && hit->subtreeSize == subtree.size()) {
+          hit != nullptr && hit->subtreeSize == subtrees[i].size()) {
         embedding.devices.reserve(hit->representativePositions.size());
         for (const std::uint32_t pos : hit->representativePositions) {
-          embedding.devices.push_back(subtree[pos]);
+          embedding.devices.push_back(subtrees[i][pos]);
         }
         embedding.structural = hit->structural;
         return;
       }
     }
+    isMiss[i] = 1;
+  });
 
-    const CircuitGraph induced =
-        buildInducedHeteroGraph(design, subtree, graphOptions);
-    embedding.devices = representativeDevices(induced, config);
-    if (localContext != nullptr) {
-      // Algorithm 2 on G_t: propagate the trained model over the
-      // subcircuit's own multigraph, so the embedding depends only on the
-      // subcircuit's content.
-      const PreparedGraph prepared = prepareGraph(
-          induced, buildFeatureMatrix(design, subtree, localContext->features));
-      const nn::Matrix localZ = localContext->model.embed(prepared);
-      // Map top-M flat ids back to induced-graph rows.
-      embedding.structural.reserve(embedding.devices.size() * localZ.cols());
-      for (const FlatDeviceId dev : embedding.devices) {
-        const std::uint32_t row = induced.deviceToVertex.at(dev);
-        const double* data = localZ.row(row);
-        embedding.structural.insert(embedding.structural.end(), data,
-                                    data + localZ.cols());
+  // Phase 2 (serial): deterministic within-run dedupe of the misses. Nodes
+  // with an equal (hash, subtree size) join the first such node's group in
+  // ascending index order — stronger than the old schedule-dependent
+  // "later instance may hit the cache the first one stored".
+  std::vector<BlockWorkGroup> groups;
+  std::map<std::tuple<std::uint64_t, std::uint64_t, std::size_t>, std::size_t>
+      groupIndex;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (isMiss[i] == 0) continue;
+    if (out[i].hashValid) {
+      const auto key = std::make_tuple(out[i].hash.hi, out[i].hash.lo,
+                                       subtrees[i].size());
+      const auto [it, inserted] = groupIndex.emplace(key, groups.size());
+      if (!inserted) {
+        groups[it->second].members.push_back(i);
+        continue;
       }
-      if (cache != nullptr) {
-        auto entry = std::make_shared<CachedBlockEmbedding>();
-        entry->subtreeSize = subtree.size();
-        entry->representativePositions.reserve(embedding.devices.size());
-        for (const FlatDeviceId dev : embedding.devices) {
-          entry->representativePositions.push_back(
-              induced.deviceToVertex.at(dev));
-        }
-        entry->structural = embedding.structural;
-        cache->store(key, std::move(entry));
+    }
+    groups.push_back(BlockWorkGroup{i, {i}});
+  }
+
+  // Phase 3 (parallel): induced multigraph, PageRank representatives, and
+  // the prepared graph for each group's representative.
+  std::vector<CircuitGraph> induceds(groups.size());
+  std::vector<PreparedGraph> prepareds(groups.size());
+  std::vector<std::vector<FlatDeviceId>> repDevices(groups.size());
+  pool.forEach(groups.size(), [&](std::size_t gi) {
+    const trace::TraceSpan span("embed.subcircuit");
+    const std::size_t rep = groups[gi].rep;
+    induceds[gi] = buildInducedHeteroGraph(design, subtrees[rep],
+                                           graphOptions);
+    repDevices[gi] = representativeDevices(induceds[gi], config);
+    // Algorithm 2 on G_t: propagate the trained model over the
+    // subcircuit's own multigraph, so the embedding depends only on the
+    // subcircuit's content.
+    prepareds[gi] = prepareGraph(
+        induceds[gi],
+        buildFeatureMatrix(design, subtrees[rep], localContext->features));
+  });
+
+  // Phase 4 (parallel over chunks): batched GNN inference. Stacking is
+  // bitwise-neutral per row (see GnnModel::embedBatch), so the chunk size
+  // only shapes throughput, never results.
+  constexpr std::size_t kBatchChunk = 32;
+  const std::size_t numChunks = (groups.size() + kBatchChunk - 1) / kBatchChunk;
+  std::vector<nn::Matrix> localZ(groups.size());
+  pool.forEach(numChunks, [&](std::size_t chunk) {
+    const trace::TraceSpan span("embed.block_batch");
+    const std::size_t begin = chunk * kBatchChunk;
+    const std::size_t end = std::min(begin + kBatchChunk, groups.size());
+    std::vector<const PreparedGraph*> batch;
+    batch.reserve(end - begin);
+    for (std::size_t gi = begin; gi < end; ++gi) {
+      batch.push_back(&prepareds[gi]);
+    }
+    std::vector<nn::Matrix> embedded = localContext->model.embedBatch(batch);
+    for (std::size_t gi = begin; gi < end; ++gi) {
+      localZ[gi] = std::move(embedded[gi - begin]);
+    }
+  });
+
+  // Phase 5 (parallel): slice the representative rows, fill every member,
+  // and publish one cache entry per group.
+  pool.forEach(groups.size(), [&](std::size_t gi) {
+    const BlockWorkGroup& group = groups[gi];
+    const nn::Matrix& z = localZ[gi];
+    // Map top-M flat ids back to induced-graph rows (== subtree
+    // positions).
+    std::vector<std::uint32_t> positions;
+    positions.reserve(repDevices[gi].size());
+    for (const FlatDeviceId dev : repDevices[gi]) {
+      positions.push_back(induceds[gi].deviceToVertex.at(dev));
+    }
+    std::vector<double> structural;
+    structural.reserve(positions.size() * z.cols());
+    for (const std::uint32_t pos : positions) {
+      const double* data = z.row(pos);
+      structural.insert(structural.end(), data, data + z.cols());
+    }
+    for (const std::size_t member : group.members) {
+      SubcircuitEmbedding& embedding = out[member];
+      embedding.devices.reserve(positions.size());
+      for (const std::uint32_t pos : positions) {
+        embedding.devices.push_back(subtrees[member][pos]);
       }
-    } else {
-      embedding.structural = gatherEmbedding(embedding.devices,
-                                             designEmbeddings);
+      embedding.structural = structural;
+    }
+    if (cache != nullptr && out[group.rep].hashValid) {
+      auto entry = std::make_shared<CachedBlockEmbedding>();
+      entry->subtreeSize = subtrees[group.rep].size();
+      entry->representativePositions = std::move(positions);
+      entry->structural = std::move(structural);
+      cache->store(out[group.rep].hash, std::move(entry));
     }
   });
   return out;

@@ -8,6 +8,7 @@
 
 #include "core/circuit_hash.h"
 #include "core/model_io.h"
+#include "nn/kernels.h"
 #include "util/error.h"
 #include "util/fault.h"
 #include "util/metrics.h"
@@ -524,12 +525,14 @@ ExtractionResult ExtractionEngine::extractOne(
     result.report.addDiagnostics(sink->snapshotFrom(diagStart));
   }
   result.report.requestId = requestId;
+  result.report.kernel = nn::activeKernelName();
   if (requestId != 0) {
     for (diag::Diagnostic& d : result.report.diagnostics) {
       d.requestId = requestId;
     }
   }
   if (ledgerRec != nullptr) {
+    ledgerRec->kernel = nn::activeKernelName();
     ledgerRec->blockCacheHits = blockCounts.hits();
     ledgerRec->blockCacheMisses = blockCounts.misses();
     fillLedgerOutputs(*ledgerRec, result);
@@ -569,6 +572,7 @@ ExtractionResult ExtractionEngine::extract(const Library& lib,
     if (recPtr != nullptr) {
       rec.requestId = requestId;
       rec.correlationId = options.correlationId;
+      rec.kernel = nn::activeKernelName();
       if (rec.outcome == "ok") rec.outcome = "error";
       ledger_->append(rec);
     }
@@ -692,6 +696,7 @@ ExtractionResult ExtractionEngine::extractDelta(const Library& oldLib,
     if (recPtr != nullptr) {
       rec.requestId = requestId;
       rec.correlationId = options.correlationId;
+      rec.kernel = nn::activeKernelName();
       if (rec.outcome == "ok") rec.outcome = "error";
       rec.wallSeconds = deltaSpan.seconds();
       ledger_->append(rec);
@@ -787,6 +792,7 @@ std::vector<ExtractionResult> ExtractionEngine::extractBatch(
         ledger::LedgerRecord rec;
         rec.requestId = baseId + i;
         rec.correlationId = options.correlationId;
+        rec.kernel = nn::activeKernelName();
         rec.outcome = "admission_rejected";
         rec.cacheOutcome = "none";
         rec.diagnostics.emplace_back(

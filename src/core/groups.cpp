@@ -168,40 +168,4 @@ std::size_t appendSymmetryGroups(const FlatDesign& design, ConstraintSet& set,
   return count;
 }
 
-// Legacy name-pair view, reconstructed through the registry path so old
-// and new callers agree record for record.
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-std::vector<SymmetryGroup> buildSymmetryGroups(const FlatDesign& design,
-                                               const DetectionResult& detection,
-                                               const GroupOptions& options) {
-  ConstraintSet set = buildConstraintSet(design, detection);
-  appendSymmetryGroups(design, set, options);
-  std::vector<SymmetryGroup> out;
-  for (const Constraint* g : set.ofType(ConstraintType::kSymmetryGroup)) {
-    SymmetryGroup group;
-    group.hierarchy = g->hierarchy;
-    group.level = g->level;
-    for (std::size_t i = 0; i < g->pairCount; ++i) {
-      group.pairs.emplace_back(g->members[2 * i].name,
-                               g->members[2 * i + 1].name);
-    }
-    for (std::size_t i = 2 * g->pairCount; i < g->members.size(); ++i) {
-      group.selfSymmetric.push_back(g->members[i].name);
-    }
-    out.push_back(std::move(group));
-  }
-  std::sort(out.begin(), out.end(),
-            [](const SymmetryGroup& a, const SymmetryGroup& b) {
-              if (a.hierarchy != b.hierarchy) return a.hierarchy < b.hierarchy;
-              return a.pairs < b.pairs;
-            });
-  return out;
-}
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
-
 }  // namespace ancstr

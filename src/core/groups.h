@@ -10,8 +10,7 @@
 // appendSymmetryGroups() merges a set's kSymmetryPair records into
 // kSymmetryGroup constraints (stable member ids + names, so rename-only
 // edits keep delta caches hot) and appends kSelfSymmetric records for the
-// bridging devices. The legacy name-pair SymmetryGroup view remains as a
-// deprecated shim.
+// bridging devices.
 #pragma once
 
 #include <string>
@@ -40,28 +39,5 @@ struct GroupOptions {
 /// Deterministic: equal input sets yield bitwise-equal output sets.
 std::size_t appendSymmetryGroups(const FlatDesign& design, ConstraintSet& set,
                                  const GroupOptions& options = {});
-
-/// One symmetry group under `hierarchy` (legacy name-pair view).
-struct SymmetryGroup {
-  HierNodeId hierarchy = 0;
-  ConstraintLevel level = ConstraintLevel::kDevice;
-  /// Matched pairs (local module names) merged into this group.
-  std::vector<std::pair<std::string, std::string>> pairs;
-  /// Self-symmetric members (local device names) that bridge the pairs.
-  std::vector<std::string> selfSymmetric;
-
-  std::size_t moduleCount() const {
-    return pairs.size() * 2 + selfSymmetric.size();
-  }
-};
-
-/// Merges the accepted constraints of `detection` into symmetry groups.
-/// Groups are reported in a deterministic order (by hierarchy id, then
-/// first pair name).
-[[deprecated(
-    "use appendSymmetryGroups on the typed ConstraintSet registry")]]
-std::vector<SymmetryGroup> buildSymmetryGroups(
-    const FlatDesign& design, const DetectionResult& detection,
-    const GroupOptions& options = {});
 
 }  // namespace ancstr

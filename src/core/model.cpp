@@ -1,7 +1,9 @@
 #include "core/model.h"
 
 #include "nn/init.h"
+#include "nn/kernels.h"
 #include "util/error.h"
+#include "util/metrics.h"
 #include "util/trace.h"
 
 namespace ancstr {
@@ -75,12 +77,162 @@ nn::Tensor GnnModel::forward(const PreparedGraph& g) const {
 }
 
 nn::Matrix GnnModel::embed(const PreparedGraph& g) const {
+  return embedStacked({&g}, {0}, g.numVertices());
+}
+
+std::vector<nn::Matrix> GnnModel::embedBatch(
+    const std::vector<const PreparedGraph*>& graphs) const {
+  // Chunk the stack so each chunk's per-layer working set (h, the four
+  // h W_t products, the message and GRU state matrices) stays cache
+  // resident; one unbounded stack turns every per-layer pass into an
+  // L2/L3 stream and loses to the per-graph loop at D=18. Chunking is
+  // bitwise-neutral: every kernel op is row-independent, so a graph's
+  // rows compute identically whatever chunk they land in.
+  constexpr std::size_t kChunkRows = 96;
+  std::vector<nn::Matrix> out;
+  out.reserve(graphs.size());
+  std::size_t begin = 0;
+  while (begin < graphs.size()) {
+    std::vector<const PreparedGraph*> chunk;
+    std::vector<std::size_t> offsets;
+    std::size_t total = 0;
+    std::size_t end = begin;
+    while (end < graphs.size()) {
+      const PreparedGraph* g = graphs[end];
+      ANCSTR_ASSERT(g != nullptr);
+      if (!chunk.empty() && total + g->numVertices() > kChunkRows) break;
+      chunk.push_back(g);
+      offsets.push_back(total);
+      total += g->numVertices();
+      ++end;
+    }
+    const nn::Matrix stacked = embedStacked(chunk, offsets, total);
+    for (std::size_t i = 0; i < chunk.size(); ++i) {
+      const std::size_t rows = chunk[i]->numVertices();
+      nn::Matrix slice(rows, stacked.cols());
+      for (std::size_t r = 0; r < rows; ++r) {
+        const double* src = stacked.row(offsets[i] + r);
+        double* dst = slice.row(r);
+        for (std::size_t c = 0; c < stacked.cols(); ++c) dst[c] = src[c];
+      }
+      out.push_back(std::move(slice));
+    }
+    begin = end;
+  }
+  return out;
+}
+
+nn::Matrix GnnModel::embedStacked(
+    const std::vector<const PreparedGraph*>& graphs,
+    const std::vector<std::size_t>& offsets, std::size_t totalRows) const {
   const trace::TraceSpan span("model.embed");
-  // Tape-free evaluation mirrors forward(); the tape variant is the
-  // reference, this one just skips gradient bookkeeping by reusing it and
-  // extracting the value (graphs here are small enough that the tape cost
-  // is negligible, so prefer the single code path over a hand-rolled copy).
-  return forward(g).value();
+  static metrics::Counter& embedCounter =
+      metrics::Registry::instance().counter("nn.embed.fast");
+  static metrics::Counter& gemmCounter =
+      metrics::Registry::instance().counter("nn.gemm.calls");
+  static metrics::Counter& gruCounter =
+      metrics::Registry::instance().counter("nn.gru.fused_steps");
+
+  const std::size_t hd = config_.hiddenDim;
+  const nn::Kernels& kernels = nn::activeKernels();
+  std::size_t gemmCalls = 0;
+
+  // Stack the feature rows, then apply the input projection in one GEMM.
+  nn::Matrix h(totalRows, config_.featureDim);
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    const nn::Matrix& features = graphs[i]->features;
+    if (features.cols() != config_.featureDim) {
+      throw ShapeError("GnnModel::embed: feature dim mismatch");
+    }
+    for (std::size_t r = 0; r < features.rows(); ++r) {
+      const double* src = features.row(r);
+      double* dst = h.row(offsets[i] + r);
+      for (std::size_t c = 0; c < features.cols(); ++c) dst[c] = src[c];
+    }
+  }
+  if (inputProj_.valid()) {
+    nn::Matrix projected;
+    h.matmulInto(inputProj_.value(), projected);
+    h = std::move(projected);
+    ++gemmCalls;
+  }
+
+  // Reused per-layer workspaces: the transformed messages per edge type,
+  // the per-type aggregate, the summed message, and the next state.
+  std::array<nn::Matrix, kNumEdgeTypes> hw;
+  nn::Matrix mt(totalRows, hd);
+  nn::Matrix msg(totalRows, hd);
+  nn::Matrix hNext(totalRows, hd);
+  std::vector<double> gruScratch;
+  for (int layer = 0; layer < config_.numLayers; ++layer) {
+    const std::size_t set = weightSetFor(layer);
+    const auto& ws = edgeWeights_[set];
+    // Edge types present in any graph of the batch. Types absent from one
+    // graph contribute exact zero rows for it, which is bitwise-neutral
+    // under the kernel contract (message matrices never hold -0.0).
+    std::array<std::size_t, kNumEdgeTypes> present{};
+    std::size_t numPresent = 0;
+    for (std::size_t t = 0; t < kNumEdgeTypes; ++t) {
+      for (const PreparedGraph* g : graphs) {
+        if (g->inAdjacency[t].nonZeros() > 0) {
+          present[numPresent++] = t;
+          break;
+        }
+      }
+    }
+    // One shared-A batched GEMM computes h W_t for every present type.
+    std::array<const double*, kNumEdgeTypes> bs{};
+    std::array<double*, kNumEdgeTypes> cs{};
+    for (std::size_t idx = 0; idx < numPresent; ++idx) {
+      const std::size_t t = present[idx];
+      if (hw[t].rows() != totalRows || hw[t].cols() != hd) {
+        hw[t] = nn::Matrix(totalRows, hd);
+      } else {
+        hw[t].setZero();
+      }
+      bs[idx] = ws[t].value().data();
+      cs[idx] = hw[t].data();
+    }
+    if (numPresent > 0) {
+      kernels.gemmBatchAcc(h.data(), bs.data(), cs.data(), numPresent,
+                           totalRows, hd, hd);
+      gemmCalls += numPresent;
+    }
+    bool first = true;
+    for (std::size_t idx = 0; idx < numPresent; ++idx) {
+      const std::size_t t = present[idx];
+      mt.setZero();
+      for (std::size_t i = 0; i < graphs.size(); ++i) {
+        const nn::SparseMatrix& adj = graphs[i]->inAdjacency[t];
+        if (adj.nonZeros() == 0) continue;
+        adj.multiplyAcc(hw[t].row(offsets[i]), hd, mt.row(offsets[i]));
+      }
+      if (first) {
+        std::swap(msg, mt);
+        first = false;
+      } else {
+        msg += mt;
+      }
+    }
+    if (numPresent == 0) {
+      msg.setZero();
+    } else if (config_.meanAggregation) {
+      for (std::size_t i = 0; i < graphs.size(); ++i) {
+        const std::vector<double>& inv = graphs[i]->inverseInDegree;
+        for (std::size_t r = 0; r < inv.size(); ++r) {
+          double* row = msg.row(offsets[i] + r);
+          for (std::size_t c = 0; c < hd; ++c) row[c] *= inv[r];
+        }
+      }
+    }
+    grus_[set].inferStepInto(msg, h, hNext, gruScratch);
+    std::swap(h, hNext);
+    gemmCalls += 2 * 3;  // the fused step's per-gate x W and h U GEMMs
+  }
+  embedCounter.add(graphs.size());
+  gemmCounter.add(gemmCalls);
+  gruCounter.add(static_cast<std::size_t>(config_.numLayers));
+  return h;
 }
 
 GnnModel GnnModel::clone() const {

@@ -58,8 +58,19 @@ class GnnModel {
   /// Autograd forward pass; returns Z (numVertices x hiddenDim) on tape.
   nn::Tensor forward(const PreparedGraph& g) const;
 
-  /// Tape-free inference; returns the final embedding matrix.
+  /// Tape-free inference through the runtime-dispatched kernel layer
+  /// (nn/kernels.h): batched per-edge-type GEMMs and the fused GRU step,
+  /// with no autograd node allocation. Bitwise identical to
+  /// forward(g).value(); returns the final embedding matrix.
   nn::Matrix embed(const PreparedGraph& g) const;
+
+  /// Batched inference: stacks the graphs row-wise so the per-layer GEMMs
+  /// run once over all subcircuits, then slices the result back apart.
+  /// out[i] is bitwise identical to embed(*graphs[i]) — every kernel op is
+  /// row-independent, so stacking never changes rounding. Null entries are
+  /// not allowed.
+  std::vector<nn::Matrix> embedBatch(
+      const std::vector<const PreparedGraph*>& graphs) const;
 
   /// All trainable parameters.
   std::vector<nn::Tensor> parameters() const;
@@ -76,6 +87,13 @@ class GnnModel {
   std::size_t weightSetFor(int layer) const {
     return config_.sharedWeights ? 0u : static_cast<std::size_t>(layer);
   }
+
+  /// Shared tape-free core of embed / embedBatch: the graphs' vertices
+  /// occupy stacked rows [offsets[i], offsets[i] + graphs[i]->numVertices())
+  /// of the returned matrix.
+  nn::Matrix embedStacked(const std::vector<const PreparedGraph*>& graphs,
+                          const std::vector<std::size_t>& offsets,
+                          std::size_t totalRows) const;
 
   GnnConfig config_;
   /// [weightSet][edgeType] message transforms, hiddenDim x hiddenDim.

@@ -12,6 +12,7 @@ Pipeline::Pipeline(PipelineConfig config) : config_(std::move(config)) {
   if (config_.model.featureDim != config_.features.dims()) {
     throw Error("PipelineConfig: model.featureDim must equal features.dims()");
   }
+  nn::selectKernel(config_.kernel);
 }
 
 PreparedGraph Pipeline::prepare(const Library& lib,
@@ -49,6 +50,7 @@ TrainReport Pipeline::train(std::span<const Library* const> corpus) {
 
   report.report.metrics =
       metrics::Registry::instance().snapshot().since(before);
+  report.report.kernel = nn::activeKernelName();
   return report;
 }
 
@@ -137,6 +139,7 @@ ExtractionResult Pipeline::extract(const Library& lib,
         metrics::Registry::instance().snapshot().since(before);
     result.report.requestId = requestId;
     result.report.correlationId = options.correlationId;
+    result.report.kernel = nn::activeKernelName();
     return result;
   }
 
@@ -171,6 +174,7 @@ ExtractionResult Pipeline::extract(const Library& lib,
   result.report.addDiagnostics(sink.snapshotFrom(diagStart));
   result.report.requestId = requestId;
   result.report.correlationId = options.correlationId;
+  result.report.kernel = nn::activeKernelName();
   for (diag::Diagnostic& d : result.report.diagnostics) {
     d.requestId = requestId;
   }

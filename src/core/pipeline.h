@@ -19,6 +19,7 @@
 #include "core/features.h"
 #include "core/trainer.h"
 #include "netlist/flatten.h"
+#include "nn/kernels.h"
 #include "nn/matrix.h"
 #include "util/deadline.h"
 #include "util/report.h"
@@ -39,6 +40,12 @@ struct PipelineConfig {
   /// trained weights are bitwise identical for every value — parallelism
   /// here only changes wall-clock time.
   std::size_t threads = 1;
+  /// Requested nn kernel backend (nn/kernels.h). kAuto picks the best ISA
+  /// the CPU supports; a specific kind falls back (with a warning) when
+  /// unavailable. The ANCSTR_KERNEL environment variable overrides, and
+  /// the choice is process-wide — results are bitwise identical across
+  /// backends, so this is purely a performance knob.
+  nn::KernelKind kernel = nn::KernelKind::kAuto;
 
   PipelineConfig() {
     model.featureDim = features.dims();
@@ -135,15 +142,6 @@ class Pipeline {
   /// corrupt input.
   ExtractionResult extract(const Library& lib,
                            ExtractOptions options = {}) const;
-
-  /// Legacy fail-soft overload.
-  [[deprecated("pass ExtractOptions{&sink} instead")]]
-  ExtractionResult extract(const Library& lib,
-                           diag::DiagnosticSink& sink) const {
-    ExtractOptions options;
-    options.sink = &sink;
-    return extract(lib, options);
-  }
 
   // --- Serving hooks (used by core/engine.h) ---------------------------
   // extract() == runInference() + runDetection() over an elaborated

@@ -1,6 +1,7 @@
 #include "nn/gru.h"
 
 #include "nn/init.h"
+#include "util/error.h"
 
 namespace ancstr::nn {
 
@@ -26,6 +27,45 @@ Tensor GruCell::forward(const Tensor& x, const Tensor& h) const {
 
 std::vector<Tensor> GruCell::parameters() const {
   return {wz_, uz_, bz_, wr_, ur_, br_, wc_, uc_, bc_};
+}
+
+GruStepParams GruCell::stepParams() const {
+  GruStepParams p;
+  p.wz = wz_.value().data();
+  p.uz = uz_.value().data();
+  p.bz = bz_.value().data();
+  p.wr = wr_.value().data();
+  p.ur = ur_.value().data();
+  p.br = br_.value().data();
+  p.wc = wc_.value().data();
+  p.uc = uc_.value().data();
+  p.bc = bc_.value().data();
+  p.inputDim = inputDim_;
+  p.hiddenDim = hiddenDim_;
+  return p;
+}
+
+void GruCell::inferStepInto(const Matrix& x, const Matrix& h, Matrix& hOut,
+                            std::vector<double>& scratch) const {
+  if (x.cols() != inputDim_ || h.cols() != hiddenDim_ ||
+      x.rows() != h.rows()) {
+    throw ShapeError("GruCell::inferStepInto: " + x.shapeString() + " x " +
+                     h.shapeString());
+  }
+  if (hOut.rows() != h.rows() || hOut.cols() != hiddenDim_) {
+    hOut = Matrix(h.rows(), hiddenDim_);
+  }
+  const std::size_t needed = gruStepScratchDoubles(h.rows(), hiddenDim_);
+  if (scratch.size() < needed) scratch.resize(needed);
+  activeKernels().fusedGruStep(stepParams(), x.data(), h.data(), hOut.data(),
+                               h.rows(), scratch.data());
+}
+
+Matrix GruCell::inferStep(const Matrix& x, const Matrix& h) const {
+  Matrix hOut;
+  std::vector<double> scratch;
+  inferStepInto(x, h, hOut, scratch);
+  return hOut;
 }
 
 }  // namespace ancstr::nn

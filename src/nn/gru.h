@@ -5,6 +5,7 @@
 
 #include <vector>
 
+#include "nn/kernels.h"
 #include "nn/tensor.h"
 #include "util/rng.h"
 
@@ -21,6 +22,20 @@ class GruCell {
 
   /// x: (N x inputDim), h: (N x hiddenDim) -> (N x hiddenDim).
   Tensor forward(const Tensor& x, const Tensor& h) const;
+
+  /// Tape-free fused step through the active kernel table, bitwise
+  /// identical to forward(x, h).value(). `hOut` is reshaped as needed and
+  /// must not alias x or h; `scratch` is grown as needed and reusable
+  /// across calls.
+  void inferStepInto(const Matrix& x, const Matrix& h, Matrix& hOut,
+                     std::vector<double>& scratch) const;
+
+  /// Allocating convenience wrapper over inferStepInto.
+  Matrix inferStep(const Matrix& x, const Matrix& h) const;
+
+  /// Raw parameter pointers for Kernels::fusedGruStep. Valid while this
+  /// cell is alive and its parameters are not reassigned.
+  GruStepParams stepParams() const;
 
   /// All 9 trainable parameter tensors.
   std::vector<Tensor> parameters() const;

@@ -1,0 +1,323 @@
+// Kernel dispatch, the scalar backend, and the fused GRU step.
+//
+// This TU is compiled for the baseline target (plus -ffp-contract=off like
+// the SIMD backend TUs), so the scalar table and the shared elementwise
+// half of the fused GRU step can never pick up ISA-specific code. CPUID
+// detection uses __builtin_cpu_supports, which is independent of the
+// flags this TU is compiled with.
+#include "nn/kernels.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+#include "util/logging.h"
+#include "util/metrics.h"
+
+namespace ancstr::nn {
+
+namespace {
+
+using kdetail::KernelOps;
+
+void gemmAccScalar(const double* a, const double* b, double* c, std::size_t m,
+                   std::size_t k, std::size_t n) {
+  kdetail::gemmAccRef(a, b, c, m, k, n);
+}
+
+void gemmBatchAccScalar(const double* a, const double* const* bs,
+                        double* const* cs, std::size_t count, std::size_t m,
+                        std::size_t k, std::size_t n) {
+  kdetail::gemmBatchAccRef(a, bs, cs, count, m, k, n);
+}
+
+void gemvScalar(const double* a, const double* x, double* y, std::size_t m,
+                std::size_t n) {
+  kdetail::gemvRef(a, x, y, m, n);
+}
+
+void axpyScalar(double* y, const double* x, double s, std::size_t n) {
+  kdetail::axpyRef(y, x, s, n);
+}
+
+/// The fused GRU step with the gemms injected, so every backend shares one
+/// compiled copy of the elementwise half (baseline target) and is bitwise
+/// identical to the tape path by construction: each intermediate below is
+/// rounded exactly like the corresponding tensor op in nn/gru.h forward().
+void fusedGruStepWith(kdetail::GemmFn gemm, const GruStepParams& p,
+                      const double* x, const double* h, double* hOut,
+                      std::size_t rows, double* scratch) {
+  const std::size_t hd = p.hiddenDim;
+  const std::size_t nh = rows * hd;
+  double* bufA = scratch;           // x W, then the candidate state c
+  double* bufB = scratch + nh;      // h U
+  double* bufZ = scratch + 2 * nh;  // update gate z
+  double* bufR = scratch + 3 * nh;  // reset gate r, then r . h
+  // pre-activation = (x W + h U) + bias, matching
+  // addRow(add(matmul(x, W), matmul(hs, U)), bias) term by term.
+  const auto gate = [&](const double* w, const double* u, const double* hs,
+                        std::size_t hsCols, const double* bias, double* out,
+                        bool isTanh) {
+    for (std::size_t idx = 0; idx < nh; ++idx) bufA[idx] = 0.0;
+    gemm(x, w, bufA, rows, p.inputDim, hd);
+    for (std::size_t idx = 0; idx < nh; ++idx) bufB[idx] = 0.0;
+    gemm(hs, u, bufB, rows, hsCols, hd);
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t cIdx = 0; cIdx < hd; ++cIdx) {
+        const std::size_t idx = r * hd + cIdx;
+        const double pre = (bufA[idx] + bufB[idx]) + bias[cIdx];
+        out[idx] = isTanh ? std::tanh(pre) : kdetail::stableSigmoid(pre);
+      }
+    }
+  };
+  gate(p.wz, p.uz, h, hd, p.bz, bufZ, /*isTanh=*/false);
+  gate(p.wr, p.ur, h, hd, p.br, bufR, /*isTanh=*/false);
+  for (std::size_t idx = 0; idx < nh; ++idx) bufR[idx] = bufR[idx] * h[idx];
+  gate(p.wc, p.uc, bufR, hd, p.bc, bufA, /*isTanh=*/true);
+  // h' = (1 - z) . h + z . c, rounded like
+  // add(hadamard(oneMinus(z), h), hadamard(z, c)).
+  for (std::size_t idx = 0; idx < nh; ++idx) {
+    hOut[idx] = ((1.0 - bufZ[idx]) * h[idx]) + (bufZ[idx] * bufA[idx]);
+  }
+}
+
+void fusedGruStepScalar(const GruStepParams& p, const double* x,
+                        const double* h, double* hOut, std::size_t rows,
+                        double* scratch) {
+  fusedGruStepWith(kdetail::scalarOps()->gemmAcc, p, x, h, hOut, rows,
+                   scratch);
+}
+
+void fusedGruStepAvx2(const GruStepParams& p, const double* x,
+                      const double* h, double* hOut, std::size_t rows,
+                      double* scratch) {
+  fusedGruStepWith(kdetail::avx2Ops()->gemmAcc, p, x, h, hOut, rows, scratch);
+}
+
+void fusedGruStepAvx512(const GruStepParams& p, const double* x,
+                        const double* h, double* hOut, std::size_t rows,
+                        double* scratch) {
+  fusedGruStepWith(kdetail::avx512Ops()->gemmAcc, p, x, h, hOut, rows,
+                   scratch);
+}
+
+bool cpuSupports(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kScalar:
+      return true;
+    case KernelKind::kAvx2:
+      return __builtin_cpu_supports("avx2") != 0;
+    case KernelKind::kAvx512:
+      return __builtin_cpu_supports("avx512f") != 0;
+    case KernelKind::kAuto:
+      break;
+  }
+  return false;
+}
+
+/// The complete immutable table for an available backend.
+const Kernels* tableFor(KernelKind kind) {
+  static const Kernels scalarTable = [] {
+    Kernels t;
+    t.kind = KernelKind::kScalar;
+    const KernelOps* ops = kdetail::scalarOps();
+    t.gemmAcc = ops->gemmAcc;
+    t.gemmBatchAcc = ops->gemmBatchAcc;
+    t.gemv = ops->gemv;
+    t.axpy = ops->axpy;
+    t.fusedGruStep = fusedGruStepScalar;
+    return t;
+  }();
+  if (kind == KernelKind::kScalar) return &scalarTable;
+  if (kind == KernelKind::kAvx2 && kdetail::avx2Ops() != nullptr) {
+    static const Kernels avx2Table = [] {
+      Kernels t;
+      t.kind = KernelKind::kAvx2;
+      const KernelOps* ops = kdetail::avx2Ops();
+      t.gemmAcc = ops->gemmAcc;
+      t.gemmBatchAcc = ops->gemmBatchAcc;
+      t.gemv = ops->gemv;
+      t.axpy = ops->axpy;
+      t.fusedGruStep = fusedGruStepAvx2;
+      return t;
+    }();
+    return &avx2Table;
+  }
+  if (kind == KernelKind::kAvx512 && kdetail::avx512Ops() != nullptr) {
+    static const Kernels avx512Table = [] {
+      Kernels t;
+      t.kind = KernelKind::kAvx512;
+      const KernelOps* ops = kdetail::avx512Ops();
+      t.gemmAcc = ops->gemmAcc;
+      t.gemmBatchAcc = ops->gemmBatchAcc;
+      t.gemv = ops->gemv;
+      t.axpy = ops->axpy;
+      t.fusedGruStep = fusedGruStepAvx512;
+      return t;
+    }();
+    return &avx512Table;
+  }
+  return nullptr;
+}
+
+KernelKind bestAvailable() {
+  if (kernelAvailable(KernelKind::kAvx512)) return KernelKind::kAvx512;
+  if (kernelAvailable(KernelKind::kAvx2)) return KernelKind::kAvx2;
+  return KernelKind::kScalar;
+}
+
+std::atomic<const Kernels*> g_active{nullptr};
+
+/// Publishes nn.kernel_info{dispatch=...,compiled=...} = 1 for the active
+/// dispatch (Prometheus info-metric style: a re-dispatch zeroes the prior
+/// label variant and raises the new one). Registered with
+/// metrics::publishProcessMetrics on first dispatch, so the CLI/engine
+/// metric emitters refresh it alongside process.build_info.
+void publishKernelInfo() {
+  static std::mutex mutex;
+  static metrics::Gauge* last = nullptr;
+  const std::lock_guard<std::mutex> lock(mutex);
+  metrics::Gauge& info = metrics::Registry::instance().gauge(
+      std::string("nn.kernel_info{dispatch=\"") +
+      metrics::escapeLabelValue(activeKernelName()) + "\",compiled=\"" +
+      metrics::escapeLabelValue(compiledKernelsString()) + "\"}");
+  if (last != nullptr && last != &info) last->set(0.0);
+  info.set(1.0);
+  last = &info;
+}
+
+/// One-time registration hook; invoked after every dispatch change.
+void registerKernelInfo() {
+  static const bool registered = [] {
+    metrics::registerProcessMetricsPublisher(&publishKernelInfo);
+    return true;
+  }();
+  (void)registered;
+  publishKernelInfo();
+}
+
+}  // namespace
+
+const char* kernelName(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kAuto:
+      return "auto";
+    case KernelKind::kScalar:
+      return "scalar";
+    case KernelKind::kAvx2:
+      return "avx2";
+    case KernelKind::kAvx512:
+      return "avx512";
+  }
+  return "scalar";
+}
+
+std::optional<KernelKind> parseKernelKind(std::string_view name) {
+  if (name == "auto") return KernelKind::kAuto;
+  if (name == "scalar") return KernelKind::kScalar;
+  if (name == "avx2") return KernelKind::kAvx2;
+  if (name == "avx512") return KernelKind::kAvx512;
+  return std::nullopt;
+}
+
+bool kernelCompiled(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kScalar:
+      return true;
+    case KernelKind::kAvx2:
+      return kdetail::avx2Ops() != nullptr;
+    case KernelKind::kAvx512:
+      return kdetail::avx512Ops() != nullptr;
+    case KernelKind::kAuto:
+      break;
+  }
+  return false;
+}
+
+bool kernelAvailable(KernelKind kind) {
+  return kernelCompiled(kind) && cpuSupports(kind);
+}
+
+std::vector<KernelKind> compiledKernels() {
+  std::vector<KernelKind> kinds{KernelKind::kScalar};
+  if (kernelCompiled(KernelKind::kAvx2)) kinds.push_back(KernelKind::kAvx2);
+  if (kernelCompiled(KernelKind::kAvx512)) {
+    kinds.push_back(KernelKind::kAvx512);
+  }
+  return kinds;
+}
+
+std::string compiledKernelsString() {
+  std::string out;
+  for (const KernelKind kind : compiledKernels()) {
+    if (!out.empty()) out += ',';
+    out += kernelName(kind);
+  }
+  return out;
+}
+
+KernelKind resolveKernel(KernelKind requested) {
+  if (const char* env = std::getenv("ANCSTR_KERNEL")) {
+    if (const auto parsed = parseKernelKind(env)) {
+      requested = *parsed;
+    } else {
+      log::warn() << "ANCSTR_KERNEL=" << env
+                  << " is not auto|scalar|avx2|avx512; ignoring";
+    }
+  }
+  if (requested == KernelKind::kAuto) return bestAvailable();
+  if (kernelAvailable(requested)) return requested;
+  const KernelKind fallback = bestAvailable();
+  log::warn() << "kernel " << kernelName(requested)
+              << (kernelCompiled(requested) ? " not supported by this CPU"
+                                            : " not compiled into this binary")
+              << "; falling back to " << kernelName(fallback);
+  return fallback;
+}
+
+KernelKind selectKernel(KernelKind requested) {
+  const KernelKind resolved = resolveKernel(requested);
+  g_active.store(tableFor(resolved), std::memory_order_release);
+  registerKernelInfo();
+  return resolved;
+}
+
+const Kernels& activeKernels() {
+  const Kernels* table = g_active.load(std::memory_order_acquire);
+  if (table == nullptr) {
+    table = tableFor(resolveKernel(KernelKind::kAuto));
+    // A concurrent first use resolves to the same table; last write wins
+    // and both writes are identical.
+    g_active.store(table, std::memory_order_release);
+    registerKernelInfo();
+  }
+  return *table;
+}
+
+KernelKind activeKernelKind() { return activeKernels().kind; }
+
+const char* activeKernelName() { return kernelName(activeKernelKind()); }
+
+const Kernels& kernelsFor(KernelKind kind) {
+  const Kernels* table = kernelAvailable(kind) ? tableFor(kind) : nullptr;
+  if (table == nullptr) {
+    throw Error(std::string("kernelsFor: ") + kernelName(kind) +
+                " is not available on this machine");
+  }
+  return *table;
+}
+
+namespace kdetail {
+
+const KernelOps* scalarOps() {
+  static const KernelOps ops{gemmAccScalar, gemmBatchAccScalar, gemvScalar,
+                             axpyScalar};
+  return &ops;
+}
+
+}  // namespace kdetail
+
+}  // namespace ancstr::nn

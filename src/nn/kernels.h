@@ -1,0 +1,121 @@
+// Runtime-dispatched numeric kernels for the nn hot path.
+//
+// The serving-critical inner loop of the GGNN — per-edge-type GEMMs, the
+// sparse message aggregation, and the GRU state update — runs through a
+// process-global table of function pointers selected once from CPUID
+// (avx512 > avx2 > scalar). Every backend implements the identical
+// per-element operation sequence (kernels_detail.h), so results are
+// BITWISE IDENTICAL across scalar/avx2/avx512 for both training and
+// inference; dispatch is a pure speed choice and never a numeric one.
+// Consequences: cache keys need no kernel salt, and the cross-kernel
+// equivalence suite asserts exact equality (docs/api.md, "Numeric
+// contract").
+//
+// Selection precedence: the ANCSTR_KERNEL environment variable (auto |
+// scalar | avx2 | avx512) wins over programmatic selection
+// (PipelineConfig::kernel, CLI --kernel), mirroring ANCSTR_THREADS. A
+// requested backend that is not compiled in or not supported by the CPU
+// falls back to the best available one with a warning.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "nn/kernels_detail.h"
+
+namespace ancstr::nn {
+
+/// Kernel backend identity. kAuto is only ever a *request* (resolve to the
+/// best available backend); the active kernel is never kAuto.
+enum class KernelKind { kAuto, kScalar, kAvx2, kAvx512 };
+
+/// "auto" / "scalar" / "avx2" / "avx512".
+const char* kernelName(KernelKind kind);
+
+/// Inverse of kernelName; nullopt for anything else.
+std::optional<KernelKind> parseKernelKind(std::string_view name);
+
+/// Raw parameter pointers of one GRU cell (row-major; see nn/gru.h for the
+/// gate equations). w*: inputDim x hiddenDim, u*: hiddenDim x hiddenDim,
+/// b*: 1 x hiddenDim.
+struct GruStepParams {
+  const double* wz = nullptr;
+  const double* uz = nullptr;
+  const double* bz = nullptr;
+  const double* wr = nullptr;
+  const double* ur = nullptr;
+  const double* br = nullptr;
+  const double* wc = nullptr;
+  const double* uc = nullptr;
+  const double* bc = nullptr;
+  std::size_t inputDim = 0;
+  std::size_t hiddenDim = 0;
+};
+
+/// Doubles of scratch fusedGruStep needs for `rows` batched states.
+constexpr std::size_t gruStepScratchDoubles(std::size_t rows,
+                                            std::size_t hiddenDim) {
+  return 4 * rows * hiddenDim;
+}
+
+/// One backend's kernel table. All entries are non-null.
+struct Kernels {
+  KernelKind kind = KernelKind::kScalar;
+  /// C += A B (A: m x k, B: k x n, C: m x n, row-major, C caller-init).
+  kdetail::GemmFn gemmAcc = nullptr;
+  /// cs[t] += A bs[t] for t < count: shared-A batch across the per-edge-
+  /// type message transforms, streaming A once.
+  kdetail::GemmBatchFn gemmBatchAcc = nullptr;
+  /// y = A x via the fixed 8-lane reduction decomposition.
+  kdetail::GemvFn gemv = nullptr;
+  /// y += s * x.
+  kdetail::AxpyFn axpy = nullptr;
+  /// Fused tape-free GRU step: hOut = GRU(x, h) for row-batched states,
+  /// bitwise identical to the autograd path in nn/gru.h. x: rows x
+  /// inputDim, h / hOut: rows x hiddenDim; hOut must not alias x or h.
+  /// scratch: >= gruStepScratchDoubles(rows, hiddenDim) doubles.
+  void (*fusedGruStep)(const GruStepParams& p, const double* x,
+                       const double* h, double* hOut, std::size_t rows,
+                       double* scratch) = nullptr;
+};
+
+/// True when `kind`'s backend was compiled into this binary.
+bool kernelCompiled(KernelKind kind);
+
+/// True when `kind` is compiled in AND the CPU supports it.
+bool kernelAvailable(KernelKind kind);
+
+/// The backends compiled into this binary (always contains kScalar).
+std::vector<KernelKind> compiledKernels();
+
+/// Comma-joined kernelName list of compiledKernels(), e.g.
+/// "scalar,avx2,avx512" — the `compiled` label of nn.kernel_info.
+std::string compiledKernelsString();
+
+/// Resolves a request to the backend dispatch would pick: applies the
+/// ANCSTR_KERNEL override, maps kAuto to the best available backend, and
+/// falls back (with a warning) when the request is unavailable. Pure —
+/// does not change the active kernel.
+KernelKind resolveKernel(KernelKind requested);
+
+/// Resolves `requested` and installs it as the process-wide active kernel.
+/// Returns what was installed. Thread-safe; because all backends are
+/// bitwise-identical, a mid-run switch changes speed, never results.
+KernelKind selectKernel(KernelKind requested);
+
+/// The active kernel table (dispatching on first use when nothing was
+/// selected yet). Thread-safe.
+const Kernels& activeKernels();
+
+KernelKind activeKernelKind();
+const char* activeKernelName();
+
+/// The table for a specific backend, for tests and benchmarks that pin a
+/// kernel without touching global dispatch. Throws Error when `kind` is
+/// kAuto or not available on this machine.
+const Kernels& kernelsFor(KernelKind kind);
+
+}  // namespace ancstr::nn

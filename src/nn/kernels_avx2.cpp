@@ -1,0 +1,18 @@
+// The only TU compiled with -mavx2 (plus -ffp-contract=off; see
+// src/nn/CMakeLists.txt). When the toolchain cannot target AVX2 the table
+// accessor returns null and dispatch falls back.
+#include "nn/kernels_avx2.h"
+
+namespace ancstr::nn::kdetail {
+
+const KernelOps* avx2Ops() {
+#if defined(__AVX2__)
+  static const KernelOps ops{avx2::gemmAcc, avx2::gemmBatchAcc, avx2::gemv,
+                             avx2::axpy};
+  return &ops;
+#else
+  return nullptr;
+#endif
+}
+
+}  // namespace ancstr::nn::kdetail

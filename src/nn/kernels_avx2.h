@@ -1,0 +1,238 @@
+// AVX2 kernel backend (4-wide double vectors). Only meaningful when the
+// including TU is compiled with -mavx2 (kernels_avx2.cpp is the only such
+// TU); without __AVX2__ the header is empty so it stays safe to include —
+// and to syntax-check standalone — from baseline TUs.
+//
+// Numeric contract: identical per-element operation sequence to the
+// reference implementations in kernels_detail.h — multiply and add are
+// separate rounds (-mavx2 does not enable FMA, and the TU is compiled with
+// -ffp-contract=off), k is folded in ascending order, vectorisation is
+// across independent output columns only, and the gemv lanes follow the
+// fixed 8-lane decomposition. See docs/api.md "Numeric contract".
+#pragma once
+
+#include "nn/kernels_detail.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace ancstr::nn::kdetail::avx2 {
+
+/// One row's j-loop of gemmAcc: cRow += av * bRow over n columns.
+static inline void rowUpdate(double* cRow, const double* bRow, double av,
+                             std::size_t n) {
+  const __m256d va = _mm256_set1_pd(av);
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m256d vb = _mm256_loadu_pd(bRow + j);
+    const __m256d vc = _mm256_loadu_pd(cRow + j);
+    _mm256_storeu_pd(cRow + j, _mm256_add_pd(vc, _mm256_mul_pd(va, vb)));
+  }
+  for (; j < n; ++j) cRow[j] += av * bRow[j];
+}
+
+/// Mask whose low `rem` (1..4) 64-bit lanes have the sign bit set, as
+/// _mm256_maskload_pd/_mm256_maskstore_pd expect.
+static inline __m256i laneMask(std::size_t rem) {
+  return _mm256_set_epi64x(rem > 3 ? -1 : 0, rem > 2 ? -1 : 0,
+                           rem > 1 ? -1 : 0, rem > 0 ? -1 : 0);
+}
+
+/// Narrow-output gemmAcc (n <= 4 * NV): each C row fits NV vectors, so the
+/// accumulators live in registers across the whole k loop — loaded from C
+/// once, stored once. Per output element this performs the exact same
+/// ascending-k add sequence as the load/add/store form (the adds fold into
+/// the same running value), so bitwise identity is preserved while the
+/// per-k C traffic disappears. The zero-skip stays per (i, k). Rows go in
+/// blocks of 2: with NV <= 6 that is 12 accumulators plus broadcasts and a
+/// B vector inside the 16 ymm registers.
+template <int NV>
+static inline void gemmAccNarrow(const double* a, const double* b, double* c,
+                                 std::size_t m, std::size_t k, std::size_t n) {
+  __m256i masks[NV];
+  for (int v = 0; v < NV; ++v) {
+    const std::size_t lanes = n - static_cast<std::size_t>(4 * v);
+    masks[v] = laneMask(lanes >= 4 ? 4 : lanes);
+  }
+  std::size_t i = 0;
+  for (; i + 2 <= m; i += 2) {
+    const double* aRow0 = a + i * k;
+    const double* aRow1 = aRow0 + k;
+    double* cRow0 = c + i * n;
+    double* cRow1 = cRow0 + n;
+    __m256d acc0[NV], acc1[NV];
+    for (int v = 0; v < NV; ++v) {
+      acc0[v] = _mm256_maskload_pd(cRow0 + 4 * v, masks[v]);
+      acc1[v] = _mm256_maskload_pd(cRow1 + 4 * v, masks[v]);
+    }
+    for (std::size_t p = 0; p < k; ++p) {
+      const double a0 = aRow0[p], a1 = aRow1[p];
+      const double* bRow = b + p * n;
+      if (a0 == 0.0 && a1 == 0.0) continue;
+      const __m256d va0 = _mm256_set1_pd(a0);
+      const __m256d va1 = _mm256_set1_pd(a1);
+      for (int v = 0; v < NV; ++v) {
+        const __m256d vb = _mm256_maskload_pd(bRow + 4 * v, masks[v]);
+        if (a0 != 0.0) acc0[v] = _mm256_add_pd(acc0[v], _mm256_mul_pd(va0, vb));
+        if (a1 != 0.0) acc1[v] = _mm256_add_pd(acc1[v], _mm256_mul_pd(va1, vb));
+      }
+    }
+    for (int v = 0; v < NV; ++v) {
+      _mm256_maskstore_pd(cRow0 + 4 * v, masks[v], acc0[v]);
+      _mm256_maskstore_pd(cRow1 + 4 * v, masks[v], acc1[v]);
+    }
+  }
+  for (; i < m; ++i) {
+    const double* aRow = a + i * k;
+    double* cRow = c + i * n;
+    __m256d acc[NV];
+    for (int v = 0; v < NV; ++v) {
+      acc[v] = _mm256_maskload_pd(cRow + 4 * v, masks[v]);
+    }
+    for (std::size_t p = 0; p < k; ++p) {
+      const double av = aRow[p];
+      if (av == 0.0) continue;
+      const __m256d va = _mm256_set1_pd(av);
+      const double* bRow = b + p * n;
+      for (int v = 0; v < NV; ++v) {
+        acc[v] = _mm256_add_pd(
+            acc[v], _mm256_mul_pd(va, _mm256_maskload_pd(bRow + 4 * v,
+                                                         masks[v])));
+      }
+    }
+    for (int v = 0; v < NV; ++v) {
+      _mm256_maskstore_pd(cRow + 4 * v, masks[v], acc[v]);
+    }
+  }
+}
+
+static inline void gemmAcc(const double* a, const double* b, double* c,
+                           std::size_t m, std::size_t k, std::size_t n) {
+  if (n > 0 && n <= 24) {
+    switch ((n + 3) / 4) {
+      case 1: gemmAccNarrow<1>(a, b, c, m, k, n); return;
+      case 2: gemmAccNarrow<2>(a, b, c, m, k, n); return;
+      case 3: gemmAccNarrow<3>(a, b, c, m, k, n); return;
+      case 4: gemmAccNarrow<4>(a, b, c, m, k, n); return;
+      case 5: gemmAccNarrow<5>(a, b, c, m, k, n); return;
+      default: gemmAccNarrow<6>(a, b, c, m, k, n); return;
+    }
+  }
+  std::size_t i = 0;
+  // 4-row blocks share each B row load; the zero-skip stays per (i, k).
+  for (; i + 4 <= m; i += 4) {
+    const double* aRow0 = a + i * k;
+    const double* aRow1 = aRow0 + k;
+    const double* aRow2 = aRow1 + k;
+    const double* aRow3 = aRow2 + k;
+    double* cRow0 = c + i * n;
+    double* cRow1 = cRow0 + n;
+    double* cRow2 = cRow1 + n;
+    double* cRow3 = cRow2 + n;
+    for (std::size_t p = 0; p < k; ++p) {
+      const double a0 = aRow0[p], a1 = aRow1[p];
+      const double a2 = aRow2[p], a3 = aRow3[p];
+      const double* bRow = b + p * n;
+      if (a0 != 0.0 && a1 != 0.0 && a2 != 0.0 && a3 != 0.0) {
+        const __m256d v0 = _mm256_set1_pd(a0);
+        const __m256d v1 = _mm256_set1_pd(a1);
+        const __m256d v2 = _mm256_set1_pd(a2);
+        const __m256d v3 = _mm256_set1_pd(a3);
+        std::size_t j = 0;
+        for (; j + 4 <= n; j += 4) {
+          const __m256d vb = _mm256_loadu_pd(bRow + j);
+          _mm256_storeu_pd(cRow0 + j, _mm256_add_pd(_mm256_loadu_pd(cRow0 + j),
+                                                    _mm256_mul_pd(v0, vb)));
+          _mm256_storeu_pd(cRow1 + j, _mm256_add_pd(_mm256_loadu_pd(cRow1 + j),
+                                                    _mm256_mul_pd(v1, vb)));
+          _mm256_storeu_pd(cRow2 + j, _mm256_add_pd(_mm256_loadu_pd(cRow2 + j),
+                                                    _mm256_mul_pd(v2, vb)));
+          _mm256_storeu_pd(cRow3 + j, _mm256_add_pd(_mm256_loadu_pd(cRow3 + j),
+                                                    _mm256_mul_pd(v3, vb)));
+        }
+        for (; j < n; ++j) {
+          cRow0[j] += a0 * bRow[j];
+          cRow1[j] += a1 * bRow[j];
+          cRow2[j] += a2 * bRow[j];
+          cRow3[j] += a3 * bRow[j];
+        }
+      } else {
+        if (a0 != 0.0) rowUpdate(cRow0, bRow, a0, n);
+        if (a1 != 0.0) rowUpdate(cRow1, bRow, a1, n);
+        if (a2 != 0.0) rowUpdate(cRow2, bRow, a2, n);
+        if (a3 != 0.0) rowUpdate(cRow3, bRow, a3, n);
+      }
+    }
+  }
+  for (; i < m; ++i) {
+    const double* aRow = a + i * k;
+    double* cRow = c + i * n;
+    for (std::size_t p = 0; p < k; ++p) {
+      const double av = aRow[p];
+      if (av == 0.0) continue;
+      rowUpdate(cRow, b + p * n, av, n);
+    }
+  }
+}
+
+static inline void gemmBatchAcc(const double* a, const double* const* bs,
+                                double* const* cs, std::size_t count,
+                                std::size_t m, std::size_t k, std::size_t n) {
+  // Each (t, i, j) output element folds k ascending independently of every
+  // other t, so running the whole narrow register-accumulating gemm per
+  // target is bitwise identical to the interleaved loop below — and far
+  // cheaper, because the per-(i, k, t) C row round-trips disappear.
+  if (n > 0 && n <= 24) {
+    for (std::size_t t = 0; t < count; ++t) gemmAcc(a, bs[t], cs[t], m, k, n);
+    return;
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* aRow = a + i * k;
+    for (std::size_t p = 0; p < k; ++p) {
+      const double av = aRow[p];
+      if (av == 0.0) continue;
+      for (std::size_t t = 0; t < count; ++t) {
+        rowUpdate(cs[t] + i * n, bs[t] + p * n, av, n);
+      }
+    }
+  }
+}
+
+static inline void gemv(const double* a, const double* x, double* y,
+                        std::size_t m, std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* aRow = a + i * n;
+    // accLo holds contract lanes 0-3, accHi lanes 4-7.
+    __m256d accLo = _mm256_setzero_pd();
+    __m256d accHi = _mm256_setzero_pd();
+    std::size_t p = 0;
+    for (; p + 8 <= n; p += 8) {
+      accLo = _mm256_add_pd(accLo, _mm256_mul_pd(_mm256_loadu_pd(aRow + p),
+                                                 _mm256_loadu_pd(x + p)));
+      accHi = _mm256_add_pd(
+          accHi, _mm256_mul_pd(_mm256_loadu_pd(aRow + p + 4),
+                               _mm256_loadu_pd(x + p + 4)));
+    }
+    double lane[8];
+    _mm256_storeu_pd(lane, accLo);
+    _mm256_storeu_pd(lane + 4, accHi);
+    for (; p < n; ++p) lane[p & 7] += aRow[p] * x[p];
+    y[i] = reduceLanes8(lane);
+  }
+}
+
+static inline void axpy(double* y, const double* x, double s, std::size_t n) {
+  const __m256d vs = _mm256_set1_pd(s);
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m256d vy = _mm256_loadu_pd(y + j);
+    const __m256d vx = _mm256_loadu_pd(x + j);
+    _mm256_storeu_pd(y + j, _mm256_add_pd(vy, _mm256_mul_pd(vs, vx)));
+  }
+  for (; j < n; ++j) y[j] += s * x[j];
+}
+
+}  // namespace ancstr::nn::kdetail::avx2
+
+#endif  // defined(__AVX2__)

@@ -1,0 +1,18 @@
+// The only TU compiled with -mavx512f (plus -ffp-contract=off; see
+// src/nn/CMakeLists.txt). When the toolchain cannot target AVX-512F the
+// table accessor returns null and dispatch falls back.
+#include "nn/kernels_avx512.h"
+
+namespace ancstr::nn::kdetail {
+
+const KernelOps* avx512Ops() {
+#if defined(__AVX512F__)
+  static const KernelOps ops{avx512::gemmAcc, avx512::gemmBatchAcc,
+                             avx512::gemv, avx512::axpy};
+  return &ops;
+#else
+  return nullptr;
+#endif
+}
+
+}  // namespace ancstr::nn::kdetail

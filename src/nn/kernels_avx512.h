@@ -1,0 +1,287 @@
+// AVX-512F kernel backend (8-wide double vectors). Only meaningful when
+// the including TU is compiled with -mavx512f (kernels_avx512.cpp is the
+// only such TU); without __AVX512F__ the header is empty so it stays safe
+// to include — and to syntax-check standalone — from baseline TUs.
+//
+// Numeric contract: identical per-element operation sequence to the
+// reference implementations in kernels_detail.h. -mavx512f implies FMA
+// hardware, so the TU is compiled with -ffp-contract=off and every multiply
+// and add below is an explicit separate intrinsic — the compiler may not
+// contract them. Tail columns use masked loads/stores, which perform the
+// same per-element multiply and add as the scalar tail would. See
+// docs/api.md "Numeric contract".
+#pragma once
+
+#include "nn/kernels_detail.h"
+
+#if defined(__AVX512F__)
+
+#include <immintrin.h>
+
+namespace ancstr::nn::kdetail::avx512 {
+
+/// Mask selecting the low `rem` (< 8) lanes.
+static inline __mmask8 tailMask(std::size_t rem) {
+  return static_cast<__mmask8>((1u << rem) - 1u);
+}
+
+/// One row's j-loop of gemmAcc: cRow += av * bRow over n columns.
+static inline void rowUpdate(double* cRow, const double* bRow, double av,
+                             std::size_t n) {
+  const __m512d va = _mm512_set1_pd(av);
+  std::size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m512d vb = _mm512_loadu_pd(bRow + j);
+    const __m512d vc = _mm512_loadu_pd(cRow + j);
+    _mm512_storeu_pd(cRow + j, _mm512_add_pd(vc, _mm512_mul_pd(va, vb)));
+  }
+  if (j < n) {
+    const __mmask8 mask = tailMask(n - j);
+    const __m512d vb = _mm512_maskz_loadu_pd(mask, bRow + j);
+    const __m512d vc = _mm512_maskz_loadu_pd(mask, cRow + j);
+    _mm512_mask_storeu_pd(cRow + j, mask,
+                          _mm512_add_pd(vc, _mm512_mul_pd(va, vb)));
+  }
+}
+
+/// Narrow-output gemmAcc (n <= 8 * NV): each C row fits NV vectors, so the
+/// accumulators live in registers across the whole k loop — loaded from C
+/// once, stored once. Per output element this performs the exact same
+/// ascending-k add sequence as the load/add/store form (the adds fold into
+/// the same running value), so bitwise identity is preserved while the
+/// per-k C traffic disappears. The zero-skip stays per (i, k).
+template <int NV>
+static inline void gemmAccNarrow(const double* a, const double* b, double* c,
+                                 std::size_t m, std::size_t k, std::size_t n) {
+  __mmask8 masks[NV];
+  for (int v = 0; v < NV; ++v) {
+    const std::size_t lanes = n - static_cast<std::size_t>(8 * v);
+    masks[v] = lanes >= 8 ? static_cast<__mmask8>(0xFF) : tailMask(lanes);
+  }
+  std::size_t i = 0;
+  // 4-row blocks share each B row load: 4 * NV accumulators + NV B vectors
+  // stay comfortably inside the 32 zmm registers for NV <= 4.
+  for (; i + 4 <= m; i += 4) {
+    const double* aRow0 = a + i * k;
+    const double* aRow1 = aRow0 + k;
+    const double* aRow2 = aRow1 + k;
+    const double* aRow3 = aRow2 + k;
+    double* cRow0 = c + i * n;
+    double* cRow1 = cRow0 + n;
+    double* cRow2 = cRow1 + n;
+    double* cRow3 = cRow2 + n;
+    __m512d acc0[NV], acc1[NV], acc2[NV], acc3[NV];
+    for (int v = 0; v < NV; ++v) {
+      acc0[v] = _mm512_maskz_loadu_pd(masks[v], cRow0 + 8 * v);
+      acc1[v] = _mm512_maskz_loadu_pd(masks[v], cRow1 + 8 * v);
+      acc2[v] = _mm512_maskz_loadu_pd(masks[v], cRow2 + 8 * v);
+      acc3[v] = _mm512_maskz_loadu_pd(masks[v], cRow3 + 8 * v);
+    }
+    for (std::size_t p = 0; p < k; ++p) {
+      const double a0 = aRow0[p], a1 = aRow1[p];
+      const double a2 = aRow2[p], a3 = aRow3[p];
+      const double* bRow = b + p * n;
+      __m512d vb[NV];
+      for (int v = 0; v < NV; ++v) {
+        vb[v] = _mm512_maskz_loadu_pd(masks[v], bRow + 8 * v);
+      }
+      if (a0 != 0.0) {
+        const __m512d va = _mm512_set1_pd(a0);
+        for (int v = 0; v < NV; ++v) {
+          acc0[v] = _mm512_add_pd(acc0[v], _mm512_mul_pd(va, vb[v]));
+        }
+      }
+      if (a1 != 0.0) {
+        const __m512d va = _mm512_set1_pd(a1);
+        for (int v = 0; v < NV; ++v) {
+          acc1[v] = _mm512_add_pd(acc1[v], _mm512_mul_pd(va, vb[v]));
+        }
+      }
+      if (a2 != 0.0) {
+        const __m512d va = _mm512_set1_pd(a2);
+        for (int v = 0; v < NV; ++v) {
+          acc2[v] = _mm512_add_pd(acc2[v], _mm512_mul_pd(va, vb[v]));
+        }
+      }
+      if (a3 != 0.0) {
+        const __m512d va = _mm512_set1_pd(a3);
+        for (int v = 0; v < NV; ++v) {
+          acc3[v] = _mm512_add_pd(acc3[v], _mm512_mul_pd(va, vb[v]));
+        }
+      }
+    }
+    for (int v = 0; v < NV; ++v) {
+      _mm512_mask_storeu_pd(cRow0 + 8 * v, masks[v], acc0[v]);
+      _mm512_mask_storeu_pd(cRow1 + 8 * v, masks[v], acc1[v]);
+      _mm512_mask_storeu_pd(cRow2 + 8 * v, masks[v], acc2[v]);
+      _mm512_mask_storeu_pd(cRow3 + 8 * v, masks[v], acc3[v]);
+    }
+  }
+  for (; i < m; ++i) {
+    const double* aRow = a + i * k;
+    double* cRow = c + i * n;
+    __m512d acc[NV];
+    for (int v = 0; v < NV; ++v) {
+      acc[v] = _mm512_maskz_loadu_pd(masks[v], cRow + 8 * v);
+    }
+    for (std::size_t p = 0; p < k; ++p) {
+      const double av = aRow[p];
+      if (av == 0.0) continue;
+      const __m512d va = _mm512_set1_pd(av);
+      const double* bRow = b + p * n;
+      for (int v = 0; v < NV; ++v) {
+        acc[v] = _mm512_add_pd(
+            acc[v],
+            _mm512_mul_pd(va, _mm512_maskz_loadu_pd(masks[v], bRow + 8 * v)));
+      }
+    }
+    for (int v = 0; v < NV; ++v) {
+      _mm512_mask_storeu_pd(cRow + 8 * v, masks[v], acc[v]);
+    }
+  }
+}
+
+static inline void gemmAcc(const double* a, const double* b, double* c,
+                           std::size_t m, std::size_t k, std::size_t n) {
+  if (n > 0 && n <= 32) {
+    switch ((n + 7) / 8) {
+      case 1: gemmAccNarrow<1>(a, b, c, m, k, n); return;
+      case 2: gemmAccNarrow<2>(a, b, c, m, k, n); return;
+      case 3: gemmAccNarrow<3>(a, b, c, m, k, n); return;
+      default: gemmAccNarrow<4>(a, b, c, m, k, n); return;
+    }
+  }
+  std::size_t i = 0;
+  // 4-row blocks share each B row load; the zero-skip stays per (i, k).
+  for (; i + 4 <= m; i += 4) {
+    const double* aRow0 = a + i * k;
+    const double* aRow1 = aRow0 + k;
+    const double* aRow2 = aRow1 + k;
+    const double* aRow3 = aRow2 + k;
+    double* cRow0 = c + i * n;
+    double* cRow1 = cRow0 + n;
+    double* cRow2 = cRow1 + n;
+    double* cRow3 = cRow2 + n;
+    for (std::size_t p = 0; p < k; ++p) {
+      const double a0 = aRow0[p], a1 = aRow1[p];
+      const double a2 = aRow2[p], a3 = aRow3[p];
+      const double* bRow = b + p * n;
+      if (a0 != 0.0 && a1 != 0.0 && a2 != 0.0 && a3 != 0.0) {
+        const __m512d v0 = _mm512_set1_pd(a0);
+        const __m512d v1 = _mm512_set1_pd(a1);
+        const __m512d v2 = _mm512_set1_pd(a2);
+        const __m512d v3 = _mm512_set1_pd(a3);
+        std::size_t j = 0;
+        for (; j + 8 <= n; j += 8) {
+          const __m512d vb = _mm512_loadu_pd(bRow + j);
+          _mm512_storeu_pd(cRow0 + j, _mm512_add_pd(_mm512_loadu_pd(cRow0 + j),
+                                                    _mm512_mul_pd(v0, vb)));
+          _mm512_storeu_pd(cRow1 + j, _mm512_add_pd(_mm512_loadu_pd(cRow1 + j),
+                                                    _mm512_mul_pd(v1, vb)));
+          _mm512_storeu_pd(cRow2 + j, _mm512_add_pd(_mm512_loadu_pd(cRow2 + j),
+                                                    _mm512_mul_pd(v2, vb)));
+          _mm512_storeu_pd(cRow3 + j, _mm512_add_pd(_mm512_loadu_pd(cRow3 + j),
+                                                    _mm512_mul_pd(v3, vb)));
+        }
+        if (j < n) {
+          const __mmask8 mask = tailMask(n - j);
+          const __m512d vb = _mm512_maskz_loadu_pd(mask, bRow + j);
+          _mm512_mask_storeu_pd(
+              cRow0 + j, mask,
+              _mm512_add_pd(_mm512_maskz_loadu_pd(mask, cRow0 + j),
+                            _mm512_mul_pd(v0, vb)));
+          _mm512_mask_storeu_pd(
+              cRow1 + j, mask,
+              _mm512_add_pd(_mm512_maskz_loadu_pd(mask, cRow1 + j),
+                            _mm512_mul_pd(v1, vb)));
+          _mm512_mask_storeu_pd(
+              cRow2 + j, mask,
+              _mm512_add_pd(_mm512_maskz_loadu_pd(mask, cRow2 + j),
+                            _mm512_mul_pd(v2, vb)));
+          _mm512_mask_storeu_pd(
+              cRow3 + j, mask,
+              _mm512_add_pd(_mm512_maskz_loadu_pd(mask, cRow3 + j),
+                            _mm512_mul_pd(v3, vb)));
+        }
+      } else {
+        if (a0 != 0.0) rowUpdate(cRow0, bRow, a0, n);
+        if (a1 != 0.0) rowUpdate(cRow1, bRow, a1, n);
+        if (a2 != 0.0) rowUpdate(cRow2, bRow, a2, n);
+        if (a3 != 0.0) rowUpdate(cRow3, bRow, a3, n);
+      }
+    }
+  }
+  for (; i < m; ++i) {
+    const double* aRow = a + i * k;
+    double* cRow = c + i * n;
+    for (std::size_t p = 0; p < k; ++p) {
+      const double av = aRow[p];
+      if (av == 0.0) continue;
+      rowUpdate(cRow, b + p * n, av, n);
+    }
+  }
+}
+
+static inline void gemmBatchAcc(const double* a, const double* const* bs,
+                                double* const* cs, std::size_t count,
+                                std::size_t m, std::size_t k, std::size_t n) {
+  // Each (t, i, j) output element folds k ascending independently of every
+  // other t, so running the whole narrow register-accumulating gemm per
+  // target is bitwise identical to the interleaved loop below — and far
+  // cheaper, because the per-(i, k, t) C row round-trips disappear.
+  if (n > 0 && n <= 32) {
+    for (std::size_t t = 0; t < count; ++t) gemmAcc(a, bs[t], cs[t], m, k, n);
+    return;
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* aRow = a + i * k;
+    for (std::size_t p = 0; p < k; ++p) {
+      const double av = aRow[p];
+      if (av == 0.0) continue;
+      for (std::size_t t = 0; t < count; ++t) {
+        rowUpdate(cs[t] + i * n, bs[t] + p * n, av, n);
+      }
+    }
+  }
+}
+
+static inline void gemv(const double* a, const double* x, double* y,
+                        std::size_t m, std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* aRow = a + i * n;
+    // acc holds the 8 contract lanes directly.
+    __m512d acc = _mm512_setzero_pd();
+    std::size_t p = 0;
+    for (; p + 8 <= n; p += 8) {
+      acc = _mm512_add_pd(acc, _mm512_mul_pd(_mm512_loadu_pd(aRow + p),
+                                             _mm512_loadu_pd(x + p)));
+    }
+    double lane[8];
+    _mm512_storeu_pd(lane, acc);
+    for (; p < n; ++p) lane[p & 7] += aRow[p] * x[p];
+    // The fixed reduction tree, never _mm512_reduce_add_pd (whose order is
+    // unspecified by the contract).
+    y[i] = reduceLanes8(lane);
+  }
+}
+
+static inline void axpy(double* y, const double* x, double s, std::size_t n) {
+  const __m512d vs = _mm512_set1_pd(s);
+  std::size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m512d vy = _mm512_loadu_pd(y + j);
+    const __m512d vx = _mm512_loadu_pd(x + j);
+    _mm512_storeu_pd(y + j, _mm512_add_pd(vy, _mm512_mul_pd(vs, vx)));
+  }
+  if (j < n) {
+    const __mmask8 mask = tailMask(n - j);
+    const __m512d vy = _mm512_maskz_loadu_pd(mask, y + j);
+    const __m512d vx = _mm512_maskz_loadu_pd(mask, x + j);
+    _mm512_mask_storeu_pd(y + j, mask,
+                          _mm512_add_pd(vy, _mm512_mul_pd(vs, vx)));
+  }
+}
+
+}  // namespace ancstr::nn::kdetail::avx512
+
+#endif  // defined(__AVX512F__)

@@ -1,0 +1,137 @@
+// Shared plumbing for the runtime-dispatched kernel backends: function
+// pointer types, the per-ISA op table, and the reference (scalar)
+// implementations that define the numeric contract every backend must
+// reproduce bitwise.
+//
+// The contract (see docs/api.md, "Numeric contract"):
+//
+//  * gemmAcc / gemmBatchAcc  C += A B accumulates output element (i, j) by
+//    folding k in ascending order with a separate multiply round and add
+//    round per term (never fused into an FMA), skipping terms whose A
+//    element compares equal to 0.0. Backends may vectorise across j (output
+//    elements are independent) and block across i, but must preserve the
+//    per-element term sequence exactly.
+//  * gemv  y[i] = dot(A row i, x) via a fixed 8-lane decomposition: lane
+//    (p mod 8) accumulates element p in ascending order (separate multiply
+//    and add rounds), and the lanes are combined with the fixed tree
+//    ((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7)).
+//  * axpy  y[j] += s * x[j], ascending j, separate multiply and add rounds.
+//
+// Every backend TU is compiled with -ffp-contract=off so scalar tails can
+// never be contracted into FMAs by the compiler, which would single-round
+// the multiply-add and break cross-kernel bitwise equality.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+namespace ancstr::nn::kdetail {
+
+/// C += A B; A is m x k, B is k x n, C is m x n, all row-major and densely
+/// packed. C must be initialised by the caller.
+using GemmFn = void (*)(const double* a, const double* b, double* c,
+                        std::size_t m, std::size_t k, std::size_t n);
+
+/// Shared-A batch: cs[t] += A bs[t] for t < count. Streams A once across
+/// several weight matrices (the per-edge-type message transforms); the
+/// per-output-element term sequence is identical to gemmAcc.
+using GemmBatchFn = void (*)(const double* a, const double* const* bs,
+                             double* const* cs, std::size_t count,
+                             std::size_t m, std::size_t k, std::size_t n);
+
+/// y = A x; A is m x n row-major, x has n elements, y has m.
+using GemvFn = void (*)(const double* a, const double* x, double* y,
+                        std::size_t m, std::size_t n);
+
+/// y += s * x over n elements.
+using AxpyFn = void (*)(double* y, const double* x, double s, std::size_t n);
+
+/// The ISA-specific op table a backend TU exports. The fused GRU step is
+/// composed on top of these in kernels.cpp (its elementwise half is shared
+/// across backends by construction).
+struct KernelOps {
+  GemmFn gemmAcc = nullptr;
+  GemmBatchFn gemmBatchAcc = nullptr;
+  GemvFn gemv = nullptr;
+  AxpyFn axpy = nullptr;
+};
+
+/// Backend table accessors, defined in their own translation units (the
+/// only TUs compiled with -mavx2 / -mavx512f). Null when the backend was
+/// not compiled in.
+const KernelOps* scalarOps();
+const KernelOps* avx2Ops();
+const KernelOps* avx512Ops();
+
+/// Combines the 8 gemv lanes in the fixed contract order. `static inline`
+/// (internal linkage) on purpose: each backend TU gets its own copy, so the
+/// linker can never substitute a copy compiled for a different ISA.
+static inline double reduceLanes8(const double* lane) {
+  const double s01 = lane[0] + lane[1];
+  const double s23 = lane[2] + lane[3];
+  const double s45 = lane[4] + lane[5];
+  const double s67 = lane[6] + lane[7];
+  return (s01 + s23) + (s45 + s67);
+}
+
+/// Numerically stable logistic function; the single definition shared by
+/// the autograd sigmoid op and the fused GRU step, so the tape path and the
+/// inference fast path round identically.
+static inline double stableSigmoid(double x) {
+  return x >= 0.0 ? 1.0 / (1.0 + std::exp(-x))
+                  : std::exp(x) / (1.0 + std::exp(x));
+}
+
+// --- reference implementations --------------------------------------------
+// These define the contract. They are `static inline` so a backend TU can
+// fall back to them for shapes it does not vectorise without creating
+// ODR-merged copies across TUs compiled with different target flags.
+
+static inline void gemmAccRef(const double* a, const double* b, double* c,
+                              std::size_t m, std::size_t k, std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* aRow = a + i * k;
+    double* cRow = c + i * n;
+    for (std::size_t p = 0; p < k; ++p) {
+      const double av = aRow[p];
+      if (av == 0.0) continue;
+      const double* bRow = b + p * n;
+      for (std::size_t j = 0; j < n; ++j) cRow[j] += av * bRow[j];
+    }
+  }
+}
+
+static inline void gemmBatchAccRef(const double* a, const double* const* bs,
+                                   double* const* cs, std::size_t count,
+                                   std::size_t m, std::size_t k,
+                                   std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* aRow = a + i * k;
+    for (std::size_t p = 0; p < k; ++p) {
+      const double av = aRow[p];
+      if (av == 0.0) continue;
+      for (std::size_t t = 0; t < count; ++t) {
+        const double* bRow = bs[t] + p * n;
+        double* cRow = cs[t] + i * n;
+        for (std::size_t j = 0; j < n; ++j) cRow[j] += av * bRow[j];
+      }
+    }
+  }
+}
+
+static inline void gemvRef(const double* a, const double* x, double* y,
+                           std::size_t m, std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* aRow = a + i * n;
+    double lane[8] = {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+    for (std::size_t p = 0; p < n; ++p) lane[p & 7] += aRow[p] * x[p];
+    y[i] = reduceLanes8(lane);
+  }
+}
+
+static inline void axpyRef(double* y, const double* x, double s,
+                           std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) y[j] += s * x[j];
+}
+
+}  // namespace ancstr::nn::kdetail

@@ -16,6 +16,18 @@ Tensor Linear::forward(const Tensor& x) const {
   return y;
 }
 
+Matrix Linear::infer(const Matrix& x) const {
+  Matrix y = x.matmul(weight_.value());
+  if (bias_.valid()) {
+    // Same per-element rounding as the tape's addRow.
+    const Matrix& b = bias_.value();
+    for (std::size_t r = 0; r < y.rows(); ++r) {
+      for (std::size_t c = 0; c < y.cols(); ++c) y(r, c) += b(0, c);
+    }
+  }
+  return y;
+}
+
 std::vector<Tensor> Linear::parameters() const {
   std::vector<Tensor> params{weight_};
   if (bias_.valid()) params.push_back(bias_);

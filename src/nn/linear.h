@@ -18,6 +18,10 @@ class Linear {
   /// Applies the layer to a batch of row vectors.
   Tensor forward(const Tensor& x) const;
 
+  /// Tape-free inference through the active kernel table; bitwise
+  /// identical to forward(Tensor::constant(x)).value().
+  Matrix infer(const Matrix& x) const;
+
   /// Trainable parameters (weight, then bias when present).
   std::vector<Tensor> parameters() const;
 

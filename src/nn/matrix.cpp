@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "nn/kernels.h"
 #include "util/error.h"
 
 namespace ancstr::nn {
@@ -62,7 +63,7 @@ Matrix& Matrix::operator*=(double s) {
 
 void Matrix::addScaled(const Matrix& rhs, double s) {
   requireSameShape(rhs, "addScaled");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += s * rhs.data_[i];
+  activeKernels().axpy(data_.data(), rhs.data_.data(), s, data_.size());
 }
 
 Matrix Matrix::operator+(const Matrix& rhs) const {
@@ -91,22 +92,22 @@ Matrix Matrix::hadamard(const Matrix& rhs) const {
 }
 
 Matrix Matrix::matmul(const Matrix& rhs) const {
+  Matrix out;
+  matmulInto(rhs, out);
+  return out;
+}
+
+void Matrix::matmulInto(const Matrix& rhs, Matrix& out) const {
   if (cols_ != rhs.rows_) {
     throw ShapeError("matmul: " + shapeString() + " x " + rhs.shapeString());
   }
-  Matrix out(rows_, rhs.cols_);
-  // ikj order: stream through rhs rows for cache friendliness.
-  for (std::size_t i = 0; i < rows_; ++i) {
-    const double* lhsRow = row(i);
-    double* outRow = out.row(i);
-    for (std::size_t k = 0; k < cols_; ++k) {
-      const double a = lhsRow[k];
-      if (a == 0.0) continue;
-      const double* rhsRow = rhs.row(k);
-      for (std::size_t j = 0; j < rhs.cols_; ++j) outRow[j] += a * rhsRow[j];
-    }
+  if (out.rows_ != rows_ || out.cols_ != rhs.cols_) {
+    out = Matrix(rows_, rhs.cols_);
+  } else {
+    out.setZero();
   }
-  return out;
+  activeKernels().gemmAcc(data_.data(), rhs.data_.data(), out.data_.data(),
+                          rows_, cols_, rhs.cols_);
 }
 
 Matrix Matrix::transposed() const {

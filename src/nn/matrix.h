@@ -60,6 +60,9 @@ class Matrix {
   Matrix hadamard(const Matrix& rhs) const;
   /// Dense matmul (this: m x k, rhs: k x n).
   Matrix matmul(const Matrix& rhs) const;
+  /// matmul into a caller-owned output (reshaped/zeroed as needed), so hot
+  /// loops can reuse the allocation. `out` must not alias an operand.
+  void matmulInto(const Matrix& rhs, Matrix& out) const;
   Matrix transposed() const;
   /// Applies `f` elementwise.
   template <typename F>

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "nn/kernels.h"
 #include "util/error.h"
 
 namespace ancstr::nn {
@@ -41,17 +42,19 @@ Matrix SparseMatrix::multiply(const Matrix& dense) const {
                      " != dense rows " + std::to_string(dense.rows()));
   }
   Matrix out(rows_, dense.cols());
+  multiplyAcc(dense.data(), dense.cols(), out.data());
+  return out;
+}
+
+void SparseMatrix::multiplyAcc(const double* dense, std::size_t denseCols,
+                               double* out) const {
+  const auto& axpy = activeKernels().axpy;
   for (std::size_t r = 0; r < rows_; ++r) {
-    double* outRow = out.row(r);
+    double* outRow = out + r * denseCols;
     for (std::size_t k = rowPtr_[r]; k < rowPtr_[r + 1]; ++k) {
-      const double v = values_[k];
-      const double* denseRow = dense.row(colIdx_[k]);
-      for (std::size_t c = 0; c < dense.cols(); ++c) {
-        outRow[c] += v * denseRow[c];
-      }
+      axpy(outRow, dense + colIdx_[k] * denseCols, values_[k], denseCols);
     }
   }
-  return out;
 }
 
 SparseMatrix SparseMatrix::transposed() const {

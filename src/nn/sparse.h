@@ -32,6 +32,13 @@ class SparseMatrix {
   /// Dense product: this (m x k, sparse) * dense (k x n) -> m x n.
   Matrix multiply(const Matrix& dense) const;
 
+  /// Raw accumulate variant of multiply: out += this * dense, where
+  /// `dense` points at k row-major rows of denseCols doubles and `out` at
+  /// m such rows. Lets the batched inference path multiply into row slices
+  /// of stacked matrices without copying. No shape checks.
+  void multiplyAcc(const double* dense, std::size_t denseCols,
+                   double* out) const;
+
   /// Transposed copy (CSR of the transpose).
   SparseMatrix transposed() const;
 

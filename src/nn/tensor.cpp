@@ -3,6 +3,7 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "nn/kernels_detail.h"
 #include "util/error.h"
 
 namespace ancstr::nn {
@@ -165,11 +166,9 @@ Tensor addRow(const Tensor& a, const Tensor& biasRow) {
 }
 
 Tensor sigmoid(const Tensor& a) {
-  Matrix value = a.value().map([](double x) {
-    // Stable in both tails.
-    return x >= 0.0 ? 1.0 / (1.0 + std::exp(-x))
-                    : std::exp(x) / (1.0 + std::exp(x));
-  });
+  // kdetail::stableSigmoid is the shared definition (stable in both
+  // tails), so the fused inference GRU step rounds identically.
+  Matrix value = a.value().map(kdetail::stableSigmoid);
   return makeNode(std::move(value), {a}, [](Node& n) {
     Matrix delta(n.grad.rows(), n.grad.cols());
     for (std::size_t i = 0; i < n.grad.rows(); ++i) {
@@ -207,8 +206,7 @@ Tensor logSigmoid(const Tensor& a) {
     for (std::size_t i = 0; i < x.rows(); ++i) {
       for (std::size_t j = 0; j < x.cols(); ++j) {
         const double v = x(i, j);
-        const double sig = v >= 0.0 ? 1.0 / (1.0 + std::exp(-v))
-                                    : std::exp(v) / (1.0 + std::exp(v));
+        const double sig = kdetail::stableSigmoid(v);
         delta(i, j) = n.grad(i, j) * (1.0 - sig);
       }
     }

@@ -250,7 +250,19 @@ namespace {
 const std::chrono::steady_clock::time_point g_processStart =
     std::chrono::steady_clock::now();
 
-/// Escapes a Prometheus label value (backslash, quote, newline).
+/// Registered process-info publishers (registerProcessMetricsPublisher).
+std::mutex& publisherMutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::vector<void (*)()>& publishers() {
+  static std::vector<void (*)()> v;
+  return v;
+}
+
+}  // namespace
+
 std::string escapeLabelValue(std::string_view value) {
   std::string out;
   for (const char c : value) {
@@ -263,8 +275,6 @@ std::string escapeLabelValue(std::string_view value) {
   }
   return out;
 }
-
-}  // namespace
 
 void publishProcessMetrics() {
   auto& registry = Registry::instance();
@@ -279,6 +289,20 @@ void publishProcessMetrics() {
       escapeLabelValue(benchio::buildGitSha()) + "\",build_type=\"" +
       escapeLabelValue(benchio::buildType()) + "\"}");
   buildInfo.set(1.0);
+  std::vector<void (*)()> fns;
+  {
+    const std::lock_guard<std::mutex> lock(publisherMutex());
+    fns = publishers();
+  }
+  for (void (*fn)() : fns) fn();
+}
+
+void registerProcessMetricsPublisher(void (*publisher)()) {
+  {
+    const std::lock_guard<std::mutex> lock(publisherMutex());
+    publishers().push_back(publisher);
+  }
+  publisher();
 }
 
 }  // namespace ancstr::metrics

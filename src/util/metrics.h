@@ -147,9 +147,23 @@ class Registry {
 ///   * process.build_info{git_sha="...",build_type="..."} — constant-1
 ///     info metric carrying build provenance (util/bench_report.h) as
 ///     Prometheus labels, so dashboards can correlate regressions with
-///     deploys.
+///     deploys;
+///   * any info gauges contributed by registered publishers (below) —
+///     e.g. nn.kernel_info{dispatch="...",compiled="..."} from the nn
+///     kernel layer.
 /// Called by the CLI observability emitters and the engine's metric
 /// publisher; cheap and thread-safe.
 void publishProcessMetrics();
+
+/// Registers a callback invoked by every publishProcessMetrics() call.
+/// The extension point lets higher layers contribute process-constant
+/// info gauges without a dependency from util upward (the nn kernel layer
+/// registers its dispatch identity here). Thread-safe; publishers are
+/// never unregistered.
+void registerProcessMetricsPublisher(void (*publisher)());
+
+/// Escapes a Prometheus label value (backslash, quote, newline) for
+/// baking a label block into a registry metric name.
+std::string escapeLabelValue(std::string_view value);
 
 }  // namespace ancstr::metrics

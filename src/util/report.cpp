@@ -32,6 +32,7 @@ void RunReport::accumulate(const RunReport& other) {
   metrics = other.metrics;
   if (requestId == 0) requestId = other.requestId;
   if (correlationId.empty()) correlationId = other.correlationId;
+  if (kernel.empty()) kernel = other.kernel;
   std::vector<diag::Diagnostic> more = other.diagnostics;
   addDiagnostics(std::move(more));
 }
@@ -55,6 +56,7 @@ Json RunReport::toJson() const {
     root.set("requestId", static_cast<std::size_t>(requestId));
   }
   if (!correlationId.empty()) root.set("correlationId", correlationId);
+  if (!kernel.empty()) root.set("kernel", kernel);
   Json phaseArray = Json::array();
   for (const PhaseTiming& phase : phases) {
     Json entry = Json::object();

@@ -39,6 +39,12 @@ struct RunReport {
   /// Caller-supplied correlation id (ExtractOptions::correlationId),
   /// copied verbatim; "" = none (omitted from toJson).
   std::string correlationId;
+  /// Active nn kernel backend ("scalar" | "avx2" | "avx512" — see
+  /// nn/kernels.h) stamped by extract/train entry points so perf numbers
+  /// can be attributed to a dispatch. "" = unset (omitted from toJson).
+  /// Results are bitwise identical across backends; this is a
+  /// perf-attribution label, never a cache-key input.
+  std::string kernel;
 
   void addPhase(std::string name, double seconds) {
     phases.push_back(PhaseTiming{std::move(name), seconds});
@@ -72,8 +78,9 @@ struct RunReport {
   /// Sum over all phases.
   double totalSeconds() const;
 
-  /// {["requestId"], ["correlationId"], "phases": [{"name", "seconds"}...],
-  /// "totalSeconds", "metrics"} — request keys only when set.
+  /// {["requestId"], ["correlationId"], ["kernel"],
+  /// "phases": [{"name", "seconds"}...], "totalSeconds", "metrics"} —
+  /// request/kernel keys only when set.
   Json toJson() const;
 
   /// Aligned ASCII rendering: a phase table followed by non-zero

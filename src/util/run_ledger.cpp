@@ -27,6 +27,7 @@ Json LedgerRecord::toJson() const {
   root.set("blockCacheHits", static_cast<std::size_t>(blockCacheHits));
   root.set("blockCacheMisses", static_cast<std::size_t>(blockCacheMisses));
   root.set("outcome", outcome);
+  root.set("kernel", kernel);
   root.set("constraintsTotal", static_cast<std::size_t>(constraintsTotal));
   Json constraintObj = Json::object();
   for (const auto& [type, count] : constraints) {

@@ -48,6 +48,10 @@ struct LedgerRecord {
   std::uint64_t blockCacheHits = 0;
   std::uint64_t blockCacheMisses = 0;
   std::string outcome = "ok";
+  /// Active nn kernel backend for the request ("scalar" | "avx2" |
+  /// "avx512" — nn/kernels.h); results are bitwise identical across
+  /// backends, so this only attributes perf, never output content.
+  std::string kernel;
   /// Constraint counts by type tag, in ConstraintType enum order.
   std::vector<std::pair<std::string, std::uint64_t>> constraints;
   std::uint64_t constraintsTotal = 0;
@@ -63,7 +67,7 @@ struct LedgerRecord {
 
   /// Key order (the schema contract): schemaVersion, requestId,
   /// correlationId, designHash, devices, nets, hierarchyNodes,
-  /// cacheOutcome, blockCacheHits, blockCacheMisses, outcome,
+  /// cacheOutcome, blockCacheHits, blockCacheMisses, outcome, kernel,
   /// constraintsTotal, constraints, diagnostics, phases, wallSeconds,
   /// peakRssDeltaBytes, unixTimeSeconds.
   Json toJson() const;
@@ -97,8 +101,9 @@ struct LedgerStats {
 /// See file comment. All methods are thread-safe and none of them throws.
 class LedgerWriter {
  public:
-  /// The "schemaVersion" value stamped into every record.
-  static constexpr int kSchemaVersion = 1;
+  /// The "schemaVersion" value stamped into every record. v2 added the
+  /// "kernel" key (after "outcome").
+  static constexpr int kSchemaVersion = 2;
 
   explicit LedgerWriter(LedgerWriterConfig config);
   ~LedgerWriter();  ///< flushes pending write-behind appends

@@ -244,78 +244,35 @@ TEST(ConstraintIo, GoldenFileDiffWorkflow) {
   for (const bool l : labels) EXPECT_TRUE(l);
 }
 
-// --- deprecated-shim equivalence (docs/api.md deprecation policy) ------
+// --- registry/scored-view agreement ------------------------------------
 //
-// The legacy v1 writers remain as [[deprecated]] shims for one release;
-// these tests pin their output to the registry writers' content. Records
-// are compared as sorted (hier, a, b) tuples because the registry
-// serializes in canonical set order while the legacy writers follow
-// scored order.
+// The typed registry is the only detection-output currency (the legacy v1
+// writers and DetectionResult::constraints() were removed per the
+// docs/api.md deprecation policy); pin the registry's symmetry pairs to
+// the accepted entries of the raw scored list they are built from.
 
 using Record = std::tuple<std::string, std::string, std::string>;
 
-std::vector<Record> sortedRecords(const std::vector<ParsedConstraint>& parsed) {
-  std::vector<Record> records;
-  for (const ParsedConstraint& p : parsed) {
-    std::string a = p.nameA, b = p.nameB;
-    if (!b.empty() && b < a) std::swap(a, b);
-    records.emplace_back(p.hierPath, a, b);
-  }
-  std::sort(records.begin(), records.end());
-  return records;
-}
-
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(ConstraintIo, LegacyJsonShimMatchesRegistryWriter) {
+TEST(ConstraintIo, RegistryPairsMatchAcceptedScored) {
   const IoSetup s = makeSetup();
-  const std::vector<SymmetryGroup> groups =
-      buildSymmetryGroups(s.design, s.detection);
-  ConstraintSet set = s.detection.set;
-  appendSymmetryGroups(s.design, set);
-
-  const auto legacy =
-      parseConstraintsJson(constraintsToJson(s.design, s.detection, groups));
-  const auto typed =
-      parseConstraintsJson(constraintSetToJson(s.design, set));
-  EXPECT_EQ(sortedRecords(legacy), sortedRecords(typed));
-}
-
-TEST(ConstraintIo, LegacySymShimMatchesRegistryWriter) {
-  const IoSetup s = makeSetup();
-  const std::vector<SymmetryGroup> groups =
-      buildSymmetryGroups(s.design, s.detection);
-  ConstraintSet set = s.detection.set;
-  appendSymmetryGroups(s.design, set);
-
-  const auto legacy =
-      parseConstraintsSym(constraintsToSym(s.design, s.detection, groups));
-  const auto typed = parseConstraintsSym(constraintSetToSym(s.design, set));
-  EXPECT_EQ(sortedRecords(legacy), sortedRecords(typed));
-}
-
-TEST(ConstraintIo, LegacyConstraintsAccessorMatchesRegistry) {
-  const IoSetup s = makeSetup();
-  const std::vector<ScoredCandidate> accepted = s.detection.constraints();
-  const auto pairs = s.detection.set.ofType(ConstraintType::kSymmetryPair);
-  ASSERT_EQ(accepted.size(), pairs.size());
-  std::vector<Record> fromAccessor;
-  for (const ScoredCandidate& c : accepted) {
+  std::vector<Record> fromScored;
+  for (const ScoredCandidate& c : s.detection.scored) {
+    if (!c.accepted) continue;
     std::string a = c.pair.nameA, b = c.pair.nameB;
     if (b < a) std::swap(a, b);
-    fromAccessor.emplace_back(s.design.node(c.pair.hierarchy).path, a, b);
+    fromScored.emplace_back(s.design.node(c.pair.hierarchy).path, a, b);
   }
   std::vector<Record> fromSet;
-  for (const Constraint* c : pairs) {
+  for (const Constraint* c :
+       s.detection.set.ofType(ConstraintType::kSymmetryPair)) {
     std::string a = c->members[0].name, b = c->members[1].name;
     if (b < a) std::swap(a, b);
     fromSet.emplace_back(s.design.node(c->hierarchy).path, a, b);
   }
-  std::sort(fromAccessor.begin(), fromAccessor.end());
+  std::sort(fromScored.begin(), fromScored.end());
   std::sort(fromSet.begin(), fromSet.end());
-  EXPECT_EQ(fromAccessor, fromSet);
+  EXPECT_EQ(fromScored, fromSet);
 }
-#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace ancstr

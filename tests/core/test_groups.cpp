@@ -170,31 +170,5 @@ TEST(Groups, DeterministicOrder) {
   EXPECT_TRUE(a == b);
 }
 
-// Deprecated-shim equivalence: the legacy name-pair view must agree with
-// the registry it is now derived from.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(Groups, LegacyShimMatchesRegistry) {
-  const GroupSetup s = makeSetup();
-  const std::vector<SymmetryGroup> legacy =
-      buildSymmetryGroups(s.design, s.detection);
-
-  ConstraintSet set = s.detection.set;
-  appendSymmetryGroups(s.design, set);
-  const auto groups = set.ofType(ConstraintType::kSymmetryGroup);
-  ASSERT_EQ(legacy.size(), groups.size());
-  for (const SymmetryGroup& g : legacy) {
-    bool matched = false;
-    for (const Constraint* c : groups) {
-      if (groupPairs(*c) == g.pairs && groupSelfs(*c) == g.selfSymmetric &&
-          c->hierarchy == g.hierarchy) {
-        matched = true;
-      }
-    }
-    EXPECT_TRUE(matched);
-  }
-}
-#pragma GCC diagnostic pop
-
 }  // namespace
 }  // namespace ancstr

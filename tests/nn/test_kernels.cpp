@@ -1,0 +1,428 @@
+// The cross-kernel equivalence contract (nn/kernels.h, docs/api.md
+// "Numeric contract"): every compiled backend — scalar, avx2, avx512 —
+// must produce BITWISE identical results for every kernel op, so dispatch
+// is a pure speed choice. The property tests below therefore compare
+// backends against the scalar reference with exact equality (memcmp, not
+// tolerances) over randomized shapes including the ragged tails the SIMD
+// paths handle with masks/scalar epilogues. The integration half proves
+// the same holds end-to-end: train + extract bitwise identical across
+// kernels and thread counts.
+#include "nn/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "circuits/synthetic.h"
+#include "core/features.h"
+#include "core/model.h"
+#include "core/model_io.h"
+#include "core/pipeline.h"
+#include "netlist/builder.h"
+#include "nn/gru.h"
+#include "nn/init.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace ancstr::nn {
+namespace {
+
+/// Kernel selection is process-global and reads the ANCSTR_KERNEL
+/// override; tests that touch dispatch clear the env var for their
+/// duration, restore it afterwards, and hand dispatch back to auto.
+class KernelDispatchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* value = std::getenv("ANCSTR_KERNEL");
+    had_ = value != nullptr;
+    if (had_) saved_ = value;
+    unsetenv("ANCSTR_KERNEL");
+  }
+  void TearDown() override {
+    if (had_) setenv("ANCSTR_KERNEL", saved_.c_str(), 1);
+    selectKernel(KernelKind::kAuto);
+  }
+
+ private:
+  std::string saved_;
+  bool had_ = false;
+};
+
+/// The backends this binary can actually run here (always >= {scalar}).
+std::vector<KernelKind> availableKernels() {
+  std::vector<KernelKind> kinds;
+  for (KernelKind kind : compiledKernels()) {
+    if (kernelAvailable(kind)) kinds.push_back(kind);
+  }
+  return kinds;
+}
+
+bool bitwiseEqual(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+bool bitwiseEqual(const Matrix& a, const Matrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data(), b.data(),
+                     a.rows() * a.cols() * sizeof(double)) == 0;
+}
+
+/// Random matrix data with zeros salted in so the gemm zero-skip branch
+/// (a == 0.0 skips the whole term) is exercised on every backend.
+std::vector<double> randomWithZeros(std::size_t count, Rng& rng) {
+  std::vector<double> data(count);
+  for (double& v : data) v = rng.chance(0.2) ? 0.0 : rng.uniform(-2.0, 2.0);
+  return data;
+}
+
+// --- dispatch ---------------------------------------------------------------
+
+TEST(KernelDispatch, NameParseRoundTrip) {
+  for (KernelKind kind : {KernelKind::kAuto, KernelKind::kScalar,
+                          KernelKind::kAvx2, KernelKind::kAvx512}) {
+    const auto parsed = parseKernelKind(kernelName(kind));
+    ASSERT_TRUE(parsed.has_value()) << kernelName(kind);
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(parseKernelKind("sse2").has_value());
+  EXPECT_FALSE(parseKernelKind("AVX2").has_value());  // names are lowercase
+  EXPECT_FALSE(parseKernelKind("").has_value());
+}
+
+TEST(KernelDispatch, ScalarIsAlwaysCompiledAndAvailable) {
+  EXPECT_TRUE(kernelCompiled(KernelKind::kScalar));
+  EXPECT_TRUE(kernelAvailable(KernelKind::kScalar));
+  const std::vector<KernelKind> compiled = compiledKernels();
+  EXPECT_NE(std::find(compiled.begin(), compiled.end(), KernelKind::kScalar),
+            compiled.end());
+  // The info-metric label lists exactly the compiled backends.
+  const std::string joined = compiledKernelsString();
+  for (KernelKind kind : compiled) {
+    EXPECT_NE(joined.find(kernelName(kind)), std::string::npos)
+        << kernelName(kind);
+  }
+}
+
+TEST(KernelDispatch, KernelsForRejectsAutoAndUnavailable) {
+  EXPECT_THROW(kernelsFor(KernelKind::kAuto), Error);
+  for (KernelKind kind : {KernelKind::kScalar, KernelKind::kAvx2,
+                          KernelKind::kAvx512}) {
+    if (!kernelAvailable(kind)) {
+      EXPECT_THROW(kernelsFor(kind), Error) << kernelName(kind);
+      continue;
+    }
+    const Kernels& table = kernelsFor(kind);
+    EXPECT_EQ(table.kind, kind);
+    EXPECT_NE(table.gemmAcc, nullptr);
+    EXPECT_NE(table.gemmBatchAcc, nullptr);
+    EXPECT_NE(table.gemv, nullptr);
+    EXPECT_NE(table.axpy, nullptr);
+    EXPECT_NE(table.fusedGruStep, nullptr);
+  }
+}
+
+TEST_F(KernelDispatchTest, SelectScalarActivatesScalar) {
+  EXPECT_EQ(selectKernel(KernelKind::kScalar), KernelKind::kScalar);
+  EXPECT_EQ(activeKernelKind(), KernelKind::kScalar);
+  EXPECT_STREQ(activeKernelName(), "scalar");
+  EXPECT_EQ(activeKernels().kind, KernelKind::kScalar);
+}
+
+TEST_F(KernelDispatchTest, AutoResolvesToBestAvailable) {
+  const KernelKind resolved = resolveKernel(KernelKind::kAuto);
+  EXPECT_NE(resolved, KernelKind::kAuto);
+  EXPECT_TRUE(kernelAvailable(resolved));
+  // selectKernel installs exactly what resolveKernel predicts.
+  EXPECT_EQ(selectKernel(KernelKind::kAuto), resolved);
+  EXPECT_EQ(activeKernelKind(), resolved);
+}
+
+TEST_F(KernelDispatchTest, SelectionAlwaysLandsOnAnAvailableKernel) {
+  // An unavailable request never installs an unrunnable table: it falls
+  // back (with a warning) to something the CPU supports.
+  for (KernelKind kind : {KernelKind::kScalar, KernelKind::kAvx2,
+                          KernelKind::kAvx512}) {
+    EXPECT_TRUE(kernelAvailable(selectKernel(kind))) << kernelName(kind);
+  }
+}
+
+TEST_F(KernelDispatchTest, EnvOverrideWinsOverProgrammaticSelection) {
+  setenv("ANCSTR_KERNEL", "scalar", 1);
+  EXPECT_EQ(selectKernel(KernelKind::kAuto), KernelKind::kScalar);
+  EXPECT_EQ(resolveKernel(KernelKind::kAvx2), KernelKind::kScalar);
+  unsetenv("ANCSTR_KERNEL");
+  // A garbage override is ignored, not fatal.
+  setenv("ANCSTR_KERNEL", "sse2", 1);
+  EXPECT_TRUE(kernelAvailable(selectKernel(KernelKind::kAuto)));
+  unsetenv("ANCSTR_KERNEL");
+}
+
+// --- per-op bitwise property tests ------------------------------------------
+
+TEST(KernelContract, GemmAccMatchesScalarBitwise) {
+  Rng rng(11);
+  for (KernelKind kind : availableKernels()) {
+    const Kernels& table = kernelsFor(kind);
+    for (int trial = 0; trial < 40; ++trial) {
+      // Ragged everything: odd rows, inner dims, and tail columns are the
+      // shapes where a vector backend needs masked / scalar epilogues.
+      const std::size_t m = 1 + rng.index(24);
+      const std::size_t k = 1 + rng.index(24);
+      const std::size_t n = 1 + rng.index(37);
+      const std::vector<double> a = randomWithZeros(m * k, rng);
+      const std::vector<double> b = randomWithZeros(k * n, rng);
+      const std::vector<double> init = randomWithZeros(m * n, rng);
+
+      std::vector<double> ref = init;
+      kdetail::gemmAccRef(a.data(), b.data(), ref.data(), m, k, n);
+      std::vector<double> got = init;
+      table.gemmAcc(a.data(), b.data(), got.data(), m, k, n);
+      EXPECT_TRUE(bitwiseEqual(ref, got))
+          << kernelName(kind) << " gemmAcc " << m << "x" << k << "x" << n;
+    }
+  }
+}
+
+TEST(KernelContract, GemmBatchAccMatchesScalarBitwise) {
+  Rng rng(12);
+  for (KernelKind kind : availableKernels()) {
+    const Kernels& table = kernelsFor(kind);
+    for (int trial = 0; trial < 25; ++trial) {
+      const std::size_t count = 1 + rng.index(5);
+      const std::size_t m = 1 + rng.index(16);
+      const std::size_t k = 1 + rng.index(16);
+      const std::size_t n = 1 + rng.index(37);
+      const std::vector<double> a = randomWithZeros(m * k, rng);
+      std::vector<std::vector<double>> bs(count), refs(count), gots(count);
+      std::vector<const double*> bPtrs(count);
+      std::vector<double*> refPtrs(count), gotPtrs(count);
+      for (std::size_t t = 0; t < count; ++t) {
+        bs[t] = randomWithZeros(k * n, rng);
+        refs[t] = randomWithZeros(m * n, rng);
+        gots[t] = refs[t];
+        bPtrs[t] = bs[t].data();
+        refPtrs[t] = refs[t].data();
+        gotPtrs[t] = gots[t].data();
+      }
+      kdetail::gemmBatchAccRef(a.data(), bPtrs.data(), refPtrs.data(), count,
+                               m, k, n);
+      table.gemmBatchAcc(a.data(), bPtrs.data(), gotPtrs.data(), count, m, k,
+                         n);
+      for (std::size_t t = 0; t < count; ++t) {
+        EXPECT_TRUE(bitwiseEqual(refs[t], gots[t]))
+            << kernelName(kind) << " gemmBatchAcc t=" << t << " " << m << "x"
+            << k << "x" << n;
+      }
+    }
+  }
+}
+
+TEST(KernelContract, GemvMatchesScalarBitwise) {
+  Rng rng(13);
+  for (KernelKind kind : availableKernels()) {
+    const Kernels& table = kernelsFor(kind);
+    for (int trial = 0; trial < 40; ++trial) {
+      const std::size_t m = 1 + rng.index(24);
+      const std::size_t n = 1 + rng.index(37);
+      const std::vector<double> a = randomWithZeros(m * n, rng);
+      const std::vector<double> x = randomWithZeros(n, rng);
+      std::vector<double> ref(m, 0.0);
+      std::vector<double> got(m, 0.0);
+      kdetail::gemvRef(a.data(), x.data(), ref.data(), m, n);
+      table.gemv(a.data(), x.data(), got.data(), m, n);
+      EXPECT_TRUE(bitwiseEqual(ref, got))
+          << kernelName(kind) << " gemv " << m << "x" << n;
+    }
+  }
+}
+
+TEST(KernelContract, AxpyMatchesScalarBitwise) {
+  Rng rng(14);
+  for (KernelKind kind : availableKernels()) {
+    const Kernels& table = kernelsFor(kind);
+    for (int trial = 0; trial < 40; ++trial) {
+      const std::size_t n = 1 + rng.index(67);
+      const double s = rng.uniform(-2.0, 2.0);
+      const std::vector<double> x = randomWithZeros(n, rng);
+      std::vector<double> ref = randomWithZeros(n, rng);
+      std::vector<double> got = ref;
+      kdetail::axpyRef(ref.data(), x.data(), s, n);
+      table.axpy(got.data(), x.data(), s, n);
+      EXPECT_TRUE(bitwiseEqual(ref, got)) << kernelName(kind) << " axpy " << n;
+    }
+  }
+}
+
+TEST(KernelContract, FusedGruStepMatchesAutogradBitwise) {
+  // The fused step must reproduce the autograd tape's op order exactly:
+  // hOut = GRU(x, h) bitwise equal to forward(x, h).value(), on every
+  // backend, across ragged batch sizes and input != hidden dims.
+  Rng rng(15);
+  for (int trial = 0; trial < 6; ++trial) {
+    const std::size_t inputDim = 1 + rng.index(20);
+    const std::size_t hiddenDim = 1 + rng.index(20);
+    const std::size_t rows = 1 + rng.index(13);
+    GruCell cell(inputDim, hiddenDim, rng);
+    const Matrix x = uniform(rows, inputDim, -2.0, 2.0, rng);
+    const Matrix h = uniform(rows, hiddenDim, -1.0, 1.0, rng);
+    const Matrix want =
+        cell.forward(Tensor::constant(x), Tensor::constant(h)).value();
+
+    const GruStepParams params = cell.stepParams();
+    std::vector<double> scratch(gruStepScratchDoubles(rows, hiddenDim));
+    for (KernelKind kind : availableKernels()) {
+      Matrix got(rows, hiddenDim);
+      kernelsFor(kind).fusedGruStep(params, x.data(), h.data(), got.data(),
+                                    rows, scratch.data());
+      EXPECT_TRUE(bitwiseEqual(want, got))
+          << kernelName(kind) << " gru " << rows << "x" << inputDim << "->"
+          << hiddenDim;
+    }
+  }
+}
+
+// --- model-level equivalence ------------------------------------------------
+
+PreparedGraph preparedDiffPair() {
+  NetlistBuilder b;
+  b.beginSubckt("cell", {"inp", "inn", "op", "on", "vb", "vdd", "vss"});
+  b.nmos("m1", "op", "inp", "tail", "vss", 2e-6, 0.2e-6);
+  b.nmos("m2", "on", "inn", "tail", "vss", 2e-6, 0.2e-6);
+  b.nmos("mt", "tail", "vb", "vss", "vss", 4e-6, 0.4e-6);
+  b.res("r1", "op", "vdd", 1e3);
+  b.res("r2", "on", "vdd", 1e3);
+  b.endSubckt();
+  const FlatDesign design = FlatDesign::elaborate(b.build("cell"));
+  const CircuitGraph g = buildHeteroGraph(design);
+  return prepareGraph(g, buildFeatureMatrix(design));
+}
+
+/// A one-device circuit: a single vertex and empty adjacency for every
+/// edge type, the degenerate shape the batched embed path must survive.
+PreparedGraph preparedLoneDevice() {
+  NetlistBuilder b;
+  b.beginSubckt("lone", {"a", "b"});
+  b.res("r1", "a", "b", 1e3);
+  b.endSubckt();
+  const FlatDesign design = FlatDesign::elaborate(b.build("lone"));
+  const CircuitGraph g = buildHeteroGraph(design);
+  return prepareGraph(g, buildFeatureMatrix(design));
+}
+
+TEST_F(KernelDispatchTest, EmbedMatchesForwardValueUnderEveryKernel) {
+  Rng rng(21);
+  GnnModel model(GnnConfig{}, rng);
+  const PreparedGraph g = preparedDiffPair();
+  const Matrix want = model.forward(g).value();
+  for (KernelKind kind : availableKernels()) {
+    selectKernel(kind);
+    EXPECT_TRUE(bitwiseEqual(want, model.embed(g))) << kernelName(kind);
+  }
+}
+
+TEST_F(KernelDispatchTest, EmbedBatchMatchesPerGraphEmbed) {
+  Rng rng(22);
+  GnnModel model(GnnConfig{}, rng);
+  const PreparedGraph pair = preparedDiffPair();
+  const PreparedGraph lone = preparedLoneDevice();
+  for (KernelKind kind : availableKernels()) {
+    selectKernel(kind);
+    // Stacking graphs into one GEMM must not change a bit of any slice,
+    // including the empty-adjacency graph.
+    const std::vector<Matrix> batch = model.embedBatch({&pair, &lone, &pair});
+    ASSERT_EQ(batch.size(), 3u);
+    EXPECT_TRUE(bitwiseEqual(model.embed(pair), batch[0])) << kernelName(kind);
+    EXPECT_TRUE(bitwiseEqual(model.embed(lone), batch[1])) << kernelName(kind);
+    EXPECT_TRUE(bitwiseEqual(batch[0], batch[2])) << kernelName(kind);
+    EXPECT_TRUE(model.embedBatch({}).empty());
+  }
+}
+
+// --- end-to-end cross-kernel equivalence ------------------------------------
+
+/// Like ParallelEquivalenceTest but sweeping kernels: ANCSTR_KERNEL and
+/// ANCSTR_THREADS would both defeat the explicit sweep, so clear both.
+class KernelTrainEquivalenceTest : public KernelDispatchTest {
+ protected:
+  void SetUp() override {
+    KernelDispatchTest::SetUp();
+    const char* value = std::getenv("ANCSTR_THREADS");
+    hadThreads_ = value != nullptr;
+    if (hadThreads_) savedThreads_ = value;
+    unsetenv("ANCSTR_THREADS");
+  }
+  void TearDown() override {
+    if (hadThreads_) setenv("ANCSTR_THREADS", savedThreads_.c_str(), 1);
+    KernelDispatchTest::TearDown();
+  }
+
+ private:
+  std::string savedThreads_;
+  bool hadThreads_ = false;
+};
+
+struct KernelRunResult {
+  std::string modelText;
+  std::vector<Matrix> embeddings;
+  std::vector<ConstraintSet> constraints;  ///< one registry per circuit
+  std::string reportKernel;
+};
+
+KernelRunResult runKernelPipeline(KernelKind kernel, std::size_t threads) {
+  const circuits::CircuitBenchmark chain = circuits::makeDiffChain(2);
+  const circuits::CircuitBenchmark array = circuits::makeBlockArray(3);
+
+  PipelineConfig config;
+  config.kernel = kernel;  // the programmatic selection path
+  config.threads = threads;
+  config.train.epochs = 4;
+  config.train.batchSize = 4;
+  Pipeline pipeline(config);
+  pipeline.train({&chain.lib, &array.lib});
+
+  KernelRunResult result;
+  for (const Library* lib : {&chain.lib, &array.lib}) {
+    ExtractionResult extraction = pipeline.extract(*lib);
+    result.embeddings.push_back(std::move(extraction.embeddings));
+    result.constraints.push_back(std::move(extraction.detection.set));
+    result.reportKernel = extraction.report.kernel;
+  }
+  std::ostringstream model;
+  saveModel(pipeline.model(), model);
+  result.modelText = model.str();
+  return result;
+}
+
+TEST_F(KernelTrainEquivalenceTest, TrainAndExtractBitwiseAcrossKernels) {
+  // saveModel writes 17 significant digits (round-trips doubles exactly),
+  // so modelText string equality is bitwise weight equality. The scalar
+  // serial run is the reference; every other kernel must match it at one
+  // AND four threads — kernels and threading both reroute execution only.
+  const KernelRunResult ref = runKernelPipeline(KernelKind::kScalar, 1);
+  EXPECT_EQ(ref.reportKernel, "scalar");
+  for (KernelKind kind : availableKernels()) {
+    for (const std::size_t threads : {1u, 4u}) {
+      if (kind == KernelKind::kScalar && threads == 1) continue;
+      const KernelRunResult got = runKernelPipeline(kind, threads);
+      EXPECT_EQ(got.reportKernel, kernelName(kind)) << threads;
+      EXPECT_EQ(ref.modelText, got.modelText)
+          << kernelName(kind) << " threads=" << threads;
+      ASSERT_EQ(ref.embeddings.size(), got.embeddings.size());
+      for (std::size_t c = 0; c < ref.embeddings.size(); ++c) {
+        EXPECT_TRUE(bitwiseEqual(ref.embeddings[c], got.embeddings[c]))
+            << kernelName(kind) << " threads=" << threads << " circuit " << c;
+      }
+      EXPECT_TRUE(ref.constraints == got.constraints)
+          << kernelName(kind) << " threads=" << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ancstr::nn

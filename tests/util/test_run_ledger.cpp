@@ -21,9 +21,10 @@ const char* const kKeyOrder[] = {
     "schemaVersion",    "requestId",   "correlationId",
     "designHash",       "devices",     "nets",
     "hierarchyNodes",   "cacheOutcome", "blockCacheHits",
-    "blockCacheMisses", "outcome",     "constraintsTotal",
-    "constraints",      "diagnostics", "phases",
-    "wallSeconds",      "peakRssDeltaBytes", "unixTimeSeconds"};
+    "blockCacheMisses", "outcome",     "kernel",
+    "constraintsTotal", "constraints", "diagnostics",
+    "phases",           "wallSeconds", "peakRssDeltaBytes",
+    "unixTimeSeconds"};
 
 LedgerRecord makeRecord(std::uint64_t requestId = 1) {
   LedgerRecord rec;
@@ -33,6 +34,7 @@ LedgerRecord makeRecord(std::uint64_t requestId = 1) {
   rec.nets = 9;
   rec.hierarchyNodes = 3;
   rec.cacheOutcome = "cold";
+  rec.kernel = "scalar";
   rec.constraints = {{"symmetry_pair", 2}, {"self_symmetric", 0},
                      {"current_mirror", 1}, {"symmetry_group", 0}};
   rec.constraintsTotal = 3;

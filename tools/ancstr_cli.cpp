@@ -30,6 +30,9 @@
 // train and extract additionally take the observability flags
 // (docs/observability.md):
 //   --threads N        worker count (0 = hardware_concurrency)
+//   --kernel K         nn kernel backend: auto|scalar|avx2|avx512
+//                      (nn/kernels.h; ANCSTR_KERNEL overrides; results
+//                      are bitwise identical across backends)
 //   --trace-out FILE   Chrome/Perfetto trace of the run
 //   --spans-out FILE   span-tree JSON (scripts/analyze_trace.py input)
 //   --metrics-out FILE metrics delta of the run
@@ -69,6 +72,7 @@
 #include "netlist/spectre_parser.h"
 #include "netlist/spice_parser.h"
 #include "netlist/spice_writer.h"
+#include "nn/kernels.h"
 #include "util/bench_report.h"
 #include "util/diagnostics.h"
 #include "util/error.h"
@@ -99,7 +103,8 @@ int usage() {
                "  ancstr_cli check   --constraints FILE NETLIST\n"
                "  ancstr_cli eval    [--epochs N] [--seed S]\n"
                "  ancstr_cli corpus  --dir DIR\n"
-               "train/extract also take: [--threads N] [--trace-out FILE]\n"
+               "train/extract also take: [--threads N]\n"
+               "  [--kernel auto|scalar|avx2|avx512] [--trace-out FILE]\n"
                "  [--spans-out FILE] [--metrics-out FILE]\n"
                "  [--metrics-format json|prom] [--report json|table]\n"
                "  [--bench-out FILE] [--log-level debug|info|warn|error|off]\n"
@@ -164,7 +169,9 @@ struct ObserveOptions {
   std::string metricsFormat = "json";  ///< "json" or "prom"
   std::string report;                  ///< "", "json", or "table"
   std::size_t threads = 1;
+  nn::KernelKind kernel = nn::KernelKind::kAuto;  ///< --kernel backend
   bool logFlagsOk = true;              ///< --log-level parsed cleanly
+  bool kernelFlagOk = true;            ///< --kernel parsed cleanly
   Stopwatch wall;                      ///< runs from parse() to emit()
   util::ResourceSample resourceStart;  ///< resources at parse()
 
@@ -178,6 +185,13 @@ struct ObserveOptions {
     opts.report = flags.value("--report", "");
     opts.threads =
         static_cast<std::size_t>(std::stoul(flags.value("--threads", "1")));
+    if (const auto parsed =
+            nn::parseKernelKind(flags.value("--kernel", "auto"))) {
+      opts.kernel = *parsed;
+      nn::selectKernel(opts.kernel);
+    } else {
+      opts.kernelFlagOk = false;
+    }
     if (!opts.traceOut.empty() || !opts.spansOut.empty()) {
       trace::TraceCollector::instance().setEnabled(true);
     }
@@ -204,7 +218,7 @@ struct ObserveOptions {
   bool validReport() const {
     const bool reportOk =
         report.empty() || report == "json" || report == "table";
-    return logFlagsOk && reportOk &&
+    return logFlagsOk && kernelFlagOk && reportOk &&
            (metricsFormat == "json" || metricsFormat == "prom");
   }
 
